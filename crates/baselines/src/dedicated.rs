@@ -1,0 +1,304 @@
+//! The copy-data baseline: an always-on dedicated search system
+//! (OpenSearch / LanceDB stand-in, §II-C1, §VII preamble).
+//!
+//! Data is ETL'd out of the lake into purpose-built in-memory structures —
+//! a hash map for identifier lookup, an in-RAM [`FmCore`] for substring
+//! search, a flat vector store for exact ANN ground truth. Queries are
+//! RAM-speed (that is the point of the baseline); the *cost* lands in
+//! [`monthly_cost`]: three always-on nodes plus triple-replicated EBS for
+//! the index, exactly the paper's `cpm_i`.
+
+use rottnest::Match;
+use rottnest_fm::{FmCore, DEFAULT_SAMPLE_RATE};
+use rottnest_format::{ChunkReader, ValueRef};
+use rottnest_ivfpq::l2_sq;
+use rottnest_lake::{Snapshot, Table};
+use rottnest_object_store::FxHashMap;
+use rottnest_tco::prices;
+
+use crate::{BaselineError, Result};
+
+/// Row provenance in the dedicated store.
+type RowRef = (String, u64);
+
+fn for_each_live_row(
+    table: &Table<'_>,
+    snapshot: &Snapshot,
+    column: &str,
+    mut f: impl FnMut(&str, u64, ValueRef<'_>),
+) -> Result<u64> {
+    let mut ingested = 0u64;
+    for file in snapshot.files() {
+        let reader = ChunkReader::open(table.store(), &file.path)?;
+        let col = reader
+            .meta()
+            .schema
+            .index_of(column)
+            .ok_or_else(|| BaselineError::BadColumn(column.to_string()))?;
+        let data = reader.read_column(col)?;
+        let dv = table.load_dv(file)?.unwrap_or_default();
+        for i in 0..data.len() {
+            if dv.contains(i as u64) {
+                continue;
+            }
+            ingested += 1;
+            f(&file.path, i as u64, data.get(i).expect("in range"));
+        }
+    }
+    Ok(ingested)
+}
+
+/// Monthly cost of the dedicated cluster holding `index_bytes` of index
+/// (the paper's `cpm_i`: 3 nodes + 3× EBS replicas).
+pub fn monthly_cost(node_hourly: f64, index_bytes: u64) -> f64 {
+    prices::dedicated_monthly(node_hourly, index_bytes as f64)
+}
+
+/// Exact-match identifier index (ElasticSearch keyword-field stand-in).
+pub struct DedicatedUuid {
+    map: FxHashMap<Vec<u8>, Vec<RowRef>>,
+    index_bytes: u64,
+}
+
+impl DedicatedUuid {
+    /// ETLs `column` of the snapshot into memory.
+    pub fn ingest(table: &Table<'_>, snapshot: &Snapshot, column: &str) -> Result<Self> {
+        let mut map: FxHashMap<Vec<u8>, Vec<RowRef>> = FxHashMap::default();
+        let mut bytes = 0u64;
+        for_each_live_row(table, snapshot, column, |path, row, v| {
+            let key = match v {
+                ValueRef::Binary(b) => b.to_vec(),
+                ValueRef::Utf8(s) => s.as_bytes().to_vec(),
+                _ => return,
+            };
+            bytes += key.len() as u64 + 24;
+            map.entry(key).or_default().push((path.to_string(), row));
+        })?;
+        Ok(Self { map, index_bytes: bytes })
+    }
+
+    /// Exact lookup.
+    pub fn search(&self, key: &[u8], k: usize) -> Vec<Match> {
+        self.map
+            .get(key)
+            .into_iter()
+            .flatten()
+            .take(k)
+            .map(|(path, row)| Match { path: path.clone(), row: *row, score: None })
+            .collect()
+    }
+
+    /// Approximate resident index size (drives the EBS cost term).
+    pub fn index_bytes(&self) -> u64 {
+        self.index_bytes
+    }
+}
+
+/// Substring index: a full in-RAM FM-index over the corpus (what a
+/// dedicated text engine effectively persists in fast storage).
+pub struct DedicatedText {
+    core: FmCore,
+    /// Document start offsets (sorted) → row refs.
+    starts: Vec<u64>,
+    rows: Vec<RowRef>,
+}
+
+impl DedicatedText {
+    /// ETLs `column` into an in-memory FM-index.
+    pub fn ingest(table: &Table<'_>, snapshot: &Snapshot, column: &str) -> Result<Self> {
+        let mut text = Vec::new();
+        let mut starts = Vec::new();
+        let mut rows = Vec::new();
+        for_each_live_row(table, snapshot, column, |path, row, v| {
+            if let ValueRef::Utf8(s) = v {
+                starts.push(text.len() as u64);
+                rows.push((path.to_string(), row));
+                let at = text.len();
+                text.extend_from_slice(s.as_bytes());
+                rottnest_fm::sanitize(&mut text[at..]);
+                text.push(rottnest_fm::SEPARATOR);
+            }
+        })?;
+        let core = FmCore::build(&text, DEFAULT_SAMPLE_RATE);
+        Ok(Self { core, starts, rows })
+    }
+
+    /// Rows whose value contains `pattern` (up to `k`).
+    pub fn search(&self, pattern: &[u8], k: usize) -> Result<Vec<Match>> {
+        // Occurrences may repeat within one document; deduplicate rows.
+        let positions = self.core.locate(pattern, k.saturating_mul(8).max(256))?;
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        for pos in positions {
+            let idx = self.starts.partition_point(|&s| s <= pos) - 1;
+            if seen.insert(idx) {
+                let (path, row) = &self.rows[idx];
+                out.push(Match { path: path.clone(), row: *row, score: None });
+                if out.len() >= k {
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Total occurrences of `pattern` in the corpus.
+    pub fn count(&self, pattern: &[u8]) -> Result<usize> {
+        Ok(self.core.count(pattern)?)
+    }
+
+    /// Approximate resident index size.
+    pub fn index_bytes(&self) -> u64 {
+        // BWT + wavelet ≈ 2n plus samples.
+        (self.core.len() * 2) as u64 + self.rows.len() as u64 * 24
+    }
+}
+
+/// Vector store with exact search (LanceDB-with-index-in-RAM stand-in; its
+/// recall is 1.0, which the paper notes makes the baseline *stronger*).
+pub struct DedicatedVector {
+    dim: usize,
+    data: Vec<f32>,
+    rows: Vec<RowRef>,
+}
+
+impl DedicatedVector {
+    /// ETLs `column` into a flat in-memory store.
+    pub fn ingest(table: &Table<'_>, snapshot: &Snapshot, column: &str) -> Result<Self> {
+        let mut data = Vec::new();
+        let mut rows = Vec::new();
+        let mut dim = 0usize;
+        for_each_live_row(table, snapshot, column, |path, row, v| {
+            if let ValueRef::VectorF32(vec) = v {
+                dim = vec.len();
+                data.extend_from_slice(vec);
+                rows.push((path.to_string(), row));
+            }
+        })?;
+        Ok(Self { dim, data, rows })
+    }
+
+    /// Exact top-`k`.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<Match> {
+        let mut top: Vec<(usize, f32)> = Vec::new();
+        for (i, chunk) in self.data.chunks_exact(self.dim).enumerate() {
+            let d = l2_sq(query, chunk);
+            let at = top.partition_point(|&(_, td)| td <= d);
+            if at < k {
+                top.insert(at, (i, d));
+                top.truncate(k);
+            }
+        }
+        top.into_iter()
+            .map(|(i, d)| {
+                let (path, row) = &self.rows[i];
+                Match { path: path.clone(), row: *row, score: Some(d) }
+            })
+            .collect()
+    }
+
+    /// Approximate resident index size.
+    pub fn index_bytes(&self) -> u64 {
+        (self.data.len() * 4) as u64 + self.rows.len() as u64 * 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rottnest_format::{ColumnData, DataType, Field, RecordBatch, Schema};
+    use rottnest_lake::TableConfig;
+    use rottnest_object_store::MemoryStore;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Binary),
+            Field::new("msg", DataType::Utf8),
+            Field::new("v", DataType::VectorF32 { dim: 4 }),
+        ])
+    }
+
+    fn key(i: u64) -> Vec<u8> {
+        let mut k = vec![7u8; 16];
+        k[..8].copy_from_slice(&i.to_be_bytes());
+        k
+    }
+
+    fn setup(store: &MemoryStore) -> Table<'_> {
+        let t = Table::create(store, "tbl", &schema(), TableConfig::default()).unwrap();
+        let range = 0u64..80;
+        let batch = RecordBatch::new(
+            schema(),
+            vec![
+                ColumnData::from_blobs(range.clone().map(key)),
+                ColumnData::from_strings(
+                    range.clone().map(|i| format!("message {i} tag{}", i % 4)),
+                ),
+                ColumnData::from_vectors(4, range.map(|i| vec![i as f32, 1.0, 2.0, 3.0]).collect::<Vec<_>>())
+                    .unwrap(),
+            ],
+        )
+        .unwrap();
+        t.append(&batch).unwrap();
+        t
+    }
+
+    #[test]
+    fn uuid_lookup_matches() {
+        let store = MemoryStore::unmetered();
+        let t = setup(&store);
+        let snap = t.snapshot().unwrap();
+        let idx = DedicatedUuid::ingest(&t, &snap, "id").unwrap();
+        let m = idx.search(&key(42), 10);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].row, 42);
+        assert!(idx.search(&key(999), 10).is_empty());
+        assert!(idx.index_bytes() > 0);
+    }
+
+    #[test]
+    fn text_search_matches_and_counts() {
+        let store = MemoryStore::unmetered();
+        let t = setup(&store);
+        let snap = t.snapshot().unwrap();
+        let idx = DedicatedText::ingest(&t, &snap, "msg").unwrap();
+        assert_eq!(idx.count(b"tag2").unwrap(), 20);
+        let m = idx.search(b"message 7 ", 10).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].row, 7);
+        let m = idx.search(b"tag1", 5).unwrap();
+        assert_eq!(m.len(), 5);
+    }
+
+    #[test]
+    fn vector_search_is_exact() {
+        let store = MemoryStore::unmetered();
+        let t = setup(&store);
+        let snap = t.snapshot().unwrap();
+        let idx = DedicatedVector::ingest(&t, &snap, "v").unwrap();
+        let m = idx.search(&[33.0, 1.0, 2.0, 3.0], 3);
+        assert_eq!(m[0].row, 33);
+        assert_eq!(m[0].score, Some(0.0));
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn deleted_rows_are_not_ingested() {
+        let store = MemoryStore::unmetered();
+        let t = setup(&store);
+        let path = t.snapshot().unwrap().files().next().unwrap().path.clone();
+        t.delete_rows(&path, &[42]).unwrap();
+        let snap = t.snapshot().unwrap();
+        let idx = DedicatedUuid::ingest(&t, &snap, "id").unwrap();
+        assert!(idx.search(&key(42), 10).is_empty());
+    }
+
+    #[test]
+    fn monthly_cost_includes_nodes_and_ebs() {
+        let base = monthly_cost(0.167, 0);
+        let with_index = monthly_cost(0.167, 100_000_000_000);
+        assert!(base > 300.0, "3 nodes for a month: {base}");
+        // 100 GB × 3 replicas × $0.08 = $24 extra.
+        assert!((with_index - base - 24.0).abs() < 0.5);
+    }
+}

@@ -1,0 +1,67 @@
+//! The two baselines Rottnest is evaluated against (§II-C, §VII):
+//!
+//! * [`brute`] — **brute-force scanning**: a Spark/EMR-like engine that
+//!   downloads entire column chunks through the traditional reader and
+//!   evaluates predicates over every row, horizontally scaled with the
+//!   cluster model of [`rottnest_tco::ClusterModel`];
+//! * [`dedicated`] — **copy data**: an OpenSearch/LanceDB-like always-on
+//!   system holding purpose-built in-memory indexes (hash map, in-RAM
+//!   FM-index, flat vector store) with the paper's 3-node replicated cost
+//!   model.
+//!
+//! Both produce the *same answers* as Rottnest search (tests assert it);
+//! they differ in where the cost lands — which is exactly what the phase
+//! diagrams measure.
+
+pub mod brute;
+pub mod dedicated;
+
+pub use brute::{BruteForce, ScanStats};
+pub use dedicated::{DedicatedText, DedicatedUuid, DedicatedVector};
+
+/// Errors from baseline operations.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// Referenced column missing or mistyped.
+    BadColumn(String),
+    /// Lake failure.
+    Lake(rottnest_lake::LakeError),
+    /// Format failure.
+    Format(rottnest_format::FormatError),
+    /// FM failure (dedicated text index).
+    Fm(rottnest_fm::FmError),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::BadColumn(m) => write!(f, "bad column: {m}"),
+            BaselineError::Lake(e) => write!(f, "lake: {e}"),
+            BaselineError::Format(e) => write!(f, "format: {e}"),
+            BaselineError::Fm(e) => write!(f, "fm: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<rottnest_lake::LakeError> for BaselineError {
+    fn from(e: rottnest_lake::LakeError) -> Self {
+        BaselineError::Lake(e)
+    }
+}
+
+impl From<rottnest_format::FormatError> for BaselineError {
+    fn from(e: rottnest_format::FormatError) -> Self {
+        BaselineError::Format(e)
+    }
+}
+
+impl From<rottnest_fm::FmError> for BaselineError {
+    fn from(e: rottnest_fm::FmError) -> Self {
+        BaselineError::Fm(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, BaselineError>;

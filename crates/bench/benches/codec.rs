@@ -1,0 +1,87 @@
+//! Criterion microbenchmarks: compression codec and integer coding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rottnest_compress::{bitpack, lz, varint};
+
+fn text_payload(n: usize) -> Vec<u8> {
+    let mut wl = rottnest_workloads::TextWorkload::new(3, 10_000, 100);
+    let mut out = Vec::with_capacity(n + 1024);
+    while out.len() < n {
+        out.extend_from_slice(wl.doc().as_bytes());
+        out.push(b' ');
+    }
+    out.truncate(n);
+    out
+}
+
+fn bench_lz(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lz");
+    for size in [64 << 10, 1 << 20] {
+        let data = text_payload(size);
+        let compressed = lz::compress(&data);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("compress_text", size), &data, |b, d| {
+            b.iter(|| lz::compress(d))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("decompress_text", size),
+            &compressed,
+            |b, d| b.iter(|| lz::decompress(d, size).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_varint(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let values: Vec<u64> = (0..10_000).map(|_| rng.gen_range(0..1u64 << 40)).collect();
+    c.bench_function("varint/encode_10k", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(60_000);
+            for &v in &values {
+                varint::write_u64(&mut buf, v);
+            }
+            buf
+        })
+    });
+    let mut buf = Vec::new();
+    for &v in &values {
+        varint::write_u64(&mut buf, v);
+    }
+    c.bench_function("varint/decode_10k", |b| {
+        b.iter(|| {
+            let mut pos = 0;
+            let mut sum = 0u64;
+            for _ in 0..values.len() {
+                sum = sum.wrapping_add(varint::read_u64(&buf, &mut pos).unwrap());
+            }
+            sum
+        })
+    });
+}
+
+fn bench_bitpack(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut values: Vec<u64> = (0..10_000).map(|_| rng.gen_range(0..1u64 << 24)).collect();
+    values.sort_unstable();
+    c.bench_function("bitpack/pack_sorted_10k", |b| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            bitpack::pack_sorted(&mut buf, &values);
+            buf
+        })
+    });
+    let mut buf = Vec::new();
+    bitpack::pack_sorted(&mut buf, &values);
+    c.bench_function("bitpack/unpack_sorted_10k", |b| {
+        b.iter(|| {
+            let mut pos = 0;
+            bitpack::unpack_sorted(&buf, &mut pos).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_lz, bench_varint, bench_bitpack);
+criterion_main!(benches);

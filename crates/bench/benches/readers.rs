@@ -1,0 +1,75 @@
+//! Criterion microbenchmarks: the two Parquet read paths (Figure 5) and
+//! component-file access.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rottnest_component::{ComponentFile, ComponentWriter};
+use rottnest_format::{
+    page_table::PageTable, ChunkReader, ColumnData, DataType, Field, FileWriter, PageReader,
+    RecordBatch, Schema, WriterOptions,
+};
+use rottnest_object_store::{MemoryStore, ObjectStore};
+
+fn build_file(store: &dyn ObjectStore) -> PageTable {
+    let schema = Schema::new(vec![Field::new("body", DataType::Utf8)]);
+    let mut wl = rottnest_workloads::TextWorkload::new(8, 10_000, 80);
+    let docs = wl.docs(3_000);
+    let batch = RecordBatch::new(schema.clone(), vec![ColumnData::from_strings(&docs)]).unwrap();
+    let mut writer = FileWriter::with_options(
+        schema,
+        WriterOptions { page_raw_bytes: 64 << 10, ..Default::default() },
+    );
+    writer.write_batch(&batch).unwrap();
+    let meta = writer.finish_into(store, "bench.lkpq").unwrap();
+    PageTable::from_meta(&meta, 0).unwrap()
+}
+
+fn bench_read_paths(c: &mut Criterion) {
+    let store = MemoryStore::unmetered();
+    let table = build_file(store.as_ref());
+
+    c.bench_function("reader/chunk_full_column", |b| {
+        b.iter(|| {
+            let reader = ChunkReader::open(store.as_ref(), "bench.lkpq").unwrap();
+            reader.read_column(0).unwrap().len()
+        })
+    });
+
+    let reader = PageReader::new(store.as_ref());
+    c.bench_function("reader/single_page", |b| {
+        b.iter(|| {
+            reader
+                .read_page("bench.lkpq", &table, table.len() / 2, DataType::Utf8)
+                .unwrap()
+                .len()
+        })
+    });
+
+    c.bench_function("reader/batched_8_pages", |b| {
+        let reqs: Vec<(&str, &PageTable, usize)> =
+            (0..8.min(table.len())).map(|i| ("bench.lkpq", &table, i)).collect();
+        b.iter(|| reader.read_pages(&reqs, DataType::Utf8).unwrap().len())
+    });
+}
+
+fn bench_components(c: &mut Criterion) {
+    let store = MemoryStore::unmetered();
+    let mut w = ComponentWriter::new();
+    let mut wl = rottnest_workloads::TextWorkload::new(9, 5_000, 200);
+    for _ in 0..64 {
+        w.add(wl.doc().into_bytes());
+    }
+    w.finish_into(store.as_ref(), "bench.idx").unwrap();
+
+    c.bench_function("component/open", |b| {
+        b.iter(|| ComponentFile::open(store.as_ref(), "bench.idx").unwrap().len())
+    });
+    c.bench_function("component/open_and_fetch_8", |b| {
+        b.iter(|| {
+            let f = ComponentFile::open(store.as_ref(), "bench.idx").unwrap();
+            f.components(&[1, 9, 17, 25, 33, 41, 49, 57]).unwrap().len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_read_paths, bench_components);
+criterion_main!(benches);

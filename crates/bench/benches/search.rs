@@ -1,0 +1,87 @@
+//! Criterion microbenchmarks: end-to-end index queries (wall-clock CPU of
+//! the search path; the *simulated* latencies live in the fig* binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rottnest_fm::{FmBuilder, FmIndex, Posting};
+use rottnest_ivfpq::{IvfPqBuilder, IvfPqIndex, IvfPqParams, SearchParams, VecPosting};
+use rottnest_object_store::MemoryStore;
+use rottnest_trie::{TrieBuilder, TrieIndex};
+
+fn bench_trie_lookup(c: &mut Criterion) {
+    let store = MemoryStore::unmetered();
+    let mut wl = rottnest_workloads::UuidWorkload::new(1, 16);
+    let keys = wl.keys(100_000);
+    let mut b = TrieBuilder::new(16).unwrap();
+    for (i, k) in keys.iter().enumerate() {
+        b.add(k, rottnest_trie::Posting::new(0, i as u32)).unwrap();
+    }
+    b.finish_into(store.as_ref(), "t.idx").unwrap();
+    let idx = TrieIndex::open(store.as_ref(), "t.idx").unwrap();
+
+    c.bench_function("search/trie_lookup_100k_keys", |bch| {
+        let mut i = 0usize;
+        bch.iter(|| {
+            i = (i + 7919) % keys.len();
+            idx.lookup(&keys[i]).unwrap().len()
+        })
+    });
+}
+
+fn bench_fm_queries(c: &mut Criterion) {
+    let store = MemoryStore::unmetered();
+    let mut wl = rottnest_workloads::TextWorkload::new(2, 20_000, 60);
+    let mut b = FmBuilder::new();
+    for page in 0..16u32 {
+        let docs = wl.docs_with_needle(100, &format!("NEEDLE-{page}"), &[50]);
+        for d in &docs {
+            b.add_document(Posting::new(0, page), d.as_bytes());
+        }
+    }
+    b.finish_into(store.as_ref(), "f.idx").unwrap();
+    let idx = FmIndex::open(store.as_ref(), "f.idx").unwrap();
+
+    c.bench_function("search/fm_count_needle", |bch| {
+        bch.iter(|| idx.count(b"NEEDLE-7").unwrap())
+    });
+    c.bench_function("search/fm_locate_needle", |bch| {
+        bch.iter(|| idx.locate_pages(b"NEEDLE-7", 100).unwrap().len())
+    });
+}
+
+fn bench_ivf_search(c: &mut Criterion) {
+    let store = MemoryStore::unmetered();
+    let mut wl = rottnest_workloads::VectorWorkload::new(3, 32, 16, 0.5);
+    let vectors = wl.vectors(20_000);
+    let mut b = IvfPqBuilder::new(32, IvfPqParams { nlist: 64, m: 8, train_iters: 4, seed: 5 })
+        .unwrap();
+    for (i, v) in vectors.iter().enumerate() {
+        b.add(VecPosting::new(0, (i / 100) as u32, (i % 100) as u32), v).unwrap();
+    }
+    b.finish_into(store.as_ref(), "v.idx").unwrap();
+    let idx = IvfPqIndex::open(store.as_ref(), "v.idx").unwrap();
+    let query = wl.query();
+    let fetch = |ids: &[VecPosting]| -> rottnest_ivfpq::Result<Vec<Vec<f32>>> {
+        Ok(ids
+            .iter()
+            .map(|p| vectors[p.posting.page as usize * 100 + p.row as usize].clone())
+            .collect())
+    };
+
+    c.bench_function("search/ivf_nprobe8_adc", |bch| {
+        bch.iter(|| {
+            idx.search(&query, SearchParams { k: 10, nprobe: 8, refine: 0 }, &fetch)
+                .unwrap()
+                .len()
+        })
+    });
+    c.bench_function("search/ivf_nprobe8_refine64", |bch| {
+        bch.iter(|| {
+            idx.search(&query, SearchParams { k: 10, nprobe: 8, refine: 64 }, &fetch)
+                .unwrap()
+                .len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_trie_lookup, bench_fm_queries, bench_ivf_search);
+criterion_main!(benches);

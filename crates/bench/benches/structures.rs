@@ -1,0 +1,78 @@
+//! Criterion microbenchmarks: index data structures (SA-IS, wavelet matrix,
+//! trie build, k-means / PQ).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rottnest_fm::sais::suffix_array;
+use rottnest_fm::wavelet::WaveletMatrix;
+use rottnest_ivfpq::kmeans::kmeans;
+use rottnest_ivfpq::pq::ProductQuantizer;
+use rottnest_trie::{Posting, TrieBuilder};
+
+fn bench_sais(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sais");
+    for size in [64 << 10, 512 << 10] {
+        let mut wl = rottnest_workloads::TextWorkload::new(1, 20_000, 80);
+        let mut text = Vec::with_capacity(size);
+        while text.len() < size {
+            text.extend_from_slice(wl.doc().as_bytes());
+            text.push(b' ');
+        }
+        text.truncate(size);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &text, |b, t| {
+            b.iter(|| suffix_array(t))
+        });
+    }
+    group.finish();
+}
+
+fn bench_wavelet(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let symbols: Vec<u8> = (0..1 << 16).map(|_| rng.gen()).collect();
+    c.bench_function("wavelet/build_64k", |b| b.iter(|| WaveletMatrix::build(&symbols)));
+    let wm = WaveletMatrix::build(&symbols);
+    c.bench_function("wavelet/rank_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..1000 {
+                acc += wm.rank((i % 256) as u8, (i * 61) % symbols.len());
+            }
+            acc
+        })
+    });
+}
+
+fn bench_trie_build(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let keys: Vec<Vec<u8>> = (0..50_000).map(|_| (0..16).map(|_| rng.gen()).collect()).collect();
+    c.bench_function("trie/build_50k_keys", |b| {
+        b.iter(|| {
+            let mut t = TrieBuilder::new(16).unwrap();
+            for (i, k) in keys.iter().enumerate() {
+                t.add(k, Posting::new(0, i as u32)).unwrap();
+            }
+            t.finish()
+        })
+    });
+}
+
+fn bench_kmeans_pq(c: &mut Criterion) {
+    let mut wl = rottnest_workloads::VectorWorkload::new(4, 32, 16, 0.5);
+    let data: Vec<f32> = wl.vectors(10_000).into_iter().flatten().collect();
+    c.bench_function("kmeans/10k_x32d_k64", |b| b.iter(|| kmeans(&data, 32, 64, 4, 7)));
+    let pq = ProductQuantizer::train(&data, 32, 8, 4, 7).unwrap();
+    let query: Vec<f32> = data[..32].to_vec();
+    let codes: Vec<Vec<u8>> =
+        (0..1000).map(|i| pq.encode(&data[i * 32..(i + 1) * 32])).collect();
+    c.bench_function("pq/adc_scan_1k", |b| {
+        b.iter(|| {
+            let table = pq.adc_table(&query);
+            codes.iter().map(|code| pq.adc_distance(&table, code)).sum::<f32>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_sais, bench_wavelet, bench_trie_build, bench_kmeans_pq);
+criterion_main!(benches);

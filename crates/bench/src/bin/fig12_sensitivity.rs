@@ -1,0 +1,82 @@
+//! Figure 12: sensitivity of the vector-search (mid-recall) phase diagram
+//! to `cpq_r`, `ic_r` and `cpm_r − cpm_bf`, each scaled ×0.1 … ×10.
+//!
+//! Observations to reproduce (§VII-D1): cheaper queries help against
+//! copy-data (not brute force); a smaller index does the opposite; cheaper
+//! indexing moves the minimum worthwhile operating time but not the
+//! asymptotic boundaries.
+
+use rottnest::Query;
+use rottnest_bench::{sim_seconds, vector_scenario, write_csv, TcoInputs, VEC_COL};
+use rottnest_ivfpq::SearchParams;
+use rottnest_tco::sensitivity::{sweep, RottnestParam};
+use rottnest_tco::{prices, PhaseDiagram};
+
+fn main() {
+    let (s, queries) = vector_scenario(6, 3_000, 32, 41);
+    let table = s.table();
+    let snapshot = table.snapshot().unwrap();
+    let rot = s.rottnest();
+
+    let params = SearchParams { k: 10, nprobe: 6, refine: 60 }; // ~0.92 recall tier
+    let mut latency = 0.0;
+    for q in queries.iter().take(8) {
+        let (_, secs) = sim_seconds(&s.store, || {
+            rot.search(&table, &snapshot, VEC_COL, &Query::VectorNn { query: q, params })
+                .unwrap()
+        });
+        latency += secs;
+    }
+    latency /= 8.0;
+    let brute = s.brute_latency(
+        VEC_COL,
+        &[Query::VectorNn { query: &queries[0], params }],
+    );
+
+    let inputs = TcoInputs {
+        rottnest_latency_s: latency,
+        brute_latency_1w_s: brute,
+        scale: 1e9 / (6.0 * 3_000.0),
+        data_bytes: s.data_bytes,
+        index_bytes: s.index_bytes,
+        build_seconds: s.index_build_seconds,
+        dedicated_hourly: prices::R6G_XLARGE_HOURLY,
+    };
+    let base = inputs.approaches();
+    let factors = [0.1, 0.3, 1.0, 3.0, 10.0];
+
+    let mut csv =
+        String::from("param,factor,rottnest_share,min_winning_month,band_decades_at_10mo\n");
+    println!("\n=== Figure 12: sensitivity (vector, mid recall) ===");
+    for (param, name) in [
+        (RottnestParam::Cpq, "cpq_r"),
+        (RottnestParam::Ic, "ic_r"),
+        (RottnestParam::CpmOverhead, "cpm_r_overhead"),
+    ] {
+        let points = sweep(&base, param, &factors);
+        for p in &points {
+            let scaled = rottnest_tco::scale_param(&base, param, p.factor);
+            let d = PhaseDiagram::compute(&scaled);
+            csv.push_str(&format!(
+                "{name},{},{:.4},{},{:.2}\n",
+                p.factor,
+                p.rottnest_share,
+                p.min_winning_month.map_or("never".into(), |m| format!("{m:.3}")),
+                d.rottnest_decades_at(10.0)
+            ));
+        }
+        let lo = &points[0];
+        let hi = &points[points.len() - 1];
+        println!(
+            "{name:<15} ×0.1 → share {:.0}%, first-win {:?} mo | ×10 → share {:.0}%, first-win {:?} mo",
+            lo.rottnest_share * 100.0,
+            lo.min_winning_month.map(|m| (m * 100.0).round() / 100.0),
+            hi.rottnest_share * 100.0,
+            hi.min_winning_month.map(|m| (m * 100.0).round() / 100.0),
+        );
+    }
+    write_csv("fig12_sensitivity.csv", &csv);
+
+    let holds = rottnest_tco::sensitivity::observations_hold(&base);
+    println!("paper §VII-D1 observations hold on measured costs: {holds}");
+}

@@ -1,0 +1,93 @@
+//! Figure 7: phase-change diagrams for (a) substring search and (b) UUID
+//! search — which approach (copy data / brute force / Rottnest) minimizes
+//! TCO at each (months, total queries) point.
+//!
+//! Reproduces the paper's qualitative claims:
+//! * Rottnest becomes competitive within ~1–2 days of operation;
+//! * at 10 months its winning band spans ≥4 orders of magnitude of query
+//!   counts;
+//! * the substring boundary against brute force curves up (indices almost
+//!   as large as the data), while the UUID boundary stays flat (§VII-B1).
+
+use rottnest::Query;
+use rottnest_bench::{text_scenario, uuid_scenario, write_csv, TcoInputs, TEXT_COL, UUID_COL};
+use rottnest_tco::{prices, PhaseDiagram};
+
+fn main() {
+    // --- Substring search ---------------------------------------------
+    let (text, wl) = text_scenario(8, 400, 1);
+    let mut patterns: Vec<Vec<u8>> =
+        (0..4).map(|f| format!("NEEDLE-{f:04}-XYZZY").into_bytes()).collect();
+    patterns.push(wl.midfreq_word().as_bytes().to_vec());
+    let queries: Vec<Query<'_>> =
+        patterns.iter().map(|p| Query::Substring { pattern: p, k: 10 }).collect();
+
+    let r_lat = text.rottnest_latency(TEXT_COL, &queries);
+    let b_lat = text.brute_latency(TEXT_COL, &queries);
+    let substring = TcoInputs {
+        rottnest_latency_s: r_lat,
+        brute_latency_1w_s: b_lat,
+        scale: 304e9 / text.data_bytes as f64, // C4: 304 GB compressed
+        data_bytes: text.data_bytes,
+        index_bytes: text.index_bytes,
+        build_seconds: text.index_build_seconds,
+        dedicated_hourly: prices::R6G_LARGE_SEARCH_HOURLY,
+    };
+    report("fig7a_substring", &substring);
+
+    // --- UUID search ----------------------------------------------------
+    let (uuid, keys) = uuid_scenario(8, 20_000, 2);
+    let queries: Vec<Query<'_>> = keys
+        .iter()
+        .step_by(keys.len() / 8)
+        .map(|k| Query::UuidEq { key: k, k: 1 })
+        .collect();
+    let r_lat = uuid.rottnest_latency(UUID_COL, &queries);
+    let b_lat = uuid.brute_latency(UUID_COL, &queries);
+    let uuid_inputs = TcoInputs {
+        rottnest_latency_s: r_lat,
+        brute_latency_1w_s: b_lat,
+        scale: 2e9 / keys.len() as f64, // 2 billion hashes
+        data_bytes: uuid.data_bytes,
+        index_bytes: uuid.index_bytes,
+        build_seconds: uuid.index_build_seconds,
+        dedicated_hourly: prices::R6G_LARGE_SEARCH_HOURLY,
+    };
+    report("fig7b_uuid", &uuid_inputs);
+}
+
+fn report(tag: &str, inputs: &TcoInputs) {
+    let approaches = inputs.approaches();
+    let diagram = PhaseDiagram::compute(&approaches);
+    write_csv(&format!("{tag}.csv"), &diagram.to_csv());
+
+    println!("\n=== {tag} ===");
+    println!(
+        "measured: rottnest {:.2}s/query, brute(1w, harness scale) {:.2}s, scale ×{:.0}",
+        inputs.rottnest_latency_s, inputs.brute_latency_1w_s, inputs.scale
+    );
+    let r = approaches.rottnest;
+    let b = approaches.brute_force;
+    let c = approaches.copy_data;
+    println!(
+        "params: ic_r=${:.2} cpm_r=${:.2}/mo cpq_r=${:.6} | cpm_bf=${:.2}/mo cpq_bf=${:.4} | cpm_i=${:.2}/mo",
+        r.index_cost,
+        r.cost_per_month,
+        r.cost_per_query,
+        b.cost_per_month,
+        b.cost_per_query,
+        c.cost_per_month
+    );
+    for months in [0.03, 0.1, 1.0, 10.0, 120.0] {
+        let band = diagram.rottnest_decades_at(months);
+        println!("rottnest band at {months:>6.2} months: {band:.1} decades of query volume");
+    }
+    if let Some(b) = diagram.rottnest_band().iter().find(|b| b.rottnest_lo.is_some()) {
+        println!(
+            "rottnest first wins at {:.3} months (≈{:.1} days)",
+            b.months,
+            b.months * 30.0
+        );
+    }
+    println!("{}", diagram.render_ascii());
+}

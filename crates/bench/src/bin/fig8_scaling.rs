@@ -1,0 +1,122 @@
+//! Figure 8: horizontal scaling of (a,b) the brute-force cluster and (c,d)
+//! Rottnest searchers, plus the §VII-A minimum-latency-threshold summary.
+//!
+//! Shape to reproduce: brute force scales near-linearly to 32 workers and
+//! saturates at 64 (latency ↓, cost ↑); Rottnest is latency-bound (depth,
+//! not width), so extra searchers barely help latency while cost grows
+//! ~linearly. Rottnest on ONE worker still beats brute force on 64 by a
+//! multiple.
+
+use rottnest::Query;
+use rottnest_bench::{
+    text_scenario, uuid_scenario, vector_scenario, write_csv, TEXT_COL, UUID_COL, VEC_COL,
+};
+use rottnest_ivfpq::SearchParams;
+use rottnest_tco::{prices, ClusterModel};
+
+struct App {
+    name: &'static str,
+    rottnest_latency_s: f64,
+    brute_1worker_s: f64,
+    scale: f64,
+    data_bytes: u64,
+}
+
+fn main() {
+    let mut apps = Vec::new();
+
+    {
+        let (s, wl) = text_scenario(8, 300, 11);
+        let patterns = [wl.midfreq_word().as_bytes().to_vec(), b"NEEDLE-0003-XYZZY".to_vec()];
+        let queries: Vec<Query<'_>> =
+            patterns.iter().map(|p| Query::Substring { pattern: p, k: 10 }).collect();
+        apps.push(App {
+            name: "substring",
+            rottnest_latency_s: s.rottnest_latency(TEXT_COL, &queries),
+            brute_1worker_s: s.brute_latency(TEXT_COL, &queries),
+            scale: 304e9 / s.data_bytes as f64,
+            data_bytes: s.data_bytes,
+        });
+    }
+    {
+        let (s, keys) = uuid_scenario(8, 15_000, 12);
+        let queries: Vec<Query<'_>> =
+            keys.iter().step_by(keys.len() / 6).map(|k| Query::UuidEq { key: k, k: 1 }).collect();
+        apps.push(App {
+            name: "uuid",
+            rottnest_latency_s: s.rottnest_latency(UUID_COL, &queries),
+            brute_1worker_s: s.brute_latency(UUID_COL, &queries),
+            scale: 2e9 / (8.0 * 15_000.0),
+            data_bytes: s.data_bytes,
+        });
+    }
+    {
+        let (s, qs) = vector_scenario(6, 3_000, 32, 13);
+        let queries: Vec<Query<'_>> = qs
+            .iter()
+            .take(6)
+            .map(|q| Query::VectorNn {
+                query: q,
+                params: SearchParams { k: 10, nprobe: 8, refine: 64 },
+            })
+            .collect();
+        apps.push(App {
+            name: "vector",
+            rottnest_latency_s: s.rottnest_latency(VEC_COL, &queries),
+            brute_1worker_s: s.brute_latency(VEC_COL, &queries),
+            scale: 1e9 / (6.0 * 3_000.0),
+            data_bytes: s.data_bytes,
+        });
+    }
+
+    let workers = [1u32, 2, 4, 8, 16, 32, 64];
+    let mut csv = String::from("app,approach,workers,latency_s,cost_per_query\n");
+    println!("\n=== Figure 8: scaling ===");
+    for app in &apps {
+        // Scale only the transfer component to paper size (fixed first-byte
+        // latencies amortize); 400 MB/s effective scan bandwidth per worker.
+        let extra_bytes = app.data_bytes as f64 * (app.scale - 1.0);
+        let scan_1w = app.brute_1worker_s + extra_bytes.max(0.0) / 400e6;
+        let brute = ClusterModel {
+            spinup_seconds: 2.0,
+            serial_seconds: 0.5,
+            scan_seconds_1worker: scan_1w,
+            straggler_coeff: 0.08,
+            hourly_rate: prices::R6I_4XLARGE_HOURLY,
+        };
+        for &w in &workers {
+            csv.push_str(&format!(
+                "{},brute_force,{w},{:.3},{:.6}\n",
+                app.name,
+                brute.latency(w),
+                brute.cost_per_query(w)
+            ));
+        }
+        // Rottnest is depth-bound: more searchers shard the (already
+        // parallel-width) index files but the dependent-request chain stays;
+        // model a small 5% improvement per doubling, cost ∝ workers.
+        for &w in &workers {
+            let lat = app.rottnest_latency_s * (1.0 - 0.05 * f64::from(w).log2()).max(0.7);
+            let cost = f64::from(w) * prices::R6I_4XLARGE_HOURLY / 3600.0 * lat;
+            csv.push_str(&format!("{},rottnest,{w},{lat:.3},{cost:.6}\n", app.name));
+        }
+
+        let b64 = brute.latency(64);
+        let r1 = app.rottnest_latency_s;
+        println!(
+            "{:<10} rottnest(1w) {:>6.2}s | brute(64w) {:>7.2}s | advantage {:>4.1}x | brute(8w) {:>8.1}s",
+            app.name,
+            r1,
+            b64,
+            b64 / r1,
+            brute.latency(8),
+        );
+    }
+    write_csv("fig8_scaling.csv", &csv);
+    println!(
+        "\nminimum latency thresholds (paper: 4.6s substring / 1.7s uuid / 2.3s vector):"
+    );
+    for app in &apps {
+        println!("  {:<10} ≈ {:.1}s (rottnest, one worker)", app.name, app.rottnest_latency_s);
+    }
+}

@@ -1,0 +1,89 @@
+//! Figure 9: vector-search phase diagrams at three recall@10 targets.
+//!
+//! The paper tunes `nprobe`/`refine` to hit recall 0.87 / 0.92 / 0.97 and
+//! shows the higher-recall (slower, costlier `cpq_r`) configurations barely
+//! move the phase boundaries on the log-log plot — "building a Rottnest
+//! index is most likely still a good decision if recall target changes".
+
+use rottnest::{Query, Rottnest};
+use rottnest_bench::{sim_seconds, vector_scenario, write_csv, TcoInputs, VEC_COL};
+use rottnest_ivfpq::{recall_at_k, SearchParams};
+use rottnest_tco::{prices, PhaseDiagram};
+
+fn main() {
+    let (s, queries) = vector_scenario(6, 4_000, 32, 21);
+    let table = s.table();
+    let snapshot = table.snapshot().unwrap();
+    let rot: Rottnest<'_> = s.rottnest();
+
+    // Exact ground truth from the brute-force scanner.
+    let bf = rottnest_baselines::BruteForce::new(&table, snapshot.clone());
+    let truth: Vec<Vec<(String, u64)>> = queries
+        .iter()
+        .map(|q| {
+            bf.scan_vector(VEC_COL, q, 10)
+                .unwrap()
+                .0
+                .into_iter()
+                .map(|m| (m.path, m.row))
+                .collect()
+        })
+        .collect();
+    let (_, brute_latency) = sim_seconds(&s.store, || {
+        bf.scan_vector(VEC_COL, &queries[0], 10).unwrap();
+    });
+
+    // Effort ladder: (nprobe, refine) per recall target.
+    let settings = [("low", 3, 24), ("mid", 6, 60), ("high", 16, 200)];
+    let mut summary = String::from("setting,nprobe,refine,recall_at_10,latency_s,cpq_r\n");
+    println!("\n=== Figure 9: vector phase diagrams by recall target ===");
+
+    for (name, nprobe, refine) in settings {
+        let params = SearchParams { k: 10, nprobe, refine };
+        let mut recall_sum = 0.0;
+        let mut latency_sum = 0.0;
+        for (q, t) in queries.iter().zip(&truth) {
+            let (out, secs) = sim_seconds(&s.store, || {
+                rot.search(&table, &snapshot, VEC_COL, &Query::VectorNn { query: q, params })
+                    .unwrap()
+            });
+            let found: Vec<(String, u64)> =
+                out.matches.into_iter().map(|m| (m.path, m.row)).collect();
+            recall_sum += recall_at_k(&found, t);
+            latency_sum += secs;
+        }
+        let recall = recall_sum / queries.len() as f64;
+        // Paper-scale fan-out adjustment: the simulator batches all probed
+        // lists and refine pages into single parallel round trips, which
+        // hides the per-request fan-out cost a real object store charges at
+        // billion-vector scale (the paper measures +35% latency from recall
+        // 0.87 → 0.97). Charge 2 ms per probed list and 0.3 ms per refined
+        // vector on top of the measured simulated latency.
+        let fanout_s = 0.002 * nprobe as f64 + 0.0003 * refine as f64;
+        let latency = latency_sum / queries.len() as f64 + fanout_s;
+
+        let inputs = TcoInputs {
+            rottnest_latency_s: latency,
+            brute_latency_1w_s: brute_latency,
+            scale: 1e9 / (6.0 * 4_000.0), // SIFT-1B
+            data_bytes: s.data_bytes,
+            index_bytes: s.index_bytes,
+            build_seconds: s.index_build_seconds,
+            dedicated_hourly: prices::R6G_XLARGE_HOURLY, // LanceDB nodes
+        };
+        let approaches = inputs.approaches();
+        let diagram = PhaseDiagram::compute(&approaches);
+        write_csv(&format!("fig9_vector_{name}.csv"), &diagram.to_csv());
+
+        summary.push_str(&format!(
+            "{name},{nprobe},{refine},{recall:.3},{latency:.3},{:.6}\n",
+            approaches.rottnest.cost_per_query
+        ));
+        println!(
+            "{name:<5} nprobe={nprobe:<3} refine={refine:<4} recall@10={recall:.3} \
+             latency={latency:.2}s band@10mo={:.1} decades",
+            diagram.rottnest_decades_at(10.0)
+        );
+    }
+    write_csv("fig9_summary.csv", &summary);
+}

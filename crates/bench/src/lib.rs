@@ -1,0 +1,296 @@
+//! Shared harness for the per-figure benchmark binaries.
+//!
+//! Each `src/bin/figN_*.rs` binary regenerates one figure of the paper:
+//! it builds a scaled-down scenario on the metered in-memory object store,
+//! measures simulated latencies and request/byte counts, derives the TCO
+//! parameters of §VI, extrapolates them to the paper's dataset sizes
+//! (linear in dataset size per §VII-D2), and writes the figure's series to
+//! `results/*.csv` plus a human-readable summary on stdout.
+
+use std::sync::Arc;
+
+use rottnest::{IndexKind, Query, Rottnest, RottnestConfig};
+use rottnest_format::WriterOptions;
+use rottnest_lake::{Table, TableConfig};
+use rottnest_object_store::{MemoryStore, ObjectStore};
+use rottnest_tco::{cpq_from_latency, cpm_storage, prices, ApproachCosts, Approaches};
+use rottnest_workloads::{TextWorkload, UuidWorkload, VectorWorkload};
+
+/// Where result CSVs land.
+pub const RESULTS_DIR: &str = "results";
+
+/// Writes a CSV under `results/` and echoes the path.
+pub fn write_csv(name: &str, content: &str) {
+    std::fs::create_dir_all(RESULTS_DIR).expect("create results dir");
+    let path = format!("{RESULTS_DIR}/{name}");
+    std::fs::write(&path, content).expect("write results csv");
+    println!("wrote {path}");
+}
+
+/// Simulated seconds elapsed on the store clock while running `f`.
+pub fn sim_seconds<T>(store: &MemoryStore, f: impl FnOnce() -> T) -> (T, f64) {
+    let clock = store.clock().expect("metered store");
+    let (out, us) = clock.time(f);
+    (out, us as f64 / 1e6)
+}
+
+/// A built evaluation scenario: lake + Rottnest index + the workload's
+/// queries, all on one metered store.
+pub struct Scenario {
+    /// The metered store (latency model on, throttling on).
+    pub store: Arc<MemoryStore>,
+    /// Lake table root.
+    pub table_root: String,
+    /// Rottnest index dir.
+    pub index_dir: String,
+    /// Raw (compressed) dataset bytes on the lake.
+    pub data_bytes: u64,
+    /// Committed Rottnest index bytes.
+    pub index_bytes: u64,
+    /// Simulated seconds spent building + compacting the index.
+    pub index_build_seconds: f64,
+}
+
+/// Column names used by every scenario.
+pub const TEXT_COL: &str = "body";
+/// UUID column.
+pub const UUID_COL: &str = "trace_id";
+/// Vector column.
+pub const VEC_COL: &str = "embedding";
+
+fn table_config() -> TableConfig {
+    TableConfig {
+        writer: WriterOptions { page_raw_bytes: 16 << 10, row_group_rows: 1 << 20, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+/// Rottnest config tuned for harness scale.
+pub fn harness_config() -> RottnestConfig {
+    RottnestConfig {
+        min_vector_rows: 64,
+        ivf: rottnest_ivfpq::IvfPqParams { nlist: 64, m: 8, train_iters: 5, seed: 17 },
+        ..Default::default()
+    }
+}
+
+/// Builds a text-lake scenario (`files` files × `docs_per_file` docs) and
+/// indexes it with the substring index. Returns the scenario and the
+/// workload generator (for query words).
+pub fn text_scenario(files: usize, docs_per_file: usize, seed: u64) -> (Scenario, TextWorkload) {
+    let store = MemoryStore::new();
+    let table = Table::create(store.as_ref(), "lake", &rottnest_workloads::text_batch(TEXT_COL, &[]).schema().clone(), table_config()).unwrap();
+    let mut wl = TextWorkload::new(seed, 20_000, 60);
+    for f in 0..files {
+        let docs = wl.docs_with_needle(
+            docs_per_file,
+            &format!("NEEDLE-{f:04}-XYZZY"),
+            &[docs_per_file / 2],
+        );
+        table.append(&rottnest_workloads::text_batch(TEXT_COL, &docs)).unwrap();
+    }
+    let data_bytes = store.bytes_under("lake/data/");
+
+    let rot = Rottnest::new(store.as_ref(), "idx", harness_config());
+    let (_, build_s) = sim_seconds(&store, || {
+        rot.index(&table, IndexKind::Substring, TEXT_COL).unwrap()
+    });
+    let index_bytes = rot.index_bytes().unwrap();
+    (
+        Scenario {
+            store,
+            table_root: "lake".into(),
+            index_dir: "idx".into(),
+            data_bytes,
+            index_bytes,
+            index_build_seconds: build_s,
+        },
+        wl,
+    )
+}
+
+/// Builds a UUID-lake scenario with `files` files × `keys_per_file` keys.
+/// Returns the scenario and the keys (queries draw from them).
+pub fn uuid_scenario(files: usize, keys_per_file: usize, seed: u64) -> (Scenario, Vec<Vec<u8>>) {
+    let store = MemoryStore::new();
+    let schema = rottnest_workloads::uuid_batch(UUID_COL, &[]).schema().clone();
+    let table = Table::create(store.as_ref(), "lake", &schema, table_config()).unwrap();
+    let mut wl = UuidWorkload::new(seed, 16);
+    let mut all = Vec::new();
+    for _ in 0..files {
+        let keys = wl.keys(keys_per_file);
+        table.append(&rottnest_workloads::uuid_batch(UUID_COL, &keys)).unwrap();
+        all.extend(keys);
+    }
+    let data_bytes = store.bytes_under("lake/data/");
+    let rot = Rottnest::new(store.as_ref(), "idx", harness_config());
+    let (_, build_s) = sim_seconds(&store, || {
+        rot.index(&table, IndexKind::Uuid { key_len: 16 }, UUID_COL).unwrap()
+    });
+    let index_bytes = rot.index_bytes().unwrap();
+    (
+        Scenario {
+            store,
+            table_root: "lake".into(),
+            index_dir: "idx".into(),
+            data_bytes,
+            index_bytes,
+            index_build_seconds: build_s,
+        },
+        all,
+    )
+}
+
+/// Builds a vector-lake scenario. Returns the scenario and query vectors.
+pub fn vector_scenario(
+    files: usize,
+    vecs_per_file: usize,
+    dim: usize,
+    seed: u64,
+) -> (Scenario, Vec<Vec<f32>>) {
+    let store = MemoryStore::new();
+    let schema = rottnest_workloads::vector_batch(VEC_COL, dim as u32, vec![]).schema().clone();
+    let table = Table::create(store.as_ref(), "lake", &schema, table_config()).unwrap();
+    let mut wl = VectorWorkload::new(seed, dim, 24, 0.6);
+    for _ in 0..files {
+        let vs = wl.vectors(vecs_per_file);
+        table
+            .append(&rottnest_workloads::vector_batch(VEC_COL, dim as u32, vs))
+            .unwrap();
+    }
+    let data_bytes = store.bytes_under("lake/data/");
+    let rot = Rottnest::new(store.as_ref(), "idx", harness_config());
+    let (_, build_s) = sim_seconds(&store, || {
+        rot.index(&table, IndexKind::Vector { dim: dim as u32 }, VEC_COL).unwrap()
+    });
+    let index_bytes = rot.index_bytes().unwrap();
+    let queries = (0..32).map(|_| wl.query()).collect();
+    (
+        Scenario {
+            store,
+            table_root: "lake".into(),
+            index_dir: "idx".into(),
+            data_bytes,
+            index_bytes,
+            index_build_seconds: build_s,
+        },
+        queries,
+    )
+}
+
+impl Scenario {
+    /// Opens the lake table.
+    pub fn table(&self) -> Table<'_> {
+        Table::open(self.store.as_ref(), self.table_root.clone(), table_config()).unwrap()
+    }
+
+    /// Opens the Rottnest client.
+    pub fn rottnest(&self) -> Rottnest<'_> {
+        Rottnest::new(self.store.as_ref(), self.index_dir.clone(), harness_config())
+    }
+
+    /// Mean simulated Rottnest search latency (seconds) over `queries`.
+    pub fn rottnest_latency(&self, column: &str, queries: &[Query<'_>]) -> f64 {
+        let table = self.table();
+        let snapshot = table.snapshot().unwrap();
+        let rot = self.rottnest();
+        let mut total = 0.0;
+        for q in queries {
+            let (_, s) = sim_seconds(&self.store, || {
+                rot.search(&table, &snapshot, column, q).unwrap()
+            });
+            total += s;
+        }
+        total / queries.len() as f64
+    }
+
+    /// Mean simulated single-worker brute-force latency (seconds).
+    pub fn brute_latency(&self, column: &str, queries: &[Query<'_>]) -> f64 {
+        use rottnest_baselines::BruteForce;
+        let table = self.table();
+        let bf = BruteForce::new(&table, table.snapshot().unwrap());
+        let mut total = 0.0;
+        for q in queries {
+            let (_, s) = sim_seconds(&self.store, || match q {
+                Query::UuidEq { key, k } => {
+                    bf.scan_uuid(column, key, *k).unwrap();
+                }
+                Query::Substring { pattern, k } => {
+                    bf.scan_substring(column, pattern, *k).unwrap();
+                }
+                Query::VectorNn { query, params } => {
+                    bf.scan_vector(column, query, params.k).unwrap();
+                }
+            });
+            total += s;
+        }
+        total / queries.len() as f64
+    }
+}
+
+/// Derived TCO parameters for one application, extrapolated to the paper's
+/// dataset scale.
+#[derive(Debug, Clone, Copy)]
+pub struct TcoInputs {
+    /// Measured mean Rottnest latency (s).
+    pub rottnest_latency_s: f64,
+    /// Measured mean 1-worker brute latency (s), pre-extrapolation.
+    pub brute_latency_1w_s: f64,
+    /// Dataset scale factor (paper bytes / harness bytes).
+    pub scale: f64,
+    /// Harness dataset bytes.
+    pub data_bytes: u64,
+    /// Harness index bytes.
+    pub index_bytes: u64,
+    /// Harness index build seconds.
+    pub build_seconds: f64,
+    /// Dedicated node hourly price.
+    pub dedicated_hourly: f64,
+}
+
+impl TcoInputs {
+    /// Assembles the three approaches' cost models (§VI / §VII preamble).
+    pub fn approaches(&self) -> Approaches {
+        let scale = self.scale;
+        let data_bytes = self.data_bytes as f64 * scale;
+        let index_bytes = self.index_bytes as f64 * scale;
+
+        // Brute force: 8 × r6i.4xlarge (the paper's most cost-efficient
+        // configuration). Only the *transfer* component of the measured
+        // harness latency scales with dataset size — the fixed first-byte
+        // latencies amortize at scale — so the paper-scale one-worker scan
+        // adds the extra bytes at the worker's effective scan bandwidth.
+        const SCAN_BW_PER_WORKER: f64 = 400e6; // B/s, r6i.4xlarge multi-stream
+        let extra_bytes = data_bytes - self.data_bytes as f64;
+        let brute = rottnest_tco::ClusterModel {
+            spinup_seconds: 2.0,
+            serial_seconds: 0.5,
+            scan_seconds_1worker: self.brute_latency_1w_s
+                + extra_bytes.max(0.0) / SCAN_BW_PER_WORKER,
+            straggler_coeff: 0.08,
+            hourly_rate: prices::R6I_4XLARGE_HOURLY,
+        };
+        let brute_force = ApproachCosts {
+            index_cost: 0.0,
+            cost_per_month: cpm_storage(data_bytes),
+            cost_per_query: brute.cost_per_query(8),
+        };
+
+        // Rottnest: one worker; post-compaction latency is ~scale-free
+        // (§VII-D2), storage adds the index, indexing cost scales with data.
+        let rottnest = ApproachCosts {
+            index_cost: (self.build_seconds * scale) / 3600.0 * prices::R6I_4XLARGE_HOURLY,
+            cost_per_month: cpm_storage(data_bytes + index_bytes),
+            cost_per_query: cpq_from_latency(self.rottnest_latency_s, 1.0, prices::R6I_4XLARGE_HOURLY),
+        };
+
+        // Copy data: 3 always-on nodes + replicated EBS for the index.
+        let copy_data = ApproachCosts {
+            index_cost: 0.0,
+            cost_per_month: prices::dedicated_monthly(self.dedicated_hourly, index_bytes),
+            cost_per_query: 0.0,
+        };
+
+        Approaches { copy_data, brute_force, rottnest }
+    }
+}

@@ -1,0 +1,510 @@
+//! Per-page Bloom-filter index — the minimal Rottnest index.
+//!
+//! §IV-B explicitly designs the search protocol around indexes that may
+//! return false positives ("Rottnest indices are allowed to return false
+//! positives (e.g. bloom filter)"): candidates are always re-checked by the
+//! in-situ probe. This crate provides that cheapest point in the design
+//! space: one small Bloom filter per data page, grouped into one component
+//! per covered file.
+//!
+//! Compared to the binary trie (§V-C1) it trades index size (≈10 bits/key
+//! vs LCP+9 bits + structure) and *zero* lookup round-trip depth beyond the
+//! batched component fetch, against a fixed false-positive rate (~1 % at
+//! the default parameters) that turns into extra page probes.
+//!
+//! Layout:
+//!
+//! ```text
+//! component 0 (root): version, key_len, n_entries, bits_per_key, n_hashes,
+//!                     per file: page count
+//! component 1..=F:    per covered file: concatenated per-page filters
+//!                     (offset directory + bit arrays)
+//! ```
+
+use bytes::Bytes;
+use rottnest_compress::varint;
+use rottnest_component::{ComponentFile, ComponentWriter, Posting};
+use rottnest_object_store::ObjectStore;
+
+/// Default bits per key (~1% false-positive rate with 7 hashes).
+pub const DEFAULT_BITS_PER_KEY: u32 = 10;
+
+/// Errors raised by bloom index operations.
+#[derive(Debug)]
+pub enum BloomError {
+    /// Keys must have the fixed declared length.
+    BadKey(String),
+    /// Malformed serialized index.
+    Corrupt(String),
+    /// Component-layer failure.
+    Component(rottnest_component::ComponentError),
+}
+
+impl std::fmt::Display for BloomError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BloomError::BadKey(m) => write!(f, "bad key: {m}"),
+            BloomError::Corrupt(m) => write!(f, "corrupt bloom index: {m}"),
+            BloomError::Component(e) => write!(f, "component: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BloomError {}
+
+impl From<rottnest_component::ComponentError> for BloomError {
+    fn from(e: rottnest_component::ComponentError) -> Self {
+        BloomError::Component(e)
+    }
+}
+
+impl From<rottnest_compress::CompressError> for BloomError {
+    fn from(e: rottnest_compress::CompressError) -> Self {
+        BloomError::Corrupt(format!("varint: {e}"))
+    }
+}
+
+impl From<rottnest_object_store::StoreError> for BloomError {
+    fn from(e: rottnest_object_store::StoreError) -> Self {
+        BloomError::Component(rottnest_component::ComponentError::Store(e))
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, BloomError>;
+
+/// 128-bit double hashing: two independent 64-bit mixes of the key.
+fn hash_pair(key: &[u8]) -> (u64, u64) {
+    let mut h1 = 0xcbf29ce484222325u64;
+    let mut h2 = 0x9e3779b97f4a7c15u64;
+    for &b in key {
+        h1 = (h1 ^ u64::from(b)).wrapping_mul(0x100000001b3);
+        h2 = h2.wrapping_add(u64::from(b)).wrapping_mul(0xff51afd7ed558ccd);
+        h2 ^= h2 >> 33;
+    }
+    (h1, h2)
+}
+
+/// One page's filter: a plain bit array probed with `k` derived hashes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PageFilter {
+    bits: Vec<u64>,
+    n_bits: u64,
+}
+
+impl PageFilter {
+    fn with_capacity(n_keys: usize, bits_per_key: u32) -> Self {
+        let n_bits = (n_keys as u64 * u64::from(bits_per_key)).max(64);
+        Self { bits: vec![0; n_bits.div_ceil(64) as usize], n_bits }
+    }
+
+    fn insert(&mut self, key: &[u8], n_hashes: u32) {
+        let (h1, h2) = hash_pair(key);
+        for i in 0..n_hashes {
+            let bit = h1.wrapping_add(h2.wrapping_mul(u64::from(i))) % self.n_bits;
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+    }
+
+    fn contains(bits: &[u64], n_bits: u64, key: &[u8], n_hashes: u32) -> bool {
+        let (h1, h2) = hash_pair(key);
+        (0..n_hashes).all(|i| {
+            let bit = h1.wrapping_add(h2.wrapping_mul(u64::from(i))) % n_bits;
+            bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+}
+
+/// Keys of one file, grouped by page id.
+type FileKeys = (u32, Vec<(u32, Vec<Vec<u8>>)>);
+
+/// Builds a bloom index file from `(key, posting)` pairs.
+pub struct BloomBuilder {
+    key_len: usize,
+    bits_per_key: u32,
+    n_hashes: u32,
+    /// keys grouped per posting, postings grouped per file, in insertion
+    /// order (builders feed pages file by file).
+    files: Vec<FileKeys>,
+    n_entries: u64,
+}
+
+impl BloomBuilder {
+    /// Creates a builder for keys of exactly `key_len` bytes.
+    pub fn new(key_len: usize) -> Result<Self> {
+        if key_len == 0 {
+            return Err(BloomError::BadKey("zero-length keys".into()));
+        }
+        Ok(Self {
+            key_len,
+            bits_per_key: DEFAULT_BITS_PER_KEY,
+            n_hashes: 7,
+            files: Vec::new(),
+            n_entries: 0,
+        })
+    }
+
+    /// Overrides the bits-per-key sizing (7 hashes kept).
+    pub fn with_bits_per_key(mut self, bits: u32) -> Self {
+        self.bits_per_key = bits.max(1);
+        self
+    }
+
+    /// Registers one key → posting pair. Pairs should arrive grouped by
+    /// file and page (the natural build order).
+    pub fn add(&mut self, key: &[u8], posting: Posting) -> Result<()> {
+        if key.len() != self.key_len {
+            return Err(BloomError::BadKey(format!(
+                "key of {} bytes in {}-byte index",
+                key.len(),
+                self.key_len
+            )));
+        }
+        self.n_entries += 1;
+        if self.files.last().map(|(f, _)| *f) != Some(posting.file) {
+            self.files.push((posting.file, Vec::new()));
+        }
+        let pages = &mut self.files.last_mut().unwrap().1;
+        if pages.last().map(|(p, _)| *p) != Some(posting.page) {
+            pages.push((posting.page, Vec::new()));
+        }
+        pages.last_mut().unwrap().1.push(key.to_vec());
+        Ok(())
+    }
+
+    /// Number of pairs added.
+    pub fn len(&self) -> u64 {
+        self.n_entries
+    }
+
+    /// Whether no pairs were added.
+    pub fn is_empty(&self) -> bool {
+        self.n_entries == 0
+    }
+
+    /// Serializes the index file image.
+    pub fn finish(self) -> Bytes {
+        let mut writer = ComponentWriter::new();
+        let mut root = Vec::new();
+        root.push(1u8);
+        root.push(self.key_len as u8);
+        varint::write_u64(&mut root, self.n_entries);
+        varint::write_u64(&mut root, u64::from(self.bits_per_key));
+        varint::write_u64(&mut root, u64::from(self.n_hashes));
+        varint::write_usize(&mut root, self.files.len());
+
+        let mut components = Vec::with_capacity(self.files.len());
+        for (file_id, pages) in &self.files {
+            varint::write_u64(&mut root, u64::from(*file_id));
+            varint::write_usize(&mut root, pages.len());
+            let mut comp = Vec::new();
+            varint::write_usize(&mut comp, pages.len());
+            for (page_id, keys) in pages {
+                let mut filter = PageFilter::with_capacity(keys.len(), self.bits_per_key);
+                for k in keys {
+                    filter.insert(k, self.n_hashes);
+                }
+                varint::write_u64(&mut comp, u64::from(*page_id));
+                varint::write_u64(&mut comp, filter.n_bits);
+                for w in &filter.bits {
+                    comp.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+            components.push(comp);
+        }
+        writer.add(root);
+        for c in components {
+            writer.add(c);
+        }
+        writer.finish()
+    }
+
+    /// Serializes and uploads; returns the file size.
+    pub fn finish_into(self, store: &dyn ObjectStore, key: &str) -> Result<u64> {
+        let bytes = self.finish();
+        let len = bytes.len() as u64;
+        store.put(key, bytes)?;
+        Ok(len)
+    }
+}
+
+/// Read handle over a bloom index file.
+pub struct BloomIndex<'a> {
+    file: ComponentFile<'a>,
+    key_len: usize,
+    n_entries: u64,
+    n_hashes: u32,
+    /// (file_id, page_count) per component, component id = position + 1.
+    files: Vec<(u32, usize)>,
+}
+
+impl<'a> BloomIndex<'a> {
+    /// Opens an index written by [`BloomBuilder`].
+    pub fn open(store: &'a dyn ObjectStore, key: &str) -> Result<Self> {
+        let file = ComponentFile::open(store, key)?;
+        let root = file.component(0)?;
+        if root.first() != Some(&1u8) {
+            return Err(BloomError::Corrupt("unsupported bloom layout version".into()));
+        }
+        let key_len = *root
+            .get(1)
+            .ok_or_else(|| BloomError::Corrupt("truncated root".into()))?
+            as usize;
+        let mut pos = 2usize;
+        let n_entries = varint::read_u64(&root, &mut pos)?;
+        let _bits_per_key = varint::read_u64(&root, &mut pos)?;
+        let n_hashes = varint::read_u64(&root, &mut pos)? as u32;
+        let n_files = varint::read_usize(&root, &mut pos)?;
+        let mut files = Vec::with_capacity(n_files.min(1 << 16));
+        for _ in 0..n_files {
+            let file_id = varint::read_u64(&root, &mut pos)? as u32;
+            let pages = varint::read_usize(&root, &mut pos)?;
+            files.push((file_id, pages));
+        }
+        Ok(Self { file, key_len, n_entries, n_hashes, files })
+    }
+
+    /// Fixed key length (bytes).
+    pub fn key_len(&self) -> usize {
+        self.key_len
+    }
+
+    /// Number of key/posting pairs indexed.
+    pub fn num_entries(&self) -> u64 {
+        self.n_entries
+    }
+
+    /// Candidate postings for `key`: every page whose filter matches.
+    /// One **parallel** round trip fetches all per-file components.
+    pub fn lookup(&self, key: &[u8]) -> Result<Vec<Posting>> {
+        if key.len() != self.key_len {
+            return Err(BloomError::BadKey(format!(
+                "lookup key of {} bytes in {}-byte index",
+                key.len(),
+                self.key_len
+            )));
+        }
+        let ids: Vec<usize> = (1..=self.files.len()).collect();
+        let comps = self.file.components(&ids)?;
+        let mut out = Vec::new();
+        for ((file_id, n_pages), comp) in self.files.iter().zip(&comps) {
+            let mut pos = 0usize;
+            let stored_pages = varint::read_usize(comp, &mut pos)?;
+            if stored_pages != *n_pages {
+                return Err(BloomError::Corrupt("page count mismatch".into()));
+            }
+            for _ in 0..stored_pages {
+                let page_id = varint::read_u64(comp, &mut pos)? as u32;
+                let n_bits = varint::read_u64(comp, &mut pos)?;
+                let n_words = n_bits.div_ceil(64) as usize;
+                let end = pos + n_words * 8;
+                if end > comp.len() {
+                    return Err(BloomError::Corrupt("filter truncated".into()));
+                }
+                let words: Vec<u64> = comp[pos..end]
+                    .chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                pos = end;
+                if PageFilter::contains(&words, n_bits, key, self.n_hashes) {
+                    out.push(Posting::new(*file_id, page_id));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Raw sections for merging: `(file_id, component bytes)`.
+    pub fn sections(&self) -> Result<Vec<(u32, Vec<u8>)>> {
+        let ids: Vec<usize> = (1..=self.files.len()).collect();
+        let comps = self.file.components(&ids)?;
+        Ok(self
+            .files
+            .iter()
+            .zip(comps)
+            .map(|(&(file_id, _), c)| (file_id, c.to_vec()))
+            .collect())
+    }
+
+    fn params(&self) -> (usize, u64, u32) {
+        (self.key_len, self.n_entries, self.n_hashes)
+    }
+}
+
+/// Merges bloom indexes (§IV-C): filters are immutable bit arrays, so a
+/// merge simply concatenates the per-file sections with remapped file ids —
+/// the cheapest merge of any Rottnest index type.
+pub fn merge_blooms(
+    store: &dyn ObjectStore,
+    sources: &[(&BloomIndex<'_>, u32)],
+    out_key: &str,
+) -> Result<u64> {
+    let (first, _) = sources
+        .first()
+        .ok_or_else(|| BloomError::BadKey("nothing to merge".into()))?;
+    let (key_len, _, n_hashes) = first.params();
+    let mut n_entries = 0u64;
+    let mut all: Vec<(u32, usize, Vec<u8>)> = Vec::new();
+    for (src, offset) in sources {
+        if src.key_len() != key_len {
+            return Err(BloomError::BadKey("merging different key lengths".into()));
+        }
+        n_entries += src.num_entries();
+        for ((_, n_pages), (file_id, bytes)) in src.files.iter().zip(src.sections()?) {
+            all.push((file_id + offset, *n_pages, bytes));
+        }
+    }
+
+    let mut writer = ComponentWriter::new();
+    let mut root = Vec::new();
+    root.push(1u8);
+    root.push(key_len as u8);
+    varint::write_u64(&mut root, n_entries);
+    varint::write_u64(&mut root, u64::from(DEFAULT_BITS_PER_KEY));
+    varint::write_u64(&mut root, u64::from(n_hashes));
+    varint::write_usize(&mut root, all.len());
+    for (file_id, n_pages, _) in &all {
+        varint::write_u64(&mut root, u64::from(*file_id));
+        varint::write_usize(&mut root, *n_pages);
+    }
+    writer.add(root);
+    for (_, _, bytes) in all {
+        writer.add(bytes);
+    }
+    let bytes = writer.finish();
+    let len = bytes.len() as u64;
+    store.put(out_key, bytes)?;
+    Ok(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rottnest_object_store::MemoryStore;
+
+    fn uuid(rng: &mut impl Rng) -> Vec<u8> {
+        (0..16).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn every_indexed_key_is_found() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let store = MemoryStore::unmetered();
+        let mut b = BloomBuilder::new(16).unwrap();
+        let pairs: Vec<(Vec<u8>, Posting)> = (0..8_000u32)
+            .map(|i| (uuid(&mut rng), Posting::new(i / 2000, (i % 2000) / 100)))
+            .collect();
+        for (k, p) in &pairs {
+            b.add(k, *p).unwrap();
+        }
+        b.finish_into(store.as_ref(), "b.idx").unwrap();
+
+        let idx = BloomIndex::open(store.as_ref(), "b.idx").unwrap();
+        assert_eq!(idx.num_entries(), 8_000);
+        for (k, p) in pairs.iter().step_by(53) {
+            assert!(idx.lookup(k).unwrap().contains(p), "no false negatives allowed");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let store = MemoryStore::unmetered();
+        let mut b = BloomBuilder::new(16).unwrap();
+        for i in 0..4_000u32 {
+            b.add(&uuid(&mut rng), Posting::new(0, i / 200)).unwrap();
+        }
+        b.finish_into(store.as_ref(), "b.idx").unwrap();
+        let idx = BloomIndex::open(store.as_ref(), "b.idx").unwrap();
+
+        let mut fp_pages = 0usize;
+        let probes = 500;
+        for _ in 0..probes {
+            fp_pages += idx.lookup(&uuid(&mut rng)).unwrap().len();
+        }
+        // 20 pages × 500 probes = 10k page-checks; ~1% fpp → ~100 hits.
+        assert!(fp_pages < 400, "false-positive pages: {fp_pages}");
+    }
+
+    #[test]
+    fn lookup_is_one_batched_round_trip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let store = MemoryStore::unmetered();
+        let mut b = BloomBuilder::new(16).unwrap();
+        let mut keys = Vec::new();
+        for i in 0..5_000u32 {
+            let k = uuid(&mut rng);
+            b.add(&k, Posting::new(i / 1000, (i % 1000) / 100)).unwrap();
+            keys.push(k);
+        }
+        b.finish_into(store.as_ref(), "b.idx").unwrap();
+        let idx = BloomIndex::open(store.as_ref(), "b.idx").unwrap();
+
+        let before = store.stats();
+        idx.lookup(&keys[42]).unwrap();
+        let gets = store.stats().since(&before).gets;
+        assert!(gets <= 5, "5 file components in ≤1 batch: {gets} GETs");
+        // Cached afterwards.
+        let before = store.stats();
+        idx.lookup(&keys[4321]).unwrap();
+        assert_eq!(store.stats().since(&before).gets, 0);
+    }
+
+    #[test]
+    fn merge_concatenates_with_remap() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let store = MemoryStore::unmetered();
+        let mut pairs_a = Vec::new();
+        let mut pairs_b = Vec::new();
+        for i in 0..1_000u32 {
+            pairs_a.push((uuid(&mut rng), Posting::new(0, i / 100)));
+            pairs_b.push((uuid(&mut rng), Posting::new(0, i / 100)));
+        }
+        for (name, pairs) in [("a.idx", &pairs_a), ("b.idx", &pairs_b)] {
+            let mut b = BloomBuilder::new(16).unwrap();
+            for (k, p) in pairs {
+                b.add(k, *p).unwrap();
+            }
+            b.finish_into(store.as_ref(), name).unwrap();
+        }
+        let ia = BloomIndex::open(store.as_ref(), "a.idx").unwrap();
+        let ib = BloomIndex::open(store.as_ref(), "b.idx").unwrap();
+        merge_blooms(store.as_ref(), &[(&ia, 0), (&ib, 1)], "m.idx").unwrap();
+
+        let m = BloomIndex::open(store.as_ref(), "m.idx").unwrap();
+        assert_eq!(m.num_entries(), 2_000);
+        for (k, p) in pairs_a.iter().step_by(97) {
+            assert!(m.lookup(k).unwrap().contains(p));
+        }
+        for (k, p) in pairs_b.iter().step_by(97) {
+            let want = Posting::new(p.file + 1, p.page);
+            assert!(m.lookup(k).unwrap().contains(&want));
+        }
+    }
+
+    #[test]
+    fn wrong_key_length_rejected() {
+        let store = MemoryStore::unmetered();
+        let mut b = BloomBuilder::new(16).unwrap();
+        assert!(b.add(&[1u8; 4], Posting::new(0, 0)).is_err());
+        b.add(&[1u8; 16], Posting::new(0, 0)).unwrap();
+        b.finish_into(store.as_ref(), "b.idx").unwrap();
+        let idx = BloomIndex::open(store.as_ref(), "b.idx").unwrap();
+        assert!(idx.lookup(&[1u8; 4]).is_err());
+    }
+
+    #[test]
+    fn bloom_is_smaller_than_keys() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let store = MemoryStore::unmetered();
+        let mut b = BloomBuilder::new(16).unwrap();
+        let n = 10_000u32;
+        for i in 0..n {
+            b.add(&uuid(&mut rng), Posting::new(0, i / 500)).unwrap();
+        }
+        let size = b.finish_into(store.as_ref(), "b.idx").unwrap();
+        // 10 bits/key ≈ 1.25 B/key, far below the 16 B raw keys.
+        assert!(size < u64::from(n) * 4, "bloom index {size}B for {n} keys");
+    }
+}

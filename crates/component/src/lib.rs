@@ -1,0 +1,517 @@
+//! Componentized index files — the object-store access layer of every
+//! Rottnest index (§V-B, Figure 6).
+//!
+//! A data structure is broken into **components**; each component is
+//! compressed independently and concatenated into one index file behind an
+//! offset directory. Querying reads only the components it needs:
+//!
+//! * The directory lives at the **head** of the file with a fixed-offset
+//!   length field, so `open` is a single speculative range GET that usually
+//!   captures the directory *and* the root component (component 0 by
+//!   convention) in one round trip — two dependent requests for a whole
+//!   lookup instead of one per data-structure node, exactly the BST example
+//!   of Figure 6.
+//! * Batch access via [`ComponentFile::components`] fetches any number of
+//!   components in one parallel round trip (access *width* instead of
+//!   *depth*).
+//! * Decompressed components are cached per handle, so repeated accesses
+//!   within one query are free.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rottnest_compress::{varint, Codec};
+use rottnest_object_store::{FxHashMap, ObjectStore, RangeRequest};
+
+/// Magic bytes of a component file.
+pub const MAGIC: &[u8; 4] = b"LKCX";
+
+/// A page-granular posting shared by every Rottnest index type: which file,
+/// which data page (§V-A: "the posting lists do not point to individual rows
+/// but to data pages").
+///
+/// `file` is an index-local id; the metadata layer owns the `file → path`
+/// table and remaps ids during merges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Posting {
+    /// Index-local file id.
+    pub file: u32,
+    /// Data-page ordinal within that file's indexed column.
+    pub page: u32,
+}
+
+impl Posting {
+    /// Convenience constructor.
+    pub fn new(file: u32, page: u32) -> Self {
+        Self { file, page }
+    }
+
+    /// Serializes as two varints.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        varint::write_u64(out, u64::from(self.file));
+        varint::write_u64(out, u64::from(self.page));
+    }
+
+    /// Decodes a posting written by [`Posting::encode`].
+    pub fn decode(buf: &[u8], pos: &mut usize) -> std::result::Result<Self, rottnest_compress::CompressError> {
+        Ok(Self {
+            file: varint::read_u64(buf, pos)? as u32,
+            page: varint::read_u64(buf, pos)? as u32,
+        })
+    }
+}
+
+/// Format version written by this build.
+pub const VERSION: u8 = 1;
+
+/// Default speculative head fetch: captures directory + root component for
+/// every index type in this workspace.
+pub const DEFAULT_SPECULATIVE_BYTES: u64 = 64 * 1024;
+
+/// Errors from component encoding/decoding.
+#[derive(Debug)]
+pub enum ComponentError {
+    /// Malformed file bytes.
+    Corrupt(String),
+    /// Component index out of range.
+    NoSuchComponent(usize),
+    /// Decompression failure.
+    Compress(rottnest_compress::CompressError),
+    /// Store failure.
+    Store(rottnest_object_store::StoreError),
+}
+
+impl std::fmt::Display for ComponentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ComponentError::Corrupt(m) => write!(f, "corrupt component file: {m}"),
+            ComponentError::NoSuchComponent(i) => write!(f, "no component {i}"),
+            ComponentError::Compress(e) => write!(f, "compress: {e}"),
+            ComponentError::Store(e) => write!(f, "store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ComponentError {}
+
+impl From<rottnest_compress::CompressError> for ComponentError {
+    fn from(e: rottnest_compress::CompressError) -> Self {
+        ComponentError::Compress(e)
+    }
+}
+
+impl From<rottnest_object_store::StoreError> for ComponentError {
+    fn from(e: rottnest_object_store::StoreError) -> Self {
+        ComponentError::Store(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, ComponentError>;
+
+#[derive(Debug, Clone, Copy)]
+struct DirEntry {
+    offset: u64,
+    compressed_len: u64,
+    uncompressed_len: u64,
+    codec: Codec,
+}
+
+/// Builds a component file in memory.
+///
+/// Components are added in order; index 0 should be the structure's "root"
+/// (lookup tables, centroids, global counts) so the speculative head fetch
+/// covers it.
+#[derive(Debug, Default)]
+pub struct ComponentWriter {
+    components: Vec<(Vec<u8>, Codec)>,
+}
+
+impl ComponentWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a component compressed with the LZ codec (stored raw if
+    /// incompressible). Returns its index.
+    pub fn add(&mut self, bytes: Vec<u8>) -> usize {
+        self.add_with_codec(bytes, Codec::Lz)
+    }
+
+    /// Adds a component with an explicit codec preference.
+    pub fn add_with_codec(&mut self, bytes: Vec<u8>, codec: Codec) -> usize {
+        self.components.push((bytes, codec));
+        self.components.len() - 1
+    }
+
+    /// Number of components added so far.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether no components were added.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Serializes the file: header, directory, compressed components.
+    pub fn finish(self) -> Bytes {
+        // Compress everything first so the directory knows the layout.
+        let mut encoded = Vec::with_capacity(self.components.len());
+        for (raw, codec) in &self.components {
+            let (payload, used) = match codec {
+                Codec::None => (raw.clone(), Codec::None),
+                Codec::Lz => {
+                    let c = Codec::Lz.compress(raw);
+                    if c.len() < raw.len() {
+                        (c, Codec::Lz)
+                    } else {
+                        (raw.clone(), Codec::None)
+                    }
+                }
+            };
+            encoded.push((payload, used, raw.len() as u64));
+        }
+
+        let mut dir = Vec::new();
+        varint::write_usize(&mut dir, encoded.len());
+        // Offsets are relative to the end of the directory; the reader adds
+        // the header size back.
+        let mut offset = 0u64;
+        for (payload, used, raw_len) in &encoded {
+            dir.push(*used as u8);
+            varint::write_u64(&mut dir, offset);
+            varint::write_u64(&mut dir, payload.len() as u64);
+            varint::write_u64(&mut dir, *raw_len);
+            offset += payload.len() as u64;
+        }
+
+        let mut out = Vec::with_capacity(9 + dir.len() + offset as usize);
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        out.extend_from_slice(&(dir.len() as u32).to_le_bytes());
+        out.extend_from_slice(&dir);
+        for (payload, _, _) in &encoded {
+            out.extend_from_slice(payload);
+        }
+        Bytes::from(out)
+    }
+
+    /// Serializes and uploads to `store` under `key`.
+    pub fn finish_into(self, store: &dyn ObjectStore, key: &str) -> Result<u64> {
+        let bytes = self.finish();
+        let len = bytes.len() as u64;
+        store.put(key, bytes)?;
+        Ok(len)
+    }
+}
+
+/// Read handle over a component file on an object store.
+pub struct ComponentFile<'a> {
+    store: &'a dyn ObjectStore,
+    key: String,
+    entries: Vec<DirEntry>,
+    payload_base: u64,
+    /// Bytes captured by the speculative head fetch (offset 0-based).
+    head: Bytes,
+    cache: Mutex<FxHashMap<usize, Bytes>>,
+}
+
+impl<'a> ComponentFile<'a> {
+    /// Opens a component file with a single speculative head GET of
+    /// [`DEFAULT_SPECULATIVE_BYTES`].
+    pub fn open(store: &'a dyn ObjectStore, key: &str) -> Result<Self> {
+        Self::open_with(store, key, DEFAULT_SPECULATIVE_BYTES)
+    }
+
+    /// Opens with an explicit speculative fetch size.
+    pub fn open_with(store: &'a dyn ObjectStore, key: &str, speculative: u64) -> Result<Self> {
+        let head = store.get_range(key, 0..speculative.max(9))?;
+        if head.len() < 9 || &head[..4] != MAGIC {
+            return Err(ComponentError::Corrupt(format!("{key}: bad header")));
+        }
+        if head[4] != VERSION {
+            return Err(ComponentError::Corrupt(format!(
+                "{key}: unsupported version {}",
+                head[4]
+            )));
+        }
+        let dir_len = u32::from_le_bytes(head[5..9].try_into().unwrap()) as usize;
+        let dir_bytes: Bytes = if head.len() >= 9 + dir_len {
+            head.slice(9..9 + dir_len)
+        } else {
+            // Directory larger than the speculative window: one more GET.
+            store.get_range(key, 9..9 + dir_len as u64)?
+        };
+        let entries = Self::parse_dir(&dir_bytes)?;
+        Ok(Self {
+            store,
+            key: key.to_string(),
+            entries,
+            payload_base: 9 + dir_len as u64,
+            head,
+            cache: Mutex::new(FxHashMap::default()),
+        })
+    }
+
+    fn parse_dir(dir: &[u8]) -> Result<Vec<DirEntry>> {
+        let mut pos = 0usize;
+        let n = varint::read_usize(dir, &mut pos)?;
+        let mut entries = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let codec_byte = *dir
+                .get(pos)
+                .ok_or_else(|| ComponentError::Corrupt("truncated directory".into()))?;
+            pos += 1;
+            entries.push(DirEntry {
+                codec: Codec::from_u8(codec_byte)?,
+                offset: varint::read_u64(dir, &mut pos)?,
+                compressed_len: varint::read_u64(dir, &mut pos)?,
+                uncompressed_len: varint::read_u64(dir, &mut pos)?,
+            });
+        }
+        Ok(entries)
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the file has no components.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Uncompressed size of component `i`.
+    pub fn uncompressed_len(&self, i: usize) -> Option<u64> {
+        self.entries.get(i).map(|e| e.uncompressed_len)
+    }
+
+    /// Fetches (or serves from cache/head window) component `i`,
+    /// decompressed.
+    pub fn component(&self, i: usize) -> Result<Bytes> {
+        if let Some(hit) = self.cache.lock().get(&i) {
+            return Ok(hit.clone());
+        }
+        let entry = *self
+            .entries
+            .get(i)
+            .ok_or(ComponentError::NoSuchComponent(i))?;
+        let raw = self.fetch_raw(&entry)?;
+        let data = self.decode(&entry, &raw)?;
+        self.cache.lock().insert(i, data.clone());
+        Ok(data)
+    }
+
+    /// Fetches several components in **one parallel round trip** (cached
+    /// ones are served locally). Results are ordered like `ids`.
+    pub fn components(&self, ids: &[usize]) -> Result<Vec<Bytes>> {
+        let mut out: Vec<Option<Bytes>> = vec![None; ids.len()];
+        let mut fetch: Vec<(usize, usize, DirEntry)> = Vec::new(); // (slot, id, entry)
+        {
+            let cache = self.cache.lock();
+            for (slot, &id) in ids.iter().enumerate() {
+                if let Some(hit) = cache.get(&id) {
+                    out[slot] = Some(hit.clone());
+                    continue;
+                }
+                let entry = *self
+                    .entries
+                    .get(id)
+                    .ok_or(ComponentError::NoSuchComponent(id))?;
+                if self.in_head(&entry) {
+                    continue; // served below without a request
+                }
+                fetch.push((slot, id, entry));
+            }
+        }
+        // Serve head-window components.
+        for (slot, &id) in ids.iter().enumerate() {
+            if out[slot].is_none() && !fetch.iter().any(|(s, _, _)| *s == slot) {
+                out[slot] = Some(self.component(id)?);
+            }
+        }
+        if !fetch.is_empty() {
+            let requests: Vec<RangeRequest> = fetch
+                .iter()
+                .map(|(_, _, e)| {
+                    let start = self.payload_base + e.offset;
+                    RangeRequest::new(self.key.clone(), start..start + e.compressed_len)
+                })
+                .collect();
+            let payloads = self.store.get_ranges(&requests)?;
+            let mut cache = self.cache.lock();
+            for ((slot, id, entry), raw) in fetch.into_iter().zip(payloads) {
+                let data = self.decode(&entry, &raw)?;
+                cache.insert(id, data.clone());
+                out[slot] = Some(data);
+            }
+        }
+        Ok(out.into_iter().map(|b| b.expect("all slots filled")).collect())
+    }
+
+    fn in_head(&self, entry: &DirEntry) -> bool {
+        let start = self.payload_base + entry.offset;
+        start + entry.compressed_len <= self.head.len() as u64
+    }
+
+    fn fetch_raw(&self, entry: &DirEntry) -> Result<Bytes> {
+        let start = self.payload_base + entry.offset;
+        let end = start + entry.compressed_len;
+        if end <= self.head.len() as u64 {
+            Ok(self.head.slice(start as usize..end as usize))
+        } else {
+            Ok(self.store.get_range(&self.key, start..end)?)
+        }
+    }
+
+    fn decode(&self, entry: &DirEntry, raw: &[u8]) -> Result<Bytes> {
+        Ok(Bytes::from(entry.codec.decompress(raw, entry.uncompressed_len as usize)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rottnest_object_store::{LatencyModel, MemoryStore};
+
+    fn build(store: &dyn ObjectStore, key: &str, parts: &[&[u8]]) {
+        let mut w = ComponentWriter::new();
+        for p in parts {
+            w.add(p.to_vec());
+        }
+        w.finish_into(store, key).unwrap();
+    }
+
+    #[test]
+    fn round_trip_components() {
+        let store = MemoryStore::unmetered();
+        let big = vec![7u8; 200_000];
+        build(store.as_ref(), "x.idx", &[b"root data", b"leaf-1", &big]);
+        let f = ComponentFile::open(store.as_ref(), "x.idx").unwrap();
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.component(0).unwrap().as_ref(), b"root data");
+        assert_eq!(f.component(1).unwrap().as_ref(), b"leaf-1");
+        assert_eq!(f.component(2).unwrap().as_ref(), big.as_slice());
+        assert!(matches!(f.component(3), Err(ComponentError::NoSuchComponent(3))));
+    }
+
+    #[test]
+    fn open_plus_root_is_one_get() {
+        let store = MemoryStore::unmetered();
+        build(store.as_ref(), "x.idx", &[b"root", b"leaf"]);
+        let before = store.stats();
+        let f = ComponentFile::open(store.as_ref(), "x.idx").unwrap();
+        f.component(0).unwrap(); // root is inside the speculative window
+        let delta = store.stats().since(&before);
+        assert_eq!(delta.gets, 1, "open + root component must cost one GET");
+    }
+
+    #[test]
+    fn leaf_outside_head_costs_one_more_get() {
+        let store = MemoryStore::unmetered();
+        // Incompressible filler pushes later components past the 64 KiB
+        // speculative window.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let filler: Vec<u8> = (0..300_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        build(store.as_ref(), "x.idx", &[b"root", &filler, b"target-leaf"]);
+        let f = ComponentFile::open(store.as_ref(), "x.idx").unwrap();
+        let before = store.stats();
+        assert_eq!(f.component(2).unwrap().as_ref(), b"target-leaf");
+        assert_eq!(store.stats().since(&before).gets, 1);
+        // Cached now: free.
+        let before = store.stats();
+        f.component(2).unwrap();
+        assert_eq!(store.stats().since(&before).gets, 0);
+    }
+
+    #[test]
+    fn batch_fetch_is_one_round_trip() {
+        let store = MemoryStore::with_model_and_limit(LatencyModel::default(), 0);
+        let mut parts: Vec<Vec<u8>> = Vec::new();
+        let mut rngish = 1u64;
+        for _ in 0..20 {
+            // Incompressible-ish distinct parts, each ~100 KiB.
+            let part: Vec<u8> = (0..100_000)
+                .map(|_| {
+                    rngish = rngish.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (rngish >> 33) as u8
+                })
+                .collect();
+            parts.push(part);
+        }
+        let mut w = ComponentWriter::new();
+        for p in &parts {
+            w.add(p.clone());
+        }
+        w.finish_into(store.as_ref(), "big.idx").unwrap();
+
+        let f = ComponentFile::open(store.as_ref(), "big.idx").unwrap();
+        let ids: Vec<usize> = (0..20).collect();
+        let clock = store.clock().unwrap();
+        let (got, elapsed) = clock.time(|| f.components(&ids).unwrap());
+        for (g, p) in got.iter().zip(&parts) {
+            assert_eq!(g.as_ref(), p.as_slice());
+        }
+        let single = store.latency_model().get_us(100_000);
+        assert!(elapsed < single * 3, "batch {elapsed}us vs single {single}us");
+    }
+
+    #[test]
+    fn batch_mixes_cached_head_and_remote() {
+        let store = MemoryStore::unmetered();
+        let filler = vec![0u8; 200_000];
+        build(store.as_ref(), "x.idx", &[b"a", &filler, b"c", b"d"]);
+        let f = ComponentFile::open(store.as_ref(), "x.idx").unwrap();
+        f.component(3).unwrap(); // prime cache
+        let got = f.components(&[0, 2, 3, 0]).unwrap();
+        assert_eq!(got[0].as_ref(), b"a");
+        assert_eq!(got[2].as_ref(), b"d");
+        assert_eq!(got[3].as_ref(), b"a");
+    }
+
+    #[test]
+    fn huge_directory_needs_second_get_but_works() {
+        let store = MemoryStore::unmetered();
+        let mut w = ComponentWriter::new();
+        for i in 0..20_000u32 {
+            w.add_with_codec(i.to_le_bytes().to_vec(), Codec::None);
+        }
+        w.finish_into(store.as_ref(), "many.idx").unwrap();
+        let f = ComponentFile::open(store.as_ref(), "many.idx").unwrap();
+        assert_eq!(f.len(), 20_000);
+        assert_eq!(f.component(19_999).unwrap().as_ref(), 19_999u32.to_le_bytes());
+    }
+
+    #[test]
+    fn compressible_components_shrink_file() {
+        let store = MemoryStore::unmetered();
+        let repetitive = b"abcabcabc".repeat(10_000);
+        build(store.as_ref(), "c.idx", &[&repetitive]);
+        let size = store.head("c.idx").unwrap().size;
+        assert!(size < repetitive.len() as u64 / 4);
+    }
+
+    #[test]
+    fn empty_file_round_trips() {
+        let store = MemoryStore::unmetered();
+        ComponentWriter::new().finish_into(store.as_ref(), "e.idx").unwrap();
+        let f = ComponentFile::open(store.as_ref(), "e.idx").unwrap();
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn corrupt_header_rejected() {
+        let store = MemoryStore::unmetered();
+        store.put("bad.idx", Bytes::from_static(b"NOTAFILE")).unwrap();
+        assert!(ComponentFile::open(store.as_ref(), "bad.idx").is_err());
+    }
+}

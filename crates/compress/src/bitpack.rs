@@ -1,0 +1,215 @@
+//! Fixed-width bit packing for integer arrays.
+//!
+//! Posting lists and offset directories store many small integers; packing
+//! them at the minimal bit width keeps Rottnest index components compact,
+//! which directly reduces the object-store bytes a query must fetch (the
+//! `cpq_r` term of the TCO model).
+
+use crate::varint;
+use crate::CompressError;
+
+/// Returns the number of bits needed to represent `v` (0 needs 0 bits).
+#[inline]
+pub fn bits_for(v: u64) -> u32 {
+    64 - v.leading_zeros()
+}
+
+/// Packs `values` at the minimal fixed width, prefixed by `[count, width]`
+/// varints, and appends the encoding to `out`.
+pub fn pack(out: &mut Vec<u8>, values: &[u64]) {
+    let width = values.iter().copied().map(bits_for).max().unwrap_or(0);
+    varint::write_usize(out, values.len());
+    varint::write_u64(out, u64::from(width));
+    if width == 0 {
+        return;
+    }
+    let mut acc: u64 = 0;
+    let mut acc_bits: u32 = 0;
+    for &v in values {
+        debug_assert!(bits_for(v) <= width);
+        acc |= v << acc_bits;
+        let fit = 64 - acc_bits;
+        if width >= fit {
+            // The value straddles the accumulator boundary.
+            out.extend_from_slice(&acc.to_le_bytes());
+            acc = if fit == 64 { 0 } else { v >> fit };
+            acc_bits = width - fit;
+        } else {
+            acc_bits += width;
+        }
+    }
+    if acc_bits > 0 {
+        let bytes = acc_bits.div_ceil(8) as usize;
+        out.extend_from_slice(&acc.to_le_bytes()[..bytes]);
+    }
+}
+
+/// Decodes an array packed with [`pack`], advancing `pos`.
+pub fn unpack(buf: &[u8], pos: &mut usize) -> Result<Vec<u64>, CompressError> {
+    let count = varint::read_usize(buf, pos)?;
+    let width = varint::read_u64(buf, pos)? as u32;
+    if width == 0 {
+        return Ok(vec![0; count]);
+    }
+    if width > 64 {
+        return Err(CompressError::Corrupt("bit width exceeds 64"));
+    }
+    let total_bits = (count as u64) * u64::from(width);
+    let total_bytes = usize::try_from(total_bits.div_ceil(8))
+        .map_err(|_| CompressError::Corrupt("bitpack length overflow"))?;
+    let end = pos
+        .checked_add(total_bytes)
+        .ok_or(CompressError::Corrupt("bitpack length overflow"))?;
+    if end > buf.len() {
+        return Err(CompressError::Corrupt("bitpacked data truncated"));
+    }
+    let data = &buf[*pos..end];
+    *pos = end;
+
+    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mut values = Vec::with_capacity(count);
+    let mut bit_pos: u64 = 0;
+    for _ in 0..count {
+        let byte = (bit_pos / 8) as usize;
+        let shift = (bit_pos % 8) as u32;
+        // Read up to 16 bytes so any 64-bit value at any shift is covered.
+        let mut window = [0u8; 16];
+        let avail = (data.len() - byte).min(16);
+        window[..avail].copy_from_slice(&data[byte..byte + avail]);
+        let lo = u64::from_le_bytes(window[..8].try_into().unwrap());
+        let hi = u64::from_le_bytes(window[8..].try_into().unwrap());
+        let v = if shift == 0 {
+            lo
+        } else {
+            (lo >> shift) | (hi << (64 - shift))
+        };
+        values.push(v & mask);
+        bit_pos += u64::from(width);
+    }
+    Ok(values)
+}
+
+/// Delta-encodes a non-decreasing sequence then bit packs the gaps.
+///
+/// Returns an error at decode time if the sequence was not sorted.
+pub fn pack_sorted(out: &mut Vec<u8>, values: &[u64]) {
+    debug_assert!(values.windows(2).all(|w| w[0] <= w[1]));
+    // The first (absolute) value would dominate the fixed width, so it is
+    // written as a varint and only the gaps are packed.
+    varint::write_usize(out, values.len());
+    if values.is_empty() {
+        return;
+    }
+    varint::write_u64(out, values[0]);
+    let gaps: Vec<u64> = values.windows(2).map(|w| w[1] - w[0]).collect();
+    pack(out, &gaps);
+}
+
+/// Decodes a sequence written by [`pack_sorted`].
+pub fn unpack_sorted(buf: &[u8], pos: &mut usize) -> Result<Vec<u64>, CompressError> {
+    let count = varint::read_usize(buf, pos)?;
+    if count == 0 {
+        return Ok(Vec::new());
+    }
+    let first = varint::read_u64(buf, pos)?;
+    let gaps = unpack(buf, pos)?;
+    if gaps.len() + 1 != count {
+        return Err(CompressError::Corrupt("sorted sequence count mismatch"));
+    }
+    let mut values = Vec::with_capacity(count);
+    let mut acc = first;
+    values.push(acc);
+    for g in gaps {
+        acc = acc
+            .checked_add(g)
+            .ok_or(CompressError::Corrupt("sorted sequence overflow"))?;
+        values.push(acc);
+    }
+    Ok(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bits_for_edges() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+        assert_eq!(bits_for(u64::MAX), 64);
+    }
+
+    #[test]
+    fn empty_and_zero_arrays() {
+        for values in [vec![], vec![0u64, 0, 0]] {
+            let mut buf = Vec::new();
+            pack(&mut buf, &values);
+            let mut pos = 0;
+            assert_eq!(unpack(&buf, &mut pos).unwrap(), values);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn width_64_values() {
+        let values = vec![u64::MAX, 0, u64::MAX - 1, 42];
+        let mut buf = Vec::new();
+        pack(&mut buf, &values);
+        let mut pos = 0;
+        assert_eq!(unpack(&buf, &mut pos).unwrap(), values);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let values = vec![1000u64; 100];
+        let mut buf = Vec::new();
+        pack(&mut buf, &values);
+        let mut pos = 0;
+        assert!(unpack(&buf[..buf.len() - 1], &mut pos).is_err());
+    }
+
+    #[test]
+    fn sorted_packing_is_smaller_for_dense_sequences() {
+        let values: Vec<u64> = (0..1000u64).map(|i| 1_000_000 + i * 3).collect();
+        let mut plain = Vec::new();
+        pack(&mut plain, &values);
+        let mut delta = Vec::new();
+        pack_sorted(&mut delta, &values);
+        assert!(delta.len() < plain.len() / 4);
+        let mut pos = 0;
+        assert_eq!(unpack_sorted(&delta, &mut pos).unwrap(), values);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pack_round_trip(values in proptest::collection::vec(any::<u64>(), 0..300)) {
+            let mut buf = Vec::new();
+            pack(&mut buf, &values);
+            let mut pos = 0;
+            prop_assert_eq!(unpack(&buf, &mut pos).unwrap(), values);
+            prop_assert_eq!(pos, buf.len());
+        }
+
+        #[test]
+        fn prop_small_width_round_trip(values in proptest::collection::vec(0u64..16, 0..300)) {
+            let mut buf = Vec::new();
+            pack(&mut buf, &values);
+            let mut pos = 0;
+            prop_assert_eq!(unpack(&buf, &mut pos).unwrap(), values);
+        }
+
+        #[test]
+        fn prop_sorted_round_trip(mut values in proptest::collection::vec(any::<u32>(), 0..300)) {
+            values.sort_unstable();
+            let values: Vec<u64> = values.into_iter().map(u64::from).collect();
+            let mut buf = Vec::new();
+            pack_sorted(&mut buf, &values);
+            let mut pos = 0;
+            prop_assert_eq!(unpack_sorted(&buf, &mut pos).unwrap(), values);
+        }
+    }
+}

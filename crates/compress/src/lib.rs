@@ -1,0 +1,132 @@
+//! Compression and integer-coding primitives shared by Rottnest's columnar
+//! file format (`rottnest-format`) and componentized index files
+//! (`rottnest-component`).
+//!
+//! The crate provides:
+//!
+//! * [`varint`] — LEB128 variable-length integers and zigzag coding, used by
+//!   every hand-written on-disk encoding in the workspace.
+//! * [`bitpack`] — fixed-width bit packing for posting lists and offset
+//!   arrays.
+//! * [`lz`] — a from-scratch LZ77-family block codec with hash-chain match
+//!   finding (an LZ4-like token format), the default codec for data pages and
+//!   index components.
+//! * [`Codec`] — the codec registry used in page headers and component
+//!   directories.
+//!
+//! All encodings are deterministic: the same input bytes always produce the
+//! same output bytes, which the higher layers rely on for idempotent index
+//! builds.
+
+pub mod bitpack;
+pub mod lz;
+pub mod varint;
+
+/// Identifies a compression codec in on-disk headers.
+///
+/// The numeric discriminants are part of the on-disk format and must never be
+/// reordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Codec {
+    /// Bytes stored verbatim.
+    None = 0,
+    /// The LZ block codec from [`lz`].
+    Lz = 1,
+}
+
+impl Codec {
+    /// Decodes a codec id from an on-disk byte.
+    pub fn from_u8(v: u8) -> Result<Self, CompressError> {
+        match v {
+            0 => Ok(Codec::None),
+            1 => Ok(Codec::Lz),
+            other => Err(CompressError::UnknownCodec(other)),
+        }
+    }
+
+    /// Compresses `input`, returning the encoded payload (without framing).
+    pub fn compress(self, input: &[u8]) -> Vec<u8> {
+        match self {
+            Codec::None => input.to_vec(),
+            Codec::Lz => lz::compress(input),
+        }
+    }
+
+    /// Decompresses a payload produced by [`Codec::compress`].
+    ///
+    /// `uncompressed_len` must be the exact original length; it is carried in
+    /// the surrounding header by every caller in the workspace.
+    pub fn decompress(
+        self,
+        input: &[u8],
+        uncompressed_len: usize,
+    ) -> Result<Vec<u8>, CompressError> {
+        match self {
+            Codec::None => {
+                if input.len() != uncompressed_len {
+                    return Err(CompressError::Corrupt("raw length mismatch"));
+                }
+                Ok(input.to_vec())
+            }
+            Codec::Lz => lz::decompress(input, uncompressed_len),
+        }
+    }
+}
+
+/// Errors produced while decoding compressed payloads or integer streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompressError {
+    /// The payload does not decode to a well-formed stream.
+    Corrupt(&'static str),
+    /// Header referenced a codec id this build does not know.
+    UnknownCodec(u8),
+    /// A varint ran past the end of the buffer or exceeded 64 bits.
+    Varint(&'static str),
+}
+
+impl std::fmt::Display for CompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompressError::Corrupt(m) => write!(f, "corrupt compressed data: {m}"),
+            CompressError::UnknownCodec(id) => write!(f, "unknown codec id {id}"),
+            CompressError::Varint(m) => write!(f, "invalid varint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_ids_round_trip() {
+        for codec in [Codec::None, Codec::Lz] {
+            assert_eq!(Codec::from_u8(codec as u8).unwrap(), codec);
+        }
+        assert!(Codec::from_u8(200).is_err());
+    }
+
+    #[test]
+    fn none_codec_checks_length() {
+        let data = b"abc".to_vec();
+        let enc = Codec::None.compress(&data);
+        assert_eq!(Codec::None.decompress(&enc, 3).unwrap(), data);
+        assert!(Codec::None.decompress(&enc, 4).is_err());
+    }
+
+    #[test]
+    fn lz_codec_round_trips_repetitive_data() {
+        let data: Vec<u8> = b"rottnest indexes data lakes for search. "
+            .iter()
+            .cycle()
+            .take(10_000)
+            .copied()
+            .collect();
+        let enc = Codec::Lz.compress(&data);
+        assert!(enc.len() < data.len() / 4, "repetitive data should shrink");
+        assert_eq!(Codec::Lz.decompress(&enc, data.len()).unwrap(), data);
+    }
+}

@@ -1,0 +1,216 @@
+//! LEB128 variable-length integers and zigzag coding.
+//!
+//! Every hand-written on-disk structure in the workspace (page headers,
+//! component directories, lake log records, trie nodes, posting lists) uses
+//! these routines, so they are deliberately small and branch-light.
+
+use crate::CompressError;
+
+/// Appends `v` to `out` as an unsigned LEB128 varint (1..=10 bytes).
+#[inline]
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends `v` as a varint; convenience wrapper over [`write_u64`].
+#[inline]
+pub fn write_usize(out: &mut Vec<u8>, v: usize) {
+    write_u64(out, v as u64);
+}
+
+/// Appends `v` as a zigzag-coded signed varint.
+#[inline]
+pub fn write_i64(out: &mut Vec<u8>, v: i64) {
+    write_u64(out, zigzag_encode(v));
+}
+
+/// Reads an unsigned varint from `buf` starting at `*pos`, advancing `*pos`.
+#[inline]
+pub fn read_u64(buf: &[u8], pos: &mut usize) -> Result<u64, CompressError> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf
+            .get(*pos)
+            .ok_or(CompressError::Varint("unexpected end of buffer"))?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(CompressError::Varint("varint overflows u64"));
+        }
+        result |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(result);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(CompressError::Varint("varint longer than 10 bytes"));
+        }
+    }
+}
+
+/// Reads an unsigned varint and narrows it to `usize`.
+#[inline]
+pub fn read_usize(buf: &[u8], pos: &mut usize) -> Result<usize, CompressError> {
+    let v = read_u64(buf, pos)?;
+    usize::try_from(v).map_err(|_| CompressError::Varint("varint exceeds usize"))
+}
+
+/// Reads a zigzag-coded signed varint.
+#[inline]
+pub fn read_i64(buf: &[u8], pos: &mut usize) -> Result<i64, CompressError> {
+    Ok(zigzag_decode(read_u64(buf, pos)?))
+}
+
+/// Maps a signed integer to an unsigned one so small magnitudes stay small.
+#[inline]
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+#[inline]
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends a length-prefixed byte slice.
+#[inline]
+pub fn write_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    write_usize(out, bytes.len());
+    out.extend_from_slice(bytes);
+}
+
+/// Reads a length-prefixed byte slice written by [`write_bytes`].
+#[inline]
+pub fn read_bytes<'a>(buf: &'a [u8], pos: &mut usize) -> Result<&'a [u8], CompressError> {
+    let len = read_usize(buf, pos)?;
+    let end = pos
+        .checked_add(len)
+        .ok_or(CompressError::Varint("length overflow"))?;
+    if end > buf.len() {
+        return Err(CompressError::Varint("byte slice runs past buffer"));
+    }
+    let slice = &buf[*pos..end];
+    *pos = end;
+    Ok(slice)
+}
+
+/// Appends a length-prefixed UTF-8 string.
+#[inline]
+pub fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_bytes(out, s.as_bytes());
+}
+
+/// Reads a length-prefixed UTF-8 string written by [`write_str`].
+#[inline]
+pub fn read_str(buf: &[u8], pos: &mut usize) -> Result<String, CompressError> {
+    let bytes = read_bytes(buf, pos)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| CompressError::Varint("invalid utf-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_edge_values() {
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn zigzag_maps_small_magnitudes_to_small_codes() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+        assert_eq!(zigzag_decode(zigzag_encode(i64::MIN)), i64::MIN);
+        assert_eq!(zigzag_decode(zigzag_encode(i64::MAX)), i64::MAX);
+    }
+
+    #[test]
+    fn truncated_varint_is_an_error() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(read_u64(&buf[..cut], &mut pos).is_err());
+        }
+    }
+
+    #[test]
+    fn overlong_varint_is_an_error() {
+        // 11 continuation bytes can never be valid.
+        let buf = [0x80u8; 11];
+        let mut pos = 0;
+        assert!(read_u64(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn bytes_and_str_round_trip() {
+        let mut buf = Vec::new();
+        write_bytes(&mut buf, b"hello");
+        write_str(&mut buf, "rottnest");
+        let mut pos = 0;
+        assert_eq!(read_bytes(&buf, &mut pos).unwrap(), b"hello");
+        assert_eq!(read_str(&buf, &mut pos).unwrap(), "rottnest");
+    }
+
+    #[test]
+    fn bytes_with_lying_length_is_an_error() {
+        let mut buf = Vec::new();
+        write_usize(&mut buf, 100);
+        buf.extend_from_slice(b"short");
+        let mut pos = 0;
+        assert!(read_bytes(&buf, &mut pos).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_u64_round_trip(v in any::<u64>()) {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            prop_assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+            prop_assert_eq!(pos, buf.len());
+        }
+
+        #[test]
+        fn prop_i64_round_trip(v in any::<i64>()) {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut pos = 0;
+            prop_assert_eq!(read_i64(&buf, &mut pos).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_sequences_round_trip(values in proptest::collection::vec(any::<u64>(), 0..64)) {
+            let mut buf = Vec::new();
+            for &v in &values {
+                write_u64(&mut buf, v);
+            }
+            let mut pos = 0;
+            for &v in &values {
+                prop_assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+            }
+            prop_assert_eq!(pos, buf.len());
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Index-file construction from Parquet files (§IV-A step 2).
+//!
+//! The builder downloads each new Parquet file once, walks its data pages,
+//! and feeds the page-granular values into the kind-specific index builder
+//! (trie / FM / IVF-PQ). Postings use index-local `file_id`s equal to the
+//! file's ordinal in the coverage list.
+
+use bytes::Bytes;
+use rottnest_format::{ColumnData, FileMeta, PageTable, ValueRef};
+use rottnest_fm::FmBuilder;
+use rottnest_ivfpq::{IvfPqBuilder, VecPosting};
+use rottnest_lake::FileEntry;
+use rottnest_object_store::ObjectStore;
+use rottnest_component::Posting;
+use rottnest_trie::TrieBuilder;
+use rottnest_bloom::BloomBuilder;
+
+use crate::meta::{FileCoverage, IndexKind};
+use crate::rottnest::RottnestConfig;
+use crate::{Result, RottnestError};
+
+/// A fully decoded column page with its provenance.
+pub(crate) struct DecodedPage {
+    pub file_id: u32,
+    pub page_id: u32,
+    pub data: ColumnData,
+}
+
+/// Downloads `file` (one GET) and decodes every page of `column`.
+pub(crate) fn decode_file_pages(
+    store: &dyn ObjectStore,
+    path: &str,
+    column: &str,
+    file_id: u32,
+) -> Result<(FileMeta, PageTable, Vec<DecodedPage>)> {
+    let bytes = store.get(path).map_err(|e| match e {
+        rottnest_object_store::StoreError::NotFound(_) => {
+            RottnestError::Aborted(format!("{path} vanished during indexing"))
+        }
+        other => RottnestError::Store(other),
+    })?;
+    let (meta, _) = FileMeta::from_tail(&bytes, bytes.len() as u64)?;
+    let col = meta
+        .schema
+        .index_of(column)
+        .ok_or_else(|| RottnestError::BadQuery(format!("no column {column} in {path}")))?;
+    let data_type = meta.schema.fields()[col].data_type;
+    let table = PageTable::from_meta(&meta, col)?;
+    let mut pages = Vec::with_capacity(table.len());
+    for (page_id, loc) in table.pages().iter().enumerate() {
+        let page_bytes = &bytes[loc.offset as usize..(loc.offset + loc.size) as usize];
+        let data = rottnest_format::page::decode_page(page_bytes, data_type)?;
+        pages.push(DecodedPage { file_id, page_id: page_id as u32, data });
+    }
+    Ok((meta, table, pages))
+}
+
+/// Builds one index file covering `files`, returning the file image and the
+/// coverage records.
+pub(crate) fn build_index_file(
+    store: &dyn ObjectStore,
+    config: &RottnestConfig,
+    kind: &IndexKind,
+    column: &str,
+    files: &[FileEntry],
+) -> Result<(Bytes, Vec<FileCoverage>, u64)> {
+    let mut coverage = Vec::with_capacity(files.len());
+    let mut total_rows = 0u64;
+
+    match kind {
+        IndexKind::Uuid { key_len } => {
+            let mut builder = TrieBuilder::new(*key_len as usize)?;
+            for (file_id, entry) in files.iter().enumerate() {
+                let (_, table, pages) =
+                    decode_file_pages(store, &entry.path, column, file_id as u32)?;
+                for page in &pages {
+                    let mut last: Option<&[u8]> = None;
+                    for i in 0..page.data.len() {
+                        let key = match page.data.get(i) {
+                            Some(ValueRef::Binary(b)) => b,
+                            Some(ValueRef::Utf8(s)) => s.as_bytes(),
+                            _ => {
+                                return Err(RottnestError::BadQuery(format!(
+                                    "column {column} is not binary/utf8"
+                                )))
+                            }
+                        };
+                        if key.len() != *key_len as usize {
+                            return Err(RottnestError::BadQuery(format!(
+                                "key of {} bytes in {}-byte uuid index",
+                                key.len(),
+                                key_len
+                            )));
+                        }
+                        // Consecutive duplicates within a page share one
+                        // posting.
+                        if last != Some(key) {
+                            builder.add(key, Posting::new(page.file_id, page.page_id))?;
+                            last = Some(key);
+                        }
+                    }
+                }
+                total_rows += entry.rows;
+                coverage.push(FileCoverage {
+                    path: entry.path.clone(),
+                    rows: entry.rows,
+                    page_table: table,
+                });
+            }
+            Ok((builder.finish(), coverage, total_rows))
+        }
+        IndexKind::Substring => {
+            let mut builder = FmBuilder::with_options(config.fm.clone());
+            for (file_id, entry) in files.iter().enumerate() {
+                let (_, table, pages) =
+                    decode_file_pages(store, &entry.path, column, file_id as u32)?;
+                for page in &pages {
+                    let posting = Posting::new(page.file_id, page.page_id);
+                    for i in 0..page.data.len() {
+                        match page.data.get(i) {
+                            Some(ValueRef::Utf8(s)) => {
+                                builder.add_document(posting, s.as_bytes())
+                            }
+                            Some(ValueRef::Binary(b)) => builder.add_document(posting, b),
+                            _ => {
+                                return Err(RottnestError::BadQuery(format!(
+                                    "column {column} is not text"
+                                )))
+                            }
+                        }
+                    }
+                }
+                total_rows += entry.rows;
+                coverage.push(FileCoverage {
+                    path: entry.path.clone(),
+                    rows: entry.rows,
+                    page_table: table,
+                });
+            }
+            Ok((builder.finish(), coverage, total_rows))
+        }
+        IndexKind::Vector { dim } => {
+            let mut builder = IvfPqBuilder::new(*dim as usize, config.ivf.clone())?;
+            for (file_id, entry) in files.iter().enumerate() {
+                let (_, table, pages) =
+                    decode_file_pages(store, &entry.path, column, file_id as u32)?;
+                for page in &pages {
+                    for i in 0..page.data.len() {
+                        match page.data.get(i) {
+                            Some(ValueRef::VectorF32(v)) => builder.add(
+                                VecPosting::new(page.file_id, page.page_id, i as u32),
+                                v,
+                            )?,
+                            _ => {
+                                return Err(RottnestError::BadQuery(format!(
+                                    "column {column} is not a vector column"
+                                )))
+                            }
+                        }
+                    }
+                }
+                total_rows += entry.rows;
+                coverage.push(FileCoverage {
+                    path: entry.path.clone(),
+                    rows: entry.rows,
+                    page_table: table,
+                });
+            }
+            Ok((builder.finish()?, coverage, total_rows))
+        }
+        IndexKind::Bloom { key_len } => {
+            let mut builder = BloomBuilder::new(*key_len as usize)?;
+            for (file_id, entry) in files.iter().enumerate() {
+                let (_, table, pages) =
+                    decode_file_pages(store, &entry.path, column, file_id as u32)?;
+                for page in &pages {
+                    let mut last: Option<&[u8]> = None;
+                    for i in 0..page.data.len() {
+                        let key = match page.data.get(i) {
+                            Some(ValueRef::Binary(b)) => b,
+                            Some(ValueRef::Utf8(s)) => s.as_bytes(),
+                            _ => {
+                                return Err(RottnestError::BadQuery(format!(
+                                    "column {column} is not binary/utf8"
+                                )))
+                            }
+                        };
+                        if last != Some(key) {
+                            builder.add(key, Posting::new(page.file_id, page.page_id))?;
+                            last = Some(key);
+                        }
+                    }
+                }
+                total_rows += entry.rows;
+                coverage.push(FileCoverage {
+                    path: entry.path.clone(),
+                    rows: entry.rows,
+                    page_table: table,
+                });
+            }
+            Ok((builder.finish(), coverage, total_rows))
+        }
+    }
+}
+

@@ -1,0 +1,138 @@
+//! Rottnest: bolt-on search indexing for data lakes (§III–§IV of the paper).
+//!
+//! Rottnest maintains lightweight index files *next to* an existing data
+//! lake, on the same object store, with a **consistent-on-demand** protocol:
+//! indexing, searching, compaction and garbage collection all run
+//! independently of the lake's own operations and of each other, requiring
+//! nothing from the store beyond read-after-write consistency and
+//! conditional PUT.
+//!
+//! The four client APIs mirror §IV:
+//!
+//! * [`Rottnest::index`] — plan (diff snapshot against the metadata table)
+//!   → build an index file over the new Parquet files → upload → commit;
+//! * [`Rottnest::search`] — plan (map snapshot files to covering index
+//!   files) → query indexes in parallel (filtering postings not in the
+//!   snapshot) → **in-situ probe** of data pages (applying deletion
+//!   vectors) → brute-force scan of uncovered files when needed;
+//! * [`Rottnest::compact`] — bin-pack small index files and merge them
+//!   (trie merge / BWT interleave merge / IVF-PQ re-encoding);
+//! * [`Rottnest::vacuum`] — greedy-cover selection of index files, metadata
+//!   commit, then physical deletion of unreferenced index objects **older
+//!   than the index timeout** (against the store's clock).
+//!
+//! Two invariants guarantee correctness (§IV-D), and [`invariants`] provides
+//! executable checkers for both:
+//!
+//! * **Existence** — indexed files referenced in the metadata table are
+//!   present in the bucket;
+//! * **Consistency** — an index file correctly indexes its associated
+//!   Parquet files if they still exist.
+//!
+//! # Example
+//!
+//! ```
+//! use rottnest::{IndexKind, Query, Rottnest, RottnestConfig};
+//! use rottnest_format::{ColumnData, DataType, Field, RecordBatch, Schema};
+//! use rottnest_lake::{Table, TableConfig};
+//! use rottnest_object_store::MemoryStore;
+//!
+//! let store = MemoryStore::unmetered();
+//! let schema = Schema::new(vec![Field::new("body", DataType::Utf8)]);
+//! let table = Table::create(store.as_ref(), "logs", &schema, TableConfig::default())?;
+//! let docs = ColumnData::from_strings(["error: connection reset", "ok"]);
+//! table.append(&RecordBatch::new(schema, vec![docs])?)?;
+//!
+//! let rot = Rottnest::new(store.as_ref(), "logs-idx", RottnestConfig::default());
+//! rot.index(&table, IndexKind::Substring, "body")?;
+//!
+//! let snap = table.snapshot()?;
+//! let out = rot.search(&table, &snap, "body",
+//!     &Query::Substring { pattern: b"connection reset", k: 10 })?;
+//! assert_eq!(out.matches.len(), 1);
+//! assert_eq!(out.matches[0].row, 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod build;
+pub mod invariants;
+pub mod meta;
+pub mod probe;
+pub mod query;
+pub mod rottnest;
+
+pub use meta::{IndexEntry, IndexKind, MetaTable};
+pub use query::{Match, Query, SearchOutcome, SearchStats};
+pub use rottnest::{Rottnest, RottnestConfig};
+
+/// Errors raised by the Rottnest protocol layer.
+#[derive(Debug)]
+pub enum RottnestError {
+    /// The index build was aborted (timeout, vanished input file, or too
+    /// few rows per §IV-A footnote 2) and should be retried.
+    Aborted(String),
+    /// Malformed metadata or index bytes.
+    Corrupt(String),
+    /// The query is invalid for the target index (wrong type, bad pattern).
+    BadQuery(String),
+    /// Lake-layer failure.
+    Lake(rottnest_lake::LakeError),
+    /// Format-layer failure.
+    Format(rottnest_format::FormatError),
+    /// Store-layer failure.
+    Store(rottnest_object_store::StoreError),
+    /// Trie index failure.
+    Trie(rottnest_trie::TrieError),
+    /// Bloom index failure.
+    Bloom(rottnest_bloom::BloomError),
+    /// FM index failure.
+    Fm(rottnest_fm::FmError),
+    /// Vector index failure.
+    Ivf(rottnest_ivfpq::IvfError),
+}
+
+impl std::fmt::Display for RottnestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RottnestError::Aborted(m) => write!(f, "index operation aborted: {m}"),
+            RottnestError::Corrupt(m) => write!(f, "corrupt rottnest metadata: {m}"),
+            RottnestError::BadQuery(m) => write!(f, "bad query: {m}"),
+            RottnestError::Lake(e) => write!(f, "lake: {e}"),
+            RottnestError::Format(e) => write!(f, "format: {e}"),
+            RottnestError::Store(e) => write!(f, "store: {e}"),
+            RottnestError::Trie(e) => write!(f, "trie: {e}"),
+            RottnestError::Bloom(e) => write!(f, "bloom: {e}"),
+            RottnestError::Fm(e) => write!(f, "fm: {e}"),
+            RottnestError::Ivf(e) => write!(f, "ivfpq: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RottnestError {}
+
+macro_rules! from_err {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for RottnestError {
+            fn from(e: $ty) -> Self {
+                RottnestError::$variant(e)
+            }
+        }
+    };
+}
+
+from_err!(Lake, rottnest_lake::LakeError);
+from_err!(Format, rottnest_format::FormatError);
+from_err!(Store, rottnest_object_store::StoreError);
+from_err!(Trie, rottnest_trie::TrieError);
+from_err!(Bloom, rottnest_bloom::BloomError);
+from_err!(Fm, rottnest_fm::FmError);
+from_err!(Ivf, rottnest_ivfpq::IvfError);
+
+impl From<rottnest_compress::CompressError> for RottnestError {
+    fn from(e: rottnest_compress::CompressError) -> Self {
+        RottnestError::Corrupt(format!("varint: {e}"))
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, RottnestError>;

@@ -1,0 +1,139 @@
+//! In-situ probing of data pages (§IV-B step 3).
+//!
+//! Index postings are page-granular and may include false positives; the
+//! prober downloads exactly the referenced pages (batched into one parallel
+//! round trip through [`PageReader`]), re-evaluates the true predicate on
+//! the decoded rows, and applies deletion vectors.
+
+use rottnest_format::{DataType, PageReader, PageTable, ValueRef};
+use rottnest_lake::{DeletionVector, Snapshot, Table};
+use rottnest_object_store::FxHashMap;
+
+use crate::query::{Match, SearchStats};
+use crate::Result;
+
+/// A page to probe: which file (by path + page table) and which page.
+#[derive(Debug, Clone)]
+pub(crate) struct PageRef<'p> {
+    pub path: &'p str,
+    pub table: &'p PageTable,
+    pub page_id: u32,
+}
+
+/// Loads deletion vectors for every distinct path in `pages`.
+pub(crate) fn load_dvs<'p>(
+    table: &Table<'_>,
+    snapshot: &Snapshot,
+    paths: impl Iterator<Item = &'p str>,
+) -> Result<FxHashMap<String, DeletionVector>> {
+    let mut dvs = FxHashMap::default();
+    for path in paths {
+        if dvs.contains_key(path) {
+            continue;
+        }
+        if let Some(entry) = snapshot.file(path) {
+            if let Some(dv) = table.load_dv(entry)? {
+                dvs.insert(path.to_string(), dv);
+            }
+        }
+    }
+    Ok(dvs)
+}
+
+/// Probes `pages` with `predicate`, returning matches (file-global row
+/// indices) with deletion vectors applied. Updates `stats`.
+///
+/// Pages are fetched in **one** parallel round trip; `limit` truncates the
+/// result but never the fetch (the batch is already in flight).
+pub(crate) fn probe_exact(
+    table: &Table<'_>,
+    snapshot: &Snapshot,
+    pages: &[PageRef<'_>],
+    data_type: DataType,
+    predicate: &dyn Fn(ValueRef<'_>) -> bool,
+    limit: usize,
+    stats: &mut SearchStats,
+) -> Result<Vec<Match>> {
+    if pages.is_empty() {
+        return Ok(Vec::new());
+    }
+    let dvs = load_dvs(table, snapshot, pages.iter().map(|p| p.path))?;
+
+    let reader = PageReader::new(table.store());
+    let requests: Vec<(&str, &PageTable, usize)> =
+        pages.iter().map(|p| (p.path, p.table, p.page_id as usize)).collect();
+    let decoded = reader.read_pages(&requests, data_type)?;
+    stats.pages_probed += pages.len() as u64;
+
+    let mut matches = Vec::new();
+    'outer: for (page, data) in pages.iter().zip(&decoded) {
+        let first_row = page
+            .table
+            .page(page.page_id as usize)
+            .map_or(0, |loc| loc.first_row);
+        let dv = dvs.get(page.path);
+        for i in 0..data.len() {
+            let value = data.get(i).expect("in range");
+            if !predicate(value) {
+                continue;
+            }
+            let row = first_row + i as u64;
+            if let Some(dv) = dv {
+                if dv.contains(row) {
+                    stats.rows_deleted += 1;
+                    continue;
+                }
+            }
+            matches.push(Match { path: page.path.to_string(), row, score: None });
+            if matches.len() >= limit {
+                break 'outer;
+            }
+        }
+    }
+    Ok(matches)
+}
+
+/// Fetches exact vectors for refine candidates: one batched page fetch,
+/// then row extraction. `resolve` maps an index-local file id to its
+/// `(path, page_table)`.
+pub(crate) fn fetch_vectors<'p>(
+    store: &dyn rottnest_object_store::ObjectStore,
+    dim: u32,
+    candidates: &[rottnest_ivfpq::VecPosting],
+    resolve: &dyn Fn(u32) -> Option<(&'p str, &'p PageTable)>,
+    stats_pages: &mut u64,
+) -> std::result::Result<Vec<Vec<f32>>, rottnest_ivfpq::IvfError> {
+    use rottnest_ivfpq::IvfError;
+
+    // Group unique pages.
+    let mut order: Vec<(&str, &PageTable, usize)> = Vec::new();
+    let mut page_slot: FxHashMap<(u32, u32), usize> = FxHashMap::default();
+    for c in candidates {
+        let key = (c.posting.file, c.posting.page);
+        if let std::collections::hash_map::Entry::Vacant(e) = page_slot.entry(key) {
+            let (path, table) = resolve(c.posting.file)
+                .ok_or_else(|| IvfError::BadInput(format!("unknown file id {}", c.posting.file)))?;
+            e.insert(order.len());
+            order.push((path, table, c.posting.page as usize));
+        }
+    }
+    let reader = PageReader::new(store);
+    let decoded = reader
+        .read_pages(&order, DataType::VectorF32 { dim })
+        .map_err(|e| IvfError::BadInput(format!("page fetch failed: {e}")))?;
+    *stats_pages += order.len() as u64;
+
+    candidates
+        .iter()
+        .map(|c| {
+            let slot = page_slot[&(c.posting.file, c.posting.page)];
+            match decoded[slot].get(c.row as usize) {
+                Some(ValueRef::VectorF32(v)) => Ok(v.to_vec()),
+                _ => Err(IvfError::BadInput(format!(
+                    "row {} out of range in probed page",
+                    c.row
+                ))),
+            }
+        })
+        .collect()
+}

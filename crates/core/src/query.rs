@@ -1,0 +1,103 @@
+//! Query and result types for `Rottnest::search`.
+
+use rottnest_ivfpq::SearchParams;
+
+/// A search query against one indexed column.
+///
+/// Exact-match queries (`UuidEq`, `Substring`) return *any* `k` rows
+/// satisfying the predicate; scoring queries (`VectorNn`) return the top-`k`
+/// ranked rows and must consider every file (§IV-B footnote 3).
+#[derive(Debug, Clone)]
+pub enum Query<'q> {
+    /// Exact equality on a fixed-length binary key column.
+    UuidEq {
+        /// The key to find.
+        key: &'q [u8],
+        /// Maximum matches to return.
+        k: usize,
+    },
+    /// Exact substring containment on a text column.
+    Substring {
+        /// The needle (raw bytes; must not contain bytes ≤ 0x01).
+        pattern: &'q [u8],
+        /// Maximum matches to return.
+        k: usize,
+    },
+    /// Approximate nearest neighbors on a vector column.
+    VectorNn {
+        /// The query vector.
+        query: &'q [f32],
+        /// Search-effort knobs (`k`, `nprobe`, `refine`).
+        params: SearchParams,
+    },
+}
+
+impl Query<'_> {
+    /// The `k` of the query.
+    pub fn k(&self) -> usize {
+        match self {
+            Query::UuidEq { k, .. } | Query::Substring { k, .. } => *k,
+            Query::VectorNn { params, .. } => params.k,
+        }
+    }
+
+    /// Whether the query is scoring (must rank all data) rather than exact.
+    pub fn is_scoring(&self) -> bool {
+        matches!(self, Query::VectorNn { .. })
+    }
+}
+
+/// One matched row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Match {
+    /// Data file the row lives in.
+    pub path: String,
+    /// File-global row index.
+    pub row: u64,
+    /// Squared distance for scoring queries; `None` for exact queries.
+    pub score: Option<f32>,
+}
+
+/// Where the work went during a search — drives the evaluation harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Index files consulted.
+    pub index_files_queried: u64,
+    /// Candidate postings returned by indexes (before snapshot filtering).
+    pub postings_returned: u64,
+    /// Postings dropped because their file left the snapshot.
+    pub postings_filtered: u64,
+    /// Data pages probed in situ.
+    pub pages_probed: u64,
+    /// Files scanned by brute force (unindexed coverage).
+    pub files_brute_scanned: u64,
+    /// Rows rejected by deletion vectors.
+    pub rows_deleted: u64,
+}
+
+/// The result of a search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Matches, at most `k`; scoring queries sort ascending by score.
+    pub matches: Vec<Match>,
+    /// Work accounting.
+    pub stats: SearchStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_k_and_kind() {
+        let q = Query::UuidEq { key: b"0123456789abcdef", k: 5 };
+        assert_eq!(q.k(), 5);
+        assert!(!q.is_scoring());
+        let q = Query::VectorNn {
+            query: &[0.0; 4],
+            params: SearchParams { k: 9, nprobe: 4, refine: 32 },
+        };
+        assert_eq!(q.k(), 9);
+        assert!(q.is_scoring());
+    }
+}

@@ -1,0 +1,764 @@
+//! The Rottnest client: `index`, `search`, `compact`, `vacuum` (§IV).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rottnest_format::{ChunkReader, DataType, ValueRef};
+use rottnest_fm::{FmIndex, FmOptions, MergePolicy};
+use rottnest_ivfpq::{IvfPqIndex, IvfPqParams, SearchParams, VecPosting};
+use rottnest_lake::{FileEntry, Snapshot, Table};
+use rottnest_object_store::{FxHashMap, FxHashSet, ObjectStore};
+use rottnest_bloom::BloomIndex;
+use rottnest_trie::TrieIndex;
+
+use crate::build::build_index_file;
+use crate::meta::{IndexEntry, IndexKind, MetaOp, MetaTable};
+use crate::probe::{fetch_vectors, load_dvs, probe_exact, PageRef};
+use crate::query::{Match, Query, SearchOutcome, SearchStats};
+use crate::{Result, RottnestError};
+
+/// Configuration of a Rottnest client.
+#[derive(Debug, Clone)]
+pub struct RottnestConfig {
+    /// Index operations must finish within this budget (store clock); it is
+    /// also the age below which `vacuum` never deletes uncommitted objects
+    /// (§IV-A step 4, §IV-C).
+    pub index_timeout_ms: u64,
+    /// Index builds covering fewer rows abort in favor of brute-force scan
+    /// (§IV-A footnote 2). Only enforced for vector indexes, which need
+    /// enough vectors to train quantizers.
+    pub min_vector_rows: u64,
+    /// `compact` merges index files smaller than this (bin packing, §IV-C).
+    pub compact_below_bytes: u64,
+    /// Maximum index files merged per compaction bin.
+    pub compact_fanin: usize,
+    /// FM-index layout options.
+    pub fm: FmOptions,
+    /// IVF-PQ training parameters.
+    pub ivf: IvfPqParams,
+    /// FM merge policy.
+    pub fm_merge: MergePolicy,
+    /// Metadata commit retry budget.
+    pub meta_retries: u32,
+}
+
+impl Default for RottnestConfig {
+    fn default() -> Self {
+        Self {
+            index_timeout_ms: 3_600_000,
+            min_vector_rows: 256,
+            compact_below_bytes: 64 << 20,
+            compact_fanin: 16,
+            fm: FmOptions::default(),
+            ivf: IvfPqParams::default(),
+            fm_merge: MergePolicy::default(),
+            meta_retries: 16,
+        }
+    }
+}
+
+static INDEX_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Outcome of a `vacuum` call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VacuumReport {
+    /// Metadata records dropped.
+    pub records_removed: u64,
+    /// Index objects physically deleted.
+    pub objects_deleted: u64,
+    /// Objects spared because they are younger than the index timeout.
+    pub objects_spared: u64,
+}
+
+/// A Rottnest index client bound to an `index_dir` on an object store.
+///
+/// All four APIs may be called from any process with store access,
+/// concurrently with each other and with lake operations (§IV).
+pub struct Rottnest<'a> {
+    store: &'a dyn ObjectStore,
+    index_dir: String,
+    config: RottnestConfig,
+}
+
+impl<'a> Rottnest<'a> {
+    /// Creates a client for the index at `index_dir`.
+    pub fn new(store: &'a dyn ObjectStore, index_dir: impl Into<String>, config: RottnestConfig) -> Self {
+        Self { store, index_dir: index_dir.into(), config }
+    }
+
+    /// The metadata table handle.
+    pub fn meta(&self) -> MetaTable<'a> {
+        MetaTable::new(self.store, &self.index_dir)
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &RottnestConfig {
+        &self.config
+    }
+
+    /// Total bytes of committed index files (the `cpm_r − cpm_bf` storage
+    /// term of the TCO model).
+    pub fn index_bytes(&self) -> Result<u64> {
+        Ok(self.meta().scan()?.iter().map(|e| e.size).sum())
+    }
+
+    fn fresh_index_key(&self, ext: &str) -> String {
+        let seq = INDEX_SEQ.fetch_add(1, Ordering::Relaxed);
+        format!("{}/files/{:012}-{seq:06}.{ext}", self.index_dir, self.store.now_ms())
+    }
+
+    fn ext_of(kind: &IndexKind) -> &'static str {
+        match kind {
+            IndexKind::Uuid { .. } => "trie",
+            IndexKind::Substring => "fm",
+            IndexKind::Vector { .. } => "ivf",
+            IndexKind::Bloom { .. } => "bloom",
+        }
+    }
+
+    /// Whether an index of `entry_kind` can serve a query planned for
+    /// `query_kind` (UUID-equality queries are served by tries *and* bloom
+    /// filters over the same key length).
+    fn serves(entry_kind: &IndexKind, query_kind: &IndexKind) -> bool {
+        match (entry_kind, query_kind) {
+            (IndexKind::Uuid { key_len: a }, IndexKind::Uuid { key_len: b })
+            | (IndexKind::Bloom { key_len: a }, IndexKind::Uuid { key_len: b })
+            | (IndexKind::Bloom { key_len: a }, IndexKind::Bloom { key_len: b })
+            | (IndexKind::Uuid { key_len: a }, IndexKind::Bloom { key_len: b }) => a == b,
+            _ => entry_kind.compatible(query_kind),
+        }
+    }
+
+    /// §IV-A: indexes every Parquet file in the latest snapshot not yet
+    /// covered by the metadata table. Returns the new entry, or `None` when
+    /// nothing needed indexing (or a vector build had too few rows).
+    pub fn index(&self, table: &Table<'_>, kind: IndexKind, column: &str) -> Result<Option<IndexEntry>> {
+        let start_ms = self.store.now_ms();
+        // 1. Plan.
+        let snapshot = table.snapshot()?;
+        let meta = self.meta();
+        let indexed: FxHashSet<String> = meta
+            .scan()?
+            .iter()
+            .filter(|e| e.kind.compatible(&kind) && e.column == column)
+            .flat_map(|e| e.covered_paths().map(str::to_string))
+            .collect();
+        let new_files: Vec<FileEntry> = snapshot
+            .files()
+            .filter(|f| !indexed.contains(&f.path))
+            .cloned()
+            .collect();
+        if new_files.is_empty() {
+            return Ok(None);
+        }
+        let total_rows: u64 = new_files.iter().map(|f| f.rows).sum();
+        if matches!(kind, IndexKind::Vector { .. }) && total_rows < self.config.min_vector_rows {
+            // Abort in favor of brute-force scanning (§IV-A footnote 2).
+            return Ok(None);
+        }
+
+        // 2. Index (aborts if an input file vanished mid-build).
+        let (bytes, coverage, rows) =
+            build_index_file(self.store, &self.config, &kind, column, &new_files)?;
+        self.check_timeout(start_ms)?;
+
+        // Upload.
+        let path = self.fresh_index_key(Self::ext_of(&kind));
+        let size = bytes.len() as u64;
+        self.store.put(&path, bytes)?;
+        self.check_timeout(start_ms)?;
+
+        // 3. Commit.
+        let created_ms = self.store.now_ms();
+        let column = column.to_string();
+        let mut committed = None;
+        meta.commit_with(self.config.meta_retries, |version| {
+            let entry = IndexEntry {
+                id: MetaTable::id_for(version, 0),
+                kind,
+                column: column.clone(),
+                path: path.clone(),
+                size,
+                rows,
+                created_ms,
+                files: coverage.clone(),
+            };
+            committed = Some(entry.clone());
+            vec![MetaOp::Add(Box::new(entry))]
+        })?;
+        Ok(committed)
+    }
+
+    fn check_timeout(&self, start_ms: u64) -> Result<()> {
+        let elapsed = self.store.now_ms().saturating_sub(start_ms);
+        if elapsed > self.config.index_timeout_ms {
+            return Err(RottnestError::Aborted(format!(
+                "index operation exceeded timeout ({elapsed}ms > {}ms)",
+                self.config.index_timeout_ms
+            )));
+        }
+        Ok(())
+    }
+
+    /// Greedy cover (§IV-B plan): entries of the right kind/column, picked
+    /// while they add coverage of active files. Returns (selected entries,
+    /// uncovered active files).
+    fn plan_search(
+        &self,
+        snapshot: &Snapshot,
+        kind: &IndexKind,
+        column: &str,
+    ) -> Result<(Vec<IndexEntry>, Vec<FileEntry>)> {
+        let mut entries: Vec<IndexEntry> = self
+            .meta()
+            .scan()?
+            .into_iter()
+            .filter(|e| Self::serves(&e.kind, kind) && e.column == column)
+            .collect();
+        let active: FxHashSet<&str> = snapshot.files().map(|f| f.path.as_str()).collect();
+        entries.sort_by_key(|e| {
+            std::cmp::Reverse(e.covered_paths().filter(|p| active.contains(p)).count())
+        });
+
+        let mut covered: FxHashSet<String> = FxHashSet::default();
+        let mut selected = Vec::new();
+        for e in entries {
+            let adds = e
+                .covered_paths()
+                .any(|p| active.contains(p) && !covered.contains(p));
+            if adds {
+                covered.extend(
+                    e.covered_paths().filter(|p| active.contains(p)).map(str::to_string),
+                );
+                selected.push(e);
+            }
+        }
+        let uncovered: Vec<FileEntry> = snapshot
+            .files()
+            .filter(|f| !covered.contains(&f.path))
+            .cloned()
+            .collect();
+        Ok((selected, uncovered))
+    }
+
+    /// §IV-B: searches a snapshot of the lake table.
+    pub fn search(
+        &self,
+        table: &Table<'_>,
+        snapshot: &Snapshot,
+        column: &str,
+        query: &Query<'_>,
+    ) -> Result<SearchOutcome> {
+        let kind = match query {
+            Query::UuidEq { key, .. } => IndexKind::Uuid { key_len: key.len() as u8 },
+            Query::Substring { .. } => IndexKind::Substring,
+            Query::VectorNn { query, .. } => IndexKind::Vector { dim: query.len() as u32 },
+        };
+        let (selected, uncovered) = self.plan_search(snapshot, &kind, column)?;
+        let stats = SearchStats {
+            index_files_queried: selected.len() as u64,
+            ..SearchStats::default()
+        };
+        let mut stats = stats;
+
+        match query {
+            Query::UuidEq { key, k } => {
+                let predicate = |v: ValueRef<'_>| match v {
+                    ValueRef::Binary(b) => b == *key,
+                    ValueRef::Utf8(s) => s.as_bytes() == *key,
+                    _ => false,
+                };
+                let mut matches = self.exact_index_pass(
+                    table,
+                    snapshot,
+                    &selected,
+                    &mut stats,
+                    *k,
+                    DataType::Binary,
+                    &predicate,
+                    |entry| match entry.kind {
+                        IndexKind::Bloom { .. } => {
+                            let idx = BloomIndex::open(self.store, &entry.path)?;
+                            Ok(idx.lookup(key)?)
+                        }
+                        _ => {
+                            let idx = TrieIndex::open(self.store, &entry.path)?;
+                            Ok(idx.lookup(key)?)
+                        }
+                    },
+                )?;
+                if matches.len() < *k {
+                    let need = *k - matches.len();
+                    matches.extend(self.brute_exact(
+                        table, snapshot, &uncovered, column, need, &predicate, &mut stats,
+                    )?);
+                }
+                matches.truncate(*k);
+                Ok(SearchOutcome { matches, stats })
+            }
+            Query::Substring { pattern, k } => {
+                let predicate = |v: ValueRef<'_>| match v {
+                    ValueRef::Utf8(s) => contains_sub(s.as_bytes(), pattern),
+                    ValueRef::Binary(b) => contains_sub(b, pattern),
+                    _ => false,
+                };
+                let mut matches = self.exact_index_pass(
+                    table,
+                    snapshot,
+                    &selected,
+                    &mut stats,
+                    *k,
+                    DataType::Utf8,
+                    &predicate,
+                    |entry| {
+                        let idx = FmIndex::open(self.store, &entry.path)?;
+                        // Stage the locate: a small multiple of k first; if
+                        // the limit was hit there are unresolved occurrences
+                        // and the full locate runs. (Resolving fewer than the
+                        // limit proves completeness — no extra count() pass.)
+                        let limit = k.saturating_mul(8).max(64);
+                        let mut hits = idx.locate_pages(pattern, limit)?;
+                        let resolved: usize =
+                            hits.iter().map(|&(_, n)| n as usize).sum();
+                        if resolved >= limit {
+                            hits = idx.locate_pages(pattern, usize::MAX)?;
+                        }
+                        Ok(hits.into_iter().map(|(p, _)| p).collect())
+                    },
+                )?;
+                if matches.len() < *k {
+                    let need = *k - matches.len();
+                    matches.extend(self.brute_exact(
+                        table, snapshot, &uncovered, column, need, &predicate, &mut stats,
+                    )?);
+                }
+                matches.truncate(*k);
+                Ok(SearchOutcome { matches, stats })
+            }
+            Query::VectorNn { query: qvec, params } => self.vector_search(
+                table, snapshot, column, qvec, *params, &selected, &uncovered, stats,
+            ),
+        }
+    }
+
+    /// Runs the index-query + in-situ-probe pipeline for exact queries.
+    #[allow(clippy::too_many_arguments)]
+    fn exact_index_pass(
+        &self,
+        table: &Table<'_>,
+        snapshot: &Snapshot,
+        selected: &[IndexEntry],
+        stats: &mut SearchStats,
+        k: usize,
+        data_type: DataType,
+        predicate: &dyn Fn(ValueRef<'_>) -> bool,
+        mut query_index: impl FnMut(&IndexEntry) -> Result<Vec<rottnest_component::Posting>>,
+    ) -> Result<Vec<Match>> {
+        // 2. Query indexes, filtering postings outside the snapshot.
+        let mut pages: Vec<PageRef<'_>> = Vec::new();
+        // Keyed by (path, page): concurrently-built indexes may cover the
+        // same file (§IV-A allows the wasteful overlap), and the same page
+        // must be probed only once or matches would duplicate.
+        let mut seen: FxHashSet<(&str, u32)> = FxHashSet::default();
+        for entry in selected {
+            let postings = query_index(entry)?;
+            stats.postings_returned += postings.len() as u64;
+            for p in postings {
+                let Some(cov) = entry.files.get(p.file as usize) else {
+                    return Err(RottnestError::Corrupt(format!(
+                        "posting references file {} beyond coverage of {}",
+                        p.file, entry.path
+                    )));
+                };
+                if !snapshot.contains(&cov.path) {
+                    stats.postings_filtered += 1;
+                    continue;
+                }
+                let key = (cov.path.as_str(), p.page);
+                if seen.insert(key) {
+                    pages.push(PageRef {
+                        path: &cov.path,
+                        table: &cov.page_table,
+                        page_id: p.page,
+                    });
+                }
+            }
+        }
+        // 3. In-situ probe.
+        probe_exact(table, snapshot, &pages, data_type, predicate, k, stats)
+    }
+
+    /// Brute-force scan of uncovered files for exact queries — "the
+    /// unindexed Parquet files are only scanned if the filtered results are
+    /// not sufficient" (§IV-B step 3).
+    #[allow(clippy::too_many_arguments)]
+    fn brute_exact(
+        &self,
+        table: &Table<'_>,
+        snapshot: &Snapshot,
+        uncovered: &[FileEntry],
+        column: &str,
+        need: usize,
+        predicate: &dyn Fn(ValueRef<'_>) -> bool,
+        stats: &mut SearchStats,
+    ) -> Result<Vec<Match>> {
+        let mut matches = Vec::new();
+        let dvs = load_dvs(table, snapshot, uncovered.iter().map(|f| f.path.as_str()))?;
+        for file in uncovered {
+            if matches.len() >= need {
+                break;
+            }
+            stats.files_brute_scanned += 1;
+            let reader = ChunkReader::open(self.store, &file.path)?;
+            let col = reader
+                .meta()
+                .schema
+                .index_of(column)
+                .ok_or_else(|| RottnestError::BadQuery(format!("no column {column}")))?;
+            let data = reader.read_column(col)?;
+            let dv = dvs.get(&file.path);
+            for i in 0..data.len() {
+                if matches.len() >= need {
+                    break;
+                }
+                if !predicate(data.get(i).expect("in range")) {
+                    continue;
+                }
+                let row = i as u64;
+                if let Some(dv) = dv {
+                    if dv.contains(row) {
+                        stats.rows_deleted += 1;
+                        continue;
+                    }
+                }
+                matches.push(Match { path: file.path.clone(), row, score: None });
+            }
+        }
+        Ok(matches)
+    }
+
+    /// Vector search: probed + refined index candidates merged with a
+    /// brute-force pass over uncovered files (scoring queries must rank all
+    /// data, §IV-B footnote 3).
+    #[allow(clippy::too_many_arguments)]
+    fn vector_search(
+        &self,
+        table: &Table<'_>,
+        snapshot: &Snapshot,
+        column: &str,
+        qvec: &[f32],
+        params: SearchParams,
+        selected: &[IndexEntry],
+        uncovered: &[FileEntry],
+        mut stats: SearchStats,
+    ) -> Result<SearchOutcome> {
+        let dim = qvec.len() as u32;
+        let mut results: Vec<Match> = Vec::new();
+
+        for entry in selected {
+            let idx = IvfPqIndex::open(self.store, &entry.path)?;
+            // ADC pass without refine so stale postings can be filtered
+            // before any page fetch.
+            let adc = idx.search(
+                qvec,
+                SearchParams {
+                    k: params.refine.max(params.k),
+                    nprobe: params.nprobe,
+                    refine: 0,
+                },
+                &|_| Ok(Vec::new()),
+            )?;
+            stats.postings_returned += adc.len() as u64;
+            let dvs = load_dvs(table, snapshot, entry.files.iter().map(|f| f.path.as_str()))?;
+            let live: Vec<(VecPosting, f32)> = adc
+                .into_iter()
+                .filter(|(p, _)| {
+                    let Some(cov) = entry.files.get(p.posting.file as usize) else {
+                        return false;
+                    };
+                    if !snapshot.contains(&cov.path) {
+                        stats.postings_filtered += 1;
+                        return false;
+                    }
+                    // Deletion vectors apply at probe time.
+                    if let Some(dv) = dvs.get(&cov.path) {
+                        let first =
+                            cov.page_table.page(p.posting.page as usize).map_or(0, |l| l.first_row);
+                        if dv.contains(first + p.row as u64) {
+                            stats.rows_deleted += 1;
+                            return false;
+                        }
+                    }
+                    true
+                })
+                .collect();
+
+            let resolve_match = |p: &VecPosting, score: f32| {
+                let cov = &entry.files[p.posting.file as usize];
+                let first = cov.page_table.page(p.posting.page as usize).map_or(0, |l| l.first_row);
+                Match { path: cov.path.clone(), row: first + p.row as u64, score: Some(score) }
+            };
+
+            if params.refine == 0 {
+                results.extend(live.iter().take(params.k).map(|(p, d)| resolve_match(p, *d)));
+                continue;
+            }
+            // Exact rerank of the top `refine` live candidates, fetched in
+            // situ from the data pages.
+            let candidates: Vec<VecPosting> =
+                live.iter().take(params.refine).map(|&(p, _)| p).collect();
+            let exact = fetch_vectors(
+                self.store,
+                dim,
+                &candidates,
+                &|file_id| {
+                    entry
+                        .files
+                        .get(file_id as usize)
+                        .map(|c| (c.path.as_str(), &c.page_table))
+                },
+                &mut stats.pages_probed,
+            )?;
+            let mut reranked: Vec<(VecPosting, f32)> = candidates
+                .into_iter()
+                .zip(exact)
+                .map(|(p, v)| (p, rottnest_ivfpq::l2_sq(qvec, &v)))
+                .collect();
+            reranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            results.extend(reranked.iter().take(params.k).map(|(p, d)| resolve_match(p, *d)));
+        }
+
+        // Brute-force scan of uncovered files (always, for scoring queries).
+        let dvs = load_dvs(table, snapshot, uncovered.iter().map(|f| f.path.as_str()))?;
+        for file in uncovered {
+            stats.files_brute_scanned += 1;
+            let reader = ChunkReader::open(self.store, &file.path)?;
+            let col = reader
+                .meta()
+                .schema
+                .index_of(column)
+                .ok_or_else(|| RottnestError::BadQuery(format!("no column {column}")))?;
+            let field_type = reader.meta().schema.fields()[col].data_type;
+            if field_type != (rottnest_format::DataType::VectorF32 { dim }) {
+                return Err(RottnestError::BadQuery(format!(
+                    "column {column} is {field_type:?}, not VectorF32 {{ dim: {dim} }}"
+                )));
+            }
+            let data = reader.read_column(col)?;
+            let dv = dvs.get(&file.path);
+            for i in 0..data.len() {
+                if let Some(ValueRef::VectorF32(v)) = data.get(i) {
+                    let row = i as u64;
+                    if let Some(dv) = dv {
+                        if dv.contains(row) {
+                            stats.rows_deleted += 1;
+                            continue;
+                        }
+                    }
+                    results.push(Match {
+                        path: file.path.clone(),
+                        row,
+                        score: Some(rottnest_ivfpq::l2_sq(qvec, v)),
+                    });
+                }
+            }
+        }
+
+        // Tie-break equal scores by (path, row) so duplicates from
+        // double-covered files are adjacent for dedup.
+        results.sort_by(|a, b| {
+            a.score
+                .unwrap_or(f32::MAX)
+                .partial_cmp(&b.score.unwrap_or(f32::MAX))
+                .unwrap()
+                .then_with(|| a.path.cmp(&b.path))
+                .then_with(|| a.row.cmp(&b.row))
+        });
+        results.dedup_by(|a, b| a.path == b.path && a.row == b.row);
+        results.truncate(params.k);
+        Ok(SearchOutcome { matches: results, stats })
+    }
+
+    /// §IV-C: merges small index files of one kind/column (bin packing),
+    /// committing `remove`s and the `add` atomically. Old index files stay
+    /// behind for `vacuum`. Returns the merged entries created.
+    pub fn compact(&self, kind: IndexKind, column: &str) -> Result<Vec<IndexEntry>> {
+        let meta = self.meta();
+        // 1. Plan.
+        let mut small: Vec<IndexEntry> = meta
+            .scan()?
+            .into_iter()
+            .filter(|e| {
+                e.kind.compatible(&kind)
+                    && e.column == column
+                    && e.size < self.config.compact_below_bytes
+            })
+            .collect();
+        small.sort_by_key(|e| e.size);
+
+        let mut created = Vec::new();
+        for bin in small.chunks(self.config.compact_fanin.max(2)) {
+            if bin.len() < 2 {
+                continue;
+            }
+            // 2. Merge.
+            let out_key = self.fresh_index_key(Self::ext_of(&kind));
+            let offsets: Vec<u32> = bin
+                .iter()
+                .scan(0u32, |acc, e| {
+                    let here = *acc;
+                    *acc += e.files.len() as u32;
+                    Some(here)
+                })
+                .collect();
+            let size = match kind {
+                IndexKind::Uuid { .. } => {
+                    let opened: Vec<TrieIndex<'_>> = bin
+                        .iter()
+                        .map(|e| TrieIndex::open(self.store, &e.path))
+                        .collect::<std::result::Result<_, _>>()?;
+                    let sources: Vec<(&TrieIndex<'_>, u32)> =
+                        opened.iter().zip(offsets.iter().copied()).collect();
+                    rottnest_trie::index::merge_tries(self.store, &sources, &out_key)?
+                }
+                IndexKind::Substring => {
+                    let opened: Vec<FmIndex<'_>> = bin
+                        .iter()
+                        .map(|e| FmIndex::open(self.store, &e.path))
+                        .collect::<std::result::Result<_, _>>()?;
+                    let sources: Vec<(&FmIndex<'_>, u32)> =
+                        opened.iter().zip(offsets.iter().copied()).collect();
+                    rottnest_fm::merge_fm(self.store, &sources, &out_key, &self.config.fm_merge)?
+                }
+                IndexKind::Vector { .. } => {
+                    let opened: Vec<IvfPqIndex<'_>> = bin
+                        .iter()
+                        .map(|e| IvfPqIndex::open(self.store, &e.path))
+                        .collect::<std::result::Result<_, _>>()?;
+                    let sources: Vec<(&IvfPqIndex<'_>, u32)> =
+                        opened.iter().zip(offsets.iter().copied()).collect();
+                    rottnest_ivfpq::index::merge_ivf(self.store, &sources, &out_key)?
+                }
+                IndexKind::Bloom { .. } => {
+                    let opened: Vec<BloomIndex<'_>> = bin
+                        .iter()
+                        .map(|e| BloomIndex::open(self.store, &e.path))
+                        .collect::<std::result::Result<_, _>>()?;
+                    let sources: Vec<(&BloomIndex<'_>, u32)> =
+                        opened.iter().zip(offsets.iter().copied()).collect();
+                    rottnest_bloom::merge_blooms(self.store, &sources, &out_key)?
+                }
+            };
+
+            // 3. Commit (removes + add, atomically).
+            let files: Vec<crate::meta::FileCoverage> =
+                bin.iter().flat_map(|e| e.files.iter().cloned()).collect();
+            let rows = bin.iter().map(|e| e.rows).sum();
+            let created_ms = self.store.now_ms();
+            let ids: Vec<u64> = bin.iter().map(|e| e.id).collect();
+            let column = column.to_string();
+            let mut merged_entry = None;
+            meta.commit_with(self.config.meta_retries, |version| {
+                let entry = IndexEntry {
+                    id: MetaTable::id_for(version, 0),
+                    kind,
+                    column: column.clone(),
+                    path: out_key.clone(),
+                    size,
+                    rows,
+                    created_ms,
+                    files: files.clone(),
+                };
+                merged_entry = Some(entry.clone());
+                let mut ops: Vec<MetaOp> = ids.iter().map(|&id| MetaOp::Remove(id)).collect();
+                ops.push(MetaOp::Add(Box::new(entry)));
+                ops
+            })?;
+            created.push(merged_entry.expect("commit ran"));
+        }
+        Ok(created)
+    }
+
+    /// Writes a checkpoint of the metadata table's log, so search planning
+    /// reads one object instead of the whole commit history. Safe to run
+    /// any time, from any process.
+    pub fn checkpoint_meta(&self) -> Result<()> {
+        let log = rottnest_lake::TxLog::new(self.store, format!("{}/meta", self.index_dir));
+        if let Some(v) = log.latest_version().map_err(RottnestError::Lake)? {
+            log.write_checkpoint(v).map_err(RottnestError::Lake)?;
+        }
+        Ok(())
+    }
+
+    /// §IV-C `vacuum`: keeps a greedy cover of the latest snapshot's files
+    /// per (kind, column) group, removes the rest from the metadata table,
+    /// then physically deletes unreferenced index objects **older than the
+    /// index timeout** (so concurrent uncommitted uploads survive).
+    pub fn vacuum(&self, table: &Table<'_>) -> Result<VacuumReport> {
+        let snapshot = table.snapshot()?;
+        let active: FxHashSet<&str> = snapshot.files().map(|f| f.path.as_str()).collect();
+        let meta = self.meta();
+        let entries = meta.scan()?;
+
+        // 1. Plan: greedy cover per (kind, column).
+        let mut groups: FxHashMap<(String, &'static str), Vec<&IndexEntry>> =
+            FxHashMap::default();
+        for e in &entries {
+            groups
+                .entry((e.column.clone(), Self::ext_of(&e.kind)))
+                .or_default()
+                .push(e);
+        }
+        let mut keep: FxHashSet<u64> = FxHashSet::default();
+        for group in groups.values_mut() {
+            group.sort_by_key(|e| {
+                std::cmp::Reverse(e.covered_paths().filter(|p| active.contains(p)).count())
+            });
+            let mut covered: FxHashSet<&str> = FxHashSet::default();
+            for e in group.iter() {
+                let adds = e
+                    .covered_paths()
+                    .any(|p| active.contains(p) && !covered.contains(p));
+                if adds {
+                    covered.extend(e.covered_paths().filter(|p| active.contains(p)));
+                    keep.insert(e.id);
+                }
+            }
+        }
+
+        // 2. Commit removals.
+        let doomed: Vec<u64> =
+            entries.iter().filter(|e| !keep.contains(&e.id)).map(|e| e.id).collect();
+        let mut report = VacuumReport { records_removed: doomed.len() as u64, ..Default::default() };
+        if !doomed.is_empty() {
+            meta.commit_with(self.config.meta_retries, |_| {
+                doomed.iter().map(|&id| MetaOp::Remove(id)).collect()
+            })?;
+        }
+
+        // 3. Remove: LIST the index dir, delete unreferenced objects older
+        // than the timeout (store clock).
+        let referenced: FxHashSet<String> =
+            meta.scan()?.into_iter().map(|e| e.path).collect();
+        let now = self.store.now_ms();
+        for obj in self.store.list(&format!("{}/files/", self.index_dir))? {
+            if referenced.contains(&obj.key) {
+                continue;
+            }
+            if now.saturating_sub(obj.created_ms) < self.config.index_timeout_ms {
+                report.objects_spared += 1;
+                continue;
+            }
+            self.store.delete(&obj.key)?;
+            report.objects_deleted += 1;
+        }
+        Ok(report)
+    }
+}
+
+/// Byte-level substring containment (naive scan — patterns are short).
+pub(crate) fn contains_sub(haystack: &[u8], needle: &[u8]) -> bool {
+    if needle.is_empty() || needle.len() > haystack.len() {
+        return needle.is_empty();
+    }
+    haystack.windows(needle.len()).any(|w| w == needle)
+}

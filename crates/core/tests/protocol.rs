@@ -1,0 +1,775 @@
+//! End-to-end protocol tests: index / search / compact / vacuum against a
+//! live lake table, with concurrent lake mutations and injected crashes.
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rottnest::invariants::{verify_all, verify_existence};
+use rottnest::{IndexKind, Match, Query, Rottnest, RottnestConfig};
+use rottnest_format::{ColumnData, DataType, Field, RecordBatch, Schema, WriterOptions};
+use rottnest_ivfpq::SearchParams;
+use rottnest_lake::{Table, TableConfig};
+use rottnest_object_store::{FaultKind, MemoryStore, ObjectStore};
+
+const DIM: usize = 8;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("trace_id", DataType::Binary),
+        Field::new("body", DataType::Utf8),
+        Field::new("embedding", DataType::VectorF32 { dim: DIM as u32 }),
+    ])
+}
+
+/// Deterministic row content so tests can predict matches.
+fn trace_id(i: u64) -> Vec<u8> {
+    let mut id = vec![0u8; 16];
+    id[..8].copy_from_slice(&i.to_be_bytes());
+    id[8..].copy_from_slice(&i.wrapping_mul(0x9e3779b97f4a7c15).to_be_bytes());
+    id
+}
+
+fn body(i: u64) -> String {
+    format!("event {i}: service frobnicator-{} emitted code E{:04}", i % 7, i % 100)
+}
+
+fn embedding(i: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(i);
+    let cluster = (i % 5) as f32 * 10.0;
+    (0..DIM).map(|_| cluster + rng.gen_range(-0.5..0.5)).collect()
+}
+
+fn batch(range: std::ops::Range<u64>) -> RecordBatch {
+    RecordBatch::new(
+        schema(),
+        vec![
+            ColumnData::from_blobs(range.clone().map(trace_id)),
+            ColumnData::from_strings(range.clone().map(body)),
+            ColumnData::from_vectors(DIM as u32, range.map(embedding).collect::<Vec<_>>())
+                .unwrap(),
+        ],
+    )
+    .unwrap()
+}
+
+fn small_pages() -> TableConfig {
+    TableConfig {
+        writer: WriterOptions { page_raw_bytes: 2048, row_group_rows: 512, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+fn config() -> RottnestConfig {
+    RottnestConfig {
+        min_vector_rows: 16,
+        ivf: rottnest_ivfpq::IvfPqParams { nlist: 16, m: 4, train_iters: 4, seed: 9 },
+        ..Default::default()
+    }
+}
+
+fn setup(rows: u64) -> (std::sync::Arc<MemoryStore>, String) {
+    let store = MemoryStore::unmetered();
+    let t = Table::create(store.as_ref(), "tbl", &schema(), small_pages()).unwrap();
+    t.append(&batch(0..rows / 2)).unwrap();
+    t.append(&batch(rows / 2..rows)).unwrap();
+    (store, "tbl".to_string())
+}
+
+#[test]
+fn uuid_index_and_search() {
+    let (store, root) = setup(600);
+    let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
+    let rot = Rottnest::new(store.as_ref(), "idx", config());
+
+    let entry = rot
+        .index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap()
+        .expect("new files indexed");
+    assert_eq!(entry.files.len(), 2);
+    assert_eq!(entry.rows, 600);
+
+    let snap = table.snapshot().unwrap();
+    let key = trace_id(123);
+    let out = rot
+        .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 10 })
+        .unwrap();
+    assert_eq!(out.matches.len(), 1);
+    assert_eq!(out.matches[0].row, 123);
+    assert_eq!(out.stats.files_brute_scanned, 0, "fully covered: no brute scan");
+    assert!(out.stats.pages_probed >= 1);
+
+    // Missing key: no match, still no brute scan needed… but exact top-k
+    // unsatisfied triggers the fallback only for *uncovered* files (none).
+    let missing = trace_id(999_999);
+    let out = rot
+        .search(&table, &snap, "trace_id", &Query::UuidEq { key: &missing, k: 10 })
+        .unwrap();
+    assert!(out.matches.is_empty());
+
+    verify_all(store.as_ref(), "idx").unwrap();
+}
+
+#[test]
+fn substring_index_and_search() {
+    let (store, root) = setup(400);
+    let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
+    let rot = Rottnest::new(store.as_ref(), "idx", config());
+    rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
+
+    let snap = table.snapshot().unwrap();
+    // "code E0042" appears for i % 100 == 42 → global rows 42, 142, 242,
+    // 342; each file holds 200 rows, so file-local rows are 42 and 142 in
+    // both files.
+    let out = rot
+        .search(&table, &snap, "body", &Query::Substring { pattern: b"code E0042", k: 100 })
+        .unwrap();
+    let paths: Vec<String> = snap.files().map(|f| f.path.clone()).collect();
+    let mut got: Vec<(String, u64)> =
+        out.matches.iter().map(|m| (m.path.clone(), m.row)).collect();
+    got.sort();
+    assert_eq!(
+        got,
+        vec![
+            (paths[0].clone(), 42),
+            (paths[0].clone(), 142),
+            (paths[1].clone(), 42),
+            (paths[1].clone(), 142),
+        ]
+    );
+
+    // k truncates.
+    let out = rot
+        .search(&table, &snap, "body", &Query::Substring { pattern: b"frobnicator", k: 5 })
+        .unwrap();
+    assert_eq!(out.matches.len(), 5);
+}
+
+#[test]
+fn vector_index_and_search() {
+    let (store, root) = setup(500);
+    let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
+    let rot = Rottnest::new(store.as_ref(), "idx", config());
+    rot.index(&table, IndexKind::Vector { dim: DIM as u32 }, "embedding").unwrap().unwrap();
+
+    let snap = table.snapshot().unwrap();
+    let q = embedding(77);
+    let out = rot
+        .search(
+            &table,
+            &snap,
+            "embedding",
+            &Query::VectorNn {
+                query: &q,
+                params: SearchParams { k: 1, nprobe: 8, refine: 64 },
+            },
+        )
+        .unwrap();
+    assert_eq!(out.matches.len(), 1);
+    assert_eq!(out.matches[0].row, 77, "query vector is a DB vector");
+    assert_eq!(out.matches[0].score, Some(0.0));
+}
+
+#[test]
+fn second_index_call_is_noop_and_new_data_gets_new_index() {
+    let (store, root) = setup(200);
+    let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
+    let rot = Rottnest::new(store.as_ref(), "idx", config());
+    assert!(rot.index(&table, IndexKind::Substring, "body").unwrap().is_some());
+    assert!(rot.index(&table, IndexKind::Substring, "body").unwrap().is_none());
+
+    table.append(&batch(200..300)).unwrap();
+    let e = rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
+    assert_eq!(e.files.len(), 1, "only the new file is indexed");
+    assert_eq!(rot.meta().scan().unwrap().len(), 2);
+}
+
+#[test]
+fn unindexed_files_fall_back_to_brute_force() {
+    let (store, root) = setup(200);
+    let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
+    let rot = Rottnest::new(store.as_ref(), "idx", config());
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+
+    // New un-indexed file appears (Figure 4's f.parquet).
+    table.append(&batch(200..260)).unwrap();
+    let snap = table.snapshot().unwrap();
+    let key = trace_id(237);
+    let out = rot
+        .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 5 })
+        .unwrap();
+    assert_eq!(out.matches.len(), 1);
+    assert_eq!(out.matches[0].row, 37); // row within the third file
+    assert_eq!(out.stats.files_brute_scanned, 1);
+
+    // A key that the index satisfies never touches the new file.
+    let key = trace_id(11);
+    let out = rot
+        .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 1 })
+        .unwrap();
+    assert_eq!(out.matches.len(), 1);
+    assert_eq!(out.stats.files_brute_scanned, 0);
+}
+
+#[test]
+fn lake_compaction_invalidates_postings_and_reindex_recovers() {
+    let (store, root) = setup(300);
+    let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
+    let rot = Rottnest::new(store.as_ref(), "idx", config());
+    rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
+
+    // The lake compacts its two files into one (b+c → d of Figure 3).
+    table.compact(u64::MAX).unwrap().unwrap();
+    let snap = table.snapshot().unwrap();
+
+    // Old index postings all point outside the snapshot: search falls back
+    // to brute force and still finds everything.
+    let out = rot
+        .search(&table, &snap, "body", &Query::Substring { pattern: b"code E0007", k: 100 })
+        .unwrap();
+    let mut rows: Vec<u64> = out.matches.iter().map(|m| m.row).collect();
+    rows.sort_unstable();
+    assert_eq!(rows, vec![7, 107, 207]);
+    assert_eq!(out.stats.files_brute_scanned, 1);
+
+    // Re-index covers the compacted file; brute force disappears.
+    rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
+    let out = rot
+        .search(&table, &snap, "body", &Query::Substring { pattern: b"code E0007", k: 100 })
+        .unwrap();
+    assert_eq!(out.matches.len(), 3);
+    assert_eq!(out.stats.files_brute_scanned, 0);
+    verify_all(store.as_ref(), "idx").unwrap();
+}
+
+#[test]
+fn deletion_vectors_filter_matches() {
+    let (store, root) = setup(200);
+    let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
+    let rot = Rottnest::new(store.as_ref(), "idx", config());
+    rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
+
+    // Delete row 42 of the first file (body "code E0042").
+    let first = table.snapshot().unwrap().files().next().unwrap().path.clone();
+    table.delete_rows(&first, &[42]).unwrap();
+
+    let snap = table.snapshot().unwrap();
+    let out = rot
+        .search(&table, &snap, "body", &Query::Substring { pattern: b"code E0042", k: 100 })
+        .unwrap();
+    let rows: Vec<u64> = out.matches.iter().map(|m| m.row).collect();
+    assert_eq!(rows, vec![42], "only the second file's row 42 (i=142) remains");
+    assert_eq!(out.matches[0].path, snap.files().nth(1).unwrap().path);
+    assert!(out.stats.rows_deleted >= 1);
+}
+
+#[test]
+fn compact_merges_indexes_and_search_is_unchanged() {
+    let store = MemoryStore::unmetered();
+    let table = Table::create(store.as_ref(), "tbl", &schema(), small_pages()).unwrap();
+    let rot = Rottnest::new(store.as_ref(), "idx", config());
+
+    // Four appends, four index files.
+    for i in 0..4u64 {
+        table.append(&batch(i * 100..(i + 1) * 100)).unwrap();
+        rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+    }
+    assert_eq!(rot.meta().scan().unwrap().len(), 4);
+
+    let merged = rot.compact(IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap();
+    assert_eq!(merged.len(), 1);
+    let entries = rot.meta().scan().unwrap();
+    assert_eq!(entries.len(), 1, "four records swapped for one");
+    assert_eq!(entries[0].files.len(), 4);
+
+    let snap = table.snapshot().unwrap();
+    for i in [5u64, 150, 250, 399] {
+        let key = trace_id(i);
+        let out = rot
+            .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 3 })
+            .unwrap();
+        assert_eq!(out.matches.len(), 1, "key {i}");
+        assert_eq!(out.matches[0].row, i % 100);
+        assert_eq!(out.stats.index_files_queried, 1);
+    }
+    verify_all(store.as_ref(), "idx").unwrap();
+}
+
+#[test]
+fn compact_merges_fm_indexes() {
+    let store = MemoryStore::unmetered();
+    let table = Table::create(store.as_ref(), "tbl", &schema(), small_pages()).unwrap();
+    let rot = Rottnest::new(store.as_ref(), "idx", config());
+    for i in 0..3u64 {
+        table.append(&batch(i * 100..(i + 1) * 100)).unwrap();
+        rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
+    }
+    rot.compact(IndexKind::Substring, "body").unwrap();
+    assert_eq!(rot.meta().scan().unwrap().len(), 1);
+
+    let snap = table.snapshot().unwrap();
+    let out = rot
+        .search(&table, &snap, "body", &Query::Substring { pattern: b"code E0055", k: 10 })
+        .unwrap();
+    let mut rows: Vec<u64> = out.matches.iter().map(|m| m.row).collect();
+    rows.sort_unstable();
+    assert_eq!(rows, vec![55, 55, 55]); // one per file, file-local row 55
+}
+
+#[test]
+fn vacuum_drops_replaced_indexes_but_respects_timeout() {
+    let store = MemoryStore::new(); // metered: clock advances
+    let table = Table::create(store.as_ref(), "tbl", &schema(), small_pages()).unwrap();
+    let mut cfg = config();
+    cfg.index_timeout_ms = 60_000;
+    let rot = Rottnest::new(store.as_ref(), "idx", cfg);
+
+    for i in 0..3u64 {
+        table.append(&batch(i * 50..(i + 1) * 50)).unwrap();
+        rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+    }
+    rot.compact(IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap();
+
+    // Right after compaction, the three replaced files are too young.
+    let report = rot.vacuum(&table).unwrap();
+    assert_eq!(report.objects_deleted, 0);
+    assert_eq!(report.objects_spared, 3);
+    assert_eq!(store.list("idx/files/").unwrap().len(), 4);
+
+    // After the timeout they go.
+    store.clock().unwrap().advance_ms(61_000);
+    let report = rot.vacuum(&table).unwrap();
+    assert_eq!(report.objects_deleted, 3);
+    assert_eq!(store.list("idx/files/").unwrap().len(), 1);
+
+    // Search still works off the merged index.
+    let snap = table.snapshot().unwrap();
+    let key = trace_id(120);
+    let out = rot
+        .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 1 })
+        .unwrap();
+    assert_eq!(out.matches.len(), 1);
+    verify_all(store.as_ref(), "idx").unwrap();
+}
+
+#[test]
+fn crashed_commit_leaves_invariants_intact_and_vacuum_cleans_up() {
+    let store = MemoryStore::new();
+    let table = Table::create(store.as_ref(), "tbl", &schema(), small_pages()).unwrap();
+    table.append(&batch(0..100)).unwrap();
+    let mut cfg = config();
+    cfg.index_timeout_ms = 60_000;
+    let rot = Rottnest::new(store.as_ref(), "idx", cfg);
+
+    // Crash between upload and commit: the metadata PUT fails.
+    store.faults().arm(FaultKind::FailPutMatching("idx/meta".into()));
+    let err = rot.index(&table, IndexKind::Substring, "body");
+    assert!(err.is_err(), "injected commit failure must surface");
+    store.faults().disarm_all();
+
+    // Invariants hold: the orphan index file is in B but not M.
+    verify_all(store.as_ref(), "idx").unwrap();
+    assert_eq!(store.list("idx/files/").unwrap().len(), 1);
+    assert!(rot.meta().scan().unwrap().is_empty());
+
+    // Young orphan survives vacuum (could be an in-flight indexer)…
+    let report = rot.vacuum(&table).unwrap();
+    assert_eq!(report.objects_deleted, 0);
+    assert_eq!(report.objects_spared, 1);
+
+    // …and is collected once older than the index timeout.
+    store.clock().unwrap().advance_ms(61_000);
+    let report = rot.vacuum(&table).unwrap();
+    assert_eq!(report.objects_deleted, 1);
+    assert!(store.list("idx/files/").unwrap().is_empty());
+
+    // Retry succeeds.
+    rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
+    verify_all(store.as_ref(), "idx").unwrap();
+}
+
+#[test]
+fn vanished_input_file_aborts_indexing() {
+    let (store, root) = setup(100);
+    let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
+    let rot = Rottnest::new(store.as_ref(), "idx", config());
+    // Simulate the data lake garbage-collecting a file mid-index.
+    let victim = table.snapshot().unwrap().files().next().unwrap().path.clone();
+    store.faults().arm(FaultKind::FailGetMatching(victim));
+    let err = rot.index(&table, IndexKind::Substring, "body").unwrap_err();
+    assert!(matches!(err, rottnest::RottnestError::Aborted(_) | rottnest::RottnestError::Store(_)));
+    store.faults().disarm_all();
+    verify_existence(store.as_ref(), "idx").unwrap();
+}
+
+#[test]
+fn vector_search_merges_index_and_brute_results() {
+    let (store, root) = setup(300);
+    let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
+    let rot = Rottnest::new(store.as_ref(), "idx", config());
+    rot.index(&table, IndexKind::Vector { dim: DIM as u32 }, "embedding").unwrap().unwrap();
+
+    // New un-indexed file holds the best match for its own vectors.
+    table.append(&batch(300..350)).unwrap();
+    let snap = table.snapshot().unwrap();
+    let q = embedding(333);
+    let out = rot
+        .search(
+            &table,
+            &snap,
+            "embedding",
+            &Query::VectorNn { query: &q, params: SearchParams { k: 1, nprobe: 16, refine: 64 } },
+        )
+        .unwrap();
+    assert_eq!(out.matches[0].score, Some(0.0));
+    assert_eq!(out.matches[0].row, 33);
+    assert_eq!(out.stats.files_brute_scanned, 1, "scoring queries scan uncovered files");
+}
+
+#[test]
+fn min_vector_rows_aborts_in_favor_of_brute_force() {
+    let store = MemoryStore::unmetered();
+    let table = Table::create(store.as_ref(), "tbl", &schema(), small_pages()).unwrap();
+    table.append(&batch(0..8)).unwrap();
+    let rot = Rottnest::new(store.as_ref(), "idx", config());
+    assert!(rot
+        .index(&table, IndexKind::Vector { dim: DIM as u32 }, "embedding")
+        .unwrap()
+        .is_none());
+
+    // Search still answers via brute force.
+    let snap = table.snapshot().unwrap();
+    let q = embedding(3);
+    let out = rot
+        .search(
+            &table,
+            &snap,
+            "embedding",
+            &Query::VectorNn { query: &q, params: SearchParams { k: 1, nprobe: 4, refine: 8 } },
+        )
+        .unwrap();
+    assert_eq!(out.matches[0].row, 3);
+    assert_eq!(out.stats.files_brute_scanned, 1);
+}
+
+#[test]
+fn search_snapshot_time_travel() {
+    let (store, root) = setup(100);
+    let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
+    let rot = Rottnest::new(store.as_ref(), "idx", config());
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+    let old_version = table.snapshot().unwrap().version();
+
+    table.append(&batch(100..200)).unwrap();
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+
+    // Searching the old snapshot must not see the new file's rows.
+    let old_snap = table.snapshot_at(old_version).unwrap();
+    let key = trace_id(150);
+    let out = rot
+        .search(&table, &old_snap, "trace_id", &Query::UuidEq { key: &key, k: 5 })
+        .unwrap();
+    assert!(out.matches.is_empty(), "row 150 exists only after the snapshot");
+
+    let new_snap = table.snapshot().unwrap();
+    let out = rot
+        .search(&table, &new_snap, "trace_id", &Query::UuidEq { key: &key, k: 5 })
+        .unwrap();
+    assert_eq!(out.matches.len(), 1);
+}
+
+#[test]
+fn search_equals_brute_force_ground_truth() {
+    // The canonical correctness check: indexed search == full scan, across
+    // lake mutations.
+    let (store, root) = setup(240);
+    let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
+    let rot = Rottnest::new(store.as_ref(), "idx", config());
+    rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
+    table.delete_rows(
+        &table.snapshot().unwrap().files().next().unwrap().path.clone(),
+        &[14, 114],
+    )
+    .unwrap();
+    table.append(&batch(240..280)).unwrap();
+
+    let snap = table.snapshot().unwrap();
+    for pattern in ["code E0014", "frobnicator-3", "event 27"] {
+        let out = rot
+            .search(&table, &snap, "body", &Query::Substring { pattern: pattern.as_bytes(), k: 10_000 })
+            .unwrap();
+        let mut got: Vec<(String, u64)> =
+            out.matches.iter().map(|m| (m.path.clone(), m.row)).collect();
+        got.sort();
+
+        // Ground truth by scanning every file.
+        let mut want: Vec<(String, u64)> = Vec::new();
+        for f in snap.files() {
+            let reader =
+                rottnest_format::ChunkReader::open(store.as_ref(), &f.path).unwrap();
+            let col = reader.read_column(1).unwrap();
+            let dv = table.load_dv(f).unwrap().unwrap_or_default();
+            for i in 0..col.len() {
+                if dv.contains(i as u64) {
+                    continue;
+                }
+                if let Some(rottnest_format::ValueRef::Utf8(s)) = col.get(i) {
+                    if s.contains(pattern) {
+                        want.push((f.path.clone(), i as u64));
+                    }
+                }
+            }
+        }
+        want.sort();
+        assert_eq!(got, want, "pattern {pattern:?}");
+    }
+}
+
+#[test]
+fn concurrent_searches_during_maintenance() {
+    let (store, root) = setup(200);
+    {
+        let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
+        let rot = Rottnest::new(store.as_ref(), "idx", config());
+        rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+    }
+    crossbeam::scope(|scope| {
+        // Searchers.
+        for t in 0..4u64 {
+            let store = &store;
+            let root = &root;
+            scope.spawn(move |_| {
+                let table = Table::open(store.as_ref(), root, small_pages()).unwrap();
+                let rot = Rottnest::new(store.as_ref(), "idx", config());
+                for i in 0..20u64 {
+                    let snap = table.snapshot().unwrap();
+                    let key = trace_id((t * 20 + i) % 200);
+                    let out = rot
+                        .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 1 })
+                        .unwrap();
+                    assert_eq!(out.matches.len(), 1);
+                }
+            });
+        }
+        // Maintenance: appends + indexing + compaction.
+        let store = &store;
+        let root = &root;
+        scope.spawn(move |_| {
+            let table = Table::open(store.as_ref(), root, small_pages()).unwrap();
+            let rot = Rottnest::new(store.as_ref(), "idx", config());
+            for j in 0..3u64 {
+                table.append(&batch(200 + j * 50..250 + j * 50)).unwrap();
+                rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap();
+            }
+            rot.compact(IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap();
+        });
+    })
+    .unwrap();
+    verify_all(store.as_ref(), "idx").unwrap();
+}
+
+#[test]
+fn index_timeout_aborts_before_commit() {
+    let store = MemoryStore::new(); // latency model advances the clock
+    let table = Table::create(store.as_ref(), "tbl", &schema(), small_pages()).unwrap();
+    table.append(&batch(0..50)).unwrap();
+    let mut cfg = config();
+    cfg.index_timeout_ms = 0; // everything times out
+    let rot = Rottnest::new(store.as_ref(), "idx", cfg);
+    let err = rot.index(&table, IndexKind::Substring, "body").unwrap_err();
+    assert!(matches!(err, rottnest::RottnestError::Aborted(_)));
+    // Nothing was committed.
+    assert!(rot.meta().scan().unwrap().is_empty());
+    verify_existence(store.as_ref(), "idx").unwrap();
+}
+
+#[test]
+fn matches_report_correct_paths() {
+    let (store, root) = setup(100);
+    let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
+    let rot = Rottnest::new(store.as_ref(), "idx", config());
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+    let snap = table.snapshot().unwrap();
+    let paths: Vec<String> = snap.files().map(|f| f.path.clone()).collect();
+
+    let key = trace_id(10); // first file
+    let out = rot.search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 1 }).unwrap();
+    assert_eq!(out.matches, vec![Match { path: paths[0].clone(), row: 10, score: None }]);
+
+    let key = trace_id(60); // second file (rows 50..100), row 10 within it
+    let out = rot.search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 1 }).unwrap();
+    assert_eq!(out.matches, vec![Match { path: paths[1].clone(), row: 10, score: None }]);
+}
+
+#[test]
+fn metadata_survives_store_payload_inspection() {
+    // Guards the metadata byte format: write entries, re-open from a fresh
+    // handle backed by the same bytes.
+    let (store, root) = setup(100);
+    let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
+    let rot = Rottnest::new(store.as_ref(), "idx", config());
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+    rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
+
+    let rot2 = Rottnest::new(store.as_ref(), "idx", config());
+    let entries = rot2.meta().scan().unwrap();
+    assert_eq!(entries.len(), 2);
+    let kinds: Vec<&str> = entries
+        .iter()
+        .map(|e| match e.kind {
+            IndexKind::Uuid { .. } => "uuid",
+            IndexKind::Substring => "substring",
+            IndexKind::Vector { .. } => "vector",
+            IndexKind::Bloom { .. } => "bloom",
+        })
+        .collect();
+    assert!(kinds.contains(&"uuid") && kinds.contains(&"substring"));
+
+    // Raw log payloads are non-empty objects under idx/meta/_log/.
+    let log_objects = store.list("idx/meta/_log/").unwrap();
+    assert_eq!(log_objects.len(), 2);
+    for o in log_objects {
+        assert!(store.get(&o.key).unwrap() != Bytes::new());
+    }
+}
+
+#[test]
+fn zorder_rewrite_is_survived_like_compaction() {
+    let (store, root) = setup(200);
+    let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
+    let rot = Rottnest::new(store.as_ref(), "idx", config());
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+
+    // A clustering rewrite replaces every file the index points at.
+    table.rewrite_sorted(0).unwrap();
+    let snap = table.snapshot().unwrap();
+    let key = trace_id(77);
+    let out = rot
+        .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 1 })
+        .unwrap();
+    assert_eq!(out.matches.len(), 1, "found via brute-force fallback");
+    assert_eq!(out.stats.files_brute_scanned, 1);
+
+    // Re-index covers the rewritten file.
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+    let out = rot
+        .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 1 })
+        .unwrap();
+    assert_eq!(out.matches.len(), 1);
+    assert_eq!(out.stats.files_brute_scanned, 0);
+    verify_all(store.as_ref(), "idx").unwrap();
+}
+
+#[test]
+fn metadata_checkpoint_reduces_plan_requests() {
+    let store = MemoryStore::unmetered();
+    let table = Table::create(store.as_ref(), "tbl", &schema(), small_pages()).unwrap();
+    let rot = Rottnest::new(store.as_ref(), "idx", config());
+    for i in 0..8u64 {
+        table.append(&batch(i * 20..(i + 1) * 20)).unwrap();
+        rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+    }
+    let snap = table.snapshot().unwrap();
+    let key = trace_id(35);
+
+    let measure = || {
+        let before = store.stats();
+        let out = rot
+            .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 1 })
+            .unwrap();
+        assert_eq!(out.matches.len(), 1);
+        store.stats().since(&before).gets
+    };
+    let gets_before = measure();
+    rot.checkpoint_meta().unwrap();
+    let gets_after = measure();
+    // The 8 per-version metadata log GETs collapse into 1 checkpoint GET.
+    assert!(
+        gets_after + 6 <= gets_before,
+        "checkpoint should cut plan requests: {gets_before} -> {gets_after}"
+    );
+    verify_all(store.as_ref(), "idx").unwrap();
+}
+
+#[test]
+fn bloom_index_serves_uuid_queries_with_in_situ_filtering() {
+    let (store, root) = setup(400);
+    let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
+    let rot = Rottnest::new(store.as_ref(), "idx", config());
+
+    // Index with the Bloom kind instead of the trie.
+    let entry = rot
+        .index(&table, IndexKind::Bloom { key_len: 16 }, "trace_id")
+        .unwrap()
+        .unwrap();
+    assert!(matches!(entry.kind, IndexKind::Bloom { key_len: 16 }));
+
+    let snap = table.snapshot().unwrap();
+    // Indexed keys are always found (no false negatives)…
+    for i in [0u64, 123, 399] {
+        let key = trace_id(i);
+        let out = rot
+            .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 5 })
+            .unwrap();
+        assert_eq!(out.matches.len(), 1, "key {i}");
+        assert_eq!(out.matches[0].row, i % 200);
+        assert_eq!(out.stats.files_brute_scanned, 0);
+    }
+    // …and misses return nothing (any filter false positives are killed by
+    // the in-situ probe).
+    let missing = trace_id(5_000_000);
+    let out = rot
+        .search(&table, &snap, "trace_id", &Query::UuidEq { key: &missing, k: 5 })
+        .unwrap();
+    assert!(out.matches.is_empty());
+    verify_all(store.as_ref(), "idx").unwrap();
+}
+
+#[test]
+fn bloom_compaction_and_vacuum() {
+    let store = MemoryStore::new();
+    let table = Table::create(store.as_ref(), "tbl", &schema(), small_pages()).unwrap();
+    let mut cfg = config();
+    cfg.index_timeout_ms = 1_000;
+    let rot = Rottnest::new(store.as_ref(), "idx", cfg);
+    for i in 0..3u64 {
+        table.append(&batch(i * 80..(i + 1) * 80)).unwrap();
+        rot.index(&table, IndexKind::Bloom { key_len: 16 }, "trace_id").unwrap().unwrap();
+    }
+    let merged = rot.compact(IndexKind::Bloom { key_len: 16 }, "trace_id").unwrap();
+    assert_eq!(merged.len(), 1);
+    store.clock().unwrap().advance_ms(2_000);
+    rot.vacuum(&table).unwrap();
+
+    let snap = table.snapshot().unwrap();
+    for i in [10u64, 100, 230] {
+        let key = trace_id(i);
+        let out = rot
+            .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 3 })
+            .unwrap();
+        assert_eq!(out.matches.len(), 1, "key {i}");
+        assert_eq!(out.stats.index_files_queried, 1);
+    }
+    verify_all(store.as_ref(), "idx").unwrap();
+}
+
+#[test]
+fn bloom_index_is_smaller_than_trie() {
+    let (store, root) = setup(2000);
+    let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
+    let rot_trie = Rottnest::new(store.as_ref(), "idx-trie", config());
+    let rot_bloom = Rottnest::new(store.as_ref(), "idx-bloom", config());
+    let te = rot_trie
+        .index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap()
+        .unwrap();
+    let be = rot_bloom
+        .index(&table, IndexKind::Bloom { key_len: 16 }, "trace_id")
+        .unwrap()
+        .unwrap();
+    assert!(
+        be.size < te.size,
+        "bloom ({}) should undercut trie ({})",
+        be.size,
+        te.size
+    );
+}

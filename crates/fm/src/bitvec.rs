@@ -1,0 +1,223 @@
+//! Succinct bit vector with O(1) rank, the building block of the wavelet
+//! matrix.
+//!
+//! Bits are stored in `u64` words; a superblock count every 8 words (512
+//! bits) answers `rank1` with one lookup plus at most 8 popcounts. The
+//! serialized form stores only the raw words — counts are rebuilt on load,
+//! trading a linear scan (cheap, already in memory) for smaller components.
+
+use rottnest_compress::varint;
+
+use crate::{FmError, Result};
+
+const WORDS_PER_BLOCK: usize = 8; // 512-bit superblocks
+
+/// An immutable bit vector with rank support.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankBitVec {
+    len: usize,
+    words: Vec<u64>,
+    /// Cumulative ones before each superblock.
+    counts: Vec<u32>,
+}
+
+/// Append-only builder for [`RankBitVec`].
+#[derive(Debug, Default)]
+pub struct BitVecBuilder {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVecBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder expecting `n` bits.
+    pub fn with_capacity(n: usize) -> Self {
+        Self { len: 0, words: Vec::with_capacity(n.div_ceil(64)) }
+    }
+
+    /// Appends one bit.
+    #[inline]
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Finalizes into a rank-ready vector.
+    pub fn finish(self) -> RankBitVec {
+        RankBitVec::from_words(self.words, self.len)
+    }
+}
+
+impl RankBitVec {
+    fn from_words(words: Vec<u64>, len: usize) -> Self {
+        let n_blocks = words.len().div_ceil(WORDS_PER_BLOCK);
+        let mut counts = Vec::with_capacity(n_blocks + 1);
+        let mut acc = 0u32;
+        counts.push(0);
+        for block in words.chunks(WORDS_PER_BLOCK) {
+            acc += block.iter().map(|w| w.count_ones()).sum::<u32>();
+            counts.push(acc);
+        }
+        Self { len, words, counts }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit at position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of 1-bits in `[0, i)`.
+    #[inline]
+    pub fn rank1(&self, i: usize) -> usize {
+        debug_assert!(i <= self.len);
+        let word = i / 64;
+        let block = word / WORDS_PER_BLOCK;
+        let mut acc = self.counts[block] as usize;
+        for w in &self.words[block * WORDS_PER_BLOCK..word] {
+            acc += w.count_ones() as usize;
+        }
+        let rem = i % 64;
+        if rem > 0 {
+            acc += (self.words[word] & ((1u64 << rem) - 1)).count_ones() as usize;
+        }
+        acc
+    }
+
+    /// Number of 0-bits in `[0, i)`.
+    #[inline]
+    pub fn rank0(&self, i: usize) -> usize {
+        i - self.rank1(i)
+    }
+
+    /// Total number of 1-bits.
+    pub fn count_ones(&self) -> usize {
+        *self.counts.last().unwrap() as usize
+    }
+
+    /// Serializes (length + raw words).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        varint::write_usize(out, self.len);
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Decodes a vector written by [`RankBitVec::encode`], advancing `pos`.
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Self> {
+        let len = varint::read_usize(buf, pos)?;
+        let n_words = len.div_ceil(64);
+        let end = pos
+            .checked_add(n_words * 8)
+            .ok_or_else(|| FmError::Corrupt("bitvec length overflow".into()))?;
+        if end > buf.len() {
+            return Err(FmError::Corrupt("bitvec truncated".into()));
+        }
+        let words: Vec<u64> = buf[*pos..end]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        *pos = end;
+        Ok(Self::from_words(words, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn build(bits: &[bool]) -> RankBitVec {
+        let mut b = BitVecBuilder::with_capacity(bits.len());
+        for &bit in bits {
+            b.push(bit);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn rank_small() {
+        let bv = build(&[true, false, true, true, false]);
+        assert_eq!(bv.rank1(0), 0);
+        assert_eq!(bv.rank1(1), 1);
+        assert_eq!(bv.rank1(3), 2);
+        assert_eq!(bv.rank1(5), 3);
+        assert_eq!(bv.rank0(5), 2);
+        assert!(bv.get(0) && !bv.get(1));
+    }
+
+    #[test]
+    fn rank_across_superblocks() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let bits: Vec<bool> = (0..5000).map(|_| rng.gen_bool(0.3)).collect();
+        let bv = build(&bits);
+        let mut expect = 0;
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(bv.rank1(i), expect, "rank1({i})");
+            expect += usize::from(b);
+        }
+        assert_eq!(bv.rank1(bits.len()), expect);
+        assert_eq!(bv.count_ones(), expect);
+    }
+
+    #[test]
+    fn encode_round_trip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        for n in [0usize, 1, 63, 64, 65, 511, 512, 513, 4097] {
+            let bits: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+            let bv = build(&bits);
+            let mut buf = Vec::new();
+            bv.encode(&mut buf);
+            let mut pos = 0;
+            let back = RankBitVec::decode(&buf, &mut pos).unwrap();
+            assert_eq!(back, bv);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn truncated_decode_rejected() {
+        let bv = build(&[true; 1000]);
+        let mut buf = Vec::new();
+        bv.encode(&mut buf);
+        let mut pos = 0;
+        assert!(RankBitVec::decode(&buf[..buf.len() - 1], &mut pos).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rank_matches_naive(bits in proptest::collection::vec(any::<bool>(), 0..800)) {
+            let bv = build(&bits);
+            let mut ones = 0usize;
+            for i in 0..=bits.len() {
+                prop_assert_eq!(bv.rank1(i), ones);
+                if i < bits.len() {
+                    prop_assert_eq!(bv.get(i), bits[i]);
+                    ones += usize::from(bits[i]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! In-memory FM-index core: BWT, C-table, sampled suffix array.
+//!
+//! [`FmCore`] is the build-time and merge-time representation, and also the
+//! structure the dedicated-system baseline keeps in RAM. The on-object-store
+//! layout ([`crate::store`]) is a componentized serialization of the same
+//! data.
+//!
+//! ## Text model
+//!
+//! An FM-index covers a *collection* of documents (one per data page).
+//! Documents are concatenated with a [`SEPARATOR`] byte after each, and the
+//! whole text ends with a [`SENTINEL`]. A merged index (extended BWT of the
+//! combined collections, built by [`crate::merge`]) simply contains several
+//! sentinels; patterns never contain separator or sentinel bytes, so
+//! backward search is oblivious to how many strings the index covers.
+
+use crate::sais::suffix_array;
+use crate::wavelet::WaveletMatrix;
+use crate::{FmError, Result, SENTINEL, SEPARATOR};
+
+/// Default suffix-array sampling rate (1 sample per 32 text positions).
+pub const DEFAULT_SAMPLE_RATE: u32 = 32;
+
+/// Replaces bytes that collide with the sentinel/separator (0x00/0x01) by
+/// 0x02. Log and web text never legitimately contains them; the substitution
+/// is recorded here once so the whole pipeline agrees.
+pub fn sanitize(text: &mut [u8]) {
+    for b in text.iter_mut() {
+        if *b <= SEPARATOR {
+            *b = 0x02;
+        }
+    }
+}
+
+/// Validates a search pattern: must be non-empty and free of reserved bytes.
+pub fn check_pattern(pattern: &[u8]) -> Result<()> {
+    if pattern.is_empty() {
+        return Err(FmError::BadPattern("empty pattern".into()));
+    }
+    if pattern.iter().any(|&b| b <= SEPARATOR) {
+        return Err(FmError::BadPattern("pattern contains reserved byte".into()));
+    }
+    Ok(())
+}
+
+/// The in-memory FM-index.
+#[derive(Debug, Clone)]
+pub struct FmCore {
+    /// The BWT, sentinel rows carrying byte [`SENTINEL`].
+    pub bwt: Vec<u8>,
+    /// `c_table[c]` = number of BWT symbols strictly smaller than `c`;
+    /// `c_table[256]` = total length.
+    pub c_table: [u64; 257],
+    /// `marks[row]`: row's suffix-array value is sampled.
+    pub marks: Vec<bool>,
+    /// Sampled values, ordered by row (one per set mark).
+    pub samples: Vec<u64>,
+    /// Wavelet matrix over the whole BWT for in-memory queries.
+    wm: WaveletMatrix,
+}
+
+impl FmCore {
+    /// Builds the index over `text` (already sanitized, documents separated
+    /// by [`SEPARATOR`]); the sentinel is appended internally.
+    pub fn build(text: &[u8], sample_rate: u32) -> Self {
+        debug_assert!(!text.contains(&SENTINEL));
+        let sa = suffix_array(text);
+        let n = sa.len(); // text.len() + 1
+        let mut bwt = Vec::with_capacity(n);
+        let mut marks = Vec::with_capacity(n);
+        let mut samples = Vec::new();
+        for &v in &sa {
+            let v = v as usize;
+            bwt.push(if v == 0 { SENTINEL } else { text[v - 1] });
+            // Sample every `rate`-th text position; position 0 (string
+            // start) is included, which lets LF walks terminate without
+            // stepping through a sentinel.
+            let sampled = (v as u32).is_multiple_of(sample_rate);
+            marks.push(sampled);
+            if sampled {
+                samples.push(v as u64);
+            }
+        }
+        Self::from_parts(bwt, marks, samples)
+    }
+
+    /// Assembles a core from raw parts (used by merge and the store loader).
+    pub fn from_parts(bwt: Vec<u8>, marks: Vec<bool>, samples: Vec<u64>) -> Self {
+        debug_assert_eq!(marks.len(), bwt.len());
+        debug_assert_eq!(samples.len(), marks.iter().filter(|&&m| m).count());
+        let mut c_table = [0u64; 257];
+        for &b in &bwt {
+            c_table[b as usize + 1] += 1;
+        }
+        for i in 1..257 {
+            c_table[i] += c_table[i - 1];
+        }
+        let wm = WaveletMatrix::build(&bwt);
+        Self { bwt, c_table, marks, samples, wm }
+    }
+
+    /// Total BWT length (text + sentinels).
+    pub fn len(&self) -> usize {
+        self.bwt.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bwt.is_empty()
+    }
+
+    /// Occurrences of `c` in `bwt[0..i)`.
+    #[inline]
+    pub fn rank(&self, c: u8, i: usize) -> usize {
+        self.wm.rank(c, i)
+    }
+
+    /// Backward search: the half-open SA interval of rows whose suffixes
+    /// start with `pattern`.
+    pub fn interval(&self, pattern: &[u8]) -> Result<(usize, usize)> {
+        check_pattern(pattern)?;
+        let mut l = 0usize;
+        let mut r = self.len();
+        for &c in pattern.iter().rev() {
+            let base = self.c_table[c as usize] as usize;
+            l = base + self.rank(c, l);
+            r = base + self.rank(c, r);
+            if l >= r {
+                return Ok((0, 0));
+            }
+        }
+        Ok((l, r))
+    }
+
+    /// Number of occurrences of `pattern` across the indexed documents.
+    pub fn count(&self, pattern: &[u8]) -> Result<usize> {
+        let (l, r) = self.interval(pattern)?;
+        Ok(r - l)
+    }
+
+    /// Text positions (global concatenated offsets) of up to `limit`
+    /// occurrences of `pattern`.
+    pub fn locate(&self, pattern: &[u8], limit: usize) -> Result<Vec<u64>> {
+        let (l, r) = self.interval(pattern)?;
+        let mut out = Vec::with_capacity((r - l).min(limit));
+        for row in l..r {
+            if out.len() >= limit {
+                break;
+            }
+            out.push(self.resolve_row(row));
+        }
+        Ok(out)
+    }
+
+    /// Resolves one BWT row to its text position by LF-walking to the
+    /// nearest sampled row.
+    pub fn resolve_row(&self, mut row: usize) -> u64 {
+        let mut steps = 0u64;
+        loop {
+            if self.marks[row] {
+                let sample_idx = self.mark_rank(row);
+                return self.samples[sample_idx] + steps;
+            }
+            let (sym, r) = self.wm.access_and_rank(row);
+            debug_assert_ne!(sym, SENTINEL, "string starts must be sampled");
+            row = self.c_table[sym as usize] as usize + r;
+            steps += 1;
+        }
+    }
+
+    fn mark_rank(&self, row: usize) -> usize {
+        // In-memory path: linear scan is fine for tests; the store layout
+        // keeps per-block mark bitvectors with O(1) rank instead.
+        self.marks[..row].iter().filter(|&&m| m).count()
+    }
+}
+
+/// Builds the concatenated text for a sequence of documents, sanitizing each
+/// and appending the separator. Returns the text and each document's start
+/// offset.
+pub fn concat_documents<'d>(docs: impl Iterator<Item = &'d [u8]>) -> (Vec<u8>, Vec<u64>) {
+    let mut text = Vec::new();
+    let mut starts = Vec::new();
+    for doc in docs {
+        starts.push(text.len() as u64);
+        let at = text.len();
+        text.extend_from_slice(doc);
+        sanitize(&mut text[at..]);
+        text.push(SEPARATOR);
+    }
+    (text, starts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive reference: all positions where `pattern` occurs in `text`.
+    fn naive_positions(text: &[u8], pattern: &[u8]) -> Vec<u64> {
+        if pattern.is_empty() || pattern.len() > text.len() {
+            return Vec::new();
+        }
+        (0..=text.len() - pattern.len())
+            .filter(|&i| &text[i..i + pattern.len()] == pattern)
+            .map(|i| i as u64)
+            .collect()
+    }
+
+    fn check(text: &[u8], patterns: &[&[u8]]) {
+        let core = FmCore::build(text, 4);
+        for &p in patterns {
+            let expect = naive_positions(text, p);
+            assert_eq!(core.count(p).unwrap(), expect.len(), "count({:?})", p);
+            let mut got = core.locate(p, usize::MAX).unwrap();
+            got.sort_unstable();
+            assert_eq!(got, expect, "locate({:?})", p);
+        }
+    }
+
+    #[test]
+    fn counts_and_positions_match_naive() {
+        check(b"banana", &[b"an", b"na", b"a", b"banana", b"nab", b"x"]);
+        check(b"mississippi", &[b"iss", b"ssi", b"i", b"p", b"mississippi"]);
+        check(b"aaaaaaaaaa", &[b"a", b"aa", b"aaa"]);
+    }
+
+    #[test]
+    fn multi_document_text() {
+        let (text, starts) = concat_documents(
+            [b"the quick brown fox".as_slice(), b"jumped over", b"the lazy dog"].into_iter(),
+        );
+        assert_eq!(starts, vec![0, 20, 32]);
+        let core = FmCore::build(&text, 8);
+        assert_eq!(core.count(b"the").unwrap(), 2);
+        assert_eq!(core.count(b"lazy").unwrap(), 1);
+        assert_eq!(core.count(b"cat").unwrap(), 0);
+        let pos = core.locate(b"lazy", 10).unwrap();
+        assert_eq!(pos, vec![36]);
+    }
+
+    #[test]
+    fn sanitize_replaces_reserved_bytes() {
+        let mut data = vec![0u8, 1, 2, b'a'];
+        sanitize(&mut data);
+        assert_eq!(data, vec![2, 2, 2, b'a']);
+    }
+
+    #[test]
+    fn patterns_with_reserved_bytes_rejected() {
+        let core = FmCore::build(b"abc", 4);
+        assert!(core.count(b"").is_err());
+        assert!(core.count(&[0x00]).is_err());
+        assert!(core.count(&[0x01, b'a']).is_err());
+    }
+
+    #[test]
+    fn locate_respects_limit() {
+        let text = b"ab".repeat(100);
+        let core = FmCore::build(&text, 4);
+        assert_eq!(core.locate(b"ab", 7).unwrap().len(), 7);
+        assert_eq!(core.count(b"ab").unwrap(), 100);
+    }
+
+    #[test]
+    fn sparse_sampling_still_resolves_all_rows() {
+        let text = b"abracadabra alakazam abracadabra".to_vec();
+        let core = FmCore::build(&text, 16);
+        let mut got = core.locate(b"abra", usize::MAX).unwrap();
+        got.sort_unstable();
+        assert_eq!(got, naive_positions(&text, b"abra"));
+    }
+}

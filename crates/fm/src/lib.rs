@@ -1,0 +1,92 @@
+//! FM-index for exact substring search over data lake text columns —
+//! §V-C2 of the paper.
+//!
+//! The index is a Burrows-Wheeler transform of the concatenated page texts
+//! with a sampled suffix array, adapted to object storage with the
+//! componentization approach of §V-B:
+//!
+//! * [`sais`] — linear-time suffix array construction (SA-IS);
+//! * [`bitvec`] / [`wavelet`] — rank structures (wavelet matrices) that make
+//!   each BWT block a self-contained component;
+//! * [`core`] — the in-memory index ([`FmCore`]): backward search, locate
+//!   via LF-mapping;
+//! * [`store`] — the componentized on-object-store layout ([`FmIndex`]):
+//!   root component holds the C-table, per-block symbol counts and the page
+//!   map; each BWT block (wavelet matrix + suffix-array samples) is one
+//!   component;
+//! * [`merge`] — index compaction by merging BWTs "with bounded interleave
+//!   iterations" (Holt & McMillan), §IV-C / §V-C2.
+//!
+//! Postings are page-granular [`Posting`]s; false positives are impossible
+//! for substring search (the index is exact), but the in-situ probe still
+//! re-scans matched pages to produce row-level results.
+
+pub mod bitvec;
+pub mod core;
+pub mod merge;
+pub mod sais;
+pub mod store;
+pub mod wavelet;
+
+pub use crate::core::{concat_documents, sanitize, FmCore, DEFAULT_SAMPLE_RATE};
+pub use merge::{merge_fm, MergePolicy};
+pub use rottnest_component::Posting;
+pub use store::{FmBuilder, FmIndex, FmOptions};
+
+/// Sentinel byte terminating each indexed collection (smallest symbol).
+pub const SENTINEL: u8 = 0x00;
+
+/// Separator byte appended after each document.
+pub const SEPARATOR: u8 = 0x01;
+
+/// Errors raised by FM-index operations.
+#[derive(Debug)]
+pub enum FmError {
+    /// Pattern contains reserved bytes or is empty.
+    BadPattern(String),
+    /// Malformed serialized index.
+    Corrupt(String),
+    /// Merge exceeded its interleave-iteration bound.
+    MergeBudget {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// Component-layer failure.
+    Component(rottnest_component::ComponentError),
+}
+
+impl std::fmt::Display for FmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FmError::BadPattern(m) => write!(f, "bad pattern: {m}"),
+            FmError::Corrupt(m) => write!(f, "corrupt fm index: {m}"),
+            FmError::MergeBudget { iterations } => {
+                write!(f, "interleave merge did not converge within {iterations} iterations")
+            }
+            FmError::Component(e) => write!(f, "component: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FmError {}
+
+impl From<rottnest_component::ComponentError> for FmError {
+    fn from(e: rottnest_component::ComponentError) -> Self {
+        FmError::Component(e)
+    }
+}
+
+impl From<rottnest_compress::CompressError> for FmError {
+    fn from(e: rottnest_compress::CompressError) -> Self {
+        FmError::Corrupt(format!("varint: {e}"))
+    }
+}
+
+impl From<rottnest_object_store::StoreError> for FmError {
+    fn from(e: rottnest_object_store::StoreError) -> Self {
+        FmError::Component(rottnest_component::ComponentError::Store(e))
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, FmError>;

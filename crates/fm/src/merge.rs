@@ -1,0 +1,418 @@
+//! FM-index compaction: merging BWTs with bounded interleave iterations
+//! (Holt & McMillan, *Merging of multi-string BWTs with applications*,
+//! Bioinformatics 2014 — reference \[43\] of the paper, §V-C2).
+//!
+//! Each FM-index is the extended BWT of a *collection* of documents (one
+//! sentinel per source index). Merging two indexes produces the eBWT of the
+//! combined collection **without re-running suffix-array construction**:
+//!
+//! 1. Start from the trivial interleave (all of A's rows before B's).
+//! 2. Repeatedly route rows through an LF-style stable counting pass; the
+//!    interleave vector converges to the true merged row order (sentinels
+//!    from A are ordered before sentinels from B, matching the collection
+//!    order).
+//! 3. Read off the merged BWT, suffix-array marks/samples (B's text offsets
+//!    shift by A's length) and page map.
+//!
+//! The iteration count is bounded by [`MergePolicy::max_iterations`]; on
+//! overrun the merge reconstructs the source texts (linear LF walks) and
+//! rebuilds from scratch via SA-IS instead — same result, more compute.
+
+use rottnest_object_store::ObjectStore;
+
+use crate::core::FmCore;
+use crate::store::{write_file, FmIndex, FmOptions, PageMap};
+use crate::{FmError, Result, SENTINEL};
+
+/// Controls the merge strategy.
+#[derive(Debug, Clone)]
+pub struct MergePolicy {
+    /// Interleave refinement iteration budget ("bounded interleave
+    /// iterations"); beyond it the merge falls back to rebuilding.
+    pub max_iterations: usize,
+    /// Layout options for the merged file.
+    pub options: FmOptions,
+}
+
+impl Default for MergePolicy {
+    fn default() -> Self {
+        Self { max_iterations: 10_000, options: FmOptions::default() }
+    }
+}
+
+/// A fully materialized index: core + page map (loaded from a store handle,
+/// produced by a merge).
+#[derive(Debug, Clone)]
+pub struct LoadedFm {
+    /// The in-memory index.
+    pub core: FmCore,
+    /// Its page map.
+    pub map: PageMap,
+}
+
+/// Downloads and materializes an on-store index (all blocks in one batched
+/// round trip).
+pub fn load_full(index: &FmIndex<'_>) -> Result<LoadedFm> {
+    let n_blocks = index.num_blocks();
+    // Reconstruct the BWT, marks and samples by scanning blocks.
+    let mut bwt = Vec::with_capacity(index.len());
+    let mut marks = Vec::with_capacity(index.len());
+    let mut samples = Vec::new();
+    index.for_each_block(|block| {
+        for i in 0..block.wm.len() {
+            bwt.push(block.wm.access(i));
+            let m = block.marks.get(i);
+            marks.push(m);
+            if m {
+                samples.push(block.samples[block.marks.rank1(i)]);
+            }
+        }
+    })?;
+    debug_assert_eq!(bwt.len(), index.len());
+    let _ = n_blocks;
+    Ok(LoadedFm {
+        core: FmCore::from_parts(bwt, marks, samples),
+        map: index.page_map().clone(),
+    })
+}
+
+/// Merges two materialized indexes into one.
+pub fn merge_cores(a: &LoadedFm, b: &LoadedFm, policy: &MergePolicy) -> Result<LoadedFm> {
+    let na = a.core.len();
+    let nb = b.core.len();
+    let interleave = match compute_interleave(&a.core.bwt, &b.core.bwt, policy.max_iterations) {
+        Ok(v) => v,
+        Err(FmError::MergeBudget { .. }) => {
+            // Rebuild fallback: reconstruct texts and index from scratch.
+            return Ok(rebuild_merge(a, b, policy));
+        }
+        Err(e) => return Err(e),
+    };
+
+    let mut bwt = Vec::with_capacity(na + nb);
+    let mut marks = Vec::with_capacity(na + nb);
+    let mut samples = Vec::new();
+    let (mut pa, mut pb) = (0usize, 0usize);
+    let mut sa_idx = 0usize;
+    let mut sb_idx = 0usize;
+    for &from_b in &interleave {
+        if from_b {
+            bwt.push(b.core.bwt[pb]);
+            let m = b.core.marks[pb];
+            marks.push(m);
+            if m {
+                samples.push(b.core.samples[sb_idx] + na as u64);
+                sb_idx += 1;
+            }
+            pb += 1;
+        } else {
+            bwt.push(a.core.bwt[pa]);
+            let m = a.core.marks[pa];
+            marks.push(m);
+            if m {
+                samples.push(a.core.samples[sa_idx]);
+                sa_idx += 1;
+            }
+            pa += 1;
+        }
+    }
+
+    let mut map = a.map.clone();
+    map.append_shifted(&b.map, na as u64);
+    Ok(LoadedFm { core: FmCore::from_parts(bwt, marks, samples), map })
+}
+
+/// Computes the interleave vector (`true` = row comes from `b`) by iterated
+/// stable LF routing. Sentinels are routed through origin-split buckets so
+/// A's strings order before B's, matching eBWT collection order.
+fn compute_interleave(
+    bwt_a: &[u8],
+    bwt_b: &[u8],
+    max_iterations: usize,
+) -> Result<Vec<bool>> {
+    let n = bwt_a.len() + bwt_b.len();
+    // Bucket layout: [sentinels of A][sentinels of B][symbol 1][symbol 2]…
+    let mut bucket_starts = [0usize; 258];
+    {
+        let mut counts = [0usize; 258];
+        for &c in bwt_a {
+            counts[if c == SENTINEL { 0 } else { c as usize + 1 }] += 1;
+        }
+        for &c in bwt_b {
+            counts[if c == SENTINEL { 1 } else { c as usize + 1 }] += 1;
+        }
+        let mut sum = 0usize;
+        for (s, &c) in bucket_starts.iter_mut().zip(&counts) {
+            *s = sum;
+            sum += c;
+        }
+    }
+
+    let mut interleave = vec![false; n];
+    for slot in interleave.iter_mut().skip(bwt_a.len()) {
+        *slot = true;
+    }
+
+    let mut next = vec![false; n];
+    for iteration in 0..max_iterations {
+        let mut ptr = bucket_starts;
+        let (mut pa, mut pb) = (0usize, 0usize);
+        for &slot in interleave.iter() {
+            let (sym, from_b) = if slot {
+                let s = bwt_b[pb];
+                pb += 1;
+                (s, true)
+            } else {
+                let s = bwt_a[pa];
+                pa += 1;
+                (s, false)
+            };
+            let bucket = if sym == SENTINEL {
+                usize::from(from_b)
+            } else {
+                sym as usize + 1
+            };
+            next[ptr[bucket]] = from_b;
+            ptr[bucket] += 1;
+        }
+        if next == interleave {
+            return Ok(interleave);
+        }
+        std::mem::swap(&mut interleave, &mut next);
+        if iteration + 1 == max_iterations {
+            return Err(FmError::MergeBudget { iterations: max_iterations });
+        }
+    }
+    Err(FmError::MergeBudget { iterations: max_iterations })
+}
+
+/// Slow-path merge: reconstruct each source string, concatenate the
+/// collections, rebuild with SA-IS.
+fn rebuild_merge(a: &LoadedFm, b: &LoadedFm, policy: &MergePolicy) -> LoadedFm {
+    let mut text = Vec::new();
+    // Reconstructing strings drops each source's sentinel; string order is
+    // preserved, so page-map offsets must be recomputed: each source's
+    // non-sentinel text keeps its internal offsets, but sentinel count
+    // shifts. To keep offsets *identical* to the interleave path (B shifted
+    // by A's full length including sentinels), re-append one separator-free
+    // sentinel placeholder per string via text reconstruction order.
+    for src in [a, b] {
+        for s in reconstruct_texts(&src.core) {
+            text.extend_from_slice(&s);
+            // Each reconstructed string already ends with its document
+            // separators; the per-string sentinel becomes a fresh one when
+            // rebuilding, preserving length and offsets.
+            text.push(crate::SEPARATOR);
+        }
+    }
+    // Each reconstructed string plus its replacement separator is exactly
+    // as long as the string plus its former sentinel, so every source
+    // offset — and therefore every page-map segment — stays valid; B's map
+    // shifts by A's full BWT length, same as the interleave path.
+    let a_len = a.core.len() as u64;
+    let mut map = a.map.clone();
+    map.append_shifted(&b.map, a_len);
+    let core = FmCore::build(&text, policy.options.sample_rate);
+    LoadedFm { core, map }
+}
+
+/// Reconstructs every string of the collection from its eBWT (LF walks from
+/// the sentinel rows). Strings come back in collection order, including
+/// their trailing document separators but excluding sentinels.
+pub fn reconstruct_texts(core: &FmCore) -> Vec<Vec<u8>> {
+    let n_strings = core.c_table[1] as usize; // symbols < 1 == sentinels
+    let mut out = Vec::with_capacity(n_strings);
+    for j in 0..n_strings {
+        // Row j is the j-th sentinel-suffix row; LF-walk backwards from the
+        // string's end until wrapping to its sentinel.
+        let mut rev = Vec::new();
+        let mut row = j;
+        loop {
+            let sym = core.bwt[row];
+            if sym == SENTINEL {
+                break;
+            }
+            rev.push(sym);
+            row = core.c_table[sym as usize] as usize + core.rank(sym, row);
+        }
+        rev.reverse();
+        out.push(rev);
+    }
+    out
+}
+
+/// Merges any number of on-store indexes into a new index file at `out_key`.
+/// Returns the merged file size. Each source is paired with a file-id
+/// offset added to its page postings, so the caller can concatenate the
+/// sources' file lists (as Rottnest's `compact` does).
+pub fn merge_fm(
+    store: &dyn ObjectStore,
+    sources: &[(&FmIndex<'_>, u32)],
+    out_key: &str,
+    policy: &MergePolicy,
+) -> Result<u64> {
+    let (&(first, first_offset), rest) = sources
+        .split_first()
+        .ok_or_else(|| FmError::Corrupt("nothing to merge".into()))?;
+    let shift = |loaded: &mut LoadedFm, offset: u32| {
+        for p in &mut loaded.map.postings {
+            p.file += offset;
+        }
+    };
+    let mut acc = load_full(first)?;
+    shift(&mut acc, first_offset);
+    for &(src, offset) in rest {
+        let mut next = load_full(src)?;
+        shift(&mut next, offset);
+        acc = merge_cores(&acc, &next, policy)?;
+    }
+    let bytes = write_file(&acc.core, &acc.map, &policy.options);
+    let len = bytes.len() as u64;
+    store.put(out_key, bytes)?;
+    Ok(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::FmBuilder;
+    use crate::Posting;
+    use rottnest_object_store::MemoryStore;
+
+    fn build_source(
+        store: &dyn ObjectStore,
+        key: &str,
+        file_id: u32,
+        docs: &[&str],
+    ) {
+        let mut b = FmBuilder::with_options(FmOptions {
+            block_size: 512,
+            ..Default::default()
+        });
+        for (i, d) in docs.iter().enumerate() {
+            b.add_document(Posting::new(file_id, i as u32), d.as_bytes());
+        }
+        b.finish_into(store, key).unwrap();
+    }
+
+    #[test]
+    fn interleave_merge_preserves_counts() {
+        let store = MemoryStore::unmetered();
+        let docs_a = ["the quick brown fox", "lazy dogs sleep all day", "fox hunting season"];
+        let docs_b = ["quick thinking saves the day", "brown bears", "a fox again"];
+        build_source(store.as_ref(), "a.fm", 0, &docs_a);
+        build_source(store.as_ref(), "b.fm", 1, &docs_b);
+
+        let ia = FmIndex::open(store.as_ref(), "a.fm").unwrap();
+        let ib = FmIndex::open(store.as_ref(), "b.fm").unwrap();
+        merge_fm(store.as_ref(), &[(&ia, 0), (&ib, 0)], "m.fm", &MergePolicy::default()).unwrap();
+        let merged = FmIndex::open(store.as_ref(), "m.fm").unwrap();
+
+        for (pattern, want) in [
+            ("fox", 3usize),
+            ("quick", 2),
+            ("brown", 2),
+            ("day", 2),
+            ("the", 2),
+            ("zebra", 0),
+        ] {
+            assert_eq!(
+                merged.count(pattern.as_bytes()).unwrap(),
+                want,
+                "pattern {pattern:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn interleave_merge_locates_correct_pages() {
+        let store = MemoryStore::unmetered();
+        build_source(store.as_ref(), "a.fm", 0, &["alpha alpha", "beta"]);
+        build_source(store.as_ref(), "b.fm", 1, &["gamma", "alpha delta"]);
+        let ia = FmIndex::open(store.as_ref(), "a.fm").unwrap();
+        let ib = FmIndex::open(store.as_ref(), "b.fm").unwrap();
+        merge_fm(store.as_ref(), &[(&ia, 0), (&ib, 0)], "m.fm", &MergePolicy::default()).unwrap();
+        let merged = FmIndex::open(store.as_ref(), "m.fm").unwrap();
+
+        let mut hits = merged.locate_pages(b"alpha", 100).unwrap();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![(Posting::new(0, 0), 2), (Posting::new(1, 1), 1)]);
+
+        let hits = merged.locate_pages(b"gamma", 100).unwrap();
+        assert_eq!(hits, vec![(Posting::new(1, 0), 1)]);
+    }
+
+    #[test]
+    fn merge_of_three_sources_folds() {
+        let store = MemoryStore::unmetered();
+        for (i, docs) in [["one two"], ["two three"], ["three four"]].iter().enumerate() {
+            let strs: Vec<&str> = docs.to_vec();
+            build_source(store.as_ref(), &format!("{i}.fm"), i as u32, &strs);
+        }
+        let i0 = FmIndex::open(store.as_ref(), "0.fm").unwrap();
+        let i1 = FmIndex::open(store.as_ref(), "1.fm").unwrap();
+        let i2 = FmIndex::open(store.as_ref(), "2.fm").unwrap();
+        merge_fm(store.as_ref(), &[(&i0, 0), (&i1, 0), (&i2, 0)], "m.fm", &MergePolicy::default()).unwrap();
+        let merged = FmIndex::open(store.as_ref(), "m.fm").unwrap();
+        assert_eq!(merged.count(b"two").unwrap(), 2);
+        assert_eq!(merged.count(b"three").unwrap(), 2);
+        assert_eq!(merged.count(b"one").unwrap(), 1);
+        assert_eq!(merged.count(b"four").unwrap(), 1);
+    }
+
+    #[test]
+    fn merged_equals_jointly_built_counts() {
+        // The merged index must answer exactly like an index built over the
+        // union collection.
+        let store = MemoryStore::unmetered();
+        let docs_a: Vec<String> =
+            (0..30).map(|i| format!("alpha document number {i} payload xyz")).collect();
+        let docs_b: Vec<String> =
+            (0..30).map(|i| format!("beta document number {i} payload abc")).collect();
+        let ra: Vec<&str> = docs_a.iter().map(|s| s.as_str()).collect();
+        let rb: Vec<&str> = docs_b.iter().map(|s| s.as_str()).collect();
+        build_source(store.as_ref(), "a.fm", 0, &ra);
+        build_source(store.as_ref(), "b.fm", 1, &rb);
+        let ia = FmIndex::open(store.as_ref(), "a.fm").unwrap();
+        let ib = FmIndex::open(store.as_ref(), "b.fm").unwrap();
+        merge_fm(store.as_ref(), &[(&ia, 0), (&ib, 0)], "m.fm", &MergePolicy::default()).unwrap();
+        let merged = FmIndex::open(store.as_ref(), "m.fm").unwrap();
+
+        let mut joint = FmBuilder::new();
+        for (i, d) in ra.iter().enumerate() {
+            joint.add_document(Posting::new(0, i as u32), d.as_bytes());
+        }
+        for (i, d) in rb.iter().enumerate() {
+            joint.add_document(Posting::new(1, i as u32), d.as_bytes());
+        }
+        joint.finish_into(store.as_ref(), "j.fm").unwrap();
+        let joint = FmIndex::open(store.as_ref(), "j.fm").unwrap();
+
+        for pattern in ["document number 2", "payload", "alpha", "abc", "number 19 payload"] {
+            assert_eq!(
+                merged.count(pattern.as_bytes()).unwrap(),
+                joint.count(pattern.as_bytes()).unwrap(),
+                "pattern {pattern:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reconstruct_texts_inverts_the_bwt() {
+        let text = b"hello world\x01goodbye moon\x01";
+        let core = FmCore::build(text, 4);
+        let strings = reconstruct_texts(&core);
+        assert_eq!(strings.len(), 1);
+        assert_eq!(strings[0], text.to_vec());
+    }
+
+    #[test]
+    fn tight_budget_trips_merge_budget_error() {
+        // Repetitive cross-index text needs several refinement rounds;
+        // budget 1 cannot converge.
+        let a = FmCore::build(b"aaaaaaaaaaaaaaaa\x01", 4);
+        let b = FmCore::build(b"aaaaaaaaaaaaaaab\x01", 4);
+        let err = compute_interleave(&a.bwt, &b.bwt, 1).unwrap_err();
+        assert!(matches!(err, FmError::MergeBudget { .. }));
+    }
+}

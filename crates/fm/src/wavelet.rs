@@ -1,0 +1,210 @@
+//! Wavelet matrix over the byte alphabet: `rank(symbol, i)` and `access(i)`
+//! in 8 bit-vector operations.
+//!
+//! Each BWT block is represented by one wavelet matrix, making a block a
+//! self-contained component (§V-B): a backward-search step touches at most
+//! two blocks, a LF-mapping step exactly one.
+
+use rottnest_compress::varint;
+
+use crate::bitvec::{BitVecBuilder, RankBitVec};
+use crate::{FmError, Result};
+
+const LEVELS: usize = 8;
+
+/// A wavelet matrix over `u8` symbols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaveletMatrix {
+    len: usize,
+    levels: Vec<RankBitVec>,
+    /// Zeros per level (partition points).
+    zeros: Vec<usize>,
+}
+
+impl WaveletMatrix {
+    /// Builds from a symbol slice.
+    pub fn build(symbols: &[u8]) -> Self {
+        let mut current: Vec<u8> = symbols.to_vec();
+        let mut levels = Vec::with_capacity(LEVELS);
+        let mut zeros = Vec::with_capacity(LEVELS);
+
+        for level in 0..LEVELS {
+            let shift = 7 - level;
+            let mut bv = BitVecBuilder::with_capacity(current.len());
+            let mut zero_part = Vec::with_capacity(current.len());
+            let mut one_part = Vec::new();
+            for &sym in &current {
+                let bit = (sym >> shift) & 1 == 1;
+                bv.push(bit);
+                if bit {
+                    one_part.push(sym);
+                } else {
+                    zero_part.push(sym);
+                }
+            }
+            zeros.push(zero_part.len());
+            levels.push(bv.finish());
+            zero_part.extend_from_slice(&one_part);
+            current = zero_part;
+        }
+
+        Self { len: symbols.len(), levels, zeros }
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The symbol at position `i`.
+    pub fn access(&self, mut i: usize) -> u8 {
+        debug_assert!(i < self.len);
+        let mut sym = 0u8;
+        for (level, bv) in self.levels.iter().enumerate() {
+            let bit = bv.get(i);
+            sym = (sym << 1) | u8::from(bit);
+            i = if bit {
+                self.zeros[level] + bv.rank1(i)
+            } else {
+                bv.rank0(i)
+            };
+        }
+        sym
+    }
+
+    /// Occurrences of `sym` in `[0, i)`.
+    pub fn rank(&self, sym: u8, i: usize) -> usize {
+        debug_assert!(i <= self.len);
+        let mut start = 0usize;
+        let mut end = i;
+        for (level, bv) in self.levels.iter().enumerate() {
+            let shift = 7 - level;
+            if (sym >> shift) & 1 == 1 {
+                start = self.zeros[level] + bv.rank1(start);
+                end = self.zeros[level] + bv.rank1(end);
+            } else {
+                start = bv.rank0(start);
+                end = bv.rank0(end);
+            }
+        }
+        end - start
+    }
+
+    /// Symbol at `i` *and* its rank up to `i` in one traversal — the exact
+    /// pair a LF-mapping step needs.
+    pub fn access_and_rank(&self, i: usize) -> (u8, usize) {
+        debug_assert!(i < self.len);
+        let mut sym = 0u8;
+        let mut start = 0usize;
+        let mut pos = i;
+        for (level, bv) in self.levels.iter().enumerate() {
+            let bit = bv.get(pos);
+            sym = (sym << 1) | u8::from(bit);
+            if bit {
+                start = self.zeros[level] + bv.rank1(start);
+                pos = self.zeros[level] + bv.rank1(pos);
+            } else {
+                start = bv.rank0(start);
+                pos = bv.rank0(pos);
+            }
+        }
+        (sym, pos - start)
+    }
+
+    /// Serializes the matrix.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        varint::write_usize(out, self.len);
+        for (bv, &z) in self.levels.iter().zip(&self.zeros) {
+            varint::write_usize(out, z);
+            bv.encode(out);
+        }
+    }
+
+    /// Decodes a matrix written by [`WaveletMatrix::encode`].
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Self> {
+        let len = varint::read_usize(buf, pos)?;
+        let mut levels = Vec::with_capacity(LEVELS);
+        let mut zeros = Vec::with_capacity(LEVELS);
+        for _ in 0..LEVELS {
+            zeros.push(varint::read_usize(buf, pos)?);
+            let bv = RankBitVec::decode(buf, pos)?;
+            if bv.len() != len {
+                return Err(FmError::Corrupt("wavelet level length mismatch".into()));
+            }
+            levels.push(bv);
+        }
+        Ok(Self { len, levels, zeros })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn check_all(symbols: &[u8]) {
+        let wm = WaveletMatrix::build(symbols);
+        assert_eq!(wm.len(), symbols.len());
+        let mut counts = [0usize; 256];
+        for (i, &s) in symbols.iter().enumerate() {
+            assert_eq!(wm.access(i), s, "access({i})");
+            assert_eq!(wm.rank(s, i), counts[s as usize], "rank({s}, {i})");
+            let (sym, r) = wm.access_and_rank(i);
+            assert_eq!((sym, r), (s, counts[s as usize]));
+            counts[s as usize] += 1;
+        }
+        for s in [0u8, 1, 128, 255] {
+            assert_eq!(wm.rank(s, symbols.len()), counts[s as usize]);
+        }
+    }
+
+    #[test]
+    fn small_cases() {
+        check_all(b"");
+        check_all(b"a");
+        check_all(b"banana");
+        check_all(b"mississippi");
+        check_all(&[0, 255, 0, 255, 128]);
+    }
+
+    #[test]
+    fn random_bytes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let symbols: Vec<u8> = (0..3000).map(|_| rng.gen()).collect();
+        check_all(&symbols);
+    }
+
+    #[test]
+    fn skewed_alphabet() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let symbols: Vec<u8> = (0..3000).map(|_| b"ab"[rng.gen_range(0..2)]).collect();
+        check_all(&symbols);
+    }
+
+    #[test]
+    fn encode_round_trip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let symbols: Vec<u8> = (0..1000).map(|_| rng.gen()).collect();
+        let wm = WaveletMatrix::build(&symbols);
+        let mut buf = Vec::new();
+        wm.encode(&mut buf);
+        let mut pos = 0;
+        let back = WaveletMatrix::decode(&buf, &mut pos).unwrap();
+        assert_eq!(back, wm);
+        assert_eq!(pos, buf.len());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_access_rank_match_naive(symbols in proptest::collection::vec(any::<u8>(), 0..400)) {
+            check_all(&symbols);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Model-based property test: the on-store FM-index must agree exactly with
+//! naive substring scanning over arbitrary document sets, including through
+//! a merge.
+
+use proptest::prelude::*;
+use rottnest_fm::{merge_fm, FmBuilder, FmIndex, FmOptions, MergePolicy, Posting};
+use rottnest_object_store::MemoryStore;
+
+/// Documents over a small alphabet so patterns actually occur.
+fn docs_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[abcd]{0,24}", 1..40)
+}
+
+fn naive_count(docs: &[String], pattern: &[u8]) -> usize {
+    docs.iter()
+        .map(|d| {
+            let b = d.as_bytes();
+            if pattern.is_empty() || b.len() < pattern.len() {
+                0
+            } else {
+                b.windows(pattern.len()).filter(|w| *w == pattern).count()
+            }
+        })
+        .sum()
+}
+
+fn build(store: &MemoryStore, key: &str, docs: &[String], file: u32) {
+    let mut b = FmBuilder::with_options(FmOptions { block_size: 128, sample_rate: 4 });
+    for (i, d) in docs.iter().enumerate() {
+        b.add_document(Posting::new(file, i as u32), d.as_bytes());
+    }
+    b.finish_into(store, key).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn count_matches_naive(docs in docs_strategy(), pattern in "[abcd]{1,5}") {
+        let store = MemoryStore::unmetered();
+        build(&store, "f.idx", &docs, 0);
+        let idx = FmIndex::open(store.as_ref(), "f.idx").unwrap();
+        prop_assert_eq!(
+            idx.count(pattern.as_bytes()).unwrap(),
+            naive_count(&docs, pattern.as_bytes()),
+            "docs {:?} pattern {:?}", docs, pattern
+        );
+    }
+
+    #[test]
+    fn locate_pages_cover_every_occurrence(docs in docs_strategy(), pattern in "[abcd]{1,4}") {
+        let store = MemoryStore::unmetered();
+        build(&store, "f.idx", &docs, 0);
+        let idx = FmIndex::open(store.as_ref(), "f.idx").unwrap();
+        let hits = idx.locate_pages(pattern.as_bytes(), usize::MAX).unwrap();
+        let total: u32 = hits.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(total as usize, naive_count(&docs, pattern.as_bytes()));
+        // Every posting named must belong to a document containing the
+        // pattern… at page granularity each page is one doc here only when
+        // postings differ per doc; verify pages have ≥1 occurrence.
+        for (p, _) in hits {
+            let d = &docs[p.page as usize];
+            prop_assert!(
+                naive_count(std::slice::from_ref(d), pattern.as_bytes()) > 0,
+                "page {} has no occurrence of {:?}", p.page, pattern
+            );
+        }
+    }
+
+    #[test]
+    fn merged_count_equals_sum(
+        a in docs_strategy(),
+        b in docs_strategy(),
+        pattern in "[abcd]{1,4}",
+    ) {
+        let store = MemoryStore::unmetered();
+        build(&store, "a.idx", &a, 0);
+        build(&store, "b.idx", &b, 1);
+        let ia = FmIndex::open(store.as_ref(), "a.idx").unwrap();
+        let ib = FmIndex::open(store.as_ref(), "b.idx").unwrap();
+        let policy = MergePolicy {
+            options: FmOptions { block_size: 128, sample_rate: 4 },
+            ..Default::default()
+        };
+        merge_fm(store.as_ref(), &[(&ia, 0), (&ib, 0)], "m.idx", &policy).unwrap();
+        let m = FmIndex::open(store.as_ref(), "m.idx").unwrap();
+        prop_assert_eq!(
+            m.count(pattern.as_bytes()).unwrap(),
+            naive_count(&a, pattern.as_bytes()) + naive_count(&b, pattern.as_bytes())
+        );
+    }
+}

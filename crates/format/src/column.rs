@@ -1,0 +1,366 @@
+//! In-memory column data and record batches.
+
+use crate::schema::{DataType, Schema};
+use crate::{FormatError, Result};
+
+/// Columnar values for one column.
+///
+/// Variable-length types use a flattened `data` buffer plus an `offsets`
+/// array (`offsets.len() == n + 1`), the standard Arrow-style layout, so a
+/// page decode performs a single allocation per buffer rather than one per
+/// value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// 64-bit integers.
+    Int64(Vec<i64>),
+    /// UTF-8 strings (flattened).
+    Utf8 {
+        /// Byte offsets of each value; length `n + 1`.
+        offsets: Vec<u32>,
+        /// Concatenated string bytes.
+        data: Vec<u8>,
+    },
+    /// Binary blobs (flattened).
+    Binary {
+        /// Byte offsets of each value; length `n + 1`.
+        offsets: Vec<u32>,
+        /// Concatenated blob bytes.
+        data: Vec<u8>,
+    },
+    /// Fixed-dimension vectors (row-major flattened).
+    VectorF32 {
+        /// Dimensions per vector.
+        dim: u32,
+        /// `n * dim` floats.
+        data: Vec<f32>,
+    },
+}
+
+/// A borrowed scalar from a column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueRef<'a> {
+    /// An `Int64` element.
+    Int64(i64),
+    /// A `Utf8` element.
+    Utf8(&'a str),
+    /// A `Binary` element.
+    Binary(&'a [u8]),
+    /// A `VectorF32` element.
+    VectorF32(&'a [f32]),
+}
+
+impl ColumnData {
+    /// Creates an empty column of the given type.
+    pub fn empty(data_type: DataType) -> Self {
+        match data_type {
+            DataType::Int64 => ColumnData::Int64(Vec::new()),
+            DataType::Utf8 => ColumnData::Utf8 { offsets: vec![0], data: Vec::new() },
+            DataType::Binary => ColumnData::Binary { offsets: vec![0], data: Vec::new() },
+            DataType::VectorF32 { dim } => ColumnData::VectorF32 { dim, data: Vec::new() },
+        }
+    }
+
+    /// Builds a `Utf8` column from string slices.
+    pub fn from_strings<S: AsRef<str>>(values: impl IntoIterator<Item = S>) -> Self {
+        let mut offsets = vec![0u32];
+        let mut data = Vec::new();
+        for v in values {
+            data.extend_from_slice(v.as_ref().as_bytes());
+            offsets.push(data.len() as u32);
+        }
+        ColumnData::Utf8 { offsets, data }
+    }
+
+    /// Builds a `Binary` column from byte slices.
+    pub fn from_blobs<B: AsRef<[u8]>>(values: impl IntoIterator<Item = B>) -> Self {
+        let mut offsets = vec![0u32];
+        let mut data = Vec::new();
+        for v in values {
+            data.extend_from_slice(v.as_ref());
+            offsets.push(data.len() as u32);
+        }
+        ColumnData::Binary { offsets, data }
+    }
+
+    /// Builds a `VectorF32` column from equal-length vectors.
+    pub fn from_vectors(dim: u32, vectors: impl IntoIterator<Item = Vec<f32>>) -> Result<Self> {
+        let mut data = Vec::new();
+        for v in vectors {
+            if v.len() != dim as usize {
+                return Err(FormatError::TypeMismatch {
+                    expected: DataType::VectorF32 { dim },
+                    found: "vector with wrong dimension",
+                });
+            }
+            data.extend_from_slice(&v);
+        }
+        Ok(ColumnData::VectorF32 { dim, data })
+    }
+
+    /// The column's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColumnData::Int64(_) => DataType::Int64,
+            ColumnData::Utf8 { .. } => DataType::Utf8,
+            ColumnData::Binary { .. } => DataType::Binary,
+            ColumnData::VectorF32 { dim, .. } => DataType::VectorF32 { dim: *dim },
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int64(v) => v.len(),
+            ColumnData::Utf8 { offsets, .. } | ColumnData::Binary { offsets, .. } => {
+                offsets.len() - 1
+            }
+            ColumnData::VectorF32 { dim, data } => {
+                if *dim == 0 {
+                    0
+                } else {
+                    data.len() / *dim as usize
+                }
+            }
+        }
+    }
+
+    /// Whether the column has no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate raw (uncompressed, unencoded) size in bytes; drives page
+    /// splitting in the writer.
+    pub fn raw_size(&self) -> usize {
+        match self {
+            ColumnData::Int64(v) => v.len() * 8,
+            ColumnData::Utf8 { data, offsets } | ColumnData::Binary { data, offsets } => {
+                data.len() + offsets.len() * 4
+            }
+            ColumnData::VectorF32 { data, .. } => data.len() * 4,
+        }
+    }
+
+    /// Returns element `i`, or `None` past the end.
+    pub fn get(&self, i: usize) -> Option<ValueRef<'_>> {
+        if i >= self.len() {
+            return None;
+        }
+        Some(match self {
+            ColumnData::Int64(v) => ValueRef::Int64(v[i]),
+            ColumnData::Utf8 { offsets, data } => {
+                let s = &data[offsets[i] as usize..offsets[i + 1] as usize];
+                // Written from &str, so this is valid UTF-8; avoid the check
+                // cost on the hot probe path in release builds.
+                debug_assert!(std::str::from_utf8(s).is_ok());
+                ValueRef::Utf8(unsafe { std::str::from_utf8_unchecked(s) })
+            }
+            ColumnData::Binary { offsets, data } => {
+                ValueRef::Binary(&data[offsets[i] as usize..offsets[i + 1] as usize])
+            }
+            ColumnData::VectorF32 { dim, data } => {
+                let d = *dim as usize;
+                ValueRef::VectorF32(&data[i * d..(i + 1) * d])
+            }
+        })
+    }
+
+    /// Appends all values of `other` (same type) to `self`.
+    pub fn extend_from(&mut self, other: &ColumnData) -> Result<()> {
+        match (self, other) {
+            (ColumnData::Int64(a), ColumnData::Int64(b)) => a.extend_from_slice(b),
+            (
+                ColumnData::Utf8 { offsets: ao, data: ad },
+                ColumnData::Utf8 { offsets: bo, data: bd },
+            )
+            | (
+                ColumnData::Binary { offsets: ao, data: ad },
+                ColumnData::Binary { offsets: bo, data: bd },
+            ) => {
+                let base = ad.len() as u32;
+                ad.extend_from_slice(bd);
+                ao.extend(bo.iter().skip(1).map(|&o| o + base));
+            }
+            (
+                ColumnData::VectorF32 { dim: ad, data: a },
+                ColumnData::VectorF32 { dim: bd, data: b },
+            ) if ad == bd => a.extend_from_slice(b),
+            (s, o) => {
+                return Err(FormatError::TypeMismatch {
+                    expected: s.data_type(),
+                    found: type_name(o),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns a copy of rows `range` (used by the page writer to split).
+    pub fn slice(&self, start: usize, len: usize) -> ColumnData {
+        match self {
+            ColumnData::Int64(v) => ColumnData::Int64(v[start..start + len].to_vec()),
+            ColumnData::Utf8 { offsets, data } => {
+                let (o, d) = slice_var(offsets, data, start, len);
+                ColumnData::Utf8 { offsets: o, data: d }
+            }
+            ColumnData::Binary { offsets, data } => {
+                let (o, d) = slice_var(offsets, data, start, len);
+                ColumnData::Binary { offsets: o, data: d }
+            }
+            ColumnData::VectorF32 { dim, data } => {
+                let d = *dim as usize;
+                ColumnData::VectorF32 {
+                    dim: *dim,
+                    data: data[start * d..(start + len) * d].to_vec(),
+                }
+            }
+        }
+    }
+}
+
+fn slice_var(offsets: &[u32], data: &[u8], start: usize, len: usize) -> (Vec<u32>, Vec<u8>) {
+    let base = offsets[start];
+    let out_offsets: Vec<u32> =
+        offsets[start..=start + len].iter().map(|&o| o - base).collect();
+    let out_data = data[offsets[start] as usize..offsets[start + len] as usize].to_vec();
+    (out_offsets, out_data)
+}
+
+fn type_name(c: &ColumnData) -> &'static str {
+    match c {
+        ColumnData::Int64(_) => "Int64",
+        ColumnData::Utf8 { .. } => "Utf8",
+        ColumnData::Binary { .. } => "Binary",
+        ColumnData::VectorF32 { .. } => "VectorF32",
+    }
+}
+
+/// A set of equal-length columns conforming to a schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordBatch {
+    schema: Schema,
+    columns: Vec<ColumnData>,
+    num_rows: usize,
+}
+
+impl RecordBatch {
+    /// Builds a batch, validating column count, types and lengths.
+    pub fn new(schema: Schema, columns: Vec<ColumnData>) -> Result<Self> {
+        if schema.len() != columns.len() {
+            return Err(FormatError::Corrupt(format!(
+                "schema has {} fields but {} columns given",
+                schema.len(),
+                columns.len()
+            )));
+        }
+        let mut num_rows = None;
+        for (field, col) in schema.fields().iter().zip(&columns) {
+            if field.data_type != col.data_type() {
+                return Err(FormatError::TypeMismatch {
+                    expected: field.data_type,
+                    found: type_name(col),
+                });
+            }
+            let n = col.len();
+            if *num_rows.get_or_insert(n) != n {
+                return Err(FormatError::Corrupt("column length mismatch".into()));
+            }
+        }
+        Ok(Self { schema, columns, num_rows: num_rows.unwrap_or(0) })
+    }
+
+    /// The batch's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The batch's columns.
+    pub fn columns(&self) -> &[ColumnData] {
+        &self.columns
+    }
+
+    /// Column by index.
+    pub fn column(&self, i: usize) -> &ColumnData {
+        &self.columns[i]
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+
+    #[test]
+    fn string_column_access() {
+        let c = ColumnData::from_strings(["alpha", "", "gamma"]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), Some(ValueRef::Utf8("alpha")));
+        assert_eq!(c.get(1), Some(ValueRef::Utf8("")));
+        assert_eq!(c.get(2), Some(ValueRef::Utf8("gamma")));
+        assert_eq!(c.get(3), None);
+    }
+
+    #[test]
+    fn vector_column_access() {
+        let c = ColumnData::from_vectors(2, vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1), Some(ValueRef::VectorF32(&[3.0, 4.0][..])));
+        assert!(ColumnData::from_vectors(2, vec![vec![1.0]]).is_err());
+    }
+
+    #[test]
+    fn slicing_var_length() {
+        let c = ColumnData::from_strings(["aa", "bbb", "c", "dddd"]);
+        let s = c.slice(1, 2);
+        assert_eq!(s.get(0), Some(ValueRef::Utf8("bbb")));
+        assert_eq!(s.get(1), Some(ValueRef::Utf8("c")));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn extend_matches_concatenation() {
+        let mut a = ColumnData::from_strings(["x", "y"]);
+        let b = ColumnData::from_strings(["z"]);
+        a.extend_from(&b).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.get(2), Some(ValueRef::Utf8("z")));
+        let mut ints = ColumnData::Int64(vec![1]);
+        assert!(ints.extend_from(&b).is_err());
+    }
+
+    #[test]
+    fn batch_validation() {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("body", DataType::Utf8),
+        ]);
+        let ok = RecordBatch::new(
+            schema.clone(),
+            vec![ColumnData::Int64(vec![1, 2]), ColumnData::from_strings(["a", "b"])],
+        );
+        assert_eq!(ok.unwrap().num_rows(), 2);
+
+        let len_mismatch = RecordBatch::new(
+            schema.clone(),
+            vec![ColumnData::Int64(vec![1]), ColumnData::from_strings(["a", "b"])],
+        );
+        assert!(len_mismatch.is_err());
+
+        let type_mismatch = RecordBatch::new(
+            schema,
+            vec![ColumnData::Int64(vec![1, 2]), ColumnData::Int64(vec![3, 4])],
+        );
+        assert!(type_mismatch.is_err());
+    }
+
+    #[test]
+    fn raw_size_tracks_payload() {
+        let c = ColumnData::from_strings(["hello", "world"]);
+        assert!(c.raw_size() >= 10);
+    }
+}

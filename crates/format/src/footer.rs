@@ -1,0 +1,231 @@
+//! File footer metadata: the page directory and statistics.
+//!
+//! Like Parquet's thrift footer, the metadata sits at the *end* of the file
+//! (writers stream row groups first), framed as
+//! `[footer bytes][footer_len: u32 LE][magic]`. The traditional read path
+//! must fetch and parse this before it can locate any data — the extra
+//! dependent round trip Rottnest's page-table reader avoids (Figure 5).
+
+use rottnest_compress::varint;
+
+use crate::schema::Schema;
+use crate::{FormatError, Result, MAGIC};
+
+/// Location and shape of one data page within a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageMeta {
+    /// Absolute byte offset of the page within the file.
+    pub offset: u64,
+    /// Total encoded size of the page in bytes.
+    pub size: u64,
+    /// Number of values stored in the page.
+    pub num_values: u64,
+    /// File-global index of the page's first row.
+    pub first_row: u64,
+}
+
+/// Metadata for one column chunk (all pages of one column in a row group).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkMeta {
+    /// Byte offset of the chunk's first page.
+    pub offset: u64,
+    /// Total chunk size in bytes.
+    pub size: u64,
+    /// Per-page directory.
+    pub pages: Vec<PageMeta>,
+    /// Minimum value bytes (Int64 as big-endian-sortable, Utf8/Binary
+    /// truncated to 64 bytes); empty when untracked (vectors).
+    pub min: Vec<u8>,
+    /// Maximum value bytes; see `min`.
+    pub max: Vec<u8>,
+}
+
+/// Metadata for one row group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowGroupMeta {
+    /// Number of rows in every chunk of this group.
+    pub num_rows: u64,
+    /// File-global index of the group's first row.
+    pub first_row: u64,
+    /// One chunk per schema column, in schema order.
+    pub chunks: Vec<ChunkMeta>,
+}
+
+/// Complete file metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileMeta {
+    /// The file's schema.
+    pub schema: Schema,
+    /// Row groups in file order.
+    pub row_groups: Vec<RowGroupMeta>,
+    /// Total rows in the file.
+    pub num_rows: u64,
+}
+
+impl FileMeta {
+    /// Serializes the footer body (without length/magic framing).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.schema.encode(&mut out);
+        varint::write_u64(&mut out, self.num_rows);
+        varint::write_usize(&mut out, self.row_groups.len());
+        for rg in &self.row_groups {
+            varint::write_u64(&mut out, rg.num_rows);
+            varint::write_u64(&mut out, rg.first_row);
+            varint::write_usize(&mut out, rg.chunks.len());
+            for c in &rg.chunks {
+                varint::write_u64(&mut out, c.offset);
+                varint::write_u64(&mut out, c.size);
+                varint::write_bytes(&mut out, &c.min);
+                varint::write_bytes(&mut out, &c.max);
+                varint::write_usize(&mut out, c.pages.len());
+                for p in &c.pages {
+                    varint::write_u64(&mut out, p.offset);
+                    varint::write_u64(&mut out, p.size);
+                    varint::write_u64(&mut out, p.num_values);
+                    varint::write_u64(&mut out, p.first_row);
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes a footer body written by [`FileMeta::encode`].
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut pos = 0usize;
+        let schema = Schema::decode(buf, &mut pos)?;
+        let num_rows = varint::read_u64(buf, &mut pos)?;
+        let n_groups = varint::read_usize(buf, &mut pos)?;
+        let mut row_groups = Vec::with_capacity(n_groups.min(1 << 16));
+        for _ in 0..n_groups {
+            let rg_rows = varint::read_u64(buf, &mut pos)?;
+            let first_row = varint::read_u64(buf, &mut pos)?;
+            let n_chunks = varint::read_usize(buf, &mut pos)?;
+            let mut chunks = Vec::with_capacity(n_chunks.min(1 << 10));
+            for _ in 0..n_chunks {
+                let offset = varint::read_u64(buf, &mut pos)?;
+                let size = varint::read_u64(buf, &mut pos)?;
+                let min = varint::read_bytes(buf, &mut pos)?.to_vec();
+                let max = varint::read_bytes(buf, &mut pos)?.to_vec();
+                let n_pages = varint::read_usize(buf, &mut pos)?;
+                let mut pages = Vec::with_capacity(n_pages.min(1 << 20));
+                for _ in 0..n_pages {
+                    pages.push(PageMeta {
+                        offset: varint::read_u64(buf, &mut pos)?,
+                        size: varint::read_u64(buf, &mut pos)?,
+                        num_values: varint::read_u64(buf, &mut pos)?,
+                        first_row: varint::read_u64(buf, &mut pos)?,
+                    });
+                }
+                chunks.push(ChunkMeta { offset, size, pages, min, max });
+            }
+            row_groups.push(RowGroupMeta { num_rows: rg_rows, first_row, chunks });
+        }
+        Ok(FileMeta { schema, row_groups, num_rows })
+    }
+
+    /// Parses a footer from the file *tail* (the last `tail.len()` bytes of a
+    /// file of `file_len` bytes). Returns the metadata and the footer's start
+    /// offset, or an error if `tail` is too short to contain it.
+    pub fn from_tail(tail: &[u8], file_len: u64) -> Result<(Self, u64)> {
+        if tail.len() < 8 {
+            return Err(FormatError::Corrupt("tail shorter than footer frame".into()));
+        }
+        let magic = &tail[tail.len() - 4..];
+        if magic != MAGIC {
+            return Err(FormatError::Corrupt("bad trailing magic".into()));
+        }
+        let len_bytes: [u8; 4] = tail[tail.len() - 8..tail.len() - 4].try_into().unwrap();
+        let footer_len = u32::from_le_bytes(len_bytes) as usize;
+        if footer_len + 8 > tail.len() {
+            return Err(FormatError::Corrupt(format!(
+                "footer of {footer_len} bytes exceeds fetched tail of {} bytes",
+                tail.len()
+            )));
+        }
+        let start = tail.len() - 8 - footer_len;
+        let meta = Self::decode(&tail[start..tail.len() - 8])?;
+        Ok((meta, file_len - 8 - footer_len as u64))
+    }
+
+    /// Total pages of column `col` across all row groups.
+    pub fn num_pages(&self, col: usize) -> usize {
+        self.row_groups.iter().map(|rg| rg.chunks[col].pages.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Field};
+
+    fn sample() -> FileMeta {
+        FileMeta {
+            schema: Schema::new(vec![Field::new("body", DataType::Utf8)]),
+            num_rows: 100,
+            row_groups: vec![RowGroupMeta {
+                num_rows: 100,
+                first_row: 0,
+                chunks: vec![ChunkMeta {
+                    offset: 4,
+                    size: 2048,
+                    min: b"aaa".to_vec(),
+                    max: b"zzz".to_vec(),
+                    pages: vec![
+                        PageMeta { offset: 4, size: 1024, num_values: 60, first_row: 0 },
+                        PageMeta { offset: 1028, size: 1024, num_values: 40, first_row: 60 },
+                    ],
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let meta = sample();
+        let buf = meta.encode();
+        assert_eq!(FileMeta::decode(&buf).unwrap(), meta);
+    }
+
+    #[test]
+    fn tail_framing_round_trip() {
+        let meta = sample();
+        let body = meta.encode();
+        let mut file = vec![0u8; 500]; // pretend data section
+        file.extend_from_slice(&body);
+        file.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        file.extend_from_slice(MAGIC);
+        let (parsed, footer_off) = FileMeta::from_tail(&file, file.len() as u64).unwrap();
+        assert_eq!(parsed, meta);
+        assert_eq!(footer_off, 500);
+        // A tail window also works.
+        let tail = &file[file.len() - body.len() - 8..];
+        let (parsed2, _) = FileMeta::from_tail(tail, file.len() as u64).unwrap();
+        assert_eq!(parsed2, meta);
+    }
+
+    #[test]
+    fn short_tail_is_reported() {
+        let meta = sample();
+        let body = meta.encode();
+        let mut file = Vec::new();
+        file.extend_from_slice(&body);
+        file.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        file.extend_from_slice(MAGIC);
+        let too_short = &file[file.len() - 10..];
+        assert!(FileMeta::from_tail(too_short, file.len() as u64).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = vec![0u8; 64];
+        assert!(FileMeta::from_tail(&buf, 64).is_err());
+    }
+
+    #[test]
+    fn num_pages_sums_groups() {
+        let mut meta = sample();
+        meta.row_groups.push(meta.row_groups[0].clone());
+        assert_eq!(meta.num_pages(0), 4);
+    }
+}

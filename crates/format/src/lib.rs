@@ -1,0 +1,89 @@
+//! `lakeparquet` — a Parquet-like columnar file format built from scratch.
+//!
+//! The format mirrors the structure that matters for the paper's §V-A
+//! analysis (Figure 5):
+//!
+//! ```text
+//! file := magic, row-group*, footer, footer_len: u32, magic
+//! row-group := column-chunk*            (all chunks share the row count)
+//! column-chunk := data-page*
+//! data-page := header, compressed values (~1 MiB of raw data per page)
+//! footer := schema + per-chunk page directory + min/max statistics
+//! ```
+//!
+//! Two read paths are provided, matching the paper's Figure 5 exactly:
+//!
+//! * [`reader::ChunkReader`] — the *traditional* reader: fetch the footer,
+//!   then download **entire column chunks** (tens–hundreds of MB for wide
+//!   columns). This is what query engines do today and what the brute-force
+//!   baseline and the "no custom reader" ablation (Fig 11) use.
+//! * [`reader::PageReader`] — Rottnest's optimized reader: given an external
+//!   [`page_table::PageTable`], fetch **individual data pages** (~300 KiB
+//!   compressed) with a single range GET, *bypassing the file metadata
+//!   entirely*.
+
+pub mod column;
+pub mod footer;
+pub mod page;
+pub mod page_table;
+pub mod reader;
+pub mod schema;
+pub mod writer;
+
+pub use column::{ColumnData, RecordBatch, ValueRef};
+pub use footer::{ChunkMeta, FileMeta, PageMeta, RowGroupMeta};
+pub use page_table::{PageLocation, PageTable};
+pub use reader::{ChunkReader, PageReader};
+pub use schema::{DataType, Field, Schema};
+pub use writer::{FileWriter, WriterOptions};
+
+/// Magic bytes framing every lakeparquet file.
+pub const MAGIC: &[u8; 4] = b"LKP1";
+
+/// Errors raised by format encoding/decoding.
+#[derive(Debug)]
+pub enum FormatError {
+    /// File framing or payload bytes are malformed.
+    Corrupt(String),
+    /// Schema/type mismatch between writer input and declared schema.
+    TypeMismatch {
+        /// The type the schema declares.
+        expected: DataType,
+        /// A description of what was supplied.
+        found: &'static str,
+    },
+    /// Underlying compression failure.
+    Compress(rottnest_compress::CompressError),
+    /// Underlying object store failure.
+    Store(rottnest_object_store::StoreError),
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::Corrupt(m) => write!(f, "corrupt lakeparquet file: {m}"),
+            FormatError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected:?}, found {found}")
+            }
+            FormatError::Compress(e) => write!(f, "compression error: {e}"),
+            FormatError::Store(e) => write!(f, "store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+impl From<rottnest_compress::CompressError> for FormatError {
+    fn from(e: rottnest_compress::CompressError) -> Self {
+        FormatError::Compress(e)
+    }
+}
+
+impl From<rottnest_object_store::StoreError> for FormatError {
+    fn from(e: rottnest_object_store::StoreError) -> Self {
+        FormatError::Store(e)
+    }
+}
+
+/// Result alias for format operations.
+pub type Result<T> = std::result::Result<T, FormatError>;

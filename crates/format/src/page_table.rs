@@ -1,0 +1,184 @@
+//! Page tables: the external page directory Rottnest stores inside its index
+//! files.
+//!
+//! §V-A: "Similar to NoDB which maintains *position zone maps* on raw data,
+//! Rottnest maintains *page tables* that associate a unique ID for each data
+//! page to the offsets and sizes of the data page. Rottnest's indices are
+//! built at the granularity of these pages."
+//!
+//! A [`PageTable`] maps a column's page ordinal (the "unique ID") to its
+//! byte range and row range within the data file. Posting lists in every
+//! index type point at `(file, page_ordinal)` pairs; at query time the page
+//! table turns a posting into a single range GET with **no read of the data
+//! file's footer**.
+
+use rottnest_compress::{bitpack, varint};
+
+use crate::footer::FileMeta;
+use crate::{FormatError, Result};
+
+/// Location of one data page (the page table entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageLocation {
+    /// Absolute byte offset within the data file.
+    pub offset: u64,
+    /// Encoded page size in bytes.
+    pub size: u64,
+    /// Number of values in the page.
+    pub num_values: u64,
+    /// File-global row index of the page's first value.
+    pub first_row: u64,
+}
+
+/// Directory of every page of one column of one data file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageTable {
+    pages: Vec<PageLocation>,
+    total_rows: u64,
+}
+
+impl PageTable {
+    /// Extracts the page table for column `col` from a file footer.
+    pub fn from_meta(meta: &FileMeta, col: usize) -> Result<Self> {
+        if col >= meta.schema.len() {
+            return Err(FormatError::Corrupt(format!("no column {col} in schema")));
+        }
+        let mut pages = Vec::with_capacity(meta.num_pages(col));
+        for rg in &meta.row_groups {
+            for p in &rg.chunks[col].pages {
+                pages.push(PageLocation {
+                    offset: p.offset,
+                    size: p.size,
+                    num_values: p.num_values,
+                    first_row: p.first_row,
+                });
+            }
+        }
+        Ok(Self { pages, total_rows: meta.num_rows })
+    }
+
+    /// Builds a table directly from locations (used in tests and merges).
+    pub fn from_locations(pages: Vec<PageLocation>, total_rows: u64) -> Self {
+        Self { pages, total_rows }
+    }
+
+    /// The page at ordinal `id`.
+    pub fn page(&self, id: usize) -> Option<&PageLocation> {
+        self.pages.get(id)
+    }
+
+    /// All pages, ordinal-ordered.
+    pub fn pages(&self) -> &[PageLocation] {
+        &self.pages
+    }
+
+    /// Number of pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the table has no pages.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Total rows across all pages.
+    pub fn total_rows(&self) -> u64 {
+        self.total_rows
+    }
+
+    /// Ordinal of the page containing file-global `row`, by binary search.
+    pub fn page_of_row(&self, row: u64) -> Option<usize> {
+        if row >= self.total_rows {
+            return None;
+        }
+        let idx = self.pages.partition_point(|p| p.first_row <= row);
+        idx.checked_sub(1)
+    }
+
+    /// Serializes the table (delta/bit-packed; page offsets are sorted).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        varint::write_u64(out, self.total_rows);
+        bitpack::pack_sorted(out, &self.pages.iter().map(|p| p.offset).collect::<Vec<_>>());
+        bitpack::pack(out, &self.pages.iter().map(|p| p.size).collect::<Vec<_>>());
+        bitpack::pack(out, &self.pages.iter().map(|p| p.num_values).collect::<Vec<_>>());
+        bitpack::pack_sorted(out, &self.pages.iter().map(|p| p.first_row).collect::<Vec<_>>());
+    }
+
+    /// Decodes a table written by [`PageTable::encode`].
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Self> {
+        let total_rows = varint::read_u64(buf, pos)?;
+        let offsets = bitpack::unpack_sorted(buf, pos)?;
+        let sizes = bitpack::unpack(buf, pos)?;
+        let nums = bitpack::unpack(buf, pos)?;
+        let first_rows = bitpack::unpack_sorted(buf, pos)?;
+        if sizes.len() != offsets.len()
+            || nums.len() != offsets.len()
+            || first_rows.len() != offsets.len()
+        {
+            return Err(FormatError::Corrupt("page table arrays disagree".into()));
+        }
+        let pages = offsets
+            .into_iter()
+            .zip(sizes)
+            .zip(nums)
+            .zip(first_rows)
+            .map(|(((offset, size), num_values), first_row)| PageLocation {
+                offset,
+                size,
+                num_values,
+                first_row,
+            })
+            .collect();
+        Ok(Self { pages, total_rows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PageTable {
+        PageTable::from_locations(
+            vec![
+                PageLocation { offset: 4, size: 100, num_values: 10, first_row: 0 },
+                PageLocation { offset: 104, size: 120, num_values: 12, first_row: 10 },
+                PageLocation { offset: 224, size: 80, num_values: 8, first_row: 22 },
+            ],
+            30,
+        )
+    }
+
+    #[test]
+    fn page_of_row_binary_search() {
+        let t = sample();
+        assert_eq!(t.page_of_row(0), Some(0));
+        assert_eq!(t.page_of_row(9), Some(0));
+        assert_eq!(t.page_of_row(10), Some(1));
+        assert_eq!(t.page_of_row(21), Some(1));
+        assert_eq!(t.page_of_row(22), Some(2));
+        assert_eq!(t.page_of_row(29), Some(2));
+        assert_eq!(t.page_of_row(30), None);
+    }
+
+    #[test]
+    fn encode_round_trip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        t.encode(&mut buf);
+        let mut pos = 0;
+        assert_eq!(PageTable::decode(&buf, &mut pos).unwrap(), t);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = PageTable::from_locations(vec![], 0);
+        let mut buf = Vec::new();
+        t.encode(&mut buf);
+        let mut pos = 0;
+        let back = PageTable::decode(&buf, &mut pos).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.page_of_row(0), None);
+    }
+}

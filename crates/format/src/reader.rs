@@ -1,0 +1,296 @@
+//! The two read paths of Figure 5.
+//!
+//! [`ChunkReader`] models today's query engines: a dependent chain of
+//! (1) footer fetch → (2) whole-column-chunk fetch → decompress everything.
+//! [`PageReader`] is Rottnest's optimized reader: armed with an external
+//! [`PageTable`], it issues **one** range GET per needed page (~300 KiB) and
+//! never touches the footer. §VII-C shows this one change moves Rottnest
+//! from losing to the copy-data approach to matching a purpose-built format.
+
+use rottnest_object_store::{ObjectStore, RangeRequest};
+
+use crate::column::ColumnData;
+use crate::footer::FileMeta;
+use crate::page::decode_page;
+use crate::page_table::PageTable;
+use crate::schema::DataType;
+use crate::{FormatError, Result};
+
+/// Speculative tail fetch size: one GET usually captures the whole footer.
+const TAIL_FETCH: u64 = 64 * 1024;
+
+/// Traditional footer-first, whole-chunk reader.
+pub struct ChunkReader<'a> {
+    store: &'a dyn ObjectStore,
+    key: String,
+    meta: FileMeta,
+}
+
+impl<'a> ChunkReader<'a> {
+    /// Opens a file: HEAD for the length, then a speculative tail GET for
+    /// the footer (a second GET only if the footer exceeds 64 KiB).
+    pub fn open(store: &'a dyn ObjectStore, key: &str) -> Result<Self> {
+        let head = store.head(key)?;
+        let len = head.size;
+        let tail_start = len.saturating_sub(TAIL_FETCH);
+        let tail = store.get_range(key, tail_start..len)?;
+        let meta = match FileMeta::from_tail(&tail, len) {
+            Ok((meta, _)) => meta,
+            Err(_) if tail_start > 0 => {
+                // Footer larger than the speculative fetch: read it exactly.
+                let frame = store.get_range(key, len - 8..len)?;
+                let footer_len =
+                    u32::from_le_bytes(frame[..4].try_into().unwrap()) as u64;
+                let full = store.get_range(key, len - 8 - footer_len..len)?;
+                FileMeta::from_tail(&full, len)?.0
+            }
+            Err(e) => return Err(e),
+        };
+        Ok(Self { store, key: key.to_string(), meta })
+    }
+
+    /// The parsed file metadata.
+    pub fn meta(&self) -> &FileMeta {
+        &self.meta
+    }
+
+    /// Downloads and decodes **an entire column chunk** (all pages of column
+    /// `col` in row group `rg`) — the traditional access pattern whose cost
+    /// §II-B2 criticizes.
+    pub fn read_chunk(&self, rg: usize, col: usize) -> Result<ColumnData> {
+        let group = self
+            .meta
+            .row_groups
+            .get(rg)
+            .ok_or_else(|| FormatError::Corrupt(format!("no row group {rg}")))?;
+        let chunk = group
+            .chunks
+            .get(col)
+            .ok_or_else(|| FormatError::Corrupt(format!("no column {col}")))?;
+        let data_type = self.meta.schema.fields()[col].data_type;
+        let bytes = self
+            .store
+            .get_range(&self.key, chunk.offset..chunk.offset + chunk.size)?;
+
+        let mut out = ColumnData::empty(data_type);
+        for page in &chunk.pages {
+            let start = (page.offset - chunk.offset) as usize;
+            let end = start + page.size as usize;
+            let col_data = decode_page(&bytes[start..end], data_type)?;
+            out.extend_from_from_page(&col_data)?;
+        }
+        Ok(out)
+    }
+
+    /// Reads the full column across all row groups (the brute-force scan
+    /// path).
+    pub fn read_column(&self, col: usize) -> Result<ColumnData> {
+        let data_type = self.meta.schema.fields()[col].data_type;
+        let mut out = ColumnData::empty(data_type);
+        for rg in 0..self.meta.row_groups.len() {
+            let chunk = self.read_chunk(rg, col)?;
+            out.extend_from_from_page(&chunk)?;
+        }
+        Ok(out)
+    }
+
+    /// Bytes that [`ChunkReader::read_column`] would transfer, without
+    /// reading (used by the cluster cost model).
+    pub fn column_bytes(&self, col: usize) -> u64 {
+        self.meta.row_groups.iter().map(|rg| rg.chunks[col].size).sum()
+    }
+}
+
+// Private helper so ColumnData keeps a single public extend API.
+trait ExtendFromPage {
+    fn extend_from_from_page(&mut self, other: &ColumnData) -> Result<()>;
+}
+
+impl ExtendFromPage for ColumnData {
+    fn extend_from_from_page(&mut self, other: &ColumnData) -> Result<()> {
+        self.extend_from(other)
+    }
+}
+
+/// Rottnest's page-granular reader.
+///
+/// Requires no file metadata at all — the caller supplies
+/// [`PageLocation`](crate::page_table::PageLocation)s from an index's
+/// embedded page table.
+pub struct PageReader<'a> {
+    store: &'a dyn ObjectStore,
+}
+
+impl<'a> PageReader<'a> {
+    /// Creates a reader over `store`.
+    pub fn new(store: &'a dyn ObjectStore) -> Self {
+        Self { store }
+    }
+
+    /// Fetches and decodes a single page with one range GET.
+    pub fn read_page(
+        &self,
+        key: &str,
+        table: &PageTable,
+        page_id: usize,
+        data_type: DataType,
+    ) -> Result<ColumnData> {
+        let loc = table
+            .page(page_id)
+            .ok_or_else(|| FormatError::Corrupt(format!("no page {page_id} in table")))?;
+        let bytes = self.store.get_range(key, loc.offset..loc.offset + loc.size)?;
+        decode_page(&bytes, data_type)
+    }
+
+    /// Fetches many pages, possibly across files, in **one parallel round
+    /// trip** (the access-width optimization of §V-B). Requests are
+    /// `(file_key, page_table, page_id)` triples; results come back in
+    /// order.
+    pub fn read_pages(
+        &self,
+        requests: &[(&str, &PageTable, usize)],
+        data_type: DataType,
+    ) -> Result<Vec<ColumnData>> {
+        let mut ranges = Vec::with_capacity(requests.len());
+        for (key, table, page_id) in requests {
+            let loc = table.page(*page_id).ok_or_else(|| {
+                FormatError::Corrupt(format!("no page {page_id} in table for {key}"))
+            })?;
+            ranges.push(RangeRequest::new(*key, loc.offset..loc.offset + loc.size));
+        }
+        let payloads = self.store.get_ranges(&ranges)?;
+        payloads.iter().map(|b| decode_page(b, data_type)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::{RecordBatch, ValueRef};
+    use crate::schema::{Field, Schema};
+    use crate::writer::{FileWriter, WriterOptions};
+    use rottnest_object_store::MemoryStore;
+
+    fn write_file(
+        store: &dyn ObjectStore,
+        key: &str,
+        rows: usize,
+        opts: WriterOptions,
+    ) -> FileMeta {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("body", DataType::Utf8),
+        ]);
+        let ids: Vec<i64> = (0..rows as i64).collect();
+        let bodies: Vec<String> =
+            (0..rows).map(|i| format!("record {i} body with some text payload")).collect();
+        let batch = RecordBatch::new(
+            schema.clone(),
+            vec![ColumnData::Int64(ids), ColumnData::from_strings(bodies)],
+        )
+        .unwrap();
+        let mut w = FileWriter::with_options(schema, opts);
+        w.write_batch(&batch).unwrap();
+        w.finish_into(store, key).unwrap()
+    }
+
+    #[test]
+    fn chunk_reader_reads_whole_column() {
+        let store = MemoryStore::unmetered();
+        let opts = WriterOptions { row_group_rows: 100, page_raw_bytes: 512, ..Default::default() };
+        write_file(store.as_ref(), "t/a.lkpq", 250, opts);
+
+        let reader = ChunkReader::open(store.as_ref(), "t/a.lkpq").unwrap();
+        assert_eq!(reader.meta().num_rows, 250);
+        assert_eq!(reader.meta().row_groups.len(), 3);
+
+        let col = reader.read_column(1).unwrap();
+        assert_eq!(col.len(), 250);
+        assert_eq!(col.get(123), Some(ValueRef::Utf8("record 123 body with some text payload")));
+    }
+
+    #[test]
+    fn chunk_reader_handles_large_footer() {
+        let store = MemoryStore::unmetered();
+        // Tiny pages => thousands of page entries => footer > 64 KiB.
+        let opts = WriterOptions { row_group_rows: 50, page_raw_bytes: 64, ..Default::default() };
+        write_file(store.as_ref(), "t/big-footer.lkpq", 5000, opts);
+        let reader = ChunkReader::open(store.as_ref(), "t/big-footer.lkpq").unwrap();
+        assert_eq!(reader.meta().num_rows, 5000);
+        let col = reader.read_chunk(0, 0).unwrap();
+        assert_eq!(col.len(), 50);
+    }
+
+    #[test]
+    fn page_reader_fetches_single_pages_without_footer() {
+        let store = MemoryStore::unmetered();
+        let opts = WriterOptions { row_group_rows: 1000, page_raw_bytes: 512, ..Default::default() };
+        let meta = write_file(store.as_ref(), "t/b.lkpq", 300, opts);
+        let table = PageTable::from_meta(&meta, 1).unwrap();
+        assert!(table.len() > 5);
+
+        let reader = PageReader::new(store.as_ref());
+        let before = store.stats();
+        let page_id = table.page_of_row(200).unwrap();
+        let col = reader.read_page("t/b.lkpq", &table, page_id, DataType::Utf8).unwrap();
+        let after = store.stats().since(&before);
+        assert_eq!(after.gets, 1, "exactly one GET, no footer read");
+        assert_eq!(after.heads, 0);
+
+        let first = table.page(page_id).unwrap().first_row;
+        let within = (200 - first) as usize;
+        assert_eq!(col.get(within), Some(ValueRef::Utf8("record 200 body with some text payload")));
+    }
+
+    #[test]
+    fn page_reader_batches_many_pages_into_one_round_trip() {
+        let store = MemoryStore::new(); // metered
+        let opts = WriterOptions { row_group_rows: 1000, page_raw_bytes: 512, ..Default::default() };
+        let meta = write_file(store.as_ref(), "t/c.lkpq", 400, opts);
+        let table = PageTable::from_meta(&meta, 1).unwrap();
+        let reader = PageReader::new(store.as_ref());
+
+        let requests: Vec<(&str, &PageTable, usize)> =
+            (0..table.len()).map(|i| ("t/c.lkpq", &table, i)).collect();
+        let clock = store.clock().unwrap();
+        let (cols, elapsed) = clock.time(|| reader.read_pages(&requests, DataType::Utf8).unwrap());
+        let total: usize = cols.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 400);
+        // One parallel round trip: modeled latency ~ a single small GET.
+        let single = store.latency_model().get_us(1024);
+        assert!(elapsed < single * 3, "batch cost {elapsed}us vs single {single}us");
+    }
+
+    #[test]
+    fn page_reader_reads_much_less_than_chunk_reader() {
+        let store = MemoryStore::unmetered();
+        let opts = WriterOptions { row_group_rows: 100_000, page_raw_bytes: 4096, ..Default::default() };
+        let meta = write_file(store.as_ref(), "t/d.lkpq", 20_000, opts);
+        let table = PageTable::from_meta(&meta, 1).unwrap();
+
+        let before = store.stats();
+        let reader = ChunkReader::open(store.as_ref(), "t/d.lkpq").unwrap();
+        reader.read_column(1).unwrap();
+        let chunk_bytes = store.stats().since(&before).bytes_read;
+
+        let before = store.stats();
+        PageReader::new(store.as_ref())
+            .read_page("t/d.lkpq", &table, table.len() / 2, DataType::Utf8)
+            .unwrap();
+        let page_bytes = store.stats().since(&before).bytes_read;
+
+        assert!(
+            chunk_bytes > page_bytes * 50,
+            "chunk path read {chunk_bytes}B, page path {page_bytes}B"
+        );
+    }
+
+    #[test]
+    fn missing_page_id_is_an_error() {
+        let store = MemoryStore::unmetered();
+        let meta = write_file(store.as_ref(), "t/e.lkpq", 10, WriterOptions::default());
+        let table = PageTable::from_meta(&meta, 0).unwrap();
+        let reader = PageReader::new(store.as_ref());
+        assert!(reader.read_page("t/e.lkpq", &table, 999, DataType::Int64).is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Schema model: typed named columns.
+
+use rottnest_compress::varint;
+
+use crate::{FormatError, Result};
+
+/// The physical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integers (timestamps, counters).
+    Int64,
+    /// Variable-length UTF-8 strings (log lines, documents).
+    Utf8,
+    /// Variable-length binary (UUIDs, hashes).
+    Binary,
+    /// Fixed-dimension `f32` embedding vectors.
+    VectorF32 {
+        /// Number of dimensions per vector.
+        dim: u32,
+    },
+}
+
+impl DataType {
+    fn tag(&self) -> u8 {
+        match self {
+            DataType::Int64 => 0,
+            DataType::Utf8 => 1,
+            DataType::Binary => 2,
+            DataType::VectorF32 { .. } => 3,
+        }
+    }
+
+    /// Serializes the type into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.tag());
+        if let DataType::VectorF32 { dim } = self {
+            varint::write_u64(out, u64::from(*dim));
+        }
+    }
+
+    /// Decodes a type written by [`DataType::encode`].
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Self> {
+        let tag = *buf
+            .get(*pos)
+            .ok_or_else(|| FormatError::Corrupt("truncated data type".into()))?;
+        *pos += 1;
+        match tag {
+            0 => Ok(DataType::Int64),
+            1 => Ok(DataType::Utf8),
+            2 => Ok(DataType::Binary),
+            3 => {
+                let dim = varint::read_u64(buf, pos)? as u32;
+                Ok(DataType::VectorF32 { dim })
+            }
+            other => Err(FormatError::Corrupt(format!("unknown data type tag {other}"))),
+        }
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name, unique within a schema.
+    pub name: String,
+    /// Physical type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Self { name: name.into(), data_type }
+    }
+}
+
+/// An ordered collection of fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Builds a schema; panics on duplicate column names (a programming
+    /// error, not a runtime condition).
+    pub fn new(fields: Vec<Field>) -> Self {
+        for (i, f) in fields.iter().enumerate() {
+            assert!(
+                !fields[..i].iter().any(|g| g.name == f.name),
+                "duplicate column name {:?}",
+                f.name
+            );
+        }
+        Self { fields }
+    }
+
+    /// The schema's fields, in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the column called `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Serializes the schema into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        varint::write_usize(out, self.fields.len());
+        for f in &self.fields {
+            varint::write_str(out, &f.name);
+            f.data_type.encode(out);
+        }
+    }
+
+    /// Decodes a schema written by [`Schema::encode`].
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Self> {
+        let n = varint::read_usize(buf, pos)?;
+        let mut fields = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let name = varint::read_str(buf, pos)?;
+            let data_type = DataType::decode(buf, pos)?;
+            fields.push(Field { name, data_type });
+        }
+        Ok(Schema { fields })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::new("ts", DataType::Int64),
+            Field::new("body", DataType::Utf8),
+            Field::new("trace_id", DataType::Binary),
+            Field::new("embedding", DataType::VectorF32 { dim: 128 }),
+        ])
+    }
+
+    #[test]
+    fn round_trip() {
+        let schema = sample();
+        let mut buf = Vec::new();
+        schema.encode(&mut buf);
+        let mut pos = 0;
+        assert_eq!(Schema::decode(&buf, &mut pos).unwrap(), schema);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn index_of_finds_columns() {
+        let schema = sample();
+        assert_eq!(schema.index_of("body"), Some(1));
+        assert_eq!(schema.index_of("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_names_rejected() {
+        Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("a", DataType::Utf8),
+        ]);
+    }
+
+    #[test]
+    fn corrupt_type_tag_rejected() {
+        let buf = [9u8];
+        let mut pos = 0;
+        assert!(DataType::decode(&buf, &mut pos).is_err());
+    }
+}

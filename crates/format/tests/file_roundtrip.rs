@@ -1,0 +1,128 @@
+//! Property tests: arbitrary record batches survive a full write → store →
+//! read cycle through both read paths, under arbitrary writer options.
+
+use proptest::prelude::*;
+use rottnest_format::{
+    page_table::PageTable, ChunkReader, ColumnData, DataType, Field, FileWriter, PageReader,
+    RecordBatch, Schema, ValueRef, WriterOptions,
+};
+use rottnest_object_store::MemoryStore;
+
+#[derive(Debug, Clone)]
+struct Rows {
+    ids: Vec<i64>,
+    texts: Vec<String>,
+    blobs: Vec<Vec<u8>>,
+}
+
+fn rows_strategy() -> impl Strategy<Value = Rows> {
+    (1usize..300).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(any::<i64>(), n),
+            proptest::collection::vec(".{0,60}", n),
+            proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), n),
+        )
+            .prop_map(|(ids, texts, blobs)| Rows { ids, texts, blobs })
+    })
+}
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("id", DataType::Int64),
+        Field::new("text", DataType::Utf8),
+        Field::new("blob", DataType::Binary),
+    ])
+}
+
+fn batch(rows: &Rows) -> RecordBatch {
+    RecordBatch::new(
+        schema(),
+        vec![
+            ColumnData::Int64(rows.ids.clone()),
+            ColumnData::from_strings(&rows.texts),
+            ColumnData::from_blobs(&rows.blobs),
+        ],
+    )
+    .unwrap()
+}
+
+fn check_column(col: &ColumnData, rows: &Rows) {
+    assert_eq!(col.len(), rows.ids.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn whole_file_round_trips_via_chunk_reader(
+        rows in rows_strategy(),
+        page_bytes in 64usize..4096,
+        rg_rows in 16usize..200,
+    ) {
+        let store = MemoryStore::unmetered();
+        let opts = WriterOptions { page_raw_bytes: page_bytes, row_group_rows: rg_rows, ..Default::default() };
+        let mut w = FileWriter::with_options(schema(), opts);
+        w.write_batch(&batch(&rows)).unwrap();
+        w.finish_into(store.as_ref(), "f.lkpq").unwrap();
+
+        let reader = ChunkReader::open(store.as_ref(), "f.lkpq").unwrap();
+        prop_assert_eq!(reader.meta().num_rows as usize, rows.ids.len());
+
+        let ids = reader.read_column(0).unwrap();
+        let texts = reader.read_column(1).unwrap();
+        let blobs = reader.read_column(2).unwrap();
+        check_column(&ids, &rows);
+        for i in 0..rows.ids.len() {
+            prop_assert_eq!(ids.get(i), Some(ValueRef::Int64(rows.ids[i])));
+            prop_assert_eq!(texts.get(i), Some(ValueRef::Utf8(rows.texts[i].as_str())));
+            prop_assert_eq!(blobs.get(i), Some(ValueRef::Binary(rows.blobs[i].as_slice())));
+        }
+    }
+
+    #[test]
+    fn page_reader_agrees_with_chunk_reader(
+        rows in rows_strategy(),
+        page_bytes in 64usize..2048,
+    ) {
+        let store = MemoryStore::unmetered();
+        let opts = WriterOptions { page_raw_bytes: page_bytes, ..Default::default() };
+        let mut w = FileWriter::with_options(schema(), opts);
+        w.write_batch(&batch(&rows)).unwrap();
+        let meta = w.finish_into(store.as_ref(), "f.lkpq").unwrap();
+
+        for col in 0..3usize {
+            let table = PageTable::from_meta(&meta, col).unwrap();
+            let data_type = meta.schema.fields()[col].data_type;
+            let reader = PageReader::new(store.as_ref());
+
+            // Reassemble the column from individual pages and compare.
+            let mut rebuilt = ColumnData::empty(data_type);
+            for p in 0..table.len() {
+                let page = reader.read_page("f.lkpq", &table, p, data_type).unwrap();
+                rebuilt.extend_from(&page).unwrap();
+            }
+            let chunked = ChunkReader::open(store.as_ref(), "f.lkpq")
+                .unwrap()
+                .read_column(col)
+                .unwrap();
+            prop_assert_eq!(rebuilt, chunked, "column {}", col);
+        }
+    }
+
+    #[test]
+    fn page_of_row_is_exact(rows in rows_strategy(), page_bytes in 64usize..1024) {
+        let store = MemoryStore::unmetered();
+        let opts = WriterOptions { page_raw_bytes: page_bytes, ..Default::default() };
+        let mut w = FileWriter::with_options(schema(), opts);
+        w.write_batch(&batch(&rows)).unwrap();
+        let meta = w.finish_into(store.as_ref(), "f.lkpq").unwrap();
+        let table = PageTable::from_meta(&meta, 1).unwrap();
+
+        for row in (0..rows.ids.len() as u64).step_by(7) {
+            let p = table.page_of_row(row).expect("row in range");
+            let loc = table.page(p).unwrap();
+            prop_assert!(loc.first_row <= row && row < loc.first_row + loc.num_values);
+        }
+        prop_assert_eq!(table.page_of_row(rows.ids.len() as u64), None);
+    }
+}

@@ -1,0 +1,242 @@
+//! K-means with k-means++ seeding, used for the IVF coarse quantizer and
+//! each PQ sub-codebook.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::l2_sq;
+
+/// Minimum points per spawned thread; below this, assignment runs inline.
+const PAR_CHUNK: usize = 16 * 1024;
+
+/// Trains `k` centroids over `data` (`n × dim`, row-major) with `iters`
+/// Lloyd iterations. Deterministic for a given `seed`. Returns `k × dim`
+/// centroids (fewer never happens: empty clusters are re-seeded from the
+/// farthest points).
+pub fn kmeans(data: &[f32], dim: usize, k: usize, iters: usize, seed: u64) -> Vec<f32> {
+    assert!(dim > 0 && data.len().is_multiple_of(dim), "data must be n*dim");
+    let n = data.len() / dim;
+    assert!(k > 0, "k must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    if n == 0 {
+        // Degenerate: no data — return zero centroids so callers can still
+        // build an (empty) index.
+        return vec![0.0; k * dim];
+    }
+
+    let row = |i: usize| &data[i * dim..(i + 1) * dim];
+
+    // k-means++ seeding.
+    let mut centroids: Vec<f32> = Vec::with_capacity(k * dim);
+    let first = rng.gen_range(0..n);
+    centroids.extend_from_slice(row(first));
+    let mut dist2: Vec<f32> = (0..n).map(|i| l2_sq(row(i), row(first))).collect();
+    while centroids.len() < k * dim {
+        let total: f64 = dist2.iter().map(|&d| d as f64).sum();
+        let choice = if total <= f64::EPSILON {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut pick = n - 1;
+            for (i, &d) in dist2.iter().enumerate() {
+                target -= d as f64;
+                if target <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        centroids.extend_from_slice(row(choice));
+        let c = centroids.len() / dim - 1;
+        let new_c = centroids[c * dim..(c + 1) * dim].to_vec();
+        for (i, d) in dist2.iter_mut().enumerate() {
+            *d = d.min(l2_sq(row(i), &new_c));
+        }
+    }
+
+    // Lloyd iterations.
+    let mut assignments = vec![0u32; n];
+    for _ in 0..iters {
+        assign(data, dim, &centroids, &mut assignments);
+
+        let mut sums = vec![0.0f64; k * dim];
+        let mut counts = vec![0u64; k];
+        for (i, &a) in assignments.iter().enumerate() {
+            counts[a as usize] += 1;
+            let base = a as usize * dim;
+            for (s, &v) in sums[base..base + dim].iter_mut().zip(row(i)) {
+                *s += v as f64;
+            }
+        }
+        // Re-seed empty clusters from the point farthest from its centroid.
+        for c in 0..k {
+            if counts[c] == 0 {
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = l2_sq(row(a), centroid(&centroids, dim, assignments[a]));
+                        let db = l2_sq(row(b), centroid(&centroids, dim, assignments[b]));
+                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .unwrap_or(0);
+                centroids[c * dim..(c + 1) * dim].copy_from_slice(row(far));
+            } else {
+                for d in 0..dim {
+                    centroids[c * dim + d] = (sums[c * dim + d] / counts[c] as f64) as f32;
+                }
+            }
+        }
+    }
+    centroids
+}
+
+#[inline]
+fn centroid(centroids: &[f32], dim: usize, c: u32) -> &[f32] {
+    &centroids[c as usize * dim..(c as usize + 1) * dim]
+}
+
+/// Assigns each row of `data` to its nearest centroid (parallel when large).
+pub fn assign(data: &[f32], dim: usize, centroids: &[f32], out: &mut [u32]) {
+    let n = data.len() / dim;
+    debug_assert_eq!(out.len(), n);
+    let k = centroids.len() / dim;
+    let work = |rows: std::ops::Range<usize>, out: &mut [u32]| {
+        for (slot, i) in out.iter_mut().zip(rows) {
+            let v = &data[i * dim..(i + 1) * dim];
+            let mut best = 0u32;
+            let mut best_d = f32::INFINITY;
+            for c in 0..k {
+                let d = l2_sq(v, &centroids[c * dim..(c + 1) * dim]);
+                if d < best_d {
+                    best_d = d;
+                    best = c as u32;
+                }
+            }
+            *slot = best;
+        }
+    };
+
+    if n < PAR_CHUNK * 2 {
+        work(0..n, out);
+        return;
+    }
+    let threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(16);
+    let chunk = n.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (t, slice) in out.chunks_mut(chunk).enumerate() {
+            let start = t * chunk;
+            let end = (start + slice.len()).min(n);
+            scope.spawn(move |_| work(start..end, slice));
+        }
+    })
+    .expect("assignment threads");
+}
+
+/// Index of the nearest centroid to `v`, with its distance.
+pub fn nearest(v: &[f32], centroids: &[f32], dim: usize) -> (u32, f32) {
+    let k = centroids.len() / dim;
+    let mut best = 0u32;
+    let mut best_d = f32::INFINITY;
+    for c in 0..k {
+        let d = l2_sq(v, &centroids[c * dim..(c + 1) * dim]);
+        if d < best_d {
+            best_d = d;
+            best = c as u32;
+        }
+    }
+    (best, best_d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn clustered_data(
+        n_per: usize,
+        centers: &[[f32; 2]],
+        spread: f32,
+        seed: u64,
+    ) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::new();
+        for c in centers {
+            for _ in 0..n_per {
+                data.push(c[0] + rng.gen_range(-spread..spread));
+                data.push(c[1] + rng.gen_range(-spread..spread));
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn recovers_separated_clusters() {
+        let centers = [[0.0f32, 0.0], [10.0, 10.0], [-10.0, 10.0], [10.0, -10.0]];
+        let data = clustered_data(200, &centers, 0.5, 1);
+        let centroids = kmeans(&data, 2, 4, 10, 42);
+        // Every true center must have a learned centroid within 1.0.
+        for c in &centers {
+            let (_, d) = nearest(c, &centroids, 2);
+            assert!(d < 1.0, "center {c:?} unmatched, d={d}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let data = clustered_data(100, &[[0.0, 0.0], [5.0, 5.0]], 1.0, 2);
+        let a = kmeans(&data, 2, 2, 5, 7);
+        let b = kmeans(&data, 2, 2, 5, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_clusters_than_points_is_handled() {
+        let data = vec![1.0f32, 1.0, 2.0, 2.0]; // 2 points, dim 2
+        let centroids = kmeans(&data, 2, 8, 3, 3);
+        assert_eq!(centroids.len(), 16);
+        let mut asg = vec![0u32; 2];
+        assign(&data, 2, &centroids, &mut asg);
+        // Each point maps to a centroid at distance 0.
+        for (i, &a) in asg.iter().enumerate() {
+            let d = l2_sq(&data[i * 2..i * 2 + 2], &centroids[a as usize * 2..a as usize * 2 + 2]);
+            assert!(d < 1e-9);
+        }
+    }
+
+    #[test]
+    fn assignment_matches_nearest() {
+        let data = clustered_data(500, &[[0.0, 0.0], [8.0, 0.0], [0.0, 8.0]], 1.0, 4);
+        let centroids = kmeans(&data, 2, 3, 8, 5);
+        let n = data.len() / 2;
+        let mut asg = vec![0u32; n];
+        assign(&data, 2, &centroids, &mut asg);
+        for i in (0..n).step_by(37) {
+            let (want, _) = nearest(&data[i * 2..i * 2 + 2], &centroids, 2);
+            assert_eq!(asg[i], want);
+        }
+    }
+
+    #[test]
+    fn empty_data_returns_zero_centroids() {
+        let centroids = kmeans(&[], 4, 3, 5, 1);
+        assert_eq!(centroids, vec![0.0; 12]);
+    }
+
+    #[test]
+    fn parallel_assignment_matches_serial() {
+        // Above 2×PAR_CHUNK points the scoped-thread path kicks in; its
+        // output must be identical to the inline path.
+        let n = PAR_CHUNK * 2 + 123;
+        let mut rng = StdRng::seed_from_u64(9);
+        let data: Vec<f32> = (0..n * 2).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let centroids: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mut par = vec![0u32; n];
+        assign(&data, 2, &centroids, &mut par);
+        for i in (0..n).step_by(997) {
+            let (want, _) = nearest(&data[i * 2..i * 2 + 2], &centroids, 2);
+            assert_eq!(par[i], want, "row {i}");
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! IVF-PQ approximate nearest neighbor index — §V-C3 of the paper.
+//!
+//! Rottnest deliberately chooses a **centroid-based** index over graph
+//! structures (HNSW/Vamana): graphs need long chains of dependent reads,
+//! which is exactly what object storage punishes; IVF-PQ needs two — root
+//! (centroids + codebooks), then the probed lists in one parallel round
+//! trip.
+//!
+//! * [`kmeans`] — k-means++ seeded Lloyd iterations (coarse quantizer and
+//!   codebook training), parallelized with scoped threads;
+//! * [`pq`] — product quantization over residuals with asymmetric distance
+//!   computation (ADC) tables;
+//! * [`index`] — the componentized index: root carries centroids and
+//!   codebooks, each inverted list is one component; `nprobe` controls how
+//!   many lists are scanned and `refine` how many candidates are reranked
+//!   with **exact vectors fetched in situ from the Parquet pages**;
+//! * [`flat`] — exact brute-force search (ground truth + recall metrics).
+
+pub mod flat;
+pub mod index;
+pub mod kmeans;
+pub mod pq;
+
+pub use flat::{flat_search, recall_at_k};
+pub use index::{IvfPqBuilder, IvfPqIndex, IvfPqParams, SearchParams, VecPosting};
+pub use rottnest_component::Posting;
+
+/// Errors raised by vector index operations.
+#[derive(Debug)]
+pub enum IvfError {
+    /// Invalid parameters or vector dimensions.
+    BadInput(String),
+    /// Malformed serialized index.
+    Corrupt(String),
+    /// Component-layer failure.
+    Component(rottnest_component::ComponentError),
+}
+
+impl std::fmt::Display for IvfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IvfError::BadInput(m) => write!(f, "bad input: {m}"),
+            IvfError::Corrupt(m) => write!(f, "corrupt ivfpq index: {m}"),
+            IvfError::Component(e) => write!(f, "component: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IvfError {}
+
+impl From<rottnest_component::ComponentError> for IvfError {
+    fn from(e: rottnest_component::ComponentError) -> Self {
+        IvfError::Component(e)
+    }
+}
+
+impl From<rottnest_compress::CompressError> for IvfError {
+    fn from(e: rottnest_compress::CompressError) -> Self {
+        IvfError::Corrupt(format!("varint: {e}"))
+    }
+}
+
+impl From<rottnest_object_store::StoreError> for IvfError {
+    fn from(e: rottnest_object_store::StoreError) -> Self {
+        IvfError::Component(rottnest_component::ComponentError::Store(e))
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, IvfError>;
+
+/// Squared Euclidean distance between equal-length vectors.
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_basics() {
+        assert_eq!(l2_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(l2_sq(&[1.0], &[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Product quantization: compress vectors to `m` bytes with per-subspace
+//! codebooks, and score candidates with asymmetric distance computation
+//! (ADC) lookup tables.
+
+use rottnest_compress::varint;
+
+use crate::kmeans::kmeans;
+use crate::{l2_sq, IvfError, Result};
+
+/// Codewords per subspace (one byte per code).
+pub const KSUB: usize = 256;
+
+/// A trained product quantizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProductQuantizer {
+    dim: usize,
+    m: usize,
+    dsub: usize,
+    /// `m × KSUB × dsub` codebook entries.
+    codebooks: Vec<f32>,
+}
+
+impl ProductQuantizer {
+    /// Trains on `data` (`n × dim`): `m` subspaces, `iters` k-means rounds.
+    /// `dim` must be divisible by `m`.
+    pub fn train(data: &[f32], dim: usize, m: usize, iters: usize, seed: u64) -> Result<Self> {
+        if m == 0 || !dim.is_multiple_of(m) {
+            return Err(IvfError::BadInput(format!(
+                "dim {dim} not divisible into {m} subspaces"
+            )));
+        }
+        let dsub = dim / m;
+        let n = data.len() / dim;
+        let mut codebooks = Vec::with_capacity(m * KSUB * dsub);
+        for s in 0..m {
+            // Gather the subvectors of subspace s.
+            let mut sub = Vec::with_capacity(n * dsub);
+            for i in 0..n {
+                let base = i * dim + s * dsub;
+                sub.extend_from_slice(&data[base..base + dsub]);
+            }
+            codebooks.extend(kmeans(&sub, dsub, KSUB, iters, seed.wrapping_add(s as u64)));
+        }
+        Ok(Self { dim, m, dsub, codebooks })
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of subspaces (bytes per code).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    #[inline]
+    fn codeword(&self, s: usize, k: usize) -> &[f32] {
+        let base = (s * KSUB + k) * self.dsub;
+        &self.codebooks[base..base + self.dsub]
+    }
+
+    /// Encodes `v` to `m` bytes.
+    pub fn encode(&self, v: &[f32]) -> Vec<u8> {
+        debug_assert_eq!(v.len(), self.dim);
+        (0..self.m)
+            .map(|s| {
+                let sub = &v[s * self.dsub..(s + 1) * self.dsub];
+                let mut best = 0usize;
+                let mut best_d = f32::INFINITY;
+                for k in 0..KSUB {
+                    let d = l2_sq(sub, self.codeword(s, k));
+                    if d < best_d {
+                        best_d = d;
+                        best = k;
+                    }
+                }
+                best as u8
+            })
+            .collect()
+    }
+
+    /// Decodes a code back to its (approximate) vector.
+    pub fn decode(&self, code: &[u8]) -> Vec<f32> {
+        debug_assert_eq!(code.len(), self.m);
+        let mut out = Vec::with_capacity(self.dim);
+        for (s, &k) in code.iter().enumerate() {
+            out.extend_from_slice(self.codeword(s, k as usize));
+        }
+        out
+    }
+
+    /// Builds the ADC table for `query`: `m × KSUB` partial squared
+    /// distances. One table scores any number of codes at `m` lookups each.
+    pub fn adc_table(&self, query: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(query.len(), self.dim);
+        let mut table = Vec::with_capacity(self.m * KSUB);
+        for s in 0..self.m {
+            let sub = &query[s * self.dsub..(s + 1) * self.dsub];
+            for k in 0..KSUB {
+                table.push(l2_sq(sub, self.codeword(s, k)));
+            }
+        }
+        table
+    }
+
+    /// Approximate squared distance of a code given a query's ADC table.
+    #[inline]
+    pub fn adc_distance(&self, table: &[f32], code: &[u8]) -> f32 {
+        code.iter()
+            .enumerate()
+            .map(|(s, &k)| table[s * KSUB + k as usize])
+            .sum()
+    }
+
+    /// Serializes the quantizer.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        varint::write_usize(out, self.dim);
+        varint::write_usize(out, self.m);
+        for &v in &self.codebooks {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Decodes a quantizer written by [`ProductQuantizer::encode_into`].
+    pub fn decode_from(buf: &[u8], pos: &mut usize) -> Result<Self> {
+        let dim = varint::read_usize(buf, pos)?;
+        let m = varint::read_usize(buf, pos)?;
+        if m == 0 || dim % m != 0 {
+            return Err(IvfError::Corrupt("bad pq dimensions".into()));
+        }
+        let dsub = dim / m;
+        let n_floats = m * KSUB * dsub;
+        let end = pos
+            .checked_add(n_floats * 4)
+            .ok_or_else(|| IvfError::Corrupt("pq size overflow".into()))?;
+        if end > buf.len() {
+            return Err(IvfError::Corrupt("pq codebooks truncated".into()));
+        }
+        let codebooks = buf[*pos..end]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        *pos = end;
+        Ok(Self { dim, m, dsub, codebooks })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n * dim).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn encode_decode_reduces_error_vs_random() {
+        let dim = 16;
+        let data = random_vectors(2000, dim, 1);
+        let pq = ProductQuantizer::train(&data, dim, 4, 6, 42).unwrap();
+
+        let mut err = 0.0f64;
+        let mut base = 0.0f64;
+        for i in (0..2000).step_by(17) {
+            let v = &data[i * dim..(i + 1) * dim];
+            let approx = pq.decode(&pq.encode(v));
+            err += l2_sq(v, &approx) as f64;
+            base += v.iter().map(|&x| (x * x) as f64).sum::<f64>();
+        }
+        assert!(err < base * 0.25, "quantization error {err} vs energy {base}");
+    }
+
+    #[test]
+    fn adc_matches_decoded_distance() {
+        let dim = 8;
+        let data = random_vectors(1000, dim, 2);
+        let pq = ProductQuantizer::train(&data, dim, 4, 5, 7).unwrap();
+        let query: Vec<f32> = random_vectors(1, dim, 3);
+        let table = pq.adc_table(&query);
+        for i in (0..1000).step_by(83) {
+            let v = &data[i * dim..(i + 1) * dim];
+            let code = pq.encode(v);
+            let adc = pq.adc_distance(&table, &code);
+            let exact_to_decoded = l2_sq(&query, &pq.decode(&code));
+            assert!(
+                (adc - exact_to_decoded).abs() < 1e-3,
+                "adc {adc} vs decoded {exact_to_decoded}"
+            );
+        }
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let data = random_vectors(500, 8, 4);
+        let pq = ProductQuantizer::train(&data, 8, 2, 4, 9).unwrap();
+        let mut buf = Vec::new();
+        pq.encode_into(&mut buf);
+        let mut pos = 0;
+        let back = ProductQuantizer::decode_from(&buf, &mut pos).unwrap();
+        assert_eq!(back, pq);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn invalid_subspace_split_rejected() {
+        let data = random_vectors(10, 6, 5);
+        assert!(ProductQuantizer::train(&data, 6, 4, 2, 1).is_err());
+        assert!(ProductQuantizer::train(&data, 6, 0, 2, 1).is_err());
+    }
+}

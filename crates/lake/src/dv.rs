@@ -1,0 +1,161 @@
+//! Deletion vectors: row-level tombstones as sidecar files.
+//!
+//! A deletion vector records the file-local row indices deleted from one
+//! immutable data file (the Delta Lake "deletion vectors" / Iceberg
+//! "position delete files" mechanism the paper's Figure 3 shows as
+//! `dv.bin`). Rottnest applies them during in-situ probing so deleted rows
+//! never surface in search results.
+
+use bytes::Bytes;
+use rottnest_compress::bitpack;
+
+use crate::{LakeError, Result};
+
+const DV_MAGIC: &[u8; 4] = b"LKDV";
+
+/// A sorted set of deleted file-local row indices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeletionVector {
+    rows: Vec<u64>,
+}
+
+impl DeletionVector {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from arbitrary row indices (deduplicated and sorted).
+    pub fn from_rows(mut rows: Vec<u64>) -> Self {
+        rows.sort_unstable();
+        rows.dedup();
+        Self { rows }
+    }
+
+    /// Whether `row` is deleted — binary search, called per candidate row on
+    /// the probe path.
+    pub fn contains(&self, row: u64) -> bool {
+        self.rows.binary_search(&row).is_ok()
+    }
+
+    /// Number of deleted rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows are deleted.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The deleted rows, sorted ascending.
+    pub fn rows(&self) -> &[u64] {
+        &self.rows
+    }
+
+    /// Set-union with another vector (deletes accumulate across commits).
+    pub fn union(&self, other: &DeletionVector) -> DeletionVector {
+        let mut rows = Vec::with_capacity(self.rows.len() + other.rows.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.rows.len() && j < other.rows.len() {
+            match self.rows[i].cmp(&other.rows[j]) {
+                std::cmp::Ordering::Less => {
+                    rows.push(self.rows[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    rows.push(other.rows[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    rows.push(self.rows[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        rows.extend_from_slice(&self.rows[i..]);
+        rows.extend_from_slice(&other.rows[j..]);
+        DeletionVector { rows }
+    }
+
+    /// Serializes to the sidecar byte format.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut out = DV_MAGIC.to_vec();
+        bitpack::pack_sorted(&mut out, &self.rows);
+        Bytes::from(out)
+    }
+
+    /// Parses a sidecar written by [`DeletionVector::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 4 || &bytes[..4] != DV_MAGIC {
+            return Err(LakeError::Corrupt("bad deletion vector magic".into()));
+        }
+        let mut pos = 4usize;
+        let rows = bitpack::unpack_sorted(bytes, &mut pos)?;
+        if pos != bytes.len() {
+            return Err(LakeError::Corrupt("trailing bytes in deletion vector".into()));
+        }
+        Ok(Self { rows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn from_rows_sorts_and_dedups() {
+        let dv = DeletionVector::from_rows(vec![5, 1, 5, 3, 1]);
+        assert_eq!(dv.rows(), &[1, 3, 5]);
+        assert!(dv.contains(3));
+        assert!(!dv.contains(2));
+    }
+
+    #[test]
+    fn union_merges() {
+        let a = DeletionVector::from_rows(vec![1, 3, 5]);
+        let b = DeletionVector::from_rows(vec![2, 3, 8]);
+        assert_eq!(a.union(&b).rows(), &[1, 2, 3, 5, 8]);
+        assert_eq!(a.union(&DeletionVector::new()).rows(), a.rows());
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let dv = DeletionVector::from_rows(vec![0, 7, 100, 1_000_000, u32::MAX as u64]);
+        let back = DeletionVector::from_bytes(&dv.to_bytes()).unwrap();
+        assert_eq!(back, dv);
+        let empty = DeletionVector::new();
+        assert_eq!(DeletionVector::from_bytes(&empty.to_bytes()).unwrap(), empty);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(DeletionVector::from_bytes(b"NOPE....").is_err());
+        assert!(DeletionVector::from_bytes(b"").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(rows in proptest::collection::vec(any::<u32>(), 0..500)) {
+            let dv = DeletionVector::from_rows(rows.into_iter().map(u64::from).collect());
+            let back = DeletionVector::from_bytes(&dv.to_bytes()).unwrap();
+            prop_assert_eq!(back, dv);
+        }
+
+        #[test]
+        fn prop_union_equals_set_union(
+            a in proptest::collection::vec(0u64..200, 0..60),
+            b in proptest::collection::vec(0u64..200, 0..60),
+        ) {
+            let dva = DeletionVector::from_rows(a.clone());
+            let dvb = DeletionVector::from_rows(b.clone());
+            let mut expect: Vec<u64> = a.into_iter().chain(b).collect();
+            expect.sort_unstable();
+            expect.dedup();
+            let merged = dva.union(&dvb);
+            prop_assert_eq!(merged.rows(), expect.as_slice());
+        }
+    }
+}

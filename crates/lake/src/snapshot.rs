@@ -1,0 +1,200 @@
+//! Snapshots: point-in-time views of a table (the "manifest list").
+//!
+//! A snapshot is produced by replaying the commit log up to a version. It
+//! lists the active data files (with row counts and sizes) and each file's
+//! current deletion vector — exactly the inputs Rottnest's `index` and
+//! `search` plans consume (§IV-A step 1, §IV-B step 1).
+
+use std::collections::BTreeMap;
+
+use rottnest_format::Schema;
+
+use crate::log::LogEntry;
+use crate::{Action, LakeError, Result};
+
+/// An active data file within a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileEntry {
+    /// Store key of the data file.
+    pub path: String,
+    /// Row count.
+    pub rows: u64,
+    /// File size in bytes.
+    pub size: u64,
+    /// Current deletion-vector sidecar, if any rows are deleted.
+    pub dv_path: Option<String>,
+}
+
+/// A point-in-time view of the table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    version: u64,
+    schema: Schema,
+    files: BTreeMap<String, FileEntry>,
+}
+
+impl Snapshot {
+    /// Replays log entries (which must start at version 0, in order) into a
+    /// snapshot at the last entry's version.
+    pub fn replay(entries: &[LogEntry]) -> Result<Self> {
+        let mut schema: Option<Schema> = None;
+        let mut files: BTreeMap<String, FileEntry> = BTreeMap::new();
+        let mut version = 0;
+
+        for entry in entries {
+            version = entry.version;
+            let buf = entry.payload.as_ref();
+            let mut pos = 0usize;
+            while pos < buf.len() {
+                match Action::decode(buf, &mut pos)? {
+                    Action::Init { schema_bytes } => {
+                        let mut p = 0usize;
+                        schema = Some(Schema::decode(&schema_bytes, &mut p)?);
+                    }
+                    Action::AddFile { path, rows, size } => {
+                        files.insert(
+                            path.clone(),
+                            FileEntry { path, rows, size, dv_path: None },
+                        );
+                    }
+                    Action::RemoveFile { path } => {
+                        if files.remove(&path).is_none() {
+                            return Err(LakeError::Corrupt(format!(
+                                "remove of unknown file {path} at version {version}"
+                            )));
+                        }
+                    }
+                    Action::SetDeletionVector { data_path, dv_path } => {
+                        let entry = files.get_mut(&data_path).ok_or_else(|| {
+                            LakeError::Corrupt(format!(
+                                "deletion vector for unknown file {data_path}"
+                            ))
+                        })?;
+                        entry.dv_path = Some(dv_path);
+                    }
+                }
+            }
+        }
+
+        let schema = schema
+            .ok_or_else(|| LakeError::Corrupt("log has no Init action".into()))?;
+        Ok(Self { version, schema, files })
+    }
+
+    /// The snapshot's version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Active files in path order (the manifest list).
+    pub fn files(&self) -> impl Iterator<Item = &FileEntry> {
+        self.files.values()
+    }
+
+    /// Number of active files.
+    pub fn num_files(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Looks up a file by path.
+    pub fn file(&self, path: &str) -> Option<&FileEntry> {
+        self.files.get(path)
+    }
+
+    /// Whether `path` is active in this snapshot — the filter `search`
+    /// applies to index postings (§IV-B step 2).
+    pub fn contains(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Total live rows (not subtracting deletion vectors).
+    pub fn total_rows(&self) -> u64 {
+        self.files.values().map(|f| f.rows).sum()
+    }
+
+    /// Total bytes across active data files.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.values().map(|f| f.size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use rottnest_format::{DataType, Field};
+
+    fn schema_bytes() -> Vec<u8> {
+        let mut out = Vec::new();
+        Schema::new(vec![Field::new("x", DataType::Int64)]).encode(&mut out);
+        out
+    }
+
+    fn entry(version: u64, actions: &[Action]) -> LogEntry {
+        let mut payload = Vec::new();
+        for a in actions {
+            a.encode(&mut payload);
+        }
+        LogEntry { version, payload: Bytes::from(payload), timestamp_ms: 0 }
+    }
+
+    #[test]
+    fn replay_add_remove_dv() {
+        let entries = vec![
+            entry(0, &[Action::Init { schema_bytes: schema_bytes() }]),
+            entry(1, &[
+                Action::AddFile { path: "t/a".into(), rows: 10, size: 100 },
+                Action::AddFile { path: "t/b".into(), rows: 20, size: 200 },
+            ]),
+            entry(2, &[Action::SetDeletionVector {
+                data_path: "t/a".into(),
+                dv_path: "t/dv/a".into(),
+            }]),
+            entry(3, &[
+                Action::RemoveFile { path: "t/b".into() },
+                Action::AddFile { path: "t/c".into(), rows: 20, size: 190 },
+            ]),
+        ];
+        let snap = Snapshot::replay(&entries).unwrap();
+        assert_eq!(snap.version(), 3);
+        assert_eq!(snap.num_files(), 2);
+        assert!(snap.contains("t/a"));
+        assert!(!snap.contains("t/b"));
+        assert_eq!(snap.file("t/a").unwrap().dv_path.as_deref(), Some("t/dv/a"));
+        assert_eq!(snap.total_rows(), 30);
+        assert_eq!(snap.total_bytes(), 290);
+    }
+
+    #[test]
+    fn remove_unknown_file_is_corrupt() {
+        let entries = vec![
+            entry(0, &[Action::Init { schema_bytes: schema_bytes() }]),
+            entry(1, &[Action::RemoveFile { path: "ghost".into() }]),
+        ];
+        assert!(Snapshot::replay(&entries).is_err());
+    }
+
+    #[test]
+    fn missing_init_is_corrupt() {
+        let entries =
+            vec![entry(0, &[Action::AddFile { path: "a".into(), rows: 1, size: 1 }])];
+        assert!(Snapshot::replay(&entries).is_err());
+    }
+
+    #[test]
+    fn dv_replacement_keeps_latest() {
+        let entries = vec![
+            entry(0, &[Action::Init { schema_bytes: schema_bytes() }]),
+            entry(1, &[Action::AddFile { path: "a".into(), rows: 5, size: 50 }]),
+            entry(2, &[Action::SetDeletionVector { data_path: "a".into(), dv_path: "dv1".into() }]),
+            entry(3, &[Action::SetDeletionVector { data_path: "a".into(), dv_path: "dv2".into() }]),
+        ];
+        let snap = Snapshot::replay(&entries).unwrap();
+        assert_eq!(snap.file("a").unwrap().dv_path.as_deref(), Some("dv2"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Fault injection used to exercise the protocol's correctness invariants.
+//!
+//! The Rottnest proofs (§IV-D) reason about processes dying in
+//! `before_upload`, `before_commit`, and `during_delete` states. Tests drive
+//! those states by arming an injector: operations matching an armed fault
+//! fail with [`crate::StoreError::Injected`], which upper layers treat as a
+//! process crash at that point.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Kinds of faults the injector can arm.
+#[derive(Debug, Clone)]
+pub enum FaultKind {
+    /// Fail the next PUT (conditional or not) whose key contains the pattern.
+    FailPutMatching(String),
+    /// Fail every PUT after `n` more successful PUTs.
+    FailPutsAfter(u64),
+    /// Fail the next GET whose key contains the pattern (e.g. simulating a
+    /// Parquet file garbage-collected mid-index, §IV-A step 2).
+    FailGetMatching(String),
+    /// Fail the next DELETE whose key contains the pattern.
+    FailDeleteMatching(String),
+}
+
+/// Shared fault-injection state attached to a [`crate::MemoryStore`].
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    puts_until_fail: AtomicU64,
+    puts_after_armed: std::sync::atomic::AtomicBool,
+    patterns: Mutex<Vec<FaultKind>>,
+}
+
+impl FaultInjector {
+    /// Creates an injector with no armed faults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms a fault. Pattern faults fire once and disarm; `FailPutsAfter`
+    /// stays armed until [`FaultInjector::disarm_all`].
+    pub fn arm(&self, kind: FaultKind) {
+        if let FaultKind::FailPutsAfter(n) = kind {
+            self.puts_until_fail.store(n, Ordering::SeqCst);
+            self.puts_after_armed.store(true, Ordering::SeqCst);
+            return;
+        }
+        self.patterns.lock().push(kind);
+    }
+
+    /// Clears every armed fault.
+    pub fn disarm_all(&self) {
+        self.patterns.lock().clear();
+        self.puts_after_armed.store(false, Ordering::SeqCst);
+    }
+
+    /// Checks whether a PUT of `key` should fail, consuming one-shot faults.
+    pub fn check_put(&self, key: &str) -> Result<(), &'static str> {
+        if self.puts_after_armed.load(Ordering::SeqCst) {
+            let prev = self.puts_until_fail.fetch_update(
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+                |v| Some(v.saturating_sub(1)),
+            );
+            if prev == Ok(0) {
+                return Err("put budget exhausted");
+            }
+        }
+        self.take_matching(key, |k| matches!(k, FaultKind::FailPutMatching(p) if key.contains(p.as_str())))
+            .map_or(Ok(()), |_| Err("put fault"))
+    }
+
+    /// Checks whether a GET of `key` should fail.
+    pub fn check_get(&self, key: &str) -> Result<(), &'static str> {
+        self.take_matching(key, |k| matches!(k, FaultKind::FailGetMatching(p) if key.contains(p.as_str())))
+            .map_or(Ok(()), |_| Err("get fault"))
+    }
+
+    /// Checks whether a DELETE of `key` should fail.
+    pub fn check_delete(&self, key: &str) -> Result<(), &'static str> {
+        self.take_matching(key, |k| matches!(k, FaultKind::FailDeleteMatching(p) if key.contains(p.as_str())))
+            .map_or(Ok(()), |_| Err("delete fault"))
+    }
+
+    fn take_matching(
+        &self,
+        _key: &str,
+        pred: impl Fn(&FaultKind) -> bool,
+    ) -> Option<FaultKind> {
+        let mut patterns = self.patterns.lock();
+        let idx = patterns.iter().position(pred)?;
+        Some(patterns.swap_remove(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_faults_fire_once() {
+        let inj = FaultInjector::new();
+        inj.arm(FaultKind::FailPutMatching("index".into()));
+        assert!(inj.check_put("data/a.parquet").is_ok());
+        assert!(inj.check_put("idx/ac02.index").is_err());
+        assert!(inj.check_put("idx/ac02.index").is_ok(), "one-shot");
+    }
+
+    #[test]
+    fn puts_after_budget() {
+        let inj = FaultInjector::new();
+        inj.arm(FaultKind::FailPutsAfter(2));
+        assert!(inj.check_put("a").is_ok());
+        assert!(inj.check_put("b").is_ok());
+        assert!(inj.check_put("c").is_err());
+        assert!(inj.check_put("d").is_err(), "stays failed until disarm");
+        inj.disarm_all();
+        assert!(inj.check_put("e").is_ok());
+    }
+
+    #[test]
+    fn get_and_delete_faults() {
+        let inj = FaultInjector::new();
+        inj.arm(FaultKind::FailGetMatching("b.parquet".into()));
+        inj.arm(FaultKind::FailDeleteMatching(".index".into()));
+        assert!(inj.check_get("t/a.parquet").is_ok());
+        assert!(inj.check_get("t/b.parquet").is_err());
+        assert!(inj.check_delete("idx/x.index").is_err());
+        assert!(inj.check_delete("idx/x.index").is_ok());
+    }
+}

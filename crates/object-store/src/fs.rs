@@ -1,0 +1,218 @@
+//! Filesystem-backed object store used by the runnable examples.
+//!
+//! Keys map to files under a root directory. Semantics mirror
+//! [`crate::MemoryStore`] (strong read-after-write consistency comes for free
+//! from the local filesystem; `put_if_absent` uses `O_EXCL` create-new).
+//! No latency model is attached — examples run at native speed — but request
+//! statistics are still collected so the examples can print cost summaries.
+
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use bytes::Bytes;
+
+use crate::stats::{RequestStats, StatsSnapshot};
+use crate::{ObjectMeta, ObjectStore, Result, StoreError};
+
+/// An [`ObjectStore`] over a local directory.
+pub struct FsStore {
+    root: PathBuf,
+    stats: RequestStats,
+}
+
+impl FsStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Arc<Self>> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(io_err)?;
+        Ok(Arc::new(Self { root, stats: RequestStats::default() }))
+    }
+
+    fn path_of(&self, key: &str) -> PathBuf {
+        self.root.join(key)
+    }
+
+    fn meta_of(&self, key: &str, path: &Path) -> Result<ObjectMeta> {
+        let meta = fs::metadata(path).map_err(|_| StoreError::NotFound(key.to_string()))?;
+        let created_ms = meta
+            .modified()
+            .ok()
+            .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
+            .map_or(0, |d| d.as_millis() as u64);
+        Ok(ObjectMeta { key: key.to_string(), size: meta.len(), created_ms })
+    }
+
+    fn collect_keys(dir: &Path, root: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.is_dir() {
+                Self::collect_keys(&path, root, out)?;
+            } else if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn io_err(e: std::io::Error) -> StoreError {
+    StoreError::Io(e.to_string())
+}
+
+impl ObjectStore for FsStore {
+    fn put(&self, key: &str, data: Bytes) -> Result<()> {
+        self.stats.record_put(data.len() as u64);
+        let path = self.path_of(key);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).map_err(io_err)?;
+        }
+        // Write-then-rename so concurrent readers never observe a partial
+        // object (read-after-write consistency).
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        fs::write(&tmp, &data).map_err(io_err)?;
+        fs::rename(&tmp, &path).map_err(io_err)?;
+        Ok(())
+    }
+
+    fn put_if_absent(&self, key: &str, data: Bytes) -> Result<()> {
+        self.stats.record_put(data.len() as u64);
+        let path = self.path_of(key);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).map_err(io_err)?;
+        }
+        let mut file = match fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                return Err(StoreError::AlreadyExists(key.to_string()))
+            }
+            Err(e) => return Err(io_err(e)),
+        };
+        file.write_all(&data).map_err(io_err)?;
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes> {
+        let path = self.path_of(key);
+        let data = fs::read(&path).map_err(|_| StoreError::NotFound(key.to_string()))?;
+        self.stats.record_get(data.len() as u64);
+        Ok(Bytes::from(data))
+    }
+
+    fn get_range(&self, key: &str, range: Range<u64>) -> Result<Bytes> {
+        let path = self.path_of(key);
+        let mut file =
+            fs::File::open(&path).map_err(|_| StoreError::NotFound(key.to_string()))?;
+        let len = file.metadata().map_err(io_err)?.len();
+        let end = range.end.min(len);
+        if range.start > end {
+            return Err(StoreError::InvalidRange {
+                key: key.to_string(),
+                len,
+                start: range.start,
+                end: range.end,
+            });
+        }
+        file.seek(SeekFrom::Start(range.start)).map_err(io_err)?;
+        let mut buf = vec![0u8; (end - range.start) as usize];
+        file.read_exact(&mut buf).map_err(io_err)?;
+        self.stats.record_get(buf.len() as u64);
+        Ok(Bytes::from(buf))
+    }
+
+    fn head(&self, key: &str) -> Result<ObjectMeta> {
+        self.stats.record_head();
+        self.meta_of(key, &self.path_of(key))
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<ObjectMeta>> {
+        self.stats.record_list();
+        let mut keys = Vec::new();
+        if self.root.exists() {
+            Self::collect_keys(&self.root, &self.root, &mut keys).map_err(io_err)?;
+        }
+        keys.retain(|k| k.starts_with(prefix) && !k.contains(".tmp."));
+        keys.sort_unstable();
+        keys.iter().map(|k| self.meta_of(k, &self.path_of(k))).collect()
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.stats.record_delete();
+        match fs::remove_file(self.path_of(key)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err(e)),
+        }
+    }
+
+    fn now_ms(&self) -> u64 {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis() as u64)
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+impl std::fmt::Debug for FsStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FsStore").field("root", &self.root).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> Arc<FsStore> {
+        let dir = std::env::temp_dir().join(format!(
+            "rottnest-fs-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        FsStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn put_get_list_delete() {
+        let s = temp_store("basic");
+        s.put("tbl/data/a.parquet", Bytes::from_static(b"AAA")).unwrap();
+        s.put("tbl/data/b.parquet", Bytes::from_static(b"BB")).unwrap();
+        s.put("tbl/_log/001.log", Bytes::from_static(b"L")).unwrap();
+
+        assert_eq!(s.get("tbl/data/a.parquet").unwrap().as_ref(), b"AAA");
+        assert_eq!(s.get_range("tbl/data/a.parquet", 1..3).unwrap().as_ref(), b"AA");
+
+        let data_keys: Vec<String> =
+            s.list("tbl/data/").unwrap().into_iter().map(|m| m.key).collect();
+        assert_eq!(data_keys, vec!["tbl/data/a.parquet", "tbl/data/b.parquet"]);
+
+        s.delete("tbl/data/a.parquet").unwrap();
+        assert!(s.get("tbl/data/a.parquet").is_err());
+        s.delete("tbl/data/a.parquet").unwrap(); // idempotent
+    }
+
+    #[test]
+    fn put_if_absent_contends() {
+        let s = temp_store("cas");
+        s.put_if_absent("log/1", Bytes::from_static(b"first")).unwrap();
+        assert!(matches!(
+            s.put_if_absent("log/1", Bytes::from_static(b"second")),
+            Err(StoreError::AlreadyExists(_))
+        ));
+        assert_eq!(s.get("log/1").unwrap().as_ref(), b"first");
+    }
+
+    #[test]
+    fn head_reports_size() {
+        let s = temp_store("head");
+        s.put("k", Bytes::from(vec![7u8; 1234])).unwrap();
+        assert_eq!(s.head("k").unwrap().size, 1234);
+    }
+}

@@ -1,0 +1,115 @@
+//! A small FxHash-style hasher and map/set aliases.
+//!
+//! The standard library's SipHash is collision-resistant but slow for the
+//! short integer and string keys that dominate Rottnest's hot paths (page
+//! ids, file ids, component indices). This is the same multiply-and-rotate
+//! construction used by rustc's `FxHasher`, implemented here so the workspace
+//! stays within its dependency whitelist.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc Fx hash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher for trusted keys.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(word));
+            self.add_to_hash(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_behaves_like_std() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(format!("key-{i}"), i);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&format!("key-{i}")), Some(&i));
+        }
+    }
+
+    #[test]
+    fn distinct_keys_rarely_collide() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let build: BuildHasherDefault<FxHasher> = BuildHasherDefault::default();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(build.hash_one(i));
+        }
+        // A 64-bit hash over 10k keys should be collision-free.
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn unaligned_tails_hash_differently() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let build: BuildHasherDefault<FxHasher> = BuildHasherDefault::default();
+        let a = build.hash_one(b"abcdefgh1".as_slice());
+        let b = build.hash_one(b"abcdefgh2".as_slice());
+        assert_ne!(a, b);
+        // Length is mixed in: a trailing zero byte differs from truncation.
+        let c = build.hash_one(b"abcdefgh\0".as_slice());
+        let d = build.hash_one(b"abcdefgh".as_slice());
+        assert_ne!(c, d);
+    }
+}

@@ -1,0 +1,220 @@
+//! The deterministic latency model and the per-prefix request throttle.
+//!
+//! Calibrated to the paper's Figure 10a: "byte-range read request latency to
+//! S3 is stable in terms of read granularity until around 1MB, at which point
+//! it increases linearly with the read size", independent of concurrency from
+//! 1 to 512 parallel reads. We model a request on `n` bytes as
+//!
+//! ```text
+//! latency = first_byte + max(0, n - knee) / bandwidth
+//! ```
+//!
+//! which is flat below the knee and linear above it. PUTs and LISTs carry
+//! their own overheads. The throttle reproduces S3's documented limit of
+//! 5,500 GET requests/second per prefix (§VII-D3), which caps Rottnest's QPS
+//! and produces the non-linear LIST behaviour of Figure 13b.
+
+/// Latency parameters for the simulated object store.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    /// First-byte latency of any GET, in microseconds. Paper-calibrated
+    /// default: 30 ms.
+    pub get_first_byte_us: u64,
+    /// Sustained per-request bandwidth in bytes per microsecond (B/µs ==
+    /// MB/s). Default 100 MB/s: a 16 MiB read takes ~190 ms.
+    pub bandwidth_bytes_per_us: f64,
+    /// Read size below which latency is flat (the Figure 10a knee). Default
+    /// 1 MiB.
+    pub knee_bytes: u64,
+    /// Fixed overhead of a PUT, in microseconds.
+    pub put_overhead_us: u64,
+    /// Fixed overhead of a LIST call plus marginal cost per returned key.
+    pub list_overhead_us: u64,
+    /// Marginal LIST cost per 1000 keys (one continuation page).
+    pub list_page_us: u64,
+    /// Fixed overhead of a HEAD or DELETE.
+    pub small_op_us: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self {
+            get_first_byte_us: 30_000,
+            bandwidth_bytes_per_us: 100.0,
+            knee_bytes: 1 << 20,
+            put_overhead_us: 45_000,
+            list_overhead_us: 80_000,
+            list_page_us: 60_000,
+            small_op_us: 15_000,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// A zero-latency model, for tests that only care about semantics.
+    pub fn zero() -> Self {
+        Self {
+            get_first_byte_us: 0,
+            bandwidth_bytes_per_us: f64::INFINITY,
+            knee_bytes: u64::MAX,
+            put_overhead_us: 0,
+            list_overhead_us: 0,
+            list_page_us: 0,
+            small_op_us: 0,
+        }
+    }
+
+    /// Latency of a GET of `bytes`, in microseconds.
+    pub fn get_us(&self, bytes: u64) -> u64 {
+        let over = bytes.saturating_sub(self.knee_bytes);
+        let transfer = if over == 0 {
+            0
+        } else {
+            (over as f64 / self.bandwidth_bytes_per_us) as u64
+        };
+        self.get_first_byte_us + transfer
+    }
+
+    /// Latency of a PUT of `bytes`.
+    pub fn put_us(&self, bytes: u64) -> u64 {
+        let transfer = if self.bandwidth_bytes_per_us.is_finite() {
+            (bytes as f64 / self.bandwidth_bytes_per_us) as u64
+        } else {
+            0
+        };
+        self.put_overhead_us + transfer
+    }
+
+    /// Latency of a LIST returning `keys` keys.
+    pub fn list_us(&self, keys: u64) -> u64 {
+        self.list_overhead_us + (keys / 1000) * self.list_page_us
+    }
+}
+
+/// Sliding-window rate limiter keyed by key prefix.
+///
+/// Requests beyond `limit_per_sec` within the current one-second window incur
+/// queuing delay of one window per `limit_per_sec` excess requests —
+/// deterministic and order-independent for batch accounting.
+#[derive(Debug)]
+pub struct PrefixThrottle {
+    limit_per_sec: u64,
+    windows: parking_lot::Mutex<super::FxHashMap<String, Window>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    start_ms: u64,
+    count: u64,
+}
+
+impl PrefixThrottle {
+    /// Creates a throttle with the given per-prefix request rate limit.
+    /// S3's documented limit is 5,500 GET/s per prefix.
+    pub fn new(limit_per_sec: u64) -> Self {
+        Self {
+            limit_per_sec,
+            windows: parking_lot::Mutex::new(super::FxHashMap::default()),
+        }
+    }
+
+    /// Extracts the throttling prefix of a key (everything up to the last
+    /// `/`, matching how S3 partitions by prefix).
+    pub fn prefix_of(key: &str) -> &str {
+        key.rfind('/').map_or("", |i| &key[..i])
+    }
+
+    /// Records `n` requests against `key`'s prefix at time `now_ms` and
+    /// returns the queuing delay in microseconds those requests incur.
+    pub fn charge(&self, key: &str, n: u64, now_ms: u64) -> u64 {
+        if self.limit_per_sec == 0 {
+            return 0;
+        }
+        let prefix = Self::prefix_of(key);
+        let mut windows = self.windows.lock();
+        let w = windows
+            .entry(prefix.to_string())
+            .or_insert(Window { start_ms: now_ms, count: 0 });
+        if now_ms.saturating_sub(w.start_ms) >= 1000 {
+            w.start_ms = now_ms;
+            w.count = 0;
+        }
+        w.count += n;
+        let excess = w.count.saturating_sub(self.limit_per_sec);
+        if excess == 0 {
+            0
+        } else {
+            // Each excess request waits one slot of 1/limit seconds.
+            excess * 1_000_000 / self.limit_per_sec
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_flat_below_knee_linear_above() {
+        let m = LatencyModel::default();
+        let l300k = m.get_us(300 * 1024);
+        let l1m = m.get_us(1 << 20);
+        assert_eq!(l300k, l1m, "reads below the knee cost the same");
+        let l2m = m.get_us(2 << 20);
+        let l4m = m.get_us(4 << 20);
+        // Above the knee, doubling the excess roughly doubles the transfer
+        // component.
+        let t2 = l2m - l1m;
+        let t4 = l4m - l1m;
+        assert!((t4 as f64 / t2 as f64 - 3.0).abs() < 0.05, "t2={t2} t4={t4}");
+    }
+
+    #[test]
+    fn zero_model_is_free() {
+        let m = LatencyModel::zero();
+        assert_eq!(m.get_us(u64::MAX / 2), 0);
+        assert_eq!(m.put_us(1 << 30), 0);
+        assert_eq!(m.list_us(1_000_000), 0);
+    }
+
+    #[test]
+    fn list_cost_grows_with_keys() {
+        let m = LatencyModel::default();
+        assert!(m.list_us(50_000) > m.list_us(500));
+    }
+
+    #[test]
+    fn throttle_free_under_limit() {
+        let t = PrefixThrottle::new(100);
+        assert_eq!(t.charge("bucket/a/x.bin", 50, 0), 0);
+        assert_eq!(t.charge("bucket/a/y.bin", 50, 10), 0);
+        // 101st request in the window pays one slot.
+        assert_eq!(t.charge("bucket/a/z.bin", 1, 20), 10_000);
+    }
+
+    #[test]
+    fn throttle_window_resets() {
+        let t = PrefixThrottle::new(10);
+        assert!(t.charge("p/k", 100, 0) > 0);
+        assert_eq!(t.charge("p/k", 5, 1500), 0, "new window clears the count");
+    }
+
+    #[test]
+    fn throttle_prefixes_are_independent() {
+        let t = PrefixThrottle::new(10);
+        assert!(t.charge("a/k", 100, 0) > 0);
+        assert_eq!(t.charge("b/k", 5, 0), 0);
+    }
+
+    #[test]
+    fn prefix_extraction() {
+        assert_eq!(PrefixThrottle::prefix_of("a/b/c.bin"), "a/b");
+        assert_eq!(PrefixThrottle::prefix_of("top.bin"), "");
+    }
+
+    #[test]
+    fn disabled_throttle_never_delays() {
+        let t = PrefixThrottle::new(0);
+        assert_eq!(t.charge("a/k", u64::MAX / 2, 0), 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Object storage substrate for Rottnest.
+//!
+//! The paper evaluates Rottnest against AWS S3. This crate provides the same
+//! *semantics* S3 guarantees since 2020 — strong read-after-write consistency,
+//! a single global clock on object timestamps, conditional PUT
+//! (`put_if_absent`, the primitive data-lake commit protocols build on),
+//! prefix LIST, and byte-range GET — over two backends:
+//!
+//! * [`MemoryStore`] — in-memory, with a deterministic **latency model**
+//!   calibrated to the paper's Figure 10a (requests below ~1 MiB are
+//!   latency-bound at a fixed first-byte latency; larger requests become
+//!   throughput-bound), a per-prefix GET **rate limit** (S3's 5500 GET RPS,
+//!   §VII-D3), request **statistics** for the TCO cost model, and **fault
+//!   injection** for crash-recovery tests.
+//! * [`FsStore`] — local filesystem, used by the runnable examples.
+//!
+//! A simulated clock ([`SimClock`]) is shared by the store and all protocol
+//! code: each request advances it by the request's modeled latency, and a
+//! batch issued through [`ObjectStore::get_ranges`] advances it by the
+//! *maximum* of its members (the paper's access *width*), so measured
+//! "latencies" reproduce the dependency structure (access *depth*) of real
+//! object-store access plans.
+
+pub mod fault;
+pub mod fs;
+pub mod fxhash;
+pub mod latency;
+pub mod memory;
+pub mod stats;
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+pub use fault::{FaultInjector, FaultKind};
+pub use fs::FsStore;
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use latency::{LatencyModel, PrefixThrottle};
+pub use memory::MemoryStore;
+pub use stats::{RequestStats, StatsSnapshot};
+
+/// Metadata about a stored object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectMeta {
+    /// Full key of the object within the store.
+    pub key: String,
+    /// Object size in bytes.
+    pub size: u64,
+    /// Creation timestamp in milliseconds on the store's global clock.
+    ///
+    /// Rottnest's `vacuum` relies on this clock being the *store's* (§IV-C:
+    /// "this timeout is against the object store's clock"), never the
+    /// client's.
+    pub created_ms: u64,
+}
+
+/// A byte-range request used by [`ObjectStore::get_ranges`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeRequest {
+    /// Object key.
+    pub key: String,
+    /// Byte range to fetch (`start..end`, end exclusive).
+    pub range: Range<u64>,
+}
+
+impl RangeRequest {
+    /// Convenience constructor.
+    pub fn new(key: impl Into<String>, range: Range<u64>) -> Self {
+        Self { key: key.into(), range }
+    }
+}
+
+/// Errors returned by object store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The requested key does not exist.
+    NotFound(String),
+    /// `put_if_absent` found the key already present.
+    AlreadyExists(String),
+    /// The requested byte range falls outside the object.
+    InvalidRange {
+        /// Key of the object.
+        key: String,
+        /// Actual object length.
+        len: u64,
+        /// Requested range start.
+        start: u64,
+        /// Requested range end.
+        end: u64,
+    },
+    /// A fault injected by [`FaultInjector`] for testing.
+    Injected(&'static str),
+    /// Backend I/O failure (filesystem backend).
+    Io(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::NotFound(k) => write!(f, "object not found: {k}"),
+            StoreError::AlreadyExists(k) => write!(f, "object already exists: {k}"),
+            StoreError::InvalidRange { key, len, start, end } => {
+                write!(f, "invalid range {start}..{end} for {key} (len {len})")
+            }
+            StoreError::Injected(m) => write!(f, "injected fault: {m}"),
+            StoreError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Result alias for store operations.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// Object storage with S3 semantics.
+///
+/// All operations are strongly consistent: a successful `put` is immediately
+/// visible to `get`, `head` and `list` (read-after-write), and timestamps are
+/// issued by a single global clock. These are exactly the primitives the
+/// Rottnest protocol requires (§II-D "broad compatibility": only
+/// read-after-write consistency, no atomic rename).
+pub trait ObjectStore: Send + Sync {
+    /// Stores `data` under `key`, overwriting any existing object.
+    fn put(&self, key: &str, data: Bytes) -> Result<()>;
+
+    /// Stores `data` under `key` only if the key does not exist.
+    ///
+    /// Returns [`StoreError::AlreadyExists`] if it does. This is the
+    /// compare-and-swap primitive used for transactional commit logs.
+    fn put_if_absent(&self, key: &str, data: Bytes) -> Result<()>;
+
+    /// Fetches a whole object.
+    fn get(&self, key: &str) -> Result<Bytes>;
+
+    /// Fetches a byte range of an object.
+    fn get_range(&self, key: &str, range: Range<u64>) -> Result<Bytes>;
+
+    /// Fetches many byte ranges *in parallel* (one simulated round trip of
+    /// width `requests.len()`); the default implementation loops
+    /// sequentially, backends with a latency model override it.
+    fn get_ranges(&self, requests: &[RangeRequest]) -> Result<Vec<Bytes>> {
+        requests
+            .iter()
+            .map(|r| self.get_range(&r.key, r.range.clone()))
+            .collect()
+    }
+
+    /// Returns metadata without fetching the payload.
+    fn head(&self, key: &str) -> Result<ObjectMeta>;
+
+    /// Lists all objects whose key starts with `prefix`, in key order.
+    fn list(&self, prefix: &str) -> Result<Vec<ObjectMeta>>;
+
+    /// Deletes an object. Deleting a missing key is not an error (S3
+    /// semantics).
+    fn delete(&self, key: &str) -> Result<()>;
+
+    /// Current time in milliseconds on the store's global clock.
+    fn now_ms(&self) -> u64;
+
+    /// Snapshot of the request statistics accumulated so far.
+    fn stats(&self) -> StatsSnapshot;
+
+    /// The simulated clock driving latency accounting, if this backend has
+    /// one. Benchmarks snapshot it around operations to measure modeled
+    /// latency.
+    fn clock(&self) -> Option<&SimClock> {
+        None
+    }
+}
+
+/// A shared simulated clock, in microseconds.
+///
+/// The clock advances when the owning store serves requests (by each
+/// request's modeled latency) and can also be advanced manually to model the
+/// passage of wall-clock time (e.g. between `index` and `vacuum` in protocol
+/// tests).
+#[derive(Debug, Default)]
+pub struct SimClock {
+    micros: AtomicU64,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Current simulated time in microseconds.
+    pub fn now_micros(&self) -> u64 {
+        self.micros.load(Ordering::SeqCst)
+    }
+
+    /// Current simulated time in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.now_micros() / 1000
+    }
+
+    /// Advances the clock by `micros`.
+    pub fn advance_micros(&self, micros: u64) {
+        self.micros.fetch_add(micros, Ordering::SeqCst);
+    }
+
+    /// Advances the clock by `ms` milliseconds.
+    pub fn advance_ms(&self, ms: u64) {
+        self.advance_micros(ms * 1000);
+    }
+
+    /// Measures the simulated duration of `f` in microseconds.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> (T, u64) {
+        let start = self.now_micros();
+        let out = f();
+        (out, self.now_micros() - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_advances_and_times() {
+        let clock = SimClock::new();
+        assert_eq!(clock.now_micros(), 0);
+        clock.advance_ms(5);
+        assert_eq!(clock.now_ms(), 5);
+        let ((), elapsed) = clock.time(|| clock.advance_micros(1500));
+        assert_eq!(elapsed, 1500);
+    }
+}

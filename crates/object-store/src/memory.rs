@@ -1,0 +1,434 @@
+//! In-memory object store with latency accounting — the backend used by all
+//! tests and benchmarks.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+use crate::latency::{LatencyModel, PrefixThrottle};
+use crate::stats::{RequestStats, StatsSnapshot};
+use crate::{FaultInjector, ObjectMeta, ObjectStore, RangeRequest, Result, SimClock, StoreError};
+
+#[derive(Debug, Clone)]
+struct StoredObject {
+    data: Bytes,
+    created_ms: u64,
+}
+
+/// An in-memory [`ObjectStore`] with strong read-after-write consistency,
+/// a simulated latency model, per-prefix GET throttling, request statistics
+/// and fault injection.
+///
+/// The store is cheap to clone-share via `Arc`. All timestamps come from the
+/// shared [`SimClock`], which doubles as the "object store's clock" the
+/// vacuum protocol requires.
+pub struct MemoryStore {
+    objects: RwLock<BTreeMap<String, StoredObject>>,
+    clock: Arc<SimClock>,
+    latency: LatencyModel,
+    throttle: Option<PrefixThrottle>,
+    stats: RequestStats,
+    faults: FaultInjector,
+}
+
+impl MemoryStore {
+    /// Creates a store with the paper-calibrated default latency model and
+    /// S3's 5,500 GET/s per-prefix limit.
+    pub fn new() -> Arc<Self> {
+        Self::with_model(LatencyModel::default())
+    }
+
+    /// Creates a store with zero latency, for semantics-only tests.
+    pub fn unmetered() -> Arc<Self> {
+        Self::with_model(LatencyModel::zero())
+    }
+
+    /// Creates a store with a custom latency model.
+    pub fn with_model(latency: LatencyModel) -> Arc<Self> {
+        Arc::new(Self {
+            objects: RwLock::new(BTreeMap::new()),
+            clock: SimClock::new(),
+            latency,
+            throttle: Some(PrefixThrottle::new(5_500)),
+            stats: RequestStats::default(),
+            faults: FaultInjector::new(),
+        })
+    }
+
+    /// Creates a store with a custom latency model and per-prefix GET limit
+    /// (0 disables throttling).
+    pub fn with_model_and_limit(latency: LatencyModel, limit_per_sec: u64) -> Arc<Self> {
+        Arc::new(Self {
+            objects: RwLock::new(BTreeMap::new()),
+            clock: SimClock::new(),
+            latency,
+            throttle: (limit_per_sec > 0).then(|| PrefixThrottle::new(limit_per_sec)),
+            stats: RequestStats::default(),
+            faults: FaultInjector::new(),
+        })
+    }
+
+    /// The fault injector for this store.
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// The latency model in effect.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Number of objects currently stored.
+    pub fn len(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// Whether the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.read().is_empty()
+    }
+
+    /// Total bytes across all stored objects (the storage-cost input of the
+    /// TCO model).
+    pub fn total_bytes(&self) -> u64 {
+        self.objects.read().values().map(|o| o.data.len() as u64).sum()
+    }
+
+    /// Total bytes across objects under a prefix.
+    pub fn bytes_under(&self, prefix: &str) -> u64 {
+        self.objects
+            .read()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, o)| o.data.len() as u64)
+            .sum()
+    }
+
+    fn charge_get(&self, key: &str, n_requests: u64, max_request_bytes: u64) {
+        let mut us = self.latency.get_us(max_request_bytes);
+        if let Some(t) = &self.throttle {
+            us += t.charge(key, n_requests, self.clock.now_ms());
+        }
+        self.clock.advance_micros(us);
+    }
+}
+
+impl ObjectStore for MemoryStore {
+    fn put(&self, key: &str, data: Bytes) -> Result<()> {
+        self.faults.check_put(key).map_err(StoreError::Injected)?;
+        self.clock.advance_micros(self.latency.put_us(data.len() as u64));
+        self.stats.record_put(data.len() as u64);
+        let created_ms = self.clock.now_ms();
+        self.objects
+            .write()
+            .insert(key.to_string(), StoredObject { data, created_ms });
+        Ok(())
+    }
+
+    fn put_if_absent(&self, key: &str, data: Bytes) -> Result<()> {
+        self.faults.check_put(key).map_err(StoreError::Injected)?;
+        self.clock.advance_micros(self.latency.put_us(data.len() as u64));
+        self.stats.record_put(data.len() as u64);
+        let created_ms = self.clock.now_ms();
+        let mut objects = self.objects.write();
+        if objects.contains_key(key) {
+            return Err(StoreError::AlreadyExists(key.to_string()));
+        }
+        objects.insert(key.to_string(), StoredObject { data, created_ms });
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes> {
+        self.faults.check_get(key).map_err(StoreError::Injected)?;
+        let data = {
+            let objects = self.objects.read();
+            objects
+                .get(key)
+                .ok_or_else(|| StoreError::NotFound(key.to_string()))?
+                .data
+                .clone()
+        };
+        self.charge_get(key, 1, data.len() as u64);
+        self.stats.record_get(data.len() as u64);
+        Ok(data)
+    }
+
+    fn get_range(&self, key: &str, range: Range<u64>) -> Result<Bytes> {
+        self.faults.check_get(key).map_err(StoreError::Injected)?;
+        let data = {
+            let objects = self.objects.read();
+            let obj = objects
+                .get(key)
+                .ok_or_else(|| StoreError::NotFound(key.to_string()))?;
+            slice_range(key, &obj.data, &range)?
+        };
+        self.charge_get(key, 1, data.len() as u64);
+        self.stats.record_get(data.len() as u64);
+        Ok(data)
+    }
+
+    fn get_ranges(&self, requests: &[RangeRequest]) -> Result<Vec<Bytes>> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::with_capacity(requests.len());
+        let mut max_bytes = 0u64;
+        let mut total_bytes = 0u64;
+        {
+            let objects = self.objects.read();
+            for req in requests {
+                self.faults.check_get(&req.key).map_err(StoreError::Injected)?;
+                let obj = objects
+                    .get(&req.key)
+                    .ok_or_else(|| StoreError::NotFound(req.key.clone()))?;
+                let data = slice_range(&req.key, &obj.data, &req.range)?;
+                max_bytes = max_bytes.max(data.len() as u64);
+                total_bytes += data.len() as u64;
+                out.push(data);
+            }
+        }
+        // One parallel round trip: the batch costs its slowest member, plus
+        // any throttle delay from issuing `len` requests at once.
+        self.charge_get(&requests[0].key, requests.len() as u64, max_bytes);
+        self.stats.record_gets(requests.len() as u64, total_bytes);
+        Ok(out)
+    }
+
+    fn head(&self, key: &str) -> Result<ObjectMeta> {
+        self.clock.advance_micros(self.latency.small_op_us);
+        self.stats.record_head();
+        let objects = self.objects.read();
+        let obj = objects
+            .get(key)
+            .ok_or_else(|| StoreError::NotFound(key.to_string()))?;
+        Ok(ObjectMeta {
+            key: key.to_string(),
+            size: obj.data.len() as u64,
+            created_ms: obj.created_ms,
+        })
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<ObjectMeta>> {
+        self.stats.record_list();
+        let objects = self.objects.read();
+        let metas: Vec<ObjectMeta> = objects
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, o)| ObjectMeta {
+                key: k.clone(),
+                size: o.data.len() as u64,
+                created_ms: o.created_ms,
+            })
+            .collect();
+        self.clock.advance_micros(self.latency.list_us(metas.len() as u64));
+        Ok(metas)
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.faults.check_delete(key).map_err(StoreError::Injected)?;
+        self.clock.advance_micros(self.latency.small_op_us);
+        self.stats.record_delete();
+        self.objects.write().remove(key);
+        Ok(())
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.clock.now_ms()
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn clock(&self) -> Option<&SimClock> {
+        Some(&self.clock)
+    }
+}
+
+fn slice_range(key: &str, data: &Bytes, range: &Range<u64>) -> Result<Bytes> {
+    let len = data.len() as u64;
+    // S3 tolerates ranges running past the end of the object; it truncates.
+    let end = range.end.min(len);
+    if range.start > end {
+        return Err(StoreError::InvalidRange {
+            key: key.to_string(),
+            len,
+            start: range.start,
+            end: range.end,
+        });
+    }
+    Ok(data.slice(range.start as usize..end as usize))
+}
+
+impl std::fmt::Debug for MemoryStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryStore")
+            .field("objects", &self.len())
+            .field("total_bytes", &self.total_bytes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultKind;
+
+    fn store() -> Arc<MemoryStore> {
+        MemoryStore::unmetered()
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let s = store();
+        s.put("a/b.bin", Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(s.get("a/b.bin").unwrap(), Bytes::from_static(b"hello"));
+        assert!(matches!(s.get("missing"), Err(StoreError::NotFound(_))));
+    }
+
+    #[test]
+    fn read_after_write_consistency() {
+        // A put is immediately visible to get/head/list from another thread.
+        let s = store();
+        crossbeam::scope(|scope| {
+            scope.spawn(|_| {
+                s.put("k", Bytes::from_static(b"v")).unwrap();
+            });
+        })
+        .unwrap();
+        assert_eq!(s.get("k").unwrap(), Bytes::from_static(b"v"));
+        assert_eq!(s.head("k").unwrap().size, 1);
+        assert_eq!(s.list("").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn put_if_absent_is_exclusive() {
+        let s = store();
+        s.put_if_absent("log/001", Bytes::from_static(b"x")).unwrap();
+        assert!(matches!(
+            s.put_if_absent("log/001", Bytes::from_static(b"y")),
+            Err(StoreError::AlreadyExists(_))
+        ));
+        // The original payload survives.
+        assert_eq!(s.get("log/001").unwrap(), Bytes::from_static(b"x"));
+    }
+
+    #[test]
+    fn put_if_absent_race_has_single_winner() {
+        let s = store();
+        let wins = std::sync::atomic::AtomicU64::new(0);
+        crossbeam::scope(|scope| {
+            for i in 0..8 {
+                let s = &s;
+                let wins = &wins;
+                scope.spawn(move |_| {
+                    let payload = Bytes::from(vec![i as u8]);
+                    if s.put_if_absent("commit/42", payload).is_ok() {
+                        wins.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(wins.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn range_reads() {
+        let s = store();
+        s.put("k", Bytes::from_static(b"0123456789")).unwrap();
+        assert_eq!(s.get_range("k", 2..5).unwrap(), Bytes::from_static(b"234"));
+        // Over-long ranges truncate like S3.
+        assert_eq!(s.get_range("k", 8..100).unwrap(), Bytes::from_static(b"89"));
+        assert!(s.get_range("k", 11..12).is_err());
+    }
+
+    #[test]
+    fn list_is_sorted_and_prefix_scoped() {
+        let s = store();
+        for key in ["t/b", "t/a", "u/c", "t/ab"] {
+            s.put(key, Bytes::new()).unwrap();
+        }
+        let keys: Vec<String> = s.list("t/").unwrap().into_iter().map(|m| m.key).collect();
+        assert_eq!(keys, vec!["t/a", "t/ab", "t/b"]);
+    }
+
+    #[test]
+    fn delete_missing_is_ok() {
+        let s = store();
+        s.delete("nope").unwrap();
+    }
+
+    #[test]
+    fn timestamps_come_from_store_clock() {
+        let s = MemoryStore::new();
+        s.put("a", Bytes::from_static(b"x")).unwrap();
+        let t1 = s.head("a").unwrap().created_ms;
+        s.clock().unwrap().advance_ms(60_000);
+        s.put("b", Bytes::from_static(b"y")).unwrap();
+        let t2 = s.head("b").unwrap().created_ms;
+        assert!(t2 >= t1 + 60_000);
+    }
+
+    #[test]
+    fn batch_get_costs_one_round_trip() {
+        let s = MemoryStore::with_model_and_limit(LatencyModel::default(), 0);
+        let payload = Bytes::from(vec![0u8; 300 * 1024]);
+        for i in 0..16 {
+            s.put(&format!("f/{i}"), payload.clone()).unwrap();
+        }
+        let clock = s.clock().unwrap();
+
+        let reqs: Vec<RangeRequest> =
+            (0..16).map(|i| RangeRequest::new(format!("f/{i}"), 0..300 * 1024)).collect();
+        let (_, batch_us) = clock.time(|| s.get_ranges(&reqs).unwrap());
+
+        let (_, seq_us) = clock.time(|| {
+            for i in 0..16 {
+                s.get_range(&format!("f/{i}"), 0..300 * 1024).unwrap();
+            }
+        });
+        assert!(
+            seq_us > batch_us * 10,
+            "sequential ({seq_us}us) should dwarf batched ({batch_us}us)"
+        );
+    }
+
+    #[test]
+    fn stats_track_requests() {
+        let s = store();
+        s.put("a", Bytes::from_static(b"abc")).unwrap();
+        s.get("a").unwrap();
+        s.list("").unwrap();
+        let snap = s.stats();
+        assert_eq!(snap.puts, 1);
+        assert_eq!(snap.gets, 1);
+        assert_eq!(snap.lists, 1);
+        assert_eq!(snap.bytes_written, 3);
+        assert_eq!(snap.bytes_read, 3);
+    }
+
+    #[test]
+    fn injected_put_fault_surfaces() {
+        let s = store();
+        s.faults().arm(FaultKind::FailPutMatching("boom".into()));
+        assert!(matches!(
+            s.put("x/boom.bin", Bytes::new()),
+            Err(StoreError::Injected(_))
+        ));
+        s.put("x/ok.bin", Bytes::new()).unwrap();
+    }
+
+    #[test]
+    fn total_bytes_and_bytes_under() {
+        let s = store();
+        s.put("a/x", Bytes::from(vec![0u8; 10])).unwrap();
+        s.put("a/y", Bytes::from(vec![0u8; 20])).unwrap();
+        s.put("b/z", Bytes::from(vec![0u8; 40])).unwrap();
+        assert_eq!(s.total_bytes(), 70);
+        assert_eq!(s.bytes_under("a/"), 30);
+    }
+}

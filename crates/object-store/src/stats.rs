@@ -1,0 +1,136 @@
+//! Request statistics feeding the TCO cost model.
+//!
+//! Every store counts requests by kind and bytes moved. The TCO crate turns
+//! a [`StatsSnapshot`] delta into dollars (S3 charges per request and the
+//! paper's `cpq` terms derive from request latency × instance cost).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic request counters owned by a store.
+#[derive(Debug, Default)]
+pub struct RequestStats {
+    gets: AtomicU64,
+    puts: AtomicU64,
+    lists: AtomicU64,
+    deletes: AtomicU64,
+    heads: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+impl RequestStats {
+    /// Records a GET of `bytes`.
+    pub fn record_get(&self, bytes: u64) {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records `n` GETs totalling `bytes` (for batch requests).
+    pub fn record_gets(&self, n: u64, bytes: u64) {
+        self.gets.fetch_add(n, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records a PUT of `bytes`.
+    pub fn record_put(&self, bytes: u64) {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records a LIST.
+    pub fn record_list(&self) {
+        self.lists.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a DELETE.
+    pub fn record_delete(&self) {
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a HEAD.
+    pub fn record_head(&self) {
+        self.heads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            gets: self.gets.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            lists: self.lists.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            heads: self.heads.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a store's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Number of GET requests (range or whole-object).
+    pub gets: u64,
+    /// Number of PUT requests (including conditional).
+    pub puts: u64,
+    /// Number of LIST requests.
+    pub lists: u64,
+    /// Number of DELETE requests.
+    pub deletes: u64,
+    /// Number of HEAD requests.
+    pub heads: u64,
+    /// Total bytes returned by GETs.
+    pub bytes_read: u64,
+    /// Total bytes accepted by PUTs.
+    pub bytes_written: u64,
+}
+
+impl StatsSnapshot {
+    /// Counter-wise difference `self - earlier`; used to attribute requests
+    /// to a single operation.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            gets: self.gets - earlier.gets,
+            puts: self.puts - earlier.puts,
+            lists: self.lists - earlier.lists,
+            deletes: self.deletes - earlier.deletes,
+            heads: self.heads - earlier.heads,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+        }
+    }
+
+    /// Total request count across kinds.
+    pub fn total_requests(&self) -> u64 {
+        self.gets + self.puts + self.lists + self.deletes + self.heads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_diff() {
+        let stats = RequestStats::default();
+        stats.record_get(100);
+        stats.record_gets(3, 300);
+        stats.record_put(50);
+        stats.record_list();
+        stats.record_delete();
+        stats.record_head();
+        let snap = stats.snapshot();
+        assert_eq!(snap.gets, 4);
+        assert_eq!(snap.bytes_read, 400);
+        assert_eq!(snap.puts, 1);
+        assert_eq!(snap.bytes_written, 50);
+        assert_eq!(snap.total_requests(), 8);
+
+        stats.record_get(1);
+        let later = stats.snapshot();
+        let delta = later.since(&snap);
+        assert_eq!(delta.gets, 1);
+        assert_eq!(delta.bytes_read, 1);
+        assert_eq!(delta.puts, 0);
+    }
+}

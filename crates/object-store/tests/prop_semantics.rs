@@ -1,0 +1,114 @@
+//! Model-based property test: the memory store must behave exactly like a
+//! `HashMap<String, Vec<u8>>` under arbitrary operation sequences — the
+//! "strong read-after-write consistency" contract everything above relies
+//! on (§II-D).
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use rottnest_object_store::{MemoryStore, ObjectStore, StoreError};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, Vec<u8>),
+    PutIfAbsent(u8, Vec<u8>),
+    Get(u8),
+    GetRange(u8, u8, u8),
+    Head(u8),
+    Delete(u8),
+    List(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..48)).prop_map(|(k, v)| Op::Put(k % 12, v)),
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..48)).prop_map(|(k, v)| Op::PutIfAbsent(k % 12, v)),
+        any::<u8>().prop_map(|k| Op::Get(k % 12)),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(k, a, b)| Op::GetRange(k % 12, a, b)),
+        any::<u8>().prop_map(|k| Op::Head(k % 12)),
+        any::<u8>().prop_map(|k| Op::Delete(k % 12)),
+        any::<u8>().prop_map(|p| Op::List(p % 3)),
+    ]
+}
+
+fn key_of(k: u8) -> String {
+    format!("dir{}/obj{}", k % 3, k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn memory_store_matches_hashmap_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let store = MemoryStore::unmetered();
+        let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    store.put(&key_of(k), Bytes::from(v.clone())).unwrap();
+                    model.insert(key_of(k), v);
+                }
+                Op::PutIfAbsent(k, v) => {
+                    let r = store.put_if_absent(&key_of(k), Bytes::from(v.clone()));
+                    if model.contains_key(&key_of(k)) {
+                        prop_assert!(matches!(r, Err(StoreError::AlreadyExists(_))));
+                    } else {
+                        prop_assert!(r.is_ok());
+                        model.insert(key_of(k), v);
+                    }
+                }
+                Op::Get(k) => {
+                    match (store.get(&key_of(k)), model.get(&key_of(k))) {
+                        (Ok(got), Some(want)) => prop_assert_eq!(got.as_ref(), want.as_slice()),
+                        (Err(StoreError::NotFound(_)), None) => {}
+                        (got, want) => prop_assert!(false, "get mismatch: {got:?} vs {want:?}"),
+                    }
+                }
+                Op::GetRange(k, a, b) => {
+                    let (start, end) = (u64::from(a.min(b)), u64::from(a.max(b)));
+                    match (store.get_range(&key_of(k), start..end), model.get(&key_of(k))) {
+                        (Ok(got), Some(want)) => {
+                            // S3 semantics: end truncates to the object length.
+                            let s = (start as usize).min(want.len());
+                            let e = (end as usize).min(want.len());
+                            prop_assert_eq!(got.as_ref(), &want[s.min(e)..e]);
+                        }
+                        (Err(StoreError::NotFound(_)), None) => {}
+                        (Err(StoreError::InvalidRange { .. }), Some(want)) => {
+                            // Only legal when start exceeds the object length.
+                            prop_assert!(start as usize > want.len());
+                        }
+                        (got, want) => prop_assert!(false, "range mismatch: {got:?} vs {want:?}"),
+                    }
+                }
+                Op::Head(k) => {
+                    match (store.head(&key_of(k)), model.get(&key_of(k))) {
+                        (Ok(meta), Some(want)) => prop_assert_eq!(meta.size as usize, want.len()),
+                        (Err(StoreError::NotFound(_)), None) => {}
+                        (got, want) => prop_assert!(false, "head mismatch: {got:?} vs {want:?}"),
+                    }
+                }
+                Op::Delete(k) => {
+                    store.delete(&key_of(k)).unwrap();
+                    model.remove(&key_of(k));
+                }
+                Op::List(p) => {
+                    let prefix = format!("dir{p}/");
+                    let got: Vec<String> =
+                        store.list(&prefix).unwrap().into_iter().map(|m| m.key).collect();
+                    let mut want: Vec<String> =
+                        model.keys().filter(|k| k.starts_with(&prefix)).cloned().collect();
+                    want.sort();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        // Final global agreement.
+        prop_assert_eq!(store.len(), model.len());
+        prop_assert_eq!(
+            store.total_bytes() as usize,
+            model.values().map(|v| v.len()).sum::<usize>()
+        );
+    }
+}

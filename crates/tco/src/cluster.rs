@@ -1,0 +1,94 @@
+//! Horizontal-scaling model for the brute-force cluster (Figure 8).
+//!
+//! The paper finds Spark "fairly horizontally scalable up to 32 worker
+//! instances" with "a marked decrease in latency improvement" at 64. We
+//! model per-query latency of a `W`-worker scan as
+//!
+//! ```text
+//! latency(W) = spinup + serial + scan_work / W × skew(W)
+//! skew(W) = 1 + straggler_coeff × log2(W)
+//! ```
+//!
+//! The fixed spin-up and coordination terms plus straggler skew reproduce
+//! the measured shape: near-linear speedup early, diminishing returns past
+//! ~32 workers, and per-query *cost* (`W × hourly × latency`) that is flat
+//! then rises.
+
+/// Parameters of the scan cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterModel {
+    /// Fixed task spin-up / scheduling time per query (seconds).
+    pub spinup_seconds: f64,
+    /// Non-parallelizable work per query (planning, result merge).
+    pub serial_seconds: f64,
+    /// Total single-worker scan time for the dataset (seconds).
+    pub scan_seconds_1worker: f64,
+    /// Straggler coefficient for the `1 + c·log2(W)` skew term.
+    pub straggler_coeff: f64,
+    /// Per-instance hourly price.
+    pub hourly_rate: f64,
+}
+
+impl ClusterModel {
+    /// Per-query latency on `workers` instances (seconds).
+    pub fn latency(&self, workers: u32) -> f64 {
+        let w = f64::from(workers.max(1));
+        let skew = 1.0 + self.straggler_coeff * w.log2();
+        self.spinup_seconds + self.serial_seconds + self.scan_seconds_1worker / w * skew
+    }
+
+    /// Per-query dollar cost on `workers` instances.
+    pub fn cost_per_query(&self, workers: u32) -> f64 {
+        f64::from(workers.max(1)) * self.hourly_rate / 3600.0 * self.latency(workers)
+    }
+
+    /// Parallel speedup over one worker.
+    pub fn speedup(&self, workers: u32) -> f64 {
+        self.latency(1) / self.latency(workers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ClusterModel {
+        ClusterModel {
+            spinup_seconds: 2.0,
+            serial_seconds: 1.0,
+            scan_seconds_1worker: 600.0,
+            straggler_coeff: 0.08,
+            hourly_rate: 1.008,
+        }
+    }
+
+    #[test]
+    fn latency_decreases_with_workers() {
+        let m = model();
+        let l: Vec<f64> = [1, 2, 4, 8, 16, 32, 64].iter().map(|&w| m.latency(w)).collect();
+        assert!(l.windows(2).all(|w| w[1] < w[0]));
+    }
+
+    #[test]
+    fn speedup_saturates_past_32_workers() {
+        // Figure 8a: near-linear to 32, markedly sublinear at 64.
+        let m = model();
+        let eff32 = m.speedup(32) / 32.0;
+        let eff64 = m.speedup(64) / 64.0;
+        assert!(eff32 > 0.55, "32-worker efficiency {eff32}");
+        assert!(eff64 < eff32 * 0.9, "64-worker efficiency must drop: {eff64} vs {eff32}");
+    }
+
+    #[test]
+    fn cost_rises_at_high_worker_counts() {
+        // Figure 8b: cost per query grows once scaling saturates.
+        let m = model();
+        assert!(m.cost_per_query(64) > m.cost_per_query(8));
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let m = model();
+        assert_eq!(m.latency(0), m.latency(1));
+    }
+}

@@ -1,0 +1,141 @@
+//! Total-cost-of-ownership evaluation framework (§VI of the paper).
+//!
+//! The paper's key evaluation device is the *phase diagram*: over a log-log
+//! grid of (operating months × total normalized queries), compute which of
+//! three approaches minimizes
+//!
+//! ```text
+//! TCO = index_cost + cost_per_month × months + cost_per_query × queries
+//! ```
+//!
+//! * **copy data** — `TCO = cpm_i × months` (always-on dedicated cluster);
+//! * **brute force** — `TCO = cpm_bf × months + cpq_bf × queries`;
+//! * **Rottnest** — `TCO = ic_r + cpm_r × months + cpq_r × queries`.
+//!
+//! [`phase::PhaseDiagram`] computes winners and phase boundaries,
+//! [`prices`] holds the AWS price constants the paper uses, [`cluster`]
+//! models horizontal scaling for Figure 8, and [`sensitivity`] reproduces
+//! the ×0.1…×10 parameter sweeps of Figure 12.
+
+pub mod cluster;
+pub mod phase;
+pub mod prices;
+pub mod sensitivity;
+
+pub use cluster::ClusterModel;
+pub use phase::{Boundary, PhaseDiagram, Winner};
+pub use sensitivity::scale_param;
+
+/// Cost model of one approach, in dollars.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproachCosts {
+    /// One-time indexing/ingest cost (`ic`).
+    pub index_cost: f64,
+    /// Recurring cost per month (`cpm`): storage, always-on servers.
+    pub cost_per_month: f64,
+    /// Marginal cost per normalized query (`cpq`).
+    pub cost_per_query: f64,
+}
+
+impl ApproachCosts {
+    /// Total cost of ownership at an operating point.
+    pub fn tco(&self, months: f64, queries: f64) -> f64 {
+        self.index_cost + self.cost_per_month * months + self.cost_per_query * queries
+    }
+}
+
+/// The three approaches compared throughout the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Approaches {
+    /// Copy data into a dedicated system (OpenSearch/LanceDB-style).
+    pub copy_data: ApproachCosts,
+    /// Brute-force scanning with an on-demand query engine.
+    pub brute_force: ApproachCosts,
+    /// Rottnest indices on object storage.
+    pub rottnest: ApproachCosts,
+}
+
+impl Approaches {
+    /// TCO-minimal approach at an operating point.
+    pub fn winner(&self, months: f64, queries: f64) -> Winner {
+        let c = self.copy_data.tco(months, queries);
+        let b = self.brute_force.tco(months, queries);
+        let r = self.rottnest.tco(months, queries);
+        if r <= b && r <= c {
+            Winner::Rottnest
+        } else if b <= c {
+            Winner::BruteForce
+        } else {
+            Winner::CopyData
+        }
+    }
+}
+
+/// Derives a per-query cost from a measured latency and a cluster of
+/// instances (the paper: "computed from query latency times the hourly cost
+/// of the EC2 instances on which the queries are executed").
+pub fn cpq_from_latency(latency_seconds: f64, instances: f64, hourly_rate: f64) -> f64 {
+    latency_seconds / 3600.0 * hourly_rate * instances
+}
+
+/// Monthly S3 storage cost for `bytes`.
+pub fn cpm_storage(bytes: f64) -> f64 {
+    bytes / 1e9 * prices::S3_STORAGE_PER_GB_MONTH
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Approaches {
+        Approaches {
+            copy_data: ApproachCosts {
+                index_cost: 0.0,
+                cost_per_month: 500.0,
+                cost_per_query: 0.0,
+            },
+            brute_force: ApproachCosts {
+                index_cost: 0.0,
+                cost_per_month: 7.0,
+                cost_per_query: 0.5,
+            },
+            rottnest: ApproachCosts {
+                index_cost: 30.0,
+                cost_per_month: 10.0,
+                cost_per_query: 0.002,
+            },
+        }
+    }
+
+    #[test]
+    fn tco_is_affine() {
+        let a = sample().rottnest;
+        assert_eq!(a.tco(0.0, 0.0), 30.0);
+        assert_eq!(a.tco(2.0, 100.0), 30.0 + 20.0 + 0.2);
+    }
+
+    #[test]
+    fn winners_match_intuition() {
+        let a = sample();
+        // Few queries, short horizon: brute force (no upfront cost).
+        assert_eq!(a.winner(1.0, 10.0), Winner::BruteForce);
+        // Medium load: Rottnest amortizes its index.
+        assert_eq!(a.winner(10.0, 10_000.0), Winner::Rottnest);
+        // Huge load: always-on cluster with zero marginal query cost.
+        assert_eq!(a.winner(10.0, 10_000_000.0), Winner::CopyData);
+    }
+
+    #[test]
+    fn cpq_math() {
+        // 3.6s on one $1/h instance = $0.001.
+        assert!((cpq_from_latency(3.6, 1.0, 1.0) - 0.001).abs() < 1e-12);
+        // 8 workers double-count.
+        assert!((cpq_from_latency(3.6, 8.0, 1.0) - 0.008).abs() < 1e-12);
+    }
+
+    #[test]
+    fn storage_cost_scales_linearly() {
+        let one_gb = cpm_storage(1e9);
+        assert!((cpm_storage(304e9) / one_gb - 304.0).abs() < 1e-9);
+    }
+}

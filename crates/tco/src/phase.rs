@@ -1,0 +1,254 @@
+//! Phase-change diagrams over (months × queries), Figures 7, 9, 11.
+
+use crate::Approaches;
+
+/// The TCO-minimal approach at a grid cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Winner {
+    /// Copy data into a dedicated system.
+    CopyData,
+    /// Brute-force scanning.
+    BruteForce,
+    /// Rottnest indices.
+    Rottnest,
+}
+
+impl Winner {
+    /// One-letter cell label for ASCII rendering.
+    pub fn glyph(&self) -> char {
+        match self {
+            Winner::CopyData => 'C',
+            Winner::BruteForce => 'B',
+            Winner::Rottnest => 'R',
+        }
+    }
+
+    /// Stable name for CSV output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Winner::CopyData => "copy_data",
+            Winner::BruteForce => "brute_force",
+            Winner::Rottnest => "rottnest",
+        }
+    }
+}
+
+/// A phase boundary sample: at `months`, Rottnest wins for queries in
+/// `[lo, hi]` (empty when Rottnest never wins in that column).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Boundary {
+    /// Operating duration (months).
+    pub months: f64,
+    /// Lowest query count where Rottnest is optimal (`None` if never).
+    pub rottnest_lo: Option<f64>,
+    /// Highest query count where Rottnest is optimal.
+    pub rottnest_hi: Option<f64>,
+}
+
+/// A computed phase diagram on a log-log grid.
+#[derive(Debug, Clone)]
+pub struct PhaseDiagram {
+    /// Month samples (log-spaced).
+    pub months: Vec<f64>,
+    /// Query samples (log-spaced).
+    pub queries: Vec<f64>,
+    /// Winner per cell, row-major `[query_idx][month_idx]`.
+    pub cells: Vec<Vec<Winner>>,
+}
+
+/// Log-spaced samples from `lo` to `hi` inclusive.
+pub fn log_space(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo && n >= 2);
+    let (a, b) = (lo.ln(), hi.ln());
+    (0..n)
+        .map(|i| (a + (b - a) * i as f64 / (n - 1) as f64).exp())
+        .collect()
+}
+
+impl PhaseDiagram {
+    /// Computes the diagram for `approaches` over the paper's default range:
+    /// months 0.03–120 (≈1 day to 10 years), queries 1–10⁸.
+    pub fn compute(approaches: &Approaches) -> Self {
+        Self::compute_over(approaches, log_space(0.03, 120.0, 49), log_space(1.0, 1e8, 49))
+    }
+
+    /// Computes over explicit axes.
+    pub fn compute_over(approaches: &Approaches, months: Vec<f64>, queries: Vec<f64>) -> Self {
+        let cells = queries
+            .iter()
+            .map(|&q| months.iter().map(|&m| approaches.winner(m, q)).collect())
+            .collect();
+        Self { months, queries, cells }
+    }
+
+    /// Winner at the grid point nearest `(months, queries)`.
+    pub fn winner_at(&self, months: f64, queries: f64) -> Winner {
+        let mi = nearest_log(&self.months, months);
+        let qi = nearest_log(&self.queries, queries);
+        self.cells[qi][mi]
+    }
+
+    /// Rottnest's winning query range per month column — the phase
+    /// boundaries the paper reads off Figure 7 ("from around 8×10² to 4×10⁶
+    /// total queries at 10 months").
+    pub fn rottnest_band(&self) -> Vec<Boundary> {
+        self.months
+            .iter()
+            .enumerate()
+            .map(|(mi, &m)| {
+                let mut lo = None;
+                let mut hi = None;
+                for (qi, &q) in self.queries.iter().enumerate() {
+                    if self.cells[qi][mi] == Winner::Rottnest {
+                        lo.get_or_insert(q);
+                        hi = Some(q);
+                    }
+                }
+                Boundary { months: m, rottnest_lo: lo, rottnest_hi: hi }
+            })
+            .collect()
+    }
+
+    /// Fraction of grid cells won by each approach `(copy, brute,
+    /// rottnest)`.
+    pub fn area_shares(&self) -> (f64, f64, f64) {
+        let mut counts = [0usize; 3];
+        for row in &self.cells {
+            for w in row {
+                counts[match w {
+                    Winner::CopyData => 0,
+                    Winner::BruteForce => 1,
+                    Winner::Rottnest => 2,
+                }] += 1;
+            }
+        }
+        let total = (self.months.len() * self.queries.len()) as f64;
+        (counts[0] as f64 / total, counts[1] as f64 / total, counts[2] as f64 / total)
+    }
+
+    /// Orders of magnitude spanned by Rottnest's winning band at `months`.
+    pub fn rottnest_decades_at(&self, months: f64) -> f64 {
+        let mi = nearest_log(&self.months, months);
+        let mut lo = None;
+        let mut hi = None;
+        for (qi, &q) in self.queries.iter().enumerate() {
+            if self.cells[qi][mi] == Winner::Rottnest {
+                lo.get_or_insert(q);
+                hi = Some(q);
+            }
+        }
+        match (lo, hi) {
+            (Some(l), Some(h)) if h > l => (h / l).log10(),
+            _ => 0.0,
+        }
+    }
+
+    /// ASCII rendering (queries grow upward), for harness output.
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::new();
+        for qi in (0..self.queries.len()).rev() {
+            out.push_str(&format!("{:>9.1e} |", self.queries[qi]));
+            for mi in 0..self.months.len() {
+                out.push(self.cells[qi][mi].glyph());
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{:>9} +{}\n{:>11}{:.2} … {:.0} months\n",
+            "queries",
+            "-".repeat(self.months.len()),
+            "",
+            self.months[0],
+            self.months[self.months.len() - 1]
+        ));
+        out
+    }
+
+    /// CSV rows `months,queries,winner`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("months,queries,winner\n");
+        for (qi, &q) in self.queries.iter().enumerate() {
+            for (mi, &m) in self.months.iter().enumerate() {
+                out.push_str(&format!("{m:.6},{q:.6},{}\n", self.cells[qi][mi].name()));
+            }
+        }
+        out
+    }
+}
+
+fn nearest_log(axis: &[f64], v: f64) -> usize {
+    let lv = v.ln();
+    axis.iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            (a.ln() - lv).abs().partial_cmp(&(b.ln() - lv).abs()).unwrap()
+        })
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ApproachCosts;
+
+    fn approaches() -> Approaches {
+        Approaches {
+            copy_data: ApproachCosts { index_cost: 0.0, cost_per_month: 500.0, cost_per_query: 0.0 },
+            brute_force: ApproachCosts { index_cost: 0.0, cost_per_month: 7.0, cost_per_query: 0.5 },
+            rottnest: ApproachCosts { index_cost: 30.0, cost_per_month: 10.0, cost_per_query: 0.002 },
+        }
+    }
+
+    #[test]
+    fn log_space_endpoints_and_monotonicity() {
+        let v = log_space(0.1, 100.0, 10);
+        assert!((v[0] - 0.1).abs() < 1e-12);
+        assert!((v[9] - 100.0).abs() < 1e-9);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn diagram_has_three_phases_in_expected_corners() {
+        let d = PhaseDiagram::compute(&approaches());
+        assert_eq!(d.winner_at(0.1, 1.0), Winner::BruteForce);
+        assert_eq!(d.winner_at(10.0, 1e4), Winner::Rottnest);
+        assert_eq!(d.winner_at(10.0, 1e8), Winner::CopyData);
+        let (c, b, r) = d.area_shares();
+        assert!(c > 0.0 && b > 0.0 && r > 0.0);
+        assert!((c + b + r - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rottnest_band_grows_with_months() {
+        let d = PhaseDiagram::compute(&approaches());
+        let early = d.rottnest_decades_at(0.1);
+        let late = d.rottnest_decades_at(10.0);
+        assert!(late > early, "band at 10mo ({late}) vs 0.1mo ({early})");
+        assert!(late > 3.0, "paper: >4 decades at 10 months; got {late}");
+    }
+
+    #[test]
+    fn band_boundaries_are_ordered() {
+        let d = PhaseDiagram::compute(&approaches());
+        for b in d.rottnest_band() {
+            if let (Some(lo), Some(hi)) = (b.rottnest_lo, b.rottnest_hi) {
+                assert!(lo <= hi);
+            }
+        }
+    }
+
+    #[test]
+    fn renders_and_serializes() {
+        let d = PhaseDiagram::compute_over(
+            &approaches(),
+            log_space(0.1, 10.0, 8),
+            log_space(1.0, 1e6, 8),
+        );
+        let ascii = d.render_ascii();
+        assert!(ascii.contains('R') && ascii.contains('B'));
+        let csv = d.to_csv();
+        assert_eq!(csv.lines().count(), 1 + 64);
+        assert!(csv.starts_with("months,queries,winner"));
+    }
+}

@@ -1,0 +1,57 @@
+//! AWS us-east-1 on-demand prices (2024) used throughout the paper's
+//! evaluation. Dollars.
+
+/// r6i.4xlarge (16 vCPU, 128 GiB) — the paper's EMR / Rottnest worker.
+pub const R6I_4XLARGE_HOURLY: f64 = 1.008;
+
+/// r6g.large — the paper's OpenSearch data node (×3).
+pub const R6G_LARGE_SEARCH_HOURLY: f64 = 0.167;
+
+/// r6g.xlarge — the paper's LanceDB node (×3).
+pub const R6G_XLARGE_HOURLY: f64 = 0.2016;
+
+/// S3 standard storage, $/GB-month.
+pub const S3_STORAGE_PER_GB_MONTH: f64 = 0.023;
+
+/// S3 GET request price.
+pub const S3_GET_PER_REQUEST: f64 = 0.0000004;
+
+/// S3 PUT request price.
+pub const S3_PUT_PER_REQUEST: f64 = 0.000005;
+
+/// EBS gp3 storage, $/GB-month (index replicas of the dedicated system).
+pub const EBS_PER_GB_MONTH: f64 = 0.08;
+
+/// Hours per month used for cpm conversions.
+pub const HOURS_PER_MONTH: f64 = 730.0;
+
+/// Replication factor of the dedicated system's index (paper: "replicate
+/// the primary index three times").
+pub const DEDICATED_REPLICATION: f64 = 3.0;
+
+/// Monthly cost of the paper's dedicated search cluster (3 search nodes +
+/// replicated EBS for `index_bytes`).
+pub fn dedicated_monthly(node_hourly: f64, index_bytes: f64) -> f64 {
+    3.0 * node_hourly * HOURS_PER_MONTH
+        + DEDICATED_REPLICATION * (index_bytes / 1e9) * EBS_PER_GB_MONTH
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedicated_cluster_dominated_by_instances_at_small_scale() {
+        let m = dedicated_monthly(R6G_LARGE_SEARCH_HOURLY, 10e9);
+        let instances = 3.0 * R6G_LARGE_SEARCH_HOURLY * HOURS_PER_MONTH;
+        assert!(m > instances && m < instances * 1.02);
+    }
+
+    #[test]
+    fn request_prices_are_tiny_relative_to_compute() {
+        // §VII preamble: request costs "eclipsed by compute resource costs".
+        let thousand_gets = 1000.0 * S3_GET_PER_REQUEST;
+        let second_of_worker = R6I_4XLARGE_HOURLY / 3600.0;
+        assert!(thousand_gets < second_of_worker * 2.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Parameter sensitivity sweeps (Figure 12): how the phase diagram moves
+//! when `cpq_r`, `ic_r`, or `cpm_r − cpm_bf` is scaled ×0.1 … ×10.
+
+use crate::Approaches;
+
+/// Which Rottnest parameter a sweep scales.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RottnestParam {
+    /// Per-query cost (search latency).
+    Cpq,
+    /// One-time indexing cost.
+    Ic,
+    /// Index *storage* overhead — scales `cpm_r − cpm_bf`, as the paper
+    /// does ("we show the result of scaling cpm_r − cpm_bf, or just the
+    /// storage cost associated with the Rottnest index files").
+    CpmOverhead,
+}
+
+/// Returns `approaches` with one Rottnest parameter multiplied by `factor`.
+pub fn scale_param(approaches: &Approaches, param: RottnestParam, factor: f64) -> Approaches {
+    let mut out = *approaches;
+    let r = &mut out.rottnest;
+    match param {
+        RottnestParam::Cpq => r.cost_per_query *= factor,
+        RottnestParam::Ic => r.index_cost *= factor,
+        RottnestParam::CpmOverhead => {
+            let base = approaches.brute_force.cost_per_month;
+            let overhead = (r.cost_per_month - base).max(0.0);
+            r.cost_per_month = base + overhead * factor;
+        }
+    }
+    out
+}
+
+/// One sweep row: the factor and the resulting Rottnest-optimal area share.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Multiplier applied.
+    pub factor: f64,
+    /// Fraction of the phase-diagram grid Rottnest wins.
+    pub rottnest_share: f64,
+    /// Earliest month at which Rottnest wins anywhere (`None` = never).
+    pub min_winning_month: Option<f64>,
+}
+
+/// Sweeps one parameter over `factors` and reports the phase-diagram
+/// response.
+pub fn sweep(
+    approaches: &Approaches,
+    param: RottnestParam,
+    factors: &[f64],
+) -> Vec<SweepPoint> {
+    factors
+        .iter()
+        .map(|&factor| {
+            let scaled = scale_param(approaches, param, factor);
+            let d = crate::PhaseDiagram::compute(&scaled);
+            let (_, _, share) = d.area_shares();
+            let min_month = d
+                .rottnest_band()
+                .into_iter()
+                .find(|b| b.rottnest_lo.is_some())
+                .map(|b| b.months);
+            SweepPoint { factor, rottnest_share: share, min_winning_month: min_month }
+        })
+        .collect()
+}
+
+/// Conclusions of §VII-D1 as an executable check, used by tests and by the
+/// Figure 12 harness:
+/// scaling `ic_r` moves the minimum worthwhile operating time; scaling
+/// `cpq_r`/`cpm_r` moves the asymptotic band.
+pub fn observations_hold(approaches: &Approaches) -> bool {
+    let factors = [0.1, 1.0, 10.0];
+    let ic = sweep(approaches, RottnestParam::Ic, &factors);
+    let cheaper_ic_starts_earlier = match (ic[0].min_winning_month, ic[2].min_winning_month) {
+        (Some(lo), Some(hi)) => lo <= hi,
+        (Some(_), None) => true,
+        _ => false,
+    };
+    let cpq = sweep(approaches, RottnestParam::Cpq, &factors);
+    let cheaper_cpq_wins_more = cpq[0].rottnest_share >= cpq[2].rottnest_share;
+    let cpm = sweep(approaches, RottnestParam::CpmOverhead, &factors);
+    let cheaper_cpm_wins_more = cpm[0].rottnest_share >= cpm[2].rottnest_share;
+    cheaper_ic_starts_earlier && cheaper_cpq_wins_more && cheaper_cpm_wins_more
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ApproachCosts;
+
+    fn approaches() -> Approaches {
+        Approaches {
+            copy_data: ApproachCosts { index_cost: 0.0, cost_per_month: 500.0, cost_per_query: 0.0 },
+            brute_force: ApproachCosts { index_cost: 0.0, cost_per_month: 7.0, cost_per_query: 0.5 },
+            rottnest: ApproachCosts { index_cost: 30.0, cost_per_month: 10.0, cost_per_query: 0.002 },
+        }
+    }
+
+    #[test]
+    fn scaling_identity_is_noop() {
+        let a = approaches();
+        for p in [RottnestParam::Cpq, RottnestParam::Ic, RottnestParam::CpmOverhead] {
+            assert_eq!(scale_param(&a, p, 1.0), a);
+        }
+    }
+
+    #[test]
+    fn cpm_overhead_scaling_keeps_brute_force_base() {
+        let a = approaches();
+        let scaled = scale_param(&a, RottnestParam::CpmOverhead, 10.0);
+        // overhead = 10 - 7 = 3 → 30; cpm_r = 7 + 30.
+        assert!((scaled.rottnest.cost_per_month - 37.0).abs() < 1e-9);
+        let shrunk = scale_param(&a, RottnestParam::CpmOverhead, 0.0);
+        assert!((shrunk.rottnest.cost_per_month - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_observations_hold_on_representative_costs() {
+        assert!(observations_hold(&approaches()));
+    }
+
+    #[test]
+    fn sweep_is_monotone_for_cpq() {
+        let pts = sweep(&approaches(), RottnestParam::Cpq, &[0.1, 0.3, 1.0, 3.0, 10.0]);
+        for w in pts.windows(2) {
+            assert!(
+                w[0].rottnest_share >= w[1].rottnest_share - 1e-9,
+                "share must not grow with costlier queries: {w:?}"
+            );
+        }
+    }
+}

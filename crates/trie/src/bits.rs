@@ -1,0 +1,215 @@
+//! Bit-string utilities for trie keys (MSB-first order).
+
+/// Returns bit `i` of `bytes` (0 = most significant bit of byte 0).
+#[inline]
+pub fn get_bit(bytes: &[u8], i: u32) -> u8 {
+    (bytes[(i / 8) as usize] >> (7 - (i % 8))) & 1
+}
+
+/// Length in bits of the longest common prefix of `a` and `b` (equal-length
+/// byte strings).
+pub fn lcp_bits(a: &[u8], b: &[u8]) -> u32 {
+    debug_assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        if x != y {
+            return i as u32 * 8 + (x ^ y).leading_zeros();
+        }
+    }
+    a.len() as u32 * 8
+}
+
+/// An owned MSB-first bit string (used for truncated keys and edge labels).
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BitStr {
+    bytes: Vec<u8>,
+    len_bits: u32,
+}
+
+impl BitStr {
+    /// The empty bit string.
+    pub fn empty() -> Self {
+        Self { bytes: Vec::new(), len_bits: 0 }
+    }
+
+    /// The first `len_bits` bits of `bytes` (trailing bits zeroed for
+    /// canonical equality).
+    pub fn prefix_of(bytes: &[u8], len_bits: u32) -> Self {
+        let n_bytes = len_bits.div_ceil(8) as usize;
+        let mut out = bytes[..n_bytes].to_vec();
+        let spare = (n_bytes as u32 * 8) - len_bits;
+        if spare > 0 {
+            // Zero the unused low bits of the last byte for canonical
+            // equality.
+            *out.last_mut().unwrap() &= 0xffu8 << spare;
+        }
+        Self { bytes: out, len_bits }
+    }
+
+    /// Length in bits.
+    pub fn len(&self) -> u32 {
+        self.len_bits
+    }
+
+    /// Whether the bit string is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len_bits == 0
+    }
+
+    /// The backing bytes (trailing bits zero).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Bit `i`.
+    #[inline]
+    pub fn bit(&self, i: u32) -> u8 {
+        debug_assert!(i < self.len_bits);
+        get_bit(&self.bytes, i)
+    }
+
+    /// The sub-range `[from, to)` of this bit string as a new `BitStr`.
+    pub fn slice(&self, from: u32, to: u32) -> BitStr {
+        debug_assert!(from <= to && to <= self.len_bits);
+        let mut out = BitStr::empty();
+        for i in from..to {
+            out.push(self.bit(i));
+        }
+        out
+    }
+
+    /// Appends a single bit.
+    pub fn push(&mut self, bit: u8) {
+        let byte = (self.len_bits / 8) as usize;
+        if byte == self.bytes.len() {
+            self.bytes.push(0);
+        }
+        if bit != 0 {
+            self.bytes[byte] |= 1 << (7 - (self.len_bits % 8));
+        }
+        self.len_bits += 1;
+    }
+
+    /// Appends all bits of `other`.
+    pub fn extend(&mut self, other: &BitStr) {
+        for i in 0..other.len_bits {
+            self.push(other.bit(i));
+        }
+    }
+
+    /// Length (bits) of the common prefix with raw key bits.
+    pub fn common_prefix_with_key(&self, key: &[u8], key_offset_bits: u32) -> u32 {
+        let key_bits = key.len() as u32 * 8;
+        let max = self.len_bits.min(key_bits.saturating_sub(key_offset_bits));
+        let mut i = 0;
+        while i < max && self.bit(i) == get_bit(key, key_offset_bits + i) {
+            i += 1;
+        }
+        i
+    }
+
+    /// Length (bits) of the common prefix with another `BitStr`.
+    pub fn common_prefix(&self, other: &BitStr) -> u32 {
+        let max = self.len_bits.min(other.len_bits);
+        let mut i = 0;
+        while i < max && self.bit(i) == other.bit(i) {
+            i += 1;
+        }
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn get_bit_msb_first() {
+        let b = [0b1010_0000u8, 0b0000_0001];
+        assert_eq!(get_bit(&b, 0), 1);
+        assert_eq!(get_bit(&b, 1), 0);
+        assert_eq!(get_bit(&b, 2), 1);
+        assert_eq!(get_bit(&b, 15), 1);
+        assert_eq!(get_bit(&b, 14), 0);
+    }
+
+    #[test]
+    fn lcp_bits_cases() {
+        assert_eq!(lcp_bits(&[0xff, 0x00], &[0xff, 0x00]), 16);
+        assert_eq!(lcp_bits(&[0xff, 0x00], &[0xff, 0x80]), 8);
+        assert_eq!(lcp_bits(&[0x00], &[0x80]), 0);
+        assert_eq!(lcp_bits(&[0b1010_1010], &[0b1010_1011]), 7);
+    }
+
+    #[test]
+    fn prefix_canonicalizes_trailing_bits() {
+        let a = BitStr::prefix_of(&[0b1111_1111], 3);
+        let b = BitStr::prefix_of(&[0b1110_0001], 3);
+        assert_eq!(a, b);
+        assert_eq!(a.bytes(), &[0b1110_0000]);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn push_and_bit_round_trip() {
+        let mut s = BitStr::empty();
+        let pattern = [1u8, 0, 0, 1, 1, 0, 1, 0, 1, 1, 1];
+        for &b in &pattern {
+            s.push(b);
+        }
+        assert_eq!(s.len(), pattern.len() as u32);
+        for (i, &b) in pattern.iter().enumerate() {
+            assert_eq!(s.bit(i as u32), b, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn slice_and_extend() {
+        let s = BitStr::prefix_of(&[0b1011_0110], 8);
+        let head = s.slice(0, 3);
+        let tail = s.slice(3, 8);
+        let mut joined = head.clone();
+        joined.extend(&tail);
+        assert_eq!(joined, s);
+        assert_eq!(head.bytes(), &[0b1010_0000]);
+    }
+
+    #[test]
+    fn common_prefix_with_key_offsets() {
+        let key = [0b1100_1010u8, 0b0111_0000];
+        let label = BitStr::prefix_of(&[0b1010_0000], 4); // bits 1,0,1,0
+        // Key bits from offset 2: 0,0,1,0,1,0,0,1 ... label 1,0,1,0 → first
+        // bit mismatches.
+        assert_eq!(label.common_prefix_with_key(&key, 2), 0);
+        // Key bits from offset 4: 1,0,1,0 → full match.
+        assert_eq!(label.common_prefix_with_key(&key, 4), 4);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_prefix_bits_match_source(bytes in proptest::collection::vec(any::<u8>(), 1..8),
+                                         len_frac in 0.0f64..=1.0) {
+            let total = bytes.len() as u32 * 8;
+            let len = ((total as f64) * len_frac) as u32;
+            let s = BitStr::prefix_of(&bytes, len);
+            for i in 0..len {
+                prop_assert_eq!(s.bit(i), get_bit(&bytes, i));
+            }
+        }
+
+        #[test]
+        fn prop_lcp_symmetric_and_bounded(a in proptest::collection::vec(any::<u8>(), 4),
+                                          b in proptest::collection::vec(any::<u8>(), 4)) {
+            let l = lcp_bits(&a, &b);
+            prop_assert_eq!(l, lcp_bits(&b, &a));
+            prop_assert!(l <= 32);
+            if a == b { prop_assert_eq!(l, 32); }
+            for i in 0..l {
+                prop_assert_eq!(get_bit(&a, i), get_bit(&b, i));
+            }
+            if l < 32 {
+                prop_assert_ne!(get_bit(&a, l), get_bit(&b, l));
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Builds a componentized trie index file from `(key, posting)` pairs.
+
+use bytes::Bytes;
+use rottnest_compress::varint;
+use rottnest_component::ComponentWriter;
+use rottnest_object_store::ObjectStore;
+
+use crate::bits::{lcp_bits, BitStr};
+use crate::node::TrieNode;
+use crate::{Posting, Result, TrieError, EXTRA_BITS, LUT_BITS};
+
+/// Builder for a trie index over fixed-length keys.
+///
+/// Keys are truncated to `LCP + 1 + EXTRA_BITS` bits (§V-C1) before
+/// insertion, the first [`LUT_BITS`] bits become the root lookup table, and
+/// each first-byte bucket is serialized as one component.
+pub struct TrieBuilder {
+    key_len: usize,
+    entries: Vec<(Vec<u8>, Posting)>,
+}
+
+impl TrieBuilder {
+    /// Creates a builder for keys of exactly `key_len` bytes (≥ 2).
+    pub fn new(key_len: usize) -> Result<Self> {
+        if key_len < 2 {
+            return Err(TrieError::BadKey(format!(
+                "key length {key_len} too short; need at least 2 bytes"
+            )));
+        }
+        Ok(Self { key_len, entries: Vec::new() })
+    }
+
+    /// Registers one key → posting pair.
+    pub fn add(&mut self, key: &[u8], posting: Posting) -> Result<()> {
+        if key.len() != self.key_len {
+            return Err(TrieError::BadKey(format!(
+                "key of {} bytes in index of {}-byte keys",
+                key.len(),
+                self.key_len
+            )));
+        }
+        self.entries.push((key.to_vec(), posting));
+        Ok(())
+    }
+
+    /// Number of pairs added.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no pairs were added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Truncates keys, builds per-bucket tries, and serializes the index
+    /// file image.
+    pub fn finish(mut self) -> Bytes {
+        self.entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let key_bits = self.key_len as u32 * 8;
+        let n = self.entries.len();
+
+        // stored bits = min(key_bits, max(lcp(prev), lcp(next)) + 1 + 8),
+        // clamped so every key reaches past the lookup table.
+        let mut truncated: Vec<(BitStr, Posting)> = Vec::with_capacity(n);
+        for i in 0..n {
+            let (key, posting) = &self.entries[i];
+            let lcp_prev =
+                if i > 0 { lcp_bits(key, &self.entries[i - 1].0) } else { 0 };
+            let lcp_next =
+                if i + 1 < n { lcp_bits(key, &self.entries[i + 1].0) } else { 0 };
+            let stored = (lcp_prev.max(lcp_next) + 1 + EXTRA_BITS)
+                .clamp(LUT_BITS + 1, key_bits);
+            truncated.push((BitStr::prefix_of(key, stored), *posting));
+        }
+
+        build_from_truncated(self.key_len, truncated)
+    }
+
+    /// Serializes and uploads; returns the file size.
+    pub fn finish_into(self, store: &dyn ObjectStore, key: &str) -> Result<u64> {
+        let bytes = self.finish();
+        let len = bytes.len() as u64;
+        store.put(key, bytes)?;
+        Ok(len)
+    }
+}
+
+/// Assembles the component file from already-truncated prefixes (each at
+/// least `LUT_BITS + 1` bits). Shared by the builder and the merge path.
+pub(crate) fn build_from_truncated(
+    key_len: usize,
+    truncated: Vec<(BitStr, Posting)>,
+) -> Bytes {
+    let n = truncated.len() as u64;
+    let mut buckets: Vec<Vec<(BitStr, Posting)>> = (0..256).map(|_| Vec::new()).collect();
+    for (prefix, posting) in truncated {
+        debug_assert!(prefix.len() > LUT_BITS);
+        let bucket = prefix.bytes()[0] as usize;
+        let suffix = prefix.slice(LUT_BITS, prefix.len());
+        buckets[bucket].push((suffix, posting));
+    }
+
+    let mut writer = ComponentWriter::new();
+    // Component 0 (root): key_len, entry count, 256-entry LUT.
+    let mut lut = [0u64; 256];
+    let mut next_component = 1u64;
+    for (b, bucket) in buckets.iter().enumerate() {
+        if !bucket.is_empty() {
+            lut[b] = next_component;
+            next_component += 1;
+        }
+    }
+    let mut root = Vec::new();
+    root.push(key_len as u8);
+    varint::write_u64(&mut root, n);
+    for id in lut {
+        varint::write_u64(&mut root, id);
+    }
+    writer.add(root);
+
+    for bucket in buckets.iter().filter(|b| !b.is_empty()) {
+        let mut trie = TrieNode::new();
+        for (suffix, posting) in bucket {
+            trie.insert(suffix, *posting);
+        }
+        let mut buf = Vec::new();
+        trie.serialize(&mut buf);
+        writer.add(buf);
+    }
+    writer.finish()
+}

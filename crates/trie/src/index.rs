@@ -1,0 +1,342 @@
+//! Querying and merging serialized trie indexes on object storage.
+
+use rottnest_compress::varint;
+use rottnest_component::ComponentFile;
+use rottnest_object_store::ObjectStore;
+
+use crate::bits::BitStr;
+use crate::builder::build_from_truncated;
+use crate::node::{entries_of_serialized, walk_serialized};
+use crate::{Posting, Result, TrieError, LUT_BITS};
+
+/// Read handle over a trie index file.
+///
+/// `open` costs one speculative GET (which also captures the root lookup
+/// table); each lookup costs at most one more GET for its bucket component.
+pub struct TrieIndex<'a> {
+    file: ComponentFile<'a>,
+    key_len: usize,
+    n_entries: u64,
+    lut: Vec<u64>,
+}
+
+impl<'a> TrieIndex<'a> {
+    /// Opens an index written by [`crate::TrieBuilder`].
+    pub fn open(store: &'a dyn ObjectStore, key: &str) -> Result<Self> {
+        let file = ComponentFile::open(store, key)?;
+        let root = file.component(0)?;
+        if root.is_empty() {
+            return Err(TrieError::Corrupt("empty root component".into()));
+        }
+        let key_len = root[0] as usize;
+        let mut pos = 1usize;
+        let n_entries = varint::read_u64(&root, &mut pos)?;
+        let mut lut = Vec::with_capacity(256);
+        for _ in 0..256 {
+            lut.push(varint::read_u64(&root, &mut pos)?);
+        }
+        Ok(Self { file, key_len, n_entries, lut })
+    }
+
+    /// Fixed key length (bytes) this index covers.
+    pub fn key_len(&self) -> usize {
+        self.key_len
+    }
+
+    /// Number of key/posting pairs indexed.
+    pub fn num_entries(&self) -> u64 {
+        self.n_entries
+    }
+
+    /// Looks up one key; returns candidate postings (may contain false
+    /// positives from prefix truncation — callers probe in situ).
+    pub fn lookup(&self, key: &[u8]) -> Result<Vec<Posting>> {
+        self.check_key(key)?;
+        let comp = self.lut[key[0] as usize];
+        if comp == 0 {
+            return Ok(Vec::new());
+        }
+        let bucket = self.file.component(comp as usize)?;
+        let mut out = Vec::new();
+        walk_serialized(&bucket, key, LUT_BITS, &mut out)?;
+        Ok(out)
+    }
+
+    /// Looks up many keys; bucket components are fetched in **one parallel
+    /// round trip**. Results are ordered like `keys`.
+    pub fn lookup_many(&self, keys: &[&[u8]]) -> Result<Vec<Vec<Posting>>> {
+        for k in keys {
+            self.check_key(k)?;
+        }
+        let mut needed: Vec<usize> = keys
+            .iter()
+            .map(|k| self.lut[k[0] as usize] as usize)
+            .filter(|&c| c != 0)
+            .collect();
+        needed.sort_unstable();
+        needed.dedup();
+        // Warm the component cache with one batched fetch.
+        self.file.components(&needed)?;
+
+        keys.iter()
+            .map(|key| {
+                let comp = self.lut[key[0] as usize];
+                if comp == 0 {
+                    return Ok(Vec::new());
+                }
+                let bucket = self.file.component(comp as usize)?;
+                let mut out = Vec::new();
+                walk_serialized(&bucket, key, LUT_BITS, &mut out)?;
+                Ok(out)
+            })
+            .collect()
+    }
+
+    /// Streams every stored `(truncated prefix, postings)` entry; feeds
+    /// merges.
+    pub fn entries(&self) -> Result<Vec<(BitStr, Vec<Posting>)>> {
+        let comps: Vec<usize> = (0..256)
+            .filter_map(|b| {
+                let c = self.lut[b] as usize;
+                (c != 0).then_some(c)
+            })
+            .collect();
+        self.file.components(&comps)?;
+        let mut out = Vec::new();
+        for b in 0..256usize {
+            let comp = self.lut[b] as usize;
+            if comp == 0 {
+                continue;
+            }
+            let bucket = self.file.component(comp)?;
+            let prefix = BitStr::prefix_of(&[b as u8], 8);
+            out.extend(entries_of_serialized(&bucket, prefix)?);
+        }
+        Ok(out)
+    }
+
+    fn check_key(&self, key: &[u8]) -> Result<()> {
+        if key.len() != self.key_len {
+            return Err(TrieError::BadKey(format!(
+                "lookup key of {} bytes in index of {}-byte keys",
+                key.len(),
+                self.key_len
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Merges several trie indexes into one new index file (§IV-C compaction).
+///
+/// `sources` pair each index with a `file_id` offset: postings of source
+/// `i` are remapped by adding its offset, letting the caller concatenate
+/// the sources' file lists. Entries stay truncated as stored — identical
+/// prefixes from different sources share a leaf, which can only add false
+/// positives (filtered in situ), never false negatives.
+pub fn merge_tries(
+    store: &dyn ObjectStore,
+    sources: &[(&TrieIndex<'_>, u32)],
+    out_key: &str,
+) -> Result<u64> {
+    if sources.is_empty() {
+        return Err(TrieError::BadKey("nothing to merge".into()));
+    }
+    let key_len = sources[0].0.key_len();
+    for (idx, _) in sources {
+        if idx.key_len() != key_len {
+            return Err(TrieError::BadKey("merging tries with different key lengths".into()));
+        }
+    }
+    let mut truncated: Vec<(BitStr, Posting)> = Vec::new();
+    for (idx, offset) in sources {
+        for (prefix, postings) in idx.entries()? {
+            for p in postings {
+                truncated.push((
+                    prefix.clone(),
+                    Posting::new(p.file + offset, p.page),
+                ));
+            }
+        }
+    }
+    let bytes = build_from_truncated(key_len, truncated);
+    let len = bytes.len() as u64;
+    store.put(out_key, bytes)?;
+    Ok(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TrieBuilder;
+    use rand::{Rng, SeedableRng};
+    use rottnest_object_store::MemoryStore;
+
+    fn uuid(rng: &mut impl Rng) -> Vec<u8> {
+        (0..16).map(|_| rng.gen()).collect()
+    }
+
+    fn build_index(
+        store: &dyn ObjectStore,
+        key: &str,
+        pairs: &[(Vec<u8>, Posting)],
+    ) {
+        let mut b = TrieBuilder::new(16).unwrap();
+        for (k, p) in pairs {
+            b.add(k, *p).unwrap();
+        }
+        b.finish_into(store, key).unwrap();
+    }
+
+    #[test]
+    fn lookup_finds_every_indexed_key() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let store = MemoryStore::unmetered();
+        let pairs: Vec<(Vec<u8>, Posting)> = (0..5_000u32)
+            .map(|i| (uuid(&mut rng), Posting::new(i / 1000, i % 1000)))
+            .collect();
+        build_index(store.as_ref(), "t.idx", &pairs);
+
+        let idx = TrieIndex::open(store.as_ref(), "t.idx").unwrap();
+        assert_eq!(idx.num_entries(), 5_000);
+        assert_eq!(idx.key_len(), 16);
+        for (k, p) in pairs.iter().step_by(97) {
+            let hits = idx.lookup(k).unwrap();
+            assert!(hits.contains(p), "missing posting for indexed key");
+        }
+    }
+
+    #[test]
+    fn unindexed_keys_rarely_hit() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let store = MemoryStore::unmetered();
+        let pairs: Vec<(Vec<u8>, Posting)> =
+            (0..2_000u32).map(|i| (uuid(&mut rng), Posting::new(0, i))).collect();
+        build_index(store.as_ref(), "t.idx", &pairs);
+        let idx = TrieIndex::open(store.as_ref(), "t.idx").unwrap();
+
+        let mut false_positives = 0;
+        for _ in 0..1_000 {
+            let probe = uuid(&mut rng);
+            if !idx.lookup(&probe).unwrap().is_empty() {
+                false_positives += 1;
+            }
+        }
+        // With LCP+9-bit prefixes over 2k random keys, collisions are rare.
+        assert!(false_positives < 20, "{false_positives} false positives");
+    }
+
+    #[test]
+    fn duplicate_keys_return_all_postings() {
+        let store = MemoryStore::unmetered();
+        let key = vec![7u8; 16];
+        let pairs = vec![
+            (key.clone(), Posting::new(0, 1)),
+            (key.clone(), Posting::new(1, 2)),
+            (key.clone(), Posting::new(2, 3)),
+        ];
+        build_index(store.as_ref(), "t.idx", &pairs);
+        let idx = TrieIndex::open(store.as_ref(), "t.idx").unwrap();
+        let mut hits = idx.lookup(&key).unwrap();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![Posting::new(0, 1), Posting::new(1, 2), Posting::new(2, 3)]);
+    }
+
+    #[test]
+    fn lookup_costs_at_most_two_gets_after_open() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let store = MemoryStore::unmetered();
+        let pairs: Vec<(Vec<u8>, Posting)> =
+            (0..50_000u32).map(|i| (uuid(&mut rng), Posting::new(0, i))).collect();
+        build_index(store.as_ref(), "t.idx", &pairs);
+
+        let before = store.stats();
+        let idx = TrieIndex::open(store.as_ref(), "t.idx").unwrap();
+        let open_gets = store.stats().since(&before).gets;
+        assert!(open_gets <= 2, "open cost {open_gets} GETs");
+
+        let before = store.stats();
+        idx.lookup(&pairs[42].0).unwrap();
+        let gets = store.stats().since(&before).gets;
+        assert!(gets <= 1, "lookup cost {gets} GETs");
+    }
+
+    #[test]
+    fn lookup_many_batches_buckets() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let store = MemoryStore::unmetered();
+        let pairs: Vec<(Vec<u8>, Posting)> =
+            (0..20_000u32).map(|i| (uuid(&mut rng), Posting::new(0, i))).collect();
+        build_index(store.as_ref(), "t.idx", &pairs);
+        let idx = TrieIndex::open(store.as_ref(), "t.idx").unwrap();
+
+        let keys: Vec<&[u8]> = pairs.iter().step_by(500).map(|(k, _)| k.as_slice()).collect();
+        let before = store.stats();
+        let results = idx.lookup_many(&keys).unwrap();
+        let gets = store.stats().since(&before).gets;
+        assert!(gets <= keys.len() as u64, "batched: {gets} GETs for {} keys", keys.len());
+        for (r, (_, p)) in results.iter().zip(pairs.iter().step_by(500)) {
+            assert!(r.contains(p));
+        }
+    }
+
+    #[test]
+    fn wrong_key_length_rejected() {
+        let store = MemoryStore::unmetered();
+        build_index(store.as_ref(), "t.idx", &[(vec![1u8; 16], Posting::new(0, 0))]);
+        let idx = TrieIndex::open(store.as_ref(), "t.idx").unwrap();
+        assert!(idx.lookup(&[1u8; 8]).is_err());
+        assert!(TrieBuilder::new(1).is_err());
+    }
+
+    #[test]
+    fn merge_preserves_all_lookups_with_remapped_files() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let store = MemoryStore::unmetered();
+        let a: Vec<(Vec<u8>, Posting)> =
+            (0..3_000u32).map(|i| (uuid(&mut rng), Posting::new(i % 3, i))).collect();
+        let b: Vec<(Vec<u8>, Posting)> =
+            (0..3_000u32).map(|i| (uuid(&mut rng), Posting::new(i % 2, i))).collect();
+        build_index(store.as_ref(), "a.idx", &a);
+        build_index(store.as_ref(), "b.idx", &b);
+
+        let ia = TrieIndex::open(store.as_ref(), "a.idx").unwrap();
+        let ib = TrieIndex::open(store.as_ref(), "b.idx").unwrap();
+        // a keeps file ids 0..3, b's ids shift by 3.
+        merge_tries(store.as_ref(), &[(&ia, 0), (&ib, 3)], "m.idx").unwrap();
+
+        let merged = TrieIndex::open(store.as_ref(), "m.idx").unwrap();
+        assert_eq!(merged.num_entries(), 6_000);
+        for (k, p) in a.iter().step_by(131) {
+            assert!(merged.lookup(k).unwrap().contains(p));
+        }
+        for (k, p) in b.iter().step_by(131) {
+            let want = Posting::new(p.file + 3, p.page);
+            assert!(merged.lookup(k).unwrap().contains(&want));
+        }
+    }
+
+    #[test]
+    fn merged_index_is_smaller_than_parts() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let store = MemoryStore::unmetered();
+        let mut sizes = 0u64;
+        let mut handles = Vec::new();
+        for f in 0..4u32 {
+            let pairs: Vec<(Vec<u8>, Posting)> =
+                (0..2_000u32).map(|i| (uuid(&mut rng), Posting::new(f, i))).collect();
+            let key = format!("{f}.idx");
+            build_index(store.as_ref(), &key, &pairs);
+            sizes += store.head(&key).unwrap().size;
+            handles.push(key);
+        }
+        let opened: Vec<TrieIndex> = handles
+            .iter()
+            .map(|k| TrieIndex::open(store.as_ref(), k).unwrap())
+            .collect();
+        let sources: Vec<(&TrieIndex, u32)> =
+            opened.iter().enumerate().map(|(i, t)| (t, i as u32)).collect();
+        let merged_size = merge_tries(store.as_ref(), &sources, "m.idx").unwrap();
+        assert!(merged_size < sizes, "merged {merged_size} vs parts {sizes}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Componentized binary trie index for high-cardinality exact-match search
+//! (UUIDs, transaction hashes, pod names) — §V-C1 of the paper.
+//!
+//! Each indexed key corresponds to a root-to-leaf path in a binary
+//! (path-compressed) trie. To save space the trie stores, for every key,
+//! only its **longest common prefix with its neighbors plus 8 extra bits**
+//! (`LCP+1+8`): enough to be unique now, with headroom so merged indexes
+//! rarely need multi-key leaves — but leaves *may* map to multiple postings,
+//! and lookups may return false positives, which Rottnest's in-situ probing
+//! filters out (§IV-B step 3).
+//!
+//! Componentization (§V-B): the first 8 trie levels are replaced by a
+//! 256-entry lookup table in the root component (fetched by the speculative
+//! head GET), and each first-byte bucket is serialized as one component. A
+//! lookup therefore costs at most **two** dependent object-store reads:
+//! open+root, then one bucket component.
+//!
+//! Postings are `(file_id, page_id)` pairs at data-page granularity; the
+//! caller (Rottnest core) owns the `file_id → path` table.
+
+pub mod bits;
+pub mod builder;
+pub mod index;
+pub mod node;
+
+pub use builder::TrieBuilder;
+pub use index::TrieIndex;
+
+/// Re-export of the shared posting type.
+pub use rottnest_component::Posting;
+
+/// Errors raised by trie building and querying.
+#[derive(Debug)]
+pub enum TrieError {
+    /// Keys must share one fixed length of at least 2 bytes.
+    BadKey(String),
+    /// Malformed serialized trie.
+    Corrupt(String),
+    /// Component-layer failure.
+    Component(rottnest_component::ComponentError),
+}
+
+impl std::fmt::Display for TrieError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrieError::BadKey(m) => write!(f, "bad key: {m}"),
+            TrieError::Corrupt(m) => write!(f, "corrupt trie: {m}"),
+            TrieError::Component(e) => write!(f, "component: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrieError {}
+
+impl From<rottnest_component::ComponentError> for TrieError {
+    fn from(e: rottnest_component::ComponentError) -> Self {
+        TrieError::Component(e)
+    }
+}
+
+impl From<rottnest_compress::CompressError> for TrieError {
+    fn from(e: rottnest_compress::CompressError) -> Self {
+        TrieError::Corrupt(format!("varint: {e}"))
+    }
+}
+
+impl From<rottnest_object_store::StoreError> for TrieError {
+    fn from(e: rottnest_object_store::StoreError) -> Self {
+        TrieError::Component(rottnest_component::ComponentError::Store(e))
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, TrieError>;
+
+/// Number of extra bits indexed beyond the unique prefix (§V-C1: "We thus
+/// index up to 8 extra bits of the LCP for each UUID").
+pub const EXTRA_BITS: u32 = 8;
+
+/// Trie levels replaced by the root lookup table.
+pub const LUT_BITS: u32 = 8;

@@ -1,0 +1,374 @@
+//! In-memory path-compressed binary trie and its per-bucket serialization.
+//!
+//! The builder inserts truncated keys into this radix trie, one trie per
+//! first-byte bucket, then serializes each trie as one component. Lookup
+//! walks the serialized form directly (no deserialization into nodes): the
+//! matched path visits O(prefix) nodes, collecting postings stored at any
+//! node whose cumulative label is a prefix of the query key.
+//!
+//! ## Serialized node layout (DFS order)
+//!
+//! ```text
+//! node := label_len_bits: varint, label bytes (ceil/8),
+//!         n_postings: varint, posting*,
+//!         child_mask: u8 (bit0 = 0-child, bit1 = 1-child),
+//!         [left_subtree_bytes: varint when both children],
+//!         0-child subtree, 1-child subtree
+//! ```
+
+use rottnest_compress::varint;
+
+use crate::bits::{get_bit, BitStr};
+use crate::{Posting, Result, TrieError};
+
+/// A node of the in-memory radix trie.
+#[derive(Debug, Default)]
+pub struct TrieNode {
+    /// Edge label on the way *into* this node.
+    pub label: BitStr,
+    /// Postings of truncated keys ending exactly here.
+    pub postings: Vec<Posting>,
+    /// Child on bit 0.
+    pub zero: Option<Box<TrieNode>>,
+    /// Child on bit 1.
+    pub one: Option<Box<TrieNode>>,
+}
+
+impl TrieNode {
+    /// Creates an empty root (empty label).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a truncated key (as a `BitStr`) with a posting.
+    pub fn insert(&mut self, key: &BitStr, posting: Posting) {
+        self.insert_at(key, 0, posting);
+    }
+
+    fn insert_at(&mut self, key: &BitStr, depth: u32, posting: Posting) {
+        if depth == key.len() {
+            self.postings.push(posting);
+            return;
+        }
+        let bit = key.bit(depth);
+        let child_slot = if bit == 0 { &mut self.zero } else { &mut self.one };
+        match child_slot {
+            None => {
+                let mut node = TrieNode {
+                    label: key.slice(depth, key.len()),
+                    ..TrieNode::default()
+                };
+                node.postings.push(posting);
+                *child_slot = Some(Box::new(node));
+            }
+            Some(child) => {
+                let rest = key.slice(depth, key.len());
+                let common = child.label.common_prefix(&rest);
+                if common == child.label.len() {
+                    // Label fully matched; descend.
+                    child.insert_at(key, depth + common, posting);
+                } else {
+                    // Split the edge at `common`.
+                    let old = child_slot.take().unwrap();
+                    let mut split = TrieNode {
+                        label: old.label.slice(0, common),
+                        ..TrieNode::default()
+                    };
+                    let mut old = old;
+                    let old_bit = old.label.bit(common);
+                    old.label = old.label.slice(common, old.label.len());
+                    if old_bit == 0 {
+                        split.zero = Some(old);
+                    } else {
+                        split.one = Some(old);
+                    }
+                    split.insert_at(key, depth + common, posting);
+                    *child_slot = Some(Box::new(split));
+                }
+            }
+        }
+    }
+
+    /// Serializes this subtree in DFS order.
+    pub fn serialize(&self, out: &mut Vec<u8>) {
+        varint::write_u64(out, u64::from(self.label.len()));
+        out.extend_from_slice(self.label.bytes());
+        varint::write_usize(out, self.postings.len());
+        for p in &self.postings {
+            p.encode(out);
+        }
+        let mask = u8::from(self.zero.is_some()) | (u8::from(self.one.is_some()) << 1);
+        out.push(mask);
+        match (&self.zero, &self.one) {
+            (Some(z), Some(o)) => {
+                let mut zbuf = Vec::new();
+                z.serialize(&mut zbuf);
+                varint::write_usize(out, zbuf.len());
+                out.extend_from_slice(&zbuf);
+                o.serialize(out);
+            }
+            (Some(z), None) => z.serialize(out),
+            (None, Some(o)) => o.serialize(out),
+            (None, None) => {}
+        }
+    }
+
+    /// Visits every `(full_prefix, postings)` pair in the subtree.
+    pub fn for_each_entry(&self, prefix: &BitStr, f: &mut impl FnMut(BitStr, &[Posting])) {
+        let mut here = prefix.clone();
+        here.extend(&self.label);
+        if !self.postings.is_empty() {
+            f(here.clone(), &self.postings);
+        }
+        if let Some(z) = &self.zero {
+            z.for_each_entry(&here, f);
+        }
+        if let Some(o) = &self.one {
+            o.for_each_entry(&here, f);
+        }
+    }
+}
+
+/// Walks a serialized subtree, collecting postings of every stored prefix of
+/// `key` (bits consumed starting at `key_offset_bits`).
+pub fn walk_serialized(
+    buf: &[u8],
+    key: &[u8],
+    key_offset_bits: u32,
+    out: &mut Vec<Posting>,
+) -> Result<()> {
+    let mut pos = 0usize;
+    let mut key_pos = key_offset_bits;
+    let key_bits = key.len() as u32 * 8;
+
+    loop {
+        // Decode one node header.
+        let label_bits = varint::read_u64(buf, &mut pos)? as u32;
+        let label_bytes = label_bits.div_ceil(8) as usize;
+        if pos + label_bytes > buf.len() {
+            return Err(TrieError::Corrupt("label truncated".into()));
+        }
+        let label = &buf[pos..pos + label_bytes];
+        pos += label_bytes;
+
+        // Match the label against the key.
+        if key_bits.saturating_sub(key_pos) < label_bits {
+            return Ok(()); // key shorter than stored prefix: no match
+        }
+        for i in 0..label_bits {
+            if get_bit(label, i) != get_bit(key, key_pos + i) {
+                return Ok(());
+            }
+        }
+        key_pos += label_bits;
+
+        let n_postings = varint::read_usize(buf, &mut pos)?;
+        let mut postings = Vec::with_capacity(n_postings.min(1 << 16));
+        for _ in 0..n_postings {
+            postings.push(Posting::decode(buf, &mut pos)?);
+        }
+        // Every node on the matched path whose cumulative prefix is a prefix
+        // of the key contributes its postings.
+        out.extend_from_slice(&postings);
+
+        let mask = *buf
+            .get(pos)
+            .ok_or_else(|| TrieError::Corrupt("missing child mask".into()))?;
+        pos += 1;
+
+        let has_zero = mask & 1 != 0;
+        let has_one = mask & 2 != 0;
+        if !has_zero && !has_one {
+            return Ok(());
+        }
+        if key_pos >= key_bits {
+            return Ok(()); // key exhausted at an internal node
+        }
+        let next_bit = get_bit(key, key_pos);
+        match (has_zero, has_one) {
+            (true, true) => {
+                let left_len = varint::read_usize(buf, &mut pos)?;
+                if next_bit == 0 {
+                    // continue into left subtree (starts at pos)
+                } else {
+                    pos += left_len;
+                }
+            }
+            (true, false) => {
+                if next_bit != 0 {
+                    return Ok(());
+                }
+            }
+            (false, true) => {
+                if next_bit != 1 {
+                    return Ok(());
+                }
+            }
+            (false, false) => unreachable!(),
+        }
+    }
+}
+
+/// Iterates every `(prefix, postings)` entry of a serialized subtree
+/// (used by merge and by tests).
+pub fn entries_of_serialized(buf: &[u8], prefix: BitStr) -> Result<Vec<(BitStr, Vec<Posting>)>> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    collect_entries(buf, &mut pos, prefix, &mut out)?;
+    Ok(out)
+}
+
+fn collect_entries(
+    buf: &[u8],
+    pos: &mut usize,
+    prefix: BitStr,
+    out: &mut Vec<(BitStr, Vec<Posting>)>,
+) -> Result<()> {
+    let label_bits = varint::read_u64(buf, pos)? as u32;
+    let label_bytes = label_bits.div_ceil(8) as usize;
+    if *pos + label_bytes > buf.len() {
+        return Err(TrieError::Corrupt("label truncated".into()));
+    }
+    let label = BitStr::prefix_of(&buf[*pos..*pos + label_bytes], label_bits);
+    *pos += label_bytes;
+    let mut here = prefix;
+    here.extend(&label);
+
+    let n_postings = varint::read_usize(buf, pos)?;
+    let mut postings = Vec::with_capacity(n_postings.min(1 << 16));
+    for _ in 0..n_postings {
+        postings.push(Posting::decode(buf, pos)?);
+    }
+    if !postings.is_empty() {
+        out.push((here.clone(), postings));
+    }
+
+    let mask = *buf
+        .get(*pos)
+        .ok_or_else(|| TrieError::Corrupt("missing child mask".into()))?;
+    *pos += 1;
+    let has_zero = mask & 1 != 0;
+    let has_one = mask & 2 != 0;
+    if has_zero && has_one {
+        let _left_len = varint::read_usize(buf, pos)?;
+        collect_entries(buf, pos, here.clone(), out)?;
+        collect_entries(buf, pos, here, out)?;
+    } else if has_zero || has_one {
+        collect_entries(buf, pos, here, out)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(bits: &[u8]) -> BitStr {
+        let mut s = BitStr::empty();
+        for &b in bits {
+            s.push(b);
+        }
+        s
+    }
+
+    fn lookup(root: &TrieNode, key: &[u8]) -> Vec<Posting> {
+        let mut buf = Vec::new();
+        root.serialize(&mut buf);
+        let mut out = Vec::new();
+        walk_serialized(&buf, key, 0, &mut out).unwrap();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn insert_and_walk_simple() {
+        let mut root = TrieNode::new();
+        root.insert(&bs(&[1, 0, 1]), Posting::new(1, 1));
+        root.insert(&bs(&[1, 1, 0]), Posting::new(2, 2));
+        root.insert(&bs(&[0, 0, 0]), Posting::new(3, 3));
+
+        // Query keys are full bytes whose leading bits select entries.
+        assert_eq!(lookup(&root, &[0b1010_0000]), vec![Posting::new(1, 1)]);
+        assert_eq!(lookup(&root, &[0b1100_0000]), vec![Posting::new(2, 2)]);
+        assert_eq!(lookup(&root, &[0b0001_1111]), vec![Posting::new(3, 3)]);
+        assert_eq!(lookup(&root, &[0b0100_0000]), vec![]);
+    }
+
+    #[test]
+    fn prefix_entries_all_collected() {
+        // A stored prefix that is a prefix of another stored prefix: both
+        // must be returned for a key matching the longer one.
+        let mut root = TrieNode::new();
+        root.insert(&bs(&[1, 0]), Posting::new(1, 0));
+        root.insert(&bs(&[1, 0, 1, 1]), Posting::new(2, 0));
+        let hits = lookup(&root, &[0b1011_0000]);
+        assert_eq!(hits, vec![Posting::new(1, 0), Posting::new(2, 0)]);
+        // A key matching only the short prefix returns just it.
+        let hits = lookup(&root, &[0b1000_0000]);
+        assert_eq!(hits, vec![Posting::new(1, 0)]);
+    }
+
+    #[test]
+    fn duplicate_keys_share_a_leaf() {
+        let mut root = TrieNode::new();
+        root.insert(&bs(&[1, 1]), Posting::new(1, 5));
+        root.insert(&bs(&[1, 1]), Posting::new(2, 9));
+        let hits = lookup(&root, &[0b1100_0000]);
+        assert_eq!(hits, vec![Posting::new(1, 5), Posting::new(2, 9)]);
+    }
+
+    #[test]
+    fn edge_split_preserves_structure() {
+        let mut root = TrieNode::new();
+        // Insert a long edge then split it in the middle.
+        root.insert(&bs(&[1, 1, 1, 1, 1, 1]), Posting::new(1, 0));
+        root.insert(&bs(&[1, 1, 1, 0]), Posting::new(2, 0));
+        root.insert(&bs(&[1, 1]), Posting::new(3, 0));
+        assert_eq!(
+            lookup(&root, &[0b1111_1100]),
+            vec![Posting::new(1, 0), Posting::new(3, 0)]
+        );
+        assert_eq!(
+            lookup(&root, &[0b1110_0000]),
+            vec![Posting::new(2, 0), Posting::new(3, 0)]
+        );
+    }
+
+    #[test]
+    fn entries_round_trip() {
+        let mut root = TrieNode::new();
+        let items = [
+            (bs(&[0, 1, 0]), Posting::new(1, 1)),
+            (bs(&[0, 1, 1, 1]), Posting::new(2, 2)),
+            (bs(&[1, 0, 0, 0, 1]), Posting::new(3, 3)),
+        ];
+        for (k, p) in &items {
+            root.insert(k, *p);
+        }
+        let mut buf = Vec::new();
+        root.serialize(&mut buf);
+        let entries = entries_of_serialized(&buf, BitStr::empty()).unwrap();
+        assert_eq!(entries.len(), 3);
+        let mut got: Vec<(BitStr, Posting)> = entries
+            .into_iter()
+            .map(|(k, ps)| (k, ps[0]))
+            .collect();
+        got.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut want: Vec<(BitStr, Posting)> = items.to_vec();
+        want.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn key_offset_walking() {
+        // Bucket tries are walked with the first 8 bits already consumed.
+        let mut root = TrieNode::new();
+        root.insert(&bs(&[1, 0, 1]), Posting::new(7, 7));
+        let mut buf = Vec::new();
+        root.serialize(&mut buf);
+        let mut out = Vec::new();
+        // Key: first byte (bucket) + second byte starting 101...
+        walk_serialized(&buf, &[0x42, 0b1010_0000], 8, &mut out).unwrap();
+        assert_eq!(out, vec![Posting::new(7, 7)]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Model-based property test: a trie index on object storage must agree
+//! with a plain `HashMap<key, Vec<Posting>>` for every indexed key, and may
+//! only ever *over*-approximate (false positives allowed, false negatives
+//! never) for unindexed keys.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use rottnest_object_store::MemoryStore;
+use rottnest_trie::{index::merge_tries, Posting, TrieBuilder, TrieIndex};
+
+fn keys_strategy() -> impl Strategy<Value = Vec<[u8; 6]>> {
+    proptest::collection::vec(any::<[u8; 6]>(), 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lookup_agrees_with_hashmap_model(keys in keys_strategy()) {
+        let store = MemoryStore::unmetered();
+        let mut model: HashMap<Vec<u8>, Vec<Posting>> = HashMap::new();
+        let mut builder = TrieBuilder::new(6).unwrap();
+        for (i, k) in keys.iter().enumerate() {
+            let p = Posting::new((i % 7) as u32, i as u32);
+            builder.add(k, p).unwrap();
+            model.entry(k.to_vec()).or_default().push(p);
+        }
+        builder.finish_into(store.as_ref(), "t.idx").unwrap();
+        let idx = TrieIndex::open(store.as_ref(), "t.idx").unwrap();
+
+        for (k, want) in &model {
+            let mut got = idx.lookup(k).unwrap();
+            got.sort_unstable();
+            let mut want = want.clone();
+            want.sort_unstable();
+            // Every true posting must be present (no false negatives);
+            // extras are possible only from other keys' truncated prefixes.
+            for w in &want {
+                prop_assert!(got.contains(w), "missing posting for key {k:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_never_loses_postings(
+        a in keys_strategy(),
+        b in keys_strategy(),
+    ) {
+        let store = MemoryStore::unmetered();
+        let build = |keys: &[[u8; 6]], name: &str, file: u32| {
+            let mut builder = TrieBuilder::new(6).unwrap();
+            for (i, k) in keys.iter().enumerate() {
+                builder.add(k, Posting::new(file, i as u32)).unwrap();
+            }
+            builder.finish_into(store.as_ref(), name).unwrap();
+        };
+        build(&a, "a.idx", 0);
+        build(&b, "b.idx", 0);
+        let ia = TrieIndex::open(store.as_ref(), "a.idx").unwrap();
+        let ib = TrieIndex::open(store.as_ref(), "b.idx").unwrap();
+        merge_tries(store.as_ref(), &[(&ia, 0), (&ib, 1)], "m.idx").unwrap();
+        let m = TrieIndex::open(store.as_ref(), "m.idx").unwrap();
+
+        for (i, k) in a.iter().enumerate() {
+            let got = m.lookup(k).unwrap();
+            prop_assert!(got.contains(&Posting::new(0, i as u32)), "a key {i}");
+        }
+        for (i, k) in b.iter().enumerate() {
+            let got = m.lookup(k).unwrap();
+            prop_assert!(got.contains(&Posting::new(1, i as u32)), "b key {i}");
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Synthetic workload generators standing in for the paper's datasets
+//! (§VII): C4/FineWeb web text → zipfian synthetic text with planted
+//! needles; 2B 128-byte hashes → seeded uuid streams; SIFT-1B → Gaussian
+//! cluster mixtures. Distribution-faithful at MB scale; the TCO harness
+//! extrapolates linearly per §VII-D2.
+
+pub mod text;
+pub mod uuid;
+pub mod vectors;
+
+pub use text::TextWorkload;
+pub use uuid::UuidWorkload;
+pub use vectors::VectorWorkload;
+
+use rottnest_format::{ColumnData, DataType, Field, RecordBatch, Schema};
+
+/// Builds a single-column Utf8 batch from documents.
+pub fn text_batch(column: &str, docs: &[String]) -> RecordBatch {
+    let schema = Schema::new(vec![Field::new(column, DataType::Utf8)]);
+    RecordBatch::new(schema, vec![ColumnData::from_strings(docs.iter())])
+        .expect("schema matches")
+}
+
+/// Builds a single-column Binary batch from fixed-length keys.
+pub fn uuid_batch(column: &str, keys: &[Vec<u8>]) -> RecordBatch {
+    let schema = Schema::new(vec![Field::new(column, DataType::Binary)]);
+    RecordBatch::new(schema, vec![ColumnData::from_blobs(keys.iter())])
+        .expect("schema matches")
+}
+
+/// Builds a single-column vector batch.
+pub fn vector_batch(column: &str, dim: u32, vectors: Vec<Vec<f32>>) -> RecordBatch {
+    let schema = Schema::new(vec![Field::new(column, DataType::VectorF32 { dim })]);
+    let col = ColumnData::from_vectors(dim, vectors).expect("dims match");
+    RecordBatch::new(schema, vec![col]).expect("schema matches")
+}

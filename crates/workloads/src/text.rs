@@ -1,0 +1,179 @@
+//! Web-crawl-like text with a zipfian vocabulary and planted needles.
+//!
+//! Stands in for the paper's C4/FineWeb corpus: realistic word-frequency
+//! skew (so LZ compression ratios and FM-index behavior resemble web text)
+//! plus *planted needles* — unique strings inserted at known documents, the
+//! "did my eval set leak into pretraining" query of §II-B.
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator state for one corpus.
+pub struct TextWorkload {
+    rng: StdRng,
+    vocab: Vec<String>,
+    cdf: Vec<f64>,
+    avg_words: usize,
+}
+
+impl TextWorkload {
+    /// Creates a corpus generator with `vocab_size` words under a zipf(1.0)
+    /// rank distribution and ~`avg_words` words per document.
+    pub fn new(seed: u64, vocab_size: usize, avg_words: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vocab: Vec<String> = (0..vocab_size).map(|i| synth_word(i, &mut rng)).collect();
+        // Zipf CDF over ranks.
+        let mut weights: Vec<f64> = (1..=vocab_size).map(|r| 1.0 / r as f64).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in weights.iter_mut() {
+            acc += *w / total;
+            *w = acc;
+        }
+        Self { rng, vocab, cdf: weights, avg_words }
+    }
+
+    fn word(&mut self) -> &str {
+        let u: f64 = self.rng.gen();
+        let idx = self.cdf.partition_point(|&c| c < u).min(self.vocab.len() - 1);
+        &self.vocab[idx]
+    }
+
+    /// Generates one document.
+    pub fn doc(&mut self) -> String {
+        let n = self
+            .rng
+            .gen_range(self.avg_words / 2..=self.avg_words + self.avg_words / 2)
+            .max(1);
+        let mut out = String::with_capacity(n * 7);
+        for i in 0..n {
+            if i > 0 {
+                out.push(' ');
+            }
+            let w = self.word().to_owned();
+            out.push_str(&w);
+        }
+        out
+    }
+
+    /// Generates `n` documents.
+    pub fn docs(&mut self, n: usize) -> Vec<String> {
+        (0..n).map(|_| self.doc()).collect()
+    }
+
+    /// Generates `n` documents, planting `needle` inside the documents at
+    /// `positions` (mid-document).
+    pub fn docs_with_needle(
+        &mut self,
+        n: usize,
+        needle: &str,
+        positions: &[usize],
+    ) -> Vec<String> {
+        let mut docs = self.docs(n);
+        for &p in positions {
+            if let Some(doc) = docs.get_mut(p) {
+                let mid = doc.len() / 2;
+                let mut cut = mid;
+                while cut < doc.len() && !doc.is_char_boundary(cut) {
+                    cut += 1;
+                }
+                doc.insert_str(cut.min(doc.len()), &format!(" {needle} "));
+            }
+        }
+        docs
+    }
+
+    /// A mid-frequency word suitable as a "selective but present" pattern.
+    pub fn midfreq_word(&self) -> &str {
+        &self.vocab[self.vocab.len() / 20]
+    }
+
+    /// A rare vocabulary word (tail of the zipf distribution).
+    pub fn rare_word(&self) -> &str {
+        &self.vocab[self.vocab.len() - 1]
+    }
+}
+
+fn synth_word(rank: usize, rng: &mut StdRng) -> String {
+    // Short words for common ranks, longer for the tail, letters only so
+    // patterns never collide with separators.
+    let len = 3 + (rank as f64).log2() as usize / 2 + rng.gen_range(0..2);
+    let letters = b"abcdefghijklmnopqrstuvwxyz";
+    let mut w: String = (0..len).map(|_| letters[rng.gen_range(0..26)] as char).collect();
+    w.push_str(&format!("{:x}", rank % 16)); // disambiguate
+    w
+}
+
+/// A zipf sampler usable standalone (queries pick words by the same law).
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// CDF over `n` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        let mut weights: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in weights.iter_mut() {
+            acc += *w / total;
+            *w = acc;
+        }
+        Self { cdf: weights }
+    }
+}
+
+impl Distribution<usize> for ZipfSampler {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a: Vec<String> = TextWorkload::new(7, 1000, 20).docs(5);
+        let b: Vec<String> = TextWorkload::new(7, 1000, 20).docs(5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn word_frequencies_are_skewed() {
+        let mut w = TextWorkload::new(1, 500, 50);
+        let docs = w.docs(200);
+        let top = w.vocab[0].clone();
+        let rare = w.rare_word().to_owned();
+        let count = |needle: &str| {
+            docs.iter().map(|d| d.matches(needle).count()).sum::<usize>()
+        };
+        assert!(count(&top) > count(&rare) * 10, "zipf head must dominate");
+    }
+
+    #[test]
+    fn needles_are_planted_exactly() {
+        let mut w = TextWorkload::new(2, 300, 30);
+        let docs = w.docs_with_needle(100, "EVAL-SET-LEAK-XYZZY", &[3, 50, 99]);
+        let hits: Vec<usize> = docs
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.contains("EVAL-SET-LEAK-XYZZY"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(hits, vec![3, 50, 99]);
+    }
+
+    #[test]
+    fn zipf_sampler_biases_low_ranks() {
+        let z = ZipfSampler::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let draws: Vec<usize> = (0..2000).map(|_| z.sample(&mut rng)).collect();
+        let low = draws.iter().filter(|&&d| d < 10).count();
+        let high = draws.iter().filter(|&&d| d >= 90).count();
+        assert!(low > high * 3);
+    }
+}

@@ -1,0 +1,64 @@
+//! High-cardinality identifier streams (observability trace ids, blockchain
+//! transaction hashes) — uniform random fixed-length keys, like the paper's
+//! "2 billion 128-byte hashes" scaled down.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator for fixed-length binary keys.
+pub struct UuidWorkload {
+    rng: StdRng,
+    key_len: usize,
+}
+
+impl UuidWorkload {
+    /// Keys of `key_len` bytes from `seed`.
+    pub fn new(seed: u64, key_len: usize) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), key_len }
+    }
+
+    /// One fresh key.
+    pub fn key(&mut self) -> Vec<u8> {
+        (0..self.key_len).map(|_| self.rng.gen()).collect()
+    }
+
+    /// `n` fresh keys.
+    pub fn keys(&mut self, n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|_| self.key()).collect()
+    }
+
+    /// A key guaranteed absent from any stream this generator produced
+    /// (distinct RNG stream).
+    pub fn missing_key(&self, salt: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(0xdead_beef ^ salt);
+        (0..self.key_len).map(|_| rng.gen()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_fixed_length_and_deterministic() {
+        let a = UuidWorkload::new(1, 16).keys(10);
+        let b = UuidWorkload::new(1, 16).keys(10);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|k| k.len() == 16));
+    }
+
+    #[test]
+    fn keys_are_distinct() {
+        let keys = UuidWorkload::new(2, 16).keys(10_000);
+        let set: std::collections::HashSet<&Vec<u8>> = keys.iter().collect();
+        assert_eq!(set.len(), keys.len());
+    }
+
+    #[test]
+    fn missing_key_is_absent() {
+        let mut w = UuidWorkload::new(3, 16);
+        let keys = w.keys(5_000);
+        let missing = w.missing_key(0);
+        assert!(!keys.contains(&missing));
+    }
+}

@@ -1,0 +1,86 @@
+//! Clustered embedding vectors (SIFT-1B stand-in): a Gaussian mixture whose
+//! clusteredness drives the same nprobe/recall trade-off the paper tunes in
+//! §VII-B2.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator for `dim`-dimensional mixture vectors.
+pub struct VectorWorkload {
+    rng: StdRng,
+    dim: usize,
+    centers: Vec<Vec<f32>>,
+    spread: f32,
+}
+
+impl VectorWorkload {
+    /// A mixture of `n_clusters` Gaussians in `dim` dimensions.
+    pub fn new(seed: u64, dim: usize, n_clusters: usize, spread: f32) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers = (0..n_clusters)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect())
+            .collect();
+        Self { rng, dim, centers, spread }
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// One vector from a random cluster.
+    pub fn vector(&mut self) -> Vec<f32> {
+        let c = self.rng.gen_range(0..self.centers.len());
+        let center = self.centers[c].clone();
+        center
+            .iter()
+            .map(|&x| x + gaussian(&mut self.rng) * self.spread)
+            .collect()
+    }
+
+    /// `n` vectors.
+    pub fn vectors(&mut self, n: usize) -> Vec<Vec<f32>> {
+        (0..n).map(|_| self.vector()).collect()
+    }
+
+    /// A query near a cluster (same distribution as data — standard ANN
+    /// benchmark practice).
+    pub fn query(&mut self) -> Vec<f32> {
+        self.vector()
+    }
+}
+
+/// Box–Muller standard normal.
+fn gaussian(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vectors_have_right_dim_and_are_deterministic() {
+        let a = VectorWorkload::new(1, 32, 8, 0.5).vectors(10);
+        let b = VectorWorkload::new(1, 32, 8, 0.5).vectors(10);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| v.len() == 32));
+    }
+
+    #[test]
+    fn vectors_cluster_around_centers() {
+        let mut w = VectorWorkload::new(2, 8, 4, 0.3);
+        let centers = w.centers.clone();
+        let data = w.vectors(400);
+        // Every vector is close to some center relative to the spread.
+        for v in &data {
+            let min_d2: f32 = centers
+                .iter()
+                .map(|c| c.iter().zip(v).map(|(a, b)| (a - b) * (a - b)).sum::<f32>())
+                .fold(f32::INFINITY, f32::min);
+            assert!(min_d2 < 8.0 * 0.3 * 0.3 * 30.0, "vector far from all centers: {min_d2}");
+        }
+    }
+}

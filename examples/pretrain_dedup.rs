@@ -1,0 +1,116 @@
+//! LLM pretraining data exploration (§II-B): detect whether evaluation-set
+//! strings leaked into a pretraining corpus stored as a text column in a
+//! data lake, using the FM-index substring search — and show where this
+//! workload lands on the TCO phase diagram.
+//!
+//! ```sh
+//! cargo run --release -p rottnest-examples --bin pretrain_dedup
+//! ```
+
+use rottnest::{IndexKind, Query, Rottnest};
+use rottnest_lake::{Table, TableConfig};
+use rottnest_object_store::{MemoryStore, ObjectStore};
+use rottnest_tco::{cpm_storage, cpq_from_latency, prices, ApproachCosts, Approaches, PhaseDiagram};
+use rottnest_workloads::{text_batch, TextWorkload};
+
+fn main() {
+    let store = MemoryStore::new(); // metered: we want simulated latencies
+    let schema = text_batch("text", &[]).schema().clone();
+    let table = Table::create(store.as_ref(), "corpus", &schema, TableConfig::default()).unwrap();
+
+    // A synthetic "web crawl" with three eval-set strings planted into
+    // specific shards (the contamination we must find).
+    let eval_set = [
+        "The quick crimson fox benchmarks 42 zebras",
+        "Question: what is the airspeed of an unladen swallow?",
+        "This sentence is definitely not in the training data",
+    ];
+    let mut wl = TextWorkload::new(7, 30_000, 80);
+    for shard in 0..6 {
+        let docs = if shard == 2 {
+            wl.docs_with_needle(500, eval_set[0], &[100])
+        } else if shard == 4 {
+            let mut d = wl.docs_with_needle(500, eval_set[1], &[250]);
+            let extra = wl.docs_with_needle(1, eval_set[1], &[0]);
+            d[400] = extra[0].clone();
+            d
+        } else {
+            wl.docs(500)
+        };
+        table.append(&text_batch("text", &docs)).unwrap();
+    }
+    let data_bytes = store.bytes_under("corpus/data/");
+    println!(
+        "corpus: 3000 documents across 6 shards, {:.1} MiB compressed",
+        data_bytes as f64 / (1 << 20) as f64
+    );
+
+    // Index once; every later contamination check is a cheap search.
+    let rot = Rottnest::new(store.as_ref(), "corpus-idx", rottnest_bench_config());
+    let clock = store.clock().unwrap();
+    let t0 = clock.now_micros();
+    rot.index(&table, IndexKind::Substring, "text").unwrap().unwrap();
+    let build_s = (clock.now_micros() - t0) as f64 / 1e6;
+    let index_bytes = rot.index_bytes().unwrap();
+    println!(
+        "index built in {build_s:.1}s (simulated), {:.1} MiB ({}% of data)",
+        index_bytes as f64 / (1 << 20) as f64,
+        index_bytes * 100 / data_bytes
+    );
+
+    // Contamination scan.
+    let snap = table.snapshot().unwrap();
+    let mut mean_latency = 0.0;
+    for probe in &eval_set {
+        let t0 = clock.now_micros();
+        let out = rot
+            .search(&table, &snap, "text", &Query::Substring { pattern: probe.as_bytes(), k: 100 })
+            .unwrap();
+        let secs = (clock.now_micros() - t0) as f64 / 1e6;
+        mean_latency += secs / eval_set.len() as f64;
+        println!(
+            "  {:<55} → {} leak(s) [{:.2}s simulated]",
+            format!("{:.50}…", probe),
+            out.matches.len(),
+            secs
+        );
+    }
+
+    // Where does "contamination checking" sit on the phase diagram? A lab
+    // running ~1k checks/month over a 304 GB corpus:
+    let scale = 304e9 / data_bytes as f64;
+    let approaches = Approaches {
+        copy_data: ApproachCosts {
+            index_cost: 0.0,
+            cost_per_month: prices::dedicated_monthly(
+                prices::R6G_LARGE_SEARCH_HOURLY,
+                index_bytes as f64 * scale,
+            ),
+            cost_per_query: 0.0,
+        },
+        brute_force: ApproachCosts {
+            index_cost: 0.0,
+            cost_per_month: cpm_storage(data_bytes as f64 * scale),
+            cost_per_query: cpq_from_latency(304e9 / (8.0 * 400e6), 8.0, prices::R6I_4XLARGE_HOURLY),
+        },
+        rottnest: ApproachCosts {
+            index_cost: build_s * scale / 3600.0 * prices::R6I_4XLARGE_HOURLY,
+            cost_per_month: cpm_storage((data_bytes + index_bytes) as f64 * scale),
+            cost_per_query: cpq_from_latency(mean_latency, 1.0, prices::R6I_4XLARGE_HOURLY),
+        },
+    };
+    let diagram = PhaseDiagram::compute(&approaches);
+    let w = diagram.winner_at(12.0, 12_000.0);
+    println!(
+        "\nTCO at 12 months × 12k checks: winner = {} \
+         (rottnest TCO ${:.0} vs brute ${:.0} vs dedicated ${:.0})",
+        w.name(),
+        approaches.rottnest.tco(12.0, 12_000.0),
+        approaches.brute_force.tco(12.0, 12_000.0),
+        approaches.copy_data.tco(12.0, 12_000.0),
+    );
+}
+
+fn rottnest_bench_config() -> rottnest::RottnestConfig {
+    rottnest::RottnestConfig::default()
+}

@@ -1,0 +1,105 @@
+//! Quickstart: create a data lake table, bolt a Rottnest index onto it,
+//! and run all three search types.
+//!
+//! ```sh
+//! cargo run --release -p rottnest-examples --bin quickstart
+//! ```
+
+use rottnest::{IndexKind, Query, Rottnest, RottnestConfig};
+use rottnest_format::{ColumnData, DataType, Field, RecordBatch, Schema};
+use rottnest_ivfpq::SearchParams;
+use rottnest_lake::{Table, TableConfig};
+use rottnest_object_store::MemoryStore;
+
+fn main() {
+    // An object store with S3 semantics (in-memory; see log_search.rs for
+    // the filesystem backend).
+    let store = MemoryStore::unmetered();
+
+    // 1. A lake table: one commit log + immutable columnar files.
+    let schema = Schema::new(vec![
+        Field::new("trace_id", DataType::Binary),
+        Field::new("body", DataType::Utf8),
+        Field::new("embedding", DataType::VectorF32 { dim: 8 }),
+    ]);
+    let table = Table::create(store.as_ref(), "demo", &schema, TableConfig::default())
+        .expect("create table");
+
+    let rows = 500u64;
+    let batch = RecordBatch::new(
+        schema.clone(),
+        vec![
+            ColumnData::from_blobs((0..rows).map(|i| {
+                let mut id = [0u8; 16];
+                id[8..].copy_from_slice(&i.to_be_bytes());
+                id.to_vec()
+            })),
+            ColumnData::from_strings(
+                (0..rows).map(|i| format!("request {i} served by backend-{}", i % 5)),
+            ),
+            ColumnData::from_vectors(
+                8,
+                (0..rows)
+                    .map(|i| {
+                        let c = (i % 4) as f32 * 5.0;
+                        vec![c, c, c, c, 0.1 * i as f32 % 1.0, 0.0, 0.0, 0.0]
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap(),
+        ],
+    )
+    .unwrap();
+    table.append(&batch).expect("append");
+    println!("lake: {} rows in {} files", rows, table.snapshot().unwrap().num_files());
+
+    // 2. Rottnest: index the three columns (three independent index files).
+    let config = RottnestConfig {
+        min_vector_rows: 100,
+        ivf: rottnest_ivfpq::IvfPqParams { nlist: 16, m: 4, train_iters: 4, seed: 1 },
+        ..RottnestConfig::default()
+    };
+    let rot = Rottnest::new(store.as_ref(), "demo-idx", config);
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+    rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
+    rot.index(&table, IndexKind::Vector { dim: 8 }, "embedding").unwrap().unwrap();
+    println!("rottnest: {} index files, {} bytes", rot.meta().scan().unwrap().len(), rot.index_bytes().unwrap());
+
+    // 3. Search.
+    let snap = table.snapshot().unwrap();
+
+    let mut key = [0u8; 16];
+    key[8..].copy_from_slice(&123u64.to_be_bytes());
+    let out = rot
+        .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 5 })
+        .unwrap();
+    println!("uuid lookup   → row {} of {}", out.matches[0].row, out.matches[0].path);
+
+    let out = rot
+        .search(&table, &snap, "body", &Query::Substring { pattern: b"backend-3", k: 3 })
+        .unwrap();
+    println!(
+        "substring     → {} matches (first: row {}), {} pages probed",
+        out.matches.len(),
+        out.matches[0].row,
+        out.stats.pages_probed
+    );
+
+    let query = [10.0f32, 10.0, 10.0, 10.0, 0.5, 0.0, 0.0, 0.0];
+    let out = rot
+        .search(
+            &table,
+            &snap,
+            "embedding",
+            &Query::VectorNn {
+                query: &query,
+                params: SearchParams { k: 3, nprobe: 8, refine: 32 },
+            },
+        )
+        .unwrap();
+    println!(
+        "vector top-3  → rows {:?} (squared distances {:?})",
+        out.matches.iter().map(|m| m.row).collect::<Vec<_>>(),
+        out.matches.iter().map(|m| m.score.unwrap()).collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,79 @@
+//! Shared helpers for the cross-crate integration tests in `tests/`.
+
+use rottnest_format::{ColumnData, DataType, Field, RecordBatch, Schema, WriterOptions};
+use rottnest_lake::{Table, TableConfig};
+use rottnest_object_store::ObjectStore;
+
+/// Vector dimensionality used across integration tests.
+pub const DIM: usize = 8;
+
+/// The three-column schema every integration scenario uses.
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("trace_id", DataType::Binary),
+        Field::new("body", DataType::Utf8),
+        Field::new("embedding", DataType::VectorF32 { dim: DIM as u32 }),
+    ])
+}
+
+/// Deterministic 16-byte key for row `i`.
+pub fn trace_id(i: u64) -> Vec<u8> {
+    let mut id = vec![0u8; 16];
+    id[..8].copy_from_slice(&i.to_be_bytes());
+    id[8..].copy_from_slice(&i.wrapping_mul(0x9e3779b97f4a7c15).to_be_bytes());
+    id
+}
+
+/// Deterministic log line for row `i`.
+pub fn body(i: u64) -> String {
+    format!("row {i} host h{} status S{:03} payload lorem ipsum dolor", i % 13, i % 37)
+}
+
+/// Deterministic clustered embedding for row `i`.
+pub fn embedding(i: u64) -> Vec<f32> {
+    let cluster = (i % 6) as f32 * 7.0;
+    (0..DIM)
+        .map(|d| cluster + ((i.wrapping_mul(2654435761) >> (d % 16)) % 100) as f32 / 100.0)
+        .collect()
+}
+
+/// A batch of rows `range`.
+pub fn batch(range: std::ops::Range<u64>) -> RecordBatch {
+    RecordBatch::new(
+        schema(),
+        vec![
+            ColumnData::from_blobs(range.clone().map(trace_id)),
+            ColumnData::from_strings(range.clone().map(body)),
+            ColumnData::from_vectors(DIM as u32, range.map(embedding).collect::<Vec<_>>())
+                .unwrap(),
+        ],
+    )
+    .unwrap()
+}
+
+/// Table config with small pages so probes exercise page granularity.
+pub fn small_pages() -> TableConfig {
+    TableConfig {
+        writer: WriterOptions { page_raw_bytes: 2048, row_group_rows: 512, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+/// Creates the standard test table with `rows` rows across `files` files.
+pub fn make_table<'a>(store: &'a dyn ObjectStore, rows: u64, files: u64) -> Table<'a> {
+    let t = Table::create(store, "tbl", &schema(), small_pages()).unwrap();
+    let per = rows / files;
+    for f in 0..files {
+        t.append(&batch(f * per..(f + 1) * per)).unwrap();
+    }
+    t
+}
+
+/// Rottnest config for integration scale.
+pub fn rot_config() -> rottnest::RottnestConfig {
+    rottnest::RottnestConfig {
+        min_vector_rows: 32,
+        ivf: rottnest_ivfpq::IvfPqParams { nlist: 16, m: 4, train_iters: 4, seed: 5 },
+        ..Default::default()
+    }
+}

@@ -1,0 +1,140 @@
+//! Crash-injection matrix: kill every protocol operation at every stage and
+//! verify the §IV-D invariants hold afterwards, and that retries converge.
+
+use rottnest::invariants::verify_all;
+use rottnest::{IndexKind, Query, Rottnest};
+use rottnest_integration::*;
+use rottnest_object_store::{FaultKind, MemoryStore, ObjectStore};
+
+/// Every fault we inject: (description, fault to arm).
+fn faults() -> Vec<(&'static str, FaultKind)> {
+    vec![
+        ("index upload fails", FaultKind::FailPutMatching("idx/files".into())),
+        ("metadata commit fails", FaultKind::FailPutMatching("idx/meta".into())),
+        ("input parquet vanishes", FaultKind::FailGetMatching(".lkpq".into())),
+    ]
+}
+
+#[test]
+fn index_crashes_preserve_invariants_and_retry_succeeds() {
+    for (what, fault) in faults() {
+        let store = MemoryStore::unmetered();
+        let table = make_table(store.as_ref(), 100, 2);
+        let rot = Rottnest::new(store.as_ref(), "idx", rot_config());
+
+        store.faults().arm(fault);
+        let result = rot.index(&table, IndexKind::Substring, "body");
+        assert!(result.is_err(), "fault `{what}` must surface as an error");
+        store.faults().disarm_all();
+
+        verify_all(store.as_ref(), "idx").expect(what);
+
+        // Retry converges to a committed index; search works.
+        rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
+        let snap = table.snapshot().unwrap();
+        let out = rot
+            .search(&table, &snap, "body", &Query::Substring { pattern: b"status S001", k: 10 })
+            .unwrap();
+        assert!(!out.matches.is_empty(), "after `{what}` retry");
+        verify_all(store.as_ref(), "idx").expect(what);
+    }
+}
+
+#[test]
+fn compact_crashes_preserve_invariants() {
+    for (what, fault) in [
+        ("merged upload fails", FaultKind::FailPutMatching("idx/files".into())),
+        ("swap commit fails", FaultKind::FailPutMatching("idx/meta".into())),
+    ] {
+        let store = MemoryStore::unmetered();
+        let table = make_table(store.as_ref(), 100, 2);
+        let rot = Rottnest::new(store.as_ref(), "idx", rot_config());
+        // Two separate index files to merge.
+        rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+        table.append(&batch(100..150)).unwrap();
+        rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+
+        store.faults().arm(fault);
+        let result = rot.compact(IndexKind::Uuid { key_len: 16 }, "trace_id");
+        assert!(result.is_err(), "fault `{what}` must surface");
+        store.faults().disarm_all();
+        verify_all(store.as_ref(), "idx").expect(what);
+
+        // The un-merged indexes still answer queries.
+        let snap = table.snapshot().unwrap();
+        let key = trace_id(120);
+        let out = rot
+            .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 1 })
+            .unwrap();
+        assert_eq!(out.matches.len(), 1, "after `{what}`");
+
+        // Retry compaction; still consistent.
+        rot.compact(IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap();
+        verify_all(store.as_ref(), "idx").expect(what);
+    }
+}
+
+#[test]
+fn vacuum_delete_crash_preserves_invariants() {
+    let store = MemoryStore::new();
+    let table = make_table(store.as_ref(), 100, 2);
+    let mut cfg = rot_config();
+    cfg.index_timeout_ms = 1_000;
+    let rot = Rottnest::new(store.as_ref(), "idx", cfg);
+    rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
+    table.append(&batch(100..150)).unwrap();
+    rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
+    rot.compact(IndexKind::Substring, "body").unwrap();
+    store.clock().unwrap().advance_ms(5_000);
+
+    // Crash mid-delete: first physical delete fails, vacuum aborts between
+    // commit and removal — exactly the `during_delete` state of Lemma 1.
+    store.faults().arm(FaultKind::FailDeleteMatching("idx/files".into()));
+    let result = rot.vacuum(&table);
+    assert!(result.is_err());
+    store.faults().disarm_all();
+    verify_all(store.as_ref(), "idx").unwrap();
+
+    // Re-run finishes the job.
+    let report = rot.vacuum(&table).unwrap();
+    assert!(report.objects_deleted >= 1);
+    verify_all(store.as_ref(), "idx").unwrap();
+
+    let snap = table.snapshot().unwrap();
+    let out = rot
+        .search(&table, &snap, "body", &Query::Substring { pattern: b"status S007", k: 50 })
+        .unwrap();
+    assert!(!out.matches.is_empty());
+}
+
+#[test]
+fn repeated_random_crashes_never_corrupt() {
+    // A small chaos loop: every other index/compact call dies at a random
+    // stage; invariants must hold at every quiescent point.
+    let store = MemoryStore::unmetered();
+    let table = make_table(store.as_ref(), 60, 1);
+    let rot = Rottnest::new(store.as_ref(), "idx", rot_config());
+
+    let stages = ["idx/files", "idx/meta"];
+    for round in 0..10u64 {
+        table.append(&batch(60 + round * 20..80 + round * 20)).unwrap();
+        if round % 2 == 0 {
+            store
+                .faults()
+                .arm(FaultKind::FailPutMatching(stages[(round / 2 % 2) as usize].into()));
+            let _ = rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id");
+            store.faults().disarm_all();
+        } else {
+            rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap();
+        }
+        verify_all(store.as_ref(), "idx").unwrap();
+
+        // Search correctness after every round: a key from the latest batch.
+        let snap = table.snapshot().unwrap();
+        let key = trace_id(60 + round * 20 + 5);
+        let out = rot
+            .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 1 })
+            .unwrap();
+        assert_eq!(out.matches.len(), 1, "round {round}");
+    }
+}

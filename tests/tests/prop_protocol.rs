@@ -1,0 +1,101 @@
+//! Randomized protocol fuzz: seeded sequences of lake + Rottnest operations,
+//! with invariants checked after every step and index-vs-brute equivalence
+//! checked at the end. (A light-weight model-based test: the brute-force
+//! scanner *is* the model.)
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rottnest::invariants::verify_all;
+use rottnest::{IndexKind, Query, Rottnest};
+use rottnest_baselines::BruteForce;
+use rottnest_integration::*;
+use rottnest_lake::Table;
+use rottnest_object_store::{FaultKind, MemoryStore};
+
+fn run_sequence(seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let store = MemoryStore::unmetered();
+    let table = Table::create(store.as_ref(), "tbl", &schema(), small_pages()).unwrap();
+    let mut cfg = rot_config();
+    cfg.index_timeout_ms = 10; // aggressive GC eligibility
+    let rot = Rottnest::new(store.as_ref(), "idx", cfg);
+
+    let mut next_row = 0u64;
+    table.append(&batch(0..40)).unwrap();
+    next_row += 40;
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap();
+
+    for step in 0..24 {
+        match rng.gen_range(0..8) {
+            0 | 1 => {
+                let n = rng.gen_range(10..40);
+                table.append(&batch(next_row..next_row + n)).unwrap();
+                next_row += n;
+            }
+            2 => {
+                // Delete a few random rows of a random file.
+                let snap = table.snapshot().unwrap();
+                let files: Vec<_> = snap.files().cloned().collect();
+                let f = &files[rng.gen_range(0..files.len())];
+                let rows: Vec<u64> =
+                    (0..3).map(|_| rng.gen_range(0..f.rows)).collect();
+                let _ = table.delete_rows(&f.path, &rows);
+            }
+            3 => {
+                let _ = table.compact(u64::MAX);
+            }
+            4 => {
+                let _ = rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id");
+            }
+            5 => {
+                let _ = rot.compact(IndexKind::Uuid { key_len: 16 }, "trace_id");
+            }
+            6 => {
+                let _ = rot.vacuum(&table);
+            }
+            _ => {
+                // Crash a random mutation mid-flight.
+                let pattern = ["idx/files", "idx/meta"][rng.gen_range(0..2)];
+                store.faults().arm(FaultKind::FailPutMatching(pattern.into()));
+                let _ = rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id");
+                let _ = rot.compact(IndexKind::Uuid { key_len: 16 }, "trace_id");
+                store.faults().disarm_all();
+            }
+        }
+        verify_all(store.as_ref(), "idx")
+            .unwrap_or_else(|e| panic!("seed {seed} step {step}: {e}"));
+    }
+
+    // Final equivalence vs the brute-force model for a sample of keys.
+    let snap = table.snapshot().unwrap();
+    let bf = BruteForce::new(&table, snap.clone());
+    for _ in 0..12 {
+        let i = rng.gen_range(0..next_row);
+        let key = trace_id(i);
+        let r = rot
+            .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 10 })
+            .unwrap();
+        let (b, _) = bf.scan_uuid("trace_id", &key, 10).unwrap();
+        let mut rp: Vec<(String, u64)> =
+            r.matches.iter().map(|m| (m.path.clone(), m.row)).collect();
+        let mut bp: Vec<(String, u64)> =
+            b.iter().map(|m| (m.path.clone(), m.row)).collect();
+        rp.sort();
+        bp.sort();
+        assert_eq!(rp, bp, "seed {seed}, key {i}");
+    }
+}
+
+#[test]
+fn fuzz_protocol_seeds_0_to_7() {
+    for seed in 0..8 {
+        run_sequence(seed);
+    }
+}
+
+#[test]
+fn fuzz_protocol_seeds_8_to_15() {
+    for seed in 8..16 {
+        run_sequence(seed);
+    }
+}

@@ -1,0 +1,99 @@
+//! End-to-end TCO pipeline: measure simulated latencies on a live system,
+//! derive the §VI cost model through the same extrapolation the figure
+//! harnesses use, and check the phase diagram has the paper's qualitative
+//! structure.
+
+use rottnest::{IndexKind, Query, Rottnest};
+use rottnest_baselines::BruteForce;
+use rottnest_bench::TcoInputs;
+use rottnest_integration::*;
+use rottnest_object_store::{MemoryStore, ObjectStore};
+use rottnest_tco::{prices, PhaseDiagram, Winner};
+
+#[test]
+fn measured_costs_produce_three_phase_diagram() {
+    let store = MemoryStore::new(); // metered
+    // Enough files that the full scan's per-file round trips dominate the
+    // fixed planning cost Rottnest pays.
+    let table = make_table(store.as_ref(), 1600, 16);
+    let rot = Rottnest::new(store.as_ref(), "idx", rot_config());
+
+    let clock = store.clock().unwrap();
+    let t0 = clock.now_micros();
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+    let build_s = (clock.now_micros() - t0) as f64 / 1e6;
+
+    let snap = table.snapshot().unwrap();
+    let key = trace_id(123);
+    let t0 = clock.now_micros();
+    let out = rot
+        .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 1 })
+        .unwrap();
+    let rot_latency = (clock.now_micros() - t0) as f64 / 1e6;
+    assert_eq!(out.matches.len(), 1);
+
+    let bf = BruteForce::new(&table, snap);
+    let t0 = clock.now_micros();
+    bf.scan_uuid("trace_id", &key, 1).unwrap();
+    let brute_latency = (clock.now_micros() - t0) as f64 / 1e6;
+
+    // Rottnest must be meaningfully faster than a full scan even at tiny
+    // harness scale (the gap widens with data).
+    assert!(
+        brute_latency > rot_latency * 1.5,
+        "brute {brute_latency}s vs rottnest {rot_latency}s"
+    );
+
+    let inputs = TcoInputs {
+        rottnest_latency_s: rot_latency,
+        brute_latency_1w_s: brute_latency,
+        scale: 1e4, // pretend the dataset is 10,000× larger
+        data_bytes: store.bytes_under("tbl/data/"),
+        index_bytes: rot.index_bytes().unwrap(),
+        build_seconds: build_s,
+        dedicated_hourly: prices::R6G_LARGE_SEARCH_HOURLY,
+    };
+    let approaches = inputs.approaches();
+
+    let d = PhaseDiagram::compute(&approaches);
+    let (c, b, r) = d.area_shares();
+    assert!(r > 0.2, "rottnest should win a large region, got {r:.2}");
+    assert!(c > 0.0 && b > 0.0, "all three phases present: c={c:.2} b={b:.2}");
+
+    // Structure: at long horizons, low loads → brute force; medium →
+    // rottnest; extreme → copy data.
+    assert_eq!(d.winner_at(10.0, 1.0), Winner::BruteForce);
+    assert_eq!(d.winner_at(10.0, 1e8), Winner::CopyData);
+    assert!(
+        d.rottnest_decades_at(10.0) > 2.0,
+        "rottnest band at 10 months: {} decades",
+        d.rottnest_decades_at(10.0)
+    );
+
+    // §VII-D1 sensitivity conclusions hold on these measured costs.
+    assert!(rottnest_tco::sensitivity::observations_hold(&approaches));
+}
+
+#[test]
+fn rottnest_reads_orders_of_magnitude_fewer_bytes() {
+    let store = MemoryStore::unmetered();
+    let table = make_table(store.as_ref(), 1000, 4);
+    let rot = Rottnest::new(store.as_ref(), "idx", rot_config());
+    rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
+    let snap = table.snapshot().unwrap();
+
+    let before = store.stats();
+    rot.search(&table, &snap, "body", &Query::Substring { pattern: b"row 777 ", k: 5 })
+        .unwrap();
+    let rot_bytes = store.stats().since(&before).bytes_read;
+
+    let bf = BruteForce::new(&table, snap);
+    let before = store.stats();
+    bf.scan_substring("body", b"row 777 ", 5).unwrap();
+    let brute_bytes = store.stats().since(&before).bytes_read;
+
+    assert!(
+        brute_bytes > rot_bytes,
+        "brute {brute_bytes}B must exceed rottnest {rot_bytes}B"
+    );
+}
