@@ -78,7 +78,11 @@ impl<'a> BruteForce<'a> {
                 _ => false,
             };
             if hit && matches.len() < k {
-                matches.push(Match { path: path.to_string(), row, score: None });
+                matches.push(Match {
+                    path: path.to_string(),
+                    row,
+                    score: None,
+                });
             }
         })?;
         Ok((matches, stats))
@@ -102,7 +106,11 @@ impl<'a> BruteForce<'a> {
                 && hay.len() >= pattern.len()
                 && hay.windows(pattern.len()).any(|w| w == pattern);
             if hit && matches.len() < k {
-                matches.push(Match { path: path.to_string(), row, score: None });
+                matches.push(Match {
+                    path: path.to_string(),
+                    row,
+                    score: None,
+                });
             }
         })?;
         Ok((matches, stats))
@@ -121,7 +129,14 @@ impl<'a> BruteForce<'a> {
                 let d = l2_sq(query, vec);
                 let at = top.partition_point(|m| m.score.unwrap_or(f32::MAX) <= d);
                 if at < k {
-                    top.insert(at, Match { path: path.to_string(), row, score: Some(d) });
+                    top.insert(
+                        at,
+                        Match {
+                            path: path.to_string(),
+                            row,
+                            score: Some(d),
+                        },
+                    );
                     top.truncate(k);
                 }
             }
@@ -133,9 +148,7 @@ impl<'a> BruteForce<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rottnest_format::{
-        ColumnData, DataType, Field, RecordBatch, Schema, WriterOptions,
-    };
+    use rottnest_format::{ColumnData, DataType, Field, RecordBatch, Schema, WriterOptions};
     use rottnest_lake::TableConfig;
     use rottnest_object_store::MemoryStore;
 
@@ -159,7 +172,10 @@ mod tests {
             "tbl",
             &schema(),
             TableConfig {
-                writer: WriterOptions { page_raw_bytes: 1024, ..Default::default() },
+                writer: WriterOptions {
+                    page_raw_bytes: 1024,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         )
@@ -170,10 +186,14 @@ mod tests {
                 schema(),
                 vec![
                     ColumnData::from_blobs(range.clone().map(key)),
-                    ColumnData::from_strings(range.clone().map(|i| format!("row {i} marker{}", i % 10))),
+                    ColumnData::from_strings(
+                        range.clone().map(|i| format!("row {i} marker{}", i % 10)),
+                    ),
                     ColumnData::from_vectors(
                         4,
-                        range.map(|i| vec![i as f32, 0.0, 0.0, 0.0]).collect::<Vec<_>>(),
+                        range
+                            .map(|i| vec![i as f32, 0.0, 0.0, 0.0])
+                            .collect::<Vec<_>>(),
                     )
                     .unwrap(),
                 ],

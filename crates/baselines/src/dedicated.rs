@@ -74,7 +74,10 @@ impl DedicatedUuid {
             bytes += key.len() as u64 + 24;
             map.entry(key).or_default().push((path.to_string(), row));
         })?;
-        Ok(Self { map, index_bytes: bytes })
+        Ok(Self {
+            map,
+            index_bytes: bytes,
+        })
     }
 
     /// Exact lookup.
@@ -84,7 +87,11 @@ impl DedicatedUuid {
             .into_iter()
             .flatten()
             .take(k)
-            .map(|(path, row)| Match { path: path.clone(), row: *row, score: None })
+            .map(|(path, row)| Match {
+                path: path.clone(),
+                row: *row,
+                score: None,
+            })
             .collect()
     }
 
@@ -133,7 +140,11 @@ impl DedicatedText {
             let idx = self.starts.partition_point(|&s| s <= pos) - 1;
             if seen.insert(idx) {
                 let (path, row) = &self.rows[idx];
-                out.push(Match { path: path.clone(), row: *row, score: None });
+                out.push(Match {
+                    path: path.clone(),
+                    row: *row,
+                    score: None,
+                });
                 if out.len() >= k {
                     break;
                 }
@@ -192,7 +203,11 @@ impl DedicatedVector {
         top.into_iter()
             .map(|(i, d)| {
                 let (path, row) = &self.rows[i];
-                Match { path: path.clone(), row: *row, score: Some(d) }
+                Match {
+                    path: path.clone(),
+                    row: *row,
+                    score: Some(d),
+                }
             })
             .collect()
     }
@@ -234,8 +249,13 @@ mod tests {
                 ColumnData::from_strings(
                     range.clone().map(|i| format!("message {i} tag{}", i % 4)),
                 ),
-                ColumnData::from_vectors(4, range.map(|i| vec![i as f32, 1.0, 2.0, 3.0]).collect::<Vec<_>>())
-                    .unwrap(),
+                ColumnData::from_vectors(
+                    4,
+                    range
+                        .map(|i| vec![i as f32, 1.0, 2.0, 3.0])
+                        .collect::<Vec<_>>(),
+                )
+                .unwrap(),
             ],
         )
         .unwrap();

@@ -16,7 +16,10 @@ fn build_file(store: &dyn ObjectStore) -> PageTable {
     let batch = RecordBatch::new(schema.clone(), vec![ColumnData::from_strings(&docs)]).unwrap();
     let mut writer = FileWriter::with_options(
         schema,
-        WriterOptions { page_raw_bytes: 64 << 10, ..Default::default() },
+        WriterOptions {
+            page_raw_bytes: 64 << 10,
+            ..Default::default()
+        },
     );
     writer.write_batch(&batch).unwrap();
     let meta = writer.finish_into(store, "bench.lkpq").unwrap();
@@ -45,8 +48,9 @@ fn bench_read_paths(c: &mut Criterion) {
     });
 
     c.bench_function("reader/batched_8_pages", |b| {
-        let reqs: Vec<(&str, &PageTable, usize)> =
-            (0..8.min(table.len())).map(|i| ("bench.lkpq", &table, i)).collect();
+        let reqs: Vec<(&str, &PageTable, usize)> = (0..8.min(table.len()))
+            .map(|i| ("bench.lkpq", &table, i))
+            .collect();
         b.iter(|| reader.read_pages(&reqs, DataType::Utf8).unwrap().len())
     });
 }
@@ -61,7 +65,11 @@ fn bench_components(c: &mut Criterion) {
     w.finish_into(store.as_ref(), "bench.idx").unwrap();
 
     c.bench_function("component/open", |b| {
-        b.iter(|| ComponentFile::open(store.as_ref(), "bench.idx").unwrap().len())
+        b.iter(|| {
+            ComponentFile::open(store.as_ref(), "bench.idx")
+                .unwrap()
+                .len()
+        })
     });
     c.bench_function("component/open_and_fetch_8", |b| {
         b.iter(|| {

@@ -52,10 +52,19 @@ fn bench_ivf_search(c: &mut Criterion) {
     let store = MemoryStore::unmetered();
     let mut wl = rottnest_workloads::VectorWorkload::new(3, 32, 16, 0.5);
     let vectors = wl.vectors(20_000);
-    let mut b = IvfPqBuilder::new(32, IvfPqParams { nlist: 64, m: 8, train_iters: 4, seed: 5 })
-        .unwrap();
+    let mut b = IvfPqBuilder::new(
+        32,
+        IvfPqParams {
+            nlist: 64,
+            m: 8,
+            train_iters: 4,
+            seed: 5,
+        },
+    )
+    .unwrap();
     for (i, v) in vectors.iter().enumerate() {
-        b.add(VecPosting::new(0, (i / 100) as u32, (i % 100) as u32), v).unwrap();
+        b.add(VecPosting::new(0, (i / 100) as u32, (i % 100) as u32), v)
+            .unwrap();
     }
     b.finish_into(store.as_ref(), "v.idx").unwrap();
     let idx = IvfPqIndex::open(store.as_ref(), "v.idx").unwrap();
@@ -69,19 +78,40 @@ fn bench_ivf_search(c: &mut Criterion) {
 
     c.bench_function("search/ivf_nprobe8_adc", |bch| {
         bch.iter(|| {
-            idx.search(&query, SearchParams { k: 10, nprobe: 8, refine: 0 }, &fetch)
-                .unwrap()
-                .len()
+            idx.search(
+                &query,
+                SearchParams {
+                    k: 10,
+                    nprobe: 8,
+                    refine: 0,
+                },
+                &fetch,
+            )
+            .unwrap()
+            .len()
         })
     });
     c.bench_function("search/ivf_nprobe8_refine64", |bch| {
         bch.iter(|| {
-            idx.search(&query, SearchParams { k: 10, nprobe: 8, refine: 64 }, &fetch)
-                .unwrap()
-                .len()
+            idx.search(
+                &query,
+                SearchParams {
+                    k: 10,
+                    nprobe: 8,
+                    refine: 64,
+                },
+                &fetch,
+            )
+            .unwrap()
+            .len()
         })
     });
 }
 
-criterion_group!(benches, bench_trie_lookup, bench_fm_queries, bench_ivf_search);
+criterion_group!(
+    benches,
+    bench_trie_lookup,
+    bench_fm_queries,
+    bench_ivf_search
+);
 criterion_main!(benches);

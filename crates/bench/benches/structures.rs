@@ -31,7 +31,9 @@ fn bench_sais(c: &mut Criterion) {
 fn bench_wavelet(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let symbols: Vec<u8> = (0..1 << 16).map(|_| rng.gen()).collect();
-    c.bench_function("wavelet/build_64k", |b| b.iter(|| WaveletMatrix::build(&symbols)));
+    c.bench_function("wavelet/build_64k", |b| {
+        b.iter(|| WaveletMatrix::build(&symbols))
+    });
     let wm = WaveletMatrix::build(&symbols);
     c.bench_function("wavelet/rank_1k", |b| {
         b.iter(|| {
@@ -46,7 +48,9 @@ fn bench_wavelet(c: &mut Criterion) {
 
 fn bench_trie_build(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
-    let keys: Vec<Vec<u8>> = (0..50_000).map(|_| (0..16).map(|_| rng.gen()).collect()).collect();
+    let keys: Vec<Vec<u8>> = (0..50_000)
+        .map(|_| (0..16).map(|_| rng.gen()).collect())
+        .collect();
     c.bench_function("trie/build_50k_keys", |b| {
         b.iter(|| {
             let mut t = TrieBuilder::new(16).unwrap();
@@ -61,18 +65,30 @@ fn bench_trie_build(c: &mut Criterion) {
 fn bench_kmeans_pq(c: &mut Criterion) {
     let mut wl = rottnest_workloads::VectorWorkload::new(4, 32, 16, 0.5);
     let data: Vec<f32> = wl.vectors(10_000).into_iter().flatten().collect();
-    c.bench_function("kmeans/10k_x32d_k64", |b| b.iter(|| kmeans(&data, 32, 64, 4, 7)));
+    c.bench_function("kmeans/10k_x32d_k64", |b| {
+        b.iter(|| kmeans(&data, 32, 64, 4, 7))
+    });
     let pq = ProductQuantizer::train(&data, 32, 8, 4, 7).unwrap();
     let query: Vec<f32> = data[..32].to_vec();
-    let codes: Vec<Vec<u8>> =
-        (0..1000).map(|i| pq.encode(&data[i * 32..(i + 1) * 32])).collect();
+    let codes: Vec<Vec<u8>> = (0..1000)
+        .map(|i| pq.encode(&data[i * 32..(i + 1) * 32]))
+        .collect();
     c.bench_function("pq/adc_scan_1k", |b| {
         b.iter(|| {
             let table = pq.adc_table(&query);
-            codes.iter().map(|code| pq.adc_distance(&table, code)).sum::<f32>()
+            codes
+                .iter()
+                .map(|code| pq.adc_distance(&table, code))
+                .sum::<f32>()
         })
     });
 }
 
-criterion_group!(benches, bench_sais, bench_wavelet, bench_trie_build, bench_kmeans_pq);
+criterion_group!(
+    benches,
+    bench_sais,
+    bench_wavelet,
+    bench_trie_build,
+    bench_kmeans_pq
+);
 criterion_main!(benches);

@@ -57,7 +57,14 @@ fn main() {
         // tiny dependent read.
         let levels = ((n_keys as f64).log2().ceil() as u64) + 9;
         let us_mmap = levels * model.get_us(64);
-        emit(&mut csv, n_keys, "memory_mapped", us_mmap, levels * 64, levels);
+        emit(
+            &mut csv,
+            n_keys,
+            "memory_mapped",
+            us_mmap,
+            levels * 64,
+            levels,
+        );
     }
     write_csv("ablation_componentization.csv", &csv);
     println!(
@@ -67,7 +74,10 @@ fn main() {
 }
 
 fn emit(csv: &mut String, n: usize, strategy: &str, us: u64, bytes: u64, rts: u64) {
-    csv.push_str(&format!("{n},{strategy},{:.2},{bytes},{rts}\n", us as f64 / 1000.0));
+    csv.push_str(&format!(
+        "{n},{strategy},{:.2},{bytes},{rts}\n",
+        us as f64 / 1000.0
+    ));
     println!(
         "{n:>9} {strategy:>15} {:>12.1} {:>12.1} {rts:>12}",
         us as f64 / 1000.0,

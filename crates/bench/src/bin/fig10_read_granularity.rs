@@ -22,17 +22,27 @@ fn main() {
     store.put("blob", blob).unwrap();
     let clock = store.clock().unwrap();
 
-    let sizes: Vec<u64> =
-        [64 << 10, 128 << 10, 300 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20]
-            .to_vec();
+    let sizes: Vec<u64> = [
+        64 << 10,
+        128 << 10,
+        300 << 10,
+        512 << 10,
+        1 << 20,
+        2 << 20,
+        4 << 20,
+        8 << 20,
+        16 << 20,
+    ]
+    .to_vec();
     let concurrencies = [1usize, 8, 64, 512];
     let mut csv = String::from("concurrency,read_bytes,latency_ms\n");
     println!("\n=== Figure 10a: range-GET latency vs read size ===");
     println!("{:>12} {:>10} {:>12}", "concurrency", "read", "latency(ms)");
     for &conc in &concurrencies {
         for &size in &sizes {
-            let reqs: Vec<RangeRequest> =
-                (0..conc).map(|i| RangeRequest::new("blob", i as u64 * 64..i as u64 * 64 + size)).collect();
+            let reqs: Vec<RangeRequest> = (0..conc)
+                .map(|i| RangeRequest::new("blob", i as u64 * 64..i as u64 * 64 + size))
+                .collect();
             let (_, us) = clock.time(|| store.get_ranges(&reqs).unwrap());
             let ms = us as f64 / 1000.0;
             csv.push_str(&format!("{conc},{size},{ms:.2}\n"));
@@ -48,17 +58,18 @@ fn main() {
     let schema = Schema::new(vec![Field::new("body", DataType::Utf8)]);
     let mut wl = rottnest_workloads::TextWorkload::new(5, 20_000, 120);
     let docs = wl.docs(6_000);
-    let batch =
-        RecordBatch::new(schema.clone(), vec![ColumnData::from_strings(&docs)]).unwrap();
+    let batch = RecordBatch::new(schema.clone(), vec![ColumnData::from_strings(&docs)]).unwrap();
     let mut writer = FileWriter::with_options(
         schema,
-        WriterOptions { page_raw_bytes: 1 << 20, ..Default::default() },
+        WriterOptions {
+            page_raw_bytes: 1 << 20,
+            ..Default::default()
+        },
     );
     writer.write_batch(&batch).unwrap();
     let meta = writer.finish_into(store.as_ref(), "pages.lkpq").unwrap();
     let table = PageTable::from_meta(&meta, 0).unwrap();
-    let avg_page: u64 =
-        table.pages().iter().map(|p| p.size).sum::<u64>() / table.len() as u64;
+    let avg_page: u64 = table.pages().iter().map(|p| p.size).sum::<u64>() / table.len() as u64;
 
     let reader = PageReader::new(store.as_ref());
     let n = table.len().min(16);
@@ -83,12 +94,16 @@ fn main() {
     let wall_raw = std::time::Instant::now();
     for i in 0..n {
         let loc = table.page(i).unwrap();
-        store.get_range("pages.lkpq", loc.offset..loc.offset + loc.size).unwrap();
+        store
+            .get_range("pages.lkpq", loc.offset..loc.offset + loc.size)
+            .unwrap();
     }
     let wall_raw = wall_raw.elapsed().as_secs_f64();
     let wall_decode = std::time::Instant::now();
     for i in 0..n {
-        reader.read_page("pages.lkpq", &table, i, DataType::Utf8).unwrap();
+        reader
+            .read_page("pages.lkpq", &table, i, DataType::Utf8)
+            .unwrap();
     }
     let wall_decode = wall_decode.elapsed().as_secs_f64();
 

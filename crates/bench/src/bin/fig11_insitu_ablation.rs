@@ -14,8 +14,11 @@ use rottnest_tco::{cpm_storage, prices, PhaseDiagram};
 
 fn main() {
     let (s, keys) = uuid_scenario(8, 20_000, 31);
-    let queries: Vec<Query<'_>> =
-        keys.iter().step_by(keys.len() / 8).map(|k| Query::UuidEq { key: k, k: 1 }).collect();
+    let queries: Vec<Query<'_>> = keys
+        .iter()
+        .step_by(keys.len() / 8)
+        .map(|k| Query::UuidEq { key: k, k: 1 })
+        .collect();
     let r_lat = s.rottnest_latency(UUID_COL, &queries);
     let b_lat = s.brute_latency(UUID_COL, &queries);
     let inputs = TcoInputs {
@@ -48,14 +51,13 @@ fn main() {
     let chunk_bytes: u64 = 100 << 20;
     let model = s.store.latency_model();
     let page_bytes = 300 << 10;
-    let extra_us = model.get_us(chunk_bytes).saturating_sub(model.get_us(page_bytes));
+    let extra_us = model
+        .get_us(chunk_bytes)
+        .saturating_sub(model.get_us(page_bytes));
     let no_reader_latency = r_lat + extra_us as f64 / 1e6;
     let mut no_reader = actual;
-    no_reader.rottnest.cost_per_query = rottnest_tco::cpq_from_latency(
-        no_reader_latency,
-        1.0,
-        prices::R6I_4XLARGE_HOURLY,
-    );
+    no_reader.rottnest.cost_per_query =
+        rottnest_tco::cpq_from_latency(no_reader_latency, 1.0, prices::R6I_4XLARGE_HOURLY);
 
     println!("\n=== Figure 11: in-situ querying ablations (UUID search) ===");
     println!(

@@ -18,19 +18,31 @@ fn main() {
     let snapshot = table.snapshot().unwrap();
     let rot = s.rottnest();
 
-    let params = SearchParams { k: 10, nprobe: 6, refine: 60 }; // ~0.92 recall tier
+    let params = SearchParams {
+        k: 10,
+        nprobe: 6,
+        refine: 60,
+    }; // ~0.92 recall tier
     let mut latency = 0.0;
     for q in queries.iter().take(8) {
         let (_, secs) = sim_seconds(&s.store, || {
-            rot.search(&table, &snapshot, VEC_COL, &Query::VectorNn { query: q, params })
-                .unwrap()
+            rot.search(
+                &table,
+                &snapshot,
+                VEC_COL,
+                &Query::VectorNn { query: q, params },
+            )
+            .unwrap()
         });
         latency += secs;
     }
     latency /= 8.0;
     let brute = s.brute_latency(
         VEC_COL,
-        &[Query::VectorNn { query: &queries[0], params }],
+        &[Query::VectorNn {
+            query: &queries[0],
+            params,
+        }],
     );
 
     let inputs = TcoInputs {
@@ -61,7 +73,8 @@ fn main() {
                 "{name},{},{:.4},{},{:.2}\n",
                 p.factor,
                 p.rottnest_share,
-                p.min_winning_month.map_or("never".into(), |m| format!("{m:.3}")),
+                p.min_winning_month
+                    .map_or("never".into(), |m| format!("{m:.3}")),
                 d.rottnest_decades_at(10.0)
             ));
         }

@@ -17,7 +17,10 @@ use rottnest_workloads::{TextWorkload, UuidWorkload};
 
 fn table_config() -> TableConfig {
     TableConfig {
-        writer: WriterOptions { page_raw_bytes: 16 << 10, ..Default::default() },
+        writer: WriterOptions {
+            page_raw_bytes: 16 << 10,
+            ..Default::default()
+        },
         ..Default::default()
     }
 }
@@ -27,19 +30,28 @@ fn main() {
     println!("\n=== Figure 13: compaction vs search latency ===");
 
     // --- UUID search (paper: 25× compaction factor) -----------------------
-    println!("{:<10} {:>12} {:>14} {:>14}", "app", "index files", "uncompacted", "compacted");
+    println!(
+        "{:<10} {:>12} {:>14} {:>14}",
+        "app", "index files", "uncompacted", "compacted"
+    );
     for &n_files in &[4usize, 8, 16, 32] {
         let store = MemoryStore::new();
         let mut wl = UuidWorkload::new(7, 16);
-        let schema = rottnest_workloads::uuid_batch(UUID_COL, &[]).schema().clone();
+        let schema = rottnest_workloads::uuid_batch(UUID_COL, &[])
+            .schema()
+            .clone();
         let table = Table::create(store.as_ref(), "lake", &schema, table_config()).unwrap();
         let rot = Rottnest::new(store.as_ref(), "idx", harness_config());
         let mut probe_keys = Vec::new();
         for _ in 0..n_files {
             let keys = wl.keys(4_000);
             probe_keys.push(keys[17].clone());
-            table.append(&rottnest_workloads::uuid_batch(UUID_COL, &keys)).unwrap();
-            rot.index(&table, IndexKind::Uuid { key_len: 16 }, UUID_COL).unwrap().unwrap();
+            table
+                .append(&rottnest_workloads::uuid_batch(UUID_COL, &keys))
+                .unwrap();
+            rot.index(&table, IndexKind::Uuid { key_len: 16 }, UUID_COL)
+                .unwrap()
+                .unwrap();
         }
         let snapshot = table.snapshot().unwrap();
         let measure = |rot: &Rottnest<'_>| {
@@ -54,35 +66,50 @@ fn main() {
             total / probe_keys.len() as f64
         };
         let uncompacted = measure(&rot);
-        rot.compact(IndexKind::Uuid { key_len: 16 }, UUID_COL).unwrap();
+        rot.compact(IndexKind::Uuid { key_len: 16 }, UUID_COL)
+            .unwrap();
         let compacted = measure(&rot);
         csv.push_str(&format!("uuid,{n_files},false,{uncompacted:.4}\n"));
         csv.push_str(&format!("uuid,{n_files},true,{compacted:.4}\n"));
-        println!("{:<10} {n_files:>12} {uncompacted:>13.2}s {compacted:>13.2}s", "uuid");
+        println!(
+            "{:<10} {n_files:>12} {uncompacted:>13.2}s {compacted:>13.2}s",
+            "uuid"
+        );
     }
 
     // --- Substring search (paper: 100× compaction factor) ------------------
     for &n_files in &[2usize, 4, 8] {
         let store = MemoryStore::new();
         let mut wl = TextWorkload::new(9, 10_000, 50);
-        let schema = rottnest_workloads::text_batch(TEXT_COL, &[]).schema().clone();
+        let schema = rottnest_workloads::text_batch(TEXT_COL, &[])
+            .schema()
+            .clone();
         let table = Table::create(store.as_ref(), "lake", &schema, table_config()).unwrap();
         let rot = Rottnest::new(store.as_ref(), "idx", harness_config());
         for f in 0..n_files {
-            let docs =
-                wl.docs_with_needle(300, &format!("NEEDLE-{f:03}"), &[150]);
-            table.append(&rottnest_workloads::text_batch(TEXT_COL, &docs)).unwrap();
-            rot.index(&table, IndexKind::Substring, TEXT_COL).unwrap().unwrap();
+            let docs = wl.docs_with_needle(300, &format!("NEEDLE-{f:03}"), &[150]);
+            table
+                .append(&rottnest_workloads::text_batch(TEXT_COL, &docs))
+                .unwrap();
+            rot.index(&table, IndexKind::Substring, TEXT_COL)
+                .unwrap()
+                .unwrap();
         }
         let snapshot = table.snapshot().unwrap();
-        let patterns: Vec<Vec<u8>> =
-            (0..n_files).map(|f| format!("NEEDLE-{f:03}").into_bytes()).collect();
+        let patterns: Vec<Vec<u8>> = (0..n_files)
+            .map(|f| format!("NEEDLE-{f:03}").into_bytes())
+            .collect();
         let measure = |rot: &Rottnest<'_>| {
             let mut total = 0.0;
             for p in &patterns {
                 let (_, secs) = sim_seconds(&store, || {
-                    rot.search(&table, &snapshot, TEXT_COL, &Query::Substring { pattern: p, k: 5 })
-                        .unwrap()
+                    rot.search(
+                        &table,
+                        &snapshot,
+                        TEXT_COL,
+                        &Query::Substring { pattern: p, k: 5 },
+                    )
+                    .unwrap()
                 });
                 total += secs;
             }
@@ -93,11 +120,12 @@ fn main() {
         let compacted = measure(&rot);
         csv.push_str(&format!("substring,{n_files},false,{uncompacted:.4}\n"));
         csv.push_str(&format!("substring,{n_files},true,{compacted:.4}\n"));
-        println!("{:<10} {n_files:>12} {uncompacted:>13.2}s {compacted:>13.2}s", "substring");
+        println!(
+            "{:<10} {n_files:>12} {uncompacted:>13.2}s {compacted:>13.2}s",
+            "substring"
+        );
     }
 
     write_csv("fig13_compaction.csv", &csv);
-    println!(
-        "\nexpected shape: uncompacted latency grows with file count; compacted stays flat"
-    );
+    println!("\nexpected shape: uncompacted latency grows with file count; compacted stays flat");
 }

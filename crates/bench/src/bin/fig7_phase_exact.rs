@@ -16,11 +16,14 @@ use rottnest_tco::{prices, PhaseDiagram};
 fn main() {
     // --- Substring search ---------------------------------------------
     let (text, wl) = text_scenario(8, 400, 1);
-    let mut patterns: Vec<Vec<u8>> =
-        (0..4).map(|f| format!("NEEDLE-{f:04}-XYZZY").into_bytes()).collect();
+    let mut patterns: Vec<Vec<u8>> = (0..4)
+        .map(|f| format!("NEEDLE-{f:04}-XYZZY").into_bytes())
+        .collect();
     patterns.push(wl.midfreq_word().as_bytes().to_vec());
-    let queries: Vec<Query<'_>> =
-        patterns.iter().map(|p| Query::Substring { pattern: p, k: 10 }).collect();
+    let queries: Vec<Query<'_>> = patterns
+        .iter()
+        .map(|p| Query::Substring { pattern: p, k: 10 })
+        .collect();
 
     let r_lat = text.rottnest_latency(TEXT_COL, &queries);
     let b_lat = text.brute_latency(TEXT_COL, &queries);
@@ -82,7 +85,11 @@ fn report(tag: &str, inputs: &TcoInputs) {
         let band = diagram.rottnest_decades_at(months);
         println!("rottnest band at {months:>6.2} months: {band:.1} decades of query volume");
     }
-    if let Some(b) = diagram.rottnest_band().iter().find(|b| b.rottnest_lo.is_some()) {
+    if let Some(b) = diagram
+        .rottnest_band()
+        .iter()
+        .find(|b| b.rottnest_lo.is_some())
+    {
         println!(
             "rottnest first wins at {:.3} months (≈{:.1} days)",
             b.months,

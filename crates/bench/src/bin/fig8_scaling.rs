@@ -27,9 +27,14 @@ fn main() {
 
     {
         let (s, wl) = text_scenario(8, 300, 11);
-        let patterns = [wl.midfreq_word().as_bytes().to_vec(), b"NEEDLE-0003-XYZZY".to_vec()];
-        let queries: Vec<Query<'_>> =
-            patterns.iter().map(|p| Query::Substring { pattern: p, k: 10 }).collect();
+        let patterns = [
+            wl.midfreq_word().as_bytes().to_vec(),
+            b"NEEDLE-0003-XYZZY".to_vec(),
+        ];
+        let queries: Vec<Query<'_>> = patterns
+            .iter()
+            .map(|p| Query::Substring { pattern: p, k: 10 })
+            .collect();
         apps.push(App {
             name: "substring",
             rottnest_latency_s: s.rottnest_latency(TEXT_COL, &queries),
@@ -40,8 +45,11 @@ fn main() {
     }
     {
         let (s, keys) = uuid_scenario(8, 15_000, 12);
-        let queries: Vec<Query<'_>> =
-            keys.iter().step_by(keys.len() / 6).map(|k| Query::UuidEq { key: k, k: 1 }).collect();
+        let queries: Vec<Query<'_>> = keys
+            .iter()
+            .step_by(keys.len() / 6)
+            .map(|k| Query::UuidEq { key: k, k: 1 })
+            .collect();
         apps.push(App {
             name: "uuid",
             rottnest_latency_s: s.rottnest_latency(UUID_COL, &queries),
@@ -57,7 +65,11 @@ fn main() {
             .take(6)
             .map(|q| Query::VectorNn {
                 query: q,
-                params: SearchParams { k: 10, nprobe: 8, refine: 64 },
+                params: SearchParams {
+                    k: 10,
+                    nprobe: 8,
+                    refine: 64,
+                },
             })
             .collect();
         apps.push(App {
@@ -113,10 +125,11 @@ fn main() {
         );
     }
     write_csv("fig8_scaling.csv", &csv);
-    println!(
-        "\nminimum latency thresholds (paper: 4.6s substring / 1.7s uuid / 2.3s vector):"
-    );
+    println!("\nminimum latency thresholds (paper: 4.6s substring / 1.7s uuid / 2.3s vector):");
     for app in &apps {
-        println!("  {:<10} ≈ {:.1}s (rottnest, one worker)", app.name, app.rottnest_latency_s);
+        println!(
+            "  {:<10} ≈ {:.1}s (rottnest, one worker)",
+            app.name, app.rottnest_latency_s
+        );
     }
 }

@@ -39,13 +39,22 @@ fn main() {
     println!("\n=== Figure 9: vector phase diagrams by recall target ===");
 
     for (name, nprobe, refine) in settings {
-        let params = SearchParams { k: 10, nprobe, refine };
+        let params = SearchParams {
+            k: 10,
+            nprobe,
+            refine,
+        };
         let mut recall_sum = 0.0;
         let mut latency_sum = 0.0;
         for (q, t) in queries.iter().zip(&truth) {
             let (out, secs) = sim_seconds(&s.store, || {
-                rot.search(&table, &snapshot, VEC_COL, &Query::VectorNn { query: q, params })
-                    .unwrap()
+                rot.search(
+                    &table,
+                    &snapshot,
+                    VEC_COL,
+                    &Query::VectorNn { query: q, params },
+                )
+                .unwrap()
             });
             let found: Vec<(String, u64)> =
                 out.matches.into_iter().map(|m| (m.path, m.row)).collect();

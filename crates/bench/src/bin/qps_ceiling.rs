@@ -11,14 +11,19 @@
 //! corresponding 10-month total query count against the copy-data boundary.
 
 use rottnest::Query;
-use rottnest_bench::{text_scenario, uuid_scenario, vector_scenario, write_csv, TEXT_COL, UUID_COL, VEC_COL};
+use rottnest_bench::{
+    text_scenario, uuid_scenario, vector_scenario, write_csv, TEXT_COL, UUID_COL, VEC_COL,
+};
 use rottnest_ivfpq::SearchParams;
 use rottnest_object_store::ObjectStore;
 
 fn main() {
     let mut csv = String::from("app,gets_per_query,max_qps,queries_in_10_months_at_cap\n");
     println!("\n=== §VII-D3: QPS ceiling from the 5500 GET/s per-prefix limit ===");
-    println!("{:<10} {:>14} {:>9} {:>24}", "app", "GETs/query", "max QPS", "10-month total @ cap");
+    println!(
+        "{:<10} {:>14} {:>9} {:>24}",
+        "app", "GETs/query", "max QPS", "10-month total @ cap"
+    );
 
     let mut report = |name: &str, gets: f64| {
         let qps = 5500.0 / gets.max(1.0);
@@ -35,22 +40,37 @@ fn main() {
         let before = s.store.stats();
         let n = 8;
         for k in keys.iter().step_by(keys.len() / n).take(n) {
-            rot.search(&table, &snap, UUID_COL, &Query::UuidEq { key: k, k: 1 }).unwrap();
+            rot.search(&table, &snap, UUID_COL, &Query::UuidEq { key: k, k: 1 })
+                .unwrap();
         }
-        report("uuid", s.store.stats().since(&before).gets as f64 / n as f64);
+        report(
+            "uuid",
+            s.store.stats().since(&before).gets as f64 / n as f64,
+        );
     }
     {
         let (s, wl) = text_scenario(6, 200, 52);
         let table = s.table();
         let snap = table.snapshot().unwrap();
         let rot = s.rottnest();
-        let patterns = [wl.midfreq_word().as_bytes().to_vec(), b"NEEDLE-0002-XYZZY".to_vec()];
+        let patterns = [
+            wl.midfreq_word().as_bytes().to_vec(),
+            b"NEEDLE-0002-XYZZY".to_vec(),
+        ];
         let before = s.store.stats();
         for p in &patterns {
-            rot.search(&table, &snap, TEXT_COL, &Query::Substring { pattern: p, k: 10 })
-                .unwrap();
+            rot.search(
+                &table,
+                &snap,
+                TEXT_COL,
+                &Query::Substring { pattern: p, k: 10 },
+            )
+            .unwrap();
         }
-        report("substring", s.store.stats().since(&before).gets as f64 / patterns.len() as f64);
+        report(
+            "substring",
+            s.store.stats().since(&before).gets as f64 / patterns.len() as f64,
+        );
     }
     {
         let (s, queries) = vector_scenario(6, 2_000, 32, 53);
@@ -64,11 +84,21 @@ fn main() {
                 &table,
                 &snap,
                 VEC_COL,
-                &Query::VectorNn { query: q, params: SearchParams { k: 10, nprobe: 8, refine: 64 } },
+                &Query::VectorNn {
+                    query: q,
+                    params: SearchParams {
+                        k: 10,
+                        nprobe: 8,
+                        refine: 64,
+                    },
+                },
             )
             .unwrap();
         }
-        report("vector", s.store.stats().since(&before).gets as f64 / n as f64);
+        report(
+            "vector",
+            s.store.stats().since(&before).gets as f64 / n as f64,
+        );
     }
 
     write_csv("qps_ceiling.csv", &csv);

@@ -13,7 +13,7 @@ use rottnest::{IndexKind, Query, Rottnest, RottnestConfig};
 use rottnest_format::WriterOptions;
 use rottnest_lake::{Table, TableConfig};
 use rottnest_object_store::{MemoryStore, ObjectStore};
-use rottnest_tco::{cpq_from_latency, cpm_storage, prices, ApproachCosts, Approaches};
+use rottnest_tco::{cpm_storage, cpq_from_latency, prices, ApproachCosts, Approaches};
 use rottnest_workloads::{TextWorkload, UuidWorkload, VectorWorkload};
 
 /// Where result CSVs land.
@@ -60,7 +60,11 @@ pub const VEC_COL: &str = "embedding";
 
 fn table_config() -> TableConfig {
     TableConfig {
-        writer: WriterOptions { page_raw_bytes: 16 << 10, row_group_rows: 1 << 20, ..Default::default() },
+        writer: WriterOptions {
+            page_raw_bytes: 16 << 10,
+            row_group_rows: 1 << 20,
+            ..Default::default()
+        },
         ..Default::default()
     }
 }
@@ -69,7 +73,12 @@ fn table_config() -> TableConfig {
 pub fn harness_config() -> RottnestConfig {
     RottnestConfig {
         min_vector_rows: 64,
-        ivf: rottnest_ivfpq::IvfPqParams { nlist: 64, m: 8, train_iters: 5, seed: 17 },
+        ivf: rottnest_ivfpq::IvfPqParams {
+            nlist: 64,
+            m: 8,
+            train_iters: 5,
+            seed: 17,
+        },
         ..Default::default()
     }
 }
@@ -79,7 +88,15 @@ pub fn harness_config() -> RottnestConfig {
 /// workload generator (for query words).
 pub fn text_scenario(files: usize, docs_per_file: usize, seed: u64) -> (Scenario, TextWorkload) {
     let store = MemoryStore::new();
-    let table = Table::create(store.as_ref(), "lake", &rottnest_workloads::text_batch(TEXT_COL, &[]).schema().clone(), table_config()).unwrap();
+    let table = Table::create(
+        store.as_ref(),
+        "lake",
+        &rottnest_workloads::text_batch(TEXT_COL, &[])
+            .schema()
+            .clone(),
+        table_config(),
+    )
+    .unwrap();
     let mut wl = TextWorkload::new(seed, 20_000, 60);
     for f in 0..files {
         let docs = wl.docs_with_needle(
@@ -87,7 +104,9 @@ pub fn text_scenario(files: usize, docs_per_file: usize, seed: u64) -> (Scenario
             &format!("NEEDLE-{f:04}-XYZZY"),
             &[docs_per_file / 2],
         );
-        table.append(&rottnest_workloads::text_batch(TEXT_COL, &docs)).unwrap();
+        table
+            .append(&rottnest_workloads::text_batch(TEXT_COL, &docs))
+            .unwrap();
     }
     let data_bytes = store.bytes_under("lake/data/");
 
@@ -113,19 +132,24 @@ pub fn text_scenario(files: usize, docs_per_file: usize, seed: u64) -> (Scenario
 /// Returns the scenario and the keys (queries draw from them).
 pub fn uuid_scenario(files: usize, keys_per_file: usize, seed: u64) -> (Scenario, Vec<Vec<u8>>) {
     let store = MemoryStore::new();
-    let schema = rottnest_workloads::uuid_batch(UUID_COL, &[]).schema().clone();
+    let schema = rottnest_workloads::uuid_batch(UUID_COL, &[])
+        .schema()
+        .clone();
     let table = Table::create(store.as_ref(), "lake", &schema, table_config()).unwrap();
     let mut wl = UuidWorkload::new(seed, 16);
     let mut all = Vec::new();
     for _ in 0..files {
         let keys = wl.keys(keys_per_file);
-        table.append(&rottnest_workloads::uuid_batch(UUID_COL, &keys)).unwrap();
+        table
+            .append(&rottnest_workloads::uuid_batch(UUID_COL, &keys))
+            .unwrap();
         all.extend(keys);
     }
     let data_bytes = store.bytes_under("lake/data/");
     let rot = Rottnest::new(store.as_ref(), "idx", harness_config());
     let (_, build_s) = sim_seconds(&store, || {
-        rot.index(&table, IndexKind::Uuid { key_len: 16 }, UUID_COL).unwrap()
+        rot.index(&table, IndexKind::Uuid { key_len: 16 }, UUID_COL)
+            .unwrap()
     });
     let index_bytes = rot.index_bytes().unwrap();
     (
@@ -149,7 +173,9 @@ pub fn vector_scenario(
     seed: u64,
 ) -> (Scenario, Vec<Vec<f32>>) {
     let store = MemoryStore::new();
-    let schema = rottnest_workloads::vector_batch(VEC_COL, dim as u32, vec![]).schema().clone();
+    let schema = rottnest_workloads::vector_batch(VEC_COL, dim as u32, vec![])
+        .schema()
+        .clone();
     let table = Table::create(store.as_ref(), "lake", &schema, table_config()).unwrap();
     let mut wl = VectorWorkload::new(seed, dim, 24, 0.6);
     for _ in 0..files {
@@ -161,7 +187,8 @@ pub fn vector_scenario(
     let data_bytes = store.bytes_under("lake/data/");
     let rot = Rottnest::new(store.as_ref(), "idx", harness_config());
     let (_, build_s) = sim_seconds(&store, || {
-        rot.index(&table, IndexKind::Vector { dim: dim as u32 }, VEC_COL).unwrap()
+        rot.index(&table, IndexKind::Vector { dim: dim as u32 }, VEC_COL)
+            .unwrap()
     });
     let index_bytes = rot.index_bytes().unwrap();
     let queries = (0..32).map(|_| wl.query()).collect();
@@ -186,7 +213,11 @@ impl Scenario {
 
     /// Opens the Rottnest client.
     pub fn rottnest(&self) -> Rottnest<'_> {
-        Rottnest::new(self.store.as_ref(), self.index_dir.clone(), harness_config())
+        Rottnest::new(
+            self.store.as_ref(),
+            self.index_dir.clone(),
+            harness_config(),
+        )
     }
 
     /// Mean simulated Rottnest search latency (seconds) over `queries`.
@@ -281,7 +312,11 @@ impl TcoInputs {
         let rottnest = ApproachCosts {
             index_cost: (self.build_seconds * scale) / 3600.0 * prices::R6I_4XLARGE_HOURLY,
             cost_per_month: cpm_storage(data_bytes + index_bytes),
-            cost_per_query: cpq_from_latency(self.rottnest_latency_s, 1.0, prices::R6I_4XLARGE_HOURLY),
+            cost_per_query: cpq_from_latency(
+                self.rottnest_latency_s,
+                1.0,
+                prices::R6I_4XLARGE_HOURLY,
+            ),
         };
 
         // Copy data: 3 always-on nodes + replicated EBS for the index.
@@ -291,6 +326,10 @@ impl TcoInputs {
             cost_per_query: 0.0,
         };
 
-        Approaches { copy_data, brute_force, rottnest }
+        Approaches {
+            copy_data,
+            brute_force,
+            rottnest,
+        }
     }
 }

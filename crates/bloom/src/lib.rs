@@ -22,8 +22,8 @@
 //! ```
 
 use bytes::Bytes;
-use rottnest_compress::varint;
 use rottnest_component::{ComponentFile, ComponentWriter, Posting};
+use rottnest_compress::varint;
 use rottnest_object_store::ObjectStore;
 
 /// Default bits per key (~1% false-positive rate with 7 hashes).
@@ -79,7 +79,9 @@ fn hash_pair(key: &[u8]) -> (u64, u64) {
     let mut h2 = 0x9e3779b97f4a7c15u64;
     for &b in key {
         h1 = (h1 ^ u64::from(b)).wrapping_mul(0x100000001b3);
-        h2 = h2.wrapping_add(u64::from(b)).wrapping_mul(0xff51afd7ed558ccd);
+        h2 = h2
+            .wrapping_add(u64::from(b))
+            .wrapping_mul(0xff51afd7ed558ccd);
         h2 ^= h2 >> 33;
     }
     (h1, h2)
@@ -95,7 +97,10 @@ struct PageFilter {
 impl PageFilter {
     fn with_capacity(n_keys: usize, bits_per_key: u32) -> Self {
         let n_bits = (n_keys as u64 * u64::from(bits_per_key)).max(64);
-        Self { bits: vec![0; n_bits.div_ceil(64) as usize], n_bits }
+        Self {
+            bits: vec![0; n_bits.div_ceil(64) as usize],
+            n_bits,
+        }
     }
 
     fn insert(&mut self, key: &[u8], n_hashes: u32) {
@@ -244,7 +249,9 @@ impl<'a> BloomIndex<'a> {
         let file = ComponentFile::open(store, key)?;
         let root = file.component(0)?;
         if root.first() != Some(&1u8) {
-            return Err(BloomError::Corrupt("unsupported bloom layout version".into()));
+            return Err(BloomError::Corrupt(
+                "unsupported bloom layout version".into(),
+            ));
         }
         let key_len = *root
             .get(1)
@@ -261,7 +268,13 @@ impl<'a> BloomIndex<'a> {
             let pages = varint::read_usize(&root, &mut pos)?;
             files.push((file_id, pages));
         }
-        Ok(Self { file, key_len, n_entries, n_hashes, files })
+        Ok(Self {
+            file,
+            key_len,
+            n_entries,
+            n_hashes,
+            files,
+        })
     }
 
     /// Fixed key length (bytes).
@@ -403,7 +416,10 @@ mod tests {
         let idx = BloomIndex::open(store.as_ref(), "b.idx").unwrap();
         assert_eq!(idx.num_entries(), 8_000);
         for (k, p) in pairs.iter().step_by(53) {
-            assert!(idx.lookup(k).unwrap().contains(p), "no false negatives allowed");
+            assert!(
+                idx.lookup(k).unwrap().contains(p),
+                "no false negatives allowed"
+            );
         }
     }
 

@@ -52,7 +52,10 @@ impl Posting {
     }
 
     /// Decodes a posting written by [`Posting::encode`].
-    pub fn decode(buf: &[u8], pos: &mut usize) -> std::result::Result<Self, rottnest_compress::CompressError> {
+    pub fn decode(
+        buf: &[u8],
+        pos: &mut usize,
+    ) -> std::result::Result<Self, rottnest_compress::CompressError> {
         Ok(Self {
             file: varint::read_u64(buf, pos)? as u32,
             page: varint::read_u64(buf, pos)? as u32,
@@ -348,7 +351,10 @@ impl<'a> ComponentFile<'a> {
                 out[slot] = Some(data);
             }
         }
-        Ok(out.into_iter().map(|b| b.expect("all slots filled")).collect())
+        Ok(out
+            .into_iter()
+            .map(|b| b.expect("all slots filled"))
+            .collect())
     }
 
     fn in_head(&self, entry: &DirEntry) -> bool {
@@ -367,7 +373,11 @@ impl<'a> ComponentFile<'a> {
     }
 
     fn decode(&self, entry: &DirEntry, raw: &[u8]) -> Result<Bytes> {
-        Ok(Bytes::from(entry.codec.decompress(raw, entry.uncompressed_len as usize)?))
+        Ok(Bytes::from(
+            entry
+                .codec
+                .decompress(raw, entry.uncompressed_len as usize)?,
+        ))
     }
 }
 
@@ -394,7 +404,10 @@ mod tests {
         assert_eq!(f.component(0).unwrap().as_ref(), b"root data");
         assert_eq!(f.component(1).unwrap().as_ref(), b"leaf-1");
         assert_eq!(f.component(2).unwrap().as_ref(), big.as_slice());
-        assert!(matches!(f.component(3), Err(ComponentError::NoSuchComponent(3))));
+        assert!(matches!(
+            f.component(3),
+            Err(ComponentError::NoSuchComponent(3))
+        ));
     }
 
     #[test]
@@ -462,7 +475,10 @@ mod tests {
             assert_eq!(g.as_ref(), p.as_slice());
         }
         let single = store.latency_model().get_us(100_000);
-        assert!(elapsed < single * 3, "batch {elapsed}us vs single {single}us");
+        assert!(
+            elapsed < single * 3,
+            "batch {elapsed}us vs single {single}us"
+        );
     }
 
     #[test]
@@ -488,7 +504,10 @@ mod tests {
         w.finish_into(store.as_ref(), "many.idx").unwrap();
         let f = ComponentFile::open(store.as_ref(), "many.idx").unwrap();
         assert_eq!(f.len(), 20_000);
-        assert_eq!(f.component(19_999).unwrap().as_ref(), 19_999u32.to_le_bytes());
+        assert_eq!(
+            f.component(19_999).unwrap().as_ref(),
+            19_999u32.to_le_bytes()
+        );
     }
 
     #[test]
@@ -503,7 +522,9 @@ mod tests {
     #[test]
     fn empty_file_round_trips() {
         let store = MemoryStore::unmetered();
-        ComponentWriter::new().finish_into(store.as_ref(), "e.idx").unwrap();
+        ComponentWriter::new()
+            .finish_into(store.as_ref(), "e.idx")
+            .unwrap();
         let f = ComponentFile::open(store.as_ref(), "e.idx").unwrap();
         assert!(f.is_empty());
     }
@@ -511,7 +532,9 @@ mod tests {
     #[test]
     fn corrupt_header_rejected() {
         let store = MemoryStore::unmetered();
-        store.put("bad.idx", Bytes::from_static(b"NOTAFILE")).unwrap();
+        store
+            .put("bad.idx", Bytes::from_static(b"NOTAFILE"))
+            .unwrap();
         assert!(ComponentFile::open(store.as_ref(), "bad.idx").is_err());
     }
 }

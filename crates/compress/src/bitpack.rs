@@ -66,7 +66,11 @@ pub fn unpack(buf: &[u8], pos: &mut usize) -> Result<Vec<u64>, CompressError> {
     let data = &buf[*pos..end];
     *pos = end;
 
-    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     let mut values = Vec::with_capacity(count);
     let mut bit_pos: u64 = 0;
     for _ in 0..count {

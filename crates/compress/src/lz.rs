@@ -268,7 +268,9 @@ mod tests {
         for i in 0..enc.len() {
             let orig = enc[i];
             enc[i] = orig.wrapping_add(0x80);
-            if let Ok(out) = decompress(&enc, data.len()) { assert_eq!(out.len(), data.len()) }
+            if let Ok(out) = decompress(&enc, data.len()) {
+                assert_eq!(out.len(), data.len())
+            }
             enc[i] = orig;
         }
     }

@@ -6,14 +6,14 @@
 //! file's ordinal in the coverage list.
 
 use bytes::Bytes;
-use rottnest_format::{ColumnData, FileMeta, PageTable, ValueRef};
+use rottnest_bloom::BloomBuilder;
+use rottnest_component::Posting;
 use rottnest_fm::FmBuilder;
+use rottnest_format::{ColumnData, FileMeta, PageTable, ValueRef};
 use rottnest_ivfpq::{IvfPqBuilder, VecPosting};
 use rottnest_lake::FileEntry;
 use rottnest_object_store::ObjectStore;
-use rottnest_component::Posting;
 use rottnest_trie::TrieBuilder;
-use rottnest_bloom::BloomBuilder;
 
 use crate::meta::{FileCoverage, IndexKind};
 use crate::rottnest::RottnestConfig;
@@ -50,7 +50,11 @@ pub(crate) fn decode_file_pages(
     for (page_id, loc) in table.pages().iter().enumerate() {
         let page_bytes = &bytes[loc.offset as usize..(loc.offset + loc.size) as usize];
         let data = rottnest_format::page::decode_page(page_bytes, data_type)?;
-        pages.push(DecodedPage { file_id, page_id: page_id as u32, data });
+        pages.push(DecodedPage {
+            file_id,
+            page_id: page_id as u32,
+            data,
+        });
     }
     Ok((meta, table, pages))
 }
@@ -118,9 +122,7 @@ pub(crate) fn build_index_file(
                     let posting = Posting::new(page.file_id, page.page_id);
                     for i in 0..page.data.len() {
                         match page.data.get(i) {
-                            Some(ValueRef::Utf8(s)) => {
-                                builder.add_document(posting, s.as_bytes())
-                            }
+                            Some(ValueRef::Utf8(s)) => builder.add_document(posting, s.as_bytes()),
                             Some(ValueRef::Binary(b)) => builder.add_document(posting, b),
                             _ => {
                                 return Err(RottnestError::BadQuery(format!(
@@ -147,10 +149,8 @@ pub(crate) fn build_index_file(
                 for page in &pages {
                     for i in 0..page.data.len() {
                         match page.data.get(i) {
-                            Some(ValueRef::VectorF32(v)) => builder.add(
-                                VecPosting::new(page.file_id, page.page_id, i as u32),
-                                v,
-                            )?,
+                            Some(ValueRef::VectorF32(v)) => builder
+                                .add(VecPosting::new(page.file_id, page.page_id, i as u32), v)?,
                             _ => {
                                 return Err(RottnestError::BadQuery(format!(
                                     "column {column} is not a vector column"
@@ -202,4 +202,3 @@ pub(crate) fn build_index_file(
         }
     }
 }
-

@@ -108,6 +108,29 @@ impl std::fmt::Display for RottnestError {
     }
 }
 
+impl RottnestError {
+    /// Digs the underlying [`rottnest_object_store::StoreError`] out of the
+    /// wrapper chain, however deep: the protocol layer sees store faults
+    /// wrapped by the lake, format, and component layers. Returns `None`
+    /// when the error did not originate at the object store.
+    pub fn store_fault(&self) -> Option<&rottnest_object_store::StoreError> {
+        use rottnest_component::ComponentError as CE;
+        use rottnest_format::FormatError as FE;
+        use rottnest_lake::LakeError as LE;
+        match self {
+            RottnestError::Store(e)
+            | RottnestError::Lake(LE::Store(e))
+            | RottnestError::Lake(LE::Format(FE::Store(e)))
+            | RottnestError::Format(FE::Store(e))
+            | RottnestError::Trie(rottnest_trie::TrieError::Component(CE::Store(e)))
+            | RottnestError::Bloom(rottnest_bloom::BloomError::Component(CE::Store(e)))
+            | RottnestError::Fm(rottnest_fm::FmError::Component(CE::Store(e)))
+            | RottnestError::Ivf(rottnest_ivfpq::IvfError::Component(CE::Store(e))) => Some(e),
+            _ => None,
+        }
+    }
+}
+
 impl std::error::Error for RottnestError {}
 
 macro_rules! from_err {

@@ -76,7 +76,9 @@ impl IndexKind {
                 IndexKind::Uuid { key_len }
             }
             1 => IndexKind::Substring,
-            2 => IndexKind::Vector { dim: varint::read_u64(buf, pos)? as u32 },
+            2 => IndexKind::Vector {
+                dim: varint::read_u64(buf, pos)? as u32,
+            },
             3 => {
                 let key_len = *buf
                     .get(*pos)
@@ -85,7 +87,9 @@ impl IndexKind {
                 IndexKind::Bloom { key_len }
             }
             other => {
-                return Err(RottnestError::Corrupt(format!("unknown index kind {other}")))
+                return Err(RottnestError::Corrupt(format!(
+                    "unknown index kind {other}"
+                )))
             }
         })
     }
@@ -162,7 +166,16 @@ impl IndexEntry {
                 page_table: PageTable::decode(buf, pos)?,
             });
         }
-        Ok(Self { id, kind, column, path, size, rows, created_ms, files })
+        Ok(Self {
+            id,
+            kind,
+            column,
+            path,
+            size,
+            rows,
+            created_ms,
+            files,
+        })
     }
 
     /// Paths of the covered Parquet files.
@@ -216,7 +229,10 @@ pub struct MetaTable<'a> {
 impl<'a> MetaTable<'a> {
     /// Opens (lazily) the table under `index_dir`.
     pub fn new(store: &'a dyn ObjectStore, index_dir: &str) -> Self {
-        Self { store, root: format!("{index_dir}/meta") }
+        Self {
+            store,
+            root: format!("{index_dir}/meta"),
+        }
     }
 
     fn log(&self) -> TxLog<'a> {
@@ -272,7 +288,9 @@ impl<'a> MetaTable<'a> {
                 Err(e) => return Err(RottnestError::Lake(e)),
             }
         }
-        Err(RottnestError::Corrupt("metadata commit retries exhausted".into()))
+        Err(RottnestError::Corrupt(
+            "metadata commit retries exhausted".into(),
+        ))
     }
 
     /// Derives a unique record id from a commit version and ordinal.
@@ -302,7 +320,12 @@ mod tests {
                     path: p.to_string(),
                     rows: 5,
                     page_table: PageTable::from_locations(
-                        vec![PageLocation { offset: 4, size: 100, num_values: 5, first_row: 0 }],
+                        vec![PageLocation {
+                            offset: 4,
+                            size: 100,
+                            num_values: 5,
+                            first_row: 0,
+                        }],
                         5,
                     ),
                 })
@@ -317,7 +340,11 @@ mod tests {
         assert!(meta.scan().unwrap().is_empty());
 
         meta.commit_with(4, |v| {
-            vec![MetaOp::Add(Box::new(entry(MetaTable::id_for(v, 0), "idx/a.index", &["t/a"])))]
+            vec![MetaOp::Add(Box::new(entry(
+                MetaTable::id_for(v, 0),
+                "idx/a.index",
+                &["t/a"],
+            )))]
         })
         .unwrap();
         meta.commit_with(4, |v| {
@@ -342,7 +369,11 @@ mod tests {
         let meta = MetaTable::new(store.as_ref(), "idx");
         let id0 = meta
             .commit_with(4, |v| {
-                vec![MetaOp::Add(Box::new(entry(MetaTable::id_for(v, 0), "a", &["t/a"])))]
+                vec![MetaOp::Add(Box::new(entry(
+                    MetaTable::id_for(v, 0),
+                    "a",
+                    &["t/a"],
+                )))]
             })
             .map(|v| MetaTable::id_for(v, 0))
             .unwrap();
@@ -350,7 +381,11 @@ mod tests {
         meta.commit_with(4, |v| {
             vec![
                 MetaOp::Remove(id0),
-                MetaOp::Add(Box::new(entry(MetaTable::id_for(v, 0), "merged", &["t/a", "t/b"]))),
+                MetaOp::Add(Box::new(entry(
+                    MetaTable::id_for(v, 0),
+                    "merged",
+                    &["t/a", "t/b"],
+                ))),
             ]
         })
         .unwrap();

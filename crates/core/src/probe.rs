@@ -60,8 +60,10 @@ pub(crate) fn probe_exact(
     let dvs = load_dvs(table, snapshot, pages.iter().map(|p| p.path))?;
 
     let reader = PageReader::new(table.store());
-    let requests: Vec<(&str, &PageTable, usize)> =
-        pages.iter().map(|p| (p.path, p.table, p.page_id as usize)).collect();
+    let requests: Vec<(&str, &PageTable, usize)> = pages
+        .iter()
+        .map(|p| (p.path, p.table, p.page_id as usize))
+        .collect();
     let decoded = reader.read_pages(&requests, data_type)?;
     stats.pages_probed += pages.len() as u64;
 
@@ -84,7 +86,11 @@ pub(crate) fn probe_exact(
                     continue;
                 }
             }
-            matches.push(Match { path: page.path.to_string(), row, score: None });
+            matches.push(Match {
+                path: page.path.to_string(),
+                row,
+                score: None,
+            });
             if matches.len() >= limit {
                 break 'outer;
             }

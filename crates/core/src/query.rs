@@ -73,6 +73,13 @@ pub struct SearchStats {
     pub files_brute_scanned: u64,
     /// Rows rejected by deletion vectors.
     pub rows_deleted: u64,
+    /// Index files whose reads still failed after exhausting the retry
+    /// budget; their results were discarded and the search degraded.
+    pub index_files_failed: u64,
+    /// Data files reassigned to the brute-force path because every selected
+    /// index covering them failed (graceful degradation — results stay
+    /// correct, the scan just costs more).
+    pub files_degraded: u64,
 }
 
 /// The result of a search.
@@ -90,12 +97,19 @@ mod tests {
 
     #[test]
     fn query_k_and_kind() {
-        let q = Query::UuidEq { key: b"0123456789abcdef", k: 5 };
+        let q = Query::UuidEq {
+            key: b"0123456789abcdef",
+            k: 5,
+        };
         assert_eq!(q.k(), 5);
         assert!(!q.is_scoring());
         let q = Query::VectorNn {
             query: &[0.0; 4],
-            params: SearchParams { k: 9, nprobe: 4, refine: 32 },
+            params: SearchParams {
+                k: 9,
+                nprobe: 4,
+                refine: 32,
+            },
         };
         assert_eq!(q.k(), 9);
         assert!(q.is_scoring());

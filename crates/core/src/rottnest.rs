@@ -2,12 +2,14 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use rottnest_format::{ChunkReader, DataType, ValueRef};
+use rottnest_bloom::BloomIndex;
 use rottnest_fm::{FmIndex, FmOptions, MergePolicy};
+use rottnest_format::{ChunkReader, DataType, ValueRef};
 use rottnest_ivfpq::{IvfPqIndex, IvfPqParams, SearchParams, VecPosting};
 use rottnest_lake::{FileEntry, Snapshot, Table};
-use rottnest_object_store::{FxHashMap, FxHashSet, ObjectStore};
-use rottnest_bloom::BloomIndex;
+use rottnest_object_store::{
+    FxHashMap, FxHashSet, ObjectStore, RetryPolicy, RetryStore, StoreError,
+};
 use rottnest_trie::TrieIndex;
 
 use crate::build::build_index_file;
@@ -39,6 +41,10 @@ pub struct RottnestConfig {
     pub fm_merge: MergePolicy,
     /// Metadata commit retry budget.
     pub meta_retries: u32,
+    /// Transient-fault retry policy for every store request the client
+    /// issues (index builds, searches, compaction, vacuum). Deterministic
+    /// failures are never retried; see [`RetryStore`].
+    pub retry: RetryPolicy,
 }
 
 impl Default for RottnestConfig {
@@ -52,6 +58,7 @@ impl Default for RottnestConfig {
             ivf: IvfPqParams::default(),
             fm_merge: MergePolicy::default(),
             meta_retries: 16,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -74,20 +81,35 @@ pub struct VacuumReport {
 /// All four APIs may be called from any process with store access,
 /// concurrently with each other and with lake operations (§IV).
 pub struct Rottnest<'a> {
-    store: &'a dyn ObjectStore,
+    retry: RetryStore<&'a dyn ObjectStore>,
     index_dir: String,
     config: RottnestConfig,
 }
 
 impl<'a> Rottnest<'a> {
     /// Creates a client for the index at `index_dir`.
-    pub fn new(store: &'a dyn ObjectStore, index_dir: impl Into<String>, config: RottnestConfig) -> Self {
-        Self { store, index_dir: index_dir.into(), config }
+    pub fn new(
+        store: &'a dyn ObjectStore,
+        index_dir: impl Into<String>,
+        config: RottnestConfig,
+    ) -> Self {
+        let retry = RetryStore::new(store, config.retry.clone());
+        Self {
+            retry,
+            index_dir: index_dir.into(),
+            config,
+        }
+    }
+
+    /// The store every client request goes through: the caller's store
+    /// behind the configured transient-fault retry decorator.
+    pub fn store(&self) -> &dyn ObjectStore {
+        &self.retry
     }
 
     /// The metadata table handle.
-    pub fn meta(&self) -> MetaTable<'a> {
-        MetaTable::new(self.store, &self.index_dir)
+    pub fn meta(&self) -> MetaTable<'_> {
+        MetaTable::new(self.store(), &self.index_dir)
     }
 
     /// The configuration in effect.
@@ -103,7 +125,11 @@ impl<'a> Rottnest<'a> {
 
     fn fresh_index_key(&self, ext: &str) -> String {
         let seq = INDEX_SEQ.fetch_add(1, Ordering::Relaxed);
-        format!("{}/files/{:012}-{seq:06}.{ext}", self.index_dir, self.store.now_ms())
+        format!(
+            "{}/files/{:012}-{seq:06}.{ext}",
+            self.index_dir,
+            self.store().now_ms()
+        )
     }
 
     fn ext_of(kind: &IndexKind) -> &'static str {
@@ -131,8 +157,13 @@ impl<'a> Rottnest<'a> {
     /// §IV-A: indexes every Parquet file in the latest snapshot not yet
     /// covered by the metadata table. Returns the new entry, or `None` when
     /// nothing needed indexing (or a vector build had too few rows).
-    pub fn index(&self, table: &Table<'_>, kind: IndexKind, column: &str) -> Result<Option<IndexEntry>> {
-        let start_ms = self.store.now_ms();
+    pub fn index(
+        &self,
+        table: &Table<'_>,
+        kind: IndexKind,
+        column: &str,
+    ) -> Result<Option<IndexEntry>> {
+        let start_ms = self.store().now_ms();
         // 1. Plan.
         let snapshot = table.snapshot()?;
         let meta = self.meta();
@@ -158,17 +189,17 @@ impl<'a> Rottnest<'a> {
 
         // 2. Index (aborts if an input file vanished mid-build).
         let (bytes, coverage, rows) =
-            build_index_file(self.store, &self.config, &kind, column, &new_files)?;
+            build_index_file(self.store(), &self.config, &kind, column, &new_files)?;
         self.check_timeout(start_ms)?;
 
         // Upload.
         let path = self.fresh_index_key(Self::ext_of(&kind));
         let size = bytes.len() as u64;
-        self.store.put(&path, bytes)?;
+        self.store().put(&path, bytes)?;
         self.check_timeout(start_ms)?;
 
         // 3. Commit.
-        let created_ms = self.store.now_ms();
+        let created_ms = self.store().now_ms();
         let column = column.to_string();
         let mut committed = None;
         meta.commit_with(self.config.meta_retries, |version| {
@@ -189,7 +220,7 @@ impl<'a> Rottnest<'a> {
     }
 
     fn check_timeout(&self, start_ms: u64) -> Result<()> {
-        let elapsed = self.store.now_ms().saturating_sub(start_ms);
+        let elapsed = self.store().now_ms().saturating_sub(start_ms);
         if elapsed > self.config.index_timeout_ms {
             return Err(RottnestError::Aborted(format!(
                 "index operation exceeded timeout ({elapsed}ms > {}ms)",
@@ -227,7 +258,9 @@ impl<'a> Rottnest<'a> {
                 .any(|p| active.contains(p) && !covered.contains(p));
             if adds {
                 covered.extend(
-                    e.covered_paths().filter(|p| active.contains(p)).map(str::to_string),
+                    e.covered_paths()
+                        .filter(|p| active.contains(p))
+                        .map(str::to_string),
                 );
                 selected.push(e);
             }
@@ -249,11 +282,15 @@ impl<'a> Rottnest<'a> {
         query: &Query<'_>,
     ) -> Result<SearchOutcome> {
         let kind = match query {
-            Query::UuidEq { key, .. } => IndexKind::Uuid { key_len: key.len() as u8 },
+            Query::UuidEq { key, .. } => IndexKind::Uuid {
+                key_len: key.len() as u8,
+            },
             Query::Substring { .. } => IndexKind::Substring,
-            Query::VectorNn { query, .. } => IndexKind::Vector { dim: query.len() as u32 },
+            Query::VectorNn { query, .. } => IndexKind::Vector {
+                dim: query.len() as u32,
+            },
         };
-        let (selected, uncovered) = self.plan_search(snapshot, &kind, column)?;
+        let (selected, mut uncovered) = self.plan_search(snapshot, &kind, column)?;
         let stats = SearchStats {
             index_files_queried: selected.len() as u64,
             ..SearchStats::default()
@@ -267,7 +304,7 @@ impl<'a> Rottnest<'a> {
                     ValueRef::Utf8(s) => s.as_bytes() == *key,
                     _ => false,
                 };
-                let mut matches = self.exact_index_pass(
+                let (mut matches, failed) = self.exact_index_pass(
                     table,
                     snapshot,
                     &selected,
@@ -277,15 +314,22 @@ impl<'a> Rottnest<'a> {
                     &predicate,
                     |entry| match entry.kind {
                         IndexKind::Bloom { .. } => {
-                            let idx = BloomIndex::open(self.store, &entry.path)?;
+                            let idx = BloomIndex::open(self.store(), &entry.path)?;
                             Ok(idx.lookup(key)?)
                         }
                         _ => {
-                            let idx = TrieIndex::open(self.store, &entry.path)?;
+                            let idx = TrieIndex::open(self.store(), &entry.path)?;
                             Ok(idx.lookup(key)?)
                         }
                     },
                 )?;
+                self.extend_uncovered_for_failures(
+                    snapshot,
+                    &selected,
+                    &failed,
+                    &mut uncovered,
+                    &mut stats,
+                );
                 if matches.len() < *k {
                     let need = *k - matches.len();
                     matches.extend(self.brute_exact(
@@ -301,7 +345,7 @@ impl<'a> Rottnest<'a> {
                     ValueRef::Binary(b) => contains_sub(b, pattern),
                     _ => false,
                 };
-                let mut matches = self.exact_index_pass(
+                let (mut matches, failed) = self.exact_index_pass(
                     table,
                     snapshot,
                     &selected,
@@ -310,21 +354,27 @@ impl<'a> Rottnest<'a> {
                     DataType::Utf8,
                     &predicate,
                     |entry| {
-                        let idx = FmIndex::open(self.store, &entry.path)?;
+                        let idx = FmIndex::open(self.store(), &entry.path)?;
                         // Stage the locate: a small multiple of k first; if
                         // the limit was hit there are unresolved occurrences
                         // and the full locate runs. (Resolving fewer than the
                         // limit proves completeness — no extra count() pass.)
                         let limit = k.saturating_mul(8).max(64);
                         let mut hits = idx.locate_pages(pattern, limit)?;
-                        let resolved: usize =
-                            hits.iter().map(|&(_, n)| n as usize).sum();
+                        let resolved: usize = hits.iter().map(|&(_, n)| n as usize).sum();
                         if resolved >= limit {
                             hits = idx.locate_pages(pattern, usize::MAX)?;
                         }
                         Ok(hits.into_iter().map(|(p, _)| p).collect())
                     },
                 )?;
+                self.extend_uncovered_for_failures(
+                    snapshot,
+                    &selected,
+                    &failed,
+                    &mut uncovered,
+                    &mut stats,
+                );
                 if matches.len() < *k {
                     let need = *k - matches.len();
                     matches.extend(self.brute_exact(
@@ -334,13 +384,19 @@ impl<'a> Rottnest<'a> {
                 matches.truncate(*k);
                 Ok(SearchOutcome { matches, stats })
             }
-            Query::VectorNn { query: qvec, params } => self.vector_search(
-                table, snapshot, column, qvec, *params, &selected, &uncovered, stats,
+            Query::VectorNn {
+                query: qvec,
+                params,
+            } => self.vector_search(
+                table, snapshot, column, qvec, *params, &selected, uncovered, stats,
             ),
         }
     }
 
     /// Runs the index-query + in-situ-probe pipeline for exact queries.
+    /// Returns the matches plus the indices (into `selected`) of entries
+    /// whose index files could not be read even after retries — the caller
+    /// degrades their coverage to the brute-force path.
     #[allow(clippy::too_many_arguments)]
     fn exact_index_pass(
         &self,
@@ -352,15 +408,24 @@ impl<'a> Rottnest<'a> {
         data_type: DataType,
         predicate: &dyn Fn(ValueRef<'_>) -> bool,
         mut query_index: impl FnMut(&IndexEntry) -> Result<Vec<rottnest_component::Posting>>,
-    ) -> Result<Vec<Match>> {
+    ) -> Result<(Vec<Match>, Vec<usize>)> {
         // 2. Query indexes, filtering postings outside the snapshot.
         let mut pages: Vec<PageRef<'_>> = Vec::new();
+        let mut failed: Vec<usize> = Vec::new();
         // Keyed by (path, page): concurrently-built indexes may cover the
         // same file (§IV-A allows the wasteful overlap), and the same page
         // must be probed only once or matches would duplicate.
         let mut seen: FxHashSet<(&str, u32)> = FxHashSet::default();
-        for entry in selected {
-            let postings = query_index(entry)?;
+        for (entry_idx, entry) in selected.iter().enumerate() {
+            let postings = match query_index(entry) {
+                Ok(postings) => postings,
+                Err(e) if is_degradable(&e) => {
+                    stats.index_files_failed += 1;
+                    failed.push(entry_idx);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             stats.postings_returned += postings.len() as u64;
             for p in postings {
                 let Some(cov) = entry.files.get(p.file as usize) else {
@@ -384,7 +449,40 @@ impl<'a> Rottnest<'a> {
             }
         }
         // 3. In-situ probe.
-        probe_exact(table, snapshot, &pages, data_type, predicate, k, stats)
+        let matches = probe_exact(table, snapshot, &pages, data_type, predicate, k, stats)?;
+        Ok((matches, failed))
+    }
+
+    /// Graceful degradation (tentpole of the resilience layer): files whose
+    /// only selected index entries failed fall back to the brute-force scan
+    /// list. Results stay correct — the query just pays scan cost for the
+    /// affected files — and the reassignment is visible in `stats`.
+    fn extend_uncovered_for_failures(
+        &self,
+        snapshot: &Snapshot,
+        selected: &[IndexEntry],
+        failed: &[usize],
+        uncovered: &mut Vec<FileEntry>,
+        stats: &mut SearchStats,
+    ) {
+        if failed.is_empty() {
+            return;
+        }
+        let failed_set: FxHashSet<usize> = failed.iter().copied().collect();
+        let ok_covered: FxHashSet<&str> = selected
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !failed_set.contains(i))
+            .flat_map(|(_, e)| e.covered_paths())
+            .collect();
+        let listed: FxHashSet<String> = uncovered.iter().map(|f| f.path.clone()).collect();
+        for file in snapshot.files() {
+            if ok_covered.contains(file.path.as_str()) || listed.contains(&file.path) {
+                continue;
+            }
+            stats.files_degraded += 1;
+            uncovered.push(file.clone());
+        }
     }
 
     /// Brute-force scan of uncovered files for exact queries — "the
@@ -408,7 +506,7 @@ impl<'a> Rottnest<'a> {
                 break;
             }
             stats.files_brute_scanned += 1;
-            let reader = ChunkReader::open(self.store, &file.path)?;
+            let reader = ChunkReader::open(self.store(), &file.path)?;
             let col = reader
                 .meta()
                 .schema
@@ -430,7 +528,11 @@ impl<'a> Rottnest<'a> {
                         continue;
                     }
                 }
-                matches.push(Match { path: file.path.clone(), row, score: None });
+                matches.push(Match {
+                    path: file.path.clone(),
+                    row,
+                    score: None,
+                });
             }
         }
         Ok(matches)
@@ -448,90 +550,45 @@ impl<'a> Rottnest<'a> {
         qvec: &[f32],
         params: SearchParams,
         selected: &[IndexEntry],
-        uncovered: &[FileEntry],
+        mut uncovered: Vec<FileEntry>,
         mut stats: SearchStats,
     ) -> Result<SearchOutcome> {
         let dim = qvec.len() as u32;
         let mut results: Vec<Match> = Vec::new();
+        let mut failed: Vec<usize> = Vec::new();
 
-        for entry in selected {
-            let idx = IvfPqIndex::open(self.store, &entry.path)?;
-            // ADC pass without refine so stale postings can be filtered
-            // before any page fetch.
-            let adc = idx.search(
+        for (entry_idx, entry) in selected.iter().enumerate() {
+            let mark = results.len();
+            match self.vector_entry_pass(
+                table,
+                snapshot,
+                entry,
                 qvec,
-                SearchParams {
-                    k: params.refine.max(params.k),
-                    nprobe: params.nprobe,
-                    refine: 0,
-                },
-                &|_| Ok(Vec::new()),
-            )?;
-            stats.postings_returned += adc.len() as u64;
-            let dvs = load_dvs(table, snapshot, entry.files.iter().map(|f| f.path.as_str()))?;
-            let live: Vec<(VecPosting, f32)> = adc
-                .into_iter()
-                .filter(|(p, _)| {
-                    let Some(cov) = entry.files.get(p.posting.file as usize) else {
-                        return false;
-                    };
-                    if !snapshot.contains(&cov.path) {
-                        stats.postings_filtered += 1;
-                        return false;
-                    }
-                    // Deletion vectors apply at probe time.
-                    if let Some(dv) = dvs.get(&cov.path) {
-                        let first =
-                            cov.page_table.page(p.posting.page as usize).map_or(0, |l| l.first_row);
-                        if dv.contains(first + p.row as u64) {
-                            stats.rows_deleted += 1;
-                            return false;
-                        }
-                    }
-                    true
-                })
-                .collect();
-
-            let resolve_match = |p: &VecPosting, score: f32| {
-                let cov = &entry.files[p.posting.file as usize];
-                let first = cov.page_table.page(p.posting.page as usize).map_or(0, |l| l.first_row);
-                Match { path: cov.path.clone(), row: first + p.row as u64, score: Some(score) }
-            };
-
-            if params.refine == 0 {
-                results.extend(live.iter().take(params.k).map(|(p, d)| resolve_match(p, *d)));
-                continue;
-            }
-            // Exact rerank of the top `refine` live candidates, fetched in
-            // situ from the data pages.
-            let candidates: Vec<VecPosting> =
-                live.iter().take(params.refine).map(|&(p, _)| p).collect();
-            let exact = fetch_vectors(
-                self.store,
+                params,
                 dim,
-                &candidates,
-                &|file_id| {
-                    entry
-                        .files
-                        .get(file_id as usize)
-                        .map(|c| (c.path.as_str(), &c.page_table))
-                },
-                &mut stats.pages_probed,
-            )?;
-            let mut reranked: Vec<(VecPosting, f32)> = candidates
-                .into_iter()
-                .zip(exact)
-                .map(|(p, v)| (p, rottnest_ivfpq::l2_sq(qvec, &v)))
-                .collect();
-            reranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-            results.extend(reranked.iter().take(params.k).map(|(p, d)| resolve_match(p, *d)));
+                &mut results,
+                &mut stats,
+            ) {
+                Ok(()) => {}
+                Err(e) if is_degradable(&e) => {
+                    // Roll back the entry's partial contribution — its files
+                    // fall through to the brute-force pass below, which would
+                    // otherwise double-count them.
+                    results.truncate(mark);
+                    stats.index_files_failed += 1;
+                    failed.push(entry_idx);
+                }
+                Err(e) => return Err(e),
+            }
         }
+        self.extend_uncovered_for_failures(snapshot, selected, &failed, &mut uncovered, &mut stats);
+        let uncovered = &uncovered;
 
         // Brute-force scan of uncovered files (always, for scoring queries).
         let dvs = load_dvs(table, snapshot, uncovered.iter().map(|f| f.path.as_str()))?;
         for file in uncovered {
             stats.files_brute_scanned += 1;
-            let reader = ChunkReader::open(self.store, &file.path)?;
+            let reader = ChunkReader::open(self.store(), &file.path)?;
             let col = reader
                 .meta()
                 .schema
@@ -575,7 +632,116 @@ impl<'a> Rottnest<'a> {
         });
         results.dedup_by(|a, b| a.path == b.path && a.row == b.row);
         results.truncate(params.k);
-        Ok(SearchOutcome { matches: results, stats })
+        Ok(SearchOutcome {
+            matches: results,
+            stats,
+        })
+    }
+
+    /// One index entry's contribution to a vector search: ADC pass, stale
+    /// posting + deletion-vector filtering, optional exact rerank. Appends
+    /// to `results`; on error the caller rolls the appends back.
+    #[allow(clippy::too_many_arguments)]
+    fn vector_entry_pass(
+        &self,
+        table: &Table<'_>,
+        snapshot: &Snapshot,
+        entry: &IndexEntry,
+        qvec: &[f32],
+        params: SearchParams,
+        dim: u32,
+        results: &mut Vec<Match>,
+        stats: &mut SearchStats,
+    ) -> Result<()> {
+        let idx = IvfPqIndex::open(self.store(), &entry.path)?;
+        // ADC pass without refine so stale postings can be filtered
+        // before any page fetch.
+        let adc = idx.search(
+            qvec,
+            SearchParams {
+                k: params.refine.max(params.k),
+                nprobe: params.nprobe,
+                refine: 0,
+            },
+            &|_| Ok(Vec::new()),
+        )?;
+        stats.postings_returned += adc.len() as u64;
+        let dvs = load_dvs(table, snapshot, entry.files.iter().map(|f| f.path.as_str()))?;
+        let live: Vec<(VecPosting, f32)> = adc
+            .into_iter()
+            .filter(|(p, _)| {
+                let Some(cov) = entry.files.get(p.posting.file as usize) else {
+                    return false;
+                };
+                if !snapshot.contains(&cov.path) {
+                    stats.postings_filtered += 1;
+                    return false;
+                }
+                // Deletion vectors apply at probe time.
+                if let Some(dv) = dvs.get(&cov.path) {
+                    let first = cov
+                        .page_table
+                        .page(p.posting.page as usize)
+                        .map_or(0, |l| l.first_row);
+                    if dv.contains(first + p.row as u64) {
+                        stats.rows_deleted += 1;
+                        return false;
+                    }
+                }
+                true
+            })
+            .collect();
+
+        let resolve_match = |p: &VecPosting, score: f32| {
+            let cov = &entry.files[p.posting.file as usize];
+            let first = cov
+                .page_table
+                .page(p.posting.page as usize)
+                .map_or(0, |l| l.first_row);
+            Match {
+                path: cov.path.clone(),
+                row: first + p.row as u64,
+                score: Some(score),
+            }
+        };
+
+        if params.refine == 0 {
+            results.extend(
+                live.iter()
+                    .take(params.k)
+                    .map(|(p, d)| resolve_match(p, *d)),
+            );
+            return Ok(());
+        }
+        // Exact rerank of the top `refine` live candidates, fetched in
+        // situ from the data pages.
+        let candidates: Vec<VecPosting> =
+            live.iter().take(params.refine).map(|&(p, _)| p).collect();
+        let exact = fetch_vectors(
+            self.store(),
+            dim,
+            &candidates,
+            &|file_id| {
+                entry
+                    .files
+                    .get(file_id as usize)
+                    .map(|c| (c.path.as_str(), &c.page_table))
+            },
+            &mut stats.pages_probed,
+        )?;
+        let mut reranked: Vec<(VecPosting, f32)> = candidates
+            .into_iter()
+            .zip(exact)
+            .map(|(p, v)| (p, rottnest_ivfpq::l2_sq(qvec, &v)))
+            .collect();
+        reranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        results.extend(
+            reranked
+                .iter()
+                .take(params.k)
+                .map(|(p, d)| resolve_match(p, *d)),
+        );
+        Ok(())
     }
 
     /// §IV-C: merges small index files of one kind/column (bin packing),
@@ -614,38 +780,38 @@ impl<'a> Rottnest<'a> {
                 IndexKind::Uuid { .. } => {
                     let opened: Vec<TrieIndex<'_>> = bin
                         .iter()
-                        .map(|e| TrieIndex::open(self.store, &e.path))
+                        .map(|e| TrieIndex::open(self.store(), &e.path))
                         .collect::<std::result::Result<_, _>>()?;
                     let sources: Vec<(&TrieIndex<'_>, u32)> =
                         opened.iter().zip(offsets.iter().copied()).collect();
-                    rottnest_trie::index::merge_tries(self.store, &sources, &out_key)?
+                    rottnest_trie::index::merge_tries(self.store(), &sources, &out_key)?
                 }
                 IndexKind::Substring => {
                     let opened: Vec<FmIndex<'_>> = bin
                         .iter()
-                        .map(|e| FmIndex::open(self.store, &e.path))
+                        .map(|e| FmIndex::open(self.store(), &e.path))
                         .collect::<std::result::Result<_, _>>()?;
                     let sources: Vec<(&FmIndex<'_>, u32)> =
                         opened.iter().zip(offsets.iter().copied()).collect();
-                    rottnest_fm::merge_fm(self.store, &sources, &out_key, &self.config.fm_merge)?
+                    rottnest_fm::merge_fm(self.store(), &sources, &out_key, &self.config.fm_merge)?
                 }
                 IndexKind::Vector { .. } => {
                     let opened: Vec<IvfPqIndex<'_>> = bin
                         .iter()
-                        .map(|e| IvfPqIndex::open(self.store, &e.path))
+                        .map(|e| IvfPqIndex::open(self.store(), &e.path))
                         .collect::<std::result::Result<_, _>>()?;
                     let sources: Vec<(&IvfPqIndex<'_>, u32)> =
                         opened.iter().zip(offsets.iter().copied()).collect();
-                    rottnest_ivfpq::index::merge_ivf(self.store, &sources, &out_key)?
+                    rottnest_ivfpq::index::merge_ivf(self.store(), &sources, &out_key)?
                 }
                 IndexKind::Bloom { .. } => {
                     let opened: Vec<BloomIndex<'_>> = bin
                         .iter()
-                        .map(|e| BloomIndex::open(self.store, &e.path))
+                        .map(|e| BloomIndex::open(self.store(), &e.path))
                         .collect::<std::result::Result<_, _>>()?;
                     let sources: Vec<(&BloomIndex<'_>, u32)> =
                         opened.iter().zip(offsets.iter().copied()).collect();
-                    rottnest_bloom::merge_blooms(self.store, &sources, &out_key)?
+                    rottnest_bloom::merge_blooms(self.store(), &sources, &out_key)?
                 }
             };
 
@@ -653,7 +819,7 @@ impl<'a> Rottnest<'a> {
             let files: Vec<crate::meta::FileCoverage> =
                 bin.iter().flat_map(|e| e.files.iter().cloned()).collect();
             let rows = bin.iter().map(|e| e.rows).sum();
-            let created_ms = self.store.now_ms();
+            let created_ms = self.store().now_ms();
             let ids: Vec<u64> = bin.iter().map(|e| e.id).collect();
             let column = column.to_string();
             let mut merged_entry = None;
@@ -682,7 +848,7 @@ impl<'a> Rottnest<'a> {
     /// reads one object instead of the whole commit history. Safe to run
     /// any time, from any process.
     pub fn checkpoint_meta(&self) -> Result<()> {
-        let log = rottnest_lake::TxLog::new(self.store, format!("{}/meta", self.index_dir));
+        let log = rottnest_lake::TxLog::new(self.store(), format!("{}/meta", self.index_dir));
         if let Some(v) = log.latest_version().map_err(RottnestError::Lake)? {
             log.write_checkpoint(v).map_err(RottnestError::Lake)?;
         }
@@ -700,8 +866,7 @@ impl<'a> Rottnest<'a> {
         let entries = meta.scan()?;
 
         // 1. Plan: greedy cover per (kind, column).
-        let mut groups: FxHashMap<(String, &'static str), Vec<&IndexEntry>> =
-            FxHashMap::default();
+        let mut groups: FxHashMap<(String, &'static str), Vec<&IndexEntry>> = FxHashMap::default();
         for e in &entries {
             groups
                 .entry((e.column.clone(), Self::ext_of(&e.kind)))
@@ -726,9 +891,15 @@ impl<'a> Rottnest<'a> {
         }
 
         // 2. Commit removals.
-        let doomed: Vec<u64> =
-            entries.iter().filter(|e| !keep.contains(&e.id)).map(|e| e.id).collect();
-        let mut report = VacuumReport { records_removed: doomed.len() as u64, ..Default::default() };
+        let doomed: Vec<u64> = entries
+            .iter()
+            .filter(|e| !keep.contains(&e.id))
+            .map(|e| e.id)
+            .collect();
+        let mut report = VacuumReport {
+            records_removed: doomed.len() as u64,
+            ..Default::default()
+        };
         if !doomed.is_empty() {
             meta.commit_with(self.config.meta_retries, |_| {
                 doomed.iter().map(|&id| MetaOp::Remove(id)).collect()
@@ -737,10 +908,9 @@ impl<'a> Rottnest<'a> {
 
         // 3. Remove: LIST the index dir, delete unreferenced objects older
         // than the timeout (store clock).
-        let referenced: FxHashSet<String> =
-            meta.scan()?.into_iter().map(|e| e.path).collect();
-        let now = self.store.now_ms();
-        for obj in self.store.list(&format!("{}/files/", self.index_dir))? {
+        let referenced: FxHashSet<String> = meta.scan()?.into_iter().map(|e| e.path).collect();
+        let now = self.store().now_ms();
+        for obj in self.store().list(&format!("{}/files/", self.index_dir))? {
             if referenced.contains(&obj.key) {
                 continue;
             }
@@ -748,11 +918,20 @@ impl<'a> Rottnest<'a> {
                 report.objects_spared += 1;
                 continue;
             }
-            self.store.delete(&obj.key)?;
+            self.store().delete(&obj.key)?;
             report.objects_deleted += 1;
         }
         Ok(report)
     }
+}
+
+/// Whether a search-time failure can be absorbed by degrading to the
+/// brute-force path: only store faults that are still retryable after the
+/// retry budget ran out (throttling, transient request failures).
+/// Deterministic failures — missing objects, corrupt bytes, injected
+/// crashes — must surface to the caller.
+fn is_degradable(err: &RottnestError) -> bool {
+    err.store_fault().is_some_and(StoreError::is_retryable)
 }
 
 /// Byte-level substring containment (naive scan — patterns are short).

@@ -30,13 +30,19 @@ fn trace_id(i: u64) -> Vec<u8> {
 }
 
 fn body(i: u64) -> String {
-    format!("event {i}: service frobnicator-{} emitted code E{:04}", i % 7, i % 100)
+    format!(
+        "event {i}: service frobnicator-{} emitted code E{:04}",
+        i % 7,
+        i % 100
+    )
 }
 
 fn embedding(i: u64) -> Vec<f32> {
     let mut rng = StdRng::seed_from_u64(i);
     let cluster = (i % 5) as f32 * 10.0;
-    (0..DIM).map(|_| cluster + rng.gen_range(-0.5..0.5)).collect()
+    (0..DIM)
+        .map(|_| cluster + rng.gen_range(-0.5..0.5))
+        .collect()
 }
 
 fn batch(range: std::ops::Range<u64>) -> RecordBatch {
@@ -45,8 +51,7 @@ fn batch(range: std::ops::Range<u64>) -> RecordBatch {
         vec![
             ColumnData::from_blobs(range.clone().map(trace_id)),
             ColumnData::from_strings(range.clone().map(body)),
-            ColumnData::from_vectors(DIM as u32, range.map(embedding).collect::<Vec<_>>())
-                .unwrap(),
+            ColumnData::from_vectors(DIM as u32, range.map(embedding).collect::<Vec<_>>()).unwrap(),
         ],
     )
     .unwrap()
@@ -54,7 +59,11 @@ fn batch(range: std::ops::Range<u64>) -> RecordBatch {
 
 fn small_pages() -> TableConfig {
     TableConfig {
-        writer: WriterOptions { page_raw_bytes: 2048, row_group_rows: 512, ..Default::default() },
+        writer: WriterOptions {
+            page_raw_bytes: 2048,
+            row_group_rows: 512,
+            ..Default::default()
+        },
         ..Default::default()
     }
 }
@@ -62,7 +71,12 @@ fn small_pages() -> TableConfig {
 fn config() -> RottnestConfig {
     RottnestConfig {
         min_vector_rows: 16,
-        ivf: rottnest_ivfpq::IvfPqParams { nlist: 16, m: 4, train_iters: 4, seed: 9 },
+        ivf: rottnest_ivfpq::IvfPqParams {
+            nlist: 16,
+            m: 4,
+            train_iters: 4,
+            seed: 9,
+        },
         ..Default::default()
     }
 }
@@ -91,18 +105,34 @@ fn uuid_index_and_search() {
     let snap = table.snapshot().unwrap();
     let key = trace_id(123);
     let out = rot
-        .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 10 })
+        .search(
+            &table,
+            &snap,
+            "trace_id",
+            &Query::UuidEq { key: &key, k: 10 },
+        )
         .unwrap();
     assert_eq!(out.matches.len(), 1);
     assert_eq!(out.matches[0].row, 123);
-    assert_eq!(out.stats.files_brute_scanned, 0, "fully covered: no brute scan");
+    assert_eq!(
+        out.stats.files_brute_scanned, 0,
+        "fully covered: no brute scan"
+    );
     assert!(out.stats.pages_probed >= 1);
 
     // Missing key: no match, still no brute scan needed… but exact top-k
     // unsatisfied triggers the fallback only for *uncovered* files (none).
     let missing = trace_id(999_999);
     let out = rot
-        .search(&table, &snap, "trace_id", &Query::UuidEq { key: &missing, k: 10 })
+        .search(
+            &table,
+            &snap,
+            "trace_id",
+            &Query::UuidEq {
+                key: &missing,
+                k: 10,
+            },
+        )
         .unwrap();
     assert!(out.matches.is_empty());
 
@@ -114,18 +144,31 @@ fn substring_index_and_search() {
     let (store, root) = setup(400);
     let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
     let rot = Rottnest::new(store.as_ref(), "idx", config());
-    rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
+    rot.index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
 
     let snap = table.snapshot().unwrap();
     // "code E0042" appears for i % 100 == 42 → global rows 42, 142, 242,
     // 342; each file holds 200 rows, so file-local rows are 42 and 142 in
     // both files.
     let out = rot
-        .search(&table, &snap, "body", &Query::Substring { pattern: b"code E0042", k: 100 })
+        .search(
+            &table,
+            &snap,
+            "body",
+            &Query::Substring {
+                pattern: b"code E0042",
+                k: 100,
+            },
+        )
         .unwrap();
     let paths: Vec<String> = snap.files().map(|f| f.path.clone()).collect();
-    let mut got: Vec<(String, u64)> =
-        out.matches.iter().map(|m| (m.path.clone(), m.row)).collect();
+    let mut got: Vec<(String, u64)> = out
+        .matches
+        .iter()
+        .map(|m| (m.path.clone(), m.row))
+        .collect();
     got.sort();
     assert_eq!(
         got,
@@ -139,7 +182,15 @@ fn substring_index_and_search() {
 
     // k truncates.
     let out = rot
-        .search(&table, &snap, "body", &Query::Substring { pattern: b"frobnicator", k: 5 })
+        .search(
+            &table,
+            &snap,
+            "body",
+            &Query::Substring {
+                pattern: b"frobnicator",
+                k: 5,
+            },
+        )
         .unwrap();
     assert_eq!(out.matches.len(), 5);
 }
@@ -149,7 +200,9 @@ fn vector_index_and_search() {
     let (store, root) = setup(500);
     let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
     let rot = Rottnest::new(store.as_ref(), "idx", config());
-    rot.index(&table, IndexKind::Vector { dim: DIM as u32 }, "embedding").unwrap().unwrap();
+    rot.index(&table, IndexKind::Vector { dim: DIM as u32 }, "embedding")
+        .unwrap()
+        .unwrap();
 
     let snap = table.snapshot().unwrap();
     let q = embedding(77);
@@ -160,7 +213,11 @@ fn vector_index_and_search() {
             "embedding",
             &Query::VectorNn {
                 query: &q,
-                params: SearchParams { k: 1, nprobe: 8, refine: 64 },
+                params: SearchParams {
+                    k: 1,
+                    nprobe: 8,
+                    refine: 64,
+                },
             },
         )
         .unwrap();
@@ -174,11 +231,20 @@ fn second_index_call_is_noop_and_new_data_gets_new_index() {
     let (store, root) = setup(200);
     let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
     let rot = Rottnest::new(store.as_ref(), "idx", config());
-    assert!(rot.index(&table, IndexKind::Substring, "body").unwrap().is_some());
-    assert!(rot.index(&table, IndexKind::Substring, "body").unwrap().is_none());
+    assert!(rot
+        .index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .is_some());
+    assert!(rot
+        .index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .is_none());
 
     table.append(&batch(200..300)).unwrap();
-    let e = rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
+    let e = rot
+        .index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
     assert_eq!(e.files.len(), 1, "only the new file is indexed");
     assert_eq!(rot.meta().scan().unwrap().len(), 2);
 }
@@ -188,14 +254,21 @@ fn unindexed_files_fall_back_to_brute_force() {
     let (store, root) = setup(200);
     let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
     let rot = Rottnest::new(store.as_ref(), "idx", config());
-    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap()
+        .unwrap();
 
     // New un-indexed file appears (Figure 4's f.parquet).
     table.append(&batch(200..260)).unwrap();
     let snap = table.snapshot().unwrap();
     let key = trace_id(237);
     let out = rot
-        .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 5 })
+        .search(
+            &table,
+            &snap,
+            "trace_id",
+            &Query::UuidEq { key: &key, k: 5 },
+        )
         .unwrap();
     assert_eq!(out.matches.len(), 1);
     assert_eq!(out.matches[0].row, 37); // row within the third file
@@ -204,7 +277,12 @@ fn unindexed_files_fall_back_to_brute_force() {
     // A key that the index satisfies never touches the new file.
     let key = trace_id(11);
     let out = rot
-        .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 1 })
+        .search(
+            &table,
+            &snap,
+            "trace_id",
+            &Query::UuidEq { key: &key, k: 1 },
+        )
         .unwrap();
     assert_eq!(out.matches.len(), 1);
     assert_eq!(out.stats.files_brute_scanned, 0);
@@ -215,7 +293,9 @@ fn lake_compaction_invalidates_postings_and_reindex_recovers() {
     let (store, root) = setup(300);
     let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
     let rot = Rottnest::new(store.as_ref(), "idx", config());
-    rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
+    rot.index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
 
     // The lake compacts its two files into one (b+c → d of Figure 3).
     table.compact(u64::MAX).unwrap().unwrap();
@@ -224,7 +304,15 @@ fn lake_compaction_invalidates_postings_and_reindex_recovers() {
     // Old index postings all point outside the snapshot: search falls back
     // to brute force and still finds everything.
     let out = rot
-        .search(&table, &snap, "body", &Query::Substring { pattern: b"code E0007", k: 100 })
+        .search(
+            &table,
+            &snap,
+            "body",
+            &Query::Substring {
+                pattern: b"code E0007",
+                k: 100,
+            },
+        )
         .unwrap();
     let mut rows: Vec<u64> = out.matches.iter().map(|m| m.row).collect();
     rows.sort_unstable();
@@ -232,9 +320,19 @@ fn lake_compaction_invalidates_postings_and_reindex_recovers() {
     assert_eq!(out.stats.files_brute_scanned, 1);
 
     // Re-index covers the compacted file; brute force disappears.
-    rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
+    rot.index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
     let out = rot
-        .search(&table, &snap, "body", &Query::Substring { pattern: b"code E0007", k: 100 })
+        .search(
+            &table,
+            &snap,
+            "body",
+            &Query::Substring {
+                pattern: b"code E0007",
+                k: 100,
+            },
+        )
         .unwrap();
     assert_eq!(out.matches.len(), 3);
     assert_eq!(out.stats.files_brute_scanned, 0);
@@ -246,18 +344,39 @@ fn deletion_vectors_filter_matches() {
     let (store, root) = setup(200);
     let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
     let rot = Rottnest::new(store.as_ref(), "idx", config());
-    rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
+    rot.index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
 
     // Delete row 42 of the first file (body "code E0042").
-    let first = table.snapshot().unwrap().files().next().unwrap().path.clone();
+    let first = table
+        .snapshot()
+        .unwrap()
+        .files()
+        .next()
+        .unwrap()
+        .path
+        .clone();
     table.delete_rows(&first, &[42]).unwrap();
 
     let snap = table.snapshot().unwrap();
     let out = rot
-        .search(&table, &snap, "body", &Query::Substring { pattern: b"code E0042", k: 100 })
+        .search(
+            &table,
+            &snap,
+            "body",
+            &Query::Substring {
+                pattern: b"code E0042",
+                k: 100,
+            },
+        )
         .unwrap();
     let rows: Vec<u64> = out.matches.iter().map(|m| m.row).collect();
-    assert_eq!(rows, vec![42], "only the second file's row 42 (i=142) remains");
+    assert_eq!(
+        rows,
+        vec![42],
+        "only the second file's row 42 (i=142) remains"
+    );
     assert_eq!(out.matches[0].path, snap.files().nth(1).unwrap().path);
     assert!(out.stats.rows_deleted >= 1);
 }
@@ -271,11 +390,15 @@ fn compact_merges_indexes_and_search_is_unchanged() {
     // Four appends, four index files.
     for i in 0..4u64 {
         table.append(&batch(i * 100..(i + 1) * 100)).unwrap();
-        rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+        rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+            .unwrap()
+            .unwrap();
     }
     assert_eq!(rot.meta().scan().unwrap().len(), 4);
 
-    let merged = rot.compact(IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap();
+    let merged = rot
+        .compact(IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap();
     assert_eq!(merged.len(), 1);
     let entries = rot.meta().scan().unwrap();
     assert_eq!(entries.len(), 1, "four records swapped for one");
@@ -285,7 +408,12 @@ fn compact_merges_indexes_and_search_is_unchanged() {
     for i in [5u64, 150, 250, 399] {
         let key = trace_id(i);
         let out = rot
-            .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 3 })
+            .search(
+                &table,
+                &snap,
+                "trace_id",
+                &Query::UuidEq { key: &key, k: 3 },
+            )
             .unwrap();
         assert_eq!(out.matches.len(), 1, "key {i}");
         assert_eq!(out.matches[0].row, i % 100);
@@ -301,14 +429,24 @@ fn compact_merges_fm_indexes() {
     let rot = Rottnest::new(store.as_ref(), "idx", config());
     for i in 0..3u64 {
         table.append(&batch(i * 100..(i + 1) * 100)).unwrap();
-        rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
+        rot.index(&table, IndexKind::Substring, "body")
+            .unwrap()
+            .unwrap();
     }
     rot.compact(IndexKind::Substring, "body").unwrap();
     assert_eq!(rot.meta().scan().unwrap().len(), 1);
 
     let snap = table.snapshot().unwrap();
     let out = rot
-        .search(&table, &snap, "body", &Query::Substring { pattern: b"code E0055", k: 10 })
+        .search(
+            &table,
+            &snap,
+            "body",
+            &Query::Substring {
+                pattern: b"code E0055",
+                k: 10,
+            },
+        )
         .unwrap();
     let mut rows: Vec<u64> = out.matches.iter().map(|m| m.row).collect();
     rows.sort_unstable();
@@ -325,9 +463,12 @@ fn vacuum_drops_replaced_indexes_but_respects_timeout() {
 
     for i in 0..3u64 {
         table.append(&batch(i * 50..(i + 1) * 50)).unwrap();
-        rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+        rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+            .unwrap()
+            .unwrap();
     }
-    rot.compact(IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap();
+    rot.compact(IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap();
 
     // Right after compaction, the three replaced files are too young.
     let report = rot.vacuum(&table).unwrap();
@@ -345,7 +486,12 @@ fn vacuum_drops_replaced_indexes_but_respects_timeout() {
     let snap = table.snapshot().unwrap();
     let key = trace_id(120);
     let out = rot
-        .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 1 })
+        .search(
+            &table,
+            &snap,
+            "trace_id",
+            &Query::UuidEq { key: &key, k: 1 },
+        )
         .unwrap();
     assert_eq!(out.matches.len(), 1);
     verify_all(store.as_ref(), "idx").unwrap();
@@ -361,7 +507,9 @@ fn crashed_commit_leaves_invariants_intact_and_vacuum_cleans_up() {
     let rot = Rottnest::new(store.as_ref(), "idx", cfg);
 
     // Crash between upload and commit: the metadata PUT fails.
-    store.faults().arm(FaultKind::FailPutMatching("idx/meta".into()));
+    store
+        .faults()
+        .arm(FaultKind::FailPutMatching("idx/meta".into()));
     let err = rot.index(&table, IndexKind::Substring, "body");
     assert!(err.is_err(), "injected commit failure must surface");
     store.faults().disarm_all();
@@ -383,7 +531,9 @@ fn crashed_commit_leaves_invariants_intact_and_vacuum_cleans_up() {
     assert!(store.list("idx/files/").unwrap().is_empty());
 
     // Retry succeeds.
-    rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
+    rot.index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
     verify_all(store.as_ref(), "idx").unwrap();
 }
 
@@ -393,10 +543,20 @@ fn vanished_input_file_aborts_indexing() {
     let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
     let rot = Rottnest::new(store.as_ref(), "idx", config());
     // Simulate the data lake garbage-collecting a file mid-index.
-    let victim = table.snapshot().unwrap().files().next().unwrap().path.clone();
+    let victim = table
+        .snapshot()
+        .unwrap()
+        .files()
+        .next()
+        .unwrap()
+        .path
+        .clone();
     store.faults().arm(FaultKind::FailGetMatching(victim));
     let err = rot.index(&table, IndexKind::Substring, "body").unwrap_err();
-    assert!(matches!(err, rottnest::RottnestError::Aborted(_) | rottnest::RottnestError::Store(_)));
+    assert!(matches!(
+        err,
+        rottnest::RottnestError::Aborted(_) | rottnest::RottnestError::Store(_)
+    ));
     store.faults().disarm_all();
     verify_existence(store.as_ref(), "idx").unwrap();
 }
@@ -406,7 +566,9 @@ fn vector_search_merges_index_and_brute_results() {
     let (store, root) = setup(300);
     let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
     let rot = Rottnest::new(store.as_ref(), "idx", config());
-    rot.index(&table, IndexKind::Vector { dim: DIM as u32 }, "embedding").unwrap().unwrap();
+    rot.index(&table, IndexKind::Vector { dim: DIM as u32 }, "embedding")
+        .unwrap()
+        .unwrap();
 
     // New un-indexed file holds the best match for its own vectors.
     table.append(&batch(300..350)).unwrap();
@@ -417,12 +579,22 @@ fn vector_search_merges_index_and_brute_results() {
             &table,
             &snap,
             "embedding",
-            &Query::VectorNn { query: &q, params: SearchParams { k: 1, nprobe: 16, refine: 64 } },
+            &Query::VectorNn {
+                query: &q,
+                params: SearchParams {
+                    k: 1,
+                    nprobe: 16,
+                    refine: 64,
+                },
+            },
         )
         .unwrap();
     assert_eq!(out.matches[0].score, Some(0.0));
     assert_eq!(out.matches[0].row, 33);
-    assert_eq!(out.stats.files_brute_scanned, 1, "scoring queries scan uncovered files");
+    assert_eq!(
+        out.stats.files_brute_scanned, 1,
+        "scoring queries scan uncovered files"
+    );
 }
 
 #[test]
@@ -444,7 +616,14 @@ fn min_vector_rows_aborts_in_favor_of_brute_force() {
             &table,
             &snap,
             "embedding",
-            &Query::VectorNn { query: &q, params: SearchParams { k: 1, nprobe: 4, refine: 8 } },
+            &Query::VectorNn {
+                query: &q,
+                params: SearchParams {
+                    k: 1,
+                    nprobe: 4,
+                    refine: 8,
+                },
+            },
         )
         .unwrap();
     assert_eq!(out.matches[0].row, 3);
@@ -456,23 +635,40 @@ fn search_snapshot_time_travel() {
     let (store, root) = setup(100);
     let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
     let rot = Rottnest::new(store.as_ref(), "idx", config());
-    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap()
+        .unwrap();
     let old_version = table.snapshot().unwrap().version();
 
     table.append(&batch(100..200)).unwrap();
-    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap()
+        .unwrap();
 
     // Searching the old snapshot must not see the new file's rows.
     let old_snap = table.snapshot_at(old_version).unwrap();
     let key = trace_id(150);
     let out = rot
-        .search(&table, &old_snap, "trace_id", &Query::UuidEq { key: &key, k: 5 })
+        .search(
+            &table,
+            &old_snap,
+            "trace_id",
+            &Query::UuidEq { key: &key, k: 5 },
+        )
         .unwrap();
-    assert!(out.matches.is_empty(), "row 150 exists only after the snapshot");
+    assert!(
+        out.matches.is_empty(),
+        "row 150 exists only after the snapshot"
+    );
 
     let new_snap = table.snapshot().unwrap();
     let out = rot
-        .search(&table, &new_snap, "trace_id", &Query::UuidEq { key: &key, k: 5 })
+        .search(
+            &table,
+            &new_snap,
+            "trace_id",
+            &Query::UuidEq { key: &key, k: 5 },
+        )
         .unwrap();
     assert_eq!(out.matches.len(), 1);
 }
@@ -484,28 +680,48 @@ fn search_equals_brute_force_ground_truth() {
     let (store, root) = setup(240);
     let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
     let rot = Rottnest::new(store.as_ref(), "idx", config());
-    rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
-    table.delete_rows(
-        &table.snapshot().unwrap().files().next().unwrap().path.clone(),
-        &[14, 114],
-    )
-    .unwrap();
+    rot.index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
+    table
+        .delete_rows(
+            &table
+                .snapshot()
+                .unwrap()
+                .files()
+                .next()
+                .unwrap()
+                .path
+                .clone(),
+            &[14, 114],
+        )
+        .unwrap();
     table.append(&batch(240..280)).unwrap();
 
     let snap = table.snapshot().unwrap();
     for pattern in ["code E0014", "frobnicator-3", "event 27"] {
         let out = rot
-            .search(&table, &snap, "body", &Query::Substring { pattern: pattern.as_bytes(), k: 10_000 })
+            .search(
+                &table,
+                &snap,
+                "body",
+                &Query::Substring {
+                    pattern: pattern.as_bytes(),
+                    k: 10_000,
+                },
+            )
             .unwrap();
-        let mut got: Vec<(String, u64)> =
-            out.matches.iter().map(|m| (m.path.clone(), m.row)).collect();
+        let mut got: Vec<(String, u64)> = out
+            .matches
+            .iter()
+            .map(|m| (m.path.clone(), m.row))
+            .collect();
         got.sort();
 
         // Ground truth by scanning every file.
         let mut want: Vec<(String, u64)> = Vec::new();
         for f in snap.files() {
-            let reader =
-                rottnest_format::ChunkReader::open(store.as_ref(), &f.path).unwrap();
+            let reader = rottnest_format::ChunkReader::open(store.as_ref(), &f.path).unwrap();
             let col = reader.read_column(1).unwrap();
             let dv = table.load_dv(f).unwrap().unwrap_or_default();
             for i in 0..col.len() {
@@ -530,7 +746,9 @@ fn concurrent_searches_during_maintenance() {
     {
         let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
         let rot = Rottnest::new(store.as_ref(), "idx", config());
-        rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+        rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+            .unwrap()
+            .unwrap();
     }
     crossbeam::scope(|scope| {
         // Searchers.
@@ -544,7 +762,12 @@ fn concurrent_searches_during_maintenance() {
                     let snap = table.snapshot().unwrap();
                     let key = trace_id((t * 20 + i) % 200);
                     let out = rot
-                        .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 1 })
+                        .search(
+                            &table,
+                            &snap,
+                            "trace_id",
+                            &Query::UuidEq { key: &key, k: 1 },
+                        )
                         .unwrap();
                     assert_eq!(out.matches.len(), 1);
                 }
@@ -558,9 +781,11 @@ fn concurrent_searches_during_maintenance() {
             let rot = Rottnest::new(store.as_ref(), "idx", config());
             for j in 0..3u64 {
                 table.append(&batch(200 + j * 50..250 + j * 50)).unwrap();
-                rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap();
+                rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+                    .unwrap();
             }
-            rot.compact(IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap();
+            rot.compact(IndexKind::Uuid { key_len: 16 }, "trace_id")
+                .unwrap();
         });
     })
     .unwrap();
@@ -587,17 +812,47 @@ fn matches_report_correct_paths() {
     let (store, root) = setup(100);
     let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
     let rot = Rottnest::new(store.as_ref(), "idx", config());
-    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap()
+        .unwrap();
     let snap = table.snapshot().unwrap();
     let paths: Vec<String> = snap.files().map(|f| f.path.clone()).collect();
 
     let key = trace_id(10); // first file
-    let out = rot.search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 1 }).unwrap();
-    assert_eq!(out.matches, vec![Match { path: paths[0].clone(), row: 10, score: None }]);
+    let out = rot
+        .search(
+            &table,
+            &snap,
+            "trace_id",
+            &Query::UuidEq { key: &key, k: 1 },
+        )
+        .unwrap();
+    assert_eq!(
+        out.matches,
+        vec![Match {
+            path: paths[0].clone(),
+            row: 10,
+            score: None
+        }]
+    );
 
     let key = trace_id(60); // second file (rows 50..100), row 10 within it
-    let out = rot.search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 1 }).unwrap();
-    assert_eq!(out.matches, vec![Match { path: paths[1].clone(), row: 10, score: None }]);
+    let out = rot
+        .search(
+            &table,
+            &snap,
+            "trace_id",
+            &Query::UuidEq { key: &key, k: 1 },
+        )
+        .unwrap();
+    assert_eq!(
+        out.matches,
+        vec![Match {
+            path: paths[1].clone(),
+            row: 10,
+            score: None
+        }]
+    );
 }
 
 #[test]
@@ -607,8 +862,12 @@ fn metadata_survives_store_payload_inspection() {
     let (store, root) = setup(100);
     let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
     let rot = Rottnest::new(store.as_ref(), "idx", config());
-    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
-    rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap()
+        .unwrap();
+    rot.index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
 
     let rot2 = Rottnest::new(store.as_ref(), "idx", config());
     let entries = rot2.meta().scan().unwrap();
@@ -637,22 +896,36 @@ fn zorder_rewrite_is_survived_like_compaction() {
     let (store, root) = setup(200);
     let table = Table::open(store.as_ref(), &root, small_pages()).unwrap();
     let rot = Rottnest::new(store.as_ref(), "idx", config());
-    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap()
+        .unwrap();
 
     // A clustering rewrite replaces every file the index points at.
     table.rewrite_sorted(0).unwrap();
     let snap = table.snapshot().unwrap();
     let key = trace_id(77);
     let out = rot
-        .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 1 })
+        .search(
+            &table,
+            &snap,
+            "trace_id",
+            &Query::UuidEq { key: &key, k: 1 },
+        )
         .unwrap();
     assert_eq!(out.matches.len(), 1, "found via brute-force fallback");
     assert_eq!(out.stats.files_brute_scanned, 1);
 
     // Re-index covers the rewritten file.
-    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap()
+        .unwrap();
     let out = rot
-        .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 1 })
+        .search(
+            &table,
+            &snap,
+            "trace_id",
+            &Query::UuidEq { key: &key, k: 1 },
+        )
         .unwrap();
     assert_eq!(out.matches.len(), 1);
     assert_eq!(out.stats.files_brute_scanned, 0);
@@ -666,7 +939,9 @@ fn metadata_checkpoint_reduces_plan_requests() {
     let rot = Rottnest::new(store.as_ref(), "idx", config());
     for i in 0..8u64 {
         table.append(&batch(i * 20..(i + 1) * 20)).unwrap();
-        rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+        rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+            .unwrap()
+            .unwrap();
     }
     let snap = table.snapshot().unwrap();
     let key = trace_id(35);
@@ -674,7 +949,12 @@ fn metadata_checkpoint_reduces_plan_requests() {
     let measure = || {
         let before = store.stats();
         let out = rot
-            .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 1 })
+            .search(
+                &table,
+                &snap,
+                "trace_id",
+                &Query::UuidEq { key: &key, k: 1 },
+            )
             .unwrap();
         assert_eq!(out.matches.len(), 1);
         store.stats().since(&before).gets
@@ -708,7 +988,12 @@ fn bloom_index_serves_uuid_queries_with_in_situ_filtering() {
     for i in [0u64, 123, 399] {
         let key = trace_id(i);
         let out = rot
-            .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 5 })
+            .search(
+                &table,
+                &snap,
+                "trace_id",
+                &Query::UuidEq { key: &key, k: 5 },
+            )
             .unwrap();
         assert_eq!(out.matches.len(), 1, "key {i}");
         assert_eq!(out.matches[0].row, i % 200);
@@ -718,7 +1003,15 @@ fn bloom_index_serves_uuid_queries_with_in_situ_filtering() {
     // the in-situ probe).
     let missing = trace_id(5_000_000);
     let out = rot
-        .search(&table, &snap, "trace_id", &Query::UuidEq { key: &missing, k: 5 })
+        .search(
+            &table,
+            &snap,
+            "trace_id",
+            &Query::UuidEq {
+                key: &missing,
+                k: 5,
+            },
+        )
         .unwrap();
     assert!(out.matches.is_empty());
     verify_all(store.as_ref(), "idx").unwrap();
@@ -733,9 +1026,13 @@ fn bloom_compaction_and_vacuum() {
     let rot = Rottnest::new(store.as_ref(), "idx", cfg);
     for i in 0..3u64 {
         table.append(&batch(i * 80..(i + 1) * 80)).unwrap();
-        rot.index(&table, IndexKind::Bloom { key_len: 16 }, "trace_id").unwrap().unwrap();
+        rot.index(&table, IndexKind::Bloom { key_len: 16 }, "trace_id")
+            .unwrap()
+            .unwrap();
     }
-    let merged = rot.compact(IndexKind::Bloom { key_len: 16 }, "trace_id").unwrap();
+    let merged = rot
+        .compact(IndexKind::Bloom { key_len: 16 }, "trace_id")
+        .unwrap();
     assert_eq!(merged.len(), 1);
     store.clock().unwrap().advance_ms(2_000);
     rot.vacuum(&table).unwrap();
@@ -744,7 +1041,12 @@ fn bloom_compaction_and_vacuum() {
     for i in [10u64, 100, 230] {
         let key = trace_id(i);
         let out = rot
-            .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 3 })
+            .search(
+                &table,
+                &snap,
+                "trace_id",
+                &Query::UuidEq { key: &key, k: 3 },
+            )
             .unwrap();
         assert_eq!(out.matches.len(), 1, "key {i}");
         assert_eq!(out.stats.index_files_queried, 1);

@@ -36,7 +36,10 @@ impl BitVecBuilder {
 
     /// Creates a builder expecting `n` bits.
     pub fn with_capacity(n: usize) -> Self {
-        Self { len: 0, words: Vec::with_capacity(n.div_ceil(64)) }
+        Self {
+            len: 0,
+            words: Vec::with_capacity(n.div_ceil(64)),
+        }
     }
 
     /// Appends one bit.

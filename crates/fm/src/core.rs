@@ -96,7 +96,13 @@ impl FmCore {
             c_table[i] += c_table[i - 1];
         }
         let wm = WaveletMatrix::build(&bwt);
-        Self { bwt, c_table, marks, samples, wm }
+        Self {
+            bwt,
+            c_table,
+            marks,
+            samples,
+            wm,
+        }
     }
 
     /// Total BWT length (text + sentinels).
@@ -220,14 +226,22 @@ mod tests {
     #[test]
     fn counts_and_positions_match_naive() {
         check(b"banana", &[b"an", b"na", b"a", b"banana", b"nab", b"x"]);
-        check(b"mississippi", &[b"iss", b"ssi", b"i", b"p", b"mississippi"]);
+        check(
+            b"mississippi",
+            &[b"iss", b"ssi", b"i", b"p", b"mississippi"],
+        );
         check(b"aaaaaaaaaa", &[b"a", b"aa", b"aaa"]);
     }
 
     #[test]
     fn multi_document_text() {
         let (text, starts) = concat_documents(
-            [b"the quick brown fox".as_slice(), b"jumped over", b"the lazy dog"].into_iter(),
+            [
+                b"the quick brown fox".as_slice(),
+                b"jumped over",
+                b"the lazy dog",
+            ]
+            .into_iter(),
         );
         assert_eq!(starts, vec![0, 20, 32]);
         let core = FmCore::build(&text, 8);

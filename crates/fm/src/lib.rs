@@ -61,7 +61,10 @@ impl std::fmt::Display for FmError {
             FmError::BadPattern(m) => write!(f, "bad pattern: {m}"),
             FmError::Corrupt(m) => write!(f, "corrupt fm index: {m}"),
             FmError::MergeBudget { iterations } => {
-                write!(f, "interleave merge did not converge within {iterations} iterations")
+                write!(
+                    f,
+                    "interleave merge did not converge within {iterations} iterations"
+                )
             }
             FmError::Component(e) => write!(f, "component: {e}"),
         }

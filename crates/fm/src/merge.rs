@@ -36,7 +36,10 @@ pub struct MergePolicy {
 
 impl Default for MergePolicy {
     fn default() -> Self {
-        Self { max_iterations: 10_000, options: FmOptions::default() }
+        Self {
+            max_iterations: 10_000,
+            options: FmOptions::default(),
+        }
     }
 }
 
@@ -119,17 +122,16 @@ pub fn merge_cores(a: &LoadedFm, b: &LoadedFm, policy: &MergePolicy) -> Result<L
 
     let mut map = a.map.clone();
     map.append_shifted(&b.map, na as u64);
-    Ok(LoadedFm { core: FmCore::from_parts(bwt, marks, samples), map })
+    Ok(LoadedFm {
+        core: FmCore::from_parts(bwt, marks, samples),
+        map,
+    })
 }
 
 /// Computes the interleave vector (`true` = row comes from `b`) by iterated
 /// stable LF routing. Sentinels are routed through origin-split buckets so
 /// A's strings order before B's, matching eBWT collection order.
-fn compute_interleave(
-    bwt_a: &[u8],
-    bwt_b: &[u8],
-    max_iterations: usize,
-) -> Result<Vec<bool>> {
+fn compute_interleave(bwt_a: &[u8], bwt_b: &[u8], max_iterations: usize) -> Result<Vec<bool>> {
     let n = bwt_a.len() + bwt_b.len();
     // Bucket layout: [sentinels of A][sentinels of B][symbol 1][symbol 2]…
     let mut bucket_starts = [0usize; 258];
@@ -180,10 +182,14 @@ fn compute_interleave(
         }
         std::mem::swap(&mut interleave, &mut next);
         if iteration + 1 == max_iterations {
-            return Err(FmError::MergeBudget { iterations: max_iterations });
+            return Err(FmError::MergeBudget {
+                iterations: max_iterations,
+            });
         }
     }
-    Err(FmError::MergeBudget { iterations: max_iterations })
+    Err(FmError::MergeBudget {
+        iterations: max_iterations,
+    })
 }
 
 /// Slow-path merge: reconstruct each source string, concatenate the
@@ -279,12 +285,7 @@ mod tests {
     use crate::Posting;
     use rottnest_object_store::MemoryStore;
 
-    fn build_source(
-        store: &dyn ObjectStore,
-        key: &str,
-        file_id: u32,
-        docs: &[&str],
-    ) {
+    fn build_source(store: &dyn ObjectStore, key: &str, file_id: u32, docs: &[&str]) {
         let mut b = FmBuilder::with_options(FmOptions {
             block_size: 512,
             ..Default::default()
@@ -298,14 +299,24 @@ mod tests {
     #[test]
     fn interleave_merge_preserves_counts() {
         let store = MemoryStore::unmetered();
-        let docs_a = ["the quick brown fox", "lazy dogs sleep all day", "fox hunting season"];
+        let docs_a = [
+            "the quick brown fox",
+            "lazy dogs sleep all day",
+            "fox hunting season",
+        ];
         let docs_b = ["quick thinking saves the day", "brown bears", "a fox again"];
         build_source(store.as_ref(), "a.fm", 0, &docs_a);
         build_source(store.as_ref(), "b.fm", 1, &docs_b);
 
         let ia = FmIndex::open(store.as_ref(), "a.fm").unwrap();
         let ib = FmIndex::open(store.as_ref(), "b.fm").unwrap();
-        merge_fm(store.as_ref(), &[(&ia, 0), (&ib, 0)], "m.fm", &MergePolicy::default()).unwrap();
+        merge_fm(
+            store.as_ref(),
+            &[(&ia, 0), (&ib, 0)],
+            "m.fm",
+            &MergePolicy::default(),
+        )
+        .unwrap();
         let merged = FmIndex::open(store.as_ref(), "m.fm").unwrap();
 
         for (pattern, want) in [
@@ -331,7 +342,13 @@ mod tests {
         build_source(store.as_ref(), "b.fm", 1, &["gamma", "alpha delta"]);
         let ia = FmIndex::open(store.as_ref(), "a.fm").unwrap();
         let ib = FmIndex::open(store.as_ref(), "b.fm").unwrap();
-        merge_fm(store.as_ref(), &[(&ia, 0), (&ib, 0)], "m.fm", &MergePolicy::default()).unwrap();
+        merge_fm(
+            store.as_ref(),
+            &[(&ia, 0), (&ib, 0)],
+            "m.fm",
+            &MergePolicy::default(),
+        )
+        .unwrap();
         let merged = FmIndex::open(store.as_ref(), "m.fm").unwrap();
 
         let mut hits = merged.locate_pages(b"alpha", 100).unwrap();
@@ -345,14 +362,23 @@ mod tests {
     #[test]
     fn merge_of_three_sources_folds() {
         let store = MemoryStore::unmetered();
-        for (i, docs) in [["one two"], ["two three"], ["three four"]].iter().enumerate() {
+        for (i, docs) in [["one two"], ["two three"], ["three four"]]
+            .iter()
+            .enumerate()
+        {
             let strs: Vec<&str> = docs.to_vec();
             build_source(store.as_ref(), &format!("{i}.fm"), i as u32, &strs);
         }
         let i0 = FmIndex::open(store.as_ref(), "0.fm").unwrap();
         let i1 = FmIndex::open(store.as_ref(), "1.fm").unwrap();
         let i2 = FmIndex::open(store.as_ref(), "2.fm").unwrap();
-        merge_fm(store.as_ref(), &[(&i0, 0), (&i1, 0), (&i2, 0)], "m.fm", &MergePolicy::default()).unwrap();
+        merge_fm(
+            store.as_ref(),
+            &[(&i0, 0), (&i1, 0), (&i2, 0)],
+            "m.fm",
+            &MergePolicy::default(),
+        )
+        .unwrap();
         let merged = FmIndex::open(store.as_ref(), "m.fm").unwrap();
         assert_eq!(merged.count(b"two").unwrap(), 2);
         assert_eq!(merged.count(b"three").unwrap(), 2);
@@ -365,17 +391,25 @@ mod tests {
         // The merged index must answer exactly like an index built over the
         // union collection.
         let store = MemoryStore::unmetered();
-        let docs_a: Vec<String> =
-            (0..30).map(|i| format!("alpha document number {i} payload xyz")).collect();
-        let docs_b: Vec<String> =
-            (0..30).map(|i| format!("beta document number {i} payload abc")).collect();
+        let docs_a: Vec<String> = (0..30)
+            .map(|i| format!("alpha document number {i} payload xyz"))
+            .collect();
+        let docs_b: Vec<String> = (0..30)
+            .map(|i| format!("beta document number {i} payload abc"))
+            .collect();
         let ra: Vec<&str> = docs_a.iter().map(|s| s.as_str()).collect();
         let rb: Vec<&str> = docs_b.iter().map(|s| s.as_str()).collect();
         build_source(store.as_ref(), "a.fm", 0, &ra);
         build_source(store.as_ref(), "b.fm", 1, &rb);
         let ia = FmIndex::open(store.as_ref(), "a.fm").unwrap();
         let ib = FmIndex::open(store.as_ref(), "b.fm").unwrap();
-        merge_fm(store.as_ref(), &[(&ia, 0), (&ib, 0)], "m.fm", &MergePolicy::default()).unwrap();
+        merge_fm(
+            store.as_ref(),
+            &[(&ia, 0), (&ib, 0)],
+            "m.fm",
+            &MergePolicy::default(),
+        )
+        .unwrap();
         let merged = FmIndex::open(store.as_ref(), "m.fm").unwrap();
 
         let mut joint = FmBuilder::new();
@@ -388,7 +422,13 @@ mod tests {
         joint.finish_into(store.as_ref(), "j.fm").unwrap();
         let joint = FmIndex::open(store.as_ref(), "j.fm").unwrap();
 
-        for pattern in ["document number 2", "payload", "alpha", "abc", "number 19 payload"] {
+        for pattern in [
+            "document number 2",
+            "payload",
+            "alpha",
+            "abc",
+            "number 19 payload",
+        ] {
             assert_eq!(
                 merged.count(pattern.as_bytes()).unwrap(),
                 joint.count(pattern.as_bytes()).unwrap(),

@@ -11,7 +11,10 @@
 ///
 /// Panics in debug builds if `text` contains a zero byte.
 pub fn suffix_array(text: &[u8]) -> Vec<u32> {
-    debug_assert!(!text.contains(&0), "text must not contain the sentinel byte");
+    debug_assert!(
+        !text.contains(&0),
+        "text must not contain the sentinel byte"
+    );
     let mut s: Vec<u32> = Vec::with_capacity(text.len() + 1);
     s.extend(text.iter().map(|&b| u32::from(b)));
     s.push(0);
@@ -200,7 +203,11 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn check(text: &[u8]) {
-        assert_eq!(suffix_array(text), naive_suffix_array(text), "text {text:?}");
+        assert_eq!(
+            suffix_array(text),
+            naive_suffix_array(text),
+            "text {text:?}"
+        );
     }
 
     #[test]

@@ -13,8 +13,8 @@
 //! (cached) block. The root rides along with the speculative open GET.
 
 use bytes::Bytes;
-use rottnest_compress::{bitpack, varint};
 use rottnest_component::{ComponentFile, ComponentWriter, Posting};
+use rottnest_compress::{bitpack, varint};
 use rottnest_object_store::ObjectStore;
 
 use crate::bitvec::RankBitVec;
@@ -33,7 +33,10 @@ pub struct FmOptions {
 
 impl Default for FmOptions {
     fn default() -> Self {
-        Self { block_size: 1 << 16, sample_rate: DEFAULT_SAMPLE_RATE }
+        Self {
+            block_size: 1 << 16,
+            sample_rate: DEFAULT_SAMPLE_RATE,
+        }
     }
 }
 
@@ -62,8 +65,22 @@ impl PageMap {
 
     fn encode(&self, out: &mut Vec<u8>) {
         bitpack::pack_sorted(out, &self.starts);
-        bitpack::pack(out, &self.postings.iter().map(|p| u64::from(p.file)).collect::<Vec<_>>());
-        bitpack::pack(out, &self.postings.iter().map(|p| u64::from(p.page)).collect::<Vec<_>>());
+        bitpack::pack(
+            out,
+            &self
+                .postings
+                .iter()
+                .map(|p| u64::from(p.file))
+                .collect::<Vec<_>>(),
+        );
+        bitpack::pack(
+            out,
+            &self
+                .postings
+                .iter()
+                .map(|p| u64::from(p.page))
+                .collect::<Vec<_>>(),
+        );
     }
 
     fn decode(buf: &[u8], pos: &mut usize) -> Result<Self> {
@@ -97,7 +114,11 @@ impl FmBuilder {
 
     /// Creates a builder with explicit options.
     pub fn with_options(options: FmOptions) -> Self {
-        Self { options, text: Vec::new(), map: PageMap::default() }
+        Self {
+            options,
+            text: Vec::new(),
+            map: PageMap::default(),
+        }
     }
 
     /// Adds one document belonging to data page `posting`. Documents for the
@@ -318,7 +339,10 @@ impl<'a> FmIndex<'a> {
             return Ok(hit.clone());
         }
         let block = std::sync::Arc::new(decode_block(&self.file.component(b + 1)?)?);
-        self.blocks.lock().expect("block cache").insert(b, block.clone());
+        self.blocks
+            .lock()
+            .expect("block cache")
+            .insert(b, block.clone());
         Ok(block)
     }
 
@@ -423,9 +447,7 @@ impl<'a> FmIndex<'a> {
             }
             let (sym, r) = block.wm.access_and_rank(local);
             debug_assert_ne!(sym, SENTINEL, "string starts must be sampled");
-            row = self.c_table[sym as usize] as usize
-                + self.cum[b][sym as usize] as usize
-                + r;
+            row = self.c_table[sym as usize] as usize + self.cum[b][sym as usize] as usize + r;
             steps += 1;
         }
     }
@@ -464,7 +486,14 @@ mod tests {
     #[test]
     fn count_matches_naive() {
         let store = MemoryStore::unmetered();
-        build(store.as_ref(), "f.idx", FmOptions { block_size: 1 << 10, ..Default::default() });
+        build(
+            store.as_ref(),
+            "f.idx",
+            FmOptions {
+                block_size: 1 << 10,
+                ..Default::default()
+            },
+        );
         let idx = FmIndex::open(store.as_ref(), "f.idx").unwrap();
 
         // 12 pages × 40 docs contain "quick brown fox".
@@ -479,7 +508,14 @@ mod tests {
     #[test]
     fn locate_pages_finds_the_right_page() {
         let store = MemoryStore::unmetered();
-        build(store.as_ref(), "f.idx", FmOptions { block_size: 1 << 10, ..Default::default() });
+        build(
+            store.as_ref(),
+            "f.idx",
+            FmOptions {
+                block_size: 1 << 10,
+                ..Default::default()
+            },
+        );
         let idx = FmIndex::open(store.as_ref(), "f.idx").unwrap();
 
         let hits = idx.locate_pages(b"id07x13", 100).unwrap();
@@ -497,7 +533,14 @@ mod tests {
     fn block_boundaries_are_transparent() {
         // A tiny block size forces patterns and LF walks across many blocks.
         let store = MemoryStore::unmetered();
-        build(store.as_ref(), "f.idx", FmOptions { block_size: 257, sample_rate: 8 });
+        build(
+            store.as_ref(),
+            "f.idx",
+            FmOptions {
+                block_size: 257,
+                sample_rate: 8,
+            },
+        );
         let idx = FmIndex::open(store.as_ref(), "f.idx").unwrap();
         assert!(idx.num_blocks() > 50);
         assert_eq!(idx.count(b"quick brown fox").unwrap(), 480);
@@ -553,7 +596,14 @@ mod tests {
     #[test]
     fn lf_walks_reuse_cached_blocks() {
         let store = MemoryStore::unmetered();
-        build(store.as_ref(), "f.idx", FmOptions { block_size: 1 << 12, sample_rate: 16 });
+        build(
+            store.as_ref(),
+            "f.idx",
+            FmOptions {
+                block_size: 1 << 12,
+                sample_rate: 16,
+            },
+        );
         let idx = FmIndex::open(store.as_ref(), "f.idx").unwrap();
 
         // First locate pulls the blocks it needs…

@@ -48,7 +48,11 @@ impl WaveletMatrix {
             current = zero_part;
         }
 
-        Self { len: symbols.len(), levels, zeros }
+        Self {
+            len: symbols.len(),
+            levels,
+            zeros,
+        }
     }
 
     /// Number of symbols.

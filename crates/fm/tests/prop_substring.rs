@@ -25,7 +25,10 @@ fn naive_count(docs: &[String], pattern: &[u8]) -> usize {
 }
 
 fn build(store: &MemoryStore, key: &str, docs: &[String], file: u32) {
-    let mut b = FmBuilder::with_options(FmOptions { block_size: 128, sample_rate: 4 });
+    let mut b = FmBuilder::with_options(FmOptions {
+        block_size: 128,
+        sample_rate: 4,
+    });
     for (i, d) in docs.iter().enumerate() {
         b.add_document(Posting::new(file, i as u32), d.as_bytes());
     }

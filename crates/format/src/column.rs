@@ -54,9 +54,18 @@ impl ColumnData {
     pub fn empty(data_type: DataType) -> Self {
         match data_type {
             DataType::Int64 => ColumnData::Int64(Vec::new()),
-            DataType::Utf8 => ColumnData::Utf8 { offsets: vec![0], data: Vec::new() },
-            DataType::Binary => ColumnData::Binary { offsets: vec![0], data: Vec::new() },
-            DataType::VectorF32 { dim } => ColumnData::VectorF32 { dim, data: Vec::new() },
+            DataType::Utf8 => ColumnData::Utf8 {
+                offsets: vec![0],
+                data: Vec::new(),
+            },
+            DataType::Binary => ColumnData::Binary {
+                offsets: vec![0],
+                data: Vec::new(),
+            },
+            DataType::VectorF32 { dim } => ColumnData::VectorF32 {
+                dim,
+                data: Vec::new(),
+            },
         }
     }
 
@@ -170,12 +179,24 @@ impl ColumnData {
         match (self, other) {
             (ColumnData::Int64(a), ColumnData::Int64(b)) => a.extend_from_slice(b),
             (
-                ColumnData::Utf8 { offsets: ao, data: ad },
-                ColumnData::Utf8 { offsets: bo, data: bd },
+                ColumnData::Utf8 {
+                    offsets: ao,
+                    data: ad,
+                },
+                ColumnData::Utf8 {
+                    offsets: bo,
+                    data: bd,
+                },
             )
             | (
-                ColumnData::Binary { offsets: ao, data: ad },
-                ColumnData::Binary { offsets: bo, data: bd },
+                ColumnData::Binary {
+                    offsets: ao,
+                    data: ad,
+                },
+                ColumnData::Binary {
+                    offsets: bo,
+                    data: bd,
+                },
             ) => {
                 let base = ad.len() as u32;
                 ad.extend_from_slice(bd);
@@ -201,11 +222,17 @@ impl ColumnData {
             ColumnData::Int64(v) => ColumnData::Int64(v[start..start + len].to_vec()),
             ColumnData::Utf8 { offsets, data } => {
                 let (o, d) = slice_var(offsets, data, start, len);
-                ColumnData::Utf8 { offsets: o, data: d }
+                ColumnData::Utf8 {
+                    offsets: o,
+                    data: d,
+                }
             }
             ColumnData::Binary { offsets, data } => {
                 let (o, d) = slice_var(offsets, data, start, len);
-                ColumnData::Binary { offsets: o, data: d }
+                ColumnData::Binary {
+                    offsets: o,
+                    data: d,
+                }
             }
             ColumnData::VectorF32 { dim, data } => {
                 let d = *dim as usize;
@@ -220,8 +247,10 @@ impl ColumnData {
 
 fn slice_var(offsets: &[u32], data: &[u8], start: usize, len: usize) -> (Vec<u32>, Vec<u8>) {
     let base = offsets[start];
-    let out_offsets: Vec<u32> =
-        offsets[start..=start + len].iter().map(|&o| o - base).collect();
+    let out_offsets: Vec<u32> = offsets[start..=start + len]
+        .iter()
+        .map(|&o| o - base)
+        .collect();
     let out_data = data[offsets[start] as usize..offsets[start + len] as usize].to_vec();
     (out_offsets, out_data)
 }
@@ -266,7 +295,11 @@ impl RecordBatch {
                 return Err(FormatError::Corrupt("column length mismatch".into()));
             }
         }
-        Ok(Self { schema, columns, num_rows: num_rows.unwrap_or(0) })
+        Ok(Self {
+            schema,
+            columns,
+            num_rows: num_rows.unwrap_or(0),
+        })
     }
 
     /// The batch's schema.
@@ -341,13 +374,19 @@ mod tests {
         ]);
         let ok = RecordBatch::new(
             schema.clone(),
-            vec![ColumnData::Int64(vec![1, 2]), ColumnData::from_strings(["a", "b"])],
+            vec![
+                ColumnData::Int64(vec![1, 2]),
+                ColumnData::from_strings(["a", "b"]),
+            ],
         );
         assert_eq!(ok.unwrap().num_rows(), 2);
 
         let len_mismatch = RecordBatch::new(
             schema.clone(),
-            vec![ColumnData::Int64(vec![1]), ColumnData::from_strings(["a", "b"])],
+            vec![
+                ColumnData::Int64(vec![1]),
+                ColumnData::from_strings(["a", "b"]),
+            ],
         );
         assert!(len_mismatch.is_err());
 

@@ -117,11 +117,25 @@ impl FileMeta {
                         first_row: varint::read_u64(buf, &mut pos)?,
                     });
                 }
-                chunks.push(ChunkMeta { offset, size, pages, min, max });
+                chunks.push(ChunkMeta {
+                    offset,
+                    size,
+                    pages,
+                    min,
+                    max,
+                });
             }
-            row_groups.push(RowGroupMeta { num_rows: rg_rows, first_row, chunks });
+            row_groups.push(RowGroupMeta {
+                num_rows: rg_rows,
+                first_row,
+                chunks,
+            });
         }
-        Ok(FileMeta { schema, row_groups, num_rows })
+        Ok(FileMeta {
+            schema,
+            row_groups,
+            num_rows,
+        })
     }
 
     /// Parses a footer from the file *tail* (the last `tail.len()` bytes of a
@@ -129,7 +143,9 @@ impl FileMeta {
     /// offset, or an error if `tail` is too short to contain it.
     pub fn from_tail(tail: &[u8], file_len: u64) -> Result<(Self, u64)> {
         if tail.len() < 8 {
-            return Err(FormatError::Corrupt("tail shorter than footer frame".into()));
+            return Err(FormatError::Corrupt(
+                "tail shorter than footer frame".into(),
+            ));
         }
         let magic = &tail[tail.len() - 4..];
         if magic != MAGIC {
@@ -150,7 +166,10 @@ impl FileMeta {
 
     /// Total pages of column `col` across all row groups.
     pub fn num_pages(&self, col: usize) -> usize {
-        self.row_groups.iter().map(|rg| rg.chunks[col].pages.len()).sum()
+        self.row_groups
+            .iter()
+            .map(|rg| rg.chunks[col].pages.len())
+            .sum()
     }
 }
 
@@ -172,8 +191,18 @@ mod tests {
                     min: b"aaa".to_vec(),
                     max: b"zzz".to_vec(),
                     pages: vec![
-                        PageMeta { offset: 4, size: 1024, num_values: 60, first_row: 0 },
-                        PageMeta { offset: 1028, size: 1024, num_values: 40, first_row: 60 },
+                        PageMeta {
+                            offset: 4,
+                            size: 1024,
+                            num_values: 60,
+                            first_row: 0,
+                        },
+                        PageMeta {
+                            offset: 1028,
+                            size: 1024,
+                            num_values: 40,
+                            first_row: 60,
+                        },
                     ],
                 }],
             }],

@@ -126,9 +126,8 @@ fn decode_values(raw: &[u8], num_values: usize, data_type: DataType) -> Result<C
                 // accesses can skip the check safely.
                 let mut start = 0usize;
                 for &end in &offsets[1..] {
-                    std::str::from_utf8(&data[start..end as usize]).map_err(|_| {
-                        FormatError::Corrupt("invalid utf-8 in utf8 page".into())
-                    })?;
+                    std::str::from_utf8(&data[start..end as usize])
+                        .map_err(|_| FormatError::Corrupt("invalid utf-8 in utf8 page".into()))?;
                     start = end as usize;
                 }
                 Ok(ColumnData::Utf8 { offsets, data })
@@ -164,25 +163,34 @@ mod tests {
 
     #[test]
     fn int64_round_trip() {
-        round_trip(&ColumnData::Int64(vec![i64::MIN, -1, 0, 1, i64::MAX]), Codec::Lz);
+        round_trip(
+            &ColumnData::Int64(vec![i64::MIN, -1, 0, 1, i64::MAX]),
+            Codec::Lz,
+        );
         round_trip(&ColumnData::Int64(vec![]), Codec::Lz);
     }
 
     #[test]
     fn utf8_round_trip() {
-        round_trip(&ColumnData::from_strings(["", "héllo wörld", "a"]), Codec::Lz);
+        round_trip(
+            &ColumnData::from_strings(["", "héllo wörld", "a"]),
+            Codec::Lz,
+        );
         round_trip(&ColumnData::from_strings(Vec::<&str>::new()), Codec::None);
     }
 
     #[test]
     fn binary_round_trip() {
-        round_trip(&ColumnData::from_blobs([&[0u8, 255][..], &[][..], &[7; 40][..]]), Codec::Lz);
+        round_trip(
+            &ColumnData::from_blobs([&[0u8, 255][..], &[][..], &[7; 40][..]]),
+            Codec::Lz,
+        );
     }
 
     #[test]
     fn vector_round_trip() {
-        let c = ColumnData::from_vectors(3, vec![vec![1.5, -2.0, 0.0], vec![4.0, 5.0, 6.0]])
-            .unwrap();
+        let c =
+            ColumnData::from_vectors(3, vec![vec![1.5, -2.0, 0.0], vec![4.0, 5.0, 6.0]]).unwrap();
         round_trip(&c, Codec::Lz);
     }
 

@@ -54,7 +54,10 @@ impl PageTable {
                 });
             }
         }
-        Ok(Self { pages, total_rows: meta.num_rows })
+        Ok(Self {
+            pages,
+            total_rows: meta.num_rows,
+        })
     }
 
     /// Builds a table directly from locations (used in tests and merges).
@@ -99,10 +102,19 @@ impl PageTable {
     /// Serializes the table (delta/bit-packed; page offsets are sorted).
     pub fn encode(&self, out: &mut Vec<u8>) {
         varint::write_u64(out, self.total_rows);
-        bitpack::pack_sorted(out, &self.pages.iter().map(|p| p.offset).collect::<Vec<_>>());
+        bitpack::pack_sorted(
+            out,
+            &self.pages.iter().map(|p| p.offset).collect::<Vec<_>>(),
+        );
         bitpack::pack(out, &self.pages.iter().map(|p| p.size).collect::<Vec<_>>());
-        bitpack::pack(out, &self.pages.iter().map(|p| p.num_values).collect::<Vec<_>>());
-        bitpack::pack_sorted(out, &self.pages.iter().map(|p| p.first_row).collect::<Vec<_>>());
+        bitpack::pack(
+            out,
+            &self.pages.iter().map(|p| p.num_values).collect::<Vec<_>>(),
+        );
+        bitpack::pack_sorted(
+            out,
+            &self.pages.iter().map(|p| p.first_row).collect::<Vec<_>>(),
+        );
     }
 
     /// Decodes a table written by [`PageTable::encode`].
@@ -141,9 +153,24 @@ mod tests {
     fn sample() -> PageTable {
         PageTable::from_locations(
             vec![
-                PageLocation { offset: 4, size: 100, num_values: 10, first_row: 0 },
-                PageLocation { offset: 104, size: 120, num_values: 12, first_row: 10 },
-                PageLocation { offset: 224, size: 80, num_values: 8, first_row: 22 },
+                PageLocation {
+                    offset: 4,
+                    size: 100,
+                    num_values: 10,
+                    first_row: 0,
+                },
+                PageLocation {
+                    offset: 104,
+                    size: 120,
+                    num_values: 12,
+                    first_row: 10,
+                },
+                PageLocation {
+                    offset: 224,
+                    size: 80,
+                    num_values: 8,
+                    first_row: 22,
+                },
             ],
             30,
         )

@@ -39,14 +39,17 @@ impl<'a> ChunkReader<'a> {
             Err(_) if tail_start > 0 => {
                 // Footer larger than the speculative fetch: read it exactly.
                 let frame = store.get_range(key, len - 8..len)?;
-                let footer_len =
-                    u32::from_le_bytes(frame[..4].try_into().unwrap()) as u64;
+                let footer_len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as u64;
                 let full = store.get_range(key, len - 8 - footer_len..len)?;
                 FileMeta::from_tail(&full, len)?.0
             }
             Err(e) => return Err(e),
         };
-        Ok(Self { store, key: key.to_string(), meta })
+        Ok(Self {
+            store,
+            key: key.to_string(),
+            meta,
+        })
     }
 
     /// The parsed file metadata.
@@ -97,7 +100,11 @@ impl<'a> ChunkReader<'a> {
     /// Bytes that [`ChunkReader::read_column`] would transfer, without
     /// reading (used by the cluster cost model).
     pub fn column_bytes(&self, col: usize) -> u64 {
-        self.meta.row_groups.iter().map(|rg| rg.chunks[col].size).sum()
+        self.meta
+            .row_groups
+            .iter()
+            .map(|rg| rg.chunks[col].size)
+            .sum()
     }
 }
 
@@ -138,7 +145,9 @@ impl<'a> PageReader<'a> {
         let loc = table
             .page(page_id)
             .ok_or_else(|| FormatError::Corrupt(format!("no page {page_id} in table")))?;
-        let bytes = self.store.get_range(key, loc.offset..loc.offset + loc.size)?;
+        let bytes = self
+            .store
+            .get_range(key, loc.offset..loc.offset + loc.size)?;
         decode_page(&bytes, data_type)
     }
 
@@ -182,8 +191,9 @@ mod tests {
             Field::new("body", DataType::Utf8),
         ]);
         let ids: Vec<i64> = (0..rows as i64).collect();
-        let bodies: Vec<String> =
-            (0..rows).map(|i| format!("record {i} body with some text payload")).collect();
+        let bodies: Vec<String> = (0..rows)
+            .map(|i| format!("record {i} body with some text payload"))
+            .collect();
         let batch = RecordBatch::new(
             schema.clone(),
             vec![ColumnData::Int64(ids), ColumnData::from_strings(bodies)],
@@ -197,7 +207,11 @@ mod tests {
     #[test]
     fn chunk_reader_reads_whole_column() {
         let store = MemoryStore::unmetered();
-        let opts = WriterOptions { row_group_rows: 100, page_raw_bytes: 512, ..Default::default() };
+        let opts = WriterOptions {
+            row_group_rows: 100,
+            page_raw_bytes: 512,
+            ..Default::default()
+        };
         write_file(store.as_ref(), "t/a.lkpq", 250, opts);
 
         let reader = ChunkReader::open(store.as_ref(), "t/a.lkpq").unwrap();
@@ -206,14 +220,21 @@ mod tests {
 
         let col = reader.read_column(1).unwrap();
         assert_eq!(col.len(), 250);
-        assert_eq!(col.get(123), Some(ValueRef::Utf8("record 123 body with some text payload")));
+        assert_eq!(
+            col.get(123),
+            Some(ValueRef::Utf8("record 123 body with some text payload"))
+        );
     }
 
     #[test]
     fn chunk_reader_handles_large_footer() {
         let store = MemoryStore::unmetered();
         // Tiny pages => thousands of page entries => footer > 64 KiB.
-        let opts = WriterOptions { row_group_rows: 50, page_raw_bytes: 64, ..Default::default() };
+        let opts = WriterOptions {
+            row_group_rows: 50,
+            page_raw_bytes: 64,
+            ..Default::default()
+        };
         write_file(store.as_ref(), "t/big-footer.lkpq", 5000, opts);
         let reader = ChunkReader::open(store.as_ref(), "t/big-footer.lkpq").unwrap();
         assert_eq!(reader.meta().num_rows, 5000);
@@ -224,7 +245,11 @@ mod tests {
     #[test]
     fn page_reader_fetches_single_pages_without_footer() {
         let store = MemoryStore::unmetered();
-        let opts = WriterOptions { row_group_rows: 1000, page_raw_bytes: 512, ..Default::default() };
+        let opts = WriterOptions {
+            row_group_rows: 1000,
+            page_raw_bytes: 512,
+            ..Default::default()
+        };
         let meta = write_file(store.as_ref(), "t/b.lkpq", 300, opts);
         let table = PageTable::from_meta(&meta, 1).unwrap();
         assert!(table.len() > 5);
@@ -232,20 +257,29 @@ mod tests {
         let reader = PageReader::new(store.as_ref());
         let before = store.stats();
         let page_id = table.page_of_row(200).unwrap();
-        let col = reader.read_page("t/b.lkpq", &table, page_id, DataType::Utf8).unwrap();
+        let col = reader
+            .read_page("t/b.lkpq", &table, page_id, DataType::Utf8)
+            .unwrap();
         let after = store.stats().since(&before);
         assert_eq!(after.gets, 1, "exactly one GET, no footer read");
         assert_eq!(after.heads, 0);
 
         let first = table.page(page_id).unwrap().first_row;
         let within = (200 - first) as usize;
-        assert_eq!(col.get(within), Some(ValueRef::Utf8("record 200 body with some text payload")));
+        assert_eq!(
+            col.get(within),
+            Some(ValueRef::Utf8("record 200 body with some text payload"))
+        );
     }
 
     #[test]
     fn page_reader_batches_many_pages_into_one_round_trip() {
         let store = MemoryStore::new(); // metered
-        let opts = WriterOptions { row_group_rows: 1000, page_raw_bytes: 512, ..Default::default() };
+        let opts = WriterOptions {
+            row_group_rows: 1000,
+            page_raw_bytes: 512,
+            ..Default::default()
+        };
         let meta = write_file(store.as_ref(), "t/c.lkpq", 400, opts);
         let table = PageTable::from_meta(&meta, 1).unwrap();
         let reader = PageReader::new(store.as_ref());
@@ -258,13 +292,20 @@ mod tests {
         assert_eq!(total, 400);
         // One parallel round trip: modeled latency ~ a single small GET.
         let single = store.latency_model().get_us(1024);
-        assert!(elapsed < single * 3, "batch cost {elapsed}us vs single {single}us");
+        assert!(
+            elapsed < single * 3,
+            "batch cost {elapsed}us vs single {single}us"
+        );
     }
 
     #[test]
     fn page_reader_reads_much_less_than_chunk_reader() {
         let store = MemoryStore::unmetered();
-        let opts = WriterOptions { row_group_rows: 100_000, page_raw_bytes: 4096, ..Default::default() };
+        let opts = WriterOptions {
+            row_group_rows: 100_000,
+            page_raw_bytes: 4096,
+            ..Default::default()
+        };
         let meta = write_file(store.as_ref(), "t/d.lkpq", 20_000, opts);
         let table = PageTable::from_meta(&meta, 1).unwrap();
 
@@ -291,6 +332,8 @@ mod tests {
         let meta = write_file(store.as_ref(), "t/e.lkpq", 10, WriterOptions::default());
         let table = PageTable::from_meta(&meta, 0).unwrap();
         let reader = PageReader::new(store.as_ref());
-        assert!(reader.read_page("t/e.lkpq", &table, 999, DataType::Int64).is_err());
+        assert!(reader
+            .read_page("t/e.lkpq", &table, 999, DataType::Int64)
+            .is_err());
     }
 }

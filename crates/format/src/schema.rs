@@ -52,7 +52,9 @@ impl DataType {
                 let dim = varint::read_u64(buf, pos)? as u32;
                 Ok(DataType::VectorF32 { dim })
             }
-            other => Err(FormatError::Corrupt(format!("unknown data type tag {other}"))),
+            other => Err(FormatError::Corrupt(format!(
+                "unknown data type tag {other}"
+            ))),
         }
     }
 }
@@ -69,7 +71,10 @@ pub struct Field {
 impl Field {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
-        Self { name: name.into(), data_type }
+        Self {
+            name: name.into(),
+            data_type,
+        }
     }
 }
 

@@ -30,7 +30,11 @@ pub struct WriterOptions {
 
 impl Default for WriterOptions {
     fn default() -> Self {
-        Self { page_raw_bytes: 1 << 20, row_group_rows: 1 << 20, codec: Codec::Lz }
+        Self {
+            page_raw_bytes: 1 << 20,
+            row_group_rows: 1 << 20,
+            codec: Codec::Lz,
+        }
     }
 }
 
@@ -135,7 +139,11 @@ impl FileWriter {
         self.pending = remainders;
         self.pending_rows -= rows;
         self.rows_written += rows as u64;
-        self.row_groups.push(RowGroupMeta { num_rows: rows as u64, first_row, chunks });
+        self.row_groups.push(RowGroupMeta {
+            num_rows: rows as u64,
+            first_row,
+            chunks,
+        });
         Ok(())
     }
 
@@ -151,17 +159,14 @@ impl FileWriter {
         };
         let footer = meta.encode();
         self.buffer.extend_from_slice(&footer);
-        self.buffer.extend_from_slice(&(footer.len() as u32).to_le_bytes());
+        self.buffer
+            .extend_from_slice(&(footer.len() as u32).to_le_bytes());
         self.buffer.extend_from_slice(MAGIC);
         Ok((Bytes::from(std::mem::take(&mut self.buffer)), meta))
     }
 
     /// Finishes and uploads the file to `store` under `key`.
-    pub fn finish_into(
-        self,
-        store: &dyn ObjectStore,
-        key: &str,
-    ) -> Result<FileMeta> {
+    pub fn finish_into(self, store: &dyn ObjectStore, key: &str) -> Result<FileMeta> {
         let (bytes, meta) = self.finish()?;
         store.put(key, bytes)?;
         Ok(meta)
@@ -243,7 +248,9 @@ mod tests {
 
     fn batch(rows: std::ops::Range<i64>) -> RecordBatch {
         let ids: Vec<i64> = rows.clone().collect();
-        let bodies: Vec<String> = rows.map(|i| format!("log line number {i} with payload")).collect();
+        let bodies: Vec<String> = rows
+            .map(|i| format!("log line number {i} with payload"))
+            .collect();
         RecordBatch::new(
             schema(),
             vec![ColumnData::Int64(ids), ColumnData::from_strings(bodies)],
@@ -265,12 +272,18 @@ mod tests {
         let data = &bytes[page.offset as usize..(page.offset + page.size) as usize];
         let col = decode_page(data, DataType::Utf8).unwrap();
         assert_eq!(col.len() as u64, page.num_values);
-        assert_eq!(col.get(0), Some(ValueRef::Utf8("log line number 0 with payload")));
+        assert_eq!(
+            col.get(0),
+            Some(ValueRef::Utf8("log line number 0 with payload"))
+        );
     }
 
     #[test]
     fn row_groups_cut_at_configured_rows() {
-        let opts = WriterOptions { row_group_rows: 64, ..Default::default() };
+        let opts = WriterOptions {
+            row_group_rows: 64,
+            ..Default::default()
+        };
         let mut w = FileWriter::with_options(schema(), opts);
         w.write_batch(&batch(0..200)).unwrap();
         let (_, meta) = w.finish().unwrap();
@@ -288,12 +301,19 @@ mod tests {
 
     #[test]
     fn pages_respect_raw_byte_budget() {
-        let opts = WriterOptions { page_raw_bytes: 1024, ..Default::default() };
+        let opts = WriterOptions {
+            page_raw_bytes: 1024,
+            ..Default::default()
+        };
         let mut w = FileWriter::with_options(schema(), opts);
         w.write_batch(&batch(0..2000)).unwrap();
         let (_, meta) = w.finish().unwrap();
         let pages = &meta.row_groups[0].chunks[1].pages;
-        assert!(pages.len() > 10, "should split into many pages, got {}", pages.len());
+        assert!(
+            pages.len() > 10,
+            "should split into many pages, got {}",
+            pages.len()
+        );
         // first_row values must chain correctly.
         let mut expect = 0u64;
         for p in pages {
@@ -305,15 +325,15 @@ mod tests {
 
     #[test]
     fn oversized_single_value_gets_own_page() {
-        let opts = WriterOptions { page_raw_bytes: 100, ..Default::default() };
+        let opts = WriterOptions {
+            page_raw_bytes: 100,
+            ..Default::default()
+        };
         let s = Schema::new(vec![Field::new("b", DataType::Utf8)]);
         let mut w = FileWriter::with_options(s.clone(), opts);
         let huge = "x".repeat(1000);
-        let b = RecordBatch::new(
-            s,
-            vec![ColumnData::from_strings(["small", &huge, "tiny"])],
-        )
-        .unwrap();
+        let b =
+            RecordBatch::new(s, vec![ColumnData::from_strings(["small", &huge, "tiny"])]).unwrap();
         w.write_batch(&b).unwrap();
         let (bytes, meta) = w.finish().unwrap();
         let pages = &meta.row_groups[0].chunks[0].pages;

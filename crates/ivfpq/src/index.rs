@@ -1,8 +1,8 @@
 //! The componentized IVF-PQ index: build, search (nprobe / refine), merge.
 
 use bytes::Bytes;
-use rottnest_compress::{bitpack, varint};
 use rottnest_component::{ComponentFile, ComponentWriter, Posting};
+use rottnest_compress::{bitpack, varint};
 use rottnest_object_store::ObjectStore;
 
 use crate::kmeans::{kmeans, nearest};
@@ -22,7 +22,10 @@ pub struct VecPosting {
 impl VecPosting {
     /// Convenience constructor.
     pub fn new(file: u32, page: u32, row: u32) -> Self {
-        Self { posting: Posting::new(file, page), row }
+        Self {
+            posting: Posting::new(file, page),
+            row,
+        }
     }
 }
 
@@ -41,7 +44,12 @@ pub struct IvfPqParams {
 
 impl Default for IvfPqParams {
     fn default() -> Self {
-        Self { nlist: 64, m: 8, train_iters: 8, seed: 42 }
+        Self {
+            nlist: 64,
+            m: 8,
+            train_iters: 8,
+            seed: 42,
+        }
     }
 }
 
@@ -77,7 +85,12 @@ impl IvfPqBuilder {
                 params.m
             )));
         }
-        Ok(Self { dim, params, postings: Vec::new(), data: Vec::new() })
+        Ok(Self {
+            dim,
+            params,
+            postings: Vec::new(),
+            data: Vec::new(),
+        })
     }
 
     /// Adds one vector.
@@ -108,7 +121,13 @@ impl IvfPqBuilder {
     pub fn finish(self) -> Result<Bytes> {
         let n = self.postings.len();
         let nlist = self.params.nlist.min(n.max(1));
-        let centroids = kmeans(&self.data, self.dim, nlist, self.params.train_iters, self.params.seed);
+        let centroids = kmeans(
+            &self.data,
+            self.dim,
+            nlist,
+            self.params.train_iters,
+            self.params.seed,
+        );
 
         // Assign vectors and compute residuals for PQ training.
         let mut assignment = vec![0u32; n];
@@ -172,9 +191,27 @@ fn write_file(
     for list in lists {
         let mut buf = Vec::new();
         varint::write_usize(&mut buf, list.len());
-        bitpack::pack(&mut buf, &list.iter().map(|(p, _)| u64::from(p.posting.file)).collect::<Vec<_>>());
-        bitpack::pack(&mut buf, &list.iter().map(|(p, _)| u64::from(p.posting.page)).collect::<Vec<_>>());
-        bitpack::pack(&mut buf, &list.iter().map(|(p, _)| u64::from(p.row)).collect::<Vec<_>>());
+        bitpack::pack(
+            &mut buf,
+            &list
+                .iter()
+                .map(|(p, _)| u64::from(p.posting.file))
+                .collect::<Vec<_>>(),
+        );
+        bitpack::pack(
+            &mut buf,
+            &list
+                .iter()
+                .map(|(p, _)| u64::from(p.posting.page))
+                .collect::<Vec<_>>(),
+        );
+        bitpack::pack(
+            &mut buf,
+            &list
+                .iter()
+                .map(|(p, _)| u64::from(p.row))
+                .collect::<Vec<_>>(),
+        );
         for (_, code) in list {
             buf.extend_from_slice(code);
         }
@@ -216,7 +253,14 @@ impl<'a> IvfPqIndex<'a> {
             .collect();
         pos = end;
         let pq = ProductQuantizer::decode_from(&root, &mut pos)?;
-        Ok(Self { file, dim, nlist, n_vectors, centroids, pq })
+        Ok(Self {
+            file,
+            dim,
+            nlist,
+            n_vectors,
+            centroids,
+            pq,
+        })
     }
 
     /// Vector dimensionality.
@@ -286,7 +330,12 @@ impl<'a> IvfPqIndex<'a> {
         }
         // Rank centroids.
         let mut order: Vec<(usize, f32)> = (0..self.nlist)
-            .map(|c| (c, l2_sq(query, &self.centroids[c * self.dim..(c + 1) * self.dim])))
+            .map(|c| {
+                (
+                    c,
+                    l2_sq(query, &self.centroids[c * self.dim..(c + 1) * self.dim]),
+                )
+            })
             .collect();
         order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         let probed: Vec<usize> = order
@@ -303,8 +352,7 @@ impl<'a> IvfPqIndex<'a> {
         let mut candidates: Vec<(VecPosting, f32)> = Vec::new();
         for &c in &probed {
             let centroid = &self.centroids[c * self.dim..(c + 1) * self.dim];
-            let residual_query: Vec<f32> =
-                query.iter().zip(centroid).map(|(q, c)| q - c).collect();
+            let residual_query: Vec<f32> = query.iter().zip(centroid).map(|(q, c)| q - c).collect();
             let table = self.pq.adc_table(&residual_query);
             for (posting, code) in self.read_list(c)? {
                 candidates.push((posting, self.pq.adc_distance(&table, &code)));
@@ -322,7 +370,9 @@ impl<'a> IvfPqIndex<'a> {
         let ids: Vec<VecPosting> = candidates.iter().map(|&(p, _)| p).collect();
         let exact = fetch_exact(&ids)?;
         if exact.len() != ids.len() {
-            return Err(IvfError::BadInput("fetch_exact returned wrong count".into()));
+            return Err(IvfError::BadInput(
+                "fetch_exact returned wrong count".into(),
+            ));
         }
         let mut reranked: Vec<(VecPosting, f32)> = ids
             .into_iter()
@@ -374,7 +424,9 @@ pub fn merge_ivf(
     let dim = target.dim;
     for (s, _) in sources {
         if s.dim != dim {
-            return Err(IvfError::BadInput("merging indexes of different dims".into()));
+            return Err(IvfError::BadInput(
+                "merging indexes of different dims".into(),
+            ));
         }
     }
 
@@ -389,8 +441,7 @@ pub fn merge_ivf(
             );
             let (c, _) = nearest(&vector, &target.centroids, dim);
             let centroid = &target.centroids[c as usize * dim..(c as usize + 1) * dim];
-            let residual: Vec<f32> =
-                vector.iter().zip(centroid).map(|(v, c)| v - c).collect();
+            let residual: Vec<f32> = vector.iter().zip(centroid).map(|(v, c)| v - c).collect();
             lists[c as usize].push((remapped, target.pq.encode(&residual)));
             total += 1;
         }
@@ -430,7 +481,12 @@ mod tests {
     fn build(store: &dyn ObjectStore, key: &str, data: &[f32], file_id: u32) {
         let mut b = IvfPqBuilder::new(
             DIM,
-            IvfPqParams { nlist: 32, m: 4, train_iters: 6, seed: 11 },
+            IvfPqParams {
+                nlist: 32,
+                m: 4,
+                train_iters: 6,
+                seed: 11,
+            },
         )
         .unwrap();
         let n = data.len() / DIM;
@@ -482,10 +538,26 @@ mod tests {
             let truth = truth_ids(&data, query, 10);
 
             let low = idx
-                .search(query, SearchParams { k: 10, nprobe: 1, refine: 0 }, &fetch)
+                .search(
+                    query,
+                    SearchParams {
+                        k: 10,
+                        nprobe: 1,
+                        refine: 0,
+                    },
+                    &fetch,
+                )
                 .unwrap();
             let high = idx
-                .search(query, SearchParams { k: 10, nprobe: 16, refine: 100 }, &fetch)
+                .search(
+                    query,
+                    SearchParams {
+                        k: 10,
+                        nprobe: 16,
+                        refine: 100,
+                    },
+                    &fetch,
+                )
                 .unwrap();
             let low_ids: Vec<VecPosting> = low.iter().map(|&(p, _)| p).collect();
             let high_ids: Vec<VecPosting> = high.iter().map(|&(p, _)| p).collect();
@@ -494,7 +566,10 @@ mod tests {
         }
         recall_low /= queries as f64;
         recall_high /= queries as f64;
-        assert!(recall_high > recall_low, "high {recall_high} vs low {recall_low}");
+        assert!(
+            recall_high > recall_low,
+            "high {recall_high} vs low {recall_low}"
+        );
         assert!(recall_high > 0.9, "high-effort recall {recall_high}");
     }
 
@@ -508,7 +583,15 @@ mod tests {
 
         let query = &data[123 * DIM..124 * DIM];
         let hits = idx
-            .search(query, SearchParams { k: 1, nprobe: 8, refine: 50 }, &fetch)
+            .search(
+                query,
+                SearchParams {
+                    k: 1,
+                    nprobe: 8,
+                    refine: 50,
+                },
+                &fetch,
+            )
             .unwrap();
         // The query IS a database vector; exact rerank must find distance 0.
         assert_eq!(hits[0].1, 0.0);
@@ -528,10 +611,22 @@ mod tests {
 
         let fetch = exact_fetcher(&data);
         let before = store.stats();
-        idx.search(&data[0..DIM], SearchParams { k: 5, nprobe: 8, refine: 0 }, &fetch)
-            .unwrap();
+        idx.search(
+            &data[0..DIM],
+            SearchParams {
+                k: 5,
+                nprobe: 8,
+                refine: 0,
+            },
+            &fetch,
+        )
+        .unwrap();
         let delta = store.stats().since(&before);
-        assert!(delta.gets <= 8, "probe took {} GETs for 8 lists", delta.gets);
+        assert!(
+            delta.gets <= 8,
+            "probe took {} GETs for 8 lists",
+            delta.gets
+        );
     }
 
     #[test]
@@ -554,7 +649,8 @@ mod tests {
             Ok(ids
                 .iter()
                 .map(|p| {
-                    let i = p.posting.page as usize * 100 + p.row as usize
+                    let i = p.posting.page as usize * 100
+                        + p.row as usize
                         + p.posting.file as usize * 1500;
                     all[i * DIM..(i + 1) * DIM].to_vec()
                 })
@@ -562,7 +658,15 @@ mod tests {
         };
         let query = &data_b[700 * DIM..701 * DIM];
         let hits = merged
-            .search(query, SearchParams { k: 1, nprobe: 16, refine: 80 }, &fetch)
+            .search(
+                query,
+                SearchParams {
+                    k: 1,
+                    nprobe: 16,
+                    refine: 80,
+                },
+                &fetch,
+            )
             .unwrap();
         assert_eq!(hits[0].0, VecPosting::new(1, 7, 0));
         assert_eq!(hits[0].1, 0.0);
@@ -576,23 +680,53 @@ mod tests {
         let idx = IvfPqIndex::open(store.as_ref(), "v.idx").unwrap();
         let fetch = exact_fetcher(&data);
         assert!(idx
-            .search(&[0.0; 3], SearchParams { k: 1, nprobe: 1, refine: 0 }, &fetch)
+            .search(
+                &[0.0; 3],
+                SearchParams {
+                    k: 1,
+                    nprobe: 1,
+                    refine: 0
+                },
+                &fetch
+            )
             .is_err());
         let mut b = IvfPqBuilder::new(DIM, IvfPqParams::default()).unwrap();
         assert!(b.add(VecPosting::new(0, 0, 0), &[0.0; 3]).is_err());
-        assert!(IvfPqBuilder::new(10, IvfPqParams { m: 3, ..Default::default() }).is_err());
+        assert!(IvfPqBuilder::new(
+            10,
+            IvfPqParams {
+                m: 3,
+                ..Default::default()
+            }
+        )
+        .is_err());
     }
 
     #[test]
     fn empty_index_searches_cleanly() {
         let store = MemoryStore::unmetered();
-        let b = IvfPqBuilder::new(DIM, IvfPqParams { nlist: 4, m: 4, ..Default::default() })
-            .unwrap();
+        let b = IvfPqBuilder::new(
+            DIM,
+            IvfPqParams {
+                nlist: 4,
+                m: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         b.finish_into(store.as_ref(), "e.idx").unwrap();
         let idx = IvfPqIndex::open(store.as_ref(), "e.idx").unwrap();
         let fetch = |_: &[VecPosting]| -> Result<Vec<Vec<f32>>> { Ok(Vec::new()) };
         let hits = idx
-            .search(&[0.0; DIM], SearchParams { k: 5, nprobe: 2, refine: 10 }, &fetch)
+            .search(
+                &[0.0; DIM],
+                SearchParams {
+                    k: 5,
+                    nprobe: 2,
+                    refine: 10,
+                },
+                &fetch,
+            )
             .unwrap();
         assert!(hits.is_empty());
     }

@@ -14,7 +14,10 @@ const PAR_CHUNK: usize = 16 * 1024;
 /// centroids (fewer never happens: empty clusters are re-seeded from the
 /// farthest points).
 pub fn kmeans(data: &[f32], dim: usize, k: usize, iters: usize, seed: u64) -> Vec<f32> {
-    assert!(dim > 0 && data.len().is_multiple_of(dim), "data must be n*dim");
+    assert!(
+        dim > 0 && data.len().is_multiple_of(dim),
+        "data must be n*dim"
+    );
     let n = data.len() / dim;
     assert!(k > 0, "k must be positive");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -121,7 +124,9 @@ pub fn assign(data: &[f32], dim: usize, centroids: &[f32], out: &mut [u32]) {
         work(0..n, out);
         return;
     }
-    let threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(16);
+    let threads = std::thread::available_parallelism()
+        .map_or(4, |p| p.get())
+        .min(16);
     let chunk = n.div_ceil(threads);
     crossbeam::scope(|scope| {
         for (t, slice) in out.chunks_mut(chunk).enumerate() {
@@ -154,12 +159,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn clustered_data(
-        n_per: usize,
-        centers: &[[f32; 2]],
-        spread: f32,
-        seed: u64,
-    ) -> Vec<f32> {
+    fn clustered_data(n_per: usize, centers: &[[f32; 2]], spread: f32, seed: u64) -> Vec<f32> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut data = Vec::new();
         for c in centers {
@@ -200,7 +200,10 @@ mod tests {
         assign(&data, 2, &centroids, &mut asg);
         // Each point maps to a centroid at distance 0.
         for (i, &a) in asg.iter().enumerate() {
-            let d = l2_sq(&data[i * 2..i * 2 + 2], &centroids[a as usize * 2..a as usize * 2 + 2]);
+            let d = l2_sq(
+                &data[i * 2..i * 2 + 2],
+                &centroids[a as usize * 2..a as usize * 2 + 2],
+            );
             assert!(d < 1e-9);
         }
     }

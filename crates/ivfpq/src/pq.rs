@@ -41,7 +41,12 @@ impl ProductQuantizer {
             }
             codebooks.extend(kmeans(&sub, dsub, KSUB, iters, seed.wrapping_add(s as u64)));
         }
-        Ok(Self { dim, m, dsub, codebooks })
+        Ok(Self {
+            dim,
+            m,
+            dsub,
+            codebooks,
+        })
     }
 
     /// Vector dimensionality.
@@ -142,7 +147,12 @@ impl ProductQuantizer {
             .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
             .collect();
         *pos = end;
-        Ok(Self { dim, m, dsub, codebooks })
+        Ok(Self {
+            dim,
+            m,
+            dsub,
+            codebooks,
+        })
     }
 }
 
@@ -171,7 +181,10 @@ mod tests {
             err += l2_sq(v, &approx) as f64;
             base += v.iter().map(|&x| (x * x) as f64).sum::<f64>();
         }
-        assert!(err < base * 0.25, "quantization error {err} vs energy {base}");
+        assert!(
+            err < base * 0.25,
+            "quantization error {err} vs energy {base}"
+        );
     }
 
     #[test]

@@ -94,7 +94,9 @@ impl DeletionVector {
         let mut pos = 4usize;
         let rows = bitpack::unpack_sorted(bytes, &mut pos)?;
         if pos != bytes.len() {
-            return Err(LakeError::Corrupt("trailing bytes in deletion vector".into()));
+            return Err(LakeError::Corrupt(
+                "trailing bytes in deletion vector".into(),
+            ));
         }
         Ok(Self { rows })
     }
@@ -127,7 +129,10 @@ mod tests {
         let back = DeletionVector::from_bytes(&dv.to_bytes()).unwrap();
         assert_eq!(back, dv);
         let empty = DeletionVector::new();
-        assert_eq!(DeletionVector::from_bytes(&empty.to_bytes()).unwrap(), empty);
+        assert_eq!(
+            DeletionVector::from_bytes(&empty.to_bytes()).unwrap(),
+            empty
+        );
     }
 
     #[test]

@@ -140,13 +140,17 @@ impl Action {
             .ok_or_else(|| LakeError::Corrupt("truncated action".into()))?;
         *pos += 1;
         Ok(match tag {
-            0 => Action::Init { schema_bytes: varint::read_bytes(buf, pos)?.to_vec() },
+            0 => Action::Init {
+                schema_bytes: varint::read_bytes(buf, pos)?.to_vec(),
+            },
             1 => Action::AddFile {
                 path: varint::read_str(buf, pos)?,
                 rows: varint::read_u64(buf, pos)?,
                 size: varint::read_u64(buf, pos)?,
             },
-            2 => Action::RemoveFile { path: varint::read_str(buf, pos)? },
+            2 => Action::RemoveFile {
+                path: varint::read_str(buf, pos)?,
+            },
             3 => Action::SetDeletionVector {
                 data_path: varint::read_str(buf, pos)?,
                 dv_path: varint::read_str(buf, pos)?,
@@ -163,9 +167,17 @@ mod tests {
     #[test]
     fn action_round_trip() {
         let actions = vec![
-            Action::Init { schema_bytes: vec![1, 2, 3] },
-            Action::AddFile { path: "t/data/a.lkpq".into(), rows: 100, size: 4096 },
-            Action::RemoveFile { path: "t/data/b.lkpq".into() },
+            Action::Init {
+                schema_bytes: vec![1, 2, 3],
+            },
+            Action::AddFile {
+                path: "t/data/a.lkpq".into(),
+                rows: 100,
+                size: 4096,
+            },
+            Action::RemoveFile {
+                path: "t/data/b.lkpq".into(),
+            },
             Action::SetDeletionVector {
                 data_path: "t/data/a.lkpq".into(),
                 dv_path: "t/dv/a.dv".into(),

@@ -37,7 +37,10 @@ const PAD: usize = 20;
 impl<'a> TxLog<'a> {
     /// Opens (lazily) the log under `root` (no trailing slash).
     pub fn new(store: &'a dyn ObjectStore, root: impl Into<String>) -> Self {
-        Self { store, root: root.into() }
+        Self {
+            store,
+            root: root.into(),
+        }
     }
 
     fn key_of(&self, version: u64) -> String {
@@ -64,7 +67,11 @@ impl<'a> TxLog<'a> {
             .head(&key)
             .map_err(|_| LakeError::NoSuchVersion(version))?;
         let payload = self.store.get(&key)?;
-        Ok(LogEntry { version, payload, timestamp_ms: meta.created_ms })
+        Ok(LogEntry {
+            version,
+            payload,
+            timestamp_ms: meta.created_ms,
+        })
     }
 
     fn ckpt_key_of(&self, version: u64) -> String {
@@ -118,9 +125,16 @@ impl<'a> TxLog<'a> {
                 .map(|(_, m)| rottnest_object_store::RangeRequest::new(m.key.clone(), 0..m.size))
                 .collect();
             let payloads = self.store.get_ranges(&requests)?;
-            entries.extend(metas.into_iter().zip(payloads).map(|((v, m), payload)| {
-                LogEntry { version: v, payload, timestamp_ms: m.created_ms }
-            }));
+            entries.extend(
+                metas
+                    .into_iter()
+                    .zip(payloads)
+                    .map(|((v, m), payload)| LogEntry {
+                        version: v,
+                        payload,
+                        timestamp_ms: m.created_ms,
+                    }),
+            );
         }
         Ok(entries)
     }
@@ -138,7 +152,10 @@ impl<'a> TxLog<'a> {
             rottnest_compress::varint::write_u64(&mut buf, e.timestamp_ms);
             rottnest_compress::varint::write_bytes(&mut buf, &e.payload);
         }
-        match self.store.put_if_absent(&self.ckpt_key_of(version), Bytes::from(buf)) {
+        match self
+            .store
+            .put_if_absent(&self.ckpt_key_of(version), Bytes::from(buf))
+        {
             Ok(()) => Ok(()),
             Err(StoreError::AlreadyExists(_)) => Ok(()), // someone else won
             Err(e) => Err(e.into()),
@@ -148,7 +165,10 @@ impl<'a> TxLog<'a> {
     /// Latest checkpoint version, if any.
     pub fn latest_checkpoint(&self) -> Result<Option<u64>> {
         let listing = self.store.list(&format!("{}/_log/", self.root))?;
-        Ok(listing.iter().filter_map(|m| self.ckpt_version_of(&m.key)).max())
+        Ok(listing
+            .iter()
+            .filter_map(|m| self.ckpt_version_of(&m.key))
+            .max())
     }
 
     /// Attempts to commit `payload` at exactly `expected_version`.
@@ -156,7 +176,10 @@ impl<'a> TxLog<'a> {
     /// Returns `Conflict` if another writer got there first — callers rebase
     /// and retry.
     pub fn try_commit_at(&self, expected_version: u64, payload: Bytes) -> Result<()> {
-        match self.store.put_if_absent(&self.key_of(expected_version), payload) {
+        match self
+            .store
+            .put_if_absent(&self.key_of(expected_version), payload)
+        {
             Ok(()) => Ok(()),
             Err(StoreError::AlreadyExists(_)) => Err(LakeError::Conflict(format!(
                 "version {expected_version} already committed"
@@ -186,7 +209,6 @@ impl<'a> TxLog<'a> {
     }
 }
 
-
 fn decode_checkpoint(buf: &[u8]) -> Result<Vec<LogEntry>> {
     use rottnest_compress::varint;
     let mut pos = 0usize;
@@ -196,7 +218,11 @@ fn decode_checkpoint(buf: &[u8]) -> Result<Vec<LogEntry>> {
         let version = varint::read_u64(buf, &mut pos)?;
         let timestamp_ms = varint::read_u64(buf, &mut pos)?;
         let payload = Bytes::copy_from_slice(varint::read_bytes(buf, &mut pos)?);
-        out.push(LogEntry { version, payload, timestamp_ms });
+        out.push(LogEntry {
+            version,
+            payload,
+            timestamp_ms,
+        });
     }
     Ok(out)
 }
@@ -310,7 +336,7 @@ mod tests {
         }
         log.write_checkpoint(3).unwrap();
         log.write_checkpoint(3).unwrap(); // no error on re-run
-        // Reads below the checkpoint ignore it.
+                                          // Reads below the checkpoint ignore it.
         let entries = log.read_until(2).unwrap();
         assert_eq!(entries.len(), 3);
     }
@@ -320,6 +346,9 @@ mod tests {
         let store = MemoryStore::unmetered();
         let log = TxLog::new(store.as_ref(), "tbl");
         log.commit(Bytes::from_static(b"a"), 0).unwrap();
-        assert!(matches!(log.read_until(5), Err(LakeError::NoSuchVersion(_))));
+        assert!(matches!(
+            log.read_until(5),
+            Err(LakeError::NoSuchVersion(_))
+        ));
     }
 }

@@ -54,7 +54,12 @@ impl Snapshot {
                     Action::AddFile { path, rows, size } => {
                         files.insert(
                             path.clone(),
-                            FileEntry { path, rows, size, dv_path: None },
+                            FileEntry {
+                                path,
+                                rows,
+                                size,
+                                dv_path: None,
+                            },
                         );
                     }
                     Action::RemoveFile { path } => {
@@ -76,9 +81,12 @@ impl Snapshot {
             }
         }
 
-        let schema = schema
-            .ok_or_else(|| LakeError::Corrupt("log has no Init action".into()))?;
-        Ok(Self { version, schema, files })
+        let schema = schema.ok_or_else(|| LakeError::Corrupt("log has no Init action".into()))?;
+        Ok(Self {
+            version,
+            schema,
+            files,
+        })
     }
 
     /// The snapshot's version.
@@ -140,25 +148,55 @@ mod tests {
         for a in actions {
             a.encode(&mut payload);
         }
-        LogEntry { version, payload: Bytes::from(payload), timestamp_ms: 0 }
+        LogEntry {
+            version,
+            payload: Bytes::from(payload),
+            timestamp_ms: 0,
+        }
     }
 
     #[test]
     fn replay_add_remove_dv() {
         let entries = vec![
-            entry(0, &[Action::Init { schema_bytes: schema_bytes() }]),
-            entry(1, &[
-                Action::AddFile { path: "t/a".into(), rows: 10, size: 100 },
-                Action::AddFile { path: "t/b".into(), rows: 20, size: 200 },
-            ]),
-            entry(2, &[Action::SetDeletionVector {
-                data_path: "t/a".into(),
-                dv_path: "t/dv/a".into(),
-            }]),
-            entry(3, &[
-                Action::RemoveFile { path: "t/b".into() },
-                Action::AddFile { path: "t/c".into(), rows: 20, size: 190 },
-            ]),
+            entry(
+                0,
+                &[Action::Init {
+                    schema_bytes: schema_bytes(),
+                }],
+            ),
+            entry(
+                1,
+                &[
+                    Action::AddFile {
+                        path: "t/a".into(),
+                        rows: 10,
+                        size: 100,
+                    },
+                    Action::AddFile {
+                        path: "t/b".into(),
+                        rows: 20,
+                        size: 200,
+                    },
+                ],
+            ),
+            entry(
+                2,
+                &[Action::SetDeletionVector {
+                    data_path: "t/a".into(),
+                    dv_path: "t/dv/a".into(),
+                }],
+            ),
+            entry(
+                3,
+                &[
+                    Action::RemoveFile { path: "t/b".into() },
+                    Action::AddFile {
+                        path: "t/c".into(),
+                        rows: 20,
+                        size: 190,
+                    },
+                ],
+            ),
         ];
         let snap = Snapshot::replay(&entries).unwrap();
         assert_eq!(snap.version(), 3);
@@ -173,26 +211,66 @@ mod tests {
     #[test]
     fn remove_unknown_file_is_corrupt() {
         let entries = vec![
-            entry(0, &[Action::Init { schema_bytes: schema_bytes() }]),
-            entry(1, &[Action::RemoveFile { path: "ghost".into() }]),
+            entry(
+                0,
+                &[Action::Init {
+                    schema_bytes: schema_bytes(),
+                }],
+            ),
+            entry(
+                1,
+                &[Action::RemoveFile {
+                    path: "ghost".into(),
+                }],
+            ),
         ];
         assert!(Snapshot::replay(&entries).is_err());
     }
 
     #[test]
     fn missing_init_is_corrupt() {
-        let entries =
-            vec![entry(0, &[Action::AddFile { path: "a".into(), rows: 1, size: 1 }])];
+        let entries = vec![entry(
+            0,
+            &[Action::AddFile {
+                path: "a".into(),
+                rows: 1,
+                size: 1,
+            }],
+        )];
         assert!(Snapshot::replay(&entries).is_err());
     }
 
     #[test]
     fn dv_replacement_keeps_latest() {
         let entries = vec![
-            entry(0, &[Action::Init { schema_bytes: schema_bytes() }]),
-            entry(1, &[Action::AddFile { path: "a".into(), rows: 5, size: 50 }]),
-            entry(2, &[Action::SetDeletionVector { data_path: "a".into(), dv_path: "dv1".into() }]),
-            entry(3, &[Action::SetDeletionVector { data_path: "a".into(), dv_path: "dv2".into() }]),
+            entry(
+                0,
+                &[Action::Init {
+                    schema_bytes: schema_bytes(),
+                }],
+            ),
+            entry(
+                1,
+                &[Action::AddFile {
+                    path: "a".into(),
+                    rows: 5,
+                    size: 50,
+                }],
+            ),
+            entry(
+                2,
+                &[Action::SetDeletionVector {
+                    data_path: "a".into(),
+                    dv_path: "dv1".into(),
+                }],
+            ),
+            entry(
+                3,
+                &[Action::SetDeletionVector {
+                    data_path: "a".into(),
+                    dv_path: "dv2".into(),
+                }],
+            ),
         ];
         let snap = Snapshot::replay(&entries).unwrap();
         assert_eq!(snap.file("a").unwrap().dv_path.as_deref(), Some("dv2"));

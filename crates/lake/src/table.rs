@@ -4,9 +4,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
 use rottnest_format::{
-    ChunkReader, ColumnData, FileMeta, RecordBatch, Schema, FileWriter, WriterOptions,
+    ChunkReader, ColumnData, FileMeta, FileWriter, RecordBatch, Schema, WriterOptions,
 };
-use rottnest_object_store::ObjectStore;
+use rottnest_object_store::{ObjectStore, RetryPolicy, RetryStore};
 
 use crate::dv::DeletionVector;
 use crate::log::TxLog;
@@ -20,6 +20,9 @@ pub struct TableConfig {
     pub writer: WriterOptions,
     /// Optimistic-concurrency retry budget for commits.
     pub max_commit_retries: u32,
+    /// Request-level retry/backoff policy; every store request this handle
+    /// issues runs under it (default: jittered exponential backoff).
+    pub retry: RetryPolicy,
 }
 
 impl TableConfig {
@@ -40,11 +43,22 @@ static FILE_SEQ: AtomicU64 = AtomicU64::new(0);
 /// table concurrently; every state change goes through the commit log.
 pub struct Table<'a> {
     store: &'a dyn ObjectStore,
+    retry: RetryStore<&'a dyn ObjectStore>,
     root: String,
     config: TableConfig,
 }
 
 impl<'a> Table<'a> {
+    fn handle(store: &'a dyn ObjectStore, root: String, config: TableConfig) -> Self {
+        let retry = RetryStore::new(store, config.retry.clone());
+        Self {
+            store,
+            retry,
+            root,
+            config,
+        }
+    }
+
     /// Creates a new table by committing version 0 with the schema.
     pub fn create(
         store: &'a dyn ObjectStore,
@@ -52,14 +66,13 @@ impl<'a> Table<'a> {
         schema: &Schema,
         config: TableConfig,
     ) -> Result<Self> {
-        let root = root.into();
-        let log = TxLog::new(store, &root);
+        let this = Self::handle(store, root.into(), config);
         let mut schema_bytes = Vec::new();
         schema.encode(&mut schema_bytes);
         let mut payload = Vec::new();
         Action::Init { schema_bytes }.encode(&mut payload);
-        log.try_commit_at(0, Bytes::from(payload))?;
-        Ok(Self { store, root, config })
+        this.log().try_commit_at(0, Bytes::from(payload))?;
+        Ok(this)
     }
 
     /// Opens an existing table (errors if it has no log).
@@ -68,12 +81,11 @@ impl<'a> Table<'a> {
         root: impl Into<String>,
         config: TableConfig,
     ) -> Result<Self> {
-        let root = root.into();
-        let log = TxLog::new(store, &root);
-        if log.latest_version()?.is_none() {
-            return Err(LakeError::Corrupt(format!("no table at {root}")));
+        let this = Self::handle(store, root.into(), config);
+        if this.log().latest_version()?.is_none() {
+            return Err(LakeError::Corrupt(format!("no table at {}", this.root)));
         }
-        Ok(Self { store, root, config })
+        Ok(this)
     }
 
     /// The table's root prefix.
@@ -81,13 +93,20 @@ impl<'a> Table<'a> {
         &self.root
     }
 
-    /// The object store backing the table.
-    pub fn store(&self) -> &'a dyn ObjectStore {
+    /// The store this handle issues requests through — the backing store
+    /// wrapped in the handle's [`RetryStore`], so readers layered on top
+    /// (page probes, brute-force scans) inherit transient-fault tolerance.
+    pub fn store(&self) -> &dyn ObjectStore {
+        &self.retry
+    }
+
+    /// The raw backing store, bypassing the retry layer.
+    pub fn raw_store(&self) -> &'a dyn ObjectStore {
         self.store
     }
 
-    fn log(&self) -> TxLog<'a> {
-        TxLog::new(self.store, self.root.clone())
+    fn log(&self) -> TxLog<'_> {
+        TxLog::new(&self.retry, self.root.clone())
     }
 
     /// Latest snapshot.
@@ -106,22 +125,33 @@ impl<'a> Table<'a> {
 
     fn fresh_name(&self, dir: &str, ext: &str) -> String {
         let seq = FILE_SEQ.fetch_add(1, Ordering::Relaxed);
-        format!("{}/{dir}/{:012}-{seq:06}.{ext}", self.root, self.store.now_ms())
+        format!(
+            "{}/{dir}/{:012}-{seq:06}.{ext}",
+            self.root,
+            self.retry.now_ms()
+        )
     }
 
     /// Writes `batch` as a new data file and commits it. Returns the file's
     /// path.
     pub fn append(&self, batch: &RecordBatch) -> Result<String> {
         let path = self.fresh_name("data", "lkpq");
-        let mut writer = FileWriter::with_options(batch.schema().clone(), self.config.writer.clone());
+        let mut writer =
+            FileWriter::with_options(batch.schema().clone(), self.config.writer.clone());
         writer.write_batch(batch)?;
         let (bytes, meta) = writer.finish()?;
         let size = bytes.len() as u64;
-        self.store.put(&path, bytes)?;
+        self.retry.put(&path, bytes)?;
 
         let mut payload = Vec::new();
-        Action::AddFile { path: path.clone(), rows: meta.num_rows, size }.encode(&mut payload);
-        self.log().commit(Bytes::from(payload), self.config.retries())?;
+        Action::AddFile {
+            path: path.clone(),
+            rows: meta.num_rows,
+            size,
+        }
+        .encode(&mut payload);
+        self.log()
+            .commit(Bytes::from(payload), self.config.retries())?;
         Ok(path)
     }
 
@@ -147,7 +177,9 @@ impl<'a> Table<'a> {
                 Err(e) => return Err(e),
             }
         }
-        Err(LakeError::Conflict("validated commit retries exhausted".into()))
+        Err(LakeError::Conflict(
+            "validated commit retries exhausted".into(),
+        ))
     }
 
     /// Marks file-local `rows` of `path` deleted by writing a (unioned)
@@ -163,7 +195,7 @@ impl<'a> Table<'a> {
         let existing = self.load_dv(entry)?.unwrap_or_default();
         let merged = existing.union(&DeletionVector::from_rows(rows.to_vec()));
         let dv_path = self.fresh_name("dv", "dv");
-        self.store.put(&dv_path, merged.to_bytes())?;
+        self.retry.put(&dv_path, merged.to_bytes())?;
 
         let actions = [Action::SetDeletionVector {
             data_path: path.to_string(),
@@ -174,7 +206,9 @@ impl<'a> Table<'a> {
             if snap.contains(&path_owned) {
                 Ok(())
             } else {
-                Err(LakeError::Conflict(format!("{path_owned} removed concurrently")))
+                Err(LakeError::Conflict(format!(
+                    "{path_owned} removed concurrently"
+                )))
             }
         })?;
         Ok(())
@@ -191,7 +225,7 @@ impl<'a> Table<'a> {
         let snap = self.snapshot()?;
         let mut deleted = 0u64;
         for entry in snap.files().cloned().collect::<Vec<_>>() {
-            let reader = ChunkReader::open(self.store, &entry.path)?;
+            let reader = ChunkReader::open(&self.retry, &entry.path)?;
             let data = reader.read_column(col)?;
             let existing = self.load_dv(&entry)?.unwrap_or_default();
             let mut hit = Vec::new();
@@ -213,7 +247,7 @@ impl<'a> Table<'a> {
         match &entry.dv_path {
             None => Ok(None),
             Some(path) => {
-                let bytes = self.store.get(path)?;
+                let bytes = self.retry.get(path)?;
                 Ok(Some(DeletionVector::from_bytes(&bytes)?))
             }
         }
@@ -246,7 +280,7 @@ impl<'a> Table<'a> {
             .map(|f| ColumnData::empty(f.data_type))
             .collect();
         for entry in &victims {
-            let reader = ChunkReader::open(self.store, &entry.path)?;
+            let reader = ChunkReader::open(&self.retry, &entry.path)?;
             let dv = self.load_dv(entry)?.unwrap_or_default();
             for (c, out) in columns.iter_mut().enumerate() {
                 let data = reader.read_column(c)?;
@@ -268,13 +302,19 @@ impl<'a> Table<'a> {
         writer.write_batch(&batch)?;
         let (bytes, meta) = writer.finish()?;
         let size = bytes.len() as u64;
-        self.store.put(&path, bytes)?;
+        self.retry.put(&path, bytes)?;
 
         let mut actions: Vec<Action> = victims
             .iter()
-            .map(|f| Action::RemoveFile { path: f.path.clone() })
+            .map(|f| Action::RemoveFile {
+                path: f.path.clone(),
+            })
             .collect();
-        actions.push(Action::AddFile { path: path.clone(), rows: meta.num_rows, size });
+        actions.push(Action::AddFile {
+            path: path.clone(),
+            rows: meta.num_rows,
+            size,
+        });
 
         let victim_paths: Vec<String> = victims.iter().map(|f| f.path.clone()).collect();
         self.commit_validated(&actions, move |snap| {
@@ -293,17 +333,17 @@ impl<'a> Table<'a> {
     /// the number of objects removed.
     pub fn vacuum(&self, retention_ms: u64) -> Result<u64> {
         let snap = self.snapshot()?;
-        let now = self.store.now_ms();
+        let now = self.retry.now_ms();
         let mut live: std::collections::BTreeSet<String> =
             snap.files().map(|f| f.path.clone()).collect();
         live.extend(snap.files().filter_map(|f| f.dv_path.clone()));
 
         let mut removed = 0u64;
         for dir in ["data", "dv"] {
-            for meta in self.store.list(&format!("{}/{dir}/", self.root))? {
+            for meta in self.retry.list(&format!("{}/{dir}/", self.root))? {
                 if !live.contains(&meta.key) && now.saturating_sub(meta.created_ms) >= retention_ms
                 {
-                    self.store.delete(&meta.key)?;
+                    self.retry.delete(&meta.key)?;
                     removed += 1;
                 }
             }
@@ -313,7 +353,7 @@ impl<'a> Table<'a> {
 
     /// Opens a file's metadata (footer round trips included).
     pub fn file_meta(&self, path: &str) -> Result<FileMeta> {
-        Ok(ChunkReader::open(self.store, path)?.meta().clone())
+        Ok(ChunkReader::open(&self.retry, path)?.meta().clone())
     }
 
     /// Writes a commit-log checkpoint at the current version, so later
@@ -348,7 +388,7 @@ impl<'a> Table<'a> {
             .map(|f| ColumnData::empty(f.data_type))
             .collect();
         for entry in &victims {
-            let reader = ChunkReader::open(self.store, &entry.path)?;
+            let reader = ChunkReader::open(&self.retry, &entry.path)?;
             let dv = self.load_dv(entry)?.unwrap_or_default();
             let file_cols: Vec<ColumnData> = (0..schema.len())
                 .map(|c| reader.read_column(c))
@@ -392,13 +432,19 @@ impl<'a> Table<'a> {
         writer.write_batch(&batch)?;
         let (bytes, meta) = writer.finish()?;
         let size = bytes.len() as u64;
-        self.store.put(&path, bytes)?;
+        self.retry.put(&path, bytes)?;
 
         let mut actions: Vec<Action> = victims
             .iter()
-            .map(|f| Action::RemoveFile { path: f.path.clone() })
+            .map(|f| Action::RemoveFile {
+                path: f.path.clone(),
+            })
             .collect();
-        actions.push(Action::AddFile { path: path.clone(), rows: meta.num_rows, size });
+        actions.push(Action::AddFile {
+            path: path.clone(),
+            rows: meta.num_rows,
+            size,
+        });
         let victim_paths: Vec<String> = victims.iter().map(|f| f.path.clone()).collect();
         self.commit_validated(&actions, move |snap| {
             for p in &victim_paths {
@@ -416,7 +462,7 @@ impl<'a> Table<'a> {
 mod tests {
     use super::*;
     use rottnest_format::{DataType, Field, ValueRef};
-    use rottnest_object_store::MemoryStore;
+    use rottnest_object_store::{FaultKind, MemoryStore};
 
     fn schema() -> Schema {
         Schema::new(vec![
@@ -586,7 +632,10 @@ mod tests {
         let p1 = t.append(&batch(0..10)).unwrap();
         t.append(&batch(10..20)).unwrap();
         t.compact(u64::MAX).unwrap().unwrap(); // removes p1
-        assert!(matches!(t.delete_rows(&p1, &[0]), Err(LakeError::Conflict(_))));
+        assert!(matches!(
+            t.delete_rows(&p1, &[0]),
+            Err(LakeError::Conflict(_))
+        ));
     }
 
     #[test]
@@ -616,6 +665,46 @@ mod tests {
     }
 
     #[test]
+    fn commit_with_lost_ack_is_not_duplicated() {
+        let store = MemoryStore::unmetered();
+        let t = table(store.as_ref());
+        // The commit's put_if_absent lands but reports a transient failure;
+        // the retry layer must recognise its own winning write instead of
+        // treating it as a conflict and re-committing at the next version.
+        store
+            .faults()
+            .arm(FaultKind::AckLostPutMatching("_log".into()));
+        t.append(&batch(0..10)).unwrap();
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.version(), 1, "exactly one commit after the init");
+        assert_eq!(snap.num_files(), 1);
+        assert_eq!(snap.total_rows(), 10);
+        assert!(store.stats().retries >= 1);
+    }
+
+    #[test]
+    fn transient_faults_during_table_ops_are_absorbed() {
+        let store = MemoryStore::unmetered();
+        let t = table(store.as_ref());
+        let p = t.append(&batch(0..10)).unwrap();
+        store
+            .faults()
+            .arm(FaultKind::TransientGetMatching(".lkpq".into()));
+        store
+            .faults()
+            .arm(FaultKind::TransientPutMatching("dv".into()));
+        t.delete_rows(&p, &[2]).unwrap();
+        store
+            .faults()
+            .arm(FaultKind::TransientDeleteMatching("data".into()));
+        t.append(&batch(10..20)).unwrap();
+        t.compact(u64::MAX).unwrap().unwrap();
+        // Two stale data files plus the orphaned deletion-vector sidecar.
+        assert_eq!(t.vacuum(0).unwrap(), 3, "vacuum retried its way through");
+        assert_eq!(t.snapshot().unwrap().total_rows(), 19);
+    }
+
+    #[test]
     fn checkpoint_accelerates_snapshot_reads() {
         let store = MemoryStore::unmetered();
         let t = table(store.as_ref());
@@ -630,6 +719,10 @@ mod tests {
         let snap = t.snapshot().unwrap();
         let delta = store.stats().since(&before);
         assert_eq!(snap.total_rows(), 45);
-        assert!(delta.gets <= 3, "checkpointed snapshot read took {} GETs", delta.gets);
+        assert!(
+            delta.gets <= 3,
+            "checkpointed snapshot read took {} GETs",
+            delta.gets
+        );
     }
 }

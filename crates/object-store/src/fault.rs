@@ -1,14 +1,29 @@
 //! Fault injection used to exercise the protocol's correctness invariants.
 //!
-//! The Rottnest proofs (§IV-D) reason about processes dying in
-//! `before_upload`, `before_commit`, and `during_delete` states. Tests drive
-//! those states by arming an injector: operations matching an armed fault
-//! fail with [`crate::StoreError::Injected`], which upper layers treat as a
-//! process crash at that point.
+//! Two families of faults, with deliberately different error types:
+//!
+//! * **Crash faults** (the seed behaviour). The Rottnest proofs (§IV-D)
+//!   reason about processes dying in `before_upload`, `before_commit`, and
+//!   `during_delete` states. Tests drive those states by arming one-shot
+//!   pattern faults: matching operations fail with
+//!   [`crate::StoreError::Injected`], which upper layers treat as a process
+//!   crash at that point. These are **not retryable** — a retry layer must
+//!   let them surface so crash-recovery tests observe them exactly once.
+//!
+//! * **Transient faults**. Real object stores also fail at the request
+//!   level — throttling, timeouts, dropped connections — and production S3
+//!   clients wrap every request in jittered backoff. One-shot
+//!   `Transient*Matching` patterns and the seeded probabilistic **chaos
+//!   mode** ([`ChaosConfig`]) produce [`crate::StoreError::Transient`]
+//!   failures, ack-lost PUTs (the write lands but the response is lost),
+//!   torn range reads (short responses), and latency spikes. These *are*
+//!   retryable and are what [`crate::RetryStore`] exists to absorb.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
+
+use crate::StoreError;
 
 /// Kinds of faults the injector can arm.
 #[derive(Debug, Clone)]
@@ -22,6 +37,120 @@ pub enum FaultKind {
     FailGetMatching(String),
     /// Fail the next DELETE whose key contains the pattern.
     FailDeleteMatching(String),
+    /// Fail the next PUT whose key contains the pattern with a *retryable*
+    /// [`crate::StoreError::Transient`]; the write does not take effect.
+    TransientPutMatching(String),
+    /// Fail the next GET whose key contains the pattern with a retryable
+    /// transient error.
+    TransientGetMatching(String),
+    /// Fail the next DELETE whose key contains the pattern with a retryable
+    /// transient error.
+    TransientDeleteMatching(String),
+    /// The next PUT whose key contains the pattern **succeeds on the store
+    /// but reports a transient failure** (the ack is lost in flight). This
+    /// is the ambiguous non-idempotent case a retrying `put_if_absent` must
+    /// resolve by inspecting the winning object.
+    AckLostPutMatching(String),
+}
+
+/// Per-operation failure probabilities for seeded chaos mode.
+///
+/// All probabilities are in `[0, 1]` and evaluated independently per
+/// request from a deterministic splitmix64 stream, so a given seed produces
+/// the same fault schedule on every run.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed of the deterministic fault stream.
+    pub seed: u64,
+    /// Probability that a PUT fails transiently (no effect).
+    pub put_fail_p: f64,
+    /// Probability that a surviving PUT lands but its ack is lost
+    /// (reported as [`crate::StoreError::Transient`]).
+    pub ack_lost_p: f64,
+    /// Probability that a GET / HEAD fails transiently.
+    pub get_fail_p: f64,
+    /// Probability that a surviving range GET is torn: a prefix of the
+    /// requested bytes is returned.
+    pub torn_read_p: f64,
+    /// Probability that a DELETE fails transiently.
+    pub delete_fail_p: f64,
+    /// Probability that a request is hit by a latency spike.
+    pub latency_spike_p: f64,
+    /// Extra latency charged on a spike, in milliseconds.
+    pub latency_spike_ms: u64,
+}
+
+impl ChaosConfig {
+    /// Uniform chaos: every failure mode fires with probability `p`
+    /// (ack-loss at `p / 2`, since it only applies to surviving PUTs),
+    /// with 250 ms latency spikes.
+    pub fn uniform(seed: u64, p: f64) -> Self {
+        Self {
+            seed,
+            put_fail_p: p,
+            ack_lost_p: p / 2.0,
+            get_fail_p: p,
+            torn_read_p: p,
+            delete_fail_p: p,
+            latency_spike_p: p,
+            latency_spike_ms: 250,
+        }
+    }
+}
+
+/// Chaos verdict for a single PUT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PutChaos {
+    /// The request proceeds normally.
+    None,
+    /// The request fails transiently; the write has no effect.
+    Fail,
+    /// The write takes effect but the ack is lost: the store applies the
+    /// mutation and *then* returns [`crate::StoreError::Transient`].
+    AckLost,
+}
+
+/// Chaos verdict for a single GET (whole-object or range).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GetChaos {
+    /// The request fails transiently.
+    pub fail: bool,
+    /// A surviving range read is torn: return only `keep_fraction` of the
+    /// requested bytes (ignored for whole-object GETs, which are atomic).
+    pub torn: bool,
+    /// Fraction of the requested bytes a torn read keeps, in `[0, 1)`.
+    pub keep_fraction: f64,
+}
+
+struct Chaos {
+    config: ChaosConfig,
+    rng: u64,
+}
+
+impl Chaos {
+    fn next_unit(&mut self) -> f64 {
+        // splitmix64: tiny, seedable, and good enough for fault schedules.
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn roll(&mut self, p: f64) -> bool {
+        // Consume a draw even when p == 0 so enabling one failure mode
+        // does not reshuffle the schedule of the others.
+        self.next_unit() < p
+    }
+}
+
+impl std::fmt::Debug for Chaos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Chaos")
+            .field("config", &self.config)
+            .finish()
+    }
 }
 
 /// Shared fault-injection state attached to a [`crate::MemoryStore`].
@@ -30,6 +159,7 @@ pub struct FaultInjector {
     puts_until_fail: AtomicU64,
     puts_after_armed: std::sync::atomic::AtomicBool,
     patterns: Mutex<Vec<FaultKind>>,
+    chaos: Mutex<Option<Chaos>>,
 }
 
 impl FaultInjector {
@@ -49,45 +179,171 @@ impl FaultInjector {
         self.patterns.lock().push(kind);
     }
 
-    /// Clears every armed fault.
+    /// Clears every armed fault and disables chaos mode.
     pub fn disarm_all(&self) {
         self.patterns.lock().clear();
         self.puts_after_armed.store(false, Ordering::SeqCst);
+        *self.chaos.lock() = None;
+    }
+
+    /// Enables (`Some`) or disables (`None`) seeded probabilistic chaos.
+    pub fn set_chaos(&self, config: Option<ChaosConfig>) {
+        *self.chaos.lock() = config.map(|config| Chaos {
+            rng: config.seed ^ 0x5DEE_CE66,
+            config,
+        });
+    }
+
+    /// Whether chaos mode is currently enabled.
+    pub fn chaos_enabled(&self) -> bool {
+        self.chaos.lock().is_some()
     }
 
     /// Checks whether a PUT of `key` should fail, consuming one-shot faults.
-    pub fn check_put(&self, key: &str) -> Result<(), &'static str> {
+    pub fn check_put(&self, key: &str) -> Result<(), StoreError> {
         if self.puts_after_armed.load(Ordering::SeqCst) {
-            let prev = self.puts_until_fail.fetch_update(
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-                |v| Some(v.saturating_sub(1)),
-            );
+            let prev = self
+                .puts_until_fail
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                    Some(v.saturating_sub(1))
+                });
             if prev == Ok(0) {
-                return Err("put budget exhausted");
+                return Err(StoreError::Injected("put budget exhausted"));
             }
         }
-        self.take_matching(key, |k| matches!(k, FaultKind::FailPutMatching(p) if key.contains(p.as_str())))
-            .map_or(Ok(()), |_| Err("put fault"))
+        if self
+            .take_matching(
+                |k| matches!(k, FaultKind::FailPutMatching(p) if key.contains(p.as_str())),
+            )
+            .is_some()
+        {
+            return Err(StoreError::Injected("put fault"));
+        }
+        if self
+            .take_matching(
+                |k| matches!(k, FaultKind::TransientPutMatching(p) if key.contains(p.as_str())),
+            )
+            .is_some()
+        {
+            return Err(StoreError::Transient("put dropped"));
+        }
+        Ok(())
+    }
+
+    /// Whether the next PUT of `key` should land but report a lost ack.
+    /// Consumes a one-shot [`FaultKind::AckLostPutMatching`] if armed.
+    pub fn take_ack_lost_put(&self, key: &str) -> bool {
+        self.take_matching(
+            |k| matches!(k, FaultKind::AckLostPutMatching(p) if key.contains(p.as_str())),
+        )
+        .is_some()
     }
 
     /// Checks whether a GET of `key` should fail.
-    pub fn check_get(&self, key: &str) -> Result<(), &'static str> {
-        self.take_matching(key, |k| matches!(k, FaultKind::FailGetMatching(p) if key.contains(p.as_str())))
-            .map_or(Ok(()), |_| Err("get fault"))
+    pub fn check_get(&self, key: &str) -> Result<(), StoreError> {
+        if self
+            .take_matching(
+                |k| matches!(k, FaultKind::FailGetMatching(p) if key.contains(p.as_str())),
+            )
+            .is_some()
+        {
+            return Err(StoreError::Injected("get fault"));
+        }
+        if self
+            .take_matching(
+                |k| matches!(k, FaultKind::TransientGetMatching(p) if key.contains(p.as_str())),
+            )
+            .is_some()
+        {
+            return Err(StoreError::Transient("get timed out"));
+        }
+        Ok(())
     }
 
     /// Checks whether a DELETE of `key` should fail.
-    pub fn check_delete(&self, key: &str) -> Result<(), &'static str> {
-        self.take_matching(key, |k| matches!(k, FaultKind::FailDeleteMatching(p) if key.contains(p.as_str())))
-            .map_or(Ok(()), |_| Err("delete fault"))
+    pub fn check_delete(&self, key: &str) -> Result<(), StoreError> {
+        if self
+            .take_matching(
+                |k| matches!(k, FaultKind::FailDeleteMatching(p) if key.contains(p.as_str())),
+            )
+            .is_some()
+        {
+            return Err(StoreError::Injected("delete fault"));
+        }
+        if self
+            .take_matching(
+                |k| matches!(k, FaultKind::TransientDeleteMatching(p) if key.contains(p.as_str())),
+            )
+            .is_some()
+        {
+            return Err(StoreError::Transient("delete timed out"));
+        }
+        Ok(())
     }
 
-    fn take_matching(
-        &self,
-        _key: &str,
-        pred: impl Fn(&FaultKind) -> bool,
-    ) -> Option<FaultKind> {
+    /// Rolls the chaos dice for a PUT. [`PutChaos::None`] when chaos is off.
+    pub fn chaos_put(&self) -> PutChaos {
+        let mut guard = self.chaos.lock();
+        let Some(chaos) = guard.as_mut() else {
+            return PutChaos::None;
+        };
+        let (fail_p, ack_p) = (chaos.config.put_fail_p, chaos.config.ack_lost_p);
+        if chaos.roll(fail_p) {
+            PutChaos::Fail
+        } else if chaos.roll(ack_p) {
+            PutChaos::AckLost
+        } else {
+            PutChaos::None
+        }
+    }
+
+    /// Rolls the chaos dice for a GET or HEAD.
+    pub fn chaos_get(&self) -> GetChaos {
+        let mut guard = self.chaos.lock();
+        let Some(chaos) = guard.as_mut() else {
+            return GetChaos {
+                fail: false,
+                torn: false,
+                keep_fraction: 0.0,
+            };
+        };
+        let (fail_p, torn_p) = (chaos.config.get_fail_p, chaos.config.torn_read_p);
+        let fail = chaos.roll(fail_p);
+        let torn = !fail && chaos.roll(torn_p);
+        let keep_fraction = if torn { chaos.next_unit() } else { 0.0 };
+        GetChaos {
+            fail,
+            torn,
+            keep_fraction,
+        }
+    }
+
+    /// Rolls the chaos dice for a DELETE. `true` means fail transiently.
+    pub fn chaos_delete(&self) -> bool {
+        let mut guard = self.chaos.lock();
+        let Some(chaos) = guard.as_mut() else {
+            return false;
+        };
+        let p = chaos.config.delete_fail_p;
+        chaos.roll(p)
+    }
+
+    /// Rolls the chaos dice for a latency spike; returns the extra latency
+    /// in microseconds (0 when no spike).
+    pub fn chaos_spike_us(&self) -> u64 {
+        let mut guard = self.chaos.lock();
+        let Some(chaos) = guard.as_mut() else {
+            return 0;
+        };
+        let (p, ms) = (chaos.config.latency_spike_p, chaos.config.latency_spike_ms);
+        if chaos.roll(p) {
+            ms * 1000
+        } else {
+            0
+        }
+    }
+
+    fn take_matching(&self, pred: impl Fn(&FaultKind) -> bool) -> Option<FaultKind> {
         let mut patterns = self.patterns.lock();
         let idx = patterns.iter().position(pred)?;
         Some(patterns.swap_remove(idx))
@@ -103,7 +359,10 @@ mod tests {
         let inj = FaultInjector::new();
         inj.arm(FaultKind::FailPutMatching("index".into()));
         assert!(inj.check_put("data/a.parquet").is_ok());
-        assert!(inj.check_put("idx/ac02.index").is_err());
+        assert_eq!(
+            inj.check_put("idx/ac02.index"),
+            Err(StoreError::Injected("put fault"))
+        );
         assert!(inj.check_put("idx/ac02.index").is_ok(), "one-shot");
     }
 
@@ -128,5 +387,65 @@ mod tests {
         assert!(inj.check_get("t/b.parquet").is_err());
         assert!(inj.check_delete("idx/x.index").is_err());
         assert!(inj.check_delete("idx/x.index").is_ok());
+    }
+
+    #[test]
+    fn transient_faults_are_retryable_crash_faults_are_not() {
+        let inj = FaultInjector::new();
+        inj.arm(FaultKind::TransientGetMatching("x".into()));
+        inj.arm(FaultKind::FailGetMatching("y".into()));
+        let transient = inj.check_get("t/x").unwrap_err();
+        let crash = inj.check_get("t/y").unwrap_err();
+        assert!(transient.is_retryable());
+        assert!(!crash.is_retryable());
+    }
+
+    #[test]
+    fn ack_lost_is_a_separate_channel() {
+        let inj = FaultInjector::new();
+        inj.arm(FaultKind::AckLostPutMatching("commit".into()));
+        // check_put does not consume ack-lost faults...
+        assert!(inj.check_put("log/commit-00001").is_ok());
+        // ...take_ack_lost_put does, once.
+        assert!(inj.take_ack_lost_put("log/commit-00001"));
+        assert!(!inj.take_ack_lost_put("log/commit-00001"));
+    }
+
+    #[test]
+    fn chaos_stream_is_deterministic() {
+        let a = FaultInjector::new();
+        let b = FaultInjector::new();
+        a.set_chaos(Some(ChaosConfig::uniform(42, 0.3)));
+        b.set_chaos(Some(ChaosConfig::uniform(42, 0.3)));
+        for _ in 0..200 {
+            assert_eq!(a.chaos_put(), b.chaos_put());
+            assert_eq!(a.chaos_get(), b.chaos_get());
+            assert_eq!(a.chaos_delete(), b.chaos_delete());
+            assert_eq!(a.chaos_spike_us(), b.chaos_spike_us());
+        }
+    }
+
+    #[test]
+    fn chaos_fires_at_roughly_the_configured_rate() {
+        let inj = FaultInjector::new();
+        inj.set_chaos(Some(ChaosConfig::uniform(7, 0.2)));
+        let fails = (0..2000).filter(|_| inj.chaos_delete()).count();
+        assert!(
+            (300..500).contains(&fails),
+            "expected ~400 fails, got {fails}"
+        );
+    }
+
+    #[test]
+    fn chaos_off_is_quiet() {
+        let inj = FaultInjector::new();
+        assert_eq!(inj.chaos_put(), PutChaos::None);
+        assert!(!inj.chaos_get().fail);
+        assert!(!inj.chaos_delete());
+        assert_eq!(inj.chaos_spike_us(), 0);
+        inj.set_chaos(Some(ChaosConfig::uniform(1, 1.0)));
+        assert_eq!(inj.chaos_put(), PutChaos::Fail);
+        inj.disarm_all();
+        assert_eq!(inj.chaos_put(), PutChaos::None, "disarm_all clears chaos");
     }
 }

@@ -29,7 +29,10 @@ impl FsStore {
     pub fn open(root: impl Into<PathBuf>) -> Result<Arc<Self>> {
         let root = root.into();
         fs::create_dir_all(&root).map_err(io_err)?;
-        Ok(Arc::new(Self { root, stats: RequestStats::default() }))
+        Ok(Arc::new(Self {
+            root,
+            stats: RequestStats::default(),
+        }))
     }
 
     fn path_of(&self, key: &str) -> PathBuf {
@@ -43,7 +46,11 @@ impl FsStore {
             .ok()
             .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
             .map_or(0, |d| d.as_millis() as u64);
-        Ok(ObjectMeta { key: key.to_string(), size: meta.len(), created_ms })
+        Ok(ObjectMeta {
+            key: key.to_string(),
+            size: meta.len(),
+            created_ms,
+        })
     }
 
     fn collect_keys(dir: &Path, root: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
@@ -85,7 +92,11 @@ impl ObjectStore for FsStore {
         if let Some(parent) = path.parent() {
             fs::create_dir_all(parent).map_err(io_err)?;
         }
-        let mut file = match fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+        let mut file = match fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
             Ok(f) => f,
             Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
                 return Err(StoreError::AlreadyExists(key.to_string()))
@@ -105,8 +116,7 @@ impl ObjectStore for FsStore {
 
     fn get_range(&self, key: &str, range: Range<u64>) -> Result<Bytes> {
         let path = self.path_of(key);
-        let mut file =
-            fs::File::open(&path).map_err(|_| StoreError::NotFound(key.to_string()))?;
+        let mut file = fs::File::open(&path).map_err(|_| StoreError::NotFound(key.to_string()))?;
         let len = file.metadata().map_err(io_err)?.len();
         let end = range.end.min(len);
         if range.start > end {
@@ -137,7 +147,9 @@ impl ObjectStore for FsStore {
         }
         keys.retain(|k| k.starts_with(prefix) && !k.contains(".tmp."));
         keys.sort_unstable();
-        keys.iter().map(|k| self.meta_of(k, &self.path_of(k))).collect()
+        keys.iter()
+            .map(|k| self.meta_of(k, &self.path_of(k)))
+            .collect()
     }
 
     fn delete(&self, key: &str) -> Result<()> {
@@ -158,6 +170,10 @@ impl ObjectStore for FsStore {
     fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
     }
+
+    fn record_retry(&self, retries: u64, backoff_ms: u64) {
+        self.stats.record_retry(retries, backoff_ms);
+    }
 }
 
 impl std::fmt::Debug for FsStore {
@@ -171,10 +187,8 @@ mod tests {
     use super::*;
 
     fn temp_store(tag: &str) -> Arc<FsStore> {
-        let dir = std::env::temp_dir().join(format!(
-            "rottnest-fs-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("rottnest-fs-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         FsStore::open(dir).unwrap()
     }
@@ -182,15 +196,24 @@ mod tests {
     #[test]
     fn put_get_list_delete() {
         let s = temp_store("basic");
-        s.put("tbl/data/a.parquet", Bytes::from_static(b"AAA")).unwrap();
-        s.put("tbl/data/b.parquet", Bytes::from_static(b"BB")).unwrap();
+        s.put("tbl/data/a.parquet", Bytes::from_static(b"AAA"))
+            .unwrap();
+        s.put("tbl/data/b.parquet", Bytes::from_static(b"BB"))
+            .unwrap();
         s.put("tbl/_log/001.log", Bytes::from_static(b"L")).unwrap();
 
         assert_eq!(s.get("tbl/data/a.parquet").unwrap().as_ref(), b"AAA");
-        assert_eq!(s.get_range("tbl/data/a.parquet", 1..3).unwrap().as_ref(), b"AA");
+        assert_eq!(
+            s.get_range("tbl/data/a.parquet", 1..3).unwrap().as_ref(),
+            b"AA"
+        );
 
-        let data_keys: Vec<String> =
-            s.list("tbl/data/").unwrap().into_iter().map(|m| m.key).collect();
+        let data_keys: Vec<String> = s
+            .list("tbl/data/")
+            .unwrap()
+            .into_iter()
+            .map(|m| m.key)
+            .collect();
         assert_eq!(data_keys, vec!["tbl/data/a.parquet", "tbl/data/b.parquet"]);
 
         s.delete("tbl/data/a.parquet").unwrap();
@@ -201,7 +224,8 @@ mod tests {
     #[test]
     fn put_if_absent_contends() {
         let s = temp_store("cas");
-        s.put_if_absent("log/1", Bytes::from_static(b"first")).unwrap();
+        s.put_if_absent("log/1", Bytes::from_static(b"first"))
+            .unwrap();
         assert!(matches!(
             s.put_if_absent("log/1", Bytes::from_static(b"second")),
             Err(StoreError::AlreadyExists(_))
@@ -214,5 +238,60 @@ mod tests {
         let s = temp_store("head");
         s.put("k", Bytes::from(vec![7u8; 1234])).unwrap();
         assert_eq!(s.head("k").unwrap().size, 1234);
+    }
+
+    #[test]
+    fn missing_key_errors_are_not_found() {
+        let s = temp_store("missing");
+        assert!(matches!(s.get("no/such/key"), Err(StoreError::NotFound(k)) if k == "no/such/key"));
+        assert!(matches!(
+            s.get_range("nope", 0..10),
+            Err(StoreError::NotFound(_))
+        ));
+        assert!(matches!(s.head("nope"), Err(StoreError::NotFound(_))));
+        // None of these are retryable — the object simply isn't there.
+        assert!(!s.get("nope").unwrap_err().is_retryable());
+    }
+
+    #[test]
+    fn invalid_range_reports_object_length() {
+        let s = temp_store("range");
+        s.put("obj", Bytes::from_static(b"0123456789")).unwrap();
+        // Over-long ranges truncate like S3...
+        assert_eq!(s.get_range("obj", 8..100).unwrap().as_ref(), b"89");
+        // ...but a start past EOF is an error carrying the real length.
+        match s.get_range("obj", 11..12) {
+            Err(StoreError::InvalidRange {
+                key,
+                len,
+                start,
+                end,
+            }) => {
+                assert_eq!((key.as_str(), len, start, end), ("obj", 10, 11, 12));
+            }
+            other => panic!("expected InvalidRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn io_failures_map_to_io_errors() {
+        let s = temp_store("io");
+        // A key whose parent path is occupied by a *file* cannot be
+        // created: the OS error must surface as StoreError::Io, not panic.
+        s.put("blocker", Bytes::from_static(b"x")).unwrap();
+        let err = s
+            .put("blocker/child", Bytes::from_static(b"y"))
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "got {err:?}");
+        assert!(!err.is_retryable());
+    }
+
+    #[test]
+    fn record_retry_lands_in_stats() {
+        let s = temp_store("retry-stats");
+        s.record_retry(2, 75);
+        let snap = s.stats();
+        assert_eq!(snap.retries, 2);
+        assert_eq!(snap.backoff_ms, 75);
     }
 }

@@ -91,14 +91,30 @@ impl LatencyModel {
     }
 }
 
+/// What a [`PrefixThrottle`] does to requests past the rate limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ThrottleMode {
+    /// Model client-side pacing: excess requests succeed but incur queuing
+    /// delay (the seed behaviour, kept as the default).
+    #[default]
+    Delay,
+    /// Model S3 itself: excess requests fail with
+    /// [`Throttled`](crate::StoreError::Throttled) and the client is
+    /// expected to back off and retry.
+    Reject,
+}
+
 /// Sliding-window rate limiter keyed by key prefix.
 ///
-/// Requests beyond `limit_per_sec` within the current one-second window incur
-/// queuing delay of one window per `limit_per_sec` excess requests —
-/// deterministic and order-independent for batch accounting.
+/// In [`ThrottleMode::Delay`], requests beyond `limit_per_sec` within the
+/// current one-second window incur queuing delay of one window per
+/// `limit_per_sec` excess requests — deterministic and order-independent for
+/// batch accounting. In [`ThrottleMode::Reject`], they fail with a
+/// `503`-style error carrying the time until the window rolls over.
 #[derive(Debug)]
 pub struct PrefixThrottle {
     limit_per_sec: u64,
+    mode: ThrottleMode,
     windows: parking_lot::Mutex<super::FxHashMap<String, Window>>,
 }
 
@@ -114,8 +130,24 @@ impl PrefixThrottle {
     pub fn new(limit_per_sec: u64) -> Self {
         Self {
             limit_per_sec,
+            mode: ThrottleMode::Delay,
             windows: parking_lot::Mutex::new(super::FxHashMap::default()),
         }
+    }
+
+    /// Creates a throttle that *rejects* excess requests with
+    /// [`Throttled`](crate::StoreError::Throttled) instead of delaying them.
+    pub fn rejecting(limit_per_sec: u64) -> Self {
+        Self {
+            limit_per_sec,
+            mode: ThrottleMode::Reject,
+            windows: parking_lot::Mutex::new(super::FxHashMap::default()),
+        }
+    }
+
+    /// The throttle's behaviour past the limit.
+    pub fn mode(&self) -> ThrottleMode {
+        self.mode
     }
 
     /// Extracts the throttling prefix of a key (everything up to the last
@@ -126,19 +158,13 @@ impl PrefixThrottle {
 
     /// Records `n` requests against `key`'s prefix at time `now_ms` and
     /// returns the queuing delay in microseconds those requests incur.
+    /// Always admits the requests, regardless of [`ThrottleMode`].
     pub fn charge(&self, key: &str, n: u64, now_ms: u64) -> u64 {
         if self.limit_per_sec == 0 {
             return 0;
         }
-        let prefix = Self::prefix_of(key);
         let mut windows = self.windows.lock();
-        let w = windows
-            .entry(prefix.to_string())
-            .or_insert(Window { start_ms: now_ms, count: 0 });
-        if now_ms.saturating_sub(w.start_ms) >= 1000 {
-            w.start_ms = now_ms;
-            w.count = 0;
-        }
+        let w = Self::window(&mut windows, key, now_ms);
         w.count += n;
         let excess = w.count.saturating_sub(self.limit_per_sec);
         if excess == 0 {
@@ -147,6 +173,41 @@ impl PrefixThrottle {
             // Each excess request waits one slot of 1/limit seconds.
             excess * 1_000_000 / self.limit_per_sec
         }
+    }
+
+    /// Like [`charge`](Self::charge), but in [`ThrottleMode::Reject`] a batch
+    /// that would overflow the window is refused: none of its requests are
+    /// admitted and `Err(retry_after_ms)` reports the time until the window
+    /// rolls over. In [`ThrottleMode::Delay`] this never fails.
+    pub fn try_charge(&self, key: &str, n: u64, now_ms: u64) -> Result<u64, u64> {
+        if self.mode == ThrottleMode::Delay || self.limit_per_sec == 0 {
+            return Ok(self.charge(key, n, now_ms));
+        }
+        let mut windows = self.windows.lock();
+        let w = Self::window(&mut windows, key, now_ms);
+        if w.count + n > self.limit_per_sec {
+            let retry_after_ms = (w.start_ms + 1000).saturating_sub(now_ms).max(1);
+            return Err(retry_after_ms);
+        }
+        w.count += n;
+        Ok(0)
+    }
+
+    fn window<'a>(
+        windows: &'a mut super::FxHashMap<String, Window>,
+        key: &str,
+        now_ms: u64,
+    ) -> &'a mut Window {
+        let prefix = Self::prefix_of(key);
+        let w = windows.entry(prefix.to_string()).or_insert(Window {
+            start_ms: now_ms,
+            count: 0,
+        });
+        if now_ms.saturating_sub(w.start_ms) >= 1000 {
+            w.start_ms = now_ms;
+            w.count = 0;
+        }
+        w
     }
 }
 
@@ -166,7 +227,10 @@ mod tests {
         // component.
         let t2 = l2m - l1m;
         let t4 = l4m - l1m;
-        assert!((t4 as f64 / t2 as f64 - 3.0).abs() < 0.05, "t2={t2} t4={t4}");
+        assert!(
+            (t4 as f64 / t2 as f64 - 3.0).abs() < 0.05,
+            "t2={t2} t4={t4}"
+        );
     }
 
     #[test]
@@ -216,5 +280,22 @@ mod tests {
     fn disabled_throttle_never_delays() {
         let t = PrefixThrottle::new(0);
         assert_eq!(t.charge("a/k", u64::MAX / 2, 0), 0);
+    }
+
+    #[test]
+    fn rejecting_throttle_refuses_excess_with_retry_after() {
+        let t = PrefixThrottle::rejecting(10);
+        assert_eq!(t.mode(), ThrottleMode::Reject);
+        assert_eq!(t.try_charge("p/k", 10, 200), Ok(0));
+        // Window started at 200; full until 1200.
+        assert_eq!(t.try_charge("p/k", 1, 700), Err(500));
+        // Rejected requests were not admitted: the window rolls over cleanly.
+        assert_eq!(t.try_charge("p/k", 10, 1300), Ok(0));
+    }
+
+    #[test]
+    fn delay_mode_try_charge_never_fails() {
+        let t = PrefixThrottle::new(10);
+        assert_eq!(t.try_charge("p/k", 50, 0), Ok(4_000_000));
     }
 }

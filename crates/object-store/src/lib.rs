@@ -26,6 +26,7 @@ pub mod fs;
 pub mod fxhash;
 pub mod latency;
 pub mod memory;
+pub mod retry;
 pub mod stats;
 
 use std::ops::Range;
@@ -34,11 +35,12 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 
-pub use fault::{FaultInjector, FaultKind};
+pub use fault::{ChaosConfig, FaultInjector, FaultKind};
 pub use fs::FsStore;
 pub use fxhash::{FxHashMap, FxHashSet};
-pub use latency::{LatencyModel, PrefixThrottle};
+pub use latency::{LatencyModel, PrefixThrottle, ThrottleMode};
 pub use memory::MemoryStore;
+pub use retry::{RetryPolicy, RetryStore};
 pub use stats::{RequestStats, StatsSnapshot};
 
 /// Metadata about a stored object.
@@ -68,7 +70,10 @@ pub struct RangeRequest {
 impl RangeRequest {
     /// Convenience constructor.
     pub fn new(key: impl Into<String>, range: Range<u64>) -> Self {
-        Self { key: key.into(), range }
+        Self {
+            key: key.into(),
+            range,
+        }
     }
 }
 
@@ -91,9 +96,39 @@ pub enum StoreError {
         end: u64,
     },
     /// A fault injected by [`FaultInjector`] for testing.
+    ///
+    /// Models a *crash* (process death mid-protocol), not a request-level
+    /// hiccup — deliberately **not** retryable, so crash-recovery tests see
+    /// the error surface exactly once.
     Injected(&'static str),
     /// Backend I/O failure (filesystem backend).
     Io(String),
+    /// The store rejected the request for exceeding a rate limit (S3's
+    /// `503 SlowDown`, §VII-D3). Retry after `retry_after_ms` on the
+    /// store's clock.
+    Throttled {
+        /// Suggested wait before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// A transient request-level failure (timeout, dropped connection,
+    /// internal error). The request may or may not have taken effect;
+    /// retrying is safe for idempotent operations.
+    Transient(&'static str),
+}
+
+impl StoreError {
+    /// Whether a client should retry the failed request.
+    ///
+    /// Only rate-limit rejections and transient request failures are
+    /// retryable. `Injected` faults model crashes and must surface;
+    /// `NotFound` / `AlreadyExists` / `InvalidRange` / `Io` are
+    /// deterministic outcomes a retry cannot change.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            StoreError::Throttled { .. } | StoreError::Transient(_)
+        )
+    }
 }
 
 impl std::fmt::Display for StoreError {
@@ -101,11 +136,23 @@ impl std::fmt::Display for StoreError {
         match self {
             StoreError::NotFound(k) => write!(f, "object not found: {k}"),
             StoreError::AlreadyExists(k) => write!(f, "object already exists: {k}"),
-            StoreError::InvalidRange { key, len, start, end } => {
+            StoreError::InvalidRange {
+                key,
+                len,
+                start,
+                end,
+            } => {
                 write!(f, "invalid range {start}..{end} for {key} (len {len})")
             }
             StoreError::Injected(m) => write!(f, "injected fault: {m}"),
             StoreError::Io(m) => write!(f, "io error: {m}"),
+            StoreError::Throttled { retry_after_ms } => {
+                write!(
+                    f,
+                    "throttled (503 SlowDown), retry after {retry_after_ms}ms"
+                )
+            }
+            StoreError::Transient(m) => write!(f, "transient failure: {m}"),
         }
     }
 }
@@ -170,6 +217,54 @@ pub trait ObjectStore: Send + Sync {
     fn clock(&self) -> Option<&SimClock> {
         None
     }
+
+    /// Reports retry activity performed by a wrapping [`RetryStore`] so it
+    /// lands in this backend's [`stats()`](ObjectStore::stats) (the TCO
+    /// model prices retried requests too). Backends without stats ignore it.
+    fn record_retry(&self, retries: u64, backoff_ms: u64) {
+        let _ = (retries, backoff_ms);
+    }
+}
+
+/// References to stores are stores: this lets decorators like
+/// [`RetryStore`] wrap `&dyn ObjectStore` without taking ownership.
+impl<T: ObjectStore + ?Sized> ObjectStore for &T {
+    fn put(&self, key: &str, data: Bytes) -> Result<()> {
+        (**self).put(key, data)
+    }
+    fn put_if_absent(&self, key: &str, data: Bytes) -> Result<()> {
+        (**self).put_if_absent(key, data)
+    }
+    fn get(&self, key: &str) -> Result<Bytes> {
+        (**self).get(key)
+    }
+    fn get_range(&self, key: &str, range: Range<u64>) -> Result<Bytes> {
+        (**self).get_range(key, range)
+    }
+    fn get_ranges(&self, requests: &[RangeRequest]) -> Result<Vec<Bytes>> {
+        (**self).get_ranges(requests)
+    }
+    fn head(&self, key: &str) -> Result<ObjectMeta> {
+        (**self).head(key)
+    }
+    fn list(&self, prefix: &str) -> Result<Vec<ObjectMeta>> {
+        (**self).list(prefix)
+    }
+    fn delete(&self, key: &str) -> Result<()> {
+        (**self).delete(key)
+    }
+    fn now_ms(&self) -> u64 {
+        (**self).now_ms()
+    }
+    fn stats(&self) -> StatsSnapshot {
+        (**self).stats()
+    }
+    fn clock(&self) -> Option<&SimClock> {
+        (**self).clock()
+    }
+    fn record_retry(&self, retries: u64, backoff_ms: u64) {
+        (**self).record_retry(retries, backoff_ms)
+    }
 }
 
 /// A shared simulated clock, in microseconds.
@@ -220,6 +315,23 @@ impl SimClock {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn retryability_classification() {
+        assert!(StoreError::Throttled { retry_after_ms: 10 }.is_retryable());
+        assert!(StoreError::Transient("timeout").is_retryable());
+        assert!(!StoreError::NotFound("k".into()).is_retryable());
+        assert!(!StoreError::AlreadyExists("k".into()).is_retryable());
+        assert!(!StoreError::Injected("crash").is_retryable());
+        assert!(!StoreError::Io("disk".into()).is_retryable());
+        assert!(!StoreError::InvalidRange {
+            key: "k".into(),
+            len: 1,
+            start: 2,
+            end: 3
+        }
+        .is_retryable());
+    }
 
     #[test]
     fn sim_clock_advances_and_times() {

@@ -8,6 +8,7 @@ use bytes::Bytes;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 
+use crate::fault::PutChaos;
 use crate::latency::{LatencyModel, PrefixThrottle};
 use crate::stats::{RequestStats, StatsSnapshot};
 use crate::{FaultInjector, ObjectMeta, ObjectStore, RangeRequest, Result, SimClock, StoreError};
@@ -71,6 +72,20 @@ impl MemoryStore {
         })
     }
 
+    /// Creates a store whose throttle *rejects* over-limit GETs with
+    /// [`StoreError::Throttled`] — real S3's `503 SlowDown` — instead of
+    /// modeling client-side queuing delay. Pair with a [`crate::RetryStore`].
+    pub fn with_rejecting_throttle(latency: LatencyModel, limit_per_sec: u64) -> Arc<Self> {
+        Arc::new(Self {
+            objects: RwLock::new(BTreeMap::new()),
+            clock: SimClock::new(),
+            latency,
+            throttle: (limit_per_sec > 0).then(|| PrefixThrottle::rejecting(limit_per_sec)),
+            stats: RequestStats::default(),
+            faults: FaultInjector::new(),
+        })
+    }
+
     /// The fault injector for this store.
     pub fn faults(&self) -> &FaultInjector {
         &self.faults
@@ -94,7 +109,11 @@ impl MemoryStore {
     /// Total bytes across all stored objects (the storage-cost input of the
     /// TCO model).
     pub fn total_bytes(&self) -> u64 {
-        self.objects.read().values().map(|o| o.data.len() as u64).sum()
+        self.objects
+            .read()
+            .values()
+            .map(|o| o.data.len() as u64)
+            .sum()
     }
 
     /// Total bytes across objects under a prefix.
@@ -107,30 +126,44 @@ impl MemoryStore {
             .sum()
     }
 
-    fn charge_get(&self, key: &str, n_requests: u64, max_request_bytes: u64) {
+    fn charge_get(&self, key: &str, n_requests: u64, max_request_bytes: u64) -> Result<()> {
         let mut us = self.latency.get_us(max_request_bytes);
         if let Some(t) = &self.throttle {
-            us += t.charge(key, n_requests, self.clock.now_ms());
+            match t.try_charge(key, n_requests, self.clock.now_ms()) {
+                Ok(delay_us) => us += delay_us,
+                Err(retry_after_ms) => {
+                    // A 503 still costs a round trip and still counts as
+                    // issued requests for the TCO model.
+                    self.clock.advance_micros(self.latency.get_first_byte_us);
+                    self.stats.record_gets(n_requests, 0);
+                    self.stats.record_throttle_rejection();
+                    return Err(StoreError::Throttled { retry_after_ms });
+                }
+            }
         }
         self.clock.advance_micros(us);
+        Ok(())
     }
-}
 
-impl ObjectStore for MemoryStore {
-    fn put(&self, key: &str, data: Bytes) -> Result<()> {
-        self.faults.check_put(key).map_err(StoreError::Injected)?;
-        self.clock.advance_micros(self.latency.put_us(data.len() as u64));
+    /// Bumps the injected-fault counter on the way out of a fault check.
+    fn faulted(&self, e: StoreError) -> StoreError {
+        self.stats.record_fault();
+        e
+    }
+
+    fn apply_put(&self, key: &str, data: Bytes) {
+        self.clock
+            .advance_micros(self.latency.put_us(data.len() as u64));
         self.stats.record_put(data.len() as u64);
         let created_ms = self.clock.now_ms();
         self.objects
             .write()
             .insert(key.to_string(), StoredObject { data, created_ms });
-        Ok(())
     }
 
-    fn put_if_absent(&self, key: &str, data: Bytes) -> Result<()> {
-        self.faults.check_put(key).map_err(StoreError::Injected)?;
-        self.clock.advance_micros(self.latency.put_us(data.len() as u64));
+    fn apply_put_if_absent(&self, key: &str, data: Bytes) -> Result<()> {
+        self.clock
+            .advance_micros(self.latency.put_us(data.len() as u64));
         self.stats.record_put(data.len() as u64);
         let created_ms = self.clock.now_ms();
         let mut objects = self.objects.write();
@@ -140,9 +173,67 @@ impl ObjectStore for MemoryStore {
         objects.insert(key.to_string(), StoredObject { data, created_ms });
         Ok(())
     }
+}
+
+impl ObjectStore for MemoryStore {
+    fn put(&self, key: &str, data: Bytes) -> Result<()> {
+        self.faults.check_put(key).map_err(|e| self.faulted(e))?;
+        self.clock.advance_micros(self.faults.chaos_spike_us());
+        match self.faults.chaos_put() {
+            PutChaos::Fail => {
+                self.clock
+                    .advance_micros(self.latency.put_us(data.len() as u64));
+                self.stats.record_put(data.len() as u64);
+                return Err(self.faulted(StoreError::Transient("chaos: put dropped")));
+            }
+            PutChaos::AckLost => {
+                self.apply_put(key, data);
+                return Err(self.faulted(StoreError::Transient("chaos: put ack lost")));
+            }
+            PutChaos::None => {}
+        }
+        if self.faults.take_ack_lost_put(key) {
+            self.apply_put(key, data);
+            return Err(self.faulted(StoreError::Transient("put ack lost")));
+        }
+        self.apply_put(key, data);
+        Ok(())
+    }
+
+    fn put_if_absent(&self, key: &str, data: Bytes) -> Result<()> {
+        self.faults.check_put(key).map_err(|e| self.faulted(e))?;
+        self.clock.advance_micros(self.faults.chaos_spike_us());
+        match self.faults.chaos_put() {
+            PutChaos::Fail => {
+                self.clock
+                    .advance_micros(self.latency.put_us(data.len() as u64));
+                self.stats.record_put(data.len() as u64);
+                return Err(self.faulted(StoreError::Transient("chaos: put dropped")));
+            }
+            PutChaos::AckLost => {
+                // The conditional write resolves on the store (it lands iff
+                // the key was absent), but the caller only sees a transient
+                // failure — the ambiguity RetryStore must untangle.
+                let _ = self.apply_put_if_absent(key, data);
+                return Err(self.faulted(StoreError::Transient("chaos: put ack lost")));
+            }
+            PutChaos::None => {}
+        }
+        if self.faults.take_ack_lost_put(key) {
+            let _ = self.apply_put_if_absent(key, data);
+            return Err(self.faulted(StoreError::Transient("put ack lost")));
+        }
+        self.apply_put_if_absent(key, data)
+    }
 
     fn get(&self, key: &str) -> Result<Bytes> {
-        self.faults.check_get(key).map_err(StoreError::Injected)?;
+        self.faults.check_get(key).map_err(|e| self.faulted(e))?;
+        self.clock.advance_micros(self.faults.chaos_spike_us());
+        if self.faults.chaos_get().fail {
+            self.clock.advance_micros(self.latency.get_first_byte_us);
+            self.stats.record_get(0);
+            return Err(self.faulted(StoreError::Transient("chaos: get timed out")));
+        }
         let data = {
             let objects = self.objects.read();
             objects
@@ -151,21 +242,36 @@ impl ObjectStore for MemoryStore {
                 .data
                 .clone()
         };
-        self.charge_get(key, 1, data.len() as u64);
+        self.charge_get(key, 1, data.len() as u64)?;
         self.stats.record_get(data.len() as u64);
         Ok(data)
     }
 
     fn get_range(&self, key: &str, range: Range<u64>) -> Result<Bytes> {
-        self.faults.check_get(key).map_err(StoreError::Injected)?;
-        let data = {
+        self.faults.check_get(key).map_err(|e| self.faulted(e))?;
+        self.clock.advance_micros(self.faults.chaos_spike_us());
+        let chaos = self.faults.chaos_get();
+        if chaos.fail {
+            self.clock.advance_micros(self.latency.get_first_byte_us);
+            self.stats.record_get(0);
+            return Err(self.faulted(StoreError::Transient("chaos: get timed out")));
+        }
+        let mut data = {
             let objects = self.objects.read();
             let obj = objects
                 .get(key)
                 .ok_or_else(|| StoreError::NotFound(key.to_string()))?;
             slice_range(key, &obj.data, &range)?
         };
-        self.charge_get(key, 1, data.len() as u64);
+        if chaos.torn && data.len() > 1 {
+            // A torn response: the connection dropped mid-body and only a
+            // prefix arrived. No error — detecting this is the client's job.
+            let keep =
+                ((data.len() as f64 * chaos.keep_fraction) as usize).clamp(1, data.len() - 1);
+            data = data.slice(..keep);
+            self.stats.record_fault();
+        }
+        self.charge_get(key, 1, data.len() as u64)?;
         self.stats.record_get(data.len() as u64);
         Ok(data)
     }
@@ -180,11 +286,25 @@ impl ObjectStore for MemoryStore {
         {
             let objects = self.objects.read();
             for req in requests {
-                self.faults.check_get(&req.key).map_err(StoreError::Injected)?;
+                self.faults
+                    .check_get(&req.key)
+                    .map_err(|e| self.faulted(e))?;
+                let chaos = self.faults.chaos_get();
+                if chaos.fail {
+                    self.clock.advance_micros(self.latency.get_first_byte_us);
+                    self.stats.record_gets(requests.len() as u64, 0);
+                    return Err(self.faulted(StoreError::Transient("chaos: get timed out")));
+                }
                 let obj = objects
                     .get(&req.key)
                     .ok_or_else(|| StoreError::NotFound(req.key.clone()))?;
-                let data = slice_range(&req.key, &obj.data, &req.range)?;
+                let mut data = slice_range(&req.key, &obj.data, &req.range)?;
+                if chaos.torn && data.len() > 1 {
+                    let keep = ((data.len() as f64 * chaos.keep_fraction) as usize)
+                        .clamp(1, data.len() - 1);
+                    data = data.slice(..keep);
+                    self.stats.record_fault();
+                }
                 max_bytes = max_bytes.max(data.len() as u64);
                 total_bytes += data.len() as u64;
                 out.push(data);
@@ -192,7 +312,8 @@ impl ObjectStore for MemoryStore {
         }
         // One parallel round trip: the batch costs its slowest member, plus
         // any throttle delay from issuing `len` requests at once.
-        self.charge_get(&requests[0].key, requests.len() as u64, max_bytes);
+        self.clock.advance_micros(self.faults.chaos_spike_us());
+        self.charge_get(&requests[0].key, requests.len() as u64, max_bytes)?;
         self.stats.record_gets(requests.len() as u64, total_bytes);
         Ok(out)
     }
@@ -200,6 +321,9 @@ impl ObjectStore for MemoryStore {
     fn head(&self, key: &str) -> Result<ObjectMeta> {
         self.clock.advance_micros(self.latency.small_op_us);
         self.stats.record_head();
+        if self.faults.chaos_get().fail {
+            return Err(self.faulted(StoreError::Transient("chaos: head timed out")));
+        }
         let objects = self.objects.read();
         let obj = objects
             .get(key)
@@ -223,14 +347,19 @@ impl ObjectStore for MemoryStore {
                 created_ms: o.created_ms,
             })
             .collect();
-        self.clock.advance_micros(self.latency.list_us(metas.len() as u64));
+        self.clock
+            .advance_micros(self.latency.list_us(metas.len() as u64));
         Ok(metas)
     }
 
     fn delete(&self, key: &str) -> Result<()> {
-        self.faults.check_delete(key).map_err(StoreError::Injected)?;
+        self.faults.check_delete(key).map_err(|e| self.faulted(e))?;
+        self.clock.advance_micros(self.faults.chaos_spike_us());
         self.clock.advance_micros(self.latency.small_op_us);
         self.stats.record_delete();
+        if self.faults.chaos_delete() {
+            return Err(self.faulted(StoreError::Transient("chaos: delete timed out")));
+        }
         self.objects.write().remove(key);
         Ok(())
     }
@@ -245,6 +374,10 @@ impl ObjectStore for MemoryStore {
 
     fn clock(&self) -> Option<&SimClock> {
         Some(&self.clock)
+    }
+
+    fn record_retry(&self, retries: u64, backoff_ms: u64) {
+        self.stats.record_retry(retries, backoff_ms);
     }
 }
 
@@ -307,7 +440,8 @@ mod tests {
     #[test]
     fn put_if_absent_is_exclusive() {
         let s = store();
-        s.put_if_absent("log/001", Bytes::from_static(b"x")).unwrap();
+        s.put_if_absent("log/001", Bytes::from_static(b"x"))
+            .unwrap();
         assert!(matches!(
             s.put_if_absent("log/001", Bytes::from_static(b"y")),
             Err(StoreError::AlreadyExists(_))
@@ -382,8 +516,9 @@ mod tests {
         }
         let clock = s.clock().unwrap();
 
-        let reqs: Vec<RangeRequest> =
-            (0..16).map(|i| RangeRequest::new(format!("f/{i}"), 0..300 * 1024)).collect();
+        let reqs: Vec<RangeRequest> = (0..16)
+            .map(|i| RangeRequest::new(format!("f/{i}"), 0..300 * 1024))
+            .collect();
         let (_, batch_us) = clock.time(|| s.get_ranges(&reqs).unwrap());
 
         let (_, seq_us) = clock.time(|| {
@@ -420,6 +555,66 @@ mod tests {
             Err(StoreError::Injected(_))
         ));
         s.put("x/ok.bin", Bytes::new()).unwrap();
+    }
+
+    #[test]
+    fn ack_lost_put_lands_but_reports_transient() {
+        let s = store();
+        s.faults()
+            .arm(FaultKind::AckLostPutMatching("commit".into()));
+        let err = s
+            .put_if_absent("log/commit-1", Bytes::from_static(b"v"))
+            .unwrap_err();
+        assert!(err.is_retryable());
+        // The write took effect despite the error.
+        assert_eq!(s.get("log/commit-1").unwrap(), Bytes::from_static(b"v"));
+        assert_eq!(s.stats().faults_injected, 1);
+    }
+
+    #[test]
+    fn chaos_tears_range_reads_but_never_whole_gets() {
+        let s = store();
+        let payload = Bytes::from(vec![7u8; 4096]);
+        s.put("t/obj", payload.clone()).unwrap();
+        s.faults().set_chaos(Some(crate::ChaosConfig {
+            torn_read_p: 1.0,
+            ..crate::ChaosConfig::uniform(3, 0.0)
+        }));
+        let torn = s.get_range("t/obj", 0..4096).unwrap();
+        assert!(torn.len() < 4096 && !torn.is_empty(), "len {}", torn.len());
+        assert_eq!(torn[..], payload[..torn.len()], "a prefix, not garbage");
+        assert_eq!(s.get("t/obj").unwrap().len(), 4096, "whole GETs are atomic");
+        s.faults().disarm_all();
+        assert_eq!(s.get_range("t/obj", 0..4096).unwrap().len(), 4096);
+    }
+
+    #[test]
+    fn rejecting_throttle_returns_throttled() {
+        let s = MemoryStore::with_rejecting_throttle(LatencyModel::zero(), 2);
+        s.put("p/a", Bytes::from_static(b"x")).unwrap();
+        s.get("p/a").unwrap();
+        s.get("p/a").unwrap();
+        let err = s.get("p/a").unwrap_err();
+        assert!(matches!(err, StoreError::Throttled { retry_after_ms } if retry_after_ms > 0));
+        assert!(err.is_retryable());
+        assert_eq!(s.stats().throttle_rejections, 1);
+        // After the window rolls over the prefix serves again.
+        s.clock().unwrap().advance_ms(1100);
+        s.get("p/a").unwrap();
+    }
+
+    #[test]
+    fn chaos_failures_are_counted_and_retryable() {
+        let s = store();
+        s.put("d/x", Bytes::from_static(b"v")).unwrap();
+        s.faults()
+            .set_chaos(Some(crate::ChaosConfig::uniform(11, 1.0)));
+        assert!(s.get("d/x").unwrap_err().is_retryable());
+        assert!(s.put("d/y", Bytes::new()).unwrap_err().is_retryable());
+        assert!(s.delete("d/x").unwrap_err().is_retryable());
+        assert!(s.stats().faults_injected >= 3);
+        s.faults().set_chaos(None);
+        s.get("d/x").unwrap();
     }
 
     #[test]

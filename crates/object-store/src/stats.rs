@@ -16,6 +16,10 @@ pub struct RequestStats {
     heads: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
+    faults_injected: AtomicU64,
+    throttle_rejections: AtomicU64,
+    retries: AtomicU64,
+    backoff_ms: AtomicU64,
 }
 
 impl RequestStats {
@@ -52,6 +56,22 @@ impl RequestStats {
         self.heads.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a fault injected by chaos mode or a one-shot pattern.
+    pub fn record_fault(&self) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request rejected by a rate limit (`503 SlowDown`).
+    pub fn record_throttle_rejection(&self) {
+        self.throttle_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records retry activity reported by a wrapping `RetryStore`.
+    pub fn record_retry(&self, retries: u64, backoff_ms: u64) {
+        self.retries.fetch_add(retries, Ordering::Relaxed);
+        self.backoff_ms.fetch_add(backoff_ms, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -62,6 +82,10 @@ impl RequestStats {
             heads: self.heads.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            throttle_rejections: self.throttle_rejections.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            backoff_ms: self.backoff_ms.load(Ordering::Relaxed),
         }
     }
 }
@@ -83,6 +107,16 @@ pub struct StatsSnapshot {
     pub bytes_read: u64,
     /// Total bytes accepted by PUTs.
     pub bytes_written: u64,
+    /// Faults injected by chaos mode or one-shot patterns.
+    pub faults_injected: u64,
+    /// Requests rejected with [`Throttled`](crate::StoreError::Throttled).
+    pub throttle_rejections: u64,
+    /// Retried requests reported by a wrapping `RetryStore`. Each retry is
+    /// also counted under its request kind (a GET retried twice is 3 GETs).
+    pub retries: u64,
+    /// Total backoff wait reported by a wrapping `RetryStore`, in
+    /// milliseconds of simulated time.
+    pub backoff_ms: u64,
 }
 
 impl StatsSnapshot {
@@ -97,6 +131,10 @@ impl StatsSnapshot {
             heads: self.heads - earlier.heads,
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
+            faults_injected: self.faults_injected - earlier.faults_injected,
+            throttle_rejections: self.throttle_rejections - earlier.throttle_rejections,
+            retries: self.retries - earlier.retries,
+            backoff_ms: self.backoff_ms - earlier.backoff_ms,
         }
     }
 
@@ -132,5 +170,27 @@ mod tests {
         assert_eq!(delta.gets, 1);
         assert_eq!(delta.bytes_read, 1);
         assert_eq!(delta.puts, 0);
+    }
+
+    #[test]
+    fn resilience_counters_accumulate_and_diff() {
+        let stats = RequestStats::default();
+        stats.record_fault();
+        stats.record_fault();
+        stats.record_throttle_rejection();
+        stats.record_retry(3, 250);
+        let snap = stats.snapshot();
+        assert_eq!(snap.faults_injected, 2);
+        assert_eq!(snap.throttle_rejections, 1);
+        assert_eq!(snap.retries, 3);
+        assert_eq!(snap.backoff_ms, 250);
+        // Resilience counters are bookkeeping, not billable requests.
+        assert_eq!(snap.total_requests(), 0);
+
+        stats.record_retry(1, 50);
+        let delta = stats.snapshot().since(&snap);
+        assert_eq!(delta.retries, 1);
+        assert_eq!(delta.backoff_ms, 50);
+        assert_eq!(delta.faults_injected, 0);
     }
 }

@@ -21,8 +21,10 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..48)).prop_map(|(k, v)| Op::Put(k % 12, v)),
-        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..48)).prop_map(|(k, v)| Op::PutIfAbsent(k % 12, v)),
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..48))
+            .prop_map(|(k, v)| Op::Put(k % 12, v)),
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..48))
+            .prop_map(|(k, v)| Op::PutIfAbsent(k % 12, v)),
         any::<u8>().prop_map(|k| Op::Get(k % 12)),
         (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(k, a, b)| Op::GetRange(k % 12, a, b)),
         any::<u8>().prop_map(|k| Op::Head(k % 12)),

@@ -65,7 +65,10 @@ mod tests {
     #[test]
     fn latency_decreases_with_workers() {
         let m = model();
-        let l: Vec<f64> = [1, 2, 4, 8, 16, 32, 64].iter().map(|&w| m.latency(w)).collect();
+        let l: Vec<f64> = [1, 2, 4, 8, 16, 32, 64]
+            .iter()
+            .map(|&w| m.latency(w))
+            .collect();
         assert!(l.windows(2).all(|w| w[1] < w[0]));
     }
 
@@ -76,7 +79,10 @@ mod tests {
         let eff32 = m.speedup(32) / 32.0;
         let eff64 = m.speedup(64) / 64.0;
         assert!(eff32 > 0.55, "32-worker efficiency {eff32}");
-        assert!(eff64 < eff32 * 0.9, "64-worker efficiency must drop: {eff64} vs {eff32}");
+        assert!(
+            eff64 < eff32 * 0.9,
+            "64-worker efficiency must drop: {eff64} vs {eff32}"
+        );
     }
 
     #[test]

@@ -69,7 +69,11 @@ impl PhaseDiagram {
     /// Computes the diagram for `approaches` over the paper's default range:
     /// months 0.03–120 (≈1 day to 10 years), queries 1–10⁸.
     pub fn compute(approaches: &Approaches) -> Self {
-        Self::compute_over(approaches, log_space(0.03, 120.0, 49), log_space(1.0, 1e8, 49))
+        Self::compute_over(
+            approaches,
+            log_space(0.03, 120.0, 49),
+            log_space(1.0, 1e8, 49),
+        )
     }
 
     /// Computes over explicit axes.
@@ -78,7 +82,11 @@ impl PhaseDiagram {
             .iter()
             .map(|&q| months.iter().map(|&m| approaches.winner(m, q)).collect())
             .collect();
-        Self { months, queries, cells }
+        Self {
+            months,
+            queries,
+            cells,
+        }
     }
 
     /// Winner at the grid point nearest `(months, queries)`.
@@ -104,7 +112,11 @@ impl PhaseDiagram {
                         hi = Some(q);
                     }
                 }
-                Boundary { months: m, rottnest_lo: lo, rottnest_hi: hi }
+                Boundary {
+                    months: m,
+                    rottnest_lo: lo,
+                    rottnest_hi: hi,
+                }
             })
             .collect()
     }
@@ -123,7 +135,11 @@ impl PhaseDiagram {
             }
         }
         let total = (self.months.len() * self.queries.len()) as f64;
-        (counts[0] as f64 / total, counts[1] as f64 / total, counts[2] as f64 / total)
+        (
+            counts[0] as f64 / total,
+            counts[1] as f64 / total,
+            counts[2] as f64 / total,
+        )
     }
 
     /// Orders of magnitude spanned by Rottnest's winning band at `months`.
@@ -181,7 +197,10 @@ fn nearest_log(axis: &[f64], v: f64) -> usize {
     axis.iter()
         .enumerate()
         .min_by(|(_, a), (_, b)| {
-            (a.ln() - lv).abs().partial_cmp(&(b.ln() - lv).abs()).unwrap()
+            (a.ln() - lv)
+                .abs()
+                .partial_cmp(&(b.ln() - lv).abs())
+                .unwrap()
         })
         .map(|(i, _)| i)
         .unwrap_or(0)
@@ -194,9 +213,21 @@ mod tests {
 
     fn approaches() -> Approaches {
         Approaches {
-            copy_data: ApproachCosts { index_cost: 0.0, cost_per_month: 500.0, cost_per_query: 0.0 },
-            brute_force: ApproachCosts { index_cost: 0.0, cost_per_month: 7.0, cost_per_query: 0.5 },
-            rottnest: ApproachCosts { index_cost: 30.0, cost_per_month: 10.0, cost_per_query: 0.002 },
+            copy_data: ApproachCosts {
+                index_cost: 0.0,
+                cost_per_month: 500.0,
+                cost_per_query: 0.0,
+            },
+            brute_force: ApproachCosts {
+                index_cost: 0.0,
+                cost_per_month: 7.0,
+                cost_per_query: 0.5,
+            },
+            rottnest: ApproachCosts {
+                index_cost: 30.0,
+                cost_per_month: 10.0,
+                cost_per_query: 0.002,
+            },
         }
     }
 

@@ -45,11 +45,7 @@ pub struct SweepPoint {
 
 /// Sweeps one parameter over `factors` and reports the phase-diagram
 /// response.
-pub fn sweep(
-    approaches: &Approaches,
-    param: RottnestParam,
-    factors: &[f64],
-) -> Vec<SweepPoint> {
+pub fn sweep(approaches: &Approaches, param: RottnestParam, factors: &[f64]) -> Vec<SweepPoint> {
     factors
         .iter()
         .map(|&factor| {
@@ -61,7 +57,11 @@ pub fn sweep(
                 .into_iter()
                 .find(|b| b.rottnest_lo.is_some())
                 .map(|b| b.months);
-            SweepPoint { factor, rottnest_share: share, min_winning_month: min_month }
+            SweepPoint {
+                factor,
+                rottnest_share: share,
+                min_winning_month: min_month,
+            }
         })
         .collect()
 }
@@ -92,16 +92,32 @@ mod tests {
 
     fn approaches() -> Approaches {
         Approaches {
-            copy_data: ApproachCosts { index_cost: 0.0, cost_per_month: 500.0, cost_per_query: 0.0 },
-            brute_force: ApproachCosts { index_cost: 0.0, cost_per_month: 7.0, cost_per_query: 0.5 },
-            rottnest: ApproachCosts { index_cost: 30.0, cost_per_month: 10.0, cost_per_query: 0.002 },
+            copy_data: ApproachCosts {
+                index_cost: 0.0,
+                cost_per_month: 500.0,
+                cost_per_query: 0.0,
+            },
+            brute_force: ApproachCosts {
+                index_cost: 0.0,
+                cost_per_month: 7.0,
+                cost_per_query: 0.5,
+            },
+            rottnest: ApproachCosts {
+                index_cost: 30.0,
+                cost_per_month: 10.0,
+                cost_per_query: 0.002,
+            },
         }
     }
 
     #[test]
     fn scaling_identity_is_noop() {
         let a = approaches();
-        for p in [RottnestParam::Cpq, RottnestParam::Ic, RottnestParam::CpmOverhead] {
+        for p in [
+            RottnestParam::Cpq,
+            RottnestParam::Ic,
+            RottnestParam::CpmOverhead,
+        ] {
             assert_eq!(scale_param(&a, p, 1.0), a);
         }
     }
@@ -123,7 +139,11 @@ mod tests {
 
     #[test]
     fn sweep_is_monotone_for_cpq() {
-        let pts = sweep(&approaches(), RottnestParam::Cpq, &[0.1, 0.3, 1.0, 3.0, 10.0]);
+        let pts = sweep(
+            &approaches(),
+            RottnestParam::Cpq,
+            &[0.1, 0.3, 1.0, 3.0, 10.0],
+        );
         for w in pts.windows(2) {
             assert!(
                 w[0].rottnest_share >= w[1].rottnest_share - 1e-9,

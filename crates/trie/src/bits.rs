@@ -28,7 +28,10 @@ pub struct BitStr {
 impl BitStr {
     /// The empty bit string.
     pub fn empty() -> Self {
-        Self { bytes: Vec::new(), len_bits: 0 }
+        Self {
+            bytes: Vec::new(),
+            len_bits: 0,
+        }
     }
 
     /// The first `len_bits` bits of `bytes` (trailing bits zeroed for
@@ -42,7 +45,10 @@ impl BitStr {
             // equality.
             *out.last_mut().unwrap() &= 0xffu8 << spare;
         }
-        Self { bytes: out, len_bits }
+        Self {
+            bytes: out,
+            len_bits,
+        }
     }
 
     /// Length in bits.
@@ -178,8 +184,8 @@ mod tests {
     fn common_prefix_with_key_offsets() {
         let key = [0b1100_1010u8, 0b0111_0000];
         let label = BitStr::prefix_of(&[0b1010_0000], 4); // bits 1,0,1,0
-        // Key bits from offset 2: 0,0,1,0,1,0,0,1 ... label 1,0,1,0 → first
-        // bit mismatches.
+                                                          // Key bits from offset 2: 0,0,1,0,1,0,0,1 ... label 1,0,1,0 → first
+                                                          // bit mismatches.
         assert_eq!(label.common_prefix_with_key(&key, 2), 0);
         // Key bits from offset 4: 1,0,1,0 → full match.
         assert_eq!(label.common_prefix_with_key(&key, 4), 4);

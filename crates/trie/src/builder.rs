@@ -1,8 +1,8 @@
 //! Builds a componentized trie index file from `(key, posting)` pairs.
 
 use bytes::Bytes;
-use rottnest_compress::varint;
 use rottnest_component::ComponentWriter;
+use rottnest_compress::varint;
 use rottnest_object_store::ObjectStore;
 
 use crate::bits::{lcp_bits, BitStr};
@@ -27,7 +27,10 @@ impl TrieBuilder {
                 "key length {key_len} too short; need at least 2 bytes"
             )));
         }
-        Ok(Self { key_len, entries: Vec::new() })
+        Ok(Self {
+            key_len,
+            entries: Vec::new(),
+        })
     }
 
     /// Registers one key → posting pair.
@@ -65,12 +68,17 @@ impl TrieBuilder {
         let mut truncated: Vec<(BitStr, Posting)> = Vec::with_capacity(n);
         for i in 0..n {
             let (key, posting) = &self.entries[i];
-            let lcp_prev =
-                if i > 0 { lcp_bits(key, &self.entries[i - 1].0) } else { 0 };
-            let lcp_next =
-                if i + 1 < n { lcp_bits(key, &self.entries[i + 1].0) } else { 0 };
-            let stored = (lcp_prev.max(lcp_next) + 1 + EXTRA_BITS)
-                .clamp(LUT_BITS + 1, key_bits);
+            let lcp_prev = if i > 0 {
+                lcp_bits(key, &self.entries[i - 1].0)
+            } else {
+                0
+            };
+            let lcp_next = if i + 1 < n {
+                lcp_bits(key, &self.entries[i + 1].0)
+            } else {
+                0
+            };
+            let stored = (lcp_prev.max(lcp_next) + 1 + EXTRA_BITS).clamp(LUT_BITS + 1, key_bits);
             truncated.push((BitStr::prefix_of(key, stored), *posting));
         }
 
@@ -88,10 +96,7 @@ impl TrieBuilder {
 
 /// Assembles the component file from already-truncated prefixes (each at
 /// least `LUT_BITS + 1` bits). Shared by the builder and the merge path.
-pub(crate) fn build_from_truncated(
-    key_len: usize,
-    truncated: Vec<(BitStr, Posting)>,
-) -> Bytes {
+pub(crate) fn build_from_truncated(key_len: usize, truncated: Vec<(BitStr, Posting)>) -> Bytes {
     let n = truncated.len() as u64;
     let mut buckets: Vec<Vec<(BitStr, Posting)>> = (0..256).map(|_| Vec::new()).collect();
     for (prefix, posting) in truncated {

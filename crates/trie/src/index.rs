@@ -1,7 +1,7 @@
 //! Querying and merging serialized trie indexes on object storage.
 
-use rottnest_compress::varint;
 use rottnest_component::ComponentFile;
+use rottnest_compress::varint;
 use rottnest_object_store::ObjectStore;
 
 use crate::bits::BitStr;
@@ -35,7 +35,12 @@ impl<'a> TrieIndex<'a> {
         for _ in 0..256 {
             lut.push(varint::read_u64(&root, &mut pos)?);
         }
-        Ok(Self { file, key_len, n_entries, lut })
+        Ok(Self {
+            file,
+            key_len,
+            n_entries,
+            lut,
+        })
     }
 
     /// Fixed key length (bytes) this index covers.
@@ -145,17 +150,16 @@ pub fn merge_tries(
     let key_len = sources[0].0.key_len();
     for (idx, _) in sources {
         if idx.key_len() != key_len {
-            return Err(TrieError::BadKey("merging tries with different key lengths".into()));
+            return Err(TrieError::BadKey(
+                "merging tries with different key lengths".into(),
+            ));
         }
     }
     let mut truncated: Vec<(BitStr, Posting)> = Vec::new();
     for (idx, offset) in sources {
         for (prefix, postings) in idx.entries()? {
             for p in postings {
-                truncated.push((
-                    prefix.clone(),
-                    Posting::new(p.file + offset, p.page),
-                ));
+                truncated.push((prefix.clone(), Posting::new(p.file + offset, p.page)));
             }
         }
     }
@@ -176,11 +180,7 @@ mod tests {
         (0..16).map(|_| rng.gen()).collect()
     }
 
-    fn build_index(
-        store: &dyn ObjectStore,
-        key: &str,
-        pairs: &[(Vec<u8>, Posting)],
-    ) {
+    fn build_index(store: &dyn ObjectStore, key: &str, pairs: &[(Vec<u8>, Posting)]) {
         let mut b = TrieBuilder::new(16).unwrap();
         for (k, p) in pairs {
             b.add(k, *p).unwrap();
@@ -210,8 +210,9 @@ mod tests {
     fn unindexed_keys_rarely_hit() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let store = MemoryStore::unmetered();
-        let pairs: Vec<(Vec<u8>, Posting)> =
-            (0..2_000u32).map(|i| (uuid(&mut rng), Posting::new(0, i))).collect();
+        let pairs: Vec<(Vec<u8>, Posting)> = (0..2_000u32)
+            .map(|i| (uuid(&mut rng), Posting::new(0, i)))
+            .collect();
         build_index(store.as_ref(), "t.idx", &pairs);
         let idx = TrieIndex::open(store.as_ref(), "t.idx").unwrap();
 
@@ -239,15 +240,19 @@ mod tests {
         let idx = TrieIndex::open(store.as_ref(), "t.idx").unwrap();
         let mut hits = idx.lookup(&key).unwrap();
         hits.sort_unstable();
-        assert_eq!(hits, vec![Posting::new(0, 1), Posting::new(1, 2), Posting::new(2, 3)]);
+        assert_eq!(
+            hits,
+            vec![Posting::new(0, 1), Posting::new(1, 2), Posting::new(2, 3)]
+        );
     }
 
     #[test]
     fn lookup_costs_at_most_two_gets_after_open() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let store = MemoryStore::unmetered();
-        let pairs: Vec<(Vec<u8>, Posting)> =
-            (0..50_000u32).map(|i| (uuid(&mut rng), Posting::new(0, i))).collect();
+        let pairs: Vec<(Vec<u8>, Posting)> = (0..50_000u32)
+            .map(|i| (uuid(&mut rng), Posting::new(0, i)))
+            .collect();
         build_index(store.as_ref(), "t.idx", &pairs);
 
         let before = store.stats();
@@ -265,16 +270,25 @@ mod tests {
     fn lookup_many_batches_buckets() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let store = MemoryStore::unmetered();
-        let pairs: Vec<(Vec<u8>, Posting)> =
-            (0..20_000u32).map(|i| (uuid(&mut rng), Posting::new(0, i))).collect();
+        let pairs: Vec<(Vec<u8>, Posting)> = (0..20_000u32)
+            .map(|i| (uuid(&mut rng), Posting::new(0, i)))
+            .collect();
         build_index(store.as_ref(), "t.idx", &pairs);
         let idx = TrieIndex::open(store.as_ref(), "t.idx").unwrap();
 
-        let keys: Vec<&[u8]> = pairs.iter().step_by(500).map(|(k, _)| k.as_slice()).collect();
+        let keys: Vec<&[u8]> = pairs
+            .iter()
+            .step_by(500)
+            .map(|(k, _)| k.as_slice())
+            .collect();
         let before = store.stats();
         let results = idx.lookup_many(&keys).unwrap();
         let gets = store.stats().since(&before).gets;
-        assert!(gets <= keys.len() as u64, "batched: {gets} GETs for {} keys", keys.len());
+        assert!(
+            gets <= keys.len() as u64,
+            "batched: {gets} GETs for {} keys",
+            keys.len()
+        );
         for (r, (_, p)) in results.iter().zip(pairs.iter().step_by(500)) {
             assert!(r.contains(p));
         }
@@ -283,7 +297,11 @@ mod tests {
     #[test]
     fn wrong_key_length_rejected() {
         let store = MemoryStore::unmetered();
-        build_index(store.as_ref(), "t.idx", &[(vec![1u8; 16], Posting::new(0, 0))]);
+        build_index(
+            store.as_ref(),
+            "t.idx",
+            &[(vec![1u8; 16], Posting::new(0, 0))],
+        );
         let idx = TrieIndex::open(store.as_ref(), "t.idx").unwrap();
         assert!(idx.lookup(&[1u8; 8]).is_err());
         assert!(TrieBuilder::new(1).is_err());
@@ -293,10 +311,12 @@ mod tests {
     fn merge_preserves_all_lookups_with_remapped_files() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let store = MemoryStore::unmetered();
-        let a: Vec<(Vec<u8>, Posting)> =
-            (0..3_000u32).map(|i| (uuid(&mut rng), Posting::new(i % 3, i))).collect();
-        let b: Vec<(Vec<u8>, Posting)> =
-            (0..3_000u32).map(|i| (uuid(&mut rng), Posting::new(i % 2, i))).collect();
+        let a: Vec<(Vec<u8>, Posting)> = (0..3_000u32)
+            .map(|i| (uuid(&mut rng), Posting::new(i % 3, i)))
+            .collect();
+        let b: Vec<(Vec<u8>, Posting)> = (0..3_000u32)
+            .map(|i| (uuid(&mut rng), Posting::new(i % 2, i)))
+            .collect();
         build_index(store.as_ref(), "a.idx", &a);
         build_index(store.as_ref(), "b.idx", &b);
 
@@ -323,8 +343,9 @@ mod tests {
         let mut sizes = 0u64;
         let mut handles = Vec::new();
         for f in 0..4u32 {
-            let pairs: Vec<(Vec<u8>, Posting)> =
-                (0..2_000u32).map(|i| (uuid(&mut rng), Posting::new(f, i))).collect();
+            let pairs: Vec<(Vec<u8>, Posting)> = (0..2_000u32)
+                .map(|i| (uuid(&mut rng), Posting::new(f, i)))
+                .collect();
             let key = format!("{f}.idx");
             build_index(store.as_ref(), &key, &pairs);
             sizes += store.head(&key).unwrap().size;
@@ -334,8 +355,11 @@ mod tests {
             .iter()
             .map(|k| TrieIndex::open(store.as_ref(), k).unwrap())
             .collect();
-        let sources: Vec<(&TrieIndex, u32)> =
-            opened.iter().enumerate().map(|(i, t)| (t, i as u32)).collect();
+        let sources: Vec<(&TrieIndex, u32)> = opened
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t, i as u32))
+            .collect();
         let merged_size = merge_tries(store.as_ref(), &sources, "m.idx").unwrap();
         assert!(merged_size < sizes, "merged {merged_size} vs parts {sizes}");
     }

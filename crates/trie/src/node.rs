@@ -51,7 +51,11 @@ impl TrieNode {
             return;
         }
         let bit = key.bit(depth);
-        let child_slot = if bit == 0 { &mut self.zero } else { &mut self.one };
+        let child_slot = if bit == 0 {
+            &mut self.zero
+        } else {
+            &mut self.one
+        };
         match child_slot {
             None => {
                 let mut node = TrieNode {
@@ -349,10 +353,8 @@ mod tests {
         root.serialize(&mut buf);
         let entries = entries_of_serialized(&buf, BitStr::empty()).unwrap();
         assert_eq!(entries.len(), 3);
-        let mut got: Vec<(BitStr, Posting)> = entries
-            .into_iter()
-            .map(|(k, ps)| (k, ps[0]))
-            .collect();
+        let mut got: Vec<(BitStr, Posting)> =
+            entries.into_iter().map(|(k, ps)| (k, ps[0])).collect();
         got.sort_by(|a, b| a.0.cmp(&b.0));
         let mut want: Vec<(BitStr, Posting)> = items.to_vec();
         want.sort_by(|a, b| a.0.cmp(&b.0));

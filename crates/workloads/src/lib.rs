@@ -17,15 +17,13 @@ use rottnest_format::{ColumnData, DataType, Field, RecordBatch, Schema};
 /// Builds a single-column Utf8 batch from documents.
 pub fn text_batch(column: &str, docs: &[String]) -> RecordBatch {
     let schema = Schema::new(vec![Field::new(column, DataType::Utf8)]);
-    RecordBatch::new(schema, vec![ColumnData::from_strings(docs.iter())])
-        .expect("schema matches")
+    RecordBatch::new(schema, vec![ColumnData::from_strings(docs.iter())]).expect("schema matches")
 }
 
 /// Builds a single-column Binary batch from fixed-length keys.
 pub fn uuid_batch(column: &str, keys: &[Vec<u8>]) -> RecordBatch {
     let schema = Schema::new(vec![Field::new(column, DataType::Binary)]);
-    RecordBatch::new(schema, vec![ColumnData::from_blobs(keys.iter())])
-        .expect("schema matches")
+    RecordBatch::new(schema, vec![ColumnData::from_blobs(keys.iter())]).expect("schema matches")
 }
 
 /// Builds a single-column vector batch.

@@ -31,12 +31,20 @@ impl TextWorkload {
             acc += *w / total;
             *w = acc;
         }
-        Self { rng, vocab, cdf: weights, avg_words }
+        Self {
+            rng,
+            vocab,
+            cdf: weights,
+            avg_words,
+        }
     }
 
     fn word(&mut self) -> &str {
         let u: f64 = self.rng.gen();
-        let idx = self.cdf.partition_point(|&c| c < u).min(self.vocab.len() - 1);
+        let idx = self
+            .cdf
+            .partition_point(|&c| c < u)
+            .min(self.vocab.len() - 1);
         &self.vocab[idx]
     }
 
@@ -64,12 +72,7 @@ impl TextWorkload {
 
     /// Generates `n` documents, planting `needle` inside the documents at
     /// `positions` (mid-document).
-    pub fn docs_with_needle(
-        &mut self,
-        n: usize,
-        needle: &str,
-        positions: &[usize],
-    ) -> Vec<String> {
+    pub fn docs_with_needle(&mut self, n: usize, needle: &str, positions: &[usize]) -> Vec<String> {
         let mut docs = self.docs(n);
         for &p in positions {
             if let Some(doc) = docs.get_mut(p) {
@@ -100,7 +103,9 @@ fn synth_word(rank: usize, rng: &mut StdRng) -> String {
     // patterns never collide with separators.
     let len = 3 + (rank as f64).log2() as usize / 2 + rng.gen_range(0..2);
     let letters = b"abcdefghijklmnopqrstuvwxyz";
-    let mut w: String = (0..len).map(|_| letters[rng.gen_range(0..26)] as char).collect();
+    let mut w: String = (0..len)
+        .map(|_| letters[rng.gen_range(0..26)] as char)
+        .collect();
     w.push_str(&format!("{:x}", rank % 16)); // disambiguate
     w
 }
@@ -149,7 +154,9 @@ mod tests {
         let top = w.vocab[0].clone();
         let rare = w.rare_word().to_owned();
         let count = |needle: &str| {
-            docs.iter().map(|d| d.matches(needle).count()).sum::<usize>()
+            docs.iter()
+                .map(|d| d.matches(needle).count())
+                .sum::<usize>()
         };
         assert!(count(&top) > count(&rare) * 10, "zipf head must dominate");
     }

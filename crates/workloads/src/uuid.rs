@@ -14,7 +14,10 @@ pub struct UuidWorkload {
 impl UuidWorkload {
     /// Keys of `key_len` bytes from `seed`.
     pub fn new(seed: u64, key_len: usize) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), key_len }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            key_len,
+        }
     }
 
     /// One fresh key.

@@ -20,7 +20,12 @@ impl VectorWorkload {
         let centers = (0..n_clusters)
             .map(|_| (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect())
             .collect();
-        Self { rng, dim, centers, spread }
+        Self {
+            rng,
+            dim,
+            centers,
+            spread,
+        }
     }
 
     /// Vector dimensionality.
@@ -80,7 +85,10 @@ mod tests {
                 .iter()
                 .map(|c| c.iter().zip(v).map(|(a, b)| (a - b) * (a - b)).sum::<f32>())
                 .fold(f32::INFINITY, f32::min);
-            assert!(min_d2 < 8.0 * 0.3 * 0.3 * 30.0, "vector far from all centers: {min_d2}");
+            assert!(
+                min_d2 < 8.0 * 0.3 * 0.3 * 30.0,
+                "vector far from all centers: {min_d2}"
+            );
         }
     }
 }

@@ -30,8 +30,7 @@ fn main() {
         Field::new("trace_id", DataType::Binary),
         Field::new("line", DataType::Utf8),
     ]);
-    let table =
-        Table::create(store.as_ref(), "logs", &schema, TableConfig::default()).unwrap();
+    let table = Table::create(store.as_ref(), "logs", &schema, TableConfig::default()).unwrap();
     let rot = Rottnest::new(store.as_ref(), "logs-idx", RottnestConfig::default());
 
     // Ingest three batches of "kubernetes" logs; index after each (the lazy,
@@ -59,12 +58,16 @@ fn main() {
             .append(
                 &RecordBatch::new(
                     schema.clone(),
-                    vec![ColumnData::from_blobs(&ids), ColumnData::from_strings(&lines)],
+                    vec![
+                        ColumnData::from_blobs(&ids),
+                        ColumnData::from_strings(&lines),
+                    ],
                 )
                 .unwrap(),
             )
             .unwrap();
-        rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap();
+        rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+            .unwrap();
         rot.index(&table, IndexKind::Substring, "line").unwrap();
         println!("batch {batch_no}: ingested 2000 lines, indexes up to date");
     }
@@ -77,7 +80,15 @@ fn main() {
     let snap = table.snapshot().unwrap();
     let (wanted_id, wanted_line) = &interesting[1];
     let out = rot
-        .search(&table, &snap, "trace_id", &Query::UuidEq { key: wanted_id, k: 5 })
+        .search(
+            &table,
+            &snap,
+            "trace_id",
+            &Query::UuidEq {
+                key: wanted_id,
+                k: 5,
+            },
+        )
         .unwrap();
     println!(
         "trace lookup after compaction: {} match(es), brute-scanned {} file(s) as fallback",
@@ -87,9 +98,11 @@ fn main() {
     assert_eq!(out.matches.len(), 1);
 
     // Re-index to cover the compacted file, compact the index files, vacuum.
-    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap();
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap();
     rot.index(&table, IndexKind::Substring, "line").unwrap();
-    rot.compact(IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap();
+    rot.compact(IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap();
     rot.compact(IndexKind::Substring, "line").unwrap();
     let report = rot.vacuum(&table).unwrap();
     println!(
@@ -98,7 +111,15 @@ fn main() {
     );
 
     let out = rot
-        .search(&table, &snap, "trace_id", &Query::UuidEq { key: wanted_id, k: 5 })
+        .search(
+            &table,
+            &snap,
+            "trace_id",
+            &Query::UuidEq {
+                key: wanted_id,
+                k: 5,
+            },
+        )
         .unwrap();
     assert_eq!(out.matches.len(), 1);
     println!(
@@ -109,7 +130,15 @@ fn main() {
     // Substring search for the exact log line.
     let needle = &wanted_line[..wanted_line.len().min(30)];
     let out = rot
-        .search(&table, &snap, "line", &Query::Substring { pattern: needle.as_bytes(), k: 5 })
+        .search(
+            &table,
+            &snap,
+            "line",
+            &Query::Substring {
+                pattern: needle.as_bytes(),
+                k: 5,
+            },
+        )
         .unwrap();
     println!("substring {:?} → {} match(es)", needle, out.matches.len());
 

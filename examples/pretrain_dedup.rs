@@ -10,7 +10,9 @@
 use rottnest::{IndexKind, Query, Rottnest};
 use rottnest_lake::{Table, TableConfig};
 use rottnest_object_store::{MemoryStore, ObjectStore};
-use rottnest_tco::{cpm_storage, cpq_from_latency, prices, ApproachCosts, Approaches, PhaseDiagram};
+use rottnest_tco::{
+    cpm_storage, cpq_from_latency, prices, ApproachCosts, Approaches, PhaseDiagram,
+};
 use rottnest_workloads::{text_batch, TextWorkload};
 
 fn main() {
@@ -49,7 +51,9 @@ fn main() {
     let rot = Rottnest::new(store.as_ref(), "corpus-idx", rottnest_bench_config());
     let clock = store.clock().unwrap();
     let t0 = clock.now_micros();
-    rot.index(&table, IndexKind::Substring, "text").unwrap().unwrap();
+    rot.index(&table, IndexKind::Substring, "text")
+        .unwrap()
+        .unwrap();
     let build_s = (clock.now_micros() - t0) as f64 / 1e6;
     let index_bytes = rot.index_bytes().unwrap();
     println!(
@@ -64,7 +68,15 @@ fn main() {
     for probe in &eval_set {
         let t0 = clock.now_micros();
         let out = rot
-            .search(&table, &snap, "text", &Query::Substring { pattern: probe.as_bytes(), k: 100 })
+            .search(
+                &table,
+                &snap,
+                "text",
+                &Query::Substring {
+                    pattern: probe.as_bytes(),
+                    k: 100,
+                },
+            )
             .unwrap();
         let secs = (clock.now_micros() - t0) as f64 / 1e6;
         mean_latency += secs / eval_set.len() as f64;
@@ -91,7 +103,11 @@ fn main() {
         brute_force: ApproachCosts {
             index_cost: 0.0,
             cost_per_month: cpm_storage(data_bytes as f64 * scale),
-            cost_per_query: cpq_from_latency(304e9 / (8.0 * 400e6), 8.0, prices::R6I_4XLARGE_HOURLY),
+            cost_per_query: cpq_from_latency(
+                304e9 / (8.0 * 400e6),
+                8.0,
+                prices::R6I_4XLARGE_HOURLY,
+            ),
         },
         rottnest: ApproachCosts {
             index_cost: build_s * scale / 3600.0 * prices::R6I_4XLARGE_HOURLY,

@@ -51,19 +51,38 @@ fn main() {
     )
     .unwrap();
     table.append(&batch).expect("append");
-    println!("lake: {} rows in {} files", rows, table.snapshot().unwrap().num_files());
+    println!(
+        "lake: {} rows in {} files",
+        rows,
+        table.snapshot().unwrap().num_files()
+    );
 
     // 2. Rottnest: index the three columns (three independent index files).
     let config = RottnestConfig {
         min_vector_rows: 100,
-        ivf: rottnest_ivfpq::IvfPqParams { nlist: 16, m: 4, train_iters: 4, seed: 1 },
+        ivf: rottnest_ivfpq::IvfPqParams {
+            nlist: 16,
+            m: 4,
+            train_iters: 4,
+            seed: 1,
+        },
         ..RottnestConfig::default()
     };
     let rot = Rottnest::new(store.as_ref(), "demo-idx", config);
-    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
-    rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
-    rot.index(&table, IndexKind::Vector { dim: 8 }, "embedding").unwrap().unwrap();
-    println!("rottnest: {} index files, {} bytes", rot.meta().scan().unwrap().len(), rot.index_bytes().unwrap());
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap()
+        .unwrap();
+    rot.index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
+    rot.index(&table, IndexKind::Vector { dim: 8 }, "embedding")
+        .unwrap()
+        .unwrap();
+    println!(
+        "rottnest: {} index files, {} bytes",
+        rot.meta().scan().unwrap().len(),
+        rot.index_bytes().unwrap()
+    );
 
     // 3. Search.
     let snap = table.snapshot().unwrap();
@@ -71,12 +90,28 @@ fn main() {
     let mut key = [0u8; 16];
     key[8..].copy_from_slice(&123u64.to_be_bytes());
     let out = rot
-        .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 5 })
+        .search(
+            &table,
+            &snap,
+            "trace_id",
+            &Query::UuidEq { key: &key, k: 5 },
+        )
         .unwrap();
-    println!("uuid lookup   → row {} of {}", out.matches[0].row, out.matches[0].path);
+    println!(
+        "uuid lookup   → row {} of {}",
+        out.matches[0].row, out.matches[0].path
+    );
 
     let out = rot
-        .search(&table, &snap, "body", &Query::Substring { pattern: b"backend-3", k: 3 })
+        .search(
+            &table,
+            &snap,
+            "body",
+            &Query::Substring {
+                pattern: b"backend-3",
+                k: 3,
+            },
+        )
         .unwrap();
     println!(
         "substring     → {} matches (first: row {}), {} pages probed",
@@ -93,13 +128,20 @@ fn main() {
             "embedding",
             &Query::VectorNn {
                 query: &query,
-                params: SearchParams { k: 3, nprobe: 8, refine: 32 },
+                params: SearchParams {
+                    k: 3,
+                    nprobe: 8,
+                    refine: 32,
+                },
             },
         )
         .unwrap();
     println!(
         "vector top-3  → rows {:?} (squared distances {:?})",
         out.matches.iter().map(|m| m.row).collect::<Vec<_>>(),
-        out.matches.iter().map(|m| m.score.unwrap()).collect::<Vec<_>>()
+        out.matches
+            .iter()
+            .map(|m| m.score.unwrap())
+            .collect::<Vec<_>>()
     );
 }

@@ -17,7 +17,9 @@ const DIM: usize = 64;
 
 fn main() {
     let store = MemoryStore::unmetered();
-    let schema = vector_batch("embedding", DIM as u32, vec![]).schema().clone();
+    let schema = vector_batch("embedding", DIM as u32, vec![])
+        .schema()
+        .clone();
     let table = Table::create(store.as_ref(), "docs", &schema, TableConfig::default()).unwrap();
 
     // 20k "document chunk" embeddings in 4 files.
@@ -29,11 +31,18 @@ fn main() {
     }
 
     let config = RottnestConfig {
-        ivf: rottnest_ivfpq::IvfPqParams { nlist: 128, m: 8, train_iters: 6, seed: 3 },
+        ivf: rottnest_ivfpq::IvfPqParams {
+            nlist: 128,
+            m: 8,
+            train_iters: 6,
+            seed: 3,
+        },
         ..RottnestConfig::default()
     };
     let rot = Rottnest::new(store.as_ref(), "docs-idx", config);
-    rot.index(&table, IndexKind::Vector { dim: DIM as u32 }, "embedding").unwrap().unwrap();
+    rot.index(&table, IndexKind::Vector { dim: DIM as u32 }, "embedding")
+        .unwrap()
+        .unwrap();
     println!("indexed 20k embeddings (dim {DIM}) into one IVF-PQ index file");
 
     let snap = table.snapshot().unwrap();
@@ -44,9 +53,11 @@ fn main() {
         "\n{:<24} {:>10} {:>12} {:>12}",
         "setting", "recall@10", "pages/query", "postings"
     );
-    for (name, nprobe, refine) in
-        [("fast (nprobe=2)", 2usize, 16usize), ("balanced (nprobe=8)", 8, 64), ("thorough (nprobe=32)", 32, 200)]
-    {
+    for (name, nprobe, refine) in [
+        ("fast (nprobe=2)", 2usize, 16usize),
+        ("balanced (nprobe=8)", 8, 64),
+        ("thorough (nprobe=32)", 32, 200),
+    ] {
         let mut recall = 0.0;
         let mut pages = 0u64;
         let mut postings = 0u64;
@@ -65,7 +76,11 @@ fn main() {
                     "embedding",
                     &Query::VectorNn {
                         query: q,
-                        params: SearchParams { k: 10, nprobe, refine },
+                        params: SearchParams {
+                            k: 10,
+                            nprobe,
+                            refine,
+                        },
                     },
                 )
                 .unwrap();

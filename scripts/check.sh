@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must pass before merging.
+# Referenced from ROADMAP.md ("Tier-1 verify").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "tier-1 gate: OK"

@@ -26,7 +26,11 @@ pub fn trace_id(i: u64) -> Vec<u8> {
 
 /// Deterministic log line for row `i`.
 pub fn body(i: u64) -> String {
-    format!("row {i} host h{} status S{:03} payload lorem ipsum dolor", i % 13, i % 37)
+    format!(
+        "row {i} host h{} status S{:03} payload lorem ipsum dolor",
+        i % 13,
+        i % 37
+    )
 }
 
 /// Deterministic clustered embedding for row `i`.
@@ -44,8 +48,7 @@ pub fn batch(range: std::ops::Range<u64>) -> RecordBatch {
         vec![
             ColumnData::from_blobs(range.clone().map(trace_id)),
             ColumnData::from_strings(range.clone().map(body)),
-            ColumnData::from_vectors(DIM as u32, range.map(embedding).collect::<Vec<_>>())
-                .unwrap(),
+            ColumnData::from_vectors(DIM as u32, range.map(embedding).collect::<Vec<_>>()).unwrap(),
         ],
     )
     .unwrap()
@@ -54,7 +57,11 @@ pub fn batch(range: std::ops::Range<u64>) -> RecordBatch {
 /// Table config with small pages so probes exercise page granularity.
 pub fn small_pages() -> TableConfig {
     TableConfig {
-        writer: WriterOptions { page_raw_bytes: 2048, row_group_rows: 512, ..Default::default() },
+        writer: WriterOptions {
+            page_raw_bytes: 2048,
+            row_group_rows: 512,
+            ..Default::default()
+        },
         ..Default::default()
     }
 }
@@ -73,7 +80,12 @@ pub fn make_table<'a>(store: &'a dyn ObjectStore, rows: u64, files: u64) -> Tabl
 pub fn rot_config() -> rottnest::RottnestConfig {
     rottnest::RottnestConfig {
         min_vector_rows: 32,
-        ivf: rottnest_ivfpq::IvfPqParams { nlist: 16, m: 4, train_iters: 4, seed: 5 },
+        ivf: rottnest_ivfpq::IvfPqParams {
+            nlist: 16,
+            m: 4,
+            train_iters: 4,
+            seed: 5,
+        },
         ..Default::default()
     }
 }

@@ -1,0 +1,334 @@
+//! Chaos soak: the full index → search → compact → vacuum lifecycle runs
+//! under seeded probabilistic fault injection at increasing failure rates,
+//! and must produce results identical to the fault-free run — every
+//! transient fault absorbed by the retrying store, every invariant intact.
+//!
+//! Results are compared *normalized*: file paths embed store timestamps
+//! (which drift between runs as backoff and latency spikes advance the
+//! simulated clock differently), so a match is identified by its file's
+//! ordinal in the snapshot's manifest order — which equals creation order
+//! in every run — plus row and score bits.
+
+use rottnest::invariants::verify_all;
+use rottnest::{IndexKind, Query, Rottnest, SearchOutcome};
+use rottnest_integration::*;
+use rottnest_ivfpq::SearchParams;
+use rottnest_lake::{Snapshot, Table, TableConfig};
+use rottnest_object_store::{ChaosConfig, FaultKind, MemoryStore, ObjectStore, RetryPolicy};
+
+/// A run-independent view of one match: (file ordinal, row, score bits).
+type Norm = (usize, u64, Option<u32>);
+
+/// Generous budget: at a 20% per-request fault rate the worst op (a torn
+/// range read needing a HEAD) fails a given attempt with p ≈ 0.36, so 16
+/// attempts leave ~1e-7 exhaustion probability per op — the soak must
+/// never degrade, or results could diverge from the baseline.
+fn soak_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 16,
+        base_backoff_ms: 5,
+        max_backoff_ms: 100,
+        jitter_seed: 0xC0FF_EE00,
+        verify_short_reads: true,
+    }
+}
+
+fn normalize(snap: &Snapshot, out: &SearchOutcome) -> Vec<Norm> {
+    let ordinal: std::collections::HashMap<&str, usize> = snap
+        .files()
+        .enumerate()
+        .map(|(i, f)| (f.path.as_str(), i))
+        .collect();
+    let mut rows: Vec<Norm> = out
+        .matches
+        .iter()
+        .map(|m| (ordinal[m.path.as_str()], m.row, m.score.map(f32::to_bits)))
+        .collect();
+    rows.sort_unstable();
+    rows
+}
+
+/// The four standing queries: a unique hit, a deleted key, a multi-file
+/// substring, and a nearest-neighbour ranking.
+fn run_queries(rot: &Rottnest<'_>, table: &Table<'_>, snap: &Snapshot) -> Vec<Vec<Norm>> {
+    let mut out = Vec::new();
+    let hit = trace_id(42);
+    out.push(normalize(
+        snap,
+        &rot.search(table, snap, "trace_id", &Query::UuidEq { key: &hit, k: 4 })
+            .unwrap(),
+    ));
+    let deleted = trace_id(4);
+    out.push(normalize(
+        snap,
+        &rot.search(
+            table,
+            snap,
+            "trace_id",
+            &Query::UuidEq {
+                key: &deleted,
+                k: 4,
+            },
+        )
+        .unwrap(),
+    ));
+    out.push(normalize(
+        snap,
+        &rot.search(
+            table,
+            snap,
+            "body",
+            &Query::Substring {
+                pattern: b"status S001",
+                k: 64,
+            },
+        )
+        .unwrap(),
+    ));
+    let q = embedding(7);
+    out.push(normalize(
+        snap,
+        &rot.search(
+            table,
+            snap,
+            "embedding",
+            &Query::VectorNn {
+                query: &q,
+                params: SearchParams {
+                    k: 8,
+                    nprobe: 16,
+                    refine: 64,
+                },
+            },
+        )
+        .unwrap(),
+    ));
+    out
+}
+
+/// One full lifecycle under (optional) chaos. Returns the normalized
+/// results of both search rounds plus the injected-fault and retry counts.
+fn run_lifecycle(chaos: Option<ChaosConfig>) -> (Vec<Vec<Norm>>, u64, u64) {
+    let store = MemoryStore::new();
+    store.faults().set_chaos(chaos);
+
+    let table = Table::create(
+        store.as_ref(),
+        "tbl",
+        &schema(),
+        TableConfig {
+            retry: soak_policy(),
+            ..small_pages()
+        },
+    )
+    .unwrap();
+    table.append(&batch(0..50)).unwrap();
+    table.append(&batch(50..100)).unwrap();
+
+    let mut cfg = rot_config();
+    cfg.retry = soak_policy();
+    let rot = Rottnest::new(store.as_ref(), "idx", cfg);
+
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap()
+        .unwrap();
+    rot.index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
+    rot.index(&table, IndexKind::Vector { dim: DIM as u32 }, "embedding")
+        .unwrap()
+        .unwrap();
+
+    table.append(&batch(100..150)).unwrap();
+    // Delete rows 3..=5 from the earliest file (manifest order is creation
+    // order — paths embed a zero-padded timestamp plus sequence number).
+    let first = table
+        .snapshot()
+        .unwrap()
+        .files()
+        .next()
+        .unwrap()
+        .path
+        .clone();
+    table.delete_rows(&first, &[3, 4, 5]).unwrap();
+
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap()
+        .unwrap();
+    rot.index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
+    rot.index(&table, IndexKind::Vector { dim: DIM as u32 }, "embedding")
+        .unwrap()
+        .unwrap();
+    rot.checkpoint_meta().unwrap();
+
+    let snap = table.snapshot().unwrap();
+    let mut rounds = run_queries(&rot, &table, &snap);
+
+    rot.compact(IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap();
+    rot.compact(IndexKind::Substring, "body").unwrap();
+    rot.compact(IndexKind::Vector { dim: DIM as u32 }, "embedding")
+        .unwrap();
+
+    // Age every index object past the timeout so vacuum may delete freely.
+    store.clock().unwrap().advance_ms(2 * 3_600_000);
+    rot.vacuum(&table).unwrap();
+
+    let snap = table.snapshot().unwrap();
+    rounds.extend(run_queries(&rot, &table, &snap));
+
+    // Invariants are checked fault-free: chaos off, direct store access.
+    store.faults().set_chaos(None);
+    verify_all(store.as_ref(), "idx").unwrap();
+
+    let stats = store.stats();
+    (rounds, stats.faults_injected, stats.retries)
+}
+
+#[test]
+fn chaos_soak_lifecycle_is_unchanged_by_transient_faults() {
+    let (baseline, faults, _) = run_lifecycle(None);
+    assert_eq!(faults, 0, "the fault-free baseline must inject nothing");
+    assert_eq!(baseline[0].len(), 1, "unique key hit");
+    assert!(baseline[1].is_empty(), "deleted key must not match");
+    assert_eq!(
+        baseline[2].len(),
+        5,
+        "status S001 appears in rows {{1,38,75,112,149}}"
+    );
+    assert_eq!(baseline[3].len(), 8, "vector top-k");
+    assert_eq!(
+        &baseline[..4],
+        &baseline[4..],
+        "compaction and vacuum must not change any result"
+    );
+
+    for (round, rate) in [(1u64, 0.01), (2, 0.05), (3, 0.20)] {
+        let (results, faults, retries) =
+            run_lifecycle(Some(ChaosConfig::uniform(0xB0B0 + round, rate)));
+        assert_eq!(results, baseline, "results diverged at fault rate {rate}");
+        if rate >= 0.05 {
+            assert!(
+                faults > 0,
+                "chaos at rate {rate} should have injected faults"
+            );
+            assert!(
+                retries > 0,
+                "chaos at rate {rate} should have caused retries"
+            );
+        }
+    }
+}
+
+#[test]
+fn search_degrades_to_brute_force_when_index_reads_exhaust_retries() {
+    let store = MemoryStore::unmetered();
+    let table = make_table(store.as_ref(), 100, 2);
+    let mut cfg = rot_config();
+    cfg.retry = RetryPolicy {
+        max_attempts: 3,
+        base_backoff_ms: 1,
+        max_backoff_ms: 2,
+        ..RetryPolicy::default()
+    };
+    let rot = Rottnest::new(store.as_ref(), "idx", cfg);
+    rot.index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
+    let snap = table.snapshot().unwrap();
+    let query = Query::Substring {
+        pattern: b"status S001",
+        k: 100,
+    };
+
+    let clean = rot.search(&table, &snap, "body", &query).unwrap();
+    assert_eq!(clean.matches.len(), 3, "rows 1, 38, 75");
+    assert_eq!(clean.stats.index_files_failed, 0);
+    assert_eq!(clean.stats.files_degraded, 0);
+    assert_eq!(clean.stats.files_brute_scanned, 0);
+
+    // More armed faults than the retry budget: every read of the index
+    // object keeps failing until the budget is exhausted.
+    for _ in 0..16 {
+        store
+            .faults()
+            .arm(FaultKind::TransientGetMatching("idx/files".into()));
+    }
+    let degraded = rot.search(&table, &snap, "body", &query).unwrap();
+    store.faults().disarm_all();
+
+    let sorted = |o: &SearchOutcome| {
+        let mut v: Vec<(String, u64)> = o.matches.iter().map(|m| (m.path.clone(), m.row)).collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(
+        sorted(&degraded),
+        sorted(&clean),
+        "degraded results must stay correct"
+    );
+    assert_eq!(degraded.stats.index_files_failed, 1);
+    assert_eq!(degraded.stats.files_degraded, 2);
+    assert_eq!(degraded.stats.files_brute_scanned, 2);
+}
+
+#[test]
+fn vector_search_degrades_to_exact_scan_when_index_reads_fail() {
+    let store = MemoryStore::unmetered();
+    let table = make_table(store.as_ref(), 100, 2);
+    let mut cfg = rot_config();
+    cfg.retry = RetryPolicy {
+        max_attempts: 3,
+        base_backoff_ms: 1,
+        max_backoff_ms: 2,
+        ..RetryPolicy::default()
+    };
+    let rot = Rottnest::new(store.as_ref(), "idx", cfg);
+    rot.index(&table, IndexKind::Vector { dim: DIM as u32 }, "embedding")
+        .unwrap()
+        .unwrap();
+    let snap = table.snapshot().unwrap();
+    let q = embedding(13);
+    let query = Query::VectorNn {
+        query: &q,
+        params: SearchParams {
+            k: 6,
+            nprobe: 16,
+            refine: 64,
+        },
+    };
+
+    let clean = rot.search(&table, &snap, "embedding", &query).unwrap();
+    assert_eq!(clean.matches.len(), 6);
+    assert_eq!(clean.stats.files_degraded, 0);
+
+    for _ in 0..24 {
+        store
+            .faults()
+            .arm(FaultKind::TransientGetMatching("idx/files".into()));
+    }
+    let degraded = rot.search(&table, &snap, "embedding", &query).unwrap();
+    store.faults().disarm_all();
+
+    // The exact rerank (index path) and the brute scan compute the same
+    // l2_sq, so scores must agree bit for bit.
+    let norm = |o: &SearchOutcome| {
+        let mut v: Vec<(String, u64, u32)> = o
+            .matches
+            .iter()
+            .map(|m| (m.path.clone(), m.row, m.score.unwrap().to_bits()))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(
+        norm(&degraded),
+        norm(&clean),
+        "exact scan must agree with the index path"
+    );
+    assert_eq!(degraded.stats.index_files_failed, 1);
+    assert_eq!(degraded.stats.files_degraded, 2);
+    assert_eq!(degraded.stats.files_brute_scanned, 2);
+}

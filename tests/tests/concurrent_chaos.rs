@@ -16,7 +16,9 @@ fn full_chaos_run() {
     let table = make_table(store.as_ref(), 200, 2);
     {
         let rot = Rottnest::new(store.as_ref(), "idx", rot_config());
-        rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+        rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+            .unwrap()
+            .unwrap();
     }
     drop(table);
 
@@ -32,7 +34,14 @@ fn full_chaos_run() {
                 let base = appended.fetch_add(50, Ordering::SeqCst);
                 table.append(&batch(base..base + 50)).unwrap();
                 if round == 2 {
-                    let path = table.snapshot().unwrap().files().next().unwrap().path.clone();
+                    let path = table
+                        .snapshot()
+                        .unwrap()
+                        .files()
+                        .next()
+                        .unwrap()
+                        .path
+                        .clone();
                     let _ = table.delete_rows(&path, &[1, 2, 3]);
                 }
                 if round == 4 {
@@ -79,7 +88,12 @@ fn full_chaos_run() {
                     let probe = 10 + (i % 90);
                     let key = trace_id(probe);
                     let out = rot
-                        .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 2 })
+                        .search(
+                            &table,
+                            &snap,
+                            "trace_id",
+                            &Query::UuidEq { key: &key, k: 2 },
+                        )
                         .unwrap();
                     assert!(
                         !out.matches.is_empty(),
@@ -94,19 +108,28 @@ fn full_chaos_run() {
     })
     .unwrap();
 
-    assert!(searches_ok.load(Ordering::Relaxed) > 10, "searchers made progress");
+    assert!(
+        searches_ok.load(Ordering::Relaxed) > 10,
+        "searchers made progress"
+    );
     verify_all(store.as_ref(), "idx").unwrap();
 
     // Final state is fully correct: indexed search equals brute force.
     let table = Table::open(store.as_ref(), "tbl", small_pages()).unwrap();
     let rot = Rottnest::new(store.as_ref(), "idx", rot_config());
-    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap();
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap();
     let snap = table.snapshot().unwrap();
     let bf = rottnest_baselines::BruteForce::new(&table, snap.clone());
     for i in (0..appended.load(Ordering::SeqCst)).step_by(61) {
         let key = trace_id(i);
         let r = rot
-            .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 5 })
+            .search(
+                &table,
+                &snap,
+                "trace_id",
+                &Query::UuidEq { key: &key, k: 5 },
+            )
             .unwrap();
         let (b, _) = bf.scan_uuid("trace_id", &key, 5).unwrap();
         let mut rp: Vec<(String, u64)> =

@@ -9,9 +9,18 @@ use rottnest_object_store::{FaultKind, MemoryStore, ObjectStore};
 /// Every fault we inject: (description, fault to arm).
 fn faults() -> Vec<(&'static str, FaultKind)> {
     vec![
-        ("index upload fails", FaultKind::FailPutMatching("idx/files".into())),
-        ("metadata commit fails", FaultKind::FailPutMatching("idx/meta".into())),
-        ("input parquet vanishes", FaultKind::FailGetMatching(".lkpq".into())),
+        (
+            "index upload fails",
+            FaultKind::FailPutMatching("idx/files".into()),
+        ),
+        (
+            "metadata commit fails",
+            FaultKind::FailPutMatching("idx/meta".into()),
+        ),
+        (
+            "input parquet vanishes",
+            FaultKind::FailGetMatching(".lkpq".into()),
+        ),
     ]
 }
 
@@ -30,10 +39,20 @@ fn index_crashes_preserve_invariants_and_retry_succeeds() {
         verify_all(store.as_ref(), "idx").expect(what);
 
         // Retry converges to a committed index; search works.
-        rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
+        rot.index(&table, IndexKind::Substring, "body")
+            .unwrap()
+            .unwrap();
         let snap = table.snapshot().unwrap();
         let out = rot
-            .search(&table, &snap, "body", &Query::Substring { pattern: b"status S001", k: 10 })
+            .search(
+                &table,
+                &snap,
+                "body",
+                &Query::Substring {
+                    pattern: b"status S001",
+                    k: 10,
+                },
+            )
             .unwrap();
         assert!(!out.matches.is_empty(), "after `{what}` retry");
         verify_all(store.as_ref(), "idx").expect(what);
@@ -43,16 +62,26 @@ fn index_crashes_preserve_invariants_and_retry_succeeds() {
 #[test]
 fn compact_crashes_preserve_invariants() {
     for (what, fault) in [
-        ("merged upload fails", FaultKind::FailPutMatching("idx/files".into())),
-        ("swap commit fails", FaultKind::FailPutMatching("idx/meta".into())),
+        (
+            "merged upload fails",
+            FaultKind::FailPutMatching("idx/files".into()),
+        ),
+        (
+            "swap commit fails",
+            FaultKind::FailPutMatching("idx/meta".into()),
+        ),
     ] {
         let store = MemoryStore::unmetered();
         let table = make_table(store.as_ref(), 100, 2);
         let rot = Rottnest::new(store.as_ref(), "idx", rot_config());
         // Two separate index files to merge.
-        rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+        rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+            .unwrap()
+            .unwrap();
         table.append(&batch(100..150)).unwrap();
-        rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+        rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+            .unwrap()
+            .unwrap();
 
         store.faults().arm(fault);
         let result = rot.compact(IndexKind::Uuid { key_len: 16 }, "trace_id");
@@ -64,12 +93,18 @@ fn compact_crashes_preserve_invariants() {
         let snap = table.snapshot().unwrap();
         let key = trace_id(120);
         let out = rot
-            .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 1 })
+            .search(
+                &table,
+                &snap,
+                "trace_id",
+                &Query::UuidEq { key: &key, k: 1 },
+            )
             .unwrap();
         assert_eq!(out.matches.len(), 1, "after `{what}`");
 
         // Retry compaction; still consistent.
-        rot.compact(IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap();
+        rot.compact(IndexKind::Uuid { key_len: 16 }, "trace_id")
+            .unwrap();
         verify_all(store.as_ref(), "idx").expect(what);
     }
 }
@@ -81,15 +116,21 @@ fn vacuum_delete_crash_preserves_invariants() {
     let mut cfg = rot_config();
     cfg.index_timeout_ms = 1_000;
     let rot = Rottnest::new(store.as_ref(), "idx", cfg);
-    rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
+    rot.index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
     table.append(&batch(100..150)).unwrap();
-    rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
+    rot.index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
     rot.compact(IndexKind::Substring, "body").unwrap();
     store.clock().unwrap().advance_ms(5_000);
 
     // Crash mid-delete: first physical delete fails, vacuum aborts between
     // commit and removal — exactly the `during_delete` state of Lemma 1.
-    store.faults().arm(FaultKind::FailDeleteMatching("idx/files".into()));
+    store
+        .faults()
+        .arm(FaultKind::FailDeleteMatching("idx/files".into()));
     let result = rot.vacuum(&table);
     assert!(result.is_err());
     store.faults().disarm_all();
@@ -102,7 +143,79 @@ fn vacuum_delete_crash_preserves_invariants() {
 
     let snap = table.snapshot().unwrap();
     let out = rot
-        .search(&table, &snap, "body", &Query::Substring { pattern: b"status S007", k: 50 })
+        .search(
+            &table,
+            &snap,
+            "body",
+            &Query::Substring {
+                pattern: b"status S007",
+                k: 50,
+            },
+        )
+        .unwrap();
+    assert!(!out.matches.is_empty());
+}
+
+#[test]
+fn vacuum_crash_mid_delete_resumes_under_transient_faults() {
+    // Same `during_delete` crash as above, but the resumed vacuum runs
+    // against a store that is *still* misbehaving transiently — the retry
+    // layer must absorb the faults and finish the job.
+    let store = MemoryStore::new();
+    let table = make_table(store.as_ref(), 100, 2);
+    let mut cfg = rot_config();
+    cfg.index_timeout_ms = 1_000;
+    let rot = Rottnest::new(store.as_ref(), "idx", cfg);
+    rot.index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
+    table.append(&batch(100..150)).unwrap();
+    rot.index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
+    rot.compact(IndexKind::Substring, "body").unwrap();
+    store.clock().unwrap().advance_ms(5_000);
+
+    // Hard crash mid-delete (Injected faults are not retryable).
+    store
+        .faults()
+        .arm(FaultKind::FailDeleteMatching("idx/files".into()));
+    assert!(rot.vacuum(&table).is_err());
+    store.faults().disarm_all();
+    verify_all(store.as_ref(), "idx").unwrap();
+
+    // The resume sees transient metadata reads and delete failures; both
+    // are retryable, so vacuum must converge anyway.
+    let before = store.stats();
+    store
+        .faults()
+        .arm(FaultKind::TransientGetMatching("idx/meta".into()));
+    store
+        .faults()
+        .arm(FaultKind::TransientDeleteMatching("idx/files".into()));
+    let report = rot.vacuum(&table).unwrap();
+    assert!(report.objects_deleted >= 1);
+    store.faults().disarm_all();
+    verify_all(store.as_ref(), "idx").unwrap();
+
+    let delta = store.stats().since(&before);
+    assert!(
+        delta.retries >= 2,
+        "both transient faults were retried: {delta:?}"
+    );
+    assert_eq!(delta.faults_injected, 2);
+
+    let snap = table.snapshot().unwrap();
+    let out = rot
+        .search(
+            &table,
+            &snap,
+            "body",
+            &Query::Substring {
+                pattern: b"status S007",
+                k: 50,
+            },
+        )
         .unwrap();
     assert!(!out.matches.is_empty());
 }
@@ -117,15 +230,18 @@ fn repeated_random_crashes_never_corrupt() {
 
     let stages = ["idx/files", "idx/meta"];
     for round in 0..10u64 {
-        table.append(&batch(60 + round * 20..80 + round * 20)).unwrap();
+        table
+            .append(&batch(60 + round * 20..80 + round * 20))
+            .unwrap();
         if round % 2 == 0 {
-            store
-                .faults()
-                .arm(FaultKind::FailPutMatching(stages[(round / 2 % 2) as usize].into()));
+            store.faults().arm(FaultKind::FailPutMatching(
+                stages[(round / 2 % 2) as usize].into(),
+            ));
             let _ = rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id");
             store.faults().disarm_all();
         } else {
-            rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap();
+            rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+                .unwrap();
         }
         verify_all(store.as_ref(), "idx").unwrap();
 
@@ -133,7 +249,12 @@ fn repeated_random_crashes_never_corrupt() {
         let snap = table.snapshot().unwrap();
         let key = trace_id(60 + round * 20 + 5);
         let out = rot
-            .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 1 })
+            .search(
+                &table,
+                &snap,
+                "trace_id",
+                &Query::UuidEq { key: &key, k: 1 },
+            )
             .unwrap();
         assert_eq!(out.matches.len(), 1, "round {round}");
     }

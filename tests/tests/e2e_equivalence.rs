@@ -19,10 +19,19 @@ fn uuid_equivalence_across_mutations() {
     let store = MemoryStore::unmetered();
     let table = make_table(store.as_ref(), 400, 4);
     let rot = Rottnest::new(store.as_ref(), "idx", rot_config());
-    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap()
+        .unwrap();
 
     // Mutations: delete some rows, append un-indexed data, lake-compact.
-    let first = table.snapshot().unwrap().files().next().unwrap().path.clone();
+    let first = table
+        .snapshot()
+        .unwrap()
+        .files()
+        .next()
+        .unwrap()
+        .path
+        .clone();
     table.delete_rows(&first, &[5, 50]).unwrap();
     table.append(&batch(400..440)).unwrap();
 
@@ -33,12 +42,21 @@ fn uuid_equivalence_across_mutations() {
     for i in [0u64, 5, 99, 150, 399, 410, 999_999] {
         let key = trace_id(i);
         let r = rot
-            .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 10 })
+            .search(
+                &table,
+                &snap,
+                "trace_id",
+                &Query::UuidEq { key: &key, k: 10 },
+            )
             .unwrap();
         let (b, _) = bf.scan_uuid("trace_id", &key, 10).unwrap();
         let d = dedicated.search(&key, 10);
         assert_eq!(pairs(&r.matches), pairs(&b), "rottnest vs brute, key {i}");
-        assert_eq!(pairs(&r.matches), pairs(&d), "rottnest vs dedicated, key {i}");
+        assert_eq!(
+            pairs(&r.matches),
+            pairs(&d),
+            "rottnest vs dedicated, key {i}"
+        );
     }
 }
 
@@ -47,9 +65,18 @@ fn substring_equivalence_across_mutations() {
     let store = MemoryStore::unmetered();
     let table = make_table(store.as_ref(), 300, 3);
     let rot = Rottnest::new(store.as_ref(), "idx", rot_config());
-    rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
+    rot.index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
 
-    let second = table.snapshot().unwrap().files().nth(1).unwrap().path.clone();
+    let second = table
+        .snapshot()
+        .unwrap()
+        .files()
+        .nth(1)
+        .unwrap()
+        .path
+        .clone();
     table.delete_rows(&second, &[10, 20, 30]).unwrap();
 
     let snap = table.snapshot().unwrap();
@@ -59,12 +86,30 @@ fn substring_equivalence_across_mutations() {
     for pattern in ["status S013", "host h5 ", "row 27 ", "no-such-needle"] {
         let big_k = 10_000;
         let r = rot
-            .search(&table, &snap, "body", &Query::Substring { pattern: pattern.as_bytes(), k: big_k })
+            .search(
+                &table,
+                &snap,
+                "body",
+                &Query::Substring {
+                    pattern: pattern.as_bytes(),
+                    k: big_k,
+                },
+            )
             .unwrap();
-        let (b, _) = bf.scan_substring("body", pattern.as_bytes(), big_k).unwrap();
-        assert_eq!(pairs(&r.matches), pairs(&b), "rottnest vs brute, {pattern:?}");
+        let (b, _) = bf
+            .scan_substring("body", pattern.as_bytes(), big_k)
+            .unwrap();
+        assert_eq!(
+            pairs(&r.matches),
+            pairs(&b),
+            "rottnest vs brute, {pattern:?}"
+        );
         let d = dedicated.search(pattern.as_bytes(), big_k).unwrap();
-        assert_eq!(pairs(&r.matches), pairs(&d), "rottnest vs dedicated, {pattern:?}");
+        assert_eq!(
+            pairs(&r.matches),
+            pairs(&d),
+            "rottnest vs dedicated, {pattern:?}"
+        );
     }
 }
 
@@ -73,7 +118,9 @@ fn vector_topk_contains_exact_best_match() {
     let store = MemoryStore::unmetered();
     let table = make_table(store.as_ref(), 600, 3);
     let rot = Rottnest::new(store.as_ref(), "idx", rot_config());
-    rot.index(&table, IndexKind::Vector { dim: DIM as u32 }, "embedding").unwrap().unwrap();
+    rot.index(&table, IndexKind::Vector { dim: DIM as u32 }, "embedding")
+        .unwrap()
+        .unwrap();
 
     let snap = table.snapshot().unwrap();
     let bf = BruteForce::new(&table, snap.clone());
@@ -88,7 +135,11 @@ fn vector_topk_contains_exact_best_match() {
                 "embedding",
                 &Query::VectorNn {
                     query: &q,
-                    params: SearchParams { k: 5, nprobe: 16, refine: 64 },
+                    params: SearchParams {
+                        k: 5,
+                        nprobe: 16,
+                        refine: 64,
+                    },
                 },
             )
             .unwrap();
@@ -97,8 +148,14 @@ fn vector_topk_contains_exact_best_match() {
         // The exact nearest neighbor (distance 0: q is a DB vector) must be
         // rank-1 everywhere.
         assert_eq!(r.matches[0].score, Some(0.0), "query {i}");
-        assert_eq!((r.matches[0].path.clone(), r.matches[0].row), (b[0].path.clone(), b[0].row));
-        assert_eq!((r.matches[0].path.clone(), r.matches[0].row), (d[0].path.clone(), d[0].row));
+        assert_eq!(
+            (r.matches[0].path.clone(), r.matches[0].row),
+            (b[0].path.clone(), b[0].row)
+        );
+        assert_eq!(
+            (r.matches[0].path.clone(), r.matches[0].row),
+            (d[0].path.clone(), d[0].row)
+        );
     }
 }
 
@@ -112,9 +169,12 @@ fn equivalence_survives_index_compaction_and_vacuum() {
 
     for f in 0..5u64 {
         table.append(&batch(f * 60..(f + 1) * 60)).unwrap();
-        rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+        rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+            .unwrap()
+            .unwrap();
     }
-    rot.compact(IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap();
+    rot.compact(IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap();
     store.clock().unwrap().advance_ms(2_000);
     rot.vacuum(&table).unwrap();
 
@@ -123,7 +183,12 @@ fn equivalence_survives_index_compaction_and_vacuum() {
     for i in (0..300).step_by(37) {
         let key = trace_id(i);
         let r = rot
-            .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 5 })
+            .search(
+                &table,
+                &snap,
+                "trace_id",
+                &Query::UuidEq { key: &key, k: 5 },
+            )
             .unwrap();
         let (b, _) = bf.scan_uuid("trace_id", &key, 5).unwrap();
         assert_eq!(pairs(&r.matches), pairs(&b), "key {i}");

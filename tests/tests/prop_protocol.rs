@@ -23,7 +23,8 @@ fn run_sequence(seed: u64) {
     let mut next_row = 0u64;
     table.append(&batch(0..40)).unwrap();
     next_row += 40;
-    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap();
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap();
 
     for step in 0..24 {
         match rng.gen_range(0..8) {
@@ -37,8 +38,7 @@ fn run_sequence(seed: u64) {
                 let snap = table.snapshot().unwrap();
                 let files: Vec<_> = snap.files().cloned().collect();
                 let f = &files[rng.gen_range(0..files.len())];
-                let rows: Vec<u64> =
-                    (0..3).map(|_| rng.gen_range(0..f.rows)).collect();
+                let rows: Vec<u64> = (0..3).map(|_| rng.gen_range(0..f.rows)).collect();
                 let _ = table.delete_rows(&f.path, &rows);
             }
             3 => {
@@ -56,7 +56,9 @@ fn run_sequence(seed: u64) {
             _ => {
                 // Crash a random mutation mid-flight.
                 let pattern = ["idx/files", "idx/meta"][rng.gen_range(0..2)];
-                store.faults().arm(FaultKind::FailPutMatching(pattern.into()));
+                store
+                    .faults()
+                    .arm(FaultKind::FailPutMatching(pattern.into()));
                 let _ = rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id");
                 let _ = rot.compact(IndexKind::Uuid { key_len: 16 }, "trace_id");
                 store.faults().disarm_all();
@@ -73,13 +75,17 @@ fn run_sequence(seed: u64) {
         let i = rng.gen_range(0..next_row);
         let key = trace_id(i);
         let r = rot
-            .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 10 })
+            .search(
+                &table,
+                &snap,
+                "trace_id",
+                &Query::UuidEq { key: &key, k: 10 },
+            )
             .unwrap();
         let (b, _) = bf.scan_uuid("trace_id", &key, 10).unwrap();
         let mut rp: Vec<(String, u64)> =
             r.matches.iter().map(|m| (m.path.clone(), m.row)).collect();
-        let mut bp: Vec<(String, u64)> =
-            b.iter().map(|m| (m.path.clone(), m.row)).collect();
+        let mut bp: Vec<(String, u64)> = b.iter().map(|m| (m.path.clone(), m.row)).collect();
         rp.sort();
         bp.sort();
         assert_eq!(rp, bp, "seed {seed}, key {i}");

@@ -13,21 +13,28 @@ use rottnest_tco::{prices, PhaseDiagram, Winner};
 #[test]
 fn measured_costs_produce_three_phase_diagram() {
     let store = MemoryStore::new(); // metered
-    // Enough files that the full scan's per-file round trips dominate the
-    // fixed planning cost Rottnest pays.
+                                    // Enough files that the full scan's per-file round trips dominate the
+                                    // fixed planning cost Rottnest pays.
     let table = make_table(store.as_ref(), 1600, 16);
     let rot = Rottnest::new(store.as_ref(), "idx", rot_config());
 
     let clock = store.clock().unwrap();
     let t0 = clock.now_micros();
-    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id").unwrap().unwrap();
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap()
+        .unwrap();
     let build_s = (clock.now_micros() - t0) as f64 / 1e6;
 
     let snap = table.snapshot().unwrap();
     let key = trace_id(123);
     let t0 = clock.now_micros();
     let out = rot
-        .search(&table, &snap, "trace_id", &Query::UuidEq { key: &key, k: 1 })
+        .search(
+            &table,
+            &snap,
+            "trace_id",
+            &Query::UuidEq { key: &key, k: 1 },
+        )
         .unwrap();
     let rot_latency = (clock.now_micros() - t0) as f64 / 1e6;
     assert_eq!(out.matches.len(), 1);
@@ -58,7 +65,10 @@ fn measured_costs_produce_three_phase_diagram() {
     let d = PhaseDiagram::compute(&approaches);
     let (c, b, r) = d.area_shares();
     assert!(r > 0.2, "rottnest should win a large region, got {r:.2}");
-    assert!(c > 0.0 && b > 0.0, "all three phases present: c={c:.2} b={b:.2}");
+    assert!(
+        c > 0.0 && b > 0.0,
+        "all three phases present: c={c:.2} b={b:.2}"
+    );
 
     // Structure: at long horizons, low loads → brute force; medium →
     // rottnest; extreme → copy data.
@@ -79,12 +89,22 @@ fn rottnest_reads_orders_of_magnitude_fewer_bytes() {
     let store = MemoryStore::unmetered();
     let table = make_table(store.as_ref(), 1000, 4);
     let rot = Rottnest::new(store.as_ref(), "idx", rot_config());
-    rot.index(&table, IndexKind::Substring, "body").unwrap().unwrap();
+    rot.index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
     let snap = table.snapshot().unwrap();
 
     let before = store.stats();
-    rot.search(&table, &snap, "body", &Query::Substring { pattern: b"row 777 ", k: 5 })
-        .unwrap();
+    rot.search(
+        &table,
+        &snap,
+        "body",
+        &Query::Substring {
+            pattern: b"row 777 ",
+            k: 5,
+        },
+    )
+    .unwrap();
     let rot_bytes = store.stats().since(&before).bytes_read;
 
     let bf = BruteForce::new(&table, snap);
