@@ -1,0 +1,235 @@
+//! Request-cost benchmark for the search fast path: parallel executor +
+//! process-wide component cache + range-coalescing batch reads.
+//!
+//! Runs the qps_ceiling workloads (uuid / substring / vector search on a
+//! built index) plus the fig10-style page-read workload in two modes:
+//!
+//! * **baseline** — sequential executor (`parallelism = 1`), component
+//!   and metadata-plan caches cleared before every query (a fresh client
+//!   per query), range coalescing disabled: every query pays the full
+//!   cold request cost.
+//! * **optimized** — `parallelism = 8`, caches warmed by one prior pass,
+//!   coalescing at the default 512 KiB gap.
+//!
+//! The headline `queries_per_sec` is the §VII-D3 request ceiling
+//! (`5500 / GETs-per-query`, S3's per-prefix GET rate — the same metric
+//! as the `qps_ceiling` bench): on a real object store, request cost is
+//! what bounds search throughput. Wall-clock and simulated-latency QPS
+//! are reported alongside. Writes the aggregate to `BENCH_search.json`.
+
+use std::time::Instant;
+
+use rottnest::{Query, Rottnest, RottnestConfig};
+use rottnest_bench::{
+    harness_config, text_scenario, uuid_scenario, vector_scenario, Scenario, TEXT_COL, UUID_COL,
+    VEC_COL,
+};
+use rottnest_component::ComponentCache;
+use rottnest_ivfpq::SearchParams;
+use rottnest_object_store::{ObjectStore, DEFAULT_COALESCE_GAP};
+
+struct ModeResult {
+    ceiling_qps: f64,
+    wall_qps: f64,
+    sim_qps: f64,
+    gets_per_query: f64,
+    cache_hit_rate: f64,
+    coalesced_gets: u64,
+}
+
+fn run_mode(s: &Scenario, column: &str, queries: &[Query<'_>], optimized: bool) -> ModeResult {
+    let store = &s.store;
+    store.set_coalesce_gap(if optimized {
+        Some(DEFAULT_COALESCE_GAP)
+    } else {
+        None
+    });
+    let mut cfg: RottnestConfig = harness_config();
+    cfg.search.parallelism = if optimized { 8 } else { 1 };
+    let client = || Rottnest::new(store.as_ref(), s.index_dir.clone(), cfg.clone());
+    let rot = client();
+    let table = s.table();
+    let snap = table.snapshot().unwrap();
+
+    if optimized {
+        // Warm the component and metadata-plan caches with one untimed pass.
+        for q in queries {
+            rot.search(&table, &snap, column, q).unwrap();
+        }
+    }
+
+    let clock = store.clock().expect("metered store");
+    let before = store.stats();
+    let sim_us_before = clock.now_micros();
+    let wall = Instant::now();
+    for q in queries {
+        if optimized {
+            rot.search(&table, &snap, column, q).unwrap();
+        } else {
+            // Cold baseline: every query starts with empty caches — the
+            // component cache is cleared and a fresh client discards the
+            // per-client metadata-plan cache.
+            ComponentCache::global().clear();
+            client().search(&table, &snap, column, q).unwrap();
+        }
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+    let sim_s = (clock.now_micros() - sim_us_before) as f64 / 1e6;
+    let delta = store.stats().since(&before);
+
+    let n = queries.len() as f64;
+    let gets_per_query = delta.gets as f64 / n;
+    let lookups = delta.cache_hits + delta.cache_misses;
+    ModeResult {
+        // §VII-D3: S3's 5500 GET/s per-prefix limit caps throughput at
+        // 5500 / GETs-per-query (same derivation as the qps_ceiling bench).
+        ceiling_qps: 5500.0 / gets_per_query.max(1.0),
+        wall_qps: n / wall_s.max(1e-9),
+        sim_qps: n / sim_s.max(1e-9),
+        gets_per_query,
+        cache_hit_rate: if lookups == 0 {
+            0.0
+        } else {
+            delta.cache_hits as f64 / lookups as f64
+        },
+        coalesced_gets: delta.coalesced_gets,
+    }
+}
+
+struct WorkloadReport {
+    name: &'static str,
+    baseline: ModeResult,
+    optimized: ModeResult,
+}
+
+impl WorkloadReport {
+    fn qps_speedup(&self) -> f64 {
+        self.optimized.ceiling_qps / self.baseline.ceiling_qps.max(1e-9)
+    }
+
+    fn gets_ratio(&self) -> f64 {
+        self.optimized.gets_per_query / self.baseline.gets_per_query.max(1e-9)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "    {{\n      \"workload\": \"{}\",\n      \"baseline\": {},\n      \"optimized\": {},\n      \"qps_speedup\": {:.2},\n      \"gets_per_query_ratio\": {:.3}\n    }}",
+            self.name,
+            mode_json(&self.baseline),
+            mode_json(&self.optimized),
+            self.qps_speedup(),
+            self.gets_ratio(),
+        )
+    }
+}
+
+fn mode_json(m: &ModeResult) -> String {
+    format!(
+        "{{ \"queries_per_sec\": {:.1}, \"sim_queries_per_sec\": {:.2}, \"wall_queries_per_sec\": {:.1}, \"gets_per_query\": {:.2}, \"cache_hit_rate\": {:.3}, \"coalesced_gets\": {} }}",
+        m.ceiling_qps, m.sim_qps, m.wall_qps, m.gets_per_query, m.cache_hit_rate, m.coalesced_gets
+    )
+}
+
+fn run_workload(
+    name: &'static str,
+    s: &Scenario,
+    column: &str,
+    queries: &[Query<'_>],
+) -> WorkloadReport {
+    let baseline = run_mode(s, column, queries, false);
+    let optimized = run_mode(s, column, queries, true);
+    let r = WorkloadReport {
+        name,
+        baseline,
+        optimized,
+    };
+    println!(
+        "{name:<10} qps {:>9.1} -> {:>9.1} ({:>5.1}x)   GETs/query {:>6.1} -> {:>5.1} ({:.2}x)   hit rate {:.0}%",
+        r.baseline.ceiling_qps,
+        r.optimized.ceiling_qps,
+        r.qps_speedup(),
+        r.baseline.gets_per_query,
+        r.optimized.gets_per_query,
+        r.gets_ratio(),
+        r.optimized.cache_hit_rate * 100.0,
+    );
+    r
+}
+
+fn main() {
+    println!("\n=== search fast path: cold sequential baseline vs warm parallel ===");
+
+    let mut reports = Vec::new();
+
+    {
+        let (s, keys) = uuid_scenario(8, 10_000, 51);
+        let n = 8;
+        let queries: Vec<Query<'_>> = keys
+            .iter()
+            .step_by(keys.len() / n)
+            .take(n)
+            .map(|k| Query::UuidEq { key: k, k: 1 })
+            .collect();
+        reports.push(run_workload("uuid", &s, UUID_COL, &queries));
+    }
+    {
+        let (s, wl) = text_scenario(6, 200, 52);
+        let mid = wl.midfreq_word().as_bytes().to_vec();
+        let queries: Vec<Query<'_>> = vec![
+            Query::Substring {
+                pattern: &mid,
+                k: 10,
+            },
+            Query::Substring {
+                pattern: b"NEEDLE-0002-XYZZY",
+                k: 10,
+            },
+            Query::Substring {
+                pattern: b"NEEDLE-0004-XYZZY",
+                k: 10,
+            },
+        ];
+        reports.push(run_workload("substring", &s, TEXT_COL, &queries));
+    }
+    {
+        // fig10's point is page-granular reads: vector refine fetches many
+        // scattered pages per query, the coalescing-heavy case.
+        let (s, qs) = vector_scenario(6, 2_000, 32, 53);
+        let queries: Vec<Query<'_>> = qs
+            .iter()
+            .take(6)
+            .map(|q| Query::VectorNn {
+                query: q,
+                params: SearchParams {
+                    k: 10,
+                    nprobe: 8,
+                    refine: 64,
+                },
+            })
+            .collect();
+        reports.push(run_workload("vector", &s, VEC_COL, &queries));
+    }
+
+    let worst_speedup = reports
+        .iter()
+        .map(WorkloadReport::qps_speedup)
+        .fold(f64::INFINITY, f64::min);
+    let worst_gets = reports
+        .iter()
+        .map(WorkloadReport::gets_ratio)
+        .fold(0.0f64, f64::max);
+
+    let body = format!(
+        "{{\n  \"parallelism\": 8,\n  \"coalesce_gap_bytes\": {DEFAULT_COALESCE_GAP},\n  \"workloads\": [\n{}\n  ],\n  \"min_qps_speedup\": {worst_speedup:.2},\n  \"max_gets_per_query_ratio\": {worst_gets:.3}\n}}\n",
+        reports
+            .iter()
+            .map(WorkloadReport::json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    std::fs::write("BENCH_search.json", &body).expect("write BENCH_search.json");
+    println!("\nwrote BENCH_search.json");
+    println!(
+        "min qps speedup {worst_speedup:.2}x (target >= 4x), max GETs/query ratio {worst_gets:.3} (target <= 0.5)"
+    );
+}

@@ -18,6 +18,9 @@ use rottnest_object_store::{LatencyModel, MemoryStore, ObjectStore, RangeRequest
 fn main() {
     // --- (a) read-size sweep × concurrency --------------------------------
     let store = MemoryStore::with_model_and_limit(LatencyModel::default(), 0);
+    // This sweep measures *raw* request concurrency over deliberately
+    // overlapping ranges; range coalescing would fold them into one GET.
+    store.set_coalesce_gap(None);
     let blob = Bytes::from(vec![0x5au8; 32 << 20]);
     store.put("blob", blob).unwrap();
     let clock = store.clock().unwrap();

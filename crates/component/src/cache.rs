@@ -1,0 +1,374 @@
+//! Process-wide cache of decompressed index components and open-file
+//! directories.
+//!
+//! Repeated queries against the same index files dominate a search-heavy
+//! workload, and §V-B's componentization makes the unit of reuse obvious:
+//! the decompressed component. The per-handle cache that used to live in
+//! [`crate::ComponentFile`] only helped within one query; this cache is
+//! shared by every handle in the process, so a warm query pays zero GETs
+//! for index structure it has seen before.
+//!
+//! Keys are `(store id, object key, slot)`:
+//!
+//! * store id — [`rottnest_object_store::ObjectStore::store_id`]; `0` means
+//!   "uncacheable" and never reaches this module.
+//! * slot — either the open-file entry (head bytes + parsed directory) or
+//!   one decompressed component, qualified by a **validator** hash of the
+//!   directory bytes so components from an overwritten file can never be
+//!   served against a new directory.
+//!
+//! Staleness: cached open entries remember the exact file length (the
+//! directory records every component's compressed length, so the length is
+//! known without a HEAD). Reopening revalidates with one HEAD — an order of
+//! magnitude cheaper than the GET it replaces under the simulator's latency
+//! model — and any length mismatch drops the entry and falls back to the
+//! normal open path. A same-length overwrite is indistinguishable without
+//! object versions/etags, which the stores here don't model; the metadata
+//! layer never rewrites an index file in place, so this is a theoretical
+//! gap only.
+//!
+//! Capacity: bounded by total cached bytes, default 256 MiB, evicting
+//! least-recently-used entries per shard. Sharded (16 ways, keyed by hash)
+//! so the parallel search executor's workers don't serialize on one lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rottnest_object_store::FxHashMap;
+
+use crate::DirEntry;
+
+const SHARDS: usize = 16;
+
+/// Default cache capacity in bytes.
+pub const DEFAULT_CACHE_CAPACITY: usize = 256 * 1024 * 1024;
+
+/// What a cache slot holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Slot {
+    /// Head bytes + parsed directory of an open component file.
+    Open,
+    /// One decompressed component, valid only for the directory whose
+    /// bytes hash to `validator`.
+    Component { validator: u64, id: usize },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    ns: u64,
+    key: String,
+    slot: Slot,
+}
+
+/// Cached result of opening a component file.
+#[derive(Debug)]
+pub struct OpenEntry {
+    /// Bytes captured by the original speculative head fetch.
+    pub head: Bytes,
+    /// Parsed directory.
+    pub entries: Vec<DirEntry>,
+    /// Offset of the first component payload.
+    pub payload_base: u64,
+    /// Hash of the directory bytes; validator for component slots.
+    pub dir_hash: u64,
+    /// Exact length of the file on the store, derived from the directory.
+    pub file_len: u64,
+}
+
+#[derive(Clone)]
+enum Value {
+    Open(Arc<OpenEntry>),
+    Component(Bytes),
+}
+
+struct Entry {
+    value: Value,
+    charge: usize,
+    tick: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: FxHashMap<CacheKey, Entry>,
+    bytes: usize,
+}
+
+impl Shard {
+    fn evict_to(&mut self, cap: usize) {
+        while self.bytes > cap && !self.map.is_empty() {
+            let coldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty");
+            if let Some(e) = self.map.remove(&coldest) {
+                self.bytes -= e.charge;
+            }
+        }
+    }
+}
+
+/// Sharded, byte-capped, process-wide LRU for index components.
+pub struct ComponentCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_cap: usize,
+    tick: AtomicU64,
+}
+
+/// FNV-1a, used both to pick a shard and as the directory validator.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl ComponentCache {
+    /// Creates a cache bounded by `capacity` total bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_cap: capacity.div_ceil(SHARDS),
+            tick: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide instance used by [`crate::ComponentFile`].
+    pub fn global() -> &'static ComponentCache {
+        static GLOBAL: OnceLock<ComponentCache> = OnceLock::new();
+        GLOBAL.get_or_init(|| ComponentCache::with_capacity(DEFAULT_CACHE_CAPACITY))
+    }
+
+    /// Hashes `dir` into the validator component slots are keyed by.
+    pub fn dir_validator(dir: &[u8]) -> u64 {
+        fnv1a(dir)
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> &Mutex<Shard> {
+        let mut h = fnv1a(key.key.as_bytes()) ^ key.ns.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        if let Slot::Component { id, .. } = key.slot {
+            h = h.wrapping_add(id as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn get(&self, key: &CacheKey) -> Option<Value> {
+        let tick = self.next_tick();
+        let mut shard = self.shard_of(key).lock();
+        let entry = shard.map.get_mut(key)?;
+        entry.tick = tick;
+        Some(entry.value.clone())
+    }
+
+    fn put(&self, key: CacheKey, value: Value, charge: usize) {
+        if charge > self.shard_cap {
+            return; // larger than a whole shard: not worth caching
+        }
+        let tick = self.next_tick();
+        let mut shard = self.shard_of(&key).lock();
+        if let Some(old) = shard.map.insert(
+            key,
+            Entry {
+                value,
+                charge,
+                tick,
+            },
+        ) {
+            shard.bytes -= old.charge;
+        }
+        shard.bytes += charge;
+        let cap = self.shard_cap;
+        shard.evict_to(cap);
+    }
+
+    /// Looks up the open entry for `key` on store `ns`.
+    pub fn get_open(&self, ns: u64, key: &str) -> Option<Arc<OpenEntry>> {
+        let k = CacheKey {
+            ns,
+            key: key.to_string(),
+            slot: Slot::Open,
+        };
+        match self.get(&k)? {
+            Value::Open(e) => Some(e),
+            Value::Component(_) => None,
+        }
+    }
+
+    /// Installs an open entry; its charge is the retained head bytes plus
+    /// directory overhead.
+    pub fn put_open(&self, ns: u64, key: &str, entry: Arc<OpenEntry>) {
+        let charge = entry.head.len() + entry.entries.len() * std::mem::size_of::<DirEntry>();
+        self.put(
+            CacheKey {
+                ns,
+                key: key.to_string(),
+                slot: Slot::Open,
+            },
+            Value::Open(entry),
+            charge,
+        );
+    }
+
+    /// Drops a stale open entry (after a failed revalidation).
+    pub fn remove_open(&self, ns: u64, key: &str) {
+        let k = CacheKey {
+            ns,
+            key: key.to_string(),
+            slot: Slot::Open,
+        };
+        let mut shard = self.shard_of(&k).lock();
+        if let Some(e) = shard.map.remove(&k) {
+            shard.bytes -= e.charge;
+        }
+    }
+
+    /// Looks up decompressed component `id` of `key` under directory
+    /// validator `validator`.
+    pub fn get_component(&self, ns: u64, key: &str, validator: u64, id: usize) -> Option<Bytes> {
+        let k = CacheKey {
+            ns,
+            key: key.to_string(),
+            slot: Slot::Component { validator, id },
+        };
+        match self.get(&k)? {
+            Value::Component(b) => Some(b),
+            Value::Open(_) => None,
+        }
+    }
+
+    /// Installs decompressed component bytes.
+    pub fn put_component(&self, ns: u64, key: &str, validator: u64, id: usize, data: Bytes) {
+        let charge = data.len();
+        self.put(
+            CacheKey {
+                ns,
+                key: key.to_string(),
+                slot: Slot::Component { validator, id },
+            },
+            Value::Component(data),
+            charge,
+        );
+    }
+
+    /// Empties the cache. Tests that exercise cold-read behaviour (fault
+    /// degradation, GET accounting) call this to shed state left by earlier
+    /// operations in the same process.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            s.map.clear();
+            s.bytes = 0;
+        }
+    }
+
+    /// Number of cached entries (all shards).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total cached bytes (all shards).
+    pub fn bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes_of(n: usize, fill: u8) -> Bytes {
+        Bytes::from(vec![fill; n])
+    }
+
+    #[test]
+    fn eviction_respects_byte_cap() {
+        let cache = ComponentCache::with_capacity(16 * 1024);
+        for i in 0..200 {
+            cache.put_component(1, "f.idx", 7, i, bytes_of(1024, i as u8));
+        }
+        assert!(
+            cache.bytes() <= 16 * 1024,
+            "cache holds {} bytes over the 16 KiB cap",
+            cache.bytes()
+        );
+        assert!(cache.len() < 200, "everything survived a 16x over-insert");
+    }
+
+    #[test]
+    fn lru_keeps_recently_touched_entries() {
+        // One shard so insertion order is the only variable.
+        let cache = ComponentCache {
+            shards: vec![Mutex::new(Shard::default())],
+            shard_cap: 4 * 1024,
+            tick: AtomicU64::new(0),
+        };
+        for i in 0..4 {
+            cache.put_component(1, "f.idx", 7, i, bytes_of(1024, i as u8));
+        }
+        // Touch component 0 so it is warmer than 1.
+        assert!(cache.get_component(1, "f.idx", 7, 0).is_some());
+        // Inserting one more 1 KiB entry must evict exactly the coldest: 1.
+        cache.put_component(1, "f.idx", 7, 4, bytes_of(1024, 4));
+        assert!(cache.get_component(1, "f.idx", 7, 0).is_some());
+        assert!(cache.get_component(1, "f.idx", 7, 1).is_none());
+        assert!(cache.get_component(1, "f.idx", 7, 4).is_some());
+    }
+
+    #[test]
+    fn oversized_entries_are_not_cached() {
+        let cache = ComponentCache::with_capacity(SHARDS * 1024);
+        cache.put_component(1, "f.idx", 7, 0, bytes_of(2048, 1));
+        assert!(cache.get_component(1, "f.idx", 7, 0).is_none());
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn validator_partitions_generations() {
+        let cache = ComponentCache::with_capacity(1 << 20);
+        cache.put_component(1, "f.idx", 100, 0, bytes_of(10, 1));
+        assert!(cache.get_component(1, "f.idx", 200, 0).is_none());
+        assert!(cache.get_component(1, "f.idx", 100, 0).is_some());
+    }
+
+    #[test]
+    fn store_ids_partition_namespaces() {
+        let cache = ComponentCache::with_capacity(1 << 20);
+        cache.put_component(1, "f.idx", 7, 0, bytes_of(10, 1));
+        assert!(cache.get_component(2, "f.idx", 7, 0).is_none());
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let cache = ComponentCache::with_capacity(1 << 20);
+        cache.put_component(1, "f.idx", 7, 0, bytes_of(10, 1));
+        cache.put_open(
+            1,
+            "f.idx",
+            Arc::new(OpenEntry {
+                head: bytes_of(10, 2),
+                entries: Vec::new(),
+                payload_base: 9,
+                dir_hash: 7,
+                file_len: 19,
+            }),
+        );
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+    }
+}

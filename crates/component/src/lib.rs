@@ -14,13 +14,20 @@
 //! * Batch access via [`ComponentFile::components`] fetches any number of
 //!   components in one parallel round trip (access *width* instead of
 //!   *depth*).
-//! * Decompressed components are cached per handle, so repeated accesses
-//!   within one query are free.
+//! * Decompressed components are cached **process-wide** in a shared,
+//!   byte-capped LRU ([`ComponentCache`]), so repeated accesses — within
+//!   one query or across queries — are free. Reopening a cached file
+//!   revalidates with a single HEAD instead of re-reading the head bytes.
+
+use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::Mutex;
 use rottnest_compress::{varint, Codec};
-use rottnest_object_store::{FxHashMap, ObjectStore, RangeRequest};
+use rottnest_object_store::{ObjectStore, RangeRequest};
+
+mod cache;
+
+pub use cache::{ComponentCache, OpenEntry, DEFAULT_CACHE_CAPACITY};
 
 /// Magic bytes of a component file.
 pub const MAGIC: &[u8; 4] = b"LKCX";
@@ -111,8 +118,10 @@ impl From<rottnest_object_store::StoreError> for ComponentError {
 /// Result alias.
 pub type Result<T> = std::result::Result<T, ComponentError>;
 
+/// Directory entry for one component. Fields are crate-internal; the type
+/// is public only so [`OpenEntry`] can carry a parsed directory.
 #[derive(Debug, Clone, Copy)]
-struct DirEntry {
+pub struct DirEntry {
     offset: u64,
     compressed_len: u64,
     uncompressed_len: u64,
@@ -217,7 +226,11 @@ pub struct ComponentFile<'a> {
     payload_base: u64,
     /// Bytes captured by the speculative head fetch (offset 0-based).
     head: Bytes,
-    cache: Mutex<FxHashMap<usize, Bytes>>,
+    /// Store cache namespace ([`ObjectStore::store_id`]); 0 disables the
+    /// shared cache for this handle.
+    ns: u64,
+    /// Validator hash of the directory bytes; keys component cache slots.
+    dir_hash: u64,
 }
 
 impl<'a> ComponentFile<'a> {
@@ -228,7 +241,32 @@ impl<'a> ComponentFile<'a> {
     }
 
     /// Opens with an explicit speculative fetch size.
+    ///
+    /// If the process-wide [`ComponentCache`] holds this file's open entry,
+    /// the head GET is replaced by a HEAD that revalidates the cached file
+    /// length; a mismatch (overwritten file) or HEAD failure falls back to
+    /// the normal GET path.
     pub fn open_with(store: &'a dyn ObjectStore, key: &str, speculative: u64) -> Result<Self> {
+        let ns = store.store_id();
+        if ns != 0 {
+            if let Some(open) = ComponentCache::global().get_open(ns, key) {
+                match store.head(key) {
+                    Ok(meta) if meta.size == open.file_len => {
+                        store.record_cache(1, 0, open.head.len() as u64);
+                        return Ok(Self {
+                            store,
+                            key: key.to_string(),
+                            entries: open.entries.clone(),
+                            payload_base: open.payload_base,
+                            head: open.head.clone(),
+                            ns,
+                            dir_hash: open.dir_hash,
+                        });
+                    }
+                    _ => ComponentCache::global().remove_open(ns, key),
+                }
+            }
+        }
         let head = store.get_range(key, 0..speculative.max(9))?;
         if head.len() < 9 || &head[..4] != MAGIC {
             return Err(ComponentError::Corrupt(format!("{key}: bad header")));
@@ -247,13 +285,34 @@ impl<'a> ComponentFile<'a> {
             store.get_range(key, 9..9 + dir_len as u64)?
         };
         let entries = Self::parse_dir(&dir_bytes)?;
+        let payload_base = 9 + dir_len as u64;
+        let dir_hash = ComponentCache::dir_validator(&dir_bytes);
+        if ns != 0 {
+            store.record_cache(0, 1, 0);
+            // Components are laid out back to back after the directory, so
+            // the directory alone pins the exact file length — the
+            // revalidation HEAD above compares against it.
+            let file_len = payload_base + entries.iter().map(|e| e.compressed_len).sum::<u64>();
+            ComponentCache::global().put_open(
+                ns,
+                key,
+                Arc::new(OpenEntry {
+                    head: head.clone(),
+                    entries: entries.clone(),
+                    payload_base,
+                    dir_hash,
+                    file_len,
+                }),
+            );
+        }
         Ok(Self {
             store,
             key: key.to_string(),
             entries,
-            payload_base: 9 + dir_len as u64,
+            payload_base,
             head,
-            cache: Mutex::new(FxHashMap::default()),
+            ns,
+            dir_hash,
         })
     }
 
@@ -291,48 +350,76 @@ impl<'a> ComponentFile<'a> {
         self.entries.get(i).map(|e| e.uncompressed_len)
     }
 
-    /// Fetches (or serves from cache/head window) component `i`,
-    /// decompressed.
+    /// Fetches (or serves from the shared cache / head window) component
+    /// `i`, decompressed.
     pub fn component(&self, i: usize) -> Result<Bytes> {
-        if let Some(hit) = self.cache.lock().get(&i) {
-            return Ok(hit.clone());
-        }
         let entry = *self
             .entries
             .get(i)
             .ok_or(ComponentError::NoSuchComponent(i))?;
+        if self.ns != 0 {
+            if let Some(hit) =
+                ComponentCache::global().get_component(self.ns, &self.key, self.dir_hash, i)
+            {
+                // Only out-of-head components would have cost a GET.
+                let saved = if self.in_head(&entry) {
+                    0
+                } else {
+                    entry.compressed_len
+                };
+                self.store.record_cache(1, 0, saved);
+                return Ok(hit);
+            }
+        }
         let raw = self.fetch_raw(&entry)?;
         let data = self.decode(&entry, &raw)?;
-        self.cache.lock().insert(i, data.clone());
+        if self.ns != 0 {
+            self.store.record_cache(0, 1, 0);
+            ComponentCache::global().put_component(
+                self.ns,
+                &self.key,
+                self.dir_hash,
+                i,
+                data.clone(),
+            );
+        }
         Ok(data)
     }
 
     /// Fetches several components in **one parallel round trip** (cached
-    /// ones are served locally). Results are ordered like `ids`.
+    /// ones are served locally, and the remaining ranges are coalesced by
+    /// the store's `get_ranges`). Results are ordered like `ids`.
     pub fn components(&self, ids: &[usize]) -> Result<Vec<Bytes>> {
+        let cache = ComponentCache::global();
         let mut out: Vec<Option<Bytes>> = vec![None; ids.len()];
         let mut fetch: Vec<(usize, usize, DirEntry)> = Vec::new(); // (slot, id, entry)
-        {
-            let cache = self.cache.lock();
-            for (slot, &id) in ids.iter().enumerate() {
-                if let Some(hit) = cache.get(&id) {
-                    out[slot] = Some(hit.clone());
+        let (mut hits, mut misses, mut saved) = (0u64, 0u64, 0u64);
+        for (slot, &id) in ids.iter().enumerate() {
+            let entry = *self
+                .entries
+                .get(id)
+                .ok_or(ComponentError::NoSuchComponent(id))?;
+            if self.ns != 0 {
+                if let Some(hit) = cache.get_component(self.ns, &self.key, self.dir_hash, id) {
+                    hits += 1;
+                    if !self.in_head(&entry) {
+                        saved += entry.compressed_len;
+                    }
+                    out[slot] = Some(hit);
                     continue;
                 }
-                let entry = *self
-                    .entries
-                    .get(id)
-                    .ok_or(ComponentError::NoSuchComponent(id))?;
-                if self.in_head(&entry) {
-                    continue; // served below without a request
-                }
-                fetch.push((slot, id, entry));
             }
-        }
-        // Serve head-window components.
-        for (slot, &id) in ids.iter().enumerate() {
-            if out[slot].is_none() && !fetch.iter().any(|(s, _, _)| *s == slot) {
-                out[slot] = Some(self.component(id)?);
+            if self.in_head(&entry) {
+                // Served from the speculative head bytes without a request.
+                misses += 1;
+                let raw = self.fetch_raw(&entry)?;
+                let data = self.decode(&entry, &raw)?;
+                if self.ns != 0 {
+                    cache.put_component(self.ns, &self.key, self.dir_hash, id, data.clone());
+                }
+                out[slot] = Some(data);
+            } else {
+                fetch.push((slot, id, entry));
             }
         }
         if !fetch.is_empty() {
@@ -344,12 +431,17 @@ impl<'a> ComponentFile<'a> {
                 })
                 .collect();
             let payloads = self.store.get_ranges(&requests)?;
-            let mut cache = self.cache.lock();
             for ((slot, id, entry), raw) in fetch.into_iter().zip(payloads) {
+                misses += 1;
                 let data = self.decode(&entry, &raw)?;
-                cache.insert(id, data.clone());
+                if self.ns != 0 {
+                    cache.put_component(self.ns, &self.key, self.dir_hash, id, data.clone());
+                }
                 out[slot] = Some(data);
             }
+        }
+        if self.ns != 0 && hits + misses > 0 {
+            self.store.record_cache(hits, misses, saved);
         }
         Ok(out
             .into_iter()

@@ -1,0 +1,107 @@
+//! The parallel search executor: bounded fan-out with deterministic merge.
+//!
+//! Searches spend most of their time waiting on object-store round trips
+//! (index component fetches, page probes, brute-force column reads), and
+//! the units of work — index entries, uncovered files — are independent.
+//! [`parallel_map`] fans them out over at most `parallelism` scoped worker
+//! threads and returns the results **in input order**, so callers can merge
+//! sequentially and reproduce the single-threaded outcome byte for byte:
+//! stats are summed in input order, the first hard error in input order
+//! wins, and degradable failures degrade exactly the entries they would
+//! have degraded sequentially.
+//!
+//! With `parallelism <= 1` (or a single item) the closure runs inline on
+//! the caller's thread — no threads spawned, identical code path to the
+//! old sequential executor.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Knobs for the parallel search executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchConfig {
+    /// Maximum worker threads a single search fans out over. `1` disables
+    /// threading entirely (work runs inline on the calling thread).
+    /// Results are identical at every setting; only wall-clock changes.
+    pub parallelism: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            parallelism: std::thread::available_parallelism()
+                .map_or(1, |n| n.get())
+                .min(8),
+        }
+    }
+}
+
+/// Applies `f` to every item of `items`, returning results in input order.
+///
+/// Work is claimed dynamically (an atomic cursor, not pre-chunked) so one
+/// slow item — a large index file, a latency spike — does not idle the
+/// other workers. A panicking closure propagates the panic to the caller.
+pub(crate) fn parallel_map<T, R, F>(parallelism: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if parallelism <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = parallelism.min(items.len());
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let out = f(i, item);
+                collected.lock().expect("executor lock").push((i, out));
+            });
+        }
+    })
+    .expect("search worker panicked");
+
+    let mut results = collected.into_inner().expect("executor lock");
+    results.sort_by_key(|(i, _)| *i);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_at_any_parallelism() {
+        let items: Vec<u64> = (0..100).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        for parallelism in [1, 2, 3, 8, 200] {
+            let got = parallel_map(parallelism, &items, |_, &x| x * 3);
+            assert_eq!(got, expect, "parallelism {parallelism}");
+        }
+    }
+
+    #[test]
+    fn passes_the_input_index() {
+        let items = ["a", "b", "c"];
+        let got = parallel_map(4, &items, |i, s| format!("{i}:{s}"));
+        assert_eq!(got, vec!["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_run_inline() {
+        let none: Vec<u8> = Vec::new();
+        assert!(parallel_map(8, &none, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(8, &[7u8], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn default_parallelism_is_bounded() {
+        let p = SearchConfig::default().parallelism;
+        assert!((1..=8).contains(&p));
+    }
+}

@@ -55,12 +55,14 @@
 //! ```
 
 pub mod build;
+pub mod executor;
 pub mod invariants;
 pub mod meta;
 pub mod probe;
 pub mod query;
 pub mod rottnest;
 
+pub use executor::SearchConfig;
 pub use meta::{IndexEntry, IndexKind, MetaTable};
 pub use query::{Match, Query, SearchOutcome, SearchStats};
 pub use rottnest::{Rottnest, RottnestConfig};

@@ -239,14 +239,28 @@ impl<'a> MetaTable<'a> {
         TxLog::new(self.store, self.root.clone())
     }
 
+    /// Latest committed log version, or `None` for an empty table. Costs
+    /// one LIST and no GETs — the cheap revalidation probe for plan
+    /// caching: the log at a given version is immutable, so an unchanged
+    /// version proves a previous `scan_at` result is still current.
+    pub fn latest_version(&self) -> Result<Option<u64>> {
+        self.log().latest_version().map_err(RottnestError::Lake)
+    }
+
     /// Replays the log into the current set of records, keyed by id.
     pub fn scan(&self) -> Result<Vec<IndexEntry>> {
+        match self.latest_version()? {
+            None => Ok(Vec::new()),
+            Some(latest) => self.scan_at(latest),
+        }
+    }
+
+    /// Replays the log up to commit `version` into the record set as of
+    /// that commit.
+    pub fn scan_at(&self, version: u64) -> Result<Vec<IndexEntry>> {
         let log = self.log();
-        let Some(latest) = log.latest_version().map_err(RottnestError::Lake)? else {
-            return Ok(Vec::new());
-        };
         let mut entries: std::collections::BTreeMap<u64, IndexEntry> = Default::default();
-        for rec in log.read_until(latest).map_err(RottnestError::Lake)? {
+        for rec in log.read_until(version).map_err(RottnestError::Lake)? {
             let buf = rec.payload.as_ref();
             let mut pos = 0usize;
             while pos < buf.len() {

@@ -50,7 +50,7 @@ pub(crate) fn probe_exact(
     snapshot: &Snapshot,
     pages: &[PageRef<'_>],
     data_type: DataType,
-    predicate: &dyn Fn(ValueRef<'_>) -> bool,
+    predicate: &(dyn Fn(ValueRef<'_>) -> bool + Sync),
     limit: usize,
     stats: &mut SearchStats,
 ) -> Result<Vec<Match>> {

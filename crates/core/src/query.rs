@@ -80,6 +80,31 @@ pub struct SearchStats {
     /// index covering them failed (graceful degradation — results stay
     /// correct, the scan just costs more).
     pub files_degraded: u64,
+    /// Index components served from the process-wide component cache.
+    pub cache_hits: u64,
+    /// Index components that had to be fetched from the store.
+    pub cache_misses: u64,
+    /// GET bytes the component cache saved this search.
+    pub cache_bytes_saved: u64,
+}
+
+impl SearchStats {
+    /// Adds `other` field-wise. The parallel executor's workers account
+    /// into local stats; the merge absorbs them in input order so totals
+    /// equal the sequential executor's exactly.
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.index_files_queried += other.index_files_queried;
+        self.postings_returned += other.postings_returned;
+        self.postings_filtered += other.postings_filtered;
+        self.pages_probed += other.pages_probed;
+        self.files_brute_scanned += other.files_brute_scanned;
+        self.rows_deleted += other.rows_deleted;
+        self.index_files_failed += other.index_files_failed;
+        self.files_degraded += other.files_degraded;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_bytes_saved += other.cache_bytes_saved;
+    }
 }
 
 /// The result of a search.

@@ -13,6 +13,7 @@ use rottnest_object_store::{
 use rottnest_trie::TrieIndex;
 
 use crate::build::build_index_file;
+use crate::executor::{parallel_map, SearchConfig};
 use crate::meta::{IndexEntry, IndexKind, MetaOp, MetaTable};
 use crate::probe::{fetch_vectors, load_dvs, probe_exact, PageRef};
 use crate::query::{Match, Query, SearchOutcome, SearchStats};
@@ -45,6 +46,9 @@ pub struct RottnestConfig {
     /// issues (index builds, searches, compaction, vacuum). Deterministic
     /// failures are never retried; see [`RetryStore`].
     pub retry: RetryPolicy,
+    /// Parallel search executor knobs. Results are identical at every
+    /// setting (the merge is deterministic); only wall-clock changes.
+    pub search: SearchConfig,
 }
 
 impl Default for RottnestConfig {
@@ -59,6 +63,7 @@ impl Default for RottnestConfig {
             fm_merge: MergePolicy::default(),
             meta_retries: 16,
             retry: RetryPolicy::default(),
+            search: SearchConfig::default(),
         }
     }
 }
@@ -84,6 +89,11 @@ pub struct Rottnest<'a> {
     retry: RetryStore<&'a dyn ObjectStore>,
     index_dir: String,
     config: RottnestConfig,
+    /// Metadata record set memoized per log version. Revalidation is one
+    /// LIST (`latest_version`); any index/compact/vacuum commit — from any
+    /// process — bumps the version, so a version match proves the cached
+    /// plan is current.
+    plan_cache: std::sync::Mutex<Option<(u64, std::sync::Arc<Vec<IndexEntry>>)>>,
 }
 
 impl<'a> Rottnest<'a> {
@@ -98,6 +108,7 @@ impl<'a> Rottnest<'a> {
             retry,
             index_dir: index_dir.into(),
             config,
+            plan_cache: std::sync::Mutex::new(None),
         }
     }
 
@@ -230,6 +241,28 @@ impl<'a> Rottnest<'a> {
         Ok(())
     }
 
+    /// The full metadata record set, memoized per log version. A hit costs
+    /// one LIST instead of replaying the log (checkpoint/record GETs);
+    /// since every metadata mutation commits a new version, an unchanged
+    /// version guarantees an unchanged record set across processes.
+    fn cached_meta_scan(&self) -> Result<std::sync::Arc<Vec<IndexEntry>>> {
+        let meta = self.meta();
+        let Some(version) = meta.latest_version()? else {
+            // Empty log: nothing to key a cache entry on (and nothing to
+            // cache — the scan would be free anyway).
+            return Ok(std::sync::Arc::new(Vec::new()));
+        };
+        if let Some((cached_version, entries)) = &*self.plan_cache.lock().expect("plan cache lock")
+        {
+            if *cached_version == version {
+                return Ok(entries.clone());
+            }
+        }
+        let fresh = std::sync::Arc::new(meta.scan_at(version)?);
+        *self.plan_cache.lock().expect("plan cache lock") = Some((version, fresh.clone()));
+        Ok(fresh)
+    }
+
     /// Greedy cover (§IV-B plan): entries of the right kind/column, picked
     /// while they add coverage of active files. Returns (selected entries,
     /// uncovered active files).
@@ -240,10 +273,10 @@ impl<'a> Rottnest<'a> {
         column: &str,
     ) -> Result<(Vec<IndexEntry>, Vec<FileEntry>)> {
         let mut entries: Vec<IndexEntry> = self
-            .meta()
-            .scan()?
-            .into_iter()
+            .cached_meta_scan()?
+            .iter()
             .filter(|e| Self::serves(&e.kind, kind) && e.column == column)
+            .cloned()
             .collect();
         let active: FxHashSet<&str> = snapshot.files().map(|f| f.path.as_str()).collect();
         entries.sort_by_key(|e| {
@@ -290,6 +323,9 @@ impl<'a> Rottnest<'a> {
                 dim: query.len() as u32,
             },
         };
+        // Component-cache accounting is kept on the store; the delta over
+        // this search becomes the outcome's cache_* stats.
+        let store_before = self.store().stats();
         let (selected, mut uncovered) = self.plan_search(snapshot, &kind, column)?;
         let stats = SearchStats {
             index_files_queried: selected.len() as u64,
@@ -297,7 +333,7 @@ impl<'a> Rottnest<'a> {
         };
         let mut stats = stats;
 
-        match query {
+        let mut outcome = match query {
             Query::UuidEq { key, k } => {
                 let predicate = |v: ValueRef<'_>| match v {
                     ValueRef::Binary(b) => b == *key,
@@ -390,13 +426,25 @@ impl<'a> Rottnest<'a> {
             } => self.vector_search(
                 table, snapshot, column, qvec, *params, &selected, uncovered, stats,
             ),
-        }
+        }?;
+        let delta = self.store().stats().since(&store_before);
+        outcome.stats.cache_hits = delta.cache_hits;
+        outcome.stats.cache_misses = delta.cache_misses;
+        outcome.stats.cache_bytes_saved = delta.cache_bytes_saved;
+        Ok(outcome)
     }
 
     /// Runs the index-query + in-situ-probe pipeline for exact queries.
     /// Returns the matches plus the indices (into `selected`) of entries
     /// whose index files could not be read even after retries — the caller
     /// degrades their coverage to the brute-force path.
+    ///
+    /// Index entries are queried by the parallel executor; the merge below
+    /// walks outcomes in entry order, so stats, page dedup, degradation,
+    /// and the first hard error all reproduce the sequential pass exactly.
+    /// (Sequential execution stops querying after a hard error; running
+    /// the remaining entries' queries is the only extra work parallelism
+    /// adds on that path, and their outcomes are discarded.)
     #[allow(clippy::too_many_arguments)]
     fn exact_index_pass(
         &self,
@@ -406,18 +454,22 @@ impl<'a> Rottnest<'a> {
         stats: &mut SearchStats,
         k: usize,
         data_type: DataType,
-        predicate: &dyn Fn(ValueRef<'_>) -> bool,
-        mut query_index: impl FnMut(&IndexEntry) -> Result<Vec<rottnest_component::Posting>>,
+        predicate: &(dyn Fn(ValueRef<'_>) -> bool + Sync),
+        query_index: impl Fn(&IndexEntry) -> Result<Vec<rottnest_component::Posting>> + Sync,
     ) -> Result<(Vec<Match>, Vec<usize>)> {
-        // 2. Query indexes, filtering postings outside the snapshot.
+        // 2. Query indexes (fanned out), filtering postings outside the
+        // snapshot (merged in entry order).
+        let outcomes = parallel_map(self.config.search.parallelism, selected, |_, entry| {
+            query_index(entry)
+        });
         let mut pages: Vec<PageRef<'_>> = Vec::new();
         let mut failed: Vec<usize> = Vec::new();
         // Keyed by (path, page): concurrently-built indexes may cover the
         // same file (§IV-A allows the wasteful overlap), and the same page
         // must be probed only once or matches would duplicate.
         let mut seen: FxHashSet<(&str, u32)> = FxHashSet::default();
-        for (entry_idx, entry) in selected.iter().enumerate() {
-            let postings = match query_index(entry) {
+        for (entry_idx, (entry, outcome)) in selected.iter().zip(outcomes).enumerate() {
+            let postings = match outcome {
                 Ok(postings) => postings,
                 Err(e) if is_degradable(&e) => {
                     stats.index_files_failed += 1;
@@ -488,6 +540,17 @@ impl<'a> Rottnest<'a> {
     /// Brute-force scan of uncovered files for exact queries — "the
     /// unindexed Parquet files are only scanned if the filtered results are
     /// not sufficient" (§IV-B step 3).
+    ///
+    /// With `parallelism <= 1` this is a literal sequential scan with
+    /// global early exit: a file is not even opened once `need` matches
+    /// exist, which is the cheapest possible request count. In parallel
+    /// every uncovered file is scanned speculatively (each worker stops
+    /// after `need` live rows, an upper bound on what any file can
+    /// contribute) and a sequential replay over the per-file row events
+    /// reapplies the exact global cutoff — matches, `files_brute_scanned`,
+    /// `rows_deleted`, and error order come out identical to the
+    /// sequential scan; the speculative extra GETs are the price of the
+    /// wall-clock win.
     #[allow(clippy::too_many_arguments)]
     fn brute_exact(
         &self,
@@ -496,37 +559,97 @@ impl<'a> Rottnest<'a> {
         uncovered: &[FileEntry],
         column: &str,
         need: usize,
-        predicate: &dyn Fn(ValueRef<'_>) -> bool,
+        predicate: &(dyn Fn(ValueRef<'_>) -> bool + Sync),
         stats: &mut SearchStats,
     ) -> Result<Vec<Match>> {
         let mut matches = Vec::new();
         let dvs = load_dvs(table, snapshot, uncovered.iter().map(|f| f.path.as_str()))?;
-        for file in uncovered {
+        let parallelism = self.config.search.parallelism;
+        if parallelism <= 1 || uncovered.len() <= 1 {
+            for file in uncovered {
+                if matches.len() >= need {
+                    break;
+                }
+                stats.files_brute_scanned += 1;
+                let reader = ChunkReader::open(self.store(), &file.path)?;
+                let col = reader
+                    .meta()
+                    .schema
+                    .index_of(column)
+                    .ok_or_else(|| RottnestError::BadQuery(format!("no column {column}")))?;
+                let data = reader.read_column(col)?;
+                let dv = dvs.get(&file.path);
+                for i in 0..data.len() {
+                    if matches.len() >= need {
+                        break;
+                    }
+                    if !predicate(data.get(i).expect("in range")) {
+                        continue;
+                    }
+                    let row = i as u64;
+                    if let Some(dv) = dv {
+                        if dv.contains(row) {
+                            stats.rows_deleted += 1;
+                            continue;
+                        }
+                    }
+                    matches.push(Match {
+                        path: file.path.clone(),
+                        row,
+                        score: None,
+                    });
+                }
+            }
+            return Ok(matches);
+        }
+
+        // Each worker emits the file's predicate hits in row order as
+        // (row, deleted) events, stopping after `need` live rows.
+        let scans = parallel_map(
+            parallelism,
+            uncovered,
+            |_, file| -> Result<Vec<(u64, bool)>> {
+                let reader = ChunkReader::open(self.store(), &file.path)?;
+                let col = reader
+                    .meta()
+                    .schema
+                    .index_of(column)
+                    .ok_or_else(|| RottnestError::BadQuery(format!("no column {column}")))?;
+                let data = reader.read_column(col)?;
+                let dv = dvs.get(&file.path);
+                let mut events = Vec::new();
+                let mut live = 0usize;
+                for i in 0..data.len() {
+                    if live >= need {
+                        break;
+                    }
+                    if !predicate(data.get(i).expect("in range")) {
+                        continue;
+                    }
+                    let row = i as u64;
+                    let deleted = dv.is_some_and(|dv| dv.contains(row));
+                    if !deleted {
+                        live += 1;
+                    }
+                    events.push((row, deleted));
+                }
+                Ok(events)
+            },
+        );
+
+        // Replay in file order under the sequential cutoff.
+        for (file, scan) in uncovered.iter().zip(scans) {
             if matches.len() >= need {
                 break;
             }
             stats.files_brute_scanned += 1;
-            let reader = ChunkReader::open(self.store(), &file.path)?;
-            let col = reader
-                .meta()
-                .schema
-                .index_of(column)
-                .ok_or_else(|| RottnestError::BadQuery(format!("no column {column}")))?;
-            let data = reader.read_column(col)?;
-            let dv = dvs.get(&file.path);
-            for i in 0..data.len() {
+            for (row, deleted) in scan? {
                 if matches.len() >= need {
                     break;
                 }
-                if !predicate(data.get(i).expect("in range")) {
+                if deleted {
+                    stats.rows_deleted += 1;
                     continue;
-                }
-                let row = i as u64;
-                if let Some(dv) = dv {
-                    if dv.contains(row) {
-                        stats.rows_deleted += 1;
-                        continue;
-                    }
                 }
                 matches.push(Match {
                     path: file.path.clone(),
@@ -556,25 +679,23 @@ impl<'a> Rottnest<'a> {
         let dim = qvec.len() as u32;
         let mut results: Vec<Match> = Vec::new();
         let mut failed: Vec<usize> = Vec::new();
+        let parallelism = self.config.search.parallelism;
 
-        for (entry_idx, entry) in selected.iter().enumerate() {
-            let mark = results.len();
-            match self.vector_entry_pass(
-                table,
-                snapshot,
-                entry,
-                qvec,
-                params,
-                dim,
-                &mut results,
-                &mut stats,
-            ) {
-                Ok(()) => {}
+        // Index entries probe in parallel into per-entry results + stats;
+        // the merge absorbs them in entry order. A degradable failure
+        // simply discards the entry's contribution (the sequential
+        // executor's rollback, for free) and routes its files to the
+        // brute-force pass below.
+        let passes = parallel_map(parallelism, selected, |_, entry| {
+            self.vector_entry_pass(table, snapshot, entry, qvec, params, dim)
+        });
+        for (entry_idx, pass) in passes.into_iter().enumerate() {
+            match pass {
+                Ok((matches, entry_stats)) => {
+                    results.extend(matches);
+                    stats.absorb(&entry_stats);
+                }
                 Err(e) if is_degradable(&e) => {
-                    // Roll back the entry's partial contribution — its files
-                    // fall through to the brute-force pass below, which would
-                    // otherwise double-count them.
-                    results.truncate(mark);
                     stats.index_files_failed += 1;
                     failed.push(entry_idx);
                 }
@@ -584,40 +705,54 @@ impl<'a> Rottnest<'a> {
         self.extend_uncovered_for_failures(snapshot, selected, &failed, &mut uncovered, &mut stats);
         let uncovered = &uncovered;
 
-        // Brute-force scan of uncovered files (always, for scoring queries).
+        // Brute-force scan of uncovered files (always, for scoring
+        // queries) — no early exit, so the parallel fan-out does no
+        // speculative work; the merge just sums in file order.
         let dvs = load_dvs(table, snapshot, uncovered.iter().map(|f| f.path.as_str()))?;
-        for file in uncovered {
-            stats.files_brute_scanned += 1;
-            let reader = ChunkReader::open(self.store(), &file.path)?;
-            let col = reader
-                .meta()
-                .schema
-                .index_of(column)
-                .ok_or_else(|| RottnestError::BadQuery(format!("no column {column}")))?;
-            let field_type = reader.meta().schema.fields()[col].data_type;
-            if field_type != (rottnest_format::DataType::VectorF32 { dim }) {
-                return Err(RottnestError::BadQuery(format!(
-                    "column {column} is {field_type:?}, not VectorF32 {{ dim: {dim} }}"
-                )));
-            }
-            let data = reader.read_column(col)?;
-            let dv = dvs.get(&file.path);
-            for i in 0..data.len() {
-                if let Some(ValueRef::VectorF32(v)) = data.get(i) {
-                    let row = i as u64;
-                    if let Some(dv) = dv {
-                        if dv.contains(row) {
-                            stats.rows_deleted += 1;
-                            continue;
-                        }
-                    }
-                    results.push(Match {
-                        path: file.path.clone(),
-                        row,
-                        score: Some(rottnest_ivfpq::l2_sq(qvec, v)),
-                    });
+        let scans = parallel_map(
+            parallelism,
+            uncovered,
+            |_, file| -> Result<(Vec<Match>, u64)> {
+                let reader = ChunkReader::open(self.store(), &file.path)?;
+                let col = reader
+                    .meta()
+                    .schema
+                    .index_of(column)
+                    .ok_or_else(|| RottnestError::BadQuery(format!("no column {column}")))?;
+                let field_type = reader.meta().schema.fields()[col].data_type;
+                if field_type != (rottnest_format::DataType::VectorF32 { dim }) {
+                    return Err(RottnestError::BadQuery(format!(
+                        "column {column} is {field_type:?}, not VectorF32 {{ dim: {dim} }}"
+                    )));
                 }
-            }
+                let data = reader.read_column(col)?;
+                let dv = dvs.get(&file.path);
+                let mut found = Vec::new();
+                let mut deleted = 0u64;
+                for i in 0..data.len() {
+                    if let Some(ValueRef::VectorF32(v)) = data.get(i) {
+                        let row = i as u64;
+                        if let Some(dv) = dv {
+                            if dv.contains(row) {
+                                deleted += 1;
+                                continue;
+                            }
+                        }
+                        found.push(Match {
+                            path: file.path.clone(),
+                            row,
+                            score: Some(rottnest_ivfpq::l2_sq(qvec, v)),
+                        });
+                    }
+                }
+                Ok((found, deleted))
+            },
+        );
+        for scan in scans {
+            stats.files_brute_scanned += 1;
+            let (found, deleted) = scan?;
+            stats.rows_deleted += deleted;
+            results.extend(found);
         }
 
         // Tie-break equal scores by (path, row) so duplicates from
@@ -639,9 +774,10 @@ impl<'a> Rottnest<'a> {
     }
 
     /// One index entry's contribution to a vector search: ADC pass, stale
-    /// posting + deletion-vector filtering, optional exact rerank. Appends
-    /// to `results`; on error the caller rolls the appends back.
-    #[allow(clippy::too_many_arguments)]
+    /// posting + deletion-vector filtering, optional exact rerank. Returns
+    /// the entry's matches and local stats so the executor's workers never
+    /// share mutable state; on error the caller discards both (the
+    /// sequential rollback semantics).
     fn vector_entry_pass(
         &self,
         table: &Table<'_>,
@@ -650,9 +786,9 @@ impl<'a> Rottnest<'a> {
         qvec: &[f32],
         params: SearchParams,
         dim: u32,
-        results: &mut Vec<Match>,
-        stats: &mut SearchStats,
-    ) -> Result<()> {
+    ) -> Result<(Vec<Match>, SearchStats)> {
+        let mut results: Vec<Match> = Vec::new();
+        let mut stats = SearchStats::default();
         let idx = IvfPqIndex::open(self.store(), &entry.path)?;
         // ADC pass without refine so stale postings can be filtered
         // before any page fetch.
@@ -711,7 +847,7 @@ impl<'a> Rottnest<'a> {
                     .take(params.k)
                     .map(|(p, d)| resolve_match(p, *d)),
             );
-            return Ok(());
+            return Ok((results, stats));
         }
         // Exact rerank of the top `refine` live candidates, fetched in
         // situ from the data pages.
@@ -741,7 +877,7 @@ impl<'a> Rottnest<'a> {
                 .take(params.k)
                 .map(|(p, d)| resolve_match(p, *d)),
         );
-        Ok(())
+        Ok((results, stats))
     }
 
     /// §IV-C: merges small index files of one kind/column (bin packing),

@@ -80,7 +80,7 @@ impl<'a> ChunkReader<'a> {
             let start = (page.offset - chunk.offset) as usize;
             let end = start + page.size as usize;
             let col_data = decode_page(&bytes[start..end], data_type)?;
-            out.extend_from_from_page(&col_data)?;
+            out.extend_from_page(&col_data)?;
         }
         Ok(out)
     }
@@ -92,7 +92,7 @@ impl<'a> ChunkReader<'a> {
         let mut out = ColumnData::empty(data_type);
         for rg in 0..self.meta.row_groups.len() {
             let chunk = self.read_chunk(rg, col)?;
-            out.extend_from_from_page(&chunk)?;
+            out.extend_from_page(&chunk)?;
         }
         Ok(out)
     }
@@ -110,11 +110,11 @@ impl<'a> ChunkReader<'a> {
 
 // Private helper so ColumnData keeps a single public extend API.
 trait ExtendFromPage {
-    fn extend_from_from_page(&mut self, other: &ColumnData) -> Result<()>;
+    fn extend_from_page(&mut self, other: &ColumnData) -> Result<()>;
 }
 
 impl ExtendFromPage for ColumnData {
-    fn extend_from_from_page(&mut self, other: &ColumnData) -> Result<()> {
+    fn extend_from_page(&mut self, other: &ColumnData) -> Result<()> {
         self.extend_from(other)
     }
 }

@@ -111,7 +111,7 @@ pub enum PutChaos {
 }
 
 /// Chaos verdict for a single GET (whole-object or range).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GetChaos {
     /// The request fails transiently.
     pub fail: bool,

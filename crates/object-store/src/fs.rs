@@ -16,12 +16,13 @@ use std::time::{SystemTime, UNIX_EPOCH};
 use bytes::Bytes;
 
 use crate::stats::{RequestStats, StatsSnapshot};
-use crate::{ObjectMeta, ObjectStore, Result, StoreError};
+use crate::{next_store_id, ObjectMeta, ObjectStore, Result, StoreError};
 
 /// An [`ObjectStore`] over a local directory.
 pub struct FsStore {
     root: PathBuf,
     stats: RequestStats,
+    id: u64,
 }
 
 impl FsStore {
@@ -32,6 +33,7 @@ impl FsStore {
         Ok(Arc::new(Self {
             root,
             stats: RequestStats::default(),
+            id: next_store_id(),
         }))
     }
 
@@ -173,6 +175,18 @@ impl ObjectStore for FsStore {
 
     fn record_retry(&self, retries: u64, backoff_ms: u64) {
         self.stats.record_retry(retries, backoff_ms);
+    }
+
+    fn store_id(&self) -> u64 {
+        self.id
+    }
+
+    fn record_cache(&self, hits: u64, misses: u64, bytes_saved: u64) {
+        self.stats.record_cache(hits, misses, bytes_saved);
+    }
+
+    fn record_coalesced(&self, n: u64) {
+        self.stats.record_coalesced(n);
     }
 }
 

@@ -21,6 +21,7 @@
 //! "latencies" reproduce the dependency structure (access *depth*) of real
 //! object-store access plans.
 
+pub mod coalesce;
 pub mod fault;
 pub mod fs;
 pub mod fxhash;
@@ -35,6 +36,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 
+pub use coalesce::{CoalescePlan, DEFAULT_COALESCE_GAP};
 pub use fault::{ChaosConfig, FaultInjector, FaultKind};
 pub use fs::FsStore;
 pub use fxhash::{FxHashMap, FxHashSet};
@@ -186,13 +188,32 @@ pub trait ObjectStore: Send + Sync {
     fn get_range(&self, key: &str, range: Range<u64>) -> Result<Bytes>;
 
     /// Fetches many byte ranges *in parallel* (one simulated round trip of
-    /// width `requests.len()`); the default implementation loops
-    /// sequentially, backends with a latency model override it.
+    /// width `requests.len()`).
+    ///
+    /// The default implementation coalesces near-adjacent ranges of the
+    /// same key (per [`coalesce_gap`](ObjectStore::coalesce_gap)) into
+    /// merged GETs, slices the originals back out, and loops the merged
+    /// reads sequentially; backends with a latency model override it to
+    /// also charge the batch as one round trip. Note that with coalescing
+    /// active an out-of-bounds member may surface its `InvalidRange` in a
+    /// different order than a per-range loop would, though the error
+    /// itself is identical.
     fn get_ranges(&self, requests: &[RangeRequest]) -> Result<Vec<Bytes>> {
-        requests
-            .iter()
-            .map(|r| self.get_range(&r.key, r.range.clone()))
-            .collect()
+        match self.coalesce_gap() {
+            Some(gap) if requests.len() > 1 => {
+                let plan = CoalescePlan::build(requests, gap);
+                let mut payloads = Vec::with_capacity(plan.merged().len());
+                for m in plan.merged() {
+                    payloads.push(self.get_range(&m.key, m.range.clone())?);
+                }
+                self.record_coalesced(plan.saved());
+                plan.slice_back(requests, &payloads)
+            }
+            _ => requests
+                .iter()
+                .map(|r| self.get_range(&r.key, r.range.clone()))
+                .collect(),
+        }
     }
 
     /// Returns metadata without fetching the payload.
@@ -224,6 +245,42 @@ pub trait ObjectStore: Send + Sync {
     fn record_retry(&self, retries: u64, backoff_ms: u64) {
         let _ = (retries, backoff_ms);
     }
+
+    /// Maximum byte gap [`get_ranges`](ObjectStore::get_ranges) bridges
+    /// when merging same-key ranges into one GET; `None` disables
+    /// coalescing entirely (every range is its own request).
+    fn coalesce_gap(&self) -> Option<u64> {
+        Some(DEFAULT_COALESCE_GAP)
+    }
+
+    /// A process-unique identity for this backend instance, used to
+    /// namespace entries in process-wide caches. The default of `0` marks
+    /// the store as *uncacheable* — wrappers that don't forward this
+    /// method simply opt out of caching rather than colliding.
+    fn store_id(&self) -> u64 {
+        0
+    }
+
+    /// Reports component-cache activity performed by a caching reader so
+    /// it lands in this backend's stats; `bytes_saved` counts GET bytes
+    /// the cache avoided transferring. Backends without stats ignore it.
+    fn record_cache(&self, hits: u64, misses: u64, bytes_saved: u64) {
+        let _ = (hits, misses, bytes_saved);
+    }
+
+    /// Reports `n` range requests absorbed into merged GETs by range
+    /// coalescing. Backends without stats ignore it.
+    fn record_coalesced(&self, n: u64) {
+        let _ = n;
+    }
+}
+
+/// Allocates a fresh process-unique [`store_id`](ObjectStore::store_id).
+/// Backend constructors call this so that two stores reusing the same
+/// object keys never share cache entries.
+pub fn next_store_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 /// References to stores are stores: this lets decorators like
@@ -264,6 +321,18 @@ impl<T: ObjectStore + ?Sized> ObjectStore for &T {
     }
     fn record_retry(&self, retries: u64, backoff_ms: u64) {
         (**self).record_retry(retries, backoff_ms)
+    }
+    fn coalesce_gap(&self) -> Option<u64> {
+        (**self).coalesce_gap()
+    }
+    fn store_id(&self) -> u64 {
+        (**self).store_id()
+    }
+    fn record_cache(&self, hits: u64, misses: u64, bytes_saved: u64) {
+        (**self).record_cache(hits, misses, bytes_saved)
+    }
+    fn record_coalesced(&self, n: u64) {
+        (**self).record_coalesced(n)
     }
 }
 

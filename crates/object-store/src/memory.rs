@@ -2,16 +2,25 @@
 //! tests and benchmarks.
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 
+use crate::coalesce::{CoalescePlan, DEFAULT_COALESCE_GAP};
 use crate::fault::PutChaos;
 use crate::latency::{LatencyModel, PrefixThrottle};
 use crate::stats::{RequestStats, StatsSnapshot};
-use crate::{FaultInjector, ObjectMeta, ObjectStore, RangeRequest, Result, SimClock, StoreError};
+use crate::{
+    next_store_id, FaultInjector, ObjectMeta, ObjectStore, RangeRequest, Result, SimClock,
+    StoreError,
+};
+
+/// Sentinel for "coalescing disabled" in the atomic gap knob (a real gap
+/// this large would merge everything anyway, so nothing is lost).
+const COALESCE_DISABLED: u64 = u64::MAX;
 
 #[derive(Debug, Clone)]
 struct StoredObject {
@@ -33,6 +42,8 @@ pub struct MemoryStore {
     throttle: Option<PrefixThrottle>,
     stats: RequestStats,
     faults: FaultInjector,
+    id: u64,
+    coalesce_gap: AtomicU64,
 }
 
 impl MemoryStore {
@@ -56,6 +67,8 @@ impl MemoryStore {
             throttle: Some(PrefixThrottle::new(5_500)),
             stats: RequestStats::default(),
             faults: FaultInjector::new(),
+            id: next_store_id(),
+            coalesce_gap: AtomicU64::new(DEFAULT_COALESCE_GAP),
         })
     }
 
@@ -69,6 +82,8 @@ impl MemoryStore {
             throttle: (limit_per_sec > 0).then(|| PrefixThrottle::new(limit_per_sec)),
             stats: RequestStats::default(),
             faults: FaultInjector::new(),
+            id: next_store_id(),
+            coalesce_gap: AtomicU64::new(DEFAULT_COALESCE_GAP),
         })
     }
 
@@ -83,12 +98,22 @@ impl MemoryStore {
             throttle: (limit_per_sec > 0).then(|| PrefixThrottle::rejecting(limit_per_sec)),
             stats: RequestStats::default(),
             faults: FaultInjector::new(),
+            id: next_store_id(),
+            coalesce_gap: AtomicU64::new(DEFAULT_COALESCE_GAP),
         })
     }
 
     /// The fault injector for this store.
     pub fn faults(&self) -> &FaultInjector {
         &self.faults
+    }
+
+    /// Sets the range-coalescing gap for [`ObjectStore::get_ranges`]
+    /// (`None` disables coalescing; benchmarks that sweep raw request
+    /// concurrency need every range to stay its own GET).
+    pub fn set_coalesce_gap(&self, gap: Option<u64>) {
+        self.coalesce_gap
+            .store(gap.unwrap_or(COALESCE_DISABLED), Ordering::Relaxed);
     }
 
     /// The latency model in effect.
@@ -280,6 +305,15 @@ impl ObjectStore for MemoryStore {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
+        // The merge plan decides what actually goes over the wire; faults,
+        // tearing and slicing stay per-original-request below, because a
+        // merged GET is a transport optimisation and must not change what
+        // each caller-visible range read can observe.
+        let plan = match ObjectStore::coalesce_gap(self) {
+            Some(gap) => CoalescePlan::build(requests, gap),
+            None => CoalescePlan::identity(requests),
+        };
+        let issued = plan.merged().len() as u64;
         let mut out = Vec::with_capacity(requests.len());
         let mut max_bytes = 0u64;
         let mut total_bytes = 0u64;
@@ -292,7 +326,7 @@ impl ObjectStore for MemoryStore {
                 let chaos = self.faults.chaos_get();
                 if chaos.fail {
                     self.clock.advance_micros(self.latency.get_first_byte_us);
-                    self.stats.record_gets(requests.len() as u64, 0);
+                    self.stats.record_gets(issued, 0);
                     return Err(self.faulted(StoreError::Transient("chaos: get timed out")));
                 }
                 let obj = objects
@@ -305,16 +339,24 @@ impl ObjectStore for MemoryStore {
                     data = data.slice(..keep);
                     self.stats.record_fault();
                 }
-                max_bytes = max_bytes.max(data.len() as u64);
-                total_bytes += data.len() as u64;
                 out.push(data);
+            }
+            // Latency and request accounting happen at merged granularity:
+            // each merged GET transfers its full (truncated) span, gap
+            // bytes included.
+            for m in plan.merged() {
+                let len = objects.get(&m.key).map_or(0, |o| o.data.len() as u64);
+                let span = m.range.end.min(len).saturating_sub(m.range.start.min(len));
+                max_bytes = max_bytes.max(span);
+                total_bytes += span;
             }
         }
         // One parallel round trip: the batch costs its slowest member, plus
-        // any throttle delay from issuing `len` requests at once.
+        // any throttle delay from issuing `issued` requests at once.
         self.clock.advance_micros(self.faults.chaos_spike_us());
-        self.charge_get(&requests[0].key, requests.len() as u64, max_bytes)?;
-        self.stats.record_gets(requests.len() as u64, total_bytes);
+        self.charge_get(&requests[0].key, issued, max_bytes)?;
+        self.stats.record_gets(issued, total_bytes);
+        self.stats.record_coalesced(plan.saved());
         Ok(out)
     }
 
@@ -378,6 +420,23 @@ impl ObjectStore for MemoryStore {
 
     fn record_retry(&self, retries: u64, backoff_ms: u64) {
         self.stats.record_retry(retries, backoff_ms);
+    }
+
+    fn coalesce_gap(&self) -> Option<u64> {
+        let gap = self.coalesce_gap.load(Ordering::Relaxed);
+        (gap != COALESCE_DISABLED).then_some(gap)
+    }
+
+    fn store_id(&self) -> u64 {
+        self.id
+    }
+
+    fn record_cache(&self, hits: u64, misses: u64, bytes_saved: u64) {
+        self.stats.record_cache(hits, misses, bytes_saved);
+    }
+
+    fn record_coalesced(&self, n: u64) {
+        self.stats.record_coalesced(n);
     }
 }
 
@@ -615,6 +674,65 @@ mod tests {
         assert!(s.stats().faults_injected >= 3);
         s.faults().set_chaos(None);
         s.get("d/x").unwrap();
+    }
+
+    #[test]
+    fn coalescing_merges_near_ranges_but_returns_identical_bytes() {
+        let s = store();
+        let payload: Vec<u8> = (0..10_000u32).map(|v| (v % 251) as u8).collect();
+        s.put("k", Bytes::from(payload)).unwrap();
+        s.put("other", Bytes::from(vec![9u8; 64])).unwrap();
+
+        let reqs = [
+            RangeRequest::new("k", 0..100),
+            RangeRequest::new("k", 200..300),
+            RangeRequest::new("k", 9_000..9_100),
+            RangeRequest::new("other", 0..50),
+        ];
+        let before = s.stats();
+        let batch = s.get_ranges(&reqs).unwrap();
+        let delta = s.stats().since(&before);
+        // The three "k" ranges sit well inside the default gap and merge
+        // into one GET; "other" stays separate.
+        assert_eq!(delta.gets, 2);
+        assert_eq!(delta.coalesced_gets, 2);
+        // Transferred bytes cover the merged span 0..9100, gaps included.
+        assert_eq!(delta.bytes_read, 9_100 + 50);
+
+        for (req, got) in reqs.iter().zip(&batch) {
+            let direct = s.get_range(&req.key, req.range.clone()).unwrap();
+            assert_eq!(got, &direct, "slice-back must match a direct GET");
+        }
+    }
+
+    #[test]
+    fn coalescing_can_be_disabled() {
+        let s = store();
+        s.put("k", Bytes::from(vec![1u8; 1024])).unwrap();
+        s.set_coalesce_gap(None);
+        let reqs = [
+            RangeRequest::new("k", 0..10),
+            RangeRequest::new("k", 10..20),
+        ];
+        let before = s.stats();
+        s.get_ranges(&reqs).unwrap();
+        let delta = s.stats().since(&before);
+        assert_eq!(delta.gets, 2, "disabled coalescing issues one GET each");
+        assert_eq!(delta.coalesced_gets, 0);
+        assert_eq!(delta.bytes_read, 20);
+    }
+
+    #[test]
+    fn coalesced_out_of_bounds_member_errors_like_a_direct_get() {
+        let s = store();
+        s.put("k", Bytes::from(vec![5u8; 100])).unwrap();
+        let reqs = [
+            RangeRequest::new("k", 90..100),
+            RangeRequest::new("k", 120..130),
+        ];
+        let err = s.get_ranges(&reqs).unwrap_err();
+        let direct = s.get_range("k", 120..130).unwrap_err();
+        assert_eq!(err, direct);
     }
 
     #[test]

@@ -313,6 +313,22 @@ impl<S: ObjectStore> ObjectStore for RetryStore<S> {
     fn record_retry(&self, retries: u64, backoff_ms: u64) {
         self.inner.record_retry(retries, backoff_ms);
     }
+
+    fn coalesce_gap(&self) -> Option<u64> {
+        self.inner.coalesce_gap()
+    }
+
+    fn store_id(&self) -> u64 {
+        self.inner.store_id()
+    }
+
+    fn record_cache(&self, hits: u64, misses: u64, bytes_saved: u64) {
+        self.inner.record_cache(hits, misses, bytes_saved);
+    }
+
+    fn record_coalesced(&self, n: u64) {
+        self.inner.record_coalesced(n);
+    }
 }
 
 #[cfg(test)]

@@ -20,6 +20,10 @@ pub struct RequestStats {
     throttle_rejections: AtomicU64,
     retries: AtomicU64,
     backoff_ms: AtomicU64,
+    coalesced_gets: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_bytes_saved: AtomicU64,
 }
 
 impl RequestStats {
@@ -72,6 +76,21 @@ impl RequestStats {
         self.backoff_ms.fetch_add(backoff_ms, Ordering::Relaxed);
     }
 
+    /// Records `n` range requests absorbed into a neighbour's merged GET
+    /// by range coalescing.
+    pub fn record_coalesced(&self, n: u64) {
+        self.coalesced_gets.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records component-cache activity reported by a caching reader:
+    /// `bytes_saved` counts GET bytes the cache avoided transferring.
+    pub fn record_cache(&self, hits: u64, misses: u64, bytes_saved: u64) {
+        self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.cache_misses.fetch_add(misses, Ordering::Relaxed);
+        self.cache_bytes_saved
+            .fetch_add(bytes_saved, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -86,6 +105,10 @@ impl RequestStats {
             throttle_rejections: self.throttle_rejections.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             backoff_ms: self.backoff_ms.load(Ordering::Relaxed),
+            coalesced_gets: self.coalesced_gets.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_bytes_saved: self.cache_bytes_saved.load(Ordering::Relaxed),
         }
     }
 }
@@ -117,6 +140,15 @@ pub struct StatsSnapshot {
     /// Total backoff wait reported by a wrapping `RetryStore`, in
     /// milliseconds of simulated time.
     pub backoff_ms: u64,
+    /// Range requests absorbed into a neighbour's merged GET by range
+    /// coalescing; each one is a round trip the caller did not pay.
+    pub coalesced_gets: u64,
+    /// Component-cache hits reported by caching readers.
+    pub cache_hits: u64,
+    /// Component-cache misses reported by caching readers.
+    pub cache_misses: u64,
+    /// GET bytes the component cache avoided transferring.
+    pub cache_bytes_saved: u64,
 }
 
 impl StatsSnapshot {
@@ -135,6 +167,10 @@ impl StatsSnapshot {
             throttle_rejections: self.throttle_rejections - earlier.throttle_rejections,
             retries: self.retries - earlier.retries,
             backoff_ms: self.backoff_ms - earlier.backoff_ms,
+            coalesced_gets: self.coalesced_gets - earlier.coalesced_gets,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            cache_bytes_saved: self.cache_bytes_saved - earlier.cache_bytes_saved,
         }
     }
 
@@ -192,5 +228,25 @@ mod tests {
         assert_eq!(delta.retries, 1);
         assert_eq!(delta.backoff_ms, 50);
         assert_eq!(delta.faults_injected, 0);
+    }
+
+    #[test]
+    fn cache_and_coalescing_counters_accumulate_and_diff() {
+        let stats = RequestStats::default();
+        stats.record_coalesced(3);
+        stats.record_cache(5, 2, 4096);
+        let snap = stats.snapshot();
+        assert_eq!(snap.coalesced_gets, 3);
+        assert_eq!(snap.cache_hits, 5);
+        assert_eq!(snap.cache_misses, 2);
+        assert_eq!(snap.cache_bytes_saved, 4096);
+        // Like retries, these annotate requests rather than add to them.
+        assert_eq!(snap.total_requests(), 0);
+
+        stats.record_cache(1, 0, 100);
+        let delta = stats.snapshot().since(&snap);
+        assert_eq!(delta.cache_hits, 1);
+        assert_eq!(delta.cache_bytes_saved, 100);
+        assert_eq!(delta.coalesced_gets, 0);
     }
 }

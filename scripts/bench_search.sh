@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Search fast-path benchmark: parallel executor + component cache +
+# range-coalescing batch reads.
+#
+# Runs the request-cost workloads (qps_ceiling, fig10 read granularity)
+# and the cold-sequential vs warm-parallel comparison, which writes
+# BENCH_search.json (queries/sec ceiling, GETs/query, cache hit rate).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+for bin in qps_ceiling fig10_read_granularity bench_search; do
+  echo "==> cargo run --release -p rottnest-bench --bin $bin"
+  cargo run --release -p rottnest-bench --bin "$bin"
+done
+
+echo
+echo "bench_search: OK (see BENCH_search.json and results/*.csv)"

@@ -10,6 +10,9 @@ cargo fmt --check
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo clippy --workspace --release -- -D warnings"
+cargo clippy --workspace --release -- -D warnings
+
 echo "==> cargo test -q"
 cargo test -q
 

@@ -249,6 +249,11 @@ fn search_degrades_to_brute_force_when_index_reads_exhaust_retries() {
     assert_eq!(clean.stats.files_degraded, 0);
     assert_eq!(clean.stats.files_brute_scanned, 0);
 
+    // The clean search warmed the process-wide component cache; drop it so
+    // the degraded search actually issues the index GETs the armed faults
+    // target (armed faults fire on GETs, which a warm cache would skip).
+    rottnest_component::ComponentCache::global().clear();
+
     // More armed faults than the retry budget: every read of the index
     // object keeps failing until the budget is exhausted.
     for _ in 0..16 {
@@ -303,6 +308,9 @@ fn vector_search_degrades_to_exact_scan_when_index_reads_fail() {
     let clean = rot.search(&table, &snap, "embedding", &query).unwrap();
     assert_eq!(clean.matches.len(), 6);
     assert_eq!(clean.stats.files_degraded, 0);
+
+    // Cold index reads required, as above.
+    rottnest_component::ComponentCache::global().clear();
 
     for _ in 0..24 {
         store

@@ -1,0 +1,105 @@
+//! End-to-end behaviour of the process-wide component cache:
+//!
+//! * overwriting an object invalidates its cached open entry (the reopen
+//!   revalidates with a HEAD and falls back to a real read), and
+//!   components cached under the old directory can never serve the new
+//!   file (the directory-hash validator partitions generations);
+//! * a cache-warm repeat of a search issues strictly fewer GETs than the
+//!   cold run and reports its hits in `SearchStats`.
+
+use rottnest::{IndexKind, Query, Rottnest};
+use rottnest_component::{ComponentCache, ComponentFile, ComponentWriter};
+use rottnest_integration::*;
+use rottnest_object_store::{MemoryStore, ObjectStore};
+
+fn write_components(store: &dyn ObjectStore, key: &str, parts: &[&[u8]]) {
+    let mut w = ComponentWriter::new();
+    for p in parts {
+        w.add(p.to_vec());
+    }
+    w.finish_into(store, key).unwrap();
+}
+
+#[test]
+fn overwrite_invalidates_cached_open_entry() {
+    let store = MemoryStore::unmetered();
+    // Different sizes so the overwrite is detectable by length (the
+    // metadata layer never rewrites an index file in place; equal-length
+    // overwrites are out of the stores' versioning model).
+    write_components(store.as_ref(), "f.cmp", &[b"generation one", b"aaaa"]);
+
+    let f = ComponentFile::open(store.as_ref(), "f.cmp").unwrap();
+    assert_eq!(&f.component(0).unwrap()[..], b"generation one");
+
+    write_components(
+        store.as_ref(),
+        "f.cmp",
+        &[b"generation two is longer", b"bbbbbbbb"],
+    );
+
+    // The reopen revalidates (HEAD length mismatch), drops the stale open
+    // entry, and reads the new directory; the old cached component can
+    // not leak through because its validator hash died with the old
+    // directory.
+    let f = ComponentFile::open(store.as_ref(), "f.cmp").unwrap();
+    assert_eq!(&f.component(0).unwrap()[..], b"generation two is longer");
+    assert_eq!(&f.component(1).unwrap()[..], b"bbbbbbbb");
+}
+
+#[test]
+fn reopen_of_unchanged_file_skips_the_get() {
+    let store = MemoryStore::new();
+    write_components(store.as_ref(), "g.cmp", &[b"stable bytes", b"more"]);
+
+    let f = ComponentFile::open(store.as_ref(), "g.cmp").unwrap();
+    assert_eq!(&f.component(0).unwrap()[..], b"stable bytes");
+
+    let before = store.stats();
+    let f = ComponentFile::open(store.as_ref(), "g.cmp").unwrap();
+    assert_eq!(&f.component(0).unwrap()[..], b"stable bytes");
+    let delta = store.stats().since(&before);
+    assert_eq!(delta.gets, 0, "warm reopen must not GET");
+    assert_eq!(delta.heads, 1, "warm reopen revalidates with one HEAD");
+    assert!(delta.cache_hits >= 2, "open + component served from cache");
+    assert!(delta.cache_bytes_saved > 0);
+}
+
+#[test]
+fn warm_search_issues_strictly_fewer_gets_and_reports_hits() {
+    let store = MemoryStore::new();
+    let table = make_table(store.as_ref(), 200, 2);
+    let rot = Rottnest::new(store.as_ref(), "idx", rot_config());
+    rot.index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
+    let snap = table.snapshot().unwrap();
+    let query = Query::Substring {
+        pattern: b"status S001",
+        k: 64,
+    };
+
+    // A fresh store id guarantees nothing for this store is cached yet,
+    // but clear anyway so the cold run is cold even if the test order or
+    // helper internals change.
+    ComponentCache::global().clear();
+
+    let before = store.stats();
+    let cold = rot.search(&table, &snap, "body", &query).unwrap();
+    let cold_gets = store.stats().since(&before).gets;
+
+    let before = store.stats();
+    let warm = rot.search(&table, &snap, "body", &query).unwrap();
+    let warm_gets = store.stats().since(&before).gets;
+
+    assert_eq!(warm.matches, cold.matches);
+    // The cold run misses on every first touch (it may still hit on
+    // repeat touches within the query); the warm run never misses.
+    assert!(cold.stats.cache_misses > 0);
+    assert_eq!(warm.stats.cache_misses, 0, "warm run must not miss");
+    assert!(warm.stats.cache_hits > 0, "warm run must hit the cache");
+    assert!(
+        warm_gets < cold_gets,
+        "warm search must issue strictly fewer GETs ({warm_gets} vs {cold_gets})"
+    );
+    assert!(warm.stats.cache_bytes_saved > 0);
+}

@@ -1,0 +1,302 @@
+//! Equivalence proofs for the request-cost optimizations:
+//!
+//! 1. The parallel search executor returns results (and `SearchStats`)
+//!    identical to sequential execution — fault-free and at a 5% chaos
+//!    rate absorbed by the retrying store.
+//! 2. Coalesced `get_ranges` returns byte-identical results to issuing
+//!    each range as its own `get_range` — again fault-free and under
+//!    chaos through the retry decorator.
+//!
+//! Each run builds its own store (a fresh store id), so the process-wide
+//! component cache is cold for every run and cache stats compare equal.
+
+use rottnest::{IndexKind, Query, Rottnest, SearchOutcome, SearchStats};
+use rottnest_integration::*;
+use rottnest_ivfpq::SearchParams;
+use rottnest_lake::{Snapshot, Table, TableConfig};
+use rottnest_object_store::{
+    ChaosConfig, MemoryStore, ObjectStore, RangeRequest, RetryPolicy, RetryStore,
+};
+
+/// Enough attempts that a 5% per-request fault rate never exhausts the
+/// budget (p ≈ 0.05^12 per op), so chaos runs cannot degrade and diverge.
+fn generous_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 12,
+        base_backoff_ms: 1,
+        max_backoff_ms: 20,
+        jitter_seed: 0xEAE_0001,
+        verify_short_reads: true,
+    }
+}
+
+/// A run-independent view of one match: (file ordinal in manifest order,
+/// row, score bits). Paths embed store timestamps which may drift between
+/// runs; the ordinal does not.
+type Norm = (usize, u64, Option<u32>);
+
+fn normalize(snap: &Snapshot, out: &SearchOutcome) -> Vec<Norm> {
+    let ordinal: std::collections::HashMap<&str, usize> = snap
+        .files()
+        .enumerate()
+        .map(|(i, f)| (f.path.as_str(), i))
+        .collect();
+    out.matches
+        .iter()
+        .map(|m| (ordinal[m.path.as_str()], m.row, m.score.map(f32::to_bits)))
+        .collect()
+}
+
+/// Runs the full query suite at `parallelism` on a fresh store: 5 files of
+/// 100 rows, the first 3 indexed, the last 2 uncovered (brute-force
+/// coverage), rows 3..=5 of the first file deleted after indexing.
+fn run_suite(parallelism: usize, chaos: Option<ChaosConfig>) -> Vec<(Vec<Norm>, SearchStats)> {
+    let store = MemoryStore::new();
+    store.faults().set_chaos(chaos);
+
+    let table = Table::create(
+        store.as_ref(),
+        "tbl",
+        &schema(),
+        TableConfig {
+            retry: generous_retry(),
+            ..small_pages()
+        },
+    )
+    .unwrap();
+    for f in 0..3u64 {
+        table.append(&batch(f * 100..(f + 1) * 100)).unwrap();
+    }
+
+    let mut cfg = rot_config();
+    cfg.retry = generous_retry();
+    cfg.search.parallelism = parallelism;
+    let rot = Rottnest::new(store.as_ref(), "idx", cfg);
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap()
+        .unwrap();
+    rot.index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
+    rot.index(&table, IndexKind::Vector { dim: DIM as u32 }, "embedding")
+        .unwrap()
+        .unwrap();
+
+    // Two files the indexes never saw: the brute-force path must scan them.
+    table.append(&batch(300..400)).unwrap();
+    table.append(&batch(400..500)).unwrap();
+    // Deletions apply at probe time.
+    let first = table
+        .snapshot()
+        .unwrap()
+        .files()
+        .next()
+        .unwrap()
+        .path
+        .clone();
+    table.delete_rows(&first, &[3, 4, 5]).unwrap();
+
+    let snap = table.snapshot().unwrap();
+    let qvec = embedding(7);
+    let key_hit = trace_id(42);
+    let key_brute = trace_id(420);
+    let key_deleted = trace_id(3);
+    let queries: Vec<(&str, Query<'_>)> = vec![
+        // Indexed hit; k unmet, so the two uncovered files brute-scan.
+        (
+            "trace_id",
+            Query::UuidEq {
+                key: &key_hit,
+                k: 4,
+            },
+        ),
+        // Key lives in an uncovered file: found by brute force alone, and
+        // `need` is met mid-scan (the parallel replay must apply the same
+        // early cutoff the sequential scan does).
+        (
+            "trace_id",
+            Query::UuidEq {
+                key: &key_brute,
+                k: 1,
+            },
+        ),
+        // Deleted row: index postings survive, the probe must reject.
+        (
+            "trace_id",
+            Query::UuidEq {
+                key: &key_deleted,
+                k: 4,
+            },
+        ),
+        // Multi-file substring across indexed and uncovered files.
+        (
+            "body",
+            Query::Substring {
+                pattern: b"status S001",
+                k: 64,
+            },
+        ),
+        // Small k: brute force exits early inside a file.
+        (
+            "body",
+            Query::Substring {
+                pattern: b"host h5",
+                k: 3,
+            },
+        ),
+        (
+            "embedding",
+            Query::VectorNn {
+                query: &qvec,
+                params: SearchParams {
+                    k: 8,
+                    nprobe: 16,
+                    refine: 64,
+                },
+            },
+        ),
+    ];
+
+    queries
+        .iter()
+        .map(|(column, query)| {
+            let out = rot.search(&table, &snap, column, query).unwrap();
+            (normalize(&snap, &out), out.stats)
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_results_and_stats_match_sequential() {
+    let sequential = run_suite(1, None);
+    assert!(
+        sequential.iter().any(|(m, _)| !m.is_empty()),
+        "suite must produce matches"
+    );
+    assert!(
+        sequential.iter().any(|(_, s)| s.files_brute_scanned > 0),
+        "suite must exercise the brute-force path"
+    );
+    assert!(
+        sequential.iter().any(|(_, s)| s.rows_deleted > 0),
+        "suite must exercise deletion vectors"
+    );
+    for parallelism in [2, 8] {
+        let parallel = run_suite(parallelism, None);
+        assert_eq!(
+            parallel, sequential,
+            "parallelism {parallelism} diverged from sequential"
+        );
+    }
+}
+
+#[test]
+fn parallel_equivalence_holds_under_chaos() {
+    let chaos = || Some(ChaosConfig::uniform(0x5EED_CAFE, 0.05));
+    let sequential = run_suite(1, chaos());
+    let parallel = run_suite(8, chaos());
+    assert_eq!(
+        parallel, sequential,
+        "parallel diverged from sequential under 5% chaos"
+    );
+    // The runs must not have degraded — absorbed faults only.
+    for (_, stats) in &sequential {
+        assert_eq!(stats.index_files_failed, 0);
+        assert_eq!(stats.files_degraded, 0);
+    }
+}
+
+/// Assorted ranges: adjacent, overlapping, gapped below and above the
+/// 4096-byte coalescing gap the tests use, and out of offset order.
+fn ranges_under_test() -> Vec<std::ops::Range<u64>> {
+    vec![
+        0..100,
+        100..300,       // adjacent to the first
+        250..400,       // overlaps the previous
+        1_000..1_200,   // gap under 4096: coalesces
+        50_000..50_160, // far gap: its own GET
+        140..160,       // revisits an early offset out of order
+    ]
+}
+
+#[test]
+fn coalesced_get_ranges_returns_identical_bytes() {
+    let payload: Vec<u8> = (0..64_000u64).map(|i| (i * 31 % 251) as u8).collect();
+    let store = MemoryStore::unmetered();
+    store
+        .put("obj", bytes::Bytes::from(payload.clone()))
+        .unwrap();
+
+    let ranges = ranges_under_test();
+    let requests: Vec<RangeRequest> = ranges
+        .iter()
+        .map(|r| RangeRequest::new("obj", r.clone()))
+        .collect();
+
+    store.set_coalesce_gap(Some(4096));
+    let before = store.stats();
+    let batched = store.get_ranges(&requests).unwrap();
+    let with = store.stats().since(&before);
+
+    store.set_coalesce_gap(None);
+    let before = store.stats();
+    let singles: Vec<bytes::Bytes> = ranges
+        .iter()
+        .map(|r| store.get_range("obj", r.clone()).unwrap())
+        .collect();
+    let without = store.stats().since(&before);
+
+    assert_eq!(batched, singles, "coalescing changed returned bytes");
+    for (r, got) in ranges.iter().zip(&batched) {
+        assert_eq!(
+            &got[..],
+            &payload[r.start as usize..r.end as usize],
+            "range {r:?} returned wrong bytes"
+        );
+    }
+    assert!(
+        with.coalesced_gets > 0,
+        "gap 4096 must coalesce adjacent/overlapping ranges"
+    );
+    assert!(
+        with.gets < without.gets,
+        "coalescing must issue fewer GETs ({} vs {})",
+        with.gets,
+        without.gets
+    );
+}
+
+#[test]
+fn coalesced_get_ranges_is_equivalent_under_chaos() {
+    let payload: Vec<u8> = (0..64_000u64).map(|i| (i * 17 % 253) as u8).collect();
+    let store = MemoryStore::new();
+    store
+        .put("obj", bytes::Bytes::from(payload.clone()))
+        .unwrap();
+    store
+        .faults()
+        .set_chaos(Some(ChaosConfig::uniform(0xC0A1, 0.05)));
+    let retry = RetryStore::new(store.as_ref() as &dyn ObjectStore, generous_retry());
+
+    let ranges = ranges_under_test();
+    let requests: Vec<RangeRequest> = ranges
+        .iter()
+        .map(|r| RangeRequest::new("obj", r.clone()))
+        .collect();
+
+    store.set_coalesce_gap(Some(4096));
+    let batched = retry.get_ranges(&requests).unwrap();
+    store.faults().set_chaos(None);
+
+    for (r, got) in ranges.iter().zip(&batched) {
+        assert_eq!(
+            &got[..],
+            &payload[r.start as usize..r.end as usize],
+            "range {r:?} corrupted under chaos"
+        );
+    }
+    assert!(
+        store.stats().faults_injected > 0,
+        "chaos at 5% should have injected faults"
+    );
+}
