@@ -1,0 +1,187 @@
+//! Bench-regression gate: compares a freshly generated `BENCH_search.json`
+//! against the committed baseline and fails (exit 1) when the search fast
+//! path regressed beyond tolerance.
+//!
+//! Usage: `bench_gate <baseline.json> <candidate.json>`
+//!
+//! Only the *deterministic* metrics are compared — per-workload
+//! `qps_speedup` / `gets_per_query_ratio` and the aggregate mins/maxes,
+//! which derive from simulated request counts, never wall-clock time:
+//!
+//! * a speedup may not drop below `baseline × 0.85`;
+//! * a GETs-per-query ratio may not rise above `baseline × 1.15` (plus a
+//!   small absolute epsilon so an all-cached `0.000` baseline still
+//!   tolerates a stray request).
+//!
+//! The JSON is the fixed shape `bench_search` writes, so parsing is a
+//! keyword scan — no JSON dependency (the workspace has none).
+
+use std::process::ExitCode;
+
+/// Relative slack on every compared metric.
+const TOLERANCE: f64 = 0.15;
+/// Absolute slack for near-zero ratios (15% of 0.000 is still 0.000).
+const EPSILON: f64 = 0.01;
+
+/// The number following `"key":` in `text`, if present.
+fn num_after(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+struct Workload {
+    name: String,
+    qps_speedup: f64,
+    gets_ratio: f64,
+}
+
+/// Every workload block, in file order. `bench_search` writes one
+/// `"workload": "<name>"` per block, with the block's own `qps_speedup`
+/// and `gets_per_query_ratio` before the next block starts.
+fn parse_workloads(text: &str) -> Vec<Workload> {
+    let mut out = Vec::new();
+    for chunk in text.split("\"workload\":").skip(1) {
+        let name = chunk.split('"').nth(1).unwrap_or_default().to_string();
+        let block = chunk
+            .find("\"workload\":")
+            .map_or(chunk, |next| &chunk[..next]);
+        let (Some(qps_speedup), Some(gets_ratio)) = (
+            num_after(block, "qps_speedup"),
+            num_after(block, "gets_per_query_ratio"),
+        ) else {
+            continue;
+        };
+        out.push(Workload {
+            name,
+            qps_speedup,
+            gets_ratio,
+        });
+    }
+    out
+}
+
+struct Gate {
+    failures: u32,
+}
+
+impl Gate {
+    /// Higher is better: candidate must stay within `TOLERANCE` below base.
+    fn floor(&mut self, what: &str, base: f64, cand: f64) {
+        let min = base * (1.0 - TOLERANCE) - EPSILON;
+        let ok = cand >= min;
+        println!(
+            "  {} {what}: {cand:.3} vs baseline {base:.3} (floor {min:.3})",
+            if ok { "ok  " } else { "FAIL" }
+        );
+        self.failures += u32::from(!ok);
+    }
+
+    /// Lower is better: candidate must stay within `TOLERANCE` above base.
+    fn ceiling(&mut self, what: &str, base: f64, cand: f64) {
+        let max = base * (1.0 + TOLERANCE) + EPSILON;
+        let ok = cand <= max;
+        println!(
+            "  {} {what}: {cand:.3} vs baseline {base:.3} (ceiling {max:.3})",
+            if ok { "ok  " } else { "FAIL" }
+        );
+        self.failures += u32::from(!ok);
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(base_path), Some(cand_path)) = (args.next(), args.next()) else {
+        eprintln!("usage: bench_gate <baseline.json> <candidate.json>");
+        return ExitCode::FAILURE;
+    };
+    let base = std::fs::read_to_string(&base_path).expect("read baseline json");
+    let cand = std::fs::read_to_string(&cand_path).expect("read candidate json");
+
+    let base_wl = parse_workloads(&base);
+    let cand_wl = parse_workloads(&cand);
+    assert!(
+        !base_wl.is_empty(),
+        "baseline has no workloads: {base_path}"
+    );
+
+    let mut gate = Gate { failures: 0 };
+    for b in &base_wl {
+        println!("workload {}", b.name);
+        let Some(c) = cand_wl.iter().find(|c| c.name == b.name) else {
+            println!("  FAIL missing from candidate run");
+            gate.failures += 1;
+            continue;
+        };
+        gate.floor("qps_speedup", b.qps_speedup, c.qps_speedup);
+        gate.ceiling("gets_per_query_ratio", b.gets_ratio, c.gets_ratio);
+    }
+
+    println!("aggregates");
+    for key in ["min_qps_speedup"] {
+        if let (Some(b), Some(c)) = (num_after(&base, key), num_after(&cand, key)) {
+            gate.floor(key, b, c);
+        }
+    }
+    for key in ["max_gets_per_query_ratio", "max_warm_gets_per_query_ratio"] {
+        if let (Some(b), Some(c)) = (num_after(&base, key), num_after(&cand, key)) {
+            gate.ceiling(key, b, c);
+        }
+    }
+
+    if gate.failures > 0 {
+        println!("bench gate: {} check(s) FAILED", gate.failures);
+        ExitCode::FAILURE
+    } else {
+        println!("bench gate: OK ({} workloads compared)", base_wl.len());
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "workloads": [
+    { "workload": "uuid", "qps_speedup": 4.00, "gets_per_query_ratio": 0.250 },
+    { "workload": "warm_uuid", "qps_speedup": 1.00, "gets_per_query_ratio": 0.000 }
+  ],
+  "min_qps_speedup": 4.00,
+  "max_gets_per_query_ratio": 0.250
+}"#;
+
+    #[test]
+    fn parses_every_workload_block() {
+        let wl = parse_workloads(SAMPLE);
+        assert_eq!(wl.len(), 2);
+        assert_eq!(wl[0].name, "uuid");
+        assert_eq!(wl[0].qps_speedup, 4.00);
+        assert_eq!(wl[1].gets_ratio, 0.000);
+    }
+
+    #[test]
+    fn aggregate_keys_do_not_collide_with_workload_keys() {
+        // `"qps_speedup":` must not match `"min_qps_speedup":` etc.
+        assert_eq!(num_after(SAMPLE, "min_qps_speedup"), Some(4.00));
+        assert_eq!(num_after(SAMPLE, "max_gets_per_query_ratio"), Some(0.250));
+        let tail = &SAMPLE[SAMPLE.rfind(']').unwrap()..];
+        assert_eq!(num_after(tail, "qps_speedup"), None);
+    }
+
+    #[test]
+    fn tolerance_bands() {
+        let mut g = Gate { failures: 0 };
+        g.floor("s", 4.0, 3.5); // within 15%
+        g.ceiling("r", 0.25, 0.28); // within 15%
+        g.ceiling("r0", 0.0, 0.005); // epsilon admits near-zero noise
+        assert_eq!(g.failures, 0);
+        g.floor("s", 4.0, 3.0); // below the floor
+        g.ceiling("r", 0.25, 0.30); // above the ceiling
+        assert_eq!(g.failures, 2);
+    }
+}

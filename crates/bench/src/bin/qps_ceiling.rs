@@ -2,7 +2,7 @@
 //! 5,500 GET/s-per-prefix limit.
 //!
 //! The paper: "this limit typically caps Rottnest's QPS at 10–100. However
-//! … Rottnest already underperforms [the] copy-data approach at these QPS
+//! … Rottnest already underperforms \[the\] copy-data approach at these QPS
 //! levels (10 QPS = 2.52×10⁷ total queries at 10 months)", so the cap does
 //! not change the phase-diagram conclusions.
 //!

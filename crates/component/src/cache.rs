@@ -28,19 +28,17 @@
 //! gap only.
 //!
 //! Capacity: bounded by total cached bytes, default 256 MiB, evicting
-//! least-recently-used entries per shard. Sharded (16 ways, keyed by hash)
-//! so the parallel search executor's workers don't serialize on one lock.
+//! least-recently-used entries per shard. The LRU machinery is the shared
+//! [`ByteLru`] (also used by the page cache in `rottnest-format`); each
+//! cache instantiates its **own budget**, so hot index components and hot
+//! data pages never evict each other.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use bytes::Bytes;
-use parking_lot::Mutex;
-use rottnest_object_store::FxHashMap;
+use rottnest_object_store::ByteLru;
 
 use crate::DirEntry;
-
-const SHARDS: usize = 16;
 
 /// Default cache capacity in bytes.
 pub const DEFAULT_CACHE_CAPACITY: usize = 256 * 1024 * 1024;
@@ -83,42 +81,12 @@ enum Value {
     Component(Bytes),
 }
 
-struct Entry {
-    value: Value,
-    charge: usize,
-    tick: u64,
-}
-
-#[derive(Default)]
-struct Shard {
-    map: FxHashMap<CacheKey, Entry>,
-    bytes: usize,
-}
-
-impl Shard {
-    fn evict_to(&mut self, cap: usize) {
-        while self.bytes > cap && !self.map.is_empty() {
-            let coldest = self
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.tick)
-                .map(|(k, _)| k.clone())
-                .expect("non-empty");
-            if let Some(e) = self.map.remove(&coldest) {
-                self.bytes -= e.charge;
-            }
-        }
-    }
-}
-
 /// Sharded, byte-capped, process-wide LRU for index components.
 pub struct ComponentCache {
-    shards: Vec<Mutex<Shard>>,
-    shard_cap: usize,
-    tick: AtomicU64,
+    lru: ByteLru<CacheKey, Value>,
 }
 
-/// FNV-1a, used both to pick a shard and as the directory validator.
+/// FNV-1a, used as the directory validator.
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
@@ -132,9 +100,7 @@ impl ComponentCache {
     /// Creates a cache bounded by `capacity` total bytes.
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
-            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
-            shard_cap: capacity.div_ceil(SHARDS),
-            tick: AtomicU64::new(0),
+            lru: ByteLru::with_capacity(capacity),
         }
     }
 
@@ -149,47 +115,6 @@ impl ComponentCache {
         fnv1a(dir)
     }
 
-    fn shard_of(&self, key: &CacheKey) -> &Mutex<Shard> {
-        let mut h = fnv1a(key.key.as_bytes()) ^ key.ns.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        if let Slot::Component { id, .. } = key.slot {
-            h = h.wrapping_add(id as u64).wrapping_mul(0x100_0000_01b3);
-        }
-        &self.shards[(h % self.shards.len() as u64) as usize]
-    }
-
-    fn next_tick(&self) -> u64 {
-        self.tick.fetch_add(1, Ordering::Relaxed)
-    }
-
-    fn get(&self, key: &CacheKey) -> Option<Value> {
-        let tick = self.next_tick();
-        let mut shard = self.shard_of(key).lock();
-        let entry = shard.map.get_mut(key)?;
-        entry.tick = tick;
-        Some(entry.value.clone())
-    }
-
-    fn put(&self, key: CacheKey, value: Value, charge: usize) {
-        if charge > self.shard_cap {
-            return; // larger than a whole shard: not worth caching
-        }
-        let tick = self.next_tick();
-        let mut shard = self.shard_of(&key).lock();
-        if let Some(old) = shard.map.insert(
-            key,
-            Entry {
-                value,
-                charge,
-                tick,
-            },
-        ) {
-            shard.bytes -= old.charge;
-        }
-        shard.bytes += charge;
-        let cap = self.shard_cap;
-        shard.evict_to(cap);
-    }
-
     /// Looks up the open entry for `key` on store `ns`.
     pub fn get_open(&self, ns: u64, key: &str) -> Option<Arc<OpenEntry>> {
         let k = CacheKey {
@@ -197,7 +122,7 @@ impl ComponentCache {
             key: key.to_string(),
             slot: Slot::Open,
         };
-        match self.get(&k)? {
+        match self.lru.get(&k)? {
             Value::Open(e) => Some(e),
             Value::Component(_) => None,
         }
@@ -207,7 +132,7 @@ impl ComponentCache {
     /// directory overhead.
     pub fn put_open(&self, ns: u64, key: &str, entry: Arc<OpenEntry>) {
         let charge = entry.head.len() + entry.entries.len() * std::mem::size_of::<DirEntry>();
-        self.put(
+        self.lru.insert(
             CacheKey {
                 ns,
                 key: key.to_string(),
@@ -220,15 +145,11 @@ impl ComponentCache {
 
     /// Drops a stale open entry (after a failed revalidation).
     pub fn remove_open(&self, ns: u64, key: &str) {
-        let k = CacheKey {
+        self.lru.remove(&CacheKey {
             ns,
             key: key.to_string(),
             slot: Slot::Open,
-        };
-        let mut shard = self.shard_of(&k).lock();
-        if let Some(e) = shard.map.remove(&k) {
-            shard.bytes -= e.charge;
-        }
+        });
     }
 
     /// Looks up decompressed component `id` of `key` under directory
@@ -239,7 +160,7 @@ impl ComponentCache {
             key: key.to_string(),
             slot: Slot::Component { validator, id },
         };
-        match self.get(&k)? {
+        match self.lru.get(&k)? {
             Value::Component(b) => Some(b),
             Value::Open(_) => None,
         }
@@ -248,7 +169,7 @@ impl ComponentCache {
     /// Installs decompressed component bytes.
     pub fn put_component(&self, ns: u64, key: &str, validator: u64, id: usize, data: Bytes) {
         let charge = data.len();
-        self.put(
+        self.lru.insert(
             CacheKey {
                 ns,
                 key: key.to_string(),
@@ -259,30 +180,39 @@ impl ComponentCache {
         );
     }
 
+    /// Drops every entry (open slot and all components) for `key` on store
+    /// `ns` — the invalidation hint vacuum emits after physically deleting
+    /// an index file, so dead bytes stop pinning cache budget immediately.
+    pub fn invalidate_file(&self, ns: u64, key: &str) {
+        self.lru.retain(|k| !(k.ns == ns && k.key == key));
+    }
+
+    /// Number of cached entries for `key` on store `ns` (tests assert
+    /// invalidation hints landed).
+    pub fn entries_for_file(&self, ns: u64, key: &str) -> usize {
+        self.lru.count_matching(|k| k.ns == ns && k.key == key)
+    }
+
     /// Empties the cache. Tests that exercise cold-read behaviour (fault
     /// degradation, GET accounting) call this to shed state left by earlier
     /// operations in the same process.
     pub fn clear(&self) {
-        for shard in &self.shards {
-            let mut s = shard.lock();
-            s.map.clear();
-            s.bytes = 0;
-        }
+        self.lru.clear();
     }
 
     /// Number of cached entries (all shards).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().map.len()).sum()
+        self.lru.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.lru.is_empty()
     }
 
     /// Total cached bytes (all shards).
     pub fn bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().bytes).sum()
+        self.lru.bytes()
     }
 }
 
@@ -312,9 +242,7 @@ mod tests {
     fn lru_keeps_recently_touched_entries() {
         // One shard so insertion order is the only variable.
         let cache = ComponentCache {
-            shards: vec![Mutex::new(Shard::default())],
-            shard_cap: 4 * 1024,
-            tick: AtomicU64::new(0),
+            lru: ByteLru::with_shards(4 * 1024, 1),
         };
         for i in 0..4 {
             cache.put_component(1, "f.idx", 7, i, bytes_of(1024, i as u8));
@@ -330,7 +258,8 @@ mod tests {
 
     #[test]
     fn oversized_entries_are_not_cached() {
-        let cache = ComponentCache::with_capacity(SHARDS * 1024);
+        let cache =
+            ComponentCache::with_capacity(rottnest_object_store::bytecache::DEFAULT_SHARDS * 1024);
         cache.put_component(1, "f.idx", 7, 0, bytes_of(2048, 1));
         assert!(cache.get_component(1, "f.idx", 7, 0).is_none());
         assert_eq!(cache.bytes(), 0);
@@ -349,6 +278,30 @@ mod tests {
         let cache = ComponentCache::with_capacity(1 << 20);
         cache.put_component(1, "f.idx", 7, 0, bytes_of(10, 1));
         assert!(cache.get_component(2, "f.idx", 7, 0).is_none());
+    }
+
+    #[test]
+    fn invalidate_file_drops_all_slots_for_the_key() {
+        let cache = ComponentCache::with_capacity(1 << 20);
+        cache.put_component(1, "f.idx", 7, 0, bytes_of(10, 1));
+        cache.put_component(1, "f.idx", 7, 1, bytes_of(10, 2));
+        cache.put_component(1, "g.idx", 7, 0, bytes_of(10, 3));
+        cache.put_open(
+            1,
+            "f.idx",
+            Arc::new(OpenEntry {
+                head: bytes_of(10, 4),
+                entries: Vec::new(),
+                payload_base: 9,
+                dir_hash: 7,
+                file_len: 19,
+            }),
+        );
+        assert_eq!(cache.entries_for_file(1, "f.idx"), 3);
+        cache.invalidate_file(1, "f.idx");
+        assert_eq!(cache.entries_for_file(1, "f.idx"), 0);
+        // Other files and other namespaces survive.
+        assert!(cache.get_component(1, "g.idx", 7, 0).is_some());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Searches spend most of their time waiting on object-store round trips
 //! (index component fetches, page probes, brute-force column reads), and
 //! the units of work — index entries, uncovered files — are independent.
-//! [`parallel_map`] fans them out over at most `parallelism` scoped worker
+//! `parallel_map` fans them out over at most `parallelism` scoped worker
 //! threads and returns the results **in input order**, so callers can merge
 //! sequentially and reproduce the single-threaded outcome byte for byte:
 //! stats are summed in input order, the first hard error in input order
@@ -24,6 +24,12 @@ pub struct SearchConfig {
     /// threading entirely (work runs inline on the calling thread).
     /// Results are identical at every setting; only wall-clock changes.
     pub parallelism: usize,
+    /// Whether probe reads consult the process-wide data-page cache
+    /// (`rottnest_format::PageCache`). Results are identical either way —
+    /// pages are immutable and validator-fenced — only the GET count
+    /// changes. On by default; benchmarks turn it off to measure the
+    /// uncached path.
+    pub page_cache: bool,
 }
 
 impl Default for SearchConfig {
@@ -32,6 +38,7 @@ impl Default for SearchConfig {
             parallelism: std::thread::available_parallelism()
                 .map_or(1, |n| n.get())
                 .min(8),
+            page_cache: true,
         }
     }
 }

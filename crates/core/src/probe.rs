@@ -5,7 +5,7 @@
 //! round trip through [`PageReader`]), re-evaluates the true predicate on
 //! the decoded rows, and applies deletion vectors.
 
-use rottnest_format::{DataType, PageReader, PageTable, ValueRef};
+use rottnest_format::{DataType, PageCacheSession, PageReader, PageTable, ValueRef};
 use rottnest_lake::{DeletionVector, Snapshot, Table};
 use rottnest_object_store::FxHashMap;
 
@@ -45,6 +45,7 @@ pub(crate) fn load_dvs<'p>(
 ///
 /// Pages are fetched in **one** parallel round trip; `limit` truncates the
 /// result but never the fetch (the batch is already in flight).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn probe_exact(
     table: &Table<'_>,
     snapshot: &Snapshot,
@@ -52,6 +53,7 @@ pub(crate) fn probe_exact(
     data_type: DataType,
     predicate: &(dyn Fn(ValueRef<'_>) -> bool + Sync),
     limit: usize,
+    session: Option<&PageCacheSession>,
     stats: &mut SearchStats,
 ) -> Result<Vec<Match>> {
     if pages.is_empty() {
@@ -59,7 +61,10 @@ pub(crate) fn probe_exact(
     }
     let dvs = load_dvs(table, snapshot, pages.iter().map(|p| p.path))?;
 
-    let reader = PageReader::new(table.store());
+    let reader = match session {
+        Some(s) => PageReader::cached(table.store(), s),
+        None => PageReader::new(table.store()),
+    };
     let requests: Vec<(&str, &PageTable, usize)> = pages
         .iter()
         .map(|p| (p.path, p.table, p.page_id as usize))
@@ -107,6 +112,7 @@ pub(crate) fn fetch_vectors<'p>(
     dim: u32,
     candidates: &[rottnest_ivfpq::VecPosting],
     resolve: &dyn Fn(u32) -> Option<(&'p str, &'p PageTable)>,
+    session: Option<&PageCacheSession>,
     stats_pages: &mut u64,
 ) -> std::result::Result<Vec<Vec<f32>>, rottnest_ivfpq::IvfError> {
     use rottnest_ivfpq::IvfError;
@@ -123,7 +129,10 @@ pub(crate) fn fetch_vectors<'p>(
             order.push((path, table, c.posting.page as usize));
         }
     }
-    let reader = PageReader::new(store);
+    let reader = match session {
+        Some(s) => PageReader::cached(store, s),
+        None => PageReader::new(store),
+    };
     let decoded = reader
         .read_pages(&order, DataType::VectorF32 { dim })
         .map_err(|e| IvfError::BadInput(format!("page fetch failed: {e}")))?;

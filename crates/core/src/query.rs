@@ -86,6 +86,12 @@ pub struct SearchStats {
     pub cache_misses: u64,
     /// GET bytes the component cache saved this search.
     pub cache_bytes_saved: u64,
+    /// Data pages served from the process-wide page cache.
+    pub page_cache_hits: u64,
+    /// Data pages that had to be fetched from the store.
+    pub page_cache_misses: u64,
+    /// GET bytes the page cache saved this search.
+    pub page_cache_bytes_saved: u64,
 }
 
 impl SearchStats {
@@ -104,6 +110,9 @@ impl SearchStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cache_bytes_saved += other.cache_bytes_saved;
+        self.page_cache_hits += other.page_cache_hits;
+        self.page_cache_misses += other.page_cache_misses;
+        self.page_cache_bytes_saved += other.page_cache_bytes_saved;
     }
 }
 

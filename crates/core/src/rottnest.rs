@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use rottnest_bloom::BloomIndex;
 use rottnest_fm::{FmIndex, FmOptions, MergePolicy};
-use rottnest_format::{ChunkReader, DataType, ValueRef};
+use rottnest_format::{ChunkReader, DataType, PageCacheSession, ValueRef};
 use rottnest_ivfpq::{IvfPqIndex, IvfPqParams, SearchParams, VecPosting};
 use rottnest_lake::{FileEntry, Snapshot, Table};
 use rottnest_object_store::{
@@ -323,9 +323,14 @@ impl<'a> Rottnest<'a> {
                 dim: query.len() as u32,
             },
         };
-        // Component-cache accounting is kept on the store; the delta over
-        // this search becomes the outcome's cache_* stats.
+        // Component- and page-cache accounting is kept on the store; the
+        // delta over this search becomes the outcome's cache_* stats.
         let store_before = self.store().stats();
+        // One page-cache session per query: probe reads across all workers
+        // share its validator memo, so revalidation costs one HEAD per
+        // data file per query. `None` disables the cache entirely.
+        let session = self.config.search.page_cache.then(PageCacheSession::new);
+        let session = session.as_ref();
         let (selected, mut uncovered) = self.plan_search(snapshot, &kind, column)?;
         let stats = SearchStats {
             index_files_queried: selected.len() as u64,
@@ -348,6 +353,7 @@ impl<'a> Rottnest<'a> {
                     *k,
                     DataType::Binary,
                     &predicate,
+                    session,
                     |entry| match entry.kind {
                         IndexKind::Bloom { .. } => {
                             let idx = BloomIndex::open(self.store(), &entry.path)?;
@@ -389,6 +395,7 @@ impl<'a> Rottnest<'a> {
                     *k,
                     DataType::Utf8,
                     &predicate,
+                    session,
                     |entry| {
                         let idx = FmIndex::open(self.store(), &entry.path)?;
                         // Stage the locate: a small multiple of k first; if
@@ -424,13 +431,16 @@ impl<'a> Rottnest<'a> {
                 query: qvec,
                 params,
             } => self.vector_search(
-                table, snapshot, column, qvec, *params, &selected, uncovered, stats,
+                table, snapshot, column, qvec, *params, &selected, uncovered, session, stats,
             ),
         }?;
         let delta = self.store().stats().since(&store_before);
         outcome.stats.cache_hits = delta.cache_hits;
         outcome.stats.cache_misses = delta.cache_misses;
         outcome.stats.cache_bytes_saved = delta.cache_bytes_saved;
+        outcome.stats.page_cache_hits = delta.page_cache_hits;
+        outcome.stats.page_cache_misses = delta.page_cache_misses;
+        outcome.stats.page_cache_bytes_saved = delta.page_cache_bytes_saved;
         Ok(outcome)
     }
 
@@ -455,6 +465,7 @@ impl<'a> Rottnest<'a> {
         k: usize,
         data_type: DataType,
         predicate: &(dyn Fn(ValueRef<'_>) -> bool + Sync),
+        session: Option<&PageCacheSession>,
         query_index: impl Fn(&IndexEntry) -> Result<Vec<rottnest_component::Posting>> + Sync,
     ) -> Result<(Vec<Match>, Vec<usize>)> {
         // 2. Query indexes (fanned out), filtering postings outside the
@@ -501,7 +512,9 @@ impl<'a> Rottnest<'a> {
             }
         }
         // 3. In-situ probe.
-        let matches = probe_exact(table, snapshot, &pages, data_type, predicate, k, stats)?;
+        let matches = probe_exact(
+            table, snapshot, &pages, data_type, predicate, k, session, stats,
+        )?;
         Ok((matches, failed))
     }
 
@@ -674,6 +687,7 @@ impl<'a> Rottnest<'a> {
         params: SearchParams,
         selected: &[IndexEntry],
         mut uncovered: Vec<FileEntry>,
+        session: Option<&PageCacheSession>,
         mut stats: SearchStats,
     ) -> Result<SearchOutcome> {
         let dim = qvec.len() as u32;
@@ -687,7 +701,7 @@ impl<'a> Rottnest<'a> {
         // executor's rollback, for free) and routes its files to the
         // brute-force pass below.
         let passes = parallel_map(parallelism, selected, |_, entry| {
-            self.vector_entry_pass(table, snapshot, entry, qvec, params, dim)
+            self.vector_entry_pass(table, snapshot, entry, qvec, params, dim, session)
         });
         for (entry_idx, pass) in passes.into_iter().enumerate() {
             match pass {
@@ -778,6 +792,7 @@ impl<'a> Rottnest<'a> {
     /// the entry's matches and local stats so the executor's workers never
     /// share mutable state; on error the caller discards both (the
     /// sequential rollback semantics).
+    #[allow(clippy::too_many_arguments)]
     fn vector_entry_pass(
         &self,
         table: &Table<'_>,
@@ -786,6 +801,7 @@ impl<'a> Rottnest<'a> {
         qvec: &[f32],
         params: SearchParams,
         dim: u32,
+        session: Option<&PageCacheSession>,
     ) -> Result<(Vec<Match>, SearchStats)> {
         let mut results: Vec<Match> = Vec::new();
         let mut stats = SearchStats::default();
@@ -863,6 +879,7 @@ impl<'a> Rottnest<'a> {
                     .get(file_id as usize)
                     .map(|c| (c.path.as_str(), &c.page_table))
             },
+            session,
             &mut stats.pages_probed,
         )?;
         let mut reranked: Vec<(VecPosting, f32)> = candidates
@@ -1055,6 +1072,12 @@ impl<'a> Rottnest<'a> {
                 continue;
             }
             self.store().delete(&obj.key)?;
+            // Hint the component cache so the vacuumed index file's open
+            // entry and components stop pinning cache budget immediately.
+            let ns = self.store().store_id();
+            if ns != 0 {
+                rottnest_component::ComponentCache::global().invalidate_file(ns, &obj.key);
+            }
             report.objects_deleted += 1;
         }
         Ok(report)

@@ -25,6 +25,7 @@
 pub mod column;
 pub mod footer;
 pub mod page;
+pub mod page_cache;
 pub mod page_table;
 pub mod reader;
 pub mod schema;
@@ -32,6 +33,7 @@ pub mod writer;
 
 pub use column::{ColumnData, RecordBatch, ValueRef};
 pub use footer::{ChunkMeta, FileMeta, PageMeta, RowGroupMeta};
+pub use page_cache::{PageCache, PageCacheSession, DEFAULT_PAGE_CACHE_CAPACITY};
 pub use page_table::{PageLocation, PageTable};
 pub use reader::{ChunkReader, PageReader};
 pub use schema::{DataType, Field, Schema};

@@ -1,0 +1,270 @@
+//! Process-wide byte-budgeted cache of lakeparquet **data pages**.
+//!
+//! The component cache (PR 2, `rottnest-component`) removed repeat GETs for
+//! *index* structure; this cache does the same for the *data* pages the
+//! probe path fetches to verify candidates. Skewed traffic — the same hot
+//! UUIDs or substrings queried again and again — re-reads the same handful
+//! of ~300 KiB pages every query, and each re-read is a billable range GET
+//! with a ~30 ms first-byte latency (§VII-D3). A warm page cache turns
+//! those into memory hits with **identical results**: pages are immutable
+//! bytes, so a hit decodes to exactly what the GET would have returned.
+//!
+//! Keys are `(store id, file key, page offset, page length, validator)`:
+//!
+//! * store id — [`ObjectStore::store_id`]; `0` means "uncacheable" and
+//!   bypasses the cache entirely (reads behave exactly as before).
+//! * validator — a hash of the file's HEAD metadata (size + created
+//!   timestamp), standing in for the etag real object stores provide. An
+//!   overwritten file gets a new validator, so stale pages can never be
+//!   served; they age out of the LRU unreferenced.
+//!
+//! Revalidation costs **one HEAD per file per query**, not per page: the
+//! [`PageCacheSession`] a search creates memoizes validators for the
+//! duration of the query, and the session is shared across parallel probe
+//! workers. A HEAD is an order of magnitude cheaper than the GET it can
+//! save, and on a miss the HEAD still primes the insert's validator.
+//!
+//! Budget: a separate [`ByteLru`] instance from the component cache —
+//! default 256 MiB each — so a burst of large data pages can never evict
+//! hot index components, and vice versa.
+//!
+//! Invalidation hints: the lake layer calls [`PageCache::invalidate_file`]
+//! when compaction replaces data files and when vacuum physically deletes
+//! them, so dead bytes stop pinning cache budget the moment the file is
+//! gone rather than lingering until eviction.
+
+use std::sync::{Mutex, OnceLock};
+
+use bytes::Bytes;
+use rottnest_object_store::{ByteLru, FxHashMap, ObjectStore};
+
+/// Default page-cache capacity in bytes (separate from the component
+/// cache's budget).
+pub const DEFAULT_PAGE_CACHE_CAPACITY: usize = 256 * 1024 * 1024;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PageKey {
+    ns: u64,
+    key: String,
+    offset: u64,
+    len: u64,
+    validator: u64,
+}
+
+/// Sharded, byte-capped, process-wide LRU for data pages.
+pub struct PageCache {
+    lru: ByteLru<PageKey, Bytes>,
+}
+
+impl PageCache {
+    /// Creates a cache bounded by `capacity` total bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            lru: ByteLru::with_capacity(capacity),
+        }
+    }
+
+    /// The process-wide instance used by [`crate::PageReader`].
+    pub fn global() -> &'static PageCache {
+        static GLOBAL: OnceLock<PageCache> = OnceLock::new();
+        GLOBAL.get_or_init(|| PageCache::with_capacity(DEFAULT_PAGE_CACHE_CAPACITY))
+    }
+
+    /// Combines a file's HEAD metadata into the validator pages are keyed
+    /// by. FNV-1a over the fixed-width fields.
+    pub fn file_validator(size: u64, created_ms: u64) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in size
+            .to_le_bytes()
+            .into_iter()
+            .chain(created_ms.to_le_bytes())
+        {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Looks up the page at `offset..offset+len` of `key` on store `ns`
+    /// under `validator`.
+    pub fn get(&self, ns: u64, key: &str, offset: u64, len: u64, validator: u64) -> Option<Bytes> {
+        self.lru.get(&PageKey {
+            ns,
+            key: key.to_string(),
+            offset,
+            len,
+            validator,
+        })
+    }
+
+    /// Installs page bytes. Callers must only insert payloads whose length
+    /// matches the page-table entry (a torn short read must never be
+    /// cached).
+    pub fn put(&self, ns: u64, key: &str, offset: u64, len: u64, validator: u64, data: Bytes) {
+        let charge = data.len();
+        self.lru.insert(
+            PageKey {
+                ns,
+                key: key.to_string(),
+                offset,
+                len,
+                validator,
+            },
+            data,
+            charge,
+        );
+    }
+
+    /// Drops every cached page of `key` on store `ns`, across all
+    /// validators — the invalidation hint compaction and vacuum emit after
+    /// replacing or physically deleting a data file.
+    pub fn invalidate_file(&self, ns: u64, key: &str) {
+        self.lru.retain(|k| !(k.ns == ns && k.key == key));
+    }
+
+    /// Number of cached pages for `key` on store `ns` (tests assert
+    /// invalidation hints landed).
+    pub fn entries_for_file(&self, ns: u64, key: &str) -> usize {
+        self.lru.count_matching(|k| k.ns == ns && k.key == key)
+    }
+
+    /// Empties the cache (benchmarks use this to model a cold client).
+    pub fn clear(&self) {
+        self.lru.clear();
+    }
+
+    /// Number of cached pages (all shards).
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+
+    /// Total cached bytes (all shards).
+    pub fn bytes(&self) -> usize {
+        self.lru.bytes()
+    }
+}
+
+/// Per-query validator memo: one HEAD per file per query.
+///
+/// A search creates one session and shares it (by reference) across every
+/// probe worker. The first reader of each file HEADs it once to derive the
+/// validator; every later page of that file — from any worker — reuses the
+/// memoized answer. `None` is memoized too: a file whose HEAD failed (or a
+/// store with id 0) reads straight through without caching, preserving
+/// exact pre-cache behaviour.
+#[derive(Default)]
+pub struct PageCacheSession {
+    validators: Mutex<FxHashMap<(u64, String), Option<u64>>>,
+}
+
+impl PageCacheSession {
+    /// Creates an empty session.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The validator for `key` on `store`, HEADing the file on first use.
+    ///
+    /// Returns `None` when the store is uncacheable (`store_id() == 0`) or
+    /// the HEAD failed; callers fall back to plain uncached reads. The memo
+    /// lock is held across the HEAD so concurrent workers asking about the
+    /// same file still cost a single request.
+    pub fn validator(&self, store: &dyn ObjectStore, key: &str) -> Option<u64> {
+        let ns = store.store_id();
+        if ns == 0 {
+            return None;
+        }
+        let mut memo = self.validators.lock().unwrap();
+        if let Some(v) = memo.get(&(ns, key.to_string())) {
+            return *v;
+        }
+        let v = store
+            .head(key)
+            .ok()
+            .map(|meta| PageCache::file_validator(meta.size, meta.created_ms));
+        memo.insert((ns, key.to_string()), v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes_of(n: usize, fill: u8) -> Bytes {
+        Bytes::from(vec![fill; n])
+    }
+
+    #[test]
+    fn hit_requires_every_key_part_to_match() {
+        let cache = PageCache::with_capacity(1 << 20);
+        cache.put(1, "d/a.lkpq", 100, 50, 7, bytes_of(50, 1));
+        assert!(cache.get(1, "d/a.lkpq", 100, 50, 7).is_some());
+        assert!(cache.get(2, "d/a.lkpq", 100, 50, 7).is_none(), "store id");
+        assert!(cache.get(1, "d/b.lkpq", 100, 50, 7).is_none(), "file key");
+        assert!(cache.get(1, "d/a.lkpq", 150, 50, 7).is_none(), "offset");
+        assert!(cache.get(1, "d/a.lkpq", 100, 51, 7).is_none(), "length");
+        assert!(cache.get(1, "d/a.lkpq", 100, 50, 8).is_none(), "validator");
+    }
+
+    #[test]
+    fn eviction_respects_byte_cap() {
+        let cache = PageCache::with_capacity(16 * 1024);
+        for i in 0..200u64 {
+            cache.put(1, "d/a.lkpq", i * 1024, 1024, 7, bytes_of(1024, i as u8));
+        }
+        assert!(cache.bytes() <= 16 * 1024);
+        assert!(cache.len() < 200);
+    }
+
+    #[test]
+    fn invalidate_file_drops_every_generation() {
+        let cache = PageCache::with_capacity(1 << 20);
+        cache.put(1, "d/a.lkpq", 0, 10, 7, bytes_of(10, 1));
+        cache.put(1, "d/a.lkpq", 10, 10, 7, bytes_of(10, 2));
+        cache.put(1, "d/a.lkpq", 0, 10, 8, bytes_of(10, 3)); // older generation
+        cache.put(1, "d/b.lkpq", 0, 10, 7, bytes_of(10, 4));
+        assert_eq!(cache.entries_for_file(1, "d/a.lkpq"), 3);
+        cache.invalidate_file(1, "d/a.lkpq");
+        assert_eq!(cache.entries_for_file(1, "d/a.lkpq"), 0);
+        assert_eq!(cache.entries_for_file(1, "d/b.lkpq"), 1);
+    }
+
+    #[test]
+    fn validator_changes_with_size_and_timestamp() {
+        let v = PageCache::file_validator(1000, 5);
+        assert_ne!(v, PageCache::file_validator(1001, 5));
+        assert_ne!(v, PageCache::file_validator(1000, 6));
+        assert_eq!(v, PageCache::file_validator(1000, 5));
+    }
+
+    #[test]
+    fn session_heads_each_file_once() {
+        use rottnest_object_store::MemoryStore;
+        let store = MemoryStore::unmetered();
+        store.put("d/a.lkpq", bytes_of(100, 1)).unwrap();
+        store.put("d/b.lkpq", bytes_of(200, 2)).unwrap();
+
+        let session = PageCacheSession::new();
+        let before = store.stats();
+        let va = session.validator(store.as_ref(), "d/a.lkpq");
+        assert!(va.is_some());
+        for _ in 0..5 {
+            assert_eq!(session.validator(store.as_ref(), "d/a.lkpq"), va);
+        }
+        session.validator(store.as_ref(), "d/b.lkpq").unwrap();
+        let delta = store.stats().since(&before);
+        assert_eq!(delta.heads, 2, "one HEAD per distinct file");
+
+        // Missing files memoize None without re-HEADing.
+        let before = store.stats();
+        assert!(session.validator(store.as_ref(), "d/gone.lkpq").is_none());
+        assert!(session.validator(store.as_ref(), "d/gone.lkpq").is_none());
+        assert_eq!(store.stats().since(&before).heads, 1);
+    }
+}

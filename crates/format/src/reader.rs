@@ -7,11 +7,13 @@
 //! never touches the footer. §VII-C shows this one change moves Rottnest
 //! from losing to the copy-data approach to matching a purpose-built format.
 
+use bytes::Bytes;
 use rottnest_object_store::{ObjectStore, RangeRequest};
 
 use crate::column::ColumnData;
 use crate::footer::FileMeta;
 use crate::page::decode_page;
+use crate::page_cache::{PageCache, PageCacheSession};
 use crate::page_table::PageTable;
 use crate::schema::DataType;
 use crate::{FormatError, Result};
@@ -126,15 +128,30 @@ impl ExtendFromPage for ColumnData {
 /// embedded page table.
 pub struct PageReader<'a> {
     store: &'a dyn ObjectStore,
+    cache: Option<&'a PageCacheSession>,
 }
 
 impl<'a> PageReader<'a> {
-    /// Creates a reader over `store`.
+    /// Creates an uncached reader over `store`: every page is one range
+    /// GET, exactly as before the page cache existed.
     pub fn new(store: &'a dyn ObjectStore) -> Self {
-        Self { store }
+        Self { store, cache: None }
     }
 
-    /// Fetches and decodes a single page with one range GET.
+    /// Creates a reader that consults the process-wide [`PageCache`],
+    /// revalidating files through `session` (one HEAD per file per
+    /// session). Results are identical to [`PageReader::new`] — pages are
+    /// immutable bytes keyed by a validator of the file generation — only
+    /// the request count changes.
+    pub fn cached(store: &'a dyn ObjectStore, session: &'a PageCacheSession) -> Self {
+        Self {
+            store,
+            cache: Some(session),
+        }
+    }
+
+    /// Fetches and decodes a single page with one range GET (or zero, on a
+    /// page-cache hit).
     pub fn read_page(
         &self,
         key: &str,
@@ -145,9 +162,25 @@ impl<'a> PageReader<'a> {
         let loc = table
             .page(page_id)
             .ok_or_else(|| FormatError::Corrupt(format!("no page {page_id} in table")))?;
+        let validator = self.cache.and_then(|s| s.validator(self.store, key));
+        if let Some(v) = validator {
+            let ns = self.store.store_id();
+            if let Some(bytes) = PageCache::global().get(ns, key, loc.offset, loc.size, v) {
+                self.store.record_page_cache(1, 0, loc.size);
+                return decode_page(&bytes, data_type);
+            }
+        }
         let bytes = self
             .store
             .get_range(key, loc.offset..loc.offset + loc.size)?;
+        if let Some(v) = validator {
+            self.store.record_page_cache(0, 1, 0);
+            // Never cache a torn short read; retry layers above re-fetch.
+            if bytes.len() as u64 == loc.size {
+                let ns = self.store.store_id();
+                PageCache::global().put(ns, key, loc.offset, loc.size, v, bytes.clone());
+            }
+        }
         decode_page(&bytes, data_type)
     }
 
@@ -155,20 +188,72 @@ impl<'a> PageReader<'a> {
     /// trip** (the access-width optimization of §V-B). Requests are
     /// `(file_key, page_table, page_id)` triples; results come back in
     /// order.
+    ///
+    /// With a cache session, the cache is consulted **before** the batch is
+    /// handed to [`ObjectStore::get_ranges`]: cached pages never reach the
+    /// range coalescer, so a hit can never widen a covering GET around it —
+    /// only the true misses are fetched (and inserted for next time).
     pub fn read_pages(
         &self,
         requests: &[(&str, &PageTable, usize)],
         data_type: DataType,
     ) -> Result<Vec<ColumnData>> {
-        let mut ranges = Vec::with_capacity(requests.len());
+        let mut locs = Vec::with_capacity(requests.len());
         for (key, table, page_id) in requests {
             let loc = table.page(*page_id).ok_or_else(|| {
                 FormatError::Corrupt(format!("no page {page_id} in table for {key}"))
             })?;
-            ranges.push(RangeRequest::new(*key, loc.offset..loc.offset + loc.size));
+            locs.push((loc.offset, loc.size));
         }
-        let payloads = self.store.get_ranges(&ranges)?;
-        payloads.iter().map(|b| decode_page(b, data_type)).collect()
+
+        let ns = self.store.store_id();
+        let mut payloads: Vec<Option<Bytes>> = vec![None; requests.len()];
+        // (request index, validator) for pages the cache could not serve.
+        let mut misses: Vec<(usize, Option<u64>)> = Vec::new();
+        let (mut hits, mut tracked_misses, mut bytes_saved) = (0u64, 0u64, 0u64);
+        for (i, ((key, _, _), &(offset, size))) in requests.iter().zip(&locs).enumerate() {
+            let validator = self.cache.and_then(|s| s.validator(self.store, key));
+            if let Some(v) = validator {
+                if let Some(bytes) = PageCache::global().get(ns, key, offset, size, v) {
+                    hits += 1;
+                    bytes_saved += size;
+                    payloads[i] = Some(bytes);
+                    continue;
+                }
+                tracked_misses += 1;
+            }
+            misses.push((i, validator));
+        }
+
+        if !misses.is_empty() {
+            let ranges: Vec<RangeRequest> = misses
+                .iter()
+                .map(|&(i, _)| {
+                    let (offset, size) = locs[i];
+                    RangeRequest::new(requests[i].0, offset..offset + size)
+                })
+                .collect();
+            let fetched = self.store.get_ranges(&ranges)?;
+            for ((i, validator), bytes) in misses.into_iter().zip(fetched) {
+                if let Some(v) = validator {
+                    let (offset, size) = locs[i];
+                    // Never cache a torn short read.
+                    if bytes.len() as u64 == size {
+                        PageCache::global().put(ns, requests[i].0, offset, size, v, bytes.clone());
+                    }
+                }
+                payloads[i] = Some(bytes);
+            }
+        }
+        if hits + tracked_misses > 0 {
+            self.store
+                .record_page_cache(hits, tracked_misses, bytes_saved);
+        }
+
+        payloads
+            .iter()
+            .map(|b| decode_page(b.as_ref().expect("every payload filled"), data_type))
+            .collect()
     }
 }
 
@@ -324,6 +409,107 @@ mod tests {
             chunk_bytes > page_bytes * 50,
             "chunk path read {chunk_bytes}B, page path {page_bytes}B"
         );
+    }
+
+    #[test]
+    fn cached_reader_serves_warm_pages_without_gets() {
+        let store = MemoryStore::unmetered();
+        let opts = WriterOptions {
+            row_group_rows: 1000,
+            page_raw_bytes: 512,
+            ..Default::default()
+        };
+        let meta = write_file(store.as_ref(), "t/w.lkpq", 300, opts);
+        let table = PageTable::from_meta(&meta, 1).unwrap();
+        let page_id = table.page_of_row(200).unwrap();
+
+        let session = PageCacheSession::new();
+        let reader = PageReader::cached(store.as_ref(), &session);
+        let before = store.stats();
+        let cold = reader
+            .read_page("t/w.lkpq", &table, page_id, DataType::Utf8)
+            .unwrap();
+        let after = store.stats().since(&before);
+        assert_eq!(after.gets, 1);
+        assert_eq!(after.heads, 1, "one revalidation HEAD for the file");
+        assert_eq!(after.page_cache_misses, 1);
+
+        let before = store.stats();
+        let warm = reader
+            .read_page("t/w.lkpq", &table, page_id, DataType::Utf8)
+            .unwrap();
+        let after = store.stats().since(&before);
+        assert_eq!(after.gets, 0, "warm page served from cache");
+        assert_eq!(after.heads, 0, "validator memoized for the session");
+        assert_eq!(after.page_cache_hits, 1);
+        assert!(after.page_cache_bytes_saved > 0);
+        assert_eq!(format!("{cold:?}"), format!("{warm:?}"));
+    }
+
+    #[test]
+    fn cached_batch_reader_fetches_only_misses() {
+        let store = MemoryStore::new(); // metered
+        let opts = WriterOptions {
+            row_group_rows: 1000,
+            page_raw_bytes: 512,
+            ..Default::default()
+        };
+        let meta = write_file(store.as_ref(), "t/x.lkpq", 400, opts);
+        let table = PageTable::from_meta(&meta, 1).unwrap();
+        let all: Vec<(&str, &PageTable, usize)> =
+            (0..table.len()).map(|i| ("t/x.lkpq", &table, i)).collect();
+
+        let session = PageCacheSession::new();
+        let reader = PageReader::cached(store.as_ref(), &session);
+        // Warm half the pages.
+        let half: Vec<_> = all.iter().step_by(2).cloned().collect();
+        reader.read_pages(&half, DataType::Utf8).unwrap();
+
+        let before = store.stats();
+        let cols = reader.read_pages(&all, DataType::Utf8).unwrap();
+        let delta = store.stats().since(&before);
+        let uncached = PageReader::new(store.as_ref())
+            .read_pages(&all, DataType::Utf8)
+            .unwrap();
+        assert_eq!(delta.page_cache_hits as usize, half.len(), "warm pages hit");
+        assert_eq!(delta.page_cache_misses as usize, all.len() - half.len());
+        assert_eq!(
+            (delta.gets + delta.coalesced_gets) as usize,
+            all.len() - half.len(),
+            "only misses reach get_ranges"
+        );
+        assert_eq!(format!("{cols:?}"), format!("{uncached:?}"));
+    }
+
+    #[test]
+    fn cached_reader_refuses_stale_pages_after_overwrite() {
+        let store = MemoryStore::unmetered();
+        let opts = WriterOptions {
+            row_group_rows: 1000,
+            page_raw_bytes: 512,
+            ..Default::default()
+        };
+        let meta = write_file(store.as_ref(), "t/y.lkpq", 100, opts.clone());
+        let table = PageTable::from_meta(&meta, 0).unwrap();
+        let session = PageCacheSession::new();
+        PageReader::cached(store.as_ref(), &session)
+            .read_page("t/y.lkpq", &table, 0, DataType::Int64)
+            .unwrap();
+        assert!(PageCache::global().entries_for_file(store.store_id(), "t/y.lkpq") > 0);
+
+        // Overwrite the file at a later store timestamp: the validator must
+        // change, so a fresh session re-reads instead of serving old bytes.
+        store.clock().unwrap().advance_ms(10_000);
+        let meta2 = write_file(store.as_ref(), "t/y.lkpq", 100, opts);
+        let table2 = PageTable::from_meta(&meta2, 0).unwrap();
+        let fresh = PageCacheSession::new();
+        let before = store.stats();
+        PageReader::cached(store.as_ref(), &fresh)
+            .read_page("t/y.lkpq", &table2, 0, DataType::Int64)
+            .unwrap();
+        let delta = store.stats().since(&before);
+        assert_eq!(delta.gets, 1, "stale generation is not served");
+        assert_eq!(delta.page_cache_hits, 0);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
 use rottnest_format::{
-    ChunkReader, ColumnData, FileMeta, FileWriter, RecordBatch, Schema, WriterOptions,
+    ChunkReader, ColumnData, FileMeta, FileWriter, PageCache, RecordBatch, Schema, WriterOptions,
 };
 use rottnest_object_store::{ObjectStore, RetryPolicy, RetryStore};
 
@@ -325,7 +325,24 @@ impl<'a> Table<'a> {
             }
             Ok(())
         })?;
+        // The merged file replaces the victims: hint the page cache so the
+        // dead files' pages stop pinning budget before eviction gets there.
+        self.invalidate_cached_pages(victims.iter().map(|f| f.path.as_str()));
         Ok(Some(path))
+    }
+
+    /// Emits page-cache invalidation hints for files this table has
+    /// replaced (compaction, clustering rewrites) or physically deleted
+    /// (vacuum). Correctness never depends on this — validators already
+    /// fence stale generations — it only releases dead bytes early.
+    fn invalidate_cached_pages<'p>(&self, paths: impl IntoIterator<Item = &'p str>) {
+        let ns = self.retry.store_id();
+        if ns == 0 {
+            return;
+        }
+        for path in paths {
+            PageCache::global().invalidate_file(ns, path);
+        }
     }
 
     /// Physically deletes data/dv files no longer referenced by the latest
@@ -344,6 +361,7 @@ impl<'a> Table<'a> {
                 if !live.contains(&meta.key) && now.saturating_sub(meta.created_ms) >= retention_ms
                 {
                     self.retry.delete(&meta.key)?;
+                    self.invalidate_cached_pages([meta.key.as_str()]);
                     removed += 1;
                 }
             }
@@ -454,6 +472,7 @@ impl<'a> Table<'a> {
             }
             Ok(())
         })?;
+        self.invalidate_cached_pages(victims.iter().map(|f| f.path.as_str()));
         Ok(path)
     }
 }

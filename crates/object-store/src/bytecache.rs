@@ -1,0 +1,248 @@
+//! A sharded, byte-budgeted LRU — the cache machinery shared by the
+//! process-wide caches in this workspace.
+//!
+//! Two caches sit on the probe path: the component cache (decompressed
+//! index components, `rottnest-component`) and the page cache (raw data
+//! pages, `rottnest-format`). Both need the same structure — a byte-capped
+//! LRU sharded so parallel search workers don't serialize on one lock —
+//! but each needs its **own budget**, so hot index structure can never be
+//! evicted by a burst of data pages or vice versa. This module provides
+//! the shared implementation; each cache instantiates it with its own
+//! capacity and key type.
+//!
+//! Eviction is least-recently-used per shard, tracked by a global logical
+//! tick. Entries larger than a whole shard are not cached at all (they
+//! would evict everything else for a single-use payload).
+
+use std::hash::{BuildHasher, BuildHasherDefault, Hash};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::fxhash::{FxHashMap, FxHasher};
+
+/// Default shard count: enough that an 8-way parallel searcher rarely
+/// contends, small enough that per-shard budgets stay meaningful.
+pub const DEFAULT_SHARDS: usize = 16;
+
+struct Entry<V> {
+    value: V,
+    charge: usize,
+    tick: u64,
+}
+
+struct Shard<K, V> {
+    map: FxHashMap<K, Entry<V>>,
+    bytes: usize,
+}
+
+impl<K, V> Default for Shard<K, V> {
+    fn default() -> Self {
+        Self {
+            map: FxHashMap::default(),
+            bytes: 0,
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Shard<K, V> {
+    fn evict_to(&mut self, cap: usize) {
+        while self.bytes > cap && !self.map.is_empty() {
+            let coldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty");
+            if let Some(e) = self.map.remove(&coldest) {
+                self.bytes -= e.charge;
+            }
+        }
+    }
+}
+
+/// Sharded, byte-capped LRU keyed by any hashable key.
+pub struct ByteLru<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    shard_cap: usize,
+    tick: AtomicU64,
+    build: BuildHasherDefault<FxHasher>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> ByteLru<K, V> {
+    /// Creates a cache bounded by `capacity` total bytes across
+    /// [`DEFAULT_SHARDS`] shards.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// Creates a cache with an explicit shard count (tests use 1 so LRU
+    /// order is the only variable).
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_cap: capacity.div_ceil(shards),
+            tick: AtomicU64::new(0),
+            build: BuildHasherDefault::default(),
+        }
+    }
+
+    fn shard_of(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let h = self.build.hash_one(key);
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up `key`, marking it most-recently-used.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_of(key).lock();
+        let entry = shard.map.get_mut(key)?;
+        entry.tick = tick;
+        Some(entry.value.clone())
+    }
+
+    /// Inserts `value` under `key`, charged `charge` bytes against the
+    /// budget. Entries larger than a whole shard are silently skipped.
+    pub fn insert(&self, key: K, value: V, charge: usize) {
+        if charge > self.shard_cap {
+            return;
+        }
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_of(&key).lock();
+        if let Some(old) = shard.map.insert(
+            key,
+            Entry {
+                value,
+                charge,
+                tick,
+            },
+        ) {
+            shard.bytes -= old.charge;
+        }
+        shard.bytes += charge;
+        let cap = self.shard_cap;
+        shard.evict_to(cap);
+    }
+
+    /// Removes `key` if present.
+    pub fn remove(&self, key: &K) {
+        let mut shard = self.shard_of(key).lock();
+        if let Some(e) = shard.map.remove(key) {
+            shard.bytes -= e.charge;
+        }
+    }
+
+    /// Drops every entry whose key fails `keep` — the invalidation-hint
+    /// primitive (vacuumed or compacted files release their bytes at once
+    /// instead of waiting to age out).
+    pub fn retain(&self, keep: impl Fn(&K) -> bool) {
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            let mut freed = 0usize;
+            s.map.retain(|k, e| {
+                if keep(k) {
+                    true
+                } else {
+                    freed += e.charge;
+                    false
+                }
+            });
+            s.bytes -= freed;
+        }
+    }
+
+    /// Counts entries matching `pred` (used by invalidation tests).
+    pub fn count_matching(&self, pred: impl Fn(&K) -> bool) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().map.keys().filter(|k| pred(k)).count())
+            .sum()
+    }
+
+    /// Empties the cache.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            s.map.clear();
+            s.bytes = 0;
+        }
+    }
+
+    /// Number of cached entries (all shards).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total charged bytes (all shards).
+    pub fn bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_respects_byte_cap() {
+        let lru: ByteLru<u32, Vec<u8>> = ByteLru::with_capacity(16 * 1024);
+        for i in 0..200 {
+            lru.insert(i, vec![i as u8; 1024], 1024);
+        }
+        assert!(lru.bytes() <= 16 * 1024, "holds {} bytes", lru.bytes());
+        assert!(lru.len() < 200);
+    }
+
+    #[test]
+    fn lru_keeps_recently_touched_entries() {
+        let lru: ByteLru<u32, ()> = ByteLru::with_shards(4 * 1024, 1);
+        for i in 0..4 {
+            lru.insert(i, (), 1024);
+        }
+        assert!(lru.get(&0).is_some()); // 0 is now warmer than 1
+        lru.insert(4, (), 1024); // must evict exactly the coldest: 1
+        assert!(lru.get(&0).is_some());
+        assert!(lru.get(&1).is_none());
+        assert!(lru.get(&4).is_some());
+    }
+
+    #[test]
+    fn oversized_entries_are_not_cached() {
+        let lru: ByteLru<u32, ()> = ByteLru::with_shards(DEFAULT_SHARDS * 1024, DEFAULT_SHARDS);
+        lru.insert(0, (), 2048);
+        assert!(lru.get(&0).is_none());
+        assert_eq!(lru.bytes(), 0);
+    }
+
+    #[test]
+    fn retain_releases_bytes() {
+        let lru: ByteLru<(u32, u32), ()> = ByteLru::with_capacity(1 << 20);
+        for i in 0..10 {
+            lru.insert((i % 2, i), (), 100);
+        }
+        assert_eq!(lru.bytes(), 1000);
+        lru.retain(|k| k.0 != 0);
+        assert_eq!(lru.count_matching(|k| k.0 == 0), 0);
+        assert_eq!(lru.len(), 5);
+        assert_eq!(lru.bytes(), 500);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let lru: ByteLru<u8, u8> = ByteLru::with_capacity(1 << 20);
+        lru.insert(1, 10, 5);
+        lru.insert(2, 20, 5);
+        lru.remove(&1);
+        assert!(lru.get(&1).is_none());
+        assert_eq!(lru.get(&2), Some(20));
+        lru.clear();
+        assert!(lru.is_empty());
+        assert_eq!(lru.bytes(), 0);
+    }
+}

@@ -188,6 +188,10 @@ impl ObjectStore for FsStore {
     fn record_coalesced(&self, n: u64) {
         self.stats.record_coalesced(n);
     }
+
+    fn record_page_cache(&self, hits: u64, misses: u64, bytes_saved: u64) {
+        self.stats.record_page_cache(hits, misses, bytes_saved);
+    }
 }
 
 impl std::fmt::Debug for FsStore {

@@ -21,6 +21,7 @@
 //! "latencies" reproduce the dependency structure (access *depth*) of real
 //! object-store access plans.
 
+pub mod bytecache;
 pub mod coalesce;
 pub mod fault;
 pub mod fs;
@@ -36,6 +37,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 
+pub use bytecache::ByteLru;
 pub use coalesce::{CoalescePlan, DEFAULT_COALESCE_GAP};
 pub use fault::{ChaosConfig, FaultInjector, FaultKind};
 pub use fs::FsStore;
@@ -273,6 +275,13 @@ pub trait ObjectStore: Send + Sync {
     fn record_coalesced(&self, n: u64) {
         let _ = n;
     }
+
+    /// Reports page-cache activity performed by a caching page reader;
+    /// `bytes_saved` counts GET bytes the cache avoided transferring.
+    /// Backends without stats ignore it.
+    fn record_page_cache(&self, hits: u64, misses: u64, bytes_saved: u64) {
+        let _ = (hits, misses, bytes_saved);
+    }
 }
 
 /// Allocates a fresh process-unique [`store_id`](ObjectStore::store_id).
@@ -333,6 +342,9 @@ impl<T: ObjectStore + ?Sized> ObjectStore for &T {
     }
     fn record_coalesced(&self, n: u64) {
         (**self).record_coalesced(n)
+    }
+    fn record_page_cache(&self, hits: u64, misses: u64, bytes_saved: u64) {
+        (**self).record_page_cache(hits, misses, bytes_saved)
     }
 }
 

@@ -329,6 +329,10 @@ impl<S: ObjectStore> ObjectStore for RetryStore<S> {
     fn record_coalesced(&self, n: u64) {
         self.inner.record_coalesced(n);
     }
+
+    fn record_page_cache(&self, hits: u64, misses: u64, bytes_saved: u64) {
+        self.inner.record_page_cache(hits, misses, bytes_saved);
+    }
 }
 
 #[cfg(test)]

@@ -24,6 +24,9 @@ pub struct RequestStats {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_bytes_saved: AtomicU64,
+    page_cache_hits: AtomicU64,
+    page_cache_misses: AtomicU64,
+    page_cache_bytes_saved: AtomicU64,
 }
 
 impl RequestStats {
@@ -91,6 +94,15 @@ impl RequestStats {
             .fetch_add(bytes_saved, Ordering::Relaxed);
     }
 
+    /// Records page-cache activity reported by a caching page reader:
+    /// `bytes_saved` counts GET bytes the cache avoided transferring.
+    pub fn record_page_cache(&self, hits: u64, misses: u64, bytes_saved: u64) {
+        self.page_cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.page_cache_misses.fetch_add(misses, Ordering::Relaxed);
+        self.page_cache_bytes_saved
+            .fetch_add(bytes_saved, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -109,6 +121,9 @@ impl RequestStats {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_bytes_saved: self.cache_bytes_saved.load(Ordering::Relaxed),
+            page_cache_hits: self.page_cache_hits.load(Ordering::Relaxed),
+            page_cache_misses: self.page_cache_misses.load(Ordering::Relaxed),
+            page_cache_bytes_saved: self.page_cache_bytes_saved.load(Ordering::Relaxed),
         }
     }
 }
@@ -149,6 +164,12 @@ pub struct StatsSnapshot {
     pub cache_misses: u64,
     /// GET bytes the component cache avoided transferring.
     pub cache_bytes_saved: u64,
+    /// Page-cache hits reported by caching page readers.
+    pub page_cache_hits: u64,
+    /// Page-cache misses reported by caching page readers.
+    pub page_cache_misses: u64,
+    /// GET bytes the page cache avoided transferring.
+    pub page_cache_bytes_saved: u64,
 }
 
 impl StatsSnapshot {
@@ -171,6 +192,9 @@ impl StatsSnapshot {
             cache_hits: self.cache_hits - earlier.cache_hits,
             cache_misses: self.cache_misses - earlier.cache_misses,
             cache_bytes_saved: self.cache_bytes_saved - earlier.cache_bytes_saved,
+            page_cache_hits: self.page_cache_hits - earlier.page_cache_hits,
+            page_cache_misses: self.page_cache_misses - earlier.page_cache_misses,
+            page_cache_bytes_saved: self.page_cache_bytes_saved - earlier.page_cache_bytes_saved,
         }
     }
 
@@ -235,18 +259,25 @@ mod tests {
         let stats = RequestStats::default();
         stats.record_coalesced(3);
         stats.record_cache(5, 2, 4096);
+        stats.record_page_cache(4, 1, 2048);
         let snap = stats.snapshot();
         assert_eq!(snap.coalesced_gets, 3);
         assert_eq!(snap.cache_hits, 5);
         assert_eq!(snap.cache_misses, 2);
         assert_eq!(snap.cache_bytes_saved, 4096);
+        assert_eq!(snap.page_cache_hits, 4);
+        assert_eq!(snap.page_cache_misses, 1);
+        assert_eq!(snap.page_cache_bytes_saved, 2048);
         // Like retries, these annotate requests rather than add to them.
         assert_eq!(snap.total_requests(), 0);
 
         stats.record_cache(1, 0, 100);
+        stats.record_page_cache(0, 2, 0);
         let delta = stats.snapshot().since(&snap);
         assert_eq!(delta.cache_hits, 1);
         assert_eq!(delta.cache_bytes_saved, 100);
         assert_eq!(delta.coalesced_gets, 0);
+        assert_eq!(delta.page_cache_hits, 0);
+        assert_eq!(delta.page_cache_misses, 2);
     }
 }

@@ -6,6 +6,7 @@
 use bytes::Bytes;
 use proptest::prelude::*;
 use rottnest_object_store::{MemoryStore, ObjectStore, StoreError};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
@@ -53,11 +54,14 @@ proptest! {
                 }
                 Op::PutIfAbsent(k, v) => {
                     let r = store.put_if_absent(&key_of(k), Bytes::from(v.clone()));
-                    if model.contains_key(&key_of(k)) {
-                        prop_assert!(matches!(r, Err(StoreError::AlreadyExists(_))));
-                    } else {
-                        prop_assert!(r.is_ok());
-                        model.insert(key_of(k), v);
+                    match model.entry(key_of(k)) {
+                        Entry::Occupied(_) => {
+                            prop_assert!(matches!(r, Err(StoreError::AlreadyExists(_))));
+                        }
+                        Entry::Vacant(e) => {
+                            prop_assert!(r.is_ok());
+                            e.insert(v);
+                        }
                     }
                 }
                 Op::Get(k) => {

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Bench-regression gate: re-runs the search fast-path benchmark and
+# compares the fresh BENCH_search.json against the committed one at ±15%
+# tolerance (deterministic request-count metrics only — never wall clock).
+# Fails if any workload's qps_speedup fell or GETs/query ratio rose beyond
+# tolerance. The committed file is restored afterwards either way.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ ! -f BENCH_search.json ]; then
+  echo "bench gate: no committed BENCH_search.json to compare against" >&2
+  exit 1
+fi
+
+baseline="$(mktemp)"
+cp BENCH_search.json "$baseline"
+restore() { cp "$baseline" BENCH_search.json; rm -f "$baseline"; }
+trap restore EXIT
+
+echo "==> cargo run --release -p rottnest-bench --bin bench_search"
+cargo run --release -p rottnest-bench --bin bench_search
+
+echo "==> cargo run --release -p rottnest-bench --bin bench_gate"
+cargo run --release -p rottnest-bench --bin bench_gate -- "$baseline" BENCH_search.json
+
+echo "bench_gate: OK"

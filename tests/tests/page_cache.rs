@@ -1,0 +1,262 @@
+//! End-to-end behaviour of the process-wide data-page cache:
+//!
+//! * warm repeated-probe traffic issues at least 2x fewer GETs per query
+//!   than a page-cache-off client, with identical matches and identical
+//!   stats (cache counters aside);
+//! * a byte budget evicts rather than grows without bound;
+//! * lake compaction and vacuum emit invalidation hints, so replaced or
+//!   physically deleted data files stop pinning cache budget;
+//! * index vacuum emits the same hint to the component cache.
+
+use rottnest::{IndexKind, Query, Rottnest, SearchStats};
+use rottnest_component::ComponentCache;
+use rottnest_format::{PageCache, PageCacheSession, PageReader, PageTable};
+use rottnest_integration::*;
+use rottnest_object_store::{MemoryStore, ObjectStore};
+
+/// Copies `stats` with every cache counter zeroed: the equivalence claim
+/// is "identical except what the cache itself reports".
+fn minus_cache_counters(stats: &SearchStats) -> SearchStats {
+    SearchStats {
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_bytes_saved: 0,
+        page_cache_hits: 0,
+        page_cache_misses: 0,
+        page_cache_bytes_saved: 0,
+        ..*stats
+    }
+}
+
+#[test]
+fn warm_repeated_probes_halve_gets_per_query_with_identical_results() {
+    let store = MemoryStore::new();
+    let table = make_table(store.as_ref(), 200, 2);
+
+    let mut cfg_off = rot_config();
+    cfg_off.search.page_cache = false;
+    let rot_off = Rottnest::new(store.as_ref(), "idx", cfg_off);
+    let rot_on = Rottnest::new(store.as_ref(), "idx", rot_config());
+
+    rot_on
+        .index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
+    let snap = table.snapshot().unwrap();
+    // Skewed repeated-probe traffic: the same few hot patterns, repeated.
+    let patterns: [&[u8]; 3] = [b"status S001", b"status S012", b"host h5 status"];
+    let queries: Vec<Query<'_>> = patterns
+        .iter()
+        .cycle()
+        .take(9)
+        .map(|p| Query::Substring { pattern: p, k: 64 })
+        .collect();
+
+    // Warm the shared component cache (and the page cache, for the on
+    // client) so the measured passes isolate steady-state probe reads.
+    for q in &queries {
+        rot_off.search(&table, &snap, "body", q).unwrap();
+        rot_on.search(&table, &snap, "body", q).unwrap();
+    }
+
+    let before = store.stats();
+    let off: Vec<_> = queries
+        .iter()
+        .map(|q| rot_off.search(&table, &snap, "body", q).unwrap())
+        .collect();
+    let off_gets = store.stats().since(&before).gets;
+
+    let before = store.stats();
+    let on: Vec<_> = queries
+        .iter()
+        .map(|q| rot_on.search(&table, &snap, "body", q).unwrap())
+        .collect();
+    let on_delta = store.stats().since(&before);
+
+    assert!(off_gets > 0, "page-cache-off probes must still GET");
+    assert!(
+        off_gets >= 2 * on_delta.gets,
+        "warm repeated probes must cut GETs/query at least 2x \
+         (off: {off_gets}, on: {})",
+        on_delta.gets
+    );
+    for (a, b) in off.iter().zip(&on) {
+        assert_eq!(a.matches, b.matches, "page cache changed results");
+        assert_eq!(
+            minus_cache_counters(&a.stats),
+            minus_cache_counters(&b.stats),
+            "page cache changed non-cache stats"
+        );
+        assert_eq!(a.stats.page_cache_hits, 0, "off client must not touch it");
+    }
+    let hits: u64 = on.iter().map(|o| o.stats.page_cache_hits).sum();
+    let saved: u64 = on.iter().map(|o| o.stats.page_cache_bytes_saved).sum();
+    assert!(hits > 0, "warm on-client probes must hit the page cache");
+    assert!(saved > 0);
+}
+
+#[test]
+fn page_cache_byte_budget_evicts_real_pages() {
+    let store = MemoryStore::unmetered();
+    let table = make_table(store.as_ref(), 4096, 1);
+    let snap = table.snapshot().unwrap();
+    let entry = snap.files().next().unwrap();
+    let meta = table.file_meta(&entry.path).unwrap();
+    let page_table = PageTable::from_meta(&meta, 1).unwrap();
+    assert!(page_table.len() > 40, "need many pages to thrash");
+
+    // A budget smaller than the file's page set: inserting every page must
+    // evict, never exceed the cap, and never grow entry count unbounded.
+    // Sized so every shard of the LRU can hold at least one page (a page
+    // larger than a shard's slice of the budget is skipped, not cached).
+    let total: u64 = page_table.pages().iter().map(|p| p.size).sum();
+    let max_page: u64 = page_table.pages().iter().map(|p| p.size).max().unwrap();
+    let budget = (max_page as usize) * rottnest_object_store::bytecache::DEFAULT_SHARDS;
+    assert!((budget as u64) < total, "budget must force eviction");
+    let cache = PageCache::with_capacity(budget);
+    let ns = store.store_id();
+    for loc in page_table.pages() {
+        let bytes = store
+            .get_range(&entry.path, loc.offset..loc.offset + loc.size)
+            .unwrap();
+        cache.put(ns, &entry.path, loc.offset, loc.size, 7, bytes);
+        assert!(
+            cache.bytes() <= budget,
+            "cache grew to {} over budget {budget}",
+            cache.bytes()
+        );
+    }
+    assert!(cache.len() < page_table.len(), "nothing was evicted");
+    assert!(!cache.is_empty(), "budget admits at least the newest pages");
+}
+
+#[test]
+fn lake_compaction_invalidates_replaced_files() {
+    let store = MemoryStore::new();
+    let table = make_table(store.as_ref(), 200, 2);
+    let rot = Rottnest::new(store.as_ref(), "idx", rot_config());
+    rot.index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
+    let snap = table.snapshot().unwrap();
+    let old_paths: Vec<String> = snap.files().map(|f| f.path.clone()).collect();
+
+    let query = Query::Substring {
+        pattern: b"status S001",
+        k: 64,
+    };
+    let cold = rot.search(&table, &snap, "body", &query).unwrap();
+    let ns = store.store_id();
+    assert!(
+        old_paths
+            .iter()
+            .any(|p| PageCache::global().entries_for_file(ns, p) > 0),
+        "the probe must have populated the page cache"
+    );
+
+    let merged = table.compact(u64::MAX).unwrap().expect("two files qualify");
+    for p in &old_paths {
+        assert_eq!(
+            PageCache::global().entries_for_file(ns, p),
+            0,
+            "compaction hint must drop {p}"
+        );
+    }
+    // The merged file still answers the query correctly (same match count;
+    // paths and row packing legitimately change).
+    let snap2 = table.snapshot().unwrap();
+    let after = rot.search(&table, &snap2, "body", &query).unwrap();
+    assert_eq!(after.matches.len(), cold.matches.len());
+    assert!(after.matches.iter().all(|m| m.path == merged));
+}
+
+#[test]
+fn lake_vacuum_invalidates_deleted_files() {
+    let store = MemoryStore::unmetered();
+    let table = make_table(store.as_ref(), 200, 2);
+    let snap = table.snapshot().unwrap();
+    let old_paths: Vec<String> = snap.files().map(|f| f.path.clone()).collect();
+    table.compact(u64::MAX).unwrap().expect("two files qualify");
+
+    // Re-pin the dead files' pages (compaction's own hint already cleared
+    // them) so the vacuum hint is observable in isolation.
+    let ns = store.store_id();
+    let session = PageCacheSession::new();
+    for path in &old_paths {
+        let meta = table.file_meta(path).unwrap();
+        let page_table = PageTable::from_meta(&meta, 1).unwrap();
+        PageReader::cached(store.as_ref(), &session)
+            .read_page(path, &page_table, 0, rottnest_format::DataType::Utf8)
+            .unwrap();
+        assert!(PageCache::global().entries_for_file(ns, path) > 0);
+    }
+
+    store.clock().unwrap().advance_ms(10);
+    let removed = table.vacuum(5).unwrap();
+    assert!(removed >= old_paths.len() as u64);
+    for path in &old_paths {
+        assert_eq!(
+            PageCache::global().entries_for_file(ns, path),
+            0,
+            "vacuum hint must drop {path}"
+        );
+    }
+}
+
+#[test]
+fn index_vacuum_invalidates_component_cache() {
+    let store = MemoryStore::unmetered();
+    let mut cfg = rot_config();
+    cfg.compact_below_bytes = u64::MAX; // everything qualifies for merge
+    cfg.index_timeout_ms = 5;
+    let rot = Rottnest::new(store.as_ref(), "idx", cfg);
+    // Index after each append so compaction has several entries to merge.
+    let table =
+        rottnest_lake::Table::create(store.as_ref(), "tbl", &schema(), small_pages()).unwrap();
+    for f in 0..4u64 {
+        table.append(&batch(f * 64..(f + 1) * 64)).unwrap();
+        rot.index(&table, IndexKind::Substring, "body")
+            .unwrap()
+            .unwrap();
+    }
+    let old_index_paths: Vec<String> = rot
+        .meta()
+        .scan()
+        .unwrap()
+        .into_iter()
+        .map(|e| e.path)
+        .collect();
+    assert!(old_index_paths.len() >= 2);
+
+    // Warm the component cache for the soon-to-die index files.
+    let snap = table.snapshot().unwrap();
+    rot.search(
+        &table,
+        &snap,
+        "body",
+        &Query::Substring {
+            pattern: b"status S001",
+            k: 64,
+        },
+    )
+    .unwrap();
+    let ns = store.store_id();
+    assert!(
+        old_index_paths
+            .iter()
+            .any(|p| ComponentCache::global().entries_for_file(ns, p) > 0),
+        "search must have cached index components"
+    );
+
+    rot.compact(IndexKind::Substring, "body").unwrap();
+    store.clock().unwrap().advance_ms(10);
+    let report = rot.vacuum(&table).unwrap();
+    assert!(report.objects_deleted >= 2, "old index files deleted");
+    for p in &old_index_paths {
+        assert_eq!(
+            ComponentCache::global().entries_for_file(ns, p),
+            0,
+            "index vacuum hint must drop {p}"
+        );
+    }
+}

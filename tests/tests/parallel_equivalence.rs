@@ -8,7 +8,11 @@
 //!    chaos through the retry decorator.
 //!
 //! Each run builds its own store (a fresh store id), so the process-wide
-//! component cache is cold for every run and cache stats compare equal.
+//! component and page caches are cold for every run and cache stats
+//! compare equal. The suite runs its query list **twice** per store: the
+//! first pass is cold, the second hits warm caches — so the equivalence
+//! proof covers the page-cache hit path (zero probe GETs) at every
+//! parallelism level and under chaos, not just cold reads.
 
 use rottnest::{IndexKind, Query, Rottnest, SearchOutcome, SearchStats};
 use rottnest_integration::*;
@@ -157,13 +161,16 @@ fn run_suite(parallelism: usize, chaos: Option<ChaosConfig>) -> Vec<(Vec<Norm>, 
         ),
     ];
 
-    queries
-        .iter()
-        .map(|(column, query)| {
+    // Two passes: cold, then warm (component + page caches populated by
+    // the first pass). Both are part of the equivalence contract.
+    let mut results = Vec::with_capacity(queries.len() * 2);
+    for _pass in 0..2 {
+        for (column, query) in &queries {
             let out = rot.search(&table, &snap, column, query).unwrap();
-            (normalize(&snap, &out), out.stats)
-        })
-        .collect()
+            results.push((normalize(&snap, &out), out.stats));
+        }
+    }
+    results
 }
 
 #[test]
@@ -180,6 +187,10 @@ fn parallel_results_and_stats_match_sequential() {
     assert!(
         sequential.iter().any(|(_, s)| s.rows_deleted > 0),
         "suite must exercise deletion vectors"
+    );
+    assert!(
+        sequential.iter().any(|(_, s)| s.page_cache_hits > 0),
+        "the warm pass must exercise the page-cache hit path"
     );
     for parallelism in [2, 8] {
         let parallel = run_suite(parallelism, None);
