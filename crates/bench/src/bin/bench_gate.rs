@@ -1,20 +1,25 @@
-//! Bench-regression gate: compares a freshly generated `BENCH_search.json`
-//! against the committed baseline and fails (exit 1) when the search fast
-//! path regressed beyond tolerance.
+//! Bench-regression gate: compares a freshly generated bench report
+//! (`BENCH_search.json` or `BENCH_build.json`) against the committed
+//! baseline and fails (exit 1) when a gated metric regressed beyond
+//! tolerance.
 //!
 //! Usage: `bench_gate <baseline.json> <candidate.json>`
 //!
 //! Only the *deterministic* metrics are compared — per-workload
-//! `qps_speedup` / `gets_per_query_ratio` and the aggregate mins/maxes,
-//! which derive from simulated request counts, never wall-clock time:
+//! `qps_speedup` / `gets_per_query_ratio` (search), `build_sim_speedup` /
+//! `build_request_ratio` (ingest), and the aggregate mins/maxes. All of
+//! them derive from simulated request counts and latencies, never host
+//! wall-clock time, so they are byte-stable across machines:
 //!
 //! * a speedup may not drop below `baseline × 0.85`;
-//! * a GETs-per-query ratio may not rise above `baseline × 1.15` (plus a
+//! * a requests ratio may not rise above `baseline × 1.15` (plus a
 //!   small absolute epsilon so an all-cached `0.000` baseline still
 //!   tolerates a stray request).
 //!
-//! The JSON is the fixed shape `bench_search` writes, so parsing is a
-//! keyword scan — no JSON dependency (the workspace has none).
+//! A metric absent from a workload block is simply not compared, so the
+//! same binary gates both report shapes. The JSON is the fixed shape the
+//! benches write, so parsing is a keyword scan — no JSON dependency (the
+//! workspace has none).
 
 use std::process::ExitCode;
 
@@ -34,15 +39,21 @@ fn num_after(text: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Per-workload metrics gated as "higher is better" when present.
+const FLOOR_METRICS: [&str; 2] = ["qps_speedup", "build_sim_speedup"];
+/// Per-workload metrics gated as "lower is better" when present.
+const CEILING_METRICS: [&str; 2] = ["gets_per_query_ratio", "build_request_ratio"];
+
 struct Workload {
     name: String,
-    qps_speedup: f64,
-    gets_ratio: f64,
+    floors: [Option<f64>; FLOOR_METRICS.len()],
+    ceilings: [Option<f64>; CEILING_METRICS.len()],
 }
 
-/// Every workload block, in file order. `bench_search` writes one
-/// `"workload": "<name>"` per block, with the block's own `qps_speedup`
-/// and `gets_per_query_ratio` before the next block starts.
+/// Every workload block, in file order. The benches write one
+/// `"workload": "<name>"` per block, with the block's own metrics before
+/// the next block starts; whichever gated metrics the block carries are
+/// captured, blocks with none are skipped.
 fn parse_workloads(text: &str) -> Vec<Workload> {
     let mut out = Vec::new();
     for chunk in text.split("\"workload\":").skip(1) {
@@ -50,16 +61,15 @@ fn parse_workloads(text: &str) -> Vec<Workload> {
         let block = chunk
             .find("\"workload\":")
             .map_or(chunk, |next| &chunk[..next]);
-        let (Some(qps_speedup), Some(gets_ratio)) = (
-            num_after(block, "qps_speedup"),
-            num_after(block, "gets_per_query_ratio"),
-        ) else {
+        let floors = FLOOR_METRICS.map(|key| num_after(block, key));
+        let ceilings = CEILING_METRICS.map(|key| num_after(block, key));
+        if floors.iter().chain(ceilings.iter()).all(Option::is_none) {
             continue;
-        };
+        }
         out.push(Workload {
             name,
-            qps_speedup,
-            gets_ratio,
+            floors,
+            ceilings,
         });
     }
     out
@@ -117,17 +127,29 @@ fn main() -> ExitCode {
             gate.failures += 1;
             continue;
         };
-        gate.floor("qps_speedup", b.qps_speedup, c.qps_speedup);
-        gate.ceiling("gets_per_query_ratio", b.gets_ratio, c.gets_ratio);
+        for (i, key) in FLOOR_METRICS.iter().enumerate() {
+            if let (Some(b), Some(c)) = (b.floors[i], c.floors[i]) {
+                gate.floor(key, b, c);
+            }
+        }
+        for (i, key) in CEILING_METRICS.iter().enumerate() {
+            if let (Some(b), Some(c)) = (b.ceilings[i], c.ceilings[i]) {
+                gate.ceiling(key, b, c);
+            }
+        }
     }
 
     println!("aggregates");
-    for key in ["min_qps_speedup"] {
+    for key in ["min_qps_speedup", "fm_build_sim_speedup"] {
         if let (Some(b), Some(c)) = (num_after(&base, key), num_after(&cand, key)) {
             gate.floor(key, b, c);
         }
     }
-    for key in ["max_gets_per_query_ratio", "max_warm_gets_per_query_ratio"] {
+    for key in [
+        "max_gets_per_query_ratio",
+        "max_warm_gets_per_query_ratio",
+        "max_build_request_ratio",
+    ] {
         if let (Some(b), Some(c)) = (num_after(&base, key), num_after(&cand, key)) {
             gate.ceiling(key, b, c);
         }
@@ -155,13 +177,44 @@ mod tests {
   "max_gets_per_query_ratio": 0.250
 }"#;
 
+    const BUILD_SAMPLE: &str = r#"{
+  "workloads": [
+    { "workload": "build_substring",
+      "serial": { "build_sim_s": 1.900, "build_gets": 97 },
+      "parallel": { "build_sim_s": 0.820, "build_gets": 97 },
+      "build_sim_speedup": 2.31, "build_request_ratio": 1.000 }
+  ],
+  "fm_build_sim_speedup": 2.31,
+  "max_build_request_ratio": 1.000
+}"#;
+
     #[test]
     fn parses_every_workload_block() {
         let wl = parse_workloads(SAMPLE);
         assert_eq!(wl.len(), 2);
         assert_eq!(wl[0].name, "uuid");
-        assert_eq!(wl[0].qps_speedup, 4.00);
-        assert_eq!(wl[1].gets_ratio, 0.000);
+        assert_eq!(wl[0].floors[0], Some(4.00));
+        assert_eq!(wl[1].ceilings[0], Some(0.000));
+        // Search blocks carry no build metrics.
+        assert_eq!(wl[0].floors[1], None);
+        assert_eq!(wl[0].ceilings[1], None);
+    }
+
+    #[test]
+    fn parses_build_blocks_with_their_own_metrics() {
+        let wl = parse_workloads(BUILD_SAMPLE);
+        assert_eq!(wl.len(), 1);
+        assert_eq!(wl[0].name, "build_substring");
+        assert_eq!(wl[0].floors, [None, Some(2.31)]);
+        assert_eq!(wl[0].ceilings, [None, Some(1.000)]);
+        // `build_sim_speedup` must not swallow the `build_sim_s` field of
+        // the nested serial/parallel objects, and the aggregate key stays
+        // distinct from the per-workload one.
+        assert_eq!(num_after(BUILD_SAMPLE, "fm_build_sim_speedup"), Some(2.31));
+        assert_eq!(
+            num_after(BUILD_SAMPLE, "max_build_request_ratio"),
+            Some(1.0)
+        );
     }
 
     #[test]

@@ -4,6 +4,16 @@
 //! and feeds the page-granular values into the kind-specific index builder
 //! (trie / FM / IVF-PQ). Postings use index-local `file_id`s equal to the
 //! file's ordinal in the coverage list.
+//!
+//! Download + decode fans out over a bounded scoped pool
+//! ([`RottnestConfig::build_parallelism`] workers) while a **single
+//! in-order consumer** on the caller's thread feeds the kind-specific
+//! builder, so the produced index bytes are identical to the serial path
+//! at every parallelism setting (`tests/tests/build_equivalence.rs` proves
+//! it fault-free and under chaos). Builder downloads are one-shot reads:
+//! they bypass the process-wide page cache entirely (counted via
+//! [`ObjectStore::record_page_cache_bypass`]) so ingest traffic cannot
+//! evict warm probe pages.
 
 use bytes::Bytes;
 use rottnest_bloom::BloomBuilder;
@@ -12,7 +22,7 @@ use rottnest_fm::FmBuilder;
 use rottnest_format::{ColumnData, FileMeta, PageTable, ValueRef};
 use rottnest_ivfpq::{IvfPqBuilder, VecPosting};
 use rottnest_lake::FileEntry;
-use rottnest_object_store::ObjectStore;
+use rottnest_object_store::{ordered_pipeline, ObjectStore};
 use rottnest_trie::TrieBuilder;
 
 use crate::meta::{FileCoverage, IndexKind};
@@ -27,6 +37,13 @@ pub(crate) struct DecodedPage {
 }
 
 /// Downloads `file` (one GET) and decodes every page of `column`.
+///
+/// This is a one-shot read: the whole file is fetched once, decoded, and
+/// never consulted again, so the pages deliberately bypass page-cache
+/// admission (recorded as [`StatsSnapshot::page_cache_bypassed`]
+/// bookkeeping).
+///
+/// [`StatsSnapshot::page_cache_bypassed`]: rottnest_object_store::StatsSnapshot::page_cache_bypassed
 pub(crate) fn decode_file_pages(
     store: &dyn ObjectStore,
     path: &str,
@@ -48,7 +65,21 @@ pub(crate) fn decode_file_pages(
     let table = PageTable::from_meta(&meta, col)?;
     let mut pages = Vec::with_capacity(table.len());
     for (page_id, loc) in table.pages().iter().enumerate() {
-        let page_bytes = &bytes[loc.offset as usize..(loc.offset + loc.size) as usize];
+        // A corrupt footer can describe pages beyond the object's actual
+        // length; surface that as Corrupt instead of panicking on slice.
+        let end = loc
+            .offset
+            .checked_add(loc.size)
+            .filter(|&e| e <= bytes.len() as u64);
+        let Some(end) = end else {
+            return Err(RottnestError::Corrupt(format!(
+                "page {page_id} of {path} spans {}..{} past file length {}",
+                loc.offset,
+                loc.offset.wrapping_add(loc.size),
+                bytes.len()
+            )));
+        };
+        let page_bytes = &bytes[loc.offset as usize..end as usize];
         let data = rottnest_format::page::decode_page(page_bytes, data_type)?;
         pages.push(DecodedPage {
             file_id,
@@ -56,148 +87,169 @@ pub(crate) fn decode_file_pages(
             data,
         });
     }
+    store.record_page_cache_bypass(pages.len() as u64);
     Ok((meta, table, pages))
 }
 
+/// Fans `decode_file_pages` over `parallelism` workers and feeds each
+/// file's pages to `feed` strictly in file order on the caller's thread,
+/// returning the coverage records and total row count exactly as the
+/// serial loop accumulated them. `check` runs before each file is
+/// consumed so `index_timeout_ms` can abort mid-build.
+fn for_each_decoded_file(
+    store: &dyn ObjectStore,
+    column: &str,
+    files: &[FileEntry],
+    parallelism: usize,
+    check: &dyn Fn() -> Result<()>,
+    mut feed: impl FnMut(&[DecodedPage]) -> Result<()>,
+) -> Result<(Vec<FileCoverage>, u64)> {
+    let mut coverage = Vec::with_capacity(files.len());
+    let mut total_rows = 0u64;
+    ordered_pipeline(
+        parallelism,
+        store.clock(),
+        files,
+        |file_id, entry| decode_file_pages(store, &entry.path, column, file_id as u32),
+        |i, (_, table, pages)| {
+            check()?;
+            feed(&pages)?;
+            let entry = &files[i];
+            total_rows += entry.rows;
+            coverage.push(FileCoverage {
+                path: entry.path.clone(),
+                rows: entry.rows,
+                page_table: table,
+            });
+            Ok(())
+        },
+    )?;
+    Ok((coverage, total_rows))
+}
+
 /// Builds one index file covering `files`, returning the file image and the
-/// coverage records.
+/// coverage records. `check` is polled between files (and builder bytes are
+/// only assembled after every file passed it), so a timeout aborts
+/// mid-build rather than after the whole pass.
 pub(crate) fn build_index_file(
     store: &dyn ObjectStore,
     config: &RottnestConfig,
     kind: &IndexKind,
     column: &str,
     files: &[FileEntry],
+    check: &dyn Fn() -> Result<()>,
 ) -> Result<(Bytes, Vec<FileCoverage>, u64)> {
-    let mut coverage = Vec::with_capacity(files.len());
-    let mut total_rows = 0u64;
+    let parallelism = config.build_parallelism;
 
     match kind {
         IndexKind::Uuid { key_len } => {
             let mut builder = TrieBuilder::new(*key_len as usize)?;
-            for (file_id, entry) in files.iter().enumerate() {
-                let (_, table, pages) =
-                    decode_file_pages(store, &entry.path, column, file_id as u32)?;
-                for page in &pages {
-                    let mut last: Option<&[u8]> = None;
-                    for i in 0..page.data.len() {
-                        let key = match page.data.get(i) {
-                            Some(ValueRef::Binary(b)) => b,
-                            Some(ValueRef::Utf8(s)) => s.as_bytes(),
-                            _ => {
+            let (coverage, total_rows) =
+                for_each_decoded_file(store, column, files, parallelism, check, |pages| {
+                    for page in pages {
+                        let mut last: Option<&[u8]> = None;
+                        for i in 0..page.data.len() {
+                            let key = match page.data.get(i) {
+                                Some(ValueRef::Binary(b)) => b,
+                                Some(ValueRef::Utf8(s)) => s.as_bytes(),
+                                _ => {
+                                    return Err(RottnestError::BadQuery(format!(
+                                        "column {column} is not binary/utf8"
+                                    )))
+                                }
+                            };
+                            if key.len() != *key_len as usize {
                                 return Err(RottnestError::BadQuery(format!(
-                                    "column {column} is not binary/utf8"
-                                )))
+                                    "key of {} bytes in {}-byte uuid index",
+                                    key.len(),
+                                    key_len
+                                )));
                             }
-                        };
-                        if key.len() != *key_len as usize {
-                            return Err(RottnestError::BadQuery(format!(
-                                "key of {} bytes in {}-byte uuid index",
-                                key.len(),
-                                key_len
-                            )));
-                        }
-                        // Consecutive duplicates within a page share one
-                        // posting.
-                        if last != Some(key) {
-                            builder.add(key, Posting::new(page.file_id, page.page_id))?;
-                            last = Some(key);
+                            // Consecutive duplicates within a page share one
+                            // posting.
+                            if last != Some(key) {
+                                builder.add(key, Posting::new(page.file_id, page.page_id))?;
+                                last = Some(key);
+                            }
                         }
                     }
-                }
-                total_rows += entry.rows;
-                coverage.push(FileCoverage {
-                    path: entry.path.clone(),
-                    rows: entry.rows,
-                    page_table: table,
-                });
-            }
+                    Ok(())
+                })?;
             Ok((builder.finish(), coverage, total_rows))
         }
         IndexKind::Substring => {
-            let mut builder = FmBuilder::with_options(config.fm.clone());
-            for (file_id, entry) in files.iter().enumerate() {
-                let (_, table, pages) =
-                    decode_file_pages(store, &entry.path, column, file_id as u32)?;
-                for page in &pages {
-                    let posting = Posting::new(page.file_id, page.page_id);
-                    for i in 0..page.data.len() {
-                        match page.data.get(i) {
-                            Some(ValueRef::Utf8(s)) => builder.add_document(posting, s.as_bytes()),
-                            Some(ValueRef::Binary(b)) => builder.add_document(posting, b),
-                            _ => {
-                                return Err(RottnestError::BadQuery(format!(
-                                    "column {column} is not text"
-                                )))
+            let mut builder =
+                FmBuilder::with_options(config.fm.clone()).with_parallelism(parallelism);
+            let (coverage, total_rows) =
+                for_each_decoded_file(store, column, files, parallelism, check, |pages| {
+                    for page in pages {
+                        let posting = Posting::new(page.file_id, page.page_id);
+                        for i in 0..page.data.len() {
+                            match page.data.get(i) {
+                                Some(ValueRef::Utf8(s)) => {
+                                    builder.add_document(posting, s.as_bytes())
+                                }
+                                Some(ValueRef::Binary(b)) => builder.add_document(posting, b),
+                                _ => {
+                                    return Err(RottnestError::BadQuery(format!(
+                                        "column {column} is not text"
+                                    )))
+                                }
                             }
                         }
                     }
-                }
-                total_rows += entry.rows;
-                coverage.push(FileCoverage {
-                    path: entry.path.clone(),
-                    rows: entry.rows,
-                    page_table: table,
-                });
-            }
+                    Ok(())
+                })?;
             Ok((builder.finish(), coverage, total_rows))
         }
         IndexKind::Vector { dim } => {
-            let mut builder = IvfPqBuilder::new(*dim as usize, config.ivf.clone())?;
-            for (file_id, entry) in files.iter().enumerate() {
-                let (_, table, pages) =
-                    decode_file_pages(store, &entry.path, column, file_id as u32)?;
-                for page in &pages {
-                    for i in 0..page.data.len() {
-                        match page.data.get(i) {
-                            Some(ValueRef::VectorF32(v)) => builder
-                                .add(VecPosting::new(page.file_id, page.page_id, i as u32), v)?,
-                            _ => {
-                                return Err(RottnestError::BadQuery(format!(
-                                    "column {column} is not a vector column"
-                                )))
+            let mut builder =
+                IvfPqBuilder::new(*dim as usize, config.ivf.clone())?.with_parallelism(parallelism);
+            let (coverage, total_rows) =
+                for_each_decoded_file(store, column, files, parallelism, check, |pages| {
+                    for page in pages {
+                        for i in 0..page.data.len() {
+                            match page.data.get(i) {
+                                Some(ValueRef::VectorF32(v)) => builder.add(
+                                    VecPosting::new(page.file_id, page.page_id, i as u32),
+                                    v,
+                                )?,
+                                _ => {
+                                    return Err(RottnestError::BadQuery(format!(
+                                        "column {column} is not a vector column"
+                                    )))
+                                }
                             }
                         }
                     }
-                }
-                total_rows += entry.rows;
-                coverage.push(FileCoverage {
-                    path: entry.path.clone(),
-                    rows: entry.rows,
-                    page_table: table,
-                });
-            }
+                    Ok(())
+                })?;
             Ok((builder.finish()?, coverage, total_rows))
         }
         IndexKind::Bloom { key_len } => {
             let mut builder = BloomBuilder::new(*key_len as usize)?;
-            for (file_id, entry) in files.iter().enumerate() {
-                let (_, table, pages) =
-                    decode_file_pages(store, &entry.path, column, file_id as u32)?;
-                for page in &pages {
-                    let mut last: Option<&[u8]> = None;
-                    for i in 0..page.data.len() {
-                        let key = match page.data.get(i) {
-                            Some(ValueRef::Binary(b)) => b,
-                            Some(ValueRef::Utf8(s)) => s.as_bytes(),
-                            _ => {
-                                return Err(RottnestError::BadQuery(format!(
-                                    "column {column} is not binary/utf8"
-                                )))
+            let (coverage, total_rows) =
+                for_each_decoded_file(store, column, files, parallelism, check, |pages| {
+                    for page in pages {
+                        let mut last: Option<&[u8]> = None;
+                        for i in 0..page.data.len() {
+                            let key = match page.data.get(i) {
+                                Some(ValueRef::Binary(b)) => b,
+                                Some(ValueRef::Utf8(s)) => s.as_bytes(),
+                                _ => {
+                                    return Err(RottnestError::BadQuery(format!(
+                                        "column {column} is not binary/utf8"
+                                    )))
+                                }
+                            };
+                            if last != Some(key) {
+                                builder.add(key, Posting::new(page.file_id, page.page_id))?;
+                                last = Some(key);
                             }
-                        };
-                        if last != Some(key) {
-                            builder.add(key, Posting::new(page.file_id, page.page_id))?;
-                            last = Some(key);
                         }
                     }
-                }
-                total_rows += entry.rows;
-                coverage.push(FileCoverage {
-                    path: entry.path.clone(),
-                    rows: entry.rows,
-                    page_table: table,
-                });
-            }
+                    Ok(())
+                })?;
             Ok((builder.finish(), coverage, total_rows))
         }
     }

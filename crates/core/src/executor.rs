@@ -14,9 +14,6 @@
 //! the caller's thread — no threads spawned, identical code path to the
 //! old sequential executor.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
 /// Knobs for the parallel search executor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SearchConfig {
@@ -35,9 +32,7 @@ pub struct SearchConfig {
 impl Default for SearchConfig {
     fn default() -> Self {
         Self {
-            parallelism: std::thread::available_parallelism()
-                .map_or(1, |n| n.get())
-                .min(8),
+            parallelism: rottnest_object_store::default_parallelism(),
             page_cache: true,
         }
     }
@@ -48,34 +43,15 @@ impl Default for SearchConfig {
 /// Work is claimed dynamically (an atomic cursor, not pre-chunked) so one
 /// slow item — a large index file, a latency spike — does not idle the
 /// other workers. A panicking closure propagates the panic to the caller.
+/// This is the shared deterministic primitive the ingest pipeline also
+/// builds on ([`rottnest_object_store::ordered_parallel_map`]).
 pub(crate) fn parallel_map<T, R, F>(parallelism: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    if parallelism <= 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    let workers = parallelism.min(items.len());
-    let cursor = AtomicUsize::new(0);
-    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                let out = f(i, item);
-                collected.lock().expect("executor lock").push((i, out));
-            });
-        }
-    })
-    .expect("search worker panicked");
-
-    let mut results = collected.into_inner().expect("executor lock");
-    results.sort_by_key(|(i, _)| *i);
-    results.into_iter().map(|(_, r)| r).collect()
+    rottnest_object_store::ordered_parallel_map(parallelism, items, f)
 }
 
 #[cfg(test)]

@@ -92,6 +92,11 @@ pub struct SearchStats {
     pub page_cache_misses: u64,
     /// GET bytes the page cache saved this search.
     pub page_cache_bytes_saved: u64,
+    /// One-shot page reads this search performed that deliberately
+    /// bypassed page-cache admission (brute-force column scans), so scan
+    /// traffic never evicts warm probe pages. Index builds account their
+    /// bypassed downloads the same way on the store's counters.
+    pub page_cache_bypassed: u64,
 }
 
 impl SearchStats {
@@ -113,6 +118,7 @@ impl SearchStats {
         self.page_cache_hits += other.page_cache_hits;
         self.page_cache_misses += other.page_cache_misses;
         self.page_cache_bytes_saved += other.page_cache_bytes_saved;
+        self.page_cache_bypassed += other.page_cache_bypassed;
     }
 }
 

@@ -8,7 +8,7 @@ use rottnest_format::{ChunkReader, DataType, PageCacheSession, ValueRef};
 use rottnest_ivfpq::{IvfPqIndex, IvfPqParams, SearchParams, VecPosting};
 use rottnest_lake::{FileEntry, Snapshot, Table};
 use rottnest_object_store::{
-    FxHashMap, FxHashSet, ObjectStore, RetryPolicy, RetryStore, StoreError,
+    ordered_parallel_map_io, FxHashMap, FxHashSet, ObjectStore, RetryPolicy, RetryStore, StoreError,
 };
 use rottnest_trie::TrieIndex;
 
@@ -49,6 +49,16 @@ pub struct RottnestConfig {
     /// Parallel search executor knobs. Results are identical at every
     /// setting (the merge is deterministic); only wall-clock changes.
     pub search: SearchConfig,
+    /// Maximum worker threads the ingest pipeline fans out over: file
+    /// download+decode during `index`, builder internals (FM block
+    /// serialization, PQ subspace training), and source-component opens
+    /// during `compact`. `1` runs everything inline on the calling
+    /// thread. The produced index bytes are **bit-identical** at every
+    /// setting — decoded files feed the builder through a single
+    /// in-order consumer and every parallelized stage merges its results
+    /// in input order (`tests/tests/build_equivalence.rs`) — so only
+    /// wall-clock changes.
+    pub build_parallelism: usize,
 }
 
 impl Default for RottnestConfig {
@@ -64,6 +74,7 @@ impl Default for RottnestConfig {
             meta_retries: 16,
             retry: RetryPolicy::default(),
             search: SearchConfig::default(),
+            build_parallelism: rottnest_object_store::default_parallelism(),
         }
     }
 }
@@ -198,9 +209,16 @@ impl<'a> Rottnest<'a> {
             return Ok(None);
         }
 
-        // 2. Index (aborts if an input file vanished mid-build).
-        let (bytes, coverage, rows) =
-            build_index_file(self.store(), &self.config, &kind, column, &new_files)?;
+        // 2. Index (aborts if an input file vanished mid-build, or if the
+        // timeout budget runs out between files).
+        let (bytes, coverage, rows) = build_index_file(
+            self.store(),
+            &self.config,
+            &kind,
+            column,
+            &new_files,
+            &|| self.check_timeout(start_ms),
+        )?;
         self.check_timeout(start_ms)?;
 
         // Upload.
@@ -441,6 +459,7 @@ impl<'a> Rottnest<'a> {
         outcome.stats.page_cache_hits = delta.page_cache_hits;
         outcome.stats.page_cache_misses = delta.page_cache_misses;
         outcome.stats.page_cache_bytes_saved = delta.page_cache_bytes_saved;
+        outcome.stats.page_cache_bypassed = delta.page_cache_bypassed;
         Ok(outcome)
     }
 
@@ -591,6 +610,9 @@ impl<'a> Rottnest<'a> {
                     .index_of(column)
                     .ok_or_else(|| RottnestError::BadQuery(format!("no column {column}")))?;
                 let data = reader.read_column(col)?;
+                // One-shot scan: these pages bypass page-cache admission.
+                self.store()
+                    .record_page_cache_bypass(column_page_count(reader.meta(), col));
                 let dv = dvs.get(&file.path);
                 for i in 0..data.len() {
                     if matches.len() >= need {
@@ -617,11 +639,12 @@ impl<'a> Rottnest<'a> {
         }
 
         // Each worker emits the file's predicate hits in row order as
-        // (row, deleted) events, stopping after `need` live rows.
+        // (row, deleted) events plus the file's page count, stopping after
+        // `need` live rows.
         let scans = parallel_map(
             parallelism,
             uncovered,
-            |_, file| -> Result<Vec<(u64, bool)>> {
+            |_, file| -> Result<(Vec<(u64, bool)>, u64)> {
                 let reader = ChunkReader::open(self.store(), &file.path)?;
                 let col = reader
                     .meta()
@@ -629,6 +652,7 @@ impl<'a> Rottnest<'a> {
                     .index_of(column)
                     .ok_or_else(|| RottnestError::BadQuery(format!("no column {column}")))?;
                 let data = reader.read_column(col)?;
+                let pages = column_page_count(reader.meta(), col);
                 let dv = dvs.get(&file.path);
                 let mut events = Vec::new();
                 let mut live = 0usize;
@@ -646,17 +670,21 @@ impl<'a> Rottnest<'a> {
                     }
                     events.push((row, deleted));
                 }
-                Ok(events)
+                Ok((events, pages))
             },
         );
 
-        // Replay in file order under the sequential cutoff.
+        // Replay in file order under the sequential cutoff. Bypass
+        // accounting happens here — not on the workers — so the count
+        // covers exactly the files the sequential scan would have read.
         for (file, scan) in uncovered.iter().zip(scans) {
             if matches.len() >= need {
                 break;
             }
             stats.files_brute_scanned += 1;
-            for (row, deleted) in scan? {
+            let (events, pages) = scan?;
+            self.store().record_page_cache_bypass(pages);
+            for (row, deleted) in events {
                 if matches.len() >= need {
                     break;
                 }
@@ -726,7 +754,7 @@ impl<'a> Rottnest<'a> {
         let scans = parallel_map(
             parallelism,
             uncovered,
-            |_, file| -> Result<(Vec<Match>, u64)> {
+            |_, file| -> Result<(Vec<Match>, u64, u64)> {
                 let reader = ChunkReader::open(self.store(), &file.path)?;
                 let col = reader
                     .meta()
@@ -740,6 +768,7 @@ impl<'a> Rottnest<'a> {
                     )));
                 }
                 let data = reader.read_column(col)?;
+                let pages = column_page_count(reader.meta(), col);
                 let dv = dvs.get(&file.path);
                 let mut found = Vec::new();
                 let mut deleted = 0u64;
@@ -759,12 +788,13 @@ impl<'a> Rottnest<'a> {
                         });
                     }
                 }
-                Ok((found, deleted))
+                Ok((found, deleted, pages))
             },
         );
         for scan in scans {
             stats.files_brute_scanned += 1;
-            let (found, deleted) = scan?;
+            let (found, deleted, pages) = scan?;
+            self.store().record_page_cache_bypass(pages);
             stats.rows_deleted += deleted;
             results.extend(found);
         }
@@ -919,7 +949,10 @@ impl<'a> Rottnest<'a> {
             if bin.len() < 2 {
                 continue;
             }
-            // 2. Merge.
+            // 2. Merge. Source index files are opened in parallel (their
+            // root/component GETs overlap); the kind-specific merge then
+            // consumes them strictly in bin order, so the merged bytes are
+            // identical to sequential opens.
             let out_key = self.fresh_index_key(Self::ext_of(&kind));
             let offsets: Vec<u32> = bin
                 .iter()
@@ -931,37 +964,55 @@ impl<'a> Rottnest<'a> {
                 .collect();
             let size = match kind {
                 IndexKind::Uuid { .. } => {
-                    let opened: Vec<TrieIndex<'_>> = bin
-                        .iter()
-                        .map(|e| TrieIndex::open(self.store(), &e.path))
-                        .collect::<std::result::Result<_, _>>()?;
+                    let opened: Vec<TrieIndex<'_>> = ordered_parallel_map_io(
+                        self.config.build_parallelism,
+                        self.store().clock(),
+                        bin,
+                        |_, e| TrieIndex::open(self.store(), &e.path),
+                    )
+                    .into_iter()
+                    .collect::<std::result::Result<_, _>>()?;
                     let sources: Vec<(&TrieIndex<'_>, u32)> =
                         opened.iter().zip(offsets.iter().copied()).collect();
                     rottnest_trie::index::merge_tries(self.store(), &sources, &out_key)?
                 }
                 IndexKind::Substring => {
-                    let opened: Vec<FmIndex<'_>> = bin
-                        .iter()
-                        .map(|e| FmIndex::open(self.store(), &e.path))
-                        .collect::<std::result::Result<_, _>>()?;
+                    let opened: Vec<FmIndex<'_>> = ordered_parallel_map_io(
+                        self.config.build_parallelism,
+                        self.store().clock(),
+                        bin,
+                        |_, e| FmIndex::open(self.store(), &e.path),
+                    )
+                    .into_iter()
+                    .collect::<std::result::Result<_, _>>()?;
                     let sources: Vec<(&FmIndex<'_>, u32)> =
                         opened.iter().zip(offsets.iter().copied()).collect();
-                    rottnest_fm::merge_fm(self.store(), &sources, &out_key, &self.config.fm_merge)?
+                    let mut policy = self.config.fm_merge.clone();
+                    policy.parallelism = self.config.build_parallelism;
+                    rottnest_fm::merge_fm(self.store(), &sources, &out_key, &policy)?
                 }
                 IndexKind::Vector { .. } => {
-                    let opened: Vec<IvfPqIndex<'_>> = bin
-                        .iter()
-                        .map(|e| IvfPqIndex::open(self.store(), &e.path))
-                        .collect::<std::result::Result<_, _>>()?;
+                    let opened: Vec<IvfPqIndex<'_>> = ordered_parallel_map_io(
+                        self.config.build_parallelism,
+                        self.store().clock(),
+                        bin,
+                        |_, e| IvfPqIndex::open(self.store(), &e.path),
+                    )
+                    .into_iter()
+                    .collect::<std::result::Result<_, _>>()?;
                     let sources: Vec<(&IvfPqIndex<'_>, u32)> =
                         opened.iter().zip(offsets.iter().copied()).collect();
                     rottnest_ivfpq::index::merge_ivf(self.store(), &sources, &out_key)?
                 }
                 IndexKind::Bloom { .. } => {
-                    let opened: Vec<BloomIndex<'_>> = bin
-                        .iter()
-                        .map(|e| BloomIndex::open(self.store(), &e.path))
-                        .collect::<std::result::Result<_, _>>()?;
+                    let opened: Vec<BloomIndex<'_>> = ordered_parallel_map_io(
+                        self.config.build_parallelism,
+                        self.store().clock(),
+                        bin,
+                        |_, e| BloomIndex::open(self.store(), &e.path),
+                    )
+                    .into_iter()
+                    .collect::<std::result::Result<_, _>>()?;
                     let sources: Vec<(&BloomIndex<'_>, u32)> =
                         opened.iter().zip(offsets.iter().copied()).collect();
                     rottnest_bloom::merge_blooms(self.store(), &sources, &out_key)?
@@ -1091,6 +1142,16 @@ impl<'a> Rottnest<'a> {
 /// crashes — must surface to the caller.
 fn is_degradable(err: &RottnestError) -> bool {
     err.store_fault().is_some_and(StoreError::is_retryable)
+}
+
+/// Number of data pages in column `col` across every row group — the
+/// page count a brute-force whole-column read covers, reported as
+/// page-cache admission bypasses.
+fn column_page_count(meta: &rottnest_format::FileMeta, col: usize) -> u64 {
+    meta.row_groups
+        .iter()
+        .map(|g| g.chunks[col].pages.len() as u64)
+        .sum()
 }
 
 /// Byte-level substring containment (naive scan — patterns are short).

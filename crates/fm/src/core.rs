@@ -14,6 +14,10 @@
 //! sentinels; patterns never contain separator or sentinel bytes, so
 //! backward search is oblivious to how many strings the index covers.
 
+use std::sync::OnceLock;
+
+use rottnest_object_store::{chunk_ranges, ordered_parallel_map};
+
 use crate::sais::suffix_array;
 use crate::wavelet::WaveletMatrix;
 use crate::{FmError, Result, SENTINEL, SEPARATOR};
@@ -55,31 +59,55 @@ pub struct FmCore {
     pub marks: Vec<bool>,
     /// Sampled values, ordered by row (one per set mark).
     pub samples: Vec<u64>,
-    /// Wavelet matrix over the whole BWT for in-memory queries.
-    wm: WaveletMatrix,
+    /// Wavelet matrix over the whole BWT, built lazily on first in-memory
+    /// query (`rank`/`locate`/`resolve_row`). The build and merge paths
+    /// serialize per-block wavelet matrices instead and never touch this
+    /// one, so constructing a core stays cheap for them.
+    wm: OnceLock<WaveletMatrix>,
 }
 
 impl FmCore {
     /// Builds the index over `text` (already sanitized, documents separated
     /// by [`SEPARATOR`]); the sentinel is appended internally.
     pub fn build(text: &[u8], sample_rate: u32) -> Self {
+        Self::build_with_parallelism(text, sample_rate, 1)
+    }
+
+    /// [`build`](Self::build) with the BWT/marks/samples derivation chunked
+    /// over `parallelism` threads. Each BWT row depends only on its own
+    /// suffix-array entry and the chunks concatenate in order, so the
+    /// result is byte-identical at every setting; only the (serial) SA-IS
+    /// suffix-array construction stays single-threaded.
+    pub fn build_with_parallelism(text: &[u8], sample_rate: u32, parallelism: usize) -> Self {
         debug_assert!(!text.contains(&SENTINEL));
         let sa = suffix_array(text);
         let n = sa.len(); // text.len() + 1
+        let ranges = chunk_ranges(n, parallelism.max(1) * 4, 1 << 14);
+        let parts = ordered_parallel_map(parallelism, &ranges, |_, range| {
+            let mut bwt = Vec::with_capacity(range.len());
+            let mut marks = Vec::with_capacity(range.len());
+            let mut samples = Vec::new();
+            for &v in &sa[range.clone()] {
+                let v = v as usize;
+                bwt.push(if v == 0 { SENTINEL } else { text[v - 1] });
+                // Sample every `rate`-th text position; position 0 (string
+                // start) is included, which lets LF walks terminate without
+                // stepping through a sentinel.
+                let sampled = (v as u32).is_multiple_of(sample_rate);
+                marks.push(sampled);
+                if sampled {
+                    samples.push(v as u64);
+                }
+            }
+            (bwt, marks, samples)
+        });
         let mut bwt = Vec::with_capacity(n);
         let mut marks = Vec::with_capacity(n);
         let mut samples = Vec::new();
-        for &v in &sa {
-            let v = v as usize;
-            bwt.push(if v == 0 { SENTINEL } else { text[v - 1] });
-            // Sample every `rate`-th text position; position 0 (string
-            // start) is included, which lets LF walks terminate without
-            // stepping through a sentinel.
-            let sampled = (v as u32).is_multiple_of(sample_rate);
-            marks.push(sampled);
-            if sampled {
-                samples.push(v as u64);
-            }
+        for (b, m, s) in parts {
+            bwt.extend_from_slice(&b);
+            marks.extend_from_slice(&m);
+            samples.extend_from_slice(&s);
         }
         Self::from_parts(bwt, marks, samples)
     }
@@ -95,14 +123,18 @@ impl FmCore {
         for i in 1..257 {
             c_table[i] += c_table[i - 1];
         }
-        let wm = WaveletMatrix::build(&bwt);
         Self {
             bwt,
             c_table,
             marks,
             samples,
-            wm,
+            wm: OnceLock::new(),
         }
+    }
+
+    /// The whole-BWT wavelet matrix, built on first use.
+    fn wm(&self) -> &WaveletMatrix {
+        self.wm.get_or_init(|| WaveletMatrix::build(&self.bwt))
     }
 
     /// Total BWT length (text + sentinels).
@@ -118,7 +150,7 @@ impl FmCore {
     /// Occurrences of `c` in `bwt[0..i)`.
     #[inline]
     pub fn rank(&self, c: u8, i: usize) -> usize {
-        self.wm.rank(c, i)
+        self.wm().rank(c, i)
     }
 
     /// Backward search: the half-open SA interval of rows whose suffixes
@@ -167,7 +199,7 @@ impl FmCore {
                 let sample_idx = self.mark_rank(row);
                 return self.samples[sample_idx] + steps;
             }
-            let (sym, r) = self.wm.access_and_rank(row);
+            let (sym, r) = self.wm().access_and_rank(row);
             debug_assert_ne!(sym, SENTINEL, "string starts must be sampled");
             row = self.c_table[sym as usize] as usize + r;
             steps += 1;

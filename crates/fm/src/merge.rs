@@ -18,7 +18,7 @@
 //! overrun the merge reconstructs the source texts (linear LF walks) and
 //! rebuilds from scratch via SA-IS instead — same result, more compute.
 
-use rottnest_object_store::ObjectStore;
+use rottnest_object_store::{ordered_parallel_map_io, ObjectStore};
 
 use crate::core::FmCore;
 use crate::store::{write_file, FmIndex, FmOptions, PageMap};
@@ -32,6 +32,9 @@ pub struct MergePolicy {
     pub max_iterations: usize,
     /// Layout options for the merged file.
     pub options: FmOptions,
+    /// Worker-thread bound for source downloads and the merged file's
+    /// serialization. Output bytes are identical at every setting.
+    pub parallelism: usize,
 }
 
 impl Default for MergePolicy {
@@ -39,6 +42,7 @@ impl Default for MergePolicy {
         Self {
             max_iterations: 10_000,
             options: FmOptions::default(),
+            parallelism: 1,
         }
     }
 }
@@ -257,22 +261,33 @@ pub fn merge_fm(
     out_key: &str,
     policy: &MergePolicy,
 ) -> Result<u64> {
-    let (&(first, first_offset), rest) = sources
-        .split_first()
-        .ok_or_else(|| FmError::Corrupt("nothing to merge".into()))?;
-    let shift = |loaded: &mut LoadedFm, offset: u32| {
-        for p in &mut loaded.map.postings {
-            p.file += offset;
-        }
-    };
-    let mut acc = load_full(first)?;
-    shift(&mut acc, first_offset);
-    for &(src, offset) in rest {
-        let mut next = load_full(src)?;
-        shift(&mut next, offset);
+    if sources.is_empty() {
+        return Err(FmError::Corrupt("nothing to merge".into()));
+    }
+    // Materialize every source concurrently (downloads overlap), then fold
+    // the merge strictly in source order so the result matches the serial
+    // fold byte-for-byte.
+    let mut loaded = ordered_parallel_map_io(
+        policy.parallelism,
+        store.clock(),
+        sources,
+        |_, &(src, offset)| {
+            load_full(src).map(|mut l| {
+                for p in &mut l.map.postings {
+                    p.file += offset;
+                }
+                l
+            })
+        },
+    )
+    .into_iter()
+    .collect::<Result<Vec<LoadedFm>>>()?
+    .into_iter();
+    let mut acc = loaded.next().expect("at least one source");
+    for next in loaded {
         acc = merge_cores(&acc, &next, policy)?;
     }
-    let bytes = write_file(&acc.core, &acc.map, &policy.options);
+    let bytes = write_file(&acc.core, &acc.map, &policy.options, policy.parallelism);
     let len = bytes.len() as u64;
     store.put(out_key, bytes)?;
     Ok(len)

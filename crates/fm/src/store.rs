@@ -15,7 +15,7 @@
 use bytes::Bytes;
 use rottnest_component::{ComponentFile, ComponentWriter, Posting};
 use rottnest_compress::{bitpack, varint};
-use rottnest_object_store::ObjectStore;
+use rottnest_object_store::{ordered_parallel_map, ObjectStore};
 
 use crate::bitvec::RankBitVec;
 use crate::core::{check_pattern, FmCore, DEFAULT_SAMPLE_RATE};
@@ -102,6 +102,7 @@ impl PageMap {
 /// Incrementally builds an FM-index file from page texts.
 pub struct FmBuilder {
     options: FmOptions,
+    parallelism: usize,
     text: Vec<u8>,
     map: PageMap,
 }
@@ -116,9 +117,18 @@ impl FmBuilder {
     pub fn with_options(options: FmOptions) -> Self {
         Self {
             options,
+            parallelism: 1,
             text: Vec::new(),
             map: PageMap::default(),
         }
+    }
+
+    /// Sets the worker-thread bound for `finish`'s CPU-heavy stages (BWT
+    /// derivation, per-block wavelet construction). The produced bytes are
+    /// identical at every setting; only wall-clock changes.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
     }
 
     /// Adds one document belonging to data page `posting`. Documents for the
@@ -147,8 +157,9 @@ impl FmBuilder {
 
     /// Builds the index image.
     pub fn finish(self) -> Bytes {
-        let core = FmCore::build(&self.text, self.options.sample_rate);
-        write_file(&core, &self.map, &self.options)
+        let core =
+            FmCore::build_with_parallelism(&self.text, self.options.sample_rate, self.parallelism);
+        write_file(&core, &self.map, &self.options, self.parallelism)
     }
 
     /// Builds and uploads; returns the file size.
@@ -168,10 +179,35 @@ impl Default for FmBuilder {
 
 /// Serializes a built core + page map into the component layout. Shared by
 /// the builder and the merge path.
-pub(crate) fn write_file(core: &FmCore, map: &PageMap, options: &FmOptions) -> Bytes {
+///
+/// Blocks are independent: their symbol counts, wavelet matrices, and
+/// sample slices (addressed by prefix-summed per-block sample bases, the
+/// same arithmetic the serial cursor performed) are computed over
+/// `parallelism` threads and emitted strictly in block order, so the file
+/// image is byte-identical at every setting.
+pub(crate) fn write_file(
+    core: &FmCore,
+    map: &PageMap,
+    options: &FmOptions,
+    parallelism: usize,
+) -> Bytes {
     let n = core.len();
     let bs = options.block_size;
     let n_blocks = n.div_ceil(bs);
+    let blocks: Vec<usize> = (0..n_blocks).collect();
+
+    // Per-block symbol counts and mark counts, computed in parallel and
+    // consumed in block order below.
+    let block_stats = ordered_parallel_map(parallelism, &blocks, |_, &b| {
+        let start = b * bs;
+        let end = (start + bs).min(n);
+        let mut counts = [0u64; 256];
+        for &sym in &core.bwt[start..end] {
+            counts[sym as usize] += 1;
+        }
+        let marks = core.marks[start..end].iter().filter(|&&m| m).count() as u64;
+        (counts, marks)
+    });
 
     let mut writer = ComponentWriter::new();
 
@@ -186,33 +222,31 @@ pub(crate) fn write_file(core: &FmCore, map: &PageMap, options: &FmOptions) -> B
     }
     varint::write_usize(&mut root, n_blocks);
     // Per-block symbol-count increments (reconstructed to cumulative on
-    // open) and sample bases.
+    // open) and sample bases — the bases double as each block's starting
+    // cursor into `core.samples`.
     let mut sample_base = 0u64;
-    for b in 0..n_blocks {
-        let start = b * bs;
-        let end = (start + bs).min(n);
-        let mut counts = [0u64; 256];
-        for &sym in &core.bwt[start..end] {
-            counts[sym as usize] += 1;
-        }
-        for c in counts {
+    let mut sample_starts = Vec::with_capacity(n_blocks);
+    for (counts, mark_count) in &block_stats {
+        for &c in counts {
             varint::write_u64(&mut root, c);
         }
         varint::write_u64(&mut root, sample_base);
-        sample_base += core.marks[start..end].iter().filter(|&&m| m).count() as u64;
+        sample_starts.push(sample_base as usize);
+        sample_base += mark_count;
     }
     map.encode(&mut root);
     writer.add(root);
 
-    // Block components.
-    let mut sample_cursor = 0usize;
-    for b in 0..n_blocks {
+    // Block components: wavelet-matrix construction dominates the CPU
+    // cost of serialization, and every block is independent.
+    let bufs = ordered_parallel_map(parallelism, &blocks, |idx, &b| {
         let start = b * bs;
         let end = (start + bs).min(n);
         let mut buf = Vec::new();
         WaveletMatrix::build(&core.bwt[start..end]).encode(&mut buf);
         let mut marks_bv = crate::bitvec::BitVecBuilder::with_capacity(end - start);
         let mut block_samples = Vec::new();
+        let mut sample_cursor = sample_starts[idx];
         for i in start..end {
             marks_bv.push(core.marks[i]);
             if core.marks[i] {
@@ -222,6 +256,9 @@ pub(crate) fn write_file(core: &FmCore, map: &PageMap, options: &FmOptions) -> B
         }
         marks_bv.finish().encode(&mut buf);
         bitpack::pack(&mut buf, &block_samples);
+        buf
+    });
+    for buf in bufs {
         writer.add(buf);
     }
     writer.finish()

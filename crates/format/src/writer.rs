@@ -9,7 +9,7 @@
 
 use bytes::Bytes;
 use rottnest_compress::Codec;
-use rottnest_object_store::ObjectStore;
+use rottnest_object_store::{ordered_parallel_map, ObjectStore};
 
 use crate::column::{ColumnData, RecordBatch, ValueRef};
 use crate::footer::{ChunkMeta, FileMeta, PageMeta, RowGroupMeta};
@@ -26,6 +26,11 @@ pub struct WriterOptions {
     pub row_group_rows: usize,
     /// Page compression codec.
     pub codec: Codec,
+    /// Worker-thread bound for page compression. Pages are encoded
+    /// independently and emitted in order, so the file image is
+    /// byte-identical at every setting (default: the machine's bounded
+    /// parallelism).
+    pub parallelism: usize,
 }
 
 impl Default for WriterOptions {
@@ -34,6 +39,7 @@ impl Default for WriterOptions {
             page_raw_bytes: 1 << 20,
             row_group_rows: 1 << 20,
             codec: Codec::Lz,
+            parallelism: rottnest_object_store::default_parallelism(),
         }
     }
 }
@@ -102,31 +108,49 @@ impl FileWriter {
             return Ok(());
         }
         let first_row = self.rows_written;
-        let mut chunks = Vec::with_capacity(self.pending.len());
+
+        // Slice this group's columns and plan the page cuts serially
+        // (`page_rows` is a cheap scan), then compress every page of every
+        // column independently and emit strictly in plan order — offsets
+        // and bytes match the serial writer exactly.
+        let mut group_cols = Vec::with_capacity(self.pending.len());
         let mut remainders = Vec::with_capacity(self.pending.len());
-
         for pending in &self.pending {
-            let group_col = pending.slice(0, rows);
-            let remainder = pending.slice(rows, pending.len() - rows);
-            remainders.push(remainder);
-
-            let chunk_offset = self.buffer.len() as u64;
-            let mut pages = Vec::new();
+            group_cols.push(pending.slice(0, rows));
+            remainders.push(pending.slice(rows, pending.len() - rows));
+        }
+        let mut plan: Vec<(usize, usize, usize)> = Vec::new(); // (col, start, take)
+        for (c, group_col) in group_cols.iter().enumerate() {
             let mut written = 0usize;
             while written < rows {
-                let take = page_rows(&group_col, written, self.options.page_raw_bytes);
-                let page_col = group_col.slice(written, take);
-                let encoded = encode_page(&page_col, self.options.codec);
-                pages.push(PageMeta {
-                    offset: self.buffer.len() as u64,
-                    size: encoded.len() as u64,
-                    num_values: take as u64,
-                    first_row: first_row + written as u64,
-                });
-                self.buffer.extend_from_slice(&encoded);
+                let take = page_rows(group_col, written, self.options.page_raw_bytes);
+                plan.push((c, written, take));
                 written += take;
             }
-            let (min, max) = column_min_max(&group_col);
+        }
+        let encoded =
+            ordered_parallel_map(self.options.parallelism, &plan, |_, &(c, start, take)| {
+                encode_page(&group_cols[c].slice(start, take), self.options.codec)
+            });
+
+        let mut chunks = Vec::with_capacity(self.pending.len());
+        let mut page_idx = 0usize;
+        for (c, group_col) in group_cols.iter().enumerate() {
+            let chunk_offset = self.buffer.len() as u64;
+            let mut pages = Vec::new();
+            while page_idx < plan.len() && plan[page_idx].0 == c {
+                let (_, start, take) = plan[page_idx];
+                let bytes = &encoded[page_idx];
+                pages.push(PageMeta {
+                    offset: self.buffer.len() as u64,
+                    size: bytes.len() as u64,
+                    num_values: take as u64,
+                    first_row: first_row + start as u64,
+                });
+                self.buffer.extend_from_slice(bytes);
+                page_idx += 1;
+            }
+            let (min, max) = column_min_max(group_col);
             chunks.push(ChunkMeta {
                 offset: chunk_offset,
                 size: self.buffer.len() as u64 - chunk_offset,

@@ -3,7 +3,7 @@
 use bytes::Bytes;
 use rottnest_component::{ComponentFile, ComponentWriter, Posting};
 use rottnest_compress::{bitpack, varint};
-use rottnest_object_store::ObjectStore;
+use rottnest_object_store::{chunk_ranges, ordered_parallel_map, ObjectStore};
 
 use crate::kmeans::{kmeans, nearest};
 use crate::pq::ProductQuantizer;
@@ -72,6 +72,7 @@ pub type FetchExact<'f> = dyn Fn(&[VecPosting]) -> Result<Vec<Vec<f32>>> + 'f;
 pub struct IvfPqBuilder {
     dim: usize,
     params: IvfPqParams,
+    parallelism: usize,
     postings: Vec<VecPosting>,
     data: Vec<f32>,
 }
@@ -88,9 +89,19 @@ impl IvfPqBuilder {
         Ok(Self {
             dim,
             params,
+            parallelism: 1,
             postings: Vec::new(),
             data: Vec::new(),
         })
+    }
+
+    /// Sets the worker-thread bound for `finish`'s CPU-heavy stages (PQ
+    /// codebook training, vector encoding). Training stays deterministic
+    /// (per-subspace seeds), so the produced bytes are identical at every
+    /// setting; only wall-clock changes.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
     }
 
     /// Adds one vector.
@@ -142,18 +153,27 @@ impl IvfPqBuilder {
                 *r = self.data[i * self.dim + d] - centroids[c * self.dim + d];
             }
         }
-        let pq = ProductQuantizer::train(
+        let pq = ProductQuantizer::train_with_parallelism(
             &residuals,
             self.dim,
             self.params.m,
             self.params.train_iters,
             self.params.seed ^ 0x5151,
+            self.parallelism,
         )?;
 
-        // Bucket entries per list.
+        // Encode in parallel (each code depends only on its own residual),
+        // then bucket per list in input order so list contents match the
+        // serial loop exactly.
+        let ranges = chunk_ranges(n, self.parallelism.max(1) * 4, 256);
+        let encoded = ordered_parallel_map(self.parallelism, &ranges, |_, range| {
+            range
+                .clone()
+                .map(|i| pq.encode(&residuals[i * self.dim..(i + 1) * self.dim]))
+                .collect::<Vec<_>>()
+        });
         let mut lists: Vec<Vec<(VecPosting, Vec<u8>)>> = vec![Vec::new(); nlist];
-        for i in 0..n {
-            let code = pq.encode(&residuals[i * self.dim..(i + 1) * self.dim]);
+        for (i, code) in encoded.into_iter().flatten().enumerate() {
             lists[assignment[i] as usize].push((self.postings[i], code));
         }
 

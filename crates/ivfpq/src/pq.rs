@@ -3,6 +3,7 @@
 //! (ADC) lookup tables.
 
 use rottnest_compress::varint;
+use rottnest_object_store::ordered_parallel_map;
 
 use crate::kmeans::kmeans;
 use crate::{l2_sq, IvfError, Result};
@@ -24,6 +25,21 @@ impl ProductQuantizer {
     /// Trains on `data` (`n × dim`): `m` subspaces, `iters` k-means rounds.
     /// `dim` must be divisible by `m`.
     pub fn train(data: &[f32], dim: usize, m: usize, iters: usize, seed: u64) -> Result<Self> {
+        Self::train_with_parallelism(data, dim, m, iters, seed, 1)
+    }
+
+    /// [`train`](Self::train) with subspace codebooks trained over
+    /// `parallelism` threads. Each subspace's k-means is seeded
+    /// independently (`seed + s`) and the codebooks concatenate in subspace
+    /// order, so the trained quantizer is identical at every setting.
+    pub fn train_with_parallelism(
+        data: &[f32],
+        dim: usize,
+        m: usize,
+        iters: usize,
+        seed: u64,
+        parallelism: usize,
+    ) -> Result<Self> {
         if m == 0 || !dim.is_multiple_of(m) {
             return Err(IvfError::BadInput(format!(
                 "dim {dim} not divisible into {m} subspaces"
@@ -31,15 +47,19 @@ impl ProductQuantizer {
         }
         let dsub = dim / m;
         let n = data.len() / dim;
-        let mut codebooks = Vec::with_capacity(m * KSUB * dsub);
-        for s in 0..m {
+        let subspaces: Vec<usize> = (0..m).collect();
+        let per_subspace = ordered_parallel_map(parallelism, &subspaces, |_, &s| {
             // Gather the subvectors of subspace s.
             let mut sub = Vec::with_capacity(n * dsub);
             for i in 0..n {
                 let base = i * dim + s * dsub;
                 sub.extend_from_slice(&data[base..base + dsub]);
             }
-            codebooks.extend(kmeans(&sub, dsub, KSUB, iters, seed.wrapping_add(s as u64)));
+            kmeans(&sub, dsub, KSUB, iters, seed.wrapping_add(s as u64))
+        });
+        let mut codebooks = Vec::with_capacity(m * KSUB * dsub);
+        for cb in per_subspace {
+            codebooks.extend(cb);
         }
         Ok(Self {
             dim,

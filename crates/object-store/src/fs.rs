@@ -192,6 +192,10 @@ impl ObjectStore for FsStore {
     fn record_page_cache(&self, hits: u64, misses: u64, bytes_saved: u64) {
         self.stats.record_page_cache(hits, misses, bytes_saved);
     }
+
+    fn record_page_cache_bypass(&self, n: u64) {
+        self.stats.record_page_cache_bypass(n);
+    }
 }
 
 impl std::fmt::Debug for FsStore {

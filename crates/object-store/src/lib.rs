@@ -28,6 +28,7 @@ pub mod fs;
 pub mod fxhash;
 pub mod latency;
 pub mod memory;
+pub mod parallel;
 pub mod retry;
 pub mod stats;
 
@@ -44,6 +45,10 @@ pub use fs::FsStore;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use latency::{LatencyModel, PrefixThrottle, ThrottleMode};
 pub use memory::MemoryStore;
+pub use parallel::{
+    chunk_ranges, default_parallelism, ordered_parallel_map, ordered_parallel_map_io,
+    ordered_pipeline,
+};
 pub use retry::{RetryPolicy, RetryStore};
 pub use stats::{RequestStats, StatsSnapshot};
 
@@ -282,6 +287,14 @@ pub trait ObjectStore: Send + Sync {
     fn record_page_cache(&self, hits: u64, misses: u64, bytes_saved: u64) {
         let _ = (hits, misses, bytes_saved);
     }
+
+    /// Reports `n` pages read by a one-shot consumer (index-builder
+    /// downloads, brute-force column scans) that deliberately bypassed
+    /// page-cache admission, so ingest traffic cannot evict warm probe
+    /// pages. Backends without stats ignore it.
+    fn record_page_cache_bypass(&self, n: u64) {
+        let _ = n;
+    }
 }
 
 /// Allocates a fresh process-unique [`store_id`](ObjectStore::store_id).
@@ -346,6 +359,9 @@ impl<T: ObjectStore + ?Sized> ObjectStore for &T {
     fn record_page_cache(&self, hits: u64, misses: u64, bytes_saved: u64) {
         (**self).record_page_cache(hits, misses, bytes_saved)
     }
+    fn record_page_cache_bypass(&self, n: u64) {
+        (**self).record_page_cache_bypass(n)
+    }
 }
 
 /// A shared simulated clock, in microseconds.
@@ -376,7 +392,17 @@ impl SimClock {
     }
 
     /// Advances the clock by `micros`.
+    ///
+    /// On a thread producing an item for one of the I/O-aware parallel
+    /// helpers ([`ordered_parallel_map_io`], [`ordered_pipeline`] with a
+    /// clock), the latency is captured into the item's lane instead and
+    /// charged later via the overlap schedule — see
+    /// [`parallel`]'s module docs. Everywhere else the
+    /// clock advances additively, exactly as a serial caller expects.
     pub fn advance_micros(&self, micros: u64) {
+        if parallel::capture_deferred_latency(micros) {
+            return;
+        }
         self.micros.fetch_add(micros, Ordering::SeqCst);
     }
 

@@ -1,0 +1,549 @@
+//! Deterministic parallel primitives shared by the read and write paths.
+//!
+//! Both the search executor and the ingest pipeline follow the same
+//! contract: fan independent work over a bounded pool of scoped threads,
+//! then merge the results **in input order**, so the parallel outcome is
+//! byte-for-byte identical to running the same closures sequentially.
+//! The helpers here are built on `std::thread::scope`, so crates lower in
+//! the dependency graph (format, fm) can parallelize deterministic CPU
+//! work — page compression, wavelet-matrix construction, BWT derivation —
+//! without pulling in a threading dependency.
+//!
+//! Two shapes are provided:
+//!
+//! * [`ordered_parallel_map`] — map a slice, collect all results, return
+//!   them in input order. The right shape for CPU-bound batch work where
+//!   the whole result set is needed anyway (encoding pages, building
+//!   wavelet blocks, training PQ subspaces).
+//! * [`ordered_pipeline`] — a bounded producer/consumer: workers produce
+//!   item results out of order, a single consumer (the caller's thread)
+//!   receives them strictly in input order with at most a small window of
+//!   items in flight. The right shape for streaming ingest, where decoded
+//!   files must feed a stateful builder in order and buffering every
+//!   decoded file at once would blow memory.
+//!
+//! # Simulated-latency overlap
+//!
+//! The [`SimClock`] normally charges every store request's modeled latency
+//! additively, which is correct for a serial caller but would bill a
+//! fanned-out download as if its requests ran back to back. The I/O-aware
+//! helpers ([`ordered_parallel_map_io`], and [`ordered_pipeline`] when
+//! given a clock) instead *capture* each item's request latency in a
+//! thread-local while the item is produced, then charge the clock with the
+//! critical path of a deterministic greedy placement of the items onto
+//! `parallelism` virtual connections — item `i` lands on the
+//! earliest-finishing lane, lowest index on ties, exactly the schedule a
+//! work-conserving pool draining an in-order queue produces. Simulated
+//! time therefore reflects overlapped I/O, yet depends only on the items'
+//! (deterministic) latencies, never on host core count or real thread
+//! scheduling.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use crate::SimClock;
+
+/// Default bound for build-side parallelism: the machine's available
+/// parallelism, capped at 8 (the same cap the search executor uses) so a
+/// large host does not fan a single ingest over dozens of threads.
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(8)
+}
+
+thread_local! {
+    /// Simulated latency captured for the item the current worker thread is
+    /// producing. `None` outside the I/O-aware helpers, in which case
+    /// [`SimClock::advance_micros`] falls back to its additive behaviour.
+    static ITEM_LANE: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Captures `micros` of simulated request latency into the current thread's
+/// item lane, if one is active. Called by [`SimClock::advance_micros`];
+/// returns `false` when the calling thread is not producing an item for an
+/// I/O-aware helper, in which case the clock advances globally as usual.
+pub(crate) fn capture_deferred_latency(micros: u64) -> bool {
+    ITEM_LANE.with(|lane| match lane.get() {
+        Some(spent) => {
+            lane.set(Some(spent + micros));
+            true
+        }
+        None => false,
+    })
+}
+
+/// Runs `f` with an active item lane and returns its result alongside the
+/// simulated latency the item's store requests accumulated.
+fn with_item_lane<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    ITEM_LANE.with(|lane| lane.set(Some(0)));
+    let out = f();
+    let spent = ITEM_LANE.with(|lane| lane.replace(None)).unwrap_or(0);
+    (out, spent)
+}
+
+/// Deterministic greedy placement of per-item latencies onto virtual
+/// connection lanes (see the module docs). The clock is advanced whenever
+/// the critical path — the maximum lane end — grows, so callers observing
+/// the clock mid-schedule (timeout checks in a pipeline consumer) see
+/// monotonically increasing simulated time.
+struct LaneSchedule<'a> {
+    clock: Option<&'a SimClock>,
+    ends: Vec<u64>,
+    peak: u64,
+}
+
+impl<'a> LaneSchedule<'a> {
+    fn new(clock: Option<&'a SimClock>, lanes: usize) -> Self {
+        Self {
+            clock,
+            ends: vec![0; lanes.max(1)],
+            peak: 0,
+        }
+    }
+
+    fn active(&self) -> bool {
+        self.clock.is_some()
+    }
+
+    /// Places the next item's captured latency on the earliest-finishing
+    /// lane and charges any critical-path growth to the clock.
+    fn charge(&mut self, spent: u64) {
+        let Some(clock) = self.clock else { return };
+        if spent == 0 {
+            return;
+        }
+        let lane = self
+            .ends
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, end)| **end)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        self.ends[lane] += spent;
+        if self.ends[lane] > self.peak {
+            clock.advance_micros(self.ends[lane] - self.peak);
+            self.peak = self.ends[lane];
+        }
+    }
+}
+
+/// Applies `f` to every item of `items` over at most `parallelism` scoped
+/// threads, returning results **in input order**.
+///
+/// Work is claimed dynamically (an atomic cursor, not pre-chunked) so one
+/// slow item does not idle the other workers. With `parallelism <= 1` or
+/// fewer than two items the closure runs inline on the caller's thread —
+/// no threads are spawned. A panicking closure propagates the panic to
+/// the caller. Because the closures are applied to the same items in a
+/// deterministic order-preserving merge, output is identical at every
+/// `parallelism` setting.
+pub fn ordered_parallel_map<T, R, F>(parallelism: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if parallelism <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = parallelism.min(items.len());
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let out = f(i, item);
+                collected.lock().expect("parallel map lock").push((i, out));
+            });
+        }
+    });
+
+    let mut results = collected.into_inner().expect("parallel map lock");
+    results.sort_by_key(|(i, _)| *i);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+/// [`ordered_parallel_map`] for closures that issue store requests: each
+/// item's simulated request latency is captured while it is produced, and
+/// once all items are in, the clock is charged with the critical path of
+/// the greedy lane schedule (see the module docs) instead of the additive
+/// sum. Results are identical to [`ordered_parallel_map`] at every
+/// `parallelism`; only the simulated elapsed time differs. With
+/// `parallelism <= 1`, fewer than two items, or no clock, the behaviour
+/// (including timing) is exactly the plain map's.
+pub fn ordered_parallel_map_io<T, R, F>(
+    parallelism: usize,
+    clock: Option<&SimClock>,
+    items: &[T],
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if parallelism <= 1 || items.len() <= 1 || clock.is_none() {
+        return ordered_parallel_map(parallelism, items, f);
+    }
+    let workers = parallelism.min(items.len());
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R, u64)>> = Mutex::new(Vec::with_capacity(items.len()));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let (out, spent) = with_item_lane(|| f(i, item));
+                collected
+                    .lock()
+                    .expect("parallel map lock")
+                    .push((i, out, spent));
+            });
+        }
+    });
+
+    let mut results = collected.into_inner().expect("parallel map lock");
+    results.sort_by_key(|(i, _, _)| *i);
+    let mut schedule = LaneSchedule::new(clock, workers);
+    for (_, _, spent) in &results {
+        schedule.charge(*spent);
+    }
+    results.into_iter().map(|(_, r, _)| r).collect()
+}
+
+/// State shared between pipeline producers and the in-order consumer. Each
+/// slot carries the item's result plus the simulated latency it captured
+/// (0 when no clock was supplied).
+struct PipelineState<R, E> {
+    /// Produced-but-not-yet-consumed results, keyed by item index.
+    slots: Vec<Option<(Result<R, E>, u64)>>,
+    /// Index of the next item the consumer will take.
+    next_consume: usize,
+}
+
+/// Streams `items` through `produce` on a bounded pool while the caller's
+/// thread `consume`s results strictly **in input order**.
+///
+/// At most `2 * parallelism` items are in flight past the consumer's
+/// cursor, bounding memory to a small window regardless of input length.
+/// The first error in *input order* wins — exactly the error a serial
+/// loop would have returned — and aborts outstanding production; workers
+/// may have speculatively produced later items, but their results are
+/// discarded, never consumed. With `parallelism <= 1` or fewer than two
+/// items everything runs inline on the caller's thread, which is the
+/// serial loop this function is proven equivalent to.
+///
+/// When `clock` is supplied, each item's simulated request latency is
+/// captured while it is produced and charged to the clock via the greedy
+/// lane schedule (see the module docs) just before the item is consumed —
+/// so consumers that read the clock (e.g. timeout checks) observe the
+/// overlapped, monotonically increasing simulated time a pool of
+/// `parallelism` connections would produce.
+pub fn ordered_pipeline<T, R, E, P, C>(
+    parallelism: usize,
+    clock: Option<&SimClock>,
+    items: &[T],
+    produce: P,
+    mut consume: C,
+) -> Result<(), E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    P: Fn(usize, &T) -> Result<R, E> + Sync,
+    C: FnMut(usize, R) -> Result<(), E>,
+{
+    if parallelism <= 1 || items.len() <= 1 {
+        for (i, item) in items.iter().enumerate() {
+            consume(i, produce(i, item)?)?;
+        }
+        return Ok(());
+    }
+
+    let workers = parallelism.min(items.len());
+    let window = parallelism * 2;
+    let mut schedule = LaneSchedule::new(clock, workers);
+    let overlap = schedule.active();
+    let cursor = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let state = Mutex::new(PipelineState::<R, E> {
+        slots: (0..items.len()).map(|_| None).collect(),
+        next_consume: 0,
+    });
+    let ready = Condvar::new();
+    let space = Condvar::new();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                // Respect the in-flight window so producers cannot run
+                // arbitrarily far ahead of the consumer.
+                {
+                    let mut guard = state.lock().expect("pipeline lock");
+                    while i >= guard.next_consume + window && !stop.load(Ordering::Acquire) {
+                        guard = space.wait(guard).expect("pipeline lock");
+                    }
+                }
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let out = if overlap {
+                    let (out, spent) = with_item_lane(|| produce(i, &items[i]));
+                    (out, spent)
+                } else {
+                    (produce(i, &items[i]), 0)
+                };
+                let mut guard = state.lock().expect("pipeline lock");
+                guard.slots[i] = Some(out);
+                ready.notify_all();
+            });
+        }
+
+        // The caller's thread is the single in-order consumer.
+        let mut result: Result<(), E> = Ok(());
+        for i in 0..items.len() {
+            let (produced, spent) = {
+                let mut guard = state.lock().expect("pipeline lock");
+                loop {
+                    if let Some(r) = guard.slots[i].take() {
+                        break r;
+                    }
+                    guard = ready.wait(guard).expect("pipeline lock");
+                }
+            };
+            // A serial loop would have paid this item's request latency
+            // before acting on its result, so charge it up front — even
+            // for items that produced an error.
+            schedule.charge(spent);
+            match produced.and_then(|r| consume(i, r)) {
+                Ok(()) => {
+                    let mut guard = state.lock().expect("pipeline lock");
+                    guard.next_consume = i + 1;
+                    drop(guard);
+                    space.notify_all();
+                }
+                Err(e) => {
+                    result = Err(e);
+                    stop.store(true, Ordering::Release);
+                    space.notify_all();
+                    break;
+                }
+            }
+        }
+        // Wake any producer still parked on the window before the scope
+        // joins the workers.
+        stop.store(true, Ordering::Release);
+        space.notify_all();
+        result
+    })
+}
+
+/// Splits `0..len` into at most `pieces` contiguous, in-order ranges of
+/// near-equal size, each at least `min_chunk` long (except possibly the
+/// last). Used to chunk order-preserving derivations (BWT rows, symbol
+/// counts) so concatenating the per-chunk outputs reproduces the serial
+/// result exactly.
+pub fn chunk_ranges(len: usize, pieces: usize, min_chunk: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let pieces = pieces.max(1);
+    let chunk = len.div_ceil(pieces).max(min_chunk.max(1));
+    (0..len)
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(len))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order_at_any_parallelism() {
+        let items: Vec<u64> = (0..200).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 7).collect();
+        for parallelism in [1, 2, 3, 8, 64] {
+            let got = ordered_parallel_map(parallelism, &items, |_, &x| x * 7);
+            assert_eq!(got, expect, "parallelism {parallelism}");
+        }
+    }
+
+    #[test]
+    fn map_passes_the_input_index() {
+        let items = ["a", "b", "c"];
+        let got = ordered_parallel_map(4, &items, |i, s| format!("{i}:{s}"));
+        assert_eq!(got, vec!["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn map_empty_and_singleton_inputs_run_inline() {
+        let none: Vec<u8> = Vec::new();
+        assert!(ordered_parallel_map(8, &none, |_, &x| x).is_empty());
+        assert_eq!(ordered_parallel_map(8, &[7u8], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn pipeline_consumes_in_order_at_any_parallelism() {
+        let items: Vec<usize> = (0..100).collect();
+        for parallelism in [1, 2, 4, 16] {
+            let mut seen = Vec::new();
+            ordered_pipeline(
+                parallelism,
+                None,
+                &items,
+                |i, &x| Ok::<_, ()>(i * 1000 + x),
+                |i, r| {
+                    assert_eq!(r, i * 1000 + i);
+                    seen.push(i);
+                    Ok(())
+                },
+            )
+            .unwrap();
+            assert_eq!(seen, items, "parallelism {parallelism}");
+        }
+    }
+
+    #[test]
+    fn pipeline_surfaces_first_error_in_input_order() {
+        let items: Vec<usize> = (0..64).collect();
+        for parallelism in [1, 3, 8] {
+            let mut consumed = Vec::new();
+            let err = ordered_pipeline(
+                parallelism,
+                None,
+                &items,
+                |_, &x| if x >= 10 { Err(x) } else { Ok(x) },
+                |_, r| {
+                    consumed.push(r);
+                    Ok(())
+                },
+            )
+            .unwrap_err();
+            // Items 11.. may fail first on a worker thread, but the error
+            // surfaced is the one a serial loop would hit.
+            assert_eq!(err, 10, "parallelism {parallelism}");
+            assert_eq!(consumed, (0..10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn pipeline_consumer_error_stops_production() {
+        let items: Vec<usize> = (0..1000).collect();
+        let produced = AtomicUsize::new(0);
+        let err = ordered_pipeline(
+            8,
+            None,
+            &items,
+            |_, &x| {
+                produced.fetch_add(1, Ordering::Relaxed);
+                Ok::<_, usize>(x)
+            },
+            |_, r| if r == 5 { Err(r) } else { Ok(()) },
+        )
+        .unwrap_err();
+        assert_eq!(err, 5);
+        // Production halts within the in-flight window of the failure.
+        assert!(produced.load(Ordering::Relaxed) < items.len());
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_once_in_order() {
+        for (len, pieces, min) in [(0, 4, 1), (1, 4, 1), (100, 4, 1), (10, 4, 64), (7, 16, 2)] {
+            let ranges = chunk_ranges(len, pieces, min);
+            let flat: Vec<usize> = ranges.iter().flat_map(|r| r.clone()).collect();
+            assert_eq!(flat, (0..len).collect::<Vec<_>>(), "{len}/{pieces}/{min}");
+        }
+    }
+
+    #[test]
+    fn default_parallelism_is_bounded() {
+        assert!((1..=8).contains(&default_parallelism()));
+    }
+
+    #[test]
+    fn io_map_overlaps_simulated_latency_deterministically() {
+        // 8 items of 100us over 4 lanes: critical path = ceil(8/4) * 100.
+        let clock = SimClock::new();
+        let items: Vec<u64> = (0..8).collect();
+        let got = ordered_parallel_map_io(4, Some(&clock), &items, |_, &x| {
+            clock.advance_micros(100);
+            x
+        });
+        assert_eq!(got, items);
+        assert_eq!(clock.now_micros(), 200);
+
+        // The serial path keeps the additive behaviour.
+        let serial = SimClock::new();
+        ordered_parallel_map_io(1, Some(&serial), &items, |_, _| serial.advance_micros(100));
+        assert_eq!(serial.now_micros(), 800);
+    }
+
+    #[test]
+    fn io_map_greedy_placement_tracks_unequal_items() {
+        // Spents [300, 100, 100, 100] over 2 lanes: lane0 takes the 300,
+        // lane1 absorbs the three 100s — critical path 300, not 600.
+        let clock = SimClock::new();
+        let spent = [300u64, 100, 100, 100];
+        ordered_parallel_map_io(2, Some(&clock), &spent, |_, &us| clock.advance_micros(us));
+        assert_eq!(clock.now_micros(), 300);
+    }
+
+    #[test]
+    fn pipeline_overlaps_latency_and_charges_before_consume() {
+        let clock = SimClock::new();
+        let items: Vec<u64> = (0..8).collect();
+        let mut observed = Vec::new();
+        ordered_pipeline(
+            4,
+            Some(&clock),
+            &items,
+            |_, &x| {
+                clock.advance_micros(100);
+                Ok::<_, ()>(x)
+            },
+            |_, _| {
+                observed.push(clock.now_micros());
+                Ok(())
+            },
+        )
+        .unwrap();
+        // Critical path of 8 x 100us over 4 lanes.
+        assert_eq!(clock.now_micros(), 200);
+        // The consumer saw time move monotonically and had the first item's
+        // latency charged before it ran — a serial loop's ordering.
+        assert!(observed.windows(2).all(|w| w[0] <= w[1]), "{observed:?}");
+        assert!(observed[0] >= 100, "{observed:?}");
+    }
+
+    #[test]
+    fn pipeline_without_clock_leaves_timing_additive() {
+        let clock = SimClock::new();
+        let items: Vec<u64> = (0..4).collect();
+        ordered_pipeline(
+            4,
+            None,
+            &items,
+            |_, &x| {
+                clock.advance_micros(50);
+                Ok::<_, ()>(x)
+            },
+            |_, _| Ok(()),
+        )
+        .unwrap();
+        assert_eq!(clock.now_micros(), 200);
+    }
+}

@@ -333,6 +333,10 @@ impl<S: ObjectStore> ObjectStore for RetryStore<S> {
     fn record_page_cache(&self, hits: u64, misses: u64, bytes_saved: u64) {
         self.inner.record_page_cache(hits, misses, bytes_saved);
     }
+
+    fn record_page_cache_bypass(&self, n: u64) {
+        self.inner.record_page_cache_bypass(n);
+    }
 }
 
 #[cfg(test)]

@@ -27,6 +27,7 @@ pub struct RequestStats {
     page_cache_hits: AtomicU64,
     page_cache_misses: AtomicU64,
     page_cache_bytes_saved: AtomicU64,
+    page_cache_bypassed: AtomicU64,
 }
 
 impl RequestStats {
@@ -103,6 +104,12 @@ impl RequestStats {
             .fetch_add(bytes_saved, Ordering::Relaxed);
     }
 
+    /// Records `n` one-shot page reads that bypassed page-cache admission
+    /// (index-builder downloads, brute-force scans).
+    pub fn record_page_cache_bypass(&self, n: u64) {
+        self.page_cache_bypassed.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -124,6 +131,7 @@ impl RequestStats {
             page_cache_hits: self.page_cache_hits.load(Ordering::Relaxed),
             page_cache_misses: self.page_cache_misses.load(Ordering::Relaxed),
             page_cache_bytes_saved: self.page_cache_bytes_saved.load(Ordering::Relaxed),
+            page_cache_bypassed: self.page_cache_bypassed.load(Ordering::Relaxed),
         }
     }
 }
@@ -170,6 +178,9 @@ pub struct StatsSnapshot {
     pub page_cache_misses: u64,
     /// GET bytes the page cache avoided transferring.
     pub page_cache_bytes_saved: u64,
+    /// One-shot page reads (index-builder downloads, brute-force scans)
+    /// that deliberately bypassed page-cache admission.
+    pub page_cache_bypassed: u64,
 }
 
 impl StatsSnapshot {
@@ -195,6 +206,7 @@ impl StatsSnapshot {
             page_cache_hits: self.page_cache_hits - earlier.page_cache_hits,
             page_cache_misses: self.page_cache_misses - earlier.page_cache_misses,
             page_cache_bytes_saved: self.page_cache_bytes_saved - earlier.page_cache_bytes_saved,
+            page_cache_bypassed: self.page_cache_bypassed - earlier.page_cache_bypassed,
         }
     }
 
@@ -260,6 +272,7 @@ mod tests {
         stats.record_coalesced(3);
         stats.record_cache(5, 2, 4096);
         stats.record_page_cache(4, 1, 2048);
+        stats.record_page_cache_bypass(6);
         let snap = stats.snapshot();
         assert_eq!(snap.coalesced_gets, 3);
         assert_eq!(snap.cache_hits, 5);
@@ -268,6 +281,7 @@ mod tests {
         assert_eq!(snap.page_cache_hits, 4);
         assert_eq!(snap.page_cache_misses, 1);
         assert_eq!(snap.page_cache_bytes_saved, 2048);
+        assert_eq!(snap.page_cache_bypassed, 6);
         // Like retries, these annotate requests rather than add to them.
         assert_eq!(snap.total_requests(), 0);
 

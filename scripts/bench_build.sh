@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Ingest & index-build benchmark: pipelined download+decode, parallel
+# builder internals, and parallel page compression, serial vs parallelism 4.
+#
+# Writes BENCH_build.json (simulated build/ingest wall-clock per index
+# kind, rows/s, GET/PUT counts per phase). The parallel pipeline must
+# issue byte-for-byte the same requests as the serial one, so the
+# build_request_ratio metrics are exactly 1.000; the simulated speedups
+# are deterministic too (they derive from modeled request latencies,
+# never host wall clock).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo run --release -p rottnest-bench --bin bench_build"
+cargo run --release -p rottnest-bench --bin bench_build
+
+echo
+echo "bench_build: OK (see BENCH_build.json)"

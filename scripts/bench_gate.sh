@@ -1,26 +1,41 @@
 #!/usr/bin/env bash
-# Bench-regression gate: re-runs the search fast-path benchmark and
-# compares the fresh BENCH_search.json against the committed one at ±15%
-# tolerance (deterministic request-count metrics only — never wall clock).
-# Fails if any workload's qps_speedup fell or GETs/query ratio rose beyond
-# tolerance. The committed file is restored afterwards either way.
+# Bench-regression gate: re-runs the search fast-path and ingest-pipeline
+# benchmarks and compares the fresh BENCH_search.json / BENCH_build.json
+# against the committed ones at ±15% tolerance (deterministic metrics
+# only — simulated request counts and latencies, never host wall clock).
+# Fails if any workload's speedup fell or requests ratio rose beyond
+# tolerance. The committed files are restored afterwards either way.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if [ ! -f BENCH_search.json ]; then
-  echo "bench gate: no committed BENCH_search.json to compare against" >&2
-  exit 1
-fi
+for f in BENCH_search.json BENCH_build.json; do
+  if [ ! -f "$f" ]; then
+    echo "bench gate: no committed $f to compare against" >&2
+    exit 1
+  fi
+done
 
-baseline="$(mktemp)"
-cp BENCH_search.json "$baseline"
-restore() { cp "$baseline" BENCH_search.json; rm -f "$baseline"; }
+search_baseline="$(mktemp)"
+build_baseline="$(mktemp)"
+cp BENCH_search.json "$search_baseline"
+cp BENCH_build.json "$build_baseline"
+restore() {
+  cp "$search_baseline" BENCH_search.json
+  cp "$build_baseline" BENCH_build.json
+  rm -f "$search_baseline" "$build_baseline"
+}
 trap restore EXIT
 
 echo "==> cargo run --release -p rottnest-bench --bin bench_search"
 cargo run --release -p rottnest-bench --bin bench_search
 
-echo "==> cargo run --release -p rottnest-bench --bin bench_gate"
-cargo run --release -p rottnest-bench --bin bench_gate -- "$baseline" BENCH_search.json
+echo "==> cargo run --release -p rottnest-bench --bin bench_gate (search)"
+cargo run --release -p rottnest-bench --bin bench_gate -- "$search_baseline" BENCH_search.json
+
+echo "==> cargo run --release -p rottnest-bench --bin bench_build"
+cargo run --release -p rottnest-bench --bin bench_build
+
+echo "==> cargo run --release -p rottnest-bench --bin bench_gate (build)"
+cargo run --release -p rottnest-bench --bin bench_gate -- "$build_baseline" BENCH_build.json
 
 echo "bench_gate: OK"

@@ -1,0 +1,390 @@
+//! Equivalence proofs for the parallel ingest & index-build pipeline:
+//!
+//! 1. Lake data files and index files are **bit-identical** whether the
+//!    pipeline runs serially (`build_parallelism = 1`, writer
+//!    `parallelism = 1`) or fanned out (4 and 8 workers) — fault-free and
+//!    at a 5% chaos rate absorbed by the retrying store. Fault-free runs
+//!    also issue identical GET/PUT counts at every parallelism.
+//! 2. A corrupt footer whose page table points past the object's end is a
+//!    clean `RottnestError::Corrupt`, never a slice panic; a truncated
+//!    file is a clean error too.
+//! 3. A lake file deleted between planning and decode aborts the build
+//!    (`RottnestError::Aborted`) with no partial commit — at any
+//!    parallelism, fault-free and under chaos.
+//! 4. `index_timeout_ms` aborts *mid-build* (the per-file check), again
+//!    without a partial commit.
+//! 5. Builder downloads and brute-force scan reads are one-shot: they
+//!    bypass page-cache admission and are counted as such.
+//!
+//! Each run builds its own store (a fresh store id), so the process-wide
+//! caches are cold for every run and request counts compare equal.
+
+use bytes::Bytes;
+use rottnest::{IndexKind, Query, Rottnest, RottnestError};
+use rottnest_format::{FileMeta, PageCache, WriterOptions};
+use rottnest_integration::*;
+use rottnest_lake::{Table, TableConfig};
+use rottnest_object_store::{ChaosConfig, MemoryStore, ObjectStore, RetryPolicy};
+
+/// Enough attempts that a 5% per-request fault rate never exhausts the
+/// budget (p ≈ 0.05^12 per op), so chaos runs cannot diverge.
+fn generous_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 12,
+        base_backoff_ms: 1,
+        max_backoff_ms: 20,
+        jitter_seed: 0xEAE_0001,
+        verify_short_reads: true,
+    }
+}
+
+/// Every index kind the build pipeline supports, with its column.
+fn all_kinds() -> Vec<(IndexKind, &'static str)> {
+    vec![
+        (IndexKind::Uuid { key_len: 16 }, "trace_id"),
+        (IndexKind::Bloom { key_len: 16 }, "trace_id"),
+        (IndexKind::Substring, "body"),
+        (IndexKind::Vector { dim: DIM as u32 }, "embedding"),
+    ]
+}
+
+/// Everything a build run produces, keyed run-independently: file *keys*
+/// embed store timestamps (which drift with retries), so files compare by
+/// ordinal in listing order — creation order, since keys are
+/// `{now_ms:012}-{seq:06}` with both components monotone.
+struct BuildRun {
+    /// Extension of each index file in listing order (ordinal sanity).
+    index_exts: Vec<String>,
+    /// Bytes of each index file in listing order.
+    index_files: Vec<Bytes>,
+    /// Bytes of each lake data file in snapshot order.
+    lake_files: Vec<Bytes>,
+    /// Cumulative GET / PUT counts over the whole ingest (appends, index
+    /// builds, compactions). Only meaningful fault-free.
+    gets: u64,
+    puts: u64,
+    faults: u64,
+}
+
+/// Full ingest lifecycle at one parallelism setting: two waves of three
+/// appended files, an index build per kind after each wave, then a
+/// compaction per kind (fan-in 2 merges the two entries).
+fn run_build(parallelism: usize, chaos: Option<ChaosConfig>) -> BuildRun {
+    let store = MemoryStore::new();
+    store.faults().set_chaos(chaos);
+
+    let table = Table::create(
+        store.as_ref(),
+        "tbl",
+        &schema(),
+        TableConfig {
+            writer: WriterOptions {
+                page_raw_bytes: 2048,
+                row_group_rows: 512,
+                parallelism,
+                ..Default::default()
+            },
+            retry: generous_retry(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let mut cfg = rot_config();
+    cfg.retry = generous_retry();
+    cfg.build_parallelism = parallelism;
+    cfg.compact_fanin = 2;
+    let rot = Rottnest::new(store.as_ref(), "idx", cfg);
+
+    for wave in 0..2u64 {
+        for f in 0..3u64 {
+            let base = (wave * 3 + f) * 80;
+            table.append(&batch(base..base + 80)).unwrap();
+        }
+        for (kind, column) in all_kinds() {
+            rot.index(&table, kind, column).unwrap().unwrap();
+        }
+    }
+    for (kind, column) in all_kinds() {
+        let merged = rot.compact(kind, column).unwrap();
+        assert_eq!(
+            merged.len(),
+            1,
+            "fan-in 2 must merge the two {kind:?} entries"
+        );
+    }
+
+    let ops = store.stats();
+    store.faults().set_chaos(None);
+
+    let index_objects = store.list("idx/files/").unwrap();
+    let index_exts = index_objects
+        .iter()
+        .map(|m| m.key.rsplit('.').next().unwrap().to_string())
+        .collect();
+    let index_files = index_objects
+        .iter()
+        .map(|m| store.get(&m.key).unwrap())
+        .collect();
+    let lake_files = table
+        .snapshot()
+        .unwrap()
+        .files()
+        .map(|f| store.get(&f.path).unwrap())
+        .collect();
+    BuildRun {
+        index_exts,
+        index_files,
+        lake_files,
+        gets: ops.gets,
+        puts: ops.puts,
+        faults: ops.faults_injected,
+    }
+}
+
+#[test]
+fn build_output_is_bit_identical_across_parallelism() {
+    let serial = run_build(1, None);
+    // 4 kinds × (2 incremental builds + 1 compacted file left behind for
+    // vacuum alongside its sources).
+    assert_eq!(serial.index_files.len(), 12, "expected 12 index files");
+    assert_eq!(serial.lake_files.len(), 6, "expected 6 lake files");
+    for parallelism in [4, 8] {
+        let parallel = run_build(parallelism, None);
+        assert_eq!(
+            parallel.index_exts, serial.index_exts,
+            "parallelism {parallelism} changed index-file creation order"
+        );
+        assert_eq!(
+            parallel.index_files, serial.index_files,
+            "parallelism {parallelism} changed index-file bytes"
+        );
+        assert_eq!(
+            parallel.lake_files, serial.lake_files,
+            "parallelism {parallelism} changed lake-file bytes"
+        );
+        assert_eq!(
+            (parallel.gets, parallel.puts),
+            (serial.gets, serial.puts),
+            "parallelism {parallelism} changed the request count"
+        );
+    }
+}
+
+#[test]
+fn build_output_is_bit_identical_under_chaos() {
+    let chaos = || Some(ChaosConfig::uniform(0x5EED_CAFE, 0.05));
+    let serial = run_build(1, chaos());
+    let parallel = run_build(8, chaos());
+    assert!(serial.faults > 0, "5% chaos should have injected faults");
+    assert!(parallel.faults > 0, "5% chaos should have injected faults");
+    // Request counts include retries (fault patterns differ between runs),
+    // so only the produced bytes are part of the chaos contract.
+    assert_eq!(parallel.index_exts, serial.index_exts);
+    assert_eq!(
+        parallel.index_files, serial.index_files,
+        "parallel index bytes diverged from serial under 5% chaos"
+    );
+    assert_eq!(
+        parallel.lake_files, serial.lake_files,
+        "parallel lake bytes diverged from serial under 5% chaos"
+    );
+}
+
+#[test]
+fn corrupt_footer_is_an_error_not_a_panic() {
+    let store = MemoryStore::unmetered();
+    let table = make_table(store.as_ref(), 100, 1);
+    let path = table
+        .snapshot()
+        .unwrap()
+        .files()
+        .next()
+        .unwrap()
+        .path
+        .clone();
+    let original = store.get(&path).unwrap();
+    let rot = Rottnest::new(store.as_ref(), "idx", rot_config());
+
+    // Keep the valid footer but excise the page data it describes: every
+    // page location now points past the end of the object.
+    let (_, footer_start) = FileMeta::from_tail(&original, original.len() as u64).unwrap();
+    let mut corrupt = original[..4].to_vec();
+    corrupt.extend_from_slice(&original[footer_start as usize..]);
+    assert!(corrupt.len() < original.len());
+    store.put(&path, corrupt.into()).unwrap();
+    let err = rot.index(&table, IndexKind::Substring, "body").unwrap_err();
+    assert!(
+        matches!(err, RottnestError::Corrupt(_)),
+        "out-of-bounds page table must surface as Corrupt, got {err:?}"
+    );
+
+    // A bluntly truncated file (footer gone entirely) is also a clean error.
+    store
+        .put(&path, original.slice(..original.len() / 2))
+        .unwrap();
+    rot.index(&table, IndexKind::Substring, "body").unwrap_err();
+
+    // Neither failure left a partial commit behind.
+    assert!(rot.meta().scan().unwrap().is_empty());
+    assert!(store.list("idx/files/").unwrap().is_empty());
+}
+
+/// A lake file vanishing between planning and decode aborts the build with
+/// no partial commit: nothing uploaded, nothing committed.
+fn vanished_file_aborts(parallelism: usize, chaos: Option<ChaosConfig>) {
+    let store = MemoryStore::new();
+    let table = Table::create(
+        store.as_ref(),
+        "tbl",
+        &schema(),
+        TableConfig {
+            retry: generous_retry(),
+            ..small_pages()
+        },
+    )
+    .unwrap();
+    for f in 0..3u64 {
+        table.append(&batch(f * 100..(f + 1) * 100)).unwrap();
+    }
+    // Delete a manifest-listed data file out from under the planner. The
+    // snapshot (and thus the build plan) still names it; the decode GET is
+    // what discovers the loss. NotFound is deterministic — the retry layer
+    // must not mask it into a timeout even with chaos active.
+    let victim = table
+        .snapshot()
+        .unwrap()
+        .files()
+        .nth(1)
+        .unwrap()
+        .path
+        .clone();
+    store.delete(&victim).unwrap();
+    store.faults().set_chaos(chaos);
+
+    let mut cfg = rot_config();
+    cfg.retry = generous_retry();
+    cfg.build_parallelism = parallelism;
+    let rot = Rottnest::new(store.as_ref(), "idx", cfg);
+    for (kind, column) in all_kinds() {
+        let err = rot.index(&table, kind, column).unwrap_err();
+        match &err {
+            RottnestError::Aborted(msg) => {
+                assert!(msg.contains("vanished"), "unexpected abort cause: {msg}")
+            }
+            other => panic!("expected Aborted for {kind:?}, got {other:?}"),
+        }
+    }
+    store.faults().set_chaos(None);
+    assert!(
+        rot.meta().scan().unwrap().is_empty(),
+        "no commit may survive an abort"
+    );
+    assert!(
+        store.list("idx/files/").unwrap().is_empty(),
+        "no index object may be uploaded"
+    );
+}
+
+#[test]
+fn vanished_file_aborts_without_partial_commit() {
+    vanished_file_aborts(1, None);
+    vanished_file_aborts(8, None);
+    vanished_file_aborts(8, Some(ChaosConfig::uniform(0xDEAD_F11E, 0.05)));
+}
+
+/// `index_timeout_ms` aborts between files (the per-file check inside the
+/// pipeline consumer), not merely after the whole build pass.
+fn timeout_aborts(parallelism: usize, chaos: Option<ChaosConfig>) {
+    let store = MemoryStore::new(); // metered: every request advances the sim clock
+    let table = Table::create(
+        store.as_ref(),
+        "tbl",
+        &schema(),
+        TableConfig {
+            retry: generous_retry(),
+            ..small_pages()
+        },
+    )
+    .unwrap();
+    for f in 0..3u64 {
+        table.append(&batch(f * 100..(f + 1) * 100)).unwrap();
+    }
+    store.faults().set_chaos(chaos);
+
+    let mut cfg = rot_config();
+    cfg.retry = generous_retry();
+    cfg.build_parallelism = parallelism;
+    cfg.index_timeout_ms = 0;
+    let rot = Rottnest::new(store.as_ref(), "idx", cfg);
+    let err = rot.index(&table, IndexKind::Substring, "body").unwrap_err();
+    match &err {
+        RottnestError::Aborted(msg) => {
+            assert!(msg.contains("timeout"), "unexpected abort cause: {msg}")
+        }
+        other => panic!("expected timeout Aborted, got {other:?}"),
+    }
+    store.faults().set_chaos(None);
+    assert!(rot.meta().scan().unwrap().is_empty());
+    assert!(store.list("idx/files/").unwrap().is_empty());
+}
+
+#[test]
+fn timeout_aborts_mid_build_without_partial_commit() {
+    timeout_aborts(1, None);
+    timeout_aborts(8, None);
+    timeout_aborts(8, Some(ChaosConfig::uniform(0x7133_0007, 0.05)));
+}
+
+#[test]
+fn builder_and_brute_scan_reads_bypass_page_cache() {
+    let store = MemoryStore::unmetered();
+    let table = make_table(store.as_ref(), 300, 3);
+    let rot = Rottnest::new(store.as_ref(), "idx", rot_config());
+    for (kind, column) in all_kinds() {
+        rot.index(&table, kind, column).unwrap().unwrap();
+    }
+
+    // Index builds downloaded and decoded every page of every lake file,
+    // yet admitted none of them: one-shot ingest reads must not evict warm
+    // probe pages.
+    let ns = store.store_id();
+    for f in table.snapshot().unwrap().files() {
+        assert_eq!(
+            PageCache::global().entries_for_file(ns, &f.path),
+            0,
+            "builder reads of {} must bypass page-cache admission",
+            f.path
+        );
+    }
+    assert!(
+        store.stats().page_cache_bypassed > 0,
+        "bypassed builder reads must be counted"
+    );
+
+    // Brute-force scan pages are one-shot too: scanning an uncovered file
+    // reports the bypass in SearchStats and leaves the cache untouched.
+    table.append(&batch(300..400)).unwrap();
+    let snap = table.snapshot().unwrap();
+    let uncovered = snap.files().last().unwrap().path.clone();
+    let key = trace_id(350);
+    let out = rot
+        .search(
+            &table,
+            &snap,
+            "trace_id",
+            &Query::UuidEq { key: &key, k: 1 },
+        )
+        .unwrap();
+    assert_eq!(out.matches.len(), 1, "row 350 lives in the uncovered file");
+    assert!(out.stats.files_brute_scanned > 0);
+    assert!(
+        out.stats.page_cache_bypassed > 0,
+        "brute-scan bypasses must be reported in SearchStats"
+    );
+    assert_eq!(
+        PageCache::global().entries_for_file(ns, &uncovered),
+        0,
+        "brute-scanned pages must not be admitted"
+    );
+}
