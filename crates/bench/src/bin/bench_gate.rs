@@ -1,23 +1,25 @@
 //! Bench-regression gate: compares a freshly generated bench report
-//! (`BENCH_search.json` or `BENCH_build.json`) against the committed
-//! baseline and fails (exit 1) when a gated metric regressed beyond
-//! tolerance.
+//! against the committed baseline and fails (exit 1) when a gated metric
+//! regressed beyond tolerance.
 //!
-//! Usage: `bench_gate <baseline.json> <candidate.json>`
+//! Usage: `bench_gate <baseline.json> <candidate.json>`, for any of
+//! `BENCH_search.json`, `BENCH_build.json`, or `BENCH_serve.json`.
 //!
 //! Only the *deterministic* metrics are compared — per-workload
 //! `qps_speedup` / `gets_per_query_ratio` (search), `build_sim_speedup` /
-//! `build_request_ratio` (ingest), and the aggregate mins/maxes. All of
+//! `build_request_ratio` (ingest), `shed_rate` / `p999_ms` /
+//! `dedup_hit_rate` (serving, all virtual-time), and the aggregate
+//! mins/maxes. All of
 //! them derive from simulated request counts and latencies, never host
 //! wall-clock time, so they are byte-stable across machines:
 //!
-//! * a speedup may not drop below `baseline × 0.85`;
-//! * a requests ratio may not rise above `baseline × 1.15` (plus a
-//!   small absolute epsilon so an all-cached `0.000` baseline still
-//!   tolerates a stray request).
+//! * a speedup (or dedup rate) may not drop below `baseline × 0.85`;
+//! * a requests ratio, shed rate, or tail latency may not rise above
+//!   `baseline × 1.15` (plus a small absolute epsilon so an all-cached
+//!   `0.000` baseline still tolerates a stray request).
 //!
 //! A metric absent from a workload block is simply not compared, so the
-//! same binary gates both report shapes. The JSON is the fixed shape the
+//! same binary gates every report shape. The JSON is the fixed shape the
 //! benches write, so parsing is a keyword scan — no JSON dependency (the
 //! workspace has none).
 
@@ -40,9 +42,14 @@ fn num_after(text: &str, key: &str) -> Option<f64> {
 }
 
 /// Per-workload metrics gated as "higher is better" when present.
-const FLOOR_METRICS: [&str; 2] = ["qps_speedup", "build_sim_speedup"];
+const FLOOR_METRICS: [&str; 3] = ["qps_speedup", "build_sim_speedup", "dedup_hit_rate"];
 /// Per-workload metrics gated as "lower is better" when present.
-const CEILING_METRICS: [&str; 2] = ["gets_per_query_ratio", "build_request_ratio"];
+const CEILING_METRICS: [&str; 4] = [
+    "gets_per_query_ratio",
+    "build_request_ratio",
+    "shed_rate",
+    "p999_ms",
+];
 
 struct Workload {
     name: String,
@@ -140,7 +147,11 @@ fn main() -> ExitCode {
     }
 
     println!("aggregates");
-    for key in ["min_qps_speedup", "fm_build_sim_speedup"] {
+    for key in [
+        "min_qps_speedup",
+        "fm_build_sim_speedup",
+        "hot_dedup_hit_rate",
+    ] {
         if let (Some(b), Some(c)) = (num_after(&base, key), num_after(&cand, key)) {
             gate.floor(key, b, c);
         }
@@ -149,6 +160,8 @@ fn main() -> ExitCode {
         "max_gets_per_query_ratio",
         "max_warm_gets_per_query_ratio",
         "max_build_request_ratio",
+        "max_shed_rate",
+        "max_p999_ms",
     ] {
         if let (Some(b), Some(c)) = (num_after(&base, key), num_after(&cand, key)) {
             gate.ceiling(key, b, c);
@@ -188,6 +201,16 @@ mod tests {
   "max_build_request_ratio": 1.000
 }"#;
 
+    const SERVE_SAMPLE: &str = r#"{
+  "workloads": [
+    { "workload": "serve_10x", "p999_ms": 60, "shed_rate": 0.900, "dedup_hit_rate": 0.000 },
+    { "workload": "serve_hotkey", "p999_ms": 20, "shed_rate": 0.000, "dedup_hit_rate": 0.975 }
+  ],
+  "max_shed_rate": 0.900,
+  "max_p999_ms": 60,
+  "hot_dedup_hit_rate": 0.975
+}"#;
+
     #[test]
     fn parses_every_workload_block() {
         let wl = parse_workloads(SAMPLE);
@@ -195,9 +218,9 @@ mod tests {
         assert_eq!(wl[0].name, "uuid");
         assert_eq!(wl[0].floors[0], Some(4.00));
         assert_eq!(wl[1].ceilings[0], Some(0.000));
-        // Search blocks carry no build metrics.
-        assert_eq!(wl[0].floors[1], None);
-        assert_eq!(wl[0].ceilings[1], None);
+        // Search blocks carry no build or serve metrics.
+        assert_eq!(wl[0].floors[1..], [None, None]);
+        assert_eq!(wl[0].ceilings[1..], [None, None, None]);
     }
 
     #[test]
@@ -205,8 +228,8 @@ mod tests {
         let wl = parse_workloads(BUILD_SAMPLE);
         assert_eq!(wl.len(), 1);
         assert_eq!(wl[0].name, "build_substring");
-        assert_eq!(wl[0].floors, [None, Some(2.31)]);
-        assert_eq!(wl[0].ceilings, [None, Some(1.000)]);
+        assert_eq!(wl[0].floors, [None, Some(2.31), None]);
+        assert_eq!(wl[0].ceilings, [None, Some(1.000), None, None]);
         // `build_sim_speedup` must not swallow the `build_sim_s` field of
         // the nested serial/parallel objects, and the aggregate key stays
         // distinct from the per-workload one.
@@ -215,6 +238,24 @@ mod tests {
             num_after(BUILD_SAMPLE, "max_build_request_ratio"),
             Some(1.0)
         );
+    }
+
+    #[test]
+    fn parses_serve_blocks_with_their_own_metrics() {
+        let wl = parse_workloads(SERVE_SAMPLE);
+        assert_eq!(wl.len(), 2);
+        assert_eq!(wl[0].name, "serve_10x");
+        assert_eq!(wl[0].floors, [None, None, Some(0.0)]);
+        assert_eq!(wl[0].ceilings, [None, None, Some(0.900), Some(60.0)]);
+        assert_eq!(wl[1].floors[2], Some(0.975));
+        // Aggregates stay distinct from the per-workload keys.
+        assert_eq!(num_after(SERVE_SAMPLE, "hot_dedup_hit_rate"), Some(0.975));
+        assert_eq!(num_after(SERVE_SAMPLE, "max_shed_rate"), Some(0.900));
+        assert_eq!(num_after(SERVE_SAMPLE, "max_p999_ms"), Some(60.0));
+        let tail = &SERVE_SAMPLE[SERVE_SAMPLE.rfind(']').unwrap()..];
+        assert_eq!(num_after(tail, "shed_rate"), None);
+        assert_eq!(num_after(tail, "dedup_hit_rate"), None);
+        assert_eq!(num_after(tail, "p999_ms"), None);
     }
 
     #[test]

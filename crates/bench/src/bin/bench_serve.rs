@@ -1,0 +1,131 @@
+//! Serving-under-overload benchmark: tail latency, shed rate, and
+//! single-flight dedup rate of the admission policy at and past the
+//! service's concurrency ceiling.
+//!
+//! Runs the deterministic virtual-time open-arrival simulator from
+//! `rottnest-serve` (which shares `estimate_finish_ms` — the exact shed
+//! policy of the threaded `QueryService`) over four workloads:
+//!
+//! * **serve_under** — 0.75x the QPS ceiling: nothing sheds, p999 equals
+//!   one service time (the no-queueing control);
+//! * **serve_2x** / **serve_10x** — open arrival at 2x / 10x the ceiling
+//!   with a 100 ms deadline budget: bounded queueing plus deadline
+//!   shedding keep the tail flat while the shed rate absorbs the excess;
+//! * **serve_hotkey** — 10x the ceiling, every arrival the same hot
+//!   query: single-flight dedup turns the stampede into one search per
+//!   service interval, so nothing sheds at all.
+//!
+//! Every metric is a pure function of the simulator config — virtual
+//! milliseconds and counts, never host wall clock — so the report is
+//! byte-stable across machines and gated at ±15% by `bench_gate`.
+
+use rottnest_serve::{simulate, SimConfig, SimReport};
+
+/// Service shape: 4 slots at 20 ms/query → a 200 QPS ceiling.
+const MAX_CONCURRENT: usize = 4;
+const SERVICE_MS: u64 = 20;
+const MAX_QUEUED: usize = 8;
+const DURATION_MS: u64 = 10_000;
+
+const fn ceiling_qps() -> u64 {
+    (MAX_CONCURRENT as u64) * 1000 / SERVICE_MS
+}
+
+fn base(qps: u64) -> SimConfig {
+    SimConfig {
+        qps,
+        duration_ms: DURATION_MS,
+        service_ms: SERVICE_MS,
+        max_concurrent: MAX_CONCURRENT,
+        max_queued: MAX_QUEUED,
+        deadline_budget_ms: None,
+        hot_every: 0,
+    }
+}
+
+fn main() {
+    let ceiling = ceiling_qps();
+    let workloads: Vec<(&str, SimConfig)> = vec![
+        ("serve_under", base(ceiling * 3 / 4)),
+        (
+            "serve_2x",
+            SimConfig {
+                deadline_budget_ms: Some(100),
+                ..base(ceiling * 2)
+            },
+        ),
+        (
+            "serve_10x",
+            SimConfig {
+                deadline_budget_ms: Some(100),
+                ..base(ceiling * 10)
+            },
+        ),
+        (
+            "serve_hotkey",
+            SimConfig {
+                hot_every: 1,
+                ..base(ceiling * 10)
+            },
+        ),
+    ];
+
+    println!("\n=== serving under overload (ceiling {ceiling} QPS: {MAX_CONCURRENT} slots x {SERVICE_MS} ms) ===");
+    println!(
+        "{:<13} {:>6} {:>9} {:>9} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        "workload", "qps", "arrivals", "complete", "p50 ms", "p99 ms", "p999 ms", "shed", "dedup"
+    );
+
+    let mut blocks = String::new();
+    let mut results: Vec<(&str, SimReport)> = Vec::new();
+    for (name, cfg) in &workloads {
+        let r = simulate(*cfg);
+        println!(
+            "{name:<13} {:>6} {:>9} {:>9} {:>8} {:>8} {:>8} {:>9.1}% {:>9.1}%",
+            cfg.qps,
+            r.arrivals,
+            r.completed,
+            r.p50_ms,
+            r.p99_ms,
+            r.p999_ms,
+            r.shed_rate * 100.0,
+            r.dedup_hit_rate * 100.0,
+        );
+        blocks.push_str(&format!(
+            "    {{ \"workload\": \"{name}\", \"qps\": {}, \"arrivals\": {}, \"completed\": {}, \
+             \"p50_ms\": {}, \"p99_ms\": {}, \"p999_ms\": {}, \
+             \"shed_rate\": {:.3}, \"dedup_hit_rate\": {:.3} }},\n",
+            cfg.qps,
+            r.arrivals,
+            r.completed,
+            r.p50_ms,
+            r.p99_ms,
+            r.p999_ms,
+            r.shed_rate,
+            r.dedup_hit_rate,
+        ));
+        results.push((name, r));
+    }
+    blocks.pop();
+    blocks.pop(); // trailing ",\n"
+
+    let max_shed = results
+        .iter()
+        .map(|(_, r)| r.shed_rate)
+        .fold(0.0f64, f64::max);
+    let max_p999 = results.iter().map(|(_, r)| r.p999_ms).max().unwrap_or(0);
+    let hot_dedup = results
+        .iter()
+        .find(|(n, _)| *n == "serve_hotkey")
+        .map(|(_, r)| r.dedup_hit_rate)
+        .unwrap_or(0.0);
+
+    let body = format!(
+        "{{\n  \"ceiling_qps\": {ceiling},\n  \"max_concurrent\": {MAX_CONCURRENT},\n  \
+         \"service_ms\": {SERVICE_MS},\n  \"max_queued\": {MAX_QUEUED},\n  \"workloads\": [\n{blocks}\n  ],\n  \
+         \"max_shed_rate\": {max_shed:.3},\n  \"max_p999_ms\": {max_p999},\n  \
+         \"hot_dedup_hit_rate\": {hot_dedup:.3}\n}}\n"
+    );
+    std::fs::write("BENCH_serve.json", &body).expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json");
+}

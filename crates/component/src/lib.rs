@@ -19,15 +19,43 @@
 //!   one query or across queries — are free. Reopening a cached file
 //!   revalidates with a single HEAD instead of re-reading the head bytes.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use bytes::Bytes;
 use rottnest_compress::{varint, Codec};
-use rottnest_object_store::{ObjectStore, RangeRequest};
+use rottnest_object_store::{ObjectStore, RangeRequest, SingleFlight};
 
 mod cache;
 
 pub use cache::{ComponentCache, OpenEntry, DEFAULT_CACHE_CAPACITY};
+
+/// `(store id, file key, speculative length)` — concurrent cold opens of
+/// the same index file share one speculative head GET.
+type OpenFlightKey = (u64, String, u64);
+
+fn open_flights() -> &'static SingleFlight<OpenFlightKey, Bytes> {
+    static FLIGHTS: OnceLock<SingleFlight<OpenFlightKey, Bytes>> = OnceLock::new();
+    FLIGHTS.get_or_init(SingleFlight::new)
+}
+
+/// `(store id, file key, directory validator, component id)` — the same
+/// coordinates that key the component cache, so flights only merge when a
+/// cache hit would also have been legal.
+type ComponentFlightKey = (u64, String, u64, usize);
+
+fn component_flights() -> &'static SingleFlight<ComponentFlightKey, Bytes> {
+    static FLIGHTS: OnceLock<SingleFlight<ComponentFlightKey, Bytes>> = OnceLock::new();
+    FLIGHTS.get_or_init(SingleFlight::new)
+}
+
+/// Batched fetches dedup on the whole out-of-head id list, preserving the
+/// one-parallel-round-trip guarantee of [`ComponentFile::components`].
+type BatchFlightKey = (u64, String, u64, Vec<usize>);
+
+fn batch_flights() -> &'static SingleFlight<BatchFlightKey, Vec<Bytes>> {
+    static FLIGHTS: OnceLock<SingleFlight<BatchFlightKey, Vec<Bytes>>> = OnceLock::new();
+    FLIGHTS.get_or_init(SingleFlight::new)
+}
 
 /// Magic bytes of a component file.
 pub const MAGIC: &[u8; 4] = b"LKCX";
@@ -267,7 +295,19 @@ impl<'a> ComponentFile<'a> {
                 }
             }
         }
-        let head = store.get_range(key, 0..speculative.max(9))?;
+        let head = if ns != 0 {
+            // Concurrent cold opens of one hot index file share the
+            // leader's speculative GET instead of stampeding the store.
+            let fk = (ns, key.to_string(), speculative.max(9));
+            let (head, deduped) =
+                open_flights().run(&fk, || store.get_range(key, 0..speculative.max(9)));
+            if deduped {
+                store.record_dedup(1);
+            }
+            head?
+        } else {
+            store.get_range(key, 0..speculative.max(9))?
+        };
         if head.len() < 9 || &head[..4] != MAGIC {
             return Err(ComponentError::Corrupt(format!("{key}: bad header")));
         }
@@ -371,8 +411,22 @@ impl<'a> ComponentFile<'a> {
                 return Ok(hit);
             }
         }
-        let raw = self.fetch_raw(&entry)?;
-        let data = self.decode(&entry, &raw)?;
+        let data = if self.ns != 0 && !self.in_head(&entry) {
+            // Out-of-head misses cost a GET; concurrent identical ones
+            // share the leader's fetch (and its decode, for free).
+            let fk = (self.ns, self.key.clone(), self.dir_hash, i);
+            let (data, deduped) = component_flights().run(&fk, || {
+                let raw = self.fetch_raw(&entry)?;
+                self.decode(&entry, &raw)
+            });
+            if deduped {
+                self.store.record_dedup(1);
+            }
+            data?
+        } else {
+            let raw = self.fetch_raw(&entry)?;
+            self.decode(&entry, &raw)?
+        };
         if self.ns != 0 {
             self.store.record_cache(0, 1, 0);
             ComponentCache::global().put_component(
@@ -430,7 +484,24 @@ impl<'a> ComponentFile<'a> {
                     RangeRequest::new(self.key.clone(), start..start + e.compressed_len)
                 })
                 .collect();
-            let payloads = self.store.get_ranges(&requests)?;
+            let payloads = if self.ns != 0 {
+                // A concurrent identical batch shares the leader's single
+                // parallel round trip.
+                let fk = (
+                    self.ns,
+                    self.key.clone(),
+                    self.dir_hash,
+                    fetch.iter().map(|&(_, id, _)| id).collect(),
+                );
+                let (payloads, deduped) =
+                    batch_flights().run(&fk, || self.store.get_ranges(&requests));
+                if deduped {
+                    self.store.record_dedup(fetch.len() as u64);
+                }
+                payloads?
+            } else {
+                self.store.get_ranges(&requests)?
+            };
             for ((slot, id, entry), raw) in fetch.into_iter().zip(payloads) {
                 misses += 1;
                 let data = self.decode(&entry, &raw)?;

@@ -27,6 +27,17 @@ pub struct SearchConfig {
     /// changes. On by default; benchmarks turn it off to measure the
     /// uncached path.
     pub page_cache: bool,
+    /// Per-query time budget in store-clock milliseconds. `None` (the
+    /// default) searches without a deadline, exactly as before. With a
+    /// budget set, the executor polls the deadline between index probes
+    /// and between brute-scanned files and aborts the whole search with
+    /// [`crate::RottnestError::DeadlineExceeded`] — never partial results.
+    pub timeout_ms: Option<u64>,
+    /// Whether brute-force scans consult and feed the process-wide
+    /// negative-scan cache ("probe P matched nothing in file F"), skipping
+    /// re-scans of unchanged files that are known not to match. Results
+    /// are identical either way; only the request count changes.
+    pub neg_cache: bool,
 }
 
 impl Default for SearchConfig {
@@ -34,6 +45,8 @@ impl Default for SearchConfig {
         Self {
             parallelism: rottnest_object_store::default_parallelism(),
             page_cache: true,
+            timeout_ms: None,
+            neg_cache: true,
         }
     }
 }

@@ -91,6 +91,24 @@ pub enum RottnestError {
     Fm(rottnest_fm::FmError),
     /// Vector index failure.
     Ivf(rottnest_ivfpq::IvfError),
+    /// The query's deadline passed before the search finished. Raised
+    /// cooperatively between index probes / brute-scanned files, so no
+    /// partial results leak and no cache is left poisoned.
+    DeadlineExceeded {
+        /// Absolute deadline on the store clock (ms).
+        deadline_ms: u64,
+        /// Store-clock time at which the deadline was observed (ms).
+        now_ms: u64,
+    },
+    /// The serving layer refused the query without running it: the queue
+    /// was full, the tenant exceeded its budget, or the deadline could not
+    /// be met even if admitted. Always raised *before* any store traffic.
+    Overloaded {
+        /// Which admission check rejected the query.
+        reason: String,
+        /// Client hint: earliest time a retry could be admitted (ms).
+        retry_after_ms: u64,
+    },
 }
 
 impl std::fmt::Display for RottnestError {
@@ -106,6 +124,21 @@ impl std::fmt::Display for RottnestError {
             RottnestError::Bloom(e) => write!(f, "bloom: {e}"),
             RottnestError::Fm(e) => write!(f, "fm: {e}"),
             RottnestError::Ivf(e) => write!(f, "ivfpq: {e}"),
+            RottnestError::DeadlineExceeded {
+                deadline_ms,
+                now_ms,
+            } => {
+                write!(
+                    f,
+                    "deadline exceeded: now {now_ms}ms is past deadline {deadline_ms}ms"
+                )
+            }
+            RottnestError::Overloaded {
+                reason,
+                retry_after_ms,
+            } => {
+                write!(f, "overloaded ({reason}); retry after {retry_after_ms}ms")
+            }
         }
     }
 }

@@ -97,6 +97,19 @@ pub struct SearchStats {
     /// traffic never evicts warm probe pages. Index builds account their
     /// bypassed downloads the same way on the store's counters.
     pub page_cache_bypassed: u64,
+    /// Underlying reads this search avoided by joining another in-flight
+    /// identical request (single-flight deduplication). Always 0 without
+    /// concurrent identical traffic, so sequential runs are unchanged.
+    pub dedup_hits: u64,
+    /// Brute-force file scans skipped because a prior scan of the same
+    /// (unchanged) file proved the probe matches nothing there.
+    pub neg_cache_skips: u64,
+    /// Queries the serving layer shed at admission (only the service-level
+    /// aggregate ever sets this; a single search is 0 or was never run).
+    pub queries_shed: u64,
+    /// Searches aborted mid-flight by deadline expiry (service-level
+    /// aggregate, like [`SearchStats::queries_shed`]).
+    pub deadline_aborts: u64,
 }
 
 impl SearchStats {
@@ -119,6 +132,10 @@ impl SearchStats {
         self.page_cache_misses += other.page_cache_misses;
         self.page_cache_bytes_saved += other.page_cache_bytes_saved;
         self.page_cache_bypassed += other.page_cache_bypassed;
+        self.dedup_hits += other.dedup_hits;
+        self.neg_cache_skips += other.neg_cache_skips;
+        self.queries_shed += other.queries_shed;
+        self.deadline_aborts += other.deadline_aborts;
     }
 }
 

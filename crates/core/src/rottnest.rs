@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use rottnest_bloom::BloomIndex;
 use rottnest_fm::{FmIndex, FmOptions, MergePolicy};
-use rottnest_format::{ChunkReader, DataType, PageCacheSession, ValueRef};
+use rottnest_format::{ChunkReader, DataType, NegScanCache, PageCacheSession, ValueRef};
 use rottnest_ivfpq::{IvfPqIndex, IvfPqParams, SearchParams, VecPosting};
 use rottnest_lake::{FileEntry, Snapshot, Table};
 use rottnest_object_store::{
@@ -259,6 +259,26 @@ impl<'a> Rottnest<'a> {
         Ok(())
     }
 
+    /// Cooperative deadline poll for searches: compares the store clock
+    /// against the query's absolute deadline. Polled between index probes
+    /// and between brute-scanned files, so an over-budget search aborts at
+    /// the next unit boundary — never mid-read, which is what keeps the
+    /// process-wide caches unpoisoned (only fully verified payloads are
+    /// ever inserted). `None` means no deadline and always passes.
+    fn check_deadline(&self, deadline_ms: Option<u64>) -> Result<()> {
+        let Some(deadline_ms) = deadline_ms else {
+            return Ok(());
+        };
+        let now_ms = self.store().now_ms();
+        if now_ms > deadline_ms {
+            return Err(RottnestError::DeadlineExceeded {
+                deadline_ms,
+                now_ms,
+            });
+        }
+        Ok(())
+    }
+
     /// The full metadata record set, memoized per log version. A hit costs
     /// one LIST instead of replaying the log (checkpoint/record GETs);
     /// since every metadata mutation commits a new version, an unchanged
@@ -325,6 +345,10 @@ impl<'a> Rottnest<'a> {
     }
 
     /// §IV-B: searches a snapshot of the lake table.
+    ///
+    /// With [`SearchConfig::timeout_ms`] set, the search runs against an
+    /// absolute deadline of "now + budget" on the store clock; see
+    /// [`Rottnest::search_with_deadline`] for the abort semantics.
     pub fn search(
         &self,
         table: &Table<'_>,
@@ -332,6 +356,35 @@ impl<'a> Rottnest<'a> {
         column: &str,
         query: &Query<'_>,
     ) -> Result<SearchOutcome> {
+        let deadline_ms = self
+            .config
+            .search
+            .timeout_ms
+            .map(|budget| self.store().now_ms().saturating_add(budget));
+        self.search_with_deadline(table, snapshot, column, query, deadline_ms)
+    }
+
+    /// [`Rottnest::search`] against an absolute deadline on the store
+    /// clock (the serving layer's entry point — it propagates the client
+    /// deadline rather than a fresh per-call budget).
+    ///
+    /// The deadline is polled cooperatively between index probes and
+    /// between brute-scanned files. Expiry aborts the whole search with
+    /// [`RottnestError::DeadlineExceeded`] — never partial results — and
+    /// an already-expired deadline fails before any store traffic. An
+    /// aborted search leaves every process-wide cache (component, page,
+    /// negative-scan) exactly as correct as before: caches only ever
+    /// admit fully read and verified payloads, so there is nothing a
+    /// mid-flight abort could poison.
+    pub fn search_with_deadline(
+        &self,
+        table: &Table<'_>,
+        snapshot: &Snapshot,
+        column: &str,
+        query: &Query<'_>,
+        deadline_ms: Option<u64>,
+    ) -> Result<SearchOutcome> {
+        self.check_deadline(deadline_ms)?;
         let kind = match query {
             Query::UuidEq { key, .. } => IndexKind::Uuid {
                 key_len: key.len() as u8,
@@ -349,6 +402,15 @@ impl<'a> Rottnest<'a> {
         // data file per query. `None` disables the cache entirely.
         let session = self.config.search.page_cache.then(PageCacheSession::new);
         let session = session.as_ref();
+        // Exact probes get a negative-scan-cache fingerprint; scoring
+        // queries must rank every row, so they never consult it.
+        let probe = match query {
+            Query::UuidEq { key, .. } => Some(NegScanCache::probe_fingerprint(0, column, key)),
+            Query::Substring { pattern, .. } => {
+                Some(NegScanCache::probe_fingerprint(1, column, pattern))
+            }
+            Query::VectorNn { .. } => None,
+        };
         let (selected, mut uncovered) = self.plan_search(snapshot, &kind, column)?;
         let stats = SearchStats {
             index_files_queried: selected.len() as u64,
@@ -372,6 +434,7 @@ impl<'a> Rottnest<'a> {
                     DataType::Binary,
                     &predicate,
                     session,
+                    deadline_ms,
                     |entry| match entry.kind {
                         IndexKind::Bloom { .. } => {
                             let idx = BloomIndex::open(self.store(), &entry.path)?;
@@ -393,7 +456,15 @@ impl<'a> Rottnest<'a> {
                 if matches.len() < *k {
                     let need = *k - matches.len();
                     matches.extend(self.brute_exact(
-                        table, snapshot, &uncovered, column, need, &predicate, &mut stats,
+                        table,
+                        snapshot,
+                        &uncovered,
+                        column,
+                        need,
+                        &predicate,
+                        &mut stats,
+                        deadline_ms,
+                        probe,
                     )?);
                 }
                 matches.truncate(*k);
@@ -414,6 +485,7 @@ impl<'a> Rottnest<'a> {
                     DataType::Utf8,
                     &predicate,
                     session,
+                    deadline_ms,
                     |entry| {
                         let idx = FmIndex::open(self.store(), &entry.path)?;
                         // Stage the locate: a small multiple of k first; if
@@ -439,7 +511,15 @@ impl<'a> Rottnest<'a> {
                 if matches.len() < *k {
                     let need = *k - matches.len();
                     matches.extend(self.brute_exact(
-                        table, snapshot, &uncovered, column, need, &predicate, &mut stats,
+                        table,
+                        snapshot,
+                        &uncovered,
+                        column,
+                        need,
+                        &predicate,
+                        &mut stats,
+                        deadline_ms,
+                        probe,
                     )?);
                 }
                 matches.truncate(*k);
@@ -449,7 +529,16 @@ impl<'a> Rottnest<'a> {
                 query: qvec,
                 params,
             } => self.vector_search(
-                table, snapshot, column, qvec, *params, &selected, uncovered, session, stats,
+                table,
+                snapshot,
+                column,
+                qvec,
+                *params,
+                &selected,
+                uncovered,
+                session,
+                stats,
+                deadline_ms,
             ),
         }?;
         let delta = self.store().stats().since(&store_before);
@@ -460,6 +549,7 @@ impl<'a> Rottnest<'a> {
         outcome.stats.page_cache_misses = delta.page_cache_misses;
         outcome.stats.page_cache_bytes_saved = delta.page_cache_bytes_saved;
         outcome.stats.page_cache_bypassed = delta.page_cache_bypassed;
+        outcome.stats.dedup_hits = delta.dedup_hits;
         Ok(outcome)
     }
 
@@ -485,11 +575,15 @@ impl<'a> Rottnest<'a> {
         data_type: DataType,
         predicate: &(dyn Fn(ValueRef<'_>) -> bool + Sync),
         session: Option<&PageCacheSession>,
+        deadline_ms: Option<u64>,
         query_index: impl Fn(&IndexEntry) -> Result<Vec<rottnest_component::Posting>> + Sync,
     ) -> Result<(Vec<Match>, Vec<usize>)> {
         // 2. Query indexes (fanned out), filtering postings outside the
-        // snapshot (merged in entry order).
+        // snapshot (merged in entry order). Each probe polls the deadline
+        // first, so an over-budget fan-out aborts per entry instead of
+        // finishing every index query it already queued.
         let outcomes = parallel_map(self.config.search.parallelism, selected, |_, entry| {
+            self.check_deadline(deadline_ms)?;
             query_index(entry)
         });
         let mut pages: Vec<PageRef<'_>> = Vec::new();
@@ -531,6 +625,7 @@ impl<'a> Rottnest<'a> {
             }
         }
         // 3. In-situ probe.
+        self.check_deadline(deadline_ms)?;
         let matches = probe_exact(
             table, snapshot, &pages, data_type, predicate, k, session, stats,
         )?;
@@ -583,6 +678,16 @@ impl<'a> Rottnest<'a> {
     /// `rows_deleted`, and error order come out identical to the
     /// sequential scan; the speculative extra GETs are the price of the
     /// wall-clock win.
+    ///
+    /// The negative-scan cache rides on top without disturbing that
+    /// equivalence: the skip set is computed upfront from pure cache
+    /// consults (no store traffic, so both executors see identical
+    /// decisions), skips are counted only inside the sequential cutoff,
+    /// and "proved empty" is recorded only for files the cutoff actually
+    /// consumed whose full scan produced zero predicate hits. Predicate
+    /// hits depend only on the file's immutable bytes — deletion-vector
+    /// churn can never stale an entry — and the file's snapshot size acts
+    /// as the validator against rewrites.
     #[allow(clippy::too_many_arguments)]
     fn brute_exact(
         &self,
@@ -593,14 +698,29 @@ impl<'a> Rottnest<'a> {
         need: usize,
         predicate: &(dyn Fn(ValueRef<'_>) -> bool + Sync),
         stats: &mut SearchStats,
+        deadline_ms: Option<u64>,
+        probe: Option<u64>,
     ) -> Result<Vec<Match>> {
         let mut matches = Vec::new();
         let dvs = load_dvs(table, snapshot, uncovered.iter().map(|f| f.path.as_str()))?;
         let parallelism = self.config.search.parallelism;
+        let neg = match (self.config.search.neg_cache, self.store().store_id(), probe) {
+            (true, ns, Some(p)) if ns != 0 => Some((NegScanCache::global(), ns, p)),
+            _ => None,
+        };
+        let skip: Vec<bool> = uncovered
+            .iter()
+            .map(|f| neg.is_some_and(|(c, ns, p)| c.known_empty(ns, &f.path, f.size, p)))
+            .collect();
         if parallelism <= 1 || uncovered.len() <= 1 {
-            for file in uncovered {
+            for (file, &skipped) in uncovered.iter().zip(&skip) {
                 if matches.len() >= need {
                     break;
+                }
+                self.check_deadline(deadline_ms)?;
+                if skipped {
+                    stats.neg_cache_skips += 1;
+                    continue;
                 }
                 stats.files_brute_scanned += 1;
                 let reader = ChunkReader::open(self.store(), &file.path)?;
@@ -614,6 +734,7 @@ impl<'a> Rottnest<'a> {
                 self.store()
                     .record_page_cache_bypass(column_page_count(reader.meta(), col));
                 let dv = dvs.get(&file.path);
+                let mut hit_any = false;
                 for i in 0..data.len() {
                     if matches.len() >= need {
                         break;
@@ -621,6 +742,7 @@ impl<'a> Rottnest<'a> {
                     if !predicate(data.get(i).expect("in range")) {
                         continue;
                     }
+                    hit_any = true;
                     let row = i as u64;
                     if let Some(dv) = dv {
                         if dv.contains(row) {
@@ -634,17 +756,28 @@ impl<'a> Rottnest<'a> {
                         score: None,
                     });
                 }
+                // Zero hits ⟹ the row loop never broke early ⟹ the whole
+                // column was scanned: safe to record as proven empty.
+                if let Some((cache, ns, p)) = neg {
+                    if !hit_any {
+                        cache.record_empty(ns, &file.path, file.size, p);
+                    }
+                }
             }
             return Ok(matches);
         }
 
         // Each worker emits the file's predicate hits in row order as
         // (row, deleted) events plus the file's page count, stopping after
-        // `need` live rows.
+        // `need` live rows. Known-empty files are not even opened.
         let scans = parallel_map(
             parallelism,
             uncovered,
-            |_, file| -> Result<(Vec<(u64, bool)>, u64)> {
+            |i, file| -> Result<(Vec<(u64, bool)>, u64)> {
+                if skip[i] {
+                    return Ok((Vec::new(), 0));
+                }
+                self.check_deadline(deadline_ms)?;
                 let reader = ChunkReader::open(self.store(), &file.path)?;
                 let col = reader
                     .meta()
@@ -674,16 +807,28 @@ impl<'a> Rottnest<'a> {
             },
         );
 
-        // Replay in file order under the sequential cutoff. Bypass
-        // accounting happens here — not on the workers — so the count
-        // covers exactly the files the sequential scan would have read.
-        for (file, scan) in uncovered.iter().zip(scans) {
+        // Replay in file order under the sequential cutoff. Bypass, skip,
+        // and proven-empty accounting all happen here — not on the
+        // workers — so they cover exactly the files the sequential scan
+        // would have touched, at any parallelism.
+        for ((file, scan), &skipped) in uncovered.iter().zip(scans).zip(&skip) {
             if matches.len() >= need {
                 break;
+            }
+            if skipped {
+                stats.neg_cache_skips += 1;
+                continue;
             }
             stats.files_brute_scanned += 1;
             let (events, pages) = scan?;
             self.store().record_page_cache_bypass(pages);
+            if let Some((cache, ns, p)) = neg {
+                // Workers stop early only after a predicate hit, so an
+                // empty event list proves a full scan with zero hits.
+                if events.is_empty() {
+                    cache.record_empty(ns, &file.path, file.size, p);
+                }
+            }
             for (row, deleted) in events {
                 if matches.len() >= need {
                     break;
@@ -717,6 +862,7 @@ impl<'a> Rottnest<'a> {
         mut uncovered: Vec<FileEntry>,
         session: Option<&PageCacheSession>,
         mut stats: SearchStats,
+        deadline_ms: Option<u64>,
     ) -> Result<SearchOutcome> {
         let dim = qvec.len() as u32;
         let mut results: Vec<Match> = Vec::new();
@@ -727,8 +873,10 @@ impl<'a> Rottnest<'a> {
         // the merge absorbs them in entry order. A degradable failure
         // simply discards the entry's contribution (the sequential
         // executor's rollback, for free) and routes its files to the
-        // brute-force pass below.
+        // brute-force pass below. Deadline expiry is NOT degradable: the
+        // poll before each entry aborts the whole search.
         let passes = parallel_map(parallelism, selected, |_, entry| {
+            self.check_deadline(deadline_ms)?;
             self.vector_entry_pass(table, snapshot, entry, qvec, params, dim, session)
         });
         for (entry_idx, pass) in passes.into_iter().enumerate() {
@@ -755,6 +903,7 @@ impl<'a> Rottnest<'a> {
             parallelism,
             uncovered,
             |_, file| -> Result<(Vec<Match>, u64, u64)> {
+                self.check_deadline(deadline_ms)?;
                 let reader = ChunkReader::open(self.store(), &file.path)?;
                 let col = reader
                     .meta()

@@ -41,7 +41,7 @@ fn embedding(i: u64) -> Vec<f32> {
     let mut rng = StdRng::seed_from_u64(i);
     let cluster = (i % 5) as f32 * 10.0;
     (0..DIM)
-        .map(|_| cluster + rng.gen_range(-0.5..0.5))
+        .map(|_| cluster + rng.gen_range(-0.5f32..0.5))
         .collect()
 }
 

@@ -254,7 +254,7 @@ mod tests {
     fn larger_text_is_a_permutation_and_sorted() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(13);
         let text: Vec<u8> = (0..100_000)
-            .map(|_| b"abcdefgh "[rng.gen_range(0..9)])
+            .map(|_| b"abcdefgh "[rng.gen_range(0..9usize)])
             .map(|b| if b == b' ' { b' ' } else { b })
             .collect();
         let sa = suffix_array(&text);

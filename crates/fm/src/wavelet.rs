@@ -187,7 +187,7 @@ mod tests {
     #[test]
     fn skewed_alphabet() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(22);
-        let symbols: Vec<u8> = (0..3000).map(|_| b"ab"[rng.gen_range(0..2)]).collect();
+        let symbols: Vec<u8> = (0..3000).map(|_| b"ab"[rng.gen_range(0..2usize)]).collect();
         check_all(&symbols);
     }
 

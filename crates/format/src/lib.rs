@@ -24,6 +24,7 @@
 
 pub mod column;
 pub mod footer;
+pub mod neg_cache;
 pub mod page;
 pub mod page_cache;
 pub mod page_table;
@@ -33,6 +34,7 @@ pub mod writer;
 
 pub use column::{ColumnData, RecordBatch, ValueRef};
 pub use footer::{ChunkMeta, FileMeta, PageMeta, RowGroupMeta};
+pub use neg_cache::{NegScanCache, DEFAULT_NEG_CACHE_ENTRIES};
 pub use page_cache::{PageCache, PageCacheSession, DEFAULT_PAGE_CACHE_CAPACITY};
 pub use page_table::{PageLocation, PageTable};
 pub use reader::{ChunkReader, PageReader};

@@ -1,0 +1,167 @@
+//! Process-wide negative-scan cache: "probe P matched nothing in file F".
+//!
+//! Brute-force scans are the expensive tail of a search — every uncovered
+//! file costs a HEAD plus full-column GETs even when the answer is "no
+//! match here". Hot repeated probes (the same missing UUID asked again and
+//! again) re-pay that scan on every query. This cache remembers, per
+//! `(store, file, file-size validator, probe fingerprint)`, that a full
+//! scan of the file produced **zero predicate hits**, so the next identical
+//! probe skips the file outright.
+//!
+//! Correctness:
+//!
+//! * Entries are recorded only after a scan read the *entire* column and
+//!   found no row satisfying the probe's predicate. Deleted rows don't
+//!   matter: predicate hits are a function of immutable file bytes, not of
+//!   deletion vectors, so DV churn can never invalidate an entry.
+//! * The key carries the file's snapshot size as a validator; a replaced
+//!   file of different length misses automatically. Same-path rewrites go
+//!   through lake compaction / vacuum, which call
+//!   [`NegScanCache::invalidate_file`] (the same hint path the
+//!   [`crate::PageCache`] uses).
+//! * The cache is consulted per probe fingerprint — a different key,
+//!   pattern, or column never matches.
+//!
+//! Budget: entries are tiny (a hash key), but the cache is still bounded —
+//! [`rottnest_object_store::ByteLru`] holds it under
+//! [`DEFAULT_NEG_CACHE_ENTRIES`] with per-entry charge 1.
+
+use std::sync::OnceLock;
+
+use rottnest_object_store::ByteLru;
+
+/// Default entry budget for the process-wide negative-scan cache.
+pub const DEFAULT_NEG_CACHE_ENTRIES: usize = 64 * 1024;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct NegKey {
+    ns: u64,
+    key: String,
+    validator: u64,
+    probe: u64,
+}
+
+/// Bounded process-wide set of proven-empty (file, probe) scans.
+pub struct NegScanCache {
+    lru: ByteLru<NegKey, ()>,
+}
+
+impl NegScanCache {
+    /// Creates a cache bounded to `entries` recorded scans.
+    pub fn with_entries(entries: usize) -> Self {
+        Self {
+            lru: ByteLru::with_capacity(entries),
+        }
+    }
+
+    /// The process-wide instance consulted by brute-force scans.
+    pub fn global() -> &'static NegScanCache {
+        static GLOBAL: OnceLock<NegScanCache> = OnceLock::new();
+        GLOBAL.get_or_init(|| NegScanCache::with_entries(DEFAULT_NEG_CACHE_ENTRIES))
+    }
+
+    /// Fingerprints a probe: FNV-1a over a query-kind tag, the column
+    /// name, and the needle bytes. Only exact (non-scoring) probes should
+    /// be fingerprinted — scoring queries always scan.
+    pub fn probe_fingerprint(kind_tag: u8, column: &str, needle: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in std::iter::once(kind_tag)
+            .chain(column.bytes())
+            .chain(std::iter::once(0xff))
+            .chain(needle.iter().copied())
+        {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// True when a prior full scan proved `probe` matches nothing in
+    /// `key` (on store `ns`, at file size `validator`).
+    pub fn known_empty(&self, ns: u64, key: &str, validator: u64, probe: u64) -> bool {
+        self.lru
+            .get(&NegKey {
+                ns,
+                key: key.to_string(),
+                validator,
+                probe,
+            })
+            .is_some()
+    }
+
+    /// Records a proven-empty scan.
+    pub fn record_empty(&self, ns: u64, key: &str, validator: u64, probe: u64) {
+        self.lru.insert(
+            NegKey {
+                ns,
+                key: key.to_string(),
+                validator,
+                probe,
+            },
+            (),
+            1,
+        );
+    }
+
+    /// Invalidation hint: drops every probe recorded against `key` on
+    /// store `ns`. Called by lake compaction / vacuum next to the page
+    /// cache's hint.
+    pub fn invalidate_file(&self, ns: u64, key: &str) {
+        self.lru.retain(|k| !(k.ns == ns && k.key == key));
+    }
+
+    /// Number of recorded scans (tests only).
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// True when nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+
+    /// Drops everything (tests only).
+    pub fn clear(&self) {
+        self.lru.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_consult_invalidate() {
+        let cache = NegScanCache::with_entries(16);
+        let p = NegScanCache::probe_fingerprint(0, "trace_id", b"abc");
+        assert!(!cache.known_empty(7, "t/data/a", 100, p));
+        cache.record_empty(7, "t/data/a", 100, p);
+        assert!(cache.known_empty(7, "t/data/a", 100, p));
+        // Different validator (rewritten file) or store misses.
+        assert!(!cache.known_empty(7, "t/data/a", 101, p));
+        assert!(!cache.known_empty(8, "t/data/a", 100, p));
+        cache.invalidate_file(7, "t/data/a");
+        assert!(!cache.known_empty(7, "t/data/a", 100, p));
+    }
+
+    #[test]
+    fn fingerprints_separate_probes_and_columns() {
+        let a = NegScanCache::probe_fingerprint(0, "c", b"x");
+        let b = NegScanCache::probe_fingerprint(1, "c", b"x");
+        let c = NegScanCache::probe_fingerprint(0, "d", b"x");
+        let d = NegScanCache::probe_fingerprint(0, "c", b"y");
+        assert!(a != b && a != c && a != d);
+    }
+
+    #[test]
+    fn budget_bounds_entries() {
+        // The backing LRU spreads the budget over 16 shards, each rounded
+        // up to at least one entry, so the effective bound is
+        // max(entries, shards).
+        let cache = NegScanCache::with_entries(32);
+        for i in 0..640 {
+            cache.record_empty(1, &format!("f{i}"), 10, 99);
+        }
+        assert!(cache.len() <= 32, "len {} over budget", cache.len());
+    }
+}

@@ -7,8 +7,10 @@
 //! never touches the footer. §VII-C shows this one change moves Rottnest
 //! from losing to the copy-data approach to matching a purpose-built format.
 
+use std::sync::OnceLock;
+
 use bytes::Bytes;
-use rottnest_object_store::{ObjectStore, RangeRequest};
+use rottnest_object_store::{ObjectStore, RangeRequest, SingleFlight};
 
 use crate::column::ColumnData;
 use crate::footer::FileMeta;
@@ -20,6 +22,31 @@ use crate::{FormatError, Result};
 
 /// Speculative tail fetch size: one GET usually captures the whole footer.
 const TAIL_FETCH: u64 = 64 * 1024;
+
+/// `(store id, file key, offset, len, validator)` — the same coordinates
+/// that key the page cache, so two flights can only merge when a cache hit
+/// would also have been legal (same bytes, same file generation).
+type PageFlightKey = (u64, String, u64, u64, u64);
+
+/// Process-wide single-flight table for single-page GETs: concurrent
+/// identical cache misses share one underlying request instead of
+/// stampeding the store. Only validator-fenced reads on cacheable stores
+/// participate; everything else goes straight to the store, so sequential
+/// request counts are bit-identical to a build without single-flight.
+fn page_flights() -> &'static SingleFlight<PageFlightKey, Bytes> {
+    static FLIGHTS: OnceLock<SingleFlight<PageFlightKey, Bytes>> = OnceLock::new();
+    FLIGHTS.get_or_init(SingleFlight::new)
+}
+
+/// Batched reads dedup on the whole miss list: a follower shares the
+/// leader's single parallel round trip, preserving the one-round-trip
+/// batching guarantee of [`PageReader::read_pages`].
+type BatchFlightKey = (u64, Vec<(String, u64, u64, u64)>);
+
+fn batch_flights() -> &'static SingleFlight<BatchFlightKey, Vec<Bytes>> {
+    static FLIGHTS: OnceLock<SingleFlight<BatchFlightKey, Vec<Bytes>>> = OnceLock::new();
+    FLIGHTS.get_or_init(SingleFlight::new)
+}
 
 /// Traditional footer-first, whole-chunk reader.
 pub struct ChunkReader<'a> {
@@ -170,14 +197,26 @@ impl<'a> PageReader<'a> {
                 return decode_page(&bytes, data_type);
             }
         }
-        let bytes = self
-            .store
-            .get_range(key, loc.offset..loc.offset + loc.size)?;
+        let ns = self.store.store_id();
+        let bytes = match validator {
+            Some(v) if ns != 0 => {
+                let flight_key = (ns, key.to_string(), loc.offset, loc.size, v);
+                let (fetched, deduped) = page_flights().run(&flight_key, || {
+                    self.store.get_range(key, loc.offset..loc.offset + loc.size)
+                });
+                if deduped {
+                    self.store.record_dedup(1);
+                }
+                fetched?
+            }
+            _ => self
+                .store
+                .get_range(key, loc.offset..loc.offset + loc.size)?,
+        };
         if let Some(v) = validator {
             self.store.record_page_cache(0, 1, 0);
             // Never cache a torn short read; retry layers above re-fetch.
             if bytes.len() as u64 == loc.size {
-                let ns = self.store.store_id();
                 PageCache::global().put(ns, key, loc.offset, loc.size, v, bytes.clone());
             }
         }
@@ -233,7 +272,40 @@ impl<'a> PageReader<'a> {
                     RangeRequest::new(requests[i].0, offset..offset + size)
                 })
                 .collect();
-            let fetched = self.store.get_ranges(&ranges)?;
+            // Dedup the whole miss batch when every page is validator-
+            // fenced: a concurrent identical batch shares the leader's one
+            // parallel round trip.
+            let flight_key: Option<BatchFlightKey> =
+                if ns != 0 && misses.iter().all(|&(_, v)| v.is_some()) {
+                    Some((
+                        ns,
+                        misses
+                            .iter()
+                            .map(|&(i, v)| {
+                                let (offset, size) = locs[i];
+                                (
+                                    requests[i].0.to_string(),
+                                    offset,
+                                    size,
+                                    v.expect("checked above"),
+                                )
+                            })
+                            .collect(),
+                    ))
+                } else {
+                    None
+                };
+            let fetched = match &flight_key {
+                Some(fk) => {
+                    let (fetched, deduped) =
+                        batch_flights().run(fk, || self.store.get_ranges(&ranges));
+                    if deduped {
+                        self.store.record_dedup(misses.len() as u64);
+                    }
+                    fetched?
+                }
+                None => self.store.get_ranges(&ranges)?,
+            };
             for ((i, validator), bytes) in misses.into_iter().zip(fetched) {
                 if let Some(v) = validator {
                     let (offset, size) = locs[i];

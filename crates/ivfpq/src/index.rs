@@ -553,7 +553,7 @@ mod tests {
         let mut recall_high = 0.0;
         let queries = 20;
         for _ in 0..queries {
-            let qi = rng.gen_range(0..4000);
+            let qi = rng.gen_range(0..4000usize);
             let query = &data[qi * DIM..(qi + 1) * DIM];
             let truth = truth_ids(&data, query, 10);
 

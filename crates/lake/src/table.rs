@@ -331,10 +331,11 @@ impl<'a> Table<'a> {
         Ok(Some(path))
     }
 
-    /// Emits page-cache invalidation hints for files this table has
-    /// replaced (compaction, clustering rewrites) or physically deleted
-    /// (vacuum). Correctness never depends on this — validators already
-    /// fence stale generations — it only releases dead bytes early.
+    /// Emits page-cache and negative-scan-cache invalidation hints for
+    /// files this table has replaced (compaction, clustering rewrites) or
+    /// physically deleted (vacuum). Correctness never depends on this —
+    /// validators already fence stale generations — it only releases dead
+    /// bytes (and dead proven-empty records) early.
     fn invalidate_cached_pages<'p>(&self, paths: impl IntoIterator<Item = &'p str>) {
         let ns = self.retry.store_id();
         if ns == 0 {
@@ -342,6 +343,7 @@ impl<'a> Table<'a> {
         }
         for path in paths {
             PageCache::global().invalidate_file(ns, path);
+            rottnest_format::NegScanCache::global().invalidate_file(ns, path);
         }
     }
 

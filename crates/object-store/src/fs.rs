@@ -196,6 +196,10 @@ impl ObjectStore for FsStore {
     fn record_page_cache_bypass(&self, n: u64) {
         self.stats.record_page_cache_bypass(n);
     }
+
+    fn record_dedup(&self, n: u64) {
+        self.stats.record_dedup(n);
+    }
 }
 
 impl std::fmt::Debug for FsStore {

@@ -30,6 +30,7 @@ pub mod latency;
 pub mod memory;
 pub mod parallel;
 pub mod retry;
+pub mod singleflight;
 pub mod stats;
 
 use std::ops::Range;
@@ -50,6 +51,7 @@ pub use parallel::{
     ordered_pipeline,
 };
 pub use retry::{RetryPolicy, RetryStore};
+pub use singleflight::SingleFlight;
 pub use stats::{RequestStats, StatsSnapshot};
 
 /// Metadata about a stored object.
@@ -295,6 +297,13 @@ pub trait ObjectStore: Send + Sync {
     fn record_page_cache_bypass(&self, n: u64) {
         let _ = n;
     }
+
+    /// Reports `n` reads served by single-flight deduplication (joining an
+    /// identical in-flight request instead of issuing a GET). Backends
+    /// without stats ignore it.
+    fn record_dedup(&self, n: u64) {
+        let _ = n;
+    }
 }
 
 /// Allocates a fresh process-unique [`store_id`](ObjectStore::store_id).
@@ -361,6 +370,9 @@ impl<T: ObjectStore + ?Sized> ObjectStore for &T {
     }
     fn record_page_cache_bypass(&self, n: u64) {
         (**self).record_page_cache_bypass(n)
+    }
+    fn record_dedup(&self, n: u64) {
+        (**self).record_dedup(n)
     }
 }
 

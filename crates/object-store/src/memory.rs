@@ -446,6 +446,10 @@ impl ObjectStore for MemoryStore {
     fn record_page_cache_bypass(&self, n: u64) {
         self.stats.record_page_cache_bypass(n);
     }
+
+    fn record_dedup(&self, n: u64) {
+        self.stats.record_dedup(n);
+    }
 }
 
 fn slice_range(key: &str, data: &Bytes, range: &Range<u64>) -> Result<Bytes> {

@@ -337,6 +337,10 @@ impl<S: ObjectStore> ObjectStore for RetryStore<S> {
     fn record_page_cache_bypass(&self, n: u64) {
         self.inner.record_page_cache_bypass(n);
     }
+
+    fn record_dedup(&self, n: u64) {
+        self.inner.record_dedup(n);
+    }
 }
 
 #[cfg(test)]

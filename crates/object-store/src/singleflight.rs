@@ -1,0 +1,321 @@
+//! Single-flight deduplication of identical in-flight calls.
+//!
+//! When many concurrent queries need the same remote bytes — the same index
+//! component, the same data page — only the first caller (the **leader**)
+//! should pay the GET; everyone else (the **followers**) waits and shares
+//! the leader's result. A thousand concurrent queries for one hot UUID then
+//! cost one underlying request instead of a thousand-way stampede.
+//!
+//! Semantics, chosen for correctness under chaos:
+//!
+//! * **Dedup only on success.** A leader's `Ok` is cloned to every follower
+//!   of that flight (cheap: values are [`bytes::Bytes`]-like cheaply
+//!   clonable payloads).
+//! * **Followers never inherit failure.** If the leader's call fails, its
+//!   followers *retry*: each loops back and races to become the next
+//!   leader, running its own closure. A transient fault on one request can
+//!   therefore never fan out into N failures — exactly one caller observes
+//!   each failed attempt (its own).
+//! * **Panic-safe.** A leader that panics mid-call marks the flight failed
+//!   on unwind, so followers wake and retry instead of blocking forever.
+//! * **No effect without concurrency.** A call that overlaps no identical
+//!   call runs its closure directly; single-threaded request counts are
+//!   bit-identical to a build without single-flight.
+
+use std::hash::Hash;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::FxHashMap;
+
+/// State of one in-flight call, shared between its leader and followers.
+enum FlightState<V> {
+    /// The leader is still running.
+    Pending,
+    /// The leader succeeded; followers clone the value.
+    Done(V),
+    /// The leader failed (error or panic); followers retry.
+    Failed,
+}
+
+struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    cv: Condvar,
+}
+
+/// Keyed single-flight call deduplicator. See the module docs for the
+/// leader/follower contract.
+pub struct SingleFlight<K, V> {
+    inflight: Mutex<FxHashMap<K, Arc<Flight<V>>>>,
+}
+
+impl<K, V> Default for SingleFlight<K, V> {
+    fn default() -> Self {
+        Self {
+            inflight: Mutex::new(FxHashMap::default()),
+        }
+    }
+}
+
+impl<K, V> SingleFlight<K, V>
+where
+    K: Eq + Hash + Clone,
+    V: Clone,
+{
+    /// Creates an empty deduplicator.
+    pub fn new() -> Self {
+        Self {
+            inflight: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// Number of calls currently in flight (tests only).
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.lock().len()
+    }
+
+    /// Runs `f` under `key`, deduplicating against concurrent identical
+    /// calls. Returns the result plus whether it was served from another
+    /// caller's flight (`true` = this caller paid no underlying call).
+    ///
+    /// Each caller's closure runs **at most once**; a follower that must
+    /// retry after a leader failure becomes a leader itself and runs its
+    /// own closure, never the failed leader's.
+    pub fn run<E>(&self, key: &K, f: impl FnOnce() -> Result<V, E>) -> (Result<V, E>, bool) {
+        let mut f = Some(f);
+        loop {
+            let existing = {
+                let mut map = self.inflight.lock();
+                match map.get(key) {
+                    Some(flight) => Some(flight.clone()),
+                    None => {
+                        let flight = Arc::new(Flight {
+                            state: Mutex::new(FlightState::Pending),
+                            cv: Condvar::new(),
+                        });
+                        map.insert(key.clone(), flight);
+                        None
+                    }
+                }
+            };
+            let Some(flight) = existing else {
+                // Leader: run the closure outside every lock, then publish.
+                // The guard marks the flight failed if the closure panics,
+                // so followers retry instead of waiting forever.
+                let guard = LeaderGuard {
+                    owner: self,
+                    key,
+                    done: false,
+                };
+                let result = (f.take().expect("leader runs at most once"))();
+                guard.finish(result.as_ref().ok().cloned());
+                return (result, false);
+            };
+            // Follower: wait for the leader to publish.
+            let mut state = flight.state.lock();
+            while matches!(*state, FlightState::Pending) {
+                flight.cv.wait(&mut state);
+            }
+            match &*state {
+                FlightState::Done(v) => return (Ok(v.clone()), true),
+                // Leader failed: loop and race to become the next leader.
+                FlightState::Failed => continue,
+                FlightState::Pending => unreachable!("woken only on publish"),
+            }
+        }
+    }
+}
+
+/// Publishes a leader's outcome on drop, covering both the normal path
+/// (via [`LeaderGuard::finish`]) and unwinds from a panicking closure.
+struct LeaderGuard<'a, K: Eq + Hash + Clone, V: Clone> {
+    owner: &'a SingleFlight<K, V>,
+    key: &'a K,
+    done: bool,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LeaderGuard<'_, K, V> {
+    fn finish(mut self, value: Option<V>) {
+        self.publish(value);
+        self.done = true;
+    }
+
+    fn publish(&self, value: Option<V>) {
+        // Remove from the in-flight map *before* waking followers: a
+        // follower that retries must find the slot free (or freshly
+        // claimed by another retrier), never the dead flight again.
+        let flight = self.owner.inflight.lock().remove(self.key);
+        let Some(flight) = flight else { return };
+        let mut state = flight.state.lock();
+        *state = match value {
+            Some(v) => FlightState::Done(v),
+            None => FlightState::Failed,
+        };
+        flight.cv.notify_all();
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Drop for LeaderGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.publish(None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn solo_call_runs_directly_and_clears_state() {
+        let sf: SingleFlight<u32, u32> = SingleFlight::new();
+        let (got, deduped) = sf.run(&7, || Ok::<_, ()>(42));
+        assert_eq!(got, Ok(42));
+        assert!(!deduped, "a call with no concurrent twin is never deduped");
+        assert_eq!(sf.inflight_len(), 0);
+    }
+
+    #[test]
+    fn solo_error_is_returned_and_clears_state() {
+        let sf: SingleFlight<u32, u32> = SingleFlight::new();
+        let (got, deduped) = sf.run(&7, || Err::<u32, _>("boom"));
+        assert_eq!(got, Err("boom"));
+        assert!(!deduped);
+        assert_eq!(sf.inflight_len(), 0);
+    }
+
+    #[test]
+    fn concurrent_callers_share_one_execution() {
+        const N: usize = 16;
+        let sf: SingleFlight<u32, u32> = SingleFlight::new();
+        let runs = AtomicUsize::new(0);
+        let arrived = AtomicUsize::new(0);
+        let released = std::sync::atomic::AtomicBool::new(false);
+        let start = Barrier::new(N + 1);
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..N {
+                handles.push(s.spawn(|| {
+                    start.wait();
+                    arrived.fetch_add(1, Ordering::SeqCst);
+                    sf.run(&1, || {
+                        runs.fetch_add(1, Ordering::SeqCst);
+                        // Hold the flight open until the main thread has
+                        // seen every caller arrive (plus a settle window),
+                        // so the other N-1 all join as followers.
+                        while !released.load(Ordering::SeqCst) {
+                            std::thread::yield_now();
+                        }
+                        Ok::<_, ()>(99)
+                    })
+                }));
+            }
+            start.wait();
+            while arrived.load(Ordering::SeqCst) < N {
+                std::thread::yield_now();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            released.store(true, Ordering::SeqCst);
+            let mut dedup_hits = 0;
+            for h in handles {
+                let (got, deduped) = h.join().unwrap();
+                assert_eq!(got, Ok(99));
+                if deduped {
+                    dedup_hits += 1;
+                }
+            }
+            let executions = runs.load(Ordering::SeqCst);
+            assert_eq!(
+                executions + dedup_hits,
+                N,
+                "every caller either ran or was deduped"
+            );
+            assert_eq!(executions, 1, "one execution serves all {N} callers");
+        });
+        assert_eq!(sf.inflight_len(), 0);
+    }
+
+    /// The leader-failure contract: the first closure to run fails; every
+    /// follower retries with its own closure rather than inheriting the
+    /// error. Regardless of interleaving, exactly the caller whose closure
+    /// ran first observes the error — everyone else ends up `Ok`.
+    #[test]
+    fn followers_retry_after_leader_failure_instead_of_inheriting_it() {
+        const N: usize = 8;
+        for _round in 0..50 {
+            let sf: SingleFlight<u32, u32> = SingleFlight::new();
+            let runs = AtomicUsize::new(0);
+            let start = Barrier::new(N);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..N)
+                    .map(|_| {
+                        s.spawn(|| {
+                            start.wait();
+                            sf.run(&1, || {
+                                // The first closure to execute fails.
+                                if runs.fetch_add(1, Ordering::SeqCst) == 0 {
+                                    Err("first attempt fails")
+                                } else {
+                                    Ok(7)
+                                }
+                            })
+                        })
+                    })
+                    .collect();
+                let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+                let errs = outcomes.iter().filter(|(r, _)| r.is_err()).count();
+                assert_eq!(
+                    errs, 1,
+                    "exactly the caller whose own closure failed sees the error"
+                );
+                for (r, _) in &outcomes {
+                    if let Ok(v) = r {
+                        assert_eq!(*v, 7);
+                    }
+                }
+                assert!(
+                    runs.load(Ordering::SeqCst) >= 2,
+                    "failure must trigger at least one retry execution"
+                );
+            });
+            assert_eq!(sf.inflight_len(), 0);
+        }
+    }
+
+    #[test]
+    fn panicking_leader_unblocks_followers() {
+        let sf: Arc<SingleFlight<u32, u32>> = Arc::new(SingleFlight::new());
+        let entered = Arc::new(Barrier::new(2));
+        let leader = {
+            let sf = sf.clone();
+            let entered = entered.clone();
+            std::thread::spawn(move || {
+                let _ = sf.run(&1, || -> Result<u32, ()> {
+                    entered.wait();
+                    // Give the follower a moment to join the flight.
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    panic!("leader dies");
+                });
+            })
+        };
+        entered.wait();
+        // Either a follower of the doomed flight (retries after the panic
+        // publishes Failed) or a late arrival (runs directly) — both Ok.
+        let (got, _) = sf.run(&1, || Ok::<_, ()>(5));
+        assert_eq!(got, Ok(5));
+        assert!(leader.join().is_err(), "leader thread panicked");
+        assert_eq!(sf.inflight_len(), 0);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_interfere() {
+        let sf: SingleFlight<u32, u32> = SingleFlight::new();
+        let (a, _) = sf.run(&1, || Ok::<_, ()>(10));
+        let (b, _) = sf.run(&2, || Ok::<_, ()>(20));
+        assert_eq!((a, b), (Ok(10), Ok(20)));
+    }
+}

@@ -28,6 +28,7 @@ pub struct RequestStats {
     page_cache_misses: AtomicU64,
     page_cache_bytes_saved: AtomicU64,
     page_cache_bypassed: AtomicU64,
+    dedup_hits: AtomicU64,
 }
 
 impl RequestStats {
@@ -110,6 +111,13 @@ impl RequestStats {
         self.page_cache_bypassed.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` reads served by joining another caller's identical
+    /// in-flight request (single-flight deduplication) instead of issuing
+    /// their own GETs.
+    pub fn record_dedup(&self, n: u64) {
+        self.dedup_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -132,6 +140,7 @@ impl RequestStats {
             page_cache_misses: self.page_cache_misses.load(Ordering::Relaxed),
             page_cache_bytes_saved: self.page_cache_bytes_saved.load(Ordering::Relaxed),
             page_cache_bypassed: self.page_cache_bypassed.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -181,6 +190,9 @@ pub struct StatsSnapshot {
     /// One-shot page reads (index-builder downloads, brute-force scans)
     /// that deliberately bypassed page-cache admission.
     pub page_cache_bypassed: u64,
+    /// Reads served by joining another caller's identical in-flight
+    /// request (single-flight deduplication); each is a GET nobody paid.
+    pub dedup_hits: u64,
 }
 
 impl StatsSnapshot {
@@ -207,6 +219,7 @@ impl StatsSnapshot {
             page_cache_misses: self.page_cache_misses - earlier.page_cache_misses,
             page_cache_bytes_saved: self.page_cache_bytes_saved - earlier.page_cache_bytes_saved,
             page_cache_bypassed: self.page_cache_bypassed - earlier.page_cache_bypassed,
+            dedup_hits: self.dedup_hits - earlier.dedup_hits,
         }
     }
 

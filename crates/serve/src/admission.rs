@@ -1,0 +1,363 @@
+//! Semaphore-based admission control with bounded queueing and
+//! deadline-aware shedding.
+//!
+//! The serving layer's first line of defense: at most `max_concurrent`
+//! searches run at once, at most `max_queued` wait behind them, and a
+//! query whose deadline cannot be met *even if admitted* is refused
+//! immediately — before it costs a single store request — with a typed
+//! [`ShedReason`] the client can act on. Everything past those bounds
+//! fails fast instead of piling onto a collapsing server.
+//!
+//! The finish-time estimate that drives deadline shedding is a pure
+//! function ([`estimate_finish_ms`]) shared with the deterministic
+//! open-arrival simulator (`crate::sim`), so the benchmark models exactly
+//! the policy the threaded controller enforces.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+use rottnest::RottnestError;
+
+/// Knobs for the admission controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Searches allowed to run concurrently.
+    pub max_concurrent: usize,
+    /// Searches allowed to wait for a slot; arrivals beyond this shed
+    /// with [`ShedReason::QueueFull`].
+    pub max_queued: usize,
+    /// Seed for the per-query service-time estimate (store-clock ms),
+    /// used for deadline shedding until real completions refine it.
+    pub expected_service_ms: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            max_concurrent: rottnest_object_store::default_parallelism(),
+            max_queued: 64,
+            expected_service_ms: 50,
+        }
+    }
+}
+
+/// Why a query was refused at admission. Every variant is raised *before*
+/// the query issues any store traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The wait queue is at capacity.
+    QueueFull {
+        /// Client hint: one estimated service time from now.
+        retry_after_ms: u64,
+    },
+    /// Even if queued, the estimated finish time is past the deadline —
+    /// running the query would only waste work it cannot complete in time.
+    DeadlineUnmeetable {
+        /// Estimated store-clock finish time were the query admitted.
+        estimated_finish_ms: u64,
+        /// The query's absolute deadline.
+        deadline_ms: u64,
+    },
+    /// The tenant exhausted its admitted-queries-per-second budget.
+    TenantBudget {
+        /// Client hint: when the budget window rolls over.
+        retry_after_ms: u64,
+    },
+}
+
+impl ShedReason {
+    /// Converts into the protocol-level typed error.
+    pub fn into_error(self) -> RottnestError {
+        match self {
+            ShedReason::QueueFull { retry_after_ms } => RottnestError::Overloaded {
+                reason: "admission queue full".to_string(),
+                retry_after_ms,
+            },
+            ShedReason::DeadlineUnmeetable {
+                estimated_finish_ms,
+                deadline_ms,
+            } => RottnestError::Overloaded {
+                reason: format!(
+                    "deadline unmeetable: estimated finish {estimated_finish_ms}ms past \
+                     deadline {deadline_ms}ms"
+                ),
+                retry_after_ms: estimated_finish_ms.saturating_sub(deadline_ms).max(1),
+            },
+            ShedReason::TenantBudget { retry_after_ms } => RottnestError::Overloaded {
+                reason: "tenant budget exhausted".to_string(),
+                retry_after_ms,
+            },
+        }
+    }
+}
+
+/// Estimated store-clock time at which a query arriving now would finish,
+/// given `running` active searches, `queued` waiting ahead of it,
+/// `max_concurrent` slots, and a per-query service-time estimate.
+///
+/// The model is wave-based: the arrivals ahead drain in batches of
+/// `max_concurrent`, each batch costing one service time, and the query
+/// itself costs one more. Pure — shared verbatim by the threaded
+/// controller and the virtual-time simulator.
+pub fn estimate_finish_ms(
+    now_ms: u64,
+    running: usize,
+    queued: usize,
+    max_concurrent: usize,
+    service_ms: u64,
+) -> u64 {
+    let ahead = running + queued;
+    let waves = ahead / max_concurrent.max(1);
+    now_ms + (waves as u64 + 1) * service_ms.max(1)
+}
+
+#[derive(Debug, Default)]
+struct State {
+    running: usize,
+    queued: usize,
+}
+
+/// The admission controller: a counting semaphore with a bounded wait
+/// queue and deadline-aware shedding at the gate.
+pub struct Admission {
+    cfg: AdmissionConfig,
+    state: Mutex<State>,
+    cv: Condvar,
+    /// Smoothed observed service time (ms), seeded by
+    /// [`AdmissionConfig::expected_service_ms`].
+    service_ms: AtomicU64,
+}
+
+impl std::fmt::Debug for Admission {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (running, queued) = self.occupancy();
+        f.debug_struct("Admission")
+            .field("cfg", &self.cfg)
+            .field("running", &running)
+            .field("queued", &queued)
+            .field("service_ms", &self.service_ms())
+            .finish()
+    }
+}
+
+impl Admission {
+    /// Creates a controller with the given bounds.
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        Self {
+            service_ms: AtomicU64::new(cfg.expected_service_ms.max(1)),
+            cfg,
+            state: Mutex::new(State::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The bounds in effect.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.cfg
+    }
+
+    /// Current smoothed service-time estimate (store-clock ms).
+    pub fn service_ms(&self) -> u64 {
+        self.service_ms.load(Ordering::Relaxed)
+    }
+
+    /// Folds an observed query duration into the service-time estimate
+    /// (EWMA with 1/4 weight on the new sample).
+    pub fn observe_service_ms(&self, observed_ms: u64) {
+        let old = self.service_ms.load(Ordering::Relaxed);
+        let new = (old * 3 + observed_ms.max(1)) / 4;
+        self.service_ms.store(new.max(1), Ordering::Relaxed);
+    }
+
+    /// Admits a query or sheds it. On success the returned [`Permit`]
+    /// holds one concurrency slot until dropped; callers run the search
+    /// under it. Shedding never blocks: `QueueFull` and
+    /// `DeadlineUnmeetable` are decided from the state at arrival.
+    ///
+    /// A queued query waits (blocking) for a slot; its deadline was
+    /// checked as meetable at arrival, and the search itself re-checks
+    /// cooperatively once running, so a late wake degrades into a typed
+    /// [`RottnestError::DeadlineExceeded`] rather than silent extra load.
+    pub fn admit(&self, now_ms: u64, deadline_ms: Option<u64>) -> Result<Permit<'_>, ShedReason> {
+        let mut st = self.state.lock();
+        if st.running >= self.cfg.max_concurrent {
+            if st.queued >= self.cfg.max_queued {
+                return Err(ShedReason::QueueFull {
+                    retry_after_ms: self.service_ms(),
+                });
+            }
+            if let Some(deadline_ms) = deadline_ms {
+                let estimated_finish_ms = estimate_finish_ms(
+                    now_ms,
+                    st.running,
+                    st.queued,
+                    self.cfg.max_concurrent,
+                    self.service_ms(),
+                );
+                if estimated_finish_ms > deadline_ms {
+                    return Err(ShedReason::DeadlineUnmeetable {
+                        estimated_finish_ms,
+                        deadline_ms,
+                    });
+                }
+            }
+            st.queued += 1;
+            while st.running >= self.cfg.max_concurrent {
+                self.cv.wait(&mut st);
+            }
+            st.queued -= 1;
+        }
+        st.running += 1;
+        Ok(Permit { admission: self })
+    }
+
+    /// `(running, queued)` occupancy (tests and introspection).
+    pub fn occupancy(&self) -> (usize, usize) {
+        let st = self.state.lock();
+        (st.running, st.queued)
+    }
+}
+
+/// One admitted query's concurrency slot; releasing it (drop) wakes the
+/// next queued query. RAII, so a panicking search still frees its slot.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    admission: &'a Admission,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut st = self.admission.state.lock();
+        st.running = st.running.saturating_sub(1);
+        drop(st);
+        self.admission.cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(max_concurrent: usize, max_queued: usize) -> AdmissionConfig {
+        AdmissionConfig {
+            max_concurrent,
+            max_queued,
+            expected_service_ms: 10,
+        }
+    }
+
+    #[test]
+    fn admits_up_to_concurrency_then_queues_then_sheds() {
+        let adm = Admission::new(cfg(2, 1));
+        let p1 = adm.admit(0, None).unwrap();
+        let p2 = adm.admit(0, None).unwrap();
+        assert_eq!(adm.occupancy(), (2, 0));
+        // Third would queue (blocking), fourth would shed; prove the shed
+        // bound without blocking by filling the queue from another thread.
+        std::thread::scope(|s| {
+            let h = s.spawn(|| {
+                // Occupies the single queue slot until permits free up.
+                let _p3 = adm.admit(0, None).unwrap();
+            });
+            while adm.occupancy().1 < 1 {
+                std::thread::yield_now();
+            }
+            match adm.admit(0, None) {
+                Err(ShedReason::QueueFull { .. }) => {}
+                other => panic!("expected QueueFull, got {other:?}"),
+            }
+            drop(p1);
+            drop(p2);
+            h.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn deadline_unmeetable_sheds_before_queueing() {
+        let adm = Admission::new(cfg(1, 8));
+        let _p = adm.admit(0, None).unwrap();
+        // One query running, estimate 10ms service: a queued arrival
+        // would finish around t=20 — a deadline of 5 can't be met.
+        match adm.admit(0, Some(5)) {
+            Err(ShedReason::DeadlineUnmeetable {
+                estimated_finish_ms,
+                deadline_ms,
+            }) => {
+                assert!(estimated_finish_ms > deadline_ms);
+            }
+            other => panic!("expected DeadlineUnmeetable, got {other:?}"),
+        }
+        // A generous deadline queues instead — prove it doesn't shed by
+        // freeing the permit from another thread.
+        std::thread::scope(|s| {
+            let h = s.spawn(|| adm.admit(0, Some(1_000)).map(|_| ()));
+            while adm.occupancy().1 < 1 {
+                std::thread::yield_now();
+            }
+            drop(_p);
+            h.join().unwrap().unwrap();
+        });
+    }
+
+    #[test]
+    fn permit_drop_frees_slot() {
+        let adm = Admission::new(cfg(1, 0));
+        let p = adm.admit(0, None).unwrap();
+        assert!(matches!(
+            adm.admit(0, None),
+            Err(ShedReason::QueueFull { .. })
+        ));
+        drop(p);
+        let _p2 = adm.admit(0, None).unwrap();
+    }
+
+    #[test]
+    fn estimate_is_wave_based() {
+        // Nothing ahead: one service time.
+        assert_eq!(estimate_finish_ms(100, 0, 0, 4, 10), 110);
+        // A full wave ahead: two service times.
+        assert_eq!(estimate_finish_ms(100, 4, 0, 4, 10), 120);
+        // Partial wave ahead still drains within the first wave.
+        assert_eq!(estimate_finish_ms(100, 3, 0, 4, 10), 110);
+        // 11 ahead: two full waves drain, then I run in the third.
+        assert_eq!(estimate_finish_ms(100, 4, 7, 4, 10), 130);
+        // 12 ahead: three full waves, then mine.
+        assert_eq!(estimate_finish_ms(100, 4, 8, 4, 10), 140);
+    }
+
+    #[test]
+    fn service_estimate_smooths_observations() {
+        let adm = Admission::new(cfg(1, 1));
+        assert_eq!(adm.service_ms(), 10);
+        adm.observe_service_ms(50);
+        assert_eq!(adm.service_ms(), 20);
+        for _ in 0..16 {
+            adm.observe_service_ms(50);
+        }
+        assert!(adm.service_ms() > 40, "estimate converges toward samples");
+    }
+
+    #[test]
+    fn shed_reasons_map_to_overloaded() {
+        let e = ShedReason::QueueFull { retry_after_ms: 7 }.into_error();
+        assert!(matches!(
+            e,
+            RottnestError::Overloaded {
+                retry_after_ms: 7,
+                ..
+            }
+        ));
+        let e = ShedReason::DeadlineUnmeetable {
+            estimated_finish_ms: 30,
+            deadline_ms: 20,
+        }
+        .into_error();
+        assert!(matches!(
+            e,
+            RottnestError::Overloaded {
+                retry_after_ms: 10,
+                ..
+            }
+        ));
+    }
+}

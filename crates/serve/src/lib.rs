@@ -1,0 +1,37 @@
+//! Rottnest query serving layer: staying correct — and fast to say no —
+//! under overload.
+//!
+//! [`QueryService`] wraps a [`rottnest::Rottnest`] client with the
+//! pipeline a multi-tenant search endpoint needs:
+//!
+//! 1. **Tenant budgets** — per-tenant admitted-queries-per-second via the
+//!    object-store layer's `PrefixThrottle` cost model (rejecting mode).
+//! 2. **Admission control** ([`Admission`]) — a counting semaphore with a
+//!    bounded wait queue; arrivals past the bound shed immediately with a
+//!    typed [`rottnest::RottnestError::Overloaded`].
+//! 3. **Deadline-aware shedding** — a query whose deadline cannot be met
+//!    even if admitted ([`estimate_finish_ms`]) is refused before it
+//!    costs a single store request.
+//! 4. **Single-flight dedup** — identical in-flight queries (same
+//!    snapshot version, column, and query fingerprint) share one search;
+//!    a thousand concurrent hot-UUID lookups cost one set of GETs.
+//! 5. **Deadline propagation** — the absolute deadline rides into
+//!    [`rottnest::Rottnest::search_with_deadline`], which polls it
+//!    cooperatively between index probes and brute-scanned files and
+//!    aborts with a typed `DeadlineExceeded` that never poisons caches.
+//!
+//! Admitted queries return results bit-identical to a direct
+//! `Rottnest::search` call; everything the service refuses or aborts
+//! fails fast with a typed error carrying a retry hint.
+//!
+//! [`sim`] holds a deterministic virtual-time model of the same policy
+//! (sharing [`estimate_finish_ms`] verbatim) that `bench_serve` uses to
+//! report reproducible tail latencies, shed rates, and dedup rates.
+
+pub mod admission;
+pub mod service;
+pub mod sim;
+
+pub use admission::{estimate_finish_ms, Admission, AdmissionConfig, Permit, ShedReason};
+pub use service::{QueryService, ServiceConfig, ServiceStats};
+pub use sim::{simulate, SimConfig, SimReport};

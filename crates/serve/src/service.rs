@@ -1,0 +1,285 @@
+//! The query service: the full serving pipeline over [`Rottnest`].
+//!
+//! ```text
+//! request ──► tenant budget ──► admission ──► single-flight ──► search
+//!               (shed)         (shed/queue)     (dedup)       (deadline)
+//! ```
+//!
+//! * **Tenant budgets** reuse the object-store layer's
+//!   [`PrefixThrottle`] cost model in rejecting mode: each tenant gets an
+//!   admitted-queries-per-second budget, and overflow sheds with a typed
+//!   [`RottnestError::Overloaded`] carrying a `retry_after_ms` hint.
+//! * **Admission** bounds concurrency and queueing, and sheds queries
+//!   whose deadline cannot be met even if admitted
+//!   ([`crate::admission`]).
+//! * **Single-flight** dedups identical in-flight queries — same snapshot
+//!   version, column, and query fingerprint — so a thousand concurrent
+//!   queries for one hot UUID run one search and share its outcome.
+//! * **Deadline propagation** hands the client's absolute deadline to
+//!   [`Rottnest::search_with_deadline`], which polls it cooperatively and
+//!   aborts with [`RottnestError::DeadlineExceeded`].
+//!
+//! Results for admitted queries are bit-identical to calling
+//! [`Rottnest::search`] directly — admission and dedup change *when* and
+//! *how often* work runs, never what it computes. A deduped follower
+//! receives a clone of the leader's outcome (including the leader's
+//! per-query stats); the service-level aggregate counts the follower
+//! under [`ServiceStats::dedup_hits`] instead of double-counting its
+//! work.
+
+use parking_lot::Mutex;
+use rottnest::{Query, Rottnest, RottnestError, SearchOutcome, SearchStats};
+use rottnest_format::NegScanCache;
+use rottnest_lake::{Snapshot, Table};
+use rottnest_object_store::{PrefixThrottle, SingleFlight};
+
+use crate::admission::{Admission, AdmissionConfig, ShedReason};
+
+/// Knobs for the query service.
+///
+/// The default runs with `AdmissionConfig::default()` bounds, no tenant
+/// budgeting, and no implicit deadline — exactly like a direct search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceConfig {
+    /// Concurrency / queue bounds and deadline shedding.
+    pub admission: AdmissionConfig,
+    /// Per-tenant admitted-queries-per-second budget; `0` disables
+    /// tenant budgeting.
+    pub tenant_limit_per_sec: u64,
+    /// Budget applied to requests that carry no explicit deadline;
+    /// `None` lets them run unbounded, exactly like a direct search.
+    pub default_timeout_ms: Option<u64>,
+}
+
+/// Service-level accounting across every request the service saw.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests that passed every admission check and ran (or joined) a
+    /// search.
+    pub admitted: u64,
+    /// Admitted requests that returned `Ok`.
+    pub completed: u64,
+    /// Requests refused at admission (queue full, deadline unmeetable,
+    /// tenant budget) — typed fast-fails that cost no store traffic.
+    pub queries_shed: u64,
+    /// Admitted requests aborted mid-search by deadline expiry.
+    pub deadline_aborts: u64,
+    /// Admitted requests served by joining another identical in-flight
+    /// search instead of running their own.
+    pub dedup_hits: u64,
+    /// Work done by the searches this service actually ran, absorbed
+    /// per-outcome ([`SearchStats::absorb`]); the shed / abort / dedup
+    /// counters above are mirrored into its matching fields.
+    pub search: SearchStats,
+}
+
+/// `(snapshot version, column, query fingerprint)`: two requests with the
+/// same key are provably the same computation — the snapshot pins the
+/// data, the fingerprint pins the predicate — so sharing one in-flight
+/// search is always legal.
+type QueryFlightKey = (u64, String, u64);
+
+/// The serving layer over one [`Rottnest`] client.
+pub struct QueryService<'r, 'a> {
+    rot: &'r Rottnest<'a>,
+    cfg: ServiceConfig,
+    admission: Admission,
+    tenants: PrefixThrottle,
+    flights: SingleFlight<QueryFlightKey, SearchOutcome>,
+    stats: Mutex<ServiceStats>,
+}
+
+impl<'r, 'a> QueryService<'r, 'a> {
+    /// Creates a service over `rot` with the given bounds.
+    pub fn new(rot: &'r Rottnest<'a>, cfg: ServiceConfig) -> Self {
+        Self {
+            rot,
+            admission: Admission::new(cfg.admission),
+            tenants: PrefixThrottle::rejecting(cfg.tenant_limit_per_sec),
+            flights: SingleFlight::new(),
+            cfg,
+            stats: Mutex::new(ServiceStats::default()),
+        }
+    }
+
+    /// The admission controller (introspection and tests).
+    pub fn admission(&self) -> &Admission {
+        &self.admission
+    }
+
+    /// A copy of the service-level accounting so far.
+    pub fn stats(&self) -> ServiceStats {
+        *self.stats.lock()
+    }
+
+    /// Serves one query under the service's default timeout.
+    pub fn query(
+        &self,
+        table: &Table<'_>,
+        snapshot: &Snapshot,
+        column: &str,
+        query: &Query<'_>,
+        tenant: &str,
+    ) -> rottnest::Result<SearchOutcome> {
+        let deadline_ms = self
+            .cfg
+            .default_timeout_ms
+            .map(|budget| self.rot.store().now_ms().saturating_add(budget));
+        self.query_with_deadline(table, snapshot, column, query, tenant, deadline_ms)
+    }
+
+    /// Serves one query against an absolute store-clock deadline,
+    /// running the full shed → admit → dedup → search pipeline.
+    ///
+    /// Every error is typed: [`RottnestError::Overloaded`] for requests
+    /// refused before any work, [`RottnestError::DeadlineExceeded`] for
+    /// admitted searches that ran out of budget mid-flight, and the usual
+    /// search errors otherwise.
+    pub fn query_with_deadline(
+        &self,
+        table: &Table<'_>,
+        snapshot: &Snapshot,
+        column: &str,
+        query: &Query<'_>,
+        tenant: &str,
+        deadline_ms: Option<u64>,
+    ) -> rottnest::Result<SearchOutcome> {
+        let now_ms = self.rot.store().now_ms();
+
+        // 1. Tenant budget (PrefixThrottle in rejecting mode; the "/q"
+        // suffix makes the tenant id the throttled prefix).
+        if self.cfg.tenant_limit_per_sec > 0 {
+            if let Err(retry_after_ms) = self.tenants.try_charge(&format!("{tenant}/q"), 1, now_ms)
+            {
+                self.note_shed();
+                return Err(ShedReason::TenantBudget { retry_after_ms }.into_error());
+            }
+        }
+
+        // 2. Admission: bounded concurrency + queueing, deadline-aware
+        // shedding. The permit is RAII — released on every path below.
+        let permit = match self.admission.admit(now_ms, deadline_ms) {
+            Ok(p) => p,
+            Err(shed) => {
+                self.note_shed();
+                return Err(shed.into_error());
+            }
+        };
+
+        // 3. Single-flight: identical in-flight queries share one search.
+        // Failures never fan out — a follower whose leader errored
+        // retries as its own leader (see `SingleFlight`), so one
+        // transient fault cannot fail a whole convoy.
+        let key = (
+            snapshot.version(),
+            column.to_string(),
+            query_fingerprint(column, query),
+        );
+        let started_ms = self.rot.store().now_ms();
+        let (result, deduped) = self.flights.run(&key, || {
+            self.rot
+                .search_with_deadline(table, snapshot, column, query, deadline_ms)
+        });
+        drop(permit);
+        self.admission
+            .observe_service_ms(self.rot.store().now_ms().saturating_sub(started_ms));
+
+        // 4. Accounting.
+        let mut st = self.stats.lock();
+        st.admitted += 1;
+        match &result {
+            Ok(out) => {
+                st.completed += 1;
+                if deduped {
+                    st.dedup_hits += 1;
+                    st.search.dedup_hits += 1;
+                } else {
+                    st.search.absorb(&out.stats);
+                }
+            }
+            Err(RottnestError::DeadlineExceeded { .. }) => {
+                st.deadline_aborts += 1;
+                st.search.deadline_aborts += 1;
+            }
+            Err(_) => {}
+        }
+        result
+    }
+
+    fn note_shed(&self) {
+        let mut st = self.stats.lock();
+        st.queries_shed += 1;
+        st.search.queries_shed += 1;
+    }
+}
+
+/// Fingerprints a query for whole-query dedup. Everything that affects
+/// the outcome participates: the kind tag, the column, the needle bytes
+/// (or vector bits), and `k` / the search-effort knobs.
+fn query_fingerprint(column: &str, query: &Query<'_>) -> u64 {
+    fn fnv(h: u64, bytes: &[u8]) -> u64 {
+        let mut h = h;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+    match query {
+        Query::UuidEq { key, k } => {
+            let h = NegScanCache::probe_fingerprint(0, column, key);
+            fnv(h, &(*k as u64).to_le_bytes())
+        }
+        Query::Substring { pattern, k } => {
+            let h = NegScanCache::probe_fingerprint(1, column, pattern);
+            fnv(h, &(*k as u64).to_le_bytes())
+        }
+        Query::VectorNn {
+            query: qvec,
+            params,
+        } => {
+            let mut h = NegScanCache::probe_fingerprint(2, column, &[]);
+            for v in *qvec {
+                h = fnv(h, &v.to_bits().to_le_bytes());
+            }
+            h = fnv(h, &(params.k as u64).to_le_bytes());
+            h = fnv(h, &(params.nprobe as u64).to_le_bytes());
+            fnv(h, &(params.refine as u64).to_le_bytes())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_distinguish_queries() {
+        let a = query_fingerprint("c", &Query::UuidEq { key: b"x", k: 5 });
+        let b = query_fingerprint("c", &Query::UuidEq { key: b"x", k: 6 });
+        let c = query_fingerprint("c", &Query::UuidEq { key: b"y", k: 5 });
+        let d = query_fingerprint("d", &Query::UuidEq { key: b"x", k: 5 });
+        let e = query_fingerprint(
+            "c",
+            &Query::Substring {
+                pattern: b"x",
+                k: 5,
+            },
+        );
+        let all = [a, b, c, d, e];
+        for (i, x) in all.iter().enumerate() {
+            for (j, y) in all.iter().enumerate() {
+                if i != j {
+                    assert_ne!(x, y, "fingerprints {i} and {j} collide");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identical_queries_share_a_fingerprint() {
+        let a = query_fingerprint("c", &Query::UuidEq { key: b"abc", k: 10 });
+        let b = query_fingerprint("c", &Query::UuidEq { key: b"abc", k: 10 });
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,249 @@
+//! Deterministic virtual-time open-arrival simulator of the serving
+//! pipeline.
+//!
+//! `bench_serve` needs tail latencies, shed rates, and dedup rates that
+//! reproduce bit-for-bit across machines and runs — real threads give
+//! neither. This simulator replays the admission policy
+//! ([`crate::admission::estimate_finish_ms`] is shared verbatim) against
+//! an **open** arrival process on a virtual clock: arrivals keep coming
+//! at the configured rate whether or not the server keeps up, which is
+//! exactly the regime where closed-loop benchmarks lie about tail
+//! latency.
+//!
+//! The model: `max_concurrent` servers each take `service_ms` per query;
+//! a FIFO queue holds at most `max_queued`; deadline-unmeetable arrivals
+//! shed at the gate; every `hot_every`-th arrival (when enabled) is the
+//! same hot query, and hot arrivals landing while a hot query is already
+//! in flight join it single-flight style — zero servers, zero queue
+//! slots, the leader's finish time.
+
+use crate::admission::estimate_finish_ms;
+
+/// Workload + policy knobs for one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Open-arrival rate, queries per (virtual) second.
+    pub qps: u64,
+    /// Length of the arrival window, virtual ms.
+    pub duration_ms: u64,
+    /// Service time of one search, virtual ms.
+    pub service_ms: u64,
+    /// Concurrency slots.
+    pub max_concurrent: usize,
+    /// Queue bound.
+    pub max_queued: usize,
+    /// Per-query budget (relative deadline), `None` = no deadline.
+    pub deadline_budget_ms: Option<u64>,
+    /// Every n-th arrival is the hot query (`0` disables hot traffic).
+    pub hot_every: u64,
+}
+
+/// What came out of a simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimReport {
+    /// Total arrivals.
+    pub arrivals: u64,
+    /// Queries that completed (own run or dedup join).
+    pub completed: u64,
+    /// Queries shed at the gate (queue full or deadline unmeetable).
+    pub shed: u64,
+    /// Completed queries served by joining an in-flight hot query.
+    pub dedup_hits: u64,
+    /// Completion-latency percentiles, virtual ms (arrival → finish).
+    pub p50_ms: u64,
+    /// 99th percentile.
+    pub p99_ms: u64,
+    /// 99.9th percentile.
+    pub p999_ms: u64,
+    /// `shed / arrivals`.
+    pub shed_rate: f64,
+    /// `dedup_hits / arrivals`.
+    pub dedup_hit_rate: f64,
+}
+
+/// Runs one open-arrival simulation. Pure and deterministic: the report
+/// is a function of the config alone.
+pub fn simulate(cfg: SimConfig) -> SimReport {
+    let service_ms = cfg.service_ms.max(1);
+    let arrivals = cfg.qps * cfg.duration_ms / 1000;
+    // Per-server next-free times; index = server.
+    let mut servers = vec![0u64; cfg.max_concurrent.max(1)];
+    // Start times of admitted-but-not-started queries are implied by the
+    // server backlog; track admitted start times to count the queue.
+    let mut starts: Vec<u64> = Vec::new();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut shed = 0u64;
+    let mut dedup_hits = 0u64;
+    // Finish time of the in-flight hot query, if any.
+    let mut hot_finish: Option<u64> = None;
+
+    for i in 0..arrivals {
+        let t = i * 1000 / cfg.qps.max(1);
+        let hot = cfg.hot_every != 0 && i % cfg.hot_every == 0;
+
+        if hot {
+            if let Some(finish) = hot_finish {
+                if finish > t {
+                    // Join the in-flight hot query: no server, no queue.
+                    dedup_hits += 1;
+                    latencies.push(finish - t);
+                    continue;
+                }
+            }
+        }
+
+        let (best, &free_at) = servers
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &f)| f)
+            .expect("at least one server");
+        let running = servers.iter().filter(|&&f| f > t).count();
+        let queued = starts.iter().filter(|&&s| s > t).count();
+
+        if free_at > t {
+            // Must queue: apply the gate's shed policy.
+            if queued >= cfg.max_queued {
+                shed += 1;
+                continue;
+            }
+            if let Some(budget) = cfg.deadline_budget_ms {
+                let est = estimate_finish_ms(t, running, queued, servers.len(), service_ms);
+                if est > t + budget {
+                    shed += 1;
+                    continue;
+                }
+            }
+        }
+
+        let start = free_at.max(t);
+        let finish = start + service_ms;
+        servers[best] = finish;
+        starts.push(start);
+        latencies.push(finish - t);
+        if hot {
+            hot_finish = Some(finish);
+        }
+    }
+
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx.min(latencies.len() - 1)]
+    };
+    let completed = latencies.len() as u64;
+    SimReport {
+        arrivals,
+        completed,
+        shed,
+        dedup_hits,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        p999_ms: pct(0.999),
+        shed_rate: if arrivals == 0 {
+            0.0
+        } else {
+            shed as f64 / arrivals as f64
+        },
+        dedup_hit_rate: if arrivals == 0 {
+            0.0
+        } else {
+            dedup_hits as f64 / arrivals as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SimConfig {
+        SimConfig {
+            qps: 100,
+            duration_ms: 10_000,
+            service_ms: 20,
+            max_concurrent: 4,
+            max_queued: 8,
+            deadline_budget_ms: None,
+            hot_every: 0,
+        }
+    }
+
+    #[test]
+    fn underload_completes_everything_at_service_latency() {
+        // Capacity = 4 slots / 20ms = 200 qps; offering 100 qps is easy.
+        let r = simulate(base());
+        assert_eq!(r.arrivals, 1000);
+        assert_eq!(r.completed, 1000);
+        assert_eq!(r.shed, 0);
+        assert_eq!(r.p50_ms, 20, "no queueing below the ceiling");
+        assert_eq!(r.p999_ms, 20);
+    }
+
+    #[test]
+    fn overload_sheds_instead_of_unbounded_queueing() {
+        let r = simulate(SimConfig {
+            qps: 2_000, // 10x the 200qps ceiling
+            ..base()
+        });
+        assert!(r.shed > 0, "open arrival past capacity must shed");
+        assert!(
+            r.shed_rate > 0.5,
+            "shed rate {} too low for 10x",
+            r.shed_rate
+        );
+        // Bounded queue ⇒ bounded tail: worst case is the full queue
+        // draining ahead of you.
+        let worst =
+            (base().max_queued as u64 / base().max_concurrent as u64 + 2) * base().service_ms;
+        assert!(r.p999_ms <= worst, "p999 {} vs bound {worst}", r.p999_ms);
+    }
+
+    #[test]
+    fn deadline_shedding_caps_the_tail() {
+        let no_deadline = simulate(SimConfig { qps: 400, ..base() });
+        let with_deadline = simulate(SimConfig {
+            qps: 400,
+            deadline_budget_ms: Some(25),
+            ..base()
+        });
+        assert!(with_deadline.shed >= no_deadline.shed);
+        assert!(with_deadline.p999_ms <= no_deadline.p999_ms);
+        assert!(with_deadline.p999_ms <= 25, "deadline bounds completions");
+    }
+
+    #[test]
+    fn hot_traffic_dedups_instead_of_stampeding() {
+        let r = simulate(SimConfig {
+            qps: 2_000,
+            hot_every: 1, // every arrival is the hot query
+            ..base()
+        });
+        assert!(
+            r.dedup_hit_rate > 0.9,
+            "hot-key convoy should mostly join in-flight work, got {}",
+            r.dedup_hit_rate
+        );
+        assert_eq!(r.shed, 0, "deduped queries cost no capacity");
+        assert_eq!(r.completed, r.arrivals);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = simulate(SimConfig {
+            qps: 3_333,
+            deadline_budget_ms: Some(60),
+            hot_every: 7,
+            ..base()
+        });
+        let b = simulate(SimConfig {
+            qps: 3_333,
+            deadline_budget_ms: Some(60),
+            hot_every: 7,
+            ..base()
+        });
+        assert_eq!(a, b);
+    }
+}

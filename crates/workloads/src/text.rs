@@ -101,10 +101,10 @@ impl TextWorkload {
 fn synth_word(rank: usize, rng: &mut StdRng) -> String {
     // Short words for common ranks, longer for the tail, letters only so
     // patterns never collide with separators.
-    let len = 3 + (rank as f64).log2() as usize / 2 + rng.gen_range(0..2);
+    let len = 3 + (rank as f64).log2() as usize / 2 + rng.gen_range(0..2usize);
     let letters = b"abcdefghijklmnopqrstuvwxyz";
     let mut w: String = (0..len)
-        .map(|_| letters[rng.gen_range(0..26)] as char)
+        .map(|_| letters[rng.gen_range(0..26usize)] as char)
         .collect();
     w.push_str(&format!("{:x}", rank % 16)); // disambiguate
     w

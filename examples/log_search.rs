@@ -42,7 +42,7 @@ fn main() {
         let mut lines = Vec::new();
         for i in 0..2_000u32 {
             let id = trace_id(&mut rng);
-            let level = ["INFO", "WARN", "ERROR"][rng.gen_range(0..3)];
+            let level = ["INFO", "WARN", "ERROR"][rng.gen_range(0..3usize)];
             let line = format!(
                 "{level} pod=frontend-{} reconcile attempt {i} took {}ms",
                 rng.gen_range(0..40),

@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
-# Bench-regression gate: re-runs the search fast-path and ingest-pipeline
-# benchmarks and compares the fresh BENCH_search.json / BENCH_build.json
-# against the committed ones at ±15% tolerance (deterministic metrics
-# only — simulated request counts and latencies, never host wall clock).
-# Fails if any workload's speedup fell or requests ratio rose beyond
-# tolerance. The committed files are restored afterwards either way.
+# Bench-regression gate: re-runs the search fast-path, ingest-pipeline,
+# and serving-overload benchmarks and compares the fresh
+# BENCH_search.json / BENCH_build.json / BENCH_serve.json against the
+# committed ones at ±15% tolerance (deterministic metrics only —
+# simulated request counts and latencies, never host wall clock).
+# Fails if any workload's speedup or dedup rate fell, or any requests
+# ratio, shed rate, or tail latency rose beyond tolerance. The committed
+# files are restored afterwards either way.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-for f in BENCH_search.json BENCH_build.json; do
+for f in BENCH_search.json BENCH_build.json BENCH_serve.json; do
   if [ ! -f "$f" ]; then
     echo "bench gate: no committed $f to compare against" >&2
     exit 1
@@ -17,12 +19,15 @@ done
 
 search_baseline="$(mktemp)"
 build_baseline="$(mktemp)"
+serve_baseline="$(mktemp)"
 cp BENCH_search.json "$search_baseline"
 cp BENCH_build.json "$build_baseline"
+cp BENCH_serve.json "$serve_baseline"
 restore() {
   cp "$search_baseline" BENCH_search.json
   cp "$build_baseline" BENCH_build.json
-  rm -f "$search_baseline" "$build_baseline"
+  cp "$serve_baseline" BENCH_serve.json
+  rm -f "$search_baseline" "$build_baseline" "$serve_baseline"
 }
 trap restore EXIT
 
@@ -37,5 +42,11 @@ cargo run --release -p rottnest-bench --bin bench_build
 
 echo "==> cargo run --release -p rottnest-bench --bin bench_gate (build)"
 cargo run --release -p rottnest-bench --bin bench_gate -- "$build_baseline" BENCH_build.json
+
+echo "==> cargo run --release -p rottnest-bench --bin bench_serve"
+cargo run --release -p rottnest-bench --bin bench_serve
+
+echo "==> cargo run --release -p rottnest-bench --bin bench_gate (serve)"
+cargo run --release -p rottnest-bench --bin bench_gate -- "$serve_baseline" BENCH_serve.json
 
 echo "bench_gate: OK"

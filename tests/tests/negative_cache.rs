@@ -1,0 +1,184 @@
+//! The negative-lookup cache for brute scans: a fully scanned file that
+//! produced zero predicate hits is remembered as proven-empty for that
+//! exact probe, keyed by `(store, path, size-as-validator, probe)`.
+//!
+//! * a repeated miss query skips every proven-empty file (no reopen, no
+//!   GETs for them) with identical — empty — results;
+//! * a different probe is a different key: it rescans and stays correct;
+//! * appended files are never covered by old entries;
+//! * compaction and vacuum emit invalidation hints that drop entries for
+//!   replaced / physically deleted files.
+
+use rottnest::{Query, Rottnest};
+use rottnest_format::NegScanCache;
+use rottnest_integration::*;
+use rottnest_object_store::{MemoryStore, ObjectStore};
+
+/// A key no row hashes to: `trace_id` is deterministic per row index, and
+/// indices stop well short of 9999.
+fn absent_key() -> Vec<u8> {
+    trace_id(9999)
+}
+
+fn uuid_query(key: &[u8]) -> Query<'_> {
+    Query::UuidEq { key, k: 4 }
+}
+
+/// No index: every file is uncovered and must be brute-scanned.
+fn brute_rot<'a>(store: &'a dyn ObjectStore) -> Rottnest<'a> {
+    Rottnest::new(store, "idx", rot_config())
+}
+
+#[test]
+fn repeat_miss_query_skips_proven_empty_files() {
+    let store = MemoryStore::new();
+    let table = make_table(store.as_ref(), 200, 2);
+    let rot = brute_rot(store.as_ref());
+    let snap = table.snapshot().unwrap();
+    let key = absent_key();
+
+    let before = store.stats();
+    let cold = rot
+        .search(&table, &snap, "trace_id", &uuid_query(&key))
+        .unwrap();
+    let cold_gets = store.stats().since(&before).gets;
+    assert!(cold.matches.is_empty());
+    assert_eq!(cold.stats.files_brute_scanned, 2);
+    assert_eq!(cold.stats.neg_cache_skips, 0);
+    assert!(cold_gets > 0, "a cold brute scan must read the files");
+
+    let before = store.stats();
+    let warm = rot
+        .search(&table, &snap, "trace_id", &uuid_query(&key))
+        .unwrap();
+    let warm_gets = store.stats().since(&before).gets;
+    assert!(warm.matches.is_empty());
+    assert_eq!(warm.stats.neg_cache_skips, 2, "both files proven empty");
+    assert_eq!(warm.stats.files_brute_scanned, 0);
+    assert!(
+        warm_gets < cold_gets,
+        "skipped files must not be re-read (cold {cold_gets}, warm {warm_gets})"
+    );
+
+    // A client with the cache disabled rescans every time.
+    let mut cfg = rot_config();
+    cfg.search.neg_cache = false;
+    let off = Rottnest::new(store.as_ref(), "idx", cfg);
+    let out = off
+        .search(&table, &snap, "trace_id", &uuid_query(&key))
+        .unwrap();
+    assert_eq!(out.stats.files_brute_scanned, 2);
+    assert_eq!(out.stats.neg_cache_skips, 0);
+}
+
+#[test]
+fn different_probe_is_a_different_key() {
+    let store = MemoryStore::new();
+    let table = make_table(store.as_ref(), 200, 2);
+    let rot = brute_rot(store.as_ref());
+    let snap = table.snapshot().unwrap();
+
+    // Warm proven-empty entries for the absent key.
+    let key = absent_key();
+    rot.search(&table, &snap, "trace_id", &uuid_query(&key))
+        .unwrap();
+
+    // A present key shares no entries with it: full scan, correct hit.
+    let hit = trace_id(42);
+    let out = rot
+        .search(&table, &snap, "trace_id", &uuid_query(&hit))
+        .unwrap();
+    assert_eq!(out.matches.len(), 1, "row 42 exists exactly once");
+    assert_eq!(out.matches[0].row, 42);
+    assert_eq!(
+        out.stats.neg_cache_skips, 0,
+        "nothing cached for this probe"
+    );
+}
+
+#[test]
+fn appended_files_are_scanned_despite_warm_entries() {
+    let store = MemoryStore::new();
+    let table = make_table(store.as_ref(), 200, 2);
+    let rot = brute_rot(store.as_ref());
+    let key = absent_key();
+
+    let snap = table.snapshot().unwrap();
+    rot.search(&table, &snap, "trace_id", &uuid_query(&key))
+        .unwrap();
+
+    table.append(&batch(200..300)).unwrap();
+    let snap = table.snapshot().unwrap();
+
+    // The old entries still apply to the old files; the new file is new.
+    let out = rot
+        .search(&table, &snap, "trace_id", &uuid_query(&key))
+        .unwrap();
+    assert!(out.matches.is_empty());
+    assert_eq!(out.stats.neg_cache_skips, 2);
+    assert_eq!(out.stats.files_brute_scanned, 1, "only the appended file");
+
+    // A key that lives in the appended file is found.
+    let hit = trace_id(250);
+    let out = rot
+        .search(&table, &snap, "trace_id", &uuid_query(&hit))
+        .unwrap();
+    assert_eq!(out.matches.len(), 1);
+    assert_eq!(out.matches[0].row, 50, "row 250 is the 51st row of file 3");
+}
+
+#[test]
+fn compact_and_vacuum_hints_invalidate_entries() {
+    let store = MemoryStore::new();
+    let table = make_table(store.as_ref(), 200, 2);
+    let rot = brute_rot(store.as_ref());
+    let key = absent_key();
+    let ns = store.store_id();
+    let probe = NegScanCache::probe_fingerprint(0, "trace_id", &key);
+
+    let snap_old = table.snapshot().unwrap();
+    let old: Vec<(String, u64)> = snap_old.files().map(|f| (f.path.clone(), f.size)).collect();
+    rot.search(&table, &snap_old, "trace_id", &uuid_query(&key))
+        .unwrap();
+    for (path, size) in &old {
+        assert!(
+            NegScanCache::global().known_empty(ns, path, *size, probe),
+            "{path} should be proven empty"
+        );
+    }
+
+    // Compaction replaces both files; its hint must drop their entries.
+    table.compact(u64::MAX).unwrap().expect("two files qualify");
+    for (path, size) in &old {
+        assert!(
+            !NegScanCache::global().known_empty(ns, path, *size, probe),
+            "compact hint must drop {path}"
+        );
+    }
+    let snap = table.snapshot().unwrap();
+    let out = rot
+        .search(&table, &snap, "trace_id", &uuid_query(&key))
+        .unwrap();
+    assert!(out.matches.is_empty());
+    assert_eq!(
+        out.stats.files_brute_scanned, 1,
+        "the merged file is scanned"
+    );
+
+    // Re-pin entries for the dead-but-present files via the old snapshot,
+    // then vacuum: the physical delete's hint must drop them again.
+    rot.search(&table, &snap_old, "trace_id", &uuid_query(&key))
+        .unwrap();
+    for (path, size) in &old {
+        assert!(NegScanCache::global().known_empty(ns, path, *size, probe));
+    }
+    store.clock().unwrap().advance_ms(10);
+    let removed = table.vacuum(5).unwrap();
+    assert!(removed >= old.len() as u64);
+    for (path, size) in &old {
+        assert!(
+            !NegScanCache::global().known_empty(ns, path, *size, probe),
+            "vacuum hint must drop {path}"
+        );
+    }
+}

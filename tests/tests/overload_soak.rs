@@ -1,0 +1,236 @@
+//! Overload soak: open-arrival traffic at several times the service's
+//! concurrency ceiling, under 5% seeded chaos, with tenant budgets and a
+//! mix of absent, tight, and generous deadlines. The service must
+//!
+//! * never deadlock (the test completing is the proof),
+//! * return bit-identical results for every admitted query,
+//! * fail every refused or aborted query with a *typed* error
+//!   (`Overloaded` or `DeadlineExceeded`) — nothing else leaks out,
+//! * leave every process-wide cache unpoisoned: once the storm passes, a
+//!   direct unthrottled client still reproduces the fault-free baseline.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+use rottnest::{IndexKind, Query, Rottnest, RottnestError, SearchOutcome};
+use rottnest_integration::*;
+use rottnest_ivfpq::SearchParams;
+use rottnest_lake::{Snapshot, Table, TableConfig};
+use rottnest_object_store::{ChaosConfig, MemoryStore, ObjectStore, RetryPolicy};
+use rottnest_serve::{AdmissionConfig, QueryService, ServiceConfig};
+
+/// Generous retry budget so 5% chaos is always absorbed, never surfaced —
+/// any non-typed error escaping the service is then a real bug.
+fn soak_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 16,
+        base_backoff_ms: 1,
+        max_backoff_ms: 20,
+        jitter_seed: 0x50AC,
+        verify_short_reads: true,
+    }
+}
+
+/// `(path, row, score bits)` triples, sorted — bit-identity within one
+/// store universe.
+fn norm(out: &SearchOutcome) -> Vec<(String, u64, Option<u32>)> {
+    let mut v: Vec<_> = out
+        .matches
+        .iter()
+        .map(|m| (m.path.clone(), m.row, m.score.map(f32::to_bits)))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn overload_soak_sheds_typed_and_admits_bit_identical() {
+    let store = MemoryStore::new();
+    let table = Table::create(
+        store.as_ref(),
+        "tbl",
+        &schema(),
+        TableConfig {
+            retry: soak_policy(),
+            ..small_pages()
+        },
+    )
+    .unwrap();
+    table.append(&batch(0..100)).unwrap();
+    table.append(&batch(100..200)).unwrap();
+
+    let mut cfg = rot_config();
+    cfg.retry = soak_policy();
+    let rot = Rottnest::new(store.as_ref(), "idx", cfg);
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap()
+        .unwrap();
+    rot.index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
+    rot.index(&table, IndexKind::Vector { dim: DIM as u32 }, "embedding")
+        .unwrap()
+        .unwrap();
+    let snap: Snapshot = table.snapshot().unwrap();
+
+    // The standing query pool: indexed hit, absent key (brute + neg
+    // cache), substring, and a vector ranking.
+    let present = trace_id(42);
+    let absent = trace_id(9999);
+    let qvec = embedding(7);
+    let pool: Vec<(&str, Query<'_>)> = vec![
+        (
+            "trace_id",
+            Query::UuidEq {
+                key: &present,
+                k: 4,
+            },
+        ),
+        ("trace_id", Query::UuidEq { key: &absent, k: 4 }),
+        (
+            "body",
+            Query::Substring {
+                pattern: b"status S001",
+                k: 64,
+            },
+        ),
+        (
+            "embedding",
+            Query::VectorNn {
+                query: &qvec,
+                params: SearchParams {
+                    k: 8,
+                    nprobe: 16,
+                    refine: 64,
+                },
+            },
+        ),
+    ];
+
+    // Fault-free baseline, straight through the client.
+    let baseline: Vec<Vec<(String, u64, Option<u32>)>> = pool
+        .iter()
+        .map(|(col, q)| norm(&rot.search(&table, &snap, col, q).unwrap()))
+        .collect();
+    assert_eq!(baseline[0].len(), 1, "unique key hit");
+    assert!(baseline[1].is_empty(), "absent key");
+    assert_eq!(baseline[2].len(), 6, "status S001 every 37 rows");
+    assert_eq!(baseline[3].len(), 8, "vector top-k");
+
+    // The storm: 16 workers against 2 slots + 2 queue spots, per-tenant
+    // budgets, chaos at 5%.
+    store
+        .faults()
+        .set_chaos(Some(ChaosConfig::uniform(0xBAD5EED, 0.05)));
+    let service = QueryService::new(
+        &rot,
+        ServiceConfig {
+            admission: AdmissionConfig {
+                max_concurrent: 2,
+                max_queued: 2,
+                expected_service_ms: 10,
+            },
+            tenant_limit_per_sec: 5,
+            default_timeout_ms: None,
+        },
+    );
+
+    const THREADS: usize = 16;
+    const ITERS: usize = 20;
+    let barrier = Barrier::new(THREADS);
+    let untyped_errors = AtomicUsize::new(0);
+    let wrong_results = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(0);
+    let shed_seen = AtomicUsize::new(0);
+    let deadline_seen = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let service = &service;
+            let table = &table;
+            let snap = &snap;
+            let pool = &pool;
+            let baseline = &baseline;
+            let store = &store;
+            let barrier = &barrier;
+            let untyped_errors = &untyped_errors;
+            let wrong_results = &wrong_results;
+            let completed = &completed;
+            let shed_seen = &shed_seen;
+            let deadline_seen = &deadline_seen;
+            s.spawn(move || {
+                barrier.wait();
+                for i in 0..ITERS {
+                    let which = (t + i) % pool.len();
+                    let (col, q) = &pool[which];
+                    let tenant = format!("tenant-{}", t % 4);
+                    // Mix of deadlines: most unbounded, some tight, some
+                    // already expired at arrival.
+                    let deadline = match i % 5 {
+                        0 => Some(store.now_ms() + 60),
+                        1 => Some(store.now_ms().saturating_sub(1)),
+                        _ => None,
+                    };
+                    match service.query_with_deadline(table, snap, col, q, &tenant, deadline) {
+                        Ok(out) => {
+                            completed.fetch_add(1, Ordering::Relaxed);
+                            if norm(&out) != baseline[which] {
+                                wrong_results.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(RottnestError::Overloaded { .. }) => {
+                            shed_seen.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(RottnestError::DeadlineExceeded { .. }) => {
+                            deadline_seen.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            untyped_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    store.faults().set_chaos(None);
+
+    assert_eq!(
+        untyped_errors.load(Ordering::Relaxed),
+        0,
+        "only Overloaded / DeadlineExceeded may escape the service"
+    );
+    assert_eq!(
+        wrong_results.load(Ordering::Relaxed),
+        0,
+        "every admitted query must be bit-identical to the baseline"
+    );
+    let total = (THREADS * ITERS) as u64;
+    let stats = service.stats();
+    assert_eq!(
+        stats.admitted + stats.queries_shed,
+        total,
+        "every attempt is either admitted or shed"
+    );
+    assert!(
+        stats.queries_shed > 0,
+        "16 workers / 4 tenants at 5 q/s per tenant must trip budgets"
+    );
+    assert_eq!(
+        stats.queries_shed,
+        shed_seen.load(Ordering::Relaxed) as u64,
+        "service accounting must match observed typed sheds"
+    );
+    assert_eq!(
+        stats.deadline_aborts,
+        deadline_seen.load(Ordering::Relaxed) as u64,
+        "service accounting must match observed deadline aborts"
+    );
+    assert_eq!(stats.completed, completed.load(Ordering::Relaxed) as u64);
+
+    // The storm has passed: a direct client still sees the exact
+    // baseline — no cache was poisoned by sheds, aborts, or dedup.
+    for ((col, q), want) in pool.iter().zip(&baseline) {
+        let out = rot.search(&table, &snap, col, q).unwrap();
+        assert_eq!(&norm(&out), want, "post-soak divergence on {col}");
+    }
+}

@@ -27,9 +27,9 @@ fn run_sequence(seed: u64) {
         .unwrap();
 
     for step in 0..24 {
-        match rng.gen_range(0..8) {
+        match rng.gen_range(0..8u32) {
             0 | 1 => {
-                let n = rng.gen_range(10..40);
+                let n = rng.gen_range(10u64..40);
                 table.append(&batch(next_row..next_row + n)).unwrap();
                 next_row += n;
             }
@@ -55,7 +55,7 @@ fn run_sequence(seed: u64) {
             }
             _ => {
                 // Crash a random mutation mid-flight.
-                let pattern = ["idx/files", "idx/meta"][rng.gen_range(0..2)];
+                let pattern = ["idx/files", "idx/meta"][rng.gen_range(0..2usize)];
                 store
                     .faults()
                     .arm(FaultKind::FailPutMatching(pattern.into()));

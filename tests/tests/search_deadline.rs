@@ -1,0 +1,148 @@
+//! Deadline propagation through the search path:
+//!
+//! * an already-expired deadline fails typed *before* any store traffic;
+//! * a deadline expiring mid-brute-scan aborts between files with a typed
+//!   error and leaves every process-wide cache unpoisoned — the rerun
+//!   matches a fault-free client that never saw an abort;
+//! * the plain `search` entry point honors `SearchConfig::timeout_ms`.
+//!
+//! The metered `MemoryStore` drives a deterministic virtual clock (a GET
+//! costs ~30 virtual ms), so "the deadline passes during the scan" is a
+//! scheduling-independent fact, not a racy sleep.
+
+use rottnest::{Query, Rottnest, RottnestError};
+use rottnest_format::NegScanCache;
+use rottnest_integration::*;
+use rottnest_object_store::{MemoryStore, ObjectStore};
+
+/// The standing query: present in every file, so a full scan is needed.
+const PATTERN: &[u8] = b"status S001";
+
+fn query() -> Query<'static> {
+    Query::Substring {
+        pattern: PATTERN,
+        k: 64,
+    }
+}
+
+/// `(file ordinal, row)` pairs, sorted. Paths embed a process-global
+/// sequence number, so cross-store comparison goes by the file's position
+/// in manifest order (== creation order), as in the chaos soak.
+fn norm(snap: &rottnest_lake::Snapshot, out: &rottnest::SearchOutcome) -> Vec<(usize, u64)> {
+    let ordinal: std::collections::HashMap<&str, usize> = snap
+        .files()
+        .enumerate()
+        .map(|(i, f)| (f.path.as_str(), i))
+        .collect();
+    let mut v: Vec<_> = out
+        .matches
+        .iter()
+        .map(|m| (ordinal[m.path.as_str()], m.row))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// Sequential brute scans so the per-file deadline checks interleave with
+/// the virtual clock deterministically. No index is built: every file is
+/// uncovered and must be brute-scanned.
+fn brute_config() -> rottnest::RottnestConfig {
+    let mut cfg = rot_config();
+    cfg.search.parallelism = 1;
+    cfg
+}
+
+#[test]
+fn expired_deadline_fails_typed_before_any_store_traffic() {
+    let store = MemoryStore::new();
+    let table = make_table(store.as_ref(), 200, 2);
+    let rot = Rottnest::new(store.as_ref(), "idx", brute_config());
+    let snap = table.snapshot().unwrap();
+
+    let now = store.now_ms();
+    let before = store.stats();
+    let err = rot
+        .search_with_deadline(&table, &snap, "body", &query(), Some(now - 1))
+        .unwrap_err();
+    assert!(
+        matches!(err, RottnestError::DeadlineExceeded { deadline_ms, .. } if deadline_ms == now - 1),
+        "expected DeadlineExceeded, got {err:?}"
+    );
+    let delta = store.stats().since(&before);
+    assert_eq!(delta.gets, 0, "an expired query must cost no GETs");
+    assert_eq!(delta.lists, 0, "an expired query must cost no LISTs");
+}
+
+#[test]
+fn mid_scan_abort_is_typed_and_leaves_caches_unpoisoned() {
+    // Two identical universes; only A suffers the aborted search.
+    let store_a = MemoryStore::new();
+    let store_b = MemoryStore::new();
+    let table_a = make_table(store_a.as_ref(), 200, 2);
+    let table_b = make_table(store_b.as_ref(), 200, 2);
+    let rot_a = Rottnest::new(store_a.as_ref(), "idx", brute_config());
+    let rot_b = Rottnest::new(store_b.as_ref(), "idx", brute_config());
+    let snap_a = table_a.snapshot().unwrap();
+    let snap_b = table_b.snapshot().unwrap();
+
+    // A budget of 1 virtual ms: the entry check passes, the first file's
+    // reads push the clock ~30ms past the deadline, and the check before
+    // the second file aborts.
+    let deadline = store_a.now_ms() + 1;
+    let err = rot_a
+        .search_with_deadline(&table_a, &snap_a, "body", &query(), Some(deadline))
+        .unwrap_err();
+    assert!(
+        matches!(err, RottnestError::DeadlineExceeded { .. }),
+        "expected DeadlineExceeded, got {err:?}"
+    );
+
+    // The aborted scan must not have recorded anything poisonous: the
+    // unscanned second file has no proven-empty entry for this probe.
+    let ns = store_a.store_id();
+    let probe = NegScanCache::probe_fingerprint(1, "body", PATTERN);
+    for f in snap_a.files() {
+        assert!(
+            !NegScanCache::global().known_empty(ns, &f.path, f.size, probe),
+            "abort must not mark {} proven-empty",
+            f.path
+        );
+    }
+
+    // Rerun without a deadline: bit-identical to the never-aborted client.
+    let after = rot_a.search(&table_a, &snap_a, "body", &query()).unwrap();
+    let clean = rot_b.search(&table_b, &snap_b, "body", &query()).unwrap();
+    assert_eq!(
+        norm(&snap_a, &after),
+        norm(&snap_b, &clean),
+        "abort poisoned a cache"
+    );
+    assert_eq!(
+        after.matches.len(),
+        6,
+        "status S001 in rows {{1,38,75,112,149,186}}"
+    );
+}
+
+#[test]
+fn plain_search_honors_configured_timeout() {
+    let store = MemoryStore::new();
+    let table = make_table(store.as_ref(), 200, 2);
+    let mut cfg = brute_config();
+    cfg.search.timeout_ms = Some(1);
+    let rot = Rottnest::new(store.as_ref(), "idx", cfg);
+    let snap = table.snapshot().unwrap();
+
+    let err = rot.search(&table, &snap, "body", &query()).unwrap_err();
+    assert!(
+        matches!(err, RottnestError::DeadlineExceeded { .. }),
+        "expected DeadlineExceeded, got {err:?}"
+    );
+
+    // The same client with the timeout lifted finishes and is correct.
+    let mut cfg = brute_config();
+    cfg.search.timeout_ms = None;
+    let rot = Rottnest::new(store.as_ref(), "idx", cfg);
+    let out = rot.search(&table, &snap, "body", &query()).unwrap();
+    assert_eq!(out.matches.len(), 6);
+}

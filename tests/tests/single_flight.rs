@@ -1,0 +1,340 @@
+//! Single-flight dedup of identical concurrent work, end to end:
+//!
+//! * N threads issuing one identical query concurrently cost no more
+//!   store GETs than a single cold query, with bit-identical results —
+//!   the convoy collapses onto one leader;
+//! * under seeded 5% chaos the deduped results still match the fault-free
+//!   baseline exactly;
+//! * a leader that fails does not fan its error out — followers retry as
+//!   their own leaders, so exactly one caller sees a one-shot fault.
+//!
+//! The store wrapper below adds *real* per-GET sleeps so the leader is
+//! provably in flight while every follower arrives; without real latency
+//! the threads would serialize and nothing would overlap.
+
+use std::ops::Range;
+use std::sync::Barrier;
+use std::time::Duration;
+
+use bytes::Bytes;
+use rottnest::{IndexKind, Query, Rottnest, SearchOutcome};
+use rottnest_integration::*;
+use rottnest_object_store::{
+    ChaosConfig, FaultKind, MemoryStore, ObjectMeta, ObjectStore, RangeRequest, RetryPolicy,
+    SimClock, StatsSnapshot,
+};
+use rottnest_serve::{AdmissionConfig, QueryService, ServiceConfig};
+
+/// Delegates to a [`MemoryStore`] but sleeps real wall-clock time on every
+/// read, so concurrent identical requests genuinely overlap in flight.
+struct SlowStore {
+    inner: std::sync::Arc<MemoryStore>,
+    read_sleep: Duration,
+}
+
+impl SlowStore {
+    fn new(inner: std::sync::Arc<MemoryStore>, read_sleep: Duration) -> Self {
+        Self { inner, read_sleep }
+    }
+}
+
+impl ObjectStore for SlowStore {
+    fn put(&self, key: &str, data: Bytes) -> rottnest_object_store::Result<()> {
+        self.inner.put(key, data)
+    }
+    fn put_if_absent(&self, key: &str, data: Bytes) -> rottnest_object_store::Result<()> {
+        self.inner.put_if_absent(key, data)
+    }
+    fn get(&self, key: &str) -> rottnest_object_store::Result<Bytes> {
+        std::thread::sleep(self.read_sleep);
+        self.inner.get(key)
+    }
+    fn get_range(&self, key: &str, range: Range<u64>) -> rottnest_object_store::Result<Bytes> {
+        std::thread::sleep(self.read_sleep);
+        self.inner.get_range(key, range)
+    }
+    fn get_ranges(&self, requests: &[RangeRequest]) -> rottnest_object_store::Result<Vec<Bytes>> {
+        std::thread::sleep(self.read_sleep);
+        self.inner.get_ranges(requests)
+    }
+    fn head(&self, key: &str) -> rottnest_object_store::Result<ObjectMeta> {
+        self.inner.head(key)
+    }
+    fn list(&self, prefix: &str) -> rottnest_object_store::Result<Vec<ObjectMeta>> {
+        self.inner.list(prefix)
+    }
+    fn delete(&self, key: &str) -> rottnest_object_store::Result<()> {
+        self.inner.delete(key)
+    }
+    fn now_ms(&self) -> u64 {
+        self.inner.now_ms()
+    }
+    fn stats(&self) -> StatsSnapshot {
+        self.inner.stats()
+    }
+    fn clock(&self) -> Option<&SimClock> {
+        self.inner.clock()
+    }
+    fn record_retry(&self, retries: u64, backoff_ms: u64) {
+        self.inner.record_retry(retries, backoff_ms)
+    }
+    fn coalesce_gap(&self) -> Option<u64> {
+        self.inner.coalesce_gap()
+    }
+    fn store_id(&self) -> u64 {
+        self.inner.store_id()
+    }
+    fn record_cache(&self, hits: u64, misses: u64, bytes_saved: u64) {
+        self.inner.record_cache(hits, misses, bytes_saved)
+    }
+    fn record_coalesced(&self, n: u64) {
+        self.inner.record_coalesced(n)
+    }
+    fn record_page_cache(&self, hits: u64, misses: u64, bytes_saved: u64) {
+        self.inner.record_page_cache(hits, misses, bytes_saved)
+    }
+    fn record_page_cache_bypass(&self, n: u64) {
+        self.inner.record_page_cache_bypass(n)
+    }
+    fn record_dedup(&self, n: u64) {
+        self.inner.record_dedup(n)
+    }
+}
+
+/// `(file ordinal, row, score bits)` triples, sorted — bit-identity of a
+/// result. Paths embed process-global sequence numbers, so cross-store
+/// comparison goes by the file's position in manifest order.
+fn norm(snap: &rottnest_lake::Snapshot, out: &SearchOutcome) -> Vec<(usize, u64, Option<u32>)> {
+    let ordinal: std::collections::HashMap<&str, usize> = snap
+        .files()
+        .enumerate()
+        .map(|(i, f)| (f.path.as_str(), i))
+        .collect();
+    let mut v: Vec<_> = out
+        .matches
+        .iter()
+        .map(|m| (ordinal[m.path.as_str()], m.row, m.score.map(f32::to_bits)))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn wide_open_service() -> ServiceConfig {
+    ServiceConfig {
+        admission: AdmissionConfig {
+            max_concurrent: 64,
+            max_queued: 64,
+            expected_service_ms: 10,
+        },
+        tenant_limit_per_sec: 0,
+        default_timeout_ms: None,
+    }
+}
+
+/// Builds the standard indexed table on `store` and returns the hot query
+/// target (a present key).
+fn build(store: &dyn ObjectStore) -> rottnest_lake::Table<'_> {
+    let table = make_table(store, 200, 2);
+    let rot = Rottnest::new(store, "idx", rot_config());
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap()
+        .unwrap();
+    table
+}
+
+#[test]
+fn hot_query_convoy_costs_no_more_gets_than_one_cold_query() {
+    // Universe B: measure what one cold query costs, alone.
+    let inner_b = MemoryStore::unmetered();
+    let table_b = build(inner_b.as_ref());
+    let snap_b = table_b.snapshot().unwrap();
+    let rot_b = Rottnest::new(inner_b.as_ref(), "idx", rot_config());
+    let key = trace_id(42);
+    let before = inner_b.stats();
+    let solo = rot_b
+        .search(
+            &table_b,
+            &snap_b,
+            "trace_id",
+            &Query::UuidEq { key: &key, k: 4 },
+        )
+        .unwrap();
+    let solo_gets = inner_b.stats().since(&before).gets;
+    assert!(solo_gets > 0, "a cold probe must issue GETs");
+
+    // Universe A: 8 threads, one barrier, one identical query — served
+    // through the full pipeline over a store with real read latency.
+    let inner_a = MemoryStore::unmetered();
+    let table_a = build(inner_a.as_ref());
+    let slow = SlowStore::new(inner_a.clone(), Duration::from_millis(25));
+    let rot_a = Rottnest::new(&slow, "idx", rot_config());
+    let service = QueryService::new(&rot_a, wide_open_service());
+    let snap_a = table_a.snapshot().unwrap();
+
+    const THREADS: usize = 8;
+    let barrier = Barrier::new(THREADS);
+    let before = inner_a.stats();
+    let outcomes: Vec<SearchOutcome> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                s.spawn(|| {
+                    barrier.wait();
+                    service
+                        .query(
+                            &table_a,
+                            &snap_a,
+                            "trace_id",
+                            &Query::UuidEq { key: &key, k: 4 },
+                            "tenant-a",
+                        )
+                        .unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let convoy_gets = inner_a.stats().since(&before).gets;
+
+    for out in &outcomes {
+        assert_eq!(
+            norm(&snap_a, out),
+            norm(&snap_b, &solo),
+            "deduped result diverged"
+        );
+    }
+    assert!(
+        convoy_gets <= solo_gets,
+        "8 identical concurrent queries must cost no more GETs than one \
+         (solo {solo_gets}, convoy {convoy_gets})"
+    );
+    let stats = service.stats();
+    assert_eq!(stats.admitted, THREADS as u64);
+    assert_eq!(stats.completed, THREADS as u64);
+    assert!(
+        stats.dedup_hits >= 1,
+        "with 25ms read latency the followers must join the leader's flight"
+    );
+    assert_eq!(stats.search.dedup_hits, stats.dedup_hits);
+}
+
+#[test]
+fn chaos_convoy_results_match_fault_free_baseline() {
+    // Fault-free universe B for the baseline.
+    let inner_b = MemoryStore::unmetered();
+    let table_b = build(inner_b.as_ref());
+    let snap_b = table_b.snapshot().unwrap();
+    let rot_b = Rottnest::new(inner_b.as_ref(), "idx", rot_config());
+    let key = trace_id(77);
+    let baseline = rot_b
+        .search(
+            &table_b,
+            &snap_b,
+            "trace_id",
+            &Query::UuidEq { key: &key, k: 4 },
+        )
+        .unwrap();
+    assert_eq!(baseline.matches.len(), 1);
+
+    // Chaotic universe A: 5% per-request fault rate, generous retries.
+    let inner_a = MemoryStore::unmetered();
+    let table_a = build(inner_a.as_ref());
+    inner_a
+        .faults()
+        .set_chaos(Some(ChaosConfig::uniform(0x5EED, 0.05)));
+    let slow = SlowStore::new(inner_a.clone(), Duration::from_millis(10));
+    let mut cfg = rot_config();
+    cfg.retry = RetryPolicy {
+        max_attempts: 16,
+        base_backoff_ms: 1,
+        max_backoff_ms: 10,
+        ..RetryPolicy::default()
+    };
+    let rot_a = Rottnest::new(&slow, "idx", cfg);
+    let service = QueryService::new(&rot_a, wide_open_service());
+    let snap_a = table_a.snapshot().unwrap();
+
+    const THREADS: usize = 8;
+    let barrier = Barrier::new(THREADS);
+    let outcomes: Vec<SearchOutcome> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                s.spawn(|| {
+                    barrier.wait();
+                    service
+                        .query(
+                            &table_a,
+                            &snap_a,
+                            "trace_id",
+                            &Query::UuidEq { key: &key, k: 4 },
+                            "tenant-a",
+                        )
+                        .unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    inner_a.faults().set_chaos(None);
+
+    // Paths embed process-global sequence numbers, so compare by row and
+    // match count (single-file universe ordinals are equal by build).
+    for out in &outcomes {
+        assert_eq!(out.matches.len(), baseline.matches.len());
+        assert_eq!(out.matches[0].row, baseline.matches[0].row);
+    }
+}
+
+#[test]
+fn leader_failure_is_not_fanned_out_to_followers() {
+    let inner = MemoryStore::unmetered();
+    // No index: the query brute-scans the table files, so an armed fault
+    // on a data GET fails the search outright (nothing to degrade to).
+    let table = make_table(inner.as_ref(), 200, 2);
+    let slow = SlowStore::new(inner.clone(), Duration::from_millis(25));
+    let mut cfg = rot_config();
+    cfg.retry = RetryPolicy {
+        max_attempts: 1, // one armed fault == one failed search
+        ..RetryPolicy::default()
+    };
+    let rot = Rottnest::new(&slow, "idx", cfg);
+    let service = QueryService::new(&rot, wide_open_service());
+    let snap = table.snapshot().unwrap();
+    let key = trace_id(42);
+
+    inner
+        .faults()
+        .arm(FaultKind::TransientGetMatching("tbl/".into()));
+
+    const THREADS: usize = 4;
+    let barrier = Barrier::new(THREADS);
+    let results: Vec<rottnest::Result<SearchOutcome>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                s.spawn(|| {
+                    barrier.wait();
+                    service.query(
+                        &table,
+                        &snap,
+                        "trace_id",
+                        &Query::UuidEq { key: &key, k: 4 },
+                        "tenant-a",
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    inner.faults().disarm_all();
+
+    let errs = results.iter().filter(|r| r.is_err()).count();
+    assert_eq!(
+        errs, 1,
+        "exactly the leader sees the one-shot fault; followers retry"
+    );
+    let oks: Vec<&SearchOutcome> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
+    assert_eq!(oks.len(), THREADS - 1);
+    for out in oks {
+        assert_eq!(out.matches.len(), 1, "followers' retries stay correct");
+        assert_eq!(out.matches[0].row, 42);
+    }
+}
