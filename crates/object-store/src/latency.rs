@@ -193,6 +193,20 @@ impl PrefixThrottle {
         Ok(0)
     }
 
+    /// Returns `n` previously charged requests to `key`'s window — for
+    /// callers whose charged operation is refused downstream before doing
+    /// any work, so a refusal does not also burn budget. A refund landing
+    /// after the window rolled over is a no-op: the rollover already
+    /// forgot the charge.
+    pub fn refund(&self, key: &str, n: u64, now_ms: u64) {
+        if self.limit_per_sec == 0 {
+            return;
+        }
+        let mut windows = self.windows.lock();
+        let w = Self::window(&mut windows, key, now_ms);
+        w.count = w.count.saturating_sub(n);
+    }
+
     fn window<'a>(
         windows: &'a mut super::FxHashMap<String, Window>,
         key: &str,
@@ -297,5 +311,18 @@ mod tests {
     fn delay_mode_try_charge_never_fails() {
         let t = PrefixThrottle::new(10);
         assert_eq!(t.try_charge("p/k", 50, 0), Ok(4_000_000));
+    }
+
+    #[test]
+    fn refund_returns_budget_within_the_window() {
+        let t = PrefixThrottle::rejecting(2);
+        assert_eq!(t.try_charge("p/k", 2, 0), Ok(0));
+        assert!(t.try_charge("p/k", 1, 10).is_err());
+        t.refund("p/k", 1, 20);
+        assert_eq!(t.try_charge("p/k", 1, 30), Ok(0));
+        // A refund past the rollover is a no-op, not an underflow credit.
+        t.refund("p/k", 2, 1500);
+        assert_eq!(t.try_charge("p/k", 2, 1500), Ok(0));
+        assert!(t.try_charge("p/k", 1, 1500).is_err());
     }
 }

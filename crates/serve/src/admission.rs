@@ -115,6 +115,11 @@ pub fn estimate_finish_ms(
 struct State {
     running: usize,
     queued: usize,
+    /// Next FIFO ticket to hand to a queued arrival.
+    next_ticket: u64,
+    /// Ticket first in line for a freed slot; only its holder may leave
+    /// the wait loop, so wakeups hand slots over in arrival order.
+    serving: u64,
 }
 
 /// The admission controller: a counting semaphore with a bounded wait
@@ -178,9 +183,14 @@ impl Admission {
     /// checked as meetable at arrival, and the search itself re-checks
     /// cooperatively once running, so a late wake degrades into a typed
     /// [`RottnestError::DeadlineExceeded`] rather than silent extra load.
+    ///
+    /// Freed slots are handed to queued waiters in FIFO order: a fresh
+    /// arrival admits directly only when nobody is queued, so under
+    /// sustained arrivals a waiter cannot be barged past indefinitely —
+    /// the finish estimate its admission was based on stays honest.
     pub fn admit(&self, now_ms: u64, deadline_ms: Option<u64>) -> Result<Permit<'_>, ShedReason> {
         let mut st = self.state.lock();
-        if st.running >= self.cfg.max_concurrent {
+        if st.running >= self.cfg.max_concurrent || st.queued > 0 {
             if st.queued >= self.cfg.max_queued {
                 return Err(ShedReason::QueueFull {
                     retry_after_ms: self.service_ms(),
@@ -201,13 +211,23 @@ impl Admission {
                     });
                 }
             }
+            let ticket = st.next_ticket;
+            st.next_ticket += 1;
             st.queued += 1;
-            while st.running >= self.cfg.max_concurrent {
+            while st.serving != ticket || st.running >= self.cfg.max_concurrent {
                 self.cv.wait(&mut st);
             }
+            st.serving += 1;
             st.queued -= 1;
+            st.running += 1;
+            // Several permits may have dropped at once: if a slot is
+            // still free, let the next ticket in line re-check.
+            if st.queued > 0 && st.running < self.cfg.max_concurrent {
+                self.cv.notify_all();
+            }
+        } else {
+            st.running += 1;
         }
-        st.running += 1;
         Ok(Permit { admission: self })
     }
 
@@ -230,7 +250,10 @@ impl Drop for Permit<'_> {
         let mut st = self.admission.state.lock();
         st.running = st.running.saturating_sub(1);
         drop(st);
-        self.admission.cv.notify_one();
+        // Wake every waiter: only the head ticket may take the slot, and
+        // notify_one could land on a non-head waiter that just re-waits,
+        // losing the wakeup.
+        self.admission.cv.notify_all();
     }
 }
 
@@ -309,6 +332,40 @@ mod tests {
         ));
         drop(p);
         let _p2 = adm.admit(0, None).unwrap();
+    }
+
+    #[test]
+    fn freed_slots_go_to_queued_waiters_before_fresh_arrivals() {
+        // Regression: a fresh arrival that lands between a permit drop
+        // and the queued waiter's wake must not barge past the waiter.
+        // The race is real, so hammer it: any iteration where the fresh
+        // arrival (B) admits before the waiter (A) is a failure.
+        for _ in 0..200 {
+            let adm = Admission::new(cfg(2, 4));
+            let p1 = adm.admit(0, None).unwrap();
+            let _p2 = adm.admit(0, None).unwrap();
+            let order = Mutex::new(Vec::new());
+            std::thread::scope(|s| {
+                let a = s.spawn(|| {
+                    let p = adm.admit(0, None).unwrap();
+                    order.lock().push('A');
+                    drop(p);
+                });
+                while adm.occupancy().1 < 1 {
+                    std::thread::yield_now();
+                }
+                // A is queued. Free a slot and immediately race B in.
+                drop(p1);
+                let b = s.spawn(|| {
+                    let p = adm.admit(0, None).unwrap();
+                    order.lock().push('B');
+                    drop(p);
+                });
+                a.join().unwrap();
+                b.join().unwrap();
+            });
+            assert_eq!(*order.lock(), vec!['A', 'B'], "fresh arrival barged");
+        }
     }
 
     #[test]

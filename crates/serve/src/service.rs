@@ -8,16 +8,21 @@
 //! * **Tenant budgets** reuse the object-store layer's
 //!   [`PrefixThrottle`] cost model in rejecting mode: each tenant gets an
 //!   admitted-queries-per-second budget, and overflow sheds with a typed
-//!   [`RottnestError::Overloaded`] carrying a `retry_after_ms` hint.
+//!   [`RottnestError::Overloaded`] carrying a `retry_after_ms` hint. A
+//!   query charged here but shed at admission gets its token back —
+//!   refusal never burns budget.
 //! * **Admission** bounds concurrency and queueing, and sheds queries
 //!   whose deadline cannot be met even if admitted
 //!   ([`crate::admission`]).
-//! * **Single-flight** dedups identical in-flight queries — same snapshot
-//!   version, column, and query fingerprint — so a thousand concurrent
-//!   queries for one hot UUID run one search and share its outcome.
+//! * **Single-flight** dedups identical in-flight queries — same table
+//!   root, snapshot version, column, and query fingerprint — so a
+//!   thousand concurrent queries for one hot UUID run one search and
+//!   share its outcome.
 //! * **Deadline propagation** hands the client's absolute deadline to
 //!   [`Rottnest::search_with_deadline`], which polls it cooperatively and
-//!   aborts with [`RottnestError::DeadlineExceeded`].
+//!   aborts with [`RottnestError::DeadlineExceeded`]. A deduped follower
+//!   additionally re-checks its *own* deadline after the join, so
+//!   waiting on a leader can never return `Ok` past it.
 //!
 //! Results for admitted queries are bit-identical to calling
 //! [`Rottnest::search`] directly — admission and dedup change *when* and
@@ -73,11 +78,29 @@ pub struct ServiceStats {
     pub search: SearchStats,
 }
 
-/// `(snapshot version, column, query fingerprint)`: two requests with the
-/// same key are provably the same computation — the snapshot pins the
-/// data, the fingerprint pins the predicate — so sharing one in-flight
-/// search is always legal.
-type QueryFlightKey = (u64, String, u64);
+/// `(table root, snapshot version, column, query fingerprint)`: two
+/// requests with the same key are provably the same computation — the
+/// table root plus snapshot version pin the data (versions are
+/// per-table, so the root must participate), the fingerprint pins the
+/// predicate — so sharing one in-flight search is always legal.
+type QueryFlightKey = (String, u64, String, u64);
+
+/// Builds the whole-query single-flight key. The table root is part of
+/// the key because snapshot versions only mean something within one
+/// table: two tables both at version 1 are different data.
+fn flight_key(
+    table_root: &str,
+    snapshot_version: u64,
+    column: &str,
+    query: &Query<'_>,
+) -> QueryFlightKey {
+    (
+        table_root.to_string(),
+        snapshot_version,
+        column.to_string(),
+        query_fingerprint(column, query),
+    )
+}
 
 /// The serving layer over one [`Rottnest`] client.
 pub struct QueryService<'r, 'a> {
@@ -158,9 +181,15 @@ impl<'r, 'a> QueryService<'r, 'a> {
 
         // 2. Admission: bounded concurrency + queueing, deadline-aware
         // shedding. The permit is RAII — released on every path below.
+        // An admission shed refunds the tenant token charged above: the
+        // query did no work, so refusing it must not also burn budget.
         let permit = match self.admission.admit(now_ms, deadline_ms) {
             Ok(p) => p,
             Err(shed) => {
+                if self.cfg.tenant_limit_per_sec > 0 {
+                    self.tenants
+                        .refund(&format!("{tenant}/q"), 1, self.rot.store().now_ms());
+                }
                 self.note_shed();
                 return Err(shed.into_error());
             }
@@ -170,19 +199,38 @@ impl<'r, 'a> QueryService<'r, 'a> {
         // Failures never fan out — a follower whose leader errored
         // retries as its own leader (see `SingleFlight`), so one
         // transient fault cannot fail a whole convoy.
-        let key = (
-            snapshot.version(),
-            column.to_string(),
-            query_fingerprint(column, query),
-        );
+        let key = flight_key(table.root(), snapshot.version(), column, query);
         let started_ms = self.rot.store().now_ms();
         let (result, deduped) = self.flights.run(&key, || {
             self.rot
                 .search_with_deadline(table, snapshot, column, query, deadline_ms)
         });
         drop(permit);
-        self.admission
-            .observe_service_ms(self.rot.store().now_ms().saturating_sub(started_ms));
+        if !deduped {
+            // Followers measured their wait on the leader, not a service
+            // time; folding that in would inflate the EWMA the gate
+            // sheds by.
+            self.admission
+                .observe_service_ms(self.rot.store().now_ms().saturating_sub(started_ms));
+        }
+
+        // A deduped follower waited on the leader's flight, which ran
+        // under the *leader's* deadline — re-check the follower's own
+        // before returning so a long join cannot return Ok late.
+        let result = match (deduped, deadline_ms, result) {
+            (true, Some(deadline_ms), Ok(out)) => {
+                let now_ms = self.rot.store().now_ms();
+                if now_ms > deadline_ms {
+                    Err(RottnestError::DeadlineExceeded {
+                        deadline_ms,
+                        now_ms,
+                    })
+                } else {
+                    Ok(out)
+                }
+            }
+            (_, _, result) => result,
+        };
 
         // 4. Accounting.
         let mut st = self.stats.lock();
@@ -281,5 +329,17 @@ mod tests {
         let a = query_fingerprint("c", &Query::UuidEq { key: b"abc", k: 10 });
         let b = query_fingerprint("c", &Query::UuidEq { key: b"abc", k: 10 });
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flight_keys_separate_tables_at_the_same_version() {
+        // Regression: snapshot versions are per-table, so the identical
+        // query on two tables both at version 1 must not share a flight.
+        let q = Query::UuidEq { key: b"abc", k: 10 };
+        let a = flight_key("tbl_a", 1, "c", &q);
+        let b = flight_key("tbl_b", 1, "c", &q);
+        assert_ne!(a, b);
+        assert_eq!(a, flight_key("tbl_a", 1, "c", &q));
+        assert_ne!(a, flight_key("tbl_a", 2, "c", &q));
     }
 }

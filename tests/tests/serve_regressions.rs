@@ -1,0 +1,169 @@
+//! Serving-layer regression pins for overload-review findings:
+//!
+//! * whole-query single-flight keys include the table identity, so two
+//!   tables that happen to share a snapshot version never share a flight;
+//! * a query shed at admission refunds its tenant-budget token — refusal
+//!   does not double-penalize the tenant;
+//! * a deduped follower re-checks its *own* deadline after joining a
+//!   leader's flight, so waiting on the leader can never return `Ok` past
+//!   the follower's deadline.
+
+use std::sync::Barrier;
+use std::time::Duration;
+
+use rottnest::{IndexKind, Query, Rottnest, RottnestError};
+use rottnest_integration::*;
+use rottnest_lake::Table;
+use rottnest_object_store::{MemoryStore, ObjectStore};
+use rottnest_serve::{AdmissionConfig, QueryService, ServiceConfig};
+
+fn wide_open_service() -> ServiceConfig {
+    ServiceConfig {
+        admission: AdmissionConfig {
+            max_concurrent: 64,
+            max_queued: 64,
+            expected_service_ms: 10,
+        },
+        tenant_limit_per_sec: 0,
+        default_timeout_ms: None,
+    }
+}
+
+#[test]
+fn identical_queries_on_different_tables_never_share_a_flight() {
+    // Two tables, one commit each, so both snapshots sit at the same
+    // version — the exact collision a versions-only flight key shares.
+    // The key trace_id(150) exists in both tables but at different rows.
+    let inner = MemoryStore::unmetered();
+    let slow = SlowStore::new(inner.clone(), Duration::from_millis(10));
+    let table_a = Table::create(&slow, "tbl_a", &schema(), small_pages()).unwrap();
+    table_a.append(&batch(0..200)).unwrap();
+    let table_b = Table::create(&slow, "tbl_b", &schema(), small_pages()).unwrap();
+    table_b.append(&batch(100..300)).unwrap();
+    let snap_a = table_a.snapshot().unwrap();
+    let snap_b = table_b.snapshot().unwrap();
+    assert_eq!(
+        snap_a.version(),
+        snap_b.version(),
+        "the trap requires equal versions"
+    );
+
+    // No index: every query brute-scans its table through the slow store,
+    // so the eight flights genuinely overlap.
+    let rot = Rottnest::new(&slow, "idx", rot_config());
+    let service = QueryService::new(&rot, wide_open_service());
+    let key = trace_id(150);
+    let query = Query::UuidEq { key: &key, k: 4 };
+
+    const THREADS: usize = 8;
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let (table, snap, root, want_row) = if t % 2 == 0 {
+                (&table_a, &snap_a, "tbl_a/", 150)
+            } else {
+                (&table_b, &snap_b, "tbl_b/", 50)
+            };
+            let service = &service;
+            let query = &query;
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                let out = service
+                    .query(table, snap, "trace_id", query, "tenant-a")
+                    .unwrap();
+                assert_eq!(out.matches.len(), 1, "unique key hit on {root}");
+                assert!(
+                    out.matches[0].path.starts_with(root),
+                    "flight leaked across tables: got {} for {root}",
+                    out.matches[0].path
+                );
+                assert_eq!(out.matches[0].row, want_row);
+            });
+        }
+    });
+}
+
+#[test]
+fn admission_shed_refunds_the_tenant_budget_token() {
+    let store = MemoryStore::new();
+    let table = make_table(store.as_ref(), 100, 1);
+    let rot = Rottnest::new(store.as_ref(), "idx", rot_config());
+    let snap = table.snapshot().unwrap();
+    let service = QueryService::new(
+        &rot,
+        ServiceConfig {
+            admission: AdmissionConfig {
+                max_concurrent: 1,
+                max_queued: 0,
+                expected_service_ms: 10,
+            },
+            tenant_limit_per_sec: 2,
+            default_timeout_ms: None,
+        },
+    );
+    let key = trace_id(42);
+    let query = Query::UuidEq { key: &key, k: 4 };
+
+    // Hold the only slot so the next queries shed at admission
+    // (queue bound 0 ⇒ immediate QueueFull, no blocking).
+    let slot = service.admission().admit(store.now_ms(), None).unwrap();
+    for _ in 0..2 {
+        match service.query(&table, &snap, "trace_id", &query, "t0") {
+            Err(RottnestError::Overloaded { .. }) => {}
+            other => panic!("expected Overloaded shed, got {other:?}"),
+        }
+    }
+    drop(slot);
+
+    // The tenant budget is 2 per second: had the two sheds kept their
+    // tokens, this in-window query would shed TenantBudget. The refund
+    // keeps shed queries free of budget cost.
+    let out = service
+        .query(&table, &snap, "trace_id", &query, "t0")
+        .expect("shed queries must not consume tenant budget");
+    assert_eq!(out.matches.len(), 1);
+    let stats = service.stats();
+    assert_eq!(stats.queries_shed, 2);
+    assert_eq!(stats.admitted, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn deduped_follower_past_its_deadline_fails_typed() {
+    // Metered store: the sim clock advances with traffic, so "one ms ago"
+    // below is a real, already-expired deadline.
+    let inner = MemoryStore::new();
+    let slow = SlowStore::new(inner.clone(), Duration::from_millis(25));
+    let table = Table::create(&slow, "tbl", &schema(), small_pages()).unwrap();
+    table.append(&batch(0..200)).unwrap();
+    let rot = Rottnest::new(&slow, "idx", rot_config());
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap()
+        .unwrap();
+    let snap = table.snapshot().unwrap();
+    let service = QueryService::new(&rot, wide_open_service());
+    let key = trace_id(42);
+    let query = Query::UuidEq { key: &key, k: 4 };
+
+    std::thread::scope(|s| {
+        // Leader: unbounded deadline, in flight for several slow reads.
+        let leader = s.spawn(|| service.query(&table, &snap, "trace_id", &query, "t0"));
+        // Follower: arrives while the leader is mid-flight, but with a
+        // deadline that has already passed. Joining the leader yields an
+        // Ok outcome — which must NOT be returned late as a success.
+        std::thread::sleep(Duration::from_millis(20));
+        let expired = slow.now_ms().saturating_sub(1);
+        let follower =
+            service.query_with_deadline(&table, &snap, "trace_id", &query, "t0", Some(expired));
+        match follower {
+            Err(RottnestError::DeadlineExceeded { .. }) => {}
+            other => panic!("follower past its deadline must fail typed, got {other:?}"),
+        }
+        let out = leader.join().unwrap().unwrap();
+        assert_eq!(out.matches.len(), 1, "leader unaffected by the follower");
+    });
+    let stats = service.stats();
+    assert_eq!(stats.deadline_aborts, 1);
+    assert_eq!(stats.completed, 1);
+}

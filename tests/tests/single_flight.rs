@@ -12,94 +12,13 @@
 //! provably in flight while every follower arrives; without real latency
 //! the threads would serialize and nothing would overlap.
 
-use std::ops::Range;
 use std::sync::Barrier;
 use std::time::Duration;
 
-use bytes::Bytes;
 use rottnest::{IndexKind, Query, Rottnest, SearchOutcome};
 use rottnest_integration::*;
-use rottnest_object_store::{
-    ChaosConfig, FaultKind, MemoryStore, ObjectMeta, ObjectStore, RangeRequest, RetryPolicy,
-    SimClock, StatsSnapshot,
-};
+use rottnest_object_store::{ChaosConfig, FaultKind, MemoryStore, ObjectStore, RetryPolicy};
 use rottnest_serve::{AdmissionConfig, QueryService, ServiceConfig};
-
-/// Delegates to a [`MemoryStore`] but sleeps real wall-clock time on every
-/// read, so concurrent identical requests genuinely overlap in flight.
-struct SlowStore {
-    inner: std::sync::Arc<MemoryStore>,
-    read_sleep: Duration,
-}
-
-impl SlowStore {
-    fn new(inner: std::sync::Arc<MemoryStore>, read_sleep: Duration) -> Self {
-        Self { inner, read_sleep }
-    }
-}
-
-impl ObjectStore for SlowStore {
-    fn put(&self, key: &str, data: Bytes) -> rottnest_object_store::Result<()> {
-        self.inner.put(key, data)
-    }
-    fn put_if_absent(&self, key: &str, data: Bytes) -> rottnest_object_store::Result<()> {
-        self.inner.put_if_absent(key, data)
-    }
-    fn get(&self, key: &str) -> rottnest_object_store::Result<Bytes> {
-        std::thread::sleep(self.read_sleep);
-        self.inner.get(key)
-    }
-    fn get_range(&self, key: &str, range: Range<u64>) -> rottnest_object_store::Result<Bytes> {
-        std::thread::sleep(self.read_sleep);
-        self.inner.get_range(key, range)
-    }
-    fn get_ranges(&self, requests: &[RangeRequest]) -> rottnest_object_store::Result<Vec<Bytes>> {
-        std::thread::sleep(self.read_sleep);
-        self.inner.get_ranges(requests)
-    }
-    fn head(&self, key: &str) -> rottnest_object_store::Result<ObjectMeta> {
-        self.inner.head(key)
-    }
-    fn list(&self, prefix: &str) -> rottnest_object_store::Result<Vec<ObjectMeta>> {
-        self.inner.list(prefix)
-    }
-    fn delete(&self, key: &str) -> rottnest_object_store::Result<()> {
-        self.inner.delete(key)
-    }
-    fn now_ms(&self) -> u64 {
-        self.inner.now_ms()
-    }
-    fn stats(&self) -> StatsSnapshot {
-        self.inner.stats()
-    }
-    fn clock(&self) -> Option<&SimClock> {
-        self.inner.clock()
-    }
-    fn record_retry(&self, retries: u64, backoff_ms: u64) {
-        self.inner.record_retry(retries, backoff_ms)
-    }
-    fn coalesce_gap(&self) -> Option<u64> {
-        self.inner.coalesce_gap()
-    }
-    fn store_id(&self) -> u64 {
-        self.inner.store_id()
-    }
-    fn record_cache(&self, hits: u64, misses: u64, bytes_saved: u64) {
-        self.inner.record_cache(hits, misses, bytes_saved)
-    }
-    fn record_coalesced(&self, n: u64) {
-        self.inner.record_coalesced(n)
-    }
-    fn record_page_cache(&self, hits: u64, misses: u64, bytes_saved: u64) {
-        self.inner.record_page_cache(hits, misses, bytes_saved)
-    }
-    fn record_page_cache_bypass(&self, n: u64) {
-        self.inner.record_page_cache_bypass(n)
-    }
-    fn record_dedup(&self, n: u64) {
-        self.inner.record_dedup(n)
-    }
-}
 
 /// `(file ordinal, row, score bits)` triples, sorted — bit-identity of a
 /// result. Paths embed process-global sequence numbers, so cross-store
