@@ -1,0 +1,141 @@
+//! Criterion microbenchmarks for the branch-light succinct kernels, each
+//! paired with its pre-optimization baseline from
+//! [`rottnest_bench::baseline`]: interleaved-directory `rank1` vs the
+//! word-scan rank, the fused wavelet `rank_range` vs two independent
+//! ranks, the fused LF-step vs the unpinned double-rank descent, the
+//! workspace-reusing SA-IS, and the word-parallel trie bit kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rottnest_bench::baseline::{ScanRankBitVec, ScanWavelet};
+use rottnest_fm::bitvec::BitVecBuilder;
+use rottnest_fm::sais::{suffix_array, suffix_array_with, SaisWorkspace};
+use rottnest_fm::wavelet::WaveletMatrix;
+use rottnest_trie::bits::{lcp_bits, BitStr};
+
+const BITS: usize = 1 << 20;
+const QUERIES: usize = 4096;
+
+fn bench_rank1(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(41);
+    let bits: Vec<bool> = (0..BITS).map(|_| rng.gen_bool(0.4)).collect();
+    let mut b = BitVecBuilder::with_capacity(bits.len());
+    for &bit in &bits {
+        b.push(bit);
+    }
+    let optimized = b.finish();
+    let baseline = ScanRankBitVec::from_bits(&bits);
+    let positions: Vec<usize> = (0..QUERIES).map(|_| rng.gen_range(0..=BITS)).collect();
+
+    let mut group = c.benchmark_group("rank1");
+    group.bench_function("interleaved", |b| {
+        b.iter(|| positions.iter().map(|&i| optimized.rank1(i)).sum::<usize>())
+    });
+    group.bench_function("baseline_scan", |b| {
+        b.iter(|| positions.iter().map(|&i| baseline.rank1(i)).sum::<usize>())
+    });
+    group.finish();
+}
+
+fn bench_wavelet_rank_range(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let symbols: Vec<u8> = (0..1 << 18).map(|_| rng.gen()).collect();
+    let optimized = WaveletMatrix::build(&symbols);
+    let baseline = ScanWavelet::build(&symbols);
+    let queries: Vec<(u8, usize, usize)> = (0..QUERIES)
+        .map(|_| {
+            let a = rng.gen_range(0..symbols.len());
+            let b = rng.gen_range(a..=symbols.len());
+            (rng.gen(), a, b)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("wavelet_rank_range");
+    group.bench_function("fused", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|&(s, lo, hi)| optimized.rank_range(s, lo, hi).1)
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("baseline_two_ranks", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|&(s, lo, hi)| baseline.rank_pair(s, lo, hi).1)
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_lf_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(43);
+    let symbols: Vec<u8> = (0..1 << 18).map(|_| rng.gen_range(1..=255u8)).collect();
+    let optimized = WaveletMatrix::build(&symbols);
+    let baseline = ScanWavelet::build(&symbols);
+    let rows: Vec<usize> = (0..QUERIES)
+        .map(|_| rng.gen_range(0..symbols.len()))
+        .collect();
+
+    let mut group = c.benchmark_group("lf_step");
+    group.bench_function("fused_access_and_rank", |b| {
+        b.iter(|| {
+            rows.iter()
+                .map(|&i| optimized.access_and_rank(i).1)
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("baseline_access_and_rank", |b| {
+        b.iter(|| {
+            rows.iter()
+                .map(|&i| baseline.access_and_rank(i).1)
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_suffix_array(c: &mut Criterion) {
+    let mut wl = rottnest_workloads::TextWorkload::new(44, 20_000, 80);
+    let mut text = Vec::with_capacity(256 << 10);
+    while text.len() < 256 << 10 {
+        text.extend_from_slice(wl.doc().as_bytes());
+        text.push(b' ');
+    }
+    text.truncate(256 << 10);
+
+    let mut group = c.benchmark_group("suffix_array");
+    group.bench_function("warm_thread_local", |b| b.iter(|| suffix_array(&text)));
+    group.bench_function("explicit_workspace", |b| {
+        let mut ws = SaisWorkspace::default();
+        b.iter(|| suffix_array_with(&text, &mut ws))
+    });
+    group.finish();
+}
+
+fn bench_trie_bits(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(45);
+    let a: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
+    // Force long common prefixes so the word-parallel path dominates.
+    let mut b_bytes = a.clone();
+    b_bytes[57] ^= 0x10;
+    let s = BitStr::prefix_of(&a, 509);
+
+    let mut group = c.benchmark_group("trie_bits");
+    group.bench_function("lcp_bits_64B", |bch| bch.iter(|| lcp_bits(&a, &b_bytes)));
+    group.bench_function("slice_unaligned_509b", |bch| bch.iter(|| s.slice(3, 500)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rank1,
+    bench_wavelet_rank_range,
+    bench_lf_step,
+    bench_suffix_array,
+    bench_trie_bits
+);
+criterion_main!(benches);

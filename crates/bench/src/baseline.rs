@@ -1,0 +1,222 @@
+//! Pre-optimization reference kernels for the succinct-structure
+//! microbenchmarks.
+//!
+//! These replicate the rank bit vector and wavelet-matrix traversals as
+//! they were *before* the branch-light kernel pass — a scan-based rank
+//! (cumulative count every 8 words, then popcount word by word) and
+//! unfused wavelet descents (two independent boundary ranks per backward
+//! search step, no early exit, no pinned-interval shortcut). They exist so
+//! `benches/kernels.rs` and the `bench_kernels` binary can measure the
+//! optimized kernels against the exact old code in the same process and
+//! the bench gate can hold the ratio; production code never uses them.
+
+/// The pre-directory rank bit vector: cumulative ones every 512-bit
+/// superblock, word-scan within the block.
+#[derive(Debug, Clone)]
+pub struct ScanRankBitVec {
+    len: usize,
+    words: Vec<u64>,
+    counts: Vec<u32>,
+}
+
+const WORDS_PER_BLOCK: usize = 8;
+
+impl ScanRankBitVec {
+    /// Builds from a bit slice.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        let mut words = vec![0u64; bits.len().div_ceil(64)];
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        let n_blocks = words.len().div_ceil(WORDS_PER_BLOCK);
+        let mut counts = Vec::with_capacity(n_blocks + 1);
+        let mut acc = 0u32;
+        counts.push(0);
+        for block in words.chunks(WORDS_PER_BLOCK) {
+            acc += block.iter().map(|w| w.count_ones()).sum::<u32>();
+            counts.push(acc);
+        }
+        Self {
+            len: bits.len(),
+            words,
+            counts,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit at position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of 1-bits in `[0, i)` — superblock count plus up to 7 word
+    /// popcounts plus a branchy partial word.
+    #[inline]
+    pub fn rank1(&self, i: usize) -> usize {
+        debug_assert!(i <= self.len);
+        let word = i / 64;
+        let block = word / WORDS_PER_BLOCK;
+        let mut acc = self.counts[block] as usize;
+        for w in &self.words[block * WORDS_PER_BLOCK..word] {
+            acc += w.count_ones() as usize;
+        }
+        let rem = i % 64;
+        if rem > 0 {
+            acc += (self.words[word] & ((1u64 << rem) - 1)).count_ones() as usize;
+        }
+        acc
+    }
+
+    /// Number of 0-bits in `[0, i)`.
+    #[inline]
+    pub fn rank0(&self, i: usize) -> usize {
+        i - self.rank1(i)
+    }
+}
+
+/// The pre-fusion wavelet matrix: every query descends all 8 levels and
+/// every boundary pays its own rank.
+#[derive(Debug, Clone)]
+pub struct ScanWavelet {
+    len: usize,
+    levels: Vec<ScanRankBitVec>,
+    zeros: Vec<usize>,
+}
+
+const LEVELS: usize = 8;
+
+impl ScanWavelet {
+    /// Builds from a symbol slice (same partitioning as the real matrix).
+    pub fn build(symbols: &[u8]) -> Self {
+        let mut current: Vec<u8> = symbols.to_vec();
+        let mut levels = Vec::with_capacity(LEVELS);
+        let mut zeros = Vec::with_capacity(LEVELS);
+        for level in 0..LEVELS {
+            let shift = 7 - level;
+            let bits: Vec<bool> = current.iter().map(|&s| (s >> shift) & 1 == 1).collect();
+            let mut zero_part = Vec::new();
+            let mut one_part = Vec::new();
+            for &sym in &current {
+                if (sym >> shift) & 1 == 1 {
+                    one_part.push(sym);
+                } else {
+                    zero_part.push(sym);
+                }
+            }
+            zeros.push(zero_part.len());
+            levels.push(ScanRankBitVec::from_bits(&bits));
+            zero_part.extend_from_slice(&one_part);
+            current = zero_part;
+        }
+        Self {
+            len: symbols.len(),
+            levels,
+            zeros,
+        }
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Occurrences of `sym` in `[0, i)`, always descending all 8 levels.
+    pub fn rank(&self, sym: u8, i: usize) -> usize {
+        let mut lo = 0usize;
+        let mut hi = i;
+        for (level, bv) in self.levels.iter().enumerate() {
+            if (sym >> (7 - level)) & 1 == 1 {
+                let z = self.zeros[level];
+                lo = z + bv.rank1(lo);
+                hi = z + bv.rank1(hi);
+            } else {
+                lo = bv.rank0(lo);
+                hi = bv.rank0(hi);
+            }
+        }
+        hi - lo
+    }
+
+    /// The unfused backward-search step: two independent boundary ranks.
+    pub fn rank_pair(&self, sym: u8, start: usize, end: usize) -> (usize, usize) {
+        (self.rank(sym, start), self.rank(sym, end))
+    }
+
+    /// The unfused LF-step pair: symbol descent paying two ranks per level
+    /// for the interval start and the position.
+    pub fn access_and_rank(&self, i: usize) -> (u8, usize) {
+        let mut sym = 0u8;
+        let mut start = 0usize;
+        let mut pos = i;
+        for (level, bv) in self.levels.iter().enumerate() {
+            let bit = bv.get(pos);
+            sym = (sym << 1) | u8::from(bit);
+            if bit {
+                let z = self.zeros[level];
+                pos = z + bv.rank1(pos);
+                start = z + bv.rank1(start);
+            } else {
+                pos = bv.rank0(pos);
+                start = bv.rank0(start);
+            }
+        }
+        (sym, pos - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rottnest_fm::bitvec::BitVecBuilder;
+    use rottnest_fm::wavelet::WaveletMatrix;
+
+    /// The baselines must agree with the optimized kernels everywhere —
+    /// otherwise the measured ratios compare different functions.
+    #[test]
+    fn baselines_agree_with_optimized_kernels() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let bits: Vec<bool> = (0..3000).map(|_| rng.gen_bool(0.4)).collect();
+        let old = ScanRankBitVec::from_bits(&bits);
+        let mut b = BitVecBuilder::with_capacity(bits.len());
+        for &bit in &bits {
+            b.push(bit);
+        }
+        let new = b.finish();
+        for i in 0..=bits.len() {
+            assert_eq!(old.rank1(i), new.rank1(i), "rank1({i})");
+        }
+
+        let symbols: Vec<u8> = (0..2000).map(|_| rng.gen()).collect();
+        let old_wm = ScanWavelet::build(&symbols);
+        let new_wm = WaveletMatrix::build(&symbols);
+        for i in (0..symbols.len()).step_by(7) {
+            assert_eq!(old_wm.access_and_rank(i), new_wm.access_and_rank(i));
+            for sym in [0u8, b'a', 128, 255] {
+                assert_eq!(old_wm.rank(sym, i), new_wm.rank(sym, i));
+                assert_eq!(
+                    old_wm.rank_pair(sym, i / 2, i),
+                    new_wm.rank_range(sym, i / 2, i)
+                );
+            }
+        }
+    }
+}

@@ -3,15 +3,18 @@
 //! regressed beyond tolerance.
 //!
 //! Usage: `bench_gate <baseline.json> <candidate.json>`, for any of
-//! `BENCH_search.json`, `BENCH_build.json`, or `BENCH_serve.json`.
+//! `BENCH_search.json`, `BENCH_build.json`, `BENCH_serve.json`, or
+//! `BENCH_kernels.json`.
 //!
-//! Only the *deterministic* metrics are compared — per-workload
+//! Only the *stable* metrics are compared — per-workload
 //! `qps_speedup` / `gets_per_query_ratio` (search), `build_sim_speedup` /
 //! `build_request_ratio` (ingest), `shed_rate` / `p999_ms` /
-//! `dedup_hit_rate` (serving, all virtual-time), and the aggregate
-//! mins/maxes. All of
-//! them derive from simulated request counts and latencies, never host
-//! wall-clock time, so they are byte-stable across machines:
+//! `dedup_hit_rate` (serving, all virtual-time), `kernel_speedup`
+//! (succinct kernels vs their in-process baselines, saturated at a
+//! per-kernel cap so host noise above the cap never shows), and the
+//! aggregate mins/maxes. The simulation-derived metrics come from
+//! simulated request counts and latencies, never host wall-clock time,
+//! so they are byte-stable across machines:
 //!
 //! * a speedup (or dedup rate) may not drop below `baseline × 0.85`;
 //! * a requests ratio, shed rate, or tail latency may not rise above
@@ -42,7 +45,12 @@ fn num_after(text: &str, key: &str) -> Option<f64> {
 }
 
 /// Per-workload metrics gated as "higher is better" when present.
-const FLOOR_METRICS: [&str; 3] = ["qps_speedup", "build_sim_speedup", "dedup_hit_rate"];
+const FLOOR_METRICS: [&str; 4] = [
+    "qps_speedup",
+    "build_sim_speedup",
+    "dedup_hit_rate",
+    "kernel_speedup",
+];
 /// Per-workload metrics gated as "lower is better" when present.
 const CEILING_METRICS: [&str; 4] = [
     "gets_per_query_ratio",
@@ -151,6 +159,7 @@ fn main() -> ExitCode {
         "min_qps_speedup",
         "fm_build_sim_speedup",
         "hot_dedup_hit_rate",
+        "min_kernel_speedup",
     ] {
         if let (Some(b), Some(c)) = (num_after(&base, key), num_after(&cand, key)) {
             gate.floor(key, b, c);
@@ -218,8 +227,8 @@ mod tests {
         assert_eq!(wl[0].name, "uuid");
         assert_eq!(wl[0].floors[0], Some(4.00));
         assert_eq!(wl[1].ceilings[0], Some(0.000));
-        // Search blocks carry no build or serve metrics.
-        assert_eq!(wl[0].floors[1..], [None, None]);
+        // Search blocks carry no build, serve, or kernel metrics.
+        assert_eq!(wl[0].floors[1..], [None, None, None]);
         assert_eq!(wl[0].ceilings[1..], [None, None, None]);
     }
 
@@ -228,7 +237,7 @@ mod tests {
         let wl = parse_workloads(BUILD_SAMPLE);
         assert_eq!(wl.len(), 1);
         assert_eq!(wl[0].name, "build_substring");
-        assert_eq!(wl[0].floors, [None, Some(2.31), None]);
+        assert_eq!(wl[0].floors, [None, Some(2.31), None, None]);
         assert_eq!(wl[0].ceilings, [None, Some(1.000), None, None]);
         // `build_sim_speedup` must not swallow the `build_sim_s` field of
         // the nested serial/parallel objects, and the aggregate key stays
@@ -245,7 +254,7 @@ mod tests {
         let wl = parse_workloads(SERVE_SAMPLE);
         assert_eq!(wl.len(), 2);
         assert_eq!(wl[0].name, "serve_10x");
-        assert_eq!(wl[0].floors, [None, None, Some(0.0)]);
+        assert_eq!(wl[0].floors, [None, None, Some(0.0), None]);
         assert_eq!(wl[0].ceilings, [None, None, Some(0.900), Some(60.0)]);
         assert_eq!(wl[1].floors[2], Some(0.975));
         // Aggregates stay distinct from the per-workload keys.
@@ -256,6 +265,31 @@ mod tests {
         assert_eq!(num_after(tail, "shed_rate"), None);
         assert_eq!(num_after(tail, "dedup_hit_rate"), None);
         assert_eq!(num_after(tail, "p999_ms"), None);
+    }
+
+    const KERNELS_SAMPLE: &str = r#"{
+  "queries_per_batch": 4096,
+  "workloads": [
+    { "workload": "kernel_rank1", "baseline_ns_per_op": 120.0, "optimized_ns_per_op": 30.0, "measured_speedup": 4.00, "kernel_speedup": 2.00 },
+    { "workload": "kernel_rank_range", "baseline_ns_per_op": 400.0, "optimized_ns_per_op": 280.0, "measured_speedup": 1.43, "kernel_speedup": 1.30 }
+  ],
+  "min_kernel_speedup": 1.30
+}"#;
+
+    #[test]
+    fn parses_kernel_blocks_with_their_own_metrics() {
+        let wl = parse_workloads(KERNELS_SAMPLE);
+        assert_eq!(wl.len(), 2);
+        assert_eq!(wl[0].name, "kernel_rank1");
+        // Only the capped `kernel_speedup` is gated — `measured_speedup`
+        // and the ns/op fields must not leak into any metric slot.
+        assert_eq!(wl[0].floors, [None, None, None, Some(2.00)]);
+        assert_eq!(wl[0].ceilings, [None, None, None, None]);
+        assert_eq!(wl[1].floors[3], Some(1.30));
+        // The aggregate stays distinct from the per-workload key.
+        assert_eq!(num_after(KERNELS_SAMPLE, "min_kernel_speedup"), Some(1.30));
+        let tail = &KERNELS_SAMPLE[KERNELS_SAMPLE.rfind(']').unwrap()..];
+        assert_eq!(num_after(tail, "kernel_speedup"), None);
     }
 
     #[test]

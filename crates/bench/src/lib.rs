@@ -7,6 +7,8 @@
 //! (linear in dataset size per §VII-D2), and writes the figure's series to
 //! `results/*.csv` plus a human-readable summary on stdout.
 
+pub mod baseline;
+
 use std::sync::Arc;
 
 use rottnest::{IndexKind, Query, Rottnest, RottnestConfig};

@@ -1,24 +1,40 @@
 //! Succinct bit vector with O(1) rank, the building block of the wavelet
 //! matrix.
 //!
-//! Bits are stored in `u64` words; a superblock count every 8 words (512
-//! bits) answers `rank1` with one lookup plus at most 8 popcounts. The
-//! serialized form stores only the raw words — counts are rebuilt on load,
-//! trading a linear scan (cheap, already in memory) for smaller components.
+//! Bits are stored in `u64` words. Rank queries go through an *interleaved*
+//! rank9-style directory (Vigna, *Broadword implementation of rank/select
+//! queries*): each 512-bit block owns a pair of directory words — a 64-bit
+//! cumulative 1-count before the block, plus seven packed 9-bit sub-counts
+//! covering the block's word prefixes — so `rank1` is one directory pair
+//! load, one shift/mask, and one masked popcount, with no loop and no
+//! branch. The serialized form stores only the raw words — the directory is
+//! rebuilt on decode, trading a linear scan (cheap, already in memory) for
+//! smaller components and an unchanged on-disk format.
 
 use rottnest_compress::varint;
 
 use crate::{FmError, Result};
 
-const WORDS_PER_BLOCK: usize = 8; // 512-bit superblocks
+const WORDS_PER_BLOCK: usize = 8; // 512-bit blocks
+const SUB_MASK: u64 = 0x1FF; // 9-bit sub-count fields
 
 /// An immutable bit vector with rank support.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RankBitVec {
     len: usize,
+    /// `len.div_ceil(64)` — words holding real bits; `words` carries one
+    /// extra zero word so boundary ranks read without a bounds branch.
+    n_words: usize,
     words: Vec<u64>,
-    /// Cumulative ones before each superblock.
-    counts: Vec<u32>,
+    /// Interleaved rank directory: for block `b`, `dir[2b]` is the number
+    /// of ones before the block and `dir[2b+1]` packs seven 9-bit fields,
+    /// field `j` (bits `9j..9j+9`) holding the ones in the block's words
+    /// `[0, j+1)`. Bit 63 of the packed word is always zero, which makes
+    /// the `(t - 1) & 7` shift trick return 0 for the block's first word.
+    /// One trailing pair covers ranks landing exactly on a block boundary.
+    dir: Vec<u64>,
+    /// Total number of ones (the directory's final cumulative count).
+    ones: usize,
 }
 
 /// Append-only builder for [`RankBitVec`].
@@ -38,7 +54,8 @@ impl BitVecBuilder {
     pub fn with_capacity(n: usize) -> Self {
         Self {
             len: 0,
-            words: Vec::with_capacity(n.div_ceil(64)),
+            // One extra slot for the rank pad word added by `finish`.
+            words: Vec::with_capacity(n.div_ceil(64) + 1),
         }
     }
 
@@ -62,16 +79,45 @@ impl BitVecBuilder {
 }
 
 impl RankBitVec {
-    fn from_words(words: Vec<u64>, len: usize) -> Self {
-        let n_blocks = words.len().div_ceil(WORDS_PER_BLOCK);
-        let mut counts = Vec::with_capacity(n_blocks + 1);
-        let mut acc = 0u32;
-        counts.push(0);
-        for block in words.chunks(WORDS_PER_BLOCK) {
-            acc += block.iter().map(|w| w.count_ones()).sum::<u32>();
-            counts.push(acc);
+    fn from_words(mut words: Vec<u64>, len: usize) -> Self {
+        let n_words = words.len();
+        debug_assert_eq!(n_words, len.div_ceil(64));
+        // `rank1(i)`'s word index reaches `n_words` when `i == len` lands on
+        // a word boundary, and its block index reaches `n_words / 8`; pad
+        // one word and one directory pair so neither needs a branch. The
+        // builder and decode paths allocate that extra slot up front so
+        // this push never reallocates.
+        words.push(0);
+        let n_dir_blocks = n_words / WORDS_PER_BLOCK + 1;
+        let mut dir = Vec::with_capacity(2 * n_dir_blocks);
+        let mut acc = 0u64;
+        for chunk in words[..n_words].chunks(WORDS_PER_BLOCK) {
+            dir.push(acc);
+            let mut sub = 0u64;
+            let mut within = 0u64;
+            for (t, w) in chunk.iter().enumerate() {
+                within += u64::from(w.count_ones());
+                if t < WORDS_PER_BLOCK - 1 {
+                    sub |= within << (9 * t);
+                }
+            }
+            dir.push(sub);
+            acc += within;
         }
-        Self { len, words, counts }
+        // A full trailing block emits no in-loop pair for the boundary —
+        // `chunks` yielded `n_words / 8` chunks and the directory needs
+        // `n_words / 8 + 1` pairs; top it up (also covers `n_words == 0`).
+        if dir.len() < 2 * n_dir_blocks {
+            dir.push(acc);
+            dir.push(0);
+        }
+        Self {
+            len,
+            n_words,
+            words,
+            dir,
+            ones: acc as usize,
+        }
     }
 
     /// Number of bits.
@@ -91,21 +137,20 @@ impl RankBitVec {
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
-    /// Number of 1-bits in `[0, i)`.
+    /// Number of 1-bits in `[0, i)`: one directory pair load, one packed
+    /// sub-count extract, one masked popcount. Branch-free — the `(t-1)&7`
+    /// shift maps a block's first word to the packed word's always-zero
+    /// bit 63, and an `i` on a word boundary masks its (padded) word to 0.
     #[inline]
     pub fn rank1(&self, i: usize) -> usize {
         debug_assert!(i <= self.len);
-        let word = i / 64;
-        let block = word / WORDS_PER_BLOCK;
-        let mut acc = self.counts[block] as usize;
-        for w in &self.words[block * WORDS_PER_BLOCK..word] {
-            acc += w.count_ones() as usize;
-        }
-        let rem = i % 64;
-        if rem > 0 {
-            acc += (self.words[word] & ((1u64 << rem) - 1)).count_ones() as usize;
-        }
-        acc
+        let word = i >> 6;
+        let t = word & (WORDS_PER_BLOCK - 1);
+        let block = word >> 3;
+        let base = self.dir[2 * block];
+        let sub = (self.dir[2 * block + 1] >> (9 * (t.wrapping_sub(1) & 7))) & SUB_MASK;
+        let masked = self.words[word] & ((1u64 << (i & 63)) - 1);
+        (base + sub) as usize + masked.count_ones() as usize
     }
 
     /// Number of 0-bits in `[0, i)`.
@@ -116,18 +161,20 @@ impl RankBitVec {
 
     /// Total number of 1-bits.
     pub fn count_ones(&self) -> usize {
-        *self.counts.last().unwrap() as usize
+        self.ones
     }
 
-    /// Serializes (length + raw words).
+    /// Serializes (length + raw words). The directory is *not* written —
+    /// the byte format is identical to the pre-directory layout.
     pub fn encode(&self, out: &mut Vec<u8>) {
         varint::write_usize(out, self.len);
-        for w in &self.words {
+        for w in &self.words[..self.n_words] {
             out.extend_from_slice(&w.to_le_bytes());
         }
     }
 
     /// Decodes a vector written by [`RankBitVec::encode`], advancing `pos`.
+    /// The rank directory is rebuilt here.
     pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Self> {
         let len = varint::read_usize(buf, pos)?;
         let n_words = len.div_ceil(64);
@@ -137,10 +184,13 @@ impl RankBitVec {
         if end > buf.len() {
             return Err(FmError::Corrupt("bitvec truncated".into()));
         }
-        let words: Vec<u64> = buf[*pos..end]
-            .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        // One extra slot so `from_words`'s pad push never reallocates.
+        let mut words: Vec<u64> = Vec::with_capacity(n_words + 1);
+        words.extend(
+            buf[*pos..end]
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap())),
+        );
         *pos = end;
         Ok(Self::from_words(words, len))
     }
@@ -186,6 +236,38 @@ mod tests {
     }
 
     #[test]
+    fn rank_directory_boundaries() {
+        // Every word (64-bit) and block (512-bit) boundary is exercised at
+        // lengths that land just before, on, and just past the boundary —
+        // the directory's sentinel pair, padded word, and `(t-1)&7` shift
+        // trick all show up exactly at these points.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for n in [
+            0usize, 1, 63, 64, 65, 127, 128, 129, 191, 192, 448, 449, 511, 512, 513, 575, 1023,
+            1024, 1025, 1535, 1536, 1537, 4095, 4096, 4097,
+        ] {
+            let bits: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+            let bv = build(&bits);
+            let naive: Vec<usize> = bits
+                .iter()
+                .scan(0usize, |acc, &b| {
+                    *acc += usize::from(b);
+                    Some(*acc)
+                })
+                .collect();
+            let rank_naive = |i: usize| if i == 0 { 0 } else { naive[i - 1] };
+            // All word/block boundaries within range, ±1.
+            for boundary in (0..=n).step_by(64) {
+                for i in boundary.saturating_sub(1)..=(boundary + 1).min(n) {
+                    assert_eq!(bv.rank1(i), rank_naive(i), "n={n} rank1({i})");
+                }
+            }
+            assert_eq!(bv.rank1(n), rank_naive(n), "n={n} rank1(len)");
+            assert_eq!(bv.count_ones(), rank_naive(n));
+        }
+    }
+
+    #[test]
     fn encode_round_trip() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
         for n in [0usize, 1, 63, 64, 65, 511, 512, 513, 4097] {
@@ -211,7 +293,7 @@ mod tests {
 
     proptest! {
         #[test]
-        fn prop_rank_matches_naive(bits in proptest::collection::vec(any::<bool>(), 0..800)) {
+        fn prop_rank_matches_naive(bits in proptest::collection::vec(any::<bool>(), 0..1300)) {
             let bv = build(&bits);
             let mut ones = 0usize;
             for i in 0..=bits.len() {
@@ -221,6 +303,27 @@ mod tests {
                     ones += usize::from(bits[i]);
                 }
             }
+        }
+
+        #[test]
+        fn prop_encode_bytes_are_canonical(bits in proptest::collection::vec(any::<bool>(), 0..1300)) {
+            // The serialized form must be exactly len-varint + raw LE words,
+            // independent of the in-memory directory/padding.
+            let bv = build(&bits);
+            let mut buf = Vec::new();
+            bv.encode(&mut buf);
+            let mut expect = Vec::new();
+            rottnest_compress::varint::write_usize(&mut expect, bits.len());
+            let mut words = vec![0u64; bits.len().div_ceil(64)];
+            for (i, &b) in bits.iter().enumerate() {
+                if b {
+                    words[i / 64] |= 1u64 << (i % 64);
+                }
+            }
+            for w in &words {
+                expect.extend_from_slice(&w.to_le_bytes());
+            }
+            prop_assert_eq!(buf, expect);
         }
     }
 }

@@ -154,20 +154,32 @@ impl FmCore {
     }
 
     /// Backward search: the half-open SA interval of rows whose suffixes
-    /// start with `pattern`.
+    /// start with `pattern`. Each step fuses the two boundary ranks into
+    /// one wavelet traversal ([`WaveletMatrix::rank_range`]).
     pub fn interval(&self, pattern: &[u8]) -> Result<(usize, usize)> {
         check_pattern(pattern)?;
         let mut l = 0usize;
         let mut r = self.len();
+        let wm = self.wm();
         for &c in pattern.iter().rev() {
-            let base = self.c_table[c as usize] as usize;
-            l = base + self.rank(c, l);
-            r = base + self.rank(c, r);
-            if l >= r {
+            let (rl, rr) = wm.rank_range(c, l, r);
+            if rl >= rr {
                 return Ok((0, 0));
             }
+            let base = self.c_table[c as usize] as usize;
+            l = base + rl;
+            r = base + rr;
         }
         Ok((l, r))
+    }
+
+    /// One LF-mapping step: the symbol at `row` and `LF(row)` in a single
+    /// fused wavelet traversal. This is the kernel of suffix-array
+    /// resolution and BWT inversion ([`crate::merge::reconstruct_texts`]).
+    #[inline]
+    pub fn lf_step(&self, row: usize) -> (u8, usize) {
+        let (sym, r) = self.wm().access_and_rank(row);
+        (sym, self.c_table[sym as usize] as usize + r)
     }
 
     /// Number of occurrences of `pattern` across the indexed documents.
@@ -199,9 +211,9 @@ impl FmCore {
                 let sample_idx = self.mark_rank(row);
                 return self.samples[sample_idx] + steps;
             }
-            let (sym, r) = self.wm().access_and_rank(row);
+            let (sym, next) = self.lf_step(row);
             debug_assert_ne!(sym, SENTINEL, "string starts must be sampled");
-            row = self.c_table[sym as usize] as usize + r;
+            row = next;
             steps += 1;
         }
     }

@@ -238,12 +238,14 @@ pub fn reconstruct_texts(core: &FmCore) -> Vec<Vec<u8>> {
         let mut rev = Vec::new();
         let mut row = j;
         loop {
-            let sym = core.bwt[row];
+            // One fused access+rank traversal per LF step — the symbol and
+            // its rank come from the same wavelet descent.
+            let (sym, next) = core.lf_step(row);
             if sym == SENTINEL {
                 break;
             }
             rev.push(sym);
-            row = core.c_table[sym as usize] as usize + core.rank(sym, row);
+            row = next;
         }
         rev.reverse();
         out.push(rev);

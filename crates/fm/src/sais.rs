@@ -6,11 +6,67 @@
 //! so callers pass raw text; the returned suffix array covers `text + [0]`
 //! (length `n + 1`, `sa[0] == n`). Input bytes must therefore be non-zero —
 //! the FM builder sanitizes text before calling.
+//!
+//! ## Workspace
+//!
+//! All scratch state lives in a [`SaisWorkspace`]: per recursion depth, the
+//! suffix-type classification packed 64-per-word (instead of a `Vec<bool>`),
+//! an LMS-position bit set derived from it word-parallel, the bucket
+//! size/cursor arrays, and the reduced problem's buffers. The workspace is
+//! threaded through the recursion, so a single construction performs one
+//! buffer growth per depth rather than ~10 allocations per level, and
+//! repeated constructions through [`suffix_array`] reuse a thread-local
+//! workspace — the allocator drops out of the serial suffix-array phase
+//! entirely once the buffers are warm.
 
-/// Builds the suffix array of `text + [sentinel 0]`.
+use std::cell::RefCell;
+
+/// Reusable SA-IS scratch space. One [`suffix_array_with`] call uses one
+/// entry of `levels` per recursion depth; buffers grow to the largest
+/// problem seen and are reused verbatim afterwards.
+#[derive(Debug, Default)]
+pub struct SaisWorkspace {
+    levels: Vec<SaisLevel>,
+}
+
+/// Scratch buffers for one recursion depth.
+#[derive(Debug, Default)]
+struct SaisLevel {
+    /// S-type classification, bit `i` set ⇔ suffix `i` is S-type.
+    types: Vec<u64>,
+    /// LMS positions, bit `i` set ⇔ `i` is a left-most S-type position.
+    lms: Vec<u64>,
+    /// Per-symbol bucket sizes.
+    sizes: Vec<u32>,
+    /// Bucket cursors (heads or tails) for the current placement pass.
+    cursors: Vec<u32>,
+    /// LMS substring names, indexed by position (only LMS slots are read).
+    names: Vec<u32>,
+    /// Sorted LMS suffix order.
+    lms_order: Vec<u32>,
+    /// LMS positions in text order.
+    lms_positions: Vec<u32>,
+    /// The reduced problem string and its suffix array.
+    s1: Vec<u32>,
+    sa1: Vec<u32>,
+}
+
+thread_local! {
+    static SHARED_WS: RefCell<SaisWorkspace> = RefCell::new(SaisWorkspace::default());
+}
+
+/// Builds the suffix array of `text + [sentinel 0]`, reusing a thread-local
+/// [`SaisWorkspace`] so repeated builds on the same thread allocate nothing
+/// beyond the returned array once the workspace is warm.
 ///
 /// Panics in debug builds if `text` contains a zero byte.
 pub fn suffix_array(text: &[u8]) -> Vec<u32> {
+    SHARED_WS.with(|ws| suffix_array_with(text, &mut ws.borrow_mut()))
+}
+
+/// [`suffix_array`] with an explicit workspace (for callers that manage
+/// scratch lifetime themselves, e.g. benchmarks).
+pub fn suffix_array_with(text: &[u8], ws: &mut SaisWorkspace) -> Vec<u32> {
     debug_assert!(
         !text.contains(&0),
         "text must not contain the sentinel byte"
@@ -19,13 +75,94 @@ pub fn suffix_array(text: &[u8]) -> Vec<u32> {
     s.extend(text.iter().map(|&b| u32::from(b)));
     s.push(0);
     let mut sa = vec![u32::MAX; s.len()];
-    sais(&s, &mut sa, 257);
+    sais(&s, &mut sa, 257, ws, 0);
     sa
+}
+
+/// Bit `i` of a packed word array.
+#[inline]
+fn get_bit(bits: &[u64], i: usize) -> bool {
+    (bits[i >> 6] >> (i & 63)) & 1 == 1
+}
+
+/// First set bit at position ≥ `from`, or `usize::MAX` when none.
+#[inline]
+fn next_set_bit(bits: &[u64], from: usize) -> usize {
+    let mut w = from >> 6;
+    if w >= bits.len() {
+        return usize::MAX;
+    }
+    let mut word = bits[w] & (!0u64 << (from & 63));
+    loop {
+        if word != 0 {
+            return (w << 6) + word.trailing_zeros() as usize;
+        }
+        w += 1;
+        if w >= bits.len() {
+            return usize::MAX;
+        }
+        word = bits[w];
+    }
+}
+
+/// Rebuilds `cursors` as bucket heads (exclusive prefix sums of `sizes`).
+fn fill_heads(sizes: &[u32], cursors: &mut Vec<u32>) {
+    cursors.clear();
+    let mut sum = 0u32;
+    cursors.extend(sizes.iter().map(|&sz| {
+        let h = sum;
+        sum += sz;
+        h
+    }));
+}
+
+/// Rebuilds `cursors` as bucket tails (inclusive prefix sums of `sizes`).
+fn fill_tails(sizes: &[u32], cursors: &mut Vec<u32>) {
+    cursors.clear();
+    let mut sum = 0u32;
+    cursors.extend(sizes.iter().map(|&sz| {
+        sum += sz;
+        sum
+    }));
+}
+
+/// The two induced-sorting passes: L-type left-to-right from bucket heads,
+/// then S-type right-to-left from bucket tails. `cursors` is recycled
+/// between the passes.
+fn induce(s: &[u32], sa: &mut [u32], types: &[u64], sizes: &[u32], cursors: &mut Vec<u32>) {
+    let n = s.len();
+    fill_heads(sizes, cursors);
+    for i in 0..n {
+        let j = sa[i];
+        if j == u32::MAX || j == 0 {
+            continue;
+        }
+        let p = (j - 1) as usize;
+        if !get_bit(types, p) {
+            let c = s[p] as usize;
+            sa[cursors[c] as usize] = p as u32;
+            cursors[c] += 1;
+        }
+    }
+    fill_tails(sizes, cursors);
+    for i in (0..n).rev() {
+        let j = sa[i];
+        if j == u32::MAX || j == 0 {
+            continue;
+        }
+        let p = (j - 1) as usize;
+        if get_bit(types, p) {
+            let c = s[p] as usize;
+            cursors[c] -= 1;
+            sa[cursors[c] as usize] = p as u32;
+        }
+    }
 }
 
 /// Core recursive SA-IS over an integer alphabet `0..k`. `s` must end with
 /// a unique smallest sentinel (value 0, appearing exactly once, at the end).
-fn sais(s: &[u32], sa: &mut [u32], k: usize) {
+/// `depth` selects this level's scratch buffers in `ws`.
+fn sais(s: &[u32], sa: &mut [u32], k: usize, ws: &mut SaisWorkspace, depth: usize) {
     let n = s.len();
     if n == 1 {
         sa[0] = 0;
@@ -38,152 +175,132 @@ fn sais(s: &[u32], sa: &mut [u32], k: usize) {
         return;
     }
 
-    // 1. Classify suffixes: S-type (true) or L-type (false).
-    let mut is_s = vec![false; n];
-    is_s[n - 1] = true;
+    if ws.levels.len() == depth {
+        ws.levels.push(SaisLevel::default());
+    }
+    let mut lv = std::mem::take(&mut ws.levels[depth]);
+    let n_words = n.div_ceil(64);
+
+    // 1. Classify suffixes: S-type (bit set) or L-type, packed 64 per word.
+    lv.types.clear();
+    lv.types.resize(n_words, 0);
+    lv.types[(n - 1) >> 6] |= 1 << ((n - 1) & 63);
+    let mut next_s = true;
     for i in (0..n - 1).rev() {
-        is_s[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && is_s[i + 1]);
+        let cur = s[i] < s[i + 1] || (s[i] == s[i + 1] && next_s);
+        if cur {
+            lv.types[i >> 6] |= 1 << (i & 63);
+        }
+        next_s = cur;
     }
-    let is_lms = |i: usize| i > 0 && is_s[i] && !is_s[i - 1];
+    // LMS positions word-parallel: an S bit whose predecessor bit is clear.
+    lv.lms.clear();
+    lv.lms.resize(n_words, 0);
+    let mut carry = 0u64;
+    for (w, &t) in lv.types.iter().enumerate() {
+        lv.lms[w] = t & !((t << 1) | carry);
+        carry = t >> 63;
+    }
+    lv.lms[0] &= !1; // position 0 is never LMS
 
-    // 2. Bucket boundaries by symbol.
-    let mut bucket_sizes = vec![0u32; k];
+    // 2. Bucket sizes by symbol.
+    lv.sizes.clear();
+    lv.sizes.resize(k, 0);
     for &c in s {
-        bucket_sizes[c as usize] += 1;
+        lv.sizes[c as usize] += 1;
     }
-    let bucket_heads = |sizes: &[u32]| {
-        let mut heads = vec![0u32; k];
-        let mut sum = 0u32;
-        for (h, &sz) in heads.iter_mut().zip(sizes) {
-            *h = sum;
-            sum += sz;
-        }
-        heads
-    };
-    let bucket_tails = |sizes: &[u32]| {
-        let mut tails = vec![0u32; k];
-        let mut sum = 0u32;
-        for (t, &sz) in tails.iter_mut().zip(sizes) {
-            sum += sz;
-            *t = sum;
-        }
-        tails
-    };
-
-    let induce = |sa: &mut [u32], lms_only_seeded: bool| {
-        let _ = lms_only_seeded;
-        // Induce L-type from left to right.
-        let mut heads = bucket_heads(&bucket_sizes);
-        for i in 0..n {
-            let j = sa[i];
-            if j == u32::MAX || j == 0 {
-                continue;
-            }
-            let p = (j - 1) as usize;
-            if !is_s[p] {
-                let c = s[p] as usize;
-                sa[heads[c] as usize] = p as u32;
-                heads[c] += 1;
-            }
-        }
-        // Induce S-type from right to left.
-        let mut tails = bucket_tails(&bucket_sizes);
-        for i in (0..n).rev() {
-            let j = sa[i];
-            if j == u32::MAX || j == 0 {
-                continue;
-            }
-            let p = (j - 1) as usize;
-            if is_s[p] {
-                let c = s[p] as usize;
-                tails[c] -= 1;
-                sa[tails[c] as usize] = p as u32;
-            }
-        }
-    };
 
     // 3. First pass: place LMS suffixes at bucket tails, induce.
     sa.fill(u32::MAX);
-    {
-        let mut tails = bucket_tails(&bucket_sizes);
-        for i in (0..n).rev() {
-            if is_lms(i) {
-                let c = s[i] as usize;
-                tails[c] -= 1;
-                sa[tails[c] as usize] = i as u32;
-            }
+    fill_tails(&lv.sizes, &mut lv.cursors);
+    for w in (0..n_words).rev() {
+        let mut word = lv.lms[w];
+        while word != 0 {
+            let bit = 63 - word.leading_zeros() as usize;
+            word &= !(1u64 << bit);
+            let i = (w << 6) + bit;
+            let c = s[i] as usize;
+            lv.cursors[c] -= 1;
+            sa[lv.cursors[c] as usize] = i as u32;
         }
     }
-    induce(sa, true);
+    induce(s, sa, &lv.types, &lv.sizes, &mut lv.cursors);
 
     // 4. Compact sorted LMS substrings and name them.
-    let mut lms_order: Vec<u32> = sa
-        .iter()
-        .copied()
-        .filter(|&j| j != u32::MAX && is_lms(j as usize))
-        .collect();
-    let n_lms = lms_order.len();
+    lv.lms_order.clear();
+    lv.lms_order.extend(
+        sa.iter()
+            .copied()
+            .filter(|&j| j != u32::MAX && get_bit(&lv.lms, j as usize)),
+    );
+    let n_lms = lv.lms_order.len();
 
-    // Name LMS substrings by comparing neighbors in sorted order.
-    let mut names = vec![u32::MAX; n];
+    // Name LMS substrings by comparing neighbors in sorted order. The LMS
+    // substring starting at `p` runs to the next LMS position inclusive.
+    lv.names.resize(n, 0);
+    let lms_end = |start: usize| next_set_bit(&lv.lms, start + 1).min(n - 1);
     let mut current_name: u32 = 0;
-    let lms_substring_end = |start: usize| {
-        // The LMS substring runs to the next LMS position inclusive.
-        let mut j = start + 1;
-        while j < n && !is_lms(j) {
-            j += 1;
-        }
-        j.min(n - 1)
-    };
     let mut prev: Option<usize> = None;
-    for &j in &lms_order {
-        let j = j as usize;
+    for idx in 0..n_lms {
+        let j = lv.lms_order[idx] as usize;
         let equal = match prev {
             None => false,
             Some(p) => {
-                let (pe, je) = (lms_substring_end(p), lms_substring_end(j));
-                pe - p == je - j && s[p..=pe] == s[j..=je] && {
-                    // Type pattern must also match; symbols equal across the
-                    // same range implies identical classification, so symbol
-                    // equality suffices.
-                    true
-                }
+                // Symbols equal across the same range implies identical
+                // type classification, so symbol equality suffices.
+                let (pe, je) = (lms_end(p), lms_end(j));
+                pe - p == je - j && s[p..=pe] == s[j..=je]
             }
         };
         if !equal {
             current_name += 1;
         }
-        names[j] = current_name - 1;
+        lv.names[j] = current_name - 1;
         prev = Some(j);
     }
 
+    // LMS positions in text order, collected by word-scanning the bit set.
+    lv.lms_positions.clear();
+    for w in 0..n_words {
+        let mut word = lv.lms[w];
+        while word != 0 {
+            let bit = word.trailing_zeros() as usize;
+            word &= word - 1;
+            lv.lms_positions.push(((w << 6) + bit) as u32);
+        }
+    }
+
     // 5. Recurse if names are not yet unique.
-    let lms_positions: Vec<u32> = (0..n).filter(|&i| is_lms(i)).map(|i| i as u32).collect();
     if (current_name as usize) < n_lms {
-        let s1: Vec<u32> = lms_positions.iter().map(|&p| names[p as usize]).collect();
-        let mut sa1 = vec![u32::MAX; s1.len()];
-        sais(&s1, &mut sa1, current_name as usize);
-        for (rank, &idx) in sa1.iter().enumerate() {
-            lms_order[rank] = lms_positions[idx as usize];
+        lv.s1.clear();
+        lv.s1
+            .extend(lv.lms_positions.iter().map(|&p| lv.names[p as usize]));
+        lv.sa1.clear();
+        lv.sa1.resize(n_lms, u32::MAX);
+        // `lv` is detached from `ws`, so the recursion borrows disjoint
+        // scratch (the next depth's buffers).
+        sais(&lv.s1, &mut lv.sa1, current_name as usize, ws, depth + 1);
+        for (rank, &idx) in lv.sa1.iter().enumerate() {
+            lv.lms_order[rank] = lv.lms_positions[idx as usize];
         }
     } else {
         // Names unique: order LMS suffixes directly by name.
-        for &p in &lms_positions {
-            lms_order[names[p as usize] as usize] = p;
+        for &p in &lv.lms_positions {
+            lv.lms_order[lv.names[p as usize] as usize] = p;
         }
     }
 
     // 6. Final pass: place LMS suffixes in their true order, induce.
     sa.fill(u32::MAX);
-    {
-        let mut tails = bucket_tails(&bucket_sizes);
-        for &j in lms_order.iter().rev() {
-            let c = s[j as usize] as usize;
-            tails[c] -= 1;
-            sa[tails[c] as usize] = j;
-        }
+    fill_tails(&lv.sizes, &mut lv.cursors);
+    for &j in lv.lms_order.iter().rev() {
+        let c = s[j as usize] as usize;
+        lv.cursors[c] -= 1;
+        sa[lv.cursors[c] as usize] = j;
     }
-    induce(sa, false);
+    induce(s, sa, &lv.types, &lv.sizes, &mut lv.cursors);
+
+    ws.levels[depth] = lv;
 }
 
 /// Reference implementation: O(n² log n) comparison sort, used by tests.
@@ -247,6 +364,24 @@ mod tests {
             let n = rng.gen_range(1..500);
             let text: Vec<u8> = (0..n).map(|_| rng.gen_range(1..=255u8)).collect();
             check(&text);
+        }
+    }
+
+    #[test]
+    fn reused_workspace_is_stateless() {
+        // One workspace serving many differently-shaped builds must give
+        // the same answers as fresh construction every time.
+        let mut ws = SaisWorkspace::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        for round in 0..40 {
+            let n = rng.gen_range(1..400);
+            let alpha = [2u8, 4, 16, 255][round % 4];
+            let text: Vec<u8> = (0..n).map(|_| rng.gen_range(1..=alpha)).collect();
+            assert_eq!(
+                suffix_array_with(&text, &mut ws),
+                naive_suffix_array(&text),
+                "round {round} text {text:?}"
+            );
         }
     }
 

@@ -418,7 +418,10 @@ impl<'a> FmIndex<'a> {
         Ok(self.cum[b][c as usize] as usize + block.wm.rank(c, i - b * self.block_size))
     }
 
-    /// Backward search for the SA interval of `pattern`.
+    /// Backward search for the SA interval of `pattern`. When both interval
+    /// boundaries land in the same BWT block — the common case once the
+    /// interval narrows — the step runs as one fused wavelet traversal
+    /// ([`WaveletMatrix::rank_range`]) instead of two independent ranks.
     pub fn interval(&self, pattern: &[u8]) -> Result<(usize, usize)> {
         check_pattern(pattern)?;
         let mut l = 0usize;
@@ -426,12 +429,22 @@ impl<'a> FmIndex<'a> {
         for &c in pattern.iter().rev() {
             // Fetch both boundary blocks in one round trip.
             self.prefetch_positions(&[l.min(self.n - 1), r.min(self.n - 1)])?;
-            let base = self.c_table[c as usize] as usize;
-            l = base + self.rank(c, l)?;
-            r = base + self.rank(c, r)?;
-            if l >= r {
+            let (bl, br) = (l / self.block_size, r / self.block_size);
+            let (rl, rr) = if bl == br && bl < self.num_blocks() {
+                let block = self.block(bl)?;
+                let cum = self.cum[bl][c as usize] as usize;
+                let local = bl * self.block_size;
+                let (a, b) = block.wm.rank_range(c, l - local, r - local);
+                (cum + a, cum + b)
+            } else {
+                (self.rank(c, l)?, self.rank(c, r)?)
+            };
+            if rl >= rr {
                 return Ok((0, 0));
             }
+            let base = self.c_table[c as usize] as usize;
+            l = base + rl;
+            r = base + rr;
         }
         Ok((l, r))
     }

@@ -22,30 +22,35 @@ pub struct WaveletMatrix {
 }
 
 impl WaveletMatrix {
-    /// Builds from a symbol slice.
+    /// Builds from a symbol slice. The two partition buffers are allocated
+    /// once up front and recycled across all 8 levels (the partitioned
+    /// sequence swaps with the source each round), so construction performs
+    /// a constant number of allocations regardless of level count.
     pub fn build(symbols: &[u8]) -> Self {
         let mut current: Vec<u8> = symbols.to_vec();
+        let mut next: Vec<u8> = Vec::with_capacity(symbols.len());
+        let mut one_part: Vec<u8> = Vec::with_capacity(symbols.len());
         let mut levels = Vec::with_capacity(LEVELS);
         let mut zeros = Vec::with_capacity(LEVELS);
 
         for level in 0..LEVELS {
             let shift = 7 - level;
             let mut bv = BitVecBuilder::with_capacity(current.len());
-            let mut zero_part = Vec::with_capacity(current.len());
-            let mut one_part = Vec::new();
+            next.clear();
+            one_part.clear();
             for &sym in &current {
                 let bit = (sym >> shift) & 1 == 1;
                 bv.push(bit);
                 if bit {
                     one_part.push(sym);
                 } else {
-                    zero_part.push(sym);
+                    next.push(sym);
                 }
             }
-            zeros.push(zero_part.len());
+            zeros.push(next.len());
             levels.push(bv.finish());
-            zero_part.extend_from_slice(&one_part);
-            current = zero_part;
+            next.extend_from_slice(&one_part);
+            std::mem::swap(&mut current, &mut next);
         }
 
         Self {
@@ -81,26 +86,76 @@ impl WaveletMatrix {
         sym
     }
 
-    /// Occurrences of `sym` in `[0, i)`.
+    /// Occurrences of `sym` in `[0, i)`. Exits as soon as the traversal
+    /// interval empties — a symbol absent from the prefix stops paying for
+    /// the remaining levels instead of descending all 8.
     pub fn rank(&self, sym: u8, i: usize) -> usize {
         debug_assert!(i <= self.len);
-        let mut start = 0usize;
-        let mut end = i;
-        for (level, bv) in self.levels.iter().enumerate() {
-            let shift = 7 - level;
-            if (sym >> shift) & 1 == 1 {
-                start = self.zeros[level] + bv.rank1(start);
-                end = self.zeros[level] + bv.rank1(end);
+        self.rank_tail(sym, 0, 0, i)
+    }
+
+    /// Descends `(lo, hi)` along `sym`'s path from `from_level`, returning
+    /// the final interval width (= occurrences of `sym` in the original
+    /// `[lo, hi)` slice of that level's sequence).
+    fn rank_tail(&self, sym: u8, from_level: usize, mut lo: usize, mut hi: usize) -> usize {
+        for (level, bv) in self.levels.iter().enumerate().skip(from_level) {
+            if lo == hi {
+                return 0;
+            }
+            if (sym >> (7 - level)) & 1 == 1 {
+                let z = self.zeros[level];
+                lo = z + bv.rank1(lo);
+                hi = z + bv.rank1(hi);
             } else {
-                start = bv.rank0(start);
-                end = bv.rank0(end);
+                lo = bv.rank0(lo);
+                hi = bv.rank0(hi);
             }
         }
-        end - start
+        hi - lo
+    }
+
+    /// Ranks of `sym` at both boundaries of `[start, end)` in one fused
+    /// traversal: returns `(rank(sym, start), rank(sym, end))` — exactly
+    /// the pair an FM backward-search step needs.
+    ///
+    /// The three positions (the symbol path's origin plus both boundaries)
+    /// share each level's bit-vector descent, so the pair costs 3 rank
+    /// operations per level instead of the 4 two independent `rank` calls
+    /// pay, with adjacent directory loads. When the boundaries collapse the
+    /// descent drops to the two-position tail, and when even the end
+    /// boundary meets the path origin the result is pinned at `(0, 0)`
+    /// with no further levels touched.
+    pub fn rank_range(&self, sym: u8, start: usize, end: usize) -> (usize, usize) {
+        debug_assert!(start <= end && end <= self.len);
+        let mut path = 0usize;
+        let mut a = start;
+        let mut b = end;
+        for (level, bv) in self.levels.iter().enumerate() {
+            if path == b {
+                return (0, 0);
+            }
+            if a == b {
+                let r = self.rank_tail(sym, level, path, a);
+                return (r, r);
+            }
+            if (sym >> (7 - level)) & 1 == 1 {
+                let z = self.zeros[level];
+                path = z + bv.rank1(path);
+                a = z + bv.rank1(a);
+                b = z + bv.rank1(b);
+            } else {
+                path = bv.rank0(path);
+                a = bv.rank0(a);
+                b = bv.rank0(b);
+            }
+        }
+        (a - path, b - path)
     }
 
     /// Symbol at `i` *and* its rank up to `i` in one traversal — the exact
-    /// pair a LF-mapping step needs.
+    /// pair a LF-mapping step needs. Once the interval start catches up
+    /// with the position (rank pinned at 0) only the symbol bits remain,
+    /// halving the per-level rank work for the rest of the descent.
     pub fn access_and_rank(&self, i: usize) -> (u8, usize) {
         debug_assert!(i < self.len);
         let mut sym = 0u8;
@@ -109,12 +164,17 @@ impl WaveletMatrix {
         for (level, bv) in self.levels.iter().enumerate() {
             let bit = bv.get(pos);
             sym = (sym << 1) | u8::from(bit);
+            let pinned = start == pos;
             if bit {
-                start = self.zeros[level] + bv.rank1(start);
                 pos = self.zeros[level] + bv.rank1(pos);
+                start = if pinned {
+                    pos
+                } else {
+                    self.zeros[level] + bv.rank1(start)
+                };
             } else {
-                start = bv.rank0(start);
                 pos = bv.rank0(pos);
+                start = if pinned { pos } else { bv.rank0(start) };
             }
         }
         (sym, pos - start)
@@ -165,6 +225,18 @@ mod tests {
         }
         for s in [0u8, 1, 128, 255] {
             assert_eq!(wm.rank(s, symbols.len()), counts[s as usize]);
+        }
+        // rank_range must agree with the two independent ranks on a spread
+        // of intervals, including empty and absent-symbol ones.
+        let n = symbols.len();
+        for (start, end) in [(0, n), (0, n / 2), (n / 3, n / 2), (n / 2, n / 2), (n, n)] {
+            for s in [0u8, 1, b'a', b'n', 128, 255] {
+                assert_eq!(
+                    wm.rank_range(s, start, end),
+                    (wm.rank(s, start), wm.rank(s, end)),
+                    "rank_range({s}, {start}, {end})"
+                );
+            }
         }
     }
 

@@ -1,4 +1,11 @@
 //! Bit-string utilities for trie keys (MSB-first order).
+//!
+//! The hot paths here are word-parallel: common-prefix lengths compare 8
+//! bytes at a time via `u64` XOR + `leading_zeros`, and slicing/extending
+//! move whole bytes with a shift instead of single bits. The `BitStr`
+//! canonical-form invariant (trailing bits of the last byte are zero) is
+//! what makes byte-wise comparison exact — bits past the logical length
+//! can never produce a spurious mismatch before it.
 
 /// Returns bit `i` of `bytes` (0 = most significant bit of byte 0).
 #[inline]
@@ -6,16 +13,71 @@ pub fn get_bit(bytes: &[u8], i: u32) -> u8 {
     (bytes[(i / 8) as usize] >> (7 - (i % 8))) & 1
 }
 
+/// The byte of `bytes` re-aligned to start `shift` bits (0..8) into byte
+/// `idx`: bits `[idx*8 + shift, idx*8 + shift + 8)`, reading past the end
+/// as zeros.
+#[inline]
+fn aligned_byte(bytes: &[u8], idx: usize, shift: u32) -> u8 {
+    let hi = bytes.get(idx).copied().unwrap_or(0);
+    let lo = bytes.get(idx + 1).copied().unwrap_or(0);
+    let w = (u16::from(hi) << 8) | u16::from(lo);
+    (w >> (8 - shift)) as u8
+}
+
+/// Bit position of the first difference between the first
+/// `min(a.len(), b.len())` bytes of `a` and `b` (or that many bits when
+/// equal), compared 8 bytes per step.
+fn lcp_byte_slices(a: &[u8], b: &[u8]) -> u32 {
+    let n = a.len().min(b.len());
+    let mut i = 0;
+    while i + 8 <= n {
+        let x = u64::from_be_bytes(a[i..i + 8].try_into().unwrap());
+        let y = u64::from_be_bytes(b[i..i + 8].try_into().unwrap());
+        let diff = x ^ y;
+        if diff != 0 {
+            return i as u32 * 8 + diff.leading_zeros();
+        }
+        i += 8;
+    }
+    while i < n {
+        let diff = a[i] ^ b[i];
+        if diff != 0 {
+            return i as u32 * 8 + diff.leading_zeros();
+        }
+        i += 1;
+    }
+    n as u32 * 8
+}
+
 /// Length in bits of the longest common prefix of `a` and `b` (equal-length
 /// byte strings).
 pub fn lcp_bits(a: &[u8], b: &[u8]) -> u32 {
     debug_assert_eq!(a.len(), b.len());
-    for (i, (x, y)) in a.iter().zip(b).enumerate() {
-        if x != y {
-            return i as u32 * 8 + (x ^ y).leading_zeros();
+    lcp_byte_slices(a, b)
+}
+
+/// Whether the first `label_bits` bits of `label` equal the bits of `key`
+/// starting at `key_offset_bits` (the caller guarantees the key has at
+/// least that many bits left). Full label bytes compare directly against
+/// re-aligned key bytes; the final partial byte compares under a mask, so
+/// non-canonical trailing label bits cannot cause a false mismatch.
+pub fn label_matches_key(label: &[u8], label_bits: u32, key: &[u8], key_offset_bits: u32) -> bool {
+    let shift = key_offset_bits % 8;
+    let base = (key_offset_bits / 8) as usize;
+    let n_full = (label_bits / 8) as usize;
+    for (i, &lb) in label[..n_full].iter().enumerate() {
+        if lb != aligned_byte(key, base + i, shift) {
+            return false;
         }
     }
-    a.len() as u32 * 8
+    let rem = label_bits % 8;
+    if rem != 0 {
+        let mask = 0xffu8 << (8 - rem);
+        if (label[n_full] ^ aligned_byte(key, base + n_full, shift)) & mask != 0 {
+            return false;
+        }
+    }
+    true
 }
 
 /// An owned MSB-first bit string (used for truncated keys and edge labels).
@@ -73,14 +135,24 @@ impl BitStr {
         get_bit(&self.bytes, i)
     }
 
-    /// The sub-range `[from, to)` of this bit string as a new `BitStr`.
+    /// The sub-range `[from, to)` of this bit string as a new `BitStr`,
+    /// built one shifted byte at a time.
     pub fn slice(&self, from: u32, to: u32) -> BitStr {
         debug_assert!(from <= to && to <= self.len_bits);
-        let mut out = BitStr::empty();
-        for i in from..to {
-            out.push(self.bit(i));
+        let len = to - from;
+        let n_bytes = len.div_ceil(8) as usize;
+        let shift = from % 8;
+        let base = (from / 8) as usize;
+        let mut bytes = Vec::with_capacity(n_bytes);
+        bytes.extend((0..n_bytes).map(|i| aligned_byte(&self.bytes, base + i, shift)));
+        let spare = (n_bytes as u32 * 8) - len;
+        if spare > 0 {
+            *bytes.last_mut().unwrap() &= 0xffu8 << spare;
         }
-        out
+        BitStr {
+            bytes,
+            len_bits: len,
+        }
     }
 
     /// Appends a single bit.
@@ -95,10 +167,31 @@ impl BitStr {
         self.len_bits += 1;
     }
 
-    /// Appends all bits of `other`.
+    /// Appends all bits of `other`, byte-wise: aligned appends are a plain
+    /// byte copy, unaligned ones merge each source byte into the partial
+    /// last byte and carry the shifted remainder.
     pub fn extend(&mut self, other: &BitStr) {
-        for i in 0..other.len_bits {
-            self.push(other.bit(i));
+        if other.len_bits == 0 {
+            return;
+        }
+        let rem = self.len_bits % 8;
+        if rem == 0 {
+            self.bytes.extend_from_slice(&other.bytes);
+        } else {
+            let base = self.bytes.len() - 1;
+            for (i, &ob) in other.bytes.iter().enumerate() {
+                // The partial byte's spare bits are canonically zero, so
+                // OR-ing the shifted source byte in is exact.
+                self.bytes[base + i] |= ob >> rem;
+                self.bytes.push(ob << (8 - rem));
+            }
+        }
+        self.len_bits += other.len_bits;
+        let n_bytes = self.len_bits.div_ceil(8) as usize;
+        self.bytes.truncate(n_bytes);
+        let spare = (n_bytes as u32 * 8) - self.len_bits;
+        if spare > 0 {
+            *self.bytes.last_mut().unwrap() &= 0xffu8 << spare;
         }
     }
 
@@ -106,21 +199,25 @@ impl BitStr {
     pub fn common_prefix_with_key(&self, key: &[u8], key_offset_bits: u32) -> u32 {
         let key_bits = key.len() as u32 * 8;
         let max = self.len_bits.min(key_bits.saturating_sub(key_offset_bits));
-        let mut i = 0;
-        while i < max && self.bit(i) == get_bit(key, key_offset_bits + i) {
-            i += 1;
+        let shift = key_offset_bits % 8;
+        let base = (key_offset_bits / 8) as usize;
+        let n_bytes = max.div_ceil(8) as usize;
+        for (i, &sb) in self.bytes[..n_bytes].iter().enumerate() {
+            let diff = sb ^ aligned_byte(key, base + i, shift);
+            if diff != 0 {
+                // A first difference past `max` can only come from this
+                // string's canonical spare bits — clamp it away.
+                return (i as u32 * 8 + diff.leading_zeros()).min(max);
+            }
         }
-        i
+        max
     }
 
-    /// Length (bits) of the common prefix with another `BitStr`.
+    /// Length (bits) of the common prefix with another `BitStr`. Canonical
+    /// trailing zeros make the byte-parallel compare exact up to `max`.
     pub fn common_prefix(&self, other: &BitStr) -> u32 {
         let max = self.len_bits.min(other.len_bits);
-        let mut i = 0;
-        while i < max && self.bit(i) == other.bit(i) {
-            i += 1;
-        }
-        i
+        lcp_byte_slices(&self.bytes, &other.bytes).min(max)
     }
 }
 
@@ -145,6 +242,18 @@ mod tests {
         assert_eq!(lcp_bits(&[0xff, 0x00], &[0xff, 0x80]), 8);
         assert_eq!(lcp_bits(&[0x00], &[0x80]), 0);
         assert_eq!(lcp_bits(&[0b1010_1010], &[0b1010_1011]), 7);
+        // Cross the 8-byte word boundary.
+        let a = [0u8; 17];
+        let mut b = [0u8; 17];
+        assert_eq!(lcp_bits(&a, &b), 136);
+        b[16] = 0b0000_0100;
+        assert_eq!(lcp_bits(&a, &b), 133);
+        b[16] = 0;
+        b[8] = 0x80;
+        assert_eq!(lcp_bits(&a, &b), 64);
+        b[8] = 0;
+        b[7] = 0x01;
+        assert_eq!(lcp_bits(&a, &b), 63);
     }
 
     #[test]
@@ -191,6 +300,36 @@ mod tests {
         assert_eq!(label.common_prefix_with_key(&key, 4), 4);
     }
 
+    #[test]
+    fn label_matches_key_partial_bytes() {
+        // Label 1,0,1 against key bytes at several offsets.
+        let label = BitStr::prefix_of(&[0b1010_0000], 3);
+        assert!(label_matches_key(label.bytes(), 3, &[0b1010_1111], 0));
+        assert!(label_matches_key(label.bytes(), 3, &[0b0001_0100], 3));
+        assert!(!label_matches_key(label.bytes(), 3, &[0b1110_0000], 0));
+        // Non-canonical trailing label bits must not affect the match.
+        assert!(label_matches_key(&[0b1010_1111], 3, &[0b1010_0000], 0));
+    }
+
+    // Bit-by-bit references for the word-parallel implementations.
+    fn naive_slice(s: &BitStr, from: u32, to: u32) -> BitStr {
+        let mut out = BitStr::empty();
+        for i in from..to {
+            out.push(s.bit(i));
+        }
+        out
+    }
+
+    fn naive_common_prefix_with_key(s: &BitStr, key: &[u8], off: u32) -> u32 {
+        let key_bits = key.len() as u32 * 8;
+        let max = s.len().min(key_bits.saturating_sub(off));
+        let mut i = 0;
+        while i < max && s.bit(i) == get_bit(key, off + i) {
+            i += 1;
+        }
+        i
+    }
+
     proptest! {
         #[test]
         fn prop_prefix_bits_match_source(bytes in proptest::collection::vec(any::<u8>(), 1..8),
@@ -215,6 +354,94 @@ mod tests {
             }
             if l < 32 {
                 prop_assert_ne!(get_bit(&a, l), get_bit(&b, l));
+            }
+        }
+
+        #[test]
+        fn prop_lcp_long_inputs(a in proptest::collection::vec(any::<u8>(), 20),
+                                flip_bit in 0u32..160) {
+            let mut b = a.clone();
+            b[(flip_bit / 8) as usize] ^= 0x80 >> (flip_bit % 8);
+            prop_assert_eq!(lcp_bits(&a, &b), flip_bit);
+        }
+
+        #[test]
+        fn prop_slice_matches_naive(bytes in proptest::collection::vec(any::<u8>(), 1..24),
+                                    from_frac in 0.0f64..=1.0,
+                                    to_frac in 0.0f64..=1.0) {
+            let s = BitStr::prefix_of(&bytes, bytes.len() as u32 * 8);
+            let a = ((s.len() as f64) * from_frac) as u32;
+            let b = ((s.len() as f64) * to_frac) as u32;
+            let (from, to) = (a.min(b), a.max(b));
+            prop_assert_eq!(s.slice(from, to), naive_slice(&s, from, to));
+        }
+
+        #[test]
+        fn prop_extend_matches_push_loop(a in proptest::collection::vec(any::<u8>(), 0..12),
+                                         a_frac in 0.0f64..=1.0,
+                                         b in proptest::collection::vec(any::<u8>(), 0..12),
+                                         b_frac in 0.0f64..=1.0) {
+            let la = ((a.len() as f64 * 8.0) * a_frac) as u32;
+            let lb = ((b.len() as f64 * 8.0) * b_frac) as u32;
+            let sa = BitStr::prefix_of(&a, la);
+            let sb = BitStr::prefix_of(&b, lb);
+            let mut fast = sa.clone();
+            fast.extend(&sb);
+            let mut slow = sa.clone();
+            for i in 0..sb.len() {
+                slow.push(sb.bit(i));
+            }
+            prop_assert_eq!(fast, slow);
+        }
+
+        #[test]
+        fn prop_common_prefix_with_key_matches_naive(
+            label_bytes in proptest::collection::vec(any::<u8>(), 1..12),
+            label_frac in 0.0f64..=1.0,
+            key in proptest::collection::vec(any::<u8>(), 0..12),
+            off in 0u32..96,
+        ) {
+            let ll = ((label_bytes.len() as f64 * 8.0) * label_frac) as u32;
+            let label = BitStr::prefix_of(&label_bytes, ll);
+            prop_assert_eq!(
+                label.common_prefix_with_key(&key, off),
+                naive_common_prefix_with_key(&label, &key, off)
+            );
+        }
+
+        #[test]
+        fn prop_common_prefix_matches_bitwise(
+            a in proptest::collection::vec(any::<u8>(), 0..20),
+            a_frac in 0.0f64..=1.0,
+            b in proptest::collection::vec(any::<u8>(), 0..20),
+            b_frac in 0.0f64..=1.0,
+        ) {
+            let sa = BitStr::prefix_of(&a, ((a.len() as f64 * 8.0) * a_frac) as u32);
+            let sb = BitStr::prefix_of(&b, ((b.len() as f64 * 8.0) * b_frac) as u32);
+            let max = sa.len().min(sb.len());
+            let mut want = 0;
+            while want < max && sa.bit(want) == sb.bit(want) {
+                want += 1;
+            }
+            prop_assert_eq!(sa.common_prefix(&sb), want);
+            prop_assert_eq!(sa.common_prefix(&sb), sb.common_prefix(&sa));
+        }
+
+        #[test]
+        fn prop_label_matches_key_matches_naive(
+            label_bytes in proptest::collection::vec(any::<u8>(), 1..8),
+            label_frac in 0.0f64..=1.0,
+            key in proptest::collection::vec(any::<u8>(), 1..12),
+            off_frac in 0.0f64..=1.0,
+        ) {
+            let ll = ((label_bytes.len() as f64 * 8.0) * label_frac) as u32;
+            let label = BitStr::prefix_of(&label_bytes, ll);
+            let key_bits = key.len() as u32 * 8;
+            // Keep the label inside the key, as walk_serialized guarantees.
+            if ll <= key_bits {
+                let off = ((key_bits - ll) as f64 * off_frac) as u32;
+                let want = (0..ll).all(|i| label.bit(i) == get_bit(&key, off + i));
+                prop_assert_eq!(label_matches_key(label.bytes(), ll, &key, off), want);
             }
         }
     }

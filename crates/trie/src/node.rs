@@ -18,7 +18,7 @@
 
 use rottnest_compress::varint;
 
-use crate::bits::{get_bit, BitStr};
+use crate::bits::{get_bit, label_matches_key, BitStr};
 use crate::{Posting, Result, TrieError};
 
 /// A node of the in-memory radix trie.
@@ -155,14 +155,12 @@ pub fn walk_serialized(
         let label = &buf[pos..pos + label_bytes];
         pos += label_bytes;
 
-        // Match the label against the key.
+        // Match the label against the key, whole bytes at a time.
         if key_bits.saturating_sub(key_pos) < label_bits {
             return Ok(()); // key shorter than stored prefix: no match
         }
-        for i in 0..label_bits {
-            if get_bit(label, i) != get_bit(key, key_pos + i) {
-                return Ok(());
-            }
+        if !label_matches_key(label, label_bits, key, key_pos) {
+            return Ok(());
         }
         key_pos += label_bits;
 

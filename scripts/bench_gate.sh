@@ -1,16 +1,17 @@
 #!/usr/bin/env bash
 # Bench-regression gate: re-runs the search fast-path, ingest-pipeline,
-# and serving-overload benchmarks and compares the fresh
-# BENCH_search.json / BENCH_build.json / BENCH_serve.json against the
-# committed ones at ±15% tolerance (deterministic metrics only —
-# simulated request counts and latencies, never host wall clock).
-# Fails if any workload's speedup or dedup rate fell, or any requests
-# ratio, shed rate, or tail latency rose beyond tolerance. The committed
-# files are restored afterwards either way.
+# serving-overload, and succinct-kernel benchmarks and compares the fresh
+# BENCH_search.json / BENCH_build.json / BENCH_serve.json /
+# BENCH_kernels.json against the committed ones at ±15% tolerance
+# (stable metrics only — simulated request counts and latencies for the
+# system benches, capped same-run baseline-vs-optimized CPU ratios for
+# the kernels). Fails if any workload's speedup or dedup rate fell, or
+# any requests ratio, shed rate, or tail latency rose beyond tolerance.
+# The committed files are restored afterwards either way.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-for f in BENCH_search.json BENCH_build.json BENCH_serve.json; do
+for f in BENCH_search.json BENCH_build.json BENCH_serve.json BENCH_kernels.json; do
   if [ ! -f "$f" ]; then
     echo "bench gate: no committed $f to compare against" >&2
     exit 1
@@ -20,14 +21,17 @@ done
 search_baseline="$(mktemp)"
 build_baseline="$(mktemp)"
 serve_baseline="$(mktemp)"
+kernels_baseline="$(mktemp)"
 cp BENCH_search.json "$search_baseline"
 cp BENCH_build.json "$build_baseline"
 cp BENCH_serve.json "$serve_baseline"
+cp BENCH_kernels.json "$kernels_baseline"
 restore() {
   cp "$search_baseline" BENCH_search.json
   cp "$build_baseline" BENCH_build.json
   cp "$serve_baseline" BENCH_serve.json
-  rm -f "$search_baseline" "$build_baseline" "$serve_baseline"
+  cp "$kernels_baseline" BENCH_kernels.json
+  rm -f "$search_baseline" "$build_baseline" "$serve_baseline" "$kernels_baseline"
 }
 trap restore EXIT
 
@@ -48,5 +52,11 @@ cargo run --release -p rottnest-bench --bin bench_serve
 
 echo "==> cargo run --release -p rottnest-bench --bin bench_gate (serve)"
 cargo run --release -p rottnest-bench --bin bench_gate -- "$serve_baseline" BENCH_serve.json
+
+echo "==> cargo run --release -p rottnest-bench --bin bench_kernels"
+cargo run --release -p rottnest-bench --bin bench_kernels
+
+echo "==> cargo run --release -p rottnest-bench --bin bench_gate (kernels)"
+cargo run --release -p rottnest-bench --bin bench_gate -- "$kernels_baseline" BENCH_kernels.json
 
 echo "bench_gate: OK"

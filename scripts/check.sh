@@ -34,6 +34,9 @@ else
 
   echo "==> cargo clippy --workspace --release --all-targets -- -D warnings"
   cargo clippy --workspace --release --all-targets -- -D warnings
+
+  echo "==> cargo bench --no-run (criterion benches compile)"
+  cargo bench --workspace --no-run
 fi
 
 echo "==> cargo doc --no-deps (warnings are errors)"

@@ -1,0 +1,68 @@
+//! Golden serialized-bytes pins for the succinct structures.
+//!
+//! The branch-light kernel pass (interleaved rank directory, fused wavelet
+//! traversals, workspace SA-IS) is **in-memory only** — the on-disk format
+//! must not move. These hashes were captured from the serializers *before*
+//! that pass; if any of them changes, the component byte format changed
+//! and every existing index on object storage silently breaks. Bump a
+//! format version instead of updating a hash.
+
+use rand::{Rng, SeedableRng};
+use rottnest_component::Posting;
+use rottnest_fm::store::{FmBuilder, FmOptions};
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[test]
+fn bitvec_serialization_is_pinned() {
+    use rottnest_fm::bitvec::BitVecBuilder;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5eed);
+    let mut b = BitVecBuilder::with_capacity(10_000);
+    for _ in 0..10_000 {
+        b.push(rng.gen_bool(0.37));
+    }
+    let bv = b.finish();
+    let mut buf = Vec::new();
+    bv.encode(&mut buf);
+    assert_eq!(buf.len(), 1258, "bitvec byte length moved");
+    assert_eq!(fnv1a(&buf), 0x6ed5d412758d3330, "bitvec bytes moved");
+}
+
+#[test]
+fn wavelet_serialization_is_pinned() {
+    use rottnest_fm::wavelet::WaveletMatrix;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5eed + 1);
+    let symbols: Vec<u8> = (0..10_000).map(|_| rng.gen()).collect();
+    let wm = WaveletMatrix::build(&symbols);
+    let mut buf = Vec::new();
+    wm.encode(&mut buf);
+    assert_eq!(buf.len(), 10082, "wavelet byte length moved");
+    assert_eq!(fnv1a(&buf), 0x99667d0c83105352, "wavelet bytes moved");
+}
+
+#[test]
+fn fm_index_file_is_pinned() {
+    // A full FM component file: SA-IS → BWT → per-block wavelet matrices
+    // and mark bit vectors, through the real builder. Pins the entire
+    // suffix-array + serialization pipeline end to end.
+    let mut wl = rottnest_workloads::TextWorkload::new(0x5eed + 2, 20_000, 80);
+    let mut b = FmBuilder::with_options(FmOptions {
+        block_size: 4096,
+        sample_rate: 16,
+    });
+    for page in 0..6u32 {
+        for _ in 0..20 {
+            b.add_document(Posting::new(page / 3, page % 3), wl.doc().as_bytes());
+        }
+    }
+    let bytes = b.finish();
+    assert_eq!(bytes.len(), 65306, "fm file byte length moved");
+    assert_eq!(fnv1a(&bytes), 0xdf154daee6fb3f90, "fm file bytes moved");
+}
