@@ -45,11 +45,13 @@ fn num_after(text: &str, key: &str) -> Option<f64> {
 }
 
 /// Per-workload metrics gated as "higher is better" when present.
-const FLOOR_METRICS: [&str; 4] = [
+const FLOOR_METRICS: [&str; 6] = [
     "qps_speedup",
     "build_sim_speedup",
     "dedup_hit_rate",
     "kernel_speedup",
+    "batch_share",
+    "hedge_win_rate",
 ];
 /// Per-workload metrics gated as "lower is better" when present.
 const CEILING_METRICS: [&str; 4] = [
@@ -160,6 +162,8 @@ fn main() -> ExitCode {
         "fm_build_sim_speedup",
         "hot_dedup_hit_rate",
         "min_kernel_speedup",
+        "min_batch_share",
+        "min_hedge_win_rate",
     ] {
         if let (Some(b), Some(c)) = (num_after(&base, key), num_after(&cand, key)) {
             gate.floor(key, b, c);
@@ -213,11 +217,15 @@ mod tests {
     const SERVE_SAMPLE: &str = r#"{
   "workloads": [
     { "workload": "serve_10x", "p999_ms": 60, "shed_rate": 0.900, "dedup_hit_rate": 0.000 },
-    { "workload": "serve_hotkey", "p999_ms": 20, "shed_rate": 0.000, "dedup_hit_rate": 0.975 }
+    { "workload": "serve_hotkey", "p999_ms": 20, "shed_rate": 0.000, "dedup_hit_rate": 0.975 },
+    { "workload": "serve_fair_2x", "p999_ms": 60, "shed_rate": 0.498, "dedup_hit_rate": 0.000, "batch_share": 0.201 },
+    { "workload": "serve_hedge", "p999_ms": 40, "shed_rate": 0.000, "dedup_hit_rate": 0.000, "hedged": 15, "hedge_wins": 15, "hedge_win_rate": 1.000 }
   ],
   "max_shed_rate": 0.900,
   "max_p999_ms": 60,
-  "hot_dedup_hit_rate": 0.975
+  "hot_dedup_hit_rate": 0.975,
+  "min_batch_share": 0.201,
+  "min_hedge_win_rate": 1.000
 }"#;
 
     #[test]
@@ -227,8 +235,8 @@ mod tests {
         assert_eq!(wl[0].name, "uuid");
         assert_eq!(wl[0].floors[0], Some(4.00));
         assert_eq!(wl[1].ceilings[0], Some(0.000));
-        // Search blocks carry no build, serve, or kernel metrics.
-        assert_eq!(wl[0].floors[1..], [None, None, None]);
+        // Search blocks carry no build, serve, kernel, or class metrics.
+        assert_eq!(wl[0].floors[1..], [None; FLOOR_METRICS.len() - 1]);
         assert_eq!(wl[0].ceilings[1..], [None, None, None]);
     }
 
@@ -237,7 +245,7 @@ mod tests {
         let wl = parse_workloads(BUILD_SAMPLE);
         assert_eq!(wl.len(), 1);
         assert_eq!(wl[0].name, "build_substring");
-        assert_eq!(wl[0].floors, [None, Some(2.31), None, None]);
+        assert_eq!(wl[0].floors, [None, Some(2.31), None, None, None, None]);
         assert_eq!(wl[0].ceilings, [None, Some(1.000), None, None]);
         // `build_sim_speedup` must not swallow the `build_sim_s` field of
         // the nested serial/parallel objects, and the aggregate key stays
@@ -252,19 +260,30 @@ mod tests {
     #[test]
     fn parses_serve_blocks_with_their_own_metrics() {
         let wl = parse_workloads(SERVE_SAMPLE);
-        assert_eq!(wl.len(), 2);
+        assert_eq!(wl.len(), 4);
         assert_eq!(wl[0].name, "serve_10x");
-        assert_eq!(wl[0].floors, [None, None, Some(0.0), None]);
+        assert_eq!(wl[0].floors, [None, None, Some(0.0), None, None, None]);
         assert_eq!(wl[0].ceilings, [None, None, Some(0.900), Some(60.0)]);
         assert_eq!(wl[1].floors[2], Some(0.975));
+        // The fairness and hedge floors only appear on their workloads.
+        assert_eq!(wl[2].name, "serve_fair_2x");
+        assert_eq!(wl[2].floors[4], Some(0.201));
+        assert_eq!(wl[0].floors[4], None);
+        assert_eq!(wl[3].name, "serve_hedge");
+        assert_eq!(wl[3].floors[5], Some(1.000));
+        assert_eq!(wl[2].floors[5], None);
         // Aggregates stay distinct from the per-workload keys.
         assert_eq!(num_after(SERVE_SAMPLE, "hot_dedup_hit_rate"), Some(0.975));
         assert_eq!(num_after(SERVE_SAMPLE, "max_shed_rate"), Some(0.900));
         assert_eq!(num_after(SERVE_SAMPLE, "max_p999_ms"), Some(60.0));
+        assert_eq!(num_after(SERVE_SAMPLE, "min_batch_share"), Some(0.201));
+        assert_eq!(num_after(SERVE_SAMPLE, "min_hedge_win_rate"), Some(1.000));
         let tail = &SERVE_SAMPLE[SERVE_SAMPLE.rfind(']').unwrap()..];
         assert_eq!(num_after(tail, "shed_rate"), None);
         assert_eq!(num_after(tail, "dedup_hit_rate"), None);
         assert_eq!(num_after(tail, "p999_ms"), None);
+        assert_eq!(num_after(tail, "batch_share"), None);
+        assert_eq!(num_after(tail, "hedge_win_rate"), None);
     }
 
     const KERNELS_SAMPLE: &str = r#"{
@@ -283,7 +302,7 @@ mod tests {
         assert_eq!(wl[0].name, "kernel_rank1");
         // Only the capped `kernel_speedup` is gated — `measured_speedup`
         // and the ns/op fields must not leak into any metric slot.
-        assert_eq!(wl[0].floors, [None, None, None, Some(2.00)]);
+        assert_eq!(wl[0].floors, [None, None, None, Some(2.00), None, None]);
         assert_eq!(wl[0].ceilings, [None, None, None, None]);
         assert_eq!(wl[1].floors[3], Some(1.30));
         // The aggregate stays distinct from the per-workload key.

@@ -1,10 +1,11 @@
-//! Serving-under-overload benchmark: tail latency, shed rate, and
-//! single-flight dedup rate of the admission policy at and past the
-//! service's concurrency ceiling.
+//! Serving-under-overload benchmark: tail latency, shed rate, fairness
+//! share, hedge-win rate, and single-flight dedup rate of the admission
+//! policy at and past the service's concurrency ceiling.
 //!
 //! Runs the deterministic virtual-time open-arrival simulator from
-//! `rottnest-serve` (which shares `estimate_finish_ms` — the exact shed
-//! policy of the threaded `QueryService`) over four workloads:
+//! `rottnest-serve` (which shares `estimate_finish_ms` and
+//! `virtual_finish_tag` — the exact shed + WFQ dispatch policy of the
+//! threaded `QueryService`) over six workloads:
 //!
 //! * **serve_under** — 0.75x the QPS ceiling: nothing sheds, p999 equals
 //!   one service time (the no-queueing control);
@@ -13,7 +14,15 @@
 //!   shedding keep the tail flat while the shed rate absorbs the excess;
 //! * **serve_hotkey** — 10x the ceiling, every arrival the same hot
 //!   query: single-flight dedup turns the stampede into one search per
-//!   service interval, so nothing sheds at all.
+//!   service interval, so nothing sheds at all;
+//! * **serve_fair_2x** — 2x the ceiling with every 3rd arrival batch
+//!   class at WFQ weights 4:1: batch must keep at least its weighted
+//!   share of completions (`batch_share`, gated as a floor) while the
+//!   interactive tail stays inside the queue-drain bound;
+//! * **serve_hedge** — 0.75x the ceiling with a 60 ms budget and a 200 ms
+//!   straggler every 97th query: hedged backup lanes rescue the
+//!   stragglers (`hedge_win_rate`, gated as a floor) and keep p999 at the
+//!   committed bound.
 //!
 //! Every metric is a pure function of the simulator config — virtual
 //! milliseconds and counts, never host wall clock — so the report is
@@ -40,6 +49,12 @@ fn base(qps: u64) -> SimConfig {
         max_queued: MAX_QUEUED,
         deadline_budget_ms: None,
         hot_every: 0,
+        batch_every: 0,
+        interactive_weight: 4,
+        batch_weight: 1,
+        slow_every: 0,
+        slow_service_ms: 0,
+        hedge_threshold_ms: 0,
     }
 }
 
@@ -68,12 +83,43 @@ fn main() {
                 ..base(ceiling * 10)
             },
         ),
+        (
+            "serve_fair_2x",
+            SimConfig {
+                // The 60 ms budget equals the queue-drain bound, so the
+                // deadline gate keeps the interactive tail at the same
+                // committed p999 the classless workloads hold.
+                deadline_budget_ms: Some(60),
+                batch_every: 3,
+                ..base(ceiling * 2)
+            },
+        ),
+        (
+            "serve_hedge",
+            SimConfig {
+                deadline_budget_ms: Some(60),
+                slow_every: 97,
+                slow_service_ms: 200,
+                hedge_threshold_ms: 40,
+                ..base(ceiling * 3 / 4)
+            },
+        ),
     ];
 
     println!("\n=== serving under overload (ceiling {ceiling} QPS: {MAX_CONCURRENT} slots x {SERVICE_MS} ms) ===");
     println!(
-        "{:<13} {:>6} {:>9} {:>9} {:>8} {:>8} {:>8} {:>10} {:>10}",
-        "workload", "qps", "arrivals", "complete", "p50 ms", "p99 ms", "p999 ms", "shed", "dedup"
+        "{:<14} {:>6} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7}",
+        "workload",
+        "qps",
+        "arrivals",
+        "complete",
+        "p50 ms",
+        "p99 ms",
+        "p999 ms",
+        "shed",
+        "dedup",
+        "batch",
+        "hedge"
     );
 
     let mut blocks = String::new();
@@ -81,7 +127,7 @@ fn main() {
     for (name, cfg) in &workloads {
         let r = simulate(*cfg);
         println!(
-            "{name:<13} {:>6} {:>9} {:>9} {:>8} {:>8} {:>8} {:>9.1}% {:>9.1}%",
+            "{name:<14} {:>6} {:>9} {:>9} {:>8} {:>8} {:>8} {:>7.1}% {:>7.1}% {:>6.1}% {:>6.1}%",
             cfg.qps,
             r.arrivals,
             r.completed,
@@ -90,11 +136,13 @@ fn main() {
             r.p999_ms,
             r.shed_rate * 100.0,
             r.dedup_hit_rate * 100.0,
+            r.batch_share * 100.0,
+            r.hedge_win_rate * 100.0,
         );
-        blocks.push_str(&format!(
+        let mut block = format!(
             "    {{ \"workload\": \"{name}\", \"qps\": {}, \"arrivals\": {}, \"completed\": {}, \
              \"p50_ms\": {}, \"p99_ms\": {}, \"p999_ms\": {}, \
-             \"shed_rate\": {:.3}, \"dedup_hit_rate\": {:.3} }},\n",
+             \"shed_rate\": {:.3}, \"dedup_hit_rate\": {:.3}",
             cfg.qps,
             r.arrivals,
             r.completed,
@@ -103,7 +151,20 @@ fn main() {
             r.p999_ms,
             r.shed_rate,
             r.dedup_hit_rate,
-        ));
+        );
+        // Class/hedge metrics only appear on the workloads that exercise
+        // them — the gate skips metrics absent from a block.
+        if cfg.batch_every != 0 {
+            block.push_str(&format!(", \"batch_share\": {:.3}", r.batch_share));
+        }
+        if cfg.hedge_threshold_ms != 0 {
+            block.push_str(&format!(
+                ", \"hedged\": {}, \"hedge_wins\": {}, \"hedge_win_rate\": {:.3}",
+                r.hedged, r.hedge_wins, r.hedge_win_rate
+            ));
+        }
+        block.push_str(" },\n");
+        blocks.push_str(&block);
         results.push((name, r));
     }
     blocks.pop();
@@ -119,12 +180,34 @@ fn main() {
         .find(|(n, _)| *n == "serve_hotkey")
         .map(|(_, r)| r.dedup_hit_rate)
         .unwrap_or(0.0);
+    let min_batch_share = results
+        .iter()
+        .filter(|(_, r)| r.batch_share > 0.0)
+        .map(|(_, r)| r.batch_share)
+        .fold(f64::INFINITY, f64::min);
+    let min_batch_share = if min_batch_share.is_finite() {
+        min_batch_share
+    } else {
+        0.0
+    };
+    let min_hedge_win_rate = results
+        .iter()
+        .filter(|(_, r)| r.hedged > 0)
+        .map(|(_, r)| r.hedge_win_rate)
+        .fold(f64::INFINITY, f64::min);
+    let min_hedge_win_rate = if min_hedge_win_rate.is_finite() {
+        min_hedge_win_rate
+    } else {
+        0.0
+    };
 
     let body = format!(
         "{{\n  \"ceiling_qps\": {ceiling},\n  \"max_concurrent\": {MAX_CONCURRENT},\n  \
          \"service_ms\": {SERVICE_MS},\n  \"max_queued\": {MAX_QUEUED},\n  \"workloads\": [\n{blocks}\n  ],\n  \
          \"max_shed_rate\": {max_shed:.3},\n  \"max_p999_ms\": {max_p999},\n  \
-         \"hot_dedup_hit_rate\": {hot_dedup:.3}\n}}\n"
+         \"hot_dedup_hit_rate\": {hot_dedup:.3},\n  \
+         \"min_batch_share\": {min_batch_share:.3},\n  \
+         \"min_hedge_win_rate\": {min_hedge_win_rate:.3}\n}}\n"
     );
     std::fs::write("BENCH_serve.json", &body).expect("write BENCH_serve.json");
     println!("\nwrote BENCH_serve.json");

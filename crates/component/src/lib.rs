@@ -48,15 +48,6 @@ fn component_flights() -> &'static SingleFlight<ComponentFlightKey, Bytes> {
     FLIGHTS.get_or_init(SingleFlight::new)
 }
 
-/// Batched fetches dedup on the whole out-of-head id list, preserving the
-/// one-parallel-round-trip guarantee of [`ComponentFile::components`].
-type BatchFlightKey = (u64, String, u64, Vec<usize>);
-
-fn batch_flights() -> &'static SingleFlight<BatchFlightKey, Vec<Bytes>> {
-    static FLIGHTS: OnceLock<SingleFlight<BatchFlightKey, Vec<Bytes>>> = OnceLock::new();
-    FLIGHTS.get_or_init(SingleFlight::new)
-}
-
 /// Magic bytes of a component file.
 pub const MAGIC: &[u8; 4] = b"LKCX";
 
@@ -477,38 +468,55 @@ impl<'a> ComponentFile<'a> {
             }
         }
         if !fetch.is_empty() {
-            let requests: Vec<RangeRequest> = fetch
-                .iter()
-                .map(|(_, _, e)| {
-                    let start = self.payload_base + e.offset;
-                    RangeRequest::new(self.key.clone(), start..start + e.compressed_len)
-                })
-                .collect();
-            let payloads = if self.ns != 0 {
-                // A concurrent identical batch shares the leader's single
-                // parallel round trip.
-                let fk = (
-                    self.ns,
-                    self.key.clone(),
-                    self.dir_hash,
-                    fetch.iter().map(|&(_, id, _)| id).collect(),
-                );
-                let (payloads, deduped) =
-                    batch_flights().run(&fk, || self.store.get_ranges(&requests));
-                if deduped {
-                    self.store.record_dedup(fetch.len() as u64);
+            if self.ns != 0 {
+                // Per-component flights shared with `component` and with
+                // *overlapping* concurrent batches: lead the components
+                // nobody is fetching (one parallel round trip, decoded
+                // once behind the flight), join the in-flight fetches for
+                // the rest. Solo, every component is owned and the single
+                // `get_ranges` call matches the pre-flight request count.
+                let keys: Vec<ComponentFlightKey> = fetch
+                    .iter()
+                    .map(|&(_, id, _)| (self.ns, self.key.clone(), self.dir_hash, id))
+                    .collect();
+                let (decoded, joined) = component_flights().run_partial(&keys, |owned| {
+                    let subset: Vec<RangeRequest> = owned
+                        .iter()
+                        .map(|&j| {
+                            let e = fetch[j].2;
+                            let start = self.payload_base + e.offset;
+                            RangeRequest::new(self.key.clone(), start..start + e.compressed_len)
+                        })
+                        .collect();
+                    let raws = self.store.get_ranges(&subset)?;
+                    owned
+                        .iter()
+                        .zip(raws)
+                        .map(|(&j, raw)| self.decode(&fetch[j].2, &raw))
+                        .collect()
+                });
+                if joined > 0 {
+                    self.store.record_dedup(joined);
                 }
-                payloads?
-            } else {
-                self.store.get_ranges(&requests)?
-            };
-            for ((slot, id, entry), raw) in fetch.into_iter().zip(payloads) {
-                misses += 1;
-                let data = self.decode(&entry, &raw)?;
-                if self.ns != 0 {
+                for (&(slot, id, _), data) in fetch.iter().zip(decoded?) {
+                    misses += 1;
                     cache.put_component(self.ns, &self.key, self.dir_hash, id, data.clone());
+                    out[slot] = Some(data);
                 }
-                out[slot] = Some(data);
+            } else {
+                let requests: Vec<RangeRequest> = fetch
+                    .iter()
+                    .map(|(_, _, e)| {
+                        let start = self.payload_base + e.offset;
+                        RangeRequest::new(self.key.clone(), start..start + e.compressed_len)
+                    })
+                    .collect();
+                let payloads = self.store.get_ranges(&requests)?;
+                for ((slot, _, entry), raw) in fetch.into_iter().zip(payloads) {
+                    misses += 1;
+                    let data = self.decode(&entry, &raw)?;
+                    out[slot] = Some(data);
+                }
             }
         }
         if self.ns != 0 && hits + misses > 0 {

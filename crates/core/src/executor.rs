@@ -38,6 +38,21 @@ pub struct SearchConfig {
     /// re-scans of unchanged files that are known not to match. Results
     /// are identical either way; only the request count changes.
     pub neg_cache: bool,
+    /// Whether deadline-pressured index probes are hedged: when a query's
+    /// remaining budget drops below the EWMA-derived threshold (see
+    /// [`SearchConfig::hedge_threshold_pct`]), the executor issues the
+    /// same probe on a second lane and takes whichever finishes first,
+    /// cancelling the loser at its next store request. Both lanes compute
+    /// the identical probe over shared caches, so *matches* are
+    /// bit-identical with hedging on or off; only latency and the
+    /// hedge counters in `SearchStats` change. Off by default.
+    pub hedge: bool,
+    /// Hedge trigger, as a percentage of the probe-duration EWMA: a probe
+    /// is hedged when `remaining_budget_ms < ewma_ms * pct / 100`. The
+    /// default 300 hedges once fewer than three typical probes fit in the
+    /// remaining budget. `u32::MAX` effectively hedges every probe (used
+    /// by tests); `0` never triggers.
+    pub hedge_threshold_pct: u32,
 }
 
 impl Default for SearchConfig {
@@ -47,6 +62,8 @@ impl Default for SearchConfig {
             page_cache: true,
             timeout_ms: None,
             neg_cache: true,
+            hedge: false,
+            hedge_threshold_pct: 300,
         }
     }
 }

@@ -110,6 +110,15 @@ pub struct SearchStats {
     /// Searches aborted mid-flight by deadline expiry (service-level
     /// aggregate, like [`SearchStats::queries_shed`]).
     pub deadline_aborts: u64,
+    /// Index probes that ran on two lanes because the remaining deadline
+    /// budget fell below the hedge threshold (0 unless hedging is on).
+    pub hedged_probes: u64,
+    /// Hedged probes where the backup lane finished first and supplied
+    /// the result used.
+    pub hedge_wins: u64,
+    /// Losing hedge lanes observed to have stopped at a cancellation
+    /// point (their next store request) rather than running to completion.
+    pub hedge_cancels: u64,
 }
 
 impl SearchStats {
@@ -136,6 +145,9 @@ impl SearchStats {
         self.neg_cache_skips += other.neg_cache_skips;
         self.queries_shed += other.queries_shed;
         self.deadline_aborts += other.deadline_aborts;
+        self.hedged_probes += other.hedged_probes;
+        self.hedge_wins += other.hedge_wins;
+        self.hedge_cancels += other.hedge_cancels;
     }
 }
 

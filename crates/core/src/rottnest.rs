@@ -8,7 +8,8 @@ use rottnest_format::{ChunkReader, DataType, NegScanCache, PageCacheSession, Val
 use rottnest_ivfpq::{IvfPqIndex, IvfPqParams, SearchParams, VecPosting};
 use rottnest_lake::{FileEntry, Snapshot, Table};
 use rottnest_object_store::{
-    ordered_parallel_map_io, FxHashMap, FxHashSet, ObjectStore, RetryPolicy, RetryStore, StoreError,
+    is_cancelled, ordered_parallel_map_io, CancelStore, FxHashMap, FxHashSet, ObjectStore,
+    RetryPolicy, RetryStore, StoreError,
 };
 use rottnest_trie::TrieIndex;
 
@@ -81,6 +82,51 @@ impl Default for RottnestConfig {
 
 static INDEX_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// What happened to one potentially hedged index probe.
+#[derive(Debug, Clone, Copy, Default)]
+struct HedgeOutcome {
+    /// The probe ran on two lanes (the hedge trigger fired).
+    hedged: bool,
+    /// The backup lane's result was the one used.
+    backup_won: bool,
+    /// The losing lane was observed to stop at a cancellation point.
+    loser_cancelled: bool,
+}
+
+impl HedgeOutcome {
+    /// Folds this outcome into a search's stats counters.
+    fn account(&self, stats: &mut SearchStats) {
+        if self.hedged {
+            stats.hedged_probes += 1;
+            if self.backup_won {
+                stats.hedge_wins += 1;
+            }
+            if self.loser_cancelled {
+                stats.hedge_cancels += 1;
+            }
+        }
+    }
+}
+
+/// Whether `e` is (or wraps, through any index/format/component layer)
+/// the typed cancellation error a [`CancelStore`] raises — i.e. the
+/// expected way a losing hedge lane dies, not a real fault.
+fn error_is_cancelled(e: &RottnestError) -> bool {
+    use rottnest_component::ComponentError;
+    let store_err = match e {
+        RottnestError::Store(s) => Some(s),
+        RottnestError::Format(rottnest_format::FormatError::Store(s)) => Some(s),
+        RottnestError::Trie(rottnest_trie::TrieError::Component(ComponentError::Store(s)))
+        | RottnestError::Bloom(rottnest_bloom::BloomError::Component(ComponentError::Store(s)))
+        | RottnestError::Fm(rottnest_fm::FmError::Component(ComponentError::Store(s)))
+        | RottnestError::Ivf(rottnest_ivfpq::IvfError::Component(ComponentError::Store(s))) => {
+            Some(s)
+        }
+        _ => None,
+    };
+    store_err.is_some_and(is_cancelled)
+}
+
 /// Outcome of a `vacuum` call.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct VacuumReport {
@@ -105,6 +151,11 @@ pub struct Rottnest<'a> {
     /// process — bumps the version, so a version match proves the cached
     /// plan is current.
     plan_cache: std::sync::Mutex<Option<(u64, std::sync::Arc<Vec<IndexEntry>>)>>,
+    /// EWMA of per-entry index-probe duration (store-clock ms), fed by
+    /// unhedged probes and read by the hedge trigger: a probe hedges when
+    /// the remaining deadline budget is smaller than a few typical probe
+    /// durations. 0 until the first observation.
+    probe_ewma_ms: AtomicU64,
 }
 
 impl<'a> Rottnest<'a> {
@@ -120,6 +171,7 @@ impl<'a> Rottnest<'a> {
             index_dir: index_dir.into(),
             config,
             plan_cache: std::sync::Mutex::new(None),
+            probe_ewma_ms: AtomicU64::new(0),
         }
     }
 
@@ -279,6 +331,109 @@ impl<'a> Rottnest<'a> {
         Ok(())
     }
 
+    /// Folds one observed probe duration into the EWMA (weight 1/4 for
+    /// the new sample). Only unhedged probes feed it: a hedged probe's
+    /// duration reflects two racing lanes, not typical cost.
+    fn observe_probe_ms(&self, elapsed_ms: u64) {
+        // Lock-free read-modify-write; a lost race just drops one sample,
+        // which an EWMA tolerates by construction.
+        let old = self.probe_ewma_ms.load(Ordering::Relaxed);
+        let next = if old == 0 {
+            elapsed_ms
+        } else {
+            (old * 3 + elapsed_ms) / 4
+        };
+        self.probe_ewma_ms.store(next, Ordering::Relaxed);
+    }
+
+    /// Whether a probe starting now should hedge: hedging is on, a
+    /// deadline exists, and the remaining budget is below
+    /// `ewma * hedge_threshold_pct / 100`.
+    fn should_hedge(&self, deadline_ms: Option<u64>) -> bool {
+        if !self.config.search.hedge {
+            return false;
+        }
+        let Some(deadline_ms) = deadline_ms else {
+            return false;
+        };
+        let remaining = deadline_ms.saturating_sub(self.store().now_ms());
+        let ewma = self.probe_ewma_ms.load(Ordering::Relaxed).max(1);
+        let pct = u64::from(self.config.search.hedge_threshold_pct);
+        remaining < ewma.saturating_mul(pct) / 100
+    }
+
+    /// Runs `probe` once — or, under deadline pressure with hedging
+    /// enabled, twice concurrently on independent cancellation lanes,
+    /// returning whichever lane finishes first and cancelling the loser
+    /// at its next store request.
+    ///
+    /// Both lanes evaluate the identical pure function over the same
+    /// shared caches and single-flight tables (the [`CancelStore`]
+    /// wrapper preserves `store_id`), so the *value* returned is the same
+    /// whichever lane wins — hedging changes latency and the hedge
+    /// counters, never matches. A lane that lost and was cancelled
+    /// surfaces a typed [`rottnest_object_store::CANCELLED`] error, which
+    /// is discarded in favor of the winner's result.
+    fn hedged_probe<R: Send>(
+        &self,
+        deadline_ms: Option<u64>,
+        probe: &(dyn Fn(&dyn ObjectStore) -> Result<R> + Sync),
+    ) -> (Result<R>, HedgeOutcome) {
+        if !self.should_hedge(deadline_ms) {
+            let started = self.store().now_ms();
+            let out = probe(self.store());
+            if out.is_ok() {
+                self.observe_probe_ms(self.store().now_ms().saturating_sub(started));
+            }
+            return (out, HedgeOutcome::default());
+        }
+
+        let first = AtomicU64::new(u64::MAX);
+        let cancels = [
+            std::sync::atomic::AtomicBool::new(false),
+            std::sync::atomic::AtomicBool::new(false),
+        ];
+        let run_lane = |lane: usize| -> Result<R> {
+            let lane_store = CancelStore::new(self.store(), &cancels[lane]);
+            let out = probe(&lane_store);
+            if first
+                .compare_exchange(u64::MAX, lane as u64, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                cancels[1 - lane].store(true, Ordering::Release);
+            }
+            out
+        };
+        let (primary, backup) = std::thread::scope(|scope| {
+            let backup = scope.spawn(|| run_lane(1));
+            let primary = run_lane(0);
+            let backup = backup
+                .join()
+                .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+            (primary, backup)
+        });
+
+        let backup_won = match (&primary, &backup) {
+            (Ok(_), Ok(_)) => first.load(Ordering::Acquire) == 1,
+            (Err(_), Ok(_)) => true,
+            _ => false,
+        };
+        let (winner, loser) = if backup_won {
+            (backup, primary)
+        } else {
+            (primary, backup)
+        };
+        let loser_cancelled = matches!(&loser, Err(e) if error_is_cancelled(e));
+        (
+            winner,
+            HedgeOutcome {
+                hedged: true,
+                backup_won,
+                loser_cancelled,
+            },
+        )
+    }
+
     /// The full metadata record set, memoized per log version. A hit costs
     /// one LIST instead of replaying the log (checkpoint/record GETs);
     /// since every metadata mutation commits a new version, an unchanged
@@ -435,13 +590,13 @@ impl<'a> Rottnest<'a> {
                     &predicate,
                     session,
                     deadline_ms,
-                    |entry| match entry.kind {
+                    |store, entry| match entry.kind {
                         IndexKind::Bloom { .. } => {
-                            let idx = BloomIndex::open(self.store(), &entry.path)?;
+                            let idx = BloomIndex::open(store, &entry.path)?;
                             Ok(idx.lookup(key)?)
                         }
                         _ => {
-                            let idx = TrieIndex::open(self.store(), &entry.path)?;
+                            let idx = TrieIndex::open(store, &entry.path)?;
                             Ok(idx.lookup(key)?)
                         }
                     },
@@ -486,8 +641,8 @@ impl<'a> Rottnest<'a> {
                     &predicate,
                     session,
                     deadline_ms,
-                    |entry| {
-                        let idx = FmIndex::open(self.store(), &entry.path)?;
+                    |store, entry| {
+                        let idx = FmIndex::open(store, &entry.path)?;
                         // Stage the locate: a small multiple of k first; if
                         // the limit was hit there are unresolved occurrences
                         // and the full locate runs. (Resolving fewer than the
@@ -576,15 +731,20 @@ impl<'a> Rottnest<'a> {
         predicate: &(dyn Fn(ValueRef<'_>) -> bool + Sync),
         session: Option<&PageCacheSession>,
         deadline_ms: Option<u64>,
-        query_index: impl Fn(&IndexEntry) -> Result<Vec<rottnest_component::Posting>> + Sync,
+        query_index: impl Fn(&dyn ObjectStore, &IndexEntry) -> Result<Vec<rottnest_component::Posting>>
+            + Sync,
     ) -> Result<(Vec<Match>, Vec<usize>)> {
         // 2. Query indexes (fanned out), filtering postings outside the
         // snapshot (merged in entry order). Each probe polls the deadline
         // first, so an over-budget fan-out aborts per entry instead of
-        // finishing every index query it already queued.
+        // finishing every index query it already queued. Under deadline
+        // pressure with hedging on, individual probes race two lanes (see
+        // `hedged_probe`); the winning value is identical either way.
         let outcomes = parallel_map(self.config.search.parallelism, selected, |_, entry| {
-            self.check_deadline(deadline_ms)?;
-            query_index(entry)
+            if let Err(e) = self.check_deadline(deadline_ms) {
+                return (Err(e), HedgeOutcome::default());
+            }
+            self.hedged_probe(deadline_ms, &|store| query_index(store, entry))
         });
         let mut pages: Vec<PageRef<'_>> = Vec::new();
         let mut failed: Vec<usize> = Vec::new();
@@ -592,7 +752,8 @@ impl<'a> Rottnest<'a> {
         // same file (§IV-A allows the wasteful overlap), and the same page
         // must be probed only once or matches would duplicate.
         let mut seen: FxHashSet<(&str, u32)> = FxHashSet::default();
-        for (entry_idx, (entry, outcome)) in selected.iter().zip(outcomes).enumerate() {
+        for (entry_idx, (entry, (outcome, hedge))) in selected.iter().zip(outcomes).enumerate() {
+            hedge.account(stats);
             let postings = match outcome {
                 Ok(postings) => postings,
                 Err(e) if is_degradable(&e) => {
@@ -876,10 +1037,15 @@ impl<'a> Rottnest<'a> {
         // brute-force pass below. Deadline expiry is NOT degradable: the
         // poll before each entry aborts the whole search.
         let passes = parallel_map(parallelism, selected, |_, entry| {
-            self.check_deadline(deadline_ms)?;
-            self.vector_entry_pass(table, snapshot, entry, qvec, params, dim, session)
+            if let Err(e) = self.check_deadline(deadline_ms) {
+                return (Err(e), HedgeOutcome::default());
+            }
+            self.hedged_probe(deadline_ms, &|store| {
+                self.vector_entry_pass(store, table, snapshot, entry, qvec, params, dim, session)
+            })
         });
-        for (entry_idx, pass) in passes.into_iter().enumerate() {
+        for (entry_idx, (pass, hedge)) in passes.into_iter().enumerate() {
+            hedge.account(&mut stats);
             match pass {
                 Ok((matches, entry_stats)) => {
                     results.extend(matches);
@@ -974,6 +1140,7 @@ impl<'a> Rottnest<'a> {
     #[allow(clippy::too_many_arguments)]
     fn vector_entry_pass(
         &self,
+        store: &dyn ObjectStore,
         table: &Table<'_>,
         snapshot: &Snapshot,
         entry: &IndexEntry,
@@ -984,7 +1151,7 @@ impl<'a> Rottnest<'a> {
     ) -> Result<(Vec<Match>, SearchStats)> {
         let mut results: Vec<Match> = Vec::new();
         let mut stats = SearchStats::default();
-        let idx = IvfPqIndex::open(self.store(), &entry.path)?;
+        let idx = IvfPqIndex::open(store, &entry.path)?;
         // ADC pass without refine so stale postings can be filtered
         // before any page fetch.
         let adc = idx.search(
@@ -1049,7 +1216,7 @@ impl<'a> Rottnest<'a> {
         let candidates: Vec<VecPosting> =
             live.iter().take(params.refine).map(|&(p, _)| p).collect();
         let exact = fetch_vectors(
-            self.store(),
+            store,
             dim,
             &candidates,
             &|file_id| {

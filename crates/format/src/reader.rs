@@ -38,16 +38,6 @@ fn page_flights() -> &'static SingleFlight<PageFlightKey, Bytes> {
     FLIGHTS.get_or_init(SingleFlight::new)
 }
 
-/// Batched reads dedup on the whole miss list: a follower shares the
-/// leader's single parallel round trip, preserving the one-round-trip
-/// batching guarantee of [`PageReader::read_pages`].
-type BatchFlightKey = (u64, Vec<(String, u64, u64, u64)>);
-
-fn batch_flights() -> &'static SingleFlight<BatchFlightKey, Vec<Bytes>> {
-    static FLIGHTS: OnceLock<SingleFlight<BatchFlightKey, Vec<Bytes>>> = OnceLock::new();
-    FLIGHTS.get_or_init(SingleFlight::new)
-}
-
 /// Traditional footer-first, whole-chunk reader.
 pub struct ChunkReader<'a> {
     store: &'a dyn ObjectStore,
@@ -272,39 +262,46 @@ impl<'a> PageReader<'a> {
                     RangeRequest::new(requests[i].0, offset..offset + size)
                 })
                 .collect();
-            // Dedup the whole miss batch when every page is validator-
-            // fenced: a concurrent identical batch shares the leader's one
-            // parallel round trip.
-            let flight_key: Option<BatchFlightKey> =
-                if ns != 0 && misses.iter().all(|&(_, v)| v.is_some()) {
-                    Some((
-                        ns,
-                        misses
-                            .iter()
-                            .map(|&(i, v)| {
-                                let (offset, size) = locs[i];
-                                (
-                                    requests[i].0.to_string(),
-                                    offset,
-                                    size,
-                                    v.expect("checked above"),
-                                )
-                            })
-                            .collect(),
-                    ))
-                } else {
-                    None
-                };
-            let fetched = match &flight_key {
-                Some(fk) => {
-                    let (fetched, deduped) =
-                        batch_flights().run(fk, || self.store.get_ranges(&ranges));
-                    if deduped {
-                        self.store.record_dedup(misses.len() as u64);
-                    }
-                    fetched?
+            // Share the miss batch *partially* when every page is
+            // validator-fenced: each page rides the same per-page flight
+            // table as `read_page`, so this caller leads the pages nobody
+            // is fetching (one parallel round trip over just those) and
+            // joins in-flight fetches for the rest — two queries whose
+            // page sets merely overlap still share the overlap, and a
+            // single-page reader can join a superset batch fetch. Solo,
+            // every page is owned and the one `get_ranges` round trip is
+            // bit-identical to a build without single-flight.
+            let fetched = if ns != 0 && misses.iter().all(|&(_, v)| v.is_some()) {
+                let keys: Vec<PageFlightKey> = misses
+                    .iter()
+                    .map(|&(i, v)| {
+                        let (offset, size) = locs[i];
+                        (
+                            ns,
+                            requests[i].0.to_string(),
+                            offset,
+                            size,
+                            v.expect("checked above"),
+                        )
+                    })
+                    .collect();
+                let (fetched, joined) = page_flights().run_partial(&keys, |owned| {
+                    let subset: Vec<RangeRequest> = owned
+                        .iter()
+                        .map(|&j| {
+                            let (i, _) = misses[j];
+                            let (offset, size) = locs[i];
+                            RangeRequest::new(requests[i].0, offset..offset + size)
+                        })
+                        .collect();
+                    self.store.get_ranges(&subset)
+                });
+                if joined > 0 {
+                    self.store.record_dedup(joined);
                 }
-                None => self.store.get_ranges(&ranges)?,
+                fetched?
+            } else {
+                self.store.get_ranges(&ranges)?
             };
             for ((i, validator), bytes) in misses.into_iter().zip(fetched) {
                 if let Some(v) = validator {

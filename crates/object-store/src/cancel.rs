@@ -1,0 +1,182 @@
+//! Cooperative cancellation for speculative store work.
+//!
+//! [`CancelStore`] wraps any [`ObjectStore`] and checks a shared flag
+//! before every request: once the flag is raised, every subsequent
+//! operation fails immediately with a typed
+//! [`StoreError::Transient`]`(`[`CANCELLED`]`)` instead of reaching the
+//! backend. That turns every store round trip into a cancellation point —
+//! exactly what a hedged (duplicate) probe needs to stop its losing lane
+//! promptly without threads, signals, or poisoned state: the loser aborts
+//! at its next request boundary, and because caches and single-flight
+//! layers only admit fully verified payloads, an abandoned lane leaves
+//! nothing behind.
+//!
+//! Accounting methods (`stats`, `record_*`, `clock`, `now_ms`) delegate
+//! unconditionally — cancellation stops *requests*, not bookkeeping.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use bytes::Bytes;
+
+use crate::stats::StatsSnapshot;
+use crate::{ObjectMeta, ObjectStore, RangeRequest, Result, SimClock, StoreError};
+
+/// Message carried by the typed cancellation error. Comparing against
+/// this constant identifies a failure as "lane cancelled" rather than a
+/// real backend fault.
+pub const CANCELLED: &str = "cancelled speculative lane";
+
+/// Returns the typed error every cancelled operation fails with.
+pub fn cancelled_error() -> StoreError {
+    StoreError::Transient(CANCELLED)
+}
+
+/// Whether `e` is the cancellation error raised by a [`CancelStore`].
+pub fn is_cancelled(e: &StoreError) -> bool {
+    matches!(e, StoreError::Transient(m) if *m == CANCELLED)
+}
+
+/// An [`ObjectStore`] decorator that fails every request once `flag` is
+/// raised. See the module docs.
+pub struct CancelStore<'a> {
+    inner: &'a dyn ObjectStore,
+    flag: &'a AtomicBool,
+}
+
+impl<'a> CancelStore<'a> {
+    /// Wraps `inner`; operations fail with [`cancelled_error`] once
+    /// `flag` reads `true`.
+    pub fn new(inner: &'a dyn ObjectStore, flag: &'a AtomicBool) -> Self {
+        Self { inner, flag }
+    }
+
+    fn check(&self) -> Result<()> {
+        if self.flag.load(Ordering::Acquire) {
+            return Err(cancelled_error());
+        }
+        Ok(())
+    }
+}
+
+impl ObjectStore for CancelStore<'_> {
+    fn put(&self, key: &str, data: Bytes) -> Result<()> {
+        self.check()?;
+        self.inner.put(key, data)
+    }
+
+    fn put_if_absent(&self, key: &str, data: Bytes) -> Result<()> {
+        self.check()?;
+        self.inner.put_if_absent(key, data)
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes> {
+        self.check()?;
+        self.inner.get(key)
+    }
+
+    fn get_range(&self, key: &str, range: Range<u64>) -> Result<Bytes> {
+        self.check()?;
+        self.inner.get_range(key, range)
+    }
+
+    fn get_ranges(&self, requests: &[RangeRequest]) -> Result<Vec<Bytes>> {
+        self.check()?;
+        self.inner.get_ranges(requests)
+    }
+
+    fn head(&self, key: &str) -> Result<ObjectMeta> {
+        self.check()?;
+        self.inner.head(key)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<ObjectMeta>> {
+        self.check()?;
+        self.inner.list(prefix)
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.check()?;
+        self.inner.delete(key)
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.inner.now_ms()
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.inner.stats()
+    }
+
+    fn clock(&self) -> Option<&SimClock> {
+        self.inner.clock()
+    }
+
+    fn record_retry(&self, retries: u64, backoff_ms: u64) {
+        self.inner.record_retry(retries, backoff_ms);
+    }
+
+    fn coalesce_gap(&self) -> Option<u64> {
+        self.inner.coalesce_gap()
+    }
+
+    fn store_id(&self) -> u64 {
+        // Same identity as the wrapped store: page/component caches and
+        // single-flight keys must agree between a hedged lane and the
+        // direct path, or the lanes could not share warmed state.
+        self.inner.store_id()
+    }
+
+    fn record_cache(&self, hits: u64, misses: u64, bytes_saved: u64) {
+        self.inner.record_cache(hits, misses, bytes_saved);
+    }
+
+    fn record_coalesced(&self, n: u64) {
+        self.inner.record_coalesced(n);
+    }
+
+    fn record_page_cache(&self, hits: u64, misses: u64, bytes_saved: u64) {
+        self.inner.record_page_cache(hits, misses, bytes_saved);
+    }
+
+    fn record_page_cache_bypass(&self, n: u64) {
+        self.inner.record_page_cache_bypass(n);
+    }
+
+    fn record_dedup(&self, n: u64) {
+        self.inner.record_dedup(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryStore;
+
+    #[test]
+    fn passes_through_until_cancelled_then_fails_typed() {
+        let store = MemoryStore::new();
+        store.put("k", Bytes::from_static(b"hello")).unwrap();
+        let flag = AtomicBool::new(false);
+        let cs = CancelStore::new(store.as_ref(), &flag);
+        assert_eq!(cs.get("k").unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(cs.store_id(), store.store_id());
+
+        flag.store(true, Ordering::Release);
+        let err = cs.get("k").unwrap_err();
+        assert!(is_cancelled(&err), "typed cancellation, got {err:?}");
+        assert!(
+            is_cancelled(&cs.head("k").unwrap_err()),
+            "every request kind is a cancellation point"
+        );
+        // The wrapped store is untouched — cancellation never reaches it.
+        assert_eq!(store.get("k").unwrap(), Bytes::from_static(b"hello"));
+    }
+
+    #[test]
+    fn cancellation_error_is_distinguishable() {
+        assert!(is_cancelled(&cancelled_error()));
+        assert!(!is_cancelled(&StoreError::Transient("other")));
+        assert!(!is_cancelled(&StoreError::NotFound("k".into())));
+    }
+}

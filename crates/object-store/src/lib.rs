@@ -22,6 +22,7 @@
 //! object-store access plans.
 
 pub mod bytecache;
+pub mod cancel;
 pub mod coalesce;
 pub mod fault;
 pub mod fs;
@@ -40,6 +41,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 
 pub use bytecache::ByteLru;
+pub use cancel::{cancelled_error, is_cancelled, CancelStore, CANCELLED};
 pub use coalesce::{CoalescePlan, DEFAULT_COALESCE_GAP};
 pub use fault::{ChaosConfig, FaultInjector, FaultKind};
 pub use fs::FsStore;

@@ -21,6 +21,13 @@
 //! * **No effect without concurrency.** A call that overlaps no identical
 //!   call runs its closure directly; single-threaded request counts are
 //!   bit-identical to a build without single-flight.
+//!
+//! [`SingleFlight::run_partial`] extends the contract to *partial*
+//! sharing: a caller that needs many keys at once claims the subset
+//! nobody is fetching (leading them in one batched call) and joins the
+//! in-flight fetches for the rest — so two different queries whose page
+//! sets merely *overlap* still share the overlapping fetches, rather
+//! than deduplicating only when their whole key lists are identical.
 
 use std::hash::Hash;
 use std::sync::Arc;
@@ -123,6 +130,141 @@ where
                 FlightState::Failed => continue,
                 FlightState::Pending => unreachable!("woken only on publish"),
             }
+        }
+    }
+
+    /// Fetches many keys at once with partial cross-caller sharing.
+    ///
+    /// The caller becomes the leader for every key with no flight in
+    /// progress — `fetch` runs **once per round** over the claimed slot
+    /// indices (into `keys`), so the owned subset costs one batched
+    /// call — and joins the in-flight fetch for every other key, even
+    /// when that flight belongs to a caller with a different (merely
+    /// overlapping) key set. Per-key results are published individually,
+    /// so followers of any subset are served.
+    ///
+    /// Returns the values aligned with `keys`, plus how many slots were
+    /// served by joining another caller's flight (`0` when solo — a call
+    /// that overlaps nothing makes exactly one `fetch` over all keys,
+    /// keeping sequential request counts bit-identical).
+    ///
+    /// Failure semantics match [`Self::run`]: a `fetch` error fails only
+    /// this caller (its owned flights publish `Failed`, and joiners of
+    /// those keys retry as their own leaders); a joined flight that
+    /// fails is retried here by claiming the key and fetching it
+    /// directly next round.
+    pub fn run_partial<E>(
+        &self,
+        keys: &[K],
+        mut fetch: impl FnMut(&[usize]) -> Result<Vec<V>, E>,
+    ) -> (Result<Vec<V>, E>, u64) {
+        let mut values: Vec<Option<V>> = (0..keys.len()).map(|_| None).collect();
+        let mut joined_served: u64 = 0;
+        let mut pending: Vec<usize> = (0..keys.len()).collect();
+        while !pending.is_empty() {
+            // Claim leadership of every pending key without a flight;
+            // remember the flights to join for the rest.
+            let mut owned: Vec<usize> = Vec::new();
+            let mut joins: Vec<(usize, Arc<Flight<V>>)> = Vec::new();
+            {
+                let mut map = self.inflight.lock();
+                for &i in &pending {
+                    match map.get(&keys[i]) {
+                        Some(flight) => joins.push((i, flight.clone())),
+                        None => {
+                            let flight = Arc::new(Flight {
+                                state: Mutex::new(FlightState::Pending),
+                                cv: Condvar::new(),
+                            });
+                            map.insert(keys[i].clone(), flight);
+                            owned.push(i);
+                        }
+                    }
+                }
+            }
+            // Lead the owned subset *before* waiting on joins: every
+            // caller publishes its own fetch first, so two callers
+            // joining each other's flights can never deadlock.
+            if !owned.is_empty() {
+                // Publishes `Failed` for every still-unpublished owned
+                // key on unwind or error, so a fetch that dies wakes its
+                // followers into their own retries.
+                let mut guard = PartialGuard {
+                    owner: self,
+                    keys,
+                    owned: &owned,
+                    published: 0,
+                };
+                match fetch(&owned) {
+                    Ok(vals) => {
+                        debug_assert_eq!(vals.len(), owned.len(), "fetch must fill every slot");
+                        for (&slot, v) in owned.iter().zip(vals) {
+                            self.publish_one(&keys[slot], Some(v.clone()));
+                            guard.published += 1;
+                            values[slot] = Some(v);
+                        }
+                    }
+                    Err(e) => {
+                        drop(guard);
+                        return (Err(e), joined_served);
+                    }
+                }
+                std::mem::forget(guard);
+            }
+            // Join the rest; a failed flight's key is retried next round
+            // (claimed above as our own lead).
+            let mut retry: Vec<usize> = Vec::new();
+            for (i, flight) in joins {
+                let mut state = flight.state.lock();
+                while matches!(*state, FlightState::Pending) {
+                    flight.cv.wait(&mut state);
+                }
+                match &*state {
+                    FlightState::Done(v) => {
+                        values[i] = Some(v.clone());
+                        joined_served += 1;
+                    }
+                    FlightState::Failed => retry.push(i),
+                    FlightState::Pending => unreachable!("woken only on publish"),
+                }
+            }
+            pending = retry;
+        }
+        let values = values
+            .into_iter()
+            .map(|v| v.expect("every slot filled"))
+            .collect();
+        (Ok(values), joined_served)
+    }
+
+    /// Publishes one key's outcome: removes the flight from the map
+    /// (retriers must find the slot free), then wakes its followers.
+    fn publish_one(&self, key: &K, value: Option<V>) {
+        let flight = self.inflight.lock().remove(key);
+        let Some(flight) = flight else { return };
+        let mut state = flight.state.lock();
+        *state = match value {
+            Some(v) => FlightState::Done(v),
+            None => FlightState::Failed,
+        };
+        flight.cv.notify_all();
+    }
+}
+
+/// Fails a partial leader's still-unpublished owned flights on error or
+/// unwind, so followers retry instead of blocking forever.
+struct PartialGuard<'a, K: Eq + Hash + Clone, V: Clone> {
+    owner: &'a SingleFlight<K, V>,
+    keys: &'a [K],
+    owned: &'a [usize],
+    /// Owned slots already published `Done` (a prefix of `owned`).
+    published: usize,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Drop for PartialGuard<'_, K, V> {
+    fn drop(&mut self) {
+        for &slot in &self.owned[self.published..] {
+            self.owner.publish_one(&self.keys[slot], None);
         }
     }
 }
@@ -317,5 +459,114 @@ mod tests {
         let (a, _) = sf.run(&1, || Ok::<_, ()>(10));
         let (b, _) = sf.run(&2, || Ok::<_, ()>(20));
         assert_eq!((a, b), (Ok(10), Ok(20)));
+    }
+
+    #[test]
+    fn partial_solo_fetches_everything_in_one_call() {
+        let sf: SingleFlight<u32, u32> = SingleFlight::new();
+        let calls = AtomicUsize::new(0);
+        let (got, joined) = sf.run_partial(&[3, 1, 4], |idxs| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(idxs, [0, 1, 2], "solo caller owns every slot");
+            Ok::<_, ()>(idxs.iter().map(|&i| i as u32 * 10).collect())
+        });
+        assert_eq!(got, Ok(vec![0, 10, 20]));
+        assert_eq!(joined, 0, "nothing to join when alone");
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "exactly one batched call");
+        assert_eq!(sf.inflight_len(), 0);
+    }
+
+    #[test]
+    fn overlapping_partial_fetches_share_the_overlap() {
+        // A needs {1,2,3}, B needs {2,3,4}: each key must be fetched by
+        // exactly one of them, and whoever arrives second for {2,3}
+        // joins the first's in-flight fetch.
+        let sf: Arc<SingleFlight<u32, u32>> = Arc::new(SingleFlight::new());
+        let fetched = Arc::new(Mutex::new(Vec::<u32>::new()));
+        let hold = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let a = {
+            let (sf, fetched, hold) = (sf.clone(), fetched.clone(), hold.clone());
+            std::thread::spawn(move || {
+                let keys = [1u32, 2, 3];
+                sf.run_partial(&keys, |idxs| {
+                    fetched.lock().extend(idxs.iter().map(|&i| keys[i]));
+                    // Hold the flight open so B provably overlaps.
+                    while hold.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                    Ok::<_, ()>(idxs.iter().map(|&i| keys[i] * 100).collect())
+                })
+            })
+        };
+        // Wait until A owns all three flights, then overlap B.
+        while sf.inflight_len() < 3 {
+            std::thread::yield_now();
+        }
+        let b = {
+            let (sf, fetched) = (sf.clone(), fetched.clone());
+            std::thread::spawn(move || {
+                let keys = [2u32, 3, 4];
+                sf.run_partial(&keys, |idxs| {
+                    fetched.lock().extend(idxs.iter().map(|&i| keys[i]));
+                    Ok::<_, ()>(idxs.iter().map(|&i| keys[i] * 100).collect())
+                })
+            })
+        };
+        // B can only have claimed {4}; release A once B's own fetch ran
+        // (B is then parked joining A's {2,3} flights).
+        while !fetched.lock().contains(&4) {
+            std::thread::yield_now();
+        }
+        hold.store(false, Ordering::SeqCst);
+        let (got_a, joined_a) = a.join().unwrap();
+        let (got_b, joined_b) = b.join().unwrap();
+        assert_eq!(got_a, Ok(vec![100, 200, 300]));
+        assert_eq!(got_b, Ok(vec![200, 300, 400]));
+        assert_eq!(joined_a, 0);
+        assert_eq!(joined_b, 2, "B joined A's in-flight {{2,3}}");
+        let mut log = fetched.lock().clone();
+        log.sort_unstable();
+        assert_eq!(log, vec![1, 2, 3, 4], "each key fetched exactly once");
+        assert_eq!(sf.inflight_len(), 0);
+    }
+
+    #[test]
+    fn partial_leader_failure_fails_only_itself_and_joiners_retry() {
+        // A claims {1,2} and fails; B overlaps on {2}. B must not
+        // inherit A's error — it retries {2} as its own leader.
+        let sf: Arc<SingleFlight<u32, u32>> = Arc::new(SingleFlight::new());
+        let entered = Arc::new(Barrier::new(2));
+        let hold = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let a = {
+            let (sf, entered, hold) = (sf.clone(), entered.clone(), hold.clone());
+            std::thread::spawn(move || {
+                sf.run_partial(&[1u32, 2], |_| {
+                    entered.wait();
+                    while hold.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                    Err::<Vec<u32>, _>("lead fetch died")
+                })
+            })
+        };
+        entered.wait();
+        let b = {
+            let sf = sf.clone();
+            std::thread::spawn(move || {
+                sf.run_partial(&[2u32], |idxs| {
+                    assert_eq!(idxs.len(), 1);
+                    Ok::<_, &'static str>(vec![222])
+                })
+            })
+        };
+        // B is either already waiting on A's flight for key 2 or will
+        // retry after the failure — both paths must end Ok.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        hold.store(false, Ordering::SeqCst);
+        let (got_a, _) = a.join().unwrap();
+        let (got_b, _) = b.join().unwrap();
+        assert_eq!(got_a, Err("lead fetch died"));
+        assert_eq!(got_b, Ok(vec![222]), "joiner retried as its own leader");
+        assert_eq!(sf.inflight_len(), 0);
     }
 }

@@ -1,34 +1,87 @@
-//! Semaphore-based admission control with bounded queueing and
-//! deadline-aware shedding.
+//! Admission control with weighted fair queueing over virtual time,
+//! bounded per-class queues, and deadline-aware shedding.
 //!
 //! The serving layer's first line of defense: at most `max_concurrent`
-//! searches run at once, at most `max_queued` wait behind them, and a
-//! query whose deadline cannot be met *even if admitted* is refused
-//! immediately — before it costs a single store request — with a typed
-//! [`ShedReason`] the client can act on. Everything past those bounds
-//! fails fast instead of piling onto a collapsing server.
+//! searches run at once, at most `max_queued` *per class* wait behind
+//! them, and a query whose deadline cannot be met *even if admitted* is
+//! refused immediately — before it costs a single store request — with a
+//! typed [`ShedReason`] the client can act on. Everything past those
+//! bounds fails fast instead of piling onto a collapsing server.
+//!
+//! Queued work is scheduled by class ([`QueryClass::Interactive`] vs
+//! [`QueryClass::Batch`]) under weighted fair queueing: every arrival is
+//! stamped with a virtual finish tag ([`virtual_finish_tag`]) and freed
+//! slots go to the waiter with the smallest tag. Interactive traffic with
+//! weight `w_i` gets `w_i / (w_i + w_b)` of contended slots, batch gets
+//! the rest — so a sustained interactive flood cannot starve batch below
+//! its weight share, and a deep batch backlog cannot delay an interactive
+//! burst by more than one batch inter-service gap. Within a class, tags
+//! are monotone, so dispatch order stays FIFO per class and fresh
+//! arrivals can never barge past queued waiters.
 //!
 //! The finish-time estimate that drives deadline shedding is a pure
 //! function ([`estimate_finish_ms`]) shared with the deterministic
-//! open-arrival simulator (`crate::sim`), so the benchmark models exactly
-//! the policy the threaded controller enforces.
+//! open-arrival simulator (`crate::sim`), as is the tag arithmetic —
+//! so the benchmark models exactly the policy the threaded controller
+//! enforces.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::{Condvar, Mutex};
 use rottnest::RottnestError;
+
+/// Scheduling class of a query. Interactive queries carry tight deadlines
+/// and a high weight; batch queries soak spare capacity at a low weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QueryClass {
+    /// Latency-sensitive traffic (the default).
+    #[default]
+    Interactive,
+    /// Throughput traffic that tolerates queueing.
+    Batch,
+}
+
+impl QueryClass {
+    /// Index into per-class arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        match self {
+            QueryClass::Interactive => 0,
+            QueryClass::Batch => 1,
+        }
+    }
+}
+
+/// Fixed-point scale for virtual-time arithmetic: one dispatched query at
+/// weight `w` advances its class tag by `WFQ_SCALE / w`.
+pub const WFQ_SCALE: u64 = 1 << 16;
+
+/// Virtual finish tag for a class's next arrival: the later of global
+/// virtual time and the class's last tag, plus one weighted service
+/// quantum. Pure — shared verbatim by the threaded controller and the
+/// virtual-time simulator so both schedule identically.
+pub fn virtual_finish_tag(virtual_time: u64, class_last_tag: u64, weight: u32) -> u64 {
+    virtual_time.max(class_last_tag) + WFQ_SCALE / u64::from(weight.max(1))
+}
 
 /// Knobs for the admission controller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AdmissionConfig {
     /// Searches allowed to run concurrently.
     pub max_concurrent: usize,
-    /// Searches allowed to wait for a slot; arrivals beyond this shed
-    /// with [`ShedReason::QueueFull`].
+    /// Searches allowed to wait for a slot, per class; arrivals beyond
+    /// this shed with [`ShedReason::QueueFull`]. Bounding per class keeps
+    /// an interactive flood from consuming batch's queue space (and vice
+    /// versa).
     pub max_queued: usize,
     /// Seed for the per-query service-time estimate (store-clock ms),
     /// used for deadline shedding until real completions refine it.
     pub expected_service_ms: u64,
+    /// Weighted-fair-queueing weight for interactive queries.
+    pub interactive_weight: u32,
+    /// Weighted-fair-queueing weight for batch queries.
+    pub batch_weight: u32,
 }
 
 impl Default for AdmissionConfig {
@@ -37,6 +90,18 @@ impl Default for AdmissionConfig {
             max_concurrent: rottnest_object_store::default_parallelism(),
             max_queued: 64,
             expected_service_ms: 50,
+            interactive_weight: 4,
+            batch_weight: 1,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// The WFQ weight for `class`.
+    pub fn weight(&self, class: QueryClass) -> u32 {
+        match class {
+            QueryClass::Interactive => self.interactive_weight,
+            QueryClass::Batch => self.batch_weight,
         }
     }
 }
@@ -45,7 +110,7 @@ impl Default for AdmissionConfig {
 /// the query issues any store traffic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ShedReason {
-    /// The wait queue is at capacity.
+    /// The class's wait queue is at capacity.
     QueueFull {
         /// Client hint: one estimated service time from now.
         retry_after_ms: u64,
@@ -97,8 +162,10 @@ impl ShedReason {
 ///
 /// The model is wave-based: the arrivals ahead drain in batches of
 /// `max_concurrent`, each batch costing one service time, and the query
-/// itself costs one more. Pure — shared verbatim by the threaded
-/// controller and the virtual-time simulator.
+/// itself costs one more. Under WFQ "queued ahead" means waiters whose
+/// virtual finish tag is at most the arrival's own — the set the
+/// scheduler would actually serve first. Pure — shared verbatim by the
+/// threaded controller and the virtual-time simulator.
 pub fn estimate_finish_ms(
     now_ms: u64,
     running: usize,
@@ -111,19 +178,56 @@ pub fn estimate_finish_ms(
     now_ms + (waves as u64 + 1) * service_ms.max(1)
 }
 
+#[derive(Debug)]
+struct Waiter {
+    ticket: u64,
+    vft: u64,
+}
+
 #[derive(Debug, Default)]
 struct State {
     running: usize,
-    queued: usize,
-    /// Next FIFO ticket to hand to a queued arrival.
+    /// Per-class wait queues; tags are monotone within a queue, so each
+    /// front is its class's minimum.
+    queues: [VecDeque<Waiter>; 2],
     next_ticket: u64,
-    /// Ticket first in line for a freed slot; only its holder may leave
-    /// the wait loop, so wakeups hand slots over in arrival order.
-    serving: u64,
+    /// Ticket holding an unclaimed slot grant; only its holder may leave
+    /// the wait loop, so wakeups hand slots to the WFQ winner.
+    granted: Option<u64>,
+    /// Global virtual time: the largest tag ever dispatched.
+    virtual_time: u64,
+    /// Last tag issued per class.
+    class_tag: [u64; 2],
 }
 
-/// The admission controller: a counting semaphore with a bounded wait
-/// queue and deadline-aware shedding at the gate.
+impl State {
+    fn total_queued(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Grants the freed slot to the waiter with the smallest virtual
+    /// finish tag (ties go to interactive). No-op while a grant is
+    /// outstanding — the grantee re-dispatches when it claims its slot.
+    fn dispatch(&mut self) {
+        if self.granted.is_some() {
+            return;
+        }
+        let best = self
+            .queues
+            .iter()
+            .enumerate()
+            .filter_map(|(c, q)| q.front().map(|w| (w.vft, c, w.ticket)))
+            .min();
+        if let Some((vft, _, ticket)) = best {
+            self.virtual_time = self.virtual_time.max(vft);
+            self.granted = Some(ticket);
+        }
+    }
+}
+
+/// The admission controller: a counting semaphore with bounded per-class
+/// wait queues, weighted-fair dispatch, and deadline-aware shedding at
+/// the gate.
 pub struct Admission {
     cfg: AdmissionConfig,
     state: Mutex<State>,
@@ -174,9 +278,14 @@ impl Admission {
         self.service_ms.store(new.max(1), Ordering::Relaxed);
     }
 
-    /// Admits a query or sheds it. On success the returned [`Permit`]
-    /// holds one concurrency slot until dropped; callers run the search
-    /// under it. Shedding never blocks: `QueueFull` and
+    /// Admits an interactive query or sheds it; see [`Self::admit_class`].
+    pub fn admit(&self, now_ms: u64, deadline_ms: Option<u64>) -> Result<Permit<'_>, ShedReason> {
+        self.admit_class(now_ms, deadline_ms, QueryClass::Interactive)
+    }
+
+    /// Admits a query in `class` or sheds it. On success the returned
+    /// [`Permit`] holds one concurrency slot until dropped; callers run
+    /// the search under it. Shedding never blocks: `QueueFull` and
     /// `DeadlineUnmeetable` are decided from the state at arrival.
     ///
     /// A queued query waits (blocking) for a slot; its deadline was
@@ -184,23 +293,37 @@ impl Admission {
     /// cooperatively once running, so a late wake degrades into a typed
     /// [`RottnestError::DeadlineExceeded`] rather than silent extra load.
     ///
-    /// Freed slots are handed to queued waiters in FIFO order: a fresh
-    /// arrival admits directly only when nobody is queued, so under
-    /// sustained arrivals a waiter cannot be barged past indefinitely —
-    /// the finish estimate its admission was based on stays honest.
-    pub fn admit(&self, now_ms: u64, deadline_ms: Option<u64>) -> Result<Permit<'_>, ShedReason> {
+    /// Freed slots go to the queued waiter with the smallest virtual
+    /// finish tag. A fresh arrival admits directly only when nobody is
+    /// queued, so under sustained arrivals a waiter cannot be barged past
+    /// indefinitely — the finish estimate its admission was based on
+    /// stays honest, and each class keeps at least its weight share of
+    /// contended slots.
+    pub fn admit_class(
+        &self,
+        now_ms: u64,
+        deadline_ms: Option<u64>,
+        class: QueryClass,
+    ) -> Result<Permit<'_>, ShedReason> {
+        let c = class.idx();
+        let weight = self.cfg.weight(class);
         let mut st = self.state.lock();
-        if st.running >= self.cfg.max_concurrent || st.queued > 0 {
-            if st.queued >= self.cfg.max_queued {
+        if st.running >= self.cfg.max_concurrent || st.total_queued() > 0 {
+            if st.queues[c].len() >= self.cfg.max_queued {
                 return Err(ShedReason::QueueFull {
                     retry_after_ms: self.service_ms(),
                 });
             }
+            let vft = virtual_finish_tag(st.virtual_time, st.class_tag[c], weight);
             if let Some(deadline_ms) = deadline_ms {
+                // Ahead of me: waiters the scheduler would serve first —
+                // those with tags at most mine (FIFO within my class,
+                // weight-share across classes).
+                let ahead = st.queues.iter().flatten().filter(|w| w.vft <= vft).count();
                 let estimated_finish_ms = estimate_finish_ms(
                     now_ms,
                     st.running,
-                    st.queued,
+                    ahead,
                     self.cfg.max_concurrent,
                     self.service_ms(),
                 );
@@ -213,17 +336,31 @@ impl Admission {
             }
             let ticket = st.next_ticket;
             st.next_ticket += 1;
-            st.queued += 1;
-            while st.serving != ticket || st.running >= self.cfg.max_concurrent {
+            st.class_tag[c] = vft;
+            st.queues[c].push_back(Waiter { ticket, vft });
+            if st.running < self.cfg.max_concurrent {
+                st.dispatch();
+                if st.granted.is_some() && st.granted != Some(ticket) {
+                    self.cv.notify_all();
+                }
+            }
+            while st.granted != Some(ticket) {
                 self.cv.wait(&mut st);
             }
-            st.serving += 1;
-            st.queued -= 1;
+            // Claim the grant: leave the queue, take the slot. Tags are
+            // monotone within a class, so a granted waiter is its queue's
+            // front.
+            st.granted = None;
+            let front = st.queues[c].pop_front().expect("granted waiter is queued");
+            debug_assert_eq!(front.ticket, ticket);
             st.running += 1;
             // Several permits may have dropped at once: if a slot is
-            // still free, let the next ticket in line re-check.
-            if st.queued > 0 && st.running < self.cfg.max_concurrent {
-                self.cv.notify_all();
+            // still free, grant it to the next WFQ winner.
+            if st.running < self.cfg.max_concurrent {
+                st.dispatch();
+                if st.granted.is_some() {
+                    self.cv.notify_all();
+                }
             }
         } else {
             st.running += 1;
@@ -231,15 +368,22 @@ impl Admission {
         Ok(Permit { admission: self })
     }
 
-    /// `(running, queued)` occupancy (tests and introspection).
+    /// `(running, queued)` occupancy across classes (tests and
+    /// introspection).
     pub fn occupancy(&self) -> (usize, usize) {
         let st = self.state.lock();
-        (st.running, st.queued)
+        (st.running, st.total_queued())
+    }
+
+    /// Queue depth for one class.
+    pub fn queued_in_class(&self, class: QueryClass) -> usize {
+        self.state.lock().queues[class.idx()].len()
     }
 }
 
-/// One admitted query's concurrency slot; releasing it (drop) wakes the
-/// next queued query. RAII, so a panicking search still frees its slot.
+/// One admitted query's concurrency slot; releasing it (drop) grants the
+/// slot to the WFQ winner among queued queries. RAII, so a panicking
+/// search still frees its slot.
 #[derive(Debug)]
 pub struct Permit<'a> {
     admission: &'a Admission,
@@ -249,10 +393,13 @@ impl Drop for Permit<'_> {
     fn drop(&mut self) {
         let mut st = self.admission.state.lock();
         st.running = st.running.saturating_sub(1);
+        if st.running < self.admission.cfg.max_concurrent {
+            st.dispatch();
+        }
         drop(st);
-        // Wake every waiter: only the head ticket may take the slot, and
-        // notify_one could land on a non-head waiter that just re-waits,
-        // losing the wakeup.
+        // Wake every waiter: only the granted ticket may take the slot,
+        // and notify_one could land on a non-granted waiter that just
+        // re-waits, losing the wakeup.
         self.admission.cv.notify_all();
     }
 }
@@ -266,6 +413,7 @@ mod tests {
             max_concurrent,
             max_queued,
             expected_service_ms: 10,
+            ..AdmissionConfig::default()
         }
     }
 
@@ -368,6 +516,98 @@ mod tests {
         }
     }
 
+    /// Queues `n` waiters of `class` and returns once all are parked.
+    /// Each waiter logs its class on dispatch and immediately releases
+    /// its slot, so the log records pure WFQ dispatch order.
+    fn park_waiters<'s, 'e>(
+        s: &'s std::thread::Scope<'s, 'e>,
+        adm: &'e Admission,
+        class: QueryClass,
+        n: usize,
+        order: &'e Mutex<Vec<QueryClass>>,
+    ) {
+        let parked_before = adm.queued_in_class(class);
+        for _ in 0..n {
+            s.spawn(move || {
+                let p = adm.admit_class(0, None, class).unwrap();
+                order.lock().push(class);
+                drop(p);
+            });
+        }
+        while adm.queued_in_class(class) < parked_before + n {
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn wfq_gives_batch_its_weight_share_under_interactive_backlog() {
+        // One slot, weights 4:1. Park 12 interactive and 3 batch waiters
+        // behind a held permit, then release: dispatch order must follow
+        // the virtual-time tags exactly — one batch query in every five
+        // dispatches — regardless of thread timing, because tags were
+        // assigned while everyone was parked.
+        let adm = Admission::new(AdmissionConfig {
+            max_concurrent: 1,
+            max_queued: 16,
+            expected_service_ms: 10,
+            interactive_weight: 4,
+            batch_weight: 1,
+        });
+        let gate = adm.admit(0, None).unwrap();
+        let order = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            park_waiters(s, &adm, QueryClass::Interactive, 12, &order);
+            park_waiters(s, &adm, QueryClass::Batch, 3, &order);
+            drop(gate);
+        });
+        let order: Vec<QueryClass> = order.into_inner();
+        assert_eq!(order.len(), 15);
+        // Interactive tags: k/4 quanta; batch tags: whole quanta. Merged
+        // ascending (ties to interactive): I I I I B I I I I B ...
+        for (i, chunk) in order.chunks(5).enumerate() {
+            let batch = chunk.iter().filter(|c| **c == QueryClass::Batch).count();
+            assert_eq!(
+                batch, 1,
+                "dispatch wave {i} must carry exactly one batch query: {order:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn interactive_burst_is_not_starved_by_queued_batch_work() {
+        // A deep batch backlog is parked first; a later interactive burst
+        // must still be served ahead of most of it — its tags (quarter
+        // quanta) sort below the batch backlog's (whole quanta).
+        let adm = Admission::new(AdmissionConfig {
+            max_concurrent: 1,
+            max_queued: 16,
+            expected_service_ms: 10,
+            interactive_weight: 4,
+            batch_weight: 1,
+        });
+        let gate = adm.admit(0, None).unwrap();
+        let order = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            park_waiters(s, &adm, QueryClass::Batch, 10, &order);
+            park_waiters(s, &adm, QueryClass::Interactive, 5, &order);
+            drop(gate);
+        });
+        let order: Vec<QueryClass> = order.into_inner();
+        assert_eq!(order.len(), 15);
+        let last_interactive = order
+            .iter()
+            .rposition(|c| *c == QueryClass::Interactive)
+            .unwrap();
+        // Tags: interactive at 1/4..=5/4 quanta, batch at 1..=10. Merged:
+        // four interactive, batch#1, the fifth interactive, then the
+        // batch backlog — the whole burst done within six dispatches.
+        assert!(
+            last_interactive < 6,
+            "burst starved behind batch backlog: {order:?}"
+        );
+        assert_eq!(order[0], QueryClass::Interactive);
+    }
+
     #[test]
     fn estimate_is_wave_based() {
         // Nothing ahead: one service time.
@@ -380,6 +620,20 @@ mod tests {
         assert_eq!(estimate_finish_ms(100, 4, 7, 4, 10), 130);
         // 12 ahead: three full waves, then mine.
         assert_eq!(estimate_finish_ms(100, 4, 8, 4, 10), 140);
+    }
+
+    #[test]
+    fn tags_advance_by_weighted_quanta() {
+        // Heavier weight → smaller increments → more dispatches per
+        // virtual-time unit.
+        assert_eq!(virtual_finish_tag(0, 0, 1), WFQ_SCALE);
+        assert_eq!(virtual_finish_tag(0, 0, 4), WFQ_SCALE / 4);
+        // Tags never regress behind global virtual time: an idle class
+        // re-enters at current virtual time, not at its stale last tag.
+        assert_eq!(
+            virtual_finish_tag(10 * WFQ_SCALE, WFQ_SCALE, 1),
+            11 * WFQ_SCALE
+        );
     }
 
     #[test]

@@ -6,9 +6,12 @@
 //!
 //! 1. **Tenant budgets** — per-tenant admitted-queries-per-second via the
 //!    object-store layer's `PrefixThrottle` cost model (rejecting mode).
-//! 2. **Admission control** ([`Admission`]) — a counting semaphore with a
-//!    bounded wait queue; arrivals past the bound shed immediately with a
-//!    typed [`rottnest::RottnestError::Overloaded`].
+//! 2. **Admission control** ([`Admission`]) — a counting semaphore with
+//!    bounded per-class wait queues scheduled by weighted fair queueing
+//!    over virtual time ([`QueryClass`]: interactive vs batch); arrivals
+//!    past the bound shed immediately with a typed
+//!    [`rottnest::RottnestError::Overloaded`], and under contention each
+//!    class keeps at least its weight share of admissions.
 //! 3. **Deadline-aware shedding** — a query whose deadline cannot be met
 //!    even if admitted ([`estimate_finish_ms`]) is refused before it
 //!    costs a single store request.
@@ -32,6 +35,9 @@ pub mod admission;
 pub mod service;
 pub mod sim;
 
-pub use admission::{estimate_finish_ms, Admission, AdmissionConfig, Permit, ShedReason};
+pub use admission::{
+    estimate_finish_ms, virtual_finish_tag, Admission, AdmissionConfig, Permit, QueryClass,
+    ShedReason, WFQ_SCALE,
+};
 pub use service::{QueryService, ServiceConfig, ServiceStats};
 pub use sim::{simulate, SimConfig, SimReport};

@@ -38,7 +38,7 @@ use rottnest_format::NegScanCache;
 use rottnest_lake::{Snapshot, Table};
 use rottnest_object_store::{PrefixThrottle, SingleFlight};
 
-use crate::admission::{Admission, AdmissionConfig, ShedReason};
+use crate::admission::{Admission, AdmissionConfig, QueryClass, ShedReason};
 
 /// Knobs for the query service.
 ///
@@ -72,6 +72,12 @@ pub struct ServiceStats {
     /// Admitted requests served by joining another identical in-flight
     /// search instead of running their own.
     pub dedup_hits: u64,
+    /// Batch-class requests among `admitted` (interactive is the rest) —
+    /// `admitted_batch / admitted` is the batch admission share the WFQ
+    /// weights bound from below under contention.
+    pub admitted_batch: u64,
+    /// Batch-class requests among `queries_shed`.
+    pub shed_batch: u64,
     /// Work done by the searches this service actually ran, absorbed
     /// per-outcome ([`SearchStats::absorb`]); the shed / abort / dedup
     /// counters above are mirrored into its matching fields.
@@ -167,6 +173,32 @@ impl<'r, 'a> QueryService<'r, 'a> {
         tenant: &str,
         deadline_ms: Option<u64>,
     ) -> rottnest::Result<SearchOutcome> {
+        self.query_with_class(
+            table,
+            snapshot,
+            column,
+            query,
+            tenant,
+            deadline_ms,
+            QueryClass::Interactive,
+        )
+    }
+
+    /// Serves one query in a scheduling class. Interactive queries hold a
+    /// high WFQ weight; batch queries soak spare capacity at a low one —
+    /// under contention each class keeps at least its weight share of
+    /// admissions (see [`crate::admission`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn query_with_class(
+        &self,
+        table: &Table<'_>,
+        snapshot: &Snapshot,
+        column: &str,
+        query: &Query<'_>,
+        tenant: &str,
+        deadline_ms: Option<u64>,
+        class: QueryClass,
+    ) -> rottnest::Result<SearchOutcome> {
         let now_ms = self.rot.store().now_ms();
 
         // 1. Tenant budget (PrefixThrottle in rejecting mode; the "/q"
@@ -174,7 +206,7 @@ impl<'r, 'a> QueryService<'r, 'a> {
         if self.cfg.tenant_limit_per_sec > 0 {
             if let Err(retry_after_ms) = self.tenants.try_charge(&format!("{tenant}/q"), 1, now_ms)
             {
-                self.note_shed();
+                self.note_shed(class);
                 return Err(ShedReason::TenantBudget { retry_after_ms }.into_error());
             }
         }
@@ -183,14 +215,14 @@ impl<'r, 'a> QueryService<'r, 'a> {
         // shedding. The permit is RAII — released on every path below.
         // An admission shed refunds the tenant token charged above: the
         // query did no work, so refusing it must not also burn budget.
-        let permit = match self.admission.admit(now_ms, deadline_ms) {
+        let permit = match self.admission.admit_class(now_ms, deadline_ms, class) {
             Ok(p) => p,
             Err(shed) => {
                 if self.cfg.tenant_limit_per_sec > 0 {
                     self.tenants
                         .refund(&format!("{tenant}/q"), 1, self.rot.store().now_ms());
                 }
-                self.note_shed();
+                self.note_shed(class);
                 return Err(shed.into_error());
             }
         };
@@ -235,6 +267,9 @@ impl<'r, 'a> QueryService<'r, 'a> {
         // 4. Accounting.
         let mut st = self.stats.lock();
         st.admitted += 1;
+        if class == QueryClass::Batch {
+            st.admitted_batch += 1;
+        }
         match &result {
             Ok(out) => {
                 st.completed += 1;
@@ -254,10 +289,13 @@ impl<'r, 'a> QueryService<'r, 'a> {
         result
     }
 
-    fn note_shed(&self) {
+    fn note_shed(&self, class: QueryClass) {
         let mut st = self.stats.lock();
         st.queries_shed += 1;
         st.search.queries_shed += 1;
+        if class == QueryClass::Batch {
+            st.shed_batch += 1;
+        }
     }
 }
 

@@ -1,23 +1,35 @@
 //! Deterministic virtual-time open-arrival simulator of the serving
 //! pipeline.
 //!
-//! `bench_serve` needs tail latencies, shed rates, and dedup rates that
-//! reproduce bit-for-bit across machines and runs — real threads give
-//! neither. This simulator replays the admission policy
-//! ([`crate::admission::estimate_finish_ms`] is shared verbatim) against
+//! `bench_serve` needs tail latencies, shed rates, fairness shares, and
+//! dedup rates that reproduce bit-for-bit across machines and runs —
+//! real threads give neither. This simulator replays the admission
+//! policy ([`crate::admission::estimate_finish_ms`] and
+//! [`crate::admission::virtual_finish_tag`] are shared verbatim) against
 //! an **open** arrival process on a virtual clock: arrivals keep coming
 //! at the configured rate whether or not the server keeps up, which is
 //! exactly the regime where closed-loop benchmarks lie about tail
 //! latency.
 //!
-//! The model: `max_concurrent` servers each take `service_ms` per query;
-//! a FIFO queue holds at most `max_queued`; deadline-unmeetable arrivals
-//! shed at the gate; every `hot_every`-th arrival (when enabled) is the
-//! same hot query, and hot arrivals landing while a hot query is already
-//! in flight join it single-flight style — zero servers, zero queue
-//! slots, the leader's finish time.
+//! The model: `max_concurrent` servers each take `service_ms` per query
+//! (every `slow_every`-th admitted query takes `slow_service_ms` — the
+//! straggler the hedge exists for); arrivals are classed interactive or
+//! batch (every `batch_every`-th is batch) and queue per class, bounded
+//! by `max_queued` each; a free server dispatches the queued query with
+//! the smallest weighted-fair virtual finish tag, ties to interactive —
+//! the same rule the threaded [`crate::Admission`] uses. Deadline-
+//! unmeetable arrivals shed at the gate; every `hot_every`-th arrival
+//! (when enabled) is the same hot query, and hot arrivals landing while
+//! a hot query is already in flight join it single-flight style — zero
+//! servers, zero queue slots, the leader's finish time. With
+//! `hedge_threshold_ms` set, a running query whose remaining deadline
+//! budget drops below the threshold launches a backup lane at base
+//! service time and finishes at whichever lane is earlier — the
+//! simulator's model of the executor's hedged probes.
 
-use crate::admission::estimate_finish_ms;
+use std::collections::VecDeque;
+
+use crate::admission::{estimate_finish_ms, virtual_finish_tag};
 
 /// Workload + policy knobs for one simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,12 +42,25 @@ pub struct SimConfig {
     pub service_ms: u64,
     /// Concurrency slots.
     pub max_concurrent: usize,
-    /// Queue bound.
+    /// Queue bound (per class, as in [`crate::AdmissionConfig`]).
     pub max_queued: usize,
     /// Per-query budget (relative deadline), `None` = no deadline.
     pub deadline_budget_ms: Option<u64>,
     /// Every n-th arrival is the hot query (`0` disables hot traffic).
     pub hot_every: u64,
+    /// Every n-th arrival is batch class (`0` = all interactive).
+    pub batch_every: u64,
+    /// WFQ weight of the interactive class.
+    pub interactive_weight: u32,
+    /// WFQ weight of the batch class.
+    pub batch_weight: u32,
+    /// Every n-th *admitted* query is a straggler (`0` disables).
+    pub slow_every: u64,
+    /// Service time of a straggler, virtual ms.
+    pub slow_service_ms: u64,
+    /// Hedge trigger: launch a backup lane when a running query's
+    /// remaining deadline budget drops below this (`0` disables).
+    pub hedge_threshold_ms: u64,
 }
 
 /// What came out of a simulation.
@@ -50,6 +75,8 @@ pub struct SimReport {
     /// Completed queries served by joining an in-flight hot query.
     pub dedup_hits: u64,
     /// Completion-latency percentiles, virtual ms (arrival → finish).
+    /// With batch traffic enabled these cover the **interactive** class
+    /// only — the latency promise WFQ protects; batch rides the leftover.
     pub p50_ms: u64,
     /// 99th percentile.
     pub p99_ms: u64,
@@ -59,6 +86,30 @@ pub struct SimReport {
     pub shed_rate: f64,
     /// `dedup_hits / arrivals`.
     pub dedup_hit_rate: f64,
+    /// Batch-class completions over all completions — the fairness share
+    /// WFQ bounds from below at `batch_weight / (sum of weights)` when
+    /// batch demand saturates (0 when batch traffic is disabled).
+    pub batch_share: f64,
+    /// Queries that launched a backup hedge lane.
+    pub hedged: u64,
+    /// Hedged queries where the backup lane finished first.
+    pub hedge_wins: u64,
+    /// `hedge_wins / hedged` (0 when nothing hedged).
+    pub hedge_win_rate: f64,
+}
+
+const INTERACTIVE: usize = 0;
+const BATCH: usize = 1;
+
+/// An admitted-but-not-yet-dispatched query.
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    arrive: u64,
+    vft: u64,
+    class: usize,
+    deadline: Option<u64>,
+    slow: bool,
+    hot: bool,
 }
 
 /// Runs one open-arrival simulation. Pure and deterministic: the report
@@ -66,74 +117,196 @@ pub struct SimReport {
 pub fn simulate(cfg: SimConfig) -> SimReport {
     let service_ms = cfg.service_ms.max(1);
     let arrivals = cfg.qps * cfg.duration_ms / 1000;
+    let weights = [cfg.interactive_weight.max(1), cfg.batch_weight.max(1)];
+
     // Per-server next-free times; index = server.
     let mut servers = vec![0u64; cfg.max_concurrent.max(1)];
-    // Start times of admitted-but-not-started queries are implied by the
-    // server backlog; track admitted start times to count the queue.
-    let mut starts: Vec<u64> = Vec::new();
-    let mut latencies: Vec<u64> = Vec::new();
+    let mut queues: [VecDeque<Queued>; 2] = [VecDeque::new(), VecDeque::new()];
+    // WFQ virtual time + per-class last finish tags, as in `Admission`.
+    let mut virtual_time = 0u64;
+    let mut class_tag = [0u64; 2];
+
+    let mut latencies: [Vec<u64>; 2] = [Vec::new(), Vec::new()];
     let mut shed = 0u64;
     let mut dedup_hits = 0u64;
+    let mut admitted = 0u64; // dispatch ordinal, drives `slow_every`
+    let mut hedged = 0u64;
+    let mut hedge_wins = 0u64;
     // Finish time of the in-flight hot query, if any.
     let mut hot_finish: Option<u64> = None;
+
+    // Serves one query on a server freeing at `free_at`: returns the
+    // finish time under the straggler + hedge model.
+    let mut serve = |q: Queued, free_at: u64| -> u64 {
+        let start = free_at.max(q.arrive);
+        let d1 = if q.slow {
+            cfg.slow_service_ms.max(service_ms)
+        } else {
+            service_ms
+        };
+        let mut finish = start + d1;
+        if let (Some(deadline), true) = (q.deadline, cfg.hedge_threshold_ms > 0) {
+            // The executor's hedge: when the remaining budget drops below
+            // the threshold and the primary lane is still running, a
+            // backup lane starts at base service time; the query finishes
+            // at whichever lane is earlier.
+            let hedge_at = deadline.saturating_sub(cfg.hedge_threshold_ms).max(start);
+            if finish > hedge_at {
+                hedged += 1;
+                let backup_finish = hedge_at + service_ms;
+                if backup_finish < finish {
+                    hedge_wins += 1;
+                    finish = backup_finish;
+                }
+            }
+        }
+        finish
+    };
+
+    // Dispatches queued queries onto every server that frees at or
+    // before `t`, smallest virtual finish tag first (ties interactive) —
+    // the Admission dispatch rule on the virtual clock.
+    macro_rules! dispatch_until {
+        ($t:expr) => {
+            loop {
+                let (best, &free_at) = servers
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &f)| f)
+                    .expect("at least one server");
+                if free_at > $t {
+                    break;
+                }
+                let pick = match (queues[INTERACTIVE].front(), queues[BATCH].front()) {
+                    (Some(i), Some(b)) if b.vft < i.vft => BATCH,
+                    (Some(_), _) => INTERACTIVE,
+                    (None, Some(_)) => BATCH,
+                    (None, None) => break,
+                };
+                let q = queues[pick].pop_front().expect("picked nonempty queue");
+                virtual_time = virtual_time.max(q.vft);
+                admitted += 1;
+                let slow = cfg.slow_every != 0 && admitted % cfg.slow_every == 0;
+                let finish = serve(Queued { slow, ..q }, free_at);
+                servers[best] = finish;
+                latencies[q.class].push(finish - q.arrive);
+                if q.hot {
+                    hot_finish = Some(finish);
+                }
+            }
+        };
+    }
 
     for i in 0..arrivals {
         let t = i * 1000 / cfg.qps.max(1);
         let hot = cfg.hot_every != 0 && i % cfg.hot_every == 0;
+        let class = if cfg.batch_every != 0 && i % cfg.batch_every == 0 {
+            BATCH
+        } else {
+            INTERACTIVE
+        };
+        dispatch_until!(t);
 
         if hot {
             if let Some(finish) = hot_finish {
                 if finish > t {
                     // Join the in-flight hot query: no server, no queue.
                     dedup_hits += 1;
-                    latencies.push(finish - t);
+                    latencies[class].push(finish - t);
                     continue;
                 }
             }
         }
 
-        let (best, &free_at) = servers
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &f)| f)
-            .expect("at least one server");
-        let running = servers.iter().filter(|&&f| f > t).count();
-        let queued = starts.iter().filter(|&&s| s > t).count();
+        let deadline = cfg.deadline_budget_ms.map(|b| t + b);
+        let free_now = servers.iter().any(|&f| f <= t);
+        if free_now {
+            // Direct admit: a slot is open and (post-dispatch) nothing
+            // queues ahead, exactly the Admission fast path — no tag.
+            let (best, &free_at) = servers
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &f)| f)
+                .expect("at least one server");
+            admitted += 1;
+            let slow = cfg.slow_every != 0 && admitted.is_multiple_of(cfg.slow_every);
+            let q = Queued {
+                arrive: t,
+                vft: 0,
+                class,
+                deadline,
+                slow,
+                hot,
+            };
+            let finish = serve(q, free_at);
+            servers[best] = finish;
+            latencies[class].push(finish - t);
+            if hot {
+                hot_finish = Some(finish);
+            }
+            continue;
+        }
 
-        if free_at > t {
-            // Must queue: apply the gate's shed policy.
-            if queued >= cfg.max_queued {
+        // Must queue: apply the gate's shed policy (per-class bound,
+        // then the WFQ-aware deadline estimate).
+        if queues[class].len() >= cfg.max_queued {
+            shed += 1;
+            continue;
+        }
+        let vft = virtual_finish_tag(virtual_time, class_tag[class], weights[class]);
+        if let Some(deadline) = deadline {
+            let running = servers.iter().filter(|&&f| f > t).count();
+            let ahead = queues
+                .iter()
+                .flat_map(|q| q.iter())
+                .filter(|q| q.vft <= vft)
+                .count();
+            let est = estimate_finish_ms(t, running, ahead, servers.len(), service_ms);
+            if est > deadline {
                 shed += 1;
                 continue;
             }
-            if let Some(budget) = cfg.deadline_budget_ms {
-                let est = estimate_finish_ms(t, running, queued, servers.len(), service_ms);
-                if est > t + budget {
-                    shed += 1;
-                    continue;
-                }
-            }
         }
-
-        let start = free_at.max(t);
-        let finish = start + service_ms;
-        servers[best] = finish;
-        starts.push(start);
-        latencies.push(finish - t);
-        if hot {
-            hot_finish = Some(finish);
-        }
+        class_tag[class] = vft;
+        queues[class].push_back(Queued {
+            arrive: t,
+            vft,
+            class,
+            deadline,
+            slow: false, // decided at dispatch by the admitted ordinal
+            hot,
+        });
     }
+    // Drain whatever is still queued after the arrival window. No
+    // arrivals remain to join the hot flight, so consume the tracker —
+    // the drain's last assignment to it is dead by construction.
+    dispatch_until!(u64::MAX);
+    let _ = hot_finish;
 
-    latencies.sort_unstable();
+    let batch_completed = latencies[BATCH].len() as u64;
+    // With batch traffic the latency promise under test is the
+    // interactive tail; otherwise every completion counts.
+    let mut tail: Vec<u64> = if cfg.batch_every != 0 {
+        latencies[INTERACTIVE].clone()
+    } else {
+        latencies.iter().flatten().copied().collect()
+    };
+    tail.sort_unstable();
     let pct = |p: f64| -> u64 {
-        if latencies.is_empty() {
+        if tail.is_empty() {
             return 0;
         }
-        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
-        latencies[idx.min(latencies.len() - 1)]
+        let idx = ((tail.len() as f64 - 1.0) * p).round() as usize;
+        tail[idx.min(tail.len() - 1)]
     };
-    let completed = latencies.len() as u64;
+    let completed = (latencies[INTERACTIVE].len() + latencies[BATCH].len()) as u64;
+    let ratio = |num: u64, den: u64| {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
     SimReport {
         arrivals,
         completed,
@@ -142,16 +315,12 @@ pub fn simulate(cfg: SimConfig) -> SimReport {
         p50_ms: pct(0.50),
         p99_ms: pct(0.99),
         p999_ms: pct(0.999),
-        shed_rate: if arrivals == 0 {
-            0.0
-        } else {
-            shed as f64 / arrivals as f64
-        },
-        dedup_hit_rate: if arrivals == 0 {
-            0.0
-        } else {
-            dedup_hits as f64 / arrivals as f64
-        },
+        shed_rate: ratio(shed, arrivals),
+        dedup_hit_rate: ratio(dedup_hits, arrivals),
+        batch_share: ratio(batch_completed, completed),
+        hedged,
+        hedge_wins,
+        hedge_win_rate: ratio(hedge_wins, hedged),
     }
 }
 
@@ -168,6 +337,12 @@ mod tests {
             max_queued: 8,
             deadline_budget_ms: None,
             hot_every: 0,
+            batch_every: 0,
+            interactive_weight: 4,
+            batch_weight: 1,
+            slow_every: 0,
+            slow_service_ms: 0,
+            hedge_threshold_ms: 0,
         }
     }
 
@@ -231,19 +406,84 @@ mod tests {
     }
 
     #[test]
+    fn batch_gets_its_weight_share_under_sustained_overload() {
+        // 2x overload, every 3rd arrival batch, weights 4:1: WFQ must
+        // give batch at least ~1/5 of the service — not starve it the way
+        // a strict-priority (or FIFO-with-shedding) gate can.
+        let r = simulate(SimConfig {
+            qps: 400,
+            batch_every: 3,
+            deadline_budget_ms: Some(100),
+            ..base()
+        });
+        assert!(r.shed > 0, "2x must shed");
+        let floor = 1.0 / 5.0 * 0.9; // weight share minus rounding slack
+        assert!(
+            r.batch_share >= floor,
+            "batch share {} below weighted floor {floor}",
+            r.batch_share
+        );
+        // ...but WFQ is not priority inversion either: interactive (2/3
+        // of demand, 4/5 of weight) keeps the majority of completions.
+        assert!(r.batch_share <= 0.5, "batch share {}", r.batch_share);
+    }
+
+    #[test]
+    fn interactive_tail_is_protected_when_batch_queues() {
+        let r = simulate(SimConfig {
+            qps: 400,
+            batch_every: 3,
+            deadline_budget_ms: Some(100),
+            ..base()
+        });
+        // Percentiles cover interactive only when batch is enabled; the
+        // queue-drain bound still holds for them.
+        let worst =
+            (base().max_queued as u64 / base().max_concurrent as u64 + 2) * base().service_ms;
+        assert!(r.p999_ms <= worst, "p999 {} vs bound {worst}", r.p999_ms);
+    }
+
+    #[test]
+    fn hedging_rescues_stragglers_within_the_deadline() {
+        let slow = SimConfig {
+            qps: 150,
+            deadline_budget_ms: Some(60),
+            slow_every: 97,
+            slow_service_ms: 200,
+            ..base()
+        };
+        let unhedged = simulate(slow);
+        let hedged = simulate(SimConfig {
+            hedge_threshold_ms: 40,
+            ..slow
+        });
+        assert_eq!(hedged.arrivals, unhedged.arrivals);
+        assert!(hedged.hedged > 0, "stragglers must trigger the hedge");
+        assert!(
+            hedged.hedge_wins > 0,
+            "backup lane must win on 200ms stragglers"
+        );
+        assert!(
+            hedged.p999_ms < unhedged.p999_ms,
+            "hedged tail {} must beat unhedged {}",
+            hedged.p999_ms,
+            unhedged.p999_ms
+        );
+        assert!(hedged.hedge_win_rate > 0.0);
+    }
+
+    #[test]
     fn deterministic_across_runs() {
-        let a = simulate(SimConfig {
+        let cfg = SimConfig {
             qps: 3_333,
             deadline_budget_ms: Some(60),
             hot_every: 7,
+            batch_every: 3,
+            slow_every: 53,
+            slow_service_ms: 120,
+            hedge_threshold_ms: 30,
             ..base()
-        });
-        let b = simulate(SimConfig {
-            qps: 3_333,
-            deadline_budget_ms: Some(60),
-            hot_every: 7,
-            ..base()
-        });
-        assert_eq!(a, b);
+        };
+        assert_eq!(simulate(cfg), simulate(cfg));
     }
 }

@@ -7,9 +7,13 @@
 # system benches, capped same-run baseline-vs-optimized CPU ratios for
 # the kernels). Fails if any workload's speedup or dedup rate fell, or
 # any requests ratio, shed rate, or tail latency rose beyond tolerance.
-# The committed files are restored afterwards either way.
+# The committed files are restored afterwards either way; each freshly
+# generated report is also stashed under target/bench-candidates/ so CI
+# can upload the candidates as artifacts when the gate fails.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+mkdir -p target/bench-candidates
 
 for f in BENCH_search.json BENCH_build.json BENCH_serve.json BENCH_kernels.json; do
   if [ ! -f "$f" ]; then
@@ -37,24 +41,28 @@ trap restore EXIT
 
 echo "==> cargo run --release -p rottnest-bench --bin bench_search"
 cargo run --release -p rottnest-bench --bin bench_search
+cp BENCH_search.json target/bench-candidates/
 
 echo "==> cargo run --release -p rottnest-bench --bin bench_gate (search)"
 cargo run --release -p rottnest-bench --bin bench_gate -- "$search_baseline" BENCH_search.json
 
 echo "==> cargo run --release -p rottnest-bench --bin bench_build"
 cargo run --release -p rottnest-bench --bin bench_build
+cp BENCH_build.json target/bench-candidates/
 
 echo "==> cargo run --release -p rottnest-bench --bin bench_gate (build)"
 cargo run --release -p rottnest-bench --bin bench_gate -- "$build_baseline" BENCH_build.json
 
 echo "==> cargo run --release -p rottnest-bench --bin bench_serve"
 cargo run --release -p rottnest-bench --bin bench_serve
+cp BENCH_serve.json target/bench-candidates/
 
 echo "==> cargo run --release -p rottnest-bench --bin bench_gate (serve)"
 cargo run --release -p rottnest-bench --bin bench_gate -- "$serve_baseline" BENCH_serve.json
 
 echo "==> cargo run --release -p rottnest-bench --bin bench_kernels"
 cargo run --release -p rottnest-bench --bin bench_kernels
+cp BENCH_kernels.json target/bench-candidates/
 
 echo "==> cargo run --release -p rottnest-bench --bin bench_gate (kernels)"
 cargo run --release -p rottnest-bench --bin bench_gate -- "$kernels_baseline" BENCH_kernels.json

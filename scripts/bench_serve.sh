@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Serving-layer benchmark: WFQ admission, deadline shedding, hedged
+# probes, and single-flight dedup under open-arrival overload.
+#
+# Runs the deterministic virtual-time simulator over the six serving
+# workloads (under / 2x / 10x the ceiling, hot-key convoy, weighted-fair
+# 2x with batch traffic, straggler hedging) and writes BENCH_serve.json
+# (tail latencies, shed rate, batch share, hedge-win rate, dedup rate).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo run --release -p rottnest-bench --bin bench_serve"
+cargo run --release -p rottnest-bench --bin bench_serve
+
+echo
+echo "bench_serve: OK (see BENCH_serve.json)"

@@ -187,6 +187,25 @@ fn run_lifecycle(chaos: Option<ChaosConfig>) -> (Vec<Vec<Norm>>, u64, u64) {
     (rounds, stats.faults_injected, stats.retries)
 }
 
+/// The chaos rounds: seeds and fault rates. Defaults reproduce the
+/// historical ramp (0.01, 0.05, 0.20); the nightly soak lane raises
+/// `SOAK_ITERS` to repeat the ramp with fresh seeds and `SOAK_FAULT_RATE`
+/// to push the top rate higher.
+fn soak_rounds() -> Vec<(u64, f64)> {
+    let iters: u64 = std::env::var("SOAK_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let top: f64 = std::env::var("SOAK_FAULT_RATE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.20);
+    let ramp = [0.01, 0.05, top];
+    (1..=iters.max(1))
+        .map(|round| (round, ramp[((round - 1) % 3) as usize]))
+        .collect()
+}
+
 #[test]
 fn chaos_soak_lifecycle_is_unchanged_by_transient_faults() {
     let (baseline, faults, _) = run_lifecycle(None);
@@ -205,7 +224,7 @@ fn chaos_soak_lifecycle_is_unchanged_by_transient_faults() {
         "compaction and vacuum must not change any result"
     );
 
-    for (round, rate) in [(1u64, 0.01), (2, 0.05), (3, 0.20)] {
+    for (round, rate) in soak_rounds() {
         let (results, faults, retries) =
             run_lifecycle(Some(ChaosConfig::uniform(0xB0B0 + round, rate)));
         assert_eq!(results, baseline, "results diverged at fault rate {rate}");

@@ -1,0 +1,183 @@
+//! Hedged index probes preserve results bit-for-bit.
+//!
+//! With `SearchConfig::hedge` on and the threshold forced high, every
+//! index probe under a deadline races two lanes. Both lanes evaluate the
+//! identical pure probe over shared caches, so the matches must equal a
+//! hedge-free client's exactly — hedging may only change latency and the
+//! hedge counters. These tests pin that invariant for the trie/bloom,
+//! FM, and vector probe paths, plus the trigger edges (no deadline / no
+//! hedge flag → no hedged probes).
+
+use rottnest::{IndexKind, Query, Rottnest, SearchOutcome};
+use rottnest_integration::*;
+use rottnest_ivfpq::SearchParams;
+use rottnest_lake::Snapshot;
+use rottnest_object_store::{MemoryStore, ObjectStore};
+
+const ROWS: u64 = 200;
+const FILES: u64 = 2;
+
+/// `(file ordinal, row, score-bits)` triples, sorted — comparable across
+/// stores whose absolute paths differ (paths embed a global sequence).
+fn norm(snap: &Snapshot, out: &SearchOutcome) -> Vec<(usize, u64, u32)> {
+    let ordinal: std::collections::HashMap<&str, usize> = snap
+        .files()
+        .enumerate()
+        .map(|(i, f)| (f.path.as_str(), i))
+        .collect();
+    let mut v: Vec<_> = out
+        .matches
+        .iter()
+        .map(|m| {
+            (
+                ordinal[m.path.as_str()],
+                m.row,
+                m.score.unwrap_or(0.0).to_bits(),
+            )
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// Always-hedge configuration: threshold at `u32::MAX` percent of the
+/// EWMA means any finite remaining budget triggers the hedge.
+fn hedge_config() -> rottnest::RottnestConfig {
+    let mut cfg = rot_config();
+    cfg.search.hedge = true;
+    cfg.search.hedge_threshold_pct = u32::MAX;
+    cfg
+}
+
+/// One universe per config: same data, same indexes, different executor.
+fn universe(hedged: bool) -> (std::sync::Arc<MemoryStore>, rottnest::RottnestConfig) {
+    let store = MemoryStore::new();
+    let cfg = if hedged { hedge_config() } else { rot_config() };
+    (store, cfg)
+}
+
+fn run_query(
+    store: &MemoryStore,
+    cfg: rottnest::RottnestConfig,
+    kind: IndexKind,
+    column: &str,
+    query: &Query<'_>,
+) -> (Vec<(usize, u64, u32)>, rottnest::SearchStats) {
+    let table = make_table(store, ROWS, FILES);
+    let rot = Rottnest::new(store, "idx", cfg);
+    rot.index(&table, kind, column).unwrap();
+    let snap = table.snapshot().unwrap();
+    // A generous deadline: far from expiry, so the search always
+    // completes — with the forced threshold it still hedges every probe.
+    let deadline = store.now_ms() + 3_600_000;
+    let out = rot
+        .search_with_deadline(&table, &snap, column, query, Some(deadline))
+        .unwrap();
+    (norm(&snap, &out), out.stats)
+}
+
+#[test]
+fn hedged_substring_matches_are_bit_identical() {
+    let q = Query::Substring {
+        pattern: b"status S001",
+        k: 64,
+    };
+    let (store_h, cfg_h) = universe(true);
+    let (store_p, cfg_p) = universe(false);
+    let (hedged, hstats) = run_query(&store_h, cfg_h, IndexKind::Substring, "body", &q);
+    let (plain, pstats) = run_query(&store_p, cfg_p, IndexKind::Substring, "body", &q);
+
+    assert_eq!(hedged, plain, "hedging changed matches");
+    assert_eq!(
+        hedged.len(),
+        6,
+        "status S001 in rows {{1,38,75,112,149,186}}"
+    );
+    assert!(
+        hstats.hedged_probes >= 1,
+        "forced threshold must hedge at least one probe: {hstats:?}"
+    );
+    assert!(hstats.hedge_wins <= hstats.hedged_probes);
+    assert!(hstats.hedge_cancels <= hstats.hedged_probes);
+    assert_eq!(pstats.hedged_probes, 0, "hedge off must never hedge");
+    assert_eq!(pstats.hedge_wins, 0);
+}
+
+#[test]
+fn hedged_uuid_matches_are_bit_identical() {
+    let key = trace_id(42);
+    let q = Query::UuidEq { key: &key, k: 8 };
+    let (store_h, cfg_h) = universe(true);
+    let (store_p, cfg_p) = universe(false);
+    let (hedged, hstats) = run_query(
+        &store_h,
+        cfg_h,
+        IndexKind::Uuid { key_len: 16 },
+        "trace_id",
+        &q,
+    );
+    let (plain, _) = run_query(
+        &store_p,
+        cfg_p,
+        IndexKind::Uuid { key_len: 16 },
+        "trace_id",
+        &q,
+    );
+    assert_eq!(hedged, plain, "hedging changed matches");
+    assert!(!hedged.is_empty(), "trace 42 exists");
+    assert!(hstats.hedged_probes >= 1, "stats: {hstats:?}");
+}
+
+#[test]
+fn hedged_vector_matches_are_bit_identical() {
+    let qvec = embedding(7);
+    let q = Query::VectorNn {
+        query: &qvec,
+        params: SearchParams {
+            k: 10,
+            nprobe: 4,
+            refine: 16,
+        },
+    };
+    let (store_h, cfg_h) = universe(true);
+    let (store_p, cfg_p) = universe(false);
+    let (hedged, hstats) = run_query(
+        &store_h,
+        cfg_h,
+        IndexKind::Vector { dim: DIM as u32 },
+        "embedding",
+        &q,
+    );
+    let (plain, _) = run_query(
+        &store_p,
+        cfg_p,
+        IndexKind::Vector { dim: DIM as u32 },
+        "embedding",
+        &q,
+    );
+    assert_eq!(hedged, plain, "hedging changed vector matches");
+    assert_eq!(hedged.len(), 10);
+    assert!(hstats.hedged_probes >= 1, "stats: {hstats:?}");
+}
+
+#[test]
+fn no_deadline_means_no_hedging_even_when_enabled() {
+    let store = MemoryStore::new();
+    let table = make_table(store.as_ref(), ROWS, FILES);
+    let rot = Rottnest::new(store.as_ref(), "idx", hedge_config());
+    rot.index(&table, IndexKind::Substring, "body").unwrap();
+    let snap = table.snapshot().unwrap();
+    let out = rot
+        .search(
+            &table,
+            &snap,
+            "body",
+            &Query::Substring {
+                pattern: b"status S001",
+                k: 64,
+            },
+        )
+        .unwrap();
+    assert_eq!(out.stats.hedged_probes, 0, "no deadline, no hedge");
+    assert_eq!(out.matches.len(), 6);
+}

@@ -1,13 +1,20 @@
 //! Overload soak: open-arrival traffic at several times the service's
-//! concurrency ceiling, under 5% seeded chaos, with tenant budgets and a
-//! mix of absent, tight, and generous deadlines. The service must
+//! concurrency ceiling, under 5% seeded chaos, with tenant budgets, a
+//! mix of absent, tight, and generous deadlines, both WFQ classes
+//! (half the tenants submit batch-class work), and hedged probes
+//! enabled. The service must
 //!
 //! * never deadlock (the test completing is the proof),
-//! * return bit-identical results for every admitted query,
+//! * return bit-identical results for every admitted query — WFQ
+//!   reordering and hedge lanes may change *when* and *how* a query
+//!   runs, never what it returns,
 //! * fail every refused or aborted query with a *typed* error
 //!   (`Overloaded` or `DeadlineExceeded`) — nothing else leaks out,
 //! * leave every process-wide cache unpoisoned: once the storm passes, a
 //!   direct unthrottled client still reproduces the fault-free baseline.
+//!
+//! The nightly soak lane raises `SOAK_ITERS` (per-thread iterations,
+//! default 20) and `SOAK_FAULT_RATE` (chaos rate, default 0.05).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Barrier;
@@ -17,7 +24,23 @@ use rottnest_integration::*;
 use rottnest_ivfpq::SearchParams;
 use rottnest_lake::{Snapshot, Table, TableConfig};
 use rottnest_object_store::{ChaosConfig, MemoryStore, ObjectStore, RetryPolicy};
-use rottnest_serve::{AdmissionConfig, QueryService, ServiceConfig};
+use rottnest_serve::{AdmissionConfig, QueryClass, QueryService, ServiceConfig};
+
+/// Per-thread iteration count, nightly-tunable via `SOAK_ITERS`.
+fn soak_iters() -> usize {
+    std::env::var("SOAK_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20)
+}
+
+/// Chaos fault rate, nightly-tunable via `SOAK_FAULT_RATE`.
+fn soak_fault_rate() -> f64 {
+    std::env::var("SOAK_FAULT_RATE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05)
+}
 
 /// Generous retry budget so 5% chaos is always absorbed, never surfaced —
 /// any non-typed error escaping the service is then a real bug.
@@ -61,6 +84,9 @@ fn overload_soak_sheds_typed_and_admits_bit_identical() {
 
     let mut cfg = rot_config();
     cfg.retry = soak_policy();
+    // Hedging on, default pressure threshold: tight-deadline queries may
+    // race backup lanes mid-storm. Matches must stay bit-identical.
+    cfg.search.hedge = true;
     let rot = Rottnest::new(store.as_ref(), "idx", cfg);
     rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
         .unwrap()
@@ -121,7 +147,7 @@ fn overload_soak_sheds_typed_and_admits_bit_identical() {
     // budgets, chaos at 5%.
     store
         .faults()
-        .set_chaos(Some(ChaosConfig::uniform(0xBAD5EED, 0.05)));
+        .set_chaos(Some(ChaosConfig::uniform(0xBAD5EED, soak_fault_rate())));
     let service = QueryService::new(
         &rot,
         ServiceConfig {
@@ -129,6 +155,7 @@ fn overload_soak_sheds_typed_and_admits_bit_identical() {
                 max_concurrent: 2,
                 max_queued: 2,
                 expected_service_ms: 10,
+                ..AdmissionConfig::default()
             },
             tenant_limit_per_sec: 5,
             default_timeout_ms: None,
@@ -136,7 +163,7 @@ fn overload_soak_sheds_typed_and_admits_bit_identical() {
     );
 
     const THREADS: usize = 16;
-    const ITERS: usize = 20;
+    let iters = soak_iters();
     let barrier = Barrier::new(THREADS);
     let untyped_errors = AtomicUsize::new(0);
     let wrong_results = AtomicUsize::new(0);
@@ -160,10 +187,17 @@ fn overload_soak_sheds_typed_and_admits_bit_identical() {
             let deadline_seen = &deadline_seen;
             s.spawn(move || {
                 barrier.wait();
-                for i in 0..ITERS {
+                for i in 0..iters {
                     let which = (t + i) % pool.len();
                     let (col, q) = &pool[which];
                     let tenant = format!("tenant-{}", t % 4);
+                    // Tenants 0 and 1 are interactive, 2 and 3 batch —
+                    // both classes storm the same WFQ gate.
+                    let class = if t % 4 >= 2 {
+                        QueryClass::Batch
+                    } else {
+                        QueryClass::Interactive
+                    };
                     // Mix of deadlines: most unbounded, some tight, some
                     // already expired at arrival.
                     let deadline = match i % 5 {
@@ -171,7 +205,7 @@ fn overload_soak_sheds_typed_and_admits_bit_identical() {
                         1 => Some(store.now_ms().saturating_sub(1)),
                         _ => None,
                     };
-                    match service.query_with_deadline(table, snap, col, q, &tenant, deadline) {
+                    match service.query_with_class(table, snap, col, q, &tenant, deadline, class) {
                         Ok(out) => {
                             completed.fetch_add(1, Ordering::Relaxed);
                             if norm(&out) != baseline[which] {
@@ -204,7 +238,7 @@ fn overload_soak_sheds_typed_and_admits_bit_identical() {
         0,
         "every admitted query must be bit-identical to the baseline"
     );
-    let total = (THREADS * ITERS) as u64;
+    let total = (THREADS * iters) as u64;
     let stats = service.stats();
     assert_eq!(
         stats.admitted + stats.queries_shed,
@@ -226,6 +260,14 @@ fn overload_soak_sheds_typed_and_admits_bit_identical() {
         "service accounting must match observed deadline aborts"
     );
     assert_eq!(stats.completed, completed.load(Ordering::Relaxed) as u64);
+    assert!(
+        stats.admitted_batch > 0,
+        "WFQ must not starve the batch class: half the workers are batch"
+    );
+    assert!(
+        stats.admitted_batch < stats.admitted,
+        "interactive work was admitted too"
+    );
 
     // The storm has passed: a direct client still sees the exact
     // baseline — no cache was poisoned by sheds, aborts, or dedup.

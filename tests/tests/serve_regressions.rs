@@ -23,6 +23,7 @@ fn wide_open_service() -> ServiceConfig {
             max_concurrent: 64,
             max_queued: 64,
             expected_service_ms: 10,
+            ..AdmissionConfig::default()
         },
         tenant_limit_per_sec: 0,
         default_timeout_ms: None,
@@ -97,6 +98,7 @@ fn admission_shed_refunds_the_tenant_budget_token() {
                 max_concurrent: 1,
                 max_queued: 0,
                 expected_service_ms: 10,
+                ..AdmissionConfig::default()
             },
             tenant_limit_per_sec: 2,
             default_timeout_ms: None,

@@ -6,18 +6,28 @@
 //! * under seeded 5% chaos the deduped results still match the fault-free
 //!   baseline exactly;
 //! * a leader that fails does not fan its error out — followers retry as
-//!   their own leaders, so exactly one caller sees a one-shot fault.
+//!   their own leaders, so exactly one caller sees a one-shot fault;
+//! * two page batches that merely *overlap* share the overlap: the second
+//!   caller joins the in-flight fetches for the common pages and leads
+//!   only its remainder, so every page crosses the wire exactly once.
 //!
 //! The store wrapper below adds *real* per-GET sleeps so the leader is
 //! provably in flight while every follower arrives; without real latency
-//! the threads would serialize and nothing would overlap.
+//! the threads would serialize and nothing would overlap. The overlap test
+//! goes further and parks fetches on an explicit gate, making the
+//! interleaving deterministic rather than merely likely.
 
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier, Condvar, Mutex};
 use std::time::Duration;
 
+use bytes::Bytes;
 use rottnest::{IndexKind, Query, Rottnest, SearchOutcome};
+use rottnest_format::{ColumnData, DataType, PageCacheSession, PageReader, PageTable};
 use rottnest_integration::*;
-use rottnest_object_store::{ChaosConfig, FaultKind, MemoryStore, ObjectStore, RetryPolicy};
+use rottnest_object_store::{
+    ChaosConfig, FaultKind, MemoryStore, ObjectMeta, ObjectStore, RangeRequest, RetryPolicy,
+    SimClock, StatsSnapshot,
+};
 use rottnest_serve::{AdmissionConfig, QueryService, ServiceConfig};
 
 /// `(file ordinal, row, score bits)` triples, sorted — bit-identity of a
@@ -44,6 +54,7 @@ fn wide_open_service() -> ServiceConfig {
             max_concurrent: 64,
             max_queued: 64,
             expected_service_ms: 10,
+            ..AdmissionConfig::default()
         },
         tenant_limit_per_sec: 0,
         default_timeout_ms: None,
@@ -256,4 +267,196 @@ fn leader_failure_is_not_fanned_out_to_followers() {
         assert_eq!(out.matches.len(), 1, "followers' retries stay correct");
         assert_eq!(out.matches[0].row, 42);
     }
+}
+
+/// Delegates to a [`MemoryStore`] but parks every `get_ranges` on a gate
+/// until the test opens it, logging which ranges each call asked for. The
+/// overlap test below uses it to *know* — not hope — that the first batch
+/// is wired and in flight before the second batch arrives.
+struct GateStore {
+    inner: Arc<MemoryStore>,
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct GateState {
+    entered: usize,
+    open: bool,
+    /// `(key, offset)` of every range that actually crossed the wire.
+    fetched: Vec<(String, u64)>,
+}
+
+impl GateStore {
+    fn new(inner: Arc<MemoryStore>) -> Self {
+        Self {
+            inner,
+            state: Mutex::new(GateState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until `n` `get_ranges` calls have parked on the gate.
+    fn wait_entered(&self, n: usize) {
+        let mut st = self.state.lock().unwrap();
+        while st.entered < n {
+            let (guard, timeout) = self.cv.wait_timeout(st, Duration::from_secs(30)).unwrap();
+            assert!(!timeout.timed_out(), "gate never saw {n} fetches");
+            st = guard;
+        }
+    }
+
+    /// Releases every parked (and future) fetch.
+    fn open(&self) {
+        self.state.lock().unwrap().open = true;
+        self.cv.notify_all();
+    }
+
+    fn fetched(&self) -> Vec<(String, u64)> {
+        self.state.lock().unwrap().fetched.clone()
+    }
+}
+
+impl ObjectStore for GateStore {
+    fn put(&self, key: &str, data: Bytes) -> rottnest_object_store::Result<()> {
+        self.inner.put(key, data)
+    }
+    fn put_if_absent(&self, key: &str, data: Bytes) -> rottnest_object_store::Result<()> {
+        self.inner.put_if_absent(key, data)
+    }
+    fn get(&self, key: &str) -> rottnest_object_store::Result<Bytes> {
+        self.inner.get(key)
+    }
+    fn get_range(
+        &self,
+        key: &str,
+        range: std::ops::Range<u64>,
+    ) -> rottnest_object_store::Result<Bytes> {
+        self.inner.get_range(key, range)
+    }
+    fn get_ranges(&self, requests: &[RangeRequest]) -> rottnest_object_store::Result<Vec<Bytes>> {
+        {
+            let mut st = self.state.lock().unwrap();
+            for r in requests {
+                st.fetched.push((r.key.clone(), r.range.start));
+            }
+            st.entered += 1;
+            self.cv.notify_all();
+            while !st.open {
+                let (guard, timeout) = self.cv.wait_timeout(st, Duration::from_secs(30)).unwrap();
+                assert!(!timeout.timed_out(), "gate never opened");
+                st = guard;
+            }
+        }
+        self.inner.get_ranges(requests)
+    }
+    fn head(&self, key: &str) -> rottnest_object_store::Result<ObjectMeta> {
+        self.inner.head(key)
+    }
+    fn list(&self, prefix: &str) -> rottnest_object_store::Result<Vec<ObjectMeta>> {
+        self.inner.list(prefix)
+    }
+    fn delete(&self, key: &str) -> rottnest_object_store::Result<()> {
+        self.inner.delete(key)
+    }
+    fn now_ms(&self) -> u64 {
+        self.inner.now_ms()
+    }
+    fn stats(&self) -> StatsSnapshot {
+        self.inner.stats()
+    }
+    fn clock(&self) -> Option<&SimClock> {
+        self.inner.clock()
+    }
+    fn record_retry(&self, retries: u64, backoff_ms: u64) {
+        self.inner.record_retry(retries, backoff_ms)
+    }
+    fn coalesce_gap(&self) -> Option<u64> {
+        self.inner.coalesce_gap()
+    }
+    fn store_id(&self) -> u64 {
+        self.inner.store_id()
+    }
+    fn record_cache(&self, hits: u64, misses: u64, bytes_saved: u64) {
+        self.inner.record_cache(hits, misses, bytes_saved)
+    }
+    fn record_coalesced(&self, n: u64) {
+        self.inner.record_coalesced(n)
+    }
+    fn record_page_cache(&self, hits: u64, misses: u64, bytes_saved: u64) {
+        self.inner.record_page_cache(hits, misses, bytes_saved)
+    }
+    fn record_page_cache_bypass(&self, n: u64) {
+        self.inner.record_page_cache_bypass(n)
+    }
+    fn record_dedup(&self, n: u64) {
+        self.inner.record_dedup(n)
+    }
+}
+
+#[test]
+fn overlapping_page_batches_fetch_the_shared_pages_once() {
+    let inner = MemoryStore::unmetered();
+    let table = make_table(inner.as_ref(), 2048, 1);
+    let snap = table.snapshot().unwrap();
+    let entry = snap.files().next().unwrap();
+    let meta = table.file_meta(&entry.path).unwrap();
+    // Column 1 is `body` (Utf8) — many small pages under small_pages().
+    let pt = PageTable::from_meta(&meta, 1).unwrap();
+    assert!(pt.len() >= 6, "need at least 6 pages to overlap");
+    let key = entry.path.clone();
+
+    // What each page decodes to, read solo and uncached.
+    let direct = PageReader::new(inner.as_ref());
+    let want: Vec<ColumnData> = (0..6)
+        .map(|p| direct.read_page(&key, &pt, p, DataType::Utf8).unwrap())
+        .collect();
+
+    // Batch A wants pages {0,1,2,3}; batch B wants {2,3,4,5}. The gate
+    // holds A's fetch on the wire until B has arrived, so B *must* join
+    // A's in-flight pages {2,3} and lead only its remainder {4,5}.
+    let gate = GateStore::new(inner.clone());
+    let before = inner.stats();
+    let (got_a, got_b) = std::thread::scope(|s| {
+        let (gate, key, pt) = (&gate, key.as_str(), &pt);
+        let a = s.spawn(move || {
+            let session = PageCacheSession::new();
+            let reader = PageReader::cached(gate, &session);
+            let reqs: Vec<(&str, &PageTable, usize)> = (0..4).map(|p| (key, pt, p)).collect();
+            reader.read_pages(&reqs, DataType::Utf8).unwrap()
+        });
+        gate.wait_entered(1);
+        let b = s.spawn(move || {
+            let session = PageCacheSession::new();
+            let reader = PageReader::cached(gate, &session);
+            let reqs: Vec<(&str, &PageTable, usize)> = (2..6).map(|p| (key, pt, p)).collect();
+            reader.read_pages(&reqs, DataType::Utf8).unwrap()
+        });
+        // B led {4,5} before waiting on its joins (run_partial always
+        // fetches owned pages first), so a second wire call must appear.
+        gate.wait_entered(2);
+        gate.open();
+        (a.join().unwrap(), b.join().unwrap())
+    });
+
+    assert_eq!(got_a, want[0..4], "batch A decoded wrong pages");
+    assert_eq!(got_b, want[2..6], "batch B decoded wrong pages");
+
+    // Every page crossed the wire exactly once: 6 distinct offsets, no
+    // repeats — the overlap {2,3} was fetched by A alone.
+    let fetched = gate.fetched();
+    let mut offsets: Vec<u64> = fetched.iter().map(|&(_, off)| off).collect();
+    offsets.sort_unstable();
+    let mut expect: Vec<u64> = (0..6).map(|p| pt.page(p).unwrap().offset).collect();
+    expect.sort_unstable();
+    assert_eq!(
+        offsets, expect,
+        "the union of both batches must be fetched exactly once"
+    );
+    assert!(fetched.iter().all(|(k, _)| k == &key));
+    assert_eq!(
+        inner.stats().since(&before).dedup_hits,
+        2,
+        "B must record joining A's flights for pages 2 and 3"
+    );
 }
