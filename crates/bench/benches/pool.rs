@@ -1,0 +1,67 @@
+//! Criterion microbenchmarks: the shared worker pool's small-batch inline
+//! threshold. `ordered_parallel_map` runs batches of at most
+//! `SMALL_BATCH_INLINE` cheap items on the caller's thread; the
+//! `forced_pool` series pushes the same batches through the pool
+//! (`ordered_parallel_map_threshold` with threshold 0) to show what the
+//! inline fast path saves, and the large-batch pair shows where pool
+//! dispatch starts paying for itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rottnest_object_store::{
+    ordered_parallel_map, ordered_parallel_map_threshold, SMALL_BATCH_INLINE,
+};
+
+const PARALLELISM: usize = 8;
+
+/// A handful of arithmetic ops per item — the kind of per-file
+/// bookkeeping the search fan-out runs on tiny uncovered-file batches,
+/// where pool handoff would dwarf the work itself.
+fn cheap(i: usize, x: &u64) -> u64 {
+    let mut v = *x ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    v ^= v >> 33;
+    v = v.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    v ^ (v >> 29)
+}
+
+fn bench_small_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_small_batch");
+    for n in [1usize, 2, 3] {
+        assert!(
+            n <= SMALL_BATCH_INLINE,
+            "series must sit inside the threshold"
+        );
+        let items: Vec<u64> = (0..n as u64).collect();
+        group.bench_with_input(BenchmarkId::new("inline", n), &items, |b, it| {
+            b.iter(|| ordered_parallel_map(PARALLELISM, it, cheap))
+        });
+        group.bench_with_input(BenchmarkId::new("forced_pool", n), &items, |b, it| {
+            b.iter(|| ordered_parallel_map_threshold(PARALLELISM, 0, it, cheap))
+        });
+    }
+    group.finish();
+}
+
+fn bench_large_batch(c: &mut Criterion) {
+    // Past the threshold the pool pays for itself: 64 items of a few
+    // microseconds each (a decoded block's worth of byte crunching).
+    let blocks: Vec<Vec<u8>> = (0..64usize)
+        .map(|i| (0..4096).map(|j| ((i * 31 + j) % 251) as u8).collect())
+        .collect();
+    let crunch = |_: usize, block: &Vec<u8>| -> u64 {
+        block.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        })
+    };
+    let mut group = c.benchmark_group("pool_large_batch");
+    group.throughput(Throughput::Bytes((blocks.len() * 4096) as u64));
+    group.bench_function("sequential", |b| {
+        b.iter(|| ordered_parallel_map(1, &blocks, crunch))
+    });
+    group.bench_function("pooled", |b| {
+        b.iter(|| ordered_parallel_map(PARALLELISM, &blocks, crunch))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_small_batch, bench_large_batch);
+criterion_main!(benches);

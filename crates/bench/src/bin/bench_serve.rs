@@ -22,7 +22,14 @@
 //! * **serve_hedge** — 0.75x the ceiling with a 60 ms budget and a 200 ms
 //!   straggler every 97th query: hedged backup lanes rescue the
 //!   stragglers (`hedge_win_rate`, gated as a floor) and keep p999 at the
-//!   committed bound.
+//!   committed bound;
+//! * **serve_pool_16x** — the shared executor pool: 256 admitted queries
+//!   on 16 pool workers at 16x the thread-per-slot ceiling. Concurrency
+//!   is an admission number, threads are the pool — throughput scales to
+//!   the admission ceiling (`pool_qps`, gated as a floor) while the
+//!   modeled thread count stays at the fixed pool size
+//!   (`executor_threads`, gated as a ceiling) and p999 holds the
+//!   queue-drain bound.
 //!
 //! Every metric is a pure function of the simulator config — virtual
 //! milliseconds and counts, never host wall clock — so the report is
@@ -55,8 +62,15 @@ fn base(qps: u64) -> SimConfig {
         slow_every: 0,
         slow_service_ms: 0,
         hedge_threshold_ms: 0,
+        pool_workers: 0,
+        fanout: 1,
     }
 }
+
+/// Pool shape for `serve_pool_16x`: the admission ceiling sits 16x above
+/// the worker count, as in the overload-soak's 256-on-16 storm.
+const POOL_WORKERS: usize = 16;
+const POOL_CONCURRENT: usize = 256;
 
 fn main() {
     let ceiling = ceiling_qps();
@@ -102,6 +116,17 @@ fn main() {
                 slow_service_ms: 200,
                 hedge_threshold_ms: 40,
                 ..base(ceiling * 3 / 4)
+            },
+        ),
+        (
+            "serve_pool_16x",
+            SimConfig {
+                max_concurrent: POOL_CONCURRENT,
+                max_queued: 64,
+                deadline_budget_ms: Some(100),
+                pool_workers: POOL_WORKERS,
+                fanout: 8,
+                ..base(ceiling * 16)
             },
         ),
     ];
@@ -161,6 +186,12 @@ fn main() {
             block.push_str(&format!(
                 ", \"hedged\": {}, \"hedge_wins\": {}, \"hedge_win_rate\": {:.3}",
                 r.hedged, r.hedge_wins, r.hedge_win_rate
+            ));
+        }
+        if cfg.pool_workers != 0 {
+            block.push_str(&format!(
+                ", \"pool_qps\": {:.3}, \"executor_threads\": {}",
+                r.pool_qps, r.executor_threads
             ));
         }
         block.push_str(" },\n");

@@ -3,16 +3,21 @@
 //! Searches spend most of their time waiting on object-store round trips
 //! (index component fetches, page probes, brute-force column reads), and
 //! the units of work — index entries, uncovered files — are independent.
-//! `parallel_map` fans them out over at most `parallelism` scoped worker
-//! threads and returns the results **in input order**, so callers can merge
-//! sequentially and reproduce the single-threaded outcome byte for byte:
-//! stats are summed in input order, the first hard error in input order
-//! wins, and degradable failures degrade exactly the entries they would
-//! have degraded sequentially.
+//! `parallel_map_io` fans them out over the process-wide work-stealing pool
+//! ([`rottnest_object_store::WorkerPool`]) with at most `parallelism`-wide
+//! concurrency and returns the results **in input order**, so callers can
+//! merge sequentially and reproduce the single-threaded outcome byte for
+//! byte: stats are summed in input order, the first hard error in input
+//! order wins, and degradable failures degrade exactly the entries they
+//! would have degraded sequentially. Because every search in the process
+//! shares the one pool, the serving layer can admit far more concurrent
+//! queries than there are OS threads — a query whose fan-out finds no free
+//! worker simply runs its own units on the admitted thread (caller-runs),
+//! so saturation degrades to sequential execution, never to deadlock.
 //!
 //! With `parallelism <= 1` (or a single item) the closure runs inline on
-//! the caller's thread — no threads spawned, identical code path to the
-//! old sequential executor.
+//! the caller's thread — no pool traffic, identical code path to the old
+//! sequential executor.
 
 /// Knobs for the parallel search executor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,14 +79,26 @@ impl Default for SearchConfig {
 /// slow item — a large index file, a latency spike — does not idle the
 /// other workers. A panicking closure propagates the panic to the caller.
 /// This is the shared deterministic primitive the ingest pipeline also
-/// builds on ([`rottnest_object_store::ordered_parallel_map`]).
-pub(crate) fn parallel_map<T, R, F>(parallelism: usize, items: &[T], f: F) -> Vec<R>
+/// builds on ([`rottnest_object_store::ordered_parallel_map_io`]).
+///
+/// Search fan-out closures all issue store requests, so when the store has
+/// a simulated clock each item's modeled request latency is captured and
+/// charged as the critical path of `parallelism` virtual connection lanes
+/// instead of additively — benchmark latencies reflect the overlap a real
+/// fan-out achieves. Results are identical at every setting (and with
+/// `clock` absent); only simulated time differs.
+pub(crate) fn parallel_map_io<T, R, F>(
+    parallelism: usize,
+    clock: Option<&rottnest_object_store::SimClock>,
+    items: &[T],
+    f: F,
+) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    rottnest_object_store::ordered_parallel_map(parallelism, items, f)
+    rottnest_object_store::ordered_parallel_map_io(parallelism, clock, items, f)
 }
 
 #[cfg(test)]
@@ -93,7 +110,7 @@ mod tests {
         let items: Vec<u64> = (0..100).collect();
         let expect: Vec<u64> = items.iter().map(|x| x * 3).collect();
         for parallelism in [1, 2, 3, 8, 200] {
-            let got = parallel_map(parallelism, &items, |_, &x| x * 3);
+            let got = parallel_map_io(parallelism, None, &items, |_, &x| x * 3);
             assert_eq!(got, expect, "parallelism {parallelism}");
         }
     }
@@ -101,15 +118,15 @@ mod tests {
     #[test]
     fn passes_the_input_index() {
         let items = ["a", "b", "c"];
-        let got = parallel_map(4, &items, |i, s| format!("{i}:{s}"));
+        let got = parallel_map_io(4, None, &items, |i, s| format!("{i}:{s}"));
         assert_eq!(got, vec!["0:a", "1:b", "2:c"]);
     }
 
     #[test]
     fn empty_and_singleton_inputs_run_inline() {
         let none: Vec<u8> = Vec::new();
-        assert!(parallel_map(8, &none, |_, &x| x).is_empty());
-        assert_eq!(parallel_map(8, &[7u8], |_, &x| x + 1), vec![8]);
+        assert!(parallel_map_io(8, None, &none, |_, &x| x).is_empty());
+        assert_eq!(parallel_map_io(8, None, &[7u8], |_, &x| x + 1), vec![8]);
     }
 
     #[test]

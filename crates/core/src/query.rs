@@ -119,6 +119,10 @@ pub struct SearchStats {
     /// Losing hedge lanes observed to have stopped at a cancellation
     /// point (their next store request) rather than running to completion.
     pub hedge_cancels: u64,
+    /// The subset of [`SearchStats::hedged_probes`] that were brute-force
+    /// file scans (per-file scan units hedge under the same EWMA trigger
+    /// as index probes; 0 unless hedging is on).
+    pub hedged_scans: u64,
 }
 
 impl SearchStats {
@@ -148,6 +152,7 @@ impl SearchStats {
         self.hedged_probes += other.hedged_probes;
         self.hedge_wins += other.hedge_wins;
         self.hedge_cancels += other.hedge_cancels;
+        self.hedged_scans += other.hedged_scans;
     }
 }
 

@@ -8,13 +8,13 @@ use rottnest_format::{ChunkReader, DataType, NegScanCache, PageCacheSession, Val
 use rottnest_ivfpq::{IvfPqIndex, IvfPqParams, SearchParams, VecPosting};
 use rottnest_lake::{FileEntry, Snapshot, Table};
 use rottnest_object_store::{
-    is_cancelled, ordered_parallel_map_io, CancelStore, FxHashMap, FxHashSet, ObjectStore,
-    RetryPolicy, RetryStore, StoreError,
+    is_cancelled, ordered_parallel_map_io, parallel::captured_lane_micros, CancelStore, FxHashMap,
+    FxHashSet, ObjectStore, RetryPolicy, RetryStore, StoreError, WorkerPool,
 };
 use rottnest_trie::TrieIndex;
 
 use crate::build::build_index_file;
-use crate::executor::{parallel_map, SearchConfig};
+use crate::executor::{parallel_map_io, SearchConfig};
 use crate::meta::{IndexEntry, IndexKind, MetaOp, MetaTable};
 use crate::probe::{fetch_vectors, load_dvs, probe_exact, PageRef};
 use crate::query::{Match, Query, SearchOutcome, SearchStats};
@@ -380,10 +380,19 @@ impl<'a> Rottnest<'a> {
         probe: &(dyn Fn(&dyn ObjectStore) -> Result<R> + Sync),
     ) -> (Result<R>, HedgeOutcome) {
         if !self.should_hedge(deadline_ms) {
-            let started = self.store().now_ms();
+            // Simulated elapsed time for the EWMA: inside a captured
+            // fan-out item the clock defers to the item's lane, so the
+            // true duration is the clock delta plus the lane delta.
+            let started_ms = self.store().now_ms();
+            let started_lane = captured_lane_micros().unwrap_or(0);
             let out = probe(self.store());
             if out.is_ok() {
-                self.observe_probe_ms(self.store().now_ms().saturating_sub(started));
+                let lane_ms = captured_lane_micros()
+                    .unwrap_or(0)
+                    .saturating_sub(started_lane)
+                    / 1000;
+                let clock_ms = self.store().now_ms().saturating_sub(started_ms);
+                self.observe_probe_ms(clock_ms + lane_ms);
             }
             return (out, HedgeOutcome::default());
         }
@@ -404,26 +413,28 @@ impl<'a> Rottnest<'a> {
             }
             out
         };
-        let (primary, backup) = std::thread::scope(|scope| {
-            let backup = scope.spawn(|| run_lane(1));
-            let primary = run_lane(0);
-            let backup = backup
-                .join()
-                .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
-            (primary, backup)
-        });
+        // The backup lane is a single stealable unit offered to the shared
+        // pool — no thread is spawned for it. If no worker claims it by the
+        // time the primary finishes, `join` revokes it (the backup never
+        // ran: a busy pool degrades hedging to the unhedged path, it never
+        // queues latent work behind the query). If a worker did claim it,
+        // `join` waits for it — the losing lane dies at its next store
+        // request via the cancellation token, exactly as before.
+        let offer = WorkerPool::global().offer(|| run_lane(1));
+        let primary = run_lane(0);
+        let backup = offer.join();
 
         let backup_won = match (&primary, &backup) {
-            (Ok(_), Ok(_)) => first.load(Ordering::Acquire) == 1,
-            (Err(_), Ok(_)) => true,
+            (Ok(_), Some(Ok(_))) => first.load(Ordering::Acquire) == 1,
+            (Err(_), Some(Ok(_))) => true,
             _ => false,
         };
-        let (winner, loser) = if backup_won {
-            (backup, primary)
-        } else {
-            (primary, backup)
+        let (winner, loser) = match backup {
+            Some(backup) if backup_won => (backup, Some(primary)),
+            Some(backup) => (primary, Some(backup)),
+            None => (primary, None),
         };
-        let loser_cancelled = matches!(&loser, Err(e) if error_is_cancelled(e));
+        let loser_cancelled = matches!(&loser, Some(Err(e)) if error_is_cancelled(e));
         (
             winner,
             HedgeOutcome {
@@ -740,12 +751,19 @@ impl<'a> Rottnest<'a> {
         // finishing every index query it already queued. Under deadline
         // pressure with hedging on, individual probes race two lanes (see
         // `hedged_probe`); the winning value is identical either way.
-        let outcomes = parallel_map(self.config.search.parallelism, selected, |_, entry| {
-            if let Err(e) = self.check_deadline(deadline_ms) {
-                return (Err(e), HedgeOutcome::default());
-            }
-            self.hedged_probe(deadline_ms, &|store| query_index(store, entry))
-        });
+        // The I/O-aware map charges the probes' simulated latency as the
+        // overlapped critical path of `parallelism` connection lanes.
+        let outcomes = parallel_map_io(
+            self.config.search.parallelism,
+            self.store().clock(),
+            selected,
+            |_, entry| {
+                if let Err(e) = self.check_deadline(deadline_ms) {
+                    return (Err(e), HedgeOutcome::default());
+                }
+                self.hedged_probe(deadline_ms, &|store| query_index(store, entry))
+            },
+        );
         let mut pages: Vec<PageRef<'_>> = Vec::new();
         let mut failed: Vec<usize> = Vec::new();
         // Keyed by (path, page): concurrently-built indexes may cover the
@@ -884,32 +902,34 @@ impl<'a> Rottnest<'a> {
                     continue;
                 }
                 stats.files_brute_scanned += 1;
-                let reader = ChunkReader::open(self.store(), &file.path)?;
-                let col = reader
-                    .meta()
-                    .schema
-                    .index_of(column)
-                    .ok_or_else(|| RottnestError::BadQuery(format!("no column {column}")))?;
-                let data = reader.read_column(col)?;
-                // One-shot scan: these pages bypass page-cache admission.
-                self.store()
-                    .record_page_cache_bypass(column_page_count(reader.meta(), col));
+                // Under deadline pressure the file scan races two lanes,
+                // like an index probe. Both lanes scan the same immutable
+                // bytes, so the event list is identical whichever wins.
+                let limit = need - matches.len();
                 let dv = dvs.get(&file.path);
-                let mut hit_any = false;
-                for i in 0..data.len() {
+                let (scan, hedge) = self.hedged_probe(deadline_ms, &|store| {
+                    self.scan_file_events(store, file, column, limit, predicate, dv)
+                });
+                hedge.account(stats);
+                if hedge.hedged {
+                    stats.hedged_scans += 1;
+                }
+                let (events, pages) = scan?;
+                self.store().record_page_cache_bypass(pages);
+                // Zero hits ⟹ the row loop never broke early ⟹ the whole
+                // column was scanned: safe to record as proven empty.
+                if let Some((cache, ns, p)) = neg {
+                    if events.is_empty() {
+                        cache.record_empty(ns, &file.path, file.size, p);
+                    }
+                }
+                for (row, deleted) in events {
                     if matches.len() >= need {
                         break;
                     }
-                    if !predicate(data.get(i).expect("in range")) {
+                    if deleted {
+                        stats.rows_deleted += 1;
                         continue;
-                    }
-                    hit_any = true;
-                    let row = i as u64;
-                    if let Some(dv) = dv {
-                        if dv.contains(row) {
-                            stats.rows_deleted += 1;
-                            continue;
-                        }
                     }
                     matches.push(Match {
                         path: file.path.clone(),
@@ -917,62 +937,33 @@ impl<'a> Rottnest<'a> {
                         score: None,
                     });
                 }
-                // Zero hits ⟹ the row loop never broke early ⟹ the whole
-                // column was scanned: safe to record as proven empty.
-                if let Some((cache, ns, p)) = neg {
-                    if !hit_any {
-                        cache.record_empty(ns, &file.path, file.size, p);
-                    }
-                }
             }
             return Ok(matches);
         }
 
         // Each worker emits the file's predicate hits in row order as
         // (row, deleted) events plus the file's page count, stopping after
-        // `need` live rows. Known-empty files are not even opened.
-        let scans = parallel_map(
-            parallelism,
-            uncovered,
-            |i, file| -> Result<(Vec<(u64, bool)>, u64)> {
-                if skip[i] {
-                    return Ok((Vec::new(), 0));
-                }
-                self.check_deadline(deadline_ms)?;
-                let reader = ChunkReader::open(self.store(), &file.path)?;
-                let col = reader
-                    .meta()
-                    .schema
-                    .index_of(column)
-                    .ok_or_else(|| RottnestError::BadQuery(format!("no column {column}")))?;
-                let data = reader.read_column(col)?;
-                let pages = column_page_count(reader.meta(), col);
-                let dv = dvs.get(&file.path);
-                let mut events = Vec::new();
-                let mut live = 0usize;
-                for i in 0..data.len() {
-                    if live >= need {
-                        break;
-                    }
-                    if !predicate(data.get(i).expect("in range")) {
-                        continue;
-                    }
-                    let row = i as u64;
-                    let deleted = dv.is_some_and(|dv| dv.contains(row));
-                    if !deleted {
-                        live += 1;
-                    }
-                    events.push((row, deleted));
-                }
-                Ok((events, pages))
-            },
-        );
+        // `need` live rows (an upper bound on the file's contribution).
+        // Known-empty files are not even opened. Individual file scans
+        // hedge under the same trigger as index probes.
+        let scans = parallel_map_io(parallelism, self.store().clock(), uncovered, |i, file| {
+            if skip[i] {
+                return (Ok((Vec::new(), 0)), HedgeOutcome::default());
+            }
+            if let Err(e) = self.check_deadline(deadline_ms) {
+                return (Err(e), HedgeOutcome::default());
+            }
+            let dv = dvs.get(&file.path);
+            self.hedged_probe(deadline_ms, &|store| {
+                self.scan_file_events(store, file, column, need, predicate, dv)
+            })
+        });
 
         // Replay in file order under the sequential cutoff. Bypass, skip,
-        // and proven-empty accounting all happen here — not on the
+        // proven-empty, and hedge accounting all happen here — not on the
         // workers — so they cover exactly the files the sequential scan
         // would have touched, at any parallelism.
-        for ((file, scan), &skipped) in uncovered.iter().zip(scans).zip(&skip) {
+        for ((file, (scan, hedge)), &skipped) in uncovered.iter().zip(scans).zip(&skip) {
             if matches.len() >= need {
                 break;
             }
@@ -981,6 +972,10 @@ impl<'a> Rottnest<'a> {
                 continue;
             }
             stats.files_brute_scanned += 1;
+            hedge.account(stats);
+            if hedge.hedged {
+                stats.hedged_scans += 1;
+            }
             let (events, pages) = scan?;
             self.store().record_page_cache_bypass(pages);
             if let Some((cache, ns, p)) = neg {
@@ -1006,6 +1001,49 @@ impl<'a> Rottnest<'a> {
             }
         }
         Ok(matches)
+    }
+
+    /// Scans one uncovered file's column for predicate hits, emitting
+    /// `(row, deleted)` events in row order and stopping after `limit`
+    /// live rows; also returns the column's page count for bypass
+    /// accounting. This is the brute-force unit of work: both the
+    /// sequential cutoff loop and the parallel fan-out (and each lane of a
+    /// hedged scan) run exactly this function, so its event list depends
+    /// only on the file's immutable bytes — never on the executor.
+    fn scan_file_events(
+        &self,
+        store: &dyn ObjectStore,
+        file: &FileEntry,
+        column: &str,
+        limit: usize,
+        predicate: &(dyn Fn(ValueRef<'_>) -> bool + Sync),
+        dv: Option<&rottnest_lake::DeletionVector>,
+    ) -> Result<(Vec<(u64, bool)>, u64)> {
+        let reader = ChunkReader::open(store, &file.path)?;
+        let col = reader
+            .meta()
+            .schema
+            .index_of(column)
+            .ok_or_else(|| RottnestError::BadQuery(format!("no column {column}")))?;
+        let data = reader.read_column(col)?;
+        let pages = column_page_count(reader.meta(), col);
+        let mut events = Vec::new();
+        let mut live = 0usize;
+        for i in 0..data.len() {
+            if live >= limit {
+                break;
+            }
+            if !predicate(data.get(i).expect("in range")) {
+                continue;
+            }
+            let row = i as u64;
+            let deleted = dv.is_some_and(|dv| dv.contains(row));
+            if !deleted {
+                live += 1;
+            }
+            events.push((row, deleted));
+        }
+        Ok((events, pages))
     }
 
     /// Vector search: probed + refined index candidates merged with a
@@ -1036,7 +1074,7 @@ impl<'a> Rottnest<'a> {
         // executor's rollback, for free) and routes its files to the
         // brute-force pass below. Deadline expiry is NOT degradable: the
         // poll before each entry aborts the whole search.
-        let passes = parallel_map(parallelism, selected, |_, entry| {
+        let passes = parallel_map_io(parallelism, self.store().clock(), selected, |_, entry| {
             if let Err(e) = self.check_deadline(deadline_ms) {
                 return (Err(e), HedgeOutcome::default());
             }
@@ -1065,8 +1103,9 @@ impl<'a> Rottnest<'a> {
         // queries) — no early exit, so the parallel fan-out does no
         // speculative work; the merge just sums in file order.
         let dvs = load_dvs(table, snapshot, uncovered.iter().map(|f| f.path.as_str()))?;
-        let scans = parallel_map(
+        let scans = parallel_map_io(
             parallelism,
+            self.store().clock(),
             uncovered,
             |_, file| -> Result<(Vec<Match>, u64, u64)> {
                 self.check_deadline(deadline_ms)?;

@@ -30,6 +30,7 @@ pub mod fxhash;
 pub mod latency;
 pub mod memory;
 pub mod parallel;
+pub mod pool;
 pub mod retry;
 pub mod singleflight;
 pub mod stats;
@@ -50,8 +51,9 @@ pub use latency::{LatencyModel, PrefixThrottle, ThrottleMode};
 pub use memory::MemoryStore;
 pub use parallel::{
     chunk_ranges, default_parallelism, ordered_parallel_map, ordered_parallel_map_io,
-    ordered_pipeline,
+    ordered_parallel_map_threshold, ordered_pipeline, SMALL_BATCH_INLINE,
 };
+pub use pool::{Offer, WorkerPool};
 pub use retry::{RetryPolicy, RetryStore};
 pub use singleflight::SingleFlight;
 pub use stats::{RequestStats, StatsSnapshot};

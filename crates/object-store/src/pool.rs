@@ -1,0 +1,596 @@
+//! Process-wide bounded work-stealing executor pool.
+//!
+//! Before this module existed, every search, build, and hedged lane fanned
+//! out over its own freshly spawned `std::thread::scope` workers, so a
+//! serving process ran up to `max_concurrent × parallelism` OS threads and
+//! cross-query CPU sharing was zero. The pool decouples *concurrency* (how
+//! many fan-outs are in flight) from *OS threads* (a small fixed worker
+//! set): callers register a **batch** of claimable work units, idle workers
+//! steal units from any registered batch, and the caller itself always
+//! keeps claiming units from its own batch — so a fan-out makes progress
+//! even when every worker is busy, and nested fan-out (a query's brute
+//! scan fanning out inside an admitted slot) can never deadlock on pool
+//! exhaustion.
+//!
+//! # Structure
+//!
+//! * A global **injector**: the FIFO list of currently registered batches.
+//!   Each batch owns an atomic claim cursor, which acts as its stealable
+//!   deque of remaining units — any worker (or the registering caller) can
+//!   pop the next unit with one `fetch_add`.
+//! * **Workers**: [`WorkerPool::workers`] OS threads, spawned once, parked
+//!   on a condvar when no batch has claimable units. A worker attaches to
+//!   the oldest batch with spare helper capacity, drains units until the
+//!   batch reports `RunOne::Drained` or `RunOne::Stalled`, detaches,
+//!   and rescans.
+//! * **Caller-runs**: registering a batch never blocks the caller on pool
+//!   capacity. The caller claims units from its own cursor in a loop
+//!   ("caller steals its own tasks"), so with zero free workers execution
+//!   degrades to exactly the serial loop — which is also why
+//!   `parallelism <= 1` callers skip the pool entirely.
+//!
+//! # Determinism
+//!
+//! The pool adds **no** ordering decisions of its own: which thread runs a
+//! unit is as racy as the scoped-thread executor it replaced, and every
+//! deterministic guarantee (in-order merge, stats sums, first-error-in-
+//! input-order, simulated-latency overlap) lives in the batch adapters in
+//! [`crate::parallel`], which key results by input index exactly as
+//! before. Results are therefore bit-identical at any pool size, including
+//! zero free workers.
+//!
+//! # Quiescence safety
+//!
+//! Batches borrow the caller's stack (items, closure, result sink), so the
+//! registration handle's drop **unregisters the batch and then blocks
+//! until every attached worker has detached**. A worker only takes a batch
+//! pointer it attached to under the injector lock, and detaches (with a
+//! drop guard, so panics cannot skip it) before rescanning — after
+//! `Registration::drop` returns, no worker can observe the batch.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::{Condvar, Mutex};
+
+/// What one claim attempt against a batch produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RunOne {
+    /// A unit was claimed and executed to completion; more may remain.
+    Ran,
+    /// Nothing is claimable and nothing ever will be: all units claimed.
+    Drained,
+    /// Nothing is claimable *right now* (a pipeline window is full); more
+    /// units appear after external progress, which the batch owner signals
+    /// with [`WorkerPool::notify_workers`].
+    Stalled,
+}
+
+/// A batch of independently claimable work units.
+///
+/// Implementations own their claim cursor and result sink; the pool only
+/// drives [`BatchRun::run_one`] from idle workers and never inspects
+/// results. Units must complete within `run_one` (no unit survives the
+/// call), and implementations must catch panics from user closures and
+/// stash them for the registering caller — the workers defensively
+/// swallow an unwinding `run_one` and keep serving other batches, so a
+/// panic that escaped the adapter would otherwise be lost.
+pub(crate) trait BatchRun: Sync {
+    /// Cheap hint: could [`BatchRun::run_one`] claim a unit right now?
+    /// Called under the injector lock, so it must not block.
+    fn has_work(&self) -> bool;
+    /// Claims and executes one unit.
+    fn run_one(&self) -> RunOne;
+}
+
+/// Per-registration quiescence state: how many workers are attached to
+/// the batch, plus the condvar the unregistering caller waits on. Kept in
+/// an `Arc` separate from the batch itself so a detaching worker touches
+/// only memory that outlives the batch.
+#[derive(Default)]
+struct Quiesce {
+    attached: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+/// One registered batch in the injector.
+struct Entry {
+    id: u64,
+    /// Lifetime-erased pointer to the caller-owned batch. Valid while the
+    /// entry is queued, and — for workers that attached under the injector
+    /// lock — until they detach (see module docs on quiescence).
+    batch: *const (dyn BatchRun + 'static),
+    quiesce: Arc<Quiesce>,
+    /// Most workers allowed to help this batch at once (the caller's own
+    /// participation is not counted).
+    helper_cap: usize,
+}
+
+// SAFETY: `batch` crosses threads inside the injector. The registration
+// protocol (unregister, then wait for `attached == 0`) guarantees no
+// worker dereferences it after the caller-side borrow ends.
+unsafe impl Send for Entry {}
+
+struct Shared {
+    injector: Mutex<Vec<Entry>>,
+    /// Workers park here when no batch has claimable units.
+    work: Condvar,
+    workers: usize,
+    stop: AtomicBool,
+    next_id: AtomicU64,
+}
+
+/// Decrements the attach count and wakes the unregistering caller even if
+/// `run_one` unwinds.
+struct DetachGuard<'a>(&'a Quiesce);
+
+impl Drop for DetachGuard<'_> {
+    fn drop(&mut self) {
+        self.0.attached.fetch_sub(1, Ordering::AcqRel);
+        let _held = self.0.lock.lock();
+        self.0.cv.notify_all();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    let mut injector = shared.injector.lock();
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let picked = injector
+            .iter()
+            .find(|e| {
+                e.quiesce.attached.load(Ordering::Relaxed) < e.helper_cap
+                    // SAFETY: the entry is queued, so the batch is live
+                    // (see `Entry::batch`); `has_work` is non-blocking.
+                    && unsafe { (*e.batch).has_work() }
+            })
+            .map(|e| (e.batch, Arc::clone(&e.quiesce)));
+        match picked {
+            Some((batch, quiesce)) => {
+                quiesce.attached.fetch_add(1, Ordering::AcqRel);
+                drop(injector);
+                {
+                    let _detach = DetachGuard(&quiesce);
+                    // SAFETY: attached was incremented under the injector
+                    // lock while the entry was queued, so the unregistering
+                    // caller waits for this worker to detach.
+                    let batch = unsafe { &*batch };
+                    // Adapters catch user panics; this is a backstop so a
+                    // defective adapter cannot kill a pool worker.
+                    let _ = panic::catch_unwind(AssertUnwindSafe(|| {
+                        while batch.run_one() == RunOne::Ran {}
+                    }));
+                }
+                injector = shared.injector.lock();
+            }
+            None => shared.work.wait(&mut injector),
+        }
+    }
+}
+
+/// A bounded pool of worker threads that steal claimable units from
+/// registered batches. See the module docs for the execution model; the
+/// high-level entry points are the deterministic primitives in
+/// [`crate::parallel`], which run on the [`WorkerPool::global`] pool.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+}
+
+impl WorkerPool {
+    /// Creates a private pool with exactly `workers` threads (at least 1).
+    /// Intended for tests that need a pool of a specific size; production
+    /// code shares [`WorkerPool::global`]. Worker threads exit when the
+    /// pool is dropped and every in-flight unit has finished.
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(Vec::new()),
+            work: Condvar::new(),
+            workers,
+            stop: AtomicBool::new(false),
+            next_id: AtomicU64::new(0),
+        });
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("rottnest-pool-{i}"))
+                .spawn(move || worker_loop(shared))
+                .expect("spawn pool worker");
+        }
+        WorkerPool { shared }
+    }
+
+    /// The process-wide pool every fan-out shares. Sized by the
+    /// `ROTTNEST_POOL_WORKERS` environment variable when set (read once,
+    /// at first use), else the machine's available parallelism clamped to
+    /// `2..=16`. Workers are spawned on first use and live for the
+    /// process; total executor threads never exceed this size.
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let workers = std::env::var("ROTTNEST_POOL_WORKERS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism().map_or(4, |n| n.get().clamp(2, 16))
+                });
+            WorkerPool::new(workers)
+        })
+    }
+
+    /// Number of worker threads in this pool.
+    pub fn workers(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Registers `batch` so idle workers steal units from it, with at
+    /// most `helper_cap` workers attached at once (`0` skips the injector
+    /// entirely — the caller will run every unit itself). Never blocks on
+    /// pool capacity. The returned guard **must** be dropped (not leaked)
+    /// before `batch`'s borrow ends: its drop unregisters the batch and
+    /// blocks until every attached worker has detached.
+    pub(crate) fn register<'p, 'b>(
+        &'p self,
+        batch: &'b (dyn BatchRun + 'b),
+        helper_cap: usize,
+    ) -> Registration<'p, 'b> {
+        // SAFETY: lifetime erasure for the injector. `Registration` both
+        // carries the `'b` borrow (so it cannot outlive the batch) and
+        // unregisters + quiesces in drop, so no worker can observe the
+        // batch after the borrow ends (see module docs).
+        let erased: *const (dyn BatchRun + 'static) =
+            unsafe { std::mem::transmute(batch as *const (dyn BatchRun + 'b)) };
+        Registration {
+            _raw: self.register_erased(erased, helper_cap),
+            _batch: std::marker::PhantomData,
+        }
+    }
+
+    /// Injector-side half of [`WorkerPool::register`], shared with
+    /// [`WorkerPool::offer`] (whose batch is heap-pinned, not borrowed).
+    fn register_erased(
+        &self,
+        batch: *const (dyn BatchRun + 'static),
+        helper_cap: usize,
+    ) -> RawRegistration<'_> {
+        let quiesce = Arc::new(Quiesce::default());
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        if helper_cap > 0 {
+            let mut injector = self.shared.injector.lock();
+            injector.push(Entry {
+                id,
+                batch,
+                quiesce: Arc::clone(&quiesce),
+                helper_cap,
+            });
+            drop(injector);
+            self.shared.work.notify_all();
+        }
+        RawRegistration {
+            pool: self,
+            id,
+            quiesce,
+        }
+    }
+
+    /// Wakes parked workers so they rescan the injector. Batch owners call
+    /// this after external progress turns a [`RunOne::Stalled`] batch
+    /// claimable again (e.g. a pipeline consumer advancing its window).
+    pub(crate) fn notify_workers(&self) {
+        let _held = self.shared.injector.lock();
+        self.shared.work.notify_all();
+    }
+
+    /// Offers `f` to the pool as a single stealable unit (the hedged
+    /// second lane). The closure runs on the first worker with a free
+    /// slot; the caller continues immediately and later either collects
+    /// the result or revokes the still-unclaimed offer via
+    /// [`Offer::join`]. Never blocks, never spawns a thread.
+    pub fn offer<'env, R, F>(&self, f: F) -> Offer<'_, 'env, R>
+    where
+        R: Send + 'env,
+        F: FnOnce() -> R + Send + 'env,
+    {
+        let cell: Box<OfferCell<'env, R>> = Box::new(OfferCell {
+            state: Mutex::new(OfferState::Pending(Box::new(Some(f)))),
+        });
+        let erased: *const (dyn BatchRun + 'env) = &*cell;
+        // SAFETY: `cell` is heap-pinned inside the returned `Offer`, whose
+        // join/drop unregisters and quiesces before the cell is freed, and
+        // `Offer` carries `'env` so captured borrows outlive the offer.
+        let erased: *const (dyn BatchRun + 'static) = unsafe { std::mem::transmute(erased) };
+        let reg = self.register_erased(erased, 1);
+        Offer {
+            cell,
+            reg: Some(reg),
+            _env: std::marker::PhantomData,
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        let _held = self.shared.injector.lock();
+        self.shared.work.notify_all();
+    }
+}
+
+/// Injector entry + quiescence handle. Dropping it unregisters the batch
+/// and waits for every attached worker to detach.
+struct RawRegistration<'p> {
+    pool: &'p WorkerPool,
+    id: u64,
+    quiesce: Arc<Quiesce>,
+}
+
+impl Drop for RawRegistration<'_> {
+    fn drop(&mut self) {
+        {
+            let mut injector = self.pool.shared.injector.lock();
+            if let Some(pos) = injector.iter().position(|e| e.id == self.id) {
+                injector.remove(pos);
+            }
+        }
+        let mut held = self.quiesce.lock.lock();
+        while self.quiesce.attached.load(Ordering::Acquire) > 0 {
+            self.quiesce.cv.wait(&mut held);
+        }
+    }
+}
+
+/// Guard tying a registered batch to the pool; see [`WorkerPool::register`].
+pub(crate) struct Registration<'p, 'b> {
+    /// Held only for its drop (unregister + quiesce).
+    _raw: RawRegistration<'p>,
+    _batch: std::marker::PhantomData<&'b ()>,
+}
+
+enum OfferState<'env, R> {
+    /// Not yet claimed; holds the closure.
+    Pending(Box<dyn OfferOnce<R> + Send + 'env>),
+    /// A worker took the closure and is running it.
+    Running,
+    /// Finished; holds the result.
+    Done(R),
+    /// The closure panicked; holds the payload for the joiner.
+    Panicked(Box<dyn std::any::Any + Send>),
+    /// Revoked before any worker claimed it; the closure never ran.
+    Revoked,
+    /// Terminal state after `join` extracted the outcome.
+    Taken,
+}
+
+impl<R> OfferState<'_, R> {
+    fn is_pending(&self) -> bool {
+        matches!(self, OfferState::Pending(_))
+    }
+}
+
+/// Object-safe `FnOnce`: `call` consumes the inner closure on first use.
+trait OfferOnce<R> {
+    fn call(&mut self) -> R;
+}
+
+impl<R, F: FnOnce() -> R> OfferOnce<R> for Option<F> {
+    fn call(&mut self) -> R {
+        (self.take().expect("offer closure already consumed"))()
+    }
+}
+
+/// The single-unit batch behind [`WorkerPool::offer`].
+struct OfferCell<'env, R> {
+    state: Mutex<OfferState<'env, R>>,
+}
+
+impl<R: Send> BatchRun for OfferCell<'_, R> {
+    fn has_work(&self) -> bool {
+        self.state.lock().is_pending()
+    }
+
+    fn run_one(&self) -> RunOne {
+        let mut f = {
+            let mut state = self.state.lock();
+            match std::mem::replace(&mut *state, OfferState::Running) {
+                OfferState::Pending(f) => f,
+                other => {
+                    *state = other;
+                    return RunOne::Drained;
+                }
+            }
+        };
+        let out = panic::catch_unwind(AssertUnwindSafe(|| f.call()));
+        let mut state = self.state.lock();
+        *state = match out {
+            Ok(r) => OfferState::Done(r),
+            Err(p) => OfferState::Panicked(p),
+        };
+        RunOne::Ran
+    }
+}
+
+/// Handle to an offered unit (see [`WorkerPool::offer`]).
+pub struct Offer<'p, 'env, R> {
+    cell: Box<OfferCell<'env, R>>,
+    reg: Option<RawRegistration<'p>>,
+    _env: std::marker::PhantomData<&'env ()>,
+}
+
+impl<R: Send> Offer<'_, '_, R> {
+    /// Collects the offer: revokes it if no worker claimed it yet
+    /// (returning `None` — the closure never ran), otherwise waits for
+    /// the claiming worker to finish and returns its result. A panic in
+    /// the closure resumes on this thread.
+    pub fn join(mut self) -> Option<R> {
+        self.revoke_if_pending();
+        self.reg = None; // unregister + quiesce: the state is now final
+        let mut state = self.cell.state.lock();
+        match std::mem::replace(&mut *state, OfferState::Taken) {
+            OfferState::Done(r) => Some(r),
+            OfferState::Revoked => None,
+            OfferState::Panicked(p) => {
+                drop(state);
+                panic::resume_unwind(p)
+            }
+            _ => unreachable!("offer quiesced in a non-final state"),
+        }
+    }
+
+    /// Whether a worker has already taken (or finished) the closure.
+    /// Advisory — a pending offer may be claimed immediately after.
+    pub fn claimed(&self) -> bool {
+        !self.cell.state.lock().is_pending()
+    }
+
+    fn revoke_if_pending(&self) {
+        let mut state = self.cell.state.lock();
+        if state.is_pending() {
+            *state = OfferState::Revoked;
+        }
+    }
+}
+
+impl<R> Drop for Offer<'_, '_, R> {
+    fn drop(&mut self) {
+        if self.reg.is_some() {
+            {
+                let mut state = self.cell.state.lock();
+                if state.is_pending() {
+                    *state = OfferState::Revoked;
+                }
+            }
+            self.reg = None; // unregister + quiesce before the cell drops
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    /// Minimal map-shaped batch for driving the pool directly.
+    struct CountBatch {
+        cursor: AtomicUsize,
+        len: usize,
+        ran: AtomicUsize,
+    }
+
+    impl BatchRun for CountBatch {
+        fn has_work(&self) -> bool {
+            self.cursor.load(Ordering::Relaxed) < self.len
+        }
+        fn run_one(&self) -> RunOne {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= self.len {
+                return RunOne::Drained;
+            }
+            self.ran.fetch_add(1, Ordering::Relaxed);
+            RunOne::Ran
+        }
+    }
+
+    fn count_batch(len: usize) -> CountBatch {
+        CountBatch {
+            cursor: AtomicUsize::new(0),
+            len,
+            ran: AtomicUsize::new(0),
+        }
+    }
+
+    #[test]
+    fn workers_drain_a_registered_batch() {
+        let pool = WorkerPool::new(2);
+        let batch = count_batch(64);
+        let reg = pool.register(&batch, 2);
+        // Caller-runs: drain alongside the workers.
+        while batch.run_one() == RunOne::Ran {}
+        drop(reg);
+        assert_eq!(batch.ran.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn caller_drains_alone_when_pool_is_saturated() {
+        let pool = WorkerPool::new(1);
+        let gate = Barrier::new(2);
+        // Occupy the only worker.
+        let blocker = pool.offer(|| {
+            gate.wait();
+        });
+        while !blocker.claimed() {
+            std::thread::yield_now();
+        }
+        let batch = count_batch(32);
+        let reg = pool.register(&batch, 1);
+        while batch.run_one() == RunOne::Ran {}
+        drop(reg);
+        assert_eq!(batch.ran.load(Ordering::Relaxed), 32);
+        gate.wait();
+        assert_eq!(blocker.join(), Some(()));
+    }
+
+    #[test]
+    fn unclaimed_offer_is_revoked_not_run() {
+        let pool = WorkerPool::new(1);
+        let gate = Barrier::new(2);
+        let blocker = pool.offer(|| {
+            gate.wait();
+        });
+        while !blocker.claimed() {
+            std::thread::yield_now();
+        }
+        // The only worker is busy: this offer can never be claimed.
+        let ran = AtomicBool::new(false);
+        let starved = pool.offer(|| ran.store(true, Ordering::Relaxed));
+        assert_eq!(starved.join(), None, "unclaimed offer must revoke");
+        assert!(!ran.load(Ordering::Relaxed), "revoked offer must not run");
+        gate.wait();
+        assert_eq!(blocker.join(), Some(()));
+    }
+
+    #[test]
+    fn claimed_offer_returns_its_result() {
+        let pool = WorkerPool::new(2);
+        let offer = pool.offer(|| 6 * 7);
+        // Wait until a worker claims it, so join exercises the wait path.
+        while !offer.claimed() {
+            std::thread::yield_now();
+        }
+        assert_eq!(offer.join(), Some(42));
+    }
+
+    #[test]
+    fn offer_panic_resumes_on_joiner_and_worker_survives() {
+        let pool = WorkerPool::new(1);
+        let offer = pool.offer(|| panic!("lane failed"));
+        while !offer.claimed() {
+            std::thread::yield_now();
+        }
+        let err = panic::catch_unwind(AssertUnwindSafe(|| offer.join())).unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "lane failed");
+        // The worker that ran the panicking offer must still serve.
+        let next = pool.offer(|| 1);
+        while !next.claimed() {
+            std::thread::yield_now();
+        }
+        assert_eq!(next.join(), Some(1));
+    }
+
+    #[test]
+    fn helper_cap_zero_never_enqueues() {
+        let pool = WorkerPool::new(2);
+        let batch = count_batch(8);
+        let reg = pool.register(&batch, 0);
+        while batch.run_one() == RunOne::Ran {}
+        drop(reg);
+        assert_eq!(batch.ran.load(Ordering::Relaxed), 8);
+        assert!(pool.shared.injector.lock().is_empty());
+    }
+}

@@ -8,16 +8,22 @@
 //! typed [`ShedReason`] the client can act on. Everything past those
 //! bounds fails fast instead of piling onto a collapsing server.
 //!
-//! Queued work is scheduled by class ([`QueryClass::Interactive`] vs
-//! [`QueryClass::Batch`]) under weighted fair queueing: every arrival is
-//! stamped with a virtual finish tag ([`virtual_finish_tag`]) and freed
-//! slots go to the waiter with the smallest tag. Interactive traffic with
-//! weight `w_i` gets `w_i / (w_i + w_b)` of contended slots, batch gets
-//! the rest — so a sustained interactive flood cannot starve batch below
-//! its weight share, and a deep batch backlog cannot delay an interactive
-//! burst by more than one batch inter-service gap. Within a class, tags
-//! are monotone, so dispatch order stays FIFO per class and fresh
-//! arrivals can never barge past queued waiters.
+//! Queued work is scheduled per **flow** under weighted fair queueing: a
+//! flow is a scheduling class ([`QueryClass::Interactive`] vs
+//! [`QueryClass::Batch`]), optionally refined by tenant for tenants that
+//! carry an explicit weight in [`AdmissionConfig::tenant_weights`]. Every
+//! arrival is stamped with a virtual finish tag ([`virtual_finish_tag`])
+//! on its flow's tag chain — advancing by `WFQ_SCALE / (class_weight ×
+//! tenant_weight)` per dispatch — and freed slots go to the queued waiter
+//! with the smallest tag (ties to earliest arrival). A flow with weight
+//! `w` gets `w / Σw` of contended slots, so a sustained interactive flood
+//! cannot starve batch below its weight share, a heavy tenant cannot
+//! starve a light one below its, and a deep batch backlog cannot delay an
+//! interactive burst by more than one batch inter-service gap. Within a
+//! flow, tags are monotone, so dispatch stays FIFO per flow and fresh
+//! arrivals can never barge past queued waiters. Tenants *without* a
+//! configured weight share their class's default flow, which preserves
+//! plain two-class WFQ exactly when `tenant_weights` is empty.
 //!
 //! The finish-time estimate that drives deadline shedding is a pure
 //! function ([`estimate_finish_ms`]) shared with the deterministic
@@ -57,8 +63,8 @@ impl QueryClass {
 /// weight `w` advances its class tag by `WFQ_SCALE / w`.
 pub const WFQ_SCALE: u64 = 1 << 16;
 
-/// Virtual finish tag for a class's next arrival: the later of global
-/// virtual time and the class's last tag, plus one weighted service
+/// Virtual finish tag for a flow's next arrival: the later of global
+/// virtual time and the flow's last tag, plus one weighted service
 /// quantum. Pure — shared verbatim by the threaded controller and the
 /// virtual-time simulator so both schedule identically.
 pub fn virtual_finish_tag(virtual_time: u64, class_last_tag: u64, weight: u32) -> u64 {
@@ -66,9 +72,12 @@ pub fn virtual_finish_tag(virtual_time: u64, class_last_tag: u64, weight: u32) -
 }
 
 /// Knobs for the admission controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AdmissionConfig {
-    /// Searches allowed to run concurrently.
+    /// Searches allowed to run concurrently. With every fan-out on the
+    /// shared worker pool this is a pure admission bound, not a thread
+    /// count — it can sit far above the pool size (an admitted query whose
+    /// fan-out finds no free worker runs its units itself).
     pub max_concurrent: usize,
     /// Searches allowed to wait for a slot, per class; arrivals beyond
     /// this shed with [`ShedReason::QueueFull`]. Bounding per class keeps
@@ -82,6 +91,12 @@ pub struct AdmissionConfig {
     pub interactive_weight: u32,
     /// Weighted-fair-queueing weight for batch queries.
     pub batch_weight: u32,
+    /// Per-tenant WFQ weights: a tenant listed here is scheduled as its
+    /// own flow per class, with effective weight `class_weight ×
+    /// tenant_weight`. Tenants not listed share their class's default
+    /// flow (weight `class_weight × 1`) — an empty list is exactly
+    /// two-class WFQ.
+    pub tenant_weights: Vec<(String, u32)>,
 }
 
 impl Default for AdmissionConfig {
@@ -92,6 +107,7 @@ impl Default for AdmissionConfig {
             expected_service_ms: 50,
             interactive_weight: 4,
             batch_weight: 1,
+            tenant_weights: Vec::new(),
         }
     }
 }
@@ -103,6 +119,16 @@ impl AdmissionConfig {
             QueryClass::Interactive => self.interactive_weight,
             QueryClass::Batch => self.batch_weight,
         }
+    }
+
+    /// The configured weight for `tenant`, if it has one. Tenants without
+    /// an explicit weight return `None` and ride their class's default
+    /// flow.
+    pub fn tenant_weight(&self, tenant: &str) -> Option<u32> {
+        self.tenant_weights
+            .iter()
+            .find(|(t, _)| t == tenant)
+            .map(|&(_, w)| w.max(1))
     }
 }
 
@@ -184,39 +210,78 @@ struct Waiter {
     vft: u64,
 }
 
+/// One WFQ flow: a class, optionally refined by an explicitly weighted
+/// tenant. All waiters in a flow share one weight, so tags are monotone
+/// within its queue and the front is the flow's minimum.
+#[derive(Debug)]
+struct Flow {
+    class: usize,
+    /// `Some` only for tenants with a configured weight; everyone else
+    /// shares their class's `None` flow.
+    tenant: Option<String>,
+    /// Last tag issued in this flow.
+    last_tag: u64,
+    queue: VecDeque<Waiter>,
+}
+
 #[derive(Debug, Default)]
 struct State {
     running: usize,
-    /// Per-class wait queues; tags are monotone within a queue, so each
-    /// front is its class's minimum.
-    queues: [VecDeque<Waiter>; 2],
+    /// Per-flow wait queues, created lazily on first arrival and never
+    /// removed (so indices stay stable while a waiter is parked).
+    flows: Vec<Flow>,
     next_ticket: u64,
     /// Ticket holding an unclaimed slot grant; only its holder may leave
     /// the wait loop, so wakeups hand slots to the WFQ winner.
     granted: Option<u64>,
     /// Global virtual time: the largest tag ever dispatched.
     virtual_time: u64,
-    /// Last tag issued per class.
-    class_tag: [u64; 2],
 }
 
 impl State {
     fn total_queued(&self) -> usize {
-        self.queues.iter().map(VecDeque::len).sum()
+        self.flows.iter().map(|f| f.queue.len()).sum()
+    }
+
+    fn queued_in_class(&self, class: usize) -> usize {
+        self.flows
+            .iter()
+            .filter(|f| f.class == class)
+            .map(|f| f.queue.len())
+            .sum()
+    }
+
+    /// Index of the flow for (`class`, `tenant`), creating it on first
+    /// use.
+    fn flow_idx(&mut self, class: usize, tenant: Option<&str>) -> usize {
+        if let Some(i) = self
+            .flows
+            .iter()
+            .position(|f| f.class == class && f.tenant.as_deref() == tenant)
+        {
+            return i;
+        }
+        self.flows.push(Flow {
+            class,
+            tenant: tenant.map(str::to_owned),
+            last_tag: 0,
+            queue: VecDeque::new(),
+        });
+        self.flows.len() - 1
     }
 
     /// Grants the freed slot to the waiter with the smallest virtual
-    /// finish tag (ties go to interactive). No-op while a grant is
-    /// outstanding — the grantee re-dispatches when it claims its slot.
+    /// finish tag (ties go to interactive, then to earliest arrival).
+    /// No-op while a grant is outstanding — the grantee re-dispatches
+    /// when it claims its slot.
     fn dispatch(&mut self) {
         if self.granted.is_some() {
             return;
         }
         let best = self
-            .queues
+            .flows
             .iter()
-            .enumerate()
-            .filter_map(|(c, q)| q.front().map(|w| (w.vft, c, w.ticket)))
+            .filter_map(|f| f.queue.front().map(|w| (w.vft, f.class, w.ticket)))
             .min();
         if let Some((vft, _, ticket)) = best {
             self.virtual_time = self.virtual_time.max(vft);
@@ -283,10 +348,28 @@ impl Admission {
         self.admit_class(now_ms, deadline_ms, QueryClass::Interactive)
     }
 
-    /// Admits a query in `class` or sheds it. On success the returned
-    /// [`Permit`] holds one concurrency slot until dropped; callers run
-    /// the search under it. Shedding never blocks: `QueueFull` and
-    /// `DeadlineUnmeetable` are decided from the state at arrival.
+    /// Admits a query in `class` with no tenant refinement; see
+    /// [`Self::admit_flow`].
+    pub fn admit_class(
+        &self,
+        now_ms: u64,
+        deadline_ms: Option<u64>,
+        class: QueryClass,
+    ) -> Result<Permit<'_>, ShedReason> {
+        self.admit_flow(now_ms, deadline_ms, class, None)
+    }
+
+    /// Admits a query in `class` on behalf of `tenant`, or sheds it. On
+    /// success the returned [`Permit`] holds one concurrency slot until
+    /// dropped; callers run the search under it. Shedding never blocks:
+    /// `QueueFull` and `DeadlineUnmeetable` are decided from the state at
+    /// arrival.
+    ///
+    /// A tenant with a configured weight ([`AdmissionConfig::
+    /// tenant_weights`]) is scheduled as its own flow at `class_weight ×
+    /// tenant_weight`; any other tenant (or `None`) rides the class's
+    /// default flow, so the call is exactly [`Self::admit_class`] when no
+    /// tenant weights are configured.
     ///
     /// A queued query waits (blocking) for a slot; its deadline was
     /// checked as meetable at arrival, and the search itself re-checks
@@ -297,29 +380,42 @@ impl Admission {
     /// finish tag. A fresh arrival admits directly only when nobody is
     /// queued, so under sustained arrivals a waiter cannot be barged past
     /// indefinitely — the finish estimate its admission was based on
-    /// stays honest, and each class keeps at least its weight share of
+    /// stays honest, and each flow keeps at least its weight share of
     /// contended slots.
-    pub fn admit_class(
+    pub fn admit_flow(
         &self,
         now_ms: u64,
         deadline_ms: Option<u64>,
         class: QueryClass,
+        tenant: Option<&str>,
     ) -> Result<Permit<'_>, ShedReason> {
         let c = class.idx();
-        let weight = self.cfg.weight(class);
+        let tenant_w = tenant.and_then(|t| self.cfg.tenant_weight(t));
+        let weight = match tenant_w {
+            Some(tw) => self.cfg.weight(class).saturating_mul(tw),
+            None => self.cfg.weight(class),
+        };
+        // Only explicitly weighted tenants get their own flow.
+        let flow_key = if tenant_w.is_some() { tenant } else { None };
         let mut st = self.state.lock();
         if st.running >= self.cfg.max_concurrent || st.total_queued() > 0 {
-            if st.queues[c].len() >= self.cfg.max_queued {
+            if st.queued_in_class(c) >= self.cfg.max_queued {
                 return Err(ShedReason::QueueFull {
                     retry_after_ms: self.service_ms(),
                 });
             }
-            let vft = virtual_finish_tag(st.virtual_time, st.class_tag[c], weight);
+            let fi = st.flow_idx(c, flow_key);
+            let vft = virtual_finish_tag(st.virtual_time, st.flows[fi].last_tag, weight);
             if let Some(deadline_ms) = deadline_ms {
                 // Ahead of me: waiters the scheduler would serve first —
-                // those with tags at most mine (FIFO within my class,
-                // weight-share across classes).
-                let ahead = st.queues.iter().flatten().filter(|w| w.vft <= vft).count();
+                // those with tags at most mine (FIFO within my flow,
+                // weight-share across flows).
+                let ahead = st
+                    .flows
+                    .iter()
+                    .flat_map(|f| f.queue.iter())
+                    .filter(|w| w.vft <= vft)
+                    .count();
                 let estimated_finish_ms = estimate_finish_ms(
                     now_ms,
                     st.running,
@@ -336,8 +432,8 @@ impl Admission {
             }
             let ticket = st.next_ticket;
             st.next_ticket += 1;
-            st.class_tag[c] = vft;
-            st.queues[c].push_back(Waiter { ticket, vft });
+            st.flows[fi].last_tag = vft;
+            st.flows[fi].queue.push_back(Waiter { ticket, vft });
             if st.running < self.cfg.max_concurrent {
                 st.dispatch();
                 if st.granted.is_some() && st.granted != Some(ticket) {
@@ -348,10 +444,13 @@ impl Admission {
                 self.cv.wait(&mut st);
             }
             // Claim the grant: leave the queue, take the slot. Tags are
-            // monotone within a class, so a granted waiter is its queue's
+            // monotone within a flow, so a granted waiter is its flow's
             // front.
             st.granted = None;
-            let front = st.queues[c].pop_front().expect("granted waiter is queued");
+            let front = st.flows[fi]
+                .queue
+                .pop_front()
+                .expect("granted waiter is queued");
             debug_assert_eq!(front.ticket, ticket);
             st.running += 1;
             // Several permits may have dropped at once: if a slot is
@@ -375,9 +474,9 @@ impl Admission {
         (st.running, st.total_queued())
     }
 
-    /// Queue depth for one class.
+    /// Queue depth for one class (summed across its tenant flows).
     pub fn queued_in_class(&self, class: QueryClass) -> usize {
-        self.state.lock().queues[class.idx()].len()
+        self.state.lock().queued_in_class(class.idx())
     }
 }
 
@@ -552,6 +651,7 @@ mod tests {
             expected_service_ms: 10,
             interactive_weight: 4,
             batch_weight: 1,
+            tenant_weights: Vec::new(),
         });
         let gate = adm.admit(0, None).unwrap();
         let order = Mutex::new(Vec::new());
@@ -584,6 +684,7 @@ mod tests {
             expected_service_ms: 10,
             interactive_weight: 4,
             batch_weight: 1,
+            tenant_weights: Vec::new(),
         });
         let gate = adm.admit(0, None).unwrap();
         let order = Mutex::new(Vec::new());
@@ -606,6 +707,90 @@ mod tests {
             "burst starved behind batch backlog: {order:?}"
         );
         assert_eq!(order[0], QueryClass::Interactive);
+    }
+
+    /// Queues `n` interactive waiters for `tenant` and returns once all
+    /// are parked; each logs its tenant on dispatch.
+    fn park_tenant_waiters<'s, 'e>(
+        s: &'s std::thread::Scope<'s, 'e>,
+        adm: &'e Admission,
+        tenant: &'static str,
+        n: usize,
+        order: &'e Mutex<Vec<&'static str>>,
+    ) {
+        let parked_before = adm.occupancy().1;
+        for _ in 0..n {
+            s.spawn(move || {
+                let p = adm
+                    .admit_flow(0, None, QueryClass::Interactive, Some(tenant))
+                    .unwrap();
+                order.lock().push(tenant);
+                drop(p);
+            });
+        }
+        while adm.occupancy().1 < parked_before + n {
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn weighted_tenant_gets_its_share_without_starving_the_default_flow() {
+        // One slot, interactive weight 4, tenant "heavy" weighted 3× and
+        // "light" unweighted (class default flow). Heavy's tags advance by
+        // 1/12 quantum per arrival, light's by 3/12 — so every window of
+        // four dispatches carries exactly one light query: heavy gets 3×
+        // the slots, light is never starved below its share.
+        let adm = Admission::new(AdmissionConfig {
+            max_concurrent: 1,
+            max_queued: 16,
+            expected_service_ms: 10,
+            interactive_weight: 4,
+            batch_weight: 1,
+            tenant_weights: vec![("heavy".to_string(), 3)],
+        });
+        let gate = adm.admit(0, None).unwrap();
+        let order = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            park_tenant_waiters(s, &adm, "heavy", 9, &order);
+            park_tenant_waiters(s, &adm, "light", 3, &order);
+            drop(gate);
+        });
+        let order: Vec<&str> = order.into_inner();
+        assert_eq!(order.len(), 12);
+        for (i, chunk) in order.chunks(4).enumerate() {
+            let light = chunk.iter().filter(|t| **t == "light").count();
+            assert_eq!(
+                light, 1,
+                "dispatch wave {i} must carry exactly one light-tenant query: {order:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unweighted_tenants_share_the_class_flow_fifo() {
+        // With no tenant weights configured, tenants ride the class flow:
+        // one tag chain, strict FIFO — identical to tenant-blind WFQ.
+        let adm = Admission::new(cfg(1, 8));
+        let gate = adm.admit(0, None).unwrap();
+        let order = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            park_tenant_waiters(s, &adm, "a", 2, &order);
+            park_tenant_waiters(s, &adm, "b", 2, &order);
+            drop(gate);
+        });
+        assert_eq!(*order.lock(), vec!["a", "a", "b", "b"]);
+    }
+
+    #[test]
+    fn tenant_weight_lookup_ignores_unknown_tenants() {
+        let cfg = AdmissionConfig {
+            tenant_weights: vec![("alice".to_string(), 5), ("zero".to_string(), 0)],
+            ..AdmissionConfig::default()
+        };
+        assert_eq!(cfg.tenant_weight("alice"), Some(5));
+        assert_eq!(cfg.tenant_weight("bob"), None);
+        // A configured weight of 0 clamps to 1 rather than dividing by 0.
+        assert_eq!(cfg.tenant_weight("zero"), Some(1));
     }
 
     #[test]

@@ -44,7 +44,7 @@ use crate::admission::{Admission, AdmissionConfig, QueryClass, ShedReason};
 ///
 /// The default runs with `AdmissionConfig::default()` bounds, no tenant
 /// budgeting, and no implicit deadline — exactly like a direct search.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ServiceConfig {
     /// Concurrency / queue bounds and deadline shedding.
     pub admission: AdmissionConfig,
@@ -123,7 +123,7 @@ impl<'r, 'a> QueryService<'r, 'a> {
     pub fn new(rot: &'r Rottnest<'a>, cfg: ServiceConfig) -> Self {
         Self {
             rot,
-            admission: Admission::new(cfg.admission),
+            admission: Admission::new(cfg.admission.clone()),
             tenants: PrefixThrottle::rejecting(cfg.tenant_limit_per_sec),
             flights: SingleFlight::new(),
             cfg,
@@ -212,10 +212,14 @@ impl<'r, 'a> QueryService<'r, 'a> {
         }
 
         // 2. Admission: bounded concurrency + queueing, deadline-aware
-        // shedding. The permit is RAII — released on every path below.
-        // An admission shed refunds the tenant token charged above: the
-        // query did no work, so refusing it must not also burn budget.
-        let permit = match self.admission.admit_class(now_ms, deadline_ms, class) {
+        // shedding, per-tenant WFQ for tenants with configured weights.
+        // The permit is RAII — released on every path below. An admission
+        // shed refunds the tenant token charged above: the query did no
+        // work, so refusing it must not also burn budget.
+        let permit = match self
+            .admission
+            .admit_flow(now_ms, deadline_ms, class, Some(tenant))
+        {
             Ok(p) => p,
             Err(shed) => {
                 if self.cfg.tenant_limit_per_sec > 0 {

@@ -26,6 +26,17 @@
 //! budget drops below the threshold launches a backup lane at base
 //! service time and finishes at whichever lane is earlier — the
 //! simulator's model of the executor's hedged probes.
+//!
+//! With `pool_workers > 0` the simulator models the shared work-stealing
+//! executor pool instead of thread-per-slot: `max_concurrent` stays a
+//! pure admission bound (it can sit far above the worker count), and an
+//! admitted query's service time shrinks by the fan-out overlap the pool
+//! affords it — its own thread (caller-runs) plus an even share of the
+//! workers, capped at its `fanout` width. Lightly loaded, a query
+//! finishes in `service_ms / fanout`; with every worker busy it degrades
+//! to sequential `service_ms` on its own thread, never blocks, never
+//! deadlocks. The modeled executor thread count is the fixed pool size
+//! rather than `max_concurrent × fanout`.
 
 use std::collections::VecDeque;
 
@@ -61,6 +72,14 @@ pub struct SimConfig {
     /// Hedge trigger: launch a backup lane when a running query's
     /// remaining deadline budget drops below this (`0` disables).
     pub hedge_threshold_ms: u64,
+    /// Shared executor-pool size (`0` = the legacy thread-per-slot model:
+    /// each concurrency slot is its own thread and service time is flat).
+    /// When set, an admitted query runs on its caller thread plus an even
+    /// share of the pool, so service time shrinks by the overlap.
+    pub pool_workers: usize,
+    /// Per-query fan-out width: the overlap cap when `pool_workers > 0`
+    /// (a query's service time never drops below `service_ms / fanout`).
+    pub fanout: usize,
 }
 
 /// What came out of a simulation.
@@ -96,6 +115,13 @@ pub struct SimReport {
     pub hedge_wins: u64,
     /// `hedge_wins / hedged` (0 when nothing hedged).
     pub hedge_win_rate: f64,
+    /// Completed throughput over the arrival window, queries per virtual
+    /// second.
+    pub pool_qps: f64,
+    /// Modeled executor thread count: the fixed pool size when
+    /// `pool_workers > 0`, else one thread per concurrency slot per
+    /// fan-out lane (the thread-per-slot executor this pool replaces).
+    pub executor_threads: u64,
 }
 
 const INTERACTIVE: usize = 0;
@@ -135,14 +161,25 @@ pub fn simulate(cfg: SimConfig) -> SimReport {
     // Finish time of the in-flight hot query, if any.
     let mut hot_finish: Option<u64> = None;
 
-    // Serves one query on a server freeing at `free_at`: returns the
-    // finish time under the straggler + hedge model.
-    let mut serve = |q: Queued, free_at: u64| -> u64 {
+    // Serves one query on a server freeing at `free_at`, with `active`
+    // queries (including this one) running at its start: returns the
+    // finish time under the pool-overlap + straggler + hedge model.
+    let mut serve = |q: Queued, free_at: u64, active: usize| -> u64 {
         let start = free_at.max(q.arrive);
-        let d1 = if q.slow {
+        let base_d = if q.slow {
             cfg.slow_service_ms.max(service_ms)
         } else {
             service_ms
+        };
+        let d1 = if cfg.pool_workers > 0 {
+            // Pool model: the query runs on its own admitted thread
+            // (caller-runs) plus an even share of the pool workers,
+            // capped at its fan-out width. Saturated ⇒ sequential on its
+            // own thread; idle ⇒ full fan-out overlap.
+            let share = 1 + (cfg.pool_workers / active.max(1)) as u64;
+            base_d.div_ceil(share.min(cfg.fanout.max(1) as u64))
+        } else {
+            base_d
         };
         let mut finish = start + d1;
         if let (Some(deadline), true) = (q.deadline, cfg.hedge_threshold_ms > 0) {
@@ -187,7 +224,9 @@ pub fn simulate(cfg: SimConfig) -> SimReport {
                 virtual_time = virtual_time.max(q.vft);
                 admitted += 1;
                 let slow = cfg.slow_every != 0 && admitted % cfg.slow_every == 0;
-                let finish = serve(Queued { slow, ..q }, free_at);
+                let start = free_at.max(q.arrive);
+                let active = servers.iter().filter(|&&f| f > start).count() + 1;
+                let finish = serve(Queued { slow, ..q }, free_at, active);
                 servers[best] = finish;
                 latencies[q.class].push(finish - q.arrive);
                 if q.hot {
@@ -238,7 +277,8 @@ pub fn simulate(cfg: SimConfig) -> SimReport {
                 slow,
                 hot,
             };
-            let finish = serve(q, free_at);
+            let active = servers.iter().filter(|&&f| f > t).count() + 1;
+            let finish = serve(q, free_at, active);
             servers[best] = finish;
             latencies[class].push(finish - t);
             if hot {
@@ -321,6 +361,12 @@ pub fn simulate(cfg: SimConfig) -> SimReport {
         hedged,
         hedge_wins,
         hedge_win_rate: ratio(hedge_wins, hedged),
+        pool_qps: ratio(completed * 1000, cfg.duration_ms),
+        executor_threads: if cfg.pool_workers > 0 {
+            cfg.pool_workers as u64
+        } else {
+            cfg.max_concurrent.max(1) as u64 * cfg.fanout.max(1) as u64
+        },
     }
 }
 
@@ -343,6 +389,8 @@ mod tests {
             slow_every: 0,
             slow_service_ms: 0,
             hedge_threshold_ms: 0,
+            pool_workers: 0,
+            fanout: 1,
         }
     }
 
@@ -470,6 +518,58 @@ mod tests {
             unhedged.p999_ms
         );
         assert!(hedged.hedge_win_rate > 0.0);
+    }
+
+    #[test]
+    fn pool_overlap_shrinks_latency_when_lightly_loaded() {
+        // Idle pool, fan-out 4: each query gets caller + ≥3 workers, so
+        // it finishes in a quarter of the sequential service time.
+        let r = simulate(SimConfig {
+            pool_workers: 16,
+            fanout: 4,
+            ..base()
+        });
+        assert_eq!(r.shed, 0);
+        assert_eq!(r.p50_ms, 5, "20 ms / fan-out 4");
+        assert_eq!(r.p999_ms, 5);
+        assert_eq!(r.executor_threads, 16, "threads = the fixed pool");
+    }
+
+    #[test]
+    fn pooled_admission_ceiling_beats_thread_bound_slots() {
+        // Same 16 threads, two architectures. Thread-per-slot: 16 slots
+        // ARE the 16 threads, capacity 800 qps. Pooled: 256 admitted
+        // queries share the 16 workers caller-runs style — saturated
+        // queries degrade to sequential 20 ms on their own (admitted)
+        // thread, so capacity scales with the admission ceiling instead.
+        let threaded = simulate(SimConfig {
+            qps: 4_000,
+            max_concurrent: 16,
+            max_queued: 64,
+            deadline_budget_ms: Some(100),
+            ..base()
+        });
+        let pooled = simulate(SimConfig {
+            qps: 4_000,
+            max_concurrent: 256,
+            max_queued: 64,
+            deadline_budget_ms: Some(100),
+            pool_workers: 16,
+            fanout: 8,
+            ..base()
+        });
+        assert!(
+            pooled.completed > 2 * threaded.completed,
+            "pooled {} must outrun thread-bound {}",
+            pooled.completed,
+            threaded.completed
+        );
+        assert!(pooled.pool_qps > threaded.pool_qps);
+        assert_eq!(pooled.executor_threads, 16);
+        assert_eq!(
+            threaded.executor_threads, 16,
+            "16 slots × fan-out 1 threads"
+        );
     }
 
     #[test]

@@ -149,7 +149,9 @@ fn build_output_is_bit_identical_across_parallelism() {
     // vacuum alongside its sources).
     assert_eq!(serial.index_files.len(), 12, "expected 12 index files");
     assert_eq!(serial.lake_files.len(), 6, "expected 6 lake files");
-    for parallelism in [4, 8] {
+    // 16 exceeds the worker count on most CI hosts, so it exercises
+    // caller-runs and work stealing on a saturated pool.
+    for parallelism in [4, 8, 16] {
         let parallel = run_build(parallelism, None);
         assert_eq!(
             parallel.index_exts, serial.index_exts,
@@ -175,20 +177,22 @@ fn build_output_is_bit_identical_across_parallelism() {
 fn build_output_is_bit_identical_under_chaos() {
     let chaos = || Some(ChaosConfig::uniform(0x5EED_CAFE, 0.05));
     let serial = run_build(1, chaos());
-    let parallel = run_build(8, chaos());
     assert!(serial.faults > 0, "5% chaos should have injected faults");
-    assert!(parallel.faults > 0, "5% chaos should have injected faults");
-    // Request counts include retries (fault patterns differ between runs),
-    // so only the produced bytes are part of the chaos contract.
-    assert_eq!(parallel.index_exts, serial.index_exts);
-    assert_eq!(
-        parallel.index_files, serial.index_files,
-        "parallel index bytes diverged from serial under 5% chaos"
-    );
-    assert_eq!(
-        parallel.lake_files, serial.lake_files,
-        "parallel lake bytes diverged from serial under 5% chaos"
-    );
+    for parallelism in [8, 16] {
+        let parallel = run_build(parallelism, chaos());
+        assert!(parallel.faults > 0, "5% chaos should have injected faults");
+        // Request counts include retries (fault patterns differ between
+        // runs), so only the produced bytes are part of the chaos contract.
+        assert_eq!(parallel.index_exts, serial.index_exts);
+        assert_eq!(
+            parallel.index_files, serial.index_files,
+            "parallelism {parallelism} index bytes diverged from serial under 5% chaos"
+        );
+        assert_eq!(
+            parallel.lake_files, serial.lake_files,
+            "parallelism {parallelism} lake bytes diverged from serial under 5% chaos"
+        );
+    }
 }
 
 #[test]

@@ -160,6 +160,56 @@ fn hedged_vector_matches_are_bit_identical() {
     assert!(hstats.hedged_probes >= 1, "stats: {hstats:?}");
 }
 
+/// Builds the `universe` table, indexes it, then appends two files the
+/// index never saw and queries a key living in the second one with
+/// `k = 2` — the index cannot meet `k`, so both uncovered files scan by
+/// brute force (per-file scan units hedge under the same trigger).
+fn run_brute_query(
+    store: &MemoryStore,
+    cfg: rottnest::RottnestConfig,
+) -> (Vec<(usize, u64, u32)>, rottnest::SearchStats) {
+    let table = make_table(store, ROWS, FILES);
+    let rot = Rottnest::new(store, "idx", cfg);
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap();
+    let base = ROWS * FILES;
+    table.append(&batch(base..base + 100)).unwrap();
+    table.append(&batch(base + 100..base + 200)).unwrap();
+    let snap = table.snapshot().unwrap();
+    let key = trace_id(base + 150);
+    let q = Query::UuidEq { key: &key, k: 2 };
+    let deadline = store.now_ms() + 3_600_000;
+    let out = rot
+        .search_with_deadline(&table, &snap, "trace_id", &q, Some(deadline))
+        .unwrap();
+    (norm(&snap, &out), out.stats)
+}
+
+#[test]
+fn hedged_brute_scans_are_bit_identical() {
+    let (store_h, cfg_h) = universe(true);
+    let (store_p, cfg_p) = universe(false);
+    let (hedged, hstats) = run_brute_query(&store_h, cfg_h);
+    let (plain, pstats) = run_brute_query(&store_p, cfg_p);
+
+    assert_eq!(hedged, plain, "hedging changed brute-scan matches");
+    assert_eq!(hedged.len(), 1, "the key lives in exactly one file");
+    assert!(
+        hstats.files_brute_scanned >= 2,
+        "both uncovered files must brute-scan: {hstats:?}"
+    );
+    assert!(
+        hstats.hedged_scans >= 1,
+        "forced threshold must hedge at least one brute scan: {hstats:?}"
+    );
+    assert!(
+        hstats.hedged_scans <= hstats.hedged_probes,
+        "hedged scans are a subset of hedged probes: {hstats:?}"
+    );
+    assert_eq!(pstats.hedged_scans, 0, "hedge off must never hedge scans");
+    assert_eq!(pstats.hedged_probes, 0);
+}
+
 #[test]
 fn no_deadline_means_no_hedging_even_when_enabled() {
     let store = MemoryStore::new();

@@ -14,7 +14,15 @@
 //!   direct unthrottled client still reproduces the fault-free baseline.
 //!
 //! The nightly soak lane raises `SOAK_ITERS` (per-thread iterations,
-//! default 20) and `SOAK_FAULT_RATE` (chaos rate, default 0.05).
+//! default 20) and `SOAK_FAULT_RATE` (chaos rate, default 0.05), and
+//! re-runs the pooled-executor storms at `POOL_SOAK_MULT` (4x) their
+//! per-PR iteration counts.
+//!
+//! Every pool-using test here first pins the shared executor pool to 16
+//! workers (`ROTTNEST_POOL_WORKERS`, read once per process), so admission
+//! ceilings far above the pool size — 256 concurrent admitted queries —
+//! are exercised against a fixed thread budget: concurrency is an
+//! admission number, threads are the pool.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Barrier;
@@ -23,8 +31,25 @@ use rottnest::{IndexKind, Query, Rottnest, RottnestError, SearchOutcome};
 use rottnest_integration::*;
 use rottnest_ivfpq::SearchParams;
 use rottnest_lake::{Snapshot, Table, TableConfig};
-use rottnest_object_store::{ChaosConfig, MemoryStore, ObjectStore, RetryPolicy};
-use rottnest_serve::{AdmissionConfig, QueryClass, QueryService, ServiceConfig};
+use rottnest_object_store::{ChaosConfig, MemoryStore, ObjectStore, RetryPolicy, WorkerPool};
+use rottnest_serve::{Admission, AdmissionConfig, QueryClass, QueryService, ServiceConfig};
+
+/// Pins the process-wide pool to 16 workers and returns its actual size.
+/// The env var is read once at first pool use, so every test that touches
+/// the pool calls this first — whichever runs first wins, and they all
+/// ask for the same size.
+fn force_pool_16() -> usize {
+    std::env::set_var("ROTTNEST_POOL_WORKERS", "16");
+    WorkerPool::global().workers()
+}
+
+/// Live thread count of this process (`/proc/self/task` has one entry
+/// per thread).
+fn process_threads() -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .map(|d| d.count())
+        .unwrap_or(0)
+}
 
 /// Per-thread iteration count, nightly-tunable via `SOAK_ITERS`.
 fn soak_iters() -> usize {
@@ -32,6 +57,15 @@ fn soak_iters() -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(20)
+}
+
+/// Pooled-storm per-client iterations: `base` on a PR lane, multiplied
+/// by `POOL_SOAK_MULT` in the nightly lane (which runs at 4x).
+fn pool_storm_iters(base: usize) -> usize {
+    std::env::var("POOL_SOAK_MULT")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(base, |m| base * m.max(1))
 }
 
 /// Chaos fault rate, nightly-tunable via `SOAK_FAULT_RATE`.
@@ -68,6 +102,7 @@ fn norm(out: &SearchOutcome) -> Vec<(String, u64, Option<u32>)> {
 
 #[test]
 fn overload_soak_sheds_typed_and_admits_bit_identical() {
+    force_pool_16();
     let store = MemoryStore::new();
     let table = Table::create(
         store.as_ref(),
@@ -275,4 +310,353 @@ fn overload_soak_sheds_typed_and_admits_bit_identical() {
         let out = rot.search(&table, &snap, col, q).unwrap();
         assert_eq!(&norm(&out), want, "post-soak divergence on {col}");
     }
+}
+
+/// 256 admitted queries at once on a 16-worker pool: `max_concurrent` is
+/// an admission bound, not a thread count. Every query completes (or
+/// fails typed), results stay bit-identical, and the process never grows
+/// past the client threads plus the fixed pool — the old
+/// thread-per-fan-out executor would have spawned thousands.
+#[test]
+fn pool_decouples_admission_ceiling_from_thread_count() {
+    let pool_workers = force_pool_16();
+    const CLIENTS: usize = 256;
+
+    let store = MemoryStore::new();
+    let table = Table::create(
+        store.as_ref(),
+        "tbl",
+        &schema(),
+        TableConfig {
+            retry: soak_policy(),
+            ..small_pages()
+        },
+    )
+    .unwrap();
+    table.append(&batch(0..100)).unwrap();
+    table.append(&batch(100..200)).unwrap();
+
+    let mut cfg = rot_config();
+    cfg.retry = soak_policy();
+    cfg.search.parallelism = 8;
+    let rot = Rottnest::new(store.as_ref(), "idx", cfg);
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap()
+        .unwrap();
+    rot.index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
+    // One file the indexes never saw, so some queries also brute-scan —
+    // a nested fan-out inside the admitted query's own fan-out.
+    table.append(&batch(200..300)).unwrap();
+    let snap: Snapshot = table.snapshot().unwrap();
+
+    let present = trace_id(42);
+    let pool: Vec<(&str, Query<'_>)> = vec![
+        (
+            "trace_id",
+            Query::UuidEq {
+                key: &present,
+                k: 4,
+            },
+        ),
+        (
+            "body",
+            Query::Substring {
+                pattern: b"status S001",
+                k: 64,
+            },
+        ),
+    ];
+    let baseline: Vec<Vec<(String, u64, Option<u32>)>> = pool
+        .iter()
+        .map(|(col, q)| norm(&rot.search(&table, &snap, col, q).unwrap()))
+        .collect();
+    assert_eq!(baseline[0].len(), 1, "unique key hit");
+    assert!(!baseline[1].is_empty(), "substring hits exist");
+
+    // Admission ceiling 16× the pool: all 256 clients hold permits at
+    // once; their fan-outs share the 16 workers (caller-runs when full).
+    let service = QueryService::new(
+        &rot,
+        ServiceConfig {
+            admission: AdmissionConfig {
+                max_concurrent: CLIENTS,
+                max_queued: 64,
+                expected_service_ms: 10,
+                ..AdmissionConfig::default()
+            },
+            tenant_limit_per_sec: 0,
+            default_timeout_ms: None,
+        },
+    );
+
+    let iters = pool_storm_iters(2);
+    let barrier = Barrier::new(CLIENTS);
+    let untyped_errors = AtomicUsize::new(0);
+    let wrong_results = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(0);
+    let shed_seen = AtomicUsize::new(0);
+    let max_threads = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        for t in 0..CLIENTS {
+            let service = &service;
+            let table = &table;
+            let snap = &snap;
+            let pool = &pool;
+            let baseline = &baseline;
+            let store = &store;
+            let barrier = &barrier;
+            let untyped_errors = &untyped_errors;
+            let wrong_results = &wrong_results;
+            let completed = &completed;
+            let shed_seen = &shed_seen;
+            let max_threads = &max_threads;
+            s.spawn(move || {
+                barrier.wait();
+                for i in 0..iters {
+                    let which = (t + i) % pool.len();
+                    let (col, q) = &pool[which];
+                    // A few arrivals carry an already-expired deadline —
+                    // the gate must shed them typed, never run them.
+                    let deadline = if t % 32 == 0 && i == 1 {
+                        Some(store.now_ms().saturating_sub(1))
+                    } else {
+                        None
+                    };
+                    let got = service.query_with_class(
+                        table,
+                        snap,
+                        col,
+                        q,
+                        "tenant",
+                        deadline,
+                        QueryClass::Interactive,
+                    );
+                    max_threads.fetch_max(process_threads(), Ordering::Relaxed);
+                    match got {
+                        Ok(out) => {
+                            completed.fetch_add(1, Ordering::Relaxed);
+                            if norm(&out) != baseline[which] {
+                                wrong_results.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(RottnestError::Overloaded { .. })
+                        | Err(RottnestError::DeadlineExceeded { .. }) => {
+                            shed_seen.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            untyped_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(untyped_errors.load(Ordering::Relaxed), 0, "typed-only");
+    assert_eq!(wrong_results.load(Ordering::Relaxed), 0, "bit-identity");
+    let stats = service.stats();
+    assert_eq!(
+        stats.admitted + stats.queries_shed,
+        (CLIENTS * iters) as u64,
+        "every attempt is either admitted or shed"
+    );
+    assert_eq!(stats.completed, completed.load(Ordering::Relaxed) as u64);
+    // `shed_seen` pooled gate sheds with mid-flight deadline aborts: the
+    // former count as shed, the latter as admitted-then-aborted.
+    assert_eq!(
+        stats.queries_shed + stats.deadline_aborts,
+        shed_seen.load(Ordering::Relaxed) as u64
+    );
+    assert!(
+        completed.load(Ordering::Relaxed) >= CLIENTS,
+        "the unbounded-deadline majority must complete"
+    );
+    // The thread-budget claim: clients are the test's own threads; the
+    // executor adds at most the fixed pool. The slack covers the test
+    // harness and any concurrently running sibling tests.
+    let ceiling = CLIENTS + pool_workers + 64;
+    let peak = max_threads.load(Ordering::Relaxed);
+    assert!(
+        peak <= ceiling,
+        "peak {peak} threads exceeds {CLIENTS} clients + {pool_workers} pool + slack"
+    );
+}
+
+/// Nested fan-out on a saturated pool never deadlocks: 32 concurrent
+/// queries, each fanning out at parallelism 16 over files whose brute
+/// scans hedge onto the same 16-worker pool (query → file scan → hedged
+/// second lane, three levels deep). Caller-runs guarantees progress —
+/// the test completing is the proof — and results stay bit-identical.
+#[test]
+fn nested_fanout_on_saturated_pool_never_deadlocks() {
+    force_pool_16();
+    const CLIENTS: usize = 32;
+
+    let store = MemoryStore::new();
+    let table = Table::create(
+        store.as_ref(),
+        "tbl",
+        &schema(),
+        TableConfig {
+            retry: soak_policy(),
+            ..small_pages()
+        },
+    )
+    .unwrap();
+    table.append(&batch(0..100)).unwrap();
+    table.append(&batch(100..200)).unwrap();
+
+    let mut cfg = rot_config();
+    cfg.retry = soak_policy();
+    cfg.search.parallelism = 16;
+    // Force-hedge every scan unit so each nested file scan also offers a
+    // backup lane to the already-saturated pool.
+    cfg.search.hedge = true;
+    cfg.search.hedge_threshold_pct = u32::MAX;
+    let rot = Rottnest::new(store.as_ref(), "idx", cfg);
+    rot.index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
+    // Four files the index never saw: every query brute-scans all four.
+    for f in 2..6u64 {
+        table.append(&batch(f * 100..(f + 1) * 100)).unwrap();
+    }
+    let snap: Snapshot = table.snapshot().unwrap();
+    let q = Query::Substring {
+        pattern: b"status S001",
+        k: 64,
+    };
+    let baseline = norm(&rot.search(&table, &snap, "body", &q).unwrap());
+    assert!(!baseline.is_empty());
+
+    let service = QueryService::new(
+        &rot,
+        ServiceConfig {
+            admission: AdmissionConfig {
+                max_concurrent: CLIENTS,
+                max_queued: 8,
+                expected_service_ms: 10,
+                ..AdmissionConfig::default()
+            },
+            tenant_limit_per_sec: 0,
+            default_timeout_ms: None,
+        },
+    );
+
+    let iters = pool_storm_iters(4);
+    let barrier = Barrier::new(CLIENTS);
+    let failures = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..CLIENTS {
+            let service = &service;
+            let table = &table;
+            let snap = &snap;
+            let q = &q;
+            let baseline = &baseline;
+            let store = &store;
+            let barrier = &barrier;
+            let failures = &failures;
+            s.spawn(move || {
+                barrier.wait();
+                for _ in 0..iters {
+                    // A generous deadline arms the hedge trigger without
+                    // ever expiring.
+                    let deadline = Some(store.now_ms() + 3_600_000);
+                    match service.query_with_class(
+                        table,
+                        snap,
+                        "body",
+                        q,
+                        "tenant",
+                        deadline,
+                        QueryClass::Interactive,
+                    ) {
+                        Ok(out) if norm(&out) == *baseline => {}
+                        other => {
+                            eprintln!("nested fanout diverged: {other:?}");
+                            failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(
+        failures.load(Ordering::Relaxed),
+        0,
+        "every nested fan-out query must complete bit-identical"
+    );
+    let stats = service.stats();
+    assert!(
+        stats.search.hedged_scans > 0,
+        "forced threshold must hedge brute scans mid-storm: {stats:?}"
+    );
+}
+
+/// Parks `n` interactive waiters for `tenant` on `adm`, returning once
+/// all are queued; each logs its tenant on dispatch and releases.
+fn park_tenant<'s, 'e>(
+    s: &'s std::thread::Scope<'s, 'e>,
+    adm: &'e Admission,
+    tenant: &'static str,
+    n: usize,
+    order: &'e std::sync::Mutex<Vec<&'static str>>,
+) {
+    let parked_before = adm.occupancy().1;
+    for _ in 0..n {
+        s.spawn(move || {
+            let p = adm
+                .admit_flow(0, None, QueryClass::Interactive, Some(tenant))
+                .unwrap();
+            order.lock().unwrap().push(tenant);
+            drop(p);
+        });
+    }
+    while adm.occupancy().1 < parked_before + n {
+        std::thread::yield_now();
+    }
+}
+
+/// Two-tenant starvation: a heavy tenant (weight 7) flooding the gate
+/// cannot starve an unweighted tenant on the class's default flow. Tags
+/// are assigned while everyone is parked, so dispatch order is exactly
+/// the WFQ merge — deterministic, not timing-dependent.
+#[test]
+fn weighted_tenant_cannot_starve_the_default_flow() {
+    let adm = Admission::new(AdmissionConfig {
+        max_concurrent: 1,
+        max_queued: 32,
+        expected_service_ms: 10,
+        interactive_weight: 4,
+        batch_weight: 1,
+        tenant_weights: vec![("heavy".to_string(), 7)],
+    });
+    let gate = adm.admit(0, None).unwrap();
+    let order: std::sync::Mutex<Vec<&'static str>> = std::sync::Mutex::new(Vec::new());
+
+    std::thread::scope(|s| {
+        park_tenant(s, &adm, "heavy", 14, &order);
+        park_tenant(s, &adm, "light", 2, &order);
+        drop(gate);
+    });
+
+    let order = order.into_inner().unwrap();
+    assert_eq!(order.len(), 16);
+    // Heavy runs at 4×7=28, light at the class default 4: light's tags
+    // fall at 7/28 and 14/28 quanta, heavy's at k/28 — the merge serves
+    // one light query in each window of eight dispatches.
+    let light_positions: Vec<usize> = order
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| **t == "light")
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(
+        light_positions,
+        vec![7, 15],
+        "light tenant must get its 1-in-8 share, not starve: {order:?}"
+    );
 }

@@ -192,7 +192,10 @@ fn parallel_results_and_stats_match_sequential() {
         sequential.iter().any(|(_, s)| s.page_cache_hits > 0),
         "the warm pass must exercise the page-cache hit path"
     );
-    for parallelism in [2, 8] {
+    // 2 and 8 bracket the default pool width; 4 and 16 are the pool sizes
+    // the overload soak pins, and 16 exceeds the worker count on most CI
+    // hosts — exercising caller-runs + steal on a saturated pool.
+    for parallelism in [2, 4, 8, 16] {
         let parallel = run_suite(parallelism, None);
         assert_eq!(
             parallel, sequential,
@@ -205,11 +208,13 @@ fn parallel_results_and_stats_match_sequential() {
 fn parallel_equivalence_holds_under_chaos() {
     let chaos = || Some(ChaosConfig::uniform(0x5EED_CAFE, 0.05));
     let sequential = run_suite(1, chaos());
-    let parallel = run_suite(8, chaos());
-    assert_eq!(
-        parallel, sequential,
-        "parallel diverged from sequential under 5% chaos"
-    );
+    for parallelism in [4, 8, 16] {
+        let parallel = run_suite(parallelism, chaos());
+        assert_eq!(
+            parallel, sequential,
+            "parallelism {parallelism} diverged from sequential under 5% chaos"
+        );
+    }
     // The runs must not have degraded — absorbed faults only.
     for (_, stats) in &sequential {
         assert_eq!(stats.index_files_failed, 0);
