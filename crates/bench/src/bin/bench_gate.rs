@@ -9,9 +9,12 @@
 //! Only the *stable* metrics are compared — per-workload
 //! `qps_speedup` / `gets_per_query_ratio` (search), `build_sim_speedup` /
 //! `build_request_ratio` (ingest), `shed_rate` / `p999_ms` /
-//! `dedup_hit_rate` / `pool_qps` / `executor_threads` (serving, all
-//! virtual-time — the pooled workload floors its admission-ceiling
-//! throughput and ceilings its modeled thread count), `kernel_speedup`
+//! `dedup_hit_rate` / `pool_qps` / `executor_threads` /
+//! `retry_amplification` / `brownout_recovery_ms` / `brownout_qps`
+//! (serving, all virtual-time — the pooled workload floors its
+//! admission-ceiling throughput and ceilings its modeled thread count;
+//! the outage workload ceilings its retry amplification and brownout
+//! recovery and floors its brownout throughput), `kernel_speedup`
 //! (succinct kernels vs their in-process baselines, saturated at a
 //! per-kernel cap so host noise above the cap never shows), and the
 //! aggregate mins/maxes. The simulation-derived metrics come from
@@ -47,7 +50,7 @@ fn num_after(text: &str, key: &str) -> Option<f64> {
 }
 
 /// Per-workload metrics gated as "higher is better" when present.
-const FLOOR_METRICS: [&str; 7] = [
+const FLOOR_METRICS: [&str; 8] = [
     "qps_speedup",
     "build_sim_speedup",
     "dedup_hit_rate",
@@ -55,14 +58,17 @@ const FLOOR_METRICS: [&str; 7] = [
     "batch_share",
     "hedge_win_rate",
     "pool_qps",
+    "brownout_qps",
 ];
 /// Per-workload metrics gated as "lower is better" when present.
-const CEILING_METRICS: [&str; 5] = [
+const CEILING_METRICS: [&str; 7] = [
     "gets_per_query_ratio",
     "build_request_ratio",
     "shed_rate",
     "p999_ms",
     "executor_threads",
+    "retry_amplification",
+    "brownout_recovery_ms",
 ];
 
 struct Workload {
@@ -224,7 +230,8 @@ mod tests {
     { "workload": "serve_hotkey", "p999_ms": 20, "shed_rate": 0.000, "dedup_hit_rate": 0.975 },
     { "workload": "serve_fair_2x", "p999_ms": 60, "shed_rate": 0.498, "dedup_hit_rate": 0.000, "batch_share": 0.201 },
     { "workload": "serve_hedge", "p999_ms": 40, "shed_rate": 0.000, "dedup_hit_rate": 0.000, "hedged": 15, "hedge_wins": 15, "hedge_win_rate": 1.000 },
-    { "workload": "serve_pool_16x", "p999_ms": 20, "shed_rate": 0.000, "dedup_hit_rate": 0.000, "pool_qps": 3200.000, "executor_threads": 16 }
+    { "workload": "serve_pool_16x", "p999_ms": 20, "shed_rate": 0.000, "dedup_hit_rate": 0.000, "pool_qps": 3200.000, "executor_threads": 16 },
+    { "workload": "serve_outage", "p999_ms": 98, "shed_rate": 0.401, "dedup_hit_rate": 0.000, "batch_share": 0.150, "retry_amplification": 0.090, "brownout_recovery_ms": 222, "brownout_qps": 99.333 }
   ],
   "max_shed_rate": 0.900,
   "max_p999_ms": 60,
@@ -242,7 +249,7 @@ mod tests {
         assert_eq!(wl[1].ceilings[0], Some(0.000));
         // Search blocks carry no build, serve, kernel, or class metrics.
         assert_eq!(wl[0].floors[1..], [None; FLOOR_METRICS.len() - 1]);
-        assert_eq!(wl[0].ceilings[1..], [None, None, None, None]);
+        assert_eq!(wl[0].ceilings[1..], [None; CEILING_METRICS.len() - 1]);
     }
 
     #[test]
@@ -252,9 +259,12 @@ mod tests {
         assert_eq!(wl[0].name, "build_substring");
         assert_eq!(
             wl[0].floors,
-            [None, Some(2.31), None, None, None, None, None]
+            [None, Some(2.31), None, None, None, None, None, None]
         );
-        assert_eq!(wl[0].ceilings, [None, Some(1.000), None, None, None]);
+        assert_eq!(
+            wl[0].ceilings,
+            [None, Some(1.000), None, None, None, None, None]
+        );
         // `build_sim_speedup` must not swallow the `build_sim_s` field of
         // the nested serial/parallel objects, and the aggregate key stays
         // distinct from the per-workload one.
@@ -268,13 +278,16 @@ mod tests {
     #[test]
     fn parses_serve_blocks_with_their_own_metrics() {
         let wl = parse_workloads(SERVE_SAMPLE);
-        assert_eq!(wl.len(), 5);
+        assert_eq!(wl.len(), 6);
         assert_eq!(wl[0].name, "serve_10x");
         assert_eq!(
             wl[0].floors,
-            [None, None, Some(0.0), None, None, None, None]
+            [None, None, Some(0.0), None, None, None, None, None]
         );
-        assert_eq!(wl[0].ceilings, [None, None, Some(0.900), Some(60.0), None]);
+        assert_eq!(
+            wl[0].ceilings,
+            [None, None, Some(0.900), Some(60.0), None, None, None]
+        );
         assert_eq!(wl[1].floors[2], Some(0.975));
         // The fairness and hedge floors only appear on their workloads.
         assert_eq!(wl[2].name, "serve_fair_2x");
@@ -290,6 +303,15 @@ mod tests {
         assert_eq!(wl[4].ceilings[4], Some(16.0));
         assert_eq!(wl[0].floors[6], None);
         assert_eq!(wl[0].ceilings[4], None);
+        // The outage workload ceilings amplification + recovery and
+        // floors brownout throughput; no other workload carries them.
+        assert_eq!(wl[5].name, "serve_outage");
+        assert_eq!(wl[5].floors[7], Some(99.333));
+        assert_eq!(wl[5].ceilings[5], Some(0.090));
+        assert_eq!(wl[5].ceilings[6], Some(222.0));
+        assert_eq!(wl[0].floors[7], None);
+        assert_eq!(wl[0].ceilings[5], None);
+        assert_eq!(wl[0].ceilings[6], None);
         // Aggregates stay distinct from the per-workload keys.
         assert_eq!(num_after(SERVE_SAMPLE, "hot_dedup_hit_rate"), Some(0.975));
         assert_eq!(num_after(SERVE_SAMPLE, "max_shed_rate"), Some(0.900));
@@ -304,6 +326,9 @@ mod tests {
         assert_eq!(num_after(tail, "hedge_win_rate"), None);
         assert_eq!(num_after(tail, "pool_qps"), None);
         assert_eq!(num_after(tail, "executor_threads"), None);
+        assert_eq!(num_after(tail, "retry_amplification"), None);
+        assert_eq!(num_after(tail, "brownout_recovery_ms"), None);
+        assert_eq!(num_after(tail, "brownout_qps"), None);
     }
 
     const KERNELS_SAMPLE: &str = r#"{
@@ -324,9 +349,9 @@ mod tests {
         // and the ns/op fields must not leak into any metric slot.
         assert_eq!(
             wl[0].floors,
-            [None, None, None, Some(2.00), None, None, None]
+            [None, None, None, Some(2.00), None, None, None, None]
         );
-        assert_eq!(wl[0].ceilings, [None, None, None, None, None]);
+        assert_eq!(wl[0].ceilings, [None; CEILING_METRICS.len()]);
         assert_eq!(wl[1].floors[3], Some(1.30));
         // The aggregate stays distinct from the per-workload key.
         assert_eq!(num_after(KERNELS_SAMPLE, "min_kernel_speedup"), Some(1.30));

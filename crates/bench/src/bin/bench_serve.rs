@@ -5,7 +5,7 @@
 //! Runs the deterministic virtual-time open-arrival simulator from
 //! `rottnest-serve` (which shares `estimate_finish_ms` and
 //! `virtual_finish_tag` — the exact shed + WFQ dispatch policy of the
-//! threaded `QueryService`) over six workloads:
+//! threaded `QueryService`) over eight workloads:
 //!
 //! * **serve_under** — 0.75x the QPS ceiling: nothing sheds, p999 equals
 //!   one service time (the no-queueing control);
@@ -29,7 +29,15 @@
 //!   the admission ceiling (`pool_qps`, gated as a floor) while the
 //!   modeled thread count stays at the fixed pool size
 //!   (`executor_threads`, gated as a ceiling) and p999 holds the
-//!   queue-drain bound.
+//!   queue-drain bound;
+//! * **serve_outage** — 2x the ceiling with the index domain fully dark
+//!   for three virtual seconds mid-run: the circuit breaker trips after
+//!   five consecutive failures and the shared retry budget caps offered
+//!   load (`retry_amplification`, gated as a ceiling ≤ 2.0), interactive
+//!   queries keep flowing on the brute path (`brownout_qps`, gated as a
+//!   floor) while batch sheds first, and one half-open probe per cooldown
+//!   closes the breaker within a bounded window after the fault clears
+//!   (`brownout_recovery_ms`, gated as a ceiling).
 //!
 //! Every metric is a pure function of the simulator config — virtual
 //! milliseconds and counts, never host wall clock — so the report is
@@ -64,6 +72,12 @@ fn base(qps: u64) -> SimConfig {
         hedge_threshold_ms: 0,
         pool_workers: 0,
         fanout: 1,
+        outage_start_ms: 0,
+        outage_end_ms: 0,
+        outage_breaker_fails: 0,
+        outage_cooldown_ms: 0,
+        outage_retry_budget: 0,
+        brownout_service_ms: 0,
     }
 }
 
@@ -129,6 +143,21 @@ fn main() {
                 ..base(ceiling * 16)
             },
         ),
+        (
+            "serve_outage",
+            SimConfig {
+                deadline_budget_ms: Some(100),
+                batch_every: 3,
+                outage_start_ms: 2_000,
+                outage_end_ms: 5_000,
+                outage_breaker_fails: 5,
+                outage_cooldown_ms: 200,
+                outage_retry_budget: 8,
+                // The brute-scan path is about twice the indexed service.
+                brownout_service_ms: SERVICE_MS * 2,
+                ..base(ceiling * 2)
+            },
+        ),
     ];
 
     println!("\n=== serving under overload (ceiling {ceiling} QPS: {MAX_CONCURRENT} slots x {SERVICE_MS} ms) ===");
@@ -192,6 +221,17 @@ fn main() {
             block.push_str(&format!(
                 ", \"pool_qps\": {:.3}, \"executor_threads\": {}",
                 r.pool_qps, r.executor_threads
+            ));
+        }
+        if cfg.outage_end_ms > cfg.outage_start_ms {
+            println!(
+                "{:>14} outage: amplification {:.2}x, recovery {} ms, brownout {:.1} qps",
+                "", r.retry_amplification, r.brownout_recovery_ms, r.brownout_qps
+            );
+            block.push_str(&format!(
+                ", \"retry_amplification\": {:.3}, \"brownout_recovery_ms\": {}, \
+                 \"brownout_qps\": {:.3}",
+                r.retry_amplification, r.brownout_recovery_ms, r.brownout_qps
             ));
         }
         block.push_str(" },\n");

@@ -123,6 +123,19 @@ pub struct SearchStats {
     /// file scans (per-file scan units hedge under the same EWMA trigger
     /// as index probes; 0 unless hedging is on).
     pub hedged_scans: u64,
+    /// Searches that ran in brownout mode: the circuit breaker for the
+    /// index-file failure domain was open, so index probes were skipped
+    /// entirely and coverage fell back to brute-force scans + caches.
+    /// Results stay correct; only the cost profile changes.
+    pub brownout_queries: u64,
+    /// Store operations this search never sent because the failure
+    /// domain's circuit breaker rejected them at admission (from the
+    /// store's health counters, like the `cache_*` fields).
+    pub breaker_rejections: u64,
+    /// Retries this search was denied because the process-wide retry
+    /// budget was exhausted — the fleet-wide signal that correlated
+    /// failure, not per-request noise, is underway.
+    pub retry_tokens_denied: u64,
 }
 
 impl SearchStats {
@@ -153,6 +166,9 @@ impl SearchStats {
         self.hedge_wins += other.hedge_wins;
         self.hedge_cancels += other.hedge_cancels;
         self.hedged_scans += other.hedged_scans;
+        self.brownout_queries += other.brownout_queries;
+        self.breaker_rejections += other.breaker_rejections;
+        self.retry_tokens_denied += other.retry_tokens_denied;
     }
 }
 

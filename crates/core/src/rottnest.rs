@@ -8,8 +8,9 @@ use rottnest_format::{ChunkReader, DataType, NegScanCache, PageCacheSession, Val
 use rottnest_ivfpq::{IvfPqIndex, IvfPqParams, SearchParams, VecPosting};
 use rottnest_lake::{FileEntry, Snapshot, Table};
 use rottnest_object_store::{
-    is_cancelled, ordered_parallel_map_io, parallel::captured_lane_micros, CancelStore, FxHashMap,
-    FxHashSet, ObjectStore, RetryPolicy, RetryStore, StoreError, WorkerPool,
+    is_cancelled, ordered_parallel_map_io, parallel::captured_lane_micros, push_deadline,
+    BreakerState, CancelStore, FxHashMap, FxHashSet, HealthTracker, ObjectStore, RetryPolicy,
+    RetryStore, StoreError, WorkerPool,
 };
 use rottnest_trie::TrieIndex;
 
@@ -184,6 +185,24 @@ impl<'a> Rottnest<'a> {
     /// The metadata table handle.
     pub fn meta(&self) -> MetaTable<'_> {
         MetaTable::new(self.store(), &self.index_dir)
+    }
+
+    /// The store-health tracker behind this client's retry layer: per-
+    /// failure-domain circuit breakers plus the process-wide retry budget.
+    /// The serving layer reads it to detect brownout; tests read it to
+    /// assert breaker state.
+    pub fn health(&self) -> &std::sync::Arc<HealthTracker> {
+        self.retry.health()
+    }
+
+    /// Whether searches against this index would currently run in
+    /// brownout mode: the circuit breaker for the index directory's
+    /// failure domain is open, so index probes are skipped in favor of
+    /// brute-force scans. Non-mutating — reading the state never
+    /// consumes a half-open probe slot.
+    pub fn in_brownout(&self) -> bool {
+        let domain = HealthTracker::domain_of(&self.index_dir);
+        self.health().state(domain, self.store().now_ms()) == BreakerState::Open
     }
 
     /// The configuration in effect.
@@ -403,6 +422,9 @@ impl<'a> Rottnest<'a> {
             std::sync::atomic::AtomicBool::new(false),
         ];
         let run_lane = |lane: usize| -> Result<R> {
+            // The backup lane may run on a pool worker: re-install the
+            // caller's deadline for the retry layer on that thread.
+            let _deadline = push_deadline(deadline_ms);
             let lane_store = CancelStore::new(self.store(), &cancels[lane]);
             let out = probe(&lane_store);
             if first
@@ -550,6 +572,24 @@ impl<'a> Rottnest<'a> {
         query: &Query<'_>,
         deadline_ms: Option<u64>,
     ) -> Result<SearchOutcome> {
+        // The retry layer consults the caller's absolute deadline before
+        // every backoff sleep (a wait that cannot fit fails typed instead
+        // of burning the budget asleep). The guard propagates it to every
+        // sequential store call in this search; fan-out closures re-install
+        // it on their worker threads.
+        let _deadline = push_deadline(deadline_ms);
+        self.search_inner(table, snapshot, column, query, deadline_ms)
+            .map_err(map_health_error)
+    }
+
+    fn search_inner(
+        &self,
+        table: &Table<'_>,
+        snapshot: &Snapshot,
+        column: &str,
+        query: &Query<'_>,
+        deadline_ms: Option<u64>,
+    ) -> Result<SearchOutcome> {
         self.check_deadline(deadline_ms)?;
         let kind = match query {
             Query::UuidEq { key, .. } => IndexKind::Uuid {
@@ -577,12 +617,38 @@ impl<'a> Rottnest<'a> {
             }
             Query::VectorNn { .. } => None,
         };
-        let (selected, mut uncovered) = self.plan_search(snapshot, &kind, column)?;
-        let stats = SearchStats {
+        // Brownout (tentpole of the store-health layer): when the circuit
+        // breaker for the index domain is open, planning and probing the
+        // index would only be rejected at admission — skip both and treat
+        // every snapshot file as uncovered. Exact queries brute-scan (with
+        // negative-scan-cache help); vector queries already rank every
+        // file. Results are identical to the indexed path, only costlier.
+        // Half-open is NOT brownout: probes flow through store-level
+        // admission, which bounds them, and a rejected probe degrades per
+        // entry below.
+        let mut brownout = self.in_brownout();
+        let (selected, mut uncovered) = if brownout {
+            (Vec::new(), snapshot.files().cloned().collect())
+        } else {
+            match self.plan_search(snapshot, &kind, column) {
+                Ok(plan) => plan,
+                // The index *metadata* itself is unreachable (mid-outage,
+                // before the breaker trips, or a rejected half-open
+                // probe): degrade the whole query to a brute scan rather
+                // than failing it — same results, costlier path — and let
+                // the recorded failures trip the breaker for successors.
+                Err(e) if is_degradable(&e) => {
+                    brownout = true;
+                    (Vec::new(), snapshot.files().cloned().collect())
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        let mut stats = SearchStats {
             index_files_queried: selected.len() as u64,
+            brownout_queries: u64::from(brownout),
             ..SearchStats::default()
         };
-        let mut stats = stats;
 
         let mut outcome = match query {
             Query::UuidEq { key, k } => {
@@ -716,6 +782,8 @@ impl<'a> Rottnest<'a> {
         outcome.stats.page_cache_bytes_saved = delta.page_cache_bytes_saved;
         outcome.stats.page_cache_bypassed = delta.page_cache_bypassed;
         outcome.stats.dedup_hits = delta.dedup_hits;
+        outcome.stats.breaker_rejections = delta.breaker_rejections;
+        outcome.stats.retry_tokens_denied = delta.retry_tokens_denied;
         Ok(outcome)
     }
 
@@ -758,6 +826,7 @@ impl<'a> Rottnest<'a> {
             self.store().clock(),
             selected,
             |_, entry| {
+                let _deadline = push_deadline(deadline_ms);
                 if let Err(e) = self.check_deadline(deadline_ms) {
                     return (Err(e), HedgeOutcome::default());
                 }
@@ -950,6 +1019,7 @@ impl<'a> Rottnest<'a> {
             if skip[i] {
                 return (Ok((Vec::new(), 0)), HedgeOutcome::default());
             }
+            let _deadline = push_deadline(deadline_ms);
             if let Err(e) = self.check_deadline(deadline_ms) {
                 return (Err(e), HedgeOutcome::default());
             }
@@ -1075,6 +1145,7 @@ impl<'a> Rottnest<'a> {
         // brute-force pass below. Deadline expiry is NOT degradable: the
         // poll before each entry aborts the whole search.
         let passes = parallel_map_io(parallelism, self.store().clock(), selected, |_, entry| {
+            let _deadline = push_deadline(deadline_ms);
             if let Err(e) = self.check_deadline(deadline_ms) {
                 return (Err(e), HedgeOutcome::default());
             }
@@ -1108,6 +1179,7 @@ impl<'a> Rottnest<'a> {
             self.store().clock(),
             uncovered,
             |_, file| -> Result<(Vec<Match>, u64, u64)> {
+                let _deadline = push_deadline(deadline_ms);
                 self.check_deadline(deadline_ms)?;
                 let reader = ChunkReader::open(self.store(), &file.path)?;
                 let col = reader
@@ -1491,12 +1563,41 @@ impl<'a> Rottnest<'a> {
 }
 
 /// Whether a search-time failure can be absorbed by degrading to the
-/// brute-force path: only store faults that are still retryable after the
-/// retry budget ran out (throttling, transient request failures).
-/// Deterministic failures — missing objects, corrupt bytes, injected
-/// crashes — must surface to the caller.
+/// brute-force path: store faults that are still retryable after the
+/// retry budget ran out (throttling, transient request failures), plus
+/// circuit-breaker rejections (the domain is collapsed; scanning data
+/// files instead is exactly what the breaker buys). Deterministic
+/// failures — missing objects, corrupt bytes, injected crashes — and
+/// deadline expiry must surface to the caller.
 fn is_degradable(err: &RottnestError) -> bool {
-    err.store_fault().is_some_and(StoreError::is_retryable)
+    err.store_fault()
+        .is_some_and(|e| e.is_retryable() || matches!(e.root(), StoreError::BreakerOpen { .. }))
+}
+
+/// Surfaces store-health outcomes as typed protocol errors at the search
+/// boundary: a retry-layer deadline expiry becomes
+/// [`RottnestError::DeadlineExceeded`] (same contract as the cooperative
+/// poll) and a breaker rejection that could not be degraded becomes
+/// [`RottnestError::Overloaded`] (the query was refused, not corrupted —
+/// retry after the cooldown). Every other error passes through.
+fn map_health_error(err: RottnestError) -> RottnestError {
+    match err.store_fault().map(StoreError::root) {
+        Some(&StoreError::DeadlineExceeded {
+            deadline_ms,
+            now_ms,
+        }) => RottnestError::DeadlineExceeded {
+            deadline_ms,
+            now_ms,
+        },
+        Some(StoreError::BreakerOpen {
+            domain,
+            retry_after_ms,
+        }) => RottnestError::Overloaded {
+            reason: format!("circuit breaker open for store domain '{domain}'"),
+            retry_after_ms: *retry_after_ms,
+        },
+        _ => err,
+    }
 }
 
 /// Number of data pages in column `col` across every row group — the

@@ -32,9 +32,11 @@ pub fn cancelled_error() -> StoreError {
     StoreError::Transient(CANCELLED)
 }
 
-/// Whether `e` is the cancellation error raised by a [`CancelStore`].
+/// Whether `e` is the cancellation error raised by a [`CancelStore`],
+/// drilling through any provenance [`StoreError::Context`] wrappers a
+/// retry layer may have added.
 pub fn is_cancelled(e: &StoreError) -> bool {
-    matches!(e, StoreError::Transient(m) if *m == CANCELLED)
+    matches!(e.root(), StoreError::Transient(m) if *m == CANCELLED)
 }
 
 /// An [`ObjectStore`] decorator that fails every request once `flag` is
@@ -146,6 +148,11 @@ impl ObjectStore for CancelStore<'_> {
     fn record_dedup(&self, n: u64) {
         self.inner.record_dedup(n);
     }
+
+    fn record_health(&self, breaker_rejections: u64, retry_tokens_denied: u64) {
+        self.inner
+            .record_health(breaker_rejections, retry_tokens_denied);
+    }
 }
 
 #[cfg(test)]
@@ -178,5 +185,12 @@ mod tests {
         assert!(is_cancelled(&cancelled_error()));
         assert!(!is_cancelled(&StoreError::Transient("other")));
         assert!(!is_cancelled(&StoreError::NotFound("k".into())));
+        // Provenance wrappers added by a retry layer don't hide it.
+        assert!(is_cancelled(
+            &cancelled_error().with_context("get", "idx/meta/0")
+        ));
+        assert!(!is_cancelled(
+            &StoreError::Transient("timeout").with_context("get", "idx/meta/0")
+        ));
     }
 }

@@ -18,6 +18,18 @@
 //!   failures, ack-lost PUTs (the write lands but the response is lost),
 //!   torn range reads (short responses), and latency spikes. These *are*
 //!   retryable and are what [`crate::RetryStore`] exists to absorb.
+//!
+//! * **Correlated faults** ([`OutageWindow`]). Chaos rolls each request
+//!   independently, but production object stores fail *correlated*: a
+//!   regional brownout or throttling storm takes out every request — or
+//!   every request under one key prefix — for a span of time. Scheduled
+//!   outage windows model exactly that on the store's sim clock:
+//!   [`OutageKind::FailAll`] fails every matching op with a retryable
+//!   transient error, [`OutageKind::Stall`] additionally charges a hang
+//!   before failing (a connect timeout), and
+//!   [`OutageKind::LatencyStorm`] only inflates latency. Windows compose
+//!   with one-shot patterns and per-op chaos — the deterministic chaos
+//!   schedule is unaffected because windows never consume chaos draws.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -51,6 +63,96 @@ pub enum FaultKind {
     /// is the ambiguous non-idempotent case a retrying `put_if_absent` must
     /// resolve by inspecting the winning object.
     AckLostPutMatching(String),
+}
+
+/// What a scheduled [`OutageWindow`] does to matching operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutageKind {
+    /// Every matching operation fails with a retryable
+    /// [`crate::StoreError::Transient`] — a full outage of the domain.
+    FailAll,
+    /// Matching operations hang for `extra_ms` (charged to the sim
+    /// clock) and *then* fail transiently — a connect/request timeout.
+    Stall {
+        /// Hang charged before the failure, in milliseconds.
+        extra_ms: u64,
+    },
+    /// Matching operations succeed but are slowed by `extra_ms` — a
+    /// latency storm (backend degraded, not down).
+    LatencyStorm {
+        /// Extra latency charged per operation, in milliseconds.
+        extra_ms: u64,
+    },
+}
+
+/// A correlated-failure window on the store's sim clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutageWindow {
+    /// Window start (inclusive), in sim-clock milliseconds.
+    pub start_ms: u64,
+    /// Window end (exclusive), in sim-clock milliseconds.
+    pub end_ms: u64,
+    /// Restrict the outage to keys starting with this prefix (a failure
+    /// domain such as `"idx/"`); `None` hits every key.
+    pub prefix: Option<String>,
+    /// What happens to matching operations inside the window.
+    pub kind: OutageKind,
+}
+
+impl OutageWindow {
+    /// A full outage: every operation on every key fails transiently
+    /// during `start_ms..end_ms`.
+    pub fn full(start_ms: u64, end_ms: u64) -> Self {
+        Self {
+            start_ms,
+            end_ms,
+            prefix: None,
+            kind: OutageKind::FailAll,
+        }
+    }
+
+    /// A per-domain outage restricted to keys under `prefix`.
+    pub fn domain(prefix: impl Into<String>, start_ms: u64, end_ms: u64) -> Self {
+        Self {
+            start_ms,
+            end_ms,
+            prefix: Some(prefix.into()),
+            kind: OutageKind::FailAll,
+        }
+    }
+
+    /// A latency storm adding `extra_ms` to every matching operation.
+    pub fn storm(start_ms: u64, end_ms: u64, extra_ms: u64) -> Self {
+        Self {
+            start_ms,
+            end_ms,
+            prefix: None,
+            kind: OutageKind::LatencyStorm { extra_ms },
+        }
+    }
+
+    fn matches(&self, key: &str, now_ms: u64) -> bool {
+        now_ms >= self.start_ms
+            && now_ms < self.end_ms
+            && self.prefix.as_deref().is_none_or(|p| key.starts_with(p))
+    }
+}
+
+/// Combined outage effect on one operation: charge `extra_us` of
+/// latency, then fail transiently if `fail` is set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutageVerdict {
+    /// The operation fails with a retryable transient error.
+    pub fail: bool,
+    /// Extra latency to charge, in microseconds.
+    pub extra_us: u64,
+}
+
+impl OutageVerdict {
+    /// Whether any outage effect applies at all.
+    pub fn applies(&self) -> bool {
+        self.fail || self.extra_us > 0
+    }
 }
 
 /// Per-operation failure probabilities for seeded chaos mode.
@@ -160,6 +262,10 @@ pub struct FaultInjector {
     puts_after_armed: std::sync::atomic::AtomicBool,
     patterns: Mutex<Vec<FaultKind>>,
     chaos: Mutex<Option<Chaos>>,
+    outages: Mutex<Vec<OutageWindow>>,
+    /// Lock-free fast path: `outage_verdict` is on every hot op path and
+    /// must cost nothing when no windows are scheduled (the usual case).
+    has_outages: std::sync::atomic::AtomicBool,
 }
 
 impl FaultInjector {
@@ -179,11 +285,68 @@ impl FaultInjector {
         self.patterns.lock().push(kind);
     }
 
-    /// Clears every armed fault and disables chaos mode.
+    /// Clears every armed fault, disables chaos mode, and cancels all
+    /// scheduled outage windows.
     pub fn disarm_all(&self) {
         self.patterns.lock().clear();
         self.puts_after_armed.store(false, Ordering::SeqCst);
         *self.chaos.lock() = None;
+        self.outages.lock().clear();
+        self.has_outages.store(false, Ordering::SeqCst);
+    }
+
+    /// Schedules a correlated-failure window. Windows stay scheduled
+    /// until [`FaultInjector::disarm_all`] or
+    /// [`FaultInjector::clear_outages`]; past windows are inert.
+    pub fn schedule_outage(&self, window: OutageWindow) {
+        self.outages.lock().push(window);
+        self.has_outages.store(true, Ordering::SeqCst);
+    }
+
+    /// Cancels all scheduled outage windows, leaving patterns and chaos
+    /// armed.
+    pub fn clear_outages(&self) {
+        self.outages.lock().clear();
+        self.has_outages.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether any outage window is scheduled to be active at `now_ms`
+    /// (for any key).
+    pub fn outage_active(&self, now_ms: u64) -> bool {
+        if !self.has_outages.load(Ordering::Relaxed) {
+            return false;
+        }
+        self.outages
+            .lock()
+            .iter()
+            .any(|w| now_ms >= w.start_ms && now_ms < w.end_ms)
+    }
+
+    /// Evaluates all scheduled outage windows against one operation.
+    /// Latency effects accumulate across overlapping windows; any
+    /// matching `FailAll`/`Stall` window makes the operation fail.
+    pub fn outage_verdict(&self, key: &str, now_ms: u64) -> OutageVerdict {
+        if !self.has_outages.load(Ordering::Relaxed) {
+            return OutageVerdict::default();
+        }
+        let outages = self.outages.lock();
+        let mut verdict = OutageVerdict::default();
+        for w in outages.iter() {
+            if !w.matches(key, now_ms) {
+                continue;
+            }
+            match &w.kind {
+                OutageKind::FailAll => verdict.fail = true,
+                OutageKind::Stall { extra_ms } => {
+                    verdict.fail = true;
+                    verdict.extra_us += extra_ms * 1000;
+                }
+                OutageKind::LatencyStorm { extra_ms } => {
+                    verdict.extra_us += extra_ms * 1000;
+                }
+            }
+        }
+        verdict
     }
 
     /// Enables (`Some`) or disables (`None`) seeded probabilistic chaos.
@@ -434,6 +597,71 @@ mod tests {
             (300..500).contains(&fails),
             "expected ~400 fails, got {fails}"
         );
+    }
+
+    #[test]
+    fn outage_windows_fire_inside_their_span_only() {
+        let inj = FaultInjector::new();
+        inj.schedule_outage(OutageWindow::full(100, 200));
+        assert!(!inj.outage_verdict("tbl/a", 99).fail);
+        assert!(inj.outage_verdict("tbl/a", 100).fail);
+        assert!(inj.outage_verdict("idx/meta", 199).fail);
+        assert!(!inj.outage_verdict("tbl/a", 200).fail, "end is exclusive");
+        assert!(inj.outage_active(150));
+        assert!(!inj.outage_active(250));
+    }
+
+    #[test]
+    fn domain_outages_respect_the_prefix() {
+        let inj = FaultInjector::new();
+        inj.schedule_outage(OutageWindow::domain("idx/", 0, 100));
+        assert!(inj.outage_verdict("idx/meta/0", 50).fail);
+        assert!(!inj.outage_verdict("tbl/part-0", 50).fail);
+    }
+
+    #[test]
+    fn stalls_and_storms_charge_latency() {
+        let inj = FaultInjector::new();
+        inj.schedule_outage(OutageWindow {
+            start_ms: 0,
+            end_ms: 100,
+            prefix: None,
+            kind: OutageKind::Stall { extra_ms: 30 },
+        });
+        inj.schedule_outage(OutageWindow::storm(0, 100, 5));
+        let v = inj.outage_verdict("tbl/a", 10);
+        assert!(v.fail, "the stall window fails the op");
+        assert_eq!(v.extra_us, 35_000, "stall + storm latency accumulate");
+        // A storm alone slows but does not fail.
+        inj.clear_outages();
+        inj.schedule_outage(OutageWindow::storm(0, 100, 5));
+        let v = inj.outage_verdict("tbl/a", 10);
+        assert!(!v.fail);
+        assert_eq!(v.extra_us, 5_000);
+        assert!(v.applies());
+    }
+
+    #[test]
+    fn outages_do_not_perturb_the_chaos_schedule() {
+        let with = FaultInjector::new();
+        let without = FaultInjector::new();
+        with.set_chaos(Some(ChaosConfig::uniform(42, 0.3)));
+        without.set_chaos(Some(ChaosConfig::uniform(42, 0.3)));
+        with.schedule_outage(OutageWindow::full(0, 1_000_000));
+        for _ in 0..100 {
+            let _ = with.outage_verdict("k", 50);
+            assert_eq!(with.chaos_get(), without.chaos_get());
+            assert_eq!(with.chaos_put(), without.chaos_put());
+        }
+    }
+
+    #[test]
+    fn disarm_all_cancels_outages() {
+        let inj = FaultInjector::new();
+        inj.schedule_outage(OutageWindow::full(0, 1000));
+        assert!(inj.outage_verdict("k", 5).fail);
+        inj.disarm_all();
+        assert!(!inj.outage_verdict("k", 5).applies());
     }
 
     #[test]

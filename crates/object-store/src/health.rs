@@ -1,0 +1,527 @@
+//! Store-health tracking: per-domain circuit breakers plus a
+//! process-wide retry budget.
+//!
+//! A production object store fails *correlated*: a throttling storm or a
+//! regional brownout fails every request at once. Independent per-op
+//! retries then multiply offered load by the retry budget exactly when
+//! the backend can least afford it — the classic metastable-failure
+//! shape. This module gives the decorator stack two levers against that:
+//!
+//! 1. **Circuit breakers per failure domain.** A failure domain is the
+//!    first path segment of the object key (`idx/...` vs `tbl/...`), so
+//!    an index-prefix outage can trip independently of the data prefix.
+//!    Each domain keeps an error-rate EWMA and a consecutive-failure
+//!    count; either crossing its threshold opens the breaker. An open
+//!    breaker rejects requests instantly (`Admit::Reject`) until a
+//!    sim-clock cooldown elapses, then admits a bounded number of
+//!    half-open probes (`Admit::Probe`). Probe successes close the
+//!    breaker; any probe failure re-opens it with a fresh cooldown.
+//! 2. **A retry budget.** A token bucket shared by every operation going
+//!    through the owning [`RetryStore`](crate::RetryStore) stack: each
+//!    retry (not the first attempt) spends one token, each successful
+//!    request refills `retry_refill_millitokens`. During a full outage
+//!    nothing succeeds, the bucket drains, and retries stop fleet-wide —
+//!    total sent ops stay within `admitted_ops + bucket_capacity`, a
+//!    provable amplification bound independent of per-op `max_attempts`
+//!    and of the refill rate (no successes, no refills).
+//!
+//! All timestamps are caller-supplied milliseconds (the store sim
+//! clock), so breaker cooldowns compose with simulated time in tests and
+//! benches exactly like retry backoff does.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Breaker state for one failure domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: all traffic admitted.
+    Closed,
+    /// Tripped: all traffic rejected until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: a bounded number of probe requests are admitted
+    /// to test the backend; everything else is still rejected.
+    HalfOpen,
+}
+
+/// Admission verdict for one request against a domain's breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// Breaker closed — proceed normally.
+    Allow,
+    /// Breaker half-open — proceed, but this request is one of the
+    /// bounded probe slots; its outcome decides the breaker's fate.
+    Probe,
+    /// Breaker open (or all probe slots taken) — fail fast without
+    /// touching the backend.
+    Reject {
+        /// Hint for how long the caller should wait before trying again.
+        retry_after_ms: u64,
+    },
+}
+
+/// Tuning for [`HealthTracker`].
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Consecutive failures in one domain that open its breaker.
+    pub consecutive_failures: u32,
+    /// Error-rate EWMA (per mille) that opens the breaker once at least
+    /// `min_samples` outcomes have been observed.
+    pub error_rate_permille: u32,
+    /// Minimum observations before the EWMA threshold can trip.
+    pub min_samples: u32,
+    /// Sim-clock cooldown an open breaker waits before going half-open.
+    pub cooldown_ms: u64,
+    /// Concurrent probe requests admitted while half-open.
+    pub half_open_probes: u32,
+    /// Probe successes required to close a half-open breaker.
+    pub half_open_successes: u32,
+    /// Retry-budget bucket capacity, in whole tokens (1 token = 1 retry).
+    pub retry_budget_tokens: u32,
+    /// Millitokens refilled into the retry budget per successful request
+    /// (1000 = one full retry earned back per success).
+    pub retry_refill_millitokens: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            consecutive_failures: 5,
+            error_rate_permille: 500,
+            min_samples: 10,
+            cooldown_ms: 1_000,
+            half_open_probes: 2,
+            half_open_successes: 3,
+            retry_budget_tokens: 32,
+            retry_refill_millitokens: 1000,
+        }
+    }
+}
+
+/// EWMA weight: new sample gets 1/8, history keeps 7/8. Integer
+/// arithmetic in per-mille space keeps the tracker allocation-free on
+/// the hot path.
+const EWMA_SHIFT: u32 = 3;
+
+#[derive(Debug, Default)]
+struct DomainHealth {
+    state_open: bool,
+    half_open: bool,
+    /// Failure-rate EWMA in per mille (0..=1000).
+    err_permille: u32,
+    /// Outcomes observed since the breaker last closed.
+    samples: u32,
+    consecutive: u32,
+    open_until_ms: u64,
+    probes_in_flight: u32,
+    probe_successes: u32,
+}
+
+impl DomainHealth {
+    fn state(&self, now_ms: u64) -> BreakerState {
+        if self.half_open {
+            BreakerState::HalfOpen
+        } else if self.state_open {
+            if now_ms >= self.open_until_ms {
+                BreakerState::HalfOpen
+            } else {
+                BreakerState::Open
+            }
+        } else {
+            BreakerState::Closed
+        }
+    }
+
+    fn trip(&mut self, now_ms: u64, cooldown_ms: u64) {
+        self.state_open = true;
+        self.half_open = false;
+        self.open_until_ms = now_ms + cooldown_ms;
+        self.probes_in_flight = 0;
+        self.probe_successes = 0;
+        self.consecutive = 0;
+    }
+
+    fn close(&mut self) {
+        self.state_open = false;
+        self.half_open = false;
+        self.err_permille = 0;
+        self.samples = 0;
+        self.consecutive = 0;
+        self.probes_in_flight = 0;
+        self.probe_successes = 0;
+    }
+
+    fn observe(&mut self, failed: bool) {
+        let sample = if failed { 1000 } else { 0 };
+        // err = (err * 7 + sample) / 8, in integer per-mille space.
+        self.err_permille =
+            (self.err_permille - (self.err_permille >> EWMA_SHIFT)) + (sample >> EWMA_SHIFT);
+        self.samples = self.samples.saturating_add(1);
+        if failed {
+            self.consecutive = self.consecutive.saturating_add(1);
+        } else {
+            self.consecutive = 0;
+        }
+    }
+}
+
+/// Shared health state for one decorator stack: per-domain circuit
+/// breakers plus the process-wide retry budget.
+///
+/// One tracker is shared (via `Arc`) between the `RetryStore`, the
+/// search executor, and the serve layer, so breaker trips observed at
+/// the store level drive brownout decisions at the query level.
+#[derive(Debug)]
+pub struct HealthTracker {
+    cfg: HealthConfig,
+    domains: Mutex<HashMap<String, DomainHealth>>,
+    /// Retry budget in millitokens (1 retry = 1000 millitokens).
+    retry_millitokens: AtomicU64,
+    breaker_opens: AtomicU64,
+}
+
+impl HealthTracker {
+    /// Build a tracker with the given tuning; the retry bucket starts
+    /// full.
+    pub fn new(cfg: HealthConfig) -> Self {
+        let full = u64::from(cfg.retry_budget_tokens) * 1000;
+        HealthTracker {
+            cfg,
+            domains: Mutex::new(HashMap::new()),
+            retry_millitokens: AtomicU64::new(full),
+            breaker_opens: AtomicU64::new(0),
+        }
+    }
+
+    /// Default-tuned tracker wrapped for sharing across decorator layers.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(HealthTracker::new(HealthConfig::default()))
+    }
+
+    /// The failure domain of a key: its first path segment (`idx/meta/x`
+    /// → `idx`). Keys with no separator are their own domain.
+    pub fn domain_of(key: &str) -> &str {
+        key.split('/').next().unwrap_or(key)
+    }
+
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    /// Admission check for a request touching `key` at sim-time
+    /// `now_ms`. A `Probe` verdict reserves one half-open probe slot;
+    /// the caller **must** balance it with `record_success` or
+    /// `record_failure` for the same key.
+    pub fn admit(&self, key: &str, now_ms: u64) -> Admit {
+        self.admit_domain(Self::domain_of(key), now_ms)
+    }
+
+    /// [`admit`](Self::admit) against an explicit domain name.
+    pub fn admit_domain(&self, domain: &str, now_ms: u64) -> Admit {
+        let mut map = self.domains.lock().unwrap();
+        let Some(d) = map.get_mut(domain) else {
+            return Admit::Allow;
+        };
+        match d.state(now_ms) {
+            BreakerState::Closed => Admit::Allow,
+            BreakerState::Open => Admit::Reject {
+                retry_after_ms: d.open_until_ms.saturating_sub(now_ms).max(1),
+            },
+            BreakerState::HalfOpen => {
+                d.half_open = true;
+                if d.probes_in_flight < self.cfg.half_open_probes {
+                    d.probes_in_flight += 1;
+                    Admit::Probe
+                } else {
+                    Admit::Reject {
+                        retry_after_ms: (self.cfg.cooldown_ms / 4).max(1),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Record a successful (or semantically-resolved) request on `key`.
+    /// Refills the retry budget and feeds the domain breaker.
+    pub fn record_success(&self, key: &str, now_ms: u64) {
+        self.refill(u64::from(self.cfg.retry_refill_millitokens));
+        let mut map = self.domains.lock().unwrap();
+        let Some(d) = map.get_mut(Self::domain_of(key)) else {
+            return;
+        };
+        let _ = now_ms;
+        if d.half_open {
+            d.probes_in_flight = d.probes_in_flight.saturating_sub(1);
+            d.probe_successes += 1;
+            if d.probe_successes >= self.cfg.half_open_successes {
+                d.close();
+            }
+        } else {
+            d.observe(false);
+        }
+    }
+
+    /// Record a failed attempt on `key` (retryable, non-cancelled
+    /// faults only — crash-model and semantic errors must not feed the
+    /// breaker). May trip the domain breaker.
+    pub fn record_failure(&self, key: &str, now_ms: u64) {
+        let mut map = self.domains.lock().unwrap();
+        let d = map.entry(Self::domain_of(key).to_string()).or_default();
+        if d.half_open {
+            // Any probe failure re-opens immediately.
+            self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+            d.trip(now_ms, self.cfg.cooldown_ms);
+            return;
+        }
+        if d.state_open {
+            // Already open (failure raced the cooldown); extend nothing.
+            return;
+        }
+        d.observe(true);
+        let rate_trip =
+            d.samples >= self.cfg.min_samples && d.err_permille >= self.cfg.error_rate_permille;
+        if d.consecutive >= self.cfg.consecutive_failures || rate_trip {
+            self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+            d.trip(now_ms, self.cfg.cooldown_ms);
+        }
+    }
+
+    /// Releases a probe slot reserved by an [`Admit::Probe`] verdict
+    /// whose operation ended with a *neutral* outcome — cancelled
+    /// speculative lanes and crash-model faults are neither evidence of
+    /// recovery nor of backend failure, but the slot must not leak.
+    pub fn release_probe(&self, key: &str) {
+        let mut map = self.domains.lock().unwrap();
+        if let Some(d) = map.get_mut(Self::domain_of(key)) {
+            if d.half_open {
+                d.probes_in_flight = d.probes_in_flight.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Non-mutating breaker state for a domain — safe for introspection
+    /// (serve-mode decisions) because it never reserves a probe slot.
+    pub fn state(&self, domain: &str, now_ms: u64) -> BreakerState {
+        let map = self.domains.lock().unwrap();
+        map.get(domain)
+            .map(|d| d.state(now_ms))
+            .unwrap_or(BreakerState::Closed)
+    }
+
+    /// Spend one retry token. Returns `false` (and spends nothing) when
+    /// the bucket is empty — the caller must stop retrying.
+    pub fn try_spend_retry_token(&self) -> bool {
+        let mut cur = self.retry_millitokens.load(Ordering::Relaxed);
+        loop {
+            if cur < 1000 {
+                return false;
+            }
+            match self.retry_millitokens.compare_exchange_weak(
+                cur,
+                cur - 1000,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn refill(&self, millitokens: u64) {
+        let cap = u64::from(self.cfg.retry_budget_tokens) * 1000;
+        let mut cur = self.retry_millitokens.load(Ordering::Relaxed);
+        loop {
+            if cur >= cap {
+                return;
+            }
+            let next = (cur + millitokens).min(cap);
+            match self.retry_millitokens.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Remaining retry budget in whole tokens (floor).
+    pub fn retry_tokens(&self) -> u64 {
+        self.retry_millitokens.load(Ordering::Relaxed) / 1000
+    }
+
+    /// Times any domain breaker transitioned to Open.
+    pub fn breaker_opens(&self) -> u64 {
+        self.breaker_opens.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HealthConfig {
+        HealthConfig {
+            consecutive_failures: 3,
+            error_rate_permille: 500,
+            min_samples: 8,
+            cooldown_ms: 100,
+            half_open_probes: 2,
+            half_open_successes: 2,
+            retry_budget_tokens: 4,
+            retry_refill_millitokens: 500,
+        }
+    }
+
+    #[test]
+    fn domains_are_first_path_segment() {
+        assert_eq!(HealthTracker::domain_of("idx/meta/0"), "idx");
+        assert_eq!(HealthTracker::domain_of("tbl/part-1.lance"), "tbl");
+        assert_eq!(HealthTracker::domain_of("rootfile"), "rootfile");
+    }
+
+    #[test]
+    fn consecutive_failures_open_the_breaker() {
+        let h = HealthTracker::new(cfg());
+        assert_eq!(h.admit("idx/a", 0), Admit::Allow);
+        for _ in 0..2 {
+            h.record_failure("idx/a", 0);
+            assert_eq!(h.admit("idx/a", 0), Admit::Allow);
+        }
+        h.record_failure("idx/a", 0);
+        assert!(matches!(h.admit("idx/b", 0), Admit::Reject { .. }));
+        assert_eq!(h.breaker_opens(), 1);
+        // Other domains unaffected.
+        assert_eq!(h.admit("tbl/x", 0), Admit::Allow);
+    }
+
+    #[test]
+    fn error_rate_ewma_opens_with_min_samples() {
+        let mut c = cfg();
+        c.consecutive_failures = u32::MAX; // isolate the rate path
+        let h = HealthTracker::new(c);
+        // Alternate success/failure: consecutive never exceeds 1, but the
+        // EWMA climbs toward 50%+ as failures dominate later samples.
+        for i in 0..40 {
+            if i % 3 == 0 {
+                h.record_success("idx/a", 0);
+            } else {
+                h.record_failure("idx/a", 0);
+            }
+        }
+        assert!(
+            matches!(h.admit("idx/a", 0), Admit::Reject { .. }),
+            "EWMA at 2/3 failure rate should trip the 50% threshold"
+        );
+    }
+
+    #[test]
+    fn cooldown_then_half_open_probes_bounded() {
+        let h = HealthTracker::new(cfg());
+        for _ in 0..3 {
+            h.record_failure("idx/a", 0);
+        }
+        assert!(matches!(h.admit("idx/a", 50), Admit::Reject { .. }));
+        // Cooldown elapsed: exactly `half_open_probes` probe slots.
+        assert_eq!(h.admit("idx/a", 100), Admit::Probe);
+        assert_eq!(h.admit("idx/a", 100), Admit::Probe);
+        assert!(matches!(h.admit("idx/a", 100), Admit::Reject { .. }));
+        assert_eq!(h.state("idx", 100), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn probe_successes_close_probe_failure_reopens() {
+        let h = HealthTracker::new(cfg());
+        for _ in 0..3 {
+            h.record_failure("idx/a", 0);
+        }
+        // First recovery attempt: probe fails → re-open with new cooldown.
+        assert_eq!(h.admit("idx/a", 100), Admit::Probe);
+        h.record_failure("idx/a", 100);
+        assert_eq!(h.state("idx", 150), BreakerState::Open);
+        assert!(matches!(h.admit("idx/a", 150), Admit::Reject { .. }));
+        // Second attempt after the fresh cooldown: two successes close.
+        assert_eq!(h.admit("idx/a", 200), Admit::Probe);
+        h.record_success("idx/a", 200);
+        assert_eq!(h.admit("idx/a", 200), Admit::Probe);
+        h.record_success("idx/a", 200);
+        assert_eq!(h.state("idx", 200), BreakerState::Closed);
+        assert_eq!(h.admit("idx/a", 200), Admit::Allow);
+    }
+
+    #[test]
+    fn closing_resets_history() {
+        let h = HealthTracker::new(cfg());
+        for _ in 0..3 {
+            h.record_failure("idx/a", 0);
+        }
+        assert_eq!(h.admit("idx/a", 100), Admit::Probe);
+        h.record_success("idx/a", 100);
+        assert_eq!(h.admit("idx/a", 100), Admit::Probe);
+        h.record_success("idx/a", 100);
+        // One failure after closing must not instantly re-open on stale
+        // EWMA history.
+        h.record_failure("idx/a", 200);
+        assert_eq!(h.admit("idx/a", 200), Admit::Allow);
+    }
+
+    #[test]
+    fn retry_budget_drains_and_refills() {
+        let h = HealthTracker::new(cfg()); // 4 tokens, 0.5/success refill
+        for _ in 0..4 {
+            assert!(h.try_spend_retry_token());
+        }
+        assert!(!h.try_spend_retry_token(), "bucket empty");
+        assert_eq!(h.retry_tokens(), 0);
+        // Two successes refill one whole token.
+        h.record_success("tbl/x", 0);
+        assert!(!h.try_spend_retry_token());
+        h.record_success("tbl/x", 0);
+        assert!(h.try_spend_retry_token());
+        assert!(!h.try_spend_retry_token());
+    }
+
+    #[test]
+    fn refill_is_capped_at_bucket_size() {
+        let h = HealthTracker::new(cfg());
+        for _ in 0..100 {
+            h.record_success("tbl/x", 0);
+        }
+        assert_eq!(h.retry_tokens(), 4);
+    }
+
+    #[test]
+    fn amplification_bound_under_full_outage() {
+        // With N admitted ops each failing, total sent ops is bounded by
+        // N (first attempts) + bucket capacity (retries): amplification
+        // ≤ 1 + capacity/N regardless of per-op max_attempts.
+        let mut c = cfg();
+        c.consecutive_failures = u32::MAX;
+        c.error_rate_permille = 1001; // never trips: isolate the budget
+        let h = HealthTracker::new(c);
+        let admitted = 16u64;
+        let mut sent = 0u64;
+        for _ in 0..admitted {
+            sent += 1; // first attempt
+            for _ in 0..8 {
+                if !h.try_spend_retry_token() {
+                    break;
+                }
+                sent += 1;
+                h.record_failure("tbl/x", 0);
+            }
+        }
+        assert!(sent <= admitted + 4, "sent {sent} > {} bound", admitted + 4);
+    }
+
+    #[test]
+    fn unknown_domain_state_is_closed() {
+        let h = HealthTracker::new(cfg());
+        assert_eq!(h.state("nope", 0), BreakerState::Closed);
+        assert_eq!(h.admit("nope/x", 0), Admit::Allow);
+    }
+}

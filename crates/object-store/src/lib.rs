@@ -27,6 +27,7 @@ pub mod coalesce;
 pub mod fault;
 pub mod fs;
 pub mod fxhash;
+pub mod health;
 pub mod latency;
 pub mod memory;
 pub mod parallel;
@@ -44,9 +45,10 @@ use bytes::Bytes;
 pub use bytecache::ByteLru;
 pub use cancel::{cancelled_error, is_cancelled, CancelStore, CANCELLED};
 pub use coalesce::{CoalescePlan, DEFAULT_COALESCE_GAP};
-pub use fault::{ChaosConfig, FaultInjector, FaultKind};
+pub use fault::{ChaosConfig, FaultInjector, FaultKind, OutageKind, OutageVerdict, OutageWindow};
 pub use fs::FsStore;
 pub use fxhash::{FxHashMap, FxHashSet};
+pub use health::{Admit, BreakerState, HealthConfig, HealthTracker};
 pub use latency::{LatencyModel, PrefixThrottle, ThrottleMode};
 pub use memory::MemoryStore;
 pub use parallel::{
@@ -54,7 +56,7 @@ pub use parallel::{
     ordered_parallel_map_threshold, ordered_pipeline, SMALL_BATCH_INLINE,
 };
 pub use pool::{Offer, WorkerPool};
-pub use retry::{RetryPolicy, RetryStore};
+pub use retry::{current_deadline_ms, push_deadline, DeadlineGuard, RetryPolicy, RetryStore};
 pub use singleflight::SingleFlight;
 pub use stats::{RequestStats, StatsSnapshot};
 
@@ -129,6 +131,38 @@ pub enum StoreError {
     /// internal error). The request may or may not have taken effect;
     /// retrying is safe for idempotent operations.
     Transient(&'static str),
+    /// The circuit breaker for this key's failure domain is open: the
+    /// request was rejected *without touching the backend*. Not
+    /// retryable — the whole point is to fail fast; callers should back
+    /// off for `retry_after_ms` or degrade.
+    BreakerOpen {
+        /// Failure domain (first key path segment) whose breaker tripped.
+        domain: String,
+        /// Suggested wait before trying the domain again, in ms.
+        retry_after_ms: u64,
+    },
+    /// The caller's deadline cannot accommodate another retry: the next
+    /// backoff wait would end past the deadline, so the retry loop stops
+    /// with this typed error instead of swallowing the sleep.
+    DeadlineExceeded {
+        /// Absolute deadline on the store clock, in milliseconds.
+        deadline_ms: u64,
+        /// Store-clock time when the retry loop gave up.
+        now_ms: u64,
+    },
+    /// Provenance wrapper added by the decorator stack when a fault
+    /// exhausts its retries: names the operation and key (and therefore
+    /// the failure domain) instead of surfacing a bare `Transient`.
+    /// Never wraps semantic outcomes (`NotFound` / `AlreadyExists` /
+    /// `InvalidRange`), so existing match sites keep working.
+    Context {
+        /// Store operation that failed (`"get"`, `"put"`, ...).
+        op: &'static str,
+        /// Key (or prefix) the operation targeted.
+        key: String,
+        /// The underlying error.
+        source: Box<StoreError>,
+    },
 }
 
 impl StoreError {
@@ -137,12 +171,43 @@ impl StoreError {
     /// Only rate-limit rejections and transient request failures are
     /// retryable. `Injected` faults model crashes and must surface;
     /// `NotFound` / `AlreadyExists` / `InvalidRange` / `Io` are
-    /// deterministic outcomes a retry cannot change.
+    /// deterministic outcomes a retry cannot change; `BreakerOpen` and
+    /// `DeadlineExceeded` exist precisely to *stop* retrying. A
+    /// `Context` wrapper classifies as its root cause.
     pub fn is_retryable(&self) -> bool {
         matches!(
-            self,
+            self.root(),
             StoreError::Throttled { .. } | StoreError::Transient(_)
         )
+    }
+
+    /// Drills through any [`StoreError::Context`] provenance wrappers to
+    /// the underlying error.
+    pub fn root(&self) -> &StoreError {
+        let mut cur = self;
+        while let StoreError::Context { source, .. } = cur {
+            cur = source;
+        }
+        cur
+    }
+
+    /// Wraps `self` in a [`StoreError::Context`] naming the failed
+    /// operation and key. Semantic outcomes (`NotFound`,
+    /// `AlreadyExists`, `InvalidRange`) pass through unwrapped — callers
+    /// match on them structurally — and an existing `Context` is kept
+    /// (the innermost annotation is the most precise).
+    pub fn with_context(self, op: &'static str, key: &str) -> StoreError {
+        match self {
+            StoreError::NotFound(_)
+            | StoreError::AlreadyExists(_)
+            | StoreError::InvalidRange { .. }
+            | StoreError::Context { .. } => self,
+            other => StoreError::Context {
+                op,
+                key: key.to_string(),
+                source: Box::new(other),
+            },
+        }
     }
 }
 
@@ -168,6 +233,27 @@ impl std::fmt::Display for StoreError {
                 )
             }
             StoreError::Transient(m) => write!(f, "transient failure: {m}"),
+            StoreError::BreakerOpen {
+                domain,
+                retry_after_ms,
+            } => {
+                write!(
+                    f,
+                    "circuit breaker open for domain '{domain}', retry after {retry_after_ms}ms"
+                )
+            }
+            StoreError::DeadlineExceeded {
+                deadline_ms,
+                now_ms,
+            } => {
+                write!(
+                    f,
+                    "deadline {deadline_ms}ms cannot fit another retry (now {now_ms}ms)"
+                )
+            }
+            StoreError::Context { op, key, source } => {
+                write!(f, "{op} {key}: {source}")
+            }
         }
     }
 }
@@ -308,6 +394,14 @@ pub trait ObjectStore: Send + Sync {
     fn record_dedup(&self, n: u64) {
         let _ = n;
     }
+
+    /// Reports health-subsystem activity performed by a wrapping
+    /// [`RetryStore`]: requests rejected by an open circuit breaker and
+    /// retries denied by an empty retry budget. Backends without stats
+    /// ignore it.
+    fn record_health(&self, breaker_rejections: u64, retry_tokens_denied: u64) {
+        let _ = (breaker_rejections, retry_tokens_denied);
+    }
 }
 
 /// Allocates a fresh process-unique [`store_id`](ObjectStore::store_id).
@@ -377,6 +471,9 @@ impl<T: ObjectStore + ?Sized> ObjectStore for &T {
     }
     fn record_dedup(&self, n: u64) {
         (**self).record_dedup(n)
+    }
+    fn record_health(&self, breaker_rejections: u64, retry_tokens_denied: u64) {
+        (**self).record_health(breaker_rejections, retry_tokens_denied)
     }
 }
 
@@ -454,6 +551,44 @@ mod tests {
             end: 3
         }
         .is_retryable());
+        assert!(!StoreError::BreakerOpen {
+            domain: "idx".into(),
+            retry_after_ms: 100
+        }
+        .is_retryable());
+        assert!(!StoreError::DeadlineExceeded {
+            deadline_ms: 10,
+            now_ms: 11
+        }
+        .is_retryable());
+        // Context classifies as its root cause.
+        assert!(StoreError::Transient("timeout")
+            .with_context("get", "idx/meta/0")
+            .is_retryable());
+        assert!(!StoreError::Io("disk".into())
+            .with_context("put", "tbl/f")
+            .is_retryable());
+    }
+
+    #[test]
+    fn context_wrapping_preserves_semantics_and_provenance() {
+        // Semantic outcomes pass through unwrapped so structural matches
+        // at call sites keep working.
+        assert!(matches!(
+            StoreError::NotFound("k".into()).with_context("get", "k"),
+            StoreError::NotFound(_)
+        ));
+        assert!(matches!(
+            StoreError::AlreadyExists("k".into()).with_context("put_if_absent", "k"),
+            StoreError::AlreadyExists(_)
+        ));
+        // Faults gain op + key, visible in Display and via root().
+        let e = StoreError::Transient("timeout").with_context("get", "idx/meta/0");
+        assert_eq!(e.to_string(), "get idx/meta/0: transient failure: timeout");
+        assert_eq!(e.root(), &StoreError::Transient("timeout"));
+        // Double wrapping keeps the innermost (most precise) annotation.
+        let e2 = e.clone().with_context("get_ranges", "idx");
+        assert_eq!(e2, e);
     }
 
     #[test]

@@ -176,6 +176,18 @@ impl MemoryStore {
         e
     }
 
+    /// Evaluates scheduled outage windows for an operation on `key`:
+    /// charges storm/stall latency to the clock and reports whether the
+    /// operation must fail. Runs *after* the chaos rolls so scheduling an
+    /// outage never perturbs the deterministic chaos stream.
+    fn outage_fails(&self, key: &str) -> bool {
+        let v = self.faults.outage_verdict(key, self.clock.now_ms());
+        if v.extra_us > 0 {
+            self.clock.advance_micros(v.extra_us);
+        }
+        v.fail
+    }
+
     fn apply_put(&self, key: &str, data: Bytes) {
         self.clock
             .advance_micros(self.latency.put_us(data.len() as u64));
@@ -221,6 +233,12 @@ impl ObjectStore for MemoryStore {
             self.apply_put(key, data);
             return Err(self.faulted(StoreError::Transient("put ack lost")));
         }
+        if self.outage_fails(key) {
+            self.clock
+                .advance_micros(self.latency.put_us(data.len() as u64));
+            self.stats.record_put(data.len() as u64);
+            return Err(self.faulted(StoreError::Transient("outage: put failed")));
+        }
         self.apply_put(key, data);
         Ok(())
     }
@@ -248,6 +266,12 @@ impl ObjectStore for MemoryStore {
             let _ = self.apply_put_if_absent(key, data);
             return Err(self.faulted(StoreError::Transient("put ack lost")));
         }
+        if self.outage_fails(key) {
+            self.clock
+                .advance_micros(self.latency.put_us(data.len() as u64));
+            self.stats.record_put(data.len() as u64);
+            return Err(self.faulted(StoreError::Transient("outage: put failed")));
+        }
         self.apply_put_if_absent(key, data)
     }
 
@@ -258,6 +282,11 @@ impl ObjectStore for MemoryStore {
             self.clock.advance_micros(self.latency.get_first_byte_us);
             self.stats.record_get(0);
             return Err(self.faulted(StoreError::Transient("chaos: get timed out")));
+        }
+        if self.outage_fails(key) {
+            self.clock.advance_micros(self.latency.get_first_byte_us);
+            self.stats.record_get(0);
+            return Err(self.faulted(StoreError::Transient("outage: get failed")));
         }
         let data = {
             let objects = self.objects.read();
@@ -280,6 +309,11 @@ impl ObjectStore for MemoryStore {
             self.clock.advance_micros(self.latency.get_first_byte_us);
             self.stats.record_get(0);
             return Err(self.faulted(StoreError::Transient("chaos: get timed out")));
+        }
+        if self.outage_fails(key) {
+            self.clock.advance_micros(self.latency.get_first_byte_us);
+            self.stats.record_get(0);
+            return Err(self.faulted(StoreError::Transient("outage: get failed")));
         }
         let mut data = {
             let objects = self.objects.read();
@@ -329,6 +363,11 @@ impl ObjectStore for MemoryStore {
                     self.stats.record_gets(issued, 0);
                     return Err(self.faulted(StoreError::Transient("chaos: get timed out")));
                 }
+                if self.outage_fails(&req.key) {
+                    self.clock.advance_micros(self.latency.get_first_byte_us);
+                    self.stats.record_gets(issued, 0);
+                    return Err(self.faulted(StoreError::Transient("outage: get failed")));
+                }
                 let obj = objects
                     .get(&req.key)
                     .ok_or_else(|| StoreError::NotFound(req.key.clone()))?;
@@ -366,6 +405,9 @@ impl ObjectStore for MemoryStore {
         if self.faults.chaos_get().fail {
             return Err(self.faulted(StoreError::Transient("chaos: head timed out")));
         }
+        if self.outage_fails(key) {
+            return Err(self.faulted(StoreError::Transient("outage: head failed")));
+        }
         let objects = self.objects.read();
         let obj = objects
             .get(key)
@@ -379,6 +421,10 @@ impl ObjectStore for MemoryStore {
 
     fn list(&self, prefix: &str) -> Result<Vec<ObjectMeta>> {
         self.stats.record_list();
+        if self.outage_fails(prefix) {
+            self.clock.advance_micros(self.latency.small_op_us);
+            return Err(self.faulted(StoreError::Transient("outage: list failed")));
+        }
         let objects = self.objects.read();
         let metas: Vec<ObjectMeta> = objects
             .range(prefix.to_string()..)
@@ -402,6 +448,9 @@ impl ObjectStore for MemoryStore {
         if self.faults.chaos_delete() {
             return Err(self.faulted(StoreError::Transient("chaos: delete timed out")));
         }
+        if self.outage_fails(key) {
+            return Err(self.faulted(StoreError::Transient("outage: delete failed")));
+        }
         self.objects.write().remove(key);
         Ok(())
     }
@@ -420,6 +469,11 @@ impl ObjectStore for MemoryStore {
 
     fn record_retry(&self, retries: u64, backoff_ms: u64) {
         self.stats.record_retry(retries, backoff_ms);
+    }
+
+    fn record_health(&self, breaker_rejections: u64, retry_tokens_denied: u64) {
+        self.stats
+            .record_health(breaker_rejections, retry_tokens_denied);
     }
 
     fn coalesce_gap(&self) -> Option<u64> {
@@ -755,5 +809,70 @@ mod tests {
         s.put("b/z", Bytes::from(vec![0u8; 40])).unwrap();
         assert_eq!(s.total_bytes(), 70);
         assert_eq!(s.bytes_under("a/"), 30);
+    }
+
+    #[test]
+    fn outage_window_fails_every_op_kind_inside_its_span() {
+        let s = store();
+        s.put("idx/a", Bytes::from_static(b"v")).unwrap();
+        s.faults()
+            .schedule_outage(crate::OutageWindow::full(10, 20));
+
+        // Before the window opens every op still works.
+        assert!(s.get("idx/a").is_ok());
+
+        let clock = ObjectStore::clock(s.as_ref()).unwrap();
+        clock.advance_ms(10);
+        let msg = |e: StoreError| e.to_string();
+        assert!(msg(s.get("idx/a").unwrap_err()).contains("outage"));
+        assert!(msg(s.head("idx/a").unwrap_err()).contains("outage"));
+        assert!(msg(s.list("idx/").unwrap_err()).contains("outage"));
+        assert!(msg(s.delete("idx/a").unwrap_err()).contains("outage"));
+        assert!(msg(s.put("idx/b", Bytes::from_static(b"w")).unwrap_err()).contains("outage"));
+        assert!(msg(s
+            .get_ranges(&[RangeRequest::new("idx/a", 0..1)])
+            .unwrap_err())
+        .contains("outage"));
+
+        // The window end is exclusive: at 20ms service resumes, and the
+        // failed delete/put left no partial state behind.
+        clock.advance_ms(10);
+        assert_eq!(s.get("idx/a").unwrap(), Bytes::from_static(b"v"));
+        assert!(matches!(s.get("idx/b"), Err(StoreError::NotFound(_))));
+    }
+
+    #[test]
+    fn domain_outage_only_fails_the_matching_prefix() {
+        let s = store();
+        s.put("idx/a", Bytes::from_static(b"i")).unwrap();
+        s.put("tbl/b", Bytes::from_static(b"t")).unwrap();
+        s.faults()
+            .schedule_outage(crate::OutageWindow::domain("idx/", 0, 1_000));
+
+        assert!(s.get("idx/a").unwrap_err().to_string().contains("outage"));
+        assert!(s.list("idx/").is_err());
+        // The table domain rides through untouched.
+        assert_eq!(s.get("tbl/b").unwrap(), Bytes::from_static(b"t"));
+        assert!(s.list("tbl/").is_ok());
+
+        // clear_outages cancels the schedule immediately.
+        s.faults().clear_outages();
+        assert_eq!(s.get("idx/a").unwrap(), Bytes::from_static(b"i"));
+    }
+
+    #[test]
+    fn latency_storm_slows_ops_without_failing_them() {
+        let s = store();
+        s.put("idx/a", Bytes::from_static(b"v")).unwrap();
+        let clock = ObjectStore::clock(s.as_ref()).unwrap();
+        let start = clock.now_micros();
+        s.faults()
+            .schedule_outage(crate::OutageWindow::storm(0, 1_000, 5));
+
+        assert_eq!(s.get("idx/a").unwrap(), Bytes::from_static(b"v"));
+        assert!(
+            clock.now_micros() - start >= 5_000,
+            "storm charges its extra latency"
+        );
     }
 }

@@ -20,13 +20,69 @@
 //!   responses shorter than they should be and retries them; a `HEAD`
 //!   distinguishes real tearing from S3's legitimate truncation of ranges
 //!   running past the end of the object.
+//!
+//! The decorator is also the enforcement point of the store-health
+//! subsystem ([`crate::health`]):
+//!
+//! * Every operation is admitted against its failure domain's circuit
+//!   breaker first — an open breaker fails fast with a typed
+//!   [`StoreError::BreakerOpen`] that never touches the backend.
+//! * Each retry spends a token from the shared retry budget; when the
+//!   bucket is empty (a correlated outage drains it), retrying stops
+//!   fleet-wide and the original fault surfaces with op/key provenance
+//!   ([`StoreError::Context`]).
+//! * A caller-scoped deadline ([`push_deadline`]) stops the loop with a
+//!   typed [`StoreError::DeadlineExceeded`] once the next backoff wait
+//!   cannot finish before the deadline — retries never silently burn
+//!   time past the query budget.
+//! * Operation outcomes (success / terminal retryable failure) feed the
+//!   tracker, so breakers trip on *exhausted operations*, not individual
+//!   attempt hiccups — independent per-attempt chaos that retries absorb
+//!   never opens a breaker, a correlated outage opens it within a
+//!   handful of operations.
 
+use std::cell::Cell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use bytes::Bytes;
 
+use crate::health::{Admit, BreakerState, HealthTracker};
 use crate::{ObjectMeta, ObjectStore, RangeRequest, Result, SimClock, StatsSnapshot, StoreError};
+
+thread_local! {
+    static DEADLINE_MS: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Installs an absolute store-clock deadline (milliseconds) for retry
+/// loops on the current thread; restores the previous deadline on drop.
+///
+/// Thread-locals do not cross into pool workers — fan-out closures must
+/// re-install the deadline on the worker (the same discipline as the
+/// parallel helpers' lane state).
+#[must_use = "the deadline is uninstalled when the guard drops"]
+pub struct DeadlineGuard {
+    prev: Option<u64>,
+}
+
+/// Scopes `deadline_ms` as the current thread's retry deadline.
+pub fn push_deadline(deadline_ms: Option<u64>) -> DeadlineGuard {
+    let prev = DEADLINE_MS.with(|d| d.replace(deadline_ms));
+    DeadlineGuard { prev }
+}
+
+/// The retry deadline currently in scope on this thread, if any.
+pub fn current_deadline_ms() -> Option<u64> {
+    DEADLINE_MS.with(|d| d.get())
+}
+
+impl Drop for DeadlineGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        DEADLINE_MS.with(|d| d.set(prev));
+    }
+}
 
 /// Retry/backoff parameters for a [`RetryStore`].
 #[derive(Debug, Clone)]
@@ -94,13 +150,27 @@ pub struct RetryStore<S> {
     inner: S,
     policy: RetryPolicy,
     rng: AtomicU64,
+    health: Arc<HealthTracker>,
 }
 
 impl<S: ObjectStore> RetryStore<S> {
-    /// Wraps `inner` with the given retry policy.
+    /// Wraps `inner` with the given retry policy and a fresh
+    /// default-tuned [`HealthTracker`].
     pub fn new(inner: S, policy: RetryPolicy) -> Self {
+        Self::with_health(inner, policy, HealthTracker::shared())
+    }
+
+    /// Wraps `inner` sharing an existing health tracker — decorator
+    /// stacks (hedge lanes, the serve layer) share one tracker so every
+    /// layer sees the same breakers and retry budget.
+    pub fn with_health(inner: S, policy: RetryPolicy, health: Arc<HealthTracker>) -> Self {
         let rng = AtomicU64::new(policy.jitter_seed ^ 0xA076_1D64_78BD_642F);
-        Self { inner, policy, rng }
+        Self {
+            inner,
+            policy,
+            rng,
+            health,
+        }
     }
 
     /// The wrapped store.
@@ -111,6 +181,11 @@ impl<S: ObjectStore> RetryStore<S> {
     /// The policy in effect.
     pub fn policy(&self) -> &RetryPolicy {
         &self.policy
+    }
+
+    /// The health tracker this decorator feeds and enforces.
+    pub fn health(&self) -> &Arc<HealthTracker> {
+        &self.health
     }
 
     fn next_unit(&self) -> f64 {
@@ -151,25 +226,108 @@ impl<S: ObjectStore> RetryStore<S> {
         }
     }
 
-    /// Runs `op` under the retry loop.
-    fn run<T>(&self, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+    /// Checks the breaker for `key`'s failure domain; `Ok(true)` means
+    /// this operation holds a half-open probe slot the caller must
+    /// balance with a `record_success` / `record_failure` /
+    /// `release_probe` on the tracker.
+    fn admit_key(&self, key: &str) -> Result<bool> {
+        match self.health.admit(key, self.inner.now_ms()) {
+            Admit::Allow => Ok(false),
+            Admit::Probe => Ok(true),
+            Admit::Reject { retry_after_ms } => {
+                self.inner.record_health(1, 0);
+                Err(StoreError::BreakerOpen {
+                    domain: HealthTracker::domain_of(key).to_string(),
+                    retry_after_ms,
+                })
+            }
+        }
+    }
+
+    /// Terminal failure of a retryable fault: report stats, feed the
+    /// breaker one operation-level failure, attach provenance.
+    fn fail_op<T>(
+        &self,
+        op: &'static str,
+        key: &str,
+        e: StoreError,
+        retries: u64,
+        waited_ms: u64,
+    ) -> Result<T> {
+        self.report(retries, waited_ms);
+        self.health.record_failure(key, self.inner.now_ms());
+        Err(e.with_context(op, key))
+    }
+
+    /// Terminal non-retryable outcome: semantic errors count as backend
+    /// health (the store answered authoritatively); crash-model and
+    /// cancellation faults are neutral and only release a held probe.
+    fn settle_terminal(&self, key: &str, e: &StoreError, probe: bool) {
+        match e.root() {
+            StoreError::NotFound(_)
+            | StoreError::AlreadyExists(_)
+            | StoreError::InvalidRange { .. } => {
+                self.health.record_success(key, self.inner.now_ms());
+            }
+            _ => {
+                if probe {
+                    self.health.release_probe(key);
+                }
+            }
+        }
+    }
+
+    /// Runs `call` under the retry loop for operation `op` on `key`.
+    fn run_op<T>(
+        &self,
+        op: &'static str,
+        key: &str,
+        mut call: impl FnMut() -> Result<T>,
+    ) -> Result<T> {
+        let probe = self.admit_key(key)?;
         let budget = self.policy.max_attempts.max(1);
         let mut retries = 0u64;
         let mut waited_ms = 0u64;
         for attempt in 0..budget {
-            match op() {
+            match call() {
                 Ok(v) => {
                     self.report(retries, waited_ms);
+                    self.health.record_success(key, self.inner.now_ms());
                     return Ok(v);
                 }
-                Err(e) if e.is_retryable() && attempt + 1 < budget => {
+                Err(e) if e.is_retryable() && !crate::cancel::is_cancelled(&e) => {
+                    if attempt + 1 >= budget {
+                        return self.fail_op(op, key, e, retries, waited_ms);
+                    }
+                    let now = self.inner.now_ms();
+                    // A breaker that opened mid-operation (correlated
+                    // collapse observed by sibling ops) stops this loop
+                    // too — keep hammering an outage helps nobody.
+                    if self.health.state(HealthTracker::domain_of(key), now) == BreakerState::Open {
+                        return self.fail_op(op, key, e, retries, waited_ms);
+                    }
                     let wait = self.wait_ms(attempt, &e);
+                    if let Some(deadline_ms) = current_deadline_ms() {
+                        if now.saturating_add(wait) > deadline_ms {
+                            self.report(retries, waited_ms);
+                            self.health.record_failure(key, now);
+                            return Err(StoreError::DeadlineExceeded {
+                                deadline_ms,
+                                now_ms: now,
+                            });
+                        }
+                    }
+                    if !self.health.try_spend_retry_token() {
+                        self.inner.record_health(0, 1);
+                        return self.fail_op(op, key, e, retries, waited_ms);
+                    }
                     self.sleep(wait);
                     waited_ms += wait;
                     retries += 1;
                 }
                 Err(e) => {
                     self.report(retries, waited_ms);
+                    self.settle_terminal(key, &e, probe);
                     return Err(e);
                 }
             }
@@ -201,10 +359,11 @@ impl<S: ObjectStore> ObjectStore for RetryStore<S> {
     fn put(&self, key: &str, data: Bytes) -> Result<()> {
         // Unconditional PUT is idempotent: an ack-lost write that landed is
         // indistinguishable from the retry landing, so plain retry is safe.
-        self.run(|| self.inner.put(key, data.clone()))
+        self.run_op("put", key, || self.inner.put(key, data.clone()))
     }
 
     fn put_if_absent(&self, key: &str, data: Bytes) -> Result<()> {
+        let probe = self.admit_key(key)?;
         let budget = self.policy.max_attempts.max(1);
         let mut retries = 0u64;
         let mut waited_ms = 0u64;
@@ -215,6 +374,7 @@ impl<S: ObjectStore> ObjectStore for RetryStore<S> {
             match self.inner.put_if_absent(key, data.clone()) {
                 Ok(()) => {
                     self.report(retries, waited_ms);
+                    self.health.record_success(key, self.inner.now_ms());
                     return Ok(());
                 }
                 Err(StoreError::AlreadyExists(k)) if ambiguous => {
@@ -223,21 +383,44 @@ impl<S: ObjectStore> ObjectStore for RetryStore<S> {
                     // reporting "conflict" for our own write would make the
                     // caller re-commit the same operation under a new key.
                     self.report(retries, waited_ms);
-                    return match self.run(|| self.inner.get(key)) {
+                    self.health.record_success(key, self.inner.now_ms());
+                    return match self.run_op("get", key, || self.inner.get(key)) {
                         Ok(winner) if winner == data => Ok(()),
                         Ok(_) => Err(StoreError::AlreadyExists(k)),
                         Err(e) => Err(e),
                     };
                 }
-                Err(e) if e.is_retryable() && attempt + 1 < budget => {
-                    ambiguous = true;
+                Err(e) if e.is_retryable() && !crate::cancel::is_cancelled(&e) => {
+                    if attempt + 1 >= budget {
+                        return self.fail_op("put_if_absent", key, e, retries, waited_ms);
+                    }
+                    let now = self.inner.now_ms();
+                    if self.health.state(HealthTracker::domain_of(key), now) == BreakerState::Open {
+                        return self.fail_op("put_if_absent", key, e, retries, waited_ms);
+                    }
                     let wait = self.wait_ms(attempt, &e);
+                    if let Some(deadline_ms) = current_deadline_ms() {
+                        if now.saturating_add(wait) > deadline_ms {
+                            self.report(retries, waited_ms);
+                            self.health.record_failure(key, now);
+                            return Err(StoreError::DeadlineExceeded {
+                                deadline_ms,
+                                now_ms: now,
+                            });
+                        }
+                    }
+                    if !self.health.try_spend_retry_token() {
+                        self.inner.record_health(0, 1);
+                        return self.fail_op("put_if_absent", key, e, retries, waited_ms);
+                    }
+                    ambiguous = true;
                     self.sleep(wait);
                     waited_ms += wait;
                     retries += 1;
                 }
                 Err(e) => {
                     self.report(retries, waited_ms);
+                    self.settle_terminal(key, &e, probe);
                     return Err(e);
                 }
             }
@@ -246,11 +429,11 @@ impl<S: ObjectStore> ObjectStore for RetryStore<S> {
     }
 
     fn get(&self, key: &str) -> Result<Bytes> {
-        self.run(|| self.inner.get(key))
+        self.run_op("get", key, || self.inner.get(key))
     }
 
     fn get_range(&self, key: &str, range: Range<u64>) -> Result<Bytes> {
-        self.run(|| {
+        self.run_op("get_range", key, || {
             let data = self.inner.get_range(key, range.clone())?;
             self.verify_range(key, &range, &data)?;
             Ok(data)
@@ -263,8 +446,13 @@ impl<S: ObjectStore> ObjectStore for RetryStore<S> {
         // under a per-request fault rate practically unfinishable (every
         // attempt re-rolls every sub-request). Like a real S3 client, issue
         // the batch once and retry only the affected entries individually.
+        let Some(first) = requests.first() else {
+            return self.inner.get_ranges(requests);
+        };
+        let probe = self.admit_key(&first.key)?;
         match self.inner.get_ranges(requests) {
             Ok(mut out) => {
+                self.health.record_success(&first.key, self.inner.now_ms());
                 if self.policy.verify_short_reads {
                     for (i, req) in requests.iter().enumerate() {
                         if self.verify_range(&req.key, &req.range, &out[i]).is_err() {
@@ -274,28 +462,45 @@ impl<S: ObjectStore> ObjectStore for RetryStore<S> {
                 }
                 Ok(out)
             }
-            Err(e) if e.is_retryable() && self.policy.enabled() => {
+            Err(e)
+                if e.is_retryable()
+                    && !crate::cancel::is_cancelled(&e)
+                    && self.policy.enabled() =>
+            {
+                // The per-entry re-issues below do their own breaker
+                // admission and budget spends; the batch itself resolves
+                // neutrally.
+                if probe {
+                    self.health.release_probe(&first.key);
+                }
                 self.inner.record_retry(1, 0);
                 requests
                     .iter()
                     .map(|req| self.get_range(&req.key, req.range.clone()))
                     .collect()
             }
-            Err(e) => Err(e),
+            Err(e) if e.is_retryable() && !crate::cancel::is_cancelled(&e) => {
+                self.health.record_failure(&first.key, self.inner.now_ms());
+                Err(e.with_context("get_ranges", &first.key))
+            }
+            Err(e) => {
+                self.settle_terminal(&first.key, &e, probe);
+                Err(e)
+            }
         }
     }
 
     fn head(&self, key: &str) -> Result<ObjectMeta> {
-        self.run(|| self.inner.head(key))
+        self.run_op("head", key, || self.inner.head(key))
     }
 
     fn list(&self, prefix: &str) -> Result<Vec<ObjectMeta>> {
-        self.run(|| self.inner.list(prefix))
+        self.run_op("list", prefix, || self.inner.list(prefix))
     }
 
     fn delete(&self, key: &str) -> Result<()> {
         // DELETE is idempotent (deleting a missing key succeeds).
-        self.run(|| self.inner.delete(key))
+        self.run_op("delete", key, || self.inner.delete(key))
     }
 
     fn now_ms(&self) -> u64 {
@@ -340,6 +545,11 @@ impl<S: ObjectStore> ObjectStore for RetryStore<S> {
 
     fn record_dedup(&self, n: u64) {
         self.inner.record_dedup(n);
+    }
+
+    fn record_health(&self, breaker_rejections: u64, retry_tokens_denied: u64) {
+        self.inner
+            .record_health(breaker_rejections, retry_tokens_denied);
     }
 }
 
@@ -603,5 +813,129 @@ mod tests {
         retry.put("k", Bytes::from_static(b"v")).unwrap();
         assert_eq!(retry.get("k").unwrap(), Bytes::from_static(b"v"));
         assert_eq!(retry.list("").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn correlated_failures_open_the_breaker_and_fail_fast() {
+        let store = MemoryStore::unmetered();
+        store.put("idx/k", Bytes::from_static(b"v")).unwrap();
+        store.faults().set_chaos(Some(ChaosConfig {
+            get_fail_p: 1.0,
+            ..ChaosConfig::uniform(1, 0.0)
+        }));
+        let health = Arc::new(HealthTracker::new(crate::HealthConfig {
+            consecutive_failures: 3,
+            cooldown_ms: 10_000,
+            ..crate::HealthConfig::default()
+        }));
+        let retry = RetryStore::with_health(
+            store.as_ref(),
+            RetryPolicy {
+                max_attempts: 2,
+                base_backoff_ms: 1,
+                max_backoff_ms: 2,
+                ..RetryPolicy::default()
+            },
+            health.clone(),
+        );
+
+        // Three exhausted operations trip the breaker for the `idx` domain.
+        for _ in 0..3 {
+            assert!(retry.get("idx/k").is_err());
+        }
+        assert_eq!(
+            health.state("idx", store.now_ms()),
+            BreakerState::Open,
+            "terminal failures opened the breaker"
+        );
+
+        // The fourth call is rejected at admission: typed, zero backend
+        // traffic, counted in the store's health stats.
+        let before = store.stats();
+        let err = retry.get("idx/k").unwrap_err();
+        assert!(
+            matches!(err.root(), StoreError::BreakerOpen { domain, .. } if domain == "idx"),
+            "typed breaker rejection, got {err:?}"
+        );
+        let delta = store.stats().since(&before);
+        assert_eq!(delta.gets, 0, "open breaker never touches the backend");
+        assert_eq!(delta.breaker_rejections, 1);
+
+        // An unrelated domain is unaffected by idx's open breaker.
+        store.faults().set_chaos(None);
+        store.put("tbl/k", Bytes::from_static(b"t")).unwrap();
+        assert_eq!(retry.get("tbl/k").unwrap(), Bytes::from_static(b"t"));
+    }
+
+    #[test]
+    fn deadline_that_cannot_fit_a_backoff_fails_typed() {
+        let store = MemoryStore::unmetered();
+        store.put("idx/k", Bytes::from_static(b"v")).unwrap();
+        store.faults().set_chaos(Some(ChaosConfig {
+            get_fail_p: 1.0,
+            ..ChaosConfig::uniform(7, 0.0)
+        }));
+        let retry = RetryStore::new(
+            store.as_ref(),
+            RetryPolicy {
+                max_attempts: 10,
+                base_backoff_ms: 50,
+                max_backoff_ms: 100,
+                ..RetryPolicy::default()
+            },
+        );
+
+        // The caller's absolute deadline is 1ms away — no 50ms backoff can
+        // fit, so the first failure surfaces as DeadlineExceeded instead of
+        // a swallowed sleep.
+        let _guard = push_deadline(Some(store.now_ms() + 1));
+        let err = retry.get("idx/k").unwrap_err();
+        assert!(
+            matches!(err.root(), StoreError::DeadlineExceeded { .. }),
+            "typed deadline error, got {err:?}"
+        );
+        assert_eq!(store.stats().retries, 0, "no retry was attempted");
+    }
+
+    #[test]
+    fn exhausted_retry_budget_denies_retries_with_provenance() {
+        let store = MemoryStore::unmetered();
+        store.put("idx/k", Bytes::from_static(b"v")).unwrap();
+        store.faults().set_chaos(Some(ChaosConfig {
+            get_fail_p: 1.0,
+            ..ChaosConfig::uniform(3, 0.0)
+        }));
+        // One retry token, never refilled (every op fails), and a breaker
+        // that cannot interfere.
+        let health = Arc::new(HealthTracker::new(crate::HealthConfig {
+            consecutive_failures: u32::MAX,
+            error_rate_permille: 1001,
+            retry_budget_tokens: 1,
+            retry_refill_millitokens: 0,
+            ..crate::HealthConfig::default()
+        }));
+        let retry = RetryStore::with_health(
+            store.as_ref(),
+            RetryPolicy {
+                max_attempts: 4,
+                base_backoff_ms: 1,
+                max_backoff_ms: 2,
+                ..RetryPolicy::default()
+            },
+            health,
+        );
+
+        let err = retry.get("idx/k").unwrap_err();
+        assert!(
+            matches!(err, StoreError::Context { op: "get", ref key, .. } if key == "idx/k"),
+            "provenance names the failing op and key, got {err:?}"
+        );
+        assert!(err.root().is_retryable(), "the root cause is preserved");
+        let stats = store.stats();
+        assert_eq!(stats.retries, 1, "only the budgeted retry ran");
+        assert!(
+            stats.retry_tokens_denied >= 1,
+            "the denied retry is counted, got {stats:?}"
+        );
     }
 }

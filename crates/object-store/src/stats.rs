@@ -29,6 +29,8 @@ pub struct RequestStats {
     page_cache_bytes_saved: AtomicU64,
     page_cache_bypassed: AtomicU64,
     dedup_hits: AtomicU64,
+    breaker_rejections: AtomicU64,
+    retry_tokens_denied: AtomicU64,
 }
 
 impl RequestStats {
@@ -118,6 +120,16 @@ impl RequestStats {
         self.dedup_hits.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records health-subsystem activity reported by a wrapping
+    /// `RetryStore`: requests rejected by an open circuit breaker and
+    /// retries denied by an empty retry budget.
+    pub fn record_health(&self, breaker_rejections: u64, retry_tokens_denied: u64) {
+        self.breaker_rejections
+            .fetch_add(breaker_rejections, Ordering::Relaxed);
+        self.retry_tokens_denied
+            .fetch_add(retry_tokens_denied, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -141,6 +153,8 @@ impl RequestStats {
             page_cache_bytes_saved: self.page_cache_bytes_saved.load(Ordering::Relaxed),
             page_cache_bypassed: self.page_cache_bypassed.load(Ordering::Relaxed),
             dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            breaker_rejections: self.breaker_rejections.load(Ordering::Relaxed),
+            retry_tokens_denied: self.retry_tokens_denied.load(Ordering::Relaxed),
         }
     }
 }
@@ -193,6 +207,12 @@ pub struct StatsSnapshot {
     /// Reads served by joining another caller's identical in-flight
     /// request (single-flight deduplication); each is a GET nobody paid.
     pub dedup_hits: u64,
+    /// Requests rejected fast by an open circuit breaker — each is a
+    /// request the backend never saw.
+    pub breaker_rejections: u64,
+    /// Retries the shared retry budget refused to fund (the bucket was
+    /// empty — a correlated-failure signature).
+    pub retry_tokens_denied: u64,
 }
 
 impl StatsSnapshot {
@@ -220,6 +240,8 @@ impl StatsSnapshot {
             page_cache_bytes_saved: self.page_cache_bytes_saved - earlier.page_cache_bytes_saved,
             page_cache_bypassed: self.page_cache_bypassed - earlier.page_cache_bypassed,
             dedup_hits: self.dedup_hits - earlier.dedup_hits,
+            breaker_rejections: self.breaker_rejections - earlier.breaker_rejections,
+            retry_tokens_denied: self.retry_tokens_denied - earlier.retry_tokens_denied,
         }
     }
 
@@ -277,6 +299,23 @@ mod tests {
         assert_eq!(delta.retries, 1);
         assert_eq!(delta.backoff_ms, 50);
         assert_eq!(delta.faults_injected, 0);
+    }
+
+    #[test]
+    fn health_counters_accumulate_and_diff() {
+        let stats = RequestStats::default();
+        stats.record_health(2, 0);
+        stats.record_health(1, 3);
+        let snap = stats.snapshot();
+        assert_eq!(snap.breaker_rejections, 3);
+        assert_eq!(snap.retry_tokens_denied, 3);
+        // Rejected requests never reached the backend — not billable.
+        assert_eq!(snap.total_requests(), 0);
+
+        stats.record_health(0, 1);
+        let delta = stats.snapshot().since(&snap);
+        assert_eq!(delta.breaker_rejections, 0);
+        assert_eq!(delta.retry_tokens_denied, 1);
     }
 
     #[test]

@@ -154,6 +154,14 @@ pub enum ShedReason {
         /// Client hint: when the budget window rolls over.
         retry_after_ms: u64,
     },
+    /// The service is in brownout (the index domain's circuit breaker is
+    /// open) and batch-class work is shed first so the degraded capacity
+    /// serves interactive queries.
+    Brownout {
+        /// Client hint: the breaker cooldown — earliest the service could
+        /// be probing its way back to normal.
+        retry_after_ms: u64,
+    },
 }
 
 impl ShedReason {
@@ -173,6 +181,10 @@ impl ShedReason {
                      deadline {deadline_ms}ms"
                 ),
                 retry_after_ms: estimated_finish_ms.saturating_sub(deadline_ms).max(1),
+            },
+            ShedReason::Brownout { retry_after_ms } => RottnestError::Overloaded {
+                reason: "brownout: index domain breaker open, batch shed first".to_string(),
+                retry_after_ms,
             },
             ShedReason::TenantBudget { retry_after_ms } => RottnestError::Overloaded {
                 reason: "tenant budget exhausted".to_string(),

@@ -39,5 +39,5 @@ pub use admission::{
     estimate_finish_ms, virtual_finish_tag, Admission, AdmissionConfig, Permit, QueryClass,
     ShedReason, WFQ_SCALE,
 };
-pub use service::{QueryService, ServiceConfig, ServiceStats};
+pub use service::{QueryService, ServeMode, ServiceConfig, ServiceStats};
 pub use sim::{simulate, SimConfig, SimReport};

@@ -56,6 +56,21 @@ pub struct ServiceConfig {
     pub default_timeout_ms: Option<u64>,
 }
 
+/// The service's operating mode with respect to store health.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// The index domain is healthy; queries run the indexed path.
+    Normal,
+    /// The index domain's circuit breaker is open: searches skip index
+    /// probes (brute scans + caches keep results correct), and batch-class
+    /// queries are shed before admission so the degraded capacity serves
+    /// interactive traffic. The service leaves brownout by itself once the
+    /// breaker's half-open probes succeed — recovery traffic is bounded by
+    /// the probe slots plus the admission gate, so there is no thundering
+    /// herd at the moment the outage ends.
+    Brownout,
+}
+
 /// Service-level accounting across every request the service saw.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServiceStats {
@@ -78,6 +93,12 @@ pub struct ServiceStats {
     pub admitted_batch: u64,
     /// Batch-class requests among `queries_shed`.
     pub shed_batch: u64,
+    /// Admitted requests whose search ran in brownout mode (index probes
+    /// skipped because the index domain's breaker was open).
+    pub brownout_queries: u64,
+    /// Batch-class requests refused up front because the service was in
+    /// brownout (also counted under `queries_shed` / `shed_batch`).
+    pub brownout_shed: u64,
     /// Work done by the searches this service actually ran, absorbed
     /// per-outcome ([`SearchStats::absorb`]); the shed / abort / dedup
     /// counters above are mirrored into its matching fields.
@@ -134,6 +155,17 @@ impl<'r, 'a> QueryService<'r, 'a> {
     /// The admission controller (introspection and tests).
     pub fn admission(&self) -> &Admission {
         &self.admission
+    }
+
+    /// The service's current operating mode, read off the client's
+    /// store-health tracker (non-mutating — never consumes a half-open
+    /// probe slot).
+    pub fn mode(&self) -> ServeMode {
+        if self.rot.in_brownout() {
+            ServeMode::Brownout
+        } else {
+            ServeMode::Normal
+        }
     }
 
     /// A copy of the service-level accounting so far.
@@ -200,6 +232,19 @@ impl<'r, 'a> QueryService<'r, 'a> {
         class: QueryClass,
     ) -> rottnest::Result<SearchOutcome> {
         let now_ms = self.rot.store().now_ms();
+
+        // 0. Brownout: with the index domain's breaker open the service
+        // runs on brute-scan capacity only, so batch-class work is shed
+        // first (typed, before any budget is charged) and interactive
+        // queries ride the normal admission gate into the degraded path.
+        if class == QueryClass::Batch && self.mode() == ServeMode::Brownout {
+            self.note_shed(class);
+            self.stats.lock().brownout_shed += 1;
+            return Err(ShedReason::Brownout {
+                retry_after_ms: self.rot.health().config().cooldown_ms.max(1),
+            }
+            .into_error());
+        }
 
         // 1. Tenant budget (PrefixThrottle in rejecting mode; the "/q"
         // suffix makes the tenant id the throttled prefix).
@@ -277,6 +322,9 @@ impl<'r, 'a> QueryService<'r, 'a> {
         match &result {
             Ok(out) => {
                 st.completed += 1;
+                if out.stats.brownout_queries > 0 {
+                    st.brownout_queries += 1;
+                }
                 if deduped {
                     st.dedup_hits += 1;
                     st.search.dedup_hits += 1;

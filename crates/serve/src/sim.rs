@@ -37,6 +37,18 @@
 //! to sequential `service_ms` on its own thread, never blocks, never
 //! deadlocks. The modeled executor thread count is the fixed pool size
 //! rather than `max_concurrent × fanout`.
+//!
+//! With an outage window configured (`outage_end_ms > outage_start_ms`)
+//! the simulator replays the store-health policy: dispatches into the
+//! window fail typed after spending what the shared retry budget grants,
+//! `outage_breaker_fails` consecutive failures trip the circuit breaker,
+//! and while it is open the service browns out — batch arrivals shed
+//! first with a retry hint, interactive arrivals brute-scan at
+//! `brownout_service_ms`, and after each `outage_cooldown_ms` exactly one
+//! arrival plays the half-open probe (a failed probe re-arms the
+//! breaker; a successful one closes it and ends the brownout). The
+//! report's `retry_amplification`, `brownout_recovery_ms`, and
+//! `brownout_qps` quantify the bound this machinery enforces.
 
 use std::collections::VecDeque;
 
@@ -80,6 +92,26 @@ pub struct SimConfig {
     /// Per-query fan-out width: the overlap cap when `pool_workers > 0`
     /// (a query's service time never drops below `service_ms / fanout`).
     pub fanout: usize,
+    /// Start of a scheduled full outage of the index domain, virtual ms
+    /// (the store-health model: dispatches fail until the breaker trips).
+    /// Disabled unless `outage_end_ms > outage_start_ms`.
+    pub outage_start_ms: u64,
+    /// End of the outage window (exclusive), virtual ms.
+    pub outage_end_ms: u64,
+    /// Consecutive failed dispatches that trip the circuit breaker into
+    /// brownout.
+    pub outage_breaker_fails: u64,
+    /// Breaker cooldown: how long after a trip before one half-open probe
+    /// is attempted (a failed probe re-arms for another cooldown).
+    pub outage_cooldown_ms: u64,
+    /// Process-wide retry budget during the outage: total retries the
+    /// failing dispatches may spend before retries are denied (the token
+    /// bucket has no refill while nothing succeeds), capping request
+    /// amplification.
+    pub outage_retry_budget: u64,
+    /// Service time of a brownout-served interactive query, virtual ms —
+    /// the brute-scan path is slower than the indexed one.
+    pub brownout_service_ms: u64,
 }
 
 /// What came out of a simulation.
@@ -122,6 +154,20 @@ pub struct SimReport {
     /// `pool_workers > 0`, else one thread per concurrency slot per
     /// fan-out lane (the thread-per-slot executor this pool replaces).
     pub executor_threads: u64,
+    /// Requests sent to the outaged domain over the queries admitted
+    /// while it was down — `(failed attempts + budgeted retries + probes)
+    /// / admitted`. The retry budget plus the breaker bound this: after
+    /// the trip, admitted queries send the dead domain nothing. 0 when no
+    /// outage is configured.
+    pub retry_amplification: f64,
+    /// Virtual ms from the outage's end until the first successful
+    /// half-open probe completes and the breaker closes — how long the
+    /// service stayed in brownout past the fault itself.
+    pub brownout_recovery_ms: u64,
+    /// Interactive queries admitted in brownout mode per virtual second
+    /// of outage — the throughput the brute-scan path sustained while the
+    /// index domain was dark.
+    pub brownout_qps: f64,
 }
 
 const INTERACTIVE: usize = 0;
@@ -136,7 +182,13 @@ struct Queued {
     deadline: Option<u64>,
     slow: bool,
     hot: bool,
+    brownout: bool,
 }
+
+/// Retries one failing dispatch asks for before giving up — the store
+/// retry policy's `max_attempts - 1` (granted only while the shared
+/// budget has tokens).
+const OUTAGE_RETRIES_PER_OP: u64 = 2;
 
 /// Runs one open-arrival simulation. Pure and deterministic: the report
 /// is a function of the config alone.
@@ -161,12 +213,31 @@ pub fn simulate(cfg: SimConfig) -> SimReport {
     // Finish time of the in-flight hot query, if any.
     let mut hot_finish: Option<u64> = None;
 
+    // Store-health model state: a scheduled outage of the index domain
+    // fails dispatches until `outage_breaker_fails` consecutive failures
+    // trip the breaker; while open, interactive queries brown out to the
+    // brute path and batch sheds first; after each cooldown one arrival
+    // plays the half-open probe.
+    let outage_active = cfg.outage_end_ms > cfg.outage_start_ms;
+    let mut breaker_open = false;
+    let mut breaker_open_until = 0u64;
+    let mut consecutive_fails = 0u64;
+    let mut retry_tokens = cfg.outage_retry_budget;
+    let mut ops_sent = 0u64; // requests offered to the outaged domain
+    let mut outage_failed = 0u64; // admitted queries the outage killed
+    let mut brownout_served = 0u64; // interactive admitted in brownout
+    let mut recovery_ms: Option<u64> = None;
+
     // Serves one query on a server freeing at `free_at`, with `active`
     // queries (including this one) running at its start: returns the
     // finish time under the pool-overlap + straggler + hedge model.
     let mut serve = |q: Queued, free_at: u64, active: usize| -> u64 {
         let start = free_at.max(q.arrive);
-        let base_d = if q.slow {
+        let base_d = if q.brownout {
+            // Brownout: the index domain is dark, so the query brute-scans
+            // at the slower service time regardless of straggler rolls.
+            cfg.brownout_service_ms.max(1)
+        } else if q.slow {
             cfg.slow_service_ms.max(service_ms)
         } else {
             service_ms
@@ -246,6 +317,47 @@ pub fn simulate(cfg: SimConfig) -> SimReport {
         };
         dispatch_until!(t);
 
+        let mut brownout = false;
+        if outage_active {
+            let in_window = t >= cfg.outage_start_ms && t < cfg.outage_end_ms;
+            if breaker_open && t >= breaker_open_until {
+                // Half-open: this arrival is the single bounded probe —
+                // no thundering herd, everyone else stays browned out.
+                ops_sent += 1;
+                if in_window {
+                    // Probe fails; re-arm for another cooldown.
+                    breaker_open_until = t + cfg.outage_cooldown_ms.max(1);
+                } else {
+                    // Probe succeeds: the breaker closes when it finishes.
+                    breaker_open = false;
+                    recovery_ms.get_or_insert((t + service_ms).saturating_sub(cfg.outage_end_ms));
+                }
+            }
+            if breaker_open {
+                // Brownout: shed batch first; interactive rides the
+                // brute-scan path through normal admission below.
+                if class == BATCH {
+                    shed += 1;
+                    continue;
+                }
+                brownout = true;
+            } else if in_window {
+                // Pre-trip (or failed-probe window): the dispatch fails
+                // typed after spending what the retry budget grants.
+                outage_failed += 1;
+                let retries = retry_tokens.min(OUTAGE_RETRIES_PER_OP);
+                retry_tokens -= retries;
+                ops_sent += 1 + retries;
+                consecutive_fails += 1;
+                if consecutive_fails >= cfg.outage_breaker_fails.max(1) {
+                    breaker_open = true;
+                    breaker_open_until = t + cfg.outage_cooldown_ms.max(1);
+                    consecutive_fails = 0;
+                }
+                continue;
+            }
+        }
+
         if hot {
             if let Some(finish) = hot_finish {
                 if finish > t {
@@ -269,6 +381,7 @@ pub fn simulate(cfg: SimConfig) -> SimReport {
                 .expect("at least one server");
             admitted += 1;
             let slow = cfg.slow_every != 0 && admitted.is_multiple_of(cfg.slow_every);
+            brownout_served += u64::from(brownout);
             let q = Queued {
                 arrive: t,
                 vft: 0,
@@ -276,6 +389,7 @@ pub fn simulate(cfg: SimConfig) -> SimReport {
                 deadline,
                 slow,
                 hot,
+                brownout,
             };
             let active = servers.iter().filter(|&&f| f > t).count() + 1;
             let finish = serve(q, free_at, active);
@@ -308,6 +422,7 @@ pub fn simulate(cfg: SimConfig) -> SimReport {
             }
         }
         class_tag[class] = vft;
+        brownout_served += u64::from(brownout);
         queues[class].push_back(Queued {
             arrive: t,
             vft,
@@ -315,6 +430,7 @@ pub fn simulate(cfg: SimConfig) -> SimReport {
             deadline,
             slow: false, // decided at dispatch by the admitted ordinal
             hot,
+            brownout,
         });
     }
     // Drain whatever is still queued after the arrival window. No
@@ -367,6 +483,12 @@ pub fn simulate(cfg: SimConfig) -> SimReport {
         } else {
             cfg.max_concurrent.max(1) as u64 * cfg.fanout.max(1) as u64
         },
+        retry_amplification: ratio(ops_sent, outage_failed + brownout_served),
+        brownout_recovery_ms: recovery_ms.unwrap_or(0),
+        brownout_qps: ratio(
+            brownout_served * 1000,
+            cfg.outage_end_ms.saturating_sub(cfg.outage_start_ms),
+        ),
     }
 }
 
@@ -391,6 +513,12 @@ mod tests {
             hedge_threshold_ms: 0,
             pool_workers: 0,
             fanout: 1,
+            outage_start_ms: 0,
+            outage_end_ms: 0,
+            outage_breaker_fails: 0,
+            outage_cooldown_ms: 0,
+            outage_retry_budget: 0,
+            brownout_service_ms: 0,
         }
     }
 
@@ -572,6 +700,109 @@ mod tests {
         );
     }
 
+    /// 2x overload with a 3s full outage of the index domain mid-run.
+    fn outage_base() -> SimConfig {
+        SimConfig {
+            qps: 400, // 2x the 200 qps healthy ceiling
+            batch_every: 3,
+            deadline_budget_ms: Some(100),
+            outage_start_ms: 2_000,
+            outage_end_ms: 5_000,
+            outage_breaker_fails: 5,
+            outage_cooldown_ms: 200,
+            outage_retry_budget: 8,
+            brownout_service_ms: 40,
+            ..base()
+        }
+    }
+
+    #[test]
+    fn outage_brownout_bounds_amplification_and_recovers() {
+        let r = simulate(outage_base());
+        assert!(r.retry_amplification > 0.0, "the outage was offered load");
+        assert!(
+            r.retry_amplification <= 2.0,
+            "breaker + retry budget must bound amplification, got {}",
+            r.retry_amplification
+        );
+        assert!(
+            r.brownout_qps > 0.0,
+            "interactive queries must keep flowing on the brute path"
+        );
+        // Recovery is one cooldown past the window's last failed probe,
+        // plus the successful probe's own service time and at most one
+        // arrival gap before someone plays the probe.
+        let cfg = outage_base();
+        assert!(r.brownout_recovery_ms > 0, "breaker must have tripped");
+        let bound = cfg.outage_cooldown_ms + cfg.service_ms + 1000 / cfg.qps + 1;
+        assert!(
+            r.brownout_recovery_ms <= bound,
+            "recovery {} vs bound {bound}",
+            r.brownout_recovery_ms
+        );
+    }
+
+    #[test]
+    fn retry_budget_caps_amplification_even_without_the_breaker() {
+        // Breaker disabled (impossibly high threshold): every in-window
+        // arrival fails and asks for retries, but the shared budget still
+        // bounds offered load at admitted + budget.
+        let r = simulate(SimConfig {
+            outage_breaker_fails: u64::MAX,
+            ..outage_base()
+        });
+        assert!(
+            r.retry_amplification > 1.0,
+            "early failures spend real retries"
+        );
+        assert!(
+            r.retry_amplification <= 2.0,
+            "budget must cap amplification, got {}",
+            r.retry_amplification
+        );
+        assert_eq!(r.brownout_qps, 0.0, "never tripped, never browned out");
+        assert_eq!(r.brownout_recovery_ms, 0);
+    }
+
+    #[test]
+    fn brownout_sheds_batch_first_and_keeps_interactive_flowing() {
+        let healthy = simulate(SimConfig {
+            outage_start_ms: 0,
+            outage_end_ms: 0,
+            ..outage_base()
+        });
+        let outage = simulate(outage_base());
+        assert!(
+            outage.batch_share < healthy.batch_share,
+            "brownout must shed batch first: {} vs healthy {}",
+            outage.batch_share,
+            healthy.batch_share
+        );
+        assert!(
+            outage.completed * 2 > healthy.completed,
+            "interactive service must not collapse: {} vs healthy {}",
+            outage.completed,
+            healthy.completed
+        );
+    }
+
+    #[test]
+    fn disabled_outage_leaves_the_legacy_model_bit_identical() {
+        let mut cfg = SimConfig {
+            qps: 400,
+            batch_every: 3,
+            deadline_budget_ms: Some(100),
+            ..base()
+        };
+        let plain = simulate(cfg);
+        // Zero-width window: every other outage knob must be inert.
+        cfg.outage_breaker_fails = 5;
+        cfg.outage_cooldown_ms = 200;
+        cfg.outage_retry_budget = 8;
+        cfg.brownout_service_ms = 40;
+        assert_eq!(plain, simulate(cfg));
+    }
+
     #[test]
     fn deterministic_across_runs() {
         let cfg = SimConfig {
@@ -582,7 +813,7 @@ mod tests {
             slow_every: 53,
             slow_service_ms: 120,
             hedge_threshold_ms: 30,
-            ..base()
+            ..outage_base()
         };
         assert_eq!(simulate(cfg), simulate(cfg));
     }

@@ -5,9 +5,9 @@
 # Usage: scripts/check.sh [--fast]
 #   --fast            skip the release build and lint debug profile only —
 #                     the quick pre-push loop; CI still runs the full gate.
-#   CHECK_SKIP_SOAK=1 skip the long chaos-soak and overload-soak tests (CI
-#                     runs them as their own jobs so the main gate stays
-#                     fast).
+#   CHECK_SKIP_SOAK=1 skip the long chaos-soak, overload-soak, and
+#                     outage-soak tests (CI runs them as their own jobs so
+#                     the main gate stays fast).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,8 +43,8 @@ echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 if [ "${CHECK_SKIP_SOAK:-0}" = 1 ]; then
-  echo "==> cargo test -q (chaos + overload soaks skipped)"
-  cargo test -q -- --skip chaos_soak_lifecycle --skip overload_soak
+  echo "==> cargo test -q (chaos + overload + outage soaks skipped)"
+  cargo test -q -- --skip chaos_soak_lifecycle --skip overload_soak --skip outage_soak
 else
   echo "==> cargo test -q"
   cargo test -q

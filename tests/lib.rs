@@ -158,6 +158,10 @@ impl ObjectStore for SlowStore {
     fn record_dedup(&self, n: u64) {
         self.inner.record_dedup(n)
     }
+    fn record_health(&self, breaker_rejections: u64, retry_tokens_denied: u64) {
+        self.inner
+            .record_health(breaker_rejections, retry_tokens_denied)
+    }
 }
 
 /// Rottnest config for integration scale.

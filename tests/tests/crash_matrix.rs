@@ -4,7 +4,7 @@
 use rottnest::invariants::verify_all;
 use rottnest::{IndexKind, Query, Rottnest};
 use rottnest_integration::*;
-use rottnest_object_store::{FaultKind, MemoryStore, ObjectStore};
+use rottnest_object_store::{FaultKind, MemoryStore, ObjectStore, OutageWindow};
 
 /// Every fault we inject: (description, fault to arm).
 fn faults() -> Vec<(&'static str, FaultKind)> {
@@ -205,6 +205,121 @@ fn vacuum_crash_mid_delete_resumes_under_transient_faults() {
     );
     assert_eq!(delta.faults_injected, 2);
 
+    let snap = table.snapshot().unwrap();
+    let out = rot
+        .search(
+            &table,
+            &snap,
+            "body",
+            &Query::Substring {
+                pattern: b"status S007",
+                k: 50,
+            },
+        )
+        .unwrap();
+    assert!(!out.matches.is_empty());
+}
+
+#[test]
+fn outage_mid_compact_aborts_typed_and_resumes_bit_identical() {
+    let store = MemoryStore::unmetered();
+    let table = make_table(store.as_ref(), 100, 2);
+    let rot = Rottnest::new(store.as_ref(), "idx", rot_config());
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap()
+        .unwrap();
+    table.append(&batch(100..150)).unwrap();
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap()
+        .unwrap();
+
+    // The exact result set the recovered universe must reproduce —
+    // compaction must never change what a query returns.
+    let snap = table.snapshot().unwrap();
+    let key = trace_id(120);
+    let want: Vec<(String, u64)> = rot
+        .search(
+            &table,
+            &snap,
+            "trace_id",
+            &Query::UuidEq { key: &key, k: 1 },
+        )
+        .unwrap()
+        .matches
+        .iter()
+        .map(|m| (m.path.clone(), m.row))
+        .collect();
+    assert_eq!(want.len(), 1);
+
+    // The index domain goes fully dark mid-compact.
+    let now = store.now_ms();
+    store
+        .faults()
+        .schedule_outage(OutageWindow::domain("idx/", now, u64::MAX));
+    let err = rot
+        .compact(IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap_err();
+    // Typed abort: the exhausted retries surface the outage with op+key
+    // provenance — never a panic, and never a partial commit.
+    let msg = format!("{err}");
+    assert!(
+        msg.contains("outage") || msg.contains("breaker"),
+        "outage must surface in the error chain: {msg}"
+    );
+    store.faults().clear_outages();
+    verify_all(store.as_ref(), "idx").unwrap();
+
+    // The resumed compaction converges and the pre-outage result set is
+    // reproduced exactly.
+    rot.compact(IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap();
+    verify_all(store.as_ref(), "idx").unwrap();
+    let got: Vec<(String, u64)> = rot
+        .search(
+            &table,
+            &snap,
+            "trace_id",
+            &Query::UuidEq { key: &key, k: 1 },
+        )
+        .unwrap()
+        .matches
+        .iter()
+        .map(|m| (m.path.clone(), m.row))
+        .collect();
+    assert_eq!(got, want, "resume must be bit-identical to pre-outage");
+}
+
+#[test]
+fn outage_mid_vacuum_aborts_typed_and_resumes() {
+    let store = MemoryStore::new();
+    let table = make_table(store.as_ref(), 100, 2);
+    let mut cfg = rot_config();
+    cfg.index_timeout_ms = 1_000;
+    let rot = Rottnest::new(store.as_ref(), "idx", cfg);
+    rot.index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
+    table.append(&batch(100..150)).unwrap();
+    rot.index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
+    rot.compact(IndexKind::Substring, "body").unwrap();
+    store.clock().unwrap().advance_ms(5_000);
+
+    // Everything goes dark mid-vacuum: the abort must land between
+    // commit points, exactly like the single-op crash rows above.
+    let now = store.now_ms();
+    store
+        .faults()
+        .schedule_outage(OutageWindow::full(now, u64::MAX));
+    assert!(rot.vacuum(&table).is_err(), "outage must abort vacuum");
+    store.faults().clear_outages();
+    verify_all(store.as_ref(), "idx").unwrap();
+
+    // The resumed vacuum finishes the job and queries still answer.
+    let report = rot.vacuum(&table).unwrap();
+    assert!(report.objects_deleted >= 1);
+    verify_all(store.as_ref(), "idx").unwrap();
     let snap = table.snapshot().unwrap();
     let out = rot
         .search(

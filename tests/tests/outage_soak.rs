@@ -1,0 +1,442 @@
+//! Outage soak: a full outage of the index prefix while the service is
+//! already at 2x its admission ceiling. The store-health stack must
+//!
+//! * trip the index-domain circuit breaker after a handful of exhausted
+//!   operations and stop hammering the dead domain — total requests
+//!   offered to it stay within the retry-budget amplification bound
+//!   (≤ 2.0x the admitted queries),
+//! * brown the service out instead of failing: interactive queries keep
+//!   completing on the brute path with **bit-identical** results, batch
+//!   queries shed first with a typed brownout refusal,
+//! * surface only typed errors throughout (`Overloaded` /
+//!   `DeadlineExceeded`) — nothing else escapes, nothing panics,
+//! * recover within a bounded sim-clock window once the outage clears:
+//!   half-open probes (bounded, no thundering herd) close the breaker
+//!   and the pre-outage baseline reproduces exactly.
+//!
+//! The nightly lane multiplies the storm iteration counts via
+//! `OUTAGE_SOAK_MULT` (4x), mirroring `POOL_SOAK_MULT` for the overload
+//! soak.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+use rottnest::{IndexKind, Query, Rottnest, RottnestError, SearchOutcome};
+use rottnest_integration::*;
+use rottnest_lake::{Snapshot, Table, TableConfig};
+use rottnest_object_store::{
+    BreakerState, ChaosConfig, MemoryStore, ObjectStore, OutageWindow, RetryPolicy,
+};
+use rottnest_serve::{AdmissionConfig, QueryClass, QueryService, ServiceConfig};
+
+/// Storm iterations: `base` on a PR lane, multiplied by
+/// `OUTAGE_SOAK_MULT` in the nightly lane (which runs at 4x).
+fn outage_iters(base: usize) -> usize {
+    std::env::var("OUTAGE_SOAK_MULT")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(base, |m| base * m.max(1))
+}
+
+/// Tight retry policy: failures exhaust fast (sim-clock backoff), so the
+/// breaker trips within a few operations instead of a few seconds.
+fn outage_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 4,
+        base_backoff_ms: 1,
+        max_backoff_ms: 8,
+        jitter_seed: 0x0D0A,
+        verify_short_reads: true,
+    }
+}
+
+/// `(path, row, score bits)` triples, sorted — bit-identity within one
+/// store universe.
+fn norm(out: &SearchOutcome) -> Vec<(String, u64, Option<u32>)> {
+    let mut v: Vec<_> = out
+        .matches
+        .iter()
+        .map(|m| (m.path.clone(), m.row, m.score.map(f32::to_bits)))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn outage_soak_browns_out_bounded_and_recovers_on_sim_clock() {
+    let store = MemoryStore::new();
+    let table = Table::create(
+        store.as_ref(),
+        "tbl",
+        &schema(),
+        TableConfig {
+            retry: outage_policy(),
+            ..small_pages()
+        },
+    )
+    .unwrap();
+    table.append(&batch(0..100)).unwrap();
+    table.append(&batch(100..200)).unwrap();
+
+    let mut cfg = rot_config();
+    cfg.retry = outage_policy();
+    let rot = Rottnest::new(store.as_ref(), "idx", cfg);
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap()
+        .unwrap();
+    rot.index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
+    let snap: Snapshot = table.snapshot().unwrap();
+
+    // Exact-search pool only: brute scans return the same matches the
+    // indexes do, so brownout results must be bit-identical.
+    let present = trace_id(42);
+    let absent = trace_id(9999);
+    let pool: Vec<(&str, Query<'_>)> = vec![
+        (
+            "trace_id",
+            Query::UuidEq {
+                key: &present,
+                k: 4,
+            },
+        ),
+        ("trace_id", Query::UuidEq { key: &absent, k: 4 }),
+        (
+            "body",
+            Query::Substring {
+                pattern: b"status S001",
+                k: 64,
+            },
+        ),
+    ];
+    let baseline: Vec<Vec<(String, u64, Option<u32>)>> = pool
+        .iter()
+        .map(|(col, q)| norm(&rot.search(&table, &snap, col, q).unwrap()))
+        .collect();
+    assert_eq!(baseline[0].len(), 1, "unique key hit");
+    assert!(baseline[1].is_empty(), "absent key");
+    assert!(!baseline[2].is_empty(), "substring hits exist");
+
+    let service = QueryService::new(
+        &rot,
+        ServiceConfig {
+            admission: AdmissionConfig {
+                max_concurrent: 2,
+                max_queued: 2,
+                expected_service_ms: 10,
+                ..AdmissionConfig::default()
+            },
+            tenant_limit_per_sec: 0,
+            default_timeout_ms: None,
+        },
+    );
+
+    // Pre-outage sanity through the service.
+    for (i, (col, q)) in pool.iter().enumerate() {
+        let out = service
+            .query_with_class(
+                &table,
+                &snap,
+                col,
+                q,
+                "tenant",
+                None,
+                QueryClass::Interactive,
+            )
+            .unwrap();
+        assert_eq!(norm(&out), baseline[i], "pre-outage divergence on {col}");
+    }
+
+    // The index prefix goes fully dark, open-ended.
+    let outage_start = store.now_ms();
+    store
+        .faults()
+        .schedule_outage(OutageWindow::domain("idx/", outage_start, u64::MAX));
+    let before = store.stats();
+    let opens_before = rot.health().breaker_opens();
+
+    let iters = outage_iters(40);
+    let mut wrong = 0usize;
+    let mut untyped = 0usize;
+    let mut brownout_refusals = 0usize;
+    let mut admitted_during_outage = 0u64;
+    for i in 0..iters {
+        // Once browned out, every 4th attempt is a batch query that the
+        // service must refuse up front with a typed brownout hint.
+        if rot.in_brownout() && i % 4 == 0 {
+            match service.query_with_class(
+                &table,
+                &snap,
+                "trace_id",
+                &pool[0].1,
+                "tenant",
+                None,
+                QueryClass::Batch,
+            ) {
+                Err(RottnestError::Overloaded { reason, .. }) if reason.contains("brownout") => {
+                    brownout_refusals += 1;
+                }
+                Err(RottnestError::Overloaded { .. })
+                | Err(RottnestError::DeadlineExceeded { .. }) => {}
+                Err(_) => untyped += 1,
+                Ok(_) => wrong += 1, // batch must not run in brownout
+            }
+            continue;
+        }
+        let which = i % pool.len();
+        let (col, q) = &pool[which];
+        match service.query_with_class(
+            &table,
+            &snap,
+            col,
+            q,
+            "tenant",
+            None,
+            QueryClass::Interactive,
+        ) {
+            Ok(out) => {
+                admitted_during_outage += 1;
+                if norm(&out) != baseline[which] {
+                    wrong += 1;
+                }
+            }
+            Err(RottnestError::Overloaded { .. }) | Err(RottnestError::DeadlineExceeded { .. }) => {
+            }
+            Err(e) => {
+                eprintln!("untyped outage error: {e}");
+                untyped += 1;
+            }
+        }
+    }
+    assert_eq!(untyped, 0, "only typed errors may escape during the outage");
+    assert_eq!(wrong, 0, "brownout results must stay bit-identical");
+    assert!(
+        admitted_during_outage > 0,
+        "interactive queries must keep completing through the outage"
+    );
+    assert!(
+        rot.health().breaker_opens() > opens_before,
+        "the index-domain breaker must trip"
+    );
+    assert!(
+        brownout_refusals > 0,
+        "batch must shed with a brownout hint"
+    );
+
+    // Amplification bound: requests offered to the dead domain (every
+    // injected outage failure is one attempt) over admitted queries.
+    let delta = store.stats().since(&before);
+    let amplification = delta.faults_injected as f64 / admitted_during_outage as f64;
+    assert!(
+        amplification <= 2.0,
+        "retry amplification {amplification:.2} exceeds the 2.0 bound \
+         ({} attempts / {admitted_during_outage} admitted)",
+        delta.faults_injected
+    );
+    let stats = service.stats();
+    assert!(
+        stats.brownout_queries > 0,
+        "the service must surface brownout-served queries: {stats:?}"
+    );
+    assert_eq!(stats.brownout_shed, brownout_refusals as u64);
+
+    // The outage clears; recovery rides ordinary traffic through the
+    // bounded half-open probes and must finish within a few cooldowns of
+    // sim time (default cooldown 1s).
+    store.faults().clear_outages();
+    let cleared_at = store.now_ms();
+    let mut recovered_at = None;
+    for _ in 0..500 {
+        let now = store.now_ms();
+        if rot.health().state("idx", now) == BreakerState::Closed {
+            recovered_at = Some(now);
+            break;
+        }
+        let _ = service.query_with_class(
+            &table,
+            &snap,
+            "trace_id",
+            &pool[0].1,
+            "tenant",
+            None,
+            QueryClass::Interactive,
+        );
+        store.clock().unwrap().advance_ms(50);
+    }
+    let recovered_at = recovered_at.expect("breaker must close after the outage clears");
+    let recovery_ms = recovered_at - cleared_at;
+    assert!(
+        recovery_ms <= 4_000,
+        "recovery took {recovery_ms} sim-ms, beyond the bounded window"
+    );
+
+    // Post-recovery: the service and a direct client both reproduce the
+    // pre-outage baseline exactly — no cache was poisoned.
+    for (i, (col, q)) in pool.iter().enumerate() {
+        let out = service
+            .query_with_class(
+                &table,
+                &snap,
+                col,
+                q,
+                "tenant",
+                None,
+                QueryClass::Interactive,
+            )
+            .unwrap();
+        assert_eq!(norm(&out), baseline[i], "post-recovery service {col}");
+        let direct = rot.search(&table, &snap, col, q).unwrap();
+        assert_eq!(norm(&direct), baseline[i], "post-recovery direct {col}");
+    }
+}
+
+/// The same outage composed with seeded chaos and 16 storming threads:
+/// brownout admission must stay typed and bit-identical under real
+/// concurrency, and the herd must not stampede the half-open probes.
+#[test]
+fn outage_soak_storm_stays_typed_under_chaos_and_concurrency() {
+    let store = MemoryStore::new();
+    let table = Table::create(
+        store.as_ref(),
+        "tbl",
+        &schema(),
+        TableConfig {
+            retry: outage_policy(),
+            ..small_pages()
+        },
+    )
+    .unwrap();
+    table.append(&batch(0..100)).unwrap();
+    table.append(&batch(100..200)).unwrap();
+
+    let mut cfg = rot_config();
+    cfg.retry = outage_policy();
+    let rot = Rottnest::new(store.as_ref(), "idx", cfg);
+    rot.index(&table, IndexKind::Uuid { key_len: 16 }, "trace_id")
+        .unwrap()
+        .unwrap();
+    rot.index(&table, IndexKind::Substring, "body")
+        .unwrap()
+        .unwrap();
+    let snap: Snapshot = table.snapshot().unwrap();
+
+    let present = trace_id(42);
+    let pool: Vec<(&str, Query<'_>)> = vec![
+        (
+            "trace_id",
+            Query::UuidEq {
+                key: &present,
+                k: 4,
+            },
+        ),
+        (
+            "body",
+            Query::Substring {
+                pattern: b"status S001",
+                k: 64,
+            },
+        ),
+    ];
+    let baseline: Vec<Vec<(String, u64, Option<u32>)>> = pool
+        .iter()
+        .map(|(col, q)| norm(&rot.search(&table, &snap, col, q).unwrap()))
+        .collect();
+
+    // 2x overload (16 threads on 2 slots + 2 queue spots) with 5% chaos
+    // on top of the scheduled index outage.
+    store
+        .faults()
+        .set_chaos(Some(ChaosConfig::uniform(0x0D0A5EED, 0.05)));
+    store
+        .faults()
+        .schedule_outage(OutageWindow::domain("idx/", store.now_ms(), u64::MAX));
+    let service = QueryService::new(
+        &rot,
+        ServiceConfig {
+            admission: AdmissionConfig {
+                max_concurrent: 2,
+                max_queued: 2,
+                expected_service_ms: 10,
+                ..AdmissionConfig::default()
+            },
+            tenant_limit_per_sec: 0,
+            default_timeout_ms: None,
+        },
+    );
+
+    const THREADS: usize = 16;
+    let iters = outage_iters(10);
+    let barrier = Barrier::new(THREADS);
+    let untyped_errors = AtomicUsize::new(0);
+    let wrong_results = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let service = &service;
+            let table = &table;
+            let snap = &snap;
+            let pool = &pool;
+            let baseline = &baseline;
+            let barrier = &barrier;
+            let untyped_errors = &untyped_errors;
+            let wrong_results = &wrong_results;
+            let completed = &completed;
+            s.spawn(move || {
+                barrier.wait();
+                for i in 0..iters {
+                    let which = (t + i) % pool.len();
+                    let (col, q) = &pool[which];
+                    let class = if t % 4 == 3 {
+                        QueryClass::Batch
+                    } else {
+                        QueryClass::Interactive
+                    };
+                    match service.query_with_class(table, snap, col, q, "tenant", None, class) {
+                        Ok(out) => {
+                            completed.fetch_add(1, Ordering::Relaxed);
+                            if norm(&out) != baseline[which] {
+                                wrong_results.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(RottnestError::Overloaded { .. })
+                        | Err(RottnestError::DeadlineExceeded { .. }) => {}
+                        Err(e) => {
+                            eprintln!("untyped storm error: {e}");
+                            untyped_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(untyped_errors.load(Ordering::Relaxed), 0, "typed-only");
+    assert_eq!(wrong_results.load(Ordering::Relaxed), 0, "bit-identity");
+    assert!(
+        completed.load(Ordering::Relaxed) > 0,
+        "brownout must keep serving some interactive queries"
+    );
+
+    // Storm over, faults lifted: drive the bounded half-open probes
+    // until the breaker closes, then the exact baseline reproduces.
+    store.faults().set_chaos(None);
+    store.faults().clear_outages();
+    for _ in 0..500 {
+        if rot.health().state("idx", store.now_ms()) == BreakerState::Closed {
+            break;
+        }
+        let _ = rot.search(&table, &snap, "trace_id", &pool[0].1);
+        store.clock().unwrap().advance_ms(50);
+    }
+    assert_eq!(
+        rot.health().state("idx", store.now_ms()),
+        BreakerState::Closed,
+        "breaker must close once the outage clears"
+    );
+    for ((col, q), want) in pool.iter().zip(&baseline) {
+        let out = rot.search(&table, &snap, col, q).unwrap();
+        assert_eq!(&norm(&out), want, "post-storm divergence on {col}");
+    }
+}
